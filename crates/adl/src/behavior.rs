@@ -1,0 +1,433 @@
+//! Declarative operation semantics.
+//!
+//! In the paper's framework the ADL embeds a C++ source fragment per
+//! operation from which TargetGen generates a simulation function. In this
+//! Rust reproduction the semantics vocabulary is a closed enum ([`Behavior`]);
+//! the simulator's table generator maps each variant to a concrete simulation
+//! function, which preserves the paper's structure (one simulation function
+//! per operation, dispatched through the operation table) while staying safe
+//! and testable.
+
+use std::fmt;
+
+/// Arithmetic/logic operations computed by an EDPE's ALU (and its
+/// multiply/divide unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NOR.
+    Nor,
+    /// Set-if-less-than, signed (result 0/1).
+    Slt,
+    /// Set-if-less-than, unsigned (result 0/1).
+    Sltu,
+    /// Logical shift left (shift amount masked to 5 bits).
+    Sll,
+    /// Logical shift right (shift amount masked to 5 bits).
+    Srl,
+    /// Arithmetic shift right (shift amount masked to 5 bits).
+    Sra,
+    /// Low 32 bits of the signed product.
+    Mul,
+    /// High 32 bits of the signed product.
+    Mulh,
+    /// High 32 bits of the unsigned product.
+    Mulhu,
+    /// Signed division (division by zero yields all-ones, as in RISC-V).
+    Div,
+    /// Unsigned division (division by zero yields all-ones).
+    Divu,
+    /// Signed remainder (remainder by zero yields the dividend).
+    Rem,
+    /// Unsigned remainder (remainder by zero yields the dividend).
+    Remu,
+}
+
+impl AluOp {
+    /// Evaluates the operation on two 32-bit operands.
+    ///
+    /// This single definition is shared by the instruction-set simulator, the
+    /// cycle-accurate reference model, and the compiler's constant folder, so
+    /// the three can never disagree on semantics.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use kahrisma_adl::AluOp;
+    /// assert_eq!(AluOp::Add.eval(2, 3), 5);
+    /// assert_eq!(AluOp::Sra.eval(0x8000_0000, 31), 0xFFFF_FFFF);
+    /// assert_eq!(AluOp::Div.eval(7, 0), u32::MAX); // division by zero
+    /// ```
+    #[must_use]
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        let sa = a as i32;
+        let sb = b as i32;
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Nor => !(a | b),
+            AluOp::Slt => u32::from(sa < sb),
+            AluOp::Sltu => u32::from(a < b),
+            AluOp::Sll => a.wrapping_shl(b & 31),
+            AluOp::Srl => a.wrapping_shr(b & 31),
+            AluOp::Sra => (sa.wrapping_shr(b & 31)) as u32,
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Mulh => ((i64::from(sa) * i64::from(sb)) >> 32) as u32,
+            AluOp::Mulhu => ((u64::from(a) * u64::from(b)) >> 32) as u32,
+            AluOp::Div => {
+                if b == 0 {
+                    u32::MAX
+                } else if sa == i32::MIN && sb == -1 {
+                    sa as u32
+                } else {
+                    (sa / sb) as u32
+                }
+            }
+            AluOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+            AluOp::Rem => {
+                if b == 0 {
+                    a
+                } else if sa == i32::MIN && sb == -1 {
+                    0
+                } else {
+                    (sa % sb) as u32
+                }
+            }
+            AluOp::Remu => a.checked_rem(b).unwrap_or(a),
+        }
+    }
+
+    /// Functional-unit class the operation occupies in the microarchitecture.
+    #[must_use]
+    pub fn fu_class(self) -> FuClass {
+        match self {
+            AluOp::Mul | AluOp::Mulh | AluOp::Mulhu | AluOp::Div | AluOp::Divu | AluOp::Rem
+            | AluOp::Remu => FuClass::MulDiv,
+            _ => FuClass::Alu,
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Nor => "nor",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Mul => "mul",
+            AluOp::Mulh => "mulh",
+            AluOp::Mulhu => "mulhu",
+            AluOp::Div => "div",
+            AluOp::Divu => "divu",
+            AluOp::Rem => "rem",
+            AluOp::Remu => "remu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Branch comparison conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CondOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+impl CondOp {
+    /// Evaluates the condition on two 32-bit operands.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use kahrisma_adl::CondOp;
+    /// assert!(CondOp::Lt.eval(0xFFFF_FFFF, 0)); // -1 < 0 signed
+    /// assert!(!CondOp::Ltu.eval(0xFFFF_FFFF, 0));
+    /// ```
+    #[must_use]
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        match self {
+            CondOp::Eq => a == b,
+            CondOp::Ne => a != b,
+            CondOp::Lt => (a as i32) < (b as i32),
+            CondOp::Ge => (a as i32) >= (b as i32),
+            CondOp::Ltu => a < b,
+            CondOp::Geu => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CondOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CondOp::Eq => "eq",
+            CondOp::Ne => "ne",
+            CondOp::Lt => "lt",
+            CondOp::Ge => "ge",
+            CondOp::Ltu => "ltu",
+            CondOp::Geu => "geu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Memory access width of a load or store operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 8-bit access.
+    Byte,
+    /// 16-bit access.
+    Half,
+    /// 32-bit access.
+    Word,
+}
+
+impl MemWidth {
+    /// Width of the access in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Half => 2,
+            MemWidth::Word => 4,
+        }
+    }
+}
+
+/// Functional-unit class used for microarchitectural resource modelling.
+///
+/// The cycle-approximate DOE model deliberately ignores these constraints
+/// (paper §VI-C, heuristic reason 1); the cycle-accurate reference model in
+/// `kahrisma-rtl` enforces them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FuClass {
+    /// Single-cycle integer ALU.
+    Alu,
+    /// Multi-cycle multiply/divide unit (may be shared between slots).
+    MulDiv,
+    /// Load/store unit (memory port).
+    Mem,
+    /// Branch/control unit.
+    Branch,
+    /// System operations (ISA switch, libc emulation, halt).
+    System,
+}
+
+/// Declarative semantics of one operation.
+///
+/// Register operands named in the variants (`rd`, `rs1`, `rs2`, `imm`) refer
+/// to the fields extracted from the instruction word by the operation's
+/// [`Encoding`](crate::Encoding); implicit registers (e.g. the instruction
+/// pointer written by every branch) are declared separately on
+/// [`OperationDesc`](crate::OperationDesc).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Behavior {
+    /// `rd = alu(rs1, rs2)`.
+    IntAlu(AluOp),
+    /// `rd = alu(rs1, imm)`; logical operations zero-extend the immediate,
+    /// arithmetic operations sign-extend it (see `kahrisma-isa` docs).
+    IntAluImm(AluOp),
+    /// `rd = imm << 13` — load-upper-immediate (U encoding, 19-bit field).
+    LoadUpperImm,
+    /// `rd = mem[rs1 + imm]` with the given width; `signed` selects sign- vs
+    /// zero-extension for sub-word loads.
+    Load {
+        /// Access width.
+        width: MemWidth,
+        /// Sign-extend sub-word data when `true`.
+        signed: bool,
+    },
+    /// `mem[rs1 + imm] = rs2` with the given width.
+    Store {
+        /// Access width.
+        width: MemWidth,
+    },
+    /// `if cond(rs1, rs2) { ip = op_addr + imm * 4 }`, where `op_addr` is
+    /// the address of the branch operation's own word (within a VLIW bundle:
+    /// `instr_addr + slot * 4`).
+    Branch(CondOp),
+    /// `ip = imm * 4` — absolute jump (J encoding, 24-bit field).
+    Jump,
+    /// `rd_link = next_instr_addr; ip = imm * 4` — call (link register is an
+    /// implicit destination).
+    JumpAndLink,
+    /// `ip = rs1` — indirect jump / return.
+    JumpReg,
+    /// `rd_link = next_instr_addr; ip = rs1` — indirect call.
+    JumpAndLinkReg,
+    /// Switches the active ISA to identifier `imm` (paper §V-D). The next
+    /// instruction is detected and decoded with the new ISA's tables.
+    SwitchTarget,
+    /// Executes emulated C-standard-library function `imm` natively in the
+    /// simulator (paper §V-E); reads arguments and writes results through the
+    /// calling convention.
+    SimOp,
+    /// Stops simulation; the exit code follows the calling convention.
+    Halt,
+    /// No operation (also the VLIW slot filler).
+    Nop,
+}
+
+impl Behavior {
+    /// Whether the operation reads data memory.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        matches!(self, Behavior::Load { .. })
+    }
+
+    /// Whether the operation writes data memory.
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        matches!(self, Behavior::Store { .. })
+    }
+
+    /// Whether the operation accesses data memory at all.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Whether the operation may redirect control flow.
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            Behavior::Branch(_)
+                | Behavior::Jump
+                | Behavior::JumpAndLink
+                | Behavior::JumpReg
+                | Behavior::JumpAndLinkReg
+        )
+    }
+
+    /// Whether the operation serializes the pipeline (ISA switch, halt).
+    #[must_use]
+    pub fn is_serializing(self) -> bool {
+        matches!(self, Behavior::SwitchTarget | Behavior::Halt)
+    }
+
+    /// Functional-unit class occupied by the operation.
+    #[must_use]
+    pub fn fu_class(self) -> FuClass {
+        match self {
+            Behavior::IntAlu(op) | Behavior::IntAluImm(op) => op.fu_class(),
+            Behavior::LoadUpperImm | Behavior::Nop => FuClass::Alu,
+            Behavior::Load { .. } | Behavior::Store { .. } => FuClass::Mem,
+            Behavior::Branch(_)
+            | Behavior::Jump
+            | Behavior::JumpAndLink
+            | Behavior::JumpReg
+            | Behavior::JumpAndLinkReg => FuClass::Branch,
+            Behavior::SwitchTarget | Behavior::SimOp | Behavior::Halt => FuClass::System,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_basic_arithmetic() {
+        assert_eq!(AluOp::Add.eval(u32::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.eval(0, 1), u32::MAX);
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Nor.eval(0, 0), u32::MAX);
+    }
+
+    #[test]
+    fn alu_comparisons() {
+        assert_eq!(AluOp::Slt.eval(0xFFFF_FFFF, 0), 1); // -1 < 0
+        assert_eq!(AluOp::Sltu.eval(0xFFFF_FFFF, 0), 0);
+        assert_eq!(AluOp::Slt.eval(3, 3), 0);
+    }
+
+    #[test]
+    fn alu_shifts_mask_amount() {
+        assert_eq!(AluOp::Sll.eval(1, 33), 2); // 33 & 31 == 1
+        assert_eq!(AluOp::Srl.eval(0x8000_0000, 31), 1);
+        assert_eq!(AluOp::Sra.eval(0x8000_0000, 1), 0xC000_0000);
+    }
+
+    #[test]
+    fn alu_mul_div_edge_cases() {
+        assert_eq!(AluOp::Mul.eval(0x1_0000, 0x1_0000), 0); // low 32 bits
+        assert_eq!(AluOp::Mulh.eval(0x8000_0000, 2), 0xFFFF_FFFF); // -2^31 * 2 >> 32
+        assert_eq!(AluOp::Mulhu.eval(0x8000_0000, 2), 1);
+        assert_eq!(AluOp::Div.eval(7, 2), 3);
+        assert_eq!(AluOp::Div.eval(0x8000_0000, 0xFFFF_FFFF), 0x8000_0000); // overflow case
+        assert_eq!(AluOp::Rem.eval(0x8000_0000, 0xFFFF_FFFF), 0);
+        assert_eq!(AluOp::Divu.eval(10, 0), u32::MAX);
+        assert_eq!(AluOp::Remu.eval(10, 0), 10);
+        assert_eq!(AluOp::Rem.eval((-7i32) as u32, 2), (-1i32) as u32);
+    }
+
+    #[test]
+    fn cond_signedness() {
+        assert!(CondOp::Eq.eval(5, 5));
+        assert!(CondOp::Ne.eval(5, 6));
+        assert!(CondOp::Ge.eval(0, 0xFFFF_FFFF)); // 0 >= -1 signed
+        assert!(CondOp::Geu.eval(0xFFFF_FFFF, 0));
+        assert!(!CondOp::Geu.eval(0, 1));
+    }
+
+    #[test]
+    fn behavior_classification() {
+        assert!(Behavior::Load { width: MemWidth::Word, signed: false }.is_mem());
+        assert!(Behavior::Store { width: MemWidth::Byte }.is_store());
+        assert!(!Behavior::Store { width: MemWidth::Byte }.is_load());
+        assert!(Behavior::Branch(CondOp::Eq).is_control());
+        assert!(Behavior::JumpAndLinkReg.is_control());
+        assert!(Behavior::SwitchTarget.is_serializing());
+        assert!(!Behavior::Nop.is_control());
+        assert_eq!(Behavior::IntAlu(AluOp::Mul).fu_class(), FuClass::MulDiv);
+        assert_eq!(Behavior::Branch(CondOp::Eq).fu_class(), FuClass::Branch);
+        assert_eq!(Behavior::Load { width: MemWidth::Word, signed: true }.fu_class(), FuClass::Mem);
+    }
+
+    #[test]
+    fn mem_width_bytes() {
+        assert_eq!(MemWidth::Byte.bytes(), 1);
+        assert_eq!(MemWidth::Half.bytes(), 2);
+        assert_eq!(MemWidth::Word.bytes(), 4);
+    }
+
+    #[test]
+    fn display_names_are_lowercase_mnemonics() {
+        assert_eq!(AluOp::Sltu.to_string(), "sltu");
+        assert_eq!(CondOp::Geu.to_string(), "geu");
+    }
+}

@@ -1,0 +1,507 @@
+//! Architecture, ISA and operation descriptions.
+
+use std::fmt;
+
+use crate::behavior::Behavior;
+use crate::error::AdlError;
+use crate::field::{Field, FieldKind};
+use crate::reg::{Reg, RegFileDesc};
+
+/// Identifier of one ISA configuration within an architecture description.
+///
+/// The paper (§V-D): "Each ISA is identified by a unique number that is
+/// provided by the ADL"; the `SWITCHTARGET` instruction takes this number as
+/// an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct IsaId(u8);
+
+impl IsaId {
+    /// Creates an ISA identifier.
+    #[must_use]
+    pub const fn new(id: u8) -> Self {
+        IsaId(id)
+    }
+
+    /// The raw identifier value.
+    #[must_use]
+    pub fn value(self) -> u8 {
+        self.0
+    }
+}
+
+impl From<u8> for IsaId {
+    fn from(v: u8) -> Self {
+        IsaId(v)
+    }
+}
+
+impl fmt::Display for IsaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "isa#{}", self.0)
+    }
+}
+
+/// Standard operation-word encodings of the KAHRISMA family.
+///
+/// Every encoding reserves bits `[31:24]` for the opcode; the remaining 24
+/// bits are laid out per variant. [`Encoding::fields`] materializes the
+/// corresponding [`Field`] list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Encoding {
+    /// `op rd, rs1, rs2` — rd `[23:19]`, rs1 `[18:14]`, rs2 `[13:9]`.
+    R,
+    /// `op rd, rs1, imm14` — rd `[23:19]`, rs1 `[18:14]`, signed imm `[13:0]`.
+    I,
+    /// Like [`Encoding::I`] but the immediate is zero-extended (logical
+    /// immediates, shift amounts).
+    Iu,
+    /// `op rs1, rs2, off14` — rs1 `[23:19]`, rs2 `[18:14]`, signed word
+    /// offset `[13:0]` (branches).
+    B,
+    /// `op rd, imm19` — rd `[23:19]`, unsigned imm `[18:0]` (`lui`).
+    U,
+    /// `op imm24` — unsigned imm `[23:0]` (jumps, `switchtarget`, `simop`).
+    J,
+    /// `op rd, rs1` — rd `[23:19]`, rs1 `[18:14]` (indirect calls).
+    Rr,
+    /// `op rs1` — rs1 `[23:19]` (indirect jumps).
+    R1,
+    /// No operands beyond the opcode (`nop`, `halt`).
+    None,
+}
+
+impl Encoding {
+    /// The opcode field shared by all encodings: bits `[31:24]`.
+    #[must_use]
+    pub fn opcode_field() -> Field {
+        Field::new(FieldKind::Opcode, 24, 8)
+    }
+
+    /// Materializes the field list of the encoding (opcode first).
+    #[must_use]
+    pub fn fields(self) -> Vec<Field> {
+        let mut f = vec![Self::opcode_field()];
+        match self {
+            Encoding::R => {
+                f.push(Field::new(FieldKind::Rd, 19, 5));
+                f.push(Field::new(FieldKind::Rs1, 14, 5));
+                f.push(Field::new(FieldKind::Rs2, 9, 5));
+            }
+            Encoding::I => {
+                f.push(Field::new(FieldKind::Rd, 19, 5));
+                f.push(Field::new(FieldKind::Rs1, 14, 5));
+                f.push(Field::new(FieldKind::Imm { signed: true }, 0, 14));
+            }
+            Encoding::Iu => {
+                f.push(Field::new(FieldKind::Rd, 19, 5));
+                f.push(Field::new(FieldKind::Rs1, 14, 5));
+                f.push(Field::new(FieldKind::Imm { signed: false }, 0, 14));
+            }
+            Encoding::B => {
+                f.push(Field::new(FieldKind::Rs1, 19, 5));
+                f.push(Field::new(FieldKind::Rs2, 14, 5));
+                f.push(Field::new(FieldKind::Imm { signed: true }, 0, 14));
+            }
+            Encoding::U => {
+                f.push(Field::new(FieldKind::Rd, 19, 5));
+                f.push(Field::new(FieldKind::Imm { signed: false }, 0, 19));
+            }
+            Encoding::J => {
+                f.push(Field::new(FieldKind::Imm { signed: false }, 0, 24));
+            }
+            Encoding::Rr => {
+                f.push(Field::new(FieldKind::Rd, 19, 5));
+                f.push(Field::new(FieldKind::Rs1, 14, 5));
+            }
+            Encoding::R1 => {
+                f.push(Field::new(FieldKind::Rs1, 19, 5));
+            }
+            Encoding::None => {}
+        }
+        f
+    }
+
+    /// The immediate field of this encoding, if any.
+    #[must_use]
+    pub fn imm_field(self) -> Option<Field> {
+        self.fields().into_iter().find(|f| matches!(f.kind(), FieldKind::Imm { .. }))
+    }
+}
+
+/// Description of one operation of an ISA.
+///
+/// Mirrors the paper's operation-table entry: "Each operation within an
+/// operation table contains its name, size, fields, implicit registers, and
+/// pointer to the simulation function." The simulation function is generated
+/// from [`Behavior`] by the simulator's table generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperationDesc {
+    name: &'static str,
+    opcode: u8,
+    encoding: Encoding,
+    behavior: Behavior,
+    delay: u32,
+    implicit_reads: Vec<Reg>,
+    implicit_writes: Vec<Reg>,
+    writes_ip: bool,
+}
+
+impl OperationDesc {
+    /// Creates an operation description.
+    ///
+    /// `delay` is the operation's execution delay in cycles; for memory
+    /// operations it is the *issue* delay, the memory hierarchy adds the
+    /// access latency.
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        opcode: u8,
+        encoding: Encoding,
+        behavior: Behavior,
+        delay: u32,
+    ) -> Self {
+        let writes_ip = behavior.is_control();
+        OperationDesc {
+            name,
+            opcode,
+            encoding,
+            behavior,
+            delay,
+            implicit_reads: Vec::new(),
+            implicit_writes: Vec::new(),
+            writes_ip,
+        }
+    }
+
+    /// Adds an implicitly read register (e.g. the stack pointer of `simop`).
+    #[must_use]
+    pub fn with_implicit_read(mut self, r: Reg) -> Self {
+        self.implicit_reads.push(r);
+        self
+    }
+
+    /// Adds an implicitly written register (e.g. the link register of `jal`).
+    #[must_use]
+    pub fn with_implicit_write(mut self, r: Reg) -> Self {
+        self.implicit_writes.push(r);
+        self
+    }
+
+    /// Operation mnemonic.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Opcode value (bits `[31:24]` of the operation word).
+    #[must_use]
+    pub fn opcode(&self) -> u8 {
+        self.opcode
+    }
+
+    /// Encoding layout of the operation word.
+    #[must_use]
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Declarative semantics.
+    #[must_use]
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    /// Execution delay in cycles.
+    #[must_use]
+    pub fn delay(&self) -> u32 {
+        self.delay
+    }
+
+    /// Size of the operation word in bytes (constant 4 in this family).
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        4
+    }
+
+    /// Implicitly read registers.
+    #[must_use]
+    pub fn implicit_reads(&self) -> &[Reg] {
+        &self.implicit_reads
+    }
+
+    /// Implicitly written registers.
+    #[must_use]
+    pub fn implicit_writes(&self) -> &[Reg] {
+        &self.implicit_writes
+    }
+
+    /// Whether the operation implicitly writes the instruction pointer.
+    #[must_use]
+    pub fn writes_ip(&self) -> bool {
+        self.writes_ip
+    }
+
+    /// Encodes this operation with the given field values into a word.
+    #[must_use]
+    pub fn encode(&self, rd: u8, rs1: u8, rs2: u8, imm: u32) -> u32 {
+        let mut w = 0u32;
+        for f in self.encoding.fields() {
+            w = match f.kind() {
+                FieldKind::Opcode => f.insert(w, u32::from(self.opcode)),
+                FieldKind::Rd => f.insert(w, u32::from(rd)),
+                FieldKind::Rs1 => f.insert(w, u32::from(rs1)),
+                FieldKind::Rs2 => f.insert(w, u32::from(rs2)),
+                FieldKind::Imm { .. } => f.insert(w, imm),
+            };
+        }
+        w
+    }
+}
+
+/// Description of one ISA configuration (instruction format + operation set).
+///
+/// An *instruction* of an ISA with issue width `w` consists of `w`
+/// consecutive 32-bit operation words, one per issue slot (EDPE); the RISC
+/// configuration is the `w = 1` case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsaDesc {
+    id: IsaId,
+    name: &'static str,
+    issue_width: u8,
+    operations: Vec<OperationDesc>,
+}
+
+impl IsaDesc {
+    /// Creates an ISA description with the given identifier, name and issue
+    /// width. Operations are added with [`IsaDesc::push_op`].
+    #[must_use]
+    pub fn new(id: u8, name: &'static str, issue_width: u8) -> Self {
+        IsaDesc { id: IsaId::new(id), name, issue_width, operations: Vec::new() }
+    }
+
+    /// Appends an operation to this ISA's operation set.
+    pub fn push_op(&mut self, op: OperationDesc) {
+        self.operations.push(op);
+    }
+
+    /// Unique identifier of the ISA.
+    #[must_use]
+    pub fn id(&self) -> IsaId {
+        self.id
+    }
+
+    /// Human-readable name (e.g. `"risc"`, `"vliw4"`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of issue slots per instruction.
+    #[must_use]
+    pub fn issue_width(&self) -> u8 {
+        self.issue_width
+    }
+
+    /// Size of one full instruction in bytes (`issue_width * 4`).
+    #[must_use]
+    pub fn instr_size(&self) -> u32 {
+        u32::from(self.issue_width) * 4
+    }
+
+    /// The operations of this ISA.
+    #[must_use]
+    pub fn operations(&self) -> &[OperationDesc] {
+        &self.operations
+    }
+}
+
+/// A complete architecture description: register file plus all ISA
+/// configurations that may co-exist or be switched between at runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchDesc {
+    name: &'static str,
+    regfile: RegFileDesc,
+    isas: Vec<IsaDesc>,
+    default_isa: IsaId,
+}
+
+impl ArchDesc {
+    /// Creates and validates an architecture description. The first ISA in
+    /// `isas` becomes the default ISA (used when no initial ISA is given to
+    /// the simulator, paper §V-D).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the description is inconsistent: no ISAs, an ISA
+    /// without operations, duplicate ISA ids, duplicate opcodes or mnemonics
+    /// within an ISA, or an invalid issue width.
+    pub fn new(name: &'static str, isas: Vec<IsaDesc>) -> Result<Self, AdlError> {
+        Self::with_regfile(name, RegFileDesc::default(), isas)
+    }
+
+    /// Like [`ArchDesc::new`] with an explicit register-file description.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ArchDesc::new`].
+    pub fn with_regfile(
+        name: &'static str,
+        regfile: RegFileDesc,
+        isas: Vec<IsaDesc>,
+    ) -> Result<Self, AdlError> {
+        if isas.is_empty() {
+            return Err(AdlError::EmptyArchitecture);
+        }
+        let mut seen_ids = std::collections::HashSet::new();
+        for isa in &isas {
+            if !(1..=16).contains(&isa.issue_width) {
+                return Err(AdlError::InvalidIssueWidth { isa: isa.name.into(), width: isa.issue_width });
+            }
+            if !seen_ids.insert(isa.id) {
+                return Err(AdlError::DuplicateIsaId(isa.id.value()));
+            }
+            if isa.operations.is_empty() {
+                return Err(AdlError::EmptyIsa(isa.name.into()));
+            }
+            let mut opcodes: std::collections::HashMap<u8, &str> = std::collections::HashMap::new();
+            let mut names = std::collections::HashSet::new();
+            for op in &isa.operations {
+                if let Some(first) = opcodes.insert(op.opcode, op.name) {
+                    return Err(AdlError::DuplicateOpcode {
+                        isa: isa.name.into(),
+                        opcode: op.opcode,
+                        first: first.into(),
+                        second: op.name.into(),
+                    });
+                }
+                if !names.insert(op.name) {
+                    return Err(AdlError::DuplicateName { isa: isa.name.into(), name: op.name.into() });
+                }
+            }
+        }
+        let default_isa = isas[0].id();
+        Ok(ArchDesc { name, regfile, isas, default_isa })
+    }
+
+    /// Architecture name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Register-file description.
+    #[must_use]
+    pub fn regfile(&self) -> &RegFileDesc {
+        &self.regfile
+    }
+
+    /// All ISA configurations.
+    #[must_use]
+    pub fn isas(&self) -> &[IsaDesc] {
+        &self.isas
+    }
+
+    /// Looks up an ISA by identifier.
+    #[must_use]
+    pub fn isa(&self, id: IsaId) -> Option<&IsaDesc> {
+        self.isas.iter().find(|i| i.id() == id)
+    }
+
+    /// Looks up an ISA by name.
+    #[must_use]
+    pub fn isa_by_name(&self, name: &str) -> Option<&IsaDesc> {
+        self.isas.iter().find(|i| i.name() == name)
+    }
+
+    /// The default ISA used when simulation starts without an explicit
+    /// initial ISA (paper §V-D).
+    #[must_use]
+    pub fn default_isa(&self) -> IsaId {
+        self.default_isa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::AluOp;
+
+    fn op(name: &'static str, opcode: u8) -> OperationDesc {
+        OperationDesc::new(name, opcode, Encoding::R, Behavior::IntAlu(AluOp::Add), 1)
+    }
+
+    #[test]
+    fn encoding_fields_cover_expected_kinds() {
+        let f = Encoding::I.fields();
+        assert_eq!(f.len(), 4);
+        assert!(Encoding::J.imm_field().is_some());
+        assert!(Encoding::R.imm_field().is_none());
+        assert!(Encoding::None.fields().len() == 1);
+    }
+
+    #[test]
+    fn encode_places_opcode_high() {
+        let o = op("add", 0xAB);
+        let w = o.encode(1, 2, 3, 0);
+        assert_eq!(w >> 24, 0xAB);
+    }
+
+    #[test]
+    fn arch_validation_catches_duplicates() {
+        let mut isa = IsaDesc::new(0, "risc", 1);
+        isa.push_op(op("add", 1));
+        isa.push_op(op("sub", 1));
+        let err = ArchDesc::new("a", vec![isa]).unwrap_err();
+        assert!(matches!(err, AdlError::DuplicateOpcode { .. }));
+
+        let mut isa = IsaDesc::new(0, "risc", 1);
+        isa.push_op(op("add", 1));
+        isa.push_op(op("add", 2));
+        let err = ArchDesc::new("a", vec![isa]).unwrap_err();
+        assert!(matches!(err, AdlError::DuplicateName { .. }));
+
+        let mut a = IsaDesc::new(0, "risc", 1);
+        a.push_op(op("add", 1));
+        let mut b = IsaDesc::new(0, "vliw2", 2);
+        b.push_op(op("add", 1));
+        let err = ArchDesc::new("a", vec![a, b]).unwrap_err();
+        assert_eq!(err, AdlError::DuplicateIsaId(0));
+    }
+
+    #[test]
+    fn arch_validation_rejects_empty() {
+        assert_eq!(ArchDesc::new("a", vec![]).unwrap_err(), AdlError::EmptyArchitecture);
+        let isa = IsaDesc::new(0, "risc", 1);
+        assert!(matches!(ArchDesc::new("a", vec![isa]).unwrap_err(), AdlError::EmptyIsa(_)));
+        let mut isa = IsaDesc::new(0, "wide", 0);
+        isa.push_op(op("add", 1));
+        assert!(matches!(
+            ArchDesc::new("a", vec![isa]).unwrap_err(),
+            AdlError::InvalidIssueWidth { .. }
+        ));
+    }
+
+    #[test]
+    fn lookup_by_id_and_name() {
+        let mut a = IsaDesc::new(0, "risc", 1);
+        a.push_op(op("add", 1));
+        let mut b = IsaDesc::new(1, "vliw2", 2);
+        b.push_op(op("add", 1));
+        let arch = ArchDesc::new("k", vec![a, b]).unwrap();
+        assert_eq!(arch.isa(IsaId::new(1)).unwrap().name(), "vliw2");
+        assert_eq!(arch.isa_by_name("risc").unwrap().id(), IsaId::new(0));
+        assert!(arch.isa(IsaId::new(9)).is_none());
+        assert_eq!(arch.default_isa(), IsaId::new(0));
+        assert_eq!(arch.isa_by_name("vliw2").unwrap().instr_size(), 8);
+    }
+
+    #[test]
+    fn implicit_registers_recorded() {
+        let o = OperationDesc::new("jal", 9, Encoding::J, Behavior::JumpAndLink, 1)
+            .with_implicit_write(Reg::new(31));
+        assert_eq!(o.implicit_writes(), &[Reg::new(31)]);
+        assert!(o.writes_ip());
+        assert_eq!(o.size(), 4);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for architecture-description validation and table generation.
+
+use std::fmt;
+
+/// Error produced while validating an architecture description or while
+/// generating operation tables from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdlError {
+    /// Two ISAs in the same architecture share an identifier.
+    DuplicateIsaId(u8),
+    /// Two operations in the same ISA share an opcode.
+    DuplicateOpcode {
+        /// ISA in which the clash occurred.
+        isa: String,
+        /// The clashing opcode value.
+        opcode: u8,
+        /// Name of the first operation that claimed the opcode.
+        first: String,
+        /// Name of the second operation that claimed the opcode.
+        second: String,
+    },
+    /// Two operations in the same ISA share a mnemonic.
+    DuplicateName {
+        /// ISA in which the clash occurred.
+        isa: String,
+        /// The clashing mnemonic.
+        name: String,
+    },
+    /// An ISA declared an unsupported issue width.
+    InvalidIssueWidth {
+        /// ISA with the bad width.
+        isa: String,
+        /// The declared width.
+        width: u8,
+    },
+    /// The architecture contains no ISA.
+    EmptyArchitecture,
+    /// An ISA contains no operations.
+    EmptyIsa(String),
+    /// A referenced ISA identifier does not exist in the architecture.
+    UnknownIsa(u8),
+}
+
+impl fmt::Display for AdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdlError::DuplicateIsaId(id) => write!(f, "duplicate ISA identifier {id}"),
+            AdlError::DuplicateOpcode { isa, opcode, first, second } => write!(
+                f,
+                "ISA `{isa}`: operations `{first}` and `{second}` share opcode {opcode:#04x}"
+            ),
+            AdlError::DuplicateName { isa, name } => {
+                write!(f, "ISA `{isa}`: duplicate operation mnemonic `{name}`")
+            }
+            AdlError::InvalidIssueWidth { isa, width } => {
+                write!(f, "ISA `{isa}`: invalid issue width {width} (must be 1..=16)")
+            }
+            AdlError::EmptyArchitecture => write!(f, "architecture description contains no ISA"),
+            AdlError::EmptyIsa(isa) => write!(f, "ISA `{isa}` contains no operations"),
+            AdlError::UnknownIsa(id) => write!(f, "unknown ISA identifier {id}"),
+        }
+    }
+}
+
+impl std::error::Error for AdlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_style() {
+        let errs = [
+            AdlError::DuplicateIsaId(3),
+            AdlError::DuplicateOpcode {
+                isa: "risc".into(),
+                opcode: 0x10,
+                first: "add".into(),
+                second: "sub".into(),
+            },
+            AdlError::DuplicateName { isa: "risc".into(), name: "add".into() },
+            AdlError::InvalidIssueWidth { isa: "vliw".into(), width: 0 },
+            AdlError::EmptyArchitecture,
+            AdlError::EmptyIsa("risc".into()),
+            AdlError::UnknownIsa(9),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AdlError>();
+    }
+}

@@ -1,0 +1,256 @@
+//! Instruction-word fields.
+//!
+//! Per the paper (§V), each operation in an operation table carries its
+//! *fields*: "the organization of the operation's instruction word, e.g. the
+//! encoding and location of the opcode or destination/source registers".
+//! [`Field`] describes one such bit range; [`FieldValues`] is the extracted
+//! *decode structure* contents for one operation word.
+
+use std::fmt;
+
+/// The role a bit-field plays within an operation word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FieldKind {
+    /// Constant field matched during instruction detection (the opcode).
+    Opcode,
+    /// Destination register number.
+    Rd,
+    /// First source register number.
+    Rs1,
+    /// Second source register number.
+    Rs2,
+    /// Immediate operand; `signed` selects sign-extension on extract.
+    Imm {
+        /// Sign-extend the extracted value when `true`.
+        signed: bool,
+    },
+}
+
+/// One contiguous bit range of an operation word together with its role.
+///
+/// # Example
+///
+/// ```
+/// use kahrisma_adl::{Field, FieldKind};
+/// // destination register in bits [23:19]
+/// let rd = Field::new(FieldKind::Rd, 19, 5);
+/// assert_eq!(rd.extract(0b0101_1 << 19), 0b0101_1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Field {
+    kind: FieldKind,
+    lsb: u8,
+    width: u8,
+}
+
+impl Field {
+    /// Creates a field occupying `width` bits starting at bit `lsb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range does not fit in a 32-bit word or `width` is zero.
+    #[must_use]
+    pub fn new(kind: FieldKind, lsb: u8, width: u8) -> Self {
+        assert!(width > 0 && lsb < 32 && u32::from(lsb) + u32::from(width) <= 32,
+            "field [{lsb}+:{width}] does not fit a 32-bit operation word");
+        Field { kind, lsb, width }
+    }
+
+    /// The role of this field.
+    #[must_use]
+    pub fn kind(self) -> FieldKind {
+        self.kind
+    }
+
+    /// Least-significant bit position of the field.
+    #[must_use]
+    pub fn lsb(self) -> u8 {
+        self.lsb
+    }
+
+    /// Width of the field in bits.
+    #[must_use]
+    pub fn width(self) -> u8 {
+        self.width
+    }
+
+    /// Bit mask of the field within the operation word.
+    #[must_use]
+    pub fn mask(self) -> u32 {
+        let ones = if self.width == 32 { u32::MAX } else { (1u32 << self.width) - 1 };
+        ones << self.lsb
+    }
+
+    /// Extracts the raw (zero-extended) field value from an operation word.
+    #[must_use]
+    pub fn extract(self, word: u32) -> u32 {
+        (word & self.mask()) >> self.lsb
+    }
+
+    /// Extracts the field value, sign-extending immediates marked signed.
+    #[must_use]
+    pub fn extract_value(self, word: u32) -> u32 {
+        let raw = self.extract(word);
+        match self.kind {
+            FieldKind::Imm { signed: true } => {
+                let shift = 32 - u32::from(self.width);
+                (((raw << shift) as i32) >> shift) as u32
+            }
+            _ => raw,
+        }
+    }
+
+    /// Inserts `value` into `word` at this field's position.
+    ///
+    /// Only the low `width` bits of `value` are used, so signed immediates may
+    /// be passed as their two's-complement `u32` representation.
+    #[must_use]
+    pub fn insert(self, word: u32, value: u32) -> u32 {
+        (word & !self.mask()) | ((value << self.lsb) & self.mask())
+    }
+
+    /// Whether `value` is representable in this field (as signed or unsigned
+    /// according to the field kind).
+    #[must_use]
+    pub fn fits(self, value: i64) -> bool {
+        let w = i64::from(self.width);
+        match self.kind {
+            FieldKind::Imm { signed: true } => {
+                value >= -(1 << (w - 1)) && value < (1 << (w - 1))
+            }
+            _ => value >= 0 && value < (1 << w),
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}[{}+:{}]", self.kind, self.lsb, self.width)
+    }
+}
+
+/// The field values extracted from one operation word — the contents of the
+/// paper's *decode structure* for a single operation.
+///
+/// Register fields absent from an encoding read as 0 (`r0`), immediates as 0;
+/// the operation's [`Behavior`](crate::Behavior) determines which values are
+/// meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FieldValues {
+    /// Destination register number.
+    pub rd: u8,
+    /// First source register number.
+    pub rs1: u8,
+    /// Second source register number.
+    pub rs2: u8,
+    /// Immediate operand (already sign-extended if the field is signed).
+    pub imm: u32,
+}
+
+impl FieldValues {
+    /// Extracts all of `fields` from `word`.
+    #[must_use]
+    pub fn extract(fields: &[Field], word: u32) -> Self {
+        let mut v = FieldValues::default();
+        for f in fields {
+            match f.kind() {
+                FieldKind::Opcode => {}
+                FieldKind::Rd => v.rd = f.extract(word) as u8,
+                FieldKind::Rs1 => v.rs1 = f.extract(word) as u8,
+                FieldKind::Rs2 => v.rs2 = f.extract(word) as u8,
+                FieldKind::Imm { .. } => v.imm = f.extract_value(word),
+            }
+        }
+        v
+    }
+
+    /// Immediate interpreted as a signed value.
+    #[must_use]
+    pub fn simm(&self) -> i32 {
+        self.imm as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_and_insert_roundtrip() {
+        let f = Field::new(FieldKind::Rs1, 14, 5);
+        for v in 0..32u32 {
+            let w = f.insert(0, v);
+            assert_eq!(f.extract(w), v);
+        }
+    }
+
+    #[test]
+    fn signed_imm_sign_extends() {
+        let f = Field::new(FieldKind::Imm { signed: true }, 0, 14);
+        let w = f.insert(0, (-5i32) as u32);
+        assert_eq!(f.extract_value(w) as i32, -5);
+        assert_eq!(f.extract(w), 0x3FFB); // raw is zero-extended
+    }
+
+    #[test]
+    fn unsigned_imm_zero_extends() {
+        let f = Field::new(FieldKind::Imm { signed: false }, 0, 14);
+        let w = f.insert(0, 0x3FFF);
+        assert_eq!(f.extract_value(w), 0x3FFF);
+    }
+
+    #[test]
+    fn fits_ranges() {
+        let s = Field::new(FieldKind::Imm { signed: true }, 0, 14);
+        assert!(s.fits(8191));
+        assert!(!s.fits(8192));
+        assert!(s.fits(-8192));
+        assert!(!s.fits(-8193));
+        let u = Field::new(FieldKind::Imm { signed: false }, 0, 14);
+        assert!(u.fits(16383));
+        assert!(!u.fits(16384));
+        assert!(!u.fits(-1));
+    }
+
+    #[test]
+    fn insert_does_not_clobber_other_bits() {
+        let rd = Field::new(FieldKind::Rd, 19, 5);
+        let word = 0xFF00_0000;
+        let w = rd.insert(word, 0b10101);
+        assert_eq!(w & 0xFF00_0000, 0xFF00_0000);
+        assert_eq!(rd.extract(w), 0b10101);
+    }
+
+    #[test]
+    fn field_values_extract_all() {
+        let fields = [
+            Field::new(FieldKind::Opcode, 24, 8),
+            Field::new(FieldKind::Rd, 19, 5),
+            Field::new(FieldKind::Rs1, 14, 5),
+            Field::new(FieldKind::Imm { signed: true }, 0, 14),
+        ];
+        let mut w = 0u32;
+        w = fields[0].insert(w, 0x42);
+        w = fields[1].insert(w, 7);
+        w = fields[2].insert(w, 9);
+        w = fields[3].insert(w, (-100i32) as u32);
+        let v = FieldValues::extract(&fields, w);
+        assert_eq!(v.rd, 7);
+        assert_eq!(v.rs1, 9);
+        assert_eq!(v.rs2, 0);
+        assert_eq!(v.simm(), -100);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_field_panics() {
+        let _ = Field::new(FieldKind::Imm { signed: false }, 30, 8);
+    }
+
+    #[test]
+    fn full_width_field_mask() {
+        let f = Field::new(FieldKind::Imm { signed: false }, 0, 32);
+        assert_eq!(f.mask(), u32::MAX);
+    }
+}

@@ -1,0 +1,57 @@
+//! Architecture Description Language (ADL) for the KAHRISMA simulator.
+//!
+//! The KAHRISMA software framework (Stripf, Koenig, Becker; DATE 2012) is
+//! retargeted from a single *architecture description* that specifies every
+//! processor configuration (ISA) in parallel: the register file, the
+//! operations of each ISA, their instruction-word encodings ("fields"),
+//! implicitly accessed registers, operation delays, and operation semantics.
+//! A utility called *TargetGen* compiles that description into the tables the
+//! simulator, assembler and compiler consume.
+//!
+//! This crate is the Rust equivalent of that ADL layer:
+//!
+//! * [`ArchDesc`] / [`IsaDesc`] / [`OperationDesc`] — the declarative
+//!   description (what the paper stores in its ADL file),
+//! * [`Behavior`] — a closed, declarative semantics vocabulary standing in
+//!   for the paper's embedded C++ simulation fragments,
+//! * [`TargetGen`] and [`OperationTable`] — the generated per-ISA operation
+//!   tables used for instruction *detection* (matching constant fields) and
+//!   *decoding* (extracting all fields into a decode structure).
+//!
+//! The concrete KAHRISMA ISA family is defined on top of this crate in
+//! `kahrisma-isa`; the simulator in `kahrisma-core` turns each operation's
+//! [`Behavior`] into a simulation function, mirroring TargetGen's generated
+//! code.
+//!
+//! # Example
+//!
+//! ```
+//! use kahrisma_adl::{ArchDesc, IsaDesc, OperationDesc, Encoding, Behavior, AluOp, TargetGen};
+//!
+//! let mut isa = IsaDesc::new(0, "demo", 1);
+//! isa.push_op(OperationDesc::new("add", 0x01, Encoding::R, Behavior::IntAlu(AluOp::Add), 1));
+//! let arch = ArchDesc::new("demo-arch", vec![isa])?;
+//! let tables = TargetGen::new(&arch).generate()?;
+//! let table = tables.table(0.into()).unwrap();
+//! let word = 0x01_00_00_00; // opcode 0x01 in bits [31:24]
+//! let op = table.detect(word).unwrap();
+//! assert_eq!(op.name(), "add");
+//! # Ok::<(), kahrisma_adl::AdlError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod behavior;
+mod desc;
+mod error;
+mod field;
+mod reg;
+mod table;
+
+pub use behavior::{AluOp, Behavior, CondOp, FuClass, MemWidth};
+pub use desc::{ArchDesc, Encoding, IsaDesc, IsaId, OperationDesc};
+pub use error::AdlError;
+pub use field::{Field, FieldKind, FieldValues};
+pub use reg::{Reg, RegFileDesc};
+pub use table::{DecodedOp, OperationTable, TableSet, TargetGen};

@@ -1,0 +1,144 @@
+//! Register-file description and register indices.
+
+use std::fmt;
+
+/// Index of a general-purpose register in the KAHRISMA register file.
+///
+/// The value is always below the register-file size declared by the
+/// architecture description (32 for the shipped KAHRISMA family).
+///
+/// # Example
+///
+/// ```
+/// use kahrisma_adl::Reg;
+/// let r = Reg::new(4);
+/// assert_eq!(r.index(), 4);
+/// assert_eq!(r.to_string(), "r4");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`; the shipped architecture has 32 registers and
+    /// all encodings reserve 5 bits per register field.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(index < 32, "register index {index} out of range (0..32)");
+        Reg(index)
+    }
+
+    /// Returns the raw register index.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` for the hardwired-zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+/// Description of the register file shared by every ISA of the architecture.
+///
+/// KAHRISMA EDPEs each carry a local register file; architecturally the ISAs
+/// expose one flat file of `count` general-purpose registers, of which
+/// register 0 reads as zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegFileDesc {
+    count: u8,
+    zero_register: bool,
+}
+
+impl RegFileDesc {
+    /// Creates a register-file description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is 0 or greater than 32.
+    #[must_use]
+    pub fn new(count: u8, zero_register: bool) -> Self {
+        assert!((1..=32).contains(&count), "register count must be in 1..=32");
+        RegFileDesc { count, zero_register }
+    }
+
+    /// Number of architecturally visible general-purpose registers.
+    #[must_use]
+    pub fn count(&self) -> u8 {
+        self.count
+    }
+
+    /// Whether register 0 is hardwired to zero (writes are discarded).
+    #[must_use]
+    pub fn has_zero_register(&self) -> bool {
+        self.zero_register
+    }
+}
+
+impl Default for RegFileDesc {
+    /// The KAHRISMA default: 32 registers with a hardwired `r0 = 0`.
+    fn default() -> Self {
+        RegFileDesc::new(32, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip_and_display() {
+        for i in 0..32 {
+            let r = Reg::new(i);
+            assert_eq!(r.index(), i);
+            assert_eq!(u8::from(r), i);
+            assert_eq!(r.to_string(), format!("r{i}"));
+        }
+    }
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+        assert_eq!(Reg::default(), Reg::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn regfile_defaults_match_kahrisma() {
+        let rf = RegFileDesc::default();
+        assert_eq!(rf.count(), 32);
+        assert!(rf.has_zero_register());
+    }
+
+    #[test]
+    #[should_panic(expected = "register count")]
+    fn regfile_rejects_zero_count() {
+        let _ = RegFileDesc::new(0, true);
+    }
+}

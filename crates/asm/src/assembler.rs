@@ -1,0 +1,891 @@
+//! The two-pass mixed-ISA assembler.
+
+use std::collections::HashMap;
+
+use kahrisma_elf::{FuncEntry, LineEntry, Object, Reloc, RelocKind, SectionId, SymKind, Symbol};
+use kahrisma_isa::adl::{Encoding, OperationTable, TableSet};
+use kahrisma_isa::{IsaKind, abi, tables};
+
+use crate::error::AsmError;
+use crate::parse::{Directive, Operand, OpStmt, Stmt, WordExpr, parse};
+
+/// Assembles one source file into a relocatable object.
+///
+/// `file` is used for diagnostics and recorded in the debug line map
+/// (paper §V-C). The source may switch ISAs with `.isa` (paper §V-D) and
+/// bundle parallel operations with `{ a | b | … }`.
+///
+/// # Errors
+///
+/// Returns an [`AsmError::Syntax`] pinpointing the offending source line for
+/// any lexical, syntactic or encoding problem.
+pub fn assemble(file: &str, source: &str) -> Result<Object, AsmError> {
+    let lines = parse(file, source)?;
+    let tables = tables();
+    let mut asm = Assembler::new(file, &tables);
+    asm.run(&lines)?;
+    asm.finish()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+    Rodata,
+    Bss,
+}
+
+impl Section {
+    fn id(self) -> SectionId {
+        match self {
+            Section::Text => SectionId::Text,
+            Section::Data => SectionId::Data,
+            Section::Rodata => SectionId::Rodata,
+            Section::Bss => SectionId::Bss,
+        }
+    }
+}
+
+struct Assembler<'a> {
+    file: &'a str,
+    tables: &'a TableSet,
+    section: Section,
+    isa: IsaKind,
+    text: Vec<u8>,
+    data: Vec<u8>,
+    rodata: Vec<u8>,
+    bss_size: u32,
+    labels: HashMap<String, (Section, u32)>,
+    globals: Vec<String>,
+    relocs: Vec<PendingReloc>,
+    lines_map: Vec<LineEntry>,
+    isa_map: Vec<(u32, u8)>,
+    funcs: Vec<FuncEntry>,
+    open_func: Option<usize>,
+    pass: u8,
+}
+
+/// Relocation with a symbol *name*; resolved to a symbol index in `finish`.
+struct PendingReloc {
+    section: Section,
+    offset: u32,
+    symbol: String,
+    kind: RelocKind,
+    addend: i32,
+    line: u32,
+}
+
+impl<'a> Assembler<'a> {
+    fn new(file: &'a str, tables: &'a TableSet) -> Self {
+        Assembler {
+            file,
+            tables,
+            section: Section::Text,
+            isa: IsaKind::Risc,
+            text: Vec::new(),
+            data: Vec::new(),
+            rodata: Vec::new(),
+            bss_size: 0,
+            labels: HashMap::new(),
+            globals: Vec::new(),
+            relocs: Vec::new(),
+            lines_map: Vec::new(),
+            isa_map: Vec::new(),
+            funcs: Vec::new(),
+            open_func: None,
+            pass: 1,
+        }
+    }
+
+    fn err(&self, line: u32, message: impl Into<String>) -> AsmError {
+        AsmError::syntax(self.file, line, message)
+    }
+
+    fn table(&self) -> &OperationTable {
+        self.tables.table(self.isa.id()).expect("family table exists")
+    }
+
+    fn offset(&self) -> u32 {
+        match self.section {
+            Section::Text => self.text.len() as u32,
+            Section::Data => self.data.len() as u32,
+            Section::Rodata => self.rodata.len() as u32,
+            Section::Bss => self.bss_size,
+        }
+    }
+
+    fn emit_bytes(&mut self, line: u32, bytes: &[u8]) -> Result<(), AsmError> {
+        match self.section {
+            Section::Text => self.text.extend_from_slice(bytes),
+            Section::Data => self.data.extend_from_slice(bytes),
+            Section::Rodata => self.rodata.extend_from_slice(bytes),
+            Section::Bss => {
+                if bytes.iter().any(|&b| b != 0) {
+                    return Err(self.err(line, "initialized data is not allowed in .bss"));
+                }
+                self.bss_size += bytes.len() as u32;
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&mut self, lines: &[crate::parse::Line]) -> Result<(), AsmError> {
+        // Pass 1: label addresses (sizes are deterministic, so a single
+        // sizing pass suffices).
+        self.pass = 1;
+        for l in lines {
+            for stmt in &l.stmts {
+                self.stmt(l.line, stmt)?;
+            }
+        }
+        if let Some(open) = self.open_func {
+            let name = self.funcs[open].name.clone();
+            return Err(self.err(0, format!("function `{name}` is missing .endfunc")));
+        }
+        // Reset everything but labels/globals for pass 2.
+        let labels = std::mem::take(&mut self.labels);
+        let globals = std::mem::take(&mut self.globals);
+        *self = Assembler::new(self.file, self.tables);
+        self.labels = labels;
+        self.globals = globals;
+        self.pass = 2;
+        for l in lines {
+            for stmt in &l.stmts {
+                self.stmt(l.line, stmt)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, line: u32, stmt: &Stmt) -> Result<(), AsmError> {
+        match stmt {
+            Stmt::Label(name) => {
+                if self.pass == 1
+                    && self
+                        .labels
+                        .insert(name.clone(), (self.section, self.offset()))
+                        .is_some()
+                    {
+                        return Err(self.err(line, format!("label `{name}` redefined")));
+                    }
+                Ok(())
+            }
+            Stmt::Directive(d) => self.directive(line, d),
+            Stmt::Bundle(ops) => self.bundle(line, ops),
+        }
+    }
+
+    fn directive(&mut self, line: u32, d: &Directive) -> Result<(), AsmError> {
+        match d {
+            Directive::Isa(name) => {
+                let isa = self
+                    .tables
+                    .tables()
+                    .iter()
+                    .find(|t| t.name() == name)
+                    .map(|t| t.isa())
+                    .ok_or_else(|| self.err(line, format!("unknown ISA `{name}`")))?;
+                self.isa = IsaKind::from_id(isa).expect("family kind");
+                if self.section == Section::Text {
+                    self.record_isa();
+                }
+            }
+            Directive::Text => {
+                self.section = Section::Text;
+            }
+            Directive::Data => self.section = Section::Data,
+            Directive::Rodata => self.section = Section::Rodata,
+            Directive::Bss => self.section = Section::Bss,
+            Directive::Global(name) => {
+                if self.pass == 1 {
+                    self.globals.push(name.clone());
+                }
+            }
+            Directive::Word(exprs) => {
+                for e in exprs {
+                    match e {
+                        WordExpr::Int(v) => {
+                            let bytes = (*v as i32 as u32).to_le_bytes();
+                            self.emit_bytes(line, &bytes)?;
+                        }
+                        WordExpr::Sym(name, off) => {
+                            if self.section == Section::Bss {
+                                return Err(self.err(line, "relocated data in .bss"));
+                            }
+                            self.relocs.push(PendingReloc {
+                                section: self.section,
+                                offset: self.offset(),
+                                symbol: name.clone(),
+                                kind: RelocKind::Abs32,
+                                addend: *off as i32,
+                                line,
+                            });
+                            self.emit_bytes(line, &[0; 4])?;
+                        }
+                    }
+                }
+            }
+            Directive::Half(vals) => {
+                for v in vals {
+                    self.emit_bytes(line, &(*v as i16 as u16).to_le_bytes())?;
+                }
+            }
+            Directive::Byte(vals) => {
+                for v in vals {
+                    self.emit_bytes(line, &[(*v as i8) as u8])?;
+                }
+            }
+            Directive::Space(n) => {
+                if self.section == Section::Bss {
+                    self.bss_size += n;
+                } else {
+                    let zeros = vec![0u8; *n as usize];
+                    self.emit_bytes(line, &zeros)?;
+                }
+            }
+            Directive::Asciz(s) => {
+                let mut bytes = s.as_bytes().to_vec();
+                bytes.push(0);
+                self.emit_bytes(line, &bytes)?;
+            }
+            Directive::Align(n) => {
+                while !self.offset().is_multiple_of(*n) {
+                    self.emit_bytes(line, &[0])?;
+                }
+            }
+            Directive::Func(name) => {
+                if self.section != Section::Text {
+                    return Err(self.err(line, ".func outside .text"));
+                }
+                if self.open_func.is_some() {
+                    return Err(self.err(line, "nested .func"));
+                }
+                self.record_isa();
+                self.funcs.push(FuncEntry {
+                    name: name.clone(),
+                    start: self.text.len() as u32,
+                    end: self.text.len() as u32,
+                    isa: self.isa.id().value(),
+                });
+                self.open_func = Some(self.funcs.len() - 1);
+            }
+            Directive::EndFunc => {
+                let idx = self
+                    .open_func
+                    .take()
+                    .ok_or_else(|| self.err(line, ".endfunc without .func"))?;
+                self.funcs[idx].end = self.text.len() as u32;
+            }
+        }
+        Ok(())
+    }
+
+    fn record_isa(&mut self) {
+        let off = self.text.len() as u32;
+        let id = self.isa.id().value();
+        if self.isa_map.last().map(|&(_, i)| i) != Some(id) {
+            // Replace an entry at the same offset (isa switched before any
+            // code was emitted under the previous one).
+            if self.isa_map.last().map(|&(o, _)| o) == Some(off) {
+                self.isa_map.pop();
+            }
+            if self.isa_map.last().map(|&(_, i)| i) != Some(id) {
+                self.isa_map.push((off, id));
+            }
+        }
+    }
+
+    fn bundle(&mut self, line: u32, ops: &[OpStmt]) -> Result<(), AsmError> {
+        if self.section != Section::Text {
+            return Err(self.err(line, "instructions are only allowed in .text"));
+        }
+        self.record_isa_if_first();
+        let width = usize::from(self.isa.width());
+        // Expand pseudo-operations.
+        let mut expanded: Vec<Vec<OpStmt>> = Vec::new(); // sequential groups
+        for op in ops {
+            expanded.push(self.expand_pseudo(line, op)?);
+        }
+        let multi = expanded.iter().any(|g| g.len() > 1);
+        if multi && ops.len() > 1 {
+            return Err(self.err(
+                line,
+                "multi-operation pseudo-instructions are not allowed inside bundles",
+            ));
+        }
+        if !multi && expanded.iter().map(Vec::len).sum::<usize>() > width {
+            return Err(self.err(
+                line,
+                format!(
+                    "bundle has {} operations but ISA `{}` issues {width}",
+                    ops.len(),
+                    self.isa.name()
+                ),
+            ));
+        }
+        if multi {
+            // A single pseudo that expanded to several sequential
+            // instructions, each in its own bundle.
+            for group in &expanded {
+                for op in group {
+                    self.encode_bundle(line, std::slice::from_ref(op))?;
+                }
+            }
+        } else {
+            let flat: Vec<OpStmt> = expanded.into_iter().flatten().collect();
+            self.encode_bundle(line, &flat)?;
+        }
+        Ok(())
+    }
+
+    fn record_isa_if_first(&mut self) {
+        if self.isa_map.is_empty() {
+            self.record_isa();
+        }
+    }
+
+    /// Expands a pseudo-operation into one or more real operations.
+    fn expand_pseudo(&self, line: u32, op: &OpStmt) -> Result<Vec<OpStmt>, AsmError> {
+        let mk = |mnemonic: &str, operands: Vec<Operand>| OpStmt {
+            mnemonic: mnemonic.to_string(),
+            operands,
+        };
+        Ok(match op.mnemonic.as_str() {
+            "li" => {
+                let (rd, imm) = match op.operands.as_slice() {
+                    [Operand::Reg(rd), Operand::Imm(v)] => (*rd, *v),
+                    _ => return Err(self.err(line, "usage: li rd, imm")),
+                };
+                let v = i64::from(imm as i32);
+                if v != imm {
+                    return Err(self.err(line, format!("li immediate {imm} exceeds 32 bits")));
+                }
+                if (-8192..8192).contains(&v) {
+                    vec![mk("addi", vec![Operand::Reg(rd), Operand::Reg(abi::ZERO), Operand::Imm(v)])]
+                } else {
+                    let u = v as u32;
+                    let hi = i64::from(u >> 13);
+                    let lo = i64::from(u & 0x1FFF);
+                    vec![
+                        mk("lui", vec![Operand::Reg(rd), Operand::Imm(hi)]),
+                        mk("ori", vec![Operand::Reg(rd), Operand::Reg(rd), Operand::Imm(lo)]),
+                    ]
+                }
+            }
+            "la" => {
+                let (rd, name, off) = match op.operands.as_slice() {
+                    [Operand::Reg(rd), Operand::Sym(name, off)] => (*rd, name.clone(), *off),
+                    _ => return Err(self.err(line, "usage: la rd, symbol")),
+                };
+                vec![
+                    mk("lui", vec![Operand::Reg(rd), Operand::Hi(name.clone(), off)]),
+                    mk("ori", vec![Operand::Reg(rd), Operand::Reg(rd), Operand::Lo(name, off)]),
+                ]
+            }
+            "mv" => match op.operands.as_slice() {
+                [Operand::Reg(rd), Operand::Reg(rs)] => {
+                    vec![mk("addi", vec![Operand::Reg(*rd), Operand::Reg(*rs), Operand::Imm(0)])]
+                }
+                _ => return Err(self.err(line, "usage: mv rd, rs")),
+            },
+            "not" => match op.operands.as_slice() {
+                [Operand::Reg(rd), Operand::Reg(rs)] => vec![mk(
+                    "nor",
+                    vec![Operand::Reg(*rd), Operand::Reg(*rs), Operand::Reg(abi::ZERO)],
+                )],
+                _ => return Err(self.err(line, "usage: not rd, rs")),
+            },
+            "neg" => match op.operands.as_slice() {
+                [Operand::Reg(rd), Operand::Reg(rs)] => vec![mk(
+                    "sub",
+                    vec![Operand::Reg(*rd), Operand::Reg(abi::ZERO), Operand::Reg(*rs)],
+                )],
+                _ => return Err(self.err(line, "usage: neg rd, rs")),
+            },
+            "b" => match op.operands.as_slice() {
+                [target @ (Operand::Sym(..) | Operand::Imm(_))] => vec![mk(
+                    "beq",
+                    vec![Operand::Reg(abi::ZERO), Operand::Reg(abi::ZERO), target.clone()],
+                )],
+                _ => return Err(self.err(line, "usage: b target")),
+            },
+            "ret" => vec![mk("jr", vec![Operand::Reg(abi::RA)])],
+            "call" => match op.operands.as_slice() {
+                [target @ (Operand::Sym(..) | Operand::Imm(_))] => {
+                    vec![mk("jal", vec![target.clone()])]
+                }
+                _ => return Err(self.err(line, "usage: call target")),
+            },
+            _ => vec![op.clone()],
+        })
+    }
+
+    /// Encodes one instruction (bundle), padding missing slots with `nop`.
+    fn encode_bundle(&mut self, line: u32, ops: &[OpStmt]) -> Result<(), AsmError> {
+        let width = usize::from(self.isa.width());
+        debug_assert!(ops.len() <= width);
+        let instr_off = self.text.len() as u32;
+        if self.pass == 2 {
+            self.lines_map.push(LineEntry {
+                addr: instr_off,
+                file: 0,
+                line,
+            });
+        }
+        let mut words = Vec::with_capacity(width);
+        for (slot, op) in ops.iter().enumerate() {
+            let word_off = instr_off + (slot as u32) * 4;
+            words.push(self.encode_op(line, op, word_off)?);
+        }
+        words.resize(width, kahrisma_isa::ops::NOP_WORD);
+        for w in words {
+            let bytes = w.to_le_bytes();
+            self.text.extend_from_slice(&bytes);
+        }
+        Ok(())
+    }
+
+    /// Encodes a single operation word at text offset `word_off`.
+    fn encode_op(&mut self, line: u32, op: &OpStmt, word_off: u32) -> Result<u32, AsmError> {
+        let table = self.table();
+        let (_, desc) = table
+            .op_by_name(&op.mnemonic)
+            .ok_or_else(|| self.err(line, format!("unknown mnemonic `{}`", op.mnemonic)))?;
+        let enc = desc.encoding();
+        let behavior = desc.behavior();
+        let desc = desc.clone();
+
+        let usage = |expected: &str| -> AsmError {
+            self.err(line, format!("usage: {} {expected}", op.mnemonic))
+        };
+
+        let mut rd = 0u8;
+        let mut rs1 = 0u8;
+        let mut rs2 = 0u8;
+        let mut imm: i64 = 0;
+        let mut imm_reloc: Option<(String, i64, RelocKind)> = None;
+        let mut branch_target: Option<(String, i64)> = None;
+
+        use kahrisma_isa::adl::Behavior as B;
+        match (enc, behavior) {
+            (Encoding::R, _) => match op.operands.as_slice() {
+                [Operand::Reg(a), Operand::Reg(b), Operand::Reg(c)] => {
+                    rd = *a;
+                    rs1 = *b;
+                    rs2 = *c;
+                }
+                _ => return Err(usage("rd, rs1, rs2")),
+            },
+            (Encoding::I, B::Load { .. }) => match op.operands.as_slice() {
+                [Operand::Reg(a), Operand::Mem { offset, base }] => {
+                    rd = *a;
+                    rs1 = *base;
+                    imm = *offset;
+                }
+                _ => return Err(usage("rd, imm(rs1)")),
+            },
+            (Encoding::B, B::Store { .. }) => match op.operands.as_slice() {
+                [Operand::Reg(value), Operand::Mem { offset, base }] => {
+                    rs1 = *base;
+                    rs2 = *value;
+                    imm = *offset;
+                }
+                _ => return Err(usage("rs2, imm(rs1)")),
+            },
+            (Encoding::I | Encoding::Iu, _) => match op.operands.as_slice() {
+                [Operand::Reg(a), Operand::Reg(b), Operand::Imm(v)] => {
+                    rd = *a;
+                    rs1 = *b;
+                    imm = *v;
+                }
+                [Operand::Reg(a), Operand::Reg(b), Operand::Lo(name, off)] => {
+                    rd = *a;
+                    rs1 = *b;
+                    imm_reloc = Some((name.clone(), *off, RelocKind::Lo13));
+                }
+                _ => return Err(usage("rd, rs1, imm")),
+            },
+            (Encoding::B, B::Branch(_)) => match op.operands.as_slice() {
+                [Operand::Reg(a), Operand::Reg(b), Operand::Sym(name, off)] => {
+                    rs1 = *a;
+                    rs2 = *b;
+                    branch_target = Some((name.clone(), *off));
+                }
+                [Operand::Reg(a), Operand::Reg(b), Operand::Imm(v)] => {
+                    rs1 = *a;
+                    rs2 = *b;
+                    imm = *v;
+                }
+                _ => return Err(usage("rs1, rs2, target")),
+            },
+            (Encoding::U, _) => match op.operands.as_slice() {
+                [Operand::Reg(a), Operand::Imm(v)] => {
+                    rd = *a;
+                    imm = *v;
+                }
+                [Operand::Reg(a), Operand::Hi(name, off)] => {
+                    rd = *a;
+                    imm_reloc = Some((name.clone(), *off, RelocKind::Hi19));
+                }
+                _ => return Err(usage("rd, imm")),
+            },
+            (Encoding::J, B::Jump | B::JumpAndLink) => match op.operands.as_slice() {
+                [Operand::Sym(name, off)] => {
+                    imm_reloc = Some((name.clone(), *off, RelocKind::Jump24));
+                }
+                [Operand::Imm(v)] => imm = *v,
+                _ => return Err(usage("target")),
+            },
+            (Encoding::J, B::SwitchTarget) => match op.operands.as_slice() {
+                [Operand::Imm(v)] => imm = *v,
+                [Operand::Sym(name, 0)] => {
+                    let id = IsaKind::ALL
+                        .iter()
+                        .find(|k| k.name() == name)
+                        .map(|k| k.id())
+                        .ok_or_else(|| self.err(line, format!("unknown ISA `{name}`")))?;
+                    imm = i64::from(id.value());
+                }
+                _ => return Err(usage("isa")),
+            },
+            (Encoding::J, _) => match op.operands.as_slice() {
+                [Operand::Imm(v)] => imm = *v,
+                _ => return Err(usage("imm")),
+            },
+            (Encoding::R1, _) => match op.operands.as_slice() {
+                [Operand::Reg(a)] => rs1 = *a,
+                _ => return Err(usage("rs1")),
+            },
+            (Encoding::Rr, _) => match op.operands.as_slice() {
+                [Operand::Reg(a), Operand::Reg(b)] => {
+                    rd = *a;
+                    rs1 = *b;
+                }
+                _ => return Err(usage("rd, rs1")),
+            },
+            (Encoding::None, _) => {
+                if !op.operands.is_empty() {
+                    return Err(usage("(no operands)"));
+                }
+            }
+            _ => {
+                return Err(self.err(
+                    line,
+                    format!("unsupported encoding for `{}`", op.mnemonic),
+                ));
+            }
+        }
+
+        // Resolve branch targets against local labels where possible.
+        if let Some((name, off)) = branch_target {
+            match self.labels.get(&name) {
+                Some((Section::Text, label_off)) => {
+                    let delta = i64::from(*label_off) + off - i64::from(word_off);
+                    if delta % 4 != 0 {
+                        return Err(self.err(line, "branch target is not word-aligned"));
+                    }
+                    imm = delta / 4;
+                }
+                Some(_) => {
+                    return Err(self.err(line, format!("branch target `{name}` is not in .text")));
+                }
+                None => {
+                    imm_reloc = Some((name, off, RelocKind::Branch14));
+                }
+            }
+        }
+
+        if let Some((name, off, kind)) = imm_reloc {
+            if self.pass == 2 {
+                self.relocs.push(PendingReloc {
+                    section: Section::Text,
+                    offset: word_off,
+                    symbol: name,
+                    kind,
+                    addend: off as i32,
+                    line,
+                });
+            }
+            imm = 0;
+        } else if let Some(field) = enc.imm_field() {
+            if !field.fits(imm) {
+                return Err(self.err(
+                    line,
+                    format!("immediate {imm} does not fit in {} bits", field.width()),
+                ));
+            }
+        }
+
+        Ok(desc.encode(rd, rs1, rs2, imm as u32))
+    }
+
+    fn finish(mut self) -> Result<Object, AsmError> {
+        let mut obj = Object::new();
+        obj.text = self.text;
+        obj.data = self.data;
+        obj.rodata = self.rodata;
+        obj.bss_size = self.bss_size;
+
+        // Symbols: all labels, global where requested; undefined for
+        // referenced-but-unknown names.
+        let func_names: Vec<&str> = self.funcs.iter().map(|f| f.name.as_str()).collect();
+        let mut names: Vec<&String> = self.labels.keys().collect();
+        names.sort(); // deterministic output
+        for name in names {
+            let (section, value) = self.labels[name];
+            let kind = if func_names.contains(&name.as_str()) {
+                SymKind::Func
+            } else if matches!(section, Section::Data | Section::Rodata | Section::Bss) {
+                SymKind::Object
+            } else {
+                SymKind::NoType
+            };
+            let global = self.globals.contains(name);
+            obj.symbols.push(Symbol {
+                name: name.clone(),
+                section: section.id(),
+                value,
+                size: 0,
+                global,
+                kind,
+            });
+        }
+        for g in &self.globals {
+            if !self.labels.contains_key(g) {
+                return Err(AsmError::syntax(
+                    self.file,
+                    0,
+                    format!(".global `{g}` has no definition"),
+                ));
+            }
+        }
+        for r in &self.relocs {
+            if !self.labels.contains_key(&r.symbol)
+                && obj.symbol_index(&r.symbol).is_none()
+            {
+                obj.symbols.push(Symbol::undef(&r.symbol));
+            }
+        }
+        for r in self.relocs.drain(..) {
+            let symbol = obj
+                .symbol_index(&r.symbol)
+                .ok_or_else(|| AsmError::syntax(self.file, r.line, "unresolved symbol"))?;
+            obj.relocs.push(Reloc {
+                section: r.section.id(),
+                offset: r.offset,
+                symbol,
+                kind: r.kind,
+                addend: r.addend,
+            });
+        }
+
+        obj.debug.files = vec![self.file.to_string()];
+        obj.debug.lines = self.lines_map;
+        obj.debug.funcs = self.funcs;
+        obj.debug.isa_map = self.isa_map;
+        obj.debug.normalize();
+        Ok(obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kahrisma_isa::isa_id;
+
+    fn asm(src: &str) -> Object {
+        assemble("t.s", src).unwrap_or_else(|e| panic!("assemble failed: {e}"))
+    }
+
+    fn text_words(obj: &Object) -> Vec<u32> {
+        obj.text
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn encodes_basic_risc() {
+        let obj = asm(".text\nadd r1, r2, r3\n");
+        let words = text_words(&obj);
+        assert_eq!(words.len(), 1);
+        let t = tables();
+        let risc = t.table(isa_id::RISC).unwrap();
+        let d = risc.decode(words[0]).unwrap();
+        assert_eq!(risc.op(d.op_index).name(), "add");
+        assert_eq!(d.fields.rd, 1);
+        assert_eq!(d.fields.rs1, 2);
+        assert_eq!(d.fields.rs2, 3);
+    }
+
+    #[test]
+    fn vliw_bundles_are_padded() {
+        let obj = asm(".isa vliw4\n.text\n{ add r1, r2, r3 | sub r4, r5, r6 }\n");
+        let words = text_words(&obj);
+        assert_eq!(words.len(), 4);
+        assert_eq!(words[2], kahrisma_isa::ops::NOP_WORD);
+        assert_eq!(words[3], kahrisma_isa::ops::NOP_WORD);
+    }
+
+    #[test]
+    fn overfull_bundle_rejected() {
+        let err = assemble("t.s", ".isa vliw2\n.text\n{ nop | nop | nop }\n").unwrap_err();
+        assert!(err.to_string().contains("issues 2"), "{err}");
+    }
+
+    #[test]
+    fn local_branch_resolves_backward_and_forward() {
+        let obj = asm(".text\nloop: addi r1, r1, -1\nbne r1, zero, loop\nbeq r1, zero, done\nnop\ndone: nop\n");
+        let words = text_words(&obj);
+        let t = tables();
+        let risc = t.table(isa_id::RISC).unwrap();
+        // bne at word 1 → target word 0 → imm = -1
+        let d = risc.decode(words[1]).unwrap();
+        assert_eq!(d.fields.simm(), -1);
+        // beq at word 2 → target word 4 → imm = +2
+        let d = risc.decode(words[2]).unwrap();
+        assert_eq!(d.fields.simm(), 2);
+    }
+
+    #[test]
+    fn branch_in_vliw_slot_is_relative_to_slot_word() {
+        let obj = asm(".isa vliw2\n.text\ntop: { nop | nop }\n{ nop | bne r1, zero, top }\n");
+        let words = text_words(&obj);
+        let t = tables();
+        let table = t.table(isa_id::VLIW2).unwrap();
+        // bne is at word index 3 (byte 12); target byte 0 → imm = -3.
+        let d = table.decode(words[3]).unwrap();
+        assert_eq!(d.fields.simm(), -3);
+    }
+
+    #[test]
+    fn external_references_become_relocs() {
+        let obj = asm(".text\njal external_fn\nlui t0, %hi(buf)\nori t0, t0, %lo(buf)\n");
+        assert_eq!(obj.relocs.len(), 3);
+        let kinds: Vec<RelocKind> = obj.relocs.iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&RelocKind::Jump24));
+        assert!(kinds.contains(&RelocKind::Hi19));
+        assert!(kinds.contains(&RelocKind::Lo13));
+        assert!(obj.symbols.iter().any(|s| s.name == "external_fn" && s.section == SectionId::Undef));
+    }
+
+    #[test]
+    fn local_jump_also_uses_reloc_for_absolute_address() {
+        // j targets are absolute, so even local targets need link-time fix-up.
+        let obj = asm(".text\nstart: j start\n");
+        assert_eq!(obj.relocs.len(), 1);
+        assert_eq!(obj.relocs[0].kind, RelocKind::Jump24);
+        assert_eq!(obj.symbols[obj.relocs[0].symbol as usize].name, "start");
+    }
+
+    #[test]
+    fn li_small_and_large() {
+        let small = asm(".text\nli a0, -7\n");
+        assert_eq!(text_words(&small).len(), 1);
+        let large = asm(".text\nli a0, 0x12345\n");
+        let words = text_words(&large);
+        assert_eq!(words.len(), 2);
+        let t = tables();
+        let risc = t.table(isa_id::RISC).unwrap();
+        let lui = risc.decode(words[0]).unwrap();
+        let ori = risc.decode(words[1]).unwrap();
+        assert_eq!(risc.op(lui.op_index).name(), "lui");
+        assert_eq!(risc.op(ori.op_index).name(), "ori");
+        assert_eq!((lui.fields.imm << 13) | ori.fields.imm, 0x12345);
+    }
+
+    #[test]
+    fn data_directives_fill_sections() {
+        let obj = asm(
+            ".data\nvals: .word 1, -1\n.half 0x1234\n.byte 7\n.align 4\n.asciz \"hi\"\n.bss\nbuf: .space 16\n.rodata\nro: .word 3\n",
+        );
+        assert_eq!(&obj.data[0..4], &1u32.to_le_bytes());
+        assert_eq!(&obj.data[4..8], &(-1i32 as u32).to_le_bytes());
+        assert_eq!(&obj.data[8..10], &0x1234u16.to_le_bytes());
+        assert_eq!(obj.data[10], 7);
+        assert_eq!(&obj.data[12..15], b"hi\0");
+        assert_eq!(obj.bss_size, 16);
+        assert_eq!(&obj.rodata[0..4], &3u32.to_le_bytes());
+        let buf = obj.symbols.iter().find(|s| s.name == "buf").unwrap();
+        assert_eq!(buf.section, SectionId::Bss);
+        assert_eq!(buf.kind, SymKind::Object);
+    }
+
+    #[test]
+    fn func_records_and_isa_map() {
+        let obj = asm(
+            ".isa vliw2\n.text\n.global f\n.func f\nf: { nop | nop }\n.endfunc\n.isa risc\n.global g\n.func g\ng: nop\n.endfunc\n",
+        );
+        assert_eq!(obj.debug.funcs.len(), 2);
+        let f = &obj.debug.funcs[0];
+        assert_eq!((f.name.as_str(), f.start, f.end, f.isa), ("f", 0, 8, 1));
+        let g = &obj.debug.funcs[1];
+        assert_eq!((g.name.as_str(), g.start, g.end, g.isa), ("g", 8, 12, 0));
+        assert_eq!(obj.debug.isa_map, vec![(0, 1), (8, 0)]);
+        let sym = obj.symbols.iter().find(|s| s.name == "f").unwrap();
+        assert_eq!(sym.kind, SymKind::Func);
+        assert!(sym.global);
+    }
+
+    #[test]
+    fn line_map_tracks_bundles() {
+        let obj = asm(".text\nnop\n\nnop\n");
+        assert_eq!(obj.debug.lines.len(), 2);
+        assert_eq!(obj.debug.lines[0].line, 2);
+        assert_eq!(obj.debug.lines[1].line, 4);
+        assert_eq!(obj.debug.files, vec!["t.s".to_string()]);
+    }
+
+    #[test]
+    fn switchtarget_accepts_isa_names() {
+        let obj = asm(".text\nswitchtarget vliw4\nswitchtarget 0\n");
+        let words = text_words(&obj);
+        let t = tables();
+        let risc = t.table(isa_id::RISC).unwrap();
+        assert_eq!(risc.decode(words[0]).unwrap().fields.imm, 2);
+        assert_eq!(risc.decode(words[1]).unwrap().fields.imm, 0);
+    }
+
+    #[test]
+    fn errors_for_misuse() {
+        assert!(assemble("t.s", ".text\nadd r1, r2\n").is_err()); // missing operand
+        assert!(assemble("t.s", ".text\naddi r1, r2, 100000\n").is_err()); // imm overflow
+        assert!(assemble("t.s", ".data\nnop\n").is_err()); // instr outside .text
+        assert!(assemble("t.s", ".text\nx: nop\nx: nop\n").is_err()); // redefined label
+        assert!(assemble("t.s", ".global nothing\n").is_err()); // undefined global
+        assert!(assemble("t.s", ".text\n.func f\nf: nop\n").is_err()); // missing endfunc
+        assert!(assemble("t.s", ".isa vliw9\n").is_err()); // unknown isa
+        assert!(assemble("t.s", ".text\n{ li a0, 0x12345 | nop }\n").is_err()); // pseudo in bundle
+    }
+
+    #[test]
+    fn pseudo_expansion_in_vliw_makes_sequential_bundles() {
+        let obj = asm(".isa vliw2\n.text\nli a0, 0x12345\n");
+        // Two sequential instructions, each 2 words.
+        assert_eq!(text_words(&obj).len(), 4);
+    }
+
+    #[test]
+    fn roundtrips_through_elf() {
+        let obj = asm(".text\n.global main\n.func main\nmain: li rv, 1\njr ra\n.endfunc\n");
+        let back = Object::from_bytes(&obj.to_bytes()).unwrap();
+        assert_eq!(back.text, obj.text);
+        assert_eq!(back.debug.funcs, obj.debug.funcs);
+    }
+
+    #[test]
+    fn store_and_load_operand_shapes() {
+        let obj = asm(".text\nsw a0, 4(sp)\nlw a1, -4(sp)\n");
+        let words = text_words(&obj);
+        let t = tables();
+        let risc = t.table(isa_id::RISC).unwrap();
+        let sw = risc.decode(words[0]).unwrap();
+        assert_eq!(risc.op(sw.op_index).name(), "sw");
+        assert_eq!(sw.fields.rs1, abi::SP); // base
+        assert_eq!(sw.fields.rs2, abi::A0); // value
+        assert_eq!(sw.fields.simm(), 4);
+        let lw = risc.decode(words[1]).unwrap();
+        assert_eq!(lw.fields.rd, abi::A0 + 1);
+        assert_eq!(lw.fields.simm(), -4);
+    }
+}

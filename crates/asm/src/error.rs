@@ -1,0 +1,88 @@
+//! Assembler and linker errors.
+
+use std::fmt;
+
+/// Error produced by the assembler or linker, with source context where
+/// available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmError {
+    /// A syntax or semantic error at a specific source line.
+    Syntax {
+        /// Source file name.
+        file: String,
+        /// 1-based line number.
+        line: u32,
+        /// Problem description.
+        message: String,
+    },
+    /// A symbol was defined more than once across the linked objects.
+    DuplicateSymbol(String),
+    /// An undefined symbol was referenced.
+    UndefinedSymbol(String),
+    /// A relocated value does not fit its field.
+    RelocOverflow {
+        /// The symbol whose address overflowed the field.
+        symbol: String,
+        /// Relocation kind name.
+        kind: &'static str,
+    },
+    /// No entry symbol (`_start` or `main`) was found while linking.
+    NoEntry,
+    /// Propagated ELF codec error.
+    Elf(kahrisma_elf::ElfError),
+}
+
+impl AsmError {
+    pub(crate) fn syntax(file: &str, line: u32, message: impl Into<String>) -> Self {
+        AsmError::Syntax { file: file.into(), line, message: message.into() }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::Syntax { file, line, message } => write!(f, "{file}:{line}: {message}"),
+            AsmError::DuplicateSymbol(s) => write!(f, "duplicate symbol `{s}`"),
+            AsmError::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            AsmError::RelocOverflow { symbol, kind } => {
+                write!(f, "relocation {kind} against `{symbol}` does not fit its field")
+            }
+            AsmError::NoEntry => write!(f, "no entry symbol (`_start` or `main`) found"),
+            AsmError::Elf(e) => write!(f, "elf error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AsmError::Elf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kahrisma_elf::ElfError> for AsmError {
+    fn from(e: kahrisma_elf::ElfError) -> Self {
+        AsmError::Elf(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = AsmError::syntax("t.s", 7, "bad operand");
+        assert_eq!(e.to_string(), "t.s:7: bad operand");
+    }
+
+    #[test]
+    fn elf_error_wraps() {
+        let e: AsmError = kahrisma_elf::ElfError::BadMagic.into();
+        assert!(e.to_string().contains("elf error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,95 @@
+//! Mixed-ISA assembler and linker for the KAHRISMA architecture.
+//!
+//! Implements the "binary utilities" of the paper's ADL-based software
+//! framework (§IV): an assembler that translates (possibly mixed-ISA)
+//! assembly files into relocatable ELF objects, and a linker that combines
+//! objects into an executable ELF binary for the simulator.
+//!
+//! Paper-relevant behaviours:
+//!
+//! * **mixed-ISA assembly** — "During assembling the ISA can be switched
+//!   using a special assembly pseudo directive": the `.isa <name>` directive
+//!   selects the encoding of subsequent instructions and is recorded in the
+//!   executable's ISA map;
+//! * **VLIW bundles** — `{ op | op | … }` groups up to *issue-width*
+//!   operations into one instruction; missing slots are `nop`-padded;
+//! * **debug metadata** — every instruction records its assembly source
+//!   line into the custom `.kahrisma.lines` section, and `.func`/`.endfunc`
+//!   populate the function table (§V-C);
+//! * **C-library stubs** — [`libc_stubs_asm`] generates "an automatically
+//!   generated assembly file containing a small function body for each
+//!   library function that only executes the simulation operation and
+//!   returns afterwards" (§V-E);
+//! * **startup code** — the linker synthesizes `_start` (stack setup, ISA
+//!   switch to `main`'s ISA, call, halt) so any compiled program is
+//!   runnable.
+//!
+//! # Example
+//!
+//! ```
+//! use kahrisma_asm::{assemble, link, LinkOptions};
+//!
+//! let obj = assemble(
+//!     "prog.s",
+//!     r#"
+//!         .isa risc
+//!         .text
+//!         .global main
+//!         .func main
+//!     main:
+//!         li   rv, 42
+//!         jr   ra
+//!         .endfunc
+//!     "#,
+//! )?;
+//! let exe = link(&[obj], &LinkOptions::default())?;
+//! assert_ne!(exe.entry, 0);
+//! # Ok::<(), kahrisma_asm::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assembler;
+mod error;
+mod libc;
+mod linker;
+mod parse;
+
+pub use assembler::assemble;
+pub use error::AsmError;
+pub use libc::libc_stubs_asm;
+pub use linker::{LinkOptions, link};
+
+use kahrisma_elf::Executable;
+
+/// Assembles several `(file_name, source)` units and links them together
+/// with the C-library stubs, producing a runnable executable.
+///
+/// This is the convenience entry point used by the compiler driver and the
+/// examples; it is equivalent to calling [`assemble`] per unit, appending
+/// [`libc_stubs_asm`], and invoking [`link`] with default options.
+///
+/// # Errors
+///
+/// Returns the first assembly or link error encountered.
+///
+/// # Example
+///
+/// ```
+/// let exe = kahrisma_asm::build(&[(
+///     "main.s",
+///     ".isa risc\n.text\n.global main\n.func main\nmain: li rv, 7\n jr ra\n.endfunc\n",
+/// )])?;
+/// assert!(!exe.segments.is_empty());
+/// # Ok::<(), kahrisma_asm::AsmError>(())
+/// ```
+pub fn build(units: &[(&str, &str)]) -> Result<Executable, AsmError> {
+    let mut objects = Vec::with_capacity(units.len() + 1);
+    for (name, src) in units {
+        objects.push(assemble(name, src)?);
+    }
+    let stubs = libc_stubs_asm();
+    objects.push(assemble("libc_stubs.s", &stubs)?);
+    link(&objects, &LinkOptions::default())
+}

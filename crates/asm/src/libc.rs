@@ -1,0 +1,77 @@
+//! Generated C-standard-library stub assembly.
+
+use std::fmt::Write as _;
+
+use kahrisma_isa::simop::SimOpCode;
+
+/// Generates the stub assembly file for the C-standard-library emulation.
+///
+/// Paper §V-E: "Each library function is made visible to the linker by
+/// providing an automatically generated assembly file containing a small
+/// function body for each library function that only executes the simulation
+/// operation and returns afterwards."
+///
+/// The stubs are encoded in the RISC ISA; mixed-ISA callers switch ISA
+/// around the call exactly as for any cross-ISA call.
+///
+/// # Example
+///
+/// ```
+/// let src = kahrisma_asm::libc_stubs_asm();
+/// assert!(src.contains("malloc:"));
+/// let obj = kahrisma_asm::assemble("libc_stubs.s", &src)?;
+/// assert!(obj.symbols.iter().any(|s| s.name == "putchar" && s.global));
+/// # Ok::<(), kahrisma_asm::AsmError>(())
+/// ```
+#[must_use]
+pub fn libc_stubs_asm() -> String {
+    let mut s = String::from("; auto-generated C standard library stubs (paper SV-E)\n.isa risc\n.text\n");
+    for code in SimOpCode::ALL {
+        let sym = code.symbol();
+        let imm = code.code();
+        writeln!(s, ".global {sym}").expect("write to string");
+        writeln!(s, ".func {sym}").expect("write to string");
+        writeln!(s, "{sym}: simop {imm}").expect("write to string");
+        writeln!(s, "    jr ra").expect("write to string");
+        writeln!(s, ".endfunc").expect("write to string");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembler::assemble;
+
+    #[test]
+    fn stubs_assemble_and_export_every_function() {
+        let src = libc_stubs_asm();
+        let obj = assemble("libc_stubs.s", &src).unwrap();
+        for code in SimOpCode::ALL {
+            let sym = obj
+                .symbols
+                .iter()
+                .find(|s| s.name == code.symbol())
+                .unwrap_or_else(|| panic!("missing {}", code.symbol()));
+            assert!(sym.global);
+        }
+        // Each stub is two RISC words.
+        assert_eq!(obj.text.len(), SimOpCode::ALL.len() * 8);
+        assert_eq!(obj.debug.funcs.len(), SimOpCode::ALL.len());
+    }
+
+    #[test]
+    fn stub_bodies_encode_the_right_simop_code() {
+        let src = libc_stubs_asm();
+        let obj = assemble("libc_stubs.s", &src).unwrap();
+        let t = kahrisma_isa::tables();
+        let risc = t.table(kahrisma_isa::isa_id::RISC).unwrap();
+        for (i, code) in SimOpCode::ALL.iter().enumerate() {
+            let off = i * 8;
+            let w = u32::from_le_bytes(obj.text[off..off + 4].try_into().unwrap());
+            let d = risc.decode(w).unwrap();
+            assert_eq!(risc.op(d.op_index).name(), "simop");
+            assert_eq!(d.fields.imm, code.code());
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! The linker: combines relocatable objects into a runnable executable.
+
+use std::collections::HashMap;
+
+use kahrisma_elf::{Executable, FuncEntry, Object, RelocKind, SectionId, Segment};
+use kahrisma_isa::{IsaKind, abi, isa_id, ops, tables};
+
+use crate::error::AsmError;
+
+/// Linker configuration.
+#[derive(Debug, Clone)]
+pub struct LinkOptions {
+    /// Base address of the text segment.
+    pub text_base: u32,
+    /// Alignment between the text and data segments.
+    pub segment_align: u32,
+    /// Entry symbol; defaults to `_start`, falling back to a synthesized
+    /// startup stub that calls `main`.
+    pub entry: Option<String>,
+    /// Initial stack-pointer value installed by the synthesized startup code.
+    pub stack_top: u32,
+}
+
+impl Default for LinkOptions {
+    fn default() -> Self {
+        LinkOptions {
+            text_base: abi::TEXT_BASE,
+            segment_align: 4096,
+            entry: None,
+            stack_top: abi::STACK_TOP,
+        }
+    }
+}
+
+fn align_up(v: u32, a: u32) -> u32 {
+    v.div_ceil(a) * a
+}
+
+/// Links `objects` into an executable.
+///
+/// Layout: all `.text` sections are concatenated at
+/// [`LinkOptions::text_base`]; `.rodata`, `.data` and `.bss` follow in one
+/// writable segment at the next [`LinkOptions::segment_align`] boundary.
+/// If no `_start` symbol is defined, a startup stub is synthesized that
+/// initializes the stack pointer, switches to `main`'s ISA when necessary
+/// (paper §V-D), calls `main`, and halts with `main`'s return value.
+///
+/// # Errors
+///
+/// Returns an error for duplicate or undefined global symbols, relocation
+/// overflow, or a missing entry point.
+pub fn link(objects: &[Object], options: &LinkOptions) -> Result<Executable, AsmError> {
+    let user_start = objects
+        .iter()
+        .flat_map(|o| &o.symbols)
+        .any(|s| s.global && s.section != SectionId::Undef && s.name == "_start");
+
+    // Find main's ISA for the synthesized startup stub.
+    let main_func: Option<FuncEntry> = objects
+        .iter()
+        .flat_map(|o| &o.debug.funcs)
+        .find(|f| f.name == "main")
+        .cloned();
+
+    let mut objects_vec: Vec<&Object> = Vec::with_capacity(objects.len() + 1);
+    let stub;
+    if !user_start && options.entry.is_none() {
+        let main = main_func.as_ref().ok_or(AsmError::NoEntry)?;
+        let main_isa = IsaKind::from_id(main.isa.into())
+            .ok_or_else(|| AsmError::UndefinedSymbol("main (unknown isa)".into()))?;
+        stub = start_stub(main_isa, options.stack_top);
+        objects_vec.push(&stub);
+    }
+    objects_vec.extend(objects.iter());
+    let objects = objects_vec;
+
+    // Layout.
+    struct Bases {
+        text: u32,
+        data: u32,
+        rodata: u32,
+        bss: u32,
+    }
+    let mut text_cursor = options.text_base;
+    let mut bases = Vec::with_capacity(objects.len());
+    for o in &objects {
+        bases.push(Bases { text: text_cursor, data: 0, rodata: 0, bss: 0 });
+        text_cursor += align_up(o.text.len() as u32, 4);
+    }
+    let data_base = align_up(text_cursor, options.segment_align);
+    let mut cursor = data_base;
+    for (o, b) in objects.iter().zip(&mut bases) {
+        b.rodata = cursor;
+        cursor += align_up(o.rodata.len() as u32, 4);
+    }
+    for (o, b) in objects.iter().zip(&mut bases) {
+        b.data = cursor;
+        cursor += align_up(o.data.len() as u32, 4);
+    }
+    let bss_start = cursor;
+    for (o, b) in objects.iter().zip(&mut bases) {
+        b.bss = cursor;
+        cursor += align_up(o.bss_size, 4);
+    }
+    let data_end = cursor;
+
+    // Global symbol resolution.
+    let mut globals: HashMap<&str, u32> = HashMap::new();
+    for (o, b) in objects.iter().zip(&bases) {
+        for s in &o.symbols {
+            if !s.global || s.section == SectionId::Undef {
+                continue;
+            }
+            let addr = symbol_addr(s.section, s.value, b.text, b.data, b.rodata, b.bss);
+            if globals.insert(&s.name, addr).is_some() {
+                return Err(AsmError::DuplicateSymbol(s.name.clone()));
+            }
+        }
+    }
+
+    // Build segment contents.
+    let mut text = vec![0u8; (text_cursor - options.text_base) as usize];
+    let mut data = vec![0u8; (bss_start - data_base) as usize];
+    for (o, b) in objects.iter().zip(&bases) {
+        let t = (b.text - options.text_base) as usize;
+        text[t..t + o.text.len()].copy_from_slice(&o.text);
+        let r = (b.rodata - data_base) as usize;
+        data[r..r + o.rodata.len()].copy_from_slice(&o.rodata);
+        let d = (b.data - data_base) as usize;
+        data[d..d + o.data.len()].copy_from_slice(&o.data);
+    }
+
+    // Apply relocations.
+    for (o, b) in objects.iter().zip(&bases) {
+        for r in &o.relocs {
+            let sym = o.symbols.get(r.symbol as usize).ok_or(AsmError::Elf(
+                kahrisma_elf::ElfError::BadIndex { what: "symbol", index: r.symbol },
+            ))?;
+            let s_addr = if sym.section == SectionId::Undef {
+                *globals
+                    .get(sym.name.as_str())
+                    .ok_or_else(|| AsmError::UndefinedSymbol(sym.name.clone()))?
+            } else {
+                symbol_addr(sym.section, sym.value, b.text, b.data, b.rodata, b.bss)
+            };
+            let target = s_addr.wrapping_add(r.addend as u32);
+            let (place_abs, buf, buf_base) = match r.section {
+                SectionId::Text => (b.text + r.offset, &mut text, options.text_base),
+                SectionId::Data => (b.data + r.offset, &mut data, data_base),
+                SectionId::Rodata => (b.rodata + r.offset, &mut data, data_base),
+                _ => {
+                    return Err(AsmError::Elf(kahrisma_elf::ElfError::Malformed(
+                        "relocation against non-progbits section",
+                    )));
+                }
+            };
+            let off = (place_abs - buf_base) as usize;
+            let word = u32::from_le_bytes(
+                buf.get(off..off + 4)
+                    .ok_or(AsmError::Elf(kahrisma_elf::ElfError::Malformed(
+                        "relocation offset out of range",
+                    )))?
+                    .try_into()
+                    .expect("4-byte slice"),
+            );
+            let patched = apply_reloc(r.kind, word, target, place_abs, &sym.name)?;
+            buf[off..off + 4].copy_from_slice(&patched.to_le_bytes());
+        }
+    }
+
+    // Entry point.
+    let entry_name = options.entry.as_deref().unwrap_or("_start");
+    let entry = *globals.get(entry_name).ok_or(AsmError::NoEntry)?;
+
+    // Merge debug info.
+    let mut debug = kahrisma_elf::DebugInfo::new();
+    for (o, b) in objects.iter().zip(&bases) {
+        let mut d = o.debug.clone();
+        d.rebase(b.text);
+        debug.merge(&d);
+    }
+    let entry_isa = debug.isa_for_addr(entry).unwrap_or(isa_id::RISC.value());
+
+    let mut exe = Executable::new();
+    exe.entry = entry;
+    exe.entry_isa = entry_isa;
+    exe.segments.push(Segment::new(options.text_base, text, true));
+    exe.segments.push(Segment {
+        addr: data_base,
+        data,
+        mem_size: data_end - data_base,
+        executable: false,
+    });
+    exe.debug = debug;
+    Ok(exe)
+}
+
+fn symbol_addr(
+    section: SectionId,
+    value: u32,
+    text: u32,
+    data: u32,
+    rodata: u32,
+    bss: u32,
+) -> u32 {
+    match section {
+        SectionId::Text => text + value,
+        SectionId::Data => data + value,
+        SectionId::Rodata => rodata + value,
+        SectionId::Bss => bss + value,
+        SectionId::Abs => value,
+        SectionId::Undef => unreachable!("resolved before"),
+    }
+}
+
+fn apply_reloc(
+    kind: RelocKind,
+    word: u32,
+    target: u32,
+    place: u32,
+    symbol: &str,
+) -> Result<u32, AsmError> {
+    let overflow = |kind: &'static str| AsmError::RelocOverflow { symbol: symbol.into(), kind };
+    Ok(match kind {
+        RelocKind::Abs32 => target,
+        RelocKind::Hi19 => (word & !0x7FFFF) | (target >> 13),
+        RelocKind::Lo13 => (word & !0x3FFF) | (target & 0x1FFF),
+        RelocKind::Jump24 => {
+            if !target.is_multiple_of(4) {
+                return Err(overflow("Jump24 (unaligned)"));
+            }
+            let imm = target / 4;
+            if imm >= (1 << 24) {
+                return Err(overflow("Jump24"));
+            }
+            (word & !0xFF_FFFF) | imm
+        }
+        RelocKind::Branch14 => {
+            let delta = i64::from(target) - i64::from(place);
+            if delta % 4 != 0 {
+                return Err(overflow("Branch14 (unaligned)"));
+            }
+            let imm = delta / 4;
+            if !(-8192..8192).contains(&imm) {
+                return Err(overflow("Branch14"));
+            }
+            (word & !0x3FFF) | ((imm as u32) & 0x3FFF)
+        }
+        _ => return Err(overflow("unknown")),
+    })
+}
+
+/// Synthesizes the startup object: `_start` sets up the stack, switches to
+/// `main`'s ISA when it differs from RISC, calls `main`, and halts with the
+/// return value. The trailing `switchtarget`-back/halt sequence is encoded
+/// in `main`'s ISA because control returns there in that ISA.
+fn start_stub(main_isa: IsaKind, stack_top: u32) -> Object {
+    let t = tables();
+    let risc = t.table(isa_id::RISC).unwrap();
+    let op = |name: &str| risc.op_by_name(name).unwrap().1;
+
+    let mut words: Vec<u32> = Vec::new();
+    let mut isa_map = vec![(0u32, isa_id::RISC.value())];
+    words.push(op("lui").encode(abi::SP, 0, 0, stack_top >> 13));
+    words.push(op("ori").encode(abi::SP, abi::SP, 0, stack_top & 0x1FFF));
+    if main_isa != IsaKind::Risc {
+        words.push(op("switchtarget").encode(0, 0, 0, u32::from(main_isa.id().value())));
+    }
+    // From here on the processor runs in main's ISA: both the call and the
+    // final halt must be full (NOP-padded) bundles of that ISA.
+    let jal_off = words.len() as u32 * 4;
+    if main_isa != IsaKind::Risc {
+        isa_map.push((jal_off, main_isa.id().value()));
+    }
+    let main_table = t.table(main_isa.id()).unwrap();
+    words.push(main_table.op_by_name("jal").unwrap().1.encode(0, 0, 0, 0)); // relocated to main
+    words.extend(std::iter::repeat_n(ops::NOP_WORD, usize::from(main_isa.width()) - 1));
+    // Halt bundle (control returns here in main's ISA).
+    words.push(main_table.op_by_name("halt").unwrap().1.encode(0, 0, 0, 0));
+    words.extend(std::iter::repeat_n(ops::NOP_WORD, usize::from(main_isa.width()) - 1));
+
+    let mut obj = Object::new();
+    obj.text = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+    obj.symbols.push(kahrisma_elf::Symbol::global(
+        "_start",
+        SectionId::Text,
+        0,
+        kahrisma_elf::SymKind::Func,
+    ));
+    obj.symbols.push(kahrisma_elf::Symbol::undef("main"));
+    obj.relocs.push(kahrisma_elf::Reloc {
+        section: SectionId::Text,
+        offset: jal_off,
+        symbol: 1,
+        kind: RelocKind::Jump24,
+        addend: 0,
+    });
+    obj.debug.files = vec!["<start-stub>".into()];
+    obj.debug.funcs = vec![FuncEntry {
+        name: "_start".into(),
+        start: 0,
+        end: obj.text.len() as u32,
+        isa: isa_id::RISC.value(),
+    }];
+    obj.debug.isa_map = isa_map;
+    obj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembler::assemble;
+
+    fn word_at(exe: &Executable, addr: u32) -> u32 {
+        let seg = exe
+            .segments
+            .iter()
+            .find(|s| s.addr <= addr && addr < s.addr + s.data.len() as u32)
+            .unwrap_or_else(|| panic!("no segment covers {addr:#x}"));
+        let off = (addr - seg.addr) as usize;
+        u32::from_le_bytes(seg.data[off..off + 4].try_into().unwrap())
+    }
+
+    #[test]
+    fn links_minimal_main() {
+        let obj = assemble(
+            "m.s",
+            ".text\n.global main\n.func main\nmain: li rv, 9\njr ra\n.endfunc\n",
+        )
+        .unwrap();
+        let exe = link(&[obj], &LinkOptions::default()).unwrap();
+        assert_eq!(exe.entry, abi::TEXT_BASE);
+        assert_eq!(exe.entry_isa, isa_id::RISC.value());
+        // _start stub: lui sp / ori sp / jal main / halt.
+        let t = tables();
+        let risc = t.table(isa_id::RISC).unwrap();
+        let jal = word_at(&exe, abi::TEXT_BASE + 8);
+        let d = risc.decode(jal).unwrap();
+        assert_eq!(risc.op(d.op_index).name(), "jal");
+        let main_addr = d.fields.imm * 4;
+        assert_eq!(exe.debug.func_for_addr(main_addr).unwrap().name, "main");
+    }
+
+    #[test]
+    fn start_stub_switches_isa_for_vliw_main() {
+        let obj = assemble(
+            "m.s",
+            ".isa vliw4\n.text\n.global main\n.func main\nmain: { li rv, 1 | nop | nop | nop }\n{ jr ra | nop | nop | nop }\n.endfunc\n",
+        )
+        .unwrap();
+        let exe = link(&[obj], &LinkOptions::default()).unwrap();
+        let t = tables();
+        let risc = t.table(isa_id::RISC).unwrap();
+        let sw = word_at(&exe, abi::TEXT_BASE + 8);
+        let d = risc.decode(sw).unwrap();
+        assert_eq!(risc.op(d.op_index).name(), "switchtarget");
+        assert_eq!(d.fields.imm, u32::from(isa_id::VLIW4.value()));
+        // The halt after jal is encoded in vliw4 (bundle of 4 words) and the
+        // ISA map says so.
+        let halt_addr = abi::TEXT_BASE + 16;
+        assert_eq!(exe.debug.isa_for_addr(halt_addr), Some(isa_id::VLIW4.value()));
+    }
+
+    #[test]
+    fn cross_object_calls_and_data() {
+        let a = assemble(
+            "a.s",
+            ".text\n.global main\n.func main\nmain: la a0, shared\nlw rv, 0(a0)\njal bump\njr ra\n.endfunc\n",
+        )
+        .unwrap();
+        let b = assemble(
+            "b.s",
+            ".text\n.global bump\n.func bump\nbump: addi rv, rv, 1\njr ra\n.endfunc\n.data\n.global shared\nshared: .word 41\n",
+        )
+        .unwrap();
+        let exe = link(&[a, b], &LinkOptions::default()).unwrap();
+        // The data word must live in the writable segment with value 41.
+        let data_seg = exe.segments.iter().find(|s| !s.executable).unwrap();
+        assert_eq!(&data_seg.data[0..4], &41u32.to_le_bytes());
+        // la expanded to lui+ori with Hi19/Lo13 pointing at the data segment.
+        let t = tables();
+        let risc = t.table(isa_id::RISC).unwrap();
+        let main = exe.debug.funcs.iter().find(|f| f.name == "main").unwrap();
+        let lui = risc.decode(word_at(&exe, main.start)).unwrap();
+        let ori = risc.decode(word_at(&exe, main.start + 4)).unwrap();
+        let addr = (lui.fields.imm << 13) | ori.fields.imm;
+        assert_eq!(addr, data_seg.addr);
+    }
+
+    #[test]
+    fn duplicate_global_rejected() {
+        let a = assemble(
+            "a.s",
+            ".text\n.global main\n.func main\nmain: nop\n.endfunc\n.global f\n.func f\nf: nop\n.endfunc\n",
+        )
+        .unwrap();
+        let b = assemble("b.s", ".text\n.global f\n.func f\nf: nop\n.endfunc\n").unwrap();
+        assert!(matches!(
+            link(&[a, b], &LinkOptions::default()),
+            Err(AsmError::DuplicateSymbol(s)) if s == "f"
+        ));
+    }
+
+    #[test]
+    fn undefined_symbol_rejected() {
+        let a = assemble("a.s", ".text\n.global main\n.func main\nmain: jal nowhere\n.endfunc\n")
+            .unwrap();
+        assert!(matches!(
+            link(&[a], &LinkOptions::default()),
+            Err(AsmError::UndefinedSymbol(s)) if s == "nowhere"
+        ));
+    }
+
+    #[test]
+    fn no_main_is_an_error() {
+        let a = assemble("a.s", ".text\n.global f\n.func f\nf: nop\n.endfunc\n").unwrap();
+        assert!(matches!(link(&[a], &LinkOptions::default()), Err(AsmError::NoEntry)));
+    }
+
+    #[test]
+    fn user_start_wins_over_stub() {
+        let a = assemble(
+            "a.s",
+            ".text\n.global _start\n.func _start\n_start: halt\n.endfunc\n",
+        )
+        .unwrap();
+        let exe = link(&[a], &LinkOptions::default()).unwrap();
+        assert_eq!(exe.entry, abi::TEXT_BASE);
+        let t = tables();
+        let risc = t.table(isa_id::RISC).unwrap();
+        let d = risc.decode(word_at(&exe, exe.entry)).unwrap();
+        assert_eq!(risc.op(d.op_index).name(), "halt");
+    }
+
+    #[test]
+    fn executable_roundtrips_through_elf() {
+        let obj = assemble(
+            "m.s",
+            ".text\n.global main\n.func main\nmain: li rv, 3\njr ra\n.endfunc\n.data\nd: .word 5\n",
+        )
+        .unwrap();
+        let exe = link(&[obj], &LinkOptions::default()).unwrap();
+        let back = Executable::from_bytes(&exe.to_bytes()).unwrap();
+        assert_eq!(back, exe);
+    }
+
+    #[test]
+    fn branch14_reloc_cross_object() {
+        // A branch to an external label (unusual but supported).
+        let a = assemble("a.s", ".text\n.global main\n.func main\nmain: beq zero, zero, other\njr ra\n.endfunc\n").unwrap();
+        let b = assemble("b.s", ".text\n.global other\nother: jr ra\n").unwrap();
+        let exe = link(&[a, b], &LinkOptions::default()).unwrap();
+        let t = tables();
+        let risc = t.table(isa_id::RISC).unwrap();
+        let main = exe.debug.funcs.iter().find(|f| f.name == "main").unwrap();
+        let beq = risc.decode(word_at(&exe, main.start)).unwrap();
+        let target = main.start.wrapping_add((beq.fields.simm() * 4) as u32);
+        // `other` is the first word of object b's text.
+        assert_eq!(exe.debug.func_for_addr(target), None); // not a .func
+        let jr = risc.decode(word_at(&exe, target)).unwrap();
+        assert_eq!(risc.op(jr.op_index).name(), "jr");
+    }
+}

@@ -1,0 +1,600 @@
+//! Line-oriented assembly parsing.
+//!
+//! The syntax is deliberately close to classic Unix assemblers:
+//!
+//! ```text
+//! ; comment            (also `#` and `//`)
+//!     .isa vliw4       ; select the encoding ISA (mixed-ISA support, §V-D)
+//!     .text
+//!     .global dct
+//!     .func dct        ; begin a function record (debug metadata, §V-C)
+//! dct:
+//!     { addi sp, sp, -32 | lw t0, 0(a0) | nop | nop }
+//!     beq t0, zero, done
+//! done:
+//!     jr ra
+//!     .endfunc
+//! ```
+
+use crate::error::AsmError;
+use kahrisma_isa::abi;
+
+/// One operand of an operation statement.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Operand {
+    /// Register.
+    Reg(u8),
+    /// Integer immediate.
+    Imm(i64),
+    /// Symbol reference with optional constant offset (branch/jump targets,
+    /// `.word` data, `la`).
+    Sym(String, i64),
+    /// `imm(base)` memory operand.
+    Mem { offset: i64, base: u8 },
+    /// `%hi(sym+k)`.
+    Hi(String, i64),
+    /// `%lo(sym+k)`.
+    Lo(String, i64),
+}
+
+/// One operation (mnemonic + operands).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct OpStmt {
+    pub mnemonic: String,
+    pub operands: Vec<Operand>,
+}
+
+/// Data expression for `.word`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum WordExpr {
+    Int(i64),
+    Sym(String, i64),
+}
+
+/// An assembler directive.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Directive {
+    Isa(String),
+    Text,
+    Data,
+    Rodata,
+    Bss,
+    Global(String),
+    Word(Vec<WordExpr>),
+    Half(Vec<i64>),
+    Byte(Vec<i64>),
+    Space(u32),
+    Asciz(String),
+    Align(u32),
+    Func(String),
+    EndFunc,
+}
+
+/// One parsed source line.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Stmt {
+    Label(String),
+    Directive(Directive),
+    /// An instruction: one or more slot operations (`{ a | b }` syntax, or a
+    /// bare operation meaning a single occupied slot).
+    Bundle(Vec<OpStmt>),
+}
+
+/// A statement together with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Line {
+    pub line: u32,
+    pub stmts: Vec<Stmt>,
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_str {
+            if c == b'\\' {
+                i += 1;
+            } else if c == b'"' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                b'"' => in_str = true,
+                b';' | b'#' => return &line[..i],
+                b'/' if bytes.get(i + 1) == Some(&b'/') => return &line[..i],
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Splits a line into raw tokens: identifiers/numbers, punctuation, strings.
+fn tokenize(file: &str, lineno: u32, line: &str) -> Result<Vec<String>, AsmError> {
+    let mut tokens = Vec::new();
+    let mut chars = line.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ',' | '(' | ')' | '{' | '}' | '|' | ':' => {
+                tokens.push(c.to_string());
+                chars.next();
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::from("\"");
+                let mut closed = false;
+                while let Some((_, c)) = chars.next() {
+                    if c == '\\' {
+                        match chars.next() {
+                            Some((_, 'n')) => s.push('\n'),
+                            Some((_, 't')) => s.push('\t'),
+                            Some((_, '0')) => s.push('\0'),
+                            Some((_, '\\')) => s.push('\\'),
+                            Some((_, '"')) => s.push('"'),
+                            other => {
+                                return Err(AsmError::syntax(
+                                    file,
+                                    lineno,
+                                    format!("invalid string escape {other:?}"),
+                                ));
+                            }
+                        }
+                    } else if c == '"' {
+                        closed = true;
+                        break;
+                    } else {
+                        s.push(c);
+                    }
+                }
+                if !closed {
+                    return Err(AsmError::syntax(file, lineno, "unterminated string literal"));
+                }
+                tokens.push(s);
+            }
+            '\'' => {
+                chars.next();
+                let ch = match chars.next() {
+                    Some((_, '\\')) => match chars.next() {
+                        Some((_, 'n')) => '\n',
+                        Some((_, 't')) => '\t',
+                        Some((_, '0')) => '\0',
+                        Some((_, '\\')) => '\\',
+                        Some((_, '\'')) => '\'',
+                        _ => return Err(AsmError::syntax(file, lineno, "invalid char escape")),
+                    },
+                    Some((_, c)) => c,
+                    None => return Err(AsmError::syntax(file, lineno, "unterminated char literal")),
+                };
+                match chars.next() {
+                    Some((_, '\'')) => {}
+                    _ => return Err(AsmError::syntax(file, lineno, "unterminated char literal")),
+                }
+                tokens.push(format!("'{}", u32::from(ch)));
+            }
+            _ => {
+                // Identifier, number, directive, %hi/%lo, signs.
+                let start = i;
+                let mut end = i;
+                while let Some(&(j, c)) = chars.peek() {
+                    if c.is_alphanumeric() || "._%$+-".contains(c) {
+                        end = j + c.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if end == start {
+                    return Err(AsmError::syntax(
+                        file,
+                        lineno,
+                        format!("unexpected character `{c}`"),
+                    ));
+                }
+                tokens.push(line[start..end].to_string());
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn parse_int(tok: &str) -> Option<i64> {
+    if let Some(rest) = tok.strip_prefix('\'') {
+        return rest.parse().ok();
+    }
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok.strip_prefix('+').unwrap_or(tok)),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        // Reject identifiers early so symbols are not misparsed.
+        if !body.chars().all(|c| c.is_ascii_digit()) {
+            return None;
+        }
+        body.parse().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+/// Parses `sym` / `sym+4` / `sym-8` (identifier with optional offset).
+fn parse_sym_offset(tok: &str) -> Option<(String, i64)> {
+    let split = tok[1..].find(['+', '-']).map(|p| p + 1);
+    let (name, off) = match split {
+        Some(p) => {
+            let off = parse_int(&tok[p..])?;
+            (&tok[..p], off)
+        }
+        None => (tok, 0),
+    };
+    let mut chars = name.chars();
+    let first = chars.next()?;
+    if !(first.is_ascii_alphabetic() || first == '_' || first == '.') {
+        return None;
+    }
+    if !chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$') {
+        return None;
+    }
+    Some((name.to_string(), off))
+}
+
+struct Cursor<'a> {
+    file: &'a str,
+    line: u32,
+    tokens: &'a [String],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&'a str> {
+        self.tokens.get(self.pos).map(String::as_str)
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let t = self.peek();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), AsmError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(self.err(format!("expected `{tok}`, found {other:?}"))),
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> AsmError {
+        AsmError::syntax(self.file, self.line, message)
+    }
+}
+
+fn parse_operand(c: &mut Cursor<'_>) -> Result<Operand, AsmError> {
+    let tok = c.next().ok_or_else(|| c.err("missing operand"))?;
+    // %hi(sym) / %lo(sym)
+    if tok == "%hi" || tok == "%lo" {
+        c.expect("(")?;
+        let sym_tok = c.next().ok_or_else(|| c.err("missing symbol in %hi/%lo"))?;
+        let (name, off) =
+            parse_sym_offset(sym_tok).ok_or_else(|| c.err("invalid symbol in %hi/%lo"))?;
+        c.expect(")")?;
+        return Ok(if tok == "%hi" { Operand::Hi(name, off) } else { Operand::Lo(name, off) });
+    }
+    if let Some(r) = abi::parse_reg(tok) {
+        return Ok(Operand::Reg(r));
+    }
+    if let Some(v) = parse_int(tok) {
+        // `imm(base)` memory operand.
+        if c.eat("(") {
+            let reg_tok = c.next().ok_or_else(|| c.err("missing base register"))?;
+            let base =
+                abi::parse_reg(reg_tok).ok_or_else(|| c.err("invalid base register"))?;
+            c.expect(")")?;
+            return Ok(Operand::Mem { offset: v, base });
+        }
+        return Ok(Operand::Imm(v));
+    }
+    if let Some((name, off)) = parse_sym_offset(tok) {
+        return Ok(Operand::Sym(name, off));
+    }
+    Err(c.err(format!("invalid operand `{tok}`")))
+}
+
+fn parse_op(c: &mut Cursor<'_>) -> Result<OpStmt, AsmError> {
+    let mnemonic =
+        c.next().ok_or_else(|| c.err("missing mnemonic"))?.to_ascii_lowercase();
+    let mut operands = Vec::new();
+    if c.peek().is_some() && c.peek() != Some("|") && c.peek() != Some("}") {
+        operands.push(parse_operand(c)?);
+        while c.eat(",") {
+            operands.push(parse_operand(c)?);
+        }
+    }
+    Ok(OpStmt { mnemonic, operands })
+}
+
+fn parse_int_list(c: &mut Cursor<'_>) -> Result<Vec<i64>, AsmError> {
+    let mut out = Vec::new();
+    loop {
+        let tok = c.next().ok_or_else(|| c.err("missing value"))?;
+        out.push(parse_int(tok).ok_or_else(|| c.err(format!("invalid integer `{tok}`")))?);
+        if !c.eat(",") {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+fn parse_directive(c: &mut Cursor<'_>, name: &str) -> Result<Directive, AsmError> {
+    Ok(match name {
+        ".isa" => {
+            let isa = c.next().ok_or_else(|| c.err("missing ISA name"))?;
+            Directive::Isa(isa.to_string())
+        }
+        ".text" => Directive::Text,
+        ".data" => Directive::Data,
+        ".rodata" => Directive::Rodata,
+        ".bss" => Directive::Bss,
+        ".global" | ".globl" => {
+            let s = c.next().ok_or_else(|| c.err("missing symbol"))?;
+            Directive::Global(s.to_string())
+        }
+        ".word" => {
+            let mut out = Vec::new();
+            loop {
+                let tok = c.next().ok_or_else(|| c.err("missing value"))?;
+                if let Some(v) = parse_int(tok) {
+                    out.push(WordExpr::Int(v));
+                } else if let Some((name, off)) = parse_sym_offset(tok) {
+                    out.push(WordExpr::Sym(name, off));
+                } else {
+                    return Err(c.err(format!("invalid word expression `{tok}`")));
+                }
+                if !c.eat(",") {
+                    break;
+                }
+            }
+            Directive::Word(out)
+        }
+        ".half" => Directive::Half(parse_int_list(c)?),
+        ".byte" => Directive::Byte(parse_int_list(c)?),
+        ".space" => {
+            let tok = c.next().ok_or_else(|| c.err("missing size"))?;
+            let v = parse_int(tok).filter(|&v| v >= 0).ok_or_else(|| c.err("invalid size"))?;
+            Directive::Space(v as u32)
+        }
+        ".asciz" | ".string" => {
+            let tok = c.next().ok_or_else(|| c.err("missing string"))?;
+            let s = tok
+                .strip_prefix('"')
+                .ok_or_else(|| c.err("expected string literal"))?;
+            Directive::Asciz(s.to_string())
+        }
+        ".align" => {
+            let tok = c.next().ok_or_else(|| c.err("missing alignment"))?;
+            let v = parse_int(tok)
+                .filter(|&v| v > 0 && (v as u64).is_power_of_two())
+                .ok_or_else(|| c.err("alignment must be a positive power of two"))?;
+            Directive::Align(v as u32)
+        }
+        ".func" => {
+            let s = c.next().ok_or_else(|| c.err("missing function name"))?;
+            Directive::Func(s.to_string())
+        }
+        ".endfunc" => Directive::EndFunc,
+        other => return Err(c.err(format!("unknown directive `{other}`"))),
+    })
+}
+
+/// Parses one source file into statements.
+pub(crate) fn parse(file: &str, source: &str) -> Result<Vec<Line>, AsmError> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let stripped = strip_comment(raw);
+        let tokens = tokenize(file, lineno, stripped)?;
+        if tokens.is_empty() {
+            continue;
+        }
+        let mut c = Cursor { file, line: lineno, tokens: &tokens, pos: 0 };
+        let mut stmts = Vec::new();
+        // Leading labels: `name :`.
+        while c.tokens.len() >= c.pos + 2 && c.tokens[c.pos + 1] == ":" {
+            let name = c.next().expect("label token");
+            if parse_sym_offset(name).map(|(_, off)| off != 0).unwrap_or(true) {
+                return Err(c.err(format!("invalid label `{name}`")));
+            }
+            c.next();
+            stmts.push(Stmt::Label(name.to_string()));
+        }
+        if let Some(tok) = c.peek() {
+            if tok.starts_with('.') {
+                let name = c.next().expect("directive token");
+                stmts.push(Stmt::Directive(parse_directive(&mut c, name)?));
+            } else if tok == "{" {
+                c.next();
+                let mut ops = vec![parse_op(&mut c)?];
+                while c.eat("|") {
+                    ops.push(parse_op(&mut c)?);
+                }
+                c.expect("}")?;
+                stmts.push(Stmt::Bundle(ops));
+            } else {
+                stmts.push(Stmt::Bundle(vec![parse_op(&mut c)?]));
+            }
+            if c.peek().is_some() {
+                return Err(c.err(format!("trailing tokens starting at `{}`", c.peek().unwrap())));
+            }
+        }
+        if !stmts.is_empty() {
+            out.push(Line { line: lineno, stmts });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Vec<Stmt> {
+        let lines = parse("t.s", src).unwrap();
+        assert_eq!(lines.len(), 1, "expected one line in {src:?}");
+        lines[0].stmts.clone()
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        assert!(parse("t.s", "; hi\n# yo\n// sup\n\n   \n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn labels_and_instruction_on_one_line() {
+        let stmts = one("loop: add r1, r2, r3");
+        assert_eq!(stmts[0], Stmt::Label("loop".into()));
+        match &stmts[1] {
+            Stmt::Bundle(ops) => {
+                assert_eq!(ops[0].mnemonic, "add");
+                assert_eq!(
+                    ops[0].operands,
+                    vec![Operand::Reg(1), Operand::Reg(2), Operand::Reg(3)]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_operands() {
+        let stmts = one("lw a0, -8(sp)");
+        match &stmts[0] {
+            Stmt::Bundle(ops) => {
+                assert_eq!(ops[0].operands[1], Operand::Mem { offset: -8, base: 29 });
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bundles_split_on_pipe() {
+        let stmts = one("{ add r1, r2, r3 | nop | lw a0, 0(sp) }");
+        match &stmts[0] {
+            Stmt::Bundle(ops) => {
+                assert_eq!(ops.len(), 3);
+                assert_eq!(ops[1].mnemonic, "nop");
+                assert!(ops[1].operands.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hi_lo_operands() {
+        let stmts = one("lui t0, %hi(table+8)");
+        match &stmts[0] {
+            Stmt::Bundle(ops) => {
+                assert_eq!(ops[0].operands[1], Operand::Hi("table".into(), 8));
+            }
+            other => panic!("{other:?}"),
+        }
+        let stmts = one("ori t0, t0, %lo(table)");
+        match &stmts[0] {
+            Stmt::Bundle(ops) => {
+                assert_eq!(ops[0].operands[2], Operand::Lo("table".into(), 0));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn symbol_with_negative_offset() {
+        let stmts = one("j loop-4");
+        match &stmts[0] {
+            Stmt::Bundle(ops) => assert_eq!(ops[0].operands[0], Operand::Sym("loop".into(), -4)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn directives_parse() {
+        assert_eq!(one(".isa vliw4")[0], Stmt::Directive(Directive::Isa("vliw4".into())));
+        assert_eq!(one(".text")[0], Stmt::Directive(Directive::Text));
+        assert_eq!(one(".global main")[0], Stmt::Directive(Directive::Global("main".into())));
+        assert_eq!(
+            one(".word 1, -2, 0x10, tbl+4")[0],
+            Stmt::Directive(Directive::Word(vec![
+                WordExpr::Int(1),
+                WordExpr::Int(-2),
+                WordExpr::Int(16),
+                WordExpr::Sym("tbl".into(), 4),
+            ]))
+        );
+        assert_eq!(one(".byte 1, 2, 255")[0], Stmt::Directive(Directive::Byte(vec![1, 2, 255])));
+        assert_eq!(one(".space 64")[0], Stmt::Directive(Directive::Space(64)));
+        assert_eq!(one(".align 8")[0], Stmt::Directive(Directive::Align(8)));
+        assert_eq!(one(".func dct")[0], Stmt::Directive(Directive::Func("dct".into())));
+        assert_eq!(one(".endfunc")[0], Stmt::Directive(Directive::EndFunc));
+    }
+
+    #[test]
+    fn asciz_with_escapes() {
+        match &one(r#".asciz "hi\n\t\"x\"""#)[0] {
+            Stmt::Directive(Directive::Asciz(s)) => assert_eq!(s, "hi\n\t\"x\""),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn char_literals_as_immediates() {
+        match &one("li a0, 'A'")[0] {
+            Stmt::Bundle(ops) => assert_eq!(ops[0].operands[1], Operand::Imm(65)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_location() {
+        let err = parse("f.s", "\n\n.align 3").unwrap_err();
+        match err {
+            AsmError::Syntax { file, line, .. } => {
+                assert_eq!(file, "f.s");
+                assert_eq!(line, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("t.s", "add r1 r2").is_err()); // missing commas
+        assert!(parse("t.s", ".bogus").is_err());
+        assert!(parse("t.s", "{ add r1, r2, r3").is_err()); // unterminated bundle
+        assert!(parse("t.s", "lw a0, 4(notareg)").is_err());
+        assert!(parse("t.s", r#".asciz "oops"#).is_err());
+    }
+
+    #[test]
+    fn hex_and_negative_ints() {
+        assert_eq!(parse_int("0x10"), Some(16));
+        assert_eq!(parse_int("-0x10"), Some(-16));
+        assert_eq!(parse_int("-5"), Some(-5));
+        assert_eq!(parse_int("r1"), None);
+        assert_eq!(parse_int("5x"), None);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the assembler: text → encoding round trips for
+//! randomized operands, `li` materialization of arbitrary constants, and
+//! label resolution at random distances.
+
+use proptest::prelude::*;
+
+use kahrisma_asm::assemble;
+use kahrisma_isa::{isa_id, tables};
+
+fn decode_words(text: &[u8]) -> Vec<u32> {
+    text.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+proptest! {
+    #[test]
+    fn r_type_fields_roundtrip(rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32) {
+        let src = format!(".text\nadd r{rd}, r{rs1}, r{rs2}\n");
+        let obj = assemble("t.s", &src).expect("assemble");
+        let t = tables();
+        let risc = t.table(isa_id::RISC).unwrap();
+        let d = risc.decode(decode_words(&obj.text)[0]).expect("decode");
+        prop_assert_eq!(risc.op(d.op_index).name(), "add");
+        prop_assert_eq!(d.fields.rd, rd);
+        prop_assert_eq!(d.fields.rs1, rs1);
+        prop_assert_eq!(d.fields.rs2, rs2);
+    }
+
+    #[test]
+    fn addi_immediates_roundtrip(rd in 1u8..32, rs1 in 0u8..32, imm in -8192i32..8192) {
+        let src = format!(".text\naddi r{rd}, r{rs1}, {imm}\n");
+        let obj = assemble("t.s", &src).expect("assemble");
+        let t = tables();
+        let risc = t.table(isa_id::RISC).unwrap();
+        let d = risc.decode(decode_words(&obj.text)[0]).expect("decode");
+        prop_assert_eq!(d.fields.simm(), imm);
+    }
+
+    #[test]
+    fn li_materializes_any_constant(value in any::<i32>()) {
+        let src = format!(".text\nli r5, {value}\n");
+        let obj = assemble("t.s", &src).expect("assemble");
+        let words = decode_words(&obj.text);
+        let t = tables();
+        let risc = t.table(isa_id::RISC).unwrap();
+        // Interpret the expansion architecturally.
+        let mut r5 = 0u32;
+        for w in words {
+            let d = risc.decode(w).expect("decode");
+            let op = risc.op(d.op_index);
+            match op.name() {
+                "addi" => r5 = (d.fields.simm()) as u32, // rs1 is always zero here
+                "lui" => r5 = d.fields.imm << 13,
+                "ori" => r5 |= d.fields.imm,
+                other => prop_assert!(false, "unexpected op {}", other),
+            }
+        }
+        prop_assert_eq!(r5, value as u32);
+    }
+
+    #[test]
+    fn branch_offsets_resolve_at_any_distance(pad_before in 0usize..50, pad_after in 0usize..50) {
+        // label <pads> branch <pads>; branch targets the label backwards.
+        let mut src = String::from(".text\ntarget: nop\n");
+        for _ in 0..pad_before {
+            src.push_str("nop\n");
+        }
+        src.push_str("bne r1, zero, target\n");
+        for _ in 0..pad_after {
+            src.push_str("nop\n");
+        }
+        let obj = assemble("t.s", &src).expect("assemble");
+        let words = decode_words(&obj.text);
+        let branch_index = 1 + pad_before;
+        let t = tables();
+        let risc = t.table(isa_id::RISC).unwrap();
+        let d = risc.decode(words[branch_index]).expect("decode");
+        prop_assert_eq!(d.fields.simm(), -((branch_index) as i32));
+    }
+
+    #[test]
+    fn data_words_roundtrip(values in prop::collection::vec(any::<i32>(), 1..32)) {
+        let list = values.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+        let src = format!(".data\ntab: .word {list}\n");
+        let obj = assemble("t.s", &src).expect("assemble");
+        let words = decode_words(&obj.data);
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(words[i] as i32, v);
+        }
+    }
+
+    #[test]
+    fn vliw_bundles_fill_and_pad(ops_in_bundle in 1usize..=4) {
+        let body: Vec<String> =
+            (0..ops_in_bundle).map(|i| format!("addi r{}, zero, {i}", i + 1)).collect();
+        let src = format!(".isa vliw4\n.text\n{{ {} }}\n", body.join(" | "));
+        let obj = assemble("t.s", &src).expect("assemble");
+        let words = decode_words(&obj.text);
+        prop_assert_eq!(words.len(), 4);
+        for w in words.iter().skip(ops_in_bundle) {
+            prop_assert_eq!(*w, kahrisma_isa::ops::NOP_WORD);
+        }
+    }
+
+    #[test]
+    fn object_bytes_always_reparse(label in "[a-z]{1,8}", n in 1usize..20) {
+        let mut src = String::from(".text\n.global main\n.func main\nmain:\n");
+        for i in 0..n {
+            src.push_str(&format!("addi r{}, zero, {i}\n", (i % 30) + 1));
+        }
+        src.push_str(&format!("{label}: jr ra\n.endfunc\n"));
+        let obj = assemble("t.s", &src).expect("assemble");
+        let back = kahrisma_elf::Object::from_bytes(&obj.to_bytes()).expect("reparse");
+        prop_assert_eq!(back.text, obj.text);
+        prop_assert_eq!(back.debug, obj.debug);
+    }
+}

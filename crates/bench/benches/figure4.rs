@@ -1,0 +1,38 @@
+//! Criterion bench behind **Figure 4**: the cost of the ILP measurement and
+//! the DOE approximation per issue width on the DCT workload. The figure's
+//! actual data series come from
+//! `cargo run --release -p kahrisma-bench --bin figure4`.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::hint::black_box;
+
+use kahrisma_bench::{Workload, build, figure4_isas, measure};
+use kahrisma_core::{CycleModelKind, SimConfig};
+use kahrisma_isa::IsaKind;
+
+fn bench_figure4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure4");
+    group.sample_size(10);
+
+    // The theoretical ILP measurement over the RISC binary.
+    let risc = build(Workload::Dct, IsaKind::Risc);
+    group.bench_function("ilp_measurement_risc", |b| {
+        b.iter(|| {
+            black_box(measure(&risc, SimConfig::with_model(CycleModelKind::Ilp)).cycles)
+        });
+    });
+
+    // The DOE approximation per VLIW instance.
+    for (width, isa) in figure4_isas() {
+        let exe = build(Workload::Dct, isa);
+        group.bench_function(format!("doe_width_{width}"), |b| {
+            b.iter(|| {
+                black_box(measure(&exe, SimConfig::with_model(CycleModelKind::Doe)).cycles)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure4);
+criterion_main!(benches);

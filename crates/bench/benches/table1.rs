@@ -1,0 +1,43 @@
+//! Criterion bench behind **Table I**: wall-clock cost of the simulator's
+//! components, measured by toggling the decode cache, the instruction
+//! prediction, and the cycle models on the cjpeg workload (paper §VII-A).
+//!
+//! The printable table (with the solved per-component costs) comes from
+//! `cargo run --release -p kahrisma-bench --bin table1`.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::hint::black_box;
+
+use kahrisma_bench::{Workload, build, measure};
+use kahrisma_core::{CycleModelKind, SimConfig};
+use kahrisma_isa::IsaKind;
+
+fn bench_table1(c: &mut Criterion) {
+    // The DCT workload keeps Criterion's iteration count tractable while
+    // exercising the identical code paths as the cjpeg measurement binary.
+    let exe = build(Workload::Dct, IsaKind::Risc);
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    let no_cache =
+        SimConfig { decode_cache: false, prediction: false, ..SimConfig::default() };
+    let cache_only = SimConfig { prediction: false, ..SimConfig::default() };
+
+    let configs: Vec<(&str, SimConfig)> = vec![
+        ("no_decode_cache", no_cache),
+        ("decode_cache", cache_only),
+        ("cache_plus_prediction", SimConfig::default()),
+        ("ilp_model", SimConfig::with_model(CycleModelKind::Ilp)),
+        ("aie_model", SimConfig::with_model(CycleModelKind::Aie)),
+        ("doe_model", SimConfig::with_model(CycleModelKind::Doe)),
+    ];
+    for (name, config) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(measure(&exe, config.clone()).stats.instructions));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

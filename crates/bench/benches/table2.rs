@@ -1,0 +1,33 @@
+//! Criterion bench behind **Table II**: the cycle-approximate DOE model
+//! versus the cycle-accurate reference pipeline on the DCT workload — the
+//! wall-clock gap is the "trade-off between performance and accuracy" the
+//! paper quantifies (§VII-C). The accuracy table itself comes from
+//! `cargo run --release -p kahrisma-bench --bin table2`.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use std::hint::black_box;
+
+use kahrisma_bench::{Workload, build, measure};
+use kahrisma_core::{CycleModelKind, SimConfig};
+use kahrisma_isa::IsaKind;
+use kahrisma_rtl::{RtlConfig, simulate};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for (name, isa) in [("risc", IsaKind::Risc), ("vliw8", IsaKind::Vliw8)] {
+        let exe = build(Workload::Dct, isa);
+        group.bench_function(format!("doe_approximation_{name}"), |b| {
+            b.iter(|| {
+                black_box(measure(&exe, SimConfig::with_model(CycleModelKind::Doe)).cycles)
+            });
+        });
+        group.bench_function(format!("rtl_reference_{name}"), |b| {
+            b.iter(|| black_box(simulate(&exe, &RtlConfig::default(), u64::MAX).unwrap().cycles));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

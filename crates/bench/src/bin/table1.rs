@@ -1,0 +1,84 @@
+//! Regenerates **Table I** — average execution time per instruction of the
+//! simulator components, recovered exactly as in the paper (§VII-A): the
+//! simulator runs in a set of configurations, and per-component costs are
+//! obtained by solving the resulting system of linear equations (simple
+//! differences once the prediction overhead is neglected).
+//!
+//! Configurations measured on the cjpeg workload compiled for RISC:
+//!
+//! * `nocache` — detect & decode every instruction,
+//! * `cache` — decode cache without prediction,
+//! * `pred` — decode cache + instruction prediction (the baseline),
+//! * `pred+ilp`, `pred+aie`, `pred+doe` — with each cycle model,
+//! * `pred+aie/ideal` — AIE with an ideal memory, isolating the memory
+//!   model's cost.
+//!
+//! Run with `cargo run --release -p kahrisma-bench --bin table1`.
+
+use kahrisma_bench::{Workload, build, ideal_memory, measure_best_of};
+use kahrisma_core::{CycleModelKind, SimConfig};
+use kahrisma_isa::IsaKind;
+
+fn main() {
+    let exe = build(Workload::Cjpeg, IsaKind::Risc);
+    let repeats = 3;
+
+    let base = SimConfig::default();
+    let cfg = |f: &dyn Fn(&mut SimConfig)| {
+        let mut c = base.clone();
+        f(&mut c);
+        c
+    };
+
+    let no_cache = cfg(&|c| {
+        c.decode_cache = false;
+        c.prediction = false;
+    });
+    let cache_only = cfg(&|c| c.prediction = false);
+    let pred = base.clone();
+    let ilp = cfg(&|c| c.cycle_model = Some(CycleModelKind::Ilp));
+    let aie = cfg(&|c| c.cycle_model = Some(CycleModelKind::Aie));
+    let doe = cfg(&|c| c.cycle_model = Some(CycleModelKind::Doe));
+    let aie_ideal = cfg(&|c| {
+        c.cycle_model = Some(CycleModelKind::Aie);
+        c.memory = ideal_memory();
+    });
+
+    println!("measuring (cjpeg on RISC, best of {repeats} runs per configuration)...");
+    let m_nocache = measure_best_of(&exe, &no_cache, repeats);
+    let m_cache = measure_best_of(&exe, &cache_only, repeats);
+    let m_pred = measure_best_of(&exe, &pred, repeats);
+    let m_ilp = measure_best_of(&exe, &ilp, repeats);
+    let m_aie = measure_best_of(&exe, &aie, repeats);
+    let m_doe = measure_best_of(&exe, &doe, repeats);
+    let m_aie_ideal = measure_best_of(&exe, &aie_ideal, repeats);
+
+    // Solve the (diagonal, after the paper's simplification) linear system:
+    // t_pred       = execute
+    // t_cache      = execute + cache_access            (every instr looks up)
+    // t_nocache    = execute + detect_decode
+    // t_model      = execute + model (+ memory where applicable)
+    // t_aie        = t_aie_ideal + memory_model
+    let execute = m_pred.ns_per_instruction();
+    let cache_access = (m_cache.ns_per_instruction() - execute).max(0.0);
+    let detect_decode = (m_nocache.ns_per_instruction() - execute).max(0.0);
+    let ilp_cost = (m_ilp.ns_per_instruction() - execute).max(0.0);
+    let aie_cost = (m_aie.ns_per_instruction() - execute).max(0.0);
+    let doe_cost = (m_doe.ns_per_instruction() - execute).max(0.0);
+    let memory_model = (m_aie.ns_per_instruction() - m_aie_ideal.ns_per_instruction()).max(0.0);
+
+    println!();
+    println!("Table I: simulator performance (average execution time per instruction)");
+    println!("{:<28}{:>14}", "Simulator Components", "ns/instr");
+    println!("{:<28}{:>14.1}", "Execute (1 operation)", execute);
+    println!("{:<28}{:>14.1}", "Cache Access", cache_access);
+    println!("{:<28}{:>14.1}", "Detect & Decode", detect_decode);
+    println!("{:<28}{:>14.1}", "ILP", ilp_cost);
+    println!("{:<28}{:>14.1}", "AIE (including memory)", aie_cost);
+    println!("{:<28}{:>14.1}", "DOE (including memory)", doe_cost);
+    println!("{:<28}{:>14.1}", "Memory Model", memory_model);
+    println!();
+    println!(
+        "(paper, Xeon X5680: execute 33.2, cache 26.0, detect&decode 5602.0, ilp 21.5,\n aie 19.7, doe 32.3, memory 9.5 — expect the same ordering, not the same host ns)"
+    );
+}

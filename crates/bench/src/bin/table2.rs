@@ -1,0 +1,54 @@
+//! Regenerates **Table II** — "Simulator accuracy of dynamic operation
+//! execution": cycle counts of the DCT application on RISC/VLIW2/VLIW4/VLIW8
+//! processor instances from the cycle-accurate reference model ("Hardware")
+//! versus the cycle-approximate DOE model ("Approximation"), with the
+//! relative error, plus the approximate-vs-reference speedup the paper
+//! quotes (§VII-C).
+//!
+//! Run with `cargo run --release -p kahrisma-bench --bin table2`.
+
+use std::time::Instant;
+
+use kahrisma_bench::{Workload, build, measure};
+use kahrisma_core::{CycleModelKind, SimConfig};
+use kahrisma_isa::IsaKind;
+use kahrisma_rtl::{RtlConfig, simulate};
+
+fn main() {
+    let configs = [
+        ("RISC", IsaKind::Risc),
+        ("VLIW2", IsaKind::Vliw2),
+        ("VLIW4", IsaKind::Vliw4),
+        ("VLIW8", IsaKind::Vliw8),
+    ];
+    println!("Table II: simulator accuracy of dynamic operation execution (DCT)");
+    println!("{:<14}{:>12}{:>16}{:>9}", "Configuration", "Hardware", "Approximation", "Error");
+    let mut rtl_total = 0.0;
+    let mut doe_total = 0.0;
+    let mut instr_total = 0u64;
+    for (name, isa) in configs {
+        let exe = build(Workload::Dct, isa);
+
+        let rtl_start = Instant::now();
+        let rtl = simulate(&exe, &RtlConfig::default(), 100_000_000).expect("rtl run");
+        rtl_total += rtl_start.elapsed().as_secs_f64();
+        assert_eq!(rtl.exit_code, Some(Workload::Dct.expected_exit()), "self-check");
+
+        let doe_start = Instant::now();
+        let doe = measure(&exe, SimConfig::with_model(CycleModelKind::Doe));
+        doe_total += doe_start.elapsed().as_secs_f64();
+        let approx = doe.cycles.expect("model").cycles;
+
+        instr_total += rtl.instructions;
+        let err = (approx as f64 - rtl.cycles as f64).abs() / rtl.cycles as f64 * 100.0;
+        println!("{name:<14}{:>12}{:>16}{:>8.1}%", rtl.cycles, approx, err);
+    }
+    println!();
+    println!(
+        "reference model: {:.1} us/instr; approximation {:.2}x faster over {} instructions",
+        rtl_total * 1e6 / instr_total as f64,
+        rtl_total / doe_total,
+        instr_total
+    );
+    println!("(the paper reports up to 2.8% error and a ~100,000x speedup over RTL simulation)");
+}

@@ -1,0 +1,164 @@
+//! Benchmark harnesses regenerating the paper's tables and figures.
+//!
+//! Each evaluation artifact of the paper has a binary that prints the
+//! corresponding rows/series, plus a Criterion bench for wall-clock
+//! measurements (run binaries with `--release` for meaningful timings):
+//!
+//! | paper artifact | binary | bench |
+//! |---|---|---|
+//! | Table I (component cost)      | `table1`  | `benches/table1.rs` |
+//! | §VII-A MIPS / cache hit rates | `simulator_performance` | — |
+//! | Figure 4 (ILP vs real)        | `figure4` | `benches/figure4.rs` |
+//! | Table II (DOE vs hardware)    | `table2`  | `benches/table2.rs` |
+//! | design-choice ablations       | `ablation`| `benches/ablation.rs` |
+//!
+//! See `EXPERIMENTS.md` for recorded outputs and the comparison against the
+//! paper's numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use kahrisma_core::{
+    CycleModelKind, CycleStats, MemoryHierarchy, RunOutcome, SimConfig, SimStats, Simulator,
+};
+use kahrisma_elf::Executable;
+use kahrisma_isa::IsaKind;
+pub use kahrisma_workloads::Workload;
+
+/// Instruction budget for harness runs.
+pub const BUDGET: u64 = 500_000_000;
+
+/// Builds a workload for an ISA, panicking on (unexpected) toolchain errors.
+///
+/// # Panics
+///
+/// Panics if the shipped workload fails to compile — that would be a
+/// toolchain regression, not a measurement condition.
+#[must_use]
+pub fn build(workload: Workload, isa: IsaKind) -> Executable {
+    workload
+        .build(isa)
+        .unwrap_or_else(|e| panic!("{} for {}: {e}", workload.name(), isa.name()))
+}
+
+/// Outcome of one measured simulation.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// Functional statistics.
+    pub stats: SimStats,
+    /// Cycle-model statistics, when a model ran.
+    pub cycles: Option<CycleStats>,
+    /// Wall-clock seconds of the simulation loop.
+    pub seconds: f64,
+    /// Program exit code.
+    pub exit_code: u32,
+}
+
+impl Measured {
+    /// Millions of simulated instructions per wall-clock second.
+    #[must_use]
+    pub fn mips(&self) -> f64 {
+        self.stats.instructions as f64 / self.seconds / 1e6
+    }
+
+    /// Wall-clock nanoseconds per simulated instruction.
+    #[must_use]
+    pub fn ns_per_instruction(&self) -> f64 {
+        self.seconds * 1e9 / self.stats.instructions as f64
+    }
+}
+
+/// Runs `exe` under `config`, measuring the simulation loop only.
+///
+/// # Panics
+///
+/// Panics on simulation errors or when the program fails its self-check —
+/// measurements of broken runs would be meaningless.
+#[must_use]
+pub fn measure(exe: &Executable, config: SimConfig) -> Measured {
+    let mut sim = Simulator::new(exe, config).expect("load executable");
+    let start = Instant::now();
+    let outcome = sim.run(BUDGET).expect("simulation error");
+    let seconds = start.elapsed().as_secs_f64();
+    let RunOutcome::Halted { exit_code } = outcome else {
+        panic!("instruction budget exhausted");
+    };
+    Measured { stats: *sim.stats(), cycles: sim.cycle_stats(), seconds, exit_code }
+}
+
+/// Runs `exe` several times and keeps the fastest run (warm caches,
+/// stable timing) — standard practice for the Table I style measurements.
+#[must_use]
+pub fn measure_best_of(exe: &Executable, config: &SimConfig, repeats: u32) -> Measured {
+    let mut best: Option<Measured> = None;
+    for _ in 0..repeats.max(1) {
+        let m = measure(exe, config.clone());
+        if best.as_ref().is_none_or(|b| m.seconds < b.seconds) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+/// Convenience: cycle statistics of a workload under a given model.
+///
+/// # Panics
+///
+/// Panics on toolchain or simulation errors.
+#[must_use]
+pub fn cycles_for(workload: Workload, isa: IsaKind, model: CycleModelKind) -> CycleStats {
+    let exe = build(workload, isa);
+    let m = measure(&exe, SimConfig::with_model(model));
+    assert_eq!(m.exit_code, workload.expected_exit(), "self-check failed");
+    m.cycles.expect("model configured")
+}
+
+/// The issue widths of Figure 4 / Table II with their ISAs.
+#[must_use]
+pub fn figure4_isas() -> [(u8, IsaKind); 5] {
+    [
+        (1, IsaKind::Risc),
+        (2, IsaKind::Vliw2),
+        (4, IsaKind::Vliw4),
+        (6, IsaKind::Vliw6),
+        (8, IsaKind::Vliw8),
+    ]
+}
+
+/// A memory hierarchy with ideal (zero-latency, unlimited-port) memory,
+/// used to isolate the memory model's cost in Table I.
+#[must_use]
+pub fn ideal_memory() -> MemoryHierarchy {
+    MemoryHierarchy::new().with_memory(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_sane_numbers() {
+        let exe = build(Workload::Dct, IsaKind::Risc);
+        let m = measure(&exe, SimConfig::default());
+        assert_eq!(m.exit_code, Workload::Dct.expected_exit());
+        assert!(m.mips() > 0.0);
+        assert!(m.ns_per_instruction() > 0.0);
+        assert!(m.cycles.is_none());
+    }
+
+    #[test]
+    fn cycles_for_runs_models() {
+        let s = cycles_for(Workload::Dct, IsaKind::Risc, CycleModelKind::Doe);
+        assert!(s.cycles > 0);
+        assert!(s.operations > 0);
+    }
+
+    #[test]
+    fn best_of_keeps_minimum() {
+        let exe = build(Workload::Dct, IsaKind::Risc);
+        let m = measure_best_of(&exe, &SimConfig::default(), 2);
+        assert!(m.seconds > 0.0);
+    }
+}

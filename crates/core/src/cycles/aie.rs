@@ -1,0 +1,131 @@
+//! Atomic instruction execution (paper §VI-B).
+//!
+//! "Within the atomic instruction execution model we assume that all
+//! operations of an instruction are issued in the same clock cycle(s). The
+//! following instruction can only be issued if all operations of the
+//! previous instruction finished execution. Within our simulator we
+//! calculate the delay of one instruction from the maximum delay of its
+//! operations."
+
+use super::{CycleModel, CycleStats, InstrEvent, MemoryHierarchy};
+
+/// The AIE cycle model with its memory-delay approximation.
+#[derive(Debug, Clone)]
+pub struct AieModel {
+    current: u64,
+    operations: u64,
+    memory: MemoryHierarchy,
+}
+
+impl AieModel {
+    /// Creates a reset model backed by the given memory hierarchy.
+    #[must_use]
+    pub fn new(memory: MemoryHierarchy) -> Self {
+        AieModel { current: 0, operations: 0, memory }
+    }
+
+    /// Access to the memory hierarchy (cache statistics, etc.).
+    #[must_use]
+    pub fn memory(&self) -> &MemoryHierarchy {
+        &self.memory
+    }
+}
+
+impl CycleModel for AieModel {
+    fn instruction(&mut self, event: &InstrEvent<'_>) {
+        let issue = self.current;
+        // An instruction always takes at least one cycle, even if all slots
+        // are nops.
+        let mut completion = issue + 1;
+        for op in event.ops {
+            if op.is_nop {
+                continue;
+            }
+            self.operations += 1;
+            let c = match op.mem {
+                Some((addr, kind)) => self.memory.access(addr, kind, op.slot, issue),
+                None => issue + u64::from(op.delay),
+            };
+            // Mispredicted control transfers stall the fetch of the next
+            // instruction for the refetch penalty.
+            completion = completion.max(c + u64::from(op.mispredict_penalty));
+        }
+        self.current = completion;
+    }
+
+    fn cycles(&self) -> u64 {
+        self.current
+    }
+
+    fn stats(&self) -> CycleStats {
+        CycleStats {
+            cycles: self.current,
+            operations: self.operations,
+            memory: self.memory.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycles::test_util::{alu, alu_d, feed, load};
+    use crate::cycles::{CacheConfig, InstrEvent, OpEvent};
+
+    fn model() -> AieModel {
+        AieModel::new(MemoryHierarchy::paper_default())
+    }
+
+    #[test]
+    fn sequential_single_cycle_ops() {
+        let mut m = model();
+        feed(&mut m, &[alu(0, &[1], 2), alu(0, &[3], 4), alu(0, &[5], 6)]);
+        assert_eq!(m.cycles(), 3);
+    }
+
+    #[test]
+    fn instruction_delay_is_max_of_its_operations() {
+        let mut m = model();
+        // One bundle: add (1) | mul (3) → instruction takes 3 cycles.
+        let ops = [alu(0, &[1], 2), alu_d(1, &[3], 4, 3)];
+        m.instruction(&InstrEvent { addr: 0, ops: &ops });
+        assert_eq!(m.cycles(), 3);
+        // Following instruction issues only afterwards.
+        m.instruction(&InstrEvent { addr: 8, ops: &[alu(0, &[1], 2)] });
+        assert_eq!(m.cycles(), 4);
+    }
+
+    #[test]
+    fn no_parallelism_across_instructions() {
+        // AIE executes strictly sequentially even for independent ops.
+        let mut m = model();
+        feed(&mut m, &[alu(0, &[1], 10), alu(0, &[2], 11)]);
+        assert_eq!(m.cycles(), 2);
+    }
+
+    #[test]
+    fn memory_latency_from_hierarchy() {
+        let mut m = AieModel::new(
+            MemoryHierarchy::new().with_cache(CacheConfig::paper_l1()).with_memory(18),
+        );
+        feed(&mut m, &[load(0, 1, 10, 0x100)]);
+        assert_eq!(m.cycles(), 24); // cold miss: 3 + 18 + 3
+        feed_one(&mut m, load(0, 1, 10, 0x104));
+        assert_eq!(m.cycles(), 27); // warm hit: +3
+        assert_eq!(m.memory().l1_stats().unwrap().misses, 1);
+    }
+
+    fn feed_one(m: &mut AieModel, op: OpEvent) {
+        let ops = [op];
+        m.instruction(&InstrEvent { addr: 0, ops: &ops });
+    }
+
+    #[test]
+    fn all_nop_bundle_costs_one_cycle() {
+        let mut m = model();
+        let ops = [OpEvent::nop(0), OpEvent::nop(1)];
+        m.instruction(&InstrEvent { addr: 0, ops: &ops });
+        assert_eq!(m.cycles(), 1);
+        assert_eq!(m.stats().operations, 0);
+    }
+}

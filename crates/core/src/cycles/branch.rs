@@ -1,0 +1,211 @@
+//! Branch-prediction cycle approximation.
+//!
+//! The paper's conclusion (§VIII) names this as future work: "we plan to
+//! integrate cycle-approximation models for branch misprediction into our
+//! simulator". This module provides that extension: a configurable
+//! predictor simulated functionally (the simulator knows every branch
+//! outcome), feeding a per-operation *mispredicted* flag into the cycle
+//! models, which charge a refetch penalty by serializing the following
+//! instructions.
+
+/// Branch-predictor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchPredictorConfig {
+    /// Predictor kind.
+    pub kind: PredictorKind,
+    /// Refetch penalty charged per misprediction, in cycles.
+    pub penalty: u32,
+}
+
+impl BranchPredictorConfig {
+    /// Perfect prediction — the paper's Table II setting ("we rely on a
+    /// perfect branch prediction for both simulators").
+    #[must_use]
+    pub fn perfect() -> Self {
+        BranchPredictorConfig { kind: PredictorKind::Perfect, penalty: 0 }
+    }
+
+    /// A classic 2-bit bimodal predictor with 1024 entries and a 3-cycle
+    /// refetch penalty (one pipeline front end).
+    #[must_use]
+    pub fn bimodal() -> Self {
+        BranchPredictorConfig {
+            kind: PredictorKind::Bimodal { entries_log2: 10 },
+            penalty: 3,
+        }
+    }
+}
+
+impl Default for BranchPredictorConfig {
+    fn default() -> Self {
+        BranchPredictorConfig::perfect()
+    }
+}
+
+/// Predictor kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PredictorKind {
+    /// Every branch predicted correctly (no penalties).
+    Perfect,
+    /// Static prediction: backward branches taken, forward not taken.
+    StaticBackwardTaken,
+    /// Per-address 2-bit saturating counters.
+    Bimodal {
+        /// log2 of the counter-table size.
+        entries_log2: u8,
+    },
+}
+
+/// The functional-side predictor: consulted per control-transfer operation
+/// with the architectural outcome, returns whether the hardware would have
+/// mispredicted.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    config: BranchPredictorConfig,
+    counters: Vec<u8>,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor.
+    #[must_use]
+    pub fn new(config: BranchPredictorConfig) -> Self {
+        let counters = match config.kind {
+            PredictorKind::Bimodal { entries_log2 } => {
+                vec![1u8; 1usize << entries_log2.min(24)] // weakly not-taken
+            }
+            _ => Vec::new(),
+        };
+        BranchPredictor { config, counters, predictions: 0, mispredictions: 0 }
+    }
+
+    /// The configured penalty in cycles.
+    #[must_use]
+    pub fn penalty(&self) -> u32 {
+        self.config.penalty
+    }
+
+    /// Records a control-transfer outcome and returns `true` when the
+    /// predictor would have mispredicted it.
+    ///
+    /// `target_known` distinguishes direct branches (predictable direction)
+    /// from indirect jumps (`jr`/`jalr`), which the simple predictors
+    /// always mispredict unless prediction is perfect.
+    pub fn observe(&mut self, addr: u32, taken: bool, backward: bool, target_known: bool) -> bool {
+        self.predictions += 1;
+        let mispredicted = match self.config.kind {
+            PredictorKind::Perfect => false,
+            PredictorKind::StaticBackwardTaken => {
+                if !target_known {
+                    true
+                } else {
+                    taken != backward
+                }
+            }
+            PredictorKind::Bimodal { .. } => {
+                if !target_known {
+                    true
+                } else {
+                    let idx = (addr as usize >> 2) & (self.counters.len() - 1);
+                    let counter = &mut self.counters[idx];
+                    let predicted_taken = *counter >= 2;
+                    if taken {
+                        *counter = (*counter + 1).min(3);
+                    } else {
+                        *counter = counter.saturating_sub(1);
+                    }
+                    predicted_taken != taken
+                }
+            }
+        };
+        if mispredicted {
+            self.mispredictions += 1;
+        }
+        mispredicted
+    }
+
+    /// `(predictions, mispredictions)` observed so far.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.predictions, self.mispredictions)
+    }
+
+    /// Misprediction ratio in `[0, 1]`.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.predictions == 0 {
+            return 0.0;
+        }
+        self.mispredictions as f64 / self.predictions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_never_mispredicts() {
+        let mut p = BranchPredictor::new(BranchPredictorConfig::perfect());
+        for i in 0..100 {
+            assert!(!p.observe(i * 4, i % 3 == 0, i % 2 == 0, true));
+        }
+        assert_eq!(p.stats(), (100, 0));
+        assert_eq!(p.miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn static_predictor_follows_direction_rule() {
+        let cfg = BranchPredictorConfig {
+            kind: PredictorKind::StaticBackwardTaken,
+            penalty: 3,
+        };
+        let mut p = BranchPredictor::new(cfg);
+        assert!(!p.observe(0x100, true, true, true)); // backward taken: hit
+        assert!(p.observe(0x100, false, true, true)); // backward not taken: miss
+        assert!(!p.observe(0x100, false, false, true)); // forward not taken: hit
+        assert!(p.observe(0x100, true, false, true)); // forward taken: miss
+        assert!(p.observe(0x100, true, false, false)); // indirect: always miss
+    }
+
+    #[test]
+    fn bimodal_learns_a_loop_branch() {
+        let mut p = BranchPredictor::new(BranchPredictorConfig::bimodal());
+        // A loop branch taken 50 times then falling through once: after
+        // warm-up the predictor hits every taken iteration.
+        let mut misses = 0;
+        for _ in 0..50 {
+            if p.observe(0x200, true, true, true) {
+                misses += 1;
+            }
+        }
+        assert!(misses <= 2, "bimodal failed to learn: {misses} misses");
+        assert!(p.observe(0x200, false, true, true)); // exit mispredicts
+    }
+
+    #[test]
+    fn bimodal_counters_saturate() {
+        let mut p = BranchPredictor::new(BranchPredictorConfig::bimodal());
+        for _ in 0..10 {
+            p.observe(0x40, true, true, true);
+        }
+        // One not-taken does not flip the strongly-taken counter.
+        p.observe(0x40, false, true, true);
+        assert!(!p.observe(0x40, true, true, true), "counter flipped too eagerly");
+    }
+
+    #[test]
+    fn miss_ratio_reporting() {
+        let cfg = BranchPredictorConfig {
+            kind: PredictorKind::StaticBackwardTaken,
+            penalty: 2,
+        };
+        let mut p = BranchPredictor::new(cfg);
+        p.observe(0, true, true, true); // hit
+        p.observe(0, false, true, true); // miss
+        assert!((p.miss_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(p.penalty(), 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Theoretical instruction-level-parallelism measurement (paper §VI-A).
+//!
+//! "The ILP cycle model performs a fast theoretical ILP measurement that
+//! calculates the theoretical upper limit for operations per cycle that
+//! could be achieved by our architecture with unlimited resources": an
+//! unlimited number of parallel operations and renaming registers, and an
+//! ideal memory with the L1 delay (3 cycles) and unlimited ports. The
+//! parallelism is limited only by
+//!
+//! * true register data dependencies,
+//! * the branch barrier — "on VLIW processors only the operations until the
+//!   next branch instruction can be scheduled in parallel", and
+//! * the pessimistic store ordering the paper's compiler also uses — "a
+//!   load/store instruction is always dependent on the last store
+//!   instruction and can therefore be executed earliest on the start cycle
+//!   of the store instruction".
+
+use super::{CycleModel, CycleStats, InstrEvent};
+
+/// Delay of the ideal memory in the ILP model (the paper's L1 delay).
+pub const IDEAL_MEM_DELAY: u64 = 3;
+
+/// The ILP cycle model. Feed it a **RISC** (1-issue) execution — "as input
+/// we simulate a RISC ISA" — and read the bound as
+/// [`CycleStats::ops_per_cycle`].
+#[derive(Debug, Clone)]
+pub struct IlpModel {
+    reg_write: [u64; 32],
+    last_branch_completion: u64,
+    last_store_start: u64,
+    serialize: u64,
+    max_completion: u64,
+    operations: u64,
+}
+
+impl IlpModel {
+    /// Creates a reset model.
+    #[must_use]
+    pub fn new() -> Self {
+        IlpModel {
+            reg_write: [0; 32],
+            last_branch_completion: 0,
+            last_store_start: 0,
+            serialize: 0,
+            max_completion: 0,
+            operations: 0,
+        }
+    }
+}
+
+impl Default for IlpModel {
+    fn default() -> Self {
+        IlpModel::new()
+    }
+}
+
+impl CycleModel for IlpModel {
+    fn instruction(&mut self, event: &InstrEvent<'_>) {
+        // Same-instruction operations read pre-instruction register values
+        // (§V-B); with the paper's RISC input every instruction has one
+        // operation and this is equivalent to immediate updates.
+        let reg_snapshot = self.reg_write;
+        let mut writes: [(u8, u64); 16] = [(255, 0); 16];
+        let mut nwrites = 0usize;
+        for op in event.ops {
+            if op.is_nop {
+                continue;
+            }
+            self.operations += 1;
+            // "The start cycle becomes the maximum write cycle of all source
+            // registers" — plus the branch barrier and any serialization.
+            let mut start = self.last_branch_completion.max(self.serialize);
+            for i in 0..usize::from(op.nsrcs) {
+                start = start.max(reg_snapshot[usize::from(op.srcs[i]) & 31]);
+            }
+            if op.serialize {
+                // switchtarget/simop/halt drain the theoretical machine.
+                start = start.max(self.max_completion);
+            }
+            let completion = if let Some((_, kind)) = op.mem {
+                // Pessimistic memory model: ordered after the last store's
+                // start cycle; ideal 3-cycle latency, unlimited ports.
+                start = start.max(self.last_store_start);
+                if kind == super::AccessKind::Write {
+                    self.last_store_start = start;
+                }
+                start + IDEAL_MEM_DELAY
+            } else {
+                start + u64::from(op.delay)
+            };
+            if op.dst != 255 && nwrites < writes.len() {
+                writes[nwrites] = (op.dst, completion);
+                nwrites += 1;
+            }
+            if op.is_branch {
+                // A mispredicted branch stalls the (theoretical) front end
+                // for the refetch penalty on top of the branch barrier.
+                self.last_branch_completion = completion + u64::from(op.mispredict_penalty);
+            }
+            if op.serialize {
+                self.serialize = completion;
+            }
+            self.max_completion = self.max_completion.max(completion);
+        }
+        for &(dst, completion) in &writes[..nwrites] {
+            self.reg_write[usize::from(dst) & 31] = completion;
+        }
+    }
+
+    fn cycles(&self) -> u64 {
+        self.max_completion
+    }
+
+    fn stats(&self) -> CycleStats {
+        CycleStats { cycles: self.max_completion, operations: self.operations, memory: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycles::test_util::{alu, alu_d, branch, feed, load, store};
+
+    #[test]
+    fn independent_ops_run_in_parallel() {
+        let mut m = IlpModel::new();
+        // Four independent adds: all start at 0, complete at 1.
+        feed(&mut m, &[alu(0, &[1], 10), alu(0, &[2], 11), alu(0, &[3], 12), alu(0, &[4], 13)]);
+        assert_eq!(m.cycles(), 1);
+        assert!((m.stats().ops_per_cycle() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependence_chain_serializes() {
+        let mut m = IlpModel::new();
+        // r10 = r1+r2; r11 = r10+r3; r12 = r11+r4 — a chain of 3.
+        feed(&mut m, &[alu(0, &[1, 2], 10), alu(0, &[10, 3], 11), alu(0, &[11, 4], 12)]);
+        assert_eq!(m.cycles(), 3);
+    }
+
+    #[test]
+    fn multi_cycle_delays_respected() {
+        let mut m = IlpModel::new();
+        feed(&mut m, &[alu_d(0, &[1, 2], 10, 3), alu(0, &[10], 11)]);
+        assert_eq!(m.cycles(), 4); // mul (3) then dependent add (1)
+    }
+
+    #[test]
+    fn branch_is_a_barrier() {
+        let mut m = IlpModel::new();
+        // Two independent ops around a branch: the second cannot start
+        // before the branch completes.
+        feed(&mut m, &[alu(0, &[1], 10), branch(0, &[10, 0]), alu(0, &[2], 11)]);
+        // add completes at 1, branch (depends on r10) completes at 2,
+        // second add starts at 2 → completes at 3.
+        assert_eq!(m.cycles(), 3);
+    }
+
+    #[test]
+    fn loads_use_ideal_memory() {
+        let mut m = IlpModel::new();
+        feed(&mut m, &[load(0, 1, 10, 0x100), alu(0, &[10], 11)]);
+        assert_eq!(m.cycles(), IDEAL_MEM_DELAY + 1);
+    }
+
+    #[test]
+    fn parallel_loads_unlimited_ports() {
+        let mut m = IlpModel::new();
+        feed(
+            &mut m,
+            &[load(0, 1, 10, 0x100), load(0, 2, 11, 0x200), load(0, 3, 12, 0x300)],
+        );
+        assert_eq!(m.cycles(), IDEAL_MEM_DELAY); // all in parallel
+    }
+
+    #[test]
+    fn store_orders_subsequent_memory_ops() {
+        let mut m = IlpModel::new();
+        // A store whose address depends on a chain, then an independent
+        // load: the load may start no earlier than the store's start cycle.
+        feed(
+            &mut m,
+            &[
+                alu(0, &[1, 2], 10),  // completes 1
+                alu(0, &[10, 3], 1),  // completes 2 (store address dep)
+                store(0, 0x100),      // srcs r1,r2 → wait: uses regs 1,2
+                load(0, 4, 11, 0x200),
+            ],
+        );
+        // store srcs are r1 (write cycle 2 via alu above? r1 was written at
+        // cycle 2) → store start = 2, completes 5; load start ≥ 2 → 5.
+        assert_eq!(m.cycles(), 5);
+    }
+
+    #[test]
+    fn serializing_op_drains_machine() {
+        let mut m = IlpModel::new();
+        let mut sw = alu(0, &[], 255);
+        sw.serialize = true;
+        feed(&mut m, &[alu_d(0, &[1], 10, 12), sw, alu(0, &[2], 11)]);
+        // div completes at 12; switchtarget starts at 12, completes 13;
+        // following op starts at 13, completes 14.
+        assert_eq!(m.cycles(), 14);
+    }
+
+    #[test]
+    fn nops_are_free() {
+        let mut m = IlpModel::new();
+        feed(&mut m, &[super::super::OpEvent::nop(0), alu(0, &[1], 10)]);
+        assert_eq!(m.cycles(), 1);
+        assert_eq!(m.stats().operations, 1);
+    }
+}

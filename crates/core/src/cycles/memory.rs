@@ -1,0 +1,589 @@
+//! Memory-delay approximation (paper §VI-D).
+//!
+//! "We modeled a memory hierarchy consisting of three types of modules:
+//! caches, connection limits, and main memory. Each module has the same
+//! interface containing a function to calculate the completion cycle of a
+//! memory access."
+//!
+//! The hierarchy is an ordered chain of [`MemoryModule`]s; a miss (or
+//! write-back) in one module is passed to the remainder of the chain with
+//! the current cycle as the sub-access start cycle, exactly as described in
+//! the paper. The models call the chain *in program order* while the start
+//! cycles may be out of order (DOE slots drift); the per-line write-cycle
+//! tracking in [`CacheModule`] keeps hit completions consistent.
+
+/// Whether a memory access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Load.
+    Read,
+    /// Store.
+    Write,
+}
+
+/// One module of the memory hierarchy.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum MemoryModule {
+    /// Port-arbitration module (paper: "connection limit").
+    ConnLimit(ConnectionLimit),
+    /// n-way set-associative write-back cache with LRU replacement.
+    Cache(CacheModule),
+    /// Fixed-delay main memory.
+    Memory(MainMemory),
+}
+
+/// Fixed-delay main memory: "the memory access delay is configurable. It
+/// calculates the completion cycle by adding the fixed delay to the start
+/// cycle."
+#[derive(Debug, Clone, Copy)]
+pub struct MainMemory {
+    delay: u64,
+    accesses: u64,
+}
+
+impl MainMemory {
+    /// Creates a main-memory module with the given access delay in cycles.
+    #[must_use]
+    pub fn new(delay: u64) -> Self {
+        MainMemory { delay, accesses: 0 }
+    }
+
+    fn access(&mut self, start: u64) -> u64 {
+        self.accesses += 1;
+        start + self.delay
+    }
+}
+
+/// Cache geometry and latency configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: u32,
+    /// Line size in bytes (power of two).
+    pub line_size: u32,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Access delay in cycles.
+    pub delay: u64,
+}
+
+impl CacheConfig {
+    /// The paper's L1 configuration: 2 KiB, 4-way, 3-cycle delay (32-byte
+    /// lines; the paper does not state a line size).
+    #[must_use]
+    pub fn paper_l1() -> Self {
+        CacheConfig { size: 2 * 1024, line_size: 32, assoc: 4, delay: 3 }
+    }
+
+    /// The paper's L2 configuration: 256 KiB, 4-way, 6-cycle delay.
+    #[must_use]
+    pub fn paper_l2() -> Self {
+        CacheConfig { size: 256 * 1024, line_size: 32, assoc: 4, delay: 6 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheLine {
+    valid: bool,
+    dirty: bool,
+    tag: u32,
+    /// Cycle the line's data became available (paper: "we store within each
+    /// cache line the cycle the cache line was written").
+    write_cycle: u64,
+    lru: u64,
+}
+
+/// Per-cache hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.misses as f64 / total as f64
+    }
+}
+
+/// n-way set-associative write-back cache with LRU replacement (§VI-D).
+#[derive(Debug, Clone)]
+pub struct CacheModule {
+    config: CacheConfig,
+    sets: u32,
+    lines: Vec<CacheLine>,
+    lru_clock: u64,
+    stats: CacheStats,
+}
+
+impl CacheModule {
+    /// Creates a cache module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (sizes not powers of two, or
+    /// capacity not divisible by `line_size * assoc`).
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(config.assoc >= 1, "associativity must be at least 1");
+        let lines_total = config.size / config.line_size;
+        assert!(
+            lines_total.is_multiple_of(config.assoc) && lines_total >= config.assoc,
+            "cache size must be divisible by line_size * assoc"
+        );
+        let sets = lines_total / config.assoc;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheModule {
+            config,
+            sets,
+            lines: vec![CacheLine::default(); lines_total as usize],
+            lru_clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// This cache's statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The configured geometry.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    fn set_range(&self, addr: u32) -> (usize, u32) {
+        let line_addr = addr / self.config.line_size;
+        let set = line_addr % self.sets;
+        let tag = line_addr / self.sets;
+        ((set * self.config.assoc) as usize, tag)
+    }
+
+    fn access(
+        &mut self,
+        addr: u32,
+        kind: AccessKind,
+        slot: u8,
+        start: u64,
+        next: &mut [MemoryModule],
+    ) -> u64 {
+        let (base, tag) = self.set_range(addr);
+        let assoc = self.config.assoc as usize;
+        self.lru_clock += 1;
+        let lru_clock = self.lru_clock;
+        let mut cur = start + self.config.delay;
+
+        // Hit?
+        for way in 0..assoc {
+            let line = &mut self.lines[base + way];
+            if line.valid && line.tag == tag {
+                line.lru = lru_clock;
+                if kind == AccessKind::Write {
+                    line.dirty = true;
+                    line.write_cycle = line.write_cycle.max(cur);
+                }
+                self.stats.hits += 1;
+                // "The completion cycle in case of a cache hit is the
+                // maximum of the current cycle and the write cycle of the
+                // cache line."
+                return cur.max(line.write_cycle);
+            }
+        }
+
+        // Miss: fetch the line from the next hierarchy level.
+        self.stats.misses += 1;
+        let line_mask = !(self.config.line_size - 1);
+        cur = chain_access(next, addr & line_mask, AccessKind::Read, slot, cur);
+
+        // Victim selection: invalid line, else least recently used.
+        let victim_way = (0..assoc)
+            .min_by_key(|&w| {
+                let l = &self.lines[base + w];
+                if l.valid { (1u8, l.lru) } else { (0u8, 0) }
+            })
+            .expect("associativity is at least 1");
+        let victim_addr_line = {
+            let l = &self.lines[base + victim_way];
+            if l.valid && l.dirty { Some(l.tag) } else { None }
+        };
+        if let Some(victim_tag) = victim_addr_line {
+            // Write back the dirty victim ("the same procedure is performed
+            // a second time if a write-back is required").
+            self.stats.writebacks += 1;
+            let set = (base as u32) / self.config.assoc;
+            let victim_addr = (victim_tag * self.sets + set) * self.config.line_size;
+            cur = chain_access(next, victim_addr, AccessKind::Write, slot, cur);
+        }
+
+        // "After the subaccess the data must be stored inside the cache, so
+        // the cache delay is added again."
+        cur += self.config.delay;
+        self.lines[base + victim_way] = CacheLine {
+            valid: true,
+            dirty: kind == AccessKind::Write,
+            tag,
+            write_cycle: cur,
+            lru: lru_clock,
+        };
+        cur
+    }
+}
+
+/// Port-arbitration module (§VI-D "connection limit").
+///
+/// "It can be configured by the maximum number of access ports and is
+/// typically placed before a cache or memory module. The connection limit
+/// module checks and stores for each start cycle if a port is available
+/// within the start cycle. Otherwise, the start cycle is increased until a
+/// free cycle has been found. […] The same mechanism is applied to the
+/// completion cycle."
+///
+/// Requests (start cycles) and responses (completion cycles) arbitrate
+/// independent rings — a port carries one request and one response per
+/// cycle, matching the issue/response gating of the cycle-accurate
+/// reference model. Port occupancy is tracked in fixed-size rings keyed by
+/// cycle; cycles separated by more than the ring size reuse slots, which is
+/// harmless because arbitration only ever concerns the moving frontier of
+/// the simulation.
+#[derive(Debug, Clone)]
+pub struct ConnectionLimit {
+    ports: u32,
+    request_ring: Vec<(u64, u32)>,  // (cycle, used ports)
+    response_ring: Vec<(u64, u32)>,
+    stalls: u64,
+}
+
+const RING_SIZE: usize = 1 << 14;
+
+impl ConnectionLimit {
+    /// Creates a connection-limit module with the given number of ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    #[must_use]
+    pub fn new(ports: u32) -> Self {
+        assert!(ports > 0, "a connection limit needs at least one port");
+        ConnectionLimit {
+            ports,
+            request_ring: vec![(u64::MAX, 0); RING_SIZE],
+            response_ring: vec![(u64::MAX, 0); RING_SIZE],
+            stalls: 0,
+        }
+    }
+
+    /// Total cycles of arbitration delay inserted so far.
+    #[must_use]
+    pub fn stall_cycles(&self) -> u64 {
+        self.stalls
+    }
+
+    fn acquire(ring: &mut [(u64, u32)], ports: u32, stalls: &mut u64, mut cycle: u64) -> u64 {
+        let requested = cycle;
+        loop {
+            let slot = (cycle as usize) % RING_SIZE;
+            let (stored_cycle, used) = ring[slot];
+            let used = if stored_cycle == cycle { used } else { 0 };
+            if used < ports {
+                ring[slot] = (cycle, used + 1);
+                *stalls += cycle - requested;
+                return cycle;
+            }
+            cycle += 1;
+        }
+    }
+
+    fn access(
+        &mut self,
+        addr: u32,
+        kind: AccessKind,
+        slot: u8,
+        start: u64,
+        next: &mut [MemoryModule],
+    ) -> u64 {
+        let start =
+            Self::acquire(&mut self.request_ring, self.ports, &mut self.stalls, start);
+        let completion = chain_access(next, addr, kind, slot, start);
+        Self::acquire(&mut self.response_ring, self.ports, &mut self.stalls, completion)
+    }
+}
+
+fn chain_access(
+    levels: &mut [MemoryModule],
+    addr: u32,
+    kind: AccessKind,
+    slot: u8,
+    start: u64,
+) -> u64 {
+    match levels.split_first_mut() {
+        None => start, // ideal backing store (no further delay)
+        Some((first, rest)) => match first {
+            MemoryModule::ConnLimit(m) => m.access(addr, kind, slot, start, rest),
+            MemoryModule::Cache(m) => m.access(addr, kind, slot, start, rest),
+            MemoryModule::Memory(m) => m.access(start),
+        },
+    }
+}
+
+/// Statistics of one hierarchy level, for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryLevelStats {
+    /// Level description (`"connlimit(1)"`, `"cache(2KiB,4way)"`, `"memory"`).
+    pub name: String,
+    /// Cache statistics, for cache levels.
+    pub cache: Option<CacheStats>,
+    /// Inserted arbitration stalls, for connection-limit levels.
+    pub stalls: Option<u64>,
+    /// Accesses reaching this level, for main-memory levels.
+    pub accesses: Option<u64>,
+}
+
+/// An ordered chain of memory modules, closest module first.
+///
+/// # Example
+///
+/// ```
+/// use kahrisma_core::{MemoryHierarchy, AccessKind};
+/// let mut mem = MemoryHierarchy::paper_default();
+/// let miss = mem.access(0x1000, AccessKind::Read, 0, 0);
+/// let hit = mem.access(0x1000, AccessKind::Read, 0, miss);
+/// assert!(miss > hit - miss); // the second access hits L1
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemoryHierarchy {
+    levels: Vec<MemoryModule>,
+}
+
+impl MemoryHierarchy {
+    /// Creates an empty (ideal, zero-delay) hierarchy.
+    #[must_use]
+    pub fn new() -> Self {
+        MemoryHierarchy::default()
+    }
+
+    /// The configuration used throughout the paper's evaluation (§VII):
+    /// a 1-port connection limit in front of the L1, L1 (2 KiB, 4-way,
+    /// 3 cycles), L2 (256 KiB, 4-way, 6 cycles), main memory (18 cycles).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        MemoryHierarchy::new()
+            .with_conn_limit(1)
+            .with_cache(CacheConfig::paper_l1())
+            .with_cache(CacheConfig::paper_l2())
+            .with_memory(18)
+    }
+
+    /// Appends a connection-limit module.
+    #[must_use]
+    pub fn with_conn_limit(mut self, ports: u32) -> Self {
+        self.levels.push(MemoryModule::ConnLimit(ConnectionLimit::new(ports)));
+        self
+    }
+
+    /// Appends a cache module.
+    #[must_use]
+    pub fn with_cache(mut self, config: CacheConfig) -> Self {
+        self.levels.push(MemoryModule::Cache(CacheModule::new(config)));
+        self
+    }
+
+    /// Appends a fixed-delay main-memory module.
+    #[must_use]
+    pub fn with_memory(mut self, delay: u64) -> Self {
+        self.levels.push(MemoryModule::Memory(MainMemory::new(delay)));
+        self
+    }
+
+    /// Calculates the completion cycle of a memory access starting at
+    /// `start` (the paper's per-module delay interface).
+    pub fn access(&mut self, addr: u32, kind: AccessKind, slot: u8, start: u64) -> u64 {
+        chain_access(&mut self.levels, addr, kind, slot, start)
+    }
+
+    /// Per-level statistics, closest level first.
+    #[must_use]
+    pub fn stats(&self) -> Vec<MemoryLevelStats> {
+        self.levels
+            .iter()
+            .map(|l| match l {
+                MemoryModule::ConnLimit(m) => MemoryLevelStats {
+                    name: format!("connlimit({})", m.ports),
+                    cache: None,
+                    stalls: Some(m.stalls),
+                    accesses: None,
+                },
+                MemoryModule::Cache(m) => MemoryLevelStats {
+                    name: format!(
+                        "cache({}B,{}way,{}cy)",
+                        m.config.size, m.config.assoc, m.config.delay
+                    ),
+                    cache: Some(m.stats),
+                    stalls: None,
+                    accesses: None,
+                },
+                MemoryModule::Memory(m) => MemoryLevelStats {
+                    name: format!("memory({}cy)", m.delay),
+                    cache: None,
+                    stalls: None,
+                    accesses: Some(m.accesses),
+                },
+            })
+            .collect()
+    }
+
+    /// Statistics of the first cache level (the L1), if present.
+    #[must_use]
+    pub fn l1_stats(&self) -> Option<CacheStats> {
+        self.levels.iter().find_map(|l| match l {
+            MemoryModule::Cache(c) => Some(c.stats()),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn main_memory_adds_fixed_delay() {
+        let mut h = MemoryHierarchy::new().with_memory(18);
+        assert_eq!(h.access(0, AccessKind::Read, 0, 100), 118);
+        assert_eq!(h.access(4, AccessKind::Write, 0, 0), 18);
+    }
+
+    #[test]
+    fn cache_hit_after_miss() {
+        let mut h = MemoryHierarchy::new().with_cache(CacheConfig::paper_l1()).with_memory(18);
+        // Miss: L1 delay (3) + memory (18) + L1 fill delay (3) = start + 24.
+        let miss = h.access(0x100, AccessKind::Read, 0, 0);
+        assert_eq!(miss, 24);
+        // Hit: start + 3, but at least the line write cycle.
+        let hit = h.access(0x100, AccessKind::Read, 0, 100);
+        assert_eq!(hit, 103);
+        let s = h.l1_stats().unwrap();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn hit_before_line_filled_waits_for_write_cycle() {
+        let mut h = MemoryHierarchy::new().with_cache(CacheConfig::paper_l1()).with_memory(18);
+        let fill = h.access(0x100, AccessKind::Read, 0, 50); // completes at 74
+        // Out-of-order query with an earlier start: the hit may not complete
+        // before the line was written.
+        let hit = h.access(0x104, AccessKind::Read, 1, 0);
+        assert_eq!(hit, fill);
+    }
+
+    #[test]
+    fn same_line_shares_fill() {
+        let mut h = MemoryHierarchy::new().with_cache(CacheConfig::paper_l1()).with_memory(18);
+        let _ = h.access(0x100, AccessKind::Read, 0, 0);
+        let _ = h.access(0x11F, AccessKind::Read, 0, 100); // same 32-byte line
+        let s = h.l1_stats().unwrap();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 1-set cache: 128 B, 4-way, 32 B lines.
+        let cfg = CacheConfig { size: 128, line_size: 32, assoc: 4, delay: 1 };
+        let mut h = MemoryHierarchy::new().with_cache(cfg).with_memory(10);
+        // Fill all four ways (addresses map to the same single set).
+        for i in 0..4u32 {
+            h.access(i * 32, AccessKind::Read, 0, 0);
+        }
+        // Touch line 0 so line 1 is LRU.
+        h.access(0, AccessKind::Read, 0, 100);
+        // A fifth line evicts line 1 (clean → no write-back).
+        h.access(4 * 32, AccessKind::Read, 0, 200);
+        // Line 0 still hits, line 1 misses.
+        let before = h.l1_stats().unwrap();
+        h.access(0, AccessKind::Read, 0, 300);
+        h.access(32, AccessKind::Read, 0, 400);
+        let after = h.l1_stats().unwrap();
+        assert_eq!(after.hits - before.hits, 1);
+        assert_eq!(after.misses - before.misses, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let cfg = CacheConfig { size: 64, line_size: 32, assoc: 2, delay: 1 };
+        let mut h = MemoryHierarchy::new().with_cache(cfg).with_memory(10);
+        h.access(0, AccessKind::Write, 0, 0); // dirty line
+        h.access(64, AccessKind::Read, 0, 100);
+        h.access(128, AccessKind::Read, 0, 200); // evicts dirty line 0
+        let s = h.l1_stats().unwrap();
+        assert_eq!(s.writebacks, 1);
+        // Write-back cost: fetch (1+10) + write-back (10) + fill (1) = 22.
+        let direct = h.access(192, AccessKind::Read, 0, 1000);
+        // This eviction victim (line 64) is clean: fetch (1+10) + fill (1).
+        assert_eq!(direct, 1012);
+    }
+
+    #[test]
+    fn connection_limit_serializes_ports() {
+        let mut h = MemoryHierarchy::new().with_conn_limit(1).with_memory(5);
+        let a = h.access(0, AccessKind::Read, 0, 10);
+        let b = h.access(4, AccessKind::Read, 1, 10); // same start cycle → +1
+        assert_eq!(a, 15);
+        assert_eq!(b, 16);
+        let stalls = match &h.levels[0] {
+            MemoryModule::ConnLimit(c) => c.stall_cycles(),
+            _ => unreachable!(),
+        };
+        assert!(stalls >= 1);
+    }
+
+    #[test]
+    fn two_ports_allow_two_per_cycle() {
+        let mut h = MemoryHierarchy::new().with_conn_limit(2).with_memory(5);
+        let a = h.access(0, AccessKind::Read, 0, 10);
+        let b = h.access(4, AccessKind::Read, 1, 10);
+        let c = h.access(8, AccessKind::Read, 2, 10);
+        assert_eq!(a, 15);
+        // Completions also arbitrate: second access completes at 15 too
+        // (two ports), third is pushed.
+        assert_eq!(b, 15);
+        assert_eq!(c, 16);
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let mut h = MemoryHierarchy::paper_default();
+        // Cold read: 1-port pass-through, L1 miss (3), L2 miss (6),
+        // memory (18), L2 fill (6), L1 fill (3) = 36.
+        let c = h.access(0x8_0000, AccessKind::Read, 0, 0);
+        assert_eq!(c, 36);
+        // Warm read: L1 delay only.
+        let c2 = h.access(0x8_0000, AccessKind::Read, 0, 100);
+        assert_eq!(c2, 103);
+        assert_eq!(h.stats().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = CacheModule::new(CacheConfig { size: 96, line_size: 24, assoc: 2, delay: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_panics() {
+        let _ = ConnectionLimit::new(0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Cycle-approximation models (paper §VI).
+//!
+//! "Besides functional application execution, the simulator supports several
+//! cycle models to approximate the application execution time on the
+//! microarchitecture. In contrast to a cycle-accurate simulator, we do not
+//! model the exact KAHRISMA microarchitecture […] Instead, we approximate
+//! the cycles based on a heuristic model in order to provide a trade-off
+//! between accuracy and simulation speed."
+//!
+//! Three models are provided, exactly as in the paper:
+//!
+//! * [`IlpModel`] — the theoretical upper bound of instruction-level
+//!   parallelism exploitable with unlimited resources (§VI-A),
+//! * [`AieModel`] — atomic instruction execution (§VI-B),
+//! * [`DoeModel`] — dynamic operation execution, the heuristic approximation
+//!   of the real KAHRISMA microarchitecture (§VI-C),
+//!
+//! all fed by the composable memory-delay approximation of §VI-D
+//! ([`MemoryHierarchy`]: caches, connection limits, main memory).
+
+mod aie;
+mod branch;
+mod doe;
+mod ilp;
+mod memory;
+
+pub use aie::AieModel;
+pub use branch::{BranchPredictor, BranchPredictorConfig, PredictorKind};
+pub use doe::DoeModel;
+pub use ilp::IlpModel;
+pub use memory::{
+    AccessKind, CacheConfig, CacheModule, CacheStats, ConnectionLimit, MainMemory,
+    MemoryHierarchy, MemoryLevelStats, MemoryModule,
+};
+
+/// Which cycle model the simulator should run alongside functional
+/// execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CycleModelKind {
+    /// Theoretical ILP upper bound (§VI-A).
+    Ilp,
+    /// Atomic instruction execution (§VI-B).
+    Aie,
+    /// Dynamic operation execution (§VI-C).
+    Doe,
+}
+
+impl CycleModelKind {
+    /// Builds the model, attaching `memory` where the model uses the memory
+    /// approximation (AIE and DOE; the ILP model uses an ideal fixed-delay
+    /// memory per §VI-A).
+    #[must_use]
+    pub fn build(self, memory: MemoryHierarchy) -> Box<dyn CycleModel> {
+        match self {
+            CycleModelKind::Ilp => Box::new(IlpModel::new()),
+            CycleModelKind::Aie => Box::new(AieModel::new(memory)),
+            CycleModelKind::Doe => Box::new(DoeModel::new(memory)),
+        }
+    }
+}
+
+/// Dynamic information about one executed operation, produced by the
+/// functional simulator and consumed by the cycle models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpEvent {
+    /// Issue slot of the operation within its instruction.
+    pub slot: u8,
+    /// Architectural source registers.
+    pub srcs: [u8; 2],
+    /// Number of valid entries in [`OpEvent::srcs`].
+    pub nsrcs: u8,
+    /// Destination register, `255` for none.
+    pub dst: u8,
+    /// Static execution delay in cycles (ignored for memory operations,
+    /// which take their latency from the hierarchy).
+    pub delay: u32,
+    /// Data-memory access performed by the operation, if any.
+    pub mem: Option<(u32, AccessKind)>,
+    /// `true` for control-transfer operations (branches, jumps, calls).
+    pub is_branch: bool,
+    /// `true` for pipeline-serializing operations (`switchtarget`, `simop`,
+    /// `halt`).
+    pub serialize: bool,
+    /// `true` for the `nop` slot filler.
+    pub is_nop: bool,
+    /// `true` for multiply/divide operations (contend for the shared
+    /// multiply/divide units in the microarchitecture).
+    pub is_muldiv: bool,
+    /// Refetch penalty in cycles when the configured branch predictor
+    /// mispredicted this control transfer (0 = predicted correctly or
+    /// prediction disabled). The §VIII future-work extension.
+    pub mispredict_penalty: u32,
+}
+
+impl OpEvent {
+    /// A `nop` event in the given slot.
+    #[must_use]
+    pub fn nop(slot: u8) -> Self {
+        OpEvent {
+            slot,
+            srcs: [0, 0],
+            nsrcs: 0,
+            dst: 255,
+            delay: 1,
+            mem: None,
+            is_branch: false,
+            serialize: false,
+            is_nop: true,
+            is_muldiv: false,
+            mispredict_penalty: 0,
+        }
+    }
+}
+
+/// One executed instruction: its address and the per-slot operation events.
+#[derive(Debug, Clone, Copy)]
+pub struct InstrEvent<'a> {
+    /// Instruction address.
+    pub addr: u32,
+    /// Operation events, one per occupied slot (including `nop` fillers).
+    pub ops: &'a [OpEvent],
+}
+
+/// Aggregate results of a cycle model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleStats {
+    /// Approximated execution time in cycles.
+    pub cycles: u64,
+    /// Non-`nop` operations accounted.
+    pub operations: u64,
+    /// Per-level memory statistics (empty for the ILP model's ideal memory).
+    pub memory: Vec<MemoryLevelStats>,
+}
+
+impl CycleStats {
+    /// Operations per cycle — the paper's ILP metric (§VI-A, Figure 4).
+    #[must_use]
+    pub fn ops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.operations as f64 / self.cycles as f64
+    }
+}
+
+/// A cycle-approximation model fed by the functional simulator.
+///
+/// The simulator calls [`CycleModel::instruction`] once per executed
+/// instruction, in program order (the paper's models are all driven by the
+/// behavioral instruction stream, §VI-D).
+pub trait CycleModel {
+    /// Accounts one executed instruction.
+    fn instruction(&mut self, event: &InstrEvent<'_>);
+
+    /// Called once when the simulation ends; models with internal pipeline
+    /// state (e.g. the cycle-accurate reference) drain it here.
+    fn finish(&mut self) {}
+
+    /// The approximated cycle count so far.
+    fn cycles(&self) -> u64;
+
+    /// Aggregate statistics.
+    fn stats(&self) -> CycleStats;
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+
+    /// Builds a simple ALU op event: `dst = f(srcs)`, 1-cycle delay.
+    pub(crate) fn alu(slot: u8, srcs: &[u8], dst: u8) -> OpEvent {
+        let mut s = [0u8; 2];
+        for (i, &r) in srcs.iter().enumerate() {
+            s[i] = r;
+        }
+        OpEvent {
+            slot,
+            srcs: s,
+            nsrcs: srcs.len() as u8,
+            dst,
+            delay: 1,
+            mem: None,
+            is_branch: false,
+            serialize: false,
+            is_nop: false,
+            is_muldiv: false,
+            mispredict_penalty: 0,
+        }
+    }
+
+    /// Like [`alu`] with an explicit delay (mul/div).
+    pub(crate) fn alu_d(slot: u8, srcs: &[u8], dst: u8, delay: u32) -> OpEvent {
+        OpEvent { delay, ..alu(slot, srcs, dst) }
+    }
+
+    /// A load event.
+    pub(crate) fn load(slot: u8, addr_reg: u8, dst: u8, addr: u32) -> OpEvent {
+        OpEvent {
+            mem: Some((addr, AccessKind::Read)),
+            ..alu(slot, &[addr_reg], dst)
+        }
+    }
+
+    /// A store event.
+    pub(crate) fn store(slot: u8, addr: u32) -> OpEvent {
+        OpEvent { mem: Some((addr, AccessKind::Write)), ..alu(slot, &[1, 2], 255) }
+    }
+
+    /// A branch event.
+    pub(crate) fn branch(slot: u8, srcs: &[u8]) -> OpEvent {
+        OpEvent { is_branch: true, ..alu(slot, srcs, 255) }
+    }
+
+    /// Feeds RISC-style one-op instructions into a model.
+    pub(crate) fn feed(model: &mut dyn CycleModel, ops: &[OpEvent]) {
+        for (i, op) in ops.iter().enumerate() {
+            let slice = std::slice::from_ref(op);
+            model.instruction(&InstrEvent { addr: (i as u32) * 4, ops: slice });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_per_cycle_handles_zero() {
+        let s = CycleStats { cycles: 0, operations: 0, memory: Vec::new() };
+        assert_eq!(s.ops_per_cycle(), 0.0);
+        let s = CycleStats { cycles: 4, operations: 8, memory: Vec::new() };
+        assert!((s.ops_per_cycle() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kind_builds_each_model() {
+        for kind in [CycleModelKind::Ilp, CycleModelKind::Aie, CycleModelKind::Doe] {
+            let m = kind.build(MemoryHierarchy::paper_default());
+            assert_eq!(m.cycles(), 0);
+        }
+    }
+}

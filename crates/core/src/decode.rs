@@ -1,0 +1,322 @@
+//! Instruction detection, decoding, and the decode cache.
+//!
+//! Paper §V-A: "all detected and decoded instructions are stored in a cache
+//! tagged by the instruction address. Thereby, each executed instruction is
+//! only detected and decoded once. […] Further, we speed up the cache entry
+//! lookup by using instruction prediction. […] we store within each decode
+//! structure the IP and decode structure pointer of the following
+//! instruction."
+//!
+//! The cache key includes the active ISA so that mixed-ISA programs that
+//! re-execute an address under a different ISA (possible after
+//! `switchtarget`) never see a stale decode.
+
+use std::collections::HashMap;
+
+use kahrisma_isa::adl::{Behavior, IsaId, TableSet};
+
+use crate::error::SimError;
+use crate::mem::Memory;
+
+/// No-prediction / no-index sentinel.
+pub(crate) const NO_IDX: u32 = u32::MAX;
+
+/// One decoded slot operation: the per-operation part of the paper's
+/// *decode structure*, flattened for fast access during execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedSlot {
+    /// Index of the operation in its ISA's operation table.
+    pub op_index: u16,
+    /// Operation mnemonic (borrowed from the operation table).
+    pub name: &'static str,
+    /// Declarative semantics (drives the generated simulation function).
+    pub behavior: Behavior,
+    /// Execution delay in cycles (memory operations add hierarchy latency).
+    pub delay: u32,
+    /// Destination register field.
+    pub rd: u8,
+    /// First source register field.
+    pub rs1: u8,
+    /// Second source register field.
+    pub rs2: u8,
+    /// Immediate (sign-extended where the encoding says so).
+    pub imm: u32,
+    /// Source registers read by the operation (for dependence tracking).
+    pub srcs: [u8; 2],
+    /// Number of valid entries in [`DecodedSlot::srcs`].
+    pub nsrcs: u8,
+    /// Destination register written, or `255` for none.
+    pub dst: u8,
+    /// `true` for the `nop` filler.
+    pub is_nop: bool,
+}
+
+/// A fully decoded instruction (all issue slots).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedInstr {
+    /// Instruction address (slot 0 word).
+    pub addr: u32,
+    /// ISA the instruction was decoded under.
+    pub isa: IsaId,
+    /// Issue width (number of slots).
+    pub width: u8,
+    /// Decoded slots, `width` entries.
+    pub slots: Vec<DecodedSlot>,
+    /// Predicted address of the following instruction (paper §V-A).
+    pub pred_ip: u32,
+    /// Predicted decode-cache index of the following instruction.
+    pub pred_idx: u32,
+}
+
+impl DecodedInstr {
+    /// Size of the instruction in bytes.
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        u32::from(self.width) * 4
+    }
+}
+
+/// Detects and decodes the instruction at `addr` under `isa`.
+///
+/// Detection checks the constant fields of each operation of the active
+/// ISA's table (the expensive scan the decode cache amortizes); decoding
+/// extracts all fields into the decode structure.
+///
+/// # Errors
+///
+/// Returns [`SimError::IllegalInstruction`] if any slot word matches no
+/// operation of the ISA.
+pub(crate) fn detect_and_decode(
+    tables: &TableSet,
+    mem: &Memory,
+    addr: u32,
+    isa: IsaId,
+) -> Result<DecodedInstr, SimError> {
+    let table = tables
+        .table(isa)
+        .ok_or(SimError::UnknownIsa { isa: isa.value(), addr })?;
+    let width = table.issue_width();
+    let mut slots = Vec::with_capacity(usize::from(width));
+    for slot in 0..u32::from(width) {
+        let word_addr = addr + slot * 4;
+        let word = mem.read_word(word_addr);
+        let d = table.decode(word).ok_or(SimError::IllegalInstruction {
+            addr: word_addr,
+            word,
+            isa: isa.value(),
+            context: None,
+        })?;
+        let op = table.op(d.op_index);
+        let behavior = op.behavior();
+        let f = d.fields;
+        let (srcs, nsrcs, dst) = reg_deps(behavior, f.rd, f.rs1, f.rs2);
+        slots.push(DecodedSlot {
+            op_index: d.op_index,
+            name: op.name(),
+            behavior,
+            delay: op.delay(),
+            rd: f.rd,
+            rs1: f.rs1,
+            rs2: f.rs2,
+            imm: f.imm,
+            srcs,
+            nsrcs,
+            dst,
+            is_nop: matches!(behavior, Behavior::Nop),
+        });
+    }
+    Ok(DecodedInstr { addr, isa, width, slots, pred_ip: 0, pred_idx: NO_IDX })
+}
+
+/// Computes the architectural register sources/destination of an operation
+/// for dependence tracking in the cycle models.
+fn reg_deps(behavior: Behavior, rd: u8, rs1: u8, rs2: u8) -> ([u8; 2], u8, u8) {
+    use Behavior as B;
+    const NONE: u8 = 255;
+    match behavior {
+        B::IntAlu(_) => ([rs1, rs2], 2, rd),
+        B::IntAluImm(_) => ([rs1, 0], 1, rd),
+        B::LoadUpperImm => ([0, 0], 0, rd),
+        B::Load { .. } => ([rs1, 0], 1, rd),
+        B::Store { .. } => ([rs1, rs2], 2, NONE),
+        B::Branch(_) => ([rs1, rs2], 2, NONE),
+        B::Jump => ([0, 0], 0, NONE),
+        B::JumpAndLink => ([0, 0], 0, kahrisma_isa::abi::RA),
+        B::JumpReg => ([rs1, 0], 1, NONE),
+        B::JumpAndLinkReg => ([rs1, 0], 1, rd),
+        // simop/switchtarget/halt serialize in the cycle models; nop is free.
+        B::SwitchTarget | B::SimOp | B::Halt | B::Nop => ([0, 0], 0, NONE),
+        _ => ([0, 0], 0, NONE),
+    }
+}
+
+/// The decode cache: an arena of decode structures plus an address-keyed
+/// hash map, with the paper's 1-entry-per-instruction next-IP prediction.
+#[derive(Debug, Default)]
+pub struct DecodeCache {
+    arena: Vec<DecodedInstr>,
+    map: HashMap<(u32, u8), u32>,
+}
+
+impl DecodeCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        DecodeCache::default()
+    }
+
+    /// Number of cached decode structures.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+
+    /// Looks up the cached index for `(addr, isa)`.
+    #[must_use]
+    pub(crate) fn lookup(&self, addr: u32, isa: IsaId) -> Option<u32> {
+        self.map.get(&(addr, isa.value())).copied()
+    }
+
+    /// Inserts a freshly decoded instruction, returning its index.
+    pub(crate) fn insert(&mut self, instr: DecodedInstr) -> u32 {
+        let idx = self.arena.len() as u32;
+        self.map.insert((instr.addr, instr.isa.value()), idx);
+        self.arena.push(instr);
+        idx
+    }
+
+    /// Returns the decode structure at `idx`.
+    #[must_use]
+    pub(crate) fn get(&self, idx: u32) -> &DecodedInstr {
+        &self.arena[idx as usize]
+    }
+
+    /// Updates the prediction stored in instruction `idx` (the IP and index
+    /// of the instruction that followed it this time).
+    pub(crate) fn set_prediction(&mut self, idx: u32, next_ip: u32, next_idx: u32) {
+        let e = &mut self.arena[idx as usize];
+        e.pred_ip = next_ip;
+        e.pred_idx = next_idx;
+    }
+
+    /// Reads the prediction of instruction `idx`: `Some(next_idx)` when the
+    /// stored predicted IP matches `ip`.
+    #[must_use]
+    pub(crate) fn predict(&self, idx: u32, ip: u32) -> Option<u32> {
+        let e = &self.arena[idx as usize];
+        if e.pred_idx != NO_IDX && e.pred_ip == ip {
+            Some(e.pred_idx)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kahrisma_isa::{isa_id, tables};
+
+    fn mem_with(words: &[(u32, u32)]) -> Memory {
+        let mut m = Memory::new();
+        for &(a, w) in words {
+            m.write_word(a, w);
+        }
+        m
+    }
+
+    fn encode(isa: IsaId, name: &str, rd: u8, rs1: u8, rs2: u8, imm: u32) -> u32 {
+        let t = tables();
+        t.table(isa).unwrap().op_by_name(name).unwrap().1.encode(rd, rs1, rs2, imm)
+    }
+
+    #[test]
+    fn decodes_risc_instruction() {
+        let t = tables();
+        let mem = mem_with(&[(0x100, encode(isa_id::RISC, "addi", 3, 4, 0, (-9i32) as u32))]);
+        let d = detect_and_decode(&t, &mem, 0x100, isa_id::RISC).unwrap();
+        assert_eq!(d.width, 1);
+        assert_eq!(d.slots[0].name, "addi");
+        assert_eq!(d.slots[0].rd, 3);
+        assert_eq!(d.slots[0].imm as i32, -9);
+        assert_eq!(d.slots[0].dst, 3);
+        assert_eq!(d.slots[0].nsrcs, 1);
+        assert_eq!(d.size(), 4);
+    }
+
+    #[test]
+    fn decodes_vliw_bundle() {
+        let t = tables();
+        let mem = mem_with(&[
+            (0x200, encode(isa_id::VLIW4, "add", 1, 2, 3, 0)),
+            (0x204, encode(isa_id::VLIW4, "lw", 4, 29, 0, 8)),
+            (0x208, 0), // nop
+            (0x20C, encode(isa_id::VLIW4, "beq", 0, 5, 6, (-2i32) as u32)),
+        ]);
+        let d = detect_and_decode(&t, &mem, 0x200, isa_id::VLIW4).unwrap();
+        assert_eq!(d.width, 4);
+        assert!(d.slots[2].is_nop);
+        assert_eq!(d.slots[3].name, "beq");
+        // Store-style B encoding for branch: rs1/rs2 are the comparands.
+        assert_eq!(d.slots[3].srcs, [5, 6]);
+        assert_eq!(d.size(), 16);
+    }
+
+    #[test]
+    fn illegal_word_reports_slot_address() {
+        let t = tables();
+        let mem = mem_with(&[(0x300, 0), (0x304, 0xFFFF_FFFF)]);
+        let err = detect_and_decode(&t, &mem, 0x300, isa_id::VLIW2).unwrap_err();
+        match err {
+            SimError::IllegalInstruction { addr, word, isa, .. } => {
+                assert_eq!(addr, 0x304);
+                assert_eq!(word, 0xFFFF_FFFF);
+                assert_eq!(isa, isa_id::VLIW2.value());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_is_keyed_by_addr_and_isa() {
+        let t = tables();
+        // The same address decodes differently under RISC and VLIW2.
+        let mem = mem_with(&[(0x400, encode(isa_id::RISC, "add", 1, 2, 3, 0)), (0x404, 0)]);
+        let mut cache = DecodeCache::new();
+        let risc = detect_and_decode(&t, &mem, 0x400, isa_id::RISC).unwrap();
+        let vliw = detect_and_decode(&t, &mem, 0x400, isa_id::VLIW2).unwrap();
+        let i0 = cache.insert(risc);
+        let i1 = cache.insert(vliw);
+        assert_eq!(cache.lookup(0x400, isa_id::RISC), Some(i0));
+        assert_eq!(cache.lookup(0x400, isa_id::VLIW2), Some(i1));
+        assert_eq!(cache.lookup(0x404, isa_id::RISC), None);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn prediction_matches_only_stored_ip() {
+        let t = tables();
+        let mem = mem_with(&[(0x500, 0)]);
+        let mut cache = DecodeCache::new();
+        let d = detect_and_decode(&t, &mem, 0x500, isa_id::RISC).unwrap();
+        let idx = cache.insert(d);
+        assert_eq!(cache.predict(idx, 0x504), None); // nothing stored yet
+        cache.set_prediction(idx, 0x504, 7);
+        assert_eq!(cache.predict(idx, 0x504), Some(7));
+        assert_eq!(cache.predict(idx, 0x508), None); // wrong ip
+    }
+
+    #[test]
+    fn jal_dependence_includes_link_register() {
+        let t = tables();
+        let mem = mem_with(&[(0x600, encode(isa_id::RISC, "jal", 0, 0, 0, 0x40))]);
+        let d = detect_and_decode(&t, &mem, 0x600, isa_id::RISC).unwrap();
+        assert_eq!(d.slots[0].dst, kahrisma_isa::abi::RA);
+    }
+}

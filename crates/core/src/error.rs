@@ -1,0 +1,97 @@
+//! Simulator errors.
+
+use std::fmt;
+
+/// Error produced while loading or running a program.
+///
+/// Where possible the error carries the debug context the paper's simulator
+/// reports for error detection within applications (§V, goal 4): the
+/// offending address, and — via [`crate::Simulator::describe_addr`] — the
+/// assembly line and function name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// No operation of the active ISA matches the fetched word.
+    IllegalInstruction {
+        /// Address of the offending operation word.
+        addr: u32,
+        /// The fetched word.
+        word: u32,
+        /// Identifier of the active ISA.
+        isa: u8,
+        /// Debug context (`file:line (function)`), when available.
+        context: Option<String>,
+    },
+    /// `switchtarget` named an ISA that does not exist.
+    UnknownIsa {
+        /// The requested identifier.
+        isa: u8,
+        /// Address of the `switchtarget` operation.
+        addr: u32,
+    },
+    /// A `simop` immediate does not name an emulated library function.
+    UnknownSimOp {
+        /// The immediate value.
+        code: u32,
+        /// Address of the `simop` operation.
+        addr: u32,
+    },
+    /// The executable's entry ISA is not part of the architecture.
+    BadEntryIsa(u8),
+    /// A program accessed an address outside the simulated address space.
+    MemoryFault {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// The program called `abort()`.
+    Aborted,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::IllegalInstruction { addr, word, isa, context } => {
+                write!(f, "illegal instruction {word:#010x} at {addr:#010x} (isa {isa})")?;
+                if let Some(c) = context {
+                    write!(f, " at {c}")?;
+                }
+                Ok(())
+            }
+            SimError::UnknownIsa { isa, addr } => {
+                write!(f, "switchtarget to unknown ISA {isa} at {addr:#010x}")
+            }
+            SimError::UnknownSimOp { code, addr } => {
+                write!(f, "unknown simop code {code} at {addr:#010x}")
+            }
+            SimError::BadEntryIsa(isa) => write!(f, "executable entry ISA {isa} is unknown"),
+            SimError::MemoryFault { addr } => write!(f, "memory fault at {addr:#010x}"),
+            SimError::Aborted => write!(f, "program aborted"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = SimError::IllegalInstruction {
+            addr: 0x1000,
+            word: 0xFFFF_FFFF,
+            isa: 0,
+            context: Some("dct.s:12 (dct)".into()),
+        };
+        let s = e.to_string();
+        assert!(s.contains("0x00001000"));
+        assert!(s.contains("dct.s:12"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SimError>();
+    }
+}

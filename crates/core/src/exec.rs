@@ -1,0 +1,303 @@
+//! Instruction execution (the generated simulation functions).
+//!
+//! In the paper's framework TargetGen generates one simulation function per
+//! operation from its ADL semantics fragment; here the closed [`Behavior`]
+//! vocabulary drives a single dispatch that plays the same role. Parallel
+//! VLIW operations follow the paper's §V-B semantics: "It is important that
+//! the registers of all parallel operations are loaded before any operation
+//! writes back its results" — all slot results are computed into pending
+//! buffers first (the paper's stack locals) and committed afterwards.
+
+use kahrisma_isa::abi;
+use kahrisma_isa::adl::{Behavior, IsaId, MemWidth};
+
+use crate::cycles::{AccessKind, BranchPredictor, OpEvent};
+use crate::decode::DecodedInstr;
+use crate::error::SimError;
+use crate::libc_emu::do_simop;
+use crate::state::CpuState;
+use crate::stats::SimStats;
+use crate::trace::{TraceRecord, TraceSink};
+
+/// Side effects of one instruction, applied at commit. The vectors are
+/// reused across instructions (owned by the simulator) to keep the hot loop
+/// allocation-free.
+#[derive(Debug, Default)]
+pub(crate) struct Pending {
+    reg_writes: Vec<(u8, u32)>,
+    stores: Vec<(u32, u32, MemWidth)>,
+    new_ip: Option<u32>,
+    isa_switch: Option<u8>,
+    simop: Option<(u32, u32)>, // (code, op address)
+    halt: bool,
+}
+
+impl Pending {
+    fn reset(&mut self) {
+        self.reg_writes.clear();
+        self.stores.clear();
+        self.new_ip = None;
+        self.isa_switch = None;
+        self.simop = None;
+        self.halt = false;
+    }
+}
+
+/// Executes one decoded instruction against `state`.
+///
+/// Fills `events` (cleared first) with one [`OpEvent`] per slot for the
+/// cycle models, appends trace records to `trace` when provided, and
+/// updates `stats`.
+pub(crate) fn execute_instr(
+    state: &mut CpuState,
+    instr: &DecodedInstr,
+    events: &mut Vec<OpEvent>,
+    pending: &mut Pending,
+    predictor: &mut Option<BranchPredictor>,
+    trace: &mut Option<Box<dyn TraceSink>>,
+    stats: &mut SimStats,
+) -> Result<(), SimError> {
+    events.clear();
+    pending.reset();
+    let instr_size = instr.size();
+    let next_seq_ip = instr.addr.wrapping_add(instr_size);
+
+    for (slot_idx, slot) in instr.slots.iter().enumerate() {
+        let slot_u8 = slot_idx as u8;
+        let op_addr = instr.addr.wrapping_add((slot_idx as u32) * 4);
+        let mut event = OpEvent {
+            slot: slot_u8,
+            srcs: slot.srcs,
+            nsrcs: slot.nsrcs,
+            dst: slot.dst,
+            delay: slot.delay,
+            mem: None,
+            is_branch: false,
+            serialize: false,
+            is_nop: slot.is_nop,
+            is_muldiv: matches!(
+                slot.behavior.fu_class(),
+                kahrisma_isa::adl::FuClass::MulDiv
+            ),
+            mispredict_penalty: 0,
+        };
+        let mut tr_inputs: Vec<(u8, u32)> = Vec::new();
+        let mut tr_outputs: Vec<(u8, u32)> = Vec::new();
+        let mut tr_imm: Option<u32> = None;
+
+        let want_trace = trace.is_some();
+        macro_rules! input {
+            ($r:expr) => {{
+                let r = $r;
+                let v = state.reg(r);
+                if want_trace {
+                    tr_inputs.push((r, v));
+                }
+                v
+            }};
+        }
+        macro_rules! output {
+            ($r:expr, $v:expr) => {{
+                let r = $r;
+                let v = $v;
+                pending.reg_writes.push((r, v));
+                if want_trace {
+                    tr_outputs.push((r, v));
+                }
+            }};
+        }
+
+        match slot.behavior {
+            Behavior::Nop => {
+                stats.nops += 1;
+            }
+            Behavior::IntAlu(op) => {
+                let a = input!(slot.rs1);
+                let b = input!(slot.rs2);
+                output!(slot.rd, op.eval(a, b));
+                stats.operations += 1;
+            }
+            Behavior::IntAluImm(op) => {
+                let a = input!(slot.rs1);
+                tr_imm = Some(slot.imm);
+                output!(slot.rd, op.eval(a, slot.imm));
+                stats.operations += 1;
+            }
+            Behavior::LoadUpperImm => {
+                tr_imm = Some(slot.imm);
+                output!(slot.rd, slot.imm << 13);
+                stats.operations += 1;
+            }
+            Behavior::Load { width, signed } => {
+                let base = input!(slot.rs1);
+                let addr = base.wrapping_add(slot.imm);
+                tr_imm = Some(slot.imm);
+                let raw = match width {
+                    MemWidth::Byte => u32::from(state.mem.read_byte(addr)),
+                    MemWidth::Half => u32::from(state.mem.read_half(addr)),
+                    MemWidth::Word => state.mem.read_word(addr),
+                };
+                let value = if signed {
+                    match width {
+                        MemWidth::Byte => (raw as u8 as i8) as i32 as u32,
+                        MemWidth::Half => (raw as u16 as i16) as i32 as u32,
+                        MemWidth::Word => raw,
+                    }
+                } else {
+                    raw
+                };
+                output!(slot.rd, value);
+                event.mem = Some((addr, AccessKind::Read));
+                stats.operations += 1;
+                stats.mem_reads += 1;
+            }
+            Behavior::Store { width } => {
+                let base = input!(slot.rs1);
+                let value = input!(slot.rs2);
+                let addr = base.wrapping_add(slot.imm);
+                tr_imm = Some(slot.imm);
+                pending.stores.push((addr, value, width));
+                event.mem = Some((addr, AccessKind::Write));
+                stats.operations += 1;
+                stats.mem_writes += 1;
+            }
+            Behavior::Branch(cond) => {
+                let a = input!(slot.rs1);
+                let b = input!(slot.rs2);
+                tr_imm = Some(slot.imm);
+                event.is_branch = true;
+                let taken = cond.eval(a, b);
+                if let Some(p) = predictor.as_mut() {
+                    let backward = (slot.imm as i32) < 0;
+                    if p.observe(op_addr, taken, backward, true) {
+                        event.mispredict_penalty = p.penalty();
+                    }
+                }
+                if taken && pending.new_ip.is_none() {
+                    pending.new_ip = Some(op_addr.wrapping_add(slot.imm.wrapping_mul(4)));
+                    stats.taken_branches += 1;
+                }
+                stats.operations += 1;
+            }
+            Behavior::Jump => {
+                tr_imm = Some(slot.imm);
+                event.is_branch = true;
+                if pending.new_ip.is_none() {
+                    pending.new_ip = Some(slot.imm.wrapping_mul(4));
+                    stats.taken_branches += 1;
+                }
+                stats.operations += 1;
+            }
+            Behavior::JumpAndLink => {
+                tr_imm = Some(slot.imm);
+                event.is_branch = true;
+                output!(abi::RA, next_seq_ip);
+                if pending.new_ip.is_none() {
+                    pending.new_ip = Some(slot.imm.wrapping_mul(4));
+                    stats.taken_branches += 1;
+                }
+                stats.operations += 1;
+            }
+            Behavior::JumpReg => {
+                let target = input!(slot.rs1);
+                event.is_branch = true;
+                if let Some(p) = predictor.as_mut() {
+                    // Indirect target: only a perfect predictor hits.
+                    if p.observe(op_addr, true, false, false) {
+                        event.mispredict_penalty = p.penalty();
+                    }
+                }
+                if pending.new_ip.is_none() {
+                    pending.new_ip = Some(target);
+                    stats.taken_branches += 1;
+                }
+                stats.operations += 1;
+            }
+            Behavior::JumpAndLinkReg => {
+                let target = input!(slot.rs1);
+                event.is_branch = true;
+                output!(slot.rd, next_seq_ip);
+                if let Some(p) = predictor.as_mut() {
+                    if p.observe(op_addr, true, false, false) {
+                        event.mispredict_penalty = p.penalty();
+                    }
+                }
+                if pending.new_ip.is_none() {
+                    pending.new_ip = Some(target);
+                    stats.taken_branches += 1;
+                }
+                stats.operations += 1;
+            }
+            Behavior::SwitchTarget => {
+                tr_imm = Some(slot.imm);
+                event.serialize = true;
+                if slot.imm > 255 {
+                    return Err(SimError::UnknownIsa { isa: u8::MAX, addr: op_addr });
+                }
+                pending.isa_switch = Some(slot.imm as u8);
+                stats.operations += 1;
+                stats.isa_switches += 1;
+            }
+            Behavior::SimOp => {
+                tr_imm = Some(slot.imm);
+                event.serialize = true;
+                pending.simop = Some((slot.imm, op_addr));
+                stats.operations += 1;
+                stats.simops += 1;
+            }
+            Behavior::Halt => {
+                event.serialize = true;
+                pending.halt = true;
+                stats.operations += 1;
+            }
+            _ => {
+                return Err(SimError::IllegalInstruction {
+                    addr: op_addr,
+                    word: 0,
+                    isa: instr.isa.value(),
+                    context: Some("unsupported behavior".into()),
+                });
+            }
+        }
+
+        events.push(event);
+        if let Some(t) = trace.as_mut() {
+            t.record(TraceRecord {
+                cycle: state.retired_instructions,
+                addr: op_addr,
+                slot: slot_u8,
+                opcode: slot.name,
+                inputs: tr_inputs,
+                outputs: tr_outputs,
+                imm: tr_imm,
+            });
+        }
+    }
+
+    // Commit phase: register writes first (parallel read-before-write
+    // semantics), then memory, then control and mode changes.
+    for (r, v) in pending.reg_writes.drain(..) {
+        state.write_reg(r, v);
+    }
+    for (addr, value, width) in pending.stores.drain(..) {
+        match width {
+            MemWidth::Byte => state.mem.write_byte(addr, value as u8),
+            MemWidth::Half => state.mem.write_half(addr, value as u16),
+            MemWidth::Word => state.mem.write_word(addr, value),
+        }
+    }
+    state.ip = pending.new_ip.unwrap_or(next_seq_ip);
+    if let Some(isa) = pending.isa_switch {
+        state.active_isa = IsaId::new(isa);
+    }
+    if let Some((code, addr)) = pending.simop {
+        do_simop(state, code, addr)?;
+    }
+    if pending.halt {
+        state.halted = true;
+        state.exit_code = state.reg(abi::RV);
+    }
+    state.retired_instructions += 1;
+    stats.instructions += 1;
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! The cycle-approximate, mixed-ISA KAHRISMA instruction-set simulator.
+//!
+//! This crate is the primary contribution of the reproduced paper (Stripf,
+//! Koenig, Becker: *A cycle-approximate, mixed-ISA simulator for the
+//! KAHRISMA architecture*, DATE 2012): an interpretation-based instruction
+//! set simulator that
+//!
+//! * emulates every ISA of the KAHRISMA family through per-ISA operation
+//!   tables generated from the architecture description (§V),
+//! * amortizes the expensive *detect & decode* step with a **decode cache**
+//!   (hash map keyed by instruction address) plus a per-instruction
+//!   **prediction** of the following decode structure — "comparable to a
+//!   1-bit branch predictor in hardware" (§V-A),
+//! * executes the parallel operations of a VLIW instruction with
+//!   read-before-write register semantics (§V-B),
+//! * switches the active ISA at runtime via `switchtarget` (§V-D),
+//! * emulates the C standard library natively in the simulator via the
+//!   `simop` operation (§V-E),
+//! * optionally produces a cycle-by-cycle **trace file** (§V) and maps
+//!   instruction addresses back to assembly lines and functions (§V-C), and
+//! * approximates execution time with three cycle models (§VI): the
+//!   theoretical **ILP** upper bound, **atomic instruction execution**
+//!   (AIE), and **dynamic operation execution** (DOE), all fed by a
+//!   composable memory-hierarchy delay model (caches, connection limits,
+//!   main memory — §VI-D).
+//!
+//! # Quick start
+//!
+//! ```
+//! use kahrisma_core::{Simulator, SimConfig, RunOutcome};
+//!
+//! let exe = kahrisma_asm::build(&[(
+//!     "main.s",
+//!     ".isa risc\n.text\n.global main\n.func main\nmain: li rv, 41\naddi rv, rv, 1\njr ra\n.endfunc\n",
+//! )])?;
+//! let mut sim = Simulator::new(&exe, SimConfig::default())?;
+//! let outcome = sim.run(1_000_000)?;
+//! assert_eq!(outcome, RunOutcome::Halted { exit_code: 42 });
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cycles;
+
+mod decode;
+mod error;
+mod exec;
+mod libc_emu;
+mod mem;
+mod profile;
+mod sim;
+mod state;
+mod stats;
+mod trace;
+
+pub use decode::{DecodeCache, DecodedInstr, DecodedSlot};
+pub use error::SimError;
+pub use mem::Memory;
+pub use profile::{FunctionProfile, Profiler};
+pub use sim::{RunOutcome, SimConfig, Simulator};
+pub use state::CpuState;
+pub use stats::SimStats;
+pub use trace::{TraceRecord, TraceSink, VecTraceSink, WriteTraceSink};
+
+pub use cycles::{
+    AccessKind, AieModel, BranchPredictor, BranchPredictorConfig, CacheConfig, CacheModule,
+    ConnectionLimit, CycleModel, CycleModelKind, CycleStats, DoeModel, IlpModel, InstrEvent,
+    MainMemory, MemoryHierarchy, MemoryModule, OpEvent, PredictorKind,
+};

@@ -1,0 +1,219 @@
+//! Native C-standard-library emulation.
+//!
+//! Paper §V-E: "Within the simulator an emulated library function has direct
+//! access to the register file and memory. It reads the input parameters
+//! from the registers and stack according to the calling convention,
+//! executes the corresponding C library function natively, and writes the
+//! result back to the registers."
+
+use kahrisma_isa::abi;
+use kahrisma_isa::simop::SimOpCode;
+
+use crate::error::SimError;
+use crate::state::CpuState;
+
+/// Executes the emulated library function `code` against `state`.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownSimOp`] for an undefined code and
+/// [`SimError::Aborted`] for `abort()`.
+pub(crate) fn do_simop(state: &mut CpuState, code: u32, addr: u32) -> Result<(), SimError> {
+    let op = SimOpCode::from_code(code).ok_or(SimError::UnknownSimOp { code, addr })?;
+    let a0 = state.reg(abi::A0);
+    let a1 = state.reg(abi::A0 + 1);
+    let a2 = state.reg(abi::A0 + 2);
+    match op {
+        SimOpCode::Exit => {
+            state.halted = true;
+            state.exit_code = a0;
+        }
+        SimOpCode::PutChar => {
+            state.stdout.push(a0 as u8);
+            state.write_reg(abi::RV, a0);
+        }
+        SimOpCode::PrintInt => {
+            let s = (a0 as i32).to_string();
+            state.stdout.extend_from_slice(s.as_bytes());
+            state.write_reg(abi::RV, s.len() as u32);
+        }
+        SimOpCode::PrintUint => {
+            let s = a0.to_string();
+            state.stdout.extend_from_slice(s.as_bytes());
+            state.write_reg(abi::RV, s.len() as u32);
+        }
+        SimOpCode::PrintHex => {
+            let s = format!("{a0:#x}");
+            state.stdout.extend_from_slice(s.as_bytes());
+            state.write_reg(abi::RV, s.len() as u32);
+        }
+        SimOpCode::Puts => {
+            let bytes = state.mem.read_cstr(a0, 1 << 20);
+            state.stdout.extend_from_slice(&bytes);
+            state.stdout.push(b'\n');
+            state.write_reg(abi::RV, 0);
+        }
+        SimOpCode::Malloc => {
+            // Bump allocator over the simulated heap, 8-byte aligned.
+            let base = (state.heap_ptr + 7) & !7;
+            state.heap_ptr = base.wrapping_add(a0.max(1));
+            state.write_reg(abi::RV, base);
+        }
+        SimOpCode::Free => {
+            // The bump allocator never reclaims; free is a no-op, as in many
+            // embedded C libraries.
+            state.write_reg(abi::RV, 0);
+        }
+        SimOpCode::Memcpy => {
+            let bytes = state.mem.read_bytes(a1, a2 as usize);
+            state.mem.write_bytes(a0, &bytes);
+            state.write_reg(abi::RV, a0);
+        }
+        SimOpCode::Memset => {
+            let fill = vec![a1 as u8; a2 as usize];
+            state.mem.write_bytes(a0, &fill);
+            state.write_reg(abi::RV, a0);
+        }
+        SimOpCode::Srand => {
+            state.rng_state = u64::from(a0) | 1;
+        }
+        SimOpCode::Rand => {
+            let v = state.next_rand();
+            state.write_reg(abi::RV, v);
+        }
+        SimOpCode::Clock => {
+            state.write_reg(abi::RV, state.retired_instructions as u32);
+        }
+        SimOpCode::GetChar => {
+            let v = if state.stdin_pos < state.stdin.len() {
+                let b = state.stdin[state.stdin_pos];
+                state.stdin_pos += 1;
+                u32::from(b)
+            } else {
+                u32::MAX // EOF = -1
+            };
+            state.write_reg(abi::RV, v);
+        }
+        SimOpCode::Abort => return Err(SimError::Aborted),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kahrisma_isa::isa_id;
+
+    fn state() -> CpuState {
+        CpuState::new(0, isa_id::RISC, 0x0010_0000)
+    }
+
+    fn call(state: &mut CpuState, op: SimOpCode, args: &[u32]) -> Result<(), SimError> {
+        for (i, &v) in args.iter().enumerate() {
+            state.write_reg(abi::A0 + i as u8, v);
+        }
+        do_simop(state, op.code(), 0)
+    }
+
+    #[test]
+    fn exit_halts_with_code() {
+        let mut s = state();
+        call(&mut s, SimOpCode::Exit, &[7]).unwrap();
+        assert!(s.halted);
+        assert_eq!(s.exit_code, 7);
+    }
+
+    #[test]
+    fn output_functions_write_stdout() {
+        let mut s = state();
+        call(&mut s, SimOpCode::PutChar, &[u32::from(b'X')]).unwrap();
+        call(&mut s, SimOpCode::PrintInt, &[(-42i32) as u32]).unwrap();
+        call(&mut s, SimOpCode::PrintUint, &[42]).unwrap();
+        call(&mut s, SimOpCode::PrintHex, &[255]).unwrap();
+        assert_eq!(s.stdout_string(), "X-42420xff");
+    }
+
+    #[test]
+    fn puts_reads_simulated_memory() {
+        let mut s = state();
+        s.mem.write_bytes(0x5000, b"hey\0");
+        call(&mut s, SimOpCode::Puts, &[0x5000]).unwrap();
+        assert_eq!(s.stdout_string(), "hey\n");
+    }
+
+    #[test]
+    fn malloc_bumps_aligned() {
+        let mut s = state();
+        call(&mut s, SimOpCode::Malloc, &[10]).unwrap();
+        let p1 = s.reg(abi::RV);
+        call(&mut s, SimOpCode::Malloc, &[4]).unwrap();
+        let p2 = s.reg(abi::RV);
+        assert_eq!(p1 % 8, 0);
+        assert_eq!(p2 % 8, 0);
+        assert!(p2 >= p1 + 10);
+        call(&mut s, SimOpCode::Free, &[p1]).unwrap(); // no-op, must not fail
+    }
+
+    #[test]
+    fn memcpy_and_memset() {
+        let mut s = state();
+        s.mem.write_bytes(0x100, b"abcdef");
+        call(&mut s, SimOpCode::Memcpy, &[0x200, 0x100, 6]).unwrap();
+        assert_eq!(s.mem.read_bytes(0x200, 6), b"abcdef");
+        assert_eq!(s.reg(abi::RV), 0x200);
+        call(&mut s, SimOpCode::Memset, &[0x200, u32::from(b'z'), 3]).unwrap();
+        assert_eq!(s.mem.read_bytes(0x200, 6), b"zzzdef");
+    }
+
+    #[test]
+    fn memcpy_handles_overlap_via_buffer() {
+        let mut s = state();
+        s.mem.write_bytes(0x100, b"abcd");
+        call(&mut s, SimOpCode::Memcpy, &[0x102, 0x100, 4]).unwrap();
+        assert_eq!(s.mem.read_bytes(0x100, 6), b"ababcd");
+    }
+
+    #[test]
+    fn rand_respects_seed() {
+        let mut a = state();
+        let mut b = state();
+        call(&mut a, SimOpCode::Srand, &[123]).unwrap();
+        call(&mut b, SimOpCode::Srand, &[123]).unwrap();
+        for _ in 0..10 {
+            call(&mut a, SimOpCode::Rand, &[]).unwrap();
+            let va = a.reg(abi::RV);
+            call(&mut b, SimOpCode::Rand, &[]).unwrap();
+            assert_eq!(va, b.reg(abi::RV));
+        }
+    }
+
+    #[test]
+    fn getchar_consumes_stdin_then_eof() {
+        let mut s = state();
+        s.set_stdin(*b"ab");
+        call(&mut s, SimOpCode::GetChar, &[]).unwrap();
+        assert_eq!(s.reg(abi::RV), u32::from(b'a'));
+        call(&mut s, SimOpCode::GetChar, &[]).unwrap();
+        assert_eq!(s.reg(abi::RV), u32::from(b'b'));
+        call(&mut s, SimOpCode::GetChar, &[]).unwrap();
+        assert_eq!(s.reg(abi::RV), u32::MAX);
+    }
+
+    #[test]
+    fn clock_reports_instruction_count() {
+        let mut s = state();
+        s.retired_instructions = 99;
+        call(&mut s, SimOpCode::Clock, &[]).unwrap();
+        assert_eq!(s.reg(abi::RV), 99);
+    }
+
+    #[test]
+    fn abort_and_unknown_are_errors() {
+        let mut s = state();
+        assert_eq!(call(&mut s, SimOpCode::Abort, &[]), Err(SimError::Aborted));
+        assert!(matches!(
+            do_simop(&mut s, 9999, 0x40),
+            Err(SimError::UnknownSimOp { code: 9999, addr: 0x40 })
+        ));
+    }
+}

@@ -1,0 +1,181 @@
+//! Sparse paged simulated memory.
+//!
+//! The paper's simulator loads the ELF file "into the simulated memory of
+//! the processor" (§V). We model the full 32-bit address space sparsely with
+//! 4 KiB pages so that the widely separated text, data, heap, and stack
+//! regions cost only what they touch.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+const OFFSET_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// Byte-addressable, little-endian, sparse simulated memory.
+///
+/// Reads from untouched pages return zero (as freshly loaded `.bss` would);
+/// writes allocate pages on demand.
+///
+/// # Example
+///
+/// ```
+/// use kahrisma_core::Memory;
+/// let mut m = Memory::new();
+/// m.write_word(0x1000, 0xDEAD_BEEF);
+/// assert_eq!(m.read_word(0x1000), 0xDEAD_BEEF);
+/// assert_eq!(m.read_byte(0x1003), 0xDE);
+/// assert_eq!(m.read_word(0xFFFF_0000), 0); // untouched
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_BITS)).map(|p| &**p)
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_byte(&self, addr: u32) -> u8 {
+        self.page(addr).map_or(0, |p| p[(addr & OFFSET_MASK) as usize])
+    }
+
+    /// Writes one byte.
+    pub fn write_byte(&mut self, addr: u32, value: u8) {
+        self.page_mut(addr)[(addr & OFFSET_MASK) as usize] = value;
+    }
+
+    /// Reads a little-endian 16-bit value (no alignment requirement).
+    #[must_use]
+    pub fn read_half(&self, addr: u32) -> u16 {
+        u16::from(self.read_byte(addr)) | (u16::from(self.read_byte(addr.wrapping_add(1))) << 8)
+    }
+
+    /// Writes a little-endian 16-bit value.
+    pub fn write_half(&mut self, addr: u32, value: u16) {
+        self.write_byte(addr, value as u8);
+        self.write_byte(addr.wrapping_add(1), (value >> 8) as u8);
+    }
+
+    /// Reads a little-endian 32-bit value (no alignment requirement).
+    #[must_use]
+    pub fn read_word(&self, addr: u32) -> u32 {
+        // Fast path: the whole word lies within one page.
+        let off = (addr & OFFSET_MASK) as usize;
+        if off + 4 <= PAGE_SIZE {
+            if let Some(p) = self.page(addr) {
+                return u32::from_le_bytes(p[off..off + 4].try_into().expect("4 bytes"));
+            }
+            return 0;
+        }
+        u32::from(self.read_half(addr)) | (u32::from(self.read_half(addr.wrapping_add(2))) << 16)
+    }
+
+    /// Writes a little-endian 32-bit value.
+    pub fn write_word(&mut self, addr: u32, value: u32) {
+        let off = (addr & OFFSET_MASK) as usize;
+        if off + 4 <= PAGE_SIZE {
+            self.page_mut(addr)[off..off + 4].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
+        self.write_half(addr, value as u16);
+        self.write_half(addr.wrapping_add(2), (value >> 16) as u16);
+    }
+
+    /// Copies `bytes` into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_byte(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    #[must_use]
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_byte(addr.wrapping_add(i as u32))).collect()
+    }
+
+    /// Reads a NUL-terminated string (capped at `max` bytes).
+    #[must_use]
+    pub fn read_cstr(&self, addr: u32, max: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in 0..max {
+            let b = self.read_byte(addr.wrapping_add(i as u32));
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        out
+    }
+
+    /// Number of allocated pages (for tests and diagnostics).
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_before_write() {
+        let m = Memory::new();
+        assert_eq!(m.read_byte(123), 0);
+        assert_eq!(m.read_word(0xFFFF_FFF0), 0);
+        assert_eq!(m.page_count(), 0);
+    }
+
+    #[test]
+    fn word_roundtrip_and_endianness() {
+        let mut m = Memory::new();
+        m.write_word(0x2000, 0x0403_0201);
+        assert_eq!(m.read_byte(0x2000), 1);
+        assert_eq!(m.read_byte(0x2003), 4);
+        assert_eq!(m.read_half(0x2000), 0x0201);
+        assert_eq!(m.read_half(0x2002), 0x0403);
+        assert_eq!(m.read_word(0x2000), 0x0403_0201);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = 0x2FFE; // straddles the 0x2000/0x3000 page boundary
+        m.write_word(addr, 0xAABB_CCDD);
+        assert_eq!(m.read_word(addr), 0xAABB_CCDD);
+        assert_eq!(m.page_count(), 2);
+        m.write_half(0x3FFF, 0x1122);
+        assert_eq!(m.read_half(0x3FFF), 0x1122);
+    }
+
+    #[test]
+    fn bulk_and_cstr() {
+        let mut m = Memory::new();
+        m.write_bytes(0x100, b"hello\0world");
+        assert_eq!(m.read_cstr(0x100, 64), b"hello");
+        assert_eq!(m.read_bytes(0x106, 5), b"world");
+        assert_eq!(m.read_cstr(0x106, 3), b"wor"); // capped
+    }
+
+    #[test]
+    fn address_space_wraps() {
+        let mut m = Memory::new();
+        m.write_word(0xFFFF_FFFE, 0x1234_5678);
+        assert_eq!(m.read_half(0xFFFF_FFFE), 0x5678);
+        assert_eq!(m.read_half(0x0000_0000), 0x1234);
+    }
+}

@@ -1,0 +1,160 @@
+//! Function-granularity profiling.
+//!
+//! Paper §V, simulator goal 2: "The ISS gives cycle-approximate performance
+//! results in combination with dynamic program analysis, e.g. profiling.
+//! This is in our case especially important for the selection of
+//! appropriate ISAs for an application on function granularity."
+//!
+//! The profiler attributes executed instructions, operations, and (when a
+//! cycle model is attached) approximated cycles to the function containing
+//! each instruction address, using the executable's function table
+//! (`.kahrisma.funcs`).
+
+use kahrisma_elf::DebugInfo;
+
+/// Per-function accumulators.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FunctionProfile {
+    /// Function name (from the function table).
+    pub name: String,
+    /// Instructions (bundles) attributed to the function.
+    pub instructions: u64,
+    /// Non-`nop` operations attributed to the function.
+    pub operations: u64,
+    /// Cycle-model delta attributed to the function (0 without a model).
+    pub cycles: u64,
+}
+
+/// Accumulates per-function execution statistics.
+///
+/// Attribution uses a sorted range table with a one-entry cache, so the
+/// per-instruction cost is a comparison in the common case (execution stays
+/// within one function for long stretches).
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    /// `(start, end, index into profiles)`, sorted by start.
+    ranges: Vec<(u32, u32, usize)>,
+    profiles: Vec<FunctionProfile>,
+    /// Index of the "outside any function" bucket.
+    other: usize,
+    /// Cache of the last attributed range.
+    last: usize,
+}
+
+impl Profiler {
+    /// Builds a profiler from an executable's debug information.
+    #[must_use]
+    pub fn new(debug: &DebugInfo) -> Self {
+        let mut profiles: Vec<FunctionProfile> = debug
+            .funcs
+            .iter()
+            .map(|f| FunctionProfile { name: f.name.clone(), ..FunctionProfile::default() })
+            .collect();
+        let mut ranges: Vec<(u32, u32, usize)> =
+            debug.funcs.iter().enumerate().map(|(i, f)| (f.start, f.end, i)).collect();
+        ranges.sort_unstable_by_key(|r| r.0);
+        profiles.push(FunctionProfile { name: "<unknown>".into(), ..FunctionProfile::default() });
+        let other = profiles.len() - 1;
+        Profiler { ranges, profiles, other, last: usize::MAX }
+    }
+
+    fn bucket_for(&mut self, addr: u32) -> usize {
+        if self.last != usize::MAX {
+            if let Some(&(start, end, idx)) = self.ranges.get(self.last) {
+                if start <= addr && addr < end {
+                    return idx;
+                }
+            }
+        }
+        match self.ranges.binary_search_by(|&(start, end, _)| {
+            if addr < start {
+                std::cmp::Ordering::Greater
+            } else if addr >= end {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(pos) => {
+                self.last = pos;
+                self.ranges[pos].2
+            }
+            Err(_) => self.other,
+        }
+    }
+
+    /// Attributes one executed instruction at `addr`.
+    pub fn record(&mut self, addr: u32, operations: u64, cycle_delta: u64) {
+        let idx = self.bucket_for(addr);
+        let p = &mut self.profiles[idx];
+        p.instructions += 1;
+        p.operations += operations;
+        p.cycles += cycle_delta;
+    }
+
+    /// The accumulated profiles, hottest (by cycles, then instructions)
+    /// first; empty buckets are omitted.
+    #[must_use]
+    pub fn report(&self) -> Vec<FunctionProfile> {
+        let mut out: Vec<FunctionProfile> =
+            self.profiles.iter().filter(|p| p.instructions > 0).cloned().collect();
+        out.sort_by(|a, b| {
+            (b.cycles, b.instructions, &a.name).cmp(&(a.cycles, a.instructions, &b.name))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kahrisma_elf::FuncEntry;
+
+    fn debug_with(funcs: &[(&str, u32, u32)]) -> DebugInfo {
+        let mut d = DebugInfo::new();
+        d.funcs = funcs
+            .iter()
+            .map(|&(name, start, end)| FuncEntry { name: name.into(), start, end, isa: 0 })
+            .collect();
+        d
+    }
+
+    #[test]
+    fn attributes_to_containing_function() {
+        let d = debug_with(&[("main", 0x100, 0x200), ("helper", 0x200, 0x240)]);
+        let mut p = Profiler::new(&d);
+        p.record(0x100, 1, 2);
+        p.record(0x1FC, 2, 3);
+        p.record(0x200, 1, 1);
+        p.record(0x500, 1, 1); // outside: <unknown>
+        let report = p.report();
+        let main = report.iter().find(|f| f.name == "main").unwrap();
+        assert_eq!((main.instructions, main.operations, main.cycles), (2, 3, 5));
+        let helper = report.iter().find(|f| f.name == "helper").unwrap();
+        assert_eq!(helper.instructions, 1);
+        assert!(report.iter().any(|f| f.name == "<unknown>"));
+    }
+
+    #[test]
+    fn report_sorts_hottest_first_and_omits_cold() {
+        let d = debug_with(&[("a", 0, 0x10), ("b", 0x10, 0x20), ("cold", 0x20, 0x30)]);
+        let mut p = Profiler::new(&d);
+        p.record(0x0, 1, 1);
+        p.record(0x10, 1, 100);
+        let report = p.report();
+        let names: Vec<&str> = report.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn cache_survives_function_changes() {
+        let d = debug_with(&[("a", 0, 0x10), ("b", 0x10, 0x20)]);
+        let mut p = Profiler::new(&d);
+        for _ in 0..3 {
+            p.record(0x0, 1, 0);
+            p.record(0x10, 1, 0);
+        }
+        let report = p.report();
+        assert_eq!(report.iter().map(|f| f.instructions).sum::<u64>(), 6);
+    }
+}

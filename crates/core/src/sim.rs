@@ -1,0 +1,844 @@
+//! The simulator driver: load, simulation loop, decode cache, debugging.
+
+use std::collections::VecDeque;
+
+use kahrisma_elf::{DebugInfo, Executable};
+use kahrisma_isa::adl::{IsaId, TableSet};
+use kahrisma_isa::tables;
+
+use crate::cycles::{
+    BranchPredictor, BranchPredictorConfig, CycleModel, CycleModelKind, CycleStats, InstrEvent,
+    MemoryHierarchy, OpEvent, PredictorKind,
+};
+use crate::decode::{DecodeCache, DecodedInstr, NO_IDX, detect_and_decode};
+use crate::error::SimError;
+use crate::exec::{Pending, execute_instr};
+use crate::profile::{FunctionProfile, Profiler};
+use crate::state::CpuState;
+use crate::stats::SimStats;
+use crate::trace::TraceSink;
+
+/// Simulator configuration.
+///
+/// The three performance features of the paper's §V-A / §VII-A — decode
+/// cache, instruction prediction, and the optional cycle models — can be
+/// toggled independently, which is exactly what the Table I measurement
+/// methodology requires.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Cache detected & decoded instructions by address (§V-A). Off, every
+    /// instruction is detected and decoded again (the paper's 0.177 MIPS
+    /// configuration).
+    pub decode_cache: bool,
+    /// Predict the next decode structure from the previous instruction
+    /// (§V-A); requires the decode cache.
+    pub prediction: bool,
+    /// Optional cycle-approximation model (§VI).
+    pub cycle_model: Option<CycleModelKind>,
+    /// Memory hierarchy used by the AIE/DOE models (§VI-D); defaults to the
+    /// paper's three-level configuration.
+    pub memory: MemoryHierarchy,
+    /// Number of instruction addresses kept in the IP history ring for
+    /// error reports (§V, goal 4).
+    pub ip_history: usize,
+    /// Override the initial ISA (paper §V-D: "the initial ISA can optionally
+    /// be specified per command line parameter"); defaults to the
+    /// executable's entry ISA.
+    pub initial_isa: Option<IsaId>,
+    /// Branch-prediction model (§VIII future work). Defaults to perfect
+    /// prediction, the paper's Table II setting.
+    pub branch_prediction: BranchPredictorConfig,
+    /// Attribute instructions/operations/cycles to functions (paper §V,
+    /// goal 2: profiling for function-granularity ISA selection).
+    pub profile: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            decode_cache: true,
+            prediction: true,
+            cycle_model: None,
+            memory: MemoryHierarchy::paper_default(),
+            ip_history: 64,
+            initial_isa: None,
+            branch_prediction: BranchPredictorConfig::perfect(),
+            profile: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Configuration with the given cycle model and the paper's memory
+    /// hierarchy.
+    #[must_use]
+    pub fn with_model(kind: CycleModelKind) -> Self {
+        SimConfig { cycle_model: Some(kind), ..SimConfig::default() }
+    }
+}
+
+/// Why [`Simulator::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The program executed `halt`/`exit`.
+    Halted {
+        /// The program's exit code.
+        exit_code: u32,
+    },
+    /// The instruction budget was exhausted before the program halted.
+    BudgetExhausted,
+}
+
+/// The cycle-approximate, mixed-ISA instruction-set simulator.
+///
+/// See the crate documentation for the paper mapping, and
+/// [`Simulator::run`] for the main entry point.
+pub struct Simulator {
+    tables: TableSet,
+    state: CpuState,
+    cache: DecodeCache,
+    config: SimConfig,
+    stats: SimStats,
+    model: Option<Box<dyn CycleModel>>,
+    debug: DebugInfo,
+    trace: Option<Box<dyn TraceSink>>,
+    ip_history: VecDeque<u32>,
+    /// Decode-cache index of the previously executed instruction (the
+    /// prediction anchor), or `NO_IDX`.
+    prev_idx: u32,
+    events: Vec<OpEvent>,
+    pending: Pending,
+    predictor: Option<BranchPredictor>,
+    profiler: Option<Profiler>,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("ip", &self.state.ip)
+            .field("active_isa", &self.state.active_isa)
+            .field("halted", &self.state.halted)
+            .field("instructions", &self.stats.instructions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator and loads `exe` into simulated memory: every
+    /// segment is copied in, the IP is initialized from the entry point and
+    /// the active ISA from the entry ISA (paper §V, §V-D).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadEntryIsa`] if the executable's entry ISA (or
+    /// the [`SimConfig::initial_isa`] override) is not part of the
+    /// architecture.
+    pub fn new(exe: &Executable, config: SimConfig) -> Result<Self, SimError> {
+        let tables = tables();
+        let isa = config.initial_isa.unwrap_or(IsaId::new(exe.entry_isa));
+        if tables.table(isa).is_none() {
+            return Err(SimError::BadEntryIsa(isa.value()));
+        }
+        // The heap starts past the highest loaded segment, page aligned.
+        let heap_base = exe
+            .segments
+            .iter()
+            .map(|s| s.addr + s.mem_size.max(s.data.len() as u32))
+            .max()
+            .unwrap_or(0x0010_0000)
+            .div_ceil(4096)
+            * 4096;
+        let mut state = CpuState::new(exe.entry, isa, heap_base);
+        for seg in &exe.segments {
+            state.mem.write_bytes(seg.addr, &seg.data);
+        }
+        let model = config.cycle_model.map(|kind| kind.build(config.memory.clone()));
+        // A perfect predictor never mispredicts; skip it entirely so the
+        // default hot loop stays prediction-free.
+        let predictor = match config.branch_prediction.kind {
+            PredictorKind::Perfect => None,
+            _ => Some(BranchPredictor::new(config.branch_prediction)),
+        };
+        let profiler = config.profile.then(|| Profiler::new(&exe.debug));
+        Ok(Simulator {
+            tables,
+            state,
+            cache: DecodeCache::new(),
+            config,
+            stats: SimStats::new(),
+            model,
+            debug: exe.debug.clone(),
+            trace: None,
+            ip_history: VecDeque::new(),
+            prev_idx: NO_IDX,
+            events: Vec::with_capacity(8),
+            pending: Pending::default(),
+            predictor,
+            profiler,
+        })
+    }
+
+    /// Attaches a trace sink; every subsequently executed operation is
+    /// recorded (paper §V: trace-file generation).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Attaches a custom cycle model, replacing any configured one. This is
+    /// how external timing models (e.g. the cycle-accurate reference in
+    /// `kahrisma-rtl`) observe the executed instruction stream.
+    pub fn set_cycle_model(&mut self, model: Box<dyn CycleModel>) {
+        self.model = Some(model);
+    }
+
+    /// Detaches and returns the attached cycle model.
+    pub fn take_cycle_model(&mut self) -> Option<Box<dyn CycleModel>> {
+        self.model.take()
+    }
+
+    /// Detaches and returns the trace sink.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// The architectural state (registers, memory, stdout, …).
+    #[must_use]
+    pub fn state(&self) -> &CpuState {
+        &self.state
+    }
+
+    /// Mutable architectural state (e.g. to provide stdin).
+    pub fn state_mut(&mut self) -> &mut CpuState {
+        &mut self.state
+    }
+
+    /// Functional statistics collected so far.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Results of the configured cycle model, if any.
+    #[must_use]
+    pub fn cycle_stats(&self) -> Option<CycleStats> {
+        self.model.as_ref().map(|m| m.stats())
+    }
+
+    /// `(predictions, mispredictions)` of the configured branch predictor,
+    /// or `None` under perfect prediction.
+    #[must_use]
+    pub fn branch_stats(&self) -> Option<(u64, u64)> {
+        self.predictor.as_ref().map(BranchPredictor::stats)
+    }
+
+    /// Per-function profile (hottest first), when [`SimConfig::profile`] is
+    /// enabled — the paper's function-granularity analysis (§V goal 2).
+    #[must_use]
+    pub fn function_profile(&self) -> Option<Vec<FunctionProfile>> {
+        self.profiler.as_ref().map(Profiler::report)
+    }
+
+    /// The decode cache (size inspection for tests/benchmarks).
+    #[must_use]
+    pub fn decode_cache(&self) -> &DecodeCache {
+        &self.cache
+    }
+
+    /// The most recently executed instruction addresses, newest last
+    /// (paper §V goal 4: "an instruction pointer history").
+    pub fn ip_history(&self) -> impl Iterator<Item = u32> + '_ {
+        self.ip_history.iter().copied()
+    }
+
+    /// Maps an address to `file:line (function)` using the executable's
+    /// debug sections (paper §V-C).
+    #[must_use]
+    pub fn describe_addr(&self, addr: u32) -> String {
+        let func = self.debug.func_for_addr(addr).map(|f| f.name.as_str());
+        // The line map records instruction start addresses; an address that
+        // no function covers (e.g. a jump into data) has no meaningful
+        // "closest preceding line", so report only the raw address then.
+        let line = if func.is_some() { self.debug.line_for_addr(addr) } else { None };
+        match (line, func) {
+            (Some((file, line)), Some(func)) => format!("{file}:{line} ({func})"),
+            (Some((file, line)), None) => format!("{file}:{line}"),
+            (None, Some(func)) => format!("{addr:#010x} ({func})"),
+            (None, None) => format!("{addr:#010x}"),
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates illegal instructions, unknown ISA switches, unknown
+    /// `simop` codes, and `abort()`. Illegal-instruction errors are
+    /// enriched with source context when debug info is available.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        let ip = self.state.ip;
+        let isa = self.state.active_isa;
+
+        if self.config.ip_history > 0 {
+            if self.ip_history.len() == self.config.ip_history {
+                self.ip_history.pop_front();
+            }
+            self.ip_history.push_back(ip);
+        }
+
+        if self.config.decode_cache {
+            // Prediction first (paper §V-A): compare the current IP against
+            // the predicted IP of the previous instruction.
+            let mut idx = if self.config.prediction && self.prev_idx != NO_IDX {
+                self.cache.predict(self.prev_idx, ip)
+            } else {
+                None
+            };
+            if let Some(i) = idx {
+                // Predictions are only stored for the same ISA transition
+                // (`switchtarget` resets the anchor), so no ISA check is
+                // needed here.
+                self.stats.prediction_hits += 1;
+                debug_assert_eq!(self.cache.get(i).isa, isa);
+            } else {
+                self.stats.cache_lookups += 1;
+                idx = self.cache.lookup(ip, isa);
+                if idx.is_none() {
+                    self.stats.detect_decodes += 1;
+                    let decoded = self.decode_at(ip, isa)?;
+                    idx = Some(self.cache.insert(decoded));
+                }
+                if self.config.prediction && self.prev_idx != NO_IDX {
+                    self.cache
+                        .set_prediction(self.prev_idx, ip, idx.expect("just resolved"));
+                }
+            }
+            let idx = idx.expect("resolved above");
+            // Disjoint field borrows keep the hot loop free of clones: the
+            // decode structure stays in the cache arena while execution
+            // mutates state/stats/events.
+            let before_isa = self.state.active_isa;
+            let instr = self.cache.get(idx);
+            let ops_before = self.stats.operations;
+            let cycles_before = self.model.as_ref().map_or(0, |m| m.cycles());
+            execute_instr(
+                &mut self.state,
+                instr,
+                &mut self.events,
+                &mut self.pending,
+                &mut self.predictor,
+                &mut self.trace,
+                &mut self.stats,
+            )?;
+            if let Some(model) = &mut self.model {
+                model.instruction(&InstrEvent { addr: instr.addr, ops: &self.events });
+            }
+            if let Some(p) = &mut self.profiler {
+                let cycles_after = self.model.as_ref().map_or(0, |m| m.cycles());
+                p.record(
+                    instr.addr,
+                    self.stats.operations - ops_before,
+                    cycles_after.saturating_sub(cycles_before),
+                );
+            }
+            // A switchtarget invalidates the prediction anchor: the next
+            // instruction is decoded under a different table (§V-D).
+            self.prev_idx = if self.state.active_isa != before_isa { NO_IDX } else { idx };
+            Ok(())
+        } else {
+            // No decode cache: detect and decode every instruction
+            // (the paper's 0.177 MIPS baseline).
+            self.stats.detect_decodes += 1;
+            let instr = self.decode_at(ip, isa)?;
+            self.exec(&instr)?;
+            Ok(())
+        }
+    }
+
+    fn decode_at(&self, ip: u32, isa: IsaId) -> Result<DecodedInstr, SimError> {
+        detect_and_decode(&self.tables, &self.state.mem, ip, isa).map_err(|e| match e {
+            SimError::IllegalInstruction { addr, word, isa, .. } => SimError::IllegalInstruction {
+                addr,
+                word,
+                isa,
+                context: Some(self.describe_addr(addr)),
+            },
+            other => other,
+        })
+    }
+
+    fn exec(&mut self, instr: &DecodedInstr) -> Result<bool, SimError> {
+        let before_isa = self.state.active_isa;
+        let ops_before = self.stats.operations;
+        let cycles_before = self.model.as_ref().map_or(0, |m| m.cycles());
+        execute_instr(
+            &mut self.state,
+            instr,
+            &mut self.events,
+            &mut self.pending,
+            &mut self.predictor,
+            &mut self.trace,
+            &mut self.stats,
+        )?;
+        if let Some(model) = &mut self.model {
+            model.instruction(&InstrEvent { addr: instr.addr, ops: &self.events });
+        }
+        if let Some(p) = &mut self.profiler {
+            let cycles_after = self.model.as_ref().map_or(0, |m| m.cycles());
+            p.record(
+                instr.addr,
+                self.stats.operations - ops_before,
+                cycles_after.saturating_sub(cycles_before),
+            );
+        }
+        Ok(self.state.active_isa != before_isa)
+    }
+
+    /// Runs until the program halts or `max_instructions` have executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulation error (see [`Simulator::step`]).
+    pub fn run(&mut self, max_instructions: u64) -> Result<RunOutcome, SimError> {
+        let limit = self.stats.instructions + max_instructions;
+        while !self.state.halted {
+            if self.stats.instructions >= limit {
+                if let Some(m) = &mut self.model {
+                    m.finish();
+                }
+                return Ok(RunOutcome::BudgetExhausted);
+            }
+            self.step()?;
+        }
+        if let Some(m) = &mut self.model {
+            m.finish();
+        }
+        Ok(RunOutcome::Halted { exit_code: self.state.exit_code })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kahrisma_asm::build;
+    use kahrisma_isa::isa_id;
+
+    fn run_with(src: &str, config: SimConfig) -> (Simulator, RunOutcome) {
+        let exe = build(&[("test.s", src)]).expect("assemble + link");
+        let mut sim = Simulator::new(&exe, config).expect("load");
+        let outcome = sim.run(10_000_000).expect("run");
+        (sim, outcome)
+    }
+
+    const RETURN_42: &str = ".isa risc\n.text\n.global main\n.func main\nmain: li rv, 42\njr ra\n.endfunc\n";
+
+    #[test]
+    fn runs_minimal_program() {
+        let (sim, outcome) = run_with(RETURN_42, SimConfig::default());
+        assert_eq!(outcome, RunOutcome::Halted { exit_code: 42 });
+        assert!(sim.stats().instructions > 0);
+    }
+
+    #[test]
+    fn all_cache_configurations_agree() {
+        let configs = [
+            SimConfig { decode_cache: false, prediction: false, ..SimConfig::default() },
+            SimConfig { decode_cache: true, prediction: false, ..SimConfig::default() },
+            SimConfig { decode_cache: true, prediction: true, ..SimConfig::default() },
+        ];
+        let src = "
+            .isa risc
+            .text
+            .global main
+            .func main
+            main:
+                li t0, 0      ; sum
+                li t1, 10     ; counter
+            loop:
+                add t0, t0, t1
+                addi t1, t1, -1
+                bne t1, zero, loop
+                mv rv, t0
+                jr ra
+            .endfunc
+        ";
+        for config in configs {
+            let (_, outcome) = run_with(src, config);
+            assert_eq!(outcome, RunOutcome::Halted { exit_code: 55 });
+        }
+    }
+
+    #[test]
+    fn decode_cache_stats_show_amortization() {
+        let src = "
+            .isa risc
+            .text
+            .global main
+            .func main
+            main:
+                li t1, 1000
+            loop:
+                addi t1, t1, -1
+                bne t1, zero, loop
+                li rv, 0
+                jr ra
+            .endfunc
+        ";
+        let (sim, _) = run_with(src, SimConfig::default());
+        let s = sim.stats();
+        // ~2000 loop instructions but only a handful of decodes.
+        assert!(s.instructions > 2000);
+        assert!(s.detect_decodes < 20, "decodes {}", s.detect_decodes);
+        assert!(s.decode_avoided_ratio() > 0.99);
+        // The loop branch pattern is highly predictable.
+        assert!(s.lookup_avoided_ratio() > 0.9, "{}", s.lookup_avoided_ratio());
+        assert_eq!(sim.decode_cache().len(), s.detect_decodes as usize);
+    }
+
+    #[test]
+    fn memory_and_loads_work() {
+        let src = "
+            .isa risc
+            .text
+            .global main
+            .func main
+            main:
+                la t0, value
+                lw t1, 0(t0)
+                addi t1, t1, 1
+                sw t1, 4(t0)
+                lw rv, 4(t0)
+                jr ra
+            .endfunc
+            .data
+            value: .word 41
+            .word 0
+        ";
+        let (_, outcome) = run_with(src, SimConfig::default());
+        assert_eq!(outcome, RunOutcome::Halted { exit_code: 42 });
+    }
+
+    #[test]
+    fn vliw_parallel_semantics_read_before_write() {
+        // Swap two registers in one VLIW2 bundle: both reads happen before
+        // either write (paper §V-B).
+        let src = "
+            .isa vliw4
+            .text
+            .global main
+            .func main
+            main:
+                { addi t0, zero, 3 | addi t1, zero, 5 | nop | nop }
+                { add t0, t1, zero | add t1, t0, zero | nop | nop }
+                { sub rv, t0, t1 | nop | nop | nop }   ; 5 - 3 = 2
+                { jr ra | nop | nop | nop }
+            .endfunc
+        ";
+        let (_, outcome) = run_with(src, SimConfig::default());
+        assert_eq!(outcome, RunOutcome::Halted { exit_code: 2 });
+    }
+
+    #[test]
+    fn mixed_isa_switch_roundtrip() {
+        // main (RISC) calls a VLIW4 function using the cross-ISA call
+        // convention: switch, call, switch back encoded in the callee ISA.
+        let src = "
+            .isa risc
+            .text
+            .global main
+            .func main
+            main:
+                addi sp, sp, -8
+                sw ra, 0(sp)
+                li a0, 20
+                switchtarget vliw4
+                jal double_v4
+                .isa vliw4
+                { switchtarget risc | nop | nop | nop }
+                .isa risc
+                addi rv, rv, 2
+                lw ra, 0(sp)
+                addi sp, sp, 8
+                jr ra
+            .endfunc
+
+            .isa vliw4
+            .global double_v4
+            .func double_v4
+            double_v4:
+                { add rv, a0, a0 | nop | nop | nop }
+                { jr ra | nop | nop | nop }
+            .endfunc
+        ";
+        let (sim, outcome) = run_with(src, SimConfig::default());
+        assert_eq!(outcome, RunOutcome::Halted { exit_code: 42 });
+        assert!(sim.stats().isa_switches >= 2);
+    }
+
+    #[test]
+    fn libc_emulation_via_stubs() {
+        let src = "
+            .isa risc
+            .text
+            .global main
+            .func main
+            main:
+                addi sp, sp, -8
+                sw ra, 0(sp)
+                la a0, msg
+                jal puts
+                li a0, 65
+                jal putchar
+                li a0, 123
+                jal print_int
+                li rv, 0
+                lw ra, 0(sp)
+                addi sp, sp, 8
+                jr ra
+            .endfunc
+            .rodata
+            msg: .asciz \"hello\"
+        ";
+        let (sim, outcome) = run_with(src, SimConfig::default());
+        assert_eq!(outcome, RunOutcome::Halted { exit_code: 0 });
+        assert_eq!(sim.state().stdout_string(), "hello\nA123");
+    }
+
+    #[test]
+    fn cycle_models_produce_counts() {
+        for kind in [CycleModelKind::Ilp, CycleModelKind::Aie, CycleModelKind::Doe] {
+            let (sim, _) = run_with(RETURN_42, SimConfig::with_model(kind));
+            let stats = sim.cycle_stats().expect("model configured");
+            assert!(stats.cycles > 0, "{kind:?} produced zero cycles");
+            assert!(stats.operations > 0);
+        }
+    }
+
+    #[test]
+    fn doe_cycles_at_most_aie_cycles() {
+        let src = "
+            .isa vliw4
+            .text
+            .global main
+            .func main
+            main:
+                li t0, 100
+            loop:
+                { addi t0, t0, -1 | addi t1, t1, 1 | addi t2, t2, 2 | addi t3, t3, 3 }
+                { bne t0, zero, loop | add t4, t1, t2 | nop | nop }
+                { add rv, t4, t3 | nop | nop | nop }
+                { jr ra | nop | nop | nop }
+            .endfunc
+        ";
+        let (aie, _) = run_with(src, SimConfig::with_model(CycleModelKind::Aie));
+        let (doe, _) = run_with(src, SimConfig::with_model(CycleModelKind::Doe));
+        let a = aie.cycle_stats().unwrap().cycles;
+        let d = doe.cycle_stats().unwrap().cycles;
+        assert!(d <= a, "DOE ({d}) must not exceed AIE ({a})");
+    }
+
+    #[test]
+    fn ilp_bound_at_least_doe_throughput() {
+        let src = "
+            .isa risc
+            .text
+            .global main
+            .func main
+            main:
+                li t0, 50
+            loop:
+                add t1, t1, t0
+                add t2, t2, t0
+                addi t0, t0, -1
+                bne t0, zero, loop
+                li rv, 0
+                jr ra
+            .endfunc
+        ";
+        let (ilp, _) = run_with(src, SimConfig::with_model(CycleModelKind::Ilp));
+        let (doe, _) = run_with(src, SimConfig::with_model(CycleModelKind::Doe));
+        let bound = ilp.cycle_stats().unwrap().ops_per_cycle();
+        let real = doe.cycle_stats().unwrap().ops_per_cycle();
+        assert!(
+            bound >= real - 1e-9,
+            "ILP bound {bound} must be at least DOE throughput {real}"
+        );
+    }
+
+    #[test]
+    fn trace_records_operations() {
+        let exe = build(&[("t.s", RETURN_42)]).unwrap();
+        let mut sim = Simulator::new(&exe, SimConfig::default()).unwrap();
+        sim.set_trace_sink(Box::new(crate::trace::VecTraceSink::new()));
+        sim.run(1000).unwrap();
+        let sink = sim.take_trace_sink().unwrap();
+        // Downcast by rebuilding: VecTraceSink is the only sink used here.
+        // (TraceSink has no downcast; keep the sink concrete in real code.)
+        let _ = sink;
+        // Use a concrete sink instead for assertions:
+        let mut sim = Simulator::new(&exe, SimConfig::default()).unwrap();
+        let records = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        struct Shared(std::rc::Rc<std::cell::RefCell<Vec<crate::trace::TraceRecord>>>);
+        impl TraceSink for Shared {
+            fn record(&mut self, r: crate::trace::TraceRecord) {
+                self.0.borrow_mut().push(r);
+            }
+        }
+        sim.set_trace_sink(Box::new(Shared(records.clone())));
+        sim.run(1000).unwrap();
+        let recs = records.borrow();
+        assert!(!recs.is_empty());
+        assert!(recs.iter().any(|r| r.opcode == "addi"));
+        assert!(recs.iter().any(|r| !r.outputs.is_empty()));
+    }
+
+    #[test]
+    fn illegal_instruction_has_context() {
+        // Jump into the data segment (zeroes decode as nop — so jump into
+        // an unmapped region with a bogus pattern instead).
+        let src = "
+            .isa risc
+            .text
+            .global main
+            .func main
+            main:
+                la t0, bad
+                jr t0
+            .endfunc
+            .data
+            bad: .word 0xFFFFFFFF
+        ";
+        let exe = build(&[("t.s", src)]).unwrap();
+        let mut sim = Simulator::new(&exe, SimConfig::default()).unwrap();
+        let err = sim.run(1000).unwrap_err();
+        assert!(matches!(err, SimError::IllegalInstruction { word: 0xFFFF_FFFF, .. }));
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let src = ".isa risc\n.text\n.global main\n.func main\nmain: j main\n.endfunc\n";
+        let exe = build(&[("t.s", src)]).unwrap();
+        let mut sim = Simulator::new(&exe, SimConfig::default()).unwrap();
+        assert_eq!(sim.run(100).unwrap(), RunOutcome::BudgetExhausted);
+        assert!(sim.ip_history().count() > 0);
+    }
+
+    #[test]
+    fn initial_isa_override_validated() {
+        let exe = build(&[("t.s", RETURN_42)]).unwrap();
+        let bad = SimConfig { initial_isa: Some(IsaId::new(99)), ..SimConfig::default() };
+        assert!(matches!(Simulator::new(&exe, bad), Err(SimError::BadEntryIsa(99))));
+        let good = SimConfig { initial_isa: Some(isa_id::RISC), ..SimConfig::default() };
+        assert!(Simulator::new(&exe, good).is_ok());
+    }
+
+    #[test]
+    fn branch_misprediction_extension_adds_cycles() {
+        // The §VIII future-work extension: a data-dependent, hard-to-
+        // predict branch pattern must cost more cycles under a bimodal
+        // predictor than under perfect prediction, and loops must stay
+        // nearly free.
+        let src = "
+            .isa risc
+            .text
+            .global main
+            .func main
+            main:
+                li t0, 200     ; iterations
+                li t1, 0       ; lfsr-ish state
+                li t2, 0       ; taken counter
+            loop:
+                slli t1, t0, 3
+                xor  t1, t1, t0
+                andi t3, t1, 1
+                beq  t3, zero, skip
+                addi t2, t2, 1
+            skip:
+                addi t0, t0, -1
+                bne  t0, zero, loop
+                mv rv, t2
+                jr ra
+            .endfunc
+        ";
+        let exe = build(&[("b.s", src)]).unwrap();
+        let run = |config: SimConfig| -> (u64, u32, Option<(u64, u64)>) {
+            let mut sim = Simulator::new(&exe, config).unwrap();
+            let RunOutcome::Halted { exit_code } = sim.run(1_000_000).unwrap() else {
+                panic!("budget");
+            };
+            (sim.cycle_stats().unwrap().cycles, exit_code, sim.branch_stats())
+        };
+        let perfect = run(SimConfig::with_model(CycleModelKind::Doe));
+        let mut bimodal_cfg = SimConfig::with_model(CycleModelKind::Doe);
+        bimodal_cfg.branch_prediction = crate::cycles::BranchPredictorConfig::bimodal();
+        let bimodal = run(bimodal_cfg);
+        assert_eq!(perfect.1, bimodal.1, "prediction must not change results");
+        assert!(perfect.2.is_none());
+        let (preds, misses) = bimodal.2.expect("bimodal stats");
+        assert!(preds > 400, "every branch observed: {preds}");
+        assert!(misses > 10, "the data-dependent branch must miss: {misses}");
+        assert!(
+            bimodal.0 > perfect.0,
+            "mispredictions must cost cycles ({} vs {})",
+            bimodal.0,
+            perfect.0
+        );
+        // The loop back-edge is learned even though the alternating data
+        // branch is a bimodal worst case, so overall misses stay clearly
+        // below the total (the alternating branch alone would be ~50%).
+        assert!((misses as f64) < 0.7 * preds as f64, "{misses}/{preds}");
+    }
+
+    #[test]
+    fn function_profile_attributes_cycles() {
+        let src = "
+            .isa risc
+            .text
+            .global main
+            .func main
+            main:
+                addi sp, sp, -8
+                sw ra, 0(sp)
+                li t0, 50
+            loop:
+                jal work
+                addi t0, t0, -1
+                bne t0, zero, loop
+                li rv, 0
+                lw ra, 0(sp)
+                addi sp, sp, 8
+                jr ra
+            .endfunc
+            .global work
+            .func work
+            work:
+                mul t1, t1, t1
+                addi t1, t1, 3
+                jr ra
+            .endfunc
+        ";
+        let exe = build(&[("p.s", src)]).unwrap();
+        let mut config = SimConfig::with_model(CycleModelKind::Doe);
+        config.profile = true;
+        let mut sim = Simulator::new(&exe, config).unwrap();
+        sim.run(100_000).unwrap();
+        let profile = sim.function_profile().expect("profiling enabled");
+        let main = profile.iter().find(|p| p.name == "main").expect("main profiled");
+        let work = profile.iter().find(|p| p.name == "work").expect("work profiled");
+        assert_eq!(work.instructions, 150); // 3 instructions x 50 calls
+        assert!(main.instructions > 150);
+        assert!(work.cycles > 0);
+        // All cycles are attributed somewhere, summing to the model total.
+        let total: u64 = profile.iter().map(|p| p.cycles).sum();
+        assert_eq!(total, sim.cycle_stats().unwrap().cycles);
+    }
+
+    #[test]
+    fn describe_addr_reports_function() {
+        let exe = build(&[("t.s", RETURN_42)]).unwrap();
+        let sim = Simulator::new(&exe, SimConfig::default()).unwrap();
+        let main = exe.debug.funcs.iter().find(|f| f.name == "main").unwrap();
+        let desc = sim.describe_addr(main.start);
+        assert!(desc.contains("main"), "{desc}");
+        assert!(desc.contains("test.s") || desc.contains("t.s"), "{desc}");
+    }
+}

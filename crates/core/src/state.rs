@@ -1,0 +1,144 @@
+//! Architectural processor state.
+
+use kahrisma_isa::abi;
+use kahrisma_isa::adl::IsaId;
+
+use crate::mem::Memory;
+
+/// The architectural state of a simulated KAHRISMA hardware thread.
+///
+/// Per the paper (§V-D) the state "contains the register file and memory"
+/// and was extended "to also include the currently active ISA". It
+/// additionally holds the machinery the C-library emulation needs: a bump
+/// heap, a deterministic PRNG, and stdout/stdin byte buffers.
+#[derive(Debug, Clone)]
+pub struct CpuState {
+    regs: [u32; 32],
+    /// Instruction pointer.
+    pub ip: u32,
+    /// Identifier of the currently active ISA.
+    pub active_isa: IsaId,
+    /// Simulated memory.
+    pub mem: Memory,
+    /// Set by `halt`/`exit`; the simulator stops at the next boundary.
+    pub halted: bool,
+    /// Exit code captured when halting.
+    pub exit_code: u32,
+    /// Next free heap address for the bump allocator behind `malloc`.
+    pub heap_ptr: u32,
+    /// Deterministic PRNG state for `rand`.
+    pub rng_state: u64,
+    /// Bytes written by output library functions.
+    pub stdout: Vec<u8>,
+    /// Bytes consumed by `getchar`.
+    pub stdin: Vec<u8>,
+    /// Read cursor into [`CpuState::stdin`].
+    pub stdin_pos: usize,
+    /// Executed-instruction counter, exposed to programs via `clock()`.
+    pub retired_instructions: u64,
+}
+
+impl CpuState {
+    /// Creates a reset state: all registers zero, `sp` initialized to the
+    /// given stack top, heap starting at `heap_base`.
+    #[must_use]
+    pub fn new(entry: u32, entry_isa: IsaId, heap_base: u32) -> Self {
+        let mut s = CpuState {
+            regs: [0; 32],
+            ip: entry,
+            active_isa: entry_isa,
+            mem: Memory::new(),
+            halted: false,
+            exit_code: 0,
+            heap_ptr: heap_base,
+            rng_state: 0x9E37_79B9_7F4A_7C15,
+            stdout: Vec::new(),
+            stdin: Vec::new(),
+            stdin_pos: 0,
+            retired_instructions: 0,
+        };
+        s.write_reg(abi::SP, abi::STACK_TOP);
+        s
+    }
+
+    /// Reads a register; `r0` always reads zero.
+    #[must_use]
+    #[inline]
+    pub fn reg(&self, r: u8) -> u32 {
+        self.regs[usize::from(r & 31)]
+    }
+
+    /// Writes a register; writes to `r0` are discarded.
+    #[inline]
+    pub fn write_reg(&mut self, r: u8, value: u32) {
+        if r != 0 {
+            self.regs[usize::from(r & 31)] = value;
+        }
+    }
+
+    /// The program's stdout as UTF-8 (lossy).
+    #[must_use]
+    pub fn stdout_string(&self) -> String {
+        String::from_utf8_lossy(&self.stdout).into_owned()
+    }
+
+    /// Provides bytes for `getchar` to consume.
+    pub fn set_stdin(&mut self, bytes: impl Into<Vec<u8>>) {
+        self.stdin = bytes.into();
+        self.stdin_pos = 0;
+    }
+
+    /// Advances the deterministic PRNG (xorshift64*) and returns a 31-bit
+    /// non-negative value, like C's `rand`.
+    pub fn next_rand(&mut self) -> u32 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        ((x.wrapping_mul(0x2545_F491_4F6C_DD1D)) >> 33) as u32 & 0x7FFF_FFFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kahrisma_isa::isa_id;
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mut s = CpuState::new(0x1000, isa_id::RISC, 0x9000);
+        s.write_reg(0, 99);
+        assert_eq!(s.reg(0), 0);
+        s.write_reg(5, 7);
+        assert_eq!(s.reg(5), 7);
+    }
+
+    #[test]
+    fn initial_state_matches_abi() {
+        let s = CpuState::new(0x1234, isa_id::VLIW4, 0x9000);
+        assert_eq!(s.ip, 0x1234);
+        assert_eq!(s.active_isa, isa_id::VLIW4);
+        assert_eq!(s.reg(abi::SP), abi::STACK_TOP);
+        assert_eq!(s.heap_ptr, 0x9000);
+        assert!(!s.halted);
+    }
+
+    #[test]
+    fn rand_is_deterministic_and_nonnegative() {
+        let mut a = CpuState::new(0, isa_id::RISC, 0);
+        let mut b = CpuState::new(0, isa_id::RISC, 0);
+        for _ in 0..100 {
+            let va = a.next_rand();
+            assert_eq!(va, b.next_rand());
+            assert!(va <= 0x7FFF_FFFF);
+        }
+    }
+
+    #[test]
+    fn stdin_cursor() {
+        let mut s = CpuState::new(0, isa_id::RISC, 0);
+        s.set_stdin(*b"ab");
+        assert_eq!(s.stdin[s.stdin_pos], b'a');
+    }
+}

@@ -1,0 +1,152 @@
+//! Trace-file generation.
+//!
+//! Paper §V: "A trace file tracks the behavior of the simulated processor.
+//! For each executed operation the cycle number, opcode, input/output
+//! register numbers and values, and immediate values are appended to the
+//! trace file. The trace file is used to validate our hardware
+//! implementation."
+
+use std::io::Write;
+
+/// One executed operation, as recorded in the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Sequence number of the instruction (functional order); when a cycle
+    /// model is active, the approximated issue cycle of the operation.
+    pub cycle: u64,
+    /// Address of the operation word.
+    pub addr: u32,
+    /// Issue slot within the instruction.
+    pub slot: u8,
+    /// Operation mnemonic.
+    pub opcode: &'static str,
+    /// Input registers and their values at issue.
+    pub inputs: Vec<(u8, u32)>,
+    /// Output registers and the values written.
+    pub outputs: Vec<(u8, u32)>,
+    /// Immediate operand, if the encoding has one.
+    pub imm: Option<u32>,
+}
+
+impl TraceRecord {
+    /// Formats the record as one trace line (the interchange format used to
+    /// cross-check the cycle-accurate reference model).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(64);
+        let _ = write!(s, "{} {:#010x}.{} {}", self.cycle, self.addr, self.slot, self.opcode);
+        for (r, v) in &self.inputs {
+            let _ = write!(s, " in r{r}={v:#x}");
+        }
+        for (r, v) in &self.outputs {
+            let _ = write!(s, " out r{r}={v:#x}");
+        }
+        if let Some(imm) = self.imm {
+            let _ = write!(s, " imm={imm:#x}");
+        }
+        s
+    }
+}
+
+/// Destination for trace records.
+///
+/// The simulator calls [`TraceSink::record`] once per executed operation.
+pub trait TraceSink {
+    /// Consumes one record.
+    fn record(&mut self, record: TraceRecord);
+}
+
+/// Collects records in memory (tests, validation harnesses).
+#[derive(Debug, Default)]
+pub struct VecTraceSink {
+    /// The collected records.
+    pub records: Vec<TraceRecord>,
+}
+
+impl VecTraceSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        VecTraceSink::default()
+    }
+}
+
+impl TraceSink for VecTraceSink {
+    fn record(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+}
+
+/// Streams records as text lines to any [`Write`] implementation (pass
+/// `&mut file` to keep ownership).
+#[derive(Debug)]
+pub struct WriteTraceSink<W> {
+    writer: W,
+}
+
+impl<W: Write> WriteTraceSink<W> {
+    /// Creates a sink writing to `writer`.
+    #[must_use]
+    pub fn new(writer: W) -> Self {
+        WriteTraceSink { writer }
+    }
+
+    /// Returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for WriteTraceSink<W> {
+    fn record(&mut self, record: TraceRecord) {
+        // Trace emission is best-effort; an I/O error must not abort the
+        // simulation (matching the paper's fire-and-forget trace file).
+        let _ = writeln!(self.writer, "{}", record.to_line());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceRecord {
+        TraceRecord {
+            cycle: 12,
+            addr: 0x1_0000,
+            slot: 1,
+            opcode: "add",
+            inputs: vec![(2, 5), (3, 7)],
+            outputs: vec![(1, 12)],
+            imm: None,
+        }
+    }
+
+    #[test]
+    fn line_format_contains_all_fields() {
+        let line = sample().to_line();
+        assert!(line.contains("12 0x00010000.1 add"));
+        assert!(line.contains("in r2=0x5"));
+        assert!(line.contains("in r3=0x7"));
+        assert!(line.contains("out r1=0xc"));
+        assert!(!line.contains("imm="));
+    }
+
+    #[test]
+    fn vec_sink_collects() {
+        let mut sink = VecTraceSink::new();
+        sink.record(sample());
+        sink.record(sample());
+        assert_eq!(sink.records.len(), 2);
+    }
+
+    #[test]
+    fn write_sink_emits_lines() {
+        let mut sink = WriteTraceSink::new(Vec::<u8>::new());
+        sink.record(TraceRecord { imm: Some(4), ..sample() });
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.ends_with('\n'));
+        assert!(text.contains("imm=0x4"));
+    }
+}

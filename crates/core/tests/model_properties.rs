@@ -1,0 +1,135 @@
+//! Property-based invariants of the cycle models over randomized
+//! instruction streams (independent of the toolchain).
+
+use proptest::prelude::*;
+
+use kahrisma_core::{
+    AccessKind, AieModel, CacheConfig, CycleModel, DoeModel, IlpModel, InstrEvent,
+    MemoryHierarchy, OpEvent,
+};
+
+/// A randomly generated operation for a given issue slot.
+fn arb_op(slot: u8) -> impl Strategy<Value = OpEvent> {
+    (0u8..8, 0u8..8, 1u32..4, prop_oneof![Just(0u8), Just(1), Just(2)], 0u32..0x2000).prop_map(
+        move |(src_a, src_b, delay, kind, addr)| {
+            let mut op = OpEvent {
+                slot,
+                srcs: [8 + src_a, 16 + src_b],
+                nsrcs: 2,
+                dst: 8 + ((src_a + src_b) % 16),
+                delay,
+                mem: None,
+                is_branch: false,
+                serialize: false,
+                is_nop: false,
+                is_muldiv: false,
+                mispredict_penalty: 0,
+            };
+            match kind {
+                1 => op.mem = Some((addr & !3, AccessKind::Read)),
+                2 => op.mem = Some((addr & !3, AccessKind::Write)),
+                _ => {}
+            }
+            op
+        },
+    )
+}
+
+/// A random instruction stream for the given width: each instruction fills
+/// every slot with a real op or a nop.
+fn arb_stream(width: u8, len: usize) -> impl Strategy<Value = Vec<Vec<OpEvent>>> {
+    prop::collection::vec(
+        prop::collection::vec(any::<bool>(), width as usize).prop_flat_map(move |mask| {
+            let slots: Vec<BoxedStrategy<OpEvent>> = mask
+                .into_iter()
+                .enumerate()
+                .map(|(slot, real)| {
+                    if real {
+                        arb_op(slot as u8).boxed()
+                    } else {
+                        Just(OpEvent::nop(slot as u8)).boxed()
+                    }
+                })
+                .collect();
+            slots
+        }),
+        1..len,
+    )
+}
+
+fn run_model(model: &mut dyn CycleModel, stream: &[Vec<OpEvent>]) -> u64 {
+    for (i, ops) in stream.iter().enumerate() {
+        model.instruction(&InstrEvent { addr: (i as u32) * 32, ops });
+    }
+    model.finish();
+    model.cycles()
+}
+
+fn hierarchy() -> MemoryHierarchy {
+    MemoryHierarchy::new().with_cache(CacheConfig::paper_l1()).with_memory(18)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// DOE (slots drift) never takes longer than AIE (full barrier per
+    /// instruction) on the same stream and memory configuration.
+    #[test]
+    fn doe_bounded_by_aie(stream in arb_stream(4, 24)) {
+        let doe = run_model(&mut DoeModel::new(hierarchy()), &stream);
+        let aie = run_model(&mut AieModel::new(hierarchy()), &stream);
+        prop_assert!(doe <= aie, "DOE {doe} > AIE {aie}");
+    }
+
+    /// The ILP model (unlimited resources) never takes longer than DOE on a
+    /// RISC (single-slot) stream with ideal-memory DOE.
+    #[test]
+    fn ilp_bounded_by_single_slot_doe(stream in arb_stream(1, 32)) {
+        let ilp = run_model(&mut IlpModel::new(), &stream);
+        let doe = run_model(&mut DoeModel::new(MemoryHierarchy::new().with_memory(3)), &stream);
+        prop_assert!(ilp <= doe, "ILP {ilp} > DOE {doe}");
+    }
+
+    /// Cycle counts are monotone under appending instructions.
+    #[test]
+    fn appending_work_never_reduces_cycles(stream in arb_stream(2, 20)) {
+        let mut m1 = DoeModel::new(hierarchy());
+        let mut m2 = DoeModel::new(hierarchy());
+        let full = run_model(&mut m1, &stream);
+        let prefix = &stream[..stream.len() / 2];
+        let half = run_model(&mut m2, prefix);
+        prop_assert!(half <= full, "prefix {half} > full {full}");
+    }
+
+    /// Models are deterministic functions of the stream.
+    #[test]
+    fn models_are_deterministic(stream in arb_stream(4, 16)) {
+        for _ in 0..2 {
+            let a = run_model(&mut DoeModel::new(hierarchy()), &stream);
+            let b = run_model(&mut DoeModel::new(hierarchy()), &stream);
+            prop_assert_eq!(a, b);
+            let a = run_model(&mut AieModel::new(hierarchy()), &stream);
+            let b = run_model(&mut AieModel::new(hierarchy()), &stream);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Every model accounts at least one cycle per non-empty stream, and at
+    /// least the critical delay of any single operation.
+    #[test]
+    fn cycles_lower_bounds(stream in arb_stream(2, 16)) {
+        let max_delay = stream
+            .iter()
+            .flatten()
+            .filter(|o| !o.is_nop && o.mem.is_none())
+            .map(|o| u64::from(o.delay))
+            .max()
+            .unwrap_or(0);
+        for cycles in [
+            run_model(&mut AieModel::new(hierarchy()), &stream),
+            run_model(&mut DoeModel::new(hierarchy()), &stream),
+        ] {
+            prop_assert!(cycles >= max_delay, "{cycles} < {max_delay}");
+        }
+    }
+}

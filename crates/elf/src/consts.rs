@@ -1,0 +1,64 @@
+//! ELF constants used by the KAHRISMA codec.
+
+/// `e_machine` value claimed by KAHRISMA binaries (`"KA"` little-endian).
+pub const EM_KAHRISMA: u16 = 0x4B41;
+
+pub(crate) const ELF_MAGIC: [u8; 4] = [0x7F, b'E', b'L', b'F'];
+pub(crate) const ELFCLASS32: u8 = 1;
+pub(crate) const ELFDATA2LSB: u8 = 1;
+pub(crate) const EV_CURRENT: u8 = 1;
+
+pub(crate) const ET_REL: u16 = 1;
+pub(crate) const ET_EXEC: u16 = 2;
+
+pub(crate) const EHDR_SIZE: u16 = 52;
+pub(crate) const PHDR_SIZE: u16 = 32;
+pub(crate) const SHDR_SIZE: u16 = 40;
+pub(crate) const SYM_SIZE: u32 = 16;
+pub(crate) const RELA_SIZE: u32 = 12;
+
+pub(crate) const SHT_NULL: u32 = 0;
+pub(crate) const SHT_PROGBITS: u32 = 1;
+pub(crate) const SHT_SYMTAB: u32 = 2;
+pub(crate) const SHT_STRTAB: u32 = 3;
+pub(crate) const SHT_RELA: u32 = 4;
+pub(crate) const SHT_NOBITS: u32 = 8;
+/// Custom section type for KAHRISMA debug metadata.
+pub(crate) const SHT_KAHRISMA_DEBUG: u32 = 0x7A00_0001;
+
+pub(crate) const SHF_WRITE: u32 = 0x1;
+pub(crate) const SHF_ALLOC: u32 = 0x2;
+pub(crate) const SHF_EXECINSTR: u32 = 0x4;
+
+pub(crate) const PT_LOAD: u32 = 1;
+pub(crate) const PF_X: u32 = 0x1;
+pub(crate) const PF_W: u32 = 0x2;
+pub(crate) const PF_R: u32 = 0x4;
+
+pub(crate) const STB_LOCAL: u8 = 0;
+pub(crate) const STB_GLOBAL: u8 = 1;
+pub(crate) const STT_NOTYPE: u8 = 0;
+pub(crate) const STT_OBJECT: u8 = 1;
+pub(crate) const STT_FUNC: u8 = 2;
+
+pub(crate) const SHN_UNDEF: u16 = 0;
+pub(crate) const SHN_ABS: u16 = 0xFFF1;
+
+pub(crate) const SEC_TEXT: &str = ".text";
+pub(crate) const SEC_DATA: &str = ".data";
+pub(crate) const SEC_RODATA: &str = ".rodata";
+pub(crate) const SEC_BSS: &str = ".bss";
+pub(crate) const SEC_SYMTAB: &str = ".symtab";
+pub(crate) const SEC_STRTAB: &str = ".strtab";
+pub(crate) const SEC_SHSTRTAB: &str = ".shstrtab";
+pub(crate) const SEC_RELA_TEXT: &str = ".rela.text";
+pub(crate) const SEC_RELA_DATA: &str = ".rela.data";
+pub(crate) const SEC_RELA_RODATA: &str = ".rela.rodata";
+/// Assembler-line map (paper §V-C: "the assembler stores the assembler file
+/// mapping into a custom data section within the ELF file").
+pub(crate) const SEC_LINES: &str = ".kahrisma.lines";
+/// Function table ("Within the ELF file the start address and end address of
+/// each function is stored").
+pub(crate) const SEC_FUNCS: &str = ".kahrisma.funcs";
+/// Address-range → ISA map for mixed-ISA binaries.
+pub(crate) const SEC_ISAMAP: &str = ".kahrisma.isamap";

@@ -1,0 +1,353 @@
+//! KAHRISMA debug metadata stored in custom ELF sections.
+//!
+//! Paper §V-C: for debugging and statistics the simulator maps an
+//! instruction address to the corresponding assembler line, source line, or
+//! function name; the assembler stores the line map in a custom ELF data
+//! section and the function start/end addresses live in the ELF file. §V-D
+//! additionally requires knowing which ISA each address range is encoded in.
+
+use crate::error::ElfError;
+use crate::io::{Reader, StrTab, Writer, strtab_get};
+
+/// One address → source-line mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineEntry {
+    /// Instruction address.
+    pub addr: u32,
+    /// Index into [`DebugInfo::files`].
+    pub file: u16,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// One function's address range, name, and ISA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncEntry {
+    /// Function name (the linker-visible symbol).
+    pub name: String,
+    /// Start address (inclusive).
+    pub start: u32,
+    /// End address (exclusive).
+    pub end: u32,
+    /// ISA identifier the function is encoded in.
+    pub isa: u8,
+}
+
+/// Debug metadata of an object file or executable.
+///
+/// Addresses in an [`Object`](crate::Object) are section-relative offsets
+/// into `.text`; the linker rebases them to absolute addresses in the
+/// [`Executable`](crate::Executable).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DebugInfo {
+    /// Source-file names referenced by [`LineEntry::file`].
+    pub files: Vec<String>,
+    /// Address → line map, sorted by address.
+    pub lines: Vec<LineEntry>,
+    /// Function table.
+    pub funcs: Vec<FuncEntry>,
+    /// ISA map: `(start_addr, isa_id)` entries sorted by address; each entry
+    /// covers addresses up to the next entry's start.
+    pub isa_map: Vec<(u32, u8)>,
+}
+
+impl DebugInfo {
+    /// Creates empty debug info.
+    #[must_use]
+    pub fn new() -> Self {
+        DebugInfo::default()
+    }
+
+    /// Returns `(file_name, line)` for the given address, using the closest
+    /// preceding line entry, as the paper's simulator does for error reports.
+    #[must_use]
+    pub fn line_for_addr(&self, addr: u32) -> Option<(&str, u32)> {
+        let idx = match self.lines.binary_search_by_key(&addr, |e| e.addr) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let e = &self.lines[idx];
+        self.files.get(usize::from(e.file)).map(|f| (f.as_str(), e.line))
+    }
+
+    /// Returns the function covering the given address.
+    #[must_use]
+    pub fn func_for_addr(&self, addr: u32) -> Option<&FuncEntry> {
+        self.funcs.iter().find(|f| f.start <= addr && addr < f.end)
+    }
+
+    /// Returns the ISA id active at the given address according to the ISA
+    /// map, if the address is covered.
+    #[must_use]
+    pub fn isa_for_addr(&self, addr: u32) -> Option<u8> {
+        let idx = match self.isa_map.binary_search_by_key(&addr, |e| e.0) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        Some(self.isa_map[idx].1)
+    }
+
+    /// Rebases all addresses by `delta` (used by the linker when placing a
+    /// section at its final address).
+    pub fn rebase(&mut self, delta: u32) {
+        for l in &mut self.lines {
+            l.addr = l.addr.wrapping_add(delta);
+        }
+        for f in &mut self.funcs {
+            f.start = f.start.wrapping_add(delta);
+            f.end = f.end.wrapping_add(delta);
+        }
+        for e in &mut self.isa_map {
+            e.0 = e.0.wrapping_add(delta);
+        }
+    }
+
+    /// Merges `other` (already rebased) into `self`, remapping file indices.
+    pub fn merge(&mut self, other: &DebugInfo) {
+        let mut file_map = Vec::with_capacity(other.files.len());
+        for f in &other.files {
+            let idx = match self.files.iter().position(|x| x == f) {
+                Some(i) => i,
+                None => {
+                    self.files.push(f.clone());
+                    self.files.len() - 1
+                }
+            };
+            file_map.push(idx as u16);
+        }
+        for l in &other.lines {
+            self.lines.push(LineEntry {
+                addr: l.addr,
+                file: file_map[usize::from(l.file)],
+                line: l.line,
+            });
+        }
+        self.funcs.extend(other.funcs.iter().cloned());
+        self.isa_map.extend(other.isa_map.iter().copied());
+        self.normalize();
+    }
+
+    /// Sorts the maps by address (required for the binary searches).
+    pub fn normalize(&mut self) {
+        self.lines.sort_by_key(|e| e.addr);
+        self.funcs.sort_by_key(|f| f.start);
+        self.isa_map.sort_by_key(|e| e.0);
+        self.isa_map.dedup();
+    }
+
+    pub(crate) fn encode_lines(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        let mut strtab = StrTab::new();
+        let offs: Vec<u32> = self.files.iter().map(|f| strtab.add(f)).collect();
+        let strbytes = strtab.into_bytes();
+        w.u32(self.files.len() as u32);
+        w.u32(self.lines.len() as u32);
+        w.u32(strbytes.len() as u32);
+        for off in offs {
+            w.u32(off);
+        }
+        for l in &self.lines {
+            w.u32(l.addr);
+            w.u16(l.file);
+            w.u16(0);
+            w.u32(l.line);
+        }
+        w.raw(&strbytes);
+        w.into_bytes()
+    }
+
+    pub(crate) fn decode_lines(bytes: &[u8]) -> Result<(Vec<String>, Vec<LineEntry>), ElfError> {
+        let mut r = Reader::new(bytes);
+        let nfiles = r.u32("line file count")? as usize;
+        let nlines = r.u32("line count")? as usize;
+        let strlen = r.u32("line strtab size")? as usize;
+        let mut offs = Vec::with_capacity(nfiles);
+        for _ in 0..nfiles {
+            offs.push(r.u32("file name offset")?);
+        }
+        let mut lines = Vec::with_capacity(nlines);
+        for _ in 0..nlines {
+            let addr = r.u32("line addr")?;
+            let file = r.u16("line file")?;
+            let _pad = r.u16("line pad")?;
+            let line = r.u32("line number")?;
+            lines.push(LineEntry { addr, file, line });
+        }
+        let strbytes = r.take(strlen, "line strtab")?;
+        let mut files = Vec::with_capacity(nfiles);
+        for off in offs {
+            files.push(strtab_get(strbytes, off)?);
+        }
+        Ok((files, lines))
+    }
+
+    pub(crate) fn encode_funcs(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        let mut strtab = StrTab::new();
+        let offs: Vec<u32> = self.funcs.iter().map(|f| strtab.add(&f.name)).collect();
+        let strbytes = strtab.into_bytes();
+        w.u32(self.funcs.len() as u32);
+        w.u32(strbytes.len() as u32);
+        for (f, off) in self.funcs.iter().zip(offs) {
+            w.u32(off);
+            w.u32(f.start);
+            w.u32(f.end);
+            w.u32(u32::from(f.isa));
+        }
+        w.raw(&strbytes);
+        w.into_bytes()
+    }
+
+    pub(crate) fn decode_funcs(bytes: &[u8]) -> Result<Vec<FuncEntry>, ElfError> {
+        let mut r = Reader::new(bytes);
+        let n = r.u32("func count")? as usize;
+        let strlen = r.u32("func strtab size")? as usize;
+        let mut raw = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name_off = r.u32("func name")?;
+            let start = r.u32("func start")?;
+            let end = r.u32("func end")?;
+            let isa = r.u32("func isa")?;
+            if isa > 255 {
+                return Err(ElfError::Malformed("function isa id out of range"));
+            }
+            raw.push((name_off, start, end, isa as u8));
+        }
+        let strbytes = r.take(strlen, "func strtab")?;
+        raw.into_iter()
+            .map(|(off, start, end, isa)| {
+                Ok(FuncEntry { name: strtab_get(strbytes, off)?, start, end, isa })
+            })
+            .collect()
+    }
+
+    pub(crate) fn encode_isamap(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(self.isa_map.len() as u32);
+        for &(addr, isa) in &self.isa_map {
+            w.u32(addr);
+            w.u32(u32::from(isa));
+        }
+        w.into_bytes()
+    }
+
+    pub(crate) fn decode_isamap(bytes: &[u8]) -> Result<Vec<(u32, u8)>, ElfError> {
+        let mut r = Reader::new(bytes);
+        let n = r.u32("isa map count")? as usize;
+        let mut map = Vec::with_capacity(n);
+        for _ in 0..n {
+            let addr = r.u32("isa map addr")?;
+            let isa = r.u32("isa map id")?;
+            if isa > 255 {
+                return Err(ElfError::Malformed("isa map id out of range"));
+            }
+            map.push((addr, isa as u8));
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DebugInfo {
+        DebugInfo {
+            files: vec!["a.s".into(), "b.s".into()],
+            lines: vec![
+                LineEntry { addr: 0x100, file: 0, line: 10 },
+                LineEntry { addr: 0x104, file: 0, line: 11 },
+                LineEntry { addr: 0x200, file: 1, line: 3 },
+            ],
+            funcs: vec![
+                FuncEntry { name: "main".into(), start: 0x100, end: 0x200, isa: 0 },
+                FuncEntry { name: "dct".into(), start: 0x200, end: 0x300, isa: 2 },
+            ],
+            isa_map: vec![(0x100, 0), (0x200, 2)],
+        }
+    }
+
+    #[test]
+    fn line_lookup_uses_preceding_entry() {
+        let d = sample();
+        assert_eq!(d.line_for_addr(0x100), Some(("a.s", 10)));
+        assert_eq!(d.line_for_addr(0x106), Some(("a.s", 11)));
+        assert_eq!(d.line_for_addr(0x300), Some(("b.s", 3)));
+        assert_eq!(d.line_for_addr(0x50), None);
+    }
+
+    #[test]
+    fn func_and_isa_lookup() {
+        let d = sample();
+        assert_eq!(d.func_for_addr(0x150).unwrap().name, "main");
+        assert_eq!(d.func_for_addr(0x200).unwrap().name, "dct");
+        assert!(d.func_for_addr(0x300).is_none());
+        assert_eq!(d.isa_for_addr(0x1FF), Some(0));
+        assert_eq!(d.isa_for_addr(0x200), Some(2));
+        assert_eq!(d.isa_for_addr(0x0), None);
+    }
+
+    #[test]
+    fn lines_roundtrip() {
+        let d = sample();
+        let bytes = d.encode_lines();
+        let (files, lines) = DebugInfo::decode_lines(&bytes).unwrap();
+        assert_eq!(files, d.files);
+        assert_eq!(lines, d.lines);
+    }
+
+    #[test]
+    fn funcs_roundtrip() {
+        let d = sample();
+        let bytes = d.encode_funcs();
+        assert_eq!(DebugInfo::decode_funcs(&bytes).unwrap(), d.funcs);
+    }
+
+    #[test]
+    fn isamap_roundtrip() {
+        let d = sample();
+        let bytes = d.encode_isamap();
+        assert_eq!(DebugInfo::decode_isamap(&bytes).unwrap(), d.isa_map);
+    }
+
+    #[test]
+    fn rebase_shifts_everything() {
+        let mut d = sample();
+        d.rebase(0x1000);
+        assert_eq!(d.lines[0].addr, 0x1100);
+        assert_eq!(d.funcs[0].start, 0x1100);
+        assert_eq!(d.isa_map[1].0, 0x1200);
+    }
+
+    #[test]
+    fn merge_remaps_file_indices() {
+        let mut a = DebugInfo {
+            files: vec!["a.s".into()],
+            lines: vec![LineEntry { addr: 0, file: 0, line: 1 }],
+            ..DebugInfo::default()
+        };
+        let b = DebugInfo {
+            files: vec!["b.s".into(), "a.s".into()],
+            lines: vec![
+                LineEntry { addr: 4, file: 0, line: 2 },
+                LineEntry { addr: 8, file: 1, line: 3 },
+            ],
+            ..DebugInfo::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.files, vec!["a.s".to_string(), "b.s".to_string()]);
+        assert_eq!(a.line_for_addr(4), Some(("b.s", 2)));
+        assert_eq!(a.line_for_addr(8), Some(("a.s", 3)));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let d = sample();
+        let bytes = d.encode_funcs();
+        assert!(DebugInfo::decode_funcs(&bytes[..bytes.len() - 1]).is_err());
+        let bytes = d.encode_lines();
+        assert!(DebugInfo::decode_lines(&bytes[..8]).is_err());
+    }
+}

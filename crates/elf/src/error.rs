@@ -1,0 +1,74 @@
+//! Error type for ELF parsing.
+
+use std::fmt;
+
+/// Error produced while parsing ELF bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ElfError {
+    /// The file is shorter than a structure it claims to contain.
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+        /// Byte offset at which the read failed.
+        offset: usize,
+    },
+    /// The magic bytes, class, or endianness are not ELF32 little-endian.
+    BadMagic,
+    /// The `e_machine` value is not the KAHRISMA machine code.
+    WrongMachine(u16),
+    /// The `e_type` does not match the expected file kind.
+    WrongType {
+        /// Expected `e_type` value.
+        expected: u16,
+        /// Found `e_type` value.
+        found: u16,
+    },
+    /// A string-table reference points outside the table or at a
+    /// non-terminated string.
+    BadString(u32),
+    /// A structurally invalid value was encountered.
+    Malformed(&'static str),
+    /// A relocation references an unknown relocation type.
+    UnknownRelocType(u8),
+    /// A symbol or relocation references an out-of-range index.
+    BadIndex {
+        /// What kind of index.
+        what: &'static str,
+        /// The offending index.
+        index: u32,
+    },
+}
+
+impl fmt::Display for ElfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElfError::Truncated { what, offset } => {
+                write!(f, "truncated ELF file while reading {what} at offset {offset}")
+            }
+            ElfError::BadMagic => write!(f, "not an ELF32 little-endian file"),
+            ElfError::WrongMachine(m) => write!(f, "unexpected machine type {m:#06x}"),
+            ElfError::WrongType { expected, found } => {
+                write!(f, "unexpected ELF type {found} (expected {expected})")
+            }
+            ElfError::BadString(off) => write!(f, "invalid string table reference {off}"),
+            ElfError::Malformed(what) => write!(f, "malformed ELF structure: {what}"),
+            ElfError::UnknownRelocType(t) => write!(f, "unknown relocation type {t}"),
+            ElfError::BadIndex { what, index } => write!(f, "{what} index {index} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ElfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ElfError::BadMagic.to_string().contains("ELF32"));
+        assert!(ElfError::Truncated { what: "header", offset: 3 }.to_string().contains("header"));
+        assert!(ElfError::WrongMachine(7).to_string().contains("0x0007"));
+    }
+}

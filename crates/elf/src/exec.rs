@@ -1,0 +1,291 @@
+//! Linked executables (`ET_EXEC`).
+
+use crate::consts::*;
+use crate::debuginfo::DebugInfo;
+use crate::error::ElfError;
+use crate::io::{StrTab, Writer};
+use crate::object::{RawSection, read_elf};
+
+/// One loadable segment of an executable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Virtual load address.
+    pub addr: u32,
+    /// Initialized contents (loaded verbatim).
+    pub data: Vec<u8>,
+    /// Total in-memory size; any excess over `data.len()` is zero-filled
+    /// (`.bss`).
+    pub mem_size: u32,
+    /// `true` for the executable (text) segment.
+    pub executable: bool,
+}
+
+impl Segment {
+    /// Creates a fully initialized segment.
+    #[must_use]
+    pub fn new(addr: u32, data: Vec<u8>, executable: bool) -> Self {
+        let mem_size = data.len() as u32;
+        Segment { addr, data, mem_size, executable }
+    }
+}
+
+/// A linked KAHRISMA executable.
+///
+/// The simulator loads every segment into simulated memory, initializes the
+/// instruction pointer from [`Executable::entry`], and the active ISA from
+/// [`Executable::entry_isa`] (paper §V: "The ELF file is loaded into the
+/// simulated memory of the processor. The start address is extracted and
+/// used to initialize the IP"; §V-D: the initial ISA must match the entry
+/// code).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Executable {
+    /// Entry-point address.
+    pub entry: u32,
+    /// ISA id of the entry code (stored in `e_flags`).
+    pub entry_isa: u8,
+    /// Loadable segments.
+    pub segments: Vec<Segment>,
+    /// Debug metadata with absolute addresses.
+    pub debug: DebugInfo,
+}
+
+impl Executable {
+    /// Creates an empty executable.
+    #[must_use]
+    pub fn new() -> Self {
+        Executable::default()
+    }
+
+    /// Serializes into ELF32 `ET_EXEC` bytes with one `PT_LOAD` program
+    /// header per segment plus the KAHRISMA debug sections.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        let phnum = self.segments.len() as u16;
+
+        w.raw(&ELF_MAGIC);
+        w.u8(ELFCLASS32);
+        w.u8(ELFDATA2LSB);
+        w.u8(EV_CURRENT);
+        w.raw(&[0; 9]);
+        w.u16(ET_EXEC);
+        w.u16(EM_KAHRISMA);
+        w.u32(1);
+        w.u32(self.entry);
+        let phoff_at = w.len();
+        w.u32(0); // e_phoff (patched)
+        let shoff_at = w.len();
+        w.u32(0); // e_shoff (patched)
+        w.u32(u32::from(self.entry_isa)); // e_flags carries the entry ISA
+        w.u16(EHDR_SIZE);
+        w.u16(PHDR_SIZE);
+        w.u16(phnum);
+        w.u16(SHDR_SIZE);
+        w.u16(5); // null + 3 debug sections + shstrtab
+        w.u16(4); // shstrtab index
+
+        // Program headers.
+        w.align(4);
+        let phoff = w.len() as u32;
+        w.patch_u32(phoff_at, phoff);
+        let mut data_off_slots = Vec::new();
+        for seg in &self.segments {
+            w.u32(PT_LOAD);
+            data_off_slots.push(w.len());
+            w.u32(0); // p_offset (patched)
+            w.u32(seg.addr);
+            w.u32(seg.addr);
+            w.u32(seg.data.len() as u32);
+            w.u32(seg.mem_size.max(seg.data.len() as u32));
+            w.u32(if seg.executable { PF_R | PF_X } else { PF_R | PF_W });
+            w.u32(4);
+        }
+
+        // Segment data.
+        for (seg, slot) in self.segments.iter().zip(&data_off_slots) {
+            w.align(4);
+            let off = w.len() as u32;
+            w.patch_u32(*slot, off);
+            w.raw(&seg.data);
+        }
+
+        // Debug sections.
+        let lines = self.debug.encode_lines();
+        let funcs = self.debug.encode_funcs();
+        let isamap = self.debug.encode_isamap();
+        let debug_secs: [(&str, &[u8]); 3] =
+            [(SEC_LINES, &lines), (SEC_FUNCS, &funcs), (SEC_ISAMAP, &isamap)];
+        let mut sec_offsets = Vec::new();
+        for (_, data) in &debug_secs {
+            w.align(4);
+            sec_offsets.push(w.len() as u32);
+            w.raw(data);
+        }
+
+        let mut shstr = StrTab::new();
+        let name_offs: Vec<u32> = debug_secs.iter().map(|(n, _)| shstr.add(n)).collect();
+        let shstrtab_name = shstr.add(SEC_SHSTRTAB);
+        let shstr_bytes = shstr.into_bytes();
+        w.align(4);
+        let shstr_off = w.len() as u32;
+        w.raw(&shstr_bytes);
+
+        // Section headers.
+        w.align(4);
+        let shoff = w.len() as u32;
+        w.patch_u32(shoff_at, shoff);
+        for _ in 0..10 {
+            w.u32(0); // null header
+        }
+        for (i, (_, data)) in debug_secs.iter().enumerate() {
+            w.u32(name_offs[i]);
+            w.u32(SHT_KAHRISMA_DEBUG);
+            w.u32(0);
+            w.u32(0);
+            w.u32(sec_offsets[i]);
+            w.u32(data.len() as u32);
+            w.u32(0);
+            w.u32(0);
+            w.u32(4);
+            w.u32(0);
+        }
+        w.u32(shstrtab_name);
+        w.u32(SHT_STRTAB);
+        w.u32(0);
+        w.u32(0);
+        w.u32(shstr_off);
+        w.u32(shstr_bytes.len() as u32);
+        w.u32(0);
+        w.u32(0);
+        w.u32(1);
+        w.u32(0);
+
+        w.into_bytes()
+    }
+
+    /// Parses ELF32 `ET_EXEC` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bytes are not a well-formed KAHRISMA
+    /// executable.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ElfError> {
+        let (ehdr, sections) = read_elf(bytes, ET_EXEC)?;
+
+        // Program headers.
+        let mut segments = Vec::with_capacity(usize::from(ehdr.phnum));
+        for i in 0..ehdr.phnum {
+            let base = ehdr.phoff as usize + usize::from(i) * PHDR_SIZE as usize;
+            let mut r = crate::io::Reader::at(bytes, base)?;
+            let p_type = r.u32("p_type")?;
+            let p_offset = r.u32("p_offset")?;
+            let p_vaddr = r.u32("p_vaddr")?;
+            let _p_paddr = r.u32("p_paddr")?;
+            let p_filesz = r.u32("p_filesz")?;
+            let p_memsz = r.u32("p_memsz")?;
+            let p_flags = r.u32("p_flags")?;
+            let _p_align = r.u32("p_align")?;
+            if p_type != PT_LOAD {
+                continue;
+            }
+            let data = bytes
+                .get(p_offset as usize..(p_offset as usize + p_filesz as usize))
+                .ok_or(ElfError::Truncated { what: "segment data", offset: p_offset as usize })?
+                .to_vec();
+            segments.push(Segment {
+                addr: p_vaddr,
+                data,
+                mem_size: p_memsz,
+                executable: p_flags & PF_X != 0,
+            });
+        }
+
+        // Debug sections.
+        let mut debug = DebugInfo::new();
+        let find = |name: &str| -> Option<&RawSection> { sections.iter().find(|s| s.name == name) };
+        if let Some(s) = find(SEC_LINES) {
+            let (files, lines) = DebugInfo::decode_lines(&s.data)?;
+            debug.files = files;
+            debug.lines = lines;
+        }
+        if let Some(s) = find(SEC_FUNCS) {
+            debug.funcs = DebugInfo::decode_funcs(&s.data)?;
+        }
+        if let Some(s) = find(SEC_ISAMAP) {
+            debug.isa_map = DebugInfo::decode_isamap(&s.data)?;
+        }
+
+        if ehdr.flags > 255 {
+            return Err(ElfError::Malformed("entry isa out of range"));
+        }
+        Ok(Executable { entry: ehdr.entry, entry_isa: ehdr.flags as u8, segments, debug })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::debuginfo::{FuncEntry, LineEntry};
+
+    fn sample_exec() -> Executable {
+        let mut e = Executable::new();
+        e.entry = 0x0001_0000;
+        e.entry_isa = 2;
+        e.segments = vec![
+            Segment::new(0x0001_0000, vec![1, 2, 3, 4, 5, 6, 7, 8], true),
+            Segment { addr: 0x0008_0000, data: vec![0xAA; 16], mem_size: 64, executable: false },
+        ];
+        e.debug.files = vec!["main.s".into()];
+        e.debug.lines = vec![LineEntry { addr: 0x0001_0000, file: 0, line: 5 }];
+        e.debug.funcs =
+            vec![FuncEntry { name: "main".into(), start: 0x0001_0000, end: 0x0001_0008, isa: 2 }];
+        e.debug.isa_map = vec![(0x0001_0000, 2)];
+        e
+    }
+
+    #[test]
+    fn roundtrip() {
+        let e = sample_exec();
+        let back = Executable::from_bytes(&e.to_bytes()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn bss_excess_survives() {
+        let e = sample_exec();
+        let back = Executable::from_bytes(&e.to_bytes()).unwrap();
+        assert_eq!(back.segments[1].mem_size, 64);
+        assert_eq!(back.segments[1].data.len(), 16);
+        assert!(!back.segments[1].executable);
+        assert!(back.segments[0].executable);
+    }
+
+    #[test]
+    fn entry_isa_carried_in_flags() {
+        let e = sample_exec();
+        let bytes = e.to_bytes();
+        // e_flags at offset 36.
+        assert_eq!(u32::from_le_bytes(bytes[36..40].try_into().unwrap()), 2);
+        assert_eq!(Executable::from_bytes(&bytes).unwrap().entry_isa, 2);
+    }
+
+    #[test]
+    fn object_bytes_rejected_as_executable() {
+        let obj = crate::Object::new().to_bytes();
+        assert!(matches!(Executable::from_bytes(&obj), Err(ElfError::WrongType { .. })));
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = sample_exec().to_bytes();
+        for len in 0..bytes.len() {
+            let _ = Executable::from_bytes(&bytes[..len]);
+        }
+    }
+
+    #[test]
+    fn empty_executable_roundtrips() {
+        let e = Executable::new();
+        assert_eq!(Executable::from_bytes(&e.to_bytes()).unwrap(), e);
+    }
+}

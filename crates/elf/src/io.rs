@@ -1,0 +1,191 @@
+//! Little-endian byte cursor helpers shared by the ELF reader and writer.
+
+use crate::error::ElfError;
+
+/// A checked little-endian reader over a byte slice.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    pub(crate) fn at(bytes: &'a [u8], offset: usize) -> Result<Self, ElfError> {
+        if offset > bytes.len() {
+            return Err(ElfError::Truncated { what: "seek target", offset });
+        }
+        Ok(Reader { bytes, pos: offset })
+    }
+
+    pub(crate) fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ElfError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(ElfError::Truncated { what, offset: self.pos })?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self, what: &'static str) -> Result<u8, ElfError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn u16(&mut self, what: &'static str) -> Result<u16, ElfError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&mut self, what: &'static str) -> Result<u32, ElfError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn i32(&mut self, what: &'static str) -> Result<i32, ElfError> {
+        Ok(self.u32(what)? as i32)
+    }
+}
+
+/// A growable little-endian writer.
+#[derive(Debug, Default)]
+pub(crate) struct Writer {
+    bytes: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Writer::default()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+
+    pub(crate) fn u16(&mut self, v: u16) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn i32(&mut self, v: i32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn raw(&mut self, v: &[u8]) {
+        self.bytes.extend_from_slice(v);
+    }
+
+    pub(crate) fn align(&mut self, to: usize) {
+        while !self.bytes.len().is_multiple_of(to) {
+            self.bytes.push(0);
+        }
+    }
+
+    /// Overwrites a previously written 32-bit slot (for back-patching
+    /// header offsets).
+    pub(crate) fn patch_u32(&mut self, at: usize, v: u32) {
+        self.bytes[at..at + 4].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Reads a NUL-terminated string from a string table.
+pub(crate) fn strtab_get(table: &[u8], offset: u32) -> Result<String, ElfError> {
+    let start = offset as usize;
+    if start >= table.len() {
+        return Err(ElfError::BadString(offset));
+    }
+    let end = table[start..]
+        .iter()
+        .position(|&b| b == 0)
+        .map(|p| start + p)
+        .ok_or(ElfError::BadString(offset))?;
+    String::from_utf8(table[start..end].to_vec()).map_err(|_| ElfError::BadString(offset))
+}
+
+/// An incrementally built string table (offset 0 is the empty string).
+#[derive(Debug)]
+pub(crate) struct StrTab {
+    bytes: Vec<u8>,
+}
+
+impl StrTab {
+    pub(crate) fn new() -> Self {
+        StrTab { bytes: vec![0] }
+    }
+
+    pub(crate) fn add(&mut self, s: &str) -> u32 {
+        let off = self.bytes.len() as u32;
+        self.bytes.extend_from_slice(s.as_bytes());
+        self.bytes.push(0);
+        off
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_reads_little_endian() {
+        let bytes = [0x01, 0x02, 0x03, 0x04, 0xFF];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u32("v").unwrap(), 0x0403_0201);
+        assert_eq!(r.u8("b").unwrap(), 0xFF);
+        assert!(r.u8("end").is_err());
+    }
+
+    #[test]
+    fn reader_at_rejects_out_of_bounds() {
+        assert!(Reader::at(&[0; 4], 5).is_err());
+        assert!(Reader::at(&[0; 4], 4).is_ok());
+    }
+
+    #[test]
+    fn writer_roundtrip_and_patch() {
+        let mut w = Writer::new();
+        w.u32(0);
+        w.u16(0xBEEF);
+        w.align(4);
+        assert_eq!(w.len(), 8);
+        w.patch_u32(0, 0xDEAD_BEEF);
+        let b = w.into_bytes();
+        assert_eq!(&b[0..4], &0xDEAD_BEEFu32.to_le_bytes());
+        assert_eq!(&b[4..6], &0xBEEFu16.to_le_bytes());
+    }
+
+    #[test]
+    fn strtab_roundtrip() {
+        let mut t = StrTab::new();
+        let a = t.add("hello");
+        let b = t.add("world");
+        let bytes = t.into_bytes();
+        assert_eq!(strtab_get(&bytes, a).unwrap(), "hello");
+        assert_eq!(strtab_get(&bytes, b).unwrap(), "world");
+        assert_eq!(strtab_get(&bytes, 0).unwrap(), "");
+        assert!(strtab_get(&bytes, bytes.len() as u32).is_err());
+    }
+
+    #[test]
+    fn strtab_missing_nul_rejected() {
+        assert!(strtab_get(b"abc", 0).is_err());
+    }
+}

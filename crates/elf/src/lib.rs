@@ -1,0 +1,51 @@
+//! Minimal ELF32 object/executable codec for the KAHRISMA toolchain.
+//!
+//! The paper's binary utilities store "both, the object files and application
+//! binary … in standard *Executable and Linkable Format* (ELF)" (§IV) and
+//! keep the simulator's debug metadata — the assembler-line map and per-
+//! function address ranges — in custom ELF sections (§V-C). This crate
+//! implements exactly that storage layer:
+//!
+//! * [`Object`] — a relocatable object file (`ET_REL`) with `.text`,
+//!   `.data`, `.rodata`, `.bss`, a symbol table, and KAHRISMA relocations;
+//! * [`Executable`] — a linked binary (`ET_EXEC`) with `PT_LOAD` program
+//!   headers, the entry point, and the entry ISA (stored in `e_flags`);
+//! * [`DebugInfo`] — the custom sections `.kahrisma.lines` (address →
+//!   source line), `.kahrisma.funcs` (function name, start, end, ISA) and
+//!   `.kahrisma.isamap` (address ranges → ISA id), used by the simulator's
+//!   debugging and mixed-ISA support.
+//!
+//! Both directions (serialize and parse) are implemented so that the
+//! assembler, linker and simulator communicate only through genuine ELF
+//! bytes, as in the paper's framework.
+//!
+//! # Example
+//!
+//! ```
+//! use kahrisma_elf::{Object, Symbol, SectionId, SymKind};
+//!
+//! let mut obj = Object::new();
+//! obj.text.extend_from_slice(&42u32.to_le_bytes());
+//! obj.symbols.push(Symbol::global("start", SectionId::Text, 0, SymKind::Func));
+//! let bytes = obj.to_bytes();
+//! let back = Object::from_bytes(&bytes)?;
+//! assert_eq!(back.text, obj.text);
+//! assert_eq!(back.symbols[0].name, "start");
+//! # Ok::<(), kahrisma_elf::ElfError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod consts;
+mod debuginfo;
+mod error;
+mod exec;
+mod io;
+mod object;
+
+pub use consts::EM_KAHRISMA;
+pub use debuginfo::{DebugInfo, FuncEntry, LineEntry};
+pub use error::ElfError;
+pub use exec::{Executable, Segment};
+pub use object::{Object, Reloc, RelocKind, SectionId, SymKind, Symbol};

@@ -1,0 +1,170 @@
+//! Application binary interface of the KAHRISMA family.
+//!
+//! Shared by the compiler (`kahrisma-kcc`), the assembler's register-alias
+//! parser, and the simulator's C-standard-library emulation (which reads
+//! arguments "from the registers and stack according to the calling
+//! convention", paper §V-E).
+//!
+//! | registers | alias | role | saved by |
+//! |-----------|-------|------|----------|
+//! | `r0`      | `zero`| hardwired zero | — |
+//! | `r1`      | `at`  | assembler/linker scratch | — |
+//! | `r2`      | `rv`  | return value | caller |
+//! | `r3`      | `rv2` | second return value / scratch | caller |
+//! | `r4`–`r7` | `a0`–`a3` | arguments | caller |
+//! | `r8`–`r15`| `t0`–`t7` | temporaries | caller |
+//! | `r16`–`r27`| `s0`–`s11`| saved | callee |
+//! | `r28`     | `fp`  | frame pointer | callee |
+//! | `r29`     | `sp`  | stack pointer | callee |
+//! | `r30`     | `gp`  | global pointer (reserved) | — |
+//! | `r31`     | `ra`  | return address | caller |
+//!
+//! Additional arguments beyond `a3` are passed on the stack at `sp+0`,
+//! `sp+4`, … of the caller's outgoing-argument area. The stack grows
+//! downward and is kept 8-byte aligned.
+
+/// Hardwired-zero register.
+pub const ZERO: u8 = 0;
+/// Assembler scratch register (used by pseudo-instruction expansion).
+pub const AT: u8 = 1;
+/// Return-value register.
+pub const RV: u8 = 2;
+/// Second return-value register.
+pub const RV2: u8 = 3;
+/// First argument register; arguments occupy `A0..A0+NUM_ARG_REGS`.
+pub const A0: u8 = 4;
+/// Number of argument registers.
+pub const NUM_ARG_REGS: u8 = 4;
+/// First caller-saved temporary.
+pub const T0: u8 = 8;
+/// Number of caller-saved temporaries.
+pub const NUM_TEMP_REGS: u8 = 8;
+/// First callee-saved register.
+pub const S0: u8 = 16;
+/// Number of callee-saved registers.
+pub const NUM_SAVED_REGS: u8 = 12;
+/// Frame pointer.
+pub const FP: u8 = 28;
+/// Stack pointer.
+pub const SP: u8 = 29;
+/// Global pointer (reserved, unused by the shipped toolchain).
+pub const GP: u8 = 30;
+/// Return-address (link) register.
+pub const RA: u8 = 31;
+
+/// Required stack alignment in bytes.
+pub const STACK_ALIGN: u32 = 8;
+
+/// Initial stack-pointer value installed by the simulator loader.
+pub const STACK_TOP: u32 = 0x0100_0000;
+
+/// Base address at which the linker places the text segment.
+pub const TEXT_BASE: u32 = 0x0001_0000;
+
+/// Resolves a register alias (`"sp"`, `"a0"`, …) or numeric name (`"r7"`)
+/// to its register number.
+///
+/// # Example
+///
+/// ```
+/// use kahrisma_isa::abi;
+/// assert_eq!(abi::parse_reg("sp"), Some(29));
+/// assert_eq!(abi::parse_reg("r7"), Some(7));
+/// assert_eq!(abi::parse_reg("t3"), Some(11));
+/// assert_eq!(abi::parse_reg("bogus"), None);
+/// ```
+#[must_use]
+pub fn parse_reg(name: &str) -> Option<u8> {
+    match name {
+        "zero" => return Some(ZERO),
+        "at" => return Some(AT),
+        "rv" => return Some(RV),
+        "rv2" => return Some(RV2),
+        "fp" => return Some(FP),
+        "sp" => return Some(SP),
+        "gp" => return Some(GP),
+        "ra" => return Some(RA),
+        _ => {}
+    }
+    let (prefix, base, count) = match name.as_bytes().first()? {
+        b'r' => ("r", 0u8, 32u8),
+        b'a' => ("a", A0, NUM_ARG_REGS),
+        b't' => ("t", T0, NUM_TEMP_REGS),
+        b's' => ("s", S0, NUM_SAVED_REGS),
+        _ => return None,
+    };
+    let n: u8 = name.strip_prefix(prefix)?.parse().ok()?;
+    if n < count {
+        Some(base + n)
+    } else {
+        None
+    }
+}
+
+/// Canonical display name of a register number (numeric form).
+///
+/// # Panics
+///
+/// Panics if `reg >= 32`.
+#[must_use]
+pub fn reg_name(reg: u8) -> String {
+    assert!(reg < 32, "register {reg} out of range");
+    format!("r{reg}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_resolve() {
+        assert_eq!(parse_reg("zero"), Some(0));
+        assert_eq!(parse_reg("at"), Some(1));
+        assert_eq!(parse_reg("rv"), Some(2));
+        assert_eq!(parse_reg("rv2"), Some(3));
+        assert_eq!(parse_reg("a0"), Some(4));
+        assert_eq!(parse_reg("a3"), Some(7));
+        assert_eq!(parse_reg("t0"), Some(8));
+        assert_eq!(parse_reg("t7"), Some(15));
+        assert_eq!(parse_reg("s0"), Some(16));
+        assert_eq!(parse_reg("s11"), Some(27));
+        assert_eq!(parse_reg("fp"), Some(28));
+        assert_eq!(parse_reg("sp"), Some(29));
+        assert_eq!(parse_reg("gp"), Some(30));
+        assert_eq!(parse_reg("ra"), Some(31));
+    }
+
+    #[test]
+    fn numeric_names_resolve() {
+        for i in 0..32u8 {
+            assert_eq!(parse_reg(&format!("r{i}")), Some(i));
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert_eq!(parse_reg("r32"), None);
+        assert_eq!(parse_reg("a4"), None);
+        assert_eq!(parse_reg("t8"), None);
+        assert_eq!(parse_reg("s12"), None);
+        assert_eq!(parse_reg(""), None);
+        assert_eq!(parse_reg("x1"), None);
+        assert_eq!(parse_reg("r-1"), None);
+    }
+
+    #[test]
+    fn reg_name_roundtrip() {
+        for i in 0..32u8 {
+            assert_eq!(parse_reg(&reg_name(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn layout_is_consistent() {
+        assert_eq!(A0 + NUM_ARG_REGS, T0);
+        assert_eq!(T0 + NUM_TEMP_REGS, S0);
+        assert_eq!(S0 + NUM_SAVED_REGS, FP);
+        assert!(STACK_TOP.is_multiple_of(STACK_ALIGN));
+        assert!(TEXT_BASE.is_multiple_of(32)); // aligned for the widest (8-issue) instruction
+    }
+}

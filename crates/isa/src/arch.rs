@@ -1,0 +1,190 @@
+//! The architecture description of the KAHRISMA family.
+
+use kahrisma_adl::{ArchDesc, IsaDesc, IsaId, TableSet, TargetGen};
+
+use crate::ops;
+
+/// ISA identifiers of the KAHRISMA family, matching the instance set the
+/// paper evaluates (Figure 4 and Table II).
+pub mod isa_id {
+    use kahrisma_adl::IsaId;
+
+    /// RISC — one operation per instruction (id 0, the default ISA).
+    pub const RISC: IsaId = IsaId::new(0);
+    /// 2-issue VLIW (id 1).
+    pub const VLIW2: IsaId = IsaId::new(1);
+    /// 4-issue VLIW (id 2).
+    pub const VLIW4: IsaId = IsaId::new(2);
+    /// 6-issue VLIW (id 3).
+    pub const VLIW6: IsaId = IsaId::new(3);
+    /// 8-issue VLIW (id 4).
+    pub const VLIW8: IsaId = IsaId::new(4);
+}
+
+/// The ISA configurations of the family, by kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum IsaKind {
+    /// RISC (1-issue).
+    Risc,
+    /// 2-issue VLIW.
+    Vliw2,
+    /// 4-issue VLIW.
+    Vliw4,
+    /// 6-issue VLIW.
+    Vliw6,
+    /// 8-issue VLIW.
+    Vliw8,
+}
+
+impl IsaKind {
+    /// All kinds, narrowest first.
+    pub const ALL: [IsaKind; 5] =
+        [IsaKind::Risc, IsaKind::Vliw2, IsaKind::Vliw4, IsaKind::Vliw6, IsaKind::Vliw8];
+
+    /// The ISA identifier of this kind.
+    #[must_use]
+    pub fn id(self) -> IsaId {
+        match self {
+            IsaKind::Risc => isa_id::RISC,
+            IsaKind::Vliw2 => isa_id::VLIW2,
+            IsaKind::Vliw4 => isa_id::VLIW4,
+            IsaKind::Vliw6 => isa_id::VLIW6,
+            IsaKind::Vliw8 => isa_id::VLIW8,
+        }
+    }
+
+    /// Issue width (operations per instruction).
+    #[must_use]
+    pub fn width(self) -> u8 {
+        match self {
+            IsaKind::Risc => 1,
+            IsaKind::Vliw2 => 2,
+            IsaKind::Vliw4 => 4,
+            IsaKind::Vliw6 => 6,
+            IsaKind::Vliw8 => 8,
+        }
+    }
+
+    /// ISA name as used in assembly `.isa` directives.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            IsaKind::Risc => "risc",
+            IsaKind::Vliw2 => "vliw2",
+            IsaKind::Vliw4 => "vliw4",
+            IsaKind::Vliw6 => "vliw6",
+            IsaKind::Vliw8 => "vliw8",
+        }
+    }
+
+    /// Looks a kind up by issue width.
+    #[must_use]
+    pub fn from_width(width: u8) -> Option<IsaKind> {
+        IsaKind::ALL.iter().copied().find(|k| k.width() == width)
+    }
+
+    /// Looks a kind up by ISA identifier.
+    #[must_use]
+    pub fn from_id(id: IsaId) -> Option<IsaKind> {
+        IsaKind::ALL.iter().copied().find(|k| k.id() == id)
+    }
+}
+
+/// Issue widths of the family, narrowest first: `[1, 2, 4, 6, 8]`.
+#[must_use]
+pub fn widths() -> [u8; 5] {
+    [1, 2, 4, 6, 8]
+}
+
+/// The ISA identifier executing `width` operations per instruction.
+///
+/// # Panics
+///
+/// Panics if `width` is not one of the family's widths (1, 2, 4, 6, 8).
+#[must_use]
+pub fn isa_for_width(width: u8) -> IsaId {
+    IsaKind::from_width(width)
+        .unwrap_or_else(|| panic!("no ISA with issue width {width} in the KAHRISMA family"))
+        .id()
+}
+
+/// Builds the complete architecture description of the KAHRISMA family:
+/// five ISAs (RISC + VLIW 2/4/6/8) sharing one operation set, 32 registers
+/// with hardwired `r0`.
+#[must_use]
+pub fn arch() -> ArchDesc {
+    let isas = IsaKind::ALL
+        .iter()
+        .map(|k| {
+            let mut isa = IsaDesc::new(k.id().value(), k.name(), k.width());
+            for op in ops::operation_set() {
+                isa.push_op(op);
+            }
+            isa
+        })
+        .collect();
+    ArchDesc::new("kahrisma", isas).expect("the built-in architecture description is valid")
+}
+
+/// Generates the operation tables of the family (one per ISA).
+#[must_use]
+pub fn tables() -> TableSet {
+    TargetGen::new(&arch()).generate().expect("table generation for the built-in family succeeds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_has_five_isas_with_expected_widths() {
+        let a = arch();
+        assert_eq!(a.isas().len(), 5);
+        assert_eq!(a.default_isa(), isa_id::RISC);
+        for kind in IsaKind::ALL {
+            let isa = a.isa(kind.id()).unwrap();
+            assert_eq!(isa.issue_width(), kind.width());
+            assert_eq!(isa.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn kind_lookups_roundtrip() {
+        for kind in IsaKind::ALL {
+            assert_eq!(IsaKind::from_width(kind.width()), Some(kind));
+            assert_eq!(IsaKind::from_id(kind.id()), Some(kind));
+        }
+        assert_eq!(IsaKind::from_width(3), None);
+        assert_eq!(isa_for_width(4), isa_id::VLIW4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ISA with issue width")]
+    fn bad_width_panics() {
+        let _ = isa_for_width(5);
+    }
+
+    #[test]
+    fn tables_detect_shared_operation_set() {
+        let t = tables();
+        for kind in IsaKind::ALL {
+            let table = t.table(kind.id()).unwrap();
+            assert_eq!(table.issue_width(), kind.width());
+            assert!(table.op_by_name("add").is_some());
+            assert!(table.op_by_name("switchtarget").is_some());
+            assert!(table.op_by_name("simop").is_some());
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_every_operation() {
+        let t = tables();
+        let risc = t.table(isa_id::RISC).unwrap();
+        for op in risc.operations() {
+            let word = op.encode(5, 6, 7, 100);
+            let decoded = risc.decode(word).unwrap_or_else(|| panic!("decode {}", op.name()));
+            assert_eq!(risc.op(decoded.op_index).name(), op.name());
+        }
+    }
+}

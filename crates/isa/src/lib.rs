@@ -1,0 +1,51 @@
+//! The concrete KAHRISMA ISA family.
+//!
+//! The DATE 2012 paper evaluates KAHRISMA processor instances executing a
+//! RISC ISA (one operation per instruction) and n-issue VLIW ISAs (n
+//! statically scheduled operations per instruction, one per issue slot /
+//! EDPE). The precise bit-level instruction set was never published, so this
+//! crate defines a documented, self-consistent KAHRISMA-like family with the
+//! properties the paper's evaluation depends on:
+//!
+//! * 32 × 32-bit general-purpose registers, `r0` hardwired to zero;
+//! * 32-bit operation words; an instruction of the `w`-issue ISA is `w`
+//!   consecutive operation words (slot *i* executes on EDPE *i*), padded
+//!   with `nop`s;
+//! * five ISA configurations sharing one operation set:
+//!   `risc` (id 0, width 1), `vliw2` (id 1), `vliw4` (id 2), `vliw6` (id 3)
+//!   and `vliw8` (id 4) — exactly the instance set of Figure 4;
+//! * a `switchtarget` operation that changes the active ISA at runtime
+//!   (paper §V-D) and a `simop` operation that invokes the simulator's
+//!   C-standard-library emulation (paper §V-E).
+//!
+//! Operation latencies (ALU 1, MUL 3, DIV 12, branch 1; memory operations
+//! take their latency from the configured memory hierarchy, L1 hit = 3
+//! cycles) are declared in the architecture description and consumed by all
+//! cycle models.
+//!
+//! # Example
+//!
+//! ```
+//! use kahrisma_isa::{arch, tables, isa_id};
+//!
+//! let arch = arch();
+//! assert_eq!(arch.isas().len(), 5);
+//! let tables = tables();
+//! let risc = tables.table(isa_id::RISC).unwrap();
+//! let (_, add) = risc.op_by_name("add").unwrap();
+//! let word = add.encode(2, 4, 5, 0); // add r2, r4, r5
+//! assert_eq!(risc.detect(word).unwrap().name(), "add");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abi;
+pub mod ops;
+pub mod simop;
+
+mod arch;
+
+pub use arch::{arch, isa_for_width, isa_id, tables, widths, IsaKind};
+
+pub use kahrisma_adl as adl;

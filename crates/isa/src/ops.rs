@@ -1,0 +1,263 @@
+//! Opcode assignments and the shared operation set.
+//!
+//! All five ISA configurations of the family share one operation set (their
+//! instruction *formats* differ — the number of operation words per
+//! instruction). Opcodes occupy bits `[31:24]` of every operation word.
+
+use kahrisma_adl::{AluOp, Behavior, CondOp, Encoding, MemWidth, OperationDesc, Reg};
+
+use crate::abi;
+
+/// `nop` — the all-zero word, also the VLIW slot filler.
+pub const NOP: u8 = 0x00;
+/// `add rd, rs1, rs2`.
+pub const ADD: u8 = 0x01;
+/// `sub rd, rs1, rs2`.
+pub const SUB: u8 = 0x02;
+/// `and rd, rs1, rs2`.
+pub const AND: u8 = 0x03;
+/// `or rd, rs1, rs2`.
+pub const OR: u8 = 0x04;
+/// `xor rd, rs1, rs2`.
+pub const XOR: u8 = 0x05;
+/// `nor rd, rs1, rs2`.
+pub const NOR: u8 = 0x06;
+/// `slt rd, rs1, rs2` (signed set-less-than).
+pub const SLT: u8 = 0x07;
+/// `sltu rd, rs1, rs2` (unsigned set-less-than).
+pub const SLTU: u8 = 0x08;
+/// `sll rd, rs1, rs2` (shift left logical).
+pub const SLL: u8 = 0x09;
+/// `srl rd, rs1, rs2` (shift right logical).
+pub const SRL: u8 = 0x0A;
+/// `sra rd, rs1, rs2` (shift right arithmetic).
+pub const SRA: u8 = 0x0B;
+/// `mul rd, rs1, rs2` (low 32 bits, 3-cycle).
+pub const MUL: u8 = 0x0C;
+/// `mulh rd, rs1, rs2` (signed high 32 bits).
+pub const MULH: u8 = 0x0D;
+/// `mulhu rd, rs1, rs2` (unsigned high 32 bits).
+pub const MULHU: u8 = 0x0E;
+/// `div rd, rs1, rs2` (signed, 12-cycle).
+pub const DIV: u8 = 0x0F;
+/// `divu rd, rs1, rs2`.
+pub const DIVU: u8 = 0x10;
+/// `rem rd, rs1, rs2`.
+pub const REM: u8 = 0x11;
+/// `remu rd, rs1, rs2`.
+pub const REMU: u8 = 0x12;
+/// `addi rd, rs1, simm14`.
+pub const ADDI: u8 = 0x13;
+/// `slti rd, rs1, simm14`.
+pub const SLTI: u8 = 0x14;
+/// `sltiu rd, rs1, simm14` (immediate sign-extended, comparison unsigned).
+pub const SLTIU: u8 = 0x15;
+/// `andi rd, rs1, uimm14` (zero-extended immediate).
+pub const ANDI: u8 = 0x16;
+/// `ori rd, rs1, uimm14` (zero-extended immediate).
+pub const ORI: u8 = 0x17;
+/// `xori rd, rs1, uimm14` (zero-extended immediate).
+pub const XORI: u8 = 0x18;
+/// `slli rd, rs1, shamt`.
+pub const SLLI: u8 = 0x19;
+/// `srli rd, rs1, shamt`.
+pub const SRLI: u8 = 0x1A;
+/// `srai rd, rs1, shamt`.
+pub const SRAI: u8 = 0x1B;
+/// `lui rd, uimm19` — `rd = uimm19 << 13`.
+pub const LUI: u8 = 0x1C;
+/// `lw rd, simm14(rs1)`.
+pub const LW: u8 = 0x20;
+/// `lh rd, simm14(rs1)` (sign-extending).
+pub const LH: u8 = 0x21;
+/// `lhu rd, simm14(rs1)` (zero-extending).
+pub const LHU: u8 = 0x22;
+/// `lb rd, simm14(rs1)` (sign-extending).
+pub const LB: u8 = 0x23;
+/// `lbu rd, simm14(rs1)` (zero-extending).
+pub const LBU: u8 = 0x24;
+/// `sw rs2, simm14(rs1)`.
+pub const SW: u8 = 0x28;
+/// `sh rs2, simm14(rs1)`.
+pub const SH: u8 = 0x29;
+/// `sb rs2, simm14(rs1)`.
+pub const SB: u8 = 0x2A;
+/// `beq rs1, rs2, off14` (word offset from the instruction address).
+pub const BEQ: u8 = 0x30;
+/// `bne rs1, rs2, off14`.
+pub const BNE: u8 = 0x31;
+/// `blt rs1, rs2, off14` (signed).
+pub const BLT: u8 = 0x32;
+/// `bge rs1, rs2, off14` (signed).
+pub const BGE: u8 = 0x33;
+/// `bltu rs1, rs2, off14`.
+pub const BLTU: u8 = 0x34;
+/// `bgeu rs1, rs2, off14`.
+pub const BGEU: u8 = 0x35;
+/// `j uimm24` — absolute jump to word address `uimm24`.
+pub const J: u8 = 0x38;
+/// `jal uimm24` — call; implicitly writes the link register `r31`.
+pub const JAL: u8 = 0x39;
+/// `jr rs1` — indirect jump (return).
+pub const JR: u8 = 0x3A;
+/// `jalr rd, rs1` — indirect call; writes `rd` with the return address.
+pub const JALR: u8 = 0x3B;
+/// `switchtarget uimm24` — switch the active ISA to id `uimm24` (§V-D).
+pub const SWITCHTARGET: u8 = 0x40;
+/// `simop uimm24` — C-standard-library emulation operation (§V-E).
+pub const SIMOP: u8 = 0x41;
+/// `halt` — stop simulation; exit code in the return-value register.
+pub const HALT: u8 = 0x42;
+
+/// The encoded `nop` operation word.
+pub const NOP_WORD: u32 = 0;
+
+/// Default execution delay of single-cycle operations.
+pub const ALU_DELAY: u32 = 1;
+/// Execution delay of multiplications.
+pub const MUL_DELAY: u32 = 3;
+/// Execution delay of divisions and remainders.
+pub const DIV_DELAY: u32 = 12;
+
+/// Builds the shared operation set, in detection order.
+///
+/// The list is identical for every ISA of the family; per the paper each ISA
+/// still receives its *own* operation table so that detection only ever
+/// consults the active ISA.
+#[must_use]
+pub fn operation_set() -> Vec<OperationDesc> {
+    use Behavior as B;
+    let ra = Reg::new(abi::RA);
+    let mut ops = vec![
+        OperationDesc::new("nop", NOP, Encoding::None, B::Nop, ALU_DELAY),
+        OperationDesc::new("add", ADD, Encoding::R, B::IntAlu(AluOp::Add), ALU_DELAY),
+        OperationDesc::new("sub", SUB, Encoding::R, B::IntAlu(AluOp::Sub), ALU_DELAY),
+        OperationDesc::new("and", AND, Encoding::R, B::IntAlu(AluOp::And), ALU_DELAY),
+        OperationDesc::new("or", OR, Encoding::R, B::IntAlu(AluOp::Or), ALU_DELAY),
+        OperationDesc::new("xor", XOR, Encoding::R, B::IntAlu(AluOp::Xor), ALU_DELAY),
+        OperationDesc::new("nor", NOR, Encoding::R, B::IntAlu(AluOp::Nor), ALU_DELAY),
+        OperationDesc::new("slt", SLT, Encoding::R, B::IntAlu(AluOp::Slt), ALU_DELAY),
+        OperationDesc::new("sltu", SLTU, Encoding::R, B::IntAlu(AluOp::Sltu), ALU_DELAY),
+        OperationDesc::new("sll", SLL, Encoding::R, B::IntAlu(AluOp::Sll), ALU_DELAY),
+        OperationDesc::new("srl", SRL, Encoding::R, B::IntAlu(AluOp::Srl), ALU_DELAY),
+        OperationDesc::new("sra", SRA, Encoding::R, B::IntAlu(AluOp::Sra), ALU_DELAY),
+        OperationDesc::new("mul", MUL, Encoding::R, B::IntAlu(AluOp::Mul), MUL_DELAY),
+        OperationDesc::new("mulh", MULH, Encoding::R, B::IntAlu(AluOp::Mulh), MUL_DELAY),
+        OperationDesc::new("mulhu", MULHU, Encoding::R, B::IntAlu(AluOp::Mulhu), MUL_DELAY),
+        OperationDesc::new("div", DIV, Encoding::R, B::IntAlu(AluOp::Div), DIV_DELAY),
+        OperationDesc::new("divu", DIVU, Encoding::R, B::IntAlu(AluOp::Divu), DIV_DELAY),
+        OperationDesc::new("rem", REM, Encoding::R, B::IntAlu(AluOp::Rem), DIV_DELAY),
+        OperationDesc::new("remu", REMU, Encoding::R, B::IntAlu(AluOp::Remu), DIV_DELAY),
+        OperationDesc::new("addi", ADDI, Encoding::I, B::IntAluImm(AluOp::Add), ALU_DELAY),
+        OperationDesc::new("slti", SLTI, Encoding::I, B::IntAluImm(AluOp::Slt), ALU_DELAY),
+        OperationDesc::new("sltiu", SLTIU, Encoding::I, B::IntAluImm(AluOp::Sltu), ALU_DELAY),
+        OperationDesc::new("andi", ANDI, Encoding::Iu, B::IntAluImm(AluOp::And), ALU_DELAY),
+        OperationDesc::new("ori", ORI, Encoding::Iu, B::IntAluImm(AluOp::Or), ALU_DELAY),
+        OperationDesc::new("xori", XORI, Encoding::Iu, B::IntAluImm(AluOp::Xor), ALU_DELAY),
+        OperationDesc::new("slli", SLLI, Encoding::Iu, B::IntAluImm(AluOp::Sll), ALU_DELAY),
+        OperationDesc::new("srli", SRLI, Encoding::Iu, B::IntAluImm(AluOp::Srl), ALU_DELAY),
+        OperationDesc::new("srai", SRAI, Encoding::Iu, B::IntAluImm(AluOp::Sra), ALU_DELAY),
+        OperationDesc::new("lui", LUI, Encoding::U, B::LoadUpperImm, ALU_DELAY),
+    ];
+    let loads: [(&'static str, u8, MemWidth, bool); 5] = [
+        ("lw", LW, MemWidth::Word, false),
+        ("lh", LH, MemWidth::Half, true),
+        ("lhu", LHU, MemWidth::Half, false),
+        ("lb", LB, MemWidth::Byte, true),
+        ("lbu", LBU, MemWidth::Byte, false),
+    ];
+    for (name, opc, width, signed) in loads {
+        ops.push(OperationDesc::new(name, opc, Encoding::I, B::Load { width, signed }, ALU_DELAY));
+    }
+    let stores: [(&'static str, u8, MemWidth); 3] =
+        [("sw", SW, MemWidth::Word), ("sh", SH, MemWidth::Half), ("sb", SB, MemWidth::Byte)];
+    for (name, opc, width) in stores {
+        ops.push(OperationDesc::new(name, opc, Encoding::B, B::Store { width }, ALU_DELAY));
+    }
+    let branches: [(&'static str, u8, CondOp); 6] = [
+        ("beq", BEQ, CondOp::Eq),
+        ("bne", BNE, CondOp::Ne),
+        ("blt", BLT, CondOp::Lt),
+        ("bge", BGE, CondOp::Ge),
+        ("bltu", BLTU, CondOp::Ltu),
+        ("bgeu", BGEU, CondOp::Geu),
+    ];
+    for (name, opc, cond) in branches {
+        ops.push(OperationDesc::new(name, opc, Encoding::B, B::Branch(cond), ALU_DELAY));
+    }
+    ops.push(OperationDesc::new("j", J, Encoding::J, B::Jump, ALU_DELAY));
+    ops.push(
+        OperationDesc::new("jal", JAL, Encoding::J, B::JumpAndLink, ALU_DELAY)
+            .with_implicit_write(ra),
+    );
+    ops.push(OperationDesc::new("jr", JR, Encoding::R1, B::JumpReg, ALU_DELAY));
+    ops.push(OperationDesc::new("jalr", JALR, Encoding::Rr, B::JumpAndLinkReg, ALU_DELAY));
+    ops.push(OperationDesc::new(
+        "switchtarget",
+        SWITCHTARGET,
+        Encoding::J,
+        B::SwitchTarget,
+        ALU_DELAY,
+    ));
+    ops.push(OperationDesc::new("simop", SIMOP, Encoding::J, B::SimOp, ALU_DELAY));
+    ops.push(OperationDesc::new("halt", HALT, Encoding::None, B::Halt, ALU_DELAY));
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_word_is_all_zero() {
+        let ops = operation_set();
+        let nop = ops.iter().find(|o| o.name() == "nop").unwrap();
+        assert_eq!(nop.encode(0, 0, 0, 0), NOP_WORD);
+    }
+
+    #[test]
+    fn opcodes_are_unique() {
+        let ops = operation_set();
+        let mut seen = std::collections::HashSet::new();
+        for op in &ops {
+            assert!(seen.insert(op.opcode()), "duplicate opcode {:#04x}", op.opcode());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let ops = operation_set();
+        let mut seen = std::collections::HashSet::new();
+        for op in &ops {
+            assert!(seen.insert(op.name()), "duplicate name {}", op.name());
+        }
+    }
+
+    #[test]
+    fn delays_match_operation_classes() {
+        let ops = operation_set();
+        let delay = |n: &str| ops.iter().find(|o| o.name() == n).unwrap().delay();
+        assert_eq!(delay("add"), ALU_DELAY);
+        assert_eq!(delay("mul"), MUL_DELAY);
+        assert_eq!(delay("divu"), DIV_DELAY);
+        assert_eq!(delay("beq"), ALU_DELAY);
+    }
+
+    #[test]
+    fn jal_implicitly_writes_link_register() {
+        let ops = operation_set();
+        let jal = ops.iter().find(|o| o.name() == "jal").unwrap();
+        assert_eq!(jal.implicit_writes(), &[Reg::new(abi::RA)]);
+    }
+
+    #[test]
+    fn set_contains_all_documented_groups() {
+        let ops = operation_set();
+        for name in [
+            "nop", "add", "sub", "mul", "div", "addi", "andi", "slli", "lui", "lw", "lbu", "sw",
+            "sb", "beq", "bgeu", "j", "jal", "jr", "jalr", "switchtarget", "simop", "halt",
+        ] {
+            assert!(ops.iter().any(|o| o.name() == name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! `kas` — the mixed-ISA assembler/linker driver.
+//!
+//! ```text
+//! kas [options] <source.s>...
+//!   -o <file>    output executable path (default a.elf)
+//!   --no-libc    do not link the generated C-library stubs
+//!   -c           assemble each input to an object (<name>.o) without linking
+//! ```
+
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: kas [-o FILE] [--no-libc] [-c] <source.s>...");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut output = "a.elf".to_string();
+    let mut link_libc = true;
+    let mut objects_only = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-o" => {
+                output = args.next().unwrap_or_else(|| usage());
+            }
+            "--no-libc" => link_libc = false,
+            "-c" => objects_only = true,
+            "--help" | "-h" => usage(),
+            path if !path.starts_with('-') => inputs.push(path.to_string()),
+            other => {
+                eprintln!("kas: unexpected argument `{other}`");
+                usage();
+            }
+        }
+    }
+    if inputs.is_empty() {
+        usage();
+    }
+
+    let mut objects = Vec::new();
+    for path in &inputs {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("kas: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match kahrisma::asm::assemble(path, &source) {
+            Ok(obj) => {
+                if objects_only {
+                    let out = format!("{}.o", path.trim_end_matches(".s"));
+                    if let Err(e) = std::fs::write(&out, obj.to_bytes()) {
+                        eprintln!("kas: cannot write {out}: {e}");
+                        return ExitCode::from(2);
+                    }
+                    eprintln!("kas: wrote {out}");
+                }
+                objects.push(obj);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    if objects_only {
+        return ExitCode::SUCCESS;
+    }
+
+    if link_libc {
+        let stubs = kahrisma::asm::libc_stubs_asm();
+        match kahrisma::asm::assemble("libc_stubs.s", &stubs) {
+            Ok(obj) => objects.push(obj),
+            Err(e) => {
+                eprintln!("kas: internal stub error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match kahrisma::asm::link(&objects, &kahrisma::asm::LinkOptions::default()) {
+        Ok(exe) => {
+            if let Err(e) = std::fs::write(&output, exe.to_bytes()) {
+                eprintln!("kas: cannot write {output}: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("kas: wrote {output} (entry {:#010x})", exe.entry);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("kas: link error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! `kcc` — the retargetable KC compiler driver.
+//!
+//! ```text
+//! kcc [options] <source.kc>
+//!   --isa <risc|vliw2|vliw4|vliw6|vliw8>  target ISA (default risc)
+//!   --fn-isa <name=isa>                   per-function ISA override (repeatable)
+//!   -S                                    emit assembly instead of an executable
+//!   -o <file>                             output path (default a.elf / out.s)
+//!   -O0                                   disable IR optimizations
+//! ```
+
+use std::process::ExitCode;
+
+use kahrisma::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kcc [--isa NAME] [--fn-isa name=isa]... [-S] [-o FILE] [-O0] <source.kc>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_isa(name: &str) -> IsaKind {
+    IsaKind::ALL.into_iter().find(|k| k.name() == name).unwrap_or_else(|| {
+        eprintln!("kcc: unknown ISA `{name}`");
+        usage()
+    })
+}
+
+fn main() -> ExitCode {
+    let mut options = CompileOptions::default();
+    let mut emit_asm = false;
+    let mut output: Option<String> = None;
+    let mut input: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("kcc: {what} expects a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--isa" => options.isa = parse_isa(&value("--isa")),
+            "--fn-isa" => {
+                let spec = value("--fn-isa");
+                let Some((name, isa)) = spec.split_once('=') else {
+                    eprintln!("kcc: --fn-isa expects name=isa");
+                    usage()
+                };
+                options.function_isa.insert(name.to_string(), parse_isa(isa));
+            }
+            "-S" => emit_asm = true,
+            "-o" => output = Some(value("-o")),
+            "-O0" => options.optimize = false,
+            "--help" | "-h" => usage(),
+            path if !path.starts_with('-') && input.is_none() => input = Some(path.to_string()),
+            other => {
+                eprintln!("kcc: unexpected argument `{other}`");
+                usage();
+            }
+        }
+    }
+    let Some(input) = input else { usage() };
+    let source = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("kcc: cannot read {input}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if emit_asm {
+        match kahrisma::kcc::compile(&source, &options) {
+            Ok(asm) => {
+                let path = output.unwrap_or_else(|| "out.s".to_string());
+                if let Err(e) = std::fs::write(&path, asm) {
+                    eprintln!("kcc: cannot write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                eprintln!("kcc: wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("{input}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    } else {
+        match kahrisma::kcc::compile_to_executable(&source, &options) {
+            Ok(exe) => {
+                let path = output.unwrap_or_else(|| "a.elf".to_string());
+                if let Err(e) = std::fs::write(&path, exe.to_bytes()) {
+                    eprintln!("kcc: cannot write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                eprintln!("kcc: wrote {path} (entry {:#010x})", exe.entry);
+            }
+            Err(e) => {
+                eprintln!("{input}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,255 @@
+//! `ksim` — the KAHRISMA instruction-set simulator as a command-line tool.
+//!
+//! Mirrors the paper's simulator interface: it takes an ELF executable,
+//! optionally an initial ISA ("the initial ISA can optionally be specified
+//! per command line parameter", §V-D), a cycle model (§VI), a trace file
+//! (§V), and reports statistics.
+//!
+//! ```text
+//! ksim [options] <executable.elf>
+//!   --isa <risc|vliw2|vliw4|vliw6|vliw8>   initial ISA (default: from ELF)
+//!   --model <ilp|aie|doe>                  cycle-approximation model
+//!   --predictor <perfect|static|bimodal>   branch prediction (default perfect)
+//!   --trace <file>                         write a trace file
+//!   --rtl                                  run the cycle-accurate reference
+//!   --max-instr <n>                        instruction budget (default 1e9)
+//!   --no-cache | --no-prediction           disable §V-A mechanisms
+//!   --profile                              per-function attribution (§V goal 2)
+//!   --stats                                print detailed statistics
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use kahrisma::core::{PredictorKind, WriteTraceSink};
+use kahrisma::prelude::*;
+
+struct Options {
+    exe_path: String,
+    initial_isa: Option<IsaKind>,
+    model: Option<CycleModelKind>,
+    predictor: kahrisma::core::BranchPredictorConfig,
+    trace: Option<String>,
+    rtl: bool,
+    max_instr: u64,
+    decode_cache: bool,
+    prediction: bool,
+    stats: bool,
+    profile: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ksim [--isa NAME] [--model ilp|aie|doe] [--predictor perfect|static|bimodal]\n\
+         \x20           [--trace FILE] [--rtl] [--max-instr N] [--no-cache] [--no-prediction]\n\
+         \x20           [--stats] <executable.elf>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_isa(name: &str) -> IsaKind {
+    IsaKind::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("ksim: unknown ISA `{name}`");
+            usage()
+        })
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        exe_path: String::new(),
+        initial_isa: None,
+        model: None,
+        predictor: kahrisma::core::BranchPredictorConfig::perfect(),
+        trace: None,
+        rtl: false,
+        max_instr: 1_000_000_000,
+        decode_cache: true,
+        prediction: true,
+        stats: false,
+        profile: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("ksim: {what} expects a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--isa" => options.initial_isa = Some(parse_isa(&value("--isa"))),
+            "--model" => {
+                options.model = Some(match value("--model").as_str() {
+                    "ilp" => CycleModelKind::Ilp,
+                    "aie" => CycleModelKind::Aie,
+                    "doe" => CycleModelKind::Doe,
+                    other => {
+                        eprintln!("ksim: unknown model `{other}`");
+                        usage()
+                    }
+                });
+            }
+            "--predictor" => {
+                options.predictor = match value("--predictor").as_str() {
+                    "perfect" => kahrisma::core::BranchPredictorConfig::perfect(),
+                    "bimodal" => kahrisma::core::BranchPredictorConfig::bimodal(),
+                    "static" => kahrisma::core::BranchPredictorConfig {
+                        kind: PredictorKind::StaticBackwardTaken,
+                        penalty: 3,
+                    },
+                    other => {
+                        eprintln!("ksim: unknown predictor `{other}`");
+                        usage()
+                    }
+                };
+            }
+            "--trace" => options.trace = Some(value("--trace")),
+            "--rtl" => options.rtl = true,
+            "--max-instr" => {
+                options.max_instr = value("--max-instr").parse().unwrap_or_else(|_| usage());
+            }
+            "--no-cache" => options.decode_cache = false,
+            "--no-prediction" => options.prediction = false,
+            "--stats" => options.stats = true,
+            "--profile" => options.profile = true,
+            "--help" | "-h" => usage(),
+            path if !path.starts_with('-') && options.exe_path.is_empty() => {
+                options.exe_path = path.to_string();
+            }
+            other => {
+                eprintln!("ksim: unexpected argument `{other}`");
+                usage();
+            }
+        }
+    }
+    if options.exe_path.is_empty() {
+        usage();
+    }
+    options
+}
+
+fn main() -> ExitCode {
+    let options = parse_args();
+    let bytes = match std::fs::read(&options.exe_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("ksim: cannot read {}: {e}", options.exe_path);
+            return ExitCode::from(2);
+        }
+    };
+    let exe = match Executable::from_bytes(&bytes) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("ksim: {}: {e}", options.exe_path);
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.rtl {
+        match kahrisma::rtl::simulate(&exe, &RtlConfig::default(), options.max_instr) {
+            Ok(result) => {
+                eprintln!(
+                    "ksim (rtl): {} cycles, {} instructions, {} operations",
+                    result.cycles, result.instructions, result.operations
+                );
+                return ExitCode::from(result.exit_code.unwrap_or(124) as u8);
+            }
+            Err(e) => {
+                eprintln!("ksim (rtl): {e}");
+                return ExitCode::from(3);
+            }
+        }
+    }
+
+    let config = SimConfig {
+        initial_isa: options.initial_isa.map(IsaKind::id),
+        cycle_model: options.model,
+        decode_cache: options.decode_cache,
+        prediction: options.prediction,
+        branch_prediction: options.predictor,
+        profile: options.profile,
+        ..SimConfig::default()
+    };
+
+    let mut sim = match Simulator::new(&exe, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ksim: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &options.trace {
+        match std::fs::File::create(path) {
+            Ok(f) => sim.set_trace_sink(Box::new(WriteTraceSink::new(std::io::BufWriter::new(f)))),
+            Err(e) => {
+                eprintln!("ksim: cannot create trace file {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let outcome = match sim.run(options.max_instr) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("ksim: simulation error: {e}");
+            eprintln!("ksim: instruction pointer history (newest last):");
+            for addr in sim.ip_history() {
+                eprintln!("  {addr:#010x}  {}", sim.describe_addr(addr));
+            }
+            return ExitCode::from(3);
+        }
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // Program stdout goes to the host stdout.
+    let mut out = std::io::stdout();
+    let _ = out.write_all(sim.state().stdout.as_slice());
+    let _ = out.flush();
+
+    let stats = sim.stats();
+    if options.stats {
+        eprintln!("instructions:     {}", stats.instructions);
+        eprintln!("operations:       {} (+{} nops)", stats.operations, stats.nops);
+        eprintln!("detect&decodes:   {} ({:.3}% avoided)", stats.detect_decodes, stats.decode_avoided_ratio() * 100.0);
+        eprintln!("prediction hits:  {} ({:.1}% of lookups avoided)", stats.prediction_hits, stats.lookup_avoided_ratio() * 100.0);
+        eprintln!("memory ops:       {} reads, {} writes", stats.mem_reads, stats.mem_writes);
+        eprintln!("isa switches:     {}", stats.isa_switches);
+        eprintln!("speed:            {:.2} MIPS", stats.instructions as f64 / elapsed / 1e6);
+        if let Some(cycles) = sim.cycle_stats() {
+            eprintln!("approx cycles:    {} ({:.3} ops/cycle)", cycles.cycles, cycles.ops_per_cycle());
+            for level in &cycles.memory {
+                if let Some(c) = level.cache {
+                    eprintln!(
+                        "  {}: {} hits, {} misses ({:.1}%), {} writebacks",
+                        level.name,
+                        c.hits,
+                        c.misses,
+                        c.miss_ratio() * 100.0,
+                        c.writebacks
+                    );
+                }
+            }
+        }
+        if let Some((preds, misses)) = sim.branch_stats() {
+            eprintln!("branch predictor: {misses}/{preds} mispredicted");
+        }
+    }
+    if let Some(profile) = sim.function_profile() {
+        eprintln!("{:<20}{:>12}{:>12}{:>12}", "function", "instrs", "ops", "cycles");
+        for f in profile.iter().take(20) {
+            eprintln!("{:<20}{:>12}{:>12}{:>12}", f.name, f.instructions, f.operations, f.cycles);
+        }
+    }
+
+    match outcome {
+        RunOutcome::Halted { exit_code } => ExitCode::from(exit_code as u8),
+        RunOutcome::BudgetExhausted => {
+            eprintln!("ksim: instruction budget exhausted");
+            ExitCode::from(124)
+        }
+    }
+}

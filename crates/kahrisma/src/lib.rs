@@ -1,0 +1,65 @@
+//! `kahrisma` — facade crate for the KAHRISMA cycle-approximate, mixed-ISA
+//! simulator toolchain (reproduction of Stripf, Koenig, Becker, DATE 2012).
+//!
+//! This crate re-exports the complete public API of the workspace so that
+//! downstream users (and the repository's examples and integration tests)
+//! can depend on one crate:
+//!
+//! * [`adl`] — architecture description + TargetGen operation tables,
+//! * [`isa`] — the concrete KAHRISMA ISA family (RISC + VLIW 2/4/6/8),
+//! * [`elf`] — ELF32 object/executable codec with debug sections,
+//! * [`asm`] — mixed-ISA assembler and linker,
+//! * [`core`] — the cycle-approximate simulator (decode cache, ILP/AIE/DOE
+//!   cycle models, memory hierarchy, trace generation, libc emulation),
+//! * [`rtl`] — the cycle-accurate DOE reference pipeline,
+//! * [`kcc`] — the retargetable KC compiler with VLIW list scheduling,
+//! * [`workloads`] — the paper's evaluation applications.
+//!
+//! # Quick start
+//!
+//! ```
+//! use kahrisma::prelude::*;
+//!
+//! let exe = kahrisma::kcc::compile_to_executable(
+//!     "int main() { return 6 * 7; }",
+//!     &CompileOptions::for_isa(IsaKind::Vliw4),
+//! )?;
+//! let mut sim = Simulator::new(&exe, SimConfig::default())?;
+//! assert_eq!(sim.run(1_000_000)?, RunOutcome::Halted { exit_code: 42 });
+//! # Ok::<(), Box<dyn std::error::Error + Send + Sync>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use kahrisma_adl as adl;
+pub use kahrisma_asm as asm;
+pub use kahrisma_core as core;
+pub use kahrisma_elf as elf;
+pub use kahrisma_isa as isa;
+pub use kahrisma_kcc as kcc;
+pub use kahrisma_rtl as rtl;
+pub use kahrisma_workloads as workloads;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use kahrisma_core::{
+        CycleModelKind, MemoryHierarchy, RunOutcome, SimConfig, SimStats, Simulator,
+    };
+    pub use kahrisma_elf::Executable;
+    pub use kahrisma_isa::{IsaKind, isa_id};
+    pub use kahrisma_kcc::CompileOptions;
+    pub use kahrisma_rtl::RtlConfig;
+    pub use kahrisma_workloads::Workload;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired() {
+        let arch = crate::isa::arch();
+        assert_eq!(arch.isas().len(), 5);
+        let _ = crate::core::SimConfig::default();
+        let _ = crate::rtl::RtlConfig::default();
+    }
+}

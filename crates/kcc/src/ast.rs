@@ -1,0 +1,183 @@
+//! Abstract syntax tree of the KC language.
+
+/// A KC type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Type {
+    /// Signed 32-bit integer.
+    Int,
+    /// Unsigned 32-bit integer.
+    Uint,
+    /// No value (function returns only).
+    Void,
+    /// Pointer to an element type.
+    Ptr(Box<Type>),
+}
+
+impl Type {
+    pub(crate) fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    pub(crate) fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn is_unsigned(&self) -> bool {
+        matches!(self, Type::Uint | Type::Ptr(_))
+    }
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Uint => write!(f, "uint"),
+            Type::Void => write!(f, "void"),
+            Type::Ptr(t) => write!(f, "{t}*"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LAnd,
+    LOr,
+}
+
+impl BinOp {
+    pub(crate) fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+
+    pub(crate) fn is_logical(self) -> bool {
+        matches!(self, BinOp::LAnd | BinOp::LOr)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UnOp {
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Bitwise complement `~`.
+    Not,
+    /// Logical negation `!`.
+    LNot,
+}
+
+/// An expression with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Expr {
+    pub kind: ExprKind,
+    pub line: u32,
+}
+
+/// Expression variants.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ExprKind {
+    Int(i64),
+    Str(String),
+    Var(String),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `*ptr`.
+    Deref(Box<Expr>),
+    /// `&lvalue`.
+    AddrOf(Box<Expr>),
+    Call(String, Vec<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Stmt {
+    /// Local declaration: `int x = e;` or `int a[N];`.
+    Decl {
+        name: String,
+        ty: Type,
+        array: Option<u32>,
+        init: Option<Expr>,
+        line: u32,
+    },
+    /// Expression statement (calls).
+    Expr(Expr),
+    /// `lvalue = value;` — `op` is set for compound assignments (`+=`).
+    Assign {
+        target: Expr,
+        op: Option<BinOp>,
+        value: Expr,
+        line: u32,
+    },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+    },
+    Return(Option<Expr>, u32),
+    Break(u32),
+    Continue(u32),
+    Block(Vec<Stmt>),
+}
+
+/// A global variable or array definition.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct GlobalDecl {
+    pub name: String,
+    pub ty: Type,
+    /// `Some(n)` for an array of `n` elements.
+    pub array: Option<u32>,
+    /// Initializer values (empty → zero-initialized).
+    pub init: Vec<i64>,
+    pub line: u32,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FuncDecl {
+    pub name: String,
+    pub ret: Type,
+    pub params: Vec<(String, Type)>,
+    pub body: Vec<Stmt>,
+    pub line: u32,
+}
+
+/// A complete translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct Program {
+    pub globals: Vec<GlobalDecl>,
+    pub functions: Vec<FuncDecl>,
+    /// Prototypes without definitions in this unit (externals resolved at
+    /// link time; calls assume the unit's target ISA).
+    pub prototypes: Vec<FuncDecl>,
+}

@@ -1,0 +1,311 @@
+//! Assembly emission: machine code → mixed-ISA KAHRISMA assembly text.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use kahrisma_adl::{AluOp, CondOp};
+use kahrisma_isa::IsaKind;
+
+use crate::CompileOptions;
+use crate::error::{CompileError, Phase};
+use crate::ir::IrProgram;
+use crate::machine::MOp;
+use crate::regalloc::allocate;
+use crate::sched::schedule;
+use crate::sema::BUILTINS;
+
+fn reg(r: u8) -> String {
+    format!("r{r}")
+}
+
+fn alu_mnemonic(op: AluOp) -> &'static str {
+    // Register-register mnemonics match `AluOp`'s display names.
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Nor => "nor",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Sll => "sll",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Mul => "mul",
+        AluOp::Mulh => "mulh",
+        AluOp::Mulhu => "mulhu",
+        AluOp::Div => "div",
+        AluOp::Divu => "divu",
+        AluOp::Rem => "rem",
+        AluOp::Remu => "remu",
+    }
+}
+
+fn alu_imm_mnemonic(op: AluOp) -> Option<&'static str> {
+    Some(match op {
+        AluOp::Add => "addi",
+        AluOp::Slt => "slti",
+        AluOp::Sltu => "sltiu",
+        AluOp::And => "andi",
+        AluOp::Or => "ori",
+        AluOp::Xor => "xori",
+        AluOp::Sll => "slli",
+        AluOp::Srl => "srli",
+        AluOp::Sra => "srai",
+        _ => return None,
+    })
+}
+
+fn cond_mnemonic(c: CondOp) -> &'static str {
+    match c {
+        CondOp::Eq => "beq",
+        CondOp::Ne => "bne",
+        CondOp::Lt => "blt",
+        CondOp::Ge => "bge",
+        CondOp::Ltu => "bltu",
+        CondOp::Geu => "bgeu",
+    }
+}
+
+struct FuncEmitter<'a> {
+    out: &'a mut String,
+    current_isa: IsaKind,
+    callee_isa: &'a dyn Fn(&str) -> IsaKind,
+}
+
+impl FuncEmitter<'_> {
+    /// Formats a single non-call machine op as assembly text.
+    fn op_text(op: &MOp) -> String {
+        match op {
+            MOp::Alu { op, rd, rs1, rs2 } => {
+                format!("{} {}, {}, {}", alu_mnemonic(*op), reg(*rd), reg(*rs1), reg(*rs2))
+            }
+            MOp::AluImm { op, rd, rs1, imm } => {
+                let m = alu_imm_mnemonic(*op).expect("imm form exists by construction");
+                format!("{m} {}, {}, {imm}", reg(*rd), reg(*rs1))
+            }
+            MOp::LuiConst { rd, hi } => format!("lui {}, {hi}", reg(*rd)),
+            MOp::OriConst { rd, rs1, lo } => format!("ori {}, {}, {lo}", reg(*rd), reg(*rs1)),
+            MOp::LuiSym { rd, symbol } => format!("lui {}, %hi({symbol})", reg(*rd)),
+            MOp::OriSym { rd, rs1, symbol } => {
+                format!("ori {}, {}, %lo({symbol})", reg(*rd), reg(*rs1))
+            }
+            MOp::Load { rd, base, off } => format!("lw {}, {off}({})", reg(*rd), reg(*base)),
+            MOp::Store { rs, base, off } => format!("sw {}, {off}({})", reg(*rs), reg(*base)),
+            MOp::Br { cond, rs1, rs2, label } => {
+                format!("{} {}, {}, {label}", cond_mnemonic(*cond), reg(*rs1), reg(*rs2))
+            }
+            MOp::Jmp { label } => format!("b {label}"),
+            MOp::Ret => "jr ra".to_string(),
+            MOp::Call { .. } => unreachable!("calls are emitted as sequences"),
+        }
+    }
+
+    fn emit_bundle(&mut self, ops: &[MOp]) {
+        // Calls expand into their (possibly cross-ISA) sequence.
+        if let [MOp::Call { func }] = ops {
+            let callee = (self.callee_isa)(func);
+            if callee != self.current_isa {
+                // Cross-ISA call (paper §V-D): switch, call in the callee's
+                // ISA, and switch back — the switch-back is encoded in the
+                // callee's ISA because control returns in that ISA.
+                let _ = writeln!(self.out, "    switchtarget {}", callee.name());
+                let _ = writeln!(self.out, "    .isa {}", callee.name());
+                let _ = writeln!(self.out, "    jal {func}");
+                let _ = writeln!(self.out, "    switchtarget {}", self.current_isa.name());
+                let _ = writeln!(self.out, "    .isa {}", self.current_isa.name());
+            } else {
+                let _ = writeln!(self.out, "    jal {func}");
+            }
+            return;
+        }
+        match ops {
+            [single] => {
+                let _ = writeln!(self.out, "    {}", Self::op_text(single));
+            }
+            many => {
+                let parts: Vec<String> = many.iter().map(Self::op_text).collect();
+                let _ = writeln!(self.out, "    {{ {} }}", parts.join(" | "));
+            }
+        }
+    }
+}
+
+fn escape_asm_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\0' => out.push_str("\\0"),
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Emits the complete assembly unit for an IR program.
+pub(crate) fn emit(ir: &IrProgram, options: &CompileOptions) -> Result<String, CompileError> {
+    // Resolve each callee's ISA: user functions take the default or their
+    // override; builtins (the generated C-library stubs) are RISC.
+    let mut func_isa: HashMap<String, IsaKind> = HashMap::new();
+    for f in &ir.functions {
+        let isa = options.function_isa.get(&f.name).copied().unwrap_or(options.isa);
+        func_isa.insert(f.name.clone(), isa);
+    }
+    for name in options.function_isa.keys() {
+        if !func_isa.contains_key(name) {
+            return Err(CompileError::new(
+                Phase::Codegen,
+                0,
+                format!("ISA override for unknown function `{name}`"),
+            ));
+        }
+    }
+    let default_isa = options.isa;
+    let callee_isa = |name: &str| -> IsaKind {
+        if let Some(&isa) = func_isa.get(name) {
+            return isa;
+        }
+        if BUILTINS.iter().any(|(n, _, _)| *n == name) {
+            return IsaKind::Risc; // C-library stubs are generated in RISC (§V-E)
+        }
+        // Externals declared by prototype: separate compilation assumes a
+        // consistent target ISA across units (documented convention).
+        default_isa
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "; generated by kcc (KAHRISMA retargetable compiler)");
+
+    // Text section: every function scheduled for its ISA.
+    let _ = writeln!(out, ".text");
+    for f in &ir.functions {
+        let isa = func_isa[&f.name];
+        let m = allocate(f);
+        let _ = writeln!(out, "\n.isa {}", isa.name());
+        let _ = writeln!(out, ".global {}", f.name);
+        let _ = writeln!(out, ".func {}", f.name);
+        let _ = writeln!(out, "{}:", f.name);
+        let mut fe = FuncEmitter { out: &mut out, current_isa: isa, callee_isa: &callee_isa };
+        for (bi, block) in m.blocks.iter().enumerate() {
+            if bi > 0 {
+                let _ = writeln!(fe.out, "{}:", block.label);
+            }
+            for bundle in schedule(&block.ops, isa.width()) {
+                fe.emit_bundle(&bundle);
+            }
+        }
+        let _ = writeln!(out, ".endfunc");
+    }
+
+    // Data sections.
+    let zero_init: Vec<_> = ir.globals.iter().filter(|g| g.init.is_empty()).collect();
+    let init: Vec<_> = ir.globals.iter().filter(|g| !g.init.is_empty()).collect();
+    if !init.is_empty() {
+        let _ = writeln!(out, "\n.data");
+        for g in init {
+            let words = g.array.unwrap_or(1);
+            let _ = writeln!(out, ".global {}", g.name);
+            let values: Vec<String> = g.init.iter().map(|v| (*v as i32).to_string()).collect();
+            let _ = writeln!(out, "{}: .word {}", g.name, values.join(", "));
+            let remaining = words.saturating_sub(g.init.len() as u32);
+            if remaining > 0 {
+                let _ = writeln!(out, "    .space {}", remaining * 4);
+            }
+        }
+    }
+    if !zero_init.is_empty() {
+        let _ = writeln!(out, "\n.bss");
+        for g in zero_init {
+            let words = g.array.unwrap_or(1);
+            let _ = writeln!(out, ".global {}", g.name);
+            let _ = writeln!(out, "{}: .space {}", g.name, words * 4);
+        }
+    }
+    if !ir.strings.is_empty() {
+        let _ = writeln!(out, "\n.rodata");
+        for (label, s) in &ir.strings {
+            let _ = writeln!(out, "{label}: .asciz \"{}\"", escape_asm_string(s));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn compile_for(src: &str, isa: IsaKind) -> String {
+        compile(src, &CompileOptions::for_isa(isa)).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    #[test]
+    fn emits_assemblable_risc() {
+        let asm = compile_for(
+            "int tab[3] = {1,2,3};
+             int zeroes[8];
+             int sum(int* p, int n) { int s = 0; int i; for (i = 0; i < n; i++) s += p[i]; return s; }
+             int main() { puts(\"go\"); return sum(tab, 3); }",
+            IsaKind::Risc,
+        );
+        assert!(asm.contains(".isa risc"));
+        assert!(asm.contains(".func sum"));
+        assert!(asm.contains(".bss"));
+        assert!(asm.contains(".rodata"));
+        // Must assemble cleanly.
+        kahrisma_asm::assemble("t.s", &asm).unwrap_or_else(|e| panic!("{e}\n{asm}"));
+    }
+
+    #[test]
+    fn emits_bundles_for_vliw() {
+        let asm = compile_for(
+            "int f(int a, int b, int c, int d) { return (a + b) * (c - d) + (a ^ c); }",
+            IsaKind::Vliw4,
+        );
+        assert!(asm.contains(".isa vliw4"));
+        assert!(asm.contains(" | "), "expected at least one multi-op bundle:\n{asm}");
+        kahrisma_asm::assemble("t.s", &asm).unwrap_or_else(|e| panic!("{e}\n{asm}"));
+    }
+
+    #[test]
+    fn cross_isa_call_sequence() {
+        let asm = compile(
+            "int helper(int x) { return x + 1; } int main() { return helper(41); }",
+            &CompileOptions::for_isa(IsaKind::Vliw2).with_function_isa("helper", IsaKind::Risc),
+        )
+        .unwrap();
+        assert!(asm.contains("switchtarget risc"));
+        assert!(asm.contains("switchtarget vliw2"));
+        kahrisma_asm::assemble("t.s", &asm).unwrap_or_else(|e| panic!("{e}\n{asm}"));
+    }
+
+    #[test]
+    fn libc_calls_from_vliw_switch_to_risc() {
+        let asm = compile_for("int main() { putchar(65); return 0; }", IsaKind::Vliw4);
+        assert!(asm.contains("switchtarget risc"));
+        assert!(asm.contains("switchtarget vliw4"));
+    }
+
+    #[test]
+    fn unknown_override_rejected() {
+        let err = compile(
+            "int main() { return 0; }",
+            &CompileOptions::for_isa(IsaKind::Risc).with_function_isa("nope", IsaKind::Vliw2),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn string_escapes_survive() {
+        let asm = compile_for("int main() { puts(\"a\\nb\\\"c\"); return 0; }", IsaKind::Risc);
+        assert!(asm.contains("\\n"));
+        assert!(asm.contains("\\\""));
+        kahrisma_asm::assemble("t.s", &asm).unwrap_or_else(|e| panic!("{e}\n{asm}"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Compiler diagnostics.
+
+use std::fmt;
+
+/// A compilation error with source-line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line the error was detected on (0 when unknown).
+    pub line: u32,
+    /// Compilation phase that rejected the input.
+    pub phase: Phase,
+    /// Problem description.
+    pub message: String,
+}
+
+/// Compiler phase names for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Phase {
+    /// Lexical analysis.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Semantic analysis / type checking.
+    Sema,
+    /// IR lowering.
+    Lower,
+    /// Code generation.
+    Codegen,
+}
+
+impl CompileError {
+    pub(crate) fn new(phase: Phase, line: u32, message: impl Into<String>) -> Self {
+        CompileError { line, phase, message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Sema => "type",
+            Phase::Lower => "lower",
+            Phase::Codegen => "codegen",
+        };
+        if self.line > 0 {
+            write!(f, "line {}: {} error: {}", self.line, phase, self.message)
+        } else {
+            write!(f, "{} error: {}", phase, self.message)
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_line_and_phase() {
+        let e = CompileError::new(Phase::Sema, 12, "mismatched types");
+        assert_eq!(e.to_string(), "line 12: type error: mismatched types");
+        let e = CompileError::new(Phase::Codegen, 0, "too many arguments");
+        assert_eq!(e.to_string(), "codegen error: too many arguments");
+    }
+}

@@ -1,0 +1,186 @@
+//! The compiler's intermediate representation.
+//!
+//! A conventional three-address, virtual-register IR over basic blocks
+//! (non-SSA: a source variable maps to one virtual register that may be
+//! written repeatedly — sufficient for linear-scan allocation).
+
+use kahrisma_adl::{AluOp, CondOp};
+
+use crate::ast::GlobalDecl;
+
+/// A virtual register.
+pub(crate) type VReg = u32;
+
+/// A basic-block index within a function.
+pub(crate) type BlockId = usize;
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Operand {
+    Reg(VReg),
+    Const(i32),
+}
+
+/// An IR instruction. `Br`, `Jmp` and `Ret` are terminators and appear only
+/// as the last instruction of a block.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Inst {
+    /// `dst = a <op> b`.
+    Bin { op: AluOp, dst: VReg, a: Operand, b: Operand },
+    /// `dst = cond(a, b) ? 1 : 0` — materialized comparison.
+    Cmp { cond: CondOp, dst: VReg, a: Operand, b: Operand },
+    /// `dst = value`.
+    Li { dst: VReg, value: i32 },
+    /// `dst = &symbol` (global or string label).
+    La { dst: VReg, symbol: String },
+    /// `dst = &stack_array[slot]`.
+    LocalAddr { dst: VReg, slot: u32 },
+    /// `dst = mem[base + offset]` (word).
+    Load { dst: VReg, base: Operand, offset: i32 },
+    /// `mem[base + offset] = src` (word).
+    Store { src: Operand, base: Operand, offset: i32 },
+    /// Function call.
+    Call { dst: Option<VReg>, func: String, args: Vec<Operand> },
+    /// Conditional branch terminator.
+    Br { cond: CondOp, a: Operand, b: Operand, then_bb: BlockId, else_bb: BlockId },
+    /// Unconditional jump terminator.
+    Jmp(BlockId),
+    /// Return terminator.
+    Ret(Option<Operand>),
+}
+
+impl Inst {
+    /// Whether the instruction terminates a block.
+    pub(crate) fn is_terminator(&self) -> bool {
+        matches!(self, Inst::Br { .. } | Inst::Jmp(_) | Inst::Ret(_))
+    }
+
+    /// Virtual register defined by the instruction, if any.
+    pub(crate) fn def(&self) -> Option<VReg> {
+        match self {
+            Inst::Bin { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Li { dst, .. }
+            | Inst::La { dst, .. }
+            | Inst::LocalAddr { dst, .. }
+            | Inst::Load { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            _ => None,
+        }
+    }
+
+    /// Appends the virtual registers used by the instruction to `out`.
+    pub(crate) fn uses(&self, out: &mut Vec<VReg>) {
+        let mut push = |o: &Operand| {
+            if let Operand::Reg(r) = o {
+                out.push(*r);
+            }
+        };
+        match self {
+            Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } | Inst::Br { a, b, .. } => {
+                push(a);
+                push(b);
+            }
+            Inst::Load { base, .. } => push(base),
+            Inst::Store { src, base, .. } => {
+                push(src);
+                push(base);
+            }
+            Inst::Call { args, .. } => {
+                for a in args {
+                    push(a);
+                }
+            }
+            Inst::Ret(Some(v)) => push(v),
+            _ => {}
+        }
+    }
+
+    /// Successor blocks of a terminator.
+    pub(crate) fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Inst::Br { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Inst::Jmp(t) => vec![*t],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A basic block: straight-line instructions with a terminator last.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct Block {
+    pub insts: Vec<Inst>,
+}
+
+impl Block {
+    pub(crate) fn is_terminated(&self) -> bool {
+        self.insts.last().is_some_and(Inst::is_terminator)
+    }
+}
+
+/// An IR function.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct IrFunction {
+    pub name: String,
+    /// Parameter virtual registers, in ABI order.
+    pub params: Vec<VReg>,
+    pub blocks: Vec<Block>,
+    /// Number of virtual registers used.
+    pub vreg_count: u32,
+    /// Stack arrays: size of slot `i` in words.
+    pub stack_arrays: Vec<u32>,
+    /// Whether the function returns a value.
+    pub returns_value: bool,
+}
+
+impl IrFunction {
+    /// Iterates all instructions in block order.
+    pub(crate) fn insts(&self) -> impl Iterator<Item = &Inst> {
+        self.blocks.iter().flat_map(|b| b.insts.iter())
+    }
+}
+
+/// A compiled translation unit at the IR level.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct IrProgram {
+    pub globals: Vec<GlobalDecl>,
+    /// String literals: `(label, bytes)`.
+    pub strings: Vec<(String, String)>,
+    pub functions: Vec<IrFunction>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn def_and_uses() {
+        let i = Inst::Bin { op: AluOp::Add, dst: 3, a: Operand::Reg(1), b: Operand::Const(5) };
+        assert_eq!(i.def(), Some(3));
+        let mut uses = Vec::new();
+        i.uses(&mut uses);
+        assert_eq!(uses, vec![1]);
+
+        let c = Inst::Call { dst: None, func: "f".into(), args: vec![Operand::Reg(7)] };
+        assert_eq!(c.def(), None);
+        uses.clear();
+        c.uses(&mut uses);
+        assert_eq!(uses, vec![7]);
+    }
+
+    #[test]
+    fn terminators_and_successors() {
+        let br = Inst::Br {
+            cond: CondOp::Eq,
+            a: Operand::Reg(0),
+            b: Operand::Const(0),
+            then_bb: 1,
+            else_bb: 2,
+        };
+        assert!(br.is_terminator());
+        assert_eq!(br.successors(), vec![1, 2]);
+        assert!(Inst::Ret(None).is_terminator());
+        assert!(Inst::Ret(None).successors().is_empty());
+        assert!(!Inst::Li { dst: 0, value: 1 }.is_terminator());
+    }
+}

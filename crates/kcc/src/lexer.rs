@@ -1,0 +1,343 @@
+//! Lexical analysis for the KC language.
+
+use crate::error::{CompileError, Phase};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    // Keywords.
+    KwInt,
+    KwUint,
+    KwVoid,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PlusPlus,
+    MinusMinus,
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+fn err(line: u32, msg: impl Into<String>) -> CompileError {
+    CompileError::new(Phase::Lex, line, msg)
+}
+
+/// Tokenizes KC source.
+pub(crate) fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut tokens = Vec::new();
+    let mut line: u32 = 1;
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err(line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                let tok = match word {
+                    "int" => Tok::KwInt,
+                    "uint" | "unsigned" => Tok::KwUint,
+                    "void" => Tok::KwVoid,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "for" => Tok::KwFor,
+                    "return" => Tok::KwReturn,
+                    "break" => Tok::KwBreak,
+                    "continue" => Tok::KwContinue,
+                    other => Tok::Ident(other.to_string()),
+                };
+                tokens.push(Token { tok, line });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let value = if c == '0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                    i += 2;
+                    let hstart = i;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if hstart == i {
+                        return Err(err(line, "empty hex literal"));
+                    }
+                    i64::from_str_radix(&source[hstart..i], 16)
+                        .map_err(|_| err(line, "hex literal too large"))?
+                } else {
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    source[start..i]
+                        .parse()
+                        .map_err(|_| err(line, "integer literal too large"))?
+                };
+                tokens.push(Token { tok: Tok::Int(value), line });
+            }
+            '\'' => {
+                i += 1;
+                let ch = if bytes.get(i) == Some(&b'\\') {
+                    i += 1;
+                    let e = *bytes.get(i).ok_or_else(|| err(line, "unterminated char"))?;
+                    i += 1;
+                    match e {
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        b'0' => 0,
+                        b'\\' => b'\\',
+                        b'\'' => b'\'',
+                        other => return Err(err(line, format!("bad escape \\{}", other as char))),
+                    }
+                } else {
+                    let c = *bytes.get(i).ok_or_else(|| err(line, "unterminated char"))?;
+                    i += 1;
+                    c
+                };
+                if bytes.get(i) != Some(&b'\'') {
+                    return Err(err(line, "unterminated char literal"));
+                }
+                i += 1;
+                tokens.push(Token { tok: Tok::Int(i64::from(ch)), line });
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(err(line, "unterminated string literal")),
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            i += 1;
+                            let e = *bytes.get(i).ok_or_else(|| err(line, "unterminated string"))?;
+                            i += 1;
+                            s.push(match e {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'0' => '\0',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                other => {
+                                    return Err(err(line, format!("bad escape \\{}", other as char)));
+                                }
+                            });
+                        }
+                        Some(&c) => {
+                            if c == b'\n' {
+                                line += 1;
+                            }
+                            s.push(c as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { tok: Tok::Str(s), line });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() { &source[i..i + 2] } else { "" };
+                let (tok, len) = match two {
+                    "<<" => (Tok::Shl, 2),
+                    ">>" => (Tok::Shr, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "==" => (Tok::EqEq, 2),
+                    "!=" => (Tok::Ne, 2),
+                    "&&" => (Tok::AndAnd, 2),
+                    "||" => (Tok::OrOr, 2),
+                    "+=" => (Tok::PlusEq, 2),
+                    "-=" => (Tok::MinusEq, 2),
+                    "*=" => (Tok::StarEq, 2),
+                    "/=" => (Tok::SlashEq, 2),
+                    "++" => (Tok::PlusPlus, 2),
+                    "--" => (Tok::MinusMinus, 2),
+                    _ => match c {
+                        '(' => (Tok::LParen, 1),
+                        ')' => (Tok::RParen, 1),
+                        '{' => (Tok::LBrace, 1),
+                        '}' => (Tok::RBrace, 1),
+                        '[' => (Tok::LBracket, 1),
+                        ']' => (Tok::RBracket, 1),
+                        ';' => (Tok::Semi, 1),
+                        ',' => (Tok::Comma, 1),
+                        '=' => (Tok::Assign, 1),
+                        '+' => (Tok::Plus, 1),
+                        '-' => (Tok::Minus, 1),
+                        '*' => (Tok::Star, 1),
+                        '/' => (Tok::Slash, 1),
+                        '%' => (Tok::Percent, 1),
+                        '&' => (Tok::Amp, 1),
+                        '|' => (Tok::Pipe, 1),
+                        '^' => (Tok::Caret, 1),
+                        '~' => (Tok::Tilde, 1),
+                        '!' => (Tok::Bang, 1),
+                        '<' => (Tok::Lt, 1),
+                        '>' => (Tok::Gt, 1),
+                        other => return Err(err(line, format!("unexpected character `{other}`"))),
+                    },
+                };
+                tokens.push(Token { tok, line });
+                i += len;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            toks("int x uint _y2 void while"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("x".into()),
+                Tok::KwUint,
+                Tok::Ident("_y2".into()),
+                Tok::KwVoid,
+                Tok::KwWhile,
+            ]
+        );
+        assert_eq!(toks("unsigned"), vec![Tok::KwUint]);
+    }
+
+    #[test]
+    fn numbers_and_chars() {
+        assert_eq!(toks("42 0x2A '\\n' 'A'"), vec![
+            Tok::Int(42),
+            Tok::Int(42),
+            Tok::Int(10),
+            Tok::Int(65)
+        ]);
+    }
+
+    #[test]
+    fn operators_maximal_munch() {
+        assert_eq!(toks("<<=  >= >> > == = !="), vec![
+            Tok::Shl,
+            Tok::Assign,
+            Tok::Ge,
+            Tok::Shr,
+            Tok::Gt,
+            Tok::EqEq,
+            Tok::Assign,
+            Tok::Ne,
+        ]);
+        assert_eq!(toks("a+=b++ - --c"), vec![
+            Tok::Ident("a".into()),
+            Tok::PlusEq,
+            Tok::Ident("b".into()),
+            Tok::PlusPlus,
+            Tok::Minus,
+            Tok::MinusMinus,
+            Tok::Ident("c".into()),
+        ]);
+    }
+
+    #[test]
+    fn comments_skipped_lines_tracked() {
+        let ts = lex("a // c\nb /* x\ny */ c").unwrap();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 3);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks(r#""a\n\"b\"""#), vec![Tok::Str("a\n\"b\"".into())]);
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("@").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* open").is_err());
+        assert!(lex("'x").is_err());
+        assert!(lex("0x").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

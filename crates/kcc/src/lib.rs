@@ -1,0 +1,135 @@
+//! `kcc` — the retargetable KAHRISMA compiler.
+//!
+//! The paper's software framework (§IV) contains an LLVM-based retargetable
+//! C/C++ compiler that (1) can target any ISA described in the ADL,
+//! (2) emits the `.isa` pseudo directive for the assembler, and (3) supports
+//! mixed-ISA applications by compiling individual functions for different
+//! ISAs. This crate reproduces that role with a self-contained compiler for
+//! a C-like language ("KC"):
+//!
+//! * **front end** — lexer, recursive-descent parser, and a type checker for
+//!   a C subset (`int`/`uint` scalars, pointers, arrays, globals with
+//!   initializers, functions with recursion, `if`/`while`/`for`, the full
+//!   C operator set with short-circuit `&&`/`||`);
+//! * **middle end** — a virtual-register IR with constant folding, copy
+//!   propagation, and dead-code elimination;
+//! * **back end** — linear-scan register allocation over dataflow liveness
+//!   (call-crossing intervals prefer callee-saved registers), and a
+//!   latency-aware **VLIW list scheduler** that packs operations into
+//!   issue-width bundles using the *same pessimistic memory-dependence
+//!   model* as the paper's scheduler (§VI-A: every memory operation depends
+//!   on the previous store — "we do not have an alias analysis and use at
+//!   the moment the same pessimistic model for scheduling");
+//! * **mixed-ISA support** — per-function ISA assignment; cross-ISA calls
+//!   are wrapped in `switchtarget` sequences with the switch-back encoded in
+//!   the callee's ISA (the processor returns in that ISA, §V-D).
+//!
+//! The same source program can therefore be compiled for every issue width
+//! of the family — exactly what Figure 4 and Table II require.
+//!
+//! # Example
+//!
+//! ```
+//! use kahrisma_kcc::{compile, CompileOptions};
+//! use kahrisma_isa::IsaKind;
+//!
+//! let source = r#"
+//!     int add3(int a, int b, int c) { return a + b + c; }
+//!     int main() { return add3(20, 21, 1); }
+//! "#;
+//! let asm = compile(source, &CompileOptions::for_isa(IsaKind::Vliw4))?;
+//! assert!(asm.contains(".isa vliw4"));
+//! # Ok::<(), kahrisma_kcc::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod emit;
+mod error;
+mod ir;
+mod lexer;
+mod lower;
+mod machine;
+mod opt;
+mod parser;
+mod regalloc;
+mod sched;
+mod sema;
+
+pub use error::CompileError;
+
+use std::collections::HashMap;
+
+use kahrisma_isa::IsaKind;
+
+/// Compilation options.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// ISA every function is compiled for unless overridden.
+    pub isa: IsaKind,
+    /// Per-function ISA overrides (mixed-ISA applications, paper §IV).
+    pub function_isa: HashMap<String, IsaKind>,
+    /// Run the IR optimizer (constant folding, copy propagation, DCE).
+    pub optimize: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { isa: IsaKind::Risc, function_isa: HashMap::new(), optimize: true }
+    }
+}
+
+impl CompileOptions {
+    /// Options targeting a single ISA for the whole program.
+    #[must_use]
+    pub fn for_isa(isa: IsaKind) -> Self {
+        CompileOptions { isa, ..CompileOptions::default() }
+    }
+
+    /// Adds a per-function ISA override.
+    #[must_use]
+    pub fn with_function_isa(mut self, function: &str, isa: IsaKind) -> Self {
+        self.function_isa.insert(function.to_string(), isa);
+        self
+    }
+}
+
+/// Compiles KC source code into KAHRISMA assembly for the configured ISA(s).
+///
+/// The output is a complete assembly unit (text, data, rodata sections,
+/// `.isa`/`.func` directives) accepted by [`kahrisma_asm::assemble`]; link it
+/// together with the generated C-library stubs, e.g. via
+/// [`kahrisma_asm::build`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] describing the first lexical, syntactic, or
+/// semantic problem, with line information.
+pub fn compile(source: &str, options: &CompileOptions) -> Result<String, CompileError> {
+    let tokens = lexer::lex(source)?;
+    let ast = parser::parse(&tokens)?;
+    let program = sema::check(&ast)?;
+    let mut ir = lower::lower(&program)?;
+    if options.optimize {
+        for f in &mut ir.functions {
+            opt::optimize(f);
+        }
+    }
+    emit::emit(&ir, options)
+}
+
+/// Convenience: compiles `source` and builds a runnable executable (links
+/// against the generated C-library stubs).
+///
+/// # Errors
+///
+/// Returns compile errors boxed together with assembler/linker errors.
+pub fn compile_to_executable(
+    source: &str,
+    options: &CompileOptions,
+) -> Result<kahrisma_elf::Executable, Box<dyn std::error::Error + Send + Sync>> {
+    let asm = compile(source, options)?;
+    Ok(kahrisma_asm::build(&[("program.s", &asm)])?)
+}

@@ -1,0 +1,608 @@
+//! Lowering from the typed AST to IR.
+
+use std::collections::HashMap;
+
+use kahrisma_adl::{AluOp, CondOp};
+
+use crate::ast::{BinOp, UnOp};
+use crate::error::{CompileError, Phase};
+use crate::ir::*;
+use crate::sema::{TExpr, TExprKind, TFunc, TLval, TProgram, TStmt};
+
+struct LoopCtx {
+    break_bb: BlockId,
+    continue_bb: BlockId,
+}
+
+struct Lowerer<'a> {
+    f: IrFunction,
+    current: BlockId,
+    vars: HashMap<String, VReg>,
+    loops: Vec<LoopCtx>,
+    strings: &'a mut Vec<(String, String)>,
+    string_ids: &'a mut HashMap<String, String>,
+    unit: &'a str,
+}
+
+fn err(msg: impl Into<String>) -> CompileError {
+    CompileError::new(Phase::Lower, 0, msg)
+}
+
+impl<'a> Lowerer<'a> {
+    fn vreg(&mut self) -> VReg {
+        let r = self.f.vreg_count;
+        self.f.vreg_count += 1;
+        r
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        self.f.blocks.push(Block::default());
+        self.f.blocks.len() - 1
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        let b = &mut self.f.blocks[self.current];
+        // Dead code after a terminator (e.g. statements after `return`) is
+        // silently dropped.
+        if !b.is_terminated() {
+            b.insts.push(inst);
+        }
+    }
+
+    fn switch_to(&mut self, bb: BlockId) {
+        self.current = bb;
+    }
+
+    fn terminate_with_jmp(&mut self, target: BlockId) {
+        self.emit(Inst::Jmp(target));
+    }
+
+    fn string_label(&mut self, s: &str) -> String {
+        if let Some(l) = self.string_ids.get(s) {
+            return l.clone();
+        }
+        let label = format!(".str.{}.{}", self.unit, self.strings.len());
+        self.strings.push((label.clone(), s.to_string()));
+        self.string_ids.insert(s.to_string(), label.clone());
+        label
+    }
+
+    fn var(&mut self, name: &str) -> VReg {
+        if let Some(&r) = self.vars.get(name) {
+            return r;
+        }
+        let r = self.vreg();
+        self.vars.insert(name.to_string(), r);
+        r
+    }
+
+    /// Lowers an expression into an operand (constants stay immediate).
+    fn expr(&mut self, e: &TExpr) -> Result<Operand, CompileError> {
+        match &e.kind {
+            TExprKind::Int(v) => Ok(Operand::Const(*v)),
+            TExprKind::Str(s) => {
+                let label = self.string_label(s);
+                let dst = self.vreg();
+                self.emit(Inst::La { dst, symbol: label });
+                Ok(Operand::Reg(dst))
+            }
+            TExprKind::Local(name) => Ok(Operand::Reg(self.var(name))),
+            TExprKind::GlobalAddr(name) => {
+                let dst = self.vreg();
+                self.emit(Inst::La { dst, symbol: name.clone() });
+                Ok(Operand::Reg(dst))
+            }
+            TExprKind::LocalArrayAddr(name) => {
+                let slot = self
+                    .vars
+                    .get(format!("$array${name}").as_str())
+                    .copied()
+                    .ok_or_else(|| err(format!("unknown stack array `{name}`")))?;
+                let dst = self.vreg();
+                self.emit(Inst::LocalAddr { dst, slot });
+                Ok(Operand::Reg(dst))
+            }
+            TExprKind::Load(addr) => {
+                let (base, offset) = self.addr_with_offset(addr)?;
+                let dst = self.vreg();
+                self.emit(Inst::Load { dst, base, offset });
+                Ok(Operand::Reg(dst))
+            }
+            TExprKind::Unary(op, inner) => {
+                let v = self.expr(inner)?;
+                let dst = self.vreg();
+                match op {
+                    UnOp::Neg => self.emit(Inst::Bin {
+                        op: AluOp::Sub,
+                        dst,
+                        a: Operand::Const(0),
+                        b: v,
+                    }),
+                    UnOp::Not => self.emit(Inst::Bin {
+                        op: AluOp::Xor,
+                        dst,
+                        a: v,
+                        b: Operand::Const(-1),
+                    }),
+                    UnOp::LNot => self.emit(Inst::Cmp {
+                        cond: CondOp::Eq,
+                        dst,
+                        a: v,
+                        b: Operand::Const(0),
+                    }),
+                }
+                Ok(Operand::Reg(dst))
+            }
+            TExprKind::Binary(op, lhs, rhs) => self.binary_value(*op, lhs, rhs, e),
+            TExprKind::Call(func, args) => {
+                let mut ops = Vec::with_capacity(args.len());
+                for a in args {
+                    ops.push(self.expr(a)?);
+                }
+                let dst = self.vreg();
+                self.emit(Inst::Call { dst: Some(dst), func: func.clone(), args: ops });
+                Ok(Operand::Reg(dst))
+            }
+        }
+    }
+
+    /// Splits an address expression into `(base, constant_offset)` so simple
+    /// `p[2]` accesses fold into the load/store offset field.
+    fn addr_with_offset(&mut self, addr: &TExpr) -> Result<(Operand, i32), CompileError> {
+        if let TExprKind::Binary(BinOp::Add, a, b) = &addr.kind {
+            if let TExprKind::Binary(BinOp::Mul, idx, four) = &b.kind {
+                if let (TExprKind::Int(i), TExprKind::Int(4)) = (&idx.kind, &four.kind) {
+                    let off = i.checked_mul(4).filter(|o| (-4096..4096).contains(o));
+                    if let Some(off) = off {
+                        let base = self.expr(a)?;
+                        return Ok((base, off));
+                    }
+                }
+            }
+        }
+        Ok((self.expr(addr)?, 0))
+    }
+
+    /// Lowers a binary expression producing a value.
+    fn binary_value(
+        &mut self,
+        op: BinOp,
+        lhs: &TExpr,
+        rhs: &TExpr,
+        whole: &TExpr,
+    ) -> Result<Operand, CompileError> {
+        if op.is_logical() {
+            // Short-circuit evaluation producing 0/1.
+            let dst = self.vreg();
+            let rhs_bb = self.new_block();
+            let short_bb = self.new_block();
+            let join_bb = self.new_block();
+            let l = self.expr(lhs)?;
+            let (then_bb, else_bb, short_val) = match op {
+                BinOp::LAnd => (rhs_bb, short_bb, 0),
+                BinOp::LOr => (short_bb, rhs_bb, 1),
+                _ => unreachable!("logical op"),
+            };
+            self.emit(Inst::Br { cond: CondOp::Ne, a: l, b: Operand::Const(0), then_bb, else_bb });
+            self.switch_to(short_bb);
+            self.emit(Inst::Li { dst, value: short_val });
+            self.terminate_with_jmp(join_bb);
+            self.switch_to(rhs_bb);
+            let r = self.expr(rhs)?;
+            self.emit(Inst::Cmp { cond: CondOp::Ne, dst, a: r, b: Operand::Const(0) });
+            self.terminate_with_jmp(join_bb);
+            self.switch_to(join_bb);
+            return Ok(Operand::Reg(dst));
+        }
+
+        let unsigned = lhs.ty.is_unsigned() || rhs.ty.is_unsigned();
+        if op.is_comparison() {
+            let a = self.expr(lhs)?;
+            let b = self.expr(rhs)?;
+            let dst = self.vreg();
+            let cond = comparison_cond(op, unsigned);
+            // Gt/Le are encoded by swapping operands of Lt/Ge at this level.
+            let (a, b) = if matches!(op, BinOp::Gt | BinOp::Le) { (b, a) } else { (a, b) };
+            self.emit(Inst::Cmp { cond, dst, a, b });
+            return Ok(Operand::Reg(dst));
+        }
+
+        let alu = match op {
+            BinOp::Add => AluOp::Add,
+            BinOp::Sub => AluOp::Sub,
+            BinOp::Mul => AluOp::Mul,
+            BinOp::Div => {
+                if unsigned {
+                    AluOp::Divu
+                } else {
+                    AluOp::Div
+                }
+            }
+            BinOp::Mod => {
+                if unsigned {
+                    AluOp::Remu
+                } else {
+                    AluOp::Rem
+                }
+            }
+            BinOp::And => AluOp::And,
+            BinOp::Or => AluOp::Or,
+            BinOp::Xor => AluOp::Xor,
+            BinOp::Shl => AluOp::Sll,
+            BinOp::Shr => {
+                if whole.ty.is_unsigned() || lhs.ty.is_unsigned() {
+                    AluOp::Srl
+                } else {
+                    AluOp::Sra
+                }
+            }
+            _ => unreachable!("handled above"),
+        };
+        let a = self.expr(lhs)?;
+        let b = self.expr(rhs)?;
+        let dst = self.vreg();
+        self.emit(Inst::Bin { op: alu, dst, a, b });
+        Ok(Operand::Reg(dst))
+    }
+
+    /// Lowers a condition with direct branch fusion.
+    fn cond_branch(
+        &mut self,
+        cond: &TExpr,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    ) -> Result<(), CompileError> {
+        match &cond.kind {
+            TExprKind::Binary(op, lhs, rhs) if op.is_comparison() => {
+                let unsigned = lhs.ty.is_unsigned() || rhs.ty.is_unsigned();
+                let a = self.expr(lhs)?;
+                let b = self.expr(rhs)?;
+                let c = comparison_cond(*op, unsigned);
+                let (a, b) = if matches!(op, BinOp::Gt | BinOp::Le) { (b, a) } else { (a, b) };
+                self.emit(Inst::Br { cond: c, a, b, then_bb, else_bb });
+                Ok(())
+            }
+            TExprKind::Binary(BinOp::LAnd, lhs, rhs) => {
+                let mid = self.new_block();
+                self.cond_branch(lhs, mid, else_bb)?;
+                self.switch_to(mid);
+                self.cond_branch(rhs, then_bb, else_bb)
+            }
+            TExprKind::Binary(BinOp::LOr, lhs, rhs) => {
+                let mid = self.new_block();
+                self.cond_branch(lhs, then_bb, mid)?;
+                self.switch_to(mid);
+                self.cond_branch(rhs, then_bb, else_bb)
+            }
+            TExprKind::Unary(UnOp::LNot, inner) => self.cond_branch(inner, else_bb, then_bb),
+            _ => {
+                let v = self.expr(cond)?;
+                self.emit(Inst::Br {
+                    cond: CondOp::Ne,
+                    a: v,
+                    b: Operand::Const(0),
+                    then_bb,
+                    else_bb,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn assign(&mut self, target: &TLval, value: &TExpr) -> Result<(), CompileError> {
+        match target {
+            TLval::Local(name) => {
+                let v = self.expr(value)?;
+                let dst = self.var(name);
+                match v {
+                    Operand::Const(c) => self.emit(Inst::Li { dst, value: c }),
+                    Operand::Reg(r) => self.emit(Inst::Bin {
+                        op: AluOp::Add,
+                        dst,
+                        a: Operand::Reg(r),
+                        b: Operand::Const(0),
+                    }),
+                }
+                Ok(())
+            }
+            TLval::Mem(addr) => {
+                let (base, offset) = self.addr_with_offset(addr)?;
+                let v = self.expr(value)?;
+                self.emit(Inst::Store { src: v, base, offset });
+                Ok(())
+            }
+        }
+    }
+
+    fn stmts(&mut self, body: &[TStmt]) -> Result<(), CompileError> {
+        for s in body {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &TStmt) -> Result<(), CompileError> {
+        match s {
+            TStmt::DeclScalar { name, init } => {
+                if let Some(e) = init {
+                    self.assign(&TLval::Local(name.clone()), e)?;
+                } else {
+                    let dst = self.var(name);
+                    self.emit(Inst::Li { dst, value: 0 });
+                }
+                Ok(())
+            }
+            TStmt::DeclArray { name, words } => {
+                let slot = self.f.stack_arrays.len() as u32;
+                self.f.stack_arrays.push(*words);
+                // Remember the slot id under a reserved key.
+                let key = format!("$array${name}");
+                self.vars.insert(key, slot);
+                Ok(())
+            }
+            TStmt::Assign { target, value } => self.assign(target, value),
+            TStmt::Expr(e) => {
+                // Evaluate for side effects; drop pure values.
+                if let TExprKind::Call(func, args) = &e.kind {
+                    let mut ops = Vec::with_capacity(args.len());
+                    for a in args {
+                        ops.push(self.expr(a)?);
+                    }
+                    self.emit(Inst::Call { dst: None, func: func.clone(), args: ops });
+                } else {
+                    let _ = self.expr(e)?;
+                }
+                Ok(())
+            }
+            TStmt::If { cond, then_body, else_body } => {
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let join_bb = self.new_block();
+                self.cond_branch(cond, then_bb, else_bb)?;
+                self.switch_to(then_bb);
+                self.stmts(then_body)?;
+                self.terminate_with_jmp(join_bb);
+                self.switch_to(else_bb);
+                self.stmts(else_body)?;
+                self.terminate_with_jmp(join_bb);
+                self.switch_to(join_bb);
+                Ok(())
+            }
+            TStmt::While { cond, body } => {
+                let head = self.new_block();
+                let body_bb = self.new_block();
+                let exit = self.new_block();
+                self.terminate_with_jmp(head);
+                self.switch_to(head);
+                self.cond_branch(cond, body_bb, exit)?;
+                self.loops.push(LoopCtx { break_bb: exit, continue_bb: head });
+                self.switch_to(body_bb);
+                self.stmts(body)?;
+                self.terminate_with_jmp(head);
+                self.loops.pop();
+                self.switch_to(exit);
+                Ok(())
+            }
+            TStmt::For { step, cond, body } => {
+                let head = self.new_block();
+                let body_bb = self.new_block();
+                let step_bb = self.new_block();
+                let exit = self.new_block();
+                self.terminate_with_jmp(head);
+                self.switch_to(head);
+                match cond {
+                    Some(c) => self.cond_branch(c, body_bb, exit)?,
+                    None => self.terminate_with_jmp(body_bb),
+                }
+                self.loops.push(LoopCtx { break_bb: exit, continue_bb: step_bb });
+                self.switch_to(body_bb);
+                self.stmts(body)?;
+                self.terminate_with_jmp(step_bb);
+                self.loops.pop();
+                self.switch_to(step_bb);
+                self.stmts(step)?;
+                self.terminate_with_jmp(head);
+                self.switch_to(exit);
+                Ok(())
+            }
+            TStmt::Return(value) => {
+                let v = value.as_ref().map(|e| self.expr(e)).transpose()?;
+                self.emit(Inst::Ret(v));
+                Ok(())
+            }
+            TStmt::Break => {
+                let bb = self.loops.last().ok_or_else(|| err("break outside loop"))?.break_bb;
+                self.terminate_with_jmp(bb);
+                Ok(())
+            }
+            TStmt::Continue => {
+                let bb =
+                    self.loops.last().ok_or_else(|| err("continue outside loop"))?.continue_bb;
+                self.terminate_with_jmp(bb);
+                Ok(())
+            }
+        }
+    }
+}
+
+fn comparison_cond(op: BinOp, unsigned: bool) -> CondOp {
+    match (op, unsigned) {
+        (BinOp::Eq, _) => CondOp::Eq,
+        (BinOp::Ne, _) => CondOp::Ne,
+        (BinOp::Lt | BinOp::Gt, false) => CondOp::Lt,
+        (BinOp::Lt | BinOp::Gt, true) => CondOp::Ltu,
+        (BinOp::Ge | BinOp::Le, false) => CondOp::Ge,
+        (BinOp::Ge | BinOp::Le, true) => CondOp::Geu,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+/// Lowers a typed program to IR.
+pub(crate) fn lower(program: &TProgram) -> Result<IrProgram, CompileError> {
+    let mut out = IrProgram {
+        globals: program.globals.clone(),
+        strings: Vec::new(),
+        functions: Vec::new(),
+    };
+    let mut string_ids = HashMap::new();
+    for f in &program.functions {
+        out.functions.push(lower_function(f, &mut out.strings, &mut string_ids)?);
+    }
+    Ok(out)
+}
+
+fn lower_function(
+    f: &TFunc,
+    strings: &mut Vec<(String, String)>,
+    string_ids: &mut HashMap<String, String>,
+) -> Result<IrFunction, CompileError> {
+    let mut l = Lowerer {
+        f: IrFunction {
+            name: f.name.clone(),
+            params: Vec::new(),
+            blocks: vec![Block::default()],
+            vreg_count: 0,
+            stack_arrays: Vec::new(),
+            returns_value: f.ret != crate::ast::Type::Void,
+        },
+        current: 0,
+        vars: HashMap::new(),
+        loops: Vec::new(),
+        strings,
+        string_ids,
+        unit: "u",
+    };
+    for (pname, _) in &f.params {
+        let r = l.var(pname);
+        l.f.params.push(r);
+    }
+    l.stmts(&f.body)?;
+    // Implicit return at the end of the function.
+    if !l.f.blocks[l.current].is_terminated() {
+        let v = if l.f.returns_value { Some(Operand::Const(0)) } else { None };
+        l.emit(Inst::Ret(v));
+    }
+    // Terminate any stray unterminated blocks (unreachable joins).
+    for b in &mut l.f.blocks {
+        if !b.is_terminated() {
+            b.insts.push(Inst::Ret(if l.f.returns_value {
+                Some(Operand::Const(0))
+            } else {
+                None
+            }));
+        }
+    }
+    Ok(l.f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::sema::check;
+
+    fn lower_src(src: &str) -> IrProgram {
+        lower(&check(&parse(&lex(src).unwrap()).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn lowers_arithmetic() {
+        let p = lower_src("int f(int a, int b) { return a + b * 2; }");
+        let f = &p.functions[0];
+        assert!(f.insts().any(|i| matches!(i, Inst::Bin { op: AluOp::Mul, .. })));
+        assert!(f.insts().any(|i| matches!(i, Inst::Bin { op: AluOp::Add, .. })));
+        assert!(f.insts().any(|i| matches!(i, Inst::Ret(Some(_)))));
+    }
+
+    #[test]
+    fn while_loop_structure() {
+        let p = lower_src("int f(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } return s; }");
+        let f = &p.functions[0];
+        // head block must end with a conditional branch.
+        assert!(f.insts().any(|i| matches!(i, Inst::Br { cond: CondOp::Lt, .. })));
+        assert!(f.blocks.iter().all(Block::is_terminated));
+    }
+
+    #[test]
+    fn loads_fold_constant_offsets() {
+        let p = lower_src("int f(int* p) { return p[3]; }");
+        let f = &p.functions[0];
+        assert!(
+            f.insts().any(|i| matches!(i, Inst::Load { offset: 12, .. })),
+            "{:?}",
+            f.blocks
+        );
+    }
+
+    #[test]
+    fn variable_index_is_computed() {
+        let p = lower_src("int f(int* p, int i) { return p[i]; }");
+        let f = &p.functions[0];
+        // i*4 must appear as a multiply (later strength-reduced by opt).
+        assert!(f.insts().any(|i| matches!(i, Inst::Bin { op: AluOp::Mul, .. })));
+        assert!(f.insts().any(|i| matches!(i, Inst::Load { offset: 0, .. })));
+    }
+
+    #[test]
+    fn strings_are_interned() {
+        let p = lower_src("void f() { puts(\"x\"); puts(\"x\"); puts(\"y\"); }");
+        assert_eq!(p.strings.len(), 2);
+    }
+
+    #[test]
+    fn stack_arrays_get_slots() {
+        let p = lower_src("int f() { int a[8]; int b[4]; a[0] = 1; return b[0] + a[0]; }");
+        let f = &p.functions[0];
+        assert_eq!(f.stack_arrays, vec![8, 4]);
+        assert!(f.insts().any(|i| matches!(i, Inst::LocalAddr { slot: 0, .. })));
+        assert!(f.insts().any(|i| matches!(i, Inst::LocalAddr { slot: 1, .. })));
+    }
+
+    #[test]
+    fn short_circuit_produces_branches() {
+        let p = lower_src("int f(int a, int b) { if (a && b) return 1; return 0; }");
+        let f = &p.functions[0];
+        let branches = f.insts().filter(|i| matches!(i, Inst::Br { .. })).count();
+        assert!(branches >= 2, "expected 2+ branches, got {branches}");
+    }
+
+    #[test]
+    fn logical_value_materializes() {
+        let p = lower_src("int f(int a, int b) { int c = a || b; return c; }");
+        let f = &p.functions[0];
+        assert!(f.insts().any(|i| matches!(i, Inst::Cmp { cond: CondOp::Ne, .. })));
+    }
+
+    #[test]
+    fn break_and_continue_target_right_blocks() {
+        let p = lower_src(
+            "int f(int n) { int i; int s = 0; for (i = 0; i < n; i++) { if (i == 2) continue; if (i == 5) break; s += i; } return s; }",
+        );
+        let f = &p.functions[0];
+        assert!(f.blocks.iter().all(Block::is_terminated));
+        // All jump targets are valid blocks.
+        for i in f.insts() {
+            for s in i.successors() {
+                assert!(s < f.blocks.len());
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_return_added() {
+        let p = lower_src("void f(int n) { if (n) putchar(65); }");
+        let f = &p.functions[0];
+        assert!(f.blocks.iter().all(Block::is_terminated));
+        assert!(f.insts().any(|i| matches!(i, Inst::Ret(None))));
+    }
+
+    #[test]
+    fn calls_lower_with_args() {
+        let p = lower_src("int g(int x) { return x; } int f() { return g(7); }");
+        let f = p.functions.iter().find(|f| f.name == "f").unwrap();
+        assert!(f.insts().any(
+            |i| matches!(i, Inst::Call { func, args, dst: Some(_) } if func == "g" && args.len() == 1)
+        ));
+    }
+}

@@ -1,0 +1,143 @@
+//! Machine-level representation: physical registers, resolved frame
+//! offsets, and label-based control flow — the input of the VLIW scheduler
+//! and the assembly emitter.
+
+use kahrisma_adl::{AluOp, CondOp};
+
+/// A machine operation over physical registers.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum MOp {
+    /// `op rd, rs1, rs2`.
+    Alu { op: AluOp, rd: u8, rs1: u8, rs2: u8 },
+    /// `opi rd, rs1, imm` — the immediate fits the encoding by construction.
+    AluImm { op: AluOp, rd: u8, rs1: u8, imm: i32 },
+    /// `lui rd, hi` (upper 19 bits of a 32-bit constant).
+    LuiConst { rd: u8, hi: u32 },
+    /// `ori rd, rs1, lo` (low 13 bits of a 32-bit constant).
+    OriConst { rd: u8, rs1: u8, lo: u32 },
+    /// `lui rd, %hi(symbol)`.
+    LuiSym { rd: u8, symbol: String },
+    /// `ori rd, rs1, %lo(symbol)`.
+    OriSym { rd: u8, rs1: u8, symbol: String },
+    /// `lw rd, off(base)`.
+    Load { rd: u8, base: u8, off: i32 },
+    /// `sw rs, off(base)`.
+    Store { rs: u8, base: u8, off: i32 },
+    /// Conditional branch to a local label.
+    Br { cond: CondOp, rs1: u8, rs2: u8, label: String },
+    /// Unconditional jump to a local label.
+    Jmp { label: String },
+    /// Call to a function symbol (expanded to the cross-ISA sequence by the
+    /// emitter when the callee's ISA differs).
+    Call { func: String },
+    /// Return (`jr ra`).
+    Ret,
+}
+
+impl MOp {
+    /// Physical registers read by the operation.
+    pub(crate) fn reads(&self) -> Vec<u8> {
+        match self {
+            MOp::Alu { rs1, rs2, .. } => vec![*rs1, *rs2],
+            MOp::AluImm { rs1, .. }
+            | MOp::OriConst { rs1, .. }
+            | MOp::OriSym { rs1, .. } => vec![*rs1],
+            MOp::Load { base, .. } => vec![*base],
+            MOp::Store { rs, base, .. } => vec![*rs, *base],
+            MOp::Br { rs1, rs2, .. } => vec![*rs1, *rs2],
+            MOp::Ret => vec![kahrisma_isa::abi::RA],
+            // Calls read the argument registers and sp; they are scheduling
+            // barriers anyway, so the exact set is immaterial.
+            MOp::Call { .. } => vec![],
+            _ => vec![],
+        }
+    }
+
+    /// Physical register written by the operation, if any.
+    pub(crate) fn writes(&self) -> Option<u8> {
+        match self {
+            MOp::Alu { rd, .. }
+            | MOp::AluImm { rd, .. }
+            | MOp::LuiConst { rd, .. }
+            | MOp::OriConst { rd, .. }
+            | MOp::LuiSym { rd, .. }
+            | MOp::OriSym { rd, .. }
+            | MOp::Load { rd, .. } => Some(*rd),
+            _ => None,
+        }
+    }
+
+    /// Whether the operation accesses data memory, and whether it stores.
+    pub(crate) fn mem_access(&self) -> Option<bool> {
+        match self {
+            MOp::Load { .. } => Some(false),
+            MOp::Store { .. } => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Whether the operation is a scheduling barrier (control transfer or
+    /// call): nothing may move across it.
+    pub(crate) fn is_barrier(&self) -> bool {
+        matches!(self, MOp::Br { .. } | MOp::Jmp { .. } | MOp::Call { .. } | MOp::Ret)
+    }
+
+    /// Latency assumed by the scheduler (L1-hit latency for loads).
+    pub(crate) fn latency(&self) -> u32 {
+        match self {
+            MOp::Alu { op, .. } | MOp::AluImm { op, .. } => match op {
+                AluOp::Mul | AluOp::Mulh | AluOp::Mulhu => kahrisma_isa::ops::MUL_DELAY,
+                AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => {
+                    kahrisma_isa::ops::DIV_DELAY
+                }
+                _ => 1,
+            },
+            MOp::Load { .. } => 3,
+            _ => 1,
+        }
+    }
+}
+
+/// A machine basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct MBlock {
+    /// Local label of the block.
+    pub label: String,
+    pub ops: Vec<MOp>,
+}
+
+/// A machine function, ready for scheduling and emission.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct MFunc {
+    pub name: String,
+    pub blocks: Vec<MBlock>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_writes_classification() {
+        let add = MOp::Alu { op: AluOp::Add, rd: 8, rs1: 9, rs2: 10 };
+        assert_eq!(add.reads(), vec![9, 10]);
+        assert_eq!(add.writes(), Some(8));
+        assert_eq!(add.latency(), 1);
+
+        let mul = MOp::Alu { op: AluOp::Mul, rd: 8, rs1: 9, rs2: 10 };
+        assert_eq!(mul.latency(), kahrisma_isa::ops::MUL_DELAY);
+
+        let lw = MOp::Load { rd: 8, base: 29, off: 4 };
+        assert_eq!(lw.mem_access(), Some(false));
+        assert_eq!(lw.latency(), 3);
+
+        let sw = MOp::Store { rs: 8, base: 29, off: 4 };
+        assert_eq!(sw.mem_access(), Some(true));
+        assert_eq!(sw.writes(), None);
+
+        assert!(MOp::Call { func: "f".into() }.is_barrier());
+        assert!(MOp::Ret.is_barrier());
+        assert!(!add.is_barrier());
+        assert_eq!(MOp::Ret.reads(), vec![31]);
+    }
+}

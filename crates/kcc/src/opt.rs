@@ -1,0 +1,341 @@
+//! IR optimizations: constant folding, strength reduction, block-local copy
+//! propagation, and dead-code elimination.
+
+use std::collections::HashMap;
+
+use kahrisma_adl::AluOp;
+
+use crate::ir::*;
+
+/// Runs the optimization pipeline on one function to a fixpoint (bounded).
+pub(crate) fn optimize(f: &mut IrFunction) {
+    for _ in 0..4 {
+        let mut changed = false;
+        changed |= fold_constants(f);
+        changed |= propagate_copies(f);
+        changed |= eliminate_dead_code(f);
+        if !changed {
+            break;
+        }
+    }
+}
+
+fn as_const(op: Operand) -> Option<i32> {
+    match op {
+        Operand::Const(c) => Some(c),
+        Operand::Reg(_) => None,
+    }
+}
+
+/// Folds constant expressions and strength-reduces multiplications and
+/// unsigned divisions by powers of two.
+fn fold_constants(f: &mut IrFunction) -> bool {
+    let mut changed = false;
+    for b in &mut f.blocks {
+        for inst in &mut b.insts {
+            let new = match inst {
+                Inst::Bin { op, dst, a, b } => match (as_const(*a), as_const(*b)) {
+                    (Some(x), Some(y)) => {
+                        let v = op.eval(x as u32, y as u32) as i32;
+                        Some(Inst::Li { dst: *dst, value: v })
+                    }
+                    (None, Some(y)) => match op {
+                        AluOp::Mul if y > 0 && (y as u32).is_power_of_two() => Some(Inst::Bin {
+                            op: AluOp::Sll,
+                            dst: *dst,
+                            a: *a,
+                            b: Operand::Const(y.trailing_zeros() as i32),
+                        }),
+                        AluOp::Divu if y > 0 && (y as u32).is_power_of_two() => Some(Inst::Bin {
+                            op: AluOp::Srl,
+                            dst: *dst,
+                            a: *a,
+                            b: Operand::Const(y.trailing_zeros() as i32),
+                        }),
+                        AluOp::Mul if y == 1 => Some(Inst::Bin {
+                            op: AluOp::Add,
+                            dst: *dst,
+                            a: *a,
+                            b: Operand::Const(0),
+                        }),
+                        _ => None,
+                    },
+                    (Some(x), None) => match op {
+                        // Commute constants right for the immediate forms.
+                        AluOp::Add | AluOp::And | AluOp::Or | AluOp::Xor | AluOp::Mul => {
+                            Some(Inst::Bin {
+                                op: *op,
+                                dst: *dst,
+                                a: *b,
+                                b: Operand::Const(x),
+                            })
+                        }
+                        _ => None,
+                    },
+                    _ => None,
+                },
+                Inst::Cmp { cond, dst, a, b } => match (as_const(*a), as_const(*b)) {
+                    (Some(x), Some(y)) => Some(Inst::Li {
+                        dst: *dst,
+                        value: i32::from(cond.eval(x as u32, y as u32)),
+                    }),
+                    _ => None,
+                },
+                Inst::Br { cond, a, b, then_bb, else_bb } => {
+                    match (as_const(*a), as_const(*b)) {
+                        (Some(x), Some(y)) => {
+                            let target =
+                                if cond.eval(x as u32, y as u32) { *then_bb } else { *else_bb };
+                            Some(Inst::Jmp(target))
+                        }
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            if let Some(n) = new {
+                *inst = n;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Block-local copy/constant propagation: replaces uses of vregs known to
+/// hold a constant or a copy of another operand.
+fn propagate_copies(f: &mut IrFunction) -> bool {
+    // A vreg may be written in several places (the IR is not SSA); only
+    // propagate facts about vregs with exactly one definition, or reset
+    // facts at redefinitions within the block (cross-block facts are only
+    // kept for single-def vregs).
+    let mut def_count: HashMap<VReg, u32> = HashMap::new();
+    for i in f.insts() {
+        if let Some(d) = i.def() {
+            *def_count.entry(d).or_insert(0) += 1;
+        }
+    }
+    let mut changed = false;
+    // Global facts for single-def vregs.
+    let mut global_facts: HashMap<VReg, Operand> = HashMap::new();
+    for i in f.insts() {
+        if let Some(d) = i.def() {
+            if def_count.get(&d) == Some(&1) {
+                match i {
+                    Inst::Li { value, .. } => {
+                        global_facts.insert(d, Operand::Const(*value));
+                    }
+                    Inst::Bin { op: AluOp::Add, a, b: Operand::Const(0), .. } => {
+                        // Copy: only safe when the source is itself
+                        // single-def (otherwise its value may differ at the
+                        // use site).
+                        if let Operand::Reg(src) = a {
+                            if def_count.get(src) == Some(&1) {
+                                global_facts.insert(d, *a);
+                            }
+                        } else {
+                            global_facts.insert(d, *a);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    let rewrite = |o: &mut Operand, facts: &HashMap<VReg, Operand>, changed: &mut bool| {
+        if let Operand::Reg(r) = o {
+            if let Some(v) = facts.get(r) {
+                *o = *v;
+                *changed = true;
+            }
+        }
+    };
+    for b in &mut f.blocks {
+        for inst in &mut b.insts {
+            match inst {
+                Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } | Inst::Br { a, b, .. } => {
+                    rewrite(a, &global_facts, &mut changed);
+                    rewrite(b, &global_facts, &mut changed);
+                }
+                Inst::Load { base, .. } => rewrite(base, &global_facts, &mut changed),
+                Inst::Store { src, base, .. } => {
+                    rewrite(src, &global_facts, &mut changed);
+                    rewrite(base, &global_facts, &mut changed);
+                }
+                Inst::Call { args, .. } => {
+                    for a in args {
+                        rewrite(a, &global_facts, &mut changed);
+                    }
+                }
+                Inst::Ret(Some(v)) => rewrite(v, &global_facts, &mut changed),
+                _ => {}
+            }
+        }
+    }
+    changed
+}
+
+/// Removes side-effect-free instructions whose results are never used.
+fn eliminate_dead_code(f: &mut IrFunction) -> bool {
+    let mut used: HashMap<VReg, u32> = HashMap::new();
+    let mut uses_buf = Vec::new();
+    for i in f.insts() {
+        uses_buf.clear();
+        i.uses(&mut uses_buf);
+        for &u in &uses_buf {
+            *used.entry(u).or_insert(0) += 1;
+        }
+    }
+    let mut changed = false;
+    for b in &mut f.blocks {
+        b.insts.retain(|i| {
+            let dead = match i {
+                Inst::Bin { dst, .. }
+                | Inst::Cmp { dst, .. }
+                | Inst::Li { dst, .. }
+                | Inst::La { dst, .. }
+                | Inst::LocalAddr { dst, .. }
+                | Inst::Load { dst, .. } => used.get(dst).copied().unwrap_or(0) == 0,
+                // Calls, stores and terminators always stay.
+                _ => false,
+            };
+            if dead {
+                changed = true;
+            }
+            !dead
+        });
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kahrisma_adl::CondOp;
+
+    fn func(insts: Vec<Inst>) -> IrFunction {
+        let vreg_count = 64;
+        IrFunction {
+            name: "t".into(),
+            params: vec![0],
+            blocks: vec![Block { insts }],
+            vreg_count,
+            stack_arrays: Vec::new(),
+            returns_value: true,
+        }
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut f = func(vec![
+            Inst::Bin { op: AluOp::Add, dst: 1, a: Operand::Const(2), b: Operand::Const(3) },
+            Inst::Ret(Some(Operand::Reg(1))),
+        ]);
+        optimize(&mut f);
+        // Fully folded: the constant propagates into the return and the
+        // defining instruction becomes dead.
+        assert_eq!(f.blocks[0].insts, vec![Inst::Ret(Some(Operand::Const(5)))]);
+    }
+
+    #[test]
+    fn strength_reduces_mul_by_power_of_two() {
+        let mut f = func(vec![
+            Inst::Bin { op: AluOp::Mul, dst: 1, a: Operand::Reg(0), b: Operand::Const(8) },
+            Inst::Ret(Some(Operand::Reg(1))),
+        ]);
+        optimize(&mut f);
+        assert!(matches!(
+            f.blocks[0].insts[0],
+            Inst::Bin { op: AluOp::Sll, b: Operand::Const(3), .. }
+        ));
+    }
+
+    #[test]
+    fn commutes_constant_to_rhs() {
+        let mut f = func(vec![
+            Inst::Bin { op: AluOp::Add, dst: 1, a: Operand::Const(5), b: Operand::Reg(0) },
+            Inst::Ret(Some(Operand::Reg(1))),
+        ]);
+        optimize(&mut f);
+        assert!(matches!(
+            f.blocks[0].insts[0],
+            Inst::Bin { op: AluOp::Add, a: Operand::Reg(0), b: Operand::Const(5), .. }
+        ));
+    }
+
+    #[test]
+    fn propagates_single_def_constants() {
+        let mut f = func(vec![
+            Inst::Li { dst: 1, value: 7 },
+            Inst::Bin { op: AluOp::Add, dst: 2, a: Operand::Reg(0), b: Operand::Reg(1) },
+            Inst::Ret(Some(Operand::Reg(2))),
+        ]);
+        optimize(&mut f);
+        // r1's constant is propagated and the Li becomes dead.
+        assert!(matches!(
+            f.blocks[0].insts[0],
+            Inst::Bin { op: AluOp::Add, a: Operand::Reg(0), b: Operand::Const(7), .. }
+        ));
+        assert_eq!(f.blocks[0].insts.len(), 2);
+    }
+
+    #[test]
+    fn does_not_propagate_multi_def() {
+        let mut f = func(vec![
+            Inst::Li { dst: 1, value: 7 },
+            Inst::Bin { op: AluOp::Add, dst: 2, a: Operand::Reg(0), b: Operand::Reg(1) },
+            Inst::Li { dst: 1, value: 9 }, // second def of r1
+            Inst::Bin { op: AluOp::Add, dst: 3, a: Operand::Reg(2), b: Operand::Reg(1) },
+            Inst::Ret(Some(Operand::Reg(3))),
+        ]);
+        optimize(&mut f);
+        // r1 is multi-def: both adds must keep reading the register.
+        for i in f.insts() {
+            if let Inst::Bin { b, .. } = i {
+                assert_eq!(*b, Operand::Reg(1));
+            }
+        }
+    }
+
+    #[test]
+    fn removes_dead_pure_code_keeps_effects() {
+        let mut f = func(vec![
+            Inst::Li { dst: 5, value: 1 }, // dead
+            Inst::Load { dst: 6, base: Operand::Reg(0), offset: 0 }, // dead load: removable
+            Inst::Store { src: Operand::Const(1), base: Operand::Reg(0), offset: 0 }, // effect
+            Inst::Call { dst: Some(7), func: "rand".into(), args: vec![] }, // dead dst, call stays
+            Inst::Ret(Some(Operand::Const(0))),
+        ]);
+        optimize(&mut f);
+        let kinds: Vec<_> = f.blocks[0].insts.iter().collect();
+        assert_eq!(kinds.len(), 3);
+        assert!(matches!(kinds[0], Inst::Store { .. }));
+        assert!(matches!(kinds[1], Inst::Call { .. }));
+    }
+
+    #[test]
+    fn folds_constant_branches() {
+        let mut f = IrFunction {
+            name: "t".into(),
+            params: vec![],
+            blocks: vec![
+                Block {
+                    insts: vec![Inst::Br {
+                        cond: CondOp::Lt,
+                        a: Operand::Const(1),
+                        b: Operand::Const(2),
+                        then_bb: 1,
+                        else_bb: 2,
+                    }],
+                },
+                Block { insts: vec![Inst::Ret(Some(Operand::Const(1)))] },
+                Block { insts: vec![Inst::Ret(Some(Operand::Const(0)))] },
+            ],
+            vreg_count: 0,
+            stack_arrays: Vec::new(),
+            returns_value: true,
+        };
+        optimize(&mut f);
+        assert_eq!(f.blocks[0].insts[0], Inst::Jmp(1));
+    }
+}

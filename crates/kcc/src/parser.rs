@@ -1,0 +1,593 @@
+//! Recursive-descent parser for KC.
+
+use crate::ast::*;
+use crate::error::{CompileError, Phase};
+use crate::lexer::{Tok, Token};
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+enum ParsedFunc {
+    Definition(FuncDecl),
+    Prototype(FuncDecl),
+}
+
+fn err(line: u32, msg: impl Into<String>) -> CompileError {
+    CompileError::new(Phase::Parse, line, msg)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |t| t.line)
+    }
+
+    fn next(&mut self) -> Option<&'a Tok> {
+        let t = self.peek();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), CompileError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(err(self.line(), format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s.clone()),
+            other => Err(err(self.line(), format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Parses a base type (`int`, `uint`, `void`) plus pointer stars.
+    fn parse_type(&mut self) -> Result<Type, CompileError> {
+        let mut ty = match self.next() {
+            Some(Tok::KwInt) => Type::Int,
+            Some(Tok::KwUint) => Type::Uint,
+            Some(Tok::KwVoid) => Type::Void,
+            other => return Err(err(self.line(), format!("expected type, found {other:?}"))),
+        };
+        while self.eat(&Tok::Star) {
+            ty = Type::Ptr(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(self.peek(), Some(Tok::KwInt | Tok::KwUint | Tok::KwVoid))
+    }
+
+    fn parse_program(&mut self) -> Result<Program, CompileError> {
+        let mut program = Program::default();
+        while self.peek().is_some() {
+            let line = self.line();
+            let ty = self.parse_type()?;
+            let name = self.ident()?;
+            if self.peek() == Some(&Tok::LParen) {
+                match self.parse_function(ty, name, line)? {
+                    ParsedFunc::Definition(f) => program.functions.push(f),
+                    ParsedFunc::Prototype(f) => program.prototypes.push(f),
+                }
+            } else {
+                program.globals.push(self.parse_global(ty, name, line)?);
+            }
+        }
+        Ok(program)
+    }
+
+    fn parse_global(
+        &mut self,
+        ty: Type,
+        name: String,
+        line: u32,
+    ) -> Result<GlobalDecl, CompileError> {
+        let mut array = None;
+        if self.eat(&Tok::LBracket) {
+            match self.next() {
+                Some(Tok::Int(n)) if *n > 0 => array = Some(*n as u32),
+                other => return Err(err(line, format!("bad array size {other:?}"))),
+            }
+            self.expect(&Tok::RBracket, "]")?;
+        }
+        let mut init = Vec::new();
+        if self.eat(&Tok::Assign) {
+            if array.is_some() {
+                self.expect(&Tok::LBrace, "{")?;
+                loop {
+                    init.push(self.parse_const_int()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                    // Allow a trailing comma before `}`.
+                    if self.peek() == Some(&Tok::RBrace) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RBrace, "}")?;
+                if init.len() > array.unwrap_or(0) as usize {
+                    return Err(err(line, "too many initializers"));
+                }
+            } else {
+                init.push(self.parse_const_int()?);
+            }
+        }
+        self.expect(&Tok::Semi, ";")?;
+        Ok(GlobalDecl { name, ty, array, init, line })
+    }
+
+    /// Constant integer expression (literals with optional unary minus).
+    fn parse_const_int(&mut self) -> Result<i64, CompileError> {
+        let neg = self.eat(&Tok::Minus);
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(if neg { -v } else { *v }),
+            other => Err(err(self.line(), format!("expected constant, found {other:?}"))),
+        }
+    }
+
+    /// Parses a function definition or a prototype.
+    fn parse_function(
+        &mut self,
+        ret: Type,
+        name: String,
+        line: u32,
+    ) -> Result<ParsedFunc, CompileError> {
+        self.expect(&Tok::LParen, "(")?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                if self.peek() == Some(&Tok::KwVoid) && params.is_empty() {
+                    // `f(void)`.
+                    let save = self.pos;
+                    self.next();
+                    if self.eat(&Tok::RParen) {
+                        break;
+                    }
+                    self.pos = save;
+                }
+                let ty = self.parse_type()?;
+                let pname = self.ident()?;
+                // `int a[]` parameter syntax decays to a pointer.
+                let ty = if self.eat(&Tok::LBracket) {
+                    self.expect(&Tok::RBracket, "]")?;
+                    Type::Ptr(Box::new(ty))
+                } else {
+                    ty
+                };
+                params.push((pname, ty));
+                if !self.eat(&Tok::Comma) {
+                    self.expect(&Tok::RParen, ")")?;
+                    break;
+                }
+            }
+        }
+        if self.eat(&Tok::Semi) {
+            return Ok(ParsedFunc::Prototype(FuncDecl {
+                name,
+                ret,
+                params,
+                body: Vec::new(),
+                line,
+            }));
+        }
+        self.expect(&Tok::LBrace, "{")?;
+        let body = self.parse_block_body()?;
+        Ok(ParsedFunc::Definition(FuncDecl { name, ret, params, body, line }))
+    }
+
+    fn parse_block_body(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.peek().is_none() {
+                return Err(err(self.line(), "unexpected end of input in block"));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Some(Tok::LBrace) => {
+                self.next();
+                Ok(Stmt::Block(self.parse_block_body()?))
+            }
+            Some(Tok::KwIf) => {
+                self.next();
+                self.expect(&Tok::LParen, "(")?;
+                let cond = self.parse_expr()?;
+                self.expect(&Tok::RParen, ")")?;
+                let then_body = self.parse_stmt_as_block()?;
+                let else_body =
+                    if self.eat(&Tok::KwElse) { self.parse_stmt_as_block()? } else { Vec::new() };
+                Ok(Stmt::If { cond, then_body, else_body })
+            }
+            Some(Tok::KwWhile) => {
+                self.next();
+                self.expect(&Tok::LParen, "(")?;
+                let cond = self.parse_expr()?;
+                self.expect(&Tok::RParen, ")")?;
+                let body = self.parse_stmt_as_block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Some(Tok::KwFor) => {
+                self.next();
+                self.expect(&Tok::LParen, "(")?;
+                let init = if self.eat(&Tok::Semi) {
+                    None
+                } else {
+                    let s = self.parse_simple_stmt()?;
+                    self.expect(&Tok::Semi, ";")?;
+                    Some(Box::new(s))
+                };
+                let cond = if self.peek() == Some(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(&Tok::Semi, ";")?;
+                let step = if self.peek() == Some(&Tok::RParen) {
+                    None
+                } else {
+                    Some(Box::new(self.parse_simple_stmt()?))
+                };
+                self.expect(&Tok::RParen, ")")?;
+                let body = self.parse_stmt_as_block()?;
+                Ok(Stmt::For { init, cond, step, body })
+            }
+            Some(Tok::KwReturn) => {
+                self.next();
+                let value = if self.peek() == Some(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(&Tok::Semi, ";")?;
+                Ok(Stmt::Return(value, line))
+            }
+            Some(Tok::KwBreak) => {
+                self.next();
+                self.expect(&Tok::Semi, ";")?;
+                Ok(Stmt::Break(line))
+            }
+            Some(Tok::KwContinue) => {
+                self.next();
+                self.expect(&Tok::Semi, ";")?;
+                Ok(Stmt::Continue(line))
+            }
+            _ => {
+                let s = self.parse_simple_stmt()?;
+                self.expect(&Tok::Semi, ";")?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn parse_stmt_as_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        let s = self.parse_stmt()?;
+        Ok(match s {
+            Stmt::Block(b) => b,
+            other => vec![other],
+        })
+    }
+
+    /// Declaration, assignment, increment, or expression — no trailing `;`.
+    fn parse_simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        if self.is_type_start() {
+            let ty = self.parse_type()?;
+            let name = self.ident()?;
+            let mut array = None;
+            if self.eat(&Tok::LBracket) {
+                match self.next() {
+                    Some(Tok::Int(n)) if *n > 0 => array = Some(*n as u32),
+                    other => return Err(err(line, format!("bad array size {other:?}"))),
+                }
+                self.expect(&Tok::RBracket, "]")?;
+            }
+            let init = if self.eat(&Tok::Assign) {
+                if array.is_some() {
+                    return Err(err(line, "local array initializers are not supported"));
+                }
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::Decl { name, ty, array, init, line });
+        }
+        // Assignment or expression: parse an expression, then look for `=`,
+        // compound assignment, or `++`/`--`.
+        let target = self.parse_expr()?;
+        let compound = match self.peek() {
+            Some(Tok::Assign) => Some(None),
+            Some(Tok::PlusEq) => Some(Some(BinOp::Add)),
+            Some(Tok::MinusEq) => Some(Some(BinOp::Sub)),
+            Some(Tok::StarEq) => Some(Some(BinOp::Mul)),
+            Some(Tok::SlashEq) => Some(Some(BinOp::Div)),
+            Some(Tok::PlusPlus) => {
+                self.next();
+                let one = Expr { kind: ExprKind::Int(1), line };
+                return Ok(Stmt::Assign { target, op: Some(BinOp::Add), value: one, line });
+            }
+            Some(Tok::MinusMinus) => {
+                self.next();
+                let one = Expr { kind: ExprKind::Int(1), line };
+                return Ok(Stmt::Assign { target, op: Some(BinOp::Sub), value: one, line });
+            }
+            _ => None,
+        };
+        if let Some(op) = compound {
+            self.next();
+            let value = self.parse_expr()?;
+            Ok(Stmt::Assign { target, op, value, line })
+        } else {
+            Ok(Stmt::Expr(target))
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, CompileError> {
+        self.parse_bin(0)
+    }
+
+    /// Precedence-climbing binary expression parser.
+    fn parse_bin(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Some(Tok::OrOr) => (BinOp::LOr, 1),
+                Some(Tok::AndAnd) => (BinOp::LAnd, 2),
+                Some(Tok::Pipe) => (BinOp::Or, 3),
+                Some(Tok::Caret) => (BinOp::Xor, 4),
+                Some(Tok::Amp) => (BinOp::And, 5),
+                Some(Tok::EqEq) => (BinOp::Eq, 6),
+                Some(Tok::Ne) => (BinOp::Ne, 6),
+                Some(Tok::Lt) => (BinOp::Lt, 7),
+                Some(Tok::Le) => (BinOp::Le, 7),
+                Some(Tok::Gt) => (BinOp::Gt, 7),
+                Some(Tok::Ge) => (BinOp::Ge, 7),
+                Some(Tok::Shl) => (BinOp::Shl, 8),
+                Some(Tok::Shr) => (BinOp::Shr, 8),
+                Some(Tok::Plus) => (BinOp::Add, 9),
+                Some(Tok::Minus) => (BinOp::Sub, 9),
+                Some(Tok::Star) => (BinOp::Mul, 10),
+                Some(Tok::Slash) => (BinOp::Div, 10),
+                Some(Tok::Percent) => (BinOp::Mod, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.next();
+            let rhs = self.parse_bin(prec + 1)?;
+            lhs = Expr { kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), line };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.next();
+                let e = self.parse_unary()?;
+                Ok(Expr { kind: ExprKind::Unary(UnOp::Neg, Box::new(e)), line })
+            }
+            Some(Tok::Tilde) => {
+                self.next();
+                let e = self.parse_unary()?;
+                Ok(Expr { kind: ExprKind::Unary(UnOp::Not, Box::new(e)), line })
+            }
+            Some(Tok::Bang) => {
+                self.next();
+                let e = self.parse_unary()?;
+                Ok(Expr { kind: ExprKind::Unary(UnOp::LNot, Box::new(e)), line })
+            }
+            Some(Tok::Star) => {
+                self.next();
+                let e = self.parse_unary()?;
+                Ok(Expr { kind: ExprKind::Deref(Box::new(e)), line })
+            }
+            Some(Tok::Amp) => {
+                self.next();
+                let e = self.parse_unary()?;
+                Ok(Expr { kind: ExprKind::AddrOf(Box::new(e)), line })
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.parse_primary()?;
+        loop {
+            let line = self.line();
+            if self.eat(&Tok::LBracket) {
+                let idx = self.parse_expr()?;
+                self.expect(&Tok::RBracket, "]")?;
+                e = Expr { kind: ExprKind::Index(Box::new(e), Box::new(idx)), line };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Expr { kind: ExprKind::Int(*v), line }),
+            Some(Tok::Str(s)) => Ok(Expr { kind: ExprKind::Str(s.clone()), line }),
+            Some(Tok::Ident(name)) => {
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                self.expect(&Tok::RParen, ")")?;
+                                break;
+                            }
+                        }
+                    }
+                    Ok(Expr { kind: ExprKind::Call(name.clone(), args), line })
+                } else {
+                    Ok(Expr { kind: ExprKind::Var(name.clone()), line })
+                }
+            }
+            Some(Tok::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen, ")")?;
+                Ok(e)
+            }
+            other => Err(err(line, format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses a token stream into a program.
+pub(crate) fn parse(tokens: &[Token]) -> Result<Program, CompileError> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.parse_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap_or_else(|e| panic!("parse failed: {e}"))
+    }
+
+    #[test]
+    fn parses_function_with_params() {
+        let p = parse_src("int add(int a, int b) { return a + b; }");
+        assert_eq!(p.functions.len(), 1);
+        let f = &p.functions[0];
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.ret, Type::Int);
+        assert!(matches!(f.body[0], Stmt::Return(Some(_), _)));
+    }
+
+    #[test]
+    fn parses_globals_and_arrays() {
+        let p = parse_src("int x = 5; int tab[4] = {1, 2, 3, 4}; uint big[100];");
+        assert_eq!(p.globals.len(), 3);
+        assert_eq!(p.globals[0].init, vec![5]);
+        assert_eq!(p.globals[1].array, Some(4));
+        assert_eq!(p.globals[1].init, vec![1, 2, 3, 4]);
+        assert_eq!(p.globals[2].array, Some(100));
+        assert!(p.globals[2].init.is_empty());
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let p = parse_src("int f() { return 1 + 2 * 3 < 4 & 5; }");
+        // ((1 + (2*3)) < 4) & 5
+        match &p.functions[0].body[0] {
+            Stmt::Return(Some(e), _) => match &e.kind {
+                ExprKind::Binary(BinOp::And, lhs, _) => match &lhs.kind {
+                    ExprKind::Binary(BinOp::Lt, ll, _) => {
+                        assert!(matches!(ll.kind, ExprKind::Binary(BinOp::Add, _, _)));
+                    }
+                    other => panic!("{other:?}"),
+                },
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_flow_statements() {
+        let p = parse_src(
+            "void f(int n) {
+                int i;
+                for (i = 0; i < n; i++) { if (i == 3) break; else continue; }
+                while (n > 0) n -= 1;
+            }",
+        );
+        let body = &p.functions[0].body;
+        assert!(matches!(body[1], Stmt::For { .. }));
+        assert!(matches!(body[2], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn pointers_and_indexing() {
+        let p = parse_src("int f(int* p, int a[]) { *p = a[2]; return p[1]; }");
+        let f = &p.functions[0];
+        assert_eq!(f.params[0].1, Type::Ptr(Box::new(Type::Int)));
+        assert_eq!(f.params[1].1, Type::Ptr(Box::new(Type::Int)));
+        assert!(matches!(
+            &f.body[0],
+            Stmt::Assign { target: Expr { kind: ExprKind::Deref(_), .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn compound_assignment_and_increments() {
+        let p = parse_src("void f() { int x = 0; x += 2; x *= 3; x--; }");
+        let body = &p.functions[0].body;
+        assert!(matches!(body[1], Stmt::Assign { op: Some(BinOp::Add), .. }));
+        assert!(matches!(body[2], Stmt::Assign { op: Some(BinOp::Mul), .. }));
+        assert!(matches!(body[3], Stmt::Assign { op: Some(BinOp::Sub), .. }));
+    }
+
+    #[test]
+    fn calls_and_strings() {
+        let p = parse_src("void f() { puts(\"hi\"); g(1, 2, 3); }");
+        let body = &p.functions[0].body;
+        match &body[0] {
+            Stmt::Expr(Expr { kind: ExprKind::Call(name, args), .. }) => {
+                assert_eq!(name, "puts");
+                assert!(matches!(args[0].kind, ExprKind::Str(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse(&lex("int f( {").unwrap()).is_err());
+        assert!(parse(&lex("int f() { return 1 }").unwrap()).is_err());
+        assert!(parse(&lex("int x[0];").unwrap()).is_err());
+        assert!(parse(&lex("int f() { int a[2] = 1; }").unwrap()).is_err());
+        assert!(parse(&lex("bogus").unwrap()).is_err());
+    }
+
+    #[test]
+    fn dangling_else_binds_inner() {
+        let p = parse_src("void f(int a) { if (a) if (a > 1) g(); else h(); }");
+        match &p.functions[0].body[0] {
+            Stmt::If { then_body, else_body, .. } => {
+                assert!(else_body.is_empty());
+                assert!(matches!(&then_body[0], Stmt::If { else_body, .. } if !else_body.is_empty()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

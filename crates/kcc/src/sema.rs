@@ -1,0 +1,707 @@
+//! Semantic analysis: scoping, type checking, lvalue normalization.
+//!
+//! Produces a typed program in which pointer arithmetic is explicitly scaled
+//! (all KC element types are 4 bytes), array/deref accesses are normalized
+//! into explicit address computations plus [`TExprKind::Load`] nodes, and
+//! every local has a unique name.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::error::{CompileError, Phase};
+
+/// Names and arities of the C-library builtins backed by the simulator's
+/// `simop` emulation (paper §V-E). `(name, arg_count, returns_pointer)`.
+pub(crate) const BUILTINS: &[(&str, usize, bool)] = &[
+    ("exit", 1, false),
+    ("putchar", 1, false),
+    ("print_int", 1, false),
+    ("print_uint", 1, false),
+    ("print_hex", 1, false),
+    ("puts", 1, false),
+    ("malloc", 1, true),
+    ("free", 1, false),
+    ("memcpy", 3, true),
+    ("memset", 3, true),
+    ("srand", 1, false),
+    ("rand", 0, false),
+    ("clock", 0, false),
+    ("getchar", 0, false),
+    ("abort", 0, false),
+];
+
+/// A typed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct TExpr {
+    pub kind: TExprKind,
+    pub ty: Type,
+}
+
+/// Typed expression variants (lvalues already normalized to addresses).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TExprKind {
+    Int(i32),
+    /// String literal (materialized in `.rodata` by the lowerer).
+    Str(String),
+    /// Read of a scalar local or parameter (unique name).
+    Local(String),
+    /// Address of a global symbol (scalar, array, or string).
+    GlobalAddr(String),
+    /// Address of a stack array (unique name).
+    LocalArrayAddr(String),
+    /// Word load from the address produced by the inner expression.
+    Load(Box<TExpr>),
+    Unary(UnOp, Box<TExpr>),
+    Binary(BinOp, Box<TExpr>, Box<TExpr>),
+    Call(String, Vec<TExpr>),
+}
+
+/// A typed assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TLval {
+    /// Scalar local (unique name).
+    Local(String),
+    /// Word store to the address produced by the expression.
+    Mem(TExpr),
+}
+
+/// A typed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TStmt {
+    DeclScalar { name: String, init: Option<TExpr> },
+    DeclArray { name: String, words: u32 },
+    Assign { target: TLval, value: TExpr },
+    Expr(TExpr),
+    If { cond: TExpr, then_body: Vec<TStmt>, else_body: Vec<TStmt> },
+    While { cond: TExpr, body: Vec<TStmt> },
+    For { step: Vec<TStmt>, cond: Option<TExpr>, body: Vec<TStmt> },
+    Return(Option<TExpr>),
+    Break,
+    Continue,
+}
+
+/// A typed function.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct TFunc {
+    pub name: String,
+    pub ret: Type,
+    /// Parameters with unique names.
+    pub params: Vec<(String, Type)>,
+    pub body: Vec<TStmt>,
+}
+
+/// A typed program.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct TProgram {
+    pub globals: Vec<GlobalDecl>,
+    pub functions: Vec<TFunc>,
+}
+
+fn err(line: u32, msg: impl Into<String>) -> CompileError {
+    CompileError::new(Phase::Sema, line, msg)
+}
+
+#[derive(Debug, Clone)]
+enum Binding {
+    /// Scalar local with its unique name.
+    Scalar(String, Type),
+    /// Stack array with its unique name and element type.
+    Array(String, Type),
+}
+
+struct Checker<'a> {
+    program: &'a Program,
+    globals: HashMap<&'a str, &'a GlobalDecl>,
+    functions: HashMap<&'a str, &'a FuncDecl>,
+    scopes: Vec<HashMap<String, Binding>>,
+    next_unique: u32,
+    current_ret: Type,
+    loop_depth: u32,
+}
+
+impl<'a> Checker<'a> {
+    fn unique(&mut self, name: &str) -> String {
+        self.next_unique += 1;
+        format!("{name}${}", self.next_unique)
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Binding> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn declare(&mut self, name: &str, binding: Binding, line: u32) -> Result<(), CompileError> {
+        let scope = self.scopes.last_mut().expect("scope stack non-empty");
+        if scope.contains_key(name) {
+            return Err(err(line, format!("`{name}` redeclared in the same scope")));
+        }
+        scope.insert(name.to_string(), binding);
+        Ok(())
+    }
+
+    fn check_function(&mut self, f: &'a FuncDecl) -> Result<TFunc, CompileError> {
+        self.current_ret = f.ret.clone();
+        self.scopes.push(HashMap::new());
+        let mut params = Vec::new();
+        for (name, ty) in &f.params {
+            if *ty == Type::Void {
+                return Err(err(f.line, format!("parameter `{name}` has type void")));
+            }
+            let uname = self.unique(name);
+            self.declare(name, Binding::Scalar(uname.clone(), ty.clone()), f.line)?;
+            params.push((uname, ty.clone()));
+        }
+        let body = self.check_body(&f.body)?;
+        self.scopes.pop();
+        Ok(TFunc { name: f.name.clone(), ret: f.ret.clone(), params, body })
+    }
+
+    fn check_body(&mut self, stmts: &[Stmt]) -> Result<Vec<TStmt>, CompileError> {
+        self.scopes.push(HashMap::new());
+        let result = stmts.iter().map(|s| self.check_stmt(s)).collect();
+        self.scopes.pop();
+        result
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> Result<TStmt, CompileError> {
+        match stmt {
+            Stmt::Decl { name, ty, array, init, line } => {
+                if *ty == Type::Void {
+                    return Err(err(*line, format!("`{name}` declared void")));
+                }
+                let uname = self.unique(name);
+                if let Some(n) = array {
+                    self.declare(name, Binding::Array(uname.clone(), ty.clone()), *line)?;
+                    Ok(TStmt::DeclArray { name: uname, words: *n })
+                } else {
+                    let tinit = init
+                        .as_ref()
+                        .map(|e| self.check_scalar_expr(e))
+                        .transpose()?;
+                    self.declare(name, Binding::Scalar(uname.clone(), ty.clone()), *line)?;
+                    Ok(TStmt::DeclScalar { name: uname, init: tinit })
+                }
+            }
+            Stmt::Expr(e) => {
+                let te = self.check_expr(e)?;
+                Ok(TStmt::Expr(te))
+            }
+            Stmt::Assign { target, op, value, line } => {
+                let (lval, lval_ty) = self.check_lvalue(target)?;
+                let tvalue = self.check_scalar_expr(value)?;
+                let final_value = if let Some(op) = op {
+                    // Compound assignment re-reads the target.
+                    let read = match &lval {
+                        TLval::Local(name) => {
+                            TExpr { kind: TExprKind::Local(name.clone()), ty: lval_ty.clone() }
+                        }
+                        TLval::Mem(addr) => TExpr {
+                            kind: TExprKind::Load(Box::new(addr.clone())),
+                            ty: lval_ty.clone(),
+                        },
+                    };
+                    self.binary(*op, read, tvalue, *line)?
+                } else {
+                    tvalue
+                };
+                Ok(TStmt::Assign { target: lval, value: final_value })
+            }
+            Stmt::If { cond, then_body, else_body } => Ok(TStmt::If {
+                cond: self.check_scalar_expr(cond)?,
+                then_body: self.check_body(then_body)?,
+                else_body: self.check_body(else_body)?,
+            }),
+            Stmt::While { cond, body } => {
+                self.loop_depth += 1;
+                let r = TStmt::While {
+                    cond: self.check_scalar_expr(cond)?,
+                    body: self.check_body(body)?,
+                };
+                self.loop_depth -= 1;
+                Ok(r)
+            }
+            Stmt::For { init, cond, step, body } => {
+                // The init statement's declarations scope over the loop.
+                self.scopes.push(HashMap::new());
+                let mut out = Vec::new();
+                if let Some(i) = init {
+                    out.push(self.check_stmt(i)?);
+                }
+                self.loop_depth += 1;
+                let tcond = cond.as_ref().map(|c| self.check_scalar_expr(c)).transpose()?;
+                let tbody = self.check_body(body)?;
+                let tstep = match step {
+                    Some(s) => vec![self.check_stmt(s)?],
+                    None => Vec::new(),
+                };
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                out.push(TStmt::For { step: tstep, cond: tcond, body: tbody });
+                // Wrap in a block-equivalent sequence: return a single
+                // statement when there is no init.
+                if out.len() == 1 {
+                    Ok(out.pop().expect("one statement"))
+                } else {
+                    // Represent `{ init; for…; }` as an If with a constant
+                    // true condition to avoid adding a Block variant — no:
+                    // keep it simple with a dedicated sequence.
+                    Ok(TStmt::If {
+                        cond: TExpr { kind: TExprKind::Int(1), ty: Type::Int },
+                        then_body: out,
+                        else_body: Vec::new(),
+                    })
+                }
+            }
+            Stmt::Return(value, line) => {
+                let tvalue = value.as_ref().map(|e| self.check_scalar_expr(e)).transpose()?;
+                match (&self.current_ret, &tvalue) {
+                    (Type::Void, Some(_)) => Err(err(*line, "void function returns a value")),
+                    (Type::Void, None) => Ok(TStmt::Return(None)),
+                    (_, None) => Err(err(*line, "non-void function must return a value")),
+                    (_, Some(_)) => Ok(TStmt::Return(tvalue)),
+                }
+            }
+            Stmt::Break(line) => {
+                if self.loop_depth == 0 {
+                    return Err(err(*line, "break outside a loop"));
+                }
+                Ok(TStmt::Break)
+            }
+            Stmt::Continue(line) => {
+                if self.loop_depth == 0 {
+                    return Err(err(*line, "continue outside a loop"));
+                }
+                Ok(TStmt::Continue)
+            }
+            Stmt::Block(stmts) => Ok(TStmt::If {
+                cond: TExpr { kind: TExprKind::Int(1), ty: Type::Int },
+                then_body: self.check_body(stmts)?,
+                else_body: Vec::new(),
+            }),
+        }
+    }
+
+    /// Checks an lvalue expression and returns its target plus element type.
+    fn check_lvalue(&mut self, target: &Expr) -> Result<(TLval, Type), CompileError> {
+        match &target.kind {
+            ExprKind::Var(name) => {
+                if let Some(binding) = self.lookup(name).cloned() {
+                    match binding {
+                        Binding::Scalar(uname, ty) => return Ok((TLval::Local(uname), ty)),
+                        Binding::Array(_, _) => {
+                            return Err(err(target.line, format!("cannot assign to array `{name}`")));
+                        }
+                    }
+                }
+                if let Some(g) = self.globals.get(name.as_str()) {
+                    if g.array.is_some() {
+                        return Err(err(target.line, format!("cannot assign to array `{name}`")));
+                    }
+                    let addr = TExpr {
+                        kind: TExprKind::GlobalAddr(name.clone()),
+                        ty: Type::Ptr(Box::new(g.ty.clone())),
+                    };
+                    return Ok((TLval::Mem(addr), g.ty.clone()));
+                }
+                Err(err(target.line, format!("unknown variable `{name}`")))
+            }
+            ExprKind::Deref(inner) => {
+                let addr = self.check_scalar_expr(inner)?;
+                let elem = addr
+                    .ty
+                    .pointee()
+                    .cloned()
+                    .ok_or_else(|| err(target.line, "dereference of a non-pointer"))?;
+                Ok((TLval::Mem(addr), elem))
+            }
+            ExprKind::Index(base, index) => {
+                let addr = self.index_addr(base, index, target.line)?;
+                let elem = addr.ty.pointee().cloned().expect("index_addr returns pointer");
+                Ok((TLval::Mem(addr), elem))
+            }
+            _ => Err(err(target.line, "expression is not assignable")),
+        }
+    }
+
+    /// Computes the address expression `base + index * 4`.
+    fn index_addr(
+        &mut self,
+        base: &Expr,
+        index: &Expr,
+        line: u32,
+    ) -> Result<TExpr, CompileError> {
+        let tbase = self.check_scalar_expr(base)?;
+        if !tbase.ty.is_ptr() {
+            return Err(err(line, format!("indexed value has type {}", tbase.ty)));
+        }
+        let tindex = self.check_scalar_expr(index)?;
+        if tindex.ty.is_ptr() {
+            return Err(err(line, "array index must be an integer"));
+        }
+        self.binary(BinOp::Add, tbase, tindex, line)
+    }
+
+    /// Checks an expression that must produce a scalar (or pointer) value.
+    fn check_scalar_expr(&mut self, e: &Expr) -> Result<TExpr, CompileError> {
+        let t = self.check_expr(e)?;
+        if t.ty == Type::Void {
+            return Err(err(e.line, "void value used in an expression"));
+        }
+        Ok(t)
+    }
+
+    fn check_expr(&mut self, e: &Expr) -> Result<TExpr, CompileError> {
+        let line = e.line;
+        match &e.kind {
+            ExprKind::Int(v) => {
+                // Accept the full 32-bit range, signed or unsigned spelling
+                // (e.g. `0x80000000`); the value wraps into two's complement.
+                if *v < -(1i64 << 31) || *v >= (1i64 << 32) {
+                    return Err(err(line, format!("constant {v} exceeds 32 bits")));
+                }
+                Ok(TExpr { kind: TExprKind::Int(*v as u32 as i32), ty: Type::Int })
+            }
+            ExprKind::Str(s) => Ok(TExpr {
+                kind: TExprKind::Str(s.clone()),
+                ty: Type::Ptr(Box::new(Type::Int)),
+            }),
+            ExprKind::Var(name) => {
+                if let Some(binding) = self.lookup(name).cloned() {
+                    return Ok(match binding {
+                        Binding::Scalar(uname, ty) => {
+                            TExpr { kind: TExprKind::Local(uname), ty }
+                        }
+                        Binding::Array(uname, elem) => TExpr {
+                            kind: TExprKind::LocalArrayAddr(uname),
+                            ty: Type::Ptr(Box::new(elem)),
+                        },
+                    });
+                }
+                if let Some(g) = self.globals.get(name.as_str()) {
+                    let addr = TExpr {
+                        kind: TExprKind::GlobalAddr(name.clone()),
+                        ty: Type::Ptr(Box::new(g.ty.clone())),
+                    };
+                    return Ok(if g.array.is_some() {
+                        addr // arrays decay to pointers
+                    } else {
+                        TExpr { ty: g.ty.clone(), kind: TExprKind::Load(Box::new(addr)) }
+                    });
+                }
+                Err(err(line, format!("unknown variable `{name}`")))
+            }
+            ExprKind::Unary(op, inner) => {
+                let t = self.check_scalar_expr(inner)?;
+                if t.ty.is_ptr() && *op != UnOp::LNot {
+                    return Err(err(line, "arithmetic unary operator on a pointer"));
+                }
+                let ty = match op {
+                    UnOp::LNot => Type::Int,
+                    _ => t.ty.clone(),
+                };
+                Ok(TExpr { kind: TExprKind::Unary(*op, Box::new(t)), ty })
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                let tl = self.check_scalar_expr(lhs)?;
+                let tr = self.check_scalar_expr(rhs)?;
+                self.binary(*op, tl, tr, line)
+            }
+            ExprKind::Index(base, index) => {
+                let addr = self.index_addr(base, index, line)?;
+                let elem = addr.ty.pointee().cloned().expect("pointer");
+                Ok(TExpr { ty: elem, kind: TExprKind::Load(Box::new(addr)) })
+            }
+            ExprKind::Deref(inner) => {
+                let addr = self.check_scalar_expr(inner)?;
+                let elem = addr
+                    .ty
+                    .pointee()
+                    .cloned()
+                    .ok_or_else(|| err(line, "dereference of a non-pointer"))?;
+                Ok(TExpr { ty: elem, kind: TExprKind::Load(Box::new(addr)) })
+            }
+            ExprKind::AddrOf(inner) => match &inner.kind {
+                ExprKind::Var(name) => {
+                    if self.lookup(name).is_some() {
+                        // Stack arrays already decay to their address; taking
+                        // the address of a scalar local would force it into
+                        // memory, which the register allocator does not
+                        // model — reject it (use a global or an array).
+                        if let Some(Binding::Array(uname, elem)) = self.lookup(name).cloned() {
+                            return Ok(TExpr {
+                                kind: TExprKind::LocalArrayAddr(uname),
+                                ty: Type::Ptr(Box::new(elem)),
+                            });
+                        }
+                        return Err(err(
+                            line,
+                            "taking the address of a scalar local is not supported",
+                        ));
+                    }
+                    if let Some(g) = self.globals.get(name.as_str()) {
+                        return Ok(TExpr {
+                            kind: TExprKind::GlobalAddr(name.clone()),
+                            ty: Type::Ptr(Box::new(g.ty.clone())),
+                        });
+                    }
+                    Err(err(line, format!("unknown variable `{name}`")))
+                }
+                ExprKind::Index(base, index) => self.index_addr(base, index, line),
+                ExprKind::Deref(inner) => self.check_scalar_expr(inner),
+                _ => Err(err(line, "cannot take the address of this expression")),
+            },
+            ExprKind::Call(name, args) => {
+                let mut targs = Vec::with_capacity(args.len());
+                for a in args {
+                    targs.push(self.check_scalar_expr(a)?);
+                }
+                if let Some(f) = self.functions.get(name.as_str()) {
+                    if f.params.len() != targs.len() {
+                        return Err(err(
+                            line,
+                            format!(
+                                "`{name}` expects {} arguments, got {}",
+                                f.params.len(),
+                                targs.len()
+                            ),
+                        ));
+                    }
+                    return Ok(TExpr {
+                        ty: f.ret.clone(),
+                        kind: TExprKind::Call(name.clone(), targs),
+                    });
+                }
+                if let Some(&(_, nargs, ret_ptr)) =
+                    BUILTINS.iter().find(|(n, _, _)| n == name)
+                {
+                    if nargs != targs.len() {
+                        return Err(err(
+                            line,
+                            format!("builtin `{name}` expects {nargs} arguments"),
+                        ));
+                    }
+                    let ty = if ret_ptr { Type::Ptr(Box::new(Type::Int)) } else { Type::Int };
+                    return Ok(TExpr { ty, kind: TExprKind::Call(name.clone(), targs) });
+                }
+                Err(err(line, format!("unknown function `{name}`")))
+            }
+        }
+    }
+
+    /// Type-checks a binary operation, scaling pointer arithmetic.
+    fn binary(
+        &mut self,
+        op: BinOp,
+        lhs: TExpr,
+        rhs: TExpr,
+        line: u32,
+    ) -> Result<TExpr, CompileError> {
+        let scale = |e: TExpr| -> TExpr {
+            let four = TExpr { kind: TExprKind::Int(4), ty: Type::Int };
+            TExpr {
+                ty: e.ty.clone(),
+                kind: TExprKind::Binary(BinOp::Mul, Box::new(e), Box::new(four)),
+            }
+        };
+        let ty = match (op, lhs.ty.is_ptr(), rhs.ty.is_ptr()) {
+            (BinOp::Add, true, false) => {
+                let rhs = scale(rhs);
+                return Ok(TExpr {
+                    ty: lhs.ty.clone(),
+                    kind: TExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                });
+            }
+            (BinOp::Add, false, true) => {
+                let lhs = scale(lhs);
+                return Ok(TExpr {
+                    ty: rhs.ty.clone(),
+                    kind: TExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                });
+            }
+            (BinOp::Sub, true, false) => {
+                let rhs = scale(rhs);
+                return Ok(TExpr {
+                    ty: lhs.ty.clone(),
+                    kind: TExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                });
+            }
+            (BinOp::Sub, true, true) => {
+                // Pointer difference in elements.
+                let diff = TExpr {
+                    ty: Type::Int,
+                    kind: TExprKind::Binary(BinOp::Sub, Box::new(lhs), Box::new(rhs)),
+                };
+                let four = TExpr { kind: TExprKind::Int(4), ty: Type::Int };
+                return Ok(TExpr {
+                    ty: Type::Int,
+                    kind: TExprKind::Binary(BinOp::Div, Box::new(diff), Box::new(four)),
+                });
+            }
+            (op, l, r) if (l || r) && !op.is_comparison() && !op.is_logical() => {
+                return Err(err(line, format!("invalid pointer operation {op:?}")));
+            }
+            (op, _, _) if op.is_comparison() || op.is_logical() => Type::Int,
+            _ => {
+                if lhs.ty.is_unsigned() || rhs.ty.is_unsigned() {
+                    Type::Uint
+                } else {
+                    Type::Int
+                }
+            }
+        };
+        Ok(TExpr { ty, kind: TExprKind::Binary(op, Box::new(lhs), Box::new(rhs)) })
+    }
+}
+
+/// Type-checks a program.
+pub(crate) fn check(program: &Program) -> Result<TProgram, CompileError> {
+    let mut globals = HashMap::new();
+    for g in &program.globals {
+        if g.ty == Type::Void {
+            return Err(err(g.line, format!("global `{}` declared void", g.name)));
+        }
+        if globals.insert(g.name.as_str(), g).is_some() {
+            return Err(err(g.line, format!("global `{}` redefined", g.name)));
+        }
+    }
+    let mut functions = HashMap::new();
+    for f in &program.functions {
+        if functions.insert(f.name.as_str(), f).is_some() {
+            return Err(err(f.line, format!("function `{}` redefined", f.name)));
+        }
+        if BUILTINS.iter().any(|(n, _, _)| *n == f.name) {
+            return Err(err(f.line, format!("`{}` shadows a builtin", f.name)));
+        }
+        if globals.contains_key(f.name.as_str()) {
+            return Err(err(f.line, format!("`{}` is both a global and a function", f.name)));
+        }
+    }
+    // Prototypes declare externals (or forward-declare definitions, which
+    // win). Calls check against the prototype's signature; the symbol is
+    // resolved by the linker, assuming the unit's target ISA.
+    for p in &program.prototypes {
+        functions.entry(p.name.as_str()).or_insert(p);
+    }
+    let mut checker = Checker {
+        program,
+        globals,
+        functions,
+        scopes: Vec::new(),
+        next_unique: 0,
+        current_ret: Type::Void,
+        loop_depth: 0,
+    };
+    let mut out = TProgram { globals: program.globals.clone(), functions: Vec::new() };
+    for f in &checker.program.functions.to_vec() {
+        let func = checker
+            .program
+            .functions
+            .iter()
+            .find(|x| x.name == f.name)
+            .expect("function present");
+        out.functions.push(checker.check_function(func)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<TProgram, CompileError> {
+        check(&parse(&lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn accepts_well_typed_program() {
+        let p = check_src(
+            "int tab[4] = {1,2,3,4};
+             int sum(int* p, int n) {
+                 int s = 0;
+                 int i;
+                 for (i = 0; i < n; i++) s += p[i];
+                 return s;
+             }
+             int main() { return sum(tab, 4); }",
+        )
+        .unwrap();
+        assert_eq!(p.functions.len(), 2);
+    }
+
+    #[test]
+    fn pointer_arithmetic_is_scaled() {
+        let p = check_src("int a[2]; int f(int* p) { return *(p + 1); }").unwrap();
+        // The address expression must contain a *4 scale.
+        let f = &p.functions[0];
+        let TStmt::Return(Some(e)) = &f.body[0] else { panic!("{:?}", f.body) };
+        let TExprKind::Load(addr) = &e.kind else { panic!("{:?}", e.kind) };
+        let TExprKind::Binary(BinOp::Add, _, rhs) = &addr.kind else { panic!("{:?}", addr.kind) };
+        assert!(matches!(&rhs.kind, TExprKind::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn unsigned_propagates() {
+        let p = check_src("int f(uint a, int b) { return a / b; }").unwrap();
+        let TStmt::Return(Some(e)) = &p.functions[0].body[0] else { panic!() };
+        assert_eq!(e.ty, Type::Uint);
+    }
+
+    #[test]
+    fn comparisons_are_int() {
+        let p = check_src("int f(uint a, uint b) { return a < b; }").unwrap();
+        let TStmt::Return(Some(e)) = &p.functions[0].body[0] else { panic!() };
+        assert_eq!(e.ty, Type::Int);
+    }
+
+    #[test]
+    fn locals_get_unique_names_per_scope() {
+        let p = check_src("int f() { int x = 1; { int x = 2; } return x; }").unwrap();
+        let body = &p.functions[0].body;
+        let TStmt::DeclScalar { name: outer, .. } = &body[0] else { panic!() };
+        let TStmt::If { then_body, .. } = &body[1] else { panic!("{body:?}") };
+        let TStmt::DeclScalar { name: inner, .. } = &then_body[0] else { panic!() };
+        assert_ne!(outer, inner);
+        let TStmt::Return(Some(e)) = &body[2] else { panic!() };
+        assert_eq!(e.kind, TExprKind::Local(outer.clone()));
+    }
+
+    #[test]
+    fn builtins_resolve() {
+        assert!(check_src("int f() { putchar(65); return rand(); }").is_ok());
+        assert!(check_src("int* f() { return malloc(64); }").is_ok());
+        assert!(check_src("int f() { return rand(1); }").is_err()); // arity
+    }
+
+    #[test]
+    fn rejects_type_errors() {
+        assert!(check_src("int f() { return y; }").is_err());
+        assert!(check_src("int f(int a) { return *a; }").is_err());
+        assert!(check_src("int f(int* p, int* q) { return p * q; }").is_err());
+        assert!(check_src("int a[2]; int f() { a = 0; return 0; }").is_err());
+        assert!(check_src("void f() { return 1; }").is_err());
+        assert!(check_src("int f() { return; }").is_err());
+        assert!(check_src("int f() { break; return 0; }").is_err());
+        assert!(check_src("int f() { int x; int x; return 0; }").is_err());
+        assert!(check_src("int f() { int x; return &x; }").is_err());
+        assert!(check_src("int g() {return 0;} int g() {return 1;}").is_err());
+        assert!(check_src("int puts(int x) { return x; }").is_err());
+        assert!(check_src("int f(int a, int b) { return f(a); }").is_err());
+    }
+
+    #[test]
+    fn pointer_difference_divides() {
+        let p = check_src("int f(int* a, int* b) { return a - b; }").unwrap();
+        let TStmt::Return(Some(e)) = &p.functions[0].body[0] else { panic!() };
+        assert!(matches!(&e.kind, TExprKind::Binary(BinOp::Div, _, _)));
+        assert_eq!(e.ty, Type::Int);
+    }
+
+    #[test]
+    fn string_literals_are_pointers() {
+        let p = check_src("void f() { puts(\"hi\"); }").unwrap();
+        let TStmt::Expr(e) = &p.functions[0].body[0] else { panic!() };
+        let TExprKind::Call(_, args) = &e.kind else { panic!() };
+        assert!(args[0].ty.is_ptr());
+    }
+}

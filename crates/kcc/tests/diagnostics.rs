@@ -1,0 +1,90 @@
+//! Negative-path tests: every malformed program must produce a diagnostic
+//! with the right phase and a plausible line number — never a panic and
+//! never silently wrong code (paper §V goal 4 motivates good diagnostics:
+//! "during compiler development it frequently happens that malicious code
+//! is generated").
+
+use kahrisma_isa::IsaKind;
+use kahrisma_kcc::{CompileOptions, compile};
+
+fn err_of(src: &str) -> String {
+    compile(src, &CompileOptions::for_isa(IsaKind::Risc))
+        .expect_err("must be rejected")
+        .to_string()
+}
+
+#[test]
+fn lexer_diagnostics() {
+    assert!(err_of("int main() { return 0; } @").contains("lex"));
+    assert!(err_of("int main() { return \"unterminated; }").contains("lex"));
+    assert!(err_of("/* never closed").contains("lex"));
+}
+
+#[test]
+fn parser_diagnostics_carry_lines() {
+    let e = err_of("int main() {\n    return 1 +;\n}");
+    assert!(e.contains("line 2"), "{e}");
+    assert!(e.contains("parse"), "{e}");
+    assert!(err_of("int main( { return 0; }").contains("parse"));
+    assert!(err_of("int main() { if (1 { return 0; } }").contains("parse"));
+    assert!(err_of("int a[3] = {1, 2, 3, 4};").contains("parse"));
+}
+
+#[test]
+fn sema_diagnostics() {
+    for (src, needle) in [
+        ("int main() { return missing; }", "unknown variable"),
+        ("int main() { return nowhere(); }", "unknown function"),
+        ("int main() { int x; int x; return 0; }", "redeclared"),
+        ("int main() { return rand(1, 2); }", "expects"),
+        ("int f(int* p, int* q) { return p * q; } int main() { return 0; }", "pointer"),
+        ("void f() { return 1; } int main() { return 0; }", "void"),
+        ("int main() { break; }", "break"),
+        ("int main() { continue; }", "continue"),
+        ("int x = 1; int x = 2; int main() { return 0; }", "redefined"),
+        ("int malloc(int n) { return n; } int main() { return 0; }", "builtin"),
+        ("int main() { int y; return &y; }", "address"),
+    ] {
+        let e = err_of(src);
+        assert!(e.contains(needle), "expected `{needle}` in `{e}` for {src}");
+    }
+}
+
+#[test]
+fn codegen_diagnostics() {
+    let err = compile(
+        "int main() { return 0; }",
+        &CompileOptions::for_isa(IsaKind::Risc).with_function_isa("ghost", IsaKind::Vliw2),
+    )
+    .expect_err("unknown override");
+    assert!(err.to_string().contains("ghost"));
+}
+
+#[test]
+fn large_but_valid_programs_compile() {
+    // A stress program: deep expression nesting and many locals must not
+    // blow the compiler up on any width.
+    let mut src = String::from("int main() { int acc = 1;\n");
+    for i in 0..120 {
+        src.push_str(&format!("int v{i} = acc + {i}; acc = v{i} ^ (acc << 1);\n"));
+    }
+    src.push_str("return acc & 255; }\n");
+    for isa in [IsaKind::Risc, IsaKind::Vliw8] {
+        compile(&src, &CompileOptions::for_isa(isa))
+            .unwrap_or_else(|e| panic!("stress compile on {}: {e}", isa.name()));
+    }
+}
+
+#[test]
+fn deeply_nested_control_flow_compiles() {
+    let mut src = String::from("int main() { int x = 0;\n");
+    for _ in 0..30 {
+        src.push_str("if (x < 100) { while (x % 7 != 3) { x++; }\n");
+    }
+    src.push_str("x += 1;\n");
+    for _ in 0..30 {
+        src.push_str("}\n");
+    }
+    src.push_str("return x & 255; }\n");
+    compile(&src, &CompileOptions::for_isa(IsaKind::Vliw4)).expect("nested control flow");
+}

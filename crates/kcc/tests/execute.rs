@@ -1,0 +1,274 @@
+//! End-to-end compiler tests: compile KC source, assemble, link, and run in
+//! the functional simulator, for every ISA of the family.
+
+use kahrisma_core::{RunOutcome, SimConfig, Simulator};
+use kahrisma_isa::IsaKind;
+use kahrisma_kcc::{CompileOptions, compile_to_executable};
+
+fn run_isa(source: &str, isa: IsaKind) -> (u32, String) {
+    let exe = compile_to_executable(source, &CompileOptions::for_isa(isa))
+        .unwrap_or_else(|e| panic!("compile for {}: {e}", isa.name()));
+    let mut sim = Simulator::new(&exe, SimConfig::default()).expect("load");
+    match sim.run(50_000_000).unwrap_or_else(|e| {
+        let ips: Vec<String> = sim.ip_history().map(|a| sim.describe_addr(a)).collect();
+        panic!("simulation for {} failed: {e}\nhistory: {ips:#?}", isa.name())
+    }) {
+        RunOutcome::Halted { exit_code } => (exit_code, sim.state().stdout_string()),
+        RunOutcome::BudgetExhausted => panic!("budget exhausted for {}", isa.name()),
+    }
+}
+
+/// Runs `source` on every ISA and asserts the identical exit code.
+fn expect_all_isas(source: &str, exit: u32) {
+    for isa in IsaKind::ALL {
+        let (code, _) = run_isa(source, isa);
+        assert_eq!(code, exit, "wrong exit code on {}", isa.name());
+    }
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    expect_all_isas("int main() { return (2 + 3 * 4 - 1) / 2 % 5; }", 1); // 13/2=6, 6%5=1
+}
+
+#[test]
+fn signed_division_semantics() {
+    expect_all_isas(
+        "int main() { int a = -7; int b = 2; if (a / b != -3) return 1; if (a % b != -1) return 2; return 0; }",
+        0,
+    );
+}
+
+#[test]
+fn unsigned_vs_signed_comparison() {
+    expect_all_isas(
+        "int main() {
+            int s = -1;
+            uint u = 1;
+            int r = 0;
+            if (s < 1) r += 1;          // signed: -1 < 1
+            if (u < s) r += 2;          // unsigned: 1 < 0xFFFFFFFF
+            return r;
+        }",
+        3,
+    );
+}
+
+#[test]
+fn shifts_follow_signedness() {
+    expect_all_isas(
+        "int main() {
+            int s = -8;
+            uint u = 0x80000000;
+            if (s >> 1 != -4) return 1;
+            if (u >> 31 != 1) return 2;
+            if (1 << 10 != 1024) return 3;
+            return 0;
+        }",
+        0,
+    );
+}
+
+#[test]
+fn loops_and_locals() {
+    expect_all_isas(
+        "int main() { int s = 0; int i; for (i = 1; i <= 100; i++) s += i; return s - 5000; }",
+        50,
+    );
+}
+
+#[test]
+fn while_break_continue() {
+    expect_all_isas(
+        "int main() {
+            int s = 0;
+            int i = 0;
+            while (1) {
+                i++;
+                if (i > 20) break;
+                if (i % 2) continue;
+                s += i;            // 2+4+...+20 = 110
+            }
+            return s;
+        }",
+        110,
+    );
+}
+
+#[test]
+fn global_arrays_and_pointers() {
+    expect_all_isas(
+        "int tab[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+         int sum(int* p, int n) { int s = 0; int i; for (i = 0; i < n; i++) s += p[i]; return s; }
+         int main() { return sum(tab, 8) + *(tab + 2); }",
+        39,
+    );
+}
+
+#[test]
+fn stack_arrays() {
+    expect_all_isas(
+        "int main() {
+            int a[16];
+            int i;
+            for (i = 0; i < 16; i++) a[i] = i * i;
+            int s = 0;
+            for (i = 0; i < 16; i++) s += a[i];
+            return s;            // sum of squares 0..15 = 1240 → truncated exit
+        }",
+        1240 & 0xFF | (1240 & 0xFFFFFF00), // exit codes are u32; pass through
+    );
+}
+
+#[test]
+fn recursion_fibonacci() {
+    expect_all_isas(
+        "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+         int main() { return fib(12); }",
+        144,
+    );
+}
+
+#[test]
+fn mutual_recursion() {
+    expect_all_isas(
+        "int is_odd(int n);
+         int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+         int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+         int main() { return is_even(10) * 10 + is_odd(7); }",
+        11,
+    );
+}
+
+#[test]
+fn many_arguments_spill_to_stack() {
+    expect_all_isas(
+        "int sum6(int a, int b, int c, int d, int e, int f) { return a + b + c + d + e + f; }
+         int main() { return sum6(1, 2, 3, 4, 5, 6); }",
+        21,
+    );
+}
+
+#[test]
+fn globals_are_shared_state() {
+    expect_all_isas(
+        "int counter = 0;
+         void bump() { counter += 1; }
+         int main() { int i; for (i = 0; i < 5; i++) bump(); return counter; }",
+        5,
+    );
+}
+
+#[test]
+fn register_pressure_spills() {
+    // 24 simultaneously live values force spilling on every width.
+    let vars: Vec<String> = (0..24).map(|i| format!("int v{i} = {i} + n;")).collect();
+    let uses: Vec<String> = (0..24).map(|i| format!("v{i}")).collect();
+    let src = format!(
+        "int main() {{ int n = 1; {} return ({}) - 300; }}",
+        vars.join(" "),
+        uses.join(" + ")
+    );
+    expect_all_isas(&src, 0); // sum(i+1 for 0..24) = 276+24 = 300
+}
+
+#[test]
+fn libc_output_and_malloc() {
+    let src = "
+        int main() {
+            int* p = malloc(64);
+            int i;
+            for (i = 0; i < 4; i++) p[i] = i + 10;
+            print_int(p[0] + p[3]);
+            putchar(10);
+            puts(\"done\");
+            return p[1];
+        }";
+    for isa in [IsaKind::Risc, IsaKind::Vliw4] {
+        let (code, stdout) = run_isa(src, isa);
+        assert_eq!(code, 11, "{}", isa.name());
+        assert_eq!(stdout, "23\ndone\n", "{}", isa.name());
+    }
+}
+
+#[test]
+fn logical_operators_short_circuit() {
+    expect_all_isas(
+        "int calls = 0;
+         int bump() { calls += 1; return 1; }
+         int main() {
+            int a = 0 && bump();        // bump not called
+            int b = 1 || bump();        // bump not called
+            int c = 1 && bump();        // called
+            if (a != 0) return 1;
+            if (b != 1) return 2;
+            if (c != 1) return 3;
+            return calls;
+         }",
+        1,
+    );
+}
+
+#[test]
+fn mixed_isa_program_runs() {
+    // main in VLIW4 calls a RISC helper and a VLIW2 helper.
+    let src = "
+        int risc_helper(int x) { return x * 3; }
+        int v2_helper(int x) { return x + 4; }
+        int main() { return v2_helper(risc_helper(12)); }";
+    let options = CompileOptions::for_isa(IsaKind::Vliw4)
+        .with_function_isa("risc_helper", IsaKind::Risc)
+        .with_function_isa("v2_helper", IsaKind::Vliw2);
+    let exe = compile_to_executable(src, &options).expect("compile");
+    let mut sim = Simulator::new(&exe, SimConfig::default()).expect("load");
+    let outcome = sim.run(1_000_000).expect("run");
+    assert_eq!(outcome, RunOutcome::Halted { exit_code: 40 });
+    assert!(sim.stats().isa_switches >= 4, "switches: {}", sim.stats().isa_switches);
+}
+
+#[test]
+fn vliw_actually_packs_operations() {
+    // A wide independent expression must produce real bundles: on VLIW8 the
+    // executed instruction count must be clearly below the RISC count.
+    let src = "
+        int main() {
+            int s = 0;
+            int i;
+            for (i = 0; i < 100; i++) {
+                s += (i ^ 1) + (i ^ 2) + (i ^ 3) + (i ^ 4) + (i ^ 5) + (i ^ 6);
+            }
+            return s & 255;
+        }";
+    let count = |isa: IsaKind| -> (u64, u32) {
+        let exe = compile_to_executable(src, &CompileOptions::for_isa(isa)).expect("compile");
+        let mut sim = Simulator::new(&exe, SimConfig::default()).expect("load");
+        let RunOutcome::Halted { exit_code } = sim.run(10_000_000).expect("run") else {
+            panic!("budget");
+        };
+        (sim.stats().instructions, exit_code)
+    };
+    let (risc_instrs, risc_code) = count(IsaKind::Risc);
+    let (v8_instrs, v8_code) = count(IsaKind::Vliw8);
+    assert_eq!(risc_code, v8_code);
+    // Left-associative reduction chains bound the packing; still expect a
+    // solid instruction-count reduction.
+    assert!(
+        (v8_instrs as f64) < 0.8 * risc_instrs as f64,
+        "VLIW8 executed {v8_instrs} instructions vs RISC {risc_instrs}"
+    );
+}
+
+#[test]
+fn deterministic_rand_and_clock() {
+    let src = "
+        int main() {
+            srand(42);
+            int a = rand();
+            srand(42);
+            int b = rand();
+            if (a != b) return 1;
+            if (clock() < 1) return 2;
+            return 0;
+        }";
+    expect_all_isas(src, 0);
+}

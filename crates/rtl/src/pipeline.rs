@@ -1,0 +1,525 @@
+//! The cycle-stepped DOE pipeline model.
+
+use std::collections::VecDeque;
+
+use kahrisma_core::{
+    AccessKind, CacheConfig, CycleModel, CycleStats, InstrEvent, MemoryHierarchy,
+};
+
+/// Configuration of the cycle-accurate reference pipeline.
+#[derive(Debug, Clone)]
+pub struct RtlConfig {
+    /// Maximum drift between issue slots, in instructions (per-slot issue
+    /// queue depth). The hardware bounds the drift "to enable precise
+    /// interrupts" (§VI-C).
+    pub max_drift: usize,
+    /// L1 access ports: memory operations that may issue per cycle.
+    pub l1_ports: u32,
+    /// Number of shared, non-pipelined multiply/divide units; `None` derives
+    /// one unit per two issue slots ("a multiplication may be shared between
+    /// two slots", §VI-C).
+    pub muldiv_units: Option<u32>,
+    /// Memory hierarchy behind the L1 ports. Unlike the approximate models,
+    /// port arbitration happens at issue time in the pipeline itself, so
+    /// this hierarchy carries no connection-limit module by default.
+    pub memory: MemoryHierarchy,
+}
+
+impl Default for RtlConfig {
+    fn default() -> Self {
+        RtlConfig {
+            max_drift: 4,
+            l1_ports: 1,
+            muldiv_units: None,
+            memory: MemoryHierarchy::new()
+                .with_cache(CacheConfig::paper_l1())
+                .with_cache(CacheConfig::paper_l2())
+                .with_memory(18),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QOp {
+    seq: u64,
+    srcs: [u8; 2],
+    nsrcs: u8,
+    dst: u8,
+    delay: u32,
+    mem: Option<(u32, AccessKind)>,
+    serialize: bool,
+    is_nop: bool,
+    is_muldiv: bool,
+    mispredict_penalty: u32,
+}
+
+/// The cycle-accurate DOE pipeline: per-slot in-order issue queues with
+/// bounded depth, a register scoreboard, shared multiply/divide units, and
+/// per-cycle L1 port arbitration.
+///
+/// Implements [`CycleModel`], so it can be attached to the functional
+/// simulator with [`kahrisma_core::Simulator::set_cycle_model`].
+#[derive(Debug)]
+pub struct RtlPipeline {
+    config: RtlConfig,
+    clock: u64,
+    queues: Vec<VecDeque<QOp>>,
+    reg_ready: [u64; 32],
+    muldiv_busy: Vec<u64>,
+    serialize_floor: u64,
+    max_completion: u64,
+    operations: u64,
+    instructions: u64,
+    memory: MemoryHierarchy,
+    width_seen: usize,
+    finished: bool,
+    /// Response-port occupancy ring: the single L1 port also serializes
+    /// data return, so two memory completions may not land in one cycle.
+    response_ring: Vec<(u64, u32)>,
+}
+
+impl RtlPipeline {
+    /// Creates an empty pipeline.
+    #[must_use]
+    pub fn new(config: RtlConfig) -> Self {
+        let memory = config.memory.clone();
+        RtlPipeline {
+            config,
+            clock: 0,
+            queues: Vec::new(),
+            reg_ready: [0; 32],
+            muldiv_busy: Vec::new(),
+            serialize_floor: 0,
+            max_completion: 0,
+            operations: 0,
+            instructions: 0,
+            memory,
+            width_seen: 0,
+            finished: false,
+            response_ring: vec![(u64::MAX, 0); 1 << 14],
+        }
+    }
+
+    /// Arbitrates the L1 response port: at most `l1_ports` memory results
+    /// may return per cycle; later results slip to the next free cycle.
+    fn acquire_response(&mut self, mut cycle: u64) -> u64 {
+        let len = self.response_ring.len();
+        loop {
+            let slot = (cycle as usize) % len;
+            let (stored, used) = self.response_ring[slot];
+            let used = if stored == cycle { used } else { 0 };
+            if used < self.config.l1_ports {
+                self.response_ring[slot] = (cycle, used + 1);
+                return cycle;
+            }
+            cycle += 1;
+        }
+    }
+
+    /// The pipeline's memory hierarchy (for cache statistics).
+    #[must_use]
+    pub fn memory(&self) -> &MemoryHierarchy {
+        &self.memory
+    }
+
+    fn ensure_width(&mut self, width: usize) {
+        while self.queues.len() < width {
+            self.queues.push(VecDeque::new());
+        }
+        if width > self.width_seen {
+            self.width_seen = width;
+            let units = self
+                .config
+                .muldiv_units
+                .map(|u| u.max(1) as usize)
+                .unwrap_or_else(|| self.width_seen.div_ceil(2).max(1));
+            while self.muldiv_busy.len() < units {
+                self.muldiv_busy.push(0);
+            }
+        }
+    }
+
+    fn oldest_pending_seq(&self) -> Option<u64> {
+        self.queues.iter().filter_map(|q| q.front().map(|op| op.seq)).min()
+    }
+
+    /// Advances the pipeline by one clock cycle, attempting to issue the
+    /// head operation of every slot queue.
+    fn step_cycle(&mut self) {
+        let mut mem_issued = 0u32;
+        let oldest = self.oldest_pending_seq();
+        // Operations issuing in the same cycle read the register file as of
+        // the cycle start (read-before-write, §V-B): dependency checks use
+        // a snapshot, result latencies are published afterwards.
+        let ready_snapshot = self.reg_ready;
+        let mut published: Vec<(u8, u64)> = Vec::new();
+        for s in 0..self.queues.len() {
+            let Some(op) = self.queues[s].front().copied() else { continue };
+
+            // Pipeline-wide serialization barrier.
+            if self.clock < self.serialize_floor {
+                continue;
+            }
+            if op.is_nop {
+                // Fillers consume the slot's issue cycle unconditionally.
+                self.queues[s].pop_front();
+                continue;
+            }
+            // Register scoreboard: true data dependencies.
+            let deps_ready = (0..usize::from(op.nsrcs))
+                .all(|i| ready_snapshot[usize::from(op.srcs[i]) & 31] <= self.clock);
+            if !deps_ready {
+                continue;
+            }
+            // Serializing operations issue alone: they must be the oldest
+            // unissued operation and all in-flight results must have landed.
+            if op.serialize
+                && (oldest != Some(op.seq) || self.max_completion > self.clock)
+            {
+                continue;
+            }
+            // L1 port arbitration at issue time.
+            if op.mem.is_some() && mem_issued >= self.config.l1_ports {
+                continue;
+            }
+            // Shared multiply/divide units (non-pipelined).
+            let mut muldiv_unit = None;
+            if op.is_muldiv {
+                match self
+                    .muldiv_busy
+                    .iter()
+                    .enumerate()
+                    .find(|&(_, &busy)| busy <= self.clock)
+                {
+                    Some((u, _)) => muldiv_unit = Some(u),
+                    None => continue,
+                }
+            }
+
+            // Issue.
+            let completion = match op.mem {
+                Some((addr, kind)) => {
+                    mem_issued += 1;
+                    let c = self.memory.access(addr, kind, s as u8, self.clock);
+                    self.acquire_response(c)
+                }
+                None => self.clock + u64::from(op.delay),
+            };
+            if let Some(u) = muldiv_unit {
+                self.muldiv_busy[u] = completion;
+            }
+            if op.dst != 255 {
+                published.push((op.dst, completion));
+            }
+            if op.serialize {
+                self.serialize_floor = completion;
+            }
+            if op.mispredict_penalty > 0 {
+                // Mispredicted control transfer: the front end refetches, so
+                // no younger operation issues before the redirect resolves.
+                self.serialize_floor = self
+                    .serialize_floor
+                    .max(completion + u64::from(op.mispredict_penalty));
+            }
+            self.max_completion = self.max_completion.max(completion);
+            self.operations += 1;
+            self.queues[s].pop_front();
+        }
+        for (dst, completion) in published {
+            self.reg_ready[usize::from(dst) & 31] = completion;
+        }
+        self.clock += 1;
+    }
+
+    fn drain_while(&mut self, mut condition: impl FnMut(&Self) -> bool) {
+        let mut guard = 0u64;
+        while condition(self) {
+            self.step_cycle();
+            guard += 1;
+            assert!(
+                guard < 1_000_000_000,
+                "rtl pipeline deadlock at cycle {} (queues {:?})",
+                self.clock,
+                self.queues.iter().map(VecDeque::len).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+impl CycleModel for RtlPipeline {
+    fn instruction(&mut self, event: &InstrEvent<'_>) {
+        self.instructions += 1;
+        let seq = self.instructions;
+        self.ensure_width(event.ops.len());
+        for op in event.ops {
+            let slot = usize::from(op.slot);
+            self.queues[slot].push_back(QOp {
+                seq,
+                srcs: op.srcs,
+                nsrcs: op.nsrcs,
+                dst: op.dst,
+                delay: op.delay,
+                mem: op.mem,
+                serialize: op.serialize,
+                is_nop: op.is_nop,
+                is_muldiv: op.is_muldiv,
+                mispredict_penalty: op.mispredict_penalty,
+            });
+        }
+        // Bounded drift: fetch stalls while any slot queue is over depth,
+        // which caps how far fast slots can run ahead of the slowest.
+        let depth = self.config.max_drift;
+        self.drain_while(|p| p.queues.iter().any(|q| q.len() > depth));
+    }
+
+    fn finish(&mut self) {
+        if !self.finished {
+            self.drain_while(|p| p.queues.iter().any(|q| !q.is_empty()));
+            self.finished = true;
+        }
+    }
+
+    fn cycles(&self) -> u64 {
+        self.max_completion
+    }
+
+    fn stats(&self) -> CycleStats {
+        CycleStats {
+            cycles: self.max_completion,
+            operations: self.operations,
+            memory: self.memory.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kahrisma_core::OpEvent;
+
+    fn alu(slot: u8, srcs: &[u8], dst: u8, delay: u32) -> OpEvent {
+        let mut s = [0u8; 2];
+        for (i, &r) in srcs.iter().enumerate() {
+            s[i] = r;
+        }
+        OpEvent {
+            slot,
+            srcs: s,
+            nsrcs: srcs.len() as u8,
+            dst,
+            delay,
+            mem: None,
+            is_branch: false,
+            serialize: false,
+            is_nop: false,
+            is_muldiv: delay > 1,
+            mispredict_penalty: 0,
+        }
+    }
+
+    fn load(slot: u8, dst: u8, addr: u32) -> OpEvent {
+        OpEvent { mem: Some((addr, AccessKind::Read)), is_muldiv: false, ..alu(slot, &[1], dst, 1) }
+    }
+
+    fn feed_and_finish(p: &mut RtlPipeline, instrs: &[&[OpEvent]]) {
+        for (i, ops) in instrs.iter().enumerate() {
+            p.instruction(&InstrEvent { addr: (i as u32) * 32, ops });
+        }
+        p.finish();
+    }
+
+    fn ideal_config() -> RtlConfig {
+        RtlConfig { memory: MemoryHierarchy::new().with_memory(3), ..RtlConfig::default() }
+    }
+
+    #[test]
+    fn sequential_alu_ops_one_per_cycle() {
+        let mut p = RtlPipeline::new(ideal_config());
+        let i1 = [alu(0, &[1], 10, 1)];
+        let i2 = [alu(0, &[2], 11, 1)];
+        let i3 = [alu(0, &[3], 12, 1)];
+        feed_and_finish(&mut p, &[&i1, &i2, &i3]);
+        assert_eq!(p.cycles(), 3);
+        assert_eq!(p.stats().operations, 3);
+    }
+
+    #[test]
+    fn parallel_slots_issue_same_cycle() {
+        let mut p = RtlPipeline::new(ideal_config());
+        let i1 = [alu(0, &[1], 10, 1), alu(1, &[2], 11, 1), alu(2, &[3], 12, 1)];
+        feed_and_finish(&mut p, &[&i1]);
+        assert_eq!(p.cycles(), 1);
+    }
+
+    #[test]
+    fn dependency_stalls_issue() {
+        let mut p = RtlPipeline::new(ideal_config());
+        let i1 = [alu(0, &[1], 10, 5)]; // 5-cycle producer
+        let i2 = [alu(0, &[10], 11, 1)]; // dependent consumer
+        feed_and_finish(&mut p, &[&i1, &i2]);
+        assert_eq!(p.cycles(), 6);
+    }
+
+    #[test]
+    fn drift_is_bounded() {
+        // Slot 0 executes a long dependence chain; slot 1 has independent
+        // work. With unbounded drift slot 1 would finish immediately; with
+        // depth-2 queues it may run at most 2 instructions ahead.
+        let config = RtlConfig { max_drift: 2, ..ideal_config() };
+        let mut p = RtlPipeline::new(config);
+        let instrs: Vec<[OpEvent; 2]> = (0..10)
+            .map(|_| [alu(0, &[10], 10, 3), alu(1, &[2], 11, 1)])
+            .collect();
+        for (i, ops) in instrs.iter().enumerate() {
+            p.instruction(&InstrEvent { addr: (i as u32) * 8, ops });
+        }
+        p.finish();
+        // Slot 0's chain: each op waits for the previous (3 cycles each) →
+        // ~30 cycles. Slot 1 cannot have issued everything early; its last
+        // issue happens within the drift window of slot 0's progress.
+        assert!(p.cycles() >= 30, "cycles {}", p.cycles());
+
+        // Compare against effectively unbounded drift: same work, slot 1
+        // free to run ahead — total unchanged (slot 0 dominates), but the
+        // bounded version must not be faster.
+        let mut free = RtlPipeline::new(RtlConfig { max_drift: 100, ..ideal_config() });
+        for (i, ops) in instrs.iter().enumerate() {
+            free.instruction(&InstrEvent { addr: (i as u32) * 8, ops });
+        }
+        free.finish();
+        assert!(p.cycles() >= free.cycles());
+    }
+
+    #[test]
+    fn muldiv_units_are_shared() {
+        // 4 slots, default 2 mul/div units: four independent muls in one
+        // bundle need two rounds of the units.
+        let mut p = RtlPipeline::new(ideal_config());
+        let i1 = [
+            alu(0, &[1], 10, 3),
+            alu(1, &[2], 11, 3),
+            alu(2, &[3], 12, 3),
+            alu(3, &[4], 13, 3),
+        ];
+        feed_and_finish(&mut p, &[&i1]);
+        // Two muls issue at 0 (complete 3); the other two wait for the
+        // non-pipelined units → issue at 3, complete 6.
+        assert_eq!(p.cycles(), 6);
+    }
+
+    #[test]
+    fn l1_port_limits_memory_issue() {
+        let mut p = RtlPipeline::new(ideal_config());
+        let i1 = [load(0, 10, 0x100), load(1, 11, 0x200), load(2, 12, 0x300)];
+        feed_and_finish(&mut p, &[&i1]);
+        // One memory issue per cycle: issues at 0, 1, 2; completions 3,4,5.
+        assert_eq!(p.cycles(), 5);
+    }
+
+    #[test]
+    fn two_ports_double_memory_issue() {
+        let config = RtlConfig { l1_ports: 2, ..ideal_config() };
+        let mut p = RtlPipeline::new(config);
+        let i1 = [load(0, 10, 0x100), load(1, 11, 0x200), load(2, 12, 0x300)];
+        feed_and_finish(&mut p, &[&i1]);
+        // Issues at 0, 0, 1; completions 3, 3, 4.
+        assert_eq!(p.cycles(), 4);
+    }
+
+    #[test]
+    fn serialize_drains_pipeline() {
+        let mut p = RtlPipeline::new(ideal_config());
+        let mut sw = alu(0, &[], 255, 1);
+        sw.serialize = true;
+        sw.is_muldiv = false;
+        let i1 = [alu(0, &[1], 10, 3)];
+        let i2 = [sw];
+        let i3 = [alu(0, &[2], 11, 1)];
+        feed_and_finish(&mut p, &[&i1, &i2, &i3]);
+        // mul completes at 3; switchtarget issues at 3 → 4; next at 4 → 5.
+        assert_eq!(p.cycles(), 5);
+    }
+
+    #[test]
+    fn nops_consume_slot_cycles() {
+        let mut p = RtlPipeline::new(ideal_config());
+        let i1 = [OpEvent::nop(0)];
+        let i2 = [alu(0, &[1], 10, 1)];
+        feed_and_finish(&mut p, &[&i1, &i2]);
+        // nop issues at 0, add at 1, completes 2.
+        assert_eq!(p.cycles(), 2);
+    }
+
+    #[test]
+    fn cache_behaviour_matches_hierarchy() {
+        let mut p = RtlPipeline::new(RtlConfig::default());
+        let i1 = [load(0, 10, 0x100)];
+        let i2 = [load(0, 11, 0x104)];
+        feed_and_finish(&mut p, &[&i1, &i2]);
+        let l1 = p.memory().l1_stats().unwrap();
+        assert_eq!((l1.hits, l1.misses), (1, 1));
+    }
+
+    #[test]
+    fn misprediction_penalty_serializes_refetch() {
+        let mut p = RtlPipeline::new(ideal_config());
+        let mut br = alu(0, &[1], 255, 1);
+        br.is_muldiv = false;
+        br.mispredict_penalty = 3;
+        let i1 = [br];
+        let i2 = [alu(0, &[2], 10, 1)];
+        feed_and_finish(&mut p, &[&i1, &i2]);
+        // Branch issues at 0, completes 1; redirect resolves at 4; the
+        // next op issues at 4 and completes at 5.
+        assert_eq!(p.cycles(), 5);
+    }
+
+    #[test]
+    fn serialize_waits_for_other_slots() {
+        // A serializing op in slot 0 of instruction 2 must wait until the
+        // older instruction's slot-1 op has issued and completed.
+        let mut p = RtlPipeline::new(ideal_config());
+        let i1 = [OpEvent::nop(0), alu(1, &[1], 10, 4)];
+        let mut sw = alu(0, &[], 255, 1);
+        sw.is_muldiv = false;
+        sw.serialize = true;
+        let i2 = [sw, OpEvent::nop(1)];
+        feed_and_finish(&mut p, &[&i1, &i2]);
+        // slot1 op completes at 4; switchtarget issues at 4, completes 5.
+        assert_eq!(p.cycles(), 5);
+    }
+
+    #[test]
+    fn mixed_width_streams_grow_the_pipeline() {
+        // A stream that widens mid-run (mixed-ISA execution): the pipeline
+        // must grow its queues without losing older state.
+        let mut p = RtlPipeline::new(ideal_config());
+        let narrow = [alu(0, &[1], 10, 1)];
+        let wide = [alu(0, &[10], 11, 1), alu(1, &[2], 12, 1), alu(2, &[3], 13, 1)];
+        p.instruction(&InstrEvent { addr: 0, ops: &narrow });
+        p.instruction(&InstrEvent { addr: 4, ops: &wide });
+        p.finish();
+        assert_eq!(p.stats().operations, 4);
+        // narrow completes at 1; wide's slot0 op depends on it: issues at 1,
+        // completes 2; slots 1/2 complete at 1.
+        assert_eq!(p.cycles(), 2);
+    }
+
+    #[test]
+    fn operations_counted_exclude_nops() {
+        let mut p = RtlPipeline::new(ideal_config());
+        let i1 = [alu(0, &[1], 10, 1), OpEvent::nop(1), OpEvent::nop(2)];
+        feed_and_finish(&mut p, &[&i1]);
+        assert_eq!(p.stats().operations, 1);
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut p = RtlPipeline::new(ideal_config());
+        let i1 = [alu(0, &[1], 10, 1)];
+        feed_and_finish(&mut p, &[&i1]);
+        let c = p.cycles();
+        p.finish();
+        assert_eq!(p.cycles(), c);
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates the golden exit codes: runs every workload on RISC and
+//! prints the `GOLDEN_EXITS` table for `src/golden.rs`.
+
+use kahrisma_isa::IsaKind;
+use kahrisma_workloads::{Workload, run_functional};
+
+fn main() {
+    let order = [
+        Workload::Dct,
+        Workload::Aes,
+        Workload::Fft,
+        Workload::Quicksort,
+        Workload::Cjpeg,
+        Workload::Djpeg,
+    ];
+    let mut values = Vec::new();
+    for w in order {
+        let exe = w.build(IsaKind::Risc).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        let run = run_functional(&exe, None).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        println!(
+            "{:10} exit={:3} instrs={:9} stdout={:?}",
+            w.name(),
+            run.exit_code,
+            run.stats.instructions,
+            run.stdout
+        );
+        values.push(run.exit_code);
+    }
+    println!("\npub(crate) const GOLDEN_EXITS: [u32; 6] = {values:?};");
+}

@@ -1,0 +1,3 @@
+/// Golden self-check exit codes, order: dct, aes, fft, quicksort, cjpeg,
+/// djpeg. Regenerate with `cargo run -p kahrisma-workloads --bin probe`.
+pub(crate) const GOLDEN_EXITS: [u32; 6] = [55, 244, 139, 256, 73, 151];

@@ -1,0 +1,59 @@
+//! Cross-ISA functional validation: every workload must produce its golden
+//! self-check exit code on every ISA of the family. This is the paper's
+//! simulator goal (1): "Only if the compiler, assembler, linker, and
+//! simulation are working correctly for a given (correct) application the
+//! simulator is able to finalize application execution and provide valid
+//! results."
+
+use kahrisma_isa::IsaKind;
+use kahrisma_workloads::{Workload, run_functional};
+
+fn check(w: Workload, isa: IsaKind) {
+    let exe = w.build(isa).unwrap_or_else(|e| panic!("{} build for {}: {e}", w.name(), isa.name()));
+    let run = run_functional(&exe, None)
+        .unwrap_or_else(|e| panic!("{} run on {}: {e}", w.name(), isa.name()));
+    assert_eq!(
+        run.exit_code,
+        w.expected_exit(),
+        "{} on {} produced wrong self-check (stdout {:?})",
+        w.name(),
+        isa.name(),
+        run.stdout
+    );
+}
+
+macro_rules! golden {
+    ($fn_name:ident, $w:expr, $isa:expr) => {
+        #[test]
+        fn $fn_name() {
+            check($w, $isa);
+        }
+    };
+}
+
+golden!(dct_risc, Workload::Dct, IsaKind::Risc);
+golden!(dct_vliw2, Workload::Dct, IsaKind::Vliw2);
+golden!(dct_vliw4, Workload::Dct, IsaKind::Vliw4);
+golden!(dct_vliw6, Workload::Dct, IsaKind::Vliw6);
+golden!(dct_vliw8, Workload::Dct, IsaKind::Vliw8);
+golden!(aes_risc, Workload::Aes, IsaKind::Risc);
+golden!(aes_vliw2, Workload::Aes, IsaKind::Vliw2);
+golden!(aes_vliw4, Workload::Aes, IsaKind::Vliw4);
+golden!(aes_vliw6, Workload::Aes, IsaKind::Vliw6);
+golden!(aes_vliw8, Workload::Aes, IsaKind::Vliw8);
+golden!(fft_risc, Workload::Fft, IsaKind::Risc);
+golden!(fft_vliw2, Workload::Fft, IsaKind::Vliw2);
+golden!(fft_vliw4, Workload::Fft, IsaKind::Vliw4);
+golden!(fft_vliw6, Workload::Fft, IsaKind::Vliw6);
+golden!(fft_vliw8, Workload::Fft, IsaKind::Vliw8);
+golden!(quicksort_risc, Workload::Quicksort, IsaKind::Risc);
+golden!(quicksort_vliw2, Workload::Quicksort, IsaKind::Vliw2);
+golden!(quicksort_vliw4, Workload::Quicksort, IsaKind::Vliw4);
+golden!(quicksort_vliw6, Workload::Quicksort, IsaKind::Vliw6);
+golden!(quicksort_vliw8, Workload::Quicksort, IsaKind::Vliw8);
+golden!(cjpeg_risc, Workload::Cjpeg, IsaKind::Risc);
+golden!(cjpeg_vliw4, Workload::Cjpeg, IsaKind::Vliw4);
+golden!(cjpeg_vliw8, Workload::Cjpeg, IsaKind::Vliw8);
+golden!(djpeg_risc, Workload::Djpeg, IsaKind::Risc);
+golden!(djpeg_vliw4, Workload::Djpeg, IsaKind::Vliw4);
+golden!(djpeg_vliw8, Workload::Djpeg, IsaKind::Vliw8);

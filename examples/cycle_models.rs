@@ -1,0 +1,46 @@
+//! Compare all cycle models (paper §VI) on one workload: the theoretical
+//! ILP bound, atomic instruction execution, dynamic operation execution,
+//! and the cycle-accurate reference pipeline — the accuracy/performance
+//! trade-off the paper is about.
+//!
+//! ```text
+//! cargo run --release -p kahrisma --example cycle_models [workload]
+//! ```
+
+use kahrisma::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "dct".to_string());
+    let workload = Workload::ALL
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| -> Box<dyn std::error::Error + Send + Sync> {
+            format!("unknown workload `{name}` (try dct, aes, fft, quicksort)").into()
+        })?;
+    println!("workload: {} on vliw4\n", workload.name());
+
+    let exe = workload.build(IsaKind::Vliw4)?;
+
+    println!("{:<28}{:>12}{:>10}", "model", "cycles", "ops/cyc");
+    for (label, kind) in [
+        ("ILP (theoretical bound)", CycleModelKind::Ilp),
+        ("AIE (atomic instructions)", CycleModelKind::Aie),
+        ("DOE (dynamic operations)", CycleModelKind::Doe),
+    ] {
+        let mut sim = Simulator::new(&exe, SimConfig::with_model(kind))?;
+        let outcome = sim.run(500_000_000)?;
+        assert!(matches!(outcome, RunOutcome::Halted { .. }));
+        let stats = sim.cycle_stats().expect("model attached");
+        println!("{label:<28}{:>12}{:>10.2}", stats.cycles, stats.ops_per_cycle());
+    }
+
+    let rtl = kahrisma::rtl::simulate(&exe, &RtlConfig::default(), 500_000_000)?;
+    let rtl_opc = rtl.operations as f64 / rtl.cycles as f64;
+    println!("{:<28}{:>12}{:>10.2}", "RTL (cycle-accurate)", rtl.cycles, rtl_opc);
+
+    println!("\nnotes:");
+    println!(" - AIE is the most pessimistic (every instruction is a barrier)");
+    println!(" - DOE approximates the RTL reference within a few percent");
+    println!(" - ILP assumes unlimited resources and bounds every instance");
+    Ok(())
+}

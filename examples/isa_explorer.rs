@@ -1,0 +1,77 @@
+//! Explore the architecture description: the ISA configurations, their
+//! generated operation tables (paper §V: name, size, fields, implicit
+//! registers), and a round trip through detection and decoding.
+//!
+//! ```text
+//! cargo run --release -p kahrisma --example isa_explorer
+//! ```
+
+use kahrisma::adl::{FieldKind, TargetGen};
+use kahrisma::isa;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = isa::arch();
+    println!("architecture `{}`:", arch.name());
+    println!(
+        "  register file: {} x 32-bit GPRs (r0 hardwired: {})",
+        arch.regfile().count(),
+        arch.regfile().has_zero_register()
+    );
+    for isa_desc in arch.isas() {
+        println!(
+            "  {} (id {}): {}-issue, {} bytes/instruction, {} operations",
+            isa_desc.name(),
+            isa_desc.id().value(),
+            isa_desc.issue_width(),
+            isa_desc.instr_size(),
+            isa_desc.operations().len()
+        );
+    }
+
+    // TargetGen compiles the description into per-ISA operation tables.
+    let tables = TargetGen::new(&arch).generate()?;
+    let risc = tables.require(isa::isa_id::RISC)?;
+
+    println!("\noperation table of `{}` (excerpt):", risc.name());
+    println!("{:<14}{:<8}{:<8}{:<26}implicit", "name", "opcode", "delay", "fields");
+    for op in risc.operations().iter().take(12) {
+        let fields: Vec<String> = op
+            .encoding()
+            .fields()
+            .iter()
+            .map(|f| match f.kind() {
+                FieldKind::Opcode => "op".into(),
+                FieldKind::Rd => "rd".into(),
+                FieldKind::Rs1 => "rs1".into(),
+                FieldKind::Rs2 => "rs2".into(),
+                FieldKind::Imm { signed } => {
+                    format!("{}imm{}", if signed { "s" } else { "u" }, f.width())
+                }
+                other => format!("{other:?}"),
+            })
+            .collect();
+        let implicit: Vec<String> =
+            op.implicit_writes().iter().map(|r| format!("w:{r}")).collect();
+        println!(
+            "{:<14}{:#04x}    {:<8}{:<26}{}",
+            op.name(),
+            op.opcode(),
+            op.delay(),
+            fields.join(","),
+            implicit.join(",")
+        );
+    }
+
+    // Detection + decoding round trip (the simulator's hot path).
+    let (_, addi) = risc.op_by_name("addi").expect("addi exists");
+    let word = addi.encode(5, 6, 0, (-42i32) as u32);
+    let decoded = risc.decode(word).expect("detects its own encoding");
+    println!(
+        "\nencoded `addi r5, r6, -42` as {word:#010x}; decoded: {} rd=r{} rs1=r{} imm={}",
+        risc.op(decoded.op_index).name(),
+        decoded.fields.rd,
+        decoded.fields.rs1,
+        decoded.fields.simm()
+    );
+    Ok(())
+}

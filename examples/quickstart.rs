@@ -1,0 +1,53 @@
+//! Quickstart: compile a small KC program for a 4-issue VLIW instance, run
+//! it in the cycle-approximate simulator, and print functional and cycle
+//! statistics.
+//!
+//! ```text
+//! cargo run --release -p kahrisma --example quickstart
+//! ```
+
+use kahrisma::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    // A small KC program: sum of the first 100 squares, printed and
+    // returned (mod 256) as the exit code.
+    let source = r#"
+        int square(int x) { return x * x; }
+        int main() {
+            int s = 0;
+            int i;
+            for (i = 1; i <= 100; i++) s += square(i);
+            print_int(s);
+            putchar('\n');
+            return s & 255;
+        }
+    "#;
+
+    // Compile → assemble → link (the C-library stubs are linked in
+    // automatically) for the 4-issue VLIW instance.
+    let exe = kahrisma::kcc::compile_to_executable(source, &CompileOptions::for_isa(IsaKind::Vliw4))?;
+    println!("entry {:#010x}, entry isa {}", exe.entry, exe.entry_isa);
+
+    // Run with the DOE cycle model — the paper's approximation of the real
+    // KAHRISMA microarchitecture.
+    let mut sim = Simulator::new(&exe, SimConfig::with_model(CycleModelKind::Doe))?;
+    let outcome = sim.run(10_000_000)?;
+    println!("outcome: {outcome:?}");
+    println!("stdout:  {}", sim.state().stdout_string().trim_end());
+
+    let stats = sim.stats();
+    println!(
+        "executed {} instructions ({} operations), {} decoded once ({}% avoided)",
+        stats.instructions,
+        stats.operations,
+        stats.detect_decodes,
+        (stats.decode_avoided_ratio() * 100.0).round()
+    );
+    let cycles = sim.cycle_stats().expect("DOE model attached");
+    println!(
+        "DOE approximation: {} cycles, {:.2} operations/cycle",
+        cycles.cycles,
+        cycles.ops_per_cycle()
+    );
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! Mixed-ISA end-to-end tests (paper §V-D): runtime ISA switching across
+//! every pair of ISAs, hand-written assembly and compiled code.
+
+use kahrisma::prelude::*;
+
+#[test]
+fn every_isa_pair_switches_correctly() {
+    // For each (caller, callee) pair: main in `caller` calls a doubling
+    // helper in `callee`; the result must be identical everywhere.
+    for caller in IsaKind::ALL {
+        for callee in IsaKind::ALL {
+            let src = "int helper(int x) { return x * 2 + 1; } int main() { return helper(33); }";
+            let options = CompileOptions::for_isa(caller).with_function_isa("helper", callee);
+            let exe = kahrisma::kcc::compile_to_executable(src, &options)
+                .unwrap_or_else(|e| panic!("{}->{}: {e}", caller.name(), callee.name()));
+            let mut sim = Simulator::new(&exe, SimConfig::default()).expect("load");
+            let outcome = sim.run(1_000_000).expect("run");
+            assert_eq!(
+                outcome,
+                RunOutcome::Halted { exit_code: 67 },
+                "{} -> {}",
+                caller.name(),
+                callee.name()
+            );
+            if caller != callee {
+                assert!(
+                    sim.stats().isa_switches >= 2,
+                    "{} -> {} executed no switches",
+                    caller.name(),
+                    callee.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deep_mixed_isa_call_chain() {
+    // A chain through all five ISAs, with recursion at the bottom.
+    let src = "
+        int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+        int l4(int x) { return fib(x) + 1; }
+        int l3(int x) { return l4(x) * 2; }
+        int l2(int x) { return l3(x) + 3; }
+        int main() { return l2(10); }
+    ";
+    let options = CompileOptions::for_isa(IsaKind::Vliw8)
+        .with_function_isa("l2", IsaKind::Vliw6)
+        .with_function_isa("l3", IsaKind::Vliw4)
+        .with_function_isa("l4", IsaKind::Vliw2)
+        .with_function_isa("fib", IsaKind::Risc);
+    let exe = kahrisma::kcc::compile_to_executable(src, &options).expect("compile");
+    let mut sim = Simulator::new(&exe, SimConfig::default()).expect("load");
+    let outcome = sim.run(10_000_000).expect("run");
+    // fib(10)=55; l4=56; l3=112; l2=115.
+    assert_eq!(outcome, RunOutcome::Halted { exit_code: 115 });
+}
+
+#[test]
+fn hand_written_mixed_isa_assembly() {
+    // Mixed-ISA at the assembly level, switching twice inside one function.
+    let src = "
+        .isa risc
+        .text
+        .global main
+        .func main
+    main:
+        li   t0, 7
+        switchtarget vliw2
+        .isa vliw2
+        { add t1, t0, t0 | addi t2, zero, 3 }
+        { switchtarget risc | nop }
+        .isa risc
+        add  rv, t1, t2
+        jr   ra
+        .endfunc
+    ";
+    let exe = kahrisma::asm::build(&[("m.s", src)]).expect("build");
+    let mut sim = Simulator::new(&exe, SimConfig::default()).expect("load");
+    assert_eq!(
+        sim.run(10_000).expect("run"),
+        RunOutcome::Halted { exit_code: 17 } // 7+7+3
+    );
+    assert_eq!(sim.stats().isa_switches, 2);
+}
+
+#[test]
+fn initial_isa_override_matches_paper_cli_option() {
+    // Paper §V-D: "the initial ISA can optionally be specified per command
+    // line parameter". A VLIW4 binary started under the (wrong) RISC ISA
+    // must fail, and under the right one succeed.
+    let src = "int main() { return 9; }";
+    let exe = kahrisma::kcc::compile_to_executable(
+        src,
+        &CompileOptions::for_isa(IsaKind::Vliw4),
+    )
+    .expect("compile");
+    // The executable's recorded entry ISA is the synthesized RISC _start.
+    assert_eq!(exe.entry_isa, 0);
+    let config = SimConfig { initial_isa: Some(isa_id::RISC), ..SimConfig::default() };
+    let mut sim = Simulator::new(&exe, config).expect("load");
+    assert_eq!(sim.run(100_000).expect("run"), RunOutcome::Halted { exit_code: 9 });
+}
+
+#[test]
+fn switching_to_unknown_isa_is_an_error() {
+    let src = ".isa risc\n.text\n.global main\n.func main\nmain: switchtarget 99\n jr ra\n.endfunc\n";
+    let exe = kahrisma::asm::build(&[("m.s", src)]).expect("build");
+    let mut sim = Simulator::new(&exe, SimConfig::default()).expect("load");
+    let err = sim.run(10_000).expect_err("must fail");
+    let text = err.to_string();
+    assert!(text.contains("99") || text.contains("unknown"), "{text}");
+}

@@ -1,0 +1,274 @@
+//! Property-based tests over core data structures and cross-crate
+//! invariants, including differential testing of the compiler across issue
+//! widths.
+
+use proptest::prelude::*;
+
+use kahrisma::adl::{AluOp, Field, FieldKind};
+use kahrisma::core::{AccessKind, CacheConfig, Memory, MemoryHierarchy};
+use kahrisma::elf::{Object, SectionId, SymKind, Symbol};
+use kahrisma::prelude::*;
+
+// ---------------------------------------------------------------- memory --
+
+proptest! {
+    #[test]
+    fn memory_matches_hashmap_model(writes in prop::collection::vec((any::<u32>(), any::<u8>()), 0..200)) {
+        let mut mem = Memory::new();
+        let mut model = std::collections::HashMap::new();
+        for &(addr, value) in &writes {
+            mem.write_byte(addr, value);
+            model.insert(addr, value);
+        }
+        for &(addr, _) in &writes {
+            prop_assert_eq!(mem.read_byte(addr), model[&addr]);
+        }
+    }
+
+    #[test]
+    fn memory_word_roundtrip_any_alignment(addr in any::<u32>(), value in any::<u32>()) {
+        let mut mem = Memory::new();
+        mem.write_word(addr, value);
+        prop_assert_eq!(mem.read_word(addr), value);
+        prop_assert_eq!(
+            u32::from(mem.read_half(addr)) | (u32::from(mem.read_half(addr.wrapping_add(2))) << 16),
+            value
+        );
+    }
+}
+
+// ------------------------------------------------------------------- alu --
+
+proptest! {
+    #[test]
+    fn alu_div_rem_identity(a in any::<i32>(), b in any::<i32>().prop_filter("nonzero", |&b| b != 0)) {
+        let (a, b) = (a as u32, b as u32);
+        let q = AluOp::Div.eval(a, b) as i32;
+        let r = AluOp::Rem.eval(a, b) as i32;
+        // q*b + r == a in wrapping arithmetic (covers the MIN/-1 case too).
+        prop_assert_eq!(q.wrapping_mul(b as i32).wrapping_add(r), a as i32);
+    }
+
+    #[test]
+    fn alu_unsigned_div_rem_identity(a in any::<u32>(), b in 1u32..) {
+        let q = AluOp::Divu.eval(a, b);
+        let r = AluOp::Remu.eval(a, b);
+        prop_assert_eq!(q * b + r, a);
+        prop_assert!(r < b);
+    }
+
+    #[test]
+    fn alu_commutative_ops(a in any::<u32>(), b in any::<u32>()) {
+        for op in [AluOp::Add, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Mul] {
+            prop_assert_eq!(op.eval(a, b), op.eval(b, a));
+        }
+    }
+
+    #[test]
+    fn alu_shift_amount_is_masked(a in any::<u32>(), s in any::<u32>()) {
+        prop_assert_eq!(AluOp::Sll.eval(a, s), AluOp::Sll.eval(a, s & 31));
+        prop_assert_eq!(AluOp::Srl.eval(a, s), AluOp::Srl.eval(a, s & 31));
+        prop_assert_eq!(AluOp::Sra.eval(a, s), AluOp::Sra.eval(a, s & 31));
+    }
+}
+
+// ---------------------------------------------------------------- fields --
+
+proptest! {
+    #[test]
+    fn field_insert_extract_roundtrip(lsb in 0u8..32, width in 1u8..=32, value in any::<u32>(), word in any::<u32>()) {
+        prop_assume!(u32::from(lsb) + u32::from(width) <= 32);
+        let f = Field::new(FieldKind::Imm { signed: false }, lsb, width);
+        let mask = f.mask() >> lsb;
+        let inserted = f.insert(word, value);
+        prop_assert_eq!(f.extract(inserted), value & mask);
+        // Bits outside the field are untouched.
+        prop_assert_eq!(inserted & !f.mask(), word & !f.mask());
+    }
+
+    #[test]
+    fn signed_field_sign_extends(width in 2u8..=31, value in any::<i32>()) {
+        let f = Field::new(FieldKind::Imm { signed: true }, 0, width);
+        let min = -(1i64 << (width - 1));
+        let max = (1i64 << (width - 1)) - 1;
+        let v = i64::from(value).clamp(min, max);
+        let word = f.insert(0, v as u32);
+        prop_assert_eq!(f.extract_value(word) as i32 as i64, v);
+    }
+}
+
+// ------------------------------------------------------------------- elf --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn object_roundtrips_through_elf(
+        text in prop::collection::vec(any::<u8>(), 0..256),
+        data in prop::collection::vec(any::<u8>(), 0..128),
+        bss in 0u32..4096,
+        names in prop::collection::hash_set("[a-z_][a-z0-9_]{0,12}", 0..8),
+    ) {
+        let mut obj = Object::new();
+        // Word-align text like real operation streams.
+        let mut text = text;
+        text.truncate(text.len() / 4 * 4);
+        obj.text = text;
+        obj.data = data;
+        obj.bss_size = bss;
+        for (i, name) in names.iter().enumerate() {
+            let section = match i % 3 {
+                0 => SectionId::Text,
+                1 => SectionId::Data,
+                _ => SectionId::Bss,
+            };
+            let kind = if i % 2 == 0 { SymKind::Func } else { SymKind::Object };
+            if i % 4 == 0 {
+                obj.symbols.push(Symbol::local(name, section, i as u32 * 4, kind));
+            } else {
+                obj.symbols.push(Symbol::global(name, section, i as u32 * 4, kind));
+            }
+        }
+        let back = Object::from_bytes(&obj.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(&back.text, &obj.text);
+        prop_assert_eq!(&back.data, &obj.data);
+        prop_assert_eq!(back.bss_size, obj.bss_size);
+        prop_assert_eq!(back.symbols.len(), obj.symbols.len());
+        for s in &obj.symbols {
+            prop_assert!(back.symbols.contains(s), "missing {:?}", s);
+        }
+    }
+}
+
+// ----------------------------------------------------------------- cache --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn cache_accounting_and_monotonic_completions(
+        accesses in prop::collection::vec((0u32..0x4000, any::<bool>(), 0u64..64), 1..200)
+    ) {
+        let mut h = MemoryHierarchy::new()
+            .with_cache(CacheConfig::paper_l1())
+            .with_memory(18);
+        for (i, &(addr, is_write, start)) in accesses.iter().enumerate() {
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let completion = h.access(addr, kind, 0, start);
+            // A hit takes the L1 delay; anything else takes longer — but
+            // never completes before start + L1 delay.
+            prop_assert!(completion >= start + 3);
+            let stats = h.l1_stats().expect("cache present");
+            prop_assert_eq!(stats.hits + stats.misses, (i + 1) as u64);
+        }
+    }
+
+    #[test]
+    fn connection_limit_is_conserving(starts in prop::collection::vec(0u64..32, 1..64)) {
+        // With one port, n accesses issued at arbitrary cycles occupy n
+        // distinct request cycles: the maximum granted start grows at least
+        // linearly once the port saturates.
+        let mut h = MemoryHierarchy::new().with_conn_limit(1).with_memory(0);
+        let mut completions = Vec::new();
+        for &s in &starts {
+            completions.push(h.access(0, AccessKind::Read, 0, s));
+        }
+        completions.sort_unstable();
+        for (i, pair) in completions.windows(2).enumerate() {
+            prop_assert!(pair[1] > pair[0], "duplicate completion at {i}: {completions:?}");
+        }
+    }
+}
+
+// ---------------------------------------------- compiler (differential) --
+
+/// A random arithmetic expression over `a`, `b`, `c` using operators that
+/// are total (no division) — evaluated identically by Rust and by the
+/// compiled program on every issue width.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(u8),
+    Lit(i32),
+    Bin(&'static str, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn to_kc(&self) -> String {
+        match self {
+            Expr::Var(i) => char::from(b'a' + i % 3).to_string(),
+            Expr::Lit(v) => format!("({v})"),
+            Expr::Bin(op, l, r) => format!("({} {op} {})", l.to_kc(), r.to_kc()),
+        }
+    }
+
+    fn eval(&self, vars: [i32; 3]) -> i32 {
+        match self {
+            Expr::Var(i) => vars[usize::from(i % 3)],
+            Expr::Lit(v) => *v,
+            Expr::Bin(op, l, r) => {
+                let (a, b) = (l.eval(vars), r.eval(vars));
+                match *op {
+                    "+" => a.wrapping_add(b),
+                    "-" => a.wrapping_sub(b),
+                    "*" => a.wrapping_mul(b),
+                    "&" => a & b,
+                    "|" => a | b,
+                    "^" => a ^ b,
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0u8..3).prop_map(Expr::Var),
+        (-1000i32..1000).prop_map(Expr::Lit),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        (
+            prop_oneof![
+                Just("+"),
+                Just("-"),
+                Just("*"),
+                Just("&"),
+                Just("|"),
+                Just("^")
+            ],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, l, r)| Expr::Bin(op, Box::new(l), Box::new(r)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn compiled_expressions_match_reference_on_all_widths(
+        e in arb_expr(),
+        a in -500i32..500,
+        b in -500i32..500,
+        c in -500i32..500,
+    ) {
+        let expected = e.eval([a, b, c]) & 0xFF;
+        let src = format!(
+            "int main() {{ int a = {a}; int b = {b}; int c = {c}; return ({}) & 255; }}",
+            e.to_kc()
+        );
+        for isa in [IsaKind::Risc, IsaKind::Vliw8] {
+            let exe = kahrisma::kcc::compile_to_executable(&src, &CompileOptions::for_isa(isa))
+                .expect("compile");
+            let mut sim = Simulator::new(&exe, SimConfig::default()).expect("load");
+            let RunOutcome::Halted { exit_code } = sim.run(1_000_000).expect("run") else {
+                panic!("budget");
+            };
+            prop_assert_eq!(
+                exit_code,
+                expected as u32,
+                "isa {} src {}",
+                isa.name(),
+                src
+            );
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Cross-crate integration: the complete toolchain round trip — KC source
+//! → assembly → relocatable ELF objects → linked executable ELF bytes →
+//! reparse → simulate — exercising compiler, assembler, linker, codec and
+//! simulator together.
+
+use kahrisma::prelude::*;
+
+const PROGRAM: &str = "
+    int tab[6] = {6, 5, 4, 3, 2, 1};
+    int mul_add(int a, int b, int c) { return a * b + c; }
+    int main() {
+        int acc = 0;
+        int i;
+        for (i = 0; i < 6; i++) acc = mul_add(acc, 2, tab[i]);
+        return acc;   // Horner over tab with base 2
+    }
+";
+
+fn expected_exit() -> u32 {
+    let tab = [6u32, 5, 4, 3, 2, 1];
+    tab.iter().fold(0u32, |acc, &v| acc * 2 + v)
+}
+
+#[test]
+fn compile_assemble_link_simulate() {
+    for isa in IsaKind::ALL {
+        let exe = kahrisma::kcc::compile_to_executable(PROGRAM, &CompileOptions::for_isa(isa))
+            .unwrap_or_else(|e| panic!("compile for {}: {e}", isa.name()));
+        let mut sim = Simulator::new(&exe, SimConfig::default()).expect("load");
+        let outcome = sim.run(1_000_000).expect("run");
+        assert_eq!(outcome, RunOutcome::Halted { exit_code: expected_exit() }, "{}", isa.name());
+    }
+}
+
+#[test]
+fn executable_survives_elf_serialization() {
+    let exe = kahrisma::kcc::compile_to_executable(
+        PROGRAM,
+        &CompileOptions::for_isa(IsaKind::Vliw4),
+    )
+    .expect("compile");
+    let bytes = exe.to_bytes();
+    let reparsed = Executable::from_bytes(&bytes).expect("reparse");
+    assert_eq!(reparsed, exe);
+
+    // The reparsed executable must simulate identically.
+    let mut sim = Simulator::new(&reparsed, SimConfig::default()).expect("load");
+    let outcome = sim.run(1_000_000).expect("run");
+    assert_eq!(outcome, RunOutcome::Halted { exit_code: expected_exit() });
+}
+
+#[test]
+fn object_files_survive_elf_serialization() {
+    let asm = kahrisma::kcc::compile(PROGRAM, &CompileOptions::for_isa(IsaKind::Vliw2))
+        .expect("compile");
+    let obj = kahrisma::asm::assemble("program.s", &asm).expect("assemble");
+    let bytes = obj.to_bytes();
+    let back = kahrisma::elf::Object::from_bytes(&bytes).expect("reparse object");
+    assert_eq!(back.text, obj.text);
+    assert_eq!(back.relocs.len(), obj.relocs.len());
+    assert_eq!(back.debug, obj.debug);
+
+    // Link the reparsed object together with fresh stubs and run.
+    let stubs = kahrisma::asm::assemble(
+        "libc_stubs.s",
+        &kahrisma::asm::libc_stubs_asm(),
+    )
+    .expect("stubs");
+    let exe = kahrisma::asm::link(&[back, stubs], &kahrisma::asm::LinkOptions::default())
+        .expect("link");
+    let mut sim = Simulator::new(&exe, SimConfig::default()).expect("load");
+    assert_eq!(
+        sim.run(1_000_000).expect("run"),
+        RunOutcome::Halted { exit_code: expected_exit() }
+    );
+}
+
+#[test]
+fn separate_compilation_units_link_together() {
+    // Two KC units compiled separately into objects, linked with the stubs.
+    // Externals are declared by prototype; separate compilation assumes a
+    // consistent target ISA across units (see `kahrisma_kcc` docs).
+    let unit_a = "int helper(int x); int main() { return helper(20) + 2; }";
+    let unit_b = "int helper(int x) { return x * 2; }";
+    for isa in [IsaKind::Risc, IsaKind::Vliw4] {
+        let asm_a = kahrisma::kcc::compile(unit_a, &CompileOptions::for_isa(isa)).unwrap();
+        let asm_b = kahrisma::kcc::compile(unit_b, &CompileOptions::for_isa(isa)).unwrap();
+        let exe = kahrisma::asm::build(&[("a.s", &asm_a), ("b.s", &asm_b)]).expect("build");
+        let mut sim = Simulator::new(&exe, SimConfig::default()).expect("load");
+        assert_eq!(
+            sim.run(1_000_000).expect("run"),
+            RunOutcome::Halted { exit_code: 42 },
+            "{}",
+            isa.name()
+        );
+    }
+}
+
+#[test]
+fn debug_metadata_maps_addresses_to_functions() {
+    let exe = kahrisma::kcc::compile_to_executable(
+        PROGRAM,
+        &CompileOptions::for_isa(IsaKind::Risc),
+    )
+    .expect("compile");
+    let main = exe.debug.funcs.iter().find(|f| f.name == "main").expect("main recorded");
+    let mul_add = exe.debug.funcs.iter().find(|f| f.name == "mul_add").expect("helper recorded");
+    assert!(main.start < main.end);
+    assert!(mul_add.start < mul_add.end);
+    assert_eq!(exe.debug.isa_for_addr(main.start), Some(0));
+    // Every generated line entry points at the compiler's assembly unit.
+    assert!(exe.debug.line_for_addr(main.start).is_some());
+}

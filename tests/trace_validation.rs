@@ -1,0 +1,114 @@
+//! Trace-file validation (paper §V, goal 3): the trace "contains the exact
+//! behavior of the processor for each cycle" and "is used to validate our
+//! hardware implementation". These tests replay a recorded trace against an
+//! independent architectural interpretation and cross-check it.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use kahrisma::core::{TraceRecord, TraceSink};
+use kahrisma::prelude::*;
+
+struct SharedSink(Rc<RefCell<Vec<TraceRecord>>>);
+
+impl TraceSink for SharedSink {
+    fn record(&mut self, record: TraceRecord) {
+        self.0.borrow_mut().push(record);
+    }
+}
+
+fn trace_of(src: &str, isa: IsaKind) -> (Vec<TraceRecord>, u32) {
+    let exe = kahrisma::kcc::compile_to_executable(src, &CompileOptions::for_isa(isa))
+        .expect("compile");
+    let mut sim = Simulator::new(&exe, SimConfig::default()).expect("load");
+    let records = Rc::new(RefCell::new(Vec::new()));
+    sim.set_trace_sink(Box::new(SharedSink(records.clone())));
+    let RunOutcome::Halted { exit_code } = sim.run(10_000_000).expect("run") else {
+        panic!("budget exhausted");
+    };
+    let r = records.borrow().clone();
+    (r, exit_code)
+}
+
+const PROGRAM: &str = "
+    int main() {
+        int s = 0;
+        int i;
+        for (i = 0; i < 10; i++) s = s * 3 + i;
+        return s & 255;
+    }
+";
+
+#[test]
+fn trace_replays_register_dataflow() {
+    // Replay: maintain a register file from the trace's outputs and check
+    // that every input value matches what the trace previously established.
+    let (records, _) = trace_of(PROGRAM, IsaKind::Risc);
+    assert!(!records.is_empty());
+    let mut regs = [0u32; 32];
+    regs[29] = kahrisma::isa::abi::STACK_TOP;
+    let mut mismatches = 0;
+    for r in &records {
+        for &(reg, value) in &r.inputs {
+            // Loads read memory, so their base register still must match;
+            // all values in `inputs` are register reads.
+            if regs[reg as usize] != value {
+                mismatches += 1;
+            }
+        }
+        for &(reg, value) in &r.outputs {
+            if reg != 0 {
+                regs[reg as usize] = value;
+            }
+        }
+    }
+    // Loaded values enter registers via `outputs`, so a pure register
+    // replay must agree exactly.
+    assert_eq!(mismatches, 0, "trace register dataflow inconsistent");
+}
+
+#[test]
+fn trace_sequence_numbers_are_monotonic() {
+    let (records, _) = trace_of(PROGRAM, IsaKind::Vliw4);
+    for pair in records.windows(2) {
+        assert!(pair[0].cycle <= pair[1].cycle);
+    }
+}
+
+#[test]
+fn trace_covers_every_executed_operation() {
+    let exe = kahrisma::kcc::compile_to_executable(
+        PROGRAM,
+        &CompileOptions::for_isa(IsaKind::Vliw2),
+    )
+    .expect("compile");
+    let records = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = Simulator::new(&exe, SimConfig::default()).expect("load");
+    sim.set_trace_sink(Box::new(SharedSink(records.clone())));
+    sim.run(10_000_000).expect("run");
+    let stats = sim.stats();
+    // One record per slot operation, including `nop` fillers.
+    assert_eq!(
+        records.borrow().len() as u64,
+        stats.operations + stats.nops,
+        "trace must cover every slot operation"
+    );
+}
+
+#[test]
+fn identical_runs_produce_identical_traces() {
+    let (a, exit_a) = trace_of(PROGRAM, IsaKind::Vliw4);
+    let (b, exit_b) = trace_of(PROGRAM, IsaKind::Vliw4);
+    assert_eq!(exit_a, exit_b);
+    assert_eq!(a, b, "traces must be deterministic");
+}
+
+#[test]
+fn trace_lines_are_well_formed() {
+    let (records, _) = trace_of(PROGRAM, IsaKind::Risc);
+    for r in records.iter().take(200) {
+        let line = r.to_line();
+        assert!(line.contains(r.opcode), "{line}");
+        assert!(line.contains(&format!("{:#010x}", r.addr)), "{line}");
+    }
+}
