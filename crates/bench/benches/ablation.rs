@@ -18,11 +18,15 @@ fn bench_decode_cache(c: &mut Criterion) {
     let exe = build(Workload::Dct, IsaKind::Risc);
     let mut group = c.benchmark_group("ablation_decode_cache");
     group.sample_size(10);
-    let off = SimConfig { decode_cache: false, prediction: false, ..SimConfig::default() };
-    let cache = SimConfig { prediction: false, ..SimConfig::default() };
+    let per_entry = SimConfig { superblocks: false, ..SimConfig::default() };
+    let off = SimConfig { decode_cache: false, prediction: false, ..per_entry.clone() };
+    let cache = SimConfig { prediction: false, ..per_entry.clone() };
     group.bench_function("off", |b| b.iter(|| black_box(measure(&exe, off.clone()).seconds)));
     group.bench_function("cache", |b| b.iter(|| black_box(measure(&exe, cache.clone()).seconds)));
     group.bench_function("cache_and_prediction", |b| {
+        b.iter(|| black_box(measure(&exe, per_entry.clone()).seconds))
+    });
+    group.bench_function("arena_and_superblock", |b| {
         b.iter(|| black_box(measure(&exe, SimConfig::default()).seconds))
     });
     group.finish();

@@ -19,14 +19,19 @@ fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
 
+    // The named rows reproduce the paper's per-entry cache ablation, so
+    // superblock batching is disabled for them; the final row measures the
+    // batched hot loop (this repo's default).
+    let per_entry = SimConfig { superblocks: false, ..SimConfig::default() };
     let no_cache =
-        SimConfig { decode_cache: false, prediction: false, ..SimConfig::default() };
-    let cache_only = SimConfig { prediction: false, ..SimConfig::default() };
+        SimConfig { decode_cache: false, prediction: false, ..per_entry.clone() };
+    let cache_only = SimConfig { prediction: false, ..per_entry.clone() };
 
     let configs: Vec<(&str, SimConfig)> = vec![
         ("no_decode_cache", no_cache),
         ("decode_cache", cache_only),
-        ("cache_plus_prediction", SimConfig::default()),
+        ("cache_plus_prediction", per_entry.clone()),
+        ("arena_plus_superblock", SimConfig::default()),
         ("ilp_model", SimConfig::with_model(CycleModelKind::Ilp)),
         ("aie_model", SimConfig::with_model(CycleModelKind::Aie)),
         ("doe_model", SimConfig::with_model(CycleModelKind::Doe)),

@@ -1,0 +1,94 @@
+//! Integration tests for the flat-arena + superblock hot loop on real
+//! workloads: the §VII-A "nearly 100 %" decode-cache hit rate, and the
+//! acceptance criterion that the batched path is observationally identical
+//! to the per-entry baseline (exit codes, instruction counts, cycle-model
+//! statistics) across every shipped workload.
+
+use kahrisma_bench::{Workload, build, measure};
+use kahrisma_core::{CycleModelKind, SimConfig};
+use kahrisma_isa::IsaKind;
+
+/// §VII-A reports 99.991 % of detect & decode operations avoided and a
+/// nearly-100 % cache hit rate on real workloads; the Dct workload must
+/// reproduce that under the arena-backed cache.
+#[test]
+fn dct_decode_cache_hit_rate_is_nearly_100_percent() {
+    let exe = build(Workload::Dct, IsaKind::Risc);
+    // The paper's hit rate is a per-resolution figure, so it is asserted on
+    // the per-entry path, where every instruction resolves through the
+    // cache. (Under superblock batching only run heads resolve, so the few
+    // cold misses weigh far more per resolution.)
+    let per_entry =
+        measure(&exe, SimConfig { superblocks: false, ..SimConfig::default() });
+    assert_eq!(per_entry.exit_code, Workload::Dct.expected_exit());
+    // ~100 %: every miss is a cold miss (first sight of an address), so the
+    // ratio is bounded only by Dct's short run length; the paper's 99.991 %
+    // comes from the much longer cjpeg run.
+    assert!(
+        per_entry.stats.cache_hit_ratio() > 0.98,
+        "hit ratio {}",
+        per_entry.stats.cache_hit_ratio()
+    );
+    let misses = per_entry.stats.cache_lookups - per_entry.stats.cache_hits;
+    assert_eq!(misses, per_entry.stats.detect_decodes, "non-cold cache miss");
+
+    let m = measure(&exe, SimConfig::default());
+    assert_eq!(m.exit_code, Workload::Dct.expected_exit());
+    // The detect & decode avoidance (paper: 99.991 % on cjpeg) holds under
+    // batching too, at Dct's cold-miss floor.
+    assert!(
+        m.stats.decode_avoided_ratio() > 0.98,
+        "decode avoided {}",
+        m.stats.decode_avoided_ratio()
+    );
+    // Superblock batching actually engaged: far fewer dispatches than
+    // instructions.
+    assert!(m.stats.superblock_batches > 0);
+    assert!(m.stats.superblock_batches < m.stats.instructions);
+}
+
+/// Every workload must produce identical exit codes, instruction counts,
+/// and cycle-model statistics under the superblock-batched hot loop and the
+/// per-entry baseline path (`--baseline-cache`).
+#[test]
+fn workloads_agree_between_superblock_and_baseline_paths() {
+    for workload in Workload::ALL {
+        // Each workload on a different ISA keeps runtime tractable while
+        // covering RISC and several VLIW widths.
+        let isa = match workload {
+            Workload::Dct => IsaKind::Risc,
+            Workload::Aes => IsaKind::Vliw4,
+            Workload::Fft => IsaKind::Vliw2,
+            Workload::Quicksort => IsaKind::Risc,
+            Workload::Cjpeg => IsaKind::Vliw8,
+            Workload::Djpeg => IsaKind::Vliw6,
+            _ => IsaKind::Risc,
+        };
+        let exe = build(workload, isa);
+        let model = match workload {
+            Workload::Dct => Some(CycleModelKind::Doe),
+            Workload::Aes => Some(CycleModelKind::Aie),
+            Workload::Fft => Some(CycleModelKind::Ilp),
+            _ => None,
+        };
+        let config = |superblocks: bool| SimConfig {
+            superblocks,
+            cycle_model: model,
+            ..SimConfig::default()
+        };
+        let new = measure(&exe, config(true));
+        let base = measure(&exe, config(false));
+        let name = workload.name();
+        assert_eq!(new.exit_code, workload.expected_exit(), "{name}");
+        assert_eq!(new.exit_code, base.exit_code, "{name}");
+        assert_eq!(new.stats.instructions, base.stats.instructions, "{name}");
+        assert_eq!(new.stats.operations, base.stats.operations, "{name}");
+        assert_eq!(new.stats.nops, base.stats.nops, "{name}");
+        assert_eq!(new.stats.mem_reads, base.stats.mem_reads, "{name}");
+        assert_eq!(new.stats.mem_writes, base.stats.mem_writes, "{name}");
+        assert_eq!(new.stats.taken_branches, base.stats.taken_branches, "{name}");
+        assert_eq!(new.stats.isa_switches, base.stats.isa_switches, "{name}");
+        assert_eq!(new.stats.simops, base.stats.simops, "{name}");
+        assert_eq!(new.cycles, base.cycles, "{name} cycle stats diverge");
+    }
+}

@@ -1,4 +1,4 @@
-//! Instruction detection, decoding, and the decode cache.
+//! Instruction detection, decoding, and the flat-arena decode cache.
 //!
 //! Paper §V-A: "all detected and decoded instructions are stored in a cache
 //! tagged by the instruction address. Thereby, each executed instruction is
@@ -7,23 +7,131 @@
 //! structure the IP and decode structure pointer of the following
 //! instruction."
 //!
+//! Three hot-path properties beyond the paper's description:
+//!
+//! * **Flat arena** — every [`DecodedSlot`] of every cached instruction
+//!   lives in one contiguous slab; a [`DecodedInstr`] holds a
+//!   `(start, width)` range into it, so a cache hit is index arithmetic
+//!   with no per-entry pointer chasing, and the prediction chain
+//!   (`pred_idx`) is a direct index into the instruction arena.
+//! * **Specialized dispatch** — decode resolves each slot's declarative
+//!   [`Behavior`] to a compact [`ExecKind`] plus a precompiled ALU/condition
+//!   function pointer, a precomputed control-transfer target, and a
+//!   prebuilt cycle-model event template, so execution never re-interprets
+//!   the full declarative vocabulary.
+//! * **Superblocks** — straight-line runs of cached instructions (up to the
+//!   next control transfer, `switchtarget`, `simop`, or `halt`) are indexed
+//!   per head instruction so the simulation loop can execute them
+//!   back-to-back without re-entering lookup or prediction per instruction.
+//!
 //! The cache key includes the active ISA so that mixed-ISA programs that
 //! re-execute an address under a different ISA (possible after
-//! `switchtarget`) never see a stale decode.
+//! `switchtarget`) never see a stale decode; superblocks inherit that
+//! keying because run membership is expressed in `(addr, isa)`-keyed
+//! instruction indices.
 
 use std::collections::HashMap;
 
-use kahrisma_isa::adl::{Behavior, IsaId, TableSet};
+use kahrisma_isa::adl::{AluOp, Behavior, CondOp, FuClass, IsaId, MemWidth, TableSet};
 
+use crate::cycles::OpEvent;
 use crate::error::SimError;
 use crate::mem::Memory;
 
 /// No-prediction / no-index sentinel.
 pub(crate) const NO_IDX: u32 = u32::MAX;
 
-/// One decoded slot operation: the per-operation part of the paper's
-/// *decode structure*, flattened for fast access during execution.
+/// Upper bound on superblock length (straight-line runs longer than this
+/// are split; keeps run construction and budget accounting bounded).
+pub(crate) const MAX_RUN_LEN: usize = 64;
+
+/// Specialized execution kind resolved at decode time: the per-execution
+/// dispatch is a jump over this compact vocabulary instead of a nested
+/// match over the full declarative [`Behavior`] enum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ExecKind {
+    /// Slot filler.
+    Nop,
+    /// `rd = fun(rs1, rs2)`.
+    Alu,
+    /// `rd = fun(rs1, imm)`.
+    AluImm,
+    /// `rd = imm << 13`.
+    Lui,
+    /// Sign-extending byte load.
+    LoadByteSigned,
+    /// Zero-extending byte load.
+    LoadByteUnsigned,
+    /// Sign-extending half load.
+    LoadHalfSigned,
+    /// Zero-extending half load.
+    LoadHalfUnsigned,
+    /// Word load.
+    LoadWord,
+    /// Byte store.
+    StoreByte,
+    /// Half store.
+    StoreHalf,
+    /// Word store.
+    StoreWord,
+    /// Conditional branch; `fun` is the comparison, `target` the taken IP.
+    Branch,
+    /// Absolute jump to `target`.
+    Jump,
+    /// Call: link to `ra`, jump to `target`.
+    JumpAndLink,
+    /// Indirect jump to `rs1`.
+    JumpReg,
+    /// Indirect call: link to `rd`, jump to `rs1`.
+    JumpAndLinkReg,
+    /// ISA switch (serializing).
+    SwitchTarget,
+    /// C-library emulation call (serializing).
+    SimOp,
+    /// Stop simulation.
+    Halt,
+    /// Declarative behavior with no specialized implementation; raises
+    /// [`SimError::IllegalInstruction`] if ever executed.
+    Unsupported,
+}
+
+fn zero_fn(_a: u32, _b: u32) -> u32 {
+    0
+}
+
+/// Resolves an ALU operation to a monomorphic function pointer. Listing the
+/// variants lets the inner `eval` match constant-fold per arm, so each
+/// pointer is the single operation's code rather than a re-dispatch.
+fn alu_fn(op: AluOp) -> fn(u32, u32) -> u32 {
+    macro_rules! resolve {
+        ($($v:ident),+) => {
+            match op { $(AluOp::$v => |a, b| AluOp::$v.eval(a, b),)+ }
+        };
+    }
+    resolve!(
+        Add, Sub, And, Or, Xor, Nor, Slt, Sltu, Sll, Srl, Sra, Mul, Mulh, Mulhu, Div, Divu,
+        Rem, Remu
+    )
+}
+
+/// Resolves a branch condition to a function pointer returning 0/1.
+fn cond_fn(op: CondOp) -> fn(u32, u32) -> u32 {
+    macro_rules! resolve {
+        ($($v:ident),+) => {
+            match op { $(CondOp::$v => |a, b| u32::from(CondOp::$v.eval(a, b)),)+ }
+        };
+    }
+    resolve!(Eq, Ne, Lt, Ge, Ltu, Geu)
+}
+
+/// One decoded slot operation: the per-operation part of the paper's
+/// *decode structure*, flattened for fast access during execution and
+/// augmented with the decode-time specialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// Slot equality compares `fun` by pointer; two slots decoded from the same
+// word always share the resolution path, so this is stable enough for the
+// structural comparisons tests do.
+#[allow(unpredictable_function_pointer_comparisons)]
 pub struct DecodedSlot {
     /// Index of the operation in its ISA's operation table.
     pub op_index: u16,
@@ -49,9 +157,21 @@ pub struct DecodedSlot {
     pub dst: u8,
     /// `true` for the `nop` filler.
     pub is_nop: bool,
+    /// Specialized execution kind (decode-time dispatch resolution).
+    pub(crate) exec: ExecKind,
+    /// Precompiled ALU/condition function for [`ExecKind::Alu`],
+    /// [`ExecKind::AluImm`], and [`ExecKind::Branch`].
+    pub(crate) fun: fn(u32, u32) -> u32,
+    /// Precomputed control-transfer target for direct branches and jumps
+    /// (`op_addr + imm*4` for branches, `imm*4` for jumps).
+    pub(crate) target: u32,
+    /// Prebuilt cycle-model event; execution copies it and patches only the
+    /// dynamic fields (memory address, misprediction penalty).
+    pub(crate) event: OpEvent,
 }
 
-/// A fully decoded instruction (all issue slots).
+/// A fully decoded instruction (all issue slots), referencing its slots by
+/// range in the owning arena.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecodedInstr {
     /// Instruction address (slot 0 word).
@@ -60,12 +180,17 @@ pub struct DecodedInstr {
     pub isa: IsaId,
     /// Issue width (number of slots).
     pub width: u8,
-    /// Decoded slots, `width` entries.
-    pub slots: Vec<DecodedSlot>,
+    /// Start of the instruction's slots in the owning slot arena.
+    pub(crate) start: u32,
     /// Predicted address of the following instruction (paper §V-A).
     pub pred_ip: u32,
     /// Predicted decode-cache index of the following instruction.
     pub pred_idx: u32,
+    /// `true` when the instruction terminates a straight-line superblock
+    /// (control transfer, ISA switch, `simop`, or `halt` in any slot).
+    pub(crate) ends_run: bool,
+    /// Superblock headed by this instruction, or `NO_IDX` if none built.
+    pub(crate) sb: u32,
 }
 
 impl DecodedInstr {
@@ -76,45 +201,97 @@ impl DecodedInstr {
     }
 }
 
-/// Detects and decodes the instruction at `addr` under `isa`.
+/// Builds the decode-time specialization of one slot.
+fn specialize(behavior: Behavior, imm: u32, op_addr: u32) -> (ExecKind, fn(u32, u32) -> u32, u32) {
+    use Behavior as B;
+    match behavior {
+        B::Nop => (ExecKind::Nop, zero_fn, 0),
+        B::IntAlu(op) => (ExecKind::Alu, alu_fn(op), 0),
+        B::IntAluImm(op) => (ExecKind::AluImm, alu_fn(op), 0),
+        B::LoadUpperImm => (ExecKind::Lui, zero_fn, 0),
+        B::Load { width, signed } => {
+            let kind = match (width, signed) {
+                (MemWidth::Byte, true) => ExecKind::LoadByteSigned,
+                (MemWidth::Byte, false) => ExecKind::LoadByteUnsigned,
+                (MemWidth::Half, true) => ExecKind::LoadHalfSigned,
+                (MemWidth::Half, false) => ExecKind::LoadHalfUnsigned,
+                (MemWidth::Word, _) => ExecKind::LoadWord,
+            };
+            (kind, zero_fn, 0)
+        }
+        B::Store { width } => {
+            let kind = match width {
+                MemWidth::Byte => ExecKind::StoreByte,
+                MemWidth::Half => ExecKind::StoreHalf,
+                MemWidth::Word => ExecKind::StoreWord,
+            };
+            (kind, zero_fn, 0)
+        }
+        B::Branch(cond) => {
+            (ExecKind::Branch, cond_fn(cond), op_addr.wrapping_add(imm.wrapping_mul(4)))
+        }
+        B::Jump => (ExecKind::Jump, zero_fn, imm.wrapping_mul(4)),
+        B::JumpAndLink => (ExecKind::JumpAndLink, zero_fn, imm.wrapping_mul(4)),
+        B::JumpReg => (ExecKind::JumpReg, zero_fn, 0),
+        B::JumpAndLinkReg => (ExecKind::JumpAndLinkReg, zero_fn, 0),
+        B::SwitchTarget => (ExecKind::SwitchTarget, zero_fn, 0),
+        B::SimOp => (ExecKind::SimOp, zero_fn, 0),
+        B::Halt => (ExecKind::Halt, zero_fn, 0),
+        _ => (ExecKind::Unsupported, zero_fn, 0),
+    }
+}
+
+/// Detects and decodes the instruction at `addr` under `isa`, appending its
+/// slots to `arena` (the flat slab) and returning the range-holding decode
+/// structure.
 ///
 /// Detection checks the constant fields of each operation of the active
 /// ISA's table (the expensive scan the decode cache amortizes); decoding
-/// extracts all fields into the decode structure.
+/// extracts all fields and resolves the decode-time specialization.
 ///
 /// # Errors
 ///
 /// Returns [`SimError::IllegalInstruction`] if any slot word matches no
-/// operation of the ISA.
-pub(crate) fn detect_and_decode(
+/// operation of the ISA; `arena` is rolled back to its prior length.
+pub(crate) fn detect_and_decode_into(
     tables: &TableSet,
     mem: &Memory,
     addr: u32,
     isa: IsaId,
+    arena: &mut Vec<DecodedSlot>,
 ) -> Result<DecodedInstr, SimError> {
     let table = tables
         .table(isa)
         .ok_or(SimError::UnknownIsa { isa: isa.value(), addr })?;
     let width = table.issue_width();
-    let mut slots = Vec::with_capacity(usize::from(width));
+    let start = arena.len() as u32;
+    let mut ends_run = false;
     for slot in 0..u32::from(width) {
         let word_addr = addr + slot * 4;
         let word = mem.read_word(word_addr);
-        let d = table.decode(word).ok_or(SimError::IllegalInstruction {
-            addr: word_addr,
-            word,
-            isa: isa.value(),
-            context: None,
-        })?;
+        let Some(d) = table.decode(word) else {
+            arena.truncate(start as usize);
+            return Err(SimError::IllegalInstruction {
+                addr: word_addr,
+                word,
+                isa: isa.value(),
+                context: None,
+            });
+        };
         let op = table.op(d.op_index);
         let behavior = op.behavior();
         let f = d.fields;
         let (srcs, nsrcs, dst) = reg_deps(behavior, f.rd, f.rs1, f.rs2);
-        slots.push(DecodedSlot {
+        let is_nop = matches!(behavior, Behavior::Nop);
+        let (exec, fun, target) = specialize(behavior, f.imm, word_addr);
+        ends_run |= behavior.is_control()
+            || matches!(behavior, Behavior::SwitchTarget | Behavior::SimOp | Behavior::Halt);
+        let delay = op.delay();
+        arena.push(DecodedSlot {
             op_index: d.op_index,
             name: op.name(),
             behavior,
-            delay: op.delay(),
+            delay,
             rd: f.rd,
             rs1: f.rs1,
             rs2: f.rs2,
@@ -122,10 +299,38 @@ pub(crate) fn detect_and_decode(
             srcs,
             nsrcs,
             dst,
-            is_nop: matches!(behavior, Behavior::Nop),
+            is_nop,
+            exec,
+            fun,
+            target,
+            event: OpEvent {
+                slot: slot as u8,
+                srcs,
+                nsrcs,
+                dst,
+                delay,
+                mem: None,
+                is_branch: behavior.is_control(),
+                serialize: matches!(
+                    behavior,
+                    Behavior::SwitchTarget | Behavior::SimOp | Behavior::Halt
+                ),
+                is_nop,
+                is_muldiv: matches!(behavior.fu_class(), FuClass::MulDiv),
+                mispredict_penalty: 0,
+            },
         });
     }
-    Ok(DecodedInstr { addr, isa, width, slots, pred_ip: 0, pred_idx: NO_IDX })
+    Ok(DecodedInstr {
+        addr,
+        isa,
+        width,
+        start,
+        pred_ip: 0,
+        pred_idx: NO_IDX,
+        ends_run,
+        sb: NO_IDX,
+    })
 }
 
 /// Computes the architectural register sources/destination of an operation
@@ -150,12 +355,20 @@ fn reg_deps(behavior: Behavior, rd: u8, rs1: u8, rs2: u8) -> ([u8; 2], u8, u8) {
     }
 }
 
-/// The decode cache: an arena of decode structures plus an address-keyed
-/// hash map, with the paper's 1-entry-per-instruction next-IP prediction.
+/// The decode cache: a flat slot slab plus an arena of decode structures and
+/// an address-keyed hash map, with the paper's 1-entry-per-instruction
+/// next-IP prediction and a superblock index over straight-line runs.
 #[derive(Debug, Default)]
 pub struct DecodeCache {
-    arena: Vec<DecodedInstr>,
+    /// All decoded slots, contiguous; instructions reference ranges.
+    slots: Vec<DecodedSlot>,
+    /// All decode structures; `map`, predictions, and runs index into this.
+    instrs: Vec<DecodedInstr>,
     map: HashMap<(u32, u8), u32>,
+    /// Superblocks as `(start, len)` ranges into `run_members`.
+    runs: Vec<(u32, u32)>,
+    /// Instruction indices of all superblocks, flattened.
+    run_members: Vec<u32>,
 }
 
 impl DecodeCache {
@@ -168,13 +381,25 @@ impl DecodeCache {
     /// Number of cached decode structures.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.arena.len()
+        self.instrs.len()
     }
 
     /// Whether the cache is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.arena.is_empty()
+        self.instrs.is_empty()
+    }
+
+    /// Number of cached slots (the flat arena's length).
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of superblocks built so far.
+    #[must_use]
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
     }
 
     /// Looks up the cached index for `(addr, isa)`.
@@ -183,24 +408,51 @@ impl DecodeCache {
         self.map.get(&(addr, isa.value())).copied()
     }
 
-    /// Inserts a freshly decoded instruction, returning its index.
-    pub(crate) fn insert(&mut self, instr: DecodedInstr) -> u32 {
-        let idx = self.arena.len() as u32;
-        self.map.insert((instr.addr, instr.isa.value()), idx);
-        self.arena.push(instr);
-        idx
+    /// Detects and decodes the instruction at `addr`, storing its slots in
+    /// the flat arena and registering it in the map; returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures; the cache is unchanged then.
+    pub(crate) fn decode_insert(
+        &mut self,
+        tables: &TableSet,
+        mem: &Memory,
+        addr: u32,
+        isa: IsaId,
+    ) -> Result<u32, SimError> {
+        let instr = detect_and_decode_into(tables, mem, addr, isa, &mut self.slots)?;
+        let idx = self.instrs.len() as u32;
+        self.map.insert((addr, isa.value()), idx);
+        self.instrs.push(instr);
+        Ok(idx)
     }
 
     /// Returns the decode structure at `idx`.
     #[must_use]
     pub(crate) fn get(&self, idx: u32) -> &DecodedInstr {
-        &self.arena[idx as usize]
+        &self.instrs[idx as usize]
+    }
+
+    /// Returns the slots of the given decode structure.
+    #[must_use]
+    pub fn slots_of(&self, instr: &DecodedInstr) -> &[DecodedSlot] {
+        let start = instr.start as usize;
+        &self.slots[start..start + usize::from(instr.width)]
+    }
+
+    /// Returns the decode structure at `idx` together with its slots.
+    #[must_use]
+    pub(crate) fn instr_and_slots(&self, idx: u32) -> (&DecodedInstr, &[DecodedSlot]) {
+        let instr = &self.instrs[idx as usize];
+        let start = instr.start as usize;
+        (instr, &self.slots[start..start + usize::from(instr.width)])
     }
 
     /// Updates the prediction stored in instruction `idx` (the IP and index
     /// of the instruction that followed it this time).
     pub(crate) fn set_prediction(&mut self, idx: u32, next_ip: u32, next_idx: u32) {
-        let e = &mut self.arena[idx as usize];
+        let e = &mut self.instrs[idx as usize];
         e.pred_ip = next_ip;
         e.pred_idx = next_idx;
     }
@@ -209,12 +461,37 @@ impl DecodeCache {
     /// stored predicted IP matches `ip`.
     #[must_use]
     pub(crate) fn predict(&self, idx: u32, ip: u32) -> Option<u32> {
-        let e = &self.arena[idx as usize];
+        let e = &self.instrs[idx as usize];
         if e.pred_idx != NO_IDX && e.pred_ip == ip {
             Some(e.pred_idx)
         } else {
             None
         }
+    }
+
+    /// The superblock headed by instruction `idx`, or `NO_IDX`.
+    #[must_use]
+    pub(crate) fn run_of(&self, idx: u32) -> u32 {
+        self.instrs[idx as usize].sb
+    }
+
+    /// Registers the straight-line run `members` (which starts with `head`)
+    /// and returns its superblock id.
+    pub(crate) fn install_run(&mut self, head: u32, members: &[u32]) -> u32 {
+        debug_assert_eq!(members.first(), Some(&head));
+        let sb = self.runs.len() as u32;
+        let start = self.run_members.len() as u32;
+        self.run_members.extend_from_slice(members);
+        self.runs.push((start, members.len() as u32));
+        self.instrs[head as usize].sb = sb;
+        sb
+    }
+
+    /// Instruction indices of superblock `sb`, in execution order.
+    #[must_use]
+    pub(crate) fn run_members(&self, sb: u32) -> &[u32] {
+        let (start, len) = self.runs[sb as usize];
+        &self.run_members[start as usize..(start + len) as usize]
     }
 }
 
@@ -236,43 +513,75 @@ mod tests {
         t.table(isa).unwrap().op_by_name(name).unwrap().1.encode(rd, rs1, rs2, imm)
     }
 
+    fn decode_one(mem: &Memory, addr: u32, isa: IsaId) -> (DecodedInstr, Vec<DecodedSlot>) {
+        let t = tables();
+        let mut arena = Vec::new();
+        let d = detect_and_decode_into(&t, mem, addr, isa, &mut arena).unwrap();
+        (d, arena)
+    }
+
     #[test]
     fn decodes_risc_instruction() {
-        let t = tables();
         let mem = mem_with(&[(0x100, encode(isa_id::RISC, "addi", 3, 4, 0, (-9i32) as u32))]);
-        let d = detect_and_decode(&t, &mem, 0x100, isa_id::RISC).unwrap();
+        let (d, slots) = decode_one(&mem, 0x100, isa_id::RISC);
         assert_eq!(d.width, 1);
-        assert_eq!(d.slots[0].name, "addi");
-        assert_eq!(d.slots[0].rd, 3);
-        assert_eq!(d.slots[0].imm as i32, -9);
-        assert_eq!(d.slots[0].dst, 3);
-        assert_eq!(d.slots[0].nsrcs, 1);
+        assert_eq!(slots[0].name, "addi");
+        assert_eq!(slots[0].rd, 3);
+        assert_eq!(slots[0].imm as i32, -9);
+        assert_eq!(slots[0].dst, 3);
+        assert_eq!(slots[0].nsrcs, 1);
+        assert_eq!(slots[0].exec, ExecKind::AluImm);
+        assert_eq!((slots[0].fun)(10, (-9i32) as u32), 1);
+        assert!(!d.ends_run);
         assert_eq!(d.size(), 4);
     }
 
     #[test]
     fn decodes_vliw_bundle() {
-        let t = tables();
         let mem = mem_with(&[
             (0x200, encode(isa_id::VLIW4, "add", 1, 2, 3, 0)),
             (0x204, encode(isa_id::VLIW4, "lw", 4, 29, 0, 8)),
             (0x208, 0), // nop
             (0x20C, encode(isa_id::VLIW4, "beq", 0, 5, 6, (-2i32) as u32)),
         ]);
-        let d = detect_and_decode(&t, &mem, 0x200, isa_id::VLIW4).unwrap();
+        let (d, slots) = decode_one(&mem, 0x200, isa_id::VLIW4);
         assert_eq!(d.width, 4);
-        assert!(d.slots[2].is_nop);
-        assert_eq!(d.slots[3].name, "beq");
+        assert!(slots[2].is_nop);
+        assert_eq!(slots[3].name, "beq");
         // Store-style B encoding for branch: rs1/rs2 are the comparands.
-        assert_eq!(d.slots[3].srcs, [5, 6]);
+        assert_eq!(slots[3].srcs, [5, 6]);
+        assert_eq!(slots[3].exec, ExecKind::Branch);
+        // Branch target precomputed relative to the branch's own word.
+        assert_eq!(slots[3].target, 0x20C_u32.wrapping_add((-2i32 as u32).wrapping_mul(4)));
+        // A bundle containing a branch ends its superblock.
+        assert!(d.ends_run);
         assert_eq!(d.size(), 16);
     }
 
     #[test]
-    fn illegal_word_reports_slot_address() {
+    fn specialization_matches_declarative_eval() {
+        // The precompiled function pointers must agree with AluOp/CondOp::eval
+        // on edge cases (division by zero, signedness).
+        for op in [AluOp::Add, AluOp::Div, AluOp::Rem, AluOp::Sra, AluOp::Sltu] {
+            let f = alu_fn(op);
+            for (a, b) in [(7, 0), (0x8000_0000, 0xFFFF_FFFF), (3, 35), (u32::MAX, 1)] {
+                assert_eq!(f(a, b), op.eval(a, b), "{op:?}({a:#x},{b:#x})");
+            }
+        }
+        for cond in [CondOp::Eq, CondOp::Lt, CondOp::Geu] {
+            let f = cond_fn(cond);
+            for (a, b) in [(0, 0), (0xFFFF_FFFF, 0), (1, 2)] {
+                assert_eq!(f(a, b) != 0, cond.eval(a, b), "{cond:?}({a:#x},{b:#x})");
+            }
+        }
+    }
+
+    #[test]
+    fn illegal_word_reports_slot_address_and_rolls_back_arena() {
         let t = tables();
         let mem = mem_with(&[(0x300, 0), (0x304, 0xFFFF_FFFF)]);
-        let err = detect_and_decode(&t, &mem, 0x300, isa_id::VLIW2).unwrap_err();
+        let mut arena = Vec::new();
+        let err = detect_and_decode_into(&t, &mem, 0x300, isa_id::VLIW2, &mut arena).unwrap_err();
         match err {
             SimError::IllegalInstruction { addr, word, isa, .. } => {
                 assert_eq!(addr, 0x304);
@@ -281,6 +590,8 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+        // The partially decoded slot 0 must not leak into the slab.
+        assert!(arena.is_empty());
     }
 
     #[test]
@@ -289,14 +600,20 @@ mod tests {
         // The same address decodes differently under RISC and VLIW2.
         let mem = mem_with(&[(0x400, encode(isa_id::RISC, "add", 1, 2, 3, 0)), (0x404, 0)]);
         let mut cache = DecodeCache::new();
-        let risc = detect_and_decode(&t, &mem, 0x400, isa_id::RISC).unwrap();
-        let vliw = detect_and_decode(&t, &mem, 0x400, isa_id::VLIW2).unwrap();
-        let i0 = cache.insert(risc);
-        let i1 = cache.insert(vliw);
+        let i0 = cache.decode_insert(&t, &mem, 0x400, isa_id::RISC).unwrap();
+        let i1 = cache.decode_insert(&t, &mem, 0x400, isa_id::VLIW2).unwrap();
         assert_eq!(cache.lookup(0x400, isa_id::RISC), Some(i0));
         assert_eq!(cache.lookup(0x400, isa_id::VLIW2), Some(i1));
         assert_eq!(cache.lookup(0x404, isa_id::RISC), None);
         assert_eq!(cache.len(), 2);
+        // Flat arena: slots are contiguous, 1 (RISC) + 2 (VLIW2) entries.
+        assert_eq!(cache.slot_count(), 3);
+        let (risc, risc_slots) = cache.instr_and_slots(i0);
+        assert_eq!(risc.isa, isa_id::RISC);
+        assert_eq!(risc_slots.len(), 1);
+        let (vliw, vliw_slots) = cache.instr_and_slots(i1);
+        assert_eq!(vliw_slots.len(), 2);
+        assert_eq!(cache.slots_of(vliw), vliw_slots);
     }
 
     #[test]
@@ -304,8 +621,7 @@ mod tests {
         let t = tables();
         let mem = mem_with(&[(0x500, 0)]);
         let mut cache = DecodeCache::new();
-        let d = detect_and_decode(&t, &mem, 0x500, isa_id::RISC).unwrap();
-        let idx = cache.insert(d);
+        let idx = cache.decode_insert(&t, &mem, 0x500, isa_id::RISC).unwrap();
         assert_eq!(cache.predict(idx, 0x504), None); // nothing stored yet
         cache.set_prediction(idx, 0x504, 7);
         assert_eq!(cache.predict(idx, 0x504), Some(7));
@@ -314,9 +630,40 @@ mod tests {
 
     #[test]
     fn jal_dependence_includes_link_register() {
-        let t = tables();
         let mem = mem_with(&[(0x600, encode(isa_id::RISC, "jal", 0, 0, 0, 0x40))]);
-        let d = detect_and_decode(&t, &mem, 0x600, isa_id::RISC).unwrap();
-        assert_eq!(d.slots[0].dst, kahrisma_isa::abi::RA);
+        let (d, slots) = decode_one(&mem, 0x600, isa_id::RISC);
+        assert_eq!(slots[0].dst, kahrisma_isa::abi::RA);
+        assert_eq!(slots[0].exec, ExecKind::JumpAndLink);
+        assert_eq!(slots[0].target, 0x100); // absolute: imm * 4
+        assert!(d.ends_run);
+    }
+
+    #[test]
+    fn superblock_index_round_trips() {
+        let t = tables();
+        let mem = mem_with(&[(0x700, 0), (0x704, 0), (0x708, 0)]);
+        let mut cache = DecodeCache::new();
+        let a = cache.decode_insert(&t, &mem, 0x700, isa_id::RISC).unwrap();
+        let b = cache.decode_insert(&t, &mem, 0x704, isa_id::RISC).unwrap();
+        let c = cache.decode_insert(&t, &mem, 0x708, isa_id::RISC).unwrap();
+        assert_eq!(cache.run_of(a), NO_IDX);
+        let sb = cache.install_run(a, &[a, b, c]);
+        assert_eq!(cache.run_of(a), sb);
+        assert_eq!(cache.run_members(sb), &[a, b, c]);
+        // Non-head members do not claim the run.
+        assert_eq!(cache.run_of(b), NO_IDX);
+        assert_eq!(cache.run_count(), 1);
+    }
+
+    #[test]
+    fn event_template_prebuilt_at_decode() {
+        let mem = mem_with(&[(0x800, encode(isa_id::RISC, "mul", 5, 6, 7, 0))]);
+        let (_, slots) = decode_one(&mem, 0x800, isa_id::RISC);
+        let ev = slots[0].event;
+        assert!(ev.is_muldiv);
+        assert!(!ev.is_branch);
+        assert_eq!(ev.dst, 5);
+        assert_eq!(ev.srcs, [6, 7]);
+        assert_eq!(ev.mem, None);
     }
 }

@@ -1,31 +1,44 @@
 //! Instruction execution (the generated simulation functions).
 //!
 //! In the paper's framework TargetGen generates one simulation function per
-//! operation from its ADL semantics fragment; here the closed [`Behavior`]
-//! vocabulary drives a single dispatch that plays the same role. Parallel
-//! VLIW operations follow the paper's §V-B semantics: "It is important that
-//! the registers of all parallel operations are loaded before any operation
-//! writes back its results" — all slot results are computed into pending
-//! buffers first (the paper's stack locals) and committed afterwards.
+//! operation from its ADL semantics fragment; here decode resolves each
+//! operation to a precompiled [`ExecKind`] plus function pointer (see
+//! `decode.rs`), and execution dispatches over that compact vocabulary —
+//! the same role with the declarative re-interpretation hoisted out of the
+//! hot loop. Parallel VLIW operations follow the paper's §V-B semantics:
+//! "It is important that the registers of all parallel operations are
+//! loaded before any operation writes back its results" — all slot results
+//! are computed into pending buffers first (the paper's stack locals) and
+//! committed afterwards.
+//!
+//! Two entry points exist: [`execute_instr`] is the full-featured path
+//! (cycle-model events, tracing, branch-predictor modelling), and
+//! [`execute_instr_fast`] is the single-issue direct-commit path used by
+//! the superblock loop when no observer is attached.
 
 use kahrisma_isa::abi;
-use kahrisma_isa::adl::{Behavior, IsaId, MemWidth};
+use kahrisma_isa::adl::{IsaId, MemWidth};
 
 use crate::cycles::{AccessKind, BranchPredictor, OpEvent};
-use crate::decode::DecodedInstr;
+use crate::decode::{DecodedInstr, DecodedSlot, ExecKind};
 use crate::error::SimError;
 use crate::libc_emu::do_simop;
 use crate::state::CpuState;
 use crate::stats::SimStats;
 use crate::trace::{TraceRecord, TraceSink};
 
-/// Side effects of one instruction, applied at commit. The vectors are
-/// reused across instructions (owned by the simulator) to keep the hot loop
-/// allocation-free.
+/// Side effects of one instruction, applied at commit, plus the per-slot
+/// trace scratch buffers. All vectors are reused across instructions (owned
+/// by the simulator) to keep the hot loop allocation-free.
 #[derive(Debug, Default)]
 pub(crate) struct Pending {
     reg_writes: Vec<(u8, u32)>,
     stores: Vec<(u32, u32, MemWidth)>,
+    /// Trace scratch: input registers read by the current slot. Only
+    /// populated while a trace sink is attached.
+    tr_inputs: Vec<(u8, u32)>,
+    /// Trace scratch: output registers written by the current slot.
+    tr_outputs: Vec<(u8, u32)>,
     new_ip: Option<u32>,
     isa_switch: Option<u8>,
     simop: Option<(u32, u32)>, // (code, op address)
@@ -43,7 +56,28 @@ impl Pending {
     }
 }
 
-/// Executes one decoded instruction against `state`.
+/// Loads a value of the slot's width from memory, sign- or zero-extending.
+#[inline]
+fn do_load(state: &CpuState, kind: ExecKind, addr: u32) -> u32 {
+    match kind {
+        ExecKind::LoadByteSigned => state.mem.read_byte(addr) as i8 as i32 as u32,
+        ExecKind::LoadByteUnsigned => u32::from(state.mem.read_byte(addr)),
+        ExecKind::LoadHalfSigned => state.mem.read_half(addr) as i16 as i32 as u32,
+        ExecKind::LoadHalfUnsigned => u32::from(state.mem.read_half(addr)),
+        _ => state.mem.read_word(addr),
+    }
+}
+
+fn unsupported(instr: &DecodedInstr, op_addr: u32) -> SimError {
+    SimError::IllegalInstruction {
+        addr: op_addr,
+        word: 0,
+        isa: instr.isa.value(),
+        context: Some("unsupported behavior".into()),
+    }
+}
+
+/// Executes one decoded instruction against `state` (full-featured path).
 ///
 /// Fills `events` (cleared first) with one [`OpEvent`] per slot for the
 /// cycle models, appends trace records to `trace` when provided, and
@@ -51,6 +85,7 @@ impl Pending {
 pub(crate) fn execute_instr(
     state: &mut CpuState,
     instr: &DecodedInstr,
+    slots: &[DecodedSlot],
     events: &mut Vec<OpEvent>,
     pending: &mut Pending,
     predictor: &mut Option<BranchPredictor>,
@@ -61,37 +96,25 @@ pub(crate) fn execute_instr(
     pending.reset();
     let instr_size = instr.size();
     let next_seq_ip = instr.addr.wrapping_add(instr_size);
+    let want_trace = trace.is_some();
 
-    for (slot_idx, slot) in instr.slots.iter().enumerate() {
-        let slot_u8 = slot_idx as u8;
+    for (slot_idx, slot) in slots.iter().enumerate() {
         let op_addr = instr.addr.wrapping_add((slot_idx as u32) * 4);
-        let mut event = OpEvent {
-            slot: slot_u8,
-            srcs: slot.srcs,
-            nsrcs: slot.nsrcs,
-            dst: slot.dst,
-            delay: slot.delay,
-            mem: None,
-            is_branch: false,
-            serialize: false,
-            is_nop: slot.is_nop,
-            is_muldiv: matches!(
-                slot.behavior.fu_class(),
-                kahrisma_isa::adl::FuClass::MulDiv
-            ),
-            mispredict_penalty: 0,
-        };
-        let mut tr_inputs: Vec<(u8, u32)> = Vec::new();
-        let mut tr_outputs: Vec<(u8, u32)> = Vec::new();
+        // The event template was prebuilt at decode time; only the dynamic
+        // fields (memory address, misprediction penalty) are patched below.
+        let mut event = slot.event;
         let mut tr_imm: Option<u32> = None;
+        if want_trace {
+            pending.tr_inputs.clear();
+            pending.tr_outputs.clear();
+        }
 
-        let want_trace = trace.is_some();
         macro_rules! input {
             ($r:expr) => {{
                 let r = $r;
                 let v = state.reg(r);
                 if want_trace {
-                    tr_inputs.push((r, v));
+                    pending.tr_inputs.push((r, v));
                 }
                 v
             }};
@@ -102,135 +125,119 @@ pub(crate) fn execute_instr(
                 let v = $v;
                 pending.reg_writes.push((r, v));
                 if want_trace {
-                    tr_outputs.push((r, v));
+                    pending.tr_outputs.push((r, v));
+                }
+            }};
+        }
+        macro_rules! take_branch {
+            ($target:expr) => {{
+                if pending.new_ip.is_none() {
+                    pending.new_ip = Some($target);
+                    stats.taken_branches += 1;
                 }
             }};
         }
 
-        match slot.behavior {
-            Behavior::Nop => {
+        match slot.exec {
+            ExecKind::Nop => {
                 stats.nops += 1;
             }
-            Behavior::IntAlu(op) => {
+            ExecKind::Alu => {
                 let a = input!(slot.rs1);
                 let b = input!(slot.rs2);
-                output!(slot.rd, op.eval(a, b));
+                output!(slot.rd, (slot.fun)(a, b));
                 stats.operations += 1;
             }
-            Behavior::IntAluImm(op) => {
+            ExecKind::AluImm => {
                 let a = input!(slot.rs1);
                 tr_imm = Some(slot.imm);
-                output!(slot.rd, op.eval(a, slot.imm));
+                output!(slot.rd, (slot.fun)(a, slot.imm));
                 stats.operations += 1;
             }
-            Behavior::LoadUpperImm => {
+            ExecKind::Lui => {
                 tr_imm = Some(slot.imm);
                 output!(slot.rd, slot.imm << 13);
                 stats.operations += 1;
             }
-            Behavior::Load { width, signed } => {
+            ExecKind::LoadByteSigned
+            | ExecKind::LoadByteUnsigned
+            | ExecKind::LoadHalfSigned
+            | ExecKind::LoadHalfUnsigned
+            | ExecKind::LoadWord => {
                 let base = input!(slot.rs1);
                 let addr = base.wrapping_add(slot.imm);
                 tr_imm = Some(slot.imm);
-                let raw = match width {
-                    MemWidth::Byte => u32::from(state.mem.read_byte(addr)),
-                    MemWidth::Half => u32::from(state.mem.read_half(addr)),
-                    MemWidth::Word => state.mem.read_word(addr),
-                };
-                let value = if signed {
-                    match width {
-                        MemWidth::Byte => (raw as u8 as i8) as i32 as u32,
-                        MemWidth::Half => (raw as u16 as i16) as i32 as u32,
-                        MemWidth::Word => raw,
-                    }
-                } else {
-                    raw
-                };
-                output!(slot.rd, value);
+                output!(slot.rd, do_load(state, slot.exec, addr));
                 event.mem = Some((addr, AccessKind::Read));
                 stats.operations += 1;
                 stats.mem_reads += 1;
             }
-            Behavior::Store { width } => {
+            ExecKind::StoreByte | ExecKind::StoreHalf | ExecKind::StoreWord => {
                 let base = input!(slot.rs1);
                 let value = input!(slot.rs2);
                 let addr = base.wrapping_add(slot.imm);
                 tr_imm = Some(slot.imm);
+                let width = match slot.exec {
+                    ExecKind::StoreByte => MemWidth::Byte,
+                    ExecKind::StoreHalf => MemWidth::Half,
+                    _ => MemWidth::Word,
+                };
                 pending.stores.push((addr, value, width));
                 event.mem = Some((addr, AccessKind::Write));
                 stats.operations += 1;
                 stats.mem_writes += 1;
             }
-            Behavior::Branch(cond) => {
+            ExecKind::Branch => {
                 let a = input!(slot.rs1);
                 let b = input!(slot.rs2);
                 tr_imm = Some(slot.imm);
-                event.is_branch = true;
-                let taken = cond.eval(a, b);
+                let taken = (slot.fun)(a, b) != 0;
                 if let Some(p) = predictor.as_mut() {
                     let backward = (slot.imm as i32) < 0;
                     if p.observe(op_addr, taken, backward, true) {
                         event.mispredict_penalty = p.penalty();
                     }
                 }
-                if taken && pending.new_ip.is_none() {
-                    pending.new_ip = Some(op_addr.wrapping_add(slot.imm.wrapping_mul(4)));
-                    stats.taken_branches += 1;
+                if taken {
+                    take_branch!(slot.target);
                 }
                 stats.operations += 1;
             }
-            Behavior::Jump => {
+            ExecKind::Jump => {
                 tr_imm = Some(slot.imm);
-                event.is_branch = true;
-                if pending.new_ip.is_none() {
-                    pending.new_ip = Some(slot.imm.wrapping_mul(4));
-                    stats.taken_branches += 1;
-                }
+                take_branch!(slot.target);
                 stats.operations += 1;
             }
-            Behavior::JumpAndLink => {
+            ExecKind::JumpAndLink => {
                 tr_imm = Some(slot.imm);
-                event.is_branch = true;
                 output!(abi::RA, next_seq_ip);
-                if pending.new_ip.is_none() {
-                    pending.new_ip = Some(slot.imm.wrapping_mul(4));
-                    stats.taken_branches += 1;
-                }
+                take_branch!(slot.target);
                 stats.operations += 1;
             }
-            Behavior::JumpReg => {
+            ExecKind::JumpReg => {
                 let target = input!(slot.rs1);
-                event.is_branch = true;
                 if let Some(p) = predictor.as_mut() {
                     // Indirect target: only a perfect predictor hits.
                     if p.observe(op_addr, true, false, false) {
                         event.mispredict_penalty = p.penalty();
                     }
                 }
-                if pending.new_ip.is_none() {
-                    pending.new_ip = Some(target);
-                    stats.taken_branches += 1;
-                }
+                take_branch!(target);
                 stats.operations += 1;
             }
-            Behavior::JumpAndLinkReg => {
+            ExecKind::JumpAndLinkReg => {
                 let target = input!(slot.rs1);
-                event.is_branch = true;
                 output!(slot.rd, next_seq_ip);
                 if let Some(p) = predictor.as_mut() {
                     if p.observe(op_addr, true, false, false) {
                         event.mispredict_penalty = p.penalty();
                     }
                 }
-                if pending.new_ip.is_none() {
-                    pending.new_ip = Some(target);
-                    stats.taken_branches += 1;
-                }
+                take_branch!(target);
                 stats.operations += 1;
             }
-            Behavior::SwitchTarget => {
+            ExecKind::SwitchTarget => {
                 tr_imm = Some(slot.imm);
-                event.serialize = true;
                 if slot.imm > 255 {
                     return Err(SimError::UnknownIsa { isa: u8::MAX, addr: op_addr });
                 }
@@ -238,25 +245,18 @@ pub(crate) fn execute_instr(
                 stats.operations += 1;
                 stats.isa_switches += 1;
             }
-            Behavior::SimOp => {
+            ExecKind::SimOp => {
                 tr_imm = Some(slot.imm);
-                event.serialize = true;
                 pending.simop = Some((slot.imm, op_addr));
                 stats.operations += 1;
                 stats.simops += 1;
             }
-            Behavior::Halt => {
-                event.serialize = true;
+            ExecKind::Halt => {
                 pending.halt = true;
                 stats.operations += 1;
             }
-            _ => {
-                return Err(SimError::IllegalInstruction {
-                    addr: op_addr,
-                    word: 0,
-                    isa: instr.isa.value(),
-                    context: Some("unsupported behavior".into()),
-                });
+            ExecKind::Unsupported => {
+                return Err(unsupported(instr, op_addr));
             }
         }
 
@@ -265,17 +265,25 @@ pub(crate) fn execute_instr(
             t.record(TraceRecord {
                 cycle: state.retired_instructions,
                 addr: op_addr,
-                slot: slot_u8,
+                slot: slot_idx as u8,
                 opcode: slot.name,
-                inputs: tr_inputs,
-                outputs: tr_outputs,
+                inputs: pending.tr_inputs.clone(),
+                outputs: pending.tr_outputs.clone(),
                 imm: tr_imm,
             });
         }
     }
 
-    // Commit phase: register writes first (parallel read-before-write
-    // semantics), then memory, then control and mode changes.
+    commit(state, pending, next_seq_ip)?;
+    state.retired_instructions += 1;
+    stats.instructions += 1;
+    Ok(())
+}
+
+/// Commit phase: register writes first (parallel read-before-write
+/// semantics), then memory, then control and mode changes.
+#[inline]
+fn commit(state: &mut CpuState, pending: &mut Pending, next_seq_ip: u32) -> Result<(), SimError> {
     for (r, v) in pending.reg_writes.drain(..) {
         state.write_reg(r, v);
     }
@@ -294,6 +302,140 @@ pub(crate) fn execute_instr(
         do_simop(state, code, addr)?;
     }
     if pending.halt {
+        state.halted = true;
+        state.exit_code = state.reg(abi::RV);
+    }
+    Ok(())
+}
+
+/// Executes one single-issue decoded instruction with direct commit: no
+/// cycle-model events, no tracing, no branch-predictor modelling, no
+/// pending buffers. Only valid for `width == 1` instructions (one slot
+/// cannot race itself, so read-before-write holds trivially); the caller
+/// routes wider bundles through [`execute_instr`].
+///
+/// Observable effects (architectural state, stats, commit ordering, error
+/// behavior) are identical to [`execute_instr`] without observers attached.
+pub(crate) fn execute_instr_fast(
+    state: &mut CpuState,
+    instr: &DecodedInstr,
+    slots: &[DecodedSlot],
+    stats: &mut SimStats,
+) -> Result<(), SimError> {
+    debug_assert_eq!(instr.width, 1);
+    let slot = &slots[0];
+    let next_seq_ip = instr.addr.wrapping_add(4);
+    let mut new_ip = next_seq_ip;
+    let mut simop = false;
+    let mut halt = false;
+
+    match slot.exec {
+        ExecKind::Nop => {
+            stats.nops += 1;
+        }
+        ExecKind::Alu => {
+            let v = (slot.fun)(state.reg(slot.rs1), state.reg(slot.rs2));
+            state.write_reg(slot.rd, v);
+            stats.operations += 1;
+        }
+        ExecKind::AluImm => {
+            let v = (slot.fun)(state.reg(slot.rs1), slot.imm);
+            state.write_reg(slot.rd, v);
+            stats.operations += 1;
+        }
+        ExecKind::Lui => {
+            state.write_reg(slot.rd, slot.imm << 13);
+            stats.operations += 1;
+        }
+        ExecKind::LoadByteSigned
+        | ExecKind::LoadByteUnsigned
+        | ExecKind::LoadHalfSigned
+        | ExecKind::LoadHalfUnsigned
+        | ExecKind::LoadWord => {
+            let addr = state.reg(slot.rs1).wrapping_add(slot.imm);
+            let v = do_load(state, slot.exec, addr);
+            state.write_reg(slot.rd, v);
+            stats.operations += 1;
+            stats.mem_reads += 1;
+        }
+        ExecKind::StoreByte => {
+            let addr = state.reg(slot.rs1).wrapping_add(slot.imm);
+            state.mem.write_byte(addr, state.reg(slot.rs2) as u8);
+            stats.operations += 1;
+            stats.mem_writes += 1;
+        }
+        ExecKind::StoreHalf => {
+            let addr = state.reg(slot.rs1).wrapping_add(slot.imm);
+            state.mem.write_half(addr, state.reg(slot.rs2) as u16);
+            stats.operations += 1;
+            stats.mem_writes += 1;
+        }
+        ExecKind::StoreWord => {
+            let addr = state.reg(slot.rs1).wrapping_add(slot.imm);
+            state.mem.write_word(addr, state.reg(slot.rs2));
+            stats.operations += 1;
+            stats.mem_writes += 1;
+        }
+        ExecKind::Branch => {
+            if (slot.fun)(state.reg(slot.rs1), state.reg(slot.rs2)) != 0 {
+                new_ip = slot.target;
+                stats.taken_branches += 1;
+            }
+            stats.operations += 1;
+        }
+        ExecKind::Jump => {
+            new_ip = slot.target;
+            stats.taken_branches += 1;
+            stats.operations += 1;
+        }
+        ExecKind::JumpAndLink => {
+            state.write_reg(abi::RA, next_seq_ip);
+            new_ip = slot.target;
+            stats.taken_branches += 1;
+            stats.operations += 1;
+        }
+        ExecKind::JumpReg => {
+            new_ip = state.reg(slot.rs1);
+            stats.taken_branches += 1;
+            stats.operations += 1;
+        }
+        ExecKind::JumpAndLinkReg => {
+            new_ip = state.reg(slot.rs1);
+            state.write_reg(slot.rd, next_seq_ip);
+            stats.taken_branches += 1;
+            stats.operations += 1;
+        }
+        ExecKind::SwitchTarget => {
+            if slot.imm > 255 {
+                return Err(SimError::UnknownIsa { isa: u8::MAX, addr: instr.addr });
+            }
+            stats.operations += 1;
+            stats.isa_switches += 1;
+            state.ip = next_seq_ip;
+            state.active_isa = IsaId::new(slot.imm as u8);
+            state.retired_instructions += 1;
+            stats.instructions += 1;
+            return Ok(());
+        }
+        ExecKind::SimOp => {
+            stats.operations += 1;
+            stats.simops += 1;
+            simop = true;
+        }
+        ExecKind::Halt => {
+            stats.operations += 1;
+            halt = true;
+        }
+        ExecKind::Unsupported => {
+            return Err(unsupported(instr, instr.addr));
+        }
+    }
+
+    state.ip = new_ip;
+    if simop {
+        do_simop(state, slot.imm, instr.addr)?;
+    }
+    if halt {
         state.halted = true;
         state.exit_code = state.reg(abi::RV);
     }

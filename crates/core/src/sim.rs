@@ -10,9 +10,9 @@ use crate::cycles::{
     BranchPredictor, BranchPredictorConfig, CycleModel, CycleModelKind, CycleStats, InstrEvent,
     MemoryHierarchy, OpEvent, PredictorKind,
 };
-use crate::decode::{DecodeCache, DecodedInstr, NO_IDX, detect_and_decode};
+use crate::decode::{DecodeCache, DecodedSlot, MAX_RUN_LEN, NO_IDX, detect_and_decode_into};
 use crate::error::SimError;
-use crate::exec::{Pending, execute_instr};
+use crate::exec::{Pending, execute_instr, execute_instr_fast};
 use crate::profile::{FunctionProfile, Profiler};
 use crate::state::CpuState;
 use crate::stats::SimStats;
@@ -33,6 +33,12 @@ pub struct SimConfig {
     /// Predict the next decode structure from the previous instruction
     /// (§V-A); requires the decode cache.
     pub prediction: bool,
+    /// Batch straight-line runs of cached instructions into superblocks and
+    /// execute them back-to-back, skipping the per-instruction cache lookup
+    /// and prediction check; requires the decode cache. Off, the per-entry
+    /// cache path of the paper's Table I ablation is used (the
+    /// `--baseline-cache` configuration of the bench binaries).
+    pub superblocks: bool,
     /// Optional cycle-approximation model (§VI).
     pub cycle_model: Option<CycleModelKind>,
     /// Memory hierarchy used by the AIE/DOE models (§VI-D); defaults to the
@@ -58,6 +64,7 @@ impl Default for SimConfig {
         SimConfig {
             decode_cache: true,
             prediction: true,
+            superblocks: true,
             cycle_model: None,
             memory: MemoryHierarchy::paper_default(),
             ip_history: 64,
@@ -108,6 +115,8 @@ pub struct Simulator {
     prev_idx: u32,
     events: Vec<OpEvent>,
     pending: Pending,
+    /// Slot arena for the uncached decode path (cleared per step).
+    scratch: Vec<DecodedSlot>,
     predictor: Option<BranchPredictor>,
     profiler: Option<Profiler>,
 }
@@ -173,6 +182,7 @@ impl Simulator {
             prev_idx: NO_IDX,
             events: Vec::with_capacity(8),
             pending: Pending::default(),
+            scratch: Vec::with_capacity(8),
             predictor,
             profiler,
         })
@@ -267,7 +277,9 @@ impl Simulator {
         }
     }
 
-    /// Executes one instruction.
+    /// Executes one instruction through the per-entry cache path (the
+    /// paper's §V-A structure; the superblock batching of [`Simulator::run`]
+    /// is bypassed for single stepping).
     ///
     /// # Errors
     ///
@@ -277,85 +289,135 @@ impl Simulator {
     pub fn step(&mut self) -> Result<(), SimError> {
         let ip = self.state.ip;
         let isa = self.state.active_isa;
-
-        if self.config.ip_history > 0 {
-            if self.ip_history.len() == self.config.ip_history {
-                self.ip_history.pop_front();
-            }
-            self.ip_history.push_back(ip);
-        }
+        self.push_ip_history(ip);
 
         if self.config.decode_cache {
-            // Prediction first (paper §V-A): compare the current IP against
-            // the predicted IP of the previous instruction.
-            let mut idx = if self.config.prediction && self.prev_idx != NO_IDX {
-                self.cache.predict(self.prev_idx, ip)
-            } else {
-                None
-            };
-            if let Some(i) = idx {
-                // Predictions are only stored for the same ISA transition
-                // (`switchtarget` resets the anchor), so no ISA check is
-                // needed here.
-                self.stats.prediction_hits += 1;
-                debug_assert_eq!(self.cache.get(i).isa, isa);
-            } else {
-                self.stats.cache_lookups += 1;
-                idx = self.cache.lookup(ip, isa);
-                if idx.is_none() {
-                    self.stats.detect_decodes += 1;
-                    let decoded = self.decode_at(ip, isa)?;
-                    idx = Some(self.cache.insert(decoded));
-                }
-                if self.config.prediction && self.prev_idx != NO_IDX {
-                    self.cache
-                        .set_prediction(self.prev_idx, ip, idx.expect("just resolved"));
-                }
-            }
-            let idx = idx.expect("resolved above");
-            // Disjoint field borrows keep the hot loop free of clones: the
-            // decode structure stays in the cache arena while execution
-            // mutates state/stats/events.
+            let idx = self.resolve(ip, isa)?;
             let before_isa = self.state.active_isa;
-            let instr = self.cache.get(idx);
-            let ops_before = self.stats.operations;
-            let cycles_before = self.model.as_ref().map_or(0, |m| m.cycles());
-            execute_instr(
-                &mut self.state,
-                instr,
-                &mut self.events,
-                &mut self.pending,
-                &mut self.predictor,
-                &mut self.trace,
-                &mut self.stats,
-            )?;
-            if let Some(model) = &mut self.model {
-                model.instruction(&InstrEvent { addr: instr.addr, ops: &self.events });
-            }
-            if let Some(p) = &mut self.profiler {
-                let cycles_after = self.model.as_ref().map_or(0, |m| m.cycles());
-                p.record(
-                    instr.addr,
-                    self.stats.operations - ops_before,
-                    cycles_after.saturating_sub(cycles_before),
-                );
-            }
+            self.exec_cached(idx)?;
             // A switchtarget invalidates the prediction anchor: the next
             // instruction is decoded under a different table (§V-D).
             self.prev_idx = if self.state.active_isa != before_isa { NO_IDX } else { idx };
             Ok(())
         } else {
             // No decode cache: detect and decode every instruction
-            // (the paper's 0.177 MIPS baseline).
+            // (the paper's 0.177 MIPS baseline). The scratch arena is
+            // reused across steps so even this path allocates nothing
+            // steady-state.
             self.stats.detect_decodes += 1;
-            let instr = self.decode_at(ip, isa)?;
-            self.exec(&instr)?;
+            self.scratch.clear();
+            let instr = detect_and_decode_into(
+                &self.tables,
+                &self.state.mem,
+                ip,
+                isa,
+                &mut self.scratch,
+            );
+            let instr = match instr {
+                Ok(i) => i,
+                Err(e) => return Err(self.enrich_decode_error(e)),
+            };
+            let ops_before = self.stats.operations;
+            let cycles_before = self.model.as_ref().map_or(0, |m| m.cycles());
+            execute_instr(
+                &mut self.state,
+                &instr,
+                &self.scratch,
+                &mut self.events,
+                &mut self.pending,
+                &mut self.predictor,
+                &mut self.trace,
+                &mut self.stats,
+            )?;
+            self.feed_observers(instr.addr, ops_before, cycles_before);
             Ok(())
         }
     }
 
-    fn decode_at(&self, ip: u32, isa: IsaId) -> Result<DecodedInstr, SimError> {
-        detect_and_decode(&self.tables, &self.state.mem, ip, isa).map_err(|e| match e {
+    /// Resolves `(ip, isa)` to a decode-cache index: prediction first
+    /// (paper §V-A), then hash lookup, then detect & decode + insert.
+    fn resolve(&mut self, ip: u32, isa: IsaId) -> Result<u32, SimError> {
+        if self.config.prediction && self.prev_idx != NO_IDX {
+            // Compare the current IP against the predicted IP of the
+            // previous instruction. Predictions are only stored for the
+            // same ISA transition (`switchtarget` resets the anchor), so
+            // no ISA check is needed.
+            if let Some(i) = self.cache.predict(self.prev_idx, ip) {
+                self.stats.prediction_hits += 1;
+                debug_assert_eq!(self.cache.get(i).isa, isa);
+                return Ok(i);
+            }
+        }
+        self.stats.cache_lookups += 1;
+        let idx = match self.cache.lookup(ip, isa) {
+            Some(i) => {
+                self.stats.cache_hits += 1;
+                i
+            }
+            None => {
+                self.stats.detect_decodes += 1;
+                match self.cache.decode_insert(&self.tables, &self.state.mem, ip, isa) {
+                    Ok(i) => i,
+                    Err(e) => return Err(self.enrich_decode_error(e)),
+                }
+            }
+        };
+        if self.config.prediction && self.prev_idx != NO_IDX {
+            self.cache.set_prediction(self.prev_idx, ip, idx);
+        }
+        Ok(idx)
+    }
+
+    /// Executes cached instruction `idx` through the full-featured path.
+    ///
+    /// Disjoint field borrows keep the hot loop free of clones: the decode
+    /// structure stays in the cache arena while execution mutates
+    /// state/stats/events.
+    fn exec_cached(&mut self, idx: u32) -> Result<(), SimError> {
+        let ops_before = self.stats.operations;
+        let cycles_before = self.model.as_ref().map_or(0, |m| m.cycles());
+        let (instr, slots) = self.cache.instr_and_slots(idx);
+        execute_instr(
+            &mut self.state,
+            instr,
+            slots,
+            &mut self.events,
+            &mut self.pending,
+            &mut self.predictor,
+            &mut self.trace,
+            &mut self.stats,
+        )?;
+        let addr = instr.addr;
+        self.feed_observers(addr, ops_before, cycles_before);
+        Ok(())
+    }
+
+    fn feed_observers(&mut self, addr: u32, ops_before: u64, cycles_before: u64) {
+        if let Some(model) = &mut self.model {
+            model.instruction(&InstrEvent { addr, ops: &self.events });
+        }
+        if let Some(p) = &mut self.profiler {
+            let cycles_after = self.model.as_ref().map_or(0, |m| m.cycles());
+            p.record(
+                addr,
+                self.stats.operations - ops_before,
+                cycles_after.saturating_sub(cycles_before),
+            );
+        }
+    }
+
+    #[inline]
+    fn push_ip_history(&mut self, ip: u32) {
+        if self.config.ip_history > 0 {
+            if self.ip_history.len() == self.config.ip_history {
+                self.ip_history.pop_front();
+            }
+            self.ip_history.push_back(ip);
+        }
+    }
+
+    fn enrich_decode_error(&self, e: SimError) -> SimError {
+        match e {
             SimError::IllegalInstruction { addr, word, isa, .. } => SimError::IllegalInstruction {
                 addr,
                 word,
@@ -363,43 +425,116 @@ impl Simulator {
                 context: Some(self.describe_addr(addr)),
             },
             other => other,
-        })
+        }
     }
 
-    fn exec(&mut self, instr: &DecodedInstr) -> Result<bool, SimError> {
-        let before_isa = self.state.active_isa;
-        let ops_before = self.stats.operations;
-        let cycles_before = self.model.as_ref().map_or(0, |m| m.cycles());
-        execute_instr(
-            &mut self.state,
-            instr,
-            &mut self.events,
-            &mut self.pending,
-            &mut self.predictor,
-            &mut self.trace,
-            &mut self.stats,
-        )?;
-        if let Some(model) = &mut self.model {
-            model.instruction(&InstrEvent { addr: instr.addr, ops: &self.events });
+    /// Lazily builds the superblock headed by `head`: the straight-line run
+    /// of successor instructions up to (and including) the next control
+    /// transfer, `switchtarget`, `simop`, or `halt`, capped at
+    /// [`MAX_RUN_LEN`]. Lookahead decode failures end the run early — the
+    /// error (if real) surfaces when execution actually reaches that
+    /// address, exactly as on the per-entry path.
+    fn build_run(&mut self, head: u32) -> u32 {
+        let mut members = Vec::with_capacity(8);
+        members.push(head);
+        let mut idx = head;
+        loop {
+            let instr = self.cache.get(idx);
+            if instr.ends_run || members.len() >= MAX_RUN_LEN {
+                break;
+            }
+            let next_addr = instr.addr.wrapping_add(instr.size());
+            let isa = instr.isa;
+            let next = match self.cache.lookup(next_addr, isa) {
+                Some(i) => i,
+                None => {
+                    match self.cache.decode_insert(&self.tables, &self.state.mem, next_addr, isa)
+                    {
+                        Ok(i) => {
+                            self.stats.detect_decodes += 1;
+                            i
+                        }
+                        Err(_) => break,
+                    }
+                }
+            };
+            members.push(next);
+            idx = next;
         }
-        if let Some(p) = &mut self.profiler {
-            let cycles_after = self.model.as_ref().map_or(0, |m| m.cycles());
-            p.record(
-                instr.addr,
-                self.stats.operations - ops_before,
-                cycles_after.saturating_sub(cycles_before),
-            );
+        self.stats.superblocks_built += 1;
+        self.cache.install_run(head, &members)
+    }
+
+    /// Executes one superblock: resolves the head through the cache (with
+    /// prediction), then runs the whole straight-line batch back-to-back
+    /// without re-entering lookup or prediction per instruction. Stops at
+    /// the budget `limit`, on halt, and propagates errors.
+    fn step_superblock(&mut self, limit: u64) -> Result<(), SimError> {
+        let ip = self.state.ip;
+        let isa = self.state.active_isa;
+        let head = self.resolve(ip, isa)?;
+        let mut sb = self.cache.run_of(head);
+        if sb == NO_IDX {
+            sb = self.build_run(head);
         }
-        Ok(self.state.active_isa != before_isa)
+        self.stats.superblock_batches += 1;
+        // The allocation-free direct path is valid only when nothing
+        // observes intermediate execution.
+        let fast = self.model.is_none()
+            && self.trace.is_none()
+            && self.profiler.is_none()
+            && self.predictor.is_none();
+        let n = self.cache.run_members(sb).len();
+        let mut last = head;
+        for i in 0..n {
+            if i > 0 && self.stats.instructions >= limit {
+                break;
+            }
+            let idx = self.cache.run_members(sb)[i];
+            let addr = self.cache.get(idx).addr;
+            self.push_ip_history(addr);
+            let (instr, slots) = self.cache.instr_and_slots(idx);
+            if fast && instr.width == 1 {
+                execute_instr_fast(&mut self.state, instr, slots, &mut self.stats)?;
+            } else {
+                let ops_before = self.stats.operations;
+                let cycles_before = self.model.as_ref().map_or(0, |m| m.cycles());
+                execute_instr(
+                    &mut self.state,
+                    instr,
+                    slots,
+                    &mut self.events,
+                    &mut self.pending,
+                    &mut self.predictor,
+                    &mut self.trace,
+                    &mut self.stats,
+                )?;
+                let addr = instr.addr;
+                self.feed_observers(addr, ops_before, cycles_before);
+            }
+            last = idx;
+            if self.state.halted {
+                break;
+            }
+        }
+        // A switchtarget (always the last run member) invalidates the
+        // prediction anchor, exactly as on the per-entry path (§V-D).
+        self.prev_idx = if self.state.active_isa != isa { NO_IDX } else { last };
+        Ok(())
     }
 
     /// Runs until the program halts or `max_instructions` have executed.
+    ///
+    /// With the decode cache and [`SimConfig::superblocks`] enabled (the
+    /// default), instructions are dispatched in straight-line batches;
+    /// otherwise the per-entry [`Simulator::step`] path is used.
     ///
     /// # Errors
     ///
     /// Propagates the first simulation error (see [`Simulator::step`]).
     pub fn run(&mut self, max_instructions: u64) -> Result<RunOutcome, SimError> {
         let limit = self.stats.instructions + max_instructions;
+        let superblocks = self.config.decode_cache && self.config.superblocks;
         while !self.state.halted {
             if self.stats.instructions >= limit {
                 if let Some(m) = &mut self.model {
@@ -407,7 +542,11 @@ impl Simulator {
                 }
                 return Ok(RunOutcome::BudgetExhausted);
             }
-            self.step()?;
+            if superblocks {
+                self.step_superblock(limit)?;
+            } else {
+                self.step()?;
+            }
         }
         if let Some(m) = &mut self.model {
             m.finish();
@@ -440,10 +579,13 @@ mod tests {
 
     #[test]
     fn all_cache_configurations_agree() {
+        let no = |sb| SimConfig { superblocks: sb, ..SimConfig::default() };
         let configs = [
-            SimConfig { decode_cache: false, prediction: false, ..SimConfig::default() },
-            SimConfig { decode_cache: true, prediction: false, ..SimConfig::default() },
-            SimConfig { decode_cache: true, prediction: true, ..SimConfig::default() },
+            SimConfig { decode_cache: false, prediction: false, ..no(false) },
+            SimConfig { decode_cache: true, prediction: false, ..no(false) },
+            SimConfig { decode_cache: true, prediction: true, ..no(false) },
+            SimConfig { decode_cache: true, prediction: false, ..no(true) },
+            SimConfig { decode_cache: true, prediction: true, ..no(true) },
         ];
         let src = "
             .isa risc
@@ -830,6 +972,190 @@ mod tests {
         // All cycles are attributed somewhere, summing to the model total.
         let total: u64 = profile.iter().map(|p| p.cycles).sum();
         assert_eq!(total, sim.cycle_stats().unwrap().cycles);
+    }
+
+    #[test]
+    fn superblocks_batch_the_hot_loop() {
+        let src = "
+            .isa risc
+            .text
+            .global main
+            .func main
+            main:
+                li t1, 500
+            loop:
+                addi t2, t2, 3
+                addi t3, t3, 5
+                addi t1, t1, -1
+                bne t1, zero, loop
+                li rv, 7
+                jr ra
+            .endfunc
+        ";
+        let (sim, outcome) = run_with(src, SimConfig::default());
+        assert_eq!(outcome, RunOutcome::Halted { exit_code: 7 });
+        let s = sim.stats();
+        // Each loop iteration is one batched dispatch of a 4-instruction
+        // run, so batches stay well below instructions.
+        assert!(s.superblocks_built > 0);
+        assert!(s.superblock_batches > 0);
+        assert!(
+            s.superblock_batches * 2 < s.instructions,
+            "batches {} vs instructions {}",
+            s.superblock_batches,
+            s.instructions
+        );
+        // Unique runs are bounded by the (tiny) program's block count.
+        assert!(s.superblocks_built < 30, "{}", s.superblocks_built);
+        // §VII-A: the decode cache serves essentially every resolution.
+        assert!(s.cache_hit_ratio() > 0.99, "{}", s.cache_hit_ratio());
+        // The flat arena holds exactly the cached instructions' slots
+        // (RISC: one slot per instruction).
+        assert_eq!(sim.decode_cache().slot_count(), sim.decode_cache().len());
+    }
+
+    #[test]
+    fn superblock_and_baseline_paths_agree() {
+        // Acceptance criterion: identical exit codes, instruction counts,
+        // and cycle-model statistics under the batched hot loop vs. the
+        // per-entry baseline path, for both pure-RISC and mixed-ISA code.
+        let srcs = [
+            "
+            .isa risc
+            .text
+            .global main
+            .func main
+            main:
+                li t0, 0
+                li t1, 37
+            loop:
+                andi t2, t1, 1
+                beq t2, zero, even
+                addi t0, t0, 1
+            even:
+                srli t1, t1, 1
+                bne t1, zero, loop
+                mv rv, t0
+                jr ra
+            .endfunc
+            ",
+            "
+            .isa risc
+            .text
+            .global main
+            .func main
+            main:
+                addi sp, sp, -8
+                sw ra, 0(sp)
+                li a0, 20
+                switchtarget vliw4
+                jal double_v4
+                .isa vliw4
+                { switchtarget risc | nop | nop | nop }
+                .isa risc
+                addi rv, rv, 2
+                lw ra, 0(sp)
+                addi sp, sp, 8
+                jr ra
+            .endfunc
+            .isa vliw4
+            .global double_v4
+            .func double_v4
+            double_v4:
+                { add rv, a0, a0 | nop | nop | nop }
+                { jr ra | nop | nop | nop }
+            .endfunc
+            ",
+        ];
+        for src in srcs {
+            for model in [None, Some(CycleModelKind::Doe), Some(CycleModelKind::Aie)] {
+                let config = |sb: bool| SimConfig {
+                    superblocks: sb,
+                    cycle_model: model,
+                    ..SimConfig::default()
+                };
+                let (new, new_out) = run_with(src, config(true));
+                let (base, base_out) = run_with(src, config(false));
+                assert_eq!(new_out, base_out);
+                assert_eq!(new.stats().instructions, base.stats().instructions);
+                assert_eq!(new.stats().operations, base.stats().operations);
+                assert_eq!(new.stats().taken_branches, base.stats().taken_branches);
+                assert_eq!(new.stats().mem_reads, base.stats().mem_reads);
+                assert_eq!(new.stats().mem_writes, base.stats().mem_writes);
+                assert_eq!(new.stats().nops, base.stats().nops);
+                assert_eq!(new.cycle_stats(), base.cycle_stats(), "{model:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn switchtarget_reexecution_same_address_decodes_fresh() {
+        // A program that `switchtarget`s and re-executes the same address
+        // must decode fresh under the arena/superblock cache: the shared
+        // words execute as two RISC instructions first, then as one VLIW2
+        // bundle, and both decodes (and their superblocks) coexist keyed by
+        // ISA. Hand-assembled because the assembler assigns each address a
+        // single ISA.
+        use kahrisma_elf::Segment;
+        use kahrisma_isa::{abi, isa_id, tables};
+
+        let enc = |name: &str, rd: u8, rs1: u8, rs2: u8, imm: u32| -> u32 {
+            tables()
+                .table(isa_id::RISC)
+                .unwrap()
+                .op_by_name(name)
+                .unwrap()
+                .1
+                .encode(rd, rs1, rs2, imm)
+        };
+        let shared = 0x2000u32;
+        // Shared block: `addi rv, rv, 1; jr ra`. Under RISC that is two
+        // instructions; under VLIW2 the same words form one bundle.
+        let shared_words = [enc("addi", abi::RV, abi::RV, 0, 1), enc("jr", 0, abi::RA, 0, 0)];
+        let text = [
+            enc("jal", 0, 0, 0, shared / 4),            // 0x1000: call shared (RISC)
+            enc("switchtarget", 0, 0, 0, u32::from(isa_id::VLIW2.value())), // 0x1004
+            enc("jal", 0, 0, 0, shared / 4),            // 0x1008: bundle { jal | nop }
+            0,                                           // 0x100C: nop filler
+            enc("halt", 0, 0, 0, 0),                     // 0x1010: bundle { halt | nop }
+            0,                                           // 0x1014: nop filler
+        ];
+        let to_bytes =
+            |words: &[u32]| words.iter().flat_map(|w| w.to_le_bytes()).collect::<Vec<u8>>();
+        let exe = kahrisma_elf::Executable {
+            entry: 0x1000,
+            entry_isa: isa_id::RISC.value(),
+            segments: vec![
+                Segment::new(0x1000, to_bytes(&text), true),
+                Segment::new(shared, to_bytes(&shared_words), true),
+            ],
+            debug: kahrisma_elf::DebugInfo::new(),
+        };
+        for superblocks in [false, true] {
+            let config = SimConfig { superblocks, ..SimConfig::default() };
+            let mut sim = Simulator::new(&exe, config).unwrap();
+            let outcome = sim.run(10_000).unwrap();
+            // The addi ran once per ISA — a stale decode would run the
+            // RISC pair again (or an illegal bundle) after the switch.
+            assert_eq!(outcome, RunOutcome::Halted { exit_code: 2 }, "superblocks={superblocks}");
+            assert_eq!(sim.stats().isa_switches, 1);
+            // Both decodes of the shared address coexist, keyed by ISA.
+            let cache = sim.decode_cache();
+            let risc_idx = cache.lookup(shared, isa_id::RISC).expect("RISC decode cached");
+            let vliw_idx = cache.lookup(shared, isa_id::VLIW2).expect("VLIW2 decode cached");
+            assert_ne!(risc_idx, vliw_idx);
+            assert_eq!(cache.get(risc_idx).width, 1);
+            assert_eq!(cache.get(vliw_idx).width, 2);
+            if superblocks {
+                // The RISC and VLIW2 executions of the shared address run
+                // under distinct superblocks.
+                let risc_sb = cache.run_of(risc_idx);
+                let vliw_sb = cache.run_of(vliw_idx);
+                assert_ne!(risc_sb, crate::decode::NO_IDX);
+                assert_ne!(vliw_sb, crate::decode::NO_IDX);
+                assert_ne!(risc_sb, vliw_sb);
+            }
+        }
     }
 
     #[test]

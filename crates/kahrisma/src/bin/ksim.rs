@@ -14,6 +14,7 @@
 //!   --rtl                                  run the cycle-accurate reference
 //!   --max-instr <n>                        instruction budget (default 1e9)
 //!   --no-cache | --no-prediction           disable §V-A mechanisms
+//!   --baseline-cache                       per-entry cache path (no superblocks)
 //!   --profile                              per-function attribution (§V goal 2)
 //!   --stats                                print detailed statistics
 //! ```
@@ -34,6 +35,7 @@ struct Options {
     max_instr: u64,
     decode_cache: bool,
     prediction: bool,
+    superblocks: bool,
     stats: bool,
     profile: bool,
 }
@@ -42,7 +44,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ksim [--isa NAME] [--model ilp|aie|doe] [--predictor perfect|static|bimodal]\n\
          \x20           [--trace FILE] [--rtl] [--max-instr N] [--no-cache] [--no-prediction]\n\
-         \x20           [--stats] <executable.elf>"
+         \x20           [--baseline-cache] [--stats] <executable.elf>"
     );
     std::process::exit(2);
 }
@@ -68,6 +70,7 @@ fn parse_args() -> Options {
         max_instr: 1_000_000_000,
         decode_cache: true,
         prediction: true,
+        superblocks: true,
         stats: false,
         profile: false,
     };
@@ -112,6 +115,7 @@ fn parse_args() -> Options {
                 options.max_instr = value("--max-instr").parse().unwrap_or_else(|_| usage());
             }
             "--no-cache" => options.decode_cache = false,
+            "--baseline-cache" => options.superblocks = false,
             "--no-prediction" => options.prediction = false,
             "--stats" => options.stats = true,
             "--profile" => options.profile = true,
@@ -169,6 +173,7 @@ fn main() -> ExitCode {
         cycle_model: options.model,
         decode_cache: options.decode_cache,
         prediction: options.prediction,
+        superblocks: options.superblocks,
         branch_prediction: options.predictor,
         profile: options.profile,
         ..SimConfig::default()
