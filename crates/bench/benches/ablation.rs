@@ -10,7 +10,9 @@ use criterion::{Criterion, criterion_group, criterion_main};
 use std::hint::black_box;
 
 use kahrisma_bench::{Workload, build, measure};
-use kahrisma_core::{CacheConfig, CycleModelKind, MemoryHierarchy, SimConfig};
+use kahrisma_core::{
+    CacheConfig, CycleModelKind, MemoryHierarchy, RunOutcome, SimConfig, Simulator,
+};
 use kahrisma_isa::IsaKind;
 use kahrisma_rtl::{RtlConfig, RtlPipeline, simulate};
 
@@ -29,6 +31,31 @@ fn bench_decode_cache(c: &mut Criterion) {
     group.bench_function("arena_and_superblock", |b| {
         b.iter(|| black_box(measure(&exe, SimConfig::default()).seconds))
     });
+    group.finish();
+}
+
+/// The steady-state hot loop: one simulator re-run via `reset()` each
+/// iteration, so the decode cache stays warm and neither construction nor
+/// cold decodes pollute the per-iteration time (contrast with the
+/// `ablation_decode_cache` rows, which deliberately include them).
+fn bench_warm_hot_loop(c: &mut Criterion) {
+    let exe = build(Workload::Dct, IsaKind::Risc);
+    let mut group = c.benchmark_group("ablation_warm_hot_loop");
+    group.sample_size(10);
+    for (name, config) in [
+        ("per_entry", SimConfig { superblocks: false, ..SimConfig::default() }),
+        ("superblock", SimConfig::default()),
+    ] {
+        let mut sim = Simulator::new(&exe, config).expect("load executable");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                sim.reset();
+                let outcome = sim.run(u64::MAX).expect("simulation error");
+                assert!(matches!(outcome, RunOutcome::Halted { .. }));
+                black_box(sim.stats().instructions)
+            })
+        });
+    }
     group.finish();
 }
 
@@ -82,5 +109,11 @@ fn bench_rtl_drift(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decode_cache, bench_memory_hierarchy, bench_rtl_drift);
+criterion_group!(
+    benches,
+    bench_decode_cache,
+    bench_warm_hot_loop,
+    bench_memory_hierarchy,
+    bench_rtl_drift
+);
 criterion_main!(benches);

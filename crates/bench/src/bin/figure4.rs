@@ -10,41 +10,42 @@
 //! the paper's observation that AES's working set exceeds the L1 and keeps
 //! the 8-issue instance below its ILP bound.
 //!
+//! The 36-cell grid is the predefined `figure4` campaign of
+//! `kahrisma-campaign` (`--workers N` to parallelize, `--manifest PATH`
+//! to resume an interrupted sweep).
+//!
 //! Run with `cargo run --release -p kahrisma-bench --bin figure4`.
 
-use kahrisma_bench::{Workload, build, figure4_isas, measure};
-use kahrisma_core::{CycleModelKind, SimConfig};
+use kahrisma_bench::{Workload, campaign_options, run_campaign};
+use kahrisma_campaign::CampaignSpec;
 use kahrisma_isa::IsaKind;
 
 fn main() {
+    let spec = CampaignSpec::figure4();
+    let options = campaign_options("figure4");
+    let report = run_campaign("figure4", &spec, &options);
+
     println!("Figure 4: ILP bound vs achieved operations/cycle (DOE model, paper memory)");
     println!(
         "{:<11}{:>8}{:>8}{:>8}{:>8}{:>8}{:>8}{:>10}",
         "app", "ILP", "risc", "vliw2", "vliw4", "vliw6", "vliw8", "L1 miss"
     );
     for w in Workload::ALL {
+        let cell = |key: String| {
+            report.get(&key).unwrap_or_else(|| panic!("cell {key} missing from report"))
+        };
         // Theoretical bound and work measure from the RISC binary.
-        let risc_exe = build(w, IsaKind::Risc);
-        let ilp_run = measure(&risc_exe, SimConfig::with_model(CycleModelKind::Ilp));
-        assert_eq!(ilp_run.exit_code, w.expected_exit(), "{} self-check", w.name());
-        let ilp = ilp_run.cycles.expect("ilp model").ops_per_cycle();
-        let risc_ops = ilp_run.stats.operations;
+        let ilp_cell = cell(format!("{}/risc/ilp/superblock", w.name()));
+        let ilp = ilp_cell.ops_per_cycle().expect("ilp cycles");
+        let risc_ops = ilp_cell.operations;
 
         let mut opcs = Vec::new();
         let mut l1_miss = 0.0;
-        for (_, isa) in figure4_isas() {
-            let exe = build(w, isa);
-            let m = measure(&exe, SimConfig::with_model(CycleModelKind::Doe));
-            assert_eq!(m.exit_code, w.expected_exit(), "{} self-check on {}", w.name(), isa.name());
-            let stats = m.cycles.expect("doe model");
-            opcs.push(risc_ops as f64 / stats.cycles as f64);
+        for isa in IsaKind::ALL {
+            let doe = cell(format!("{}/{}/doe/superblock", w.name(), isa.name()));
+            opcs.push(risc_ops as f64 / doe.cycles.expect("doe cycles") as f64);
             if isa == IsaKind::Vliw8 {
-                l1_miss = stats
-                    .memory
-                    .iter()
-                    .find_map(|l| l.cache)
-                    .map(|c| c.miss_ratio() * 100.0)
-                    .unwrap_or(0.0);
+                l1_miss = doe.l1_miss_ratio.unwrap_or(0.0) * 100.0;
             }
         }
         println!(

@@ -4,58 +4,37 @@
 //! obtained by solving the resulting system of linear equations (simple
 //! differences once the prediction overhead is neglected).
 //!
-//! Configurations measured on the cjpeg workload compiled for RISC:
+//! The configuration ladder (cjpeg compiled for RISC) is the predefined
+//! `table1` campaign of `kahrisma-campaign`, executed through the campaign
+//! engine — so the measurement grid is parallelizable (`--workers N`) and
+//! resumable (`--manifest PATH`):
 //!
 //! * `nocache` — detect & decode every instruction,
 //! * `cache` — decode cache without prediction,
 //! * `pred` — decode cache + instruction prediction (the baseline),
 //! * `pred+ilp`, `pred+aie`, `pred+doe` — with each cycle model,
 //! * `pred+aie/ideal` — AIE with an ideal memory, isolating the memory
-//!   model's cost.
+//!   model's cost,
+//! * `superblock` — the arena + superblock hot loop.
 //!
 //! Run with `cargo run --release -p kahrisma-bench --bin table1`.
 
-use kahrisma_bench::{Workload, build, ideal_memory, measure_best_of};
-use kahrisma_core::{CycleModelKind, SimConfig};
-use kahrisma_isa::IsaKind;
+use kahrisma_bench::{campaign_options, run_campaign};
+use kahrisma_campaign::CampaignSpec;
 
 fn main() {
-    let exe = build(Workload::Cjpeg, IsaKind::Risc);
-    let repeats = 3;
-
-    // Table I models the paper's per-entry cache path, so superblock
-    // batching is held off for every row; the batched hot loop is reported
-    // separately below the table.
-    let base = SimConfig { superblocks: false, ..SimConfig::default() };
-    let cfg = |f: &dyn Fn(&mut SimConfig)| {
-        let mut c = base.clone();
-        f(&mut c);
-        c
+    let spec = CampaignSpec::table1();
+    let options = campaign_options("table1");
+    println!(
+        "measuring (cjpeg on RISC, best of 3 runs per configuration, campaign engine)..."
+    );
+    let report = run_campaign("table1", &spec, &options);
+    let ns = |key: &str| {
+        report
+            .get(key)
+            .unwrap_or_else(|| panic!("cell {key} missing from report"))
+            .ns_per_instruction
     };
-
-    let no_cache = cfg(&|c| {
-        c.decode_cache = false;
-        c.prediction = false;
-    });
-    let cache_only = cfg(&|c| c.prediction = false);
-    let pred = base.clone();
-    let ilp = cfg(&|c| c.cycle_model = Some(CycleModelKind::Ilp));
-    let aie = cfg(&|c| c.cycle_model = Some(CycleModelKind::Aie));
-    let doe = cfg(&|c| c.cycle_model = Some(CycleModelKind::Doe));
-    let aie_ideal = cfg(&|c| {
-        c.cycle_model = Some(CycleModelKind::Aie);
-        c.memory = ideal_memory();
-    });
-
-    println!("measuring (cjpeg on RISC, best of {repeats} runs per configuration)...");
-    let m_nocache = measure_best_of(&exe, &no_cache, repeats);
-    let m_cache = measure_best_of(&exe, &cache_only, repeats);
-    let m_pred = measure_best_of(&exe, &pred, repeats);
-    let m_ilp = measure_best_of(&exe, &ilp, repeats);
-    let m_aie = measure_best_of(&exe, &aie, repeats);
-    let m_doe = measure_best_of(&exe, &doe, repeats);
-    let m_aie_ideal = measure_best_of(&exe, &aie_ideal, repeats);
-    let m_superblock = measure_best_of(&exe, &SimConfig::default(), repeats);
 
     // Solve the (diagonal, after the paper's simplification) linear system:
     // t_pred       = execute
@@ -63,13 +42,14 @@ fn main() {
     // t_nocache    = execute + detect_decode
     // t_model      = execute + model (+ memory where applicable)
     // t_aie        = t_aie_ideal + memory_model
-    let execute = m_pred.ns_per_instruction();
-    let cache_access = (m_cache.ns_per_instruction() - execute).max(0.0);
-    let detect_decode = (m_nocache.ns_per_instruction() - execute).max(0.0);
-    let ilp_cost = (m_ilp.ns_per_instruction() - execute).max(0.0);
-    let aie_cost = (m_aie.ns_per_instruction() - execute).max(0.0);
-    let doe_cost = (m_doe.ns_per_instruction() - execute).max(0.0);
-    let memory_model = (m_aie.ns_per_instruction() - m_aie_ideal.ns_per_instruction()).max(0.0);
+    let execute = ns("cjpeg/risc/func/pred");
+    let cache_access = (ns("cjpeg/risc/func/cache") - execute).max(0.0);
+    let detect_decode = (ns("cjpeg/risc/func/nocache") - execute).max(0.0);
+    let ilp_cost = (ns("cjpeg/risc/ilp/pred") - execute).max(0.0);
+    let aie_cost = (ns("cjpeg/risc/aie/pred") - execute).max(0.0);
+    let doe_cost = (ns("cjpeg/risc/doe/pred") - execute).max(0.0);
+    let memory_model = (ns("cjpeg/risc/aie/pred") - ns("cjpeg/risc/aie/pred+idealmem")).max(0.0);
+    let superblock = report.get("cjpeg/risc/func/superblock").expect("superblock cell");
 
     println!();
     println!("Table I: simulator performance (average execution time per instruction)");
@@ -84,8 +64,7 @@ fn main() {
     println!();
     println!(
         "beyond Table I: arena + superblock hot loop  {:>8.1} ns/instr  ({:.3} MIPS)",
-        m_superblock.ns_per_instruction(),
-        m_superblock.mips()
+        superblock.ns_per_instruction, superblock.mips
     );
     println!();
     println!(

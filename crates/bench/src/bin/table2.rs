@@ -5,43 +5,40 @@
 //! relative error, plus the approximate-vs-reference speedup the paper
 //! quotes (§VII-C).
 //!
+//! The grid is the predefined `table2` campaign of `kahrisma-campaign`:
+//! the RTL and DOE cells run through the campaign engine (`--workers N`
+//! to parallelize, `--manifest PATH` to resume).
+//!
 //! Run with `cargo run --release -p kahrisma-bench --bin table2`.
 
-use std::time::Instant;
-
-use kahrisma_bench::{Workload, build, measure};
-use kahrisma_core::{CycleModelKind, SimConfig};
-use kahrisma_isa::IsaKind;
-use kahrisma_rtl::{RtlConfig, simulate};
+use kahrisma_bench::{campaign_options, run_campaign};
+use kahrisma_campaign::CampaignSpec;
 
 fn main() {
-    let configs = [
-        ("RISC", IsaKind::Risc),
-        ("VLIW2", IsaKind::Vliw2),
-        ("VLIW4", IsaKind::Vliw4),
-        ("VLIW8", IsaKind::Vliw8),
-    ];
+    let spec = CampaignSpec::table2();
+    let options = campaign_options("table2");
+    let report = run_campaign("table2", &spec, &options);
+
+    let configs = [("RISC", "risc"), ("VLIW2", "vliw2"), ("VLIW4", "vliw4"), ("VLIW8", "vliw8")];
     println!("Table II: simulator accuracy of dynamic operation execution (DCT)");
     println!("{:<14}{:>12}{:>16}{:>9}", "Configuration", "Hardware", "Approximation", "Error");
     let mut rtl_total = 0.0;
     let mut doe_total = 0.0;
     let mut instr_total = 0u64;
     for (name, isa) in configs {
-        let exe = build(Workload::Dct, isa);
-
-        let rtl_start = Instant::now();
-        let rtl = simulate(&exe, &RtlConfig::default(), 100_000_000).expect("rtl run");
-        rtl_total += rtl_start.elapsed().as_secs_f64();
-        assert_eq!(rtl.exit_code, Some(Workload::Dct.expected_exit()), "self-check");
-
-        let doe_start = Instant::now();
-        let doe = measure(&exe, SimConfig::with_model(CycleModelKind::Doe));
-        doe_total += doe_start.elapsed().as_secs_f64();
-        let approx = doe.cycles.expect("model").cycles;
-
+        let cell = |engine: &str| {
+            let key = format!("dct/{isa}/{engine}/superblock");
+            report.get(&key).unwrap_or_else(|| panic!("cell {key} missing from report"))
+        };
+        let rtl = cell("rtl");
+        let doe = cell("doe");
+        let hardware = rtl.cycles.expect("rtl cycles");
+        let approx = doe.cycles.expect("doe cycles");
+        rtl_total += rtl.wall_seconds;
+        doe_total += doe.wall_seconds;
         instr_total += rtl.instructions;
-        let err = (approx as f64 - rtl.cycles as f64).abs() / rtl.cycles as f64 * 100.0;
-        println!("{name:<14}{:>12}{:>16}{:>8.1}%", rtl.cycles, approx, err);
+        let err = (approx as f64 - hardware as f64).abs() / hardware as f64 * 100.0;
+        println!("{name:<14}{hardware:>12}{approx:>16}{err:>8.1}%");
     }
     println!();
     println!(

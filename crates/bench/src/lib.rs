@@ -57,16 +57,22 @@ pub struct Measured {
 }
 
 impl Measured {
+    /// The run's wall-clock throughput.
+    #[must_use]
+    pub fn throughput(&self) -> kahrisma_core::Throughput {
+        self.stats.throughput(self.seconds)
+    }
+
     /// Millions of simulated instructions per wall-clock second.
     #[must_use]
     pub fn mips(&self) -> f64 {
-        self.stats.instructions as f64 / self.seconds / 1e6
+        self.throughput().mips
     }
 
     /// Wall-clock nanoseconds per simulated instruction.
     #[must_use]
     pub fn ns_per_instruction(&self) -> f64 {
-        self.seconds * 1e9 / self.stats.instructions as f64
+        self.throughput().ns_per_instruction
     }
 }
 
@@ -90,11 +96,29 @@ pub fn measure(exe: &Executable, config: SimConfig) -> Measured {
 
 /// Runs `exe` several times and keeps the fastest run (warm caches,
 /// stable timing) — standard practice for the Table I style measurements.
+///
+/// One simulator is reused across repeats via [`Simulator::reset`], so
+/// later repeats run against a warm decode cache — exactly the steady
+/// state these measurements are after.
+///
+/// # Panics
+///
+/// Panics on simulation errors or budget exhaustion, like [`measure`].
 #[must_use]
 pub fn measure_best_of(exe: &Executable, config: &SimConfig, repeats: u32) -> Measured {
+    let mut sim = Simulator::new(exe, config.clone()).expect("load executable");
     let mut best: Option<Measured> = None;
-    for _ in 0..repeats.max(1) {
-        let m = measure(exe, config.clone());
+    for repeat in 0..repeats.max(1) {
+        if repeat > 0 {
+            sim.reset();
+        }
+        let start = Instant::now();
+        let outcome = sim.run(BUDGET).expect("simulation error");
+        let seconds = start.elapsed().as_secs_f64();
+        let RunOutcome::Halted { exit_code } = outcome else {
+            panic!("instruction budget exhausted");
+        };
+        let m = Measured { stats: *sim.stats(), cycles: sim.cycle_stats(), seconds, exit_code };
         if best.as_ref().is_none_or(|b| m.seconds < b.seconds) {
             best = Some(m);
         }
@@ -132,6 +156,64 @@ pub fn figure4_isas() -> [(u8, IsaKind); 5] {
 #[must_use]
 pub fn ideal_memory() -> MemoryHierarchy {
     MemoryHierarchy::new().with_memory(0)
+}
+
+/// Parses the campaign options shared by the table/figure binaries:
+/// `--workers N`, `--manifest PATH` and `--quiet`. Unknown arguments
+/// abort with a usage message — these harnesses take nothing else.
+#[must_use]
+pub fn campaign_options(binary: &str) -> kahrisma_campaign::RunOptions {
+    let mut options = kahrisma_campaign::RunOptions {
+        workers: std::thread::available_parallelism().map_or(1, usize::from),
+        progress: true,
+        ..kahrisma_campaign::RunOptions::default()
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{binary}: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--workers" => {
+                options.workers = value("--workers").parse().unwrap_or_else(|_| {
+                    eprintln!("{binary}: --workers expects a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--manifest" => {
+                options.manifest = Some(std::path::PathBuf::from(value("--manifest")));
+            }
+            "--quiet" => options.progress = false,
+            other => {
+                eprintln!(
+                    "{binary}: unknown argument {other:?} \
+                     (supported: --workers N, --manifest PATH, --quiet)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    options
+}
+
+/// Runs a campaign for a table/figure binary, exiting with a message on
+/// failure. The returned report always contains every cell of the spec.
+#[must_use]
+pub fn run_campaign(
+    binary: &str,
+    spec: &kahrisma_campaign::CampaignSpec,
+    options: &kahrisma_campaign::RunOptions,
+) -> kahrisma_campaign::Report {
+    match kahrisma_campaign::runner::run(spec, options) {
+        Ok(summary) => summary.report,
+        Err(e) => {
+            eprintln!("{binary}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,208 @@
+//! `kbatch` — run a simulation campaign from the command line.
+//!
+//! ```text
+//! kbatch [OPTIONS] [CAMPAIGN]
+//! ```
+//!
+//! The predefined campaigns regenerate the paper's evaluation artifacts
+//! (`table1`, `table2`, `figure4`) or a quick CI grid (`smoke`). With
+//! `--manifest`, progress persists across invocations: an interrupted or
+//! killed campaign resumes where it left off, skipping completed cells.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use kahrisma_campaign::{runner, CampaignError, CampaignSpec, RunOptions};
+
+const USAGE: &str = "\
+kbatch — parallel, resumable KAHRISMA simulation campaigns
+
+USAGE:
+    kbatch [OPTIONS] [CAMPAIGN]
+
+CAMPAIGNS:
+    table1     component costs on cjpeg/RISC (paper Table I ladder)
+    table2     DOE approximation vs cycle-accurate reference (Table II)
+    figure4    ILP bound vs achieved ops/cycle, all workloads (Figure 4)
+    smoke      1 workload x 2 ISAs x 3 cycle models (CI default)
+
+OPTIONS:
+    --workers N       worker threads (default: available parallelism)
+    --manifest PATH   persist progress; resume from PATH when it exists
+    --fresh           ignore an existing manifest and start over
+    --max-cells N     execute at most N cells, then stop (resume later)
+    --slice N         instructions per checkpoint slice
+    --out PATH        write the JSON report to PATH
+    --quiet           no per-cell progress lines
+    --list            list the predefined campaigns and their sizes
+    --help            this text
+
+EXIT STATUS:
+    0  campaign complete        3  stopped by --max-cells (resumable)
+    1  simulation/manifest error  2  usage error
+";
+
+struct Args {
+    campaign: String,
+    options: RunOptions,
+    out: Option<PathBuf>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        campaign: "smoke".into(),
+        options: RunOptions {
+            workers: std::thread::available_parallelism().map_or(1, usize::from),
+            progress: true,
+            ..RunOptions::default()
+        },
+        out: None,
+        list: false,
+    };
+    let mut positional = Vec::new();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                args.options.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects a positive integer".to_string())?;
+                if args.options.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--manifest" => args.options.manifest = Some(PathBuf::from(value("--manifest")?)),
+            "--fresh" => args.options.fresh = true,
+            "--max-cells" => {
+                args.options.stop_after = Some(
+                    value("--max-cells")?
+                        .parse()
+                        .map_err(|_| "--max-cells expects an integer".to_string())?,
+                );
+            }
+            "--slice" => {
+                args.options.slice = value("--slice")?
+                    .parse()
+                    .map_err(|_| "--slice expects a positive integer".to_string())?;
+            }
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--quiet" => args.options.progress = false,
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}"));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    match positional.len() {
+        0 => {}
+        1 => args.campaign = positional.remove(0),
+        _ => return Err("at most one campaign may be named".into()),
+    }
+    Ok(args)
+}
+
+fn list_campaigns() {
+    println!("{:<10} {:>6}  description", "campaign", "cells");
+    for name in CampaignSpec::PREDEFINED {
+        let spec = CampaignSpec::by_name(name).expect("predefined");
+        let what = match name {
+            "table1" => "component costs (cjpeg/RISC ladder)",
+            "table2" => "DOE vs cycle-accurate reference (DCT)",
+            "figure4" => "ILP bound vs achieved ops/cycle",
+            _ => "CI smoke grid",
+        };
+        println!("{name:<10} {:>6}  {what}", spec.cells.len());
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("kbatch: {e}");
+            eprintln!("run `kbatch --help` for usage");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        list_campaigns();
+        return ExitCode::SUCCESS;
+    }
+    let Some(spec) = CampaignSpec::by_name(&args.campaign) else {
+        eprintln!(
+            "kbatch: unknown campaign {:?} (one of: {})",
+            args.campaign,
+            CampaignSpec::PREDEFINED.join(", ")
+        );
+        return ExitCode::from(2);
+    };
+
+    eprintln!(
+        "kbatch: campaign {:?}, {} cells, {} workers",
+        spec.name,
+        spec.cells.len(),
+        args.options.workers.clamp(1, spec.cells.len().max(1)),
+    );
+    let summary = match runner::run(&spec, &args.options) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("kbatch: {e}");
+            if matches!(e, CampaignError::Manifest { .. }) {
+                eprintln!("kbatch: pass --fresh to discard the manifest and start over");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print_table(&summary.report);
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, summary.report.to_json()) {
+            eprintln!("kbatch: {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("kbatch: wrote {}", out.display());
+    }
+
+    if summary.interrupted {
+        eprintln!(
+            "kbatch: stopped by --max-cells after {} cells ({} done of {}); \
+             re-run with the same --manifest to continue",
+            summary.executed,
+            summary.report.cells.len(),
+            spec.cells.len(),
+        );
+        return ExitCode::from(3);
+    }
+    eprintln!(
+        "kbatch: complete — {} executed, {} resumed from manifest",
+        summary.executed, summary.skipped
+    );
+    ExitCode::SUCCESS
+}
+
+fn print_table(report: &kahrisma_campaign::Report) {
+    println!(
+        "{:<42} {:>6} {:>14} {:>14} {:>9} {:>9}",
+        "cell", "exit", "instructions", "cycles", "MIPS", "L1 miss"
+    );
+    for cell in &report.cells {
+        let cycles =
+            cell.cycles.map_or_else(|| "-".into(), |c| c.to_string());
+        let miss = cell
+            .l1_miss_ratio
+            .map_or_else(|| "-".into(), |m| format!("{:.2}%", m * 100.0));
+        println!(
+            "{:<42} {:>6} {:>14} {:>14} {:>9.3} {:>9}",
+            cell.key, cell.exit_code, cell.instructions, cycles, cell.mips, miss
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! Minimal hand-rolled JSON support for campaign reports and manifests.
+//!
+//! The build container has no registry access, so the campaign subsystem
+//! serializes its own flat records instead of pulling in serde. Only the
+//! subset the manifest format needs is implemented: one-level objects whose
+//! values are strings, numbers, booleans or `null`. Numbers keep their raw
+//! token so `u64` counters round-trip without the `f64` precision loss a
+//! generic value type would introduce.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed flat JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw token (`"42"`, `"0.125"`, `"-3e2"`).
+    Num(String),
+    /// A string, unescaped.
+    Str(String),
+}
+
+impl Json {
+    /// The value as an unsigned integer, when it is an integral number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse::<u64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, when it is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse::<f64>().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses one flat JSON object (`{"k": v, ...}`) into a key → value map.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax problem. Nested objects and
+/// arrays are rejected — manifest records are flat by design.
+pub fn parse_object(input: &str) -> Result<BTreeMap<String, Json>, String> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            map.insert(key, value);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes after object at offset {}", p.pos));
+    }
+    Ok(map)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = self
+                            .bytes
+                            .get(self.pos..self.pos + 4)
+                            .ok_or("truncated \\u escape")?;
+                        let s = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let code =
+                            u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape")?;
+                        self.pos += 4;
+                        out.push(char::from_u32(code).ok_or("non-scalar \\u escape")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-decode the UTF-8 sequence starting at the previous
+                    // byte; manifest strings are ASCII in practice.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk =
+                        self.bytes.get(start..start + len).ok_or("truncated UTF-8")?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8")?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'n') => {
+                self.literal("null")?;
+                Ok(Json::Null)
+            }
+            Some(b't') => {
+                self.literal("true")?;
+                Ok(Json::Bool(true))
+            }
+            Some(b'f') => {
+                self.literal("false")?;
+                Ok(Json::Bool(false))
+            }
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                ) {
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("ASCII number token");
+                raw.parse::<f64>().map_err(|_| format!("bad number {raw:?}"))?;
+                Ok(Json::Num(raw.to_string()))
+            }
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_objects() {
+        let m = parse_object(
+            r#"{"key": "dct/risc", "n": 42, "ratio": 0.125, "none": null, "ok": true}"#,
+        )
+        .unwrap();
+        assert_eq!(m["key"].as_str(), Some("dct/risc"));
+        assert_eq!(m["n"].as_u64(), Some(42));
+        assert_eq!(m["ratio"].as_f64(), Some(0.125));
+        assert_eq!(m["none"], Json::Null);
+        assert_eq!(m["ok"], Json::Bool(true));
+    }
+
+    #[test]
+    fn large_u64_round_trips_exactly() {
+        let big = u64::MAX - 1;
+        let m = parse_object(&format!("{{\"n\": {big}}}")).unwrap();
+        assert_eq!(m["n"].as_u64(), Some(big));
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let s = "a\"b\\c\nd\te\u{1}";
+        let m = parse_object(&format!("{{\"s\": \"{}\"}}", escape(s))).unwrap();
+        assert_eq!(m["s"].as_str(), Some(s));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_object("{").is_err());
+        assert!(parse_object(r#"{"a": }"#).is_err());
+        assert!(parse_object(r#"{"a": 1} trailing"#).is_err());
+        assert!(parse_object(r#"{"a": [1]}"#).is_err());
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert!(parse_object("{}").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! Parallel, resumable simulation campaigns for the KAHRISMA simulator.
+//!
+//! The paper's evaluation (§VII) is a grid of simulations: workloads ×
+//! ISAs × cycle models × simulator configurations. This crate turns that
+//! grid into a first-class object — a [`CampaignSpec`] of [`CellSpec`]s —
+//! and executes it with a work-stealing worker pool, crash-safe progress
+//! persistence and deterministic aggregation:
+//!
+//! * **Parallel** — `N` worker threads claim cells from a shared queue;
+//!   each cell's simulation stays single-threaded, so per-cell counters
+//!   are bit-identical regardless of worker count ([`runner::run`]).
+//! * **Resumable** — completed cells are appended to a JSON-lines
+//!   [`manifest::Manifest`] the moment they finish; an interrupted
+//!   campaign resumes from the manifest, skipping recorded cells, and a
+//!   fingerprint check refuses manifests of a different campaign.
+//! * **Checkpointed** — cells run in [`kahrisma_core::Simulator::run_for`]
+//!   slices, pausing at snapshot-capable boundaries between slices.
+//! * **Deterministic reports** — results are sorted by stable cell key;
+//!   two runs of the same campaign agree on every counter field
+//!   ([`Report::deterministic_eq`]), differing only in wall-clock timing.
+//!
+//! The predefined campaigns regenerate the paper's artifacts: `table1`
+//! (component costs), `table2` (DOE vs RTL accuracy), `figure4` (ILP vs
+//! achieved operations/cycle), plus a `smoke` grid for CI. The `kbatch`
+//! binary is the command-line front end.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use kahrisma_campaign::{runner, CampaignSpec, RunOptions};
+//!
+//! let spec = CampaignSpec::smoke();
+//! let options = RunOptions { workers: 2, ..RunOptions::default() };
+//! let summary = runner::run(&spec, &options)?;
+//! println!("{}", summary.report.to_json());
+//! # Ok::<(), kahrisma_campaign::CampaignError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod manifest;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use report::{CellResult, Report};
+pub use runner::{RunOptions, RunSummary, DEFAULT_SLICE};
+pub use spec::{CacheVariant, CampaignSpec, CellSpec, Engine, DEFAULT_BUDGET};
+
+use std::fmt;
+
+/// An error raised while running a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// A filesystem operation failed.
+    Io {
+        /// The file involved.
+        path: String,
+        /// The underlying error.
+        reason: String,
+    },
+    /// A manifest could not be used (missing/malformed header, or its
+    /// fingerprint belongs to a different campaign).
+    Manifest {
+        /// The manifest file.
+        path: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A cell failed to build, simulate, or pass its workload self-check.
+    Cell {
+        /// The cell's key.
+        key: String,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Io { path, reason } => write!(f, "{path}: {reason}"),
+            CampaignError::Manifest { path, reason } => {
+                write!(f, "manifest {path}: {reason}")
+            }
+            CampaignError::Cell { key, reason } => write!(f, "cell {key}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = CampaignError::Cell { key: "dct/risc/doe/superblock".into(), reason: "x".into() };
+        assert!(e.to_string().contains("dct/risc/doe/superblock"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CampaignError>();
+    }
+}

@@ -1,0 +1,223 @@
+//! Crash-safe campaign progress persistence.
+//!
+//! A manifest is a JSON-lines file: a header object identifying the
+//! campaign (name + fingerprint), then one [`CellResult`] object per
+//! completed cell. Workers append a line — with an immediate write
+//! syscall, no userspace buffering — the moment a cell finishes, so a
+//! killed campaign loses at most the cells that were in flight. Resuming
+//! loads the manifest, validates the fingerprint against the spec to be
+//! run, and skips every recorded cell.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::json;
+use crate::report::CellResult;
+use crate::spec::CampaignSpec;
+use crate::CampaignError;
+
+/// Completed cells recovered from a manifest file.
+#[derive(Debug, Default)]
+pub struct ManifestState {
+    /// Completed results, keyed by cell key.
+    pub completed: BTreeMap<String, CellResult>,
+}
+
+/// An open, append-mode manifest.
+#[derive(Debug)]
+pub struct Manifest {
+    path: PathBuf,
+    file: File,
+}
+
+impl Manifest {
+    /// Creates a fresh manifest for `spec`, truncating any existing file,
+    /// and writes the header line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn create(path: &Path, spec: &CampaignSpec) -> Result<Manifest, CampaignError> {
+        let mut file = File::create(path).map_err(|e| io_err(path, &e))?;
+        let mut header = String::new();
+        let _ = writeln!(
+            header,
+            "{{\"campaign\": \"{}\", \"fingerprint\": \"{}\", \"cells\": {}}}",
+            json::escape(&spec.name),
+            json::escape(&spec.fingerprint()),
+            spec.cells.len(),
+        );
+        file.write_all(header.as_bytes()).map_err(|e| io_err(path, &e))?;
+        Ok(Manifest { path: path.to_path_buf(), file })
+    }
+
+    /// Opens an existing manifest for `spec`, validates its header, and
+    /// returns the append handle plus the recovered completed cells.
+    /// Truncated or corrupt trailing lines (a crash mid-append) are
+    /// ignored; every fully-written line is recovered.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file is unreadable, the header is missing or
+    /// malformed, or the fingerprint does not match `spec` (resuming a
+    /// manifest of a different campaign would silently mix results).
+    pub fn resume(
+        path: &Path,
+        spec: &CampaignSpec,
+    ) -> Result<(Manifest, ManifestState), CampaignError> {
+        let reader =
+            BufReader::new(File::open(path).map_err(|e| io_err(path, &e))?);
+        let mut lines = reader.lines();
+        let header_line = match lines.next() {
+            Some(line) => line.map_err(|e| io_err(path, &e))?,
+            None => {
+                return Err(CampaignError::Manifest {
+                    path: path.display().to_string(),
+                    reason: "empty manifest (no header line)".into(),
+                })
+            }
+        };
+        let header = json::parse_object(&header_line).map_err(|reason| {
+            CampaignError::Manifest { path: path.display().to_string(), reason }
+        })?;
+        let campaign = header.get("campaign").and_then(json::Json::as_str).unwrap_or("");
+        let fingerprint =
+            header.get("fingerprint").and_then(json::Json::as_str).unwrap_or("");
+        if campaign != spec.name || fingerprint != spec.fingerprint() {
+            return Err(CampaignError::Manifest {
+                path: path.display().to_string(),
+                reason: format!(
+                    "manifest is for campaign {campaign:?} (fingerprint {fingerprint}), \
+                     not {:?} (fingerprint {}); use a fresh manifest path or --fresh",
+                    spec.name,
+                    spec.fingerprint(),
+                ),
+            });
+        }
+
+        let valid_keys: std::collections::BTreeSet<String> =
+            spec.cells.iter().map(crate::spec::CellSpec::key).collect();
+        let mut state = ManifestState::default();
+        for line in lines {
+            let line = line.map_err(|e| io_err(path, &e))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            // A crash mid-append leaves at most one partial trailing line;
+            // recover everything parseable and drop the rest.
+            let Ok(cell) = CellResult::from_json(&line) else { continue };
+            if valid_keys.contains(&cell.key) {
+                state.completed.insert(cell.key.clone(), cell);
+            }
+        }
+
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(path, &e))?;
+        Ok((Manifest { path: path.to_path_buf(), file }, state))
+    }
+
+    /// Appends one completed cell, immediately handing the line to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn record(&mut self, cell: &CellResult) -> Result<(), CampaignError> {
+        let mut line = cell.to_json();
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| io_err(&self.path, &e))
+    }
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> CampaignError {
+    CampaignError::Io { path: path.display().to_string(), reason: e.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(key: &str) -> CellResult {
+        CellResult {
+            key: key.into(),
+            exit_code: 42,
+            instructions: 10,
+            operations: 9,
+            cycles: None,
+            l1_miss_ratio: None,
+            wall_seconds: 0.1,
+            mips: 0.0001,
+            ns_per_instruction: 1e7,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("kahrisma-campaign-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn create_record_resume_round_trip() {
+        let path = tmp("roundtrip.jsonl");
+        let spec = CampaignSpec::smoke();
+        let key = spec.cells[0].key();
+        {
+            let mut m = Manifest::create(&path, &spec).unwrap();
+            m.record(&sample(&key)).unwrap();
+        }
+        let (_m, state) = Manifest::resume(&path, &spec).unwrap();
+        assert_eq!(state.completed.len(), 1);
+        assert!(state.completed.contains_key(&key));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_foreign_fingerprint() {
+        let path = tmp("foreign.jsonl");
+        let smoke = CampaignSpec::smoke();
+        Manifest::create(&path, &smoke).unwrap();
+        let err = Manifest::resume(&path, &CampaignSpec::table1()).unwrap_err();
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_survives_truncated_trailing_line() {
+        let path = tmp("truncated.jsonl");
+        let spec = CampaignSpec::smoke();
+        let key = spec.cells[0].key();
+        {
+            let mut m = Manifest::create(&path, &spec).unwrap();
+            m.record(&sample(&key)).unwrap();
+        }
+        // Simulate a crash mid-append: a partial JSON line at the end.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"key\": \"dct/vliw4/aie/superblock\", \"exit").unwrap();
+        }
+        let (_m, state) = Manifest::resume(&path, &spec).unwrap();
+        assert_eq!(state.completed.len(), 1);
+        assert!(state.completed.contains_key(&key));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_ignores_keys_outside_the_campaign() {
+        let path = tmp("foreignkeys.jsonl");
+        let spec = CampaignSpec::smoke();
+        {
+            let mut m = Manifest::create(&path, &spec).unwrap();
+            m.record(&sample("not/a/real/cell")).unwrap();
+        }
+        let (_m, state) = Manifest::resume(&path, &spec).unwrap();
+        assert!(state.completed.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

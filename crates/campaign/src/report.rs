@@ -1,0 +1,265 @@
+//! Campaign results and their deterministic aggregation.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{self, Json};
+
+/// The result of one campaign cell.
+///
+/// Counter fields (`exit_code`, `instructions`, `operations`, `cycles`,
+/// `l1_miss_ratio`) are deterministic — identical across runs, worker
+/// counts and resume boundaries. Timing fields (`wall_seconds`, `mips`,
+/// `ns_per_instruction`) are host measurements and excluded from
+/// [`CellResult::deterministic_eq`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The cell's key ([`crate::CellSpec::key`]).
+    pub key: String,
+    /// Program exit code (every workload is self-checking).
+    pub exit_code: u32,
+    /// Executed instructions (bundles).
+    pub instructions: u64,
+    /// Executed non-`nop` operations (from the cycle model when one ran,
+    /// the functional counter otherwise).
+    pub operations: u64,
+    /// Approximated (or, for the RTL engine, exact) cycles.
+    pub cycles: Option<u64>,
+    /// L1 miss ratio, when the cell's memory hierarchy has a cache level.
+    pub l1_miss_ratio: Option<f64>,
+    /// Wall-clock seconds of the fastest repeat.
+    pub wall_seconds: f64,
+    /// Millions of simulated instructions per wall-clock second.
+    pub mips: f64,
+    /// Wall-clock nanoseconds per simulated instruction.
+    pub ns_per_instruction: f64,
+}
+
+impl CellResult {
+    /// Compares the deterministic fields only (timing fields are
+    /// host-dependent and excluded).
+    #[must_use]
+    pub fn deterministic_eq(&self, other: &CellResult) -> bool {
+        self.key == other.key
+            && self.exit_code == other.exit_code
+            && self.instructions == other.instructions
+            && self.operations == other.operations
+            && self.cycles == other.cycles
+            && self.l1_miss_ratio == other.l1_miss_ratio
+    }
+
+    /// Operations per cycle, when a cycle count exists.
+    #[must_use]
+    pub fn ops_per_cycle(&self) -> Option<f64> {
+        match self.cycles {
+            Some(c) if c > 0 => Some(self.operations as f64 / c as f64),
+            _ => None,
+        }
+    }
+
+    /// Serializes the result as one flat JSON object (one manifest line).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(192);
+        let _ = write!(
+            s,
+            "{{\"key\": \"{}\", \"exit_code\": {}, \"instructions\": {}, \
+             \"operations\": {}, \"cycles\": ",
+            json::escape(&self.key),
+            self.exit_code,
+            self.instructions,
+            self.operations,
+        );
+        match self.cycles {
+            Some(c) => {
+                let _ = write!(s, "{c}");
+            }
+            None => s.push_str("null"),
+        }
+        s.push_str(", \"l1_miss_ratio\": ");
+        match self.l1_miss_ratio {
+            // `{}` prints the shortest representation that round-trips the
+            // exact f64, so the deterministic comparison survives a
+            // manifest write/read cycle.
+            Some(r) => {
+                let _ = write!(s, "{r}");
+            }
+            None => s.push_str("null"),
+        }
+        let _ = write!(
+            s,
+            ", \"wall_seconds\": {}, \"mips\": {}, \"ns_per_instruction\": {}}}",
+            self.wall_seconds, self.mips, self.ns_per_instruction,
+        );
+        s
+    }
+
+    /// Parses a result from a flat JSON object line.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or ill-typed field.
+    pub fn from_json(line: &str) -> Result<CellResult, String> {
+        let map = json::parse_object(line)?;
+        let str_field = |name: &str| -> Result<String, String> {
+            map.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {name:?}"))
+        };
+        let u64_field = |name: &str| -> Result<u64, String> {
+            map.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing integer field {name:?}"))
+        };
+        let f64_field = |name: &str| -> Result<f64, String> {
+            map.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing number field {name:?}"))
+        };
+        let opt = |name: &str| map.get(name).filter(|v| **v != Json::Null);
+        Ok(CellResult {
+            key: str_field("key")?,
+            exit_code: u32::try_from(u64_field("exit_code")?)
+                .map_err(|_| "exit_code out of range".to_string())?,
+            instructions: u64_field("instructions")?,
+            operations: u64_field("operations")?,
+            cycles: match opt("cycles") {
+                Some(v) => Some(v.as_u64().ok_or("cycles must be an integer")?),
+                None => None,
+            },
+            l1_miss_ratio: match opt("l1_miss_ratio") {
+                Some(v) => Some(v.as_f64().ok_or("l1_miss_ratio must be a number")?),
+                None => None,
+            },
+            wall_seconds: f64_field("wall_seconds")?,
+            mips: f64_field("mips")?,
+            ns_per_instruction: f64_field("ns_per_instruction")?,
+        })
+    }
+}
+
+/// The aggregated, deterministically-ordered results of a campaign.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Campaign name.
+    pub campaign: String,
+    /// Campaign fingerprint ([`crate::CampaignSpec::fingerprint`]).
+    pub fingerprint: String,
+    /// Cell results, sorted by key.
+    pub cells: Vec<CellResult>,
+}
+
+impl Report {
+    /// Builds a report from unordered results; cells are sorted by key so
+    /// the report is independent of worker scheduling.
+    #[must_use]
+    pub fn new(campaign: &str, fingerprint: &str, mut cells: Vec<CellResult>) -> Report {
+        cells.sort_by(|a, b| a.key.cmp(&b.key));
+        Report { campaign: campaign.to_string(), fingerprint: fingerprint.to_string(), cells }
+    }
+
+    /// Looks a cell up by key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&CellResult> {
+        self.cells.iter().find(|c| c.key == key)
+    }
+
+    /// The cells as a key → result map.
+    #[must_use]
+    pub fn by_key(&self) -> BTreeMap<&str, &CellResult> {
+        self.cells.iter().map(|c| (c.key.as_str(), c)).collect()
+    }
+
+    /// Renders the full report as a JSON document (stable field order,
+    /// cells sorted by key).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + 192 * self.cells.len());
+        let _ = write!(
+            s,
+            "{{\n  \"campaign\": \"{}\",\n  \"fingerprint\": \"{}\",\n  \"cells\": [\n",
+            json::escape(&self.campaign),
+            json::escape(&self.fingerprint),
+        );
+        for (i, cell) in self.cells.iter().enumerate() {
+            s.push_str("    ");
+            s.push_str(&cell.to_json());
+            s.push_str(if i + 1 < self.cells.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Compares two reports on deterministic fields only.
+    #[must_use]
+    pub fn deterministic_eq(&self, other: &Report) -> bool {
+        self.campaign == other.campaign
+            && self.cells.len() == other.cells.len()
+            && self
+                .cells
+                .iter()
+                .zip(&other.cells)
+                .all(|(a, b)| a.deterministic_eq(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(key: &str) -> CellResult {
+        CellResult {
+            key: key.into(),
+            exit_code: 42,
+            instructions: 1_000,
+            operations: 900,
+            cycles: Some(1_234),
+            l1_miss_ratio: Some(0.015625),
+            wall_seconds: 0.25,
+            mips: 0.004,
+            ns_per_instruction: 250_000.0,
+        }
+    }
+
+    #[test]
+    fn cell_json_round_trips() {
+        let c = sample("dct/risc/doe/superblock");
+        let parsed = CellResult::from_json(&c.to_json()).unwrap();
+        assert!(c.deterministic_eq(&parsed));
+        assert_eq!(parsed.wall_seconds, 0.25);
+    }
+
+    #[test]
+    fn null_optionals_round_trip() {
+        let mut c = sample("dct/risc/func/superblock");
+        c.cycles = None;
+        c.l1_miss_ratio = None;
+        let parsed = CellResult::from_json(&c.to_json()).unwrap();
+        assert_eq!(parsed.cycles, None);
+        assert_eq!(parsed.l1_miss_ratio, None);
+    }
+
+    #[test]
+    fn report_sorts_by_key() {
+        let r = Report::new("t", "f", vec![sample("b"), sample("a"), sample("c")]);
+        let keys: Vec<&str> = r.cells.iter().map(|c| c.key.as_str()).collect();
+        assert_eq!(keys, ["a", "b", "c"]);
+        assert!(r.get("b").is_some());
+        assert!(r.get("z").is_none());
+    }
+
+    #[test]
+    fn deterministic_eq_ignores_timing() {
+        let a = Report::new("t", "f", vec![sample("a")]);
+        let mut cells = vec![sample("a")];
+        cells[0].wall_seconds = 99.0;
+        cells[0].mips = 0.0001;
+        let b = Report::new("t", "f", cells);
+        assert!(a.deterministic_eq(&b));
+        let mut cells = vec![sample("a")];
+        cells[0].instructions += 1;
+        let c = Report::new("t", "f", cells);
+        assert!(!a.deterministic_eq(&c));
+    }
+}

@@ -1,0 +1,194 @@
+//! Campaign interruption and resume: a campaign stopped after N cells and
+//! re-invoked with the same manifest must skip the completed cells and
+//! produce a final report whose deterministic fields equal a from-scratch
+//! run — regardless of worker count.
+
+use std::path::PathBuf;
+
+use kahrisma_campaign::{runner, CampaignError, CampaignSpec, CellSpec, Engine, Report, RunOptions};
+use kahrisma_core::CycleModelKind;
+use kahrisma_isa::IsaKind;
+use kahrisma_workloads::Workload;
+
+/// A 6-cell grid that is fast but covers two ISAs and all three models.
+fn grid() -> CampaignSpec {
+    let mut spec = CampaignSpec::smoke();
+    spec.name = "resume-test".into();
+    for cell in &mut spec.cells {
+        cell.budget = 50_000_000;
+    }
+    spec
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("kahrisma-campaign-it");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.jsonl", std::process::id()))
+}
+
+fn run_complete(spec: &CampaignSpec, workers: usize) -> Report {
+    let options = RunOptions { workers, ..RunOptions::default() };
+    runner::run(spec, &options).expect("campaign").report
+}
+
+#[test]
+fn interrupted_campaign_resumes_and_matches_from_scratch() {
+    let spec = grid();
+    let path = tmp("resume");
+    let reference = run_complete(&spec, 1);
+
+    // First invocation: killed (via stop_after) after 2 cells.
+    let first = runner::run(
+        &spec,
+        &RunOptions {
+            manifest: Some(path.clone()),
+            stop_after: Some(2),
+            ..RunOptions::default()
+        },
+    )
+    .expect("interrupted run");
+    assert!(first.interrupted);
+    assert_eq!(first.executed, 2);
+    assert_eq!(first.report.cells.len(), 2);
+
+    // Second invocation, same manifest: completed cells are skipped.
+    let second = runner::run(
+        &spec,
+        &RunOptions { manifest: Some(path.clone()), ..RunOptions::default() },
+    )
+    .expect("resumed run");
+    assert!(!second.interrupted);
+    assert_eq!(second.skipped, 2);
+    assert_eq!(second.executed, spec.cells.len() - 2);
+    assert_eq!(second.report.cells.len(), spec.cells.len());
+    assert!(
+        second.report.deterministic_eq(&reference),
+        "resumed report must equal the from-scratch run"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resume_after_every_possible_interruption_point() {
+    let mut spec = grid();
+    spec.name = "resume-sweep".into();
+    spec.cells.truncate(3);
+    let reference = run_complete(&spec, 1);
+    for stop in 0..spec.cells.len() {
+        let path = tmp(&format!("sweep-{stop}"));
+        let first = runner::run(
+            &spec,
+            &RunOptions {
+                manifest: Some(path.clone()),
+                stop_after: Some(stop),
+                ..RunOptions::default()
+            },
+        )
+        .expect("interrupted run");
+        assert_eq!(first.executed, stop);
+        let second = runner::run(
+            &spec,
+            &RunOptions { manifest: Some(path.clone()), ..RunOptions::default() },
+        )
+        .expect("resumed run");
+        assert_eq!(second.skipped, stop);
+        assert!(second.report.deterministic_eq(&reference), "stop after {stop}");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn parallel_workers_match_single_worker() {
+    let mut spec = grid();
+    spec.name = "workers-test".into();
+    let single = run_complete(&spec, 1);
+    let parallel = run_complete(&spec, 2);
+    assert!(
+        single.deterministic_eq(&parallel),
+        "worker count must not change any deterministic field"
+    );
+}
+
+#[test]
+fn foreign_manifest_is_rejected() {
+    let spec = grid();
+    let path = tmp("foreign");
+    runner::run(
+        &spec,
+        &RunOptions {
+            manifest: Some(path.clone()),
+            stop_after: Some(1),
+            ..RunOptions::default()
+        },
+    )
+    .expect("seed manifest");
+
+    // Same file, different campaign: must refuse, not mix results.
+    let mut other = grid();
+    other.name = "other-campaign".into();
+    let err = runner::run(
+        &other,
+        &RunOptions { manifest: Some(path.clone()), ..RunOptions::default() },
+    )
+    .expect_err("fingerprint mismatch");
+    assert!(matches!(err, CampaignError::Manifest { .. }), "{err}");
+
+    // --fresh starts over instead.
+    let fresh = runner::run(
+        &other,
+        &RunOptions { manifest: Some(path.clone()), fresh: true, ..RunOptions::default() },
+    )
+    .expect("fresh run");
+    assert_eq!(fresh.skipped, 0);
+    assert_eq!(fresh.executed, other.cells.len());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn completed_manifest_resumes_to_a_noop() {
+    let mut spec = grid();
+    spec.name = "noop-test".into();
+    spec.cells.truncate(2);
+    let path = tmp("noop");
+    let options = RunOptions { manifest: Some(path.clone()), ..RunOptions::default() };
+    let first = runner::run(&spec, &options).expect("full run");
+    assert_eq!(first.executed, 2);
+
+    let second = runner::run(&spec, &options).expect("noop run");
+    assert_eq!(second.executed, 0);
+    assert_eq!(second.skipped, 2);
+    assert!(second.report.deterministic_eq(&first.report));
+    // Even the timing fields round-trip: nothing re-ran, so the report is
+    // exactly what the manifest recorded.
+    assert_eq!(second.report.cells, first.report.cells);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn report_json_is_stable_and_reparsable() {
+    let mut spec = CampaignSpec {
+        name: "json-test".into(),
+        cells: vec![
+            CellSpec::new(Workload::Dct, IsaKind::Risc, Engine::Iss(Some(CycleModelKind::Doe))),
+            CellSpec::new(Workload::Dct, IsaKind::Risc, Engine::Iss(None)),
+        ],
+    };
+    for c in &mut spec.cells {
+        c.budget = 50_000_000;
+    }
+    let report = run_complete(&spec, 1);
+    let json = report.to_json();
+    // Keys appear in sorted order in the document.
+    let doe = json.find("dct/risc/doe/superblock").unwrap();
+    let func = json.find("dct/risc/func/superblock").unwrap();
+    assert!(doe < func);
+    // Every cell line re-parses to the same deterministic content.
+    for (cell, line) in report.cells.iter().zip(
+        json.lines().filter(|l| l.trim_start().starts_with("{\"key\"")),
+    ) {
+        let parsed =
+            kahrisma_campaign::CellResult::from_json(line.trim().trim_end_matches(','))
+                .expect("reparse");
+        assert!(parsed.deterministic_eq(cell));
+    }
+}

@@ -1,0 +1,190 @@
+//! Snapshot/restore determinism on the real evaluation workloads.
+//!
+//! The checkpointing contract behind resumable campaigns: interrupting a
+//! simulation at an arbitrary point, snapshotting, restoring into a
+//! *fresh* simulator and running to completion must be indistinguishable —
+//! on every deterministic counter and on the cycle model's statistics —
+//! from an uninterrupted run.
+
+use kahrisma_core::{CycleModelKind, RunOutcome, SimConfig, Simulator};
+use kahrisma_isa::IsaKind;
+use kahrisma_workloads::{Workload, INSTRUCTION_BUDGET};
+
+/// Pairs each workload with one cycle model so every model is exercised
+/// across the suite without running the full cross product.
+fn matrix() -> [(Workload, CycleModelKind); 6] {
+    [
+        (Workload::Cjpeg, CycleModelKind::Ilp),
+        (Workload::Djpeg, CycleModelKind::Aie),
+        (Workload::Fft, CycleModelKind::Doe),
+        (Workload::Quicksort, CycleModelKind::Ilp),
+        (Workload::Aes, CycleModelKind::Aie),
+        (Workload::Dct, CycleModelKind::Doe),
+    ]
+}
+
+/// Runs to completion, interrupted at `pause` instructions by a snapshot
+/// that is restored into a fresh simulator, and asserts the result is
+/// bit-identical to the uninterrupted reference.
+fn check_interrupted_run(
+    workload: Workload,
+    isa: IsaKind,
+    model: CycleModelKind,
+    pause: impl Fn(u64) -> u64,
+) {
+    let exe = workload.build(isa).expect("toolchain");
+    let config = SimConfig::with_model(model);
+
+    let mut reference = Simulator::new(&exe, config.clone()).expect("load");
+    let outcome = reference.run(INSTRUCTION_BUDGET).expect("reference run");
+    assert_eq!(
+        outcome,
+        RunOutcome::Halted { exit_code: workload.expected_exit() },
+        "{} reference self-check",
+        workload.name()
+    );
+    let total = reference.stats().instructions;
+    let pause = pause(total);
+    assert!(pause > 0 && pause < total, "pause {pause} outside run of {total}");
+
+    let mut first = Simulator::new(&exe, config.clone()).expect("load");
+    assert_eq!(first.run_for(pause).expect("first leg"), RunOutcome::BudgetExhausted);
+    assert_eq!(first.stats().instructions, pause);
+    let snap = first.snapshot().expect("snapshot");
+    drop(first); // the interrupted simulator is gone — only the snapshot survives
+
+    let mut resumed = Simulator::new(&exe, config).expect("load fresh");
+    resumed.restore(&snap).expect("restore");
+    let outcome = resumed.run(INSTRUCTION_BUDGET).expect("resumed run");
+
+    assert_eq!(
+        outcome,
+        RunOutcome::Halted { exit_code: workload.expected_exit() },
+        "{} resumed self-check",
+        workload.name()
+    );
+    assert_eq!(resumed.stats().instructions, total, "{}", workload.name());
+    assert_eq!(
+        resumed.stats().operations,
+        reference.stats().operations,
+        "{}",
+        workload.name()
+    );
+    assert_eq!(resumed.stats().nops, reference.stats().nops, "{}", workload.name());
+    assert_eq!(
+        resumed.stats().isa_switches,
+        reference.stats().isa_switches,
+        "{}",
+        workload.name()
+    );
+    assert_eq!(
+        resumed.stats().mem_reads,
+        reference.stats().mem_reads,
+        "{}",
+        workload.name()
+    );
+    assert_eq!(
+        resumed.stats().mem_writes,
+        reference.stats().mem_writes,
+        "{}",
+        workload.name()
+    );
+    assert_eq!(
+        resumed.cycle_stats().expect("model"),
+        reference.cycle_stats().expect("model"),
+        "{} cycle statistics must be bit-identical",
+        workload.name()
+    );
+}
+
+#[test]
+fn every_workload_resumes_identically_from_a_mid_run_snapshot() {
+    for (workload, model) in matrix() {
+        check_interrupted_run(workload, IsaKind::Risc, model, |total| total / 2);
+    }
+}
+
+#[test]
+fn vliw_runs_resume_identically_mid_superblock() {
+    // A pause budget of a prime instruction count lands inside straight-line
+    // superblock runs, not on block boundaries; VLIW4 exercises multi-slot
+    // decode structures in the batched hot loop.
+    for (workload, model) in [
+        (Workload::Dct, CycleModelKind::Doe),
+        (Workload::Fft, CycleModelKind::Aie),
+    ] {
+        check_interrupted_run(workload, IsaKind::Vliw4, model, |total| {
+            let mut pause = total / 3;
+            pause |= 1; // odd, so boundary-aligned batches are unlikely
+            pause
+        });
+    }
+}
+
+#[test]
+fn early_and_late_pauses_resume_identically() {
+    check_interrupted_run(Workload::Quicksort, IsaKind::Risc, CycleModelKind::Doe, |_| 1);
+    check_interrupted_run(Workload::Quicksort, IsaKind::Risc, CycleModelKind::Doe, |t| t - 1);
+}
+
+#[test]
+fn snapshot_immediately_after_a_switchtarget_resumes_identically() {
+    // The mixed-ISA hot path: pause exactly at each of the first ISA
+    // switches of a VLIW binary (workload startup runs RISC bootstrap code
+    // before switching), so restore must re-enter the correct ISA mode.
+    let workload = Workload::Dct;
+    let exe = workload.build(IsaKind::Vliw2).expect("toolchain");
+    let config = SimConfig::with_model(CycleModelKind::Doe);
+
+    let mut probe = Simulator::new(&exe, config.clone()).expect("load");
+    let mut switch_points = Vec::new();
+    let mut last_switches = 0;
+    loop {
+        match probe.run_for(1).expect("probe step") {
+            RunOutcome::Halted { .. } => break,
+            RunOutcome::BudgetExhausted => {}
+        }
+        let switches = probe.stats().isa_switches;
+        if switches != last_switches {
+            last_switches = switches;
+            // The instruction just executed was a switchtarget.
+            switch_points.push(probe.stats().instructions);
+            if switch_points.len() >= 3 {
+                break;
+            }
+        }
+    }
+    assert!(!switch_points.is_empty(), "dct/vliw2 never switched ISA");
+
+    for pause in switch_points {
+        check_interrupted_run(workload, IsaKind::Vliw2, CycleModelKind::Doe, |_| pause);
+    }
+}
+
+#[test]
+fn reset_replays_workloads_identically() {
+    // Satellite contract for `Simulator::reset`: a second run of the same
+    // loaded binary — now against a warm decode cache — is bit-identical.
+    let exe = Workload::Fft.build(IsaKind::Vliw4).expect("toolchain");
+    let mut sim =
+        Simulator::new(&exe, SimConfig::with_model(CycleModelKind::Doe)).expect("load");
+    let first = sim.run(INSTRUCTION_BUDGET).expect("first run");
+    let stats = *sim.stats();
+    let cycles = sim.cycle_stats().expect("model");
+
+    sim.reset();
+    assert_eq!(sim.stats().instructions, 0);
+    let second = sim.run(INSTRUCTION_BUDGET).expect("second run");
+    assert_eq!(second, first);
+    // After the reset the decode cache is warm, so the decode/lookup
+    // counters differ by design; every architectural counter must match.
+    assert_eq!(sim.stats().instructions, stats.instructions);
+    assert_eq!(sim.stats().operations, stats.operations);
+    assert_eq!(sim.stats().nops, stats.nops);
+    assert_eq!(sim.stats().mem_reads, stats.mem_reads);
+    assert_eq!(sim.stats().mem_writes, stats.mem_writes);
+    assert_eq!(sim.stats().isa_switches, stats.isa_switches);
+    assert_eq!(sim.stats().taken_branches, stats.taken_branches);
+    assert_eq!(sim.stats().detect_decodes, 0, "decode cache must stay warm");
+    assert_eq!(sim.cycle_stats().expect("model"), cycles);
+}

@@ -64,6 +64,10 @@ impl CycleModel for AieModel {
             memory: self.memory.stats(),
         }
     }
+
+    fn fork(&self) -> Option<Box<dyn CycleModel>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]

@@ -121,6 +121,10 @@ impl CycleModel for DoeModel {
             memory: self.memory.stats(),
         }
     }
+
+    fn fork(&self) -> Option<Box<dyn CycleModel>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]

@@ -114,6 +114,10 @@ impl CycleModel for IlpModel {
     fn stats(&self) -> CycleStats {
         CycleStats { cycles: self.max_completion, operations: self.operations, memory: Vec::new() }
     }
+
+    fn fork(&self) -> Option<Box<dyn CycleModel>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]

@@ -162,6 +162,15 @@ pub trait CycleModel {
 
     /// Aggregate statistics.
     fn stats(&self) -> CycleStats;
+
+    /// Clones the model's complete timing state into an independent boxed
+    /// model, for [`crate::Simulator::snapshot`]. Models that cannot be
+    /// duplicated (e.g. ones holding external handles) return `None`, in
+    /// which case snapshotting a simulator with that model attached fails
+    /// with [`crate::SimError::SnapshotUnsupported`].
+    fn fork(&self) -> Option<Box<dyn CycleModel>> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,10 @@ pub enum SimError {
     },
     /// The program called `abort()`.
     Aborted,
+    /// The attached cycle model does not support state duplication, so the
+    /// simulator cannot be snapshot ([`crate::CycleModel::fork`] returned
+    /// `None`).
+    SnapshotUnsupported,
 }
 
 impl fmt::Display for SimError {
@@ -66,6 +70,9 @@ impl fmt::Display for SimError {
             SimError::BadEntryIsa(isa) => write!(f, "executable entry ISA {isa} is unknown"),
             SimError::MemoryFault { addr } => write!(f, "memory fault at {addr:#010x}"),
             SimError::Aborted => write!(f, "program aborted"),
+            SimError::SnapshotUnsupported => {
+                write!(f, "the attached cycle model does not support snapshots")
+            }
         }
     }
 }

@@ -82,6 +82,10 @@ fn unsupported(instr: &DecodedInstr, op_addr: u32) -> SimError {
 /// Fills `events` (cleared first) with one [`OpEvent`] per slot for the
 /// cycle models, appends trace records to `trace` when provided, and
 /// updates `stats`.
+// The parameters are disjoint `Simulator` fields passed individually so the
+// hot loop can split-borrow them; a context struct would force whole-struct
+// borrows at every call site.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_instr(
     state: &mut CpuState,
     instr: &DecodedInstr,

@@ -59,9 +59,9 @@ pub use decode::{DecodeCache, DecodedInstr, DecodedSlot};
 pub use error::SimError;
 pub use mem::Memory;
 pub use profile::{FunctionProfile, Profiler};
-pub use sim::{RunOutcome, SimConfig, Simulator};
+pub use sim::{RunOutcome, SimConfig, Simulator, Snapshot};
 pub use state::CpuState;
-pub use stats::SimStats;
+pub use stats::{SimStats, Throughput};
 pub use trace::{TraceRecord, TraceSink, VecTraceSink, WriteTraceSink};
 
 pub use cycles::{

@@ -119,6 +119,52 @@ pub struct Simulator {
     scratch: Vec<DecodedSlot>,
     predictor: Option<BranchPredictor>,
     profiler: Option<Profiler>,
+    /// The architectural state as loaded, for [`Simulator::reset`].
+    initial_state: Box<CpuState>,
+}
+
+/// A point-in-time capture of everything that determines a simulation's
+/// future: architectural state (registers, memory, active ISA), functional
+/// statistics, cycle-model state, branch-predictor state, profiler
+/// accumulators, and the IP history.
+///
+/// Taken with [`Simulator::snapshot`] between [`Simulator::run_for`] slices
+/// (including mid-superblock pauses) and reapplied with
+/// [`Simulator::restore`] — to the same simulator or to a fresh one loaded
+/// from the **same executable**. The decode cache is deliberately not
+/// captured: it is a pure function of (immutable) program text and rebuilds
+/// on demand, so restores stay cheap and snapshots stay compact.
+pub struct Snapshot {
+    state: CpuState,
+    stats: SimStats,
+    model: Option<Box<dyn CycleModel>>,
+    predictor: Option<BranchPredictor>,
+    profiler: Option<Profiler>,
+    ip_history: VecDeque<u32>,
+}
+
+impl Snapshot {
+    /// Instructions executed at the time of the capture.
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.stats.instructions
+    }
+
+    /// Instruction pointer at the time of the capture.
+    #[must_use]
+    pub fn ip(&self) -> u32 {
+        self.state.ip
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("ip", &self.state.ip)
+            .field("instructions", &self.stats.instructions)
+            .field("halted", &self.state.halted)
+            .finish_non_exhaustive()
+    }
 }
 
 impl std::fmt::Debug for Simulator {
@@ -169,6 +215,7 @@ impl Simulator {
             _ => Some(BranchPredictor::new(config.branch_prediction)),
         };
         let profiler = config.profile.then(|| Profiler::new(&exe.debug));
+        let initial_state = Box::new(state.clone());
         Ok(Simulator {
             tables,
             state,
@@ -185,7 +232,91 @@ impl Simulator {
             scratch: Vec::with_capacity(8),
             predictor,
             profiler,
+            initial_state,
         })
+    }
+
+    /// Captures the complete execution state into a [`Snapshot`].
+    ///
+    /// Valid at any point where [`Simulator::run_for`] has returned —
+    /// including budget-exhaustion pauses in the middle of a superblock —
+    /// and cheap enough to call periodically for checkpointing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SnapshotUnsupported`] if an attached cycle model
+    /// does not implement [`CycleModel::fork`].
+    pub fn snapshot(&self) -> Result<Snapshot, SimError> {
+        let model = match &self.model {
+            Some(m) => Some(m.fork().ok_or(SimError::SnapshotUnsupported)?),
+            None => None,
+        };
+        Ok(Snapshot {
+            state: self.state.clone(),
+            stats: self.stats,
+            model,
+            predictor: self.predictor.clone(),
+            profiler: self.profiler.clone(),
+            ip_history: self.ip_history.clone(),
+        })
+    }
+
+    /// Reapplies a [`Snapshot`], making the next [`Simulator::run_for`]
+    /// continue exactly from the captured point.
+    ///
+    /// The snapshot must originate from a simulator loaded from the same
+    /// executable (the decode cache is keyed by address and ISA, and program
+    /// text is immutable, so a same-executable restore can keep all cached
+    /// decode structures). The prediction anchor is conservatively cleared,
+    /// which affects only the cache-lookup/prediction counters — never
+    /// results or cycle statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SnapshotUnsupported`] if the snapshot's cycle
+    /// model cannot be duplicated (never the case for snapshots produced by
+    /// [`Simulator::snapshot`], which requires a forkable model).
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SimError> {
+        let model = match &snapshot.model {
+            Some(m) => Some(m.fork().ok_or(SimError::SnapshotUnsupported)?),
+            None => None,
+        };
+        self.state = snapshot.state.clone();
+        self.stats = snapshot.stats;
+        self.model = model;
+        self.predictor = snapshot.predictor.clone();
+        self.profiler = snapshot.profiler.clone();
+        self.ip_history = snapshot.ip_history.clone();
+        self.prev_idx = NO_IDX;
+        self.events.clear();
+        self.pending = Pending::default();
+        Ok(())
+    }
+
+    /// Re-initializes the simulator to its load-time state — registers,
+    /// memory, statistics, cycle model, predictor, and profiler are all
+    /// reset — **without** discarding the decode cache, whose contents are
+    /// a pure function of the immutable program text. Re-running the same
+    /// binary (repeated benchmark measurements, multi-run tests) therefore
+    /// skips the rebuild and starts with warm decode structures.
+    ///
+    /// The cycle model is rebuilt from [`SimConfig::cycle_model`]; a model
+    /// attached via [`Simulator::set_cycle_model`] is dropped. Stdin
+    /// provided after construction is also discarded.
+    pub fn reset(&mut self) {
+        self.state = (*self.initial_state).clone();
+        self.stats = SimStats::new();
+        self.model = self.config.cycle_model.map(|kind| kind.build(self.config.memory.clone()));
+        self.predictor = match self.config.branch_prediction.kind {
+            PredictorKind::Perfect => None,
+            _ => Some(BranchPredictor::new(self.config.branch_prediction)),
+        };
+        self.profiler = self.config.profile.then(|| Profiler::new(&self.debug));
+        self.ip_history.clear();
+        self.prev_idx = NO_IDX;
+        self.events.clear();
+        self.pending = Pending::default();
+        self.scratch.clear();
     }
 
     /// Attaches a trace sink; every subsequently executed operation is
@@ -533,7 +664,7 @@ impl Simulator {
     ///
     /// Propagates the first simulation error (see [`Simulator::step`]).
     pub fn run(&mut self, max_instructions: u64) -> Result<RunOutcome, SimError> {
-        let limit = self.stats.instructions + max_instructions;
+        let limit = self.stats.instructions.saturating_add(max_instructions);
         let superblocks = self.config.decode_cache && self.config.superblocks;
         while !self.state.halted {
             if self.stats.instructions >= limit {
@@ -552,6 +683,30 @@ impl Simulator {
             m.finish();
         }
         Ok(RunOutcome::Halted { exit_code: self.state.exit_code })
+    }
+
+    /// Executes at most `budget` further instructions — the incremental
+    /// stepping primitive behind pausable cells in the campaign engine.
+    ///
+    /// Semantically identical to [`Simulator::run`] (the budget is relative
+    /// to the instructions already executed, so repeated calls resume where
+    /// the previous slice stopped, even in the middle of a superblock), but
+    /// named for the checkpointing workflow:
+    ///
+    /// ```text
+    /// loop {
+    ///     match sim.run_for(slice)? {
+    ///         RunOutcome::Halted { .. } => break,
+    ///         RunOutcome::BudgetExhausted => checkpoint = sim.snapshot()?,
+    ///     }
+    /// }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulation error (see [`Simulator::step`]).
+    pub fn run_for(&mut self, budget: u64) -> Result<RunOutcome, SimError> {
+        self.run(budget)
     }
 }
 
@@ -1156,6 +1311,139 @@ mod tests {
                 assert_ne!(risc_sb, vliw_sb);
             }
         }
+    }
+
+    /// Source with a mixed-ISA round trip and a long straight-line loop so
+    /// budget pauses land both mid-superblock and right after
+    /// `switchtarget`.
+    const MIXED_LOOP: &str = "
+        .isa risc
+        .text
+        .global main
+        .func main
+        main:
+            addi sp, sp, -8
+            sw ra, 0(sp)
+            li t0, 40
+            li a0, 0
+        loop:
+            addi a0, a0, 1
+            addi a0, a0, 2
+            addi a0, a0, -2
+            switchtarget vliw4
+            jal bump_v4
+            .isa vliw4
+            { switchtarget risc | nop | nop | nop }
+            .isa risc
+            addi t0, t0, -1
+            bne t0, zero, loop
+            addi rv, a0, 2
+            lw ra, 0(sp)
+            addi sp, sp, 8
+            jr ra
+        .endfunc
+
+        .isa vliw4
+        .global bump_v4
+        .func bump_v4
+        bump_v4:
+            { add rv, a0, zero | nop | nop | nop }
+            { jr ra | nop | nop | nop }
+        .endfunc
+    ";
+
+    #[test]
+    fn run_for_resumes_across_slices() {
+        let exe = build(&[("m.s", MIXED_LOOP)]).unwrap();
+        let mut whole = Simulator::new(&exe, SimConfig::default()).unwrap();
+        let expected = whole.run(1_000_000).unwrap();
+        let RunOutcome::Halted { exit_code } = expected else { panic!("budget") };
+
+        let mut sliced = Simulator::new(&exe, SimConfig::default()).unwrap();
+        let mut slices = 0;
+        let outcome = loop {
+            match sliced.run_for(7).unwrap() {
+                RunOutcome::Halted { exit_code } => break exit_code,
+                RunOutcome::BudgetExhausted => slices += 1,
+            }
+        };
+        assert_eq!(outcome, exit_code);
+        assert!(slices > 10, "a 7-instruction slice must pause many times: {slices}");
+        assert_eq!(sliced.stats().instructions, whole.stats().instructions);
+        assert_eq!(sliced.stats().operations, whole.stats().operations);
+        assert_eq!(sliced.stats().isa_switches, whole.stats().isa_switches);
+    }
+
+    #[test]
+    fn snapshot_restore_is_deterministic_at_every_pause_point() {
+        // Pause at a sweep of instruction counts — covering mid-superblock
+        // positions and the instruction right after each `switchtarget` —
+        // snapshot, restore into a FRESH simulator, and require bit-identical
+        // results and DOE cycle statistics.
+        let exe = build(&[("m.s", MIXED_LOOP)]).unwrap();
+        let config = || SimConfig::with_model(CycleModelKind::Doe);
+        let mut reference = Simulator::new(&exe, config()).unwrap();
+        let expected = reference.run(1_000_000).unwrap();
+        let total = reference.stats().instructions;
+        let expected_cycles = reference.cycle_stats().unwrap();
+
+        for pause in [1, 2, 3, 5, 7, 11, 13, total - 2, total - 1] {
+            let mut first = Simulator::new(&exe, config()).unwrap();
+            assert_eq!(first.run_for(pause).unwrap(), RunOutcome::BudgetExhausted);
+            assert_eq!(first.stats().instructions, pause);
+            let snap = first.snapshot().unwrap();
+            assert_eq!(snap.instructions(), pause);
+
+            let mut resumed = Simulator::new(&exe, config()).unwrap();
+            resumed.restore(&snap).unwrap();
+            let outcome = resumed.run(1_000_000).unwrap();
+            assert_eq!(outcome, expected, "pause at {pause}");
+            assert_eq!(resumed.stats().instructions, total, "pause at {pause}");
+            assert_eq!(
+                resumed.stats().operations,
+                reference.stats().operations,
+                "pause at {pause}"
+            );
+            assert_eq!(resumed.cycle_stats().unwrap(), expected_cycles, "pause at {pause}");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_on_same_simulator() {
+        let exe = build(&[("m.s", MIXED_LOOP)]).unwrap();
+        let mut sim = Simulator::new(&exe, SimConfig::default()).unwrap();
+        sim.run_for(10).unwrap();
+        let snap = sim.snapshot().unwrap();
+        let ip = snap.ip();
+        // Run ahead, then rewind to the snapshot and re-run: same result.
+        let a = sim.run(1_000_000).unwrap();
+        let a_instrs = sim.stats().instructions;
+        sim.restore(&snap).unwrap();
+        assert_eq!(sim.state().ip, ip);
+        let b = sim.run(1_000_000).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(sim.stats().instructions, a_instrs);
+    }
+
+    #[test]
+    fn reset_reruns_with_warm_decode_cache() {
+        let exe = build(&[("m.s", MIXED_LOOP)]).unwrap();
+        let mut sim = Simulator::new(&exe, SimConfig::with_model(CycleModelKind::Aie)).unwrap();
+        let first = sim.run(1_000_000).unwrap();
+        let instrs = sim.stats().instructions;
+        let cycles = sim.cycle_stats().unwrap();
+        let decodes = sim.stats().detect_decodes;
+        assert!(decodes > 0);
+
+        sim.reset();
+        assert_eq!(sim.stats().instructions, 0);
+        assert_eq!(sim.cycle_stats().unwrap().cycles, 0);
+        let second = sim.run(1_000_000).unwrap();
+        assert_eq!(second, first);
+        assert_eq!(sim.stats().instructions, instrs);
+        assert_eq!(sim.cycle_stats().unwrap(), cycles);
+        // The decode cache survived the reset: nothing re-decoded.
+        assert_eq!(sim.stats().detect_decodes, 0);
     }
 
     #[test]

@@ -87,6 +87,45 @@ impl SimStats {
         }
         (self.mem_reads + self.mem_writes) as f64 / self.operations as f64
     }
+
+    /// Wall-clock throughput of a run that executed these statistics'
+    /// instructions in `wall_seconds` — the quantity every harness reports
+    /// (§VII-A's MIPS and Table I's ns/instruction).
+    #[must_use]
+    pub fn throughput(&self, wall_seconds: f64) -> Throughput {
+        Throughput::new(self.instructions, wall_seconds)
+    }
+}
+
+/// Wall-clock throughput of a simulation run.
+///
+/// Centralizes the MIPS / ns-per-instruction arithmetic that the bench
+/// binaries, `ksim --stats`, and the campaign engine all report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Wall-clock seconds of the simulation loop.
+    pub wall_seconds: f64,
+    /// Millions of simulated instructions per wall-clock second.
+    pub mips: f64,
+    /// Wall-clock nanoseconds per simulated instruction.
+    pub ns_per_instruction: f64,
+}
+
+impl Throughput {
+    /// Computes throughput from an instruction count and wall-clock time.
+    /// Degenerate inputs (zero instructions or non-positive time) yield
+    /// zero rates rather than infinities.
+    #[must_use]
+    pub fn new(instructions: u64, wall_seconds: f64) -> Self {
+        if instructions == 0 || wall_seconds <= 0.0 {
+            return Throughput { wall_seconds, mips: 0.0, ns_per_instruction: 0.0 };
+        }
+        Throughput {
+            wall_seconds,
+            mips: instructions as f64 / wall_seconds / 1e6,
+            ns_per_instruction: wall_seconds * 1e9 / instructions as f64,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -123,5 +162,21 @@ mod tests {
     #[test]
     fn cache_hit_ratio_handles_zero() {
         assert_eq!(SimStats::new().cache_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn throughput_computes_rates() {
+        let t = Throughput::new(2_000_000, 0.5);
+        assert!((t.mips - 4.0).abs() < 1e-12);
+        assert!((t.ns_per_instruction - 250.0).abs() < 1e-9);
+        let s = SimStats { instructions: 2_000_000, ..SimStats::default() };
+        assert_eq!(s.throughput(0.5), t);
+    }
+
+    #[test]
+    fn throughput_handles_degenerate_inputs() {
+        assert_eq!(Throughput::new(0, 1.0).mips, 0.0);
+        assert_eq!(Throughput::new(100, 0.0).ns_per_instruction, 0.0);
+        assert_eq!(Throughput::new(100, -1.0).mips, 0.0);
     }
 }

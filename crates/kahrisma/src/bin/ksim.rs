@@ -223,7 +223,7 @@ fn main() -> ExitCode {
         eprintln!("prediction hits:  {} ({:.1}% of lookups avoided)", stats.prediction_hits, stats.lookup_avoided_ratio() * 100.0);
         eprintln!("memory ops:       {} reads, {} writes", stats.mem_reads, stats.mem_writes);
         eprintln!("isa switches:     {}", stats.isa_switches);
-        eprintln!("speed:            {:.2} MIPS", stats.instructions as f64 / elapsed / 1e6);
+        eprintln!("speed:            {:.2} MIPS", stats.throughput(elapsed).mips);
         if let Some(cycles) = sim.cycle_stats() {
             eprintln!("approx cycles:    {} ({:.3} ops/cycle)", cycles.cycles, cycles.ops_per_cycle());
             for level in &cycles.memory {

@@ -59,7 +59,7 @@ struct QOp {
 ///
 /// Implements [`CycleModel`], so it can be attached to the functional
 /// simulator with [`kahrisma_core::Simulator::set_cycle_model`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RtlPipeline {
     config: RtlConfig,
     clock: u64,
@@ -289,6 +289,10 @@ impl CycleModel for RtlPipeline {
             operations: self.operations,
             memory: self.memory.stats(),
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn CycleModel>> {
+        Some(Box::new(self.clone()))
     }
 }
 
