@@ -33,6 +33,7 @@ OPTIONS:
     --max-cells N     execute at most N cells, then stop (resume later)
     --slice N         instructions per checkpoint slice
     --out PATH        write the JSON report to PATH
+    --progress        per-cell progress lines with wall time and MIPS (default)
     --quiet           no per-cell progress lines
     --list            list the predefined campaigns and their sizes
     --help            this text
@@ -90,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--slice expects a positive integer".to_string())?;
             }
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--progress" => args.options.progress = true,
             "--quiet" => args.options.progress = false,
             "--list" => args.list = true,
             "--help" | "-h" => {
@@ -191,8 +193,8 @@ fn main() -> ExitCode {
 
 fn print_table(report: &kahrisma_campaign::Report) {
     println!(
-        "{:<42} {:>6} {:>14} {:>14} {:>9} {:>9}",
-        "cell", "exit", "instructions", "cycles", "MIPS", "L1 miss"
+        "{:<42} {:>6} {:>14} {:>14} {:>8} {:>9} {:>9}",
+        "cell", "exit", "instructions", "cycles", "wall s", "MIPS", "L1 miss"
     );
     for cell in &report.cells {
         let cycles =
@@ -201,8 +203,14 @@ fn print_table(report: &kahrisma_campaign::Report) {
             .l1_miss_ratio
             .map_or_else(|| "-".into(), |m| format!("{:.2}%", m * 100.0));
         println!(
-            "{:<42} {:>6} {:>14} {:>14} {:>9.3} {:>9}",
-            cell.key, cell.exit_code, cell.instructions, cycles, cell.mips, miss
+            "{:<42} {:>6} {:>14} {:>14} {:>8.2} {:>9.3} {:>9}",
+            cell.key,
+            cell.exit_code,
+            cell.instructions,
+            cycles,
+            cell.wall_seconds,
+            cell.mips,
+            miss
         );
     }
 }

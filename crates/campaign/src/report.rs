@@ -3,6 +3,8 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use kahrisma_observe::MetricsRegistry;
+
 use crate::json::{self, Json};
 
 /// The result of one campaign cell.
@@ -171,8 +173,30 @@ impl Report {
         self.cells.iter().map(|c| (c.key.as_str(), c)).collect()
     }
 
+    /// Campaign-level metrics, folded purely from the sorted deterministic
+    /// cell counters: totals as counters plus log2-bucketed histograms of
+    /// the per-cell sizes. Timing fields are host measurements and are
+    /// deliberately excluded, so the registry — and its JSON rendering —
+    /// is bit-identical across worker counts and resume boundaries.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.set_counter("cells", self.cells.len() as u64);
+        for cell in &self.cells {
+            r.count("instructions.total", cell.instructions);
+            r.count("operations.total", cell.operations);
+            r.record("cell.instructions", cell.instructions);
+            r.record("cell.operations", cell.operations);
+            if let Some(cycles) = cell.cycles {
+                r.count("cycles.total", cycles);
+                r.record("cell.cycles", cycles);
+            }
+        }
+        r
+    }
+
     /// Renders the full report as a JSON document (stable field order,
-    /// cells sorted by key).
+    /// cells sorted by key, deterministic [`Report::metrics`] block).
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256 + 192 * self.cells.len());
@@ -187,7 +211,9 @@ impl Report {
             s.push_str(&cell.to_json());
             s.push_str(if i + 1 < self.cells.len() { ",\n" } else { "\n" });
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ],\n  \"metrics\": ");
+        self.metrics().write_json(&mut s);
+        s.push_str("\n}\n");
         s
     }
 
@@ -247,6 +273,33 @@ mod tests {
         assert_eq!(keys, ["a", "b", "c"]);
         assert!(r.get("b").is_some());
         assert!(r.get("z").is_none());
+    }
+
+    #[test]
+    fn metrics_block_aggregates_deterministic_fields_only() {
+        let mut cells = vec![sample("a"), sample("b")];
+        cells[1].cycles = None;
+        cells[1].wall_seconds = 123.0; // timing must not leak into metrics
+        let r = Report::new("t", "f", cells);
+        let m = r.metrics();
+        assert_eq!(m.counter("cells"), 2);
+        assert_eq!(m.counter("instructions.total"), 2_000);
+        assert_eq!(m.counter("operations.total"), 1_800);
+        assert_eq!(m.counter("cycles.total"), 1_234);
+        assert_eq!(m.histogram("cell.instructions").unwrap().count(), 2);
+        assert_eq!(m.histogram("cell.cycles").unwrap().count(), 1);
+        assert!(m.gauge("wall_seconds").is_none());
+        let json = r.to_json();
+        assert!(json.contains("\"metrics\": {\"counters\":"));
+        kahrisma_observe::json_lint::validate(&json).expect("report JSON parses");
+    }
+
+    #[test]
+    fn metrics_are_order_insensitive_at_input() {
+        // Report::new sorts, so shuffled inputs produce identical metrics.
+        let fwd = Report::new("t", "f", vec![sample("a"), sample("b")]);
+        let rev = Report::new("t", "f", vec![sample("b"), sample("a")]);
+        assert_eq!(fwd.metrics().to_json(), rev.metrics().to_json());
     }
 
     #[test]

@@ -398,6 +398,16 @@ mod tests {
     }
 
     #[test]
+    fn metrics_block_is_bit_identical_across_worker_counts() {
+        let spec = tiny_spec();
+        let one = run(&spec, &RunOptions::default()).unwrap();
+        let two =
+            run(&spec, &RunOptions { workers: 2, ..RunOptions::default() }).unwrap();
+        assert!(one.report.deterministic_eq(&two.report));
+        assert_eq!(one.report.metrics().to_json(), two.report.metrics().to_json());
+    }
+
+    #[test]
     fn tiny_slices_produce_identical_counters() {
         let mut spec = tiny_spec();
         spec.name = "tiny-sliced".into();

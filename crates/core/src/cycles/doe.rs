@@ -16,6 +16,7 @@
 //! measures the approximation against.
 
 use super::{CycleModel, CycleStats, InstrEvent, MemoryHierarchy};
+use crate::observe::OpIssue;
 
 /// Maximum issue width the model supports (the family's widest ISA is 8).
 const MAX_SLOTS: usize = 16;
@@ -52,10 +53,13 @@ impl DoeModel {
     pub fn memory(&self) -> &MemoryHierarchy {
         &self.memory
     }
-}
 
-impl CycleModel for DoeModel {
-    fn instruction(&mut self, event: &InstrEvent<'_>) {
+    /// Shared accounting for [`CycleModel::instruction`] and
+    /// [`CycleModel::instruction_observed`]; the sink receives one
+    /// [`OpIssue`] per non-`nop` operation in `event.ops` order. The timing
+    /// math is identical either way; the `()` sink monomorphizes to the
+    /// unobserved loop with no per-operation branch.
+    fn account(&mut self, event: &InstrEvent<'_>, issues: &mut impl IssueSink) {
         // Parallel operations of one instruction read the register state
         // from *before* the instruction (§V-B read-before-write), so
         // dependencies are resolved against a snapshot and writes are
@@ -76,7 +80,8 @@ impl CycleModel for DoeModel {
             // "An operation within a slot is issued if the previous
             // operation within the same slot has been issued and the true
             // data dependencies of the input registers are fulfilled."
-            let mut start = self.slot_next_issue[slot].max(self.serialize);
+            let structural = self.slot_next_issue[slot];
+            let mut start = structural.max(self.serialize);
             for i in 0..usize::from(op.nsrcs) {
                 start = start.max(reg_snapshot[usize::from(op.srcs[i]) & 31]);
             }
@@ -90,6 +95,12 @@ impl CycleModel for DoeModel {
                 None => start + u64::from(op.delay),
             };
             self.slot_next_issue[slot] = start + 1;
+            issues.push(OpIssue {
+                slot: op.slot,
+                issue: start,
+                completion,
+                stall: u32::try_from(start - structural).unwrap_or(u32::MAX),
+            });
             if op.dst != 255 && nwrites < writes.len() {
                 writes[nwrites] = (op.dst, completion);
                 nwrites += 1;
@@ -108,6 +119,34 @@ impl CycleModel for DoeModel {
         for &(dst, completion) in &writes[..nwrites] {
             self.reg_write[usize::from(dst) & 31] = completion;
         }
+    }
+}
+
+/// Destination for per-operation issue records inside [`DoeModel::account`].
+trait IssueSink {
+    fn push(&mut self, issue: OpIssue);
+}
+
+/// Unobserved runs: the record is never materialized.
+impl IssueSink for () {
+    #[inline(always)]
+    fn push(&mut self, _issue: OpIssue) {}
+}
+
+impl IssueSink for Vec<OpIssue> {
+    #[inline]
+    fn push(&mut self, issue: OpIssue) {
+        Vec::push(self, issue);
+    }
+}
+
+impl CycleModel for DoeModel {
+    fn instruction(&mut self, event: &InstrEvent<'_>) {
+        self.account(event, &mut ());
+    }
+
+    fn instruction_observed(&mut self, event: &InstrEvent<'_>, issues: &mut Vec<OpIssue>) {
+        self.account(event, issues);
     }
 
     fn cycles(&self) -> u64 {

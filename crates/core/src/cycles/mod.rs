@@ -33,6 +33,8 @@ pub use memory::{
     MemoryHierarchy, MemoryLevelStats, MemoryModule,
 };
 
+use crate::observe::OpIssue;
+
 /// Which cycle model the simulator should run alongside functional
 /// execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -152,6 +154,18 @@ impl CycleStats {
 pub trait CycleModel {
     /// Accounts one executed instruction.
     fn instruction(&mut self, event: &InstrEvent<'_>);
+
+    /// Accounts one executed instruction **and** appends one [`OpIssue`]
+    /// per non-`nop` operation (in `event.ops` order) describing when the
+    /// model issued it — the data behind the per-slot observability
+    /// timeline. Models without per-operation issue tracking fall back to
+    /// [`CycleModel::instruction`] and append nothing.
+    ///
+    /// Called instead of [`CycleModel::instruction`] while an observer is
+    /// attached; the two must account identically.
+    fn instruction_observed(&mut self, event: &InstrEvent<'_>, _issues: &mut Vec<OpIssue>) {
+        self.instruction(event);
+    }
 
     /// Called once when the simulation ends; models with internal pipeline
     /// state (e.g. the cycle-accurate reference) drain it here.

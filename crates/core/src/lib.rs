@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod cycles;
+pub mod observe;
 
 mod decode;
 mod error;
@@ -58,6 +59,7 @@ mod trace;
 pub use decode::{DecodeCache, DecodedInstr, DecodedSlot};
 pub use error::SimError;
 pub use mem::Memory;
+pub use observe::{Observer, OpIssue, SimEvent, VecObserver};
 pub use profile::{FunctionProfile, Profiler};
 pub use sim::{RunOutcome, SimConfig, Simulator, Snapshot};
 pub use state::CpuState;

@@ -1,0 +1,185 @@
+//! Structured observability hooks: the event stream behind `--observe`.
+//!
+//! The paper makes trace-file generation and dynamic program analysis
+//! first-class simulator goals (§V, goals 2 and 3). This module is the
+//! modern counterpart of the line-oriented trace file: a typed, enum-tagged
+//! event stream that external collectors (ring buffers, metrics
+//! registries, Perfetto exporters — see the `kahrisma-observe` crate)
+//! consume through the [`Observer`] trait.
+//!
+//! The stream is **zero-cost when disabled**: the simulator holds an
+//! `Option<Box<dyn Observer>>` and every emission site is guarded by a
+//! single `is_some()` check; with no observer attached the superblock hot
+//! loop still takes its allocation-free direct path, so observation never
+//! taxes unobserved runs.
+
+/// One structured simulator event.
+///
+/// Events are small `Copy` values so collectors can ring-buffer them
+/// without allocation. Addresses are operation-word addresses; `cycle`
+/// timestamps come from the attached cycle model (0 without one); `seq` is
+/// the functional instruction index (retire order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimEvent {
+    /// A decode-cache hash lookup found a cached decode structure (§V-A).
+    CacheHit {
+        /// Instruction address.
+        addr: u32,
+    },
+    /// A decode-cache hash lookup missed; a full detect & decode follows.
+    CacheMiss {
+        /// Instruction address.
+        addr: u32,
+    },
+    /// The instruction prediction resolved the decode structure without a
+    /// hash lookup (§V-A).
+    PredictionHit {
+        /// Instruction address.
+        addr: u32,
+    },
+    /// A straight-line superblock was constructed (unique run).
+    SuperblockBuild {
+        /// Address of the run's head instruction.
+        head: u32,
+        /// Number of member instructions.
+        len: u32,
+    },
+    /// A superblock was dispatched as one batched execution.
+    SuperblockBatch {
+        /// Address of the run's head instruction.
+        head: u32,
+        /// Number of member instructions.
+        len: u32,
+    },
+    /// A `switchtarget` operation executed (§V-D).
+    IsaSwitch {
+        /// Address of the `switchtarget` operation word.
+        addr: u32,
+        /// ISA id active before the switch.
+        from: u8,
+        /// ISA id requested by the operation.
+        to: u8,
+    },
+    /// A `simop` (C-library emulation, §V-E) operation executed.
+    SimOp {
+        /// Address of the `simop` operation word.
+        addr: u32,
+        /// The emulation code (which libc routine ran).
+        code: u32,
+    },
+    /// [`crate::Simulator::snapshot`] captured the execution state.
+    SnapshotTaken {
+        /// Instructions executed at the capture point.
+        instructions: u64,
+    },
+    /// [`crate::Simulator::restore`] reapplied a snapshot.
+    Restored {
+        /// Instructions executed at the restored point.
+        instructions: u64,
+    },
+    /// One instruction (bundle) retired — the functional-instruction track.
+    Instr {
+        /// Functional sequence number (retire order, 0-based).
+        seq: u64,
+        /// Instruction address.
+        addr: u32,
+        /// ISA the instruction was decoded under.
+        isa: u8,
+        /// Issue width (slots, including `nop` fillers).
+        width: u8,
+        /// Non-`nop` operations in the bundle.
+        ops: u8,
+        /// Cycle-model time after the instruction (0 without a model).
+        cycle: u64,
+    },
+    /// One non-`nop` operation was issued by the cycle model — the per-slot
+    /// DOE issue/stall timeline.
+    OpIssue {
+        /// Address of the operation word.
+        addr: u32,
+        /// Issue slot of the operation.
+        slot: u8,
+        /// Operation mnemonic.
+        name: &'static str,
+        /// Cycle the model issued the operation.
+        issue: u64,
+        /// Cycle the operation's result completes.
+        completion: u64,
+        /// Cycles the operation waited beyond its slot's structural
+        /// availability (dependency / serialization stall).
+        stall: u32,
+    },
+}
+
+/// Per-operation issue record produced by a cycle model for the observer
+/// stream (see [`crate::cycles::CycleModel::instruction_observed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpIssue {
+    /// Issue slot of the operation.
+    pub slot: u8,
+    /// Cycle the operation issued.
+    pub issue: u64,
+    /// Cycle the operation's result completes.
+    pub completion: u64,
+    /// Cycles the operation waited beyond its slot's structural
+    /// availability.
+    pub stall: u32,
+}
+
+/// Consumer of the structured event stream.
+///
+/// Attached with [`crate::Simulator::set_observer`]; the simulator calls
+/// [`Observer::event`] once per event, in execution order. Implementations
+/// should be cheap — they run inside the simulation loop (though never on
+/// the allocation-free fast path, which is bypassed while an observer is
+/// attached).
+pub trait Observer {
+    /// Consumes one event.
+    fn event(&mut self, event: SimEvent);
+}
+
+/// Collects events into a plain vector (tests, small runs; unbounded).
+#[derive(Debug, Default)]
+pub struct VecObserver {
+    /// The collected events, in emission order.
+    pub events: Vec<SimEvent>,
+}
+
+impl VecObserver {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        VecObserver::default()
+    }
+}
+
+impl Observer for VecObserver {
+    fn event(&mut self, event: SimEvent) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_small_copy_values() {
+        // The ring-buffer design budget: one event stays within two cache
+        // lines even on the widest variant.
+        assert!(std::mem::size_of::<SimEvent>() <= 48, "{}", std::mem::size_of::<SimEvent>());
+        let e = SimEvent::CacheHit { addr: 4 };
+        let f = e; // Copy
+        assert_eq!(e, f);
+    }
+
+    #[test]
+    fn vec_observer_collects_in_order() {
+        let mut o = VecObserver::new();
+        o.event(SimEvent::CacheMiss { addr: 0 });
+        o.event(SimEvent::CacheHit { addr: 4 });
+        assert_eq!(o.events.len(), 2);
+        assert_eq!(o.events[1], SimEvent::CacheHit { addr: 4 });
+    }
+}

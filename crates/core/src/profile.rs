@@ -10,7 +10,11 @@
 //! each instruction address, using the executable's function table
 //! (`.kahrisma.funcs`).
 
+use std::collections::BTreeMap;
+
 use kahrisma_elf::DebugInfo;
+
+use crate::decode::DecodedSlot;
 
 /// Per-function accumulators.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -39,6 +43,8 @@ pub struct Profiler {
     other: usize,
     /// Cache of the last attributed range.
     last: usize,
+    /// Executed non-`nop` operations per opcode mnemonic.
+    opcodes: BTreeMap<&'static str, u64>,
 }
 
 impl Profiler {
@@ -55,7 +61,7 @@ impl Profiler {
         ranges.sort_unstable_by_key(|r| r.0);
         profiles.push(FunctionProfile { name: "<unknown>".into(), ..FunctionProfile::default() });
         let other = profiles.len() - 1;
-        Profiler { ranges, profiles, other, last: usize::MAX }
+        Profiler { ranges, profiles, other, last: usize::MAX, opcodes: BTreeMap::new() }
     }
 
     fn bucket_for(&mut self, addr: u32) -> usize {
@@ -90,6 +96,26 @@ impl Profiler {
         p.instructions += 1;
         p.operations += operations;
         p.cycles += cycle_delta;
+    }
+
+    /// Accounts the executed operations of one instruction into the
+    /// per-opcode histogram (`nop` fillers are skipped).
+    pub(crate) fn note_ops(&mut self, slots: &[DecodedSlot]) {
+        for slot in slots {
+            if !slot.is_nop {
+                *self.opcodes.entry(slot.name).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// The per-opcode operation histogram, most-executed first (ties broken
+    /// alphabetically for deterministic output).
+    #[must_use]
+    pub fn opcode_histogram(&self) -> Vec<(&'static str, u64)> {
+        let mut out: Vec<(&'static str, u64)> =
+            self.opcodes.iter().map(|(&name, &count)| (name, count)).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        out
     }
 
     /// The accumulated profiles, hottest (by cycles, then instructions)

@@ -10,9 +10,10 @@ use crate::cycles::{
     BranchPredictor, BranchPredictorConfig, CycleModel, CycleModelKind, CycleStats, InstrEvent,
     MemoryHierarchy, OpEvent, PredictorKind,
 };
-use crate::decode::{DecodeCache, DecodedSlot, MAX_RUN_LEN, NO_IDX, detect_and_decode_into};
+use crate::decode::{DecodeCache, DecodedSlot, ExecKind, MAX_RUN_LEN, NO_IDX, detect_and_decode_into};
 use crate::error::SimError;
 use crate::exec::{Pending, execute_instr, execute_instr_fast};
+use crate::observe::{Observer, OpIssue, SimEvent};
 use crate::profile::{FunctionProfile, Profiler};
 use crate::state::CpuState;
 use crate::stats::SimStats;
@@ -119,6 +120,12 @@ pub struct Simulator {
     scratch: Vec<DecodedSlot>,
     predictor: Option<BranchPredictor>,
     profiler: Option<Profiler>,
+    /// Structured event-stream consumer (`None` keeps every hot path on
+    /// its unobserved, allocation-free route).
+    observer: Option<Box<dyn Observer>>,
+    /// Per-instruction issue records from the cycle model while an
+    /// observer is attached (reused across instructions).
+    issue_scratch: Vec<OpIssue>,
     /// The architectural state as loaded, for [`Simulator::reset`].
     initial_state: Box<CpuState>,
 }
@@ -232,6 +239,8 @@ impl Simulator {
             scratch: Vec::with_capacity(8),
             predictor,
             profiler,
+            observer: None,
+            issue_scratch: Vec::with_capacity(8),
             initial_state,
         })
     }
@@ -246,11 +255,14 @@ impl Simulator {
     ///
     /// Returns [`SimError::SnapshotUnsupported`] if an attached cycle model
     /// does not implement [`CycleModel::fork`].
-    pub fn snapshot(&self) -> Result<Snapshot, SimError> {
+    pub fn snapshot(&mut self) -> Result<Snapshot, SimError> {
         let model = match &self.model {
             Some(m) => Some(m.fork().ok_or(SimError::SnapshotUnsupported)?),
             None => None,
         };
+        if let Some(o) = &mut self.observer {
+            o.event(SimEvent::SnapshotTaken { instructions: self.stats.instructions });
+        }
         Ok(Snapshot {
             state: self.state.clone(),
             stats: self.stats,
@@ -290,6 +302,9 @@ impl Simulator {
         self.prev_idx = NO_IDX;
         self.events.clear();
         self.pending = Pending::default();
+        if let Some(o) = &mut self.observer {
+            o.event(SimEvent::Restored { instructions: self.stats.instructions });
+        }
         Ok(())
     }
 
@@ -317,6 +332,7 @@ impl Simulator {
         self.events.clear();
         self.pending = Pending::default();
         self.scratch.clear();
+        self.issue_scratch.clear();
     }
 
     /// Attaches a trace sink; every subsequently executed operation is
@@ -340,6 +356,22 @@ impl Simulator {
     /// Detaches and returns the trace sink.
     pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
         self.trace.take()
+    }
+
+    /// Attaches a structured-event observer (see [`crate::observe`]); every
+    /// subsequent simulator event — decode-cache activity, superblock
+    /// construction and batching, executed instructions, ISA switches,
+    /// `simop`s, per-operation cycle-model issues — is delivered to it in
+    /// execution order. While an observer is attached the superblock fast
+    /// path is bypassed so no event is skipped; with no observer the hot
+    /// loop is unchanged.
+    pub fn set_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches and returns the observer.
+    pub fn take_observer(&mut self) -> Option<Box<dyn Observer>> {
+        self.observer.take()
     }
 
     /// The architectural state (registers, memory, stdout, …).
@@ -377,6 +409,13 @@ impl Simulator {
     #[must_use]
     pub fn function_profile(&self) -> Option<Vec<FunctionProfile>> {
         self.profiler.as_ref().map(Profiler::report)
+    }
+
+    /// Executed non-`nop` operations per opcode mnemonic, most-executed
+    /// first, when [`SimConfig::profile`] is enabled.
+    #[must_use]
+    pub fn opcode_histogram(&self) -> Option<Vec<(&'static str, u64)>> {
+        self.profiler.as_ref().map(Profiler::opcode_histogram)
     }
 
     /// The decode cache (size inspection for tests/benchmarks).
@@ -460,7 +499,7 @@ impl Simulator {
                 &mut self.trace,
                 &mut self.stats,
             )?;
-            self.feed_observers(instr.addr, ops_before, cycles_before);
+            self.feed_observers(instr.addr, isa, ops_before, cycles_before, NO_IDX);
             Ok(())
         }
     }
@@ -476,6 +515,9 @@ impl Simulator {
             if let Some(i) = self.cache.predict(self.prev_idx, ip) {
                 self.stats.prediction_hits += 1;
                 debug_assert_eq!(self.cache.get(i).isa, isa);
+                if let Some(o) = &mut self.observer {
+                    o.event(SimEvent::PredictionHit { addr: ip });
+                }
                 return Ok(i);
             }
         }
@@ -483,10 +525,16 @@ impl Simulator {
         let idx = match self.cache.lookup(ip, isa) {
             Some(i) => {
                 self.stats.cache_hits += 1;
+                if let Some(o) = &mut self.observer {
+                    o.event(SimEvent::CacheHit { addr: ip });
+                }
                 i
             }
             None => {
                 self.stats.detect_decodes += 1;
+                if let Some(o) = &mut self.observer {
+                    o.event(SimEvent::CacheMiss { addr: ip });
+                }
                 match self.cache.decode_insert(&self.tables, &self.state.mem, ip, isa) {
                     Ok(i) => i,
                     Err(e) => return Err(self.enrich_decode_error(e)),
@@ -519,13 +567,31 @@ impl Simulator {
             &mut self.stats,
         )?;
         let addr = instr.addr;
-        self.feed_observers(addr, ops_before, cycles_before);
+        let isa = instr.isa;
+        self.feed_observers(addr, isa, ops_before, cycles_before, idx);
         Ok(())
     }
 
-    fn feed_observers(&mut self, addr: u32, ops_before: u64, cycles_before: u64) {
+    /// Feeds the cycle model, profiler, and observer after one executed
+    /// instruction. `idx` is the decode-cache index of the instruction, or
+    /// `NO_IDX` when its slots live in the uncached scratch arena.
+    fn feed_observers(
+        &mut self,
+        addr: u32,
+        isa: IsaId,
+        ops_before: u64,
+        cycles_before: u64,
+        idx: u32,
+    ) {
+        let observed = self.observer.is_some();
         if let Some(model) = &mut self.model {
-            model.instruction(&InstrEvent { addr, ops: &self.events });
+            let event = InstrEvent { addr, ops: &self.events };
+            if observed {
+                self.issue_scratch.clear();
+                model.instruction_observed(&event, &mut self.issue_scratch);
+            } else {
+                model.instruction(&event);
+            }
         }
         if let Some(p) = &mut self.profiler {
             let cycles_after = self.model.as_ref().map_or(0, |m| m.cycles());
@@ -534,6 +600,63 @@ impl Simulator {
                 self.stats.operations - ops_before,
                 cycles_after.saturating_sub(cycles_before),
             );
+            let slots: &[DecodedSlot] =
+                if idx == NO_IDX { &self.scratch } else { self.cache.instr_and_slots(idx).1 };
+            p.note_ops(slots);
+        }
+        if observed {
+            let cycles_after = self.model.as_ref().map_or(0, |m| m.cycles());
+            self.emit_exec_events(addr, isa, cycles_after, idx);
+        }
+    }
+
+    /// Emits the per-instruction observer events (`Instr`, `IsaSwitch`,
+    /// `SimOp`, and the cycle model's `OpIssue` records) for the
+    /// instruction just executed.
+    fn emit_exec_events(&mut self, addr: u32, isa: IsaId, cycle: u64, idx: u32) {
+        let Some(obs) = self.observer.as_deref_mut() else { return };
+        let slots: &[DecodedSlot] =
+            if idx == NO_IDX { &self.scratch } else { self.cache.instr_and_slots(idx).1 };
+        let ops = slots.iter().filter(|s| !s.is_nop).count();
+        obs.event(SimEvent::Instr {
+            seq: self.stats.instructions.saturating_sub(1),
+            addr,
+            isa: isa.value(),
+            width: slots.len() as u8,
+            ops: ops as u8,
+            cycle,
+        });
+        // The cycle model appends one issue record per non-`nop` operation
+        // in slot order, so zipping against the non-`nop` slots recovers
+        // each record's opcode and operation-word address. Models without
+        // per-operation tracking leave the scratch empty.
+        let mut issues = self.issue_scratch.iter();
+        for (slot_idx, slot) in slots.iter().enumerate() {
+            if slot.is_nop {
+                continue;
+            }
+            let op_addr = addr.wrapping_add((slot_idx as u32) * 4);
+            match slot.exec {
+                ExecKind::SwitchTarget => obs.event(SimEvent::IsaSwitch {
+                    addr: op_addr,
+                    from: isa.value(),
+                    to: slot.imm as u8,
+                }),
+                ExecKind::SimOp => {
+                    obs.event(SimEvent::SimOp { addr: op_addr, code: slot.imm });
+                }
+                _ => {}
+            }
+            if let Some(rec) = issues.next() {
+                obs.event(SimEvent::OpIssue {
+                    addr: op_addr,
+                    slot: rec.slot,
+                    name: slot.name,
+                    issue: rec.issue,
+                    completion: rec.completion,
+                    stall: rec.stall,
+                });
+            }
         }
     }
 
@@ -593,6 +716,12 @@ impl Simulator {
             idx = next;
         }
         self.stats.superblocks_built += 1;
+        if let Some(o) = &mut self.observer {
+            o.event(SimEvent::SuperblockBuild {
+                head: self.cache.get(head).addr,
+                len: members.len() as u32,
+            });
+        }
         self.cache.install_run(head, &members)
     }
 
@@ -609,12 +738,19 @@ impl Simulator {
             sb = self.build_run(head);
         }
         self.stats.superblock_batches += 1;
+        if let Some(o) = &mut self.observer {
+            o.event(SimEvent::SuperblockBatch {
+                head: ip,
+                len: self.cache.run_members(sb).len() as u32,
+            });
+        }
         // The allocation-free direct path is valid only when nothing
         // observes intermediate execution.
         let fast = self.model.is_none()
             && self.trace.is_none()
             && self.profiler.is_none()
-            && self.predictor.is_none();
+            && self.predictor.is_none()
+            && self.observer.is_none();
         let n = self.cache.run_members(sb).len();
         let mut last = head;
         for i in 0..n {
@@ -641,7 +777,8 @@ impl Simulator {
                     &mut self.stats,
                 )?;
                 let addr = instr.addr;
-                self.feed_observers(addr, ops_before, cycles_before);
+                let instr_isa = instr.isa;
+                self.feed_observers(addr, instr_isa, ops_before, cycles_before, idx);
             }
             last = idx;
             if self.state.halted {
@@ -1127,6 +1264,15 @@ mod tests {
         // All cycles are attributed somewhere, summing to the model total.
         let total: u64 = profile.iter().map(|p| p.cycles).sum();
         assert_eq!(total, sim.cycle_stats().unwrap().cycles);
+        // The per-opcode histogram counts each executed operation, skips
+        // nop fillers, and is sorted most-executed first.
+        let opcodes = sim.opcode_histogram().expect("profiling enabled");
+        let mul = opcodes.iter().find(|(n, _)| *n == "mul").expect("mul counted");
+        assert_eq!(mul.1, 50);
+        assert!(opcodes.iter().all(|(n, _)| *n != "nop"));
+        assert!(opcodes.windows(2).all(|w| w[0].1 >= w[1].1));
+        let op_total: u64 = opcodes.iter().map(|(_, c)| c).sum();
+        assert_eq!(op_total, sim.stats().operations);
     }
 
     #[test]
@@ -1444,6 +1590,73 @@ mod tests {
         assert_eq!(sim.cycle_stats().unwrap(), cycles);
         // The decode cache survived the reset: nothing re-decoded.
         assert_eq!(sim.stats().detect_decodes, 0);
+    }
+
+    #[test]
+    fn observer_stream_matches_stats() {
+        use crate::observe::{Observer, SimEvent};
+        let exe = build(&[("m.s", MIXED_LOOP)]).unwrap();
+        let events = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        struct Shared(std::rc::Rc<std::cell::RefCell<Vec<SimEvent>>>);
+        impl Observer for Shared {
+            fn event(&mut self, e: SimEvent) {
+                self.0.borrow_mut().push(e);
+            }
+        }
+        let mut sim = Simulator::new(&exe, SimConfig::with_model(CycleModelKind::Doe)).unwrap();
+        sim.set_observer(Box::new(Shared(events.clone())));
+        let outcome = sim.run(1_000_000).unwrap();
+        assert!(matches!(outcome, RunOutcome::Halted { .. }));
+        let evs = events.borrow();
+
+        // One Instr event per executed instruction, densely sequenced.
+        let mut want_seq = 0u64;
+        for e in evs.iter() {
+            if let SimEvent::Instr { seq, .. } = e {
+                assert_eq!(*seq, want_seq);
+                want_seq += 1;
+            }
+        }
+        assert_eq!(want_seq, sim.stats().instructions);
+
+        // The DOE model issues exactly the non-`nop` operations.
+        let issues = evs.iter().filter(|e| matches!(e, SimEvent::OpIssue { .. })).count();
+        assert_eq!(issues as u64, sim.stats().operations);
+
+        // ISA switches and simops surface as structured events.
+        let switches = evs.iter().filter(|e| matches!(e, SimEvent::IsaSwitch { .. })).count();
+        assert_eq!(switches as u64, sim.stats().isa_switches);
+        assert!(evs.iter().any(|e| matches!(e, SimEvent::SuperblockBuild { .. })));
+        assert!(evs.iter().any(|e| matches!(e, SimEvent::SuperblockBatch { .. })));
+
+        // Observation must not perturb results or timing.
+        let mut plain = Simulator::new(&exe, SimConfig::with_model(CycleModelKind::Doe)).unwrap();
+        assert_eq!(plain.run(1_000_000).unwrap(), outcome);
+        assert_eq!(plain.stats().instructions, sim.stats().instructions);
+        assert_eq!(plain.stats().operations, sim.stats().operations);
+        assert_eq!(plain.cycle_stats(), sim.cycle_stats());
+    }
+
+    #[test]
+    fn observer_sees_snapshot_and_restore() {
+        use crate::observe::{Observer, SimEvent};
+        let exe = build(&[("m.s", MIXED_LOOP)]).unwrap();
+        let events = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        struct Shared(std::rc::Rc<std::cell::RefCell<Vec<SimEvent>>>);
+        impl Observer for Shared {
+            fn event(&mut self, e: SimEvent) {
+                self.0.borrow_mut().push(e);
+            }
+        }
+        let mut sim = Simulator::new(&exe, SimConfig::default()).unwrap();
+        sim.set_observer(Box::new(Shared(events.clone())));
+        sim.run_for(10).unwrap();
+        let snap = sim.snapshot().unwrap();
+        sim.run_for(5).unwrap();
+        sim.restore(&snap).unwrap();
+        let evs = events.borrow();
+        assert!(evs.contains(&SimEvent::SnapshotTaken { instructions: 10 }));
+        assert!(evs.contains(&SimEvent::Restored { instructions: 10 }));
     }
 
     #[test]

@@ -47,12 +47,16 @@ impl SimStats {
 
     /// Fraction of instructions whose detect & decode was avoided by the
     /// cache (the paper's 99.991 % figure).
+    ///
+    /// Clamped to `[0, 1]`: superblock lookahead can decode instructions
+    /// that never execute (e.g. a budget pause right before them), so
+    /// `detect_decodes` may exceed `instructions` on short runs.
     #[must_use]
     pub fn decode_avoided_ratio(&self) -> f64 {
         if self.instructions == 0 {
             return 0.0;
         }
-        1.0 - (self.detect_decodes as f64 / self.instructions as f64)
+        (1.0 - (self.detect_decodes as f64 / self.instructions as f64)).max(0.0)
     }
 
     /// Fraction of potential hash lookups avoided by the instruction
@@ -162,6 +166,37 @@ mod tests {
     #[test]
     fn cache_hit_ratio_handles_zero() {
         assert_eq!(SimStats::new().cache_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratios_are_always_finite_and_bounded() {
+        // Superblock lookahead can decode more instructions than execute;
+        // the avoided ratio must not go negative (and no ratio may be NaN).
+        let lookahead = SimStats {
+            instructions: 3,
+            detect_decodes: 7,
+            ..SimStats::default()
+        };
+        assert_eq!(lookahead.decode_avoided_ratio(), 0.0);
+        for s in [SimStats::new(), lookahead] {
+            for r in [
+                s.decode_avoided_ratio(),
+                s.lookup_avoided_ratio(),
+                s.cache_hit_ratio(),
+                s.mem_ratio(),
+            ] {
+                assert!(r.is_finite() && (0.0..=1.0).contains(&r), "{r}");
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_zero_wall_time_is_nan_free() {
+        let t = SimStats { instructions: 5, ..SimStats::default() }.throughput(0.0);
+        assert!(t.mips.is_finite() && t.ns_per_instruction.is_finite());
+        let t = SimStats::new().throughput(1.0);
+        assert_eq!(t.mips, 0.0);
+        assert!(t.ns_per_instruction.is_finite());
     }
 
     #[test]

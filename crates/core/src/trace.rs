@@ -11,8 +11,10 @@ use std::io::Write;
 /// One executed operation, as recorded in the trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceRecord {
-    /// Sequence number of the instruction (functional order); when a cycle
-    /// model is active, the approximated issue cycle of the operation.
+    /// Retire index of the instruction (functional order). Cycle-model
+    /// issue timing is not part of the trace; see
+    /// [`crate::observe::SimEvent::OpIssue`] for per-operation issue
+    /// cycles.
     pub cycle: u64,
     /// Address of the operation word.
     pub addr: u32,

@@ -10,7 +10,12 @@
 //!   --isa <risc|vliw2|vliw4|vliw6|vliw8>   initial ISA (default: from ELF)
 //!   --model <ilp|aie|doe>                  cycle-approximation model
 //!   --predictor <perfect|static|bimodal>   branch prediction (default perfect)
-//!   --trace <file>                         write a trace file
+//!   --trace                                write the trace to stderr
+//!   --trace-out <file>                     write the trace to a file
+//!   --observe <file>                       write a Perfetto/Chrome trace JSON
+//!   --observe-capacity <n>                 event ring capacity (default 1000000)
+//!   --metrics <file>                       write the metrics registry JSON ("-" = stderr)
+//!   --flame <file>                         write collapsed stacks (needs --profile)
 //!   --rtl                                  run the cycle-accurate reference
 //!   --max-instr <n>                        instruction budget (default 1e9)
 //!   --no-cache | --no-prediction           disable §V-A mechanisms
@@ -18,6 +23,9 @@
 //!   --profile                              per-function attribution (§V goal 2)
 //!   --stats                                print detailed statistics
 //! ```
+//!
+//! Traces never go to stdout: simulated-program output owns stdout, so
+//! `--trace` interleaves nothing (stderr) and `--trace-out` writes a file.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -30,7 +38,12 @@ struct Options {
     initial_isa: Option<IsaKind>,
     model: Option<CycleModelKind>,
     predictor: kahrisma::core::BranchPredictorConfig,
-    trace: Option<String>,
+    trace_stderr: bool,
+    trace_out: Option<String>,
+    observe: Option<String>,
+    observe_capacity: usize,
+    metrics: Option<String>,
+    flame: Option<String>,
     rtl: bool,
     max_instr: u64,
     decode_cache: bool,
@@ -43,8 +56,10 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: ksim [--isa NAME] [--model ilp|aie|doe] [--predictor perfect|static|bimodal]\n\
-         \x20           [--trace FILE] [--rtl] [--max-instr N] [--no-cache] [--no-prediction]\n\
-         \x20           [--baseline-cache] [--stats] <executable.elf>"
+         \x20           [--trace] [--trace-out FILE] [--observe FILE] [--observe-capacity N]\n\
+         \x20           [--metrics FILE|-] [--flame FILE] [--rtl] [--max-instr N] [--no-cache]\n\
+         \x20           [--no-prediction] [--baseline-cache] [--profile] [--stats]\n\
+         \x20           <executable.elf>"
     );
     std::process::exit(2);
 }
@@ -65,7 +80,12 @@ fn parse_args() -> Options {
         initial_isa: None,
         model: None,
         predictor: kahrisma::core::BranchPredictorConfig::perfect(),
-        trace: None,
+        trace_stderr: false,
+        trace_out: None,
+        observe: None,
+        observe_capacity: 1_000_000,
+        metrics: None,
+        flame: None,
         rtl: false,
         max_instr: 1_000_000_000,
         decode_cache: true,
@@ -109,7 +129,15 @@ fn parse_args() -> Options {
                     }
                 };
             }
-            "--trace" => options.trace = Some(value("--trace")),
+            "--trace" => options.trace_stderr = true,
+            "--trace-out" => options.trace_out = Some(value("--trace-out")),
+            "--observe" => options.observe = Some(value("--observe")),
+            "--observe-capacity" => {
+                options.observe_capacity =
+                    value("--observe-capacity").parse().unwrap_or_else(|_| usage());
+            }
+            "--metrics" => options.metrics = Some(value("--metrics")),
+            "--flame" => options.flame = Some(value("--flame")),
             "--rtl" => options.rtl = true,
             "--max-instr" => {
                 options.max_instr = value("--max-instr").parse().unwrap_or_else(|_| usage());
@@ -186,7 +214,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if let Some(path) = &options.trace {
+    if let Some(path) = &options.trace_out {
         match std::fs::File::create(path) {
             Ok(f) => sim.set_trace_sink(Box::new(WriteTraceSink::new(std::io::BufWriter::new(f)))),
             Err(e) => {
@@ -194,7 +222,22 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    } else if options.trace_stderr {
+        // Simulated-program output owns stdout, so the trace goes to stderr.
+        sim.set_trace_sink(Box::new(WriteTraceSink::new(std::io::BufWriter::new(
+            std::io::stderr(),
+        ))));
     }
+
+    let collector = if options.observe.is_some() || options.metrics.is_some() {
+        let shared = kahrisma::observe::Shared::new(kahrisma::observe::Collector::new(
+            options.observe_capacity,
+        ));
+        sim.set_observer(Box::new(shared.handle()));
+        Some(shared)
+    } else {
+        None
+    };
 
     let start = std::time::Instant::now();
     let outcome = match sim.run(options.max_instr) {
@@ -247,6 +290,52 @@ fn main() -> ExitCode {
         eprintln!("{:<20}{:>12}{:>12}{:>12}", "function", "instrs", "ops", "cycles");
         for f in profile.iter().take(20) {
             eprintln!("{:<20}{:>12}{:>12}{:>12}", f.name, f.instructions, f.operations, f.cycles);
+        }
+        if let Some(opcodes) = sim.opcode_histogram() {
+            eprintln!("{:<20}{:>12}", "opcode", "count");
+            for (name, count) in opcodes.iter().take(10) {
+                eprintln!("{name:<20}{count:>12}");
+            }
+        }
+        if let Some(path) = &options.flame {
+            let weight = kahrisma::observe::flame::default_weight(&profile);
+            let stacks = kahrisma::observe::flame::collapsed_stacks(&profile, weight);
+            if let Err(e) = std::fs::write(path, stacks) {
+                eprintln!("ksim: cannot write flame file {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if options.flame.is_some() {
+        eprintln!("ksim: --flame requires --profile");
+        return ExitCode::from(2);
+    }
+
+    if let Some(shared) = &collector {
+        let c = shared.borrow();
+        if let Some(path) = &options.observe {
+            if c.ring.dropped() > 0 {
+                eprintln!(
+                    "ksim: event ring dropped {} of {} events; raise --observe-capacity \
+                     (currently {}) for a complete timeline",
+                    c.ring.dropped(),
+                    c.ring.total(),
+                    c.ring.capacity()
+                );
+            }
+            let json = kahrisma::observe::perfetto::trace_json(&c.ring.to_vec());
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("ksim: cannot write observe file {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        if let Some(path) = &options.metrics {
+            let json = c.metrics.registry().to_json();
+            if path == "-" {
+                eprintln!("{json}");
+            } else if let Err(e) = std::fs::write(path, json) {
+                eprintln!("ksim: cannot write metrics file {path}: {e}");
+                return ExitCode::from(2);
+            }
         }
     }
 

@@ -13,7 +13,8 @@
 //!   cycle models, memory hierarchy, trace generation, libc emulation),
 //! * [`rtl`] — the cycle-accurate DOE reference pipeline,
 //! * [`kcc`] — the retargetable KC compiler with VLIW list scheduling,
-//! * [`workloads`] — the paper's evaluation applications.
+//! * [`workloads`] — the paper's evaluation applications,
+//! * [`observe`] — structured event timelines, metrics, Perfetto export.
 //!
 //! # Quick start
 //!
@@ -38,6 +39,7 @@ pub use kahrisma_core as core;
 pub use kahrisma_elf as elf;
 pub use kahrisma_isa as isa;
 pub use kahrisma_kcc as kcc;
+pub use kahrisma_observe as observe;
 pub use kahrisma_rtl as rtl;
 pub use kahrisma_workloads as workloads;
 

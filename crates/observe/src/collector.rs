@@ -1,0 +1,238 @@
+//! Observers that fold the event stream into metrics, and the shared
+//! handle that keeps collectors accessible after boxing.
+
+use std::cell::{Ref, RefCell, RefMut};
+use std::rc::Rc;
+use std::time::Instant;
+
+use kahrisma_core::observe::{Observer, SimEvent};
+
+use crate::metrics::MetricsRegistry;
+use crate::ring::EventRing;
+
+/// Instructions per throughput window (see `throughput.window_mips`).
+const WINDOW_INSTRUCTIONS: u64 = 100_000;
+
+/// Folds the structured event stream into a [`MetricsRegistry`]:
+/// decode-cache counters and probe distances, superblock build/batch
+/// length histograms, operation delay/stall histograms, ISA-switch and
+/// `simop` counters, and a windowed-MIPS histogram (wall-clock per
+/// [`WINDOW_INSTRUCTIONS`] retired instructions).
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    registry: MetricsRegistry,
+    window_instrs: u64,
+    window_start: Instant,
+}
+
+impl Default for MetricsCollector {
+    fn default() -> Self {
+        MetricsCollector::new()
+    }
+}
+
+impl MetricsCollector {
+    /// Creates a collector with an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsCollector {
+            registry: MetricsRegistry::new(),
+            window_instrs: 0,
+            window_start: Instant::now(),
+        }
+    }
+
+    /// The accumulated registry.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Consumes the collector, returning the registry.
+    #[must_use]
+    pub fn into_registry(self) -> MetricsRegistry {
+        self.registry
+    }
+}
+
+impl Observer for MetricsCollector {
+    fn event(&mut self, event: SimEvent) {
+        let r = &mut self.registry;
+        match event {
+            SimEvent::PredictionHit { .. } => {
+                r.count("decode.prediction_hits", 1);
+                r.record("decode.probe_distance", 0);
+            }
+            SimEvent::CacheHit { .. } => {
+                r.count("decode.cache_hits", 1);
+                r.record("decode.probe_distance", 1);
+            }
+            SimEvent::CacheMiss { .. } => {
+                r.count("decode.cache_misses", 1);
+                r.record("decode.probe_distance", 2);
+            }
+            SimEvent::SuperblockBuild { len, .. } => {
+                r.count("superblock.built", 1);
+                r.record("superblock.build_len", u64::from(len));
+            }
+            SimEvent::SuperblockBatch { len, .. } => {
+                r.count("superblock.batches", 1);
+                r.record("superblock.batch_len", u64::from(len));
+            }
+            SimEvent::IsaSwitch { .. } => r.count("isa.switches", 1),
+            SimEvent::SimOp { .. } => r.count("libc.simops", 1),
+            SimEvent::SnapshotTaken { .. } => r.count("snapshot.taken", 1),
+            SimEvent::Restored { .. } => r.count("snapshot.restored", 1),
+            SimEvent::Instr { width, ops, .. } => {
+                r.count("instr.retired", 1);
+                r.record("instr.width", u64::from(width));
+                r.record("instr.ops", u64::from(ops));
+                self.window_instrs += 1;
+                if self.window_instrs >= WINDOW_INSTRUCTIONS {
+                    let secs = self.window_start.elapsed().as_secs_f64();
+                    let mips = if secs > 0.0 {
+                        self.window_instrs as f64 / secs / 1e6
+                    } else {
+                        0.0
+                    };
+                    let r = &mut self.registry;
+                    r.record("throughput.window_mips", mips.max(0.0) as u64);
+                    r.set_gauge("throughput.last_window_mips", mips);
+                    self.window_instrs = 0;
+                    self.window_start = Instant::now();
+                }
+            }
+            SimEvent::OpIssue { issue, completion, stall, .. } => {
+                r.count("op.issued", 1);
+                r.record("op.delay", completion.saturating_sub(issue));
+                r.record("op.stall", u64::from(stall));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Ring buffer and metrics behind a single observer: retains the most
+/// recent events for timeline export while folding every event into the
+/// registry.
+#[derive(Debug)]
+pub struct Collector {
+    /// The bounded event timeline.
+    pub ring: EventRing,
+    /// The metrics fold.
+    pub metrics: MetricsCollector,
+}
+
+impl Collector {
+    /// Creates a collector retaining at most `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Collector { ring: EventRing::new(capacity), metrics: MetricsCollector::new() }
+    }
+}
+
+impl Observer for Collector {
+    fn event(&mut self, event: SimEvent) {
+        self.ring.event(event);
+        self.metrics.event(event);
+    }
+}
+
+/// A clonable shared handle around an observer (or any value).
+///
+/// [`kahrisma_core::Simulator::set_observer`] takes a `Box<dyn Observer>`,
+/// which cannot be downcast back to its concrete type. Wrapping the
+/// collector in `Shared` lets the caller box one handle into the simulator
+/// and keep another to read results out afterwards.
+#[derive(Debug, Default)]
+pub struct Shared<T>(Rc<RefCell<T>>);
+
+impl<T> Shared<T> {
+    /// Wraps `inner` in a shared handle.
+    #[must_use]
+    pub fn new(inner: T) -> Self {
+        Shared(Rc::new(RefCell::new(inner)))
+    }
+
+    /// Another handle to the same inner value.
+    #[must_use]
+    pub fn handle(&self) -> Self {
+        Shared(Rc::clone(&self.0))
+    }
+
+    /// Immutable access to the inner value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is currently mutably borrowed (i.e. from within
+    /// an [`Observer::event`] delivery).
+    #[must_use]
+    pub fn borrow(&self) -> Ref<'_, T> {
+        self.0.borrow()
+    }
+
+    /// Mutable access to the inner value (see [`Shared::borrow`]).
+    #[must_use]
+    pub fn borrow_mut(&self) -> RefMut<'_, T> {
+        self.0.borrow_mut()
+    }
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        self.handle()
+    }
+}
+
+impl<T: Observer> Observer for Shared<T> {
+    fn event(&mut self, event: SimEvent) {
+        self.0.borrow_mut().event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_collector_folds_events() {
+        let mut c = MetricsCollector::new();
+        c.event(SimEvent::PredictionHit { addr: 0 });
+        c.event(SimEvent::CacheHit { addr: 4 });
+        c.event(SimEvent::CacheMiss { addr: 8 });
+        c.event(SimEvent::SuperblockBuild { head: 0, len: 5 });
+        c.event(SimEvent::SuperblockBatch { head: 0, len: 5 });
+        c.event(SimEvent::Instr { seq: 0, addr: 0, isa: 0, width: 4, ops: 2, cycle: 1 });
+        c.event(SimEvent::OpIssue {
+            addr: 0,
+            slot: 1,
+            name: "add",
+            issue: 3,
+            completion: 7,
+            stall: 2,
+        });
+        let r = c.registry();
+        assert_eq!(r.counter("decode.prediction_hits"), 1);
+        assert_eq!(r.counter("decode.cache_hits"), 1);
+        assert_eq!(r.counter("decode.cache_misses"), 1);
+        assert_eq!(r.counter("superblock.built"), 1);
+        assert_eq!(r.counter("instr.retired"), 1);
+        assert_eq!(r.counter("op.issued"), 1);
+        assert_eq!(r.histogram("op.delay").unwrap().max(), Some(4));
+        assert_eq!(r.histogram("op.stall").unwrap().max(), Some(2));
+        assert_eq!(r.histogram("superblock.batch_len").unwrap().sum(), 5);
+        assert_eq!(r.histogram("decode.probe_distance").unwrap().count(), 3);
+        crate::json_lint::validate(&r.to_json()).expect("valid JSON");
+    }
+
+    #[test]
+    fn shared_handle_reads_after_boxing() {
+        let shared = Shared::new(Collector::new(16));
+        let mut boxed: Box<dyn Observer> = Box::new(shared.handle());
+        boxed.event(SimEvent::CacheHit { addr: 4 });
+        boxed.event(SimEvent::Instr { seq: 0, addr: 4, isa: 0, width: 1, ops: 1, cycle: 0 });
+        let c = shared.borrow();
+        assert_eq!(c.ring.len(), 2);
+        assert_eq!(c.metrics.registry().counter("instr.retired"), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Flamegraph-ready collapsed-stack dumps from the function profiler.
+//!
+//! The simulator's [`Profiler`](kahrisma_core::Profiler) attributes
+//! instructions, operations, and approximated cycles to functions (paper
+//! §V, goal 2). This module renders that report in Brendan Gregg's
+//! *collapsed stack* format — one `frames weight` line per function — which
+//! `flamegraph.pl` and [speedscope] consume directly.
+//!
+//! [speedscope]: https://www.speedscope.app
+
+use std::fmt::Write as _;
+
+use kahrisma_core::FunctionProfile;
+
+/// Which accumulator of the profile weights the flamegraph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlameWeight {
+    /// Weight by attributed cycle-model cycles.
+    Cycles,
+    /// Weight by attributed instructions.
+    Instructions,
+    /// Weight by attributed non-`nop` operations.
+    Operations,
+}
+
+/// Renders `profile` as collapsed stacks under a `kahrisma` root frame,
+/// weighted by `weight`; zero-weight functions are omitted. Lines are
+/// emitted in profile order (hottest first, as produced by
+/// [`kahrisma_core::Simulator::function_profile`]).
+#[must_use]
+pub fn collapsed_stacks(profile: &[FunctionProfile], weight: FlameWeight) -> String {
+    let mut out = String::with_capacity(profile.len() * 32);
+    for f in profile {
+        let w = match weight {
+            FlameWeight::Cycles => f.cycles,
+            FlameWeight::Instructions => f.instructions,
+            FlameWeight::Operations => f.operations,
+        };
+        if w == 0 {
+            continue;
+        }
+        // Semicolons separate stack frames in the collapsed format, and a
+        // space separates the stack from the weight; scrub both out of
+        // function names so each name stays a single frame.
+        let name: String = f
+            .name
+            .chars()
+            .map(|c| if c == ';' || c.is_whitespace() { '_' } else { c })
+            .collect();
+        let _ = writeln!(out, "kahrisma;{name} {w}");
+    }
+    out
+}
+
+/// Picks the most informative weight available: cycles when a cycle model
+/// contributed any, otherwise instructions.
+#[must_use]
+pub fn default_weight(profile: &[FunctionProfile]) -> FlameWeight {
+    if profile.iter().any(|f| f.cycles > 0) {
+        FlameWeight::Cycles
+    } else {
+        FlameWeight::Instructions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> Vec<FunctionProfile> {
+        vec![
+            FunctionProfile {
+                name: "main".into(),
+                instructions: 100,
+                operations: 120,
+                cycles: 400,
+            },
+            FunctionProfile {
+                name: "bad name;x".into(),
+                instructions: 10,
+                operations: 10,
+                cycles: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_one_line_per_function() {
+        let out = collapsed_stacks(&profile(), FlameWeight::Instructions);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines, vec!["kahrisma;main 100", "kahrisma;bad_name_x 10"]);
+    }
+
+    #[test]
+    fn zero_weight_functions_are_omitted() {
+        let out = collapsed_stacks(&profile(), FlameWeight::Cycles);
+        assert_eq!(out.lines().count(), 1);
+        assert!(out.starts_with("kahrisma;main 400"));
+    }
+
+    #[test]
+    fn default_weight_prefers_cycles() {
+        assert_eq!(default_weight(&profile()), FlameWeight::Cycles);
+        let no_cycles: Vec<FunctionProfile> = profile()
+            .into_iter()
+            .map(|f| FunctionProfile { cycles: 0, ..f })
+            .collect();
+        assert_eq!(default_weight(&no_cycles), FlameWeight::Instructions);
+    }
+}

@@ -1,0 +1,200 @@
+//! A minimal, dependency-free JSON validity checker.
+//!
+//! The exporters in this crate hand-serialize their documents; the tests
+//! (and the CI smoke check) use this recursive-descent validator to assert
+//! the output is well-formed JSON without pulling in a parser dependency
+//! (the build environment is offline).
+
+/// Validates that `input` is exactly one well-formed JSON value.
+///
+/// # Errors
+///
+/// Returns a human-readable description (with byte offset) of the first
+/// syntax error.
+pub fn validate(input: &str) -> Result<(), String> {
+    let b = input.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos)?;
+    pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn err(pos: usize, what: &str) -> String {
+    format!("{what} at byte {pos}")
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+fn value(b: &[u8], pos: usize) -> Result<usize, String> {
+    match b.get(pos) {
+        None => Err(err(pos, "unexpected end of input")),
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => number(b, pos),
+        Some(c) => Err(err(pos, &format!("unexpected byte {c:#x}"))),
+    }
+}
+
+fn literal(b: &[u8], pos: usize, lit: &str) -> Result<usize, String> {
+    if b[pos..].starts_with(lit.as_bytes()) {
+        Ok(pos + lit.len())
+    } else {
+        Err(err(pos, &format!("expected `{lit}`")))
+    }
+}
+
+fn object(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos + 1); // past '{'
+    if b.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        if b.get(pos) != Some(&b'"') {
+            return Err(err(pos, "expected object key"));
+        }
+        pos = string(b, pos)?;
+        pos = skip_ws(b, pos);
+        if b.get(pos) != Some(&b':') {
+            return Err(err(pos, "expected `:`"));
+        }
+        pos = skip_ws(b, pos + 1);
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err(err(pos, "expected `,` or `}`")),
+        }
+    }
+}
+
+fn array(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos + 1); // past '['
+    if b.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err(err(pos, "expected `,` or `]`")),
+        }
+    }
+}
+
+fn string(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos += 1; // past '"'
+    while let Some(&c) = b.get(pos) {
+        match c {
+            b'"' => return Ok(pos + 1),
+            b'\\' => match b.get(pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 2,
+                Some(b'u') => {
+                    let hex = b.get(pos + 2..pos + 6).ok_or_else(|| err(pos, "short \\u"))?;
+                    if !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return Err(err(pos, "bad \\u escape"));
+                    }
+                    pos += 6;
+                }
+                _ => return Err(err(pos, "bad escape")),
+            },
+            0x00..=0x1F => return Err(err(pos, "raw control character in string")),
+            _ => pos += 1,
+        }
+    }
+    Err(err(pos, "unterminated string"))
+}
+
+fn number(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    let start = pos;
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    let digits = |b: &[u8], mut p: usize| -> usize {
+        while p < b.len() && b[p].is_ascii_digit() {
+            p += 1;
+        }
+        p
+    };
+    let int_end = digits(b, pos);
+    if int_end == pos {
+        return Err(err(pos, "expected digit"));
+    }
+    if b[pos] == b'0' && int_end > pos + 1 {
+        return Err(err(start, "leading zero"));
+    }
+    pos = int_end;
+    if b.get(pos) == Some(&b'.') {
+        let frac_end = digits(b, pos + 1);
+        if frac_end == pos + 1 {
+            return Err(err(pos, "expected fraction digits"));
+        }
+        pos = frac_end;
+    }
+    if matches!(b.get(pos), Some(b'e' | b'E')) {
+        pos += 1;
+        if matches!(b.get(pos), Some(b'+' | b'-')) {
+            pos += 1;
+        }
+        let exp_end = digits(b, pos);
+        if exp_end == pos {
+            return Err(err(pos, "expected exponent digits"));
+        }
+        pos = exp_end;
+    }
+    Ok(pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "null",
+            "-0.5e+10",
+            r#"{"a":[1,2,{"b":"x\ny"}],"c":true,"d":null}"#,
+            r#"  [ 1 , "two" , { } ]  "#,
+            r#""é""#,
+        ] {
+            validate(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "NaN",
+            "nul",
+            "\"unterminated",
+            "{} extra",
+            "\"bad \\q escape\"",
+        ] {
+            assert!(validate(doc).is_err(), "{doc} wrongly accepted");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Observability for the KAHRISMA simulator.
+//!
+//! The paper names trace-file generation and dynamic program analysis as
+//! first-class simulator goals (§V, goals 2 and 3). This crate provides the
+//! modern tooling around the structured event stream that
+//! `kahrisma-core::observe` emits:
+//!
+//! * [`EventRing`] — a bounded, allocation-free-steady-state ring buffer of
+//!   [`SimEvent`]s with a drop counter, for always-on capture,
+//! * [`MetricsRegistry`] — named counters, gauges, and log2-bucketed
+//!   [`Histogram`]s with deterministic JSON serialization,
+//! * [`MetricsCollector`] — an [`Observer`] that folds the event stream
+//!   into a registry (superblock lengths, operation delays and stalls,
+//!   decode-probe distances, windowed MIPS),
+//! * [`Collector`] — ring + metrics behind one observer,
+//! * [`Shared`] — a clonable `Rc<RefCell<_>>` observer handle, so the
+//!   caller keeps access to a collector after boxing it into the simulator,
+//! * [`perfetto`] — Chrome trace-event / Perfetto JSON export with one
+//!   track per DOE issue slot plus a functional-instruction track,
+//! * [`flame`] — flamegraph-ready collapsed-stack dumps from the function
+//!   profiler,
+//! * [`json_lint`] — a dependency-free JSON validity checker used by the
+//!   exporter tests and CI smoke checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flame;
+pub mod json_lint;
+pub mod perfetto;
+
+mod collector;
+mod metrics;
+mod ring;
+
+pub use collector::{Collector, MetricsCollector, Shared};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use ring::EventRing;
+
+pub use kahrisma_core::observe::{Observer, SimEvent};

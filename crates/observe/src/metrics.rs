@@ -1,0 +1,364 @@
+//! Named counters, gauges, and log2-bucketed histograms with deterministic
+//! JSON serialization.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A log2-bucketed histogram of unsigned samples.
+///
+/// Bucket `0` holds the value `0`; bucket `i > 0` holds values in
+/// `[2^(i-1), 2^i)`. Sixty-five buckets cover the full `u64` range, so
+/// recording never saturates or reallocates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; 65], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = if value == 0 { 0 } else { 64 - value.leading_zeros() as usize };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean of recorded samples, `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Occupied buckets as `(lower_bound, count)` pairs, ascending.
+    pub fn occupied_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(i, &c)| {
+            let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+            (lo, c)
+        })
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"buckets\":[",
+            self.count,
+            self.sum,
+            self.min().unwrap_or(0),
+            self.max().unwrap_or(0),
+            fmt_f64(self.mean()),
+        );
+        let mut first = true;
+        for (lo, c) in self.occupied_buckets() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "[{lo},{c}]");
+        }
+        out.push_str("]}");
+    }
+}
+
+/// Formats an `f64` as a JSON number; non-finite values become `0`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() { format!("{v}") } else { "0".into() }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// Keys are stored in [`BTreeMap`]s, so serialization order — and therefore
+/// the emitted JSON — is deterministic: the same recorded values always
+/// produce byte-identical output, regardless of insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero).
+    pub fn count(&mut self, name: &str, delta: u64) {
+        *self.entry_counter(name) += delta;
+    }
+
+    /// Sets counter `name` to an absolute value.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        *self.entry_counter(name) = value;
+    }
+
+    /// Sets gauge `name`; non-finite values are recorded as `0.0` so the
+    /// serialized document is always valid, NaN-free JSON.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        let v = if value.is_finite() { value } else { 0.0 };
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = v,
+            None => {
+                self.gauges.insert(name.to_owned(), v);
+            }
+        }
+    }
+
+    /// Records `value` into histogram `name` (creating it empty).
+    pub fn record(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::new();
+            h.record(value);
+            self.histograms.insert(name.to_owned(), h);
+        }
+    }
+
+    fn entry_counter(&mut self, name: &str) -> &mut u64 {
+        if !self.counters.contains_key(name) {
+            self.counters.insert(name.to_owned(), 0);
+        }
+        self.counters.get_mut(name).expect("just inserted")
+    }
+
+    /// The value of counter `name`, 0 when absent.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The value of gauge `name`, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram `name`, if any sample was recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merges another registry: counters add, gauges take the other's
+    /// value, histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.count(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.set_gauge(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            if let Some(mine) = self.histograms.get_mut(k) {
+                mine.merge(h);
+            } else {
+                self.histograms.insert(k.clone(), h.clone());
+            }
+        }
+    }
+
+    /// Serializes the registry as a compact JSON object with the fixed
+    /// shape `{"counters":{…},"gauges":{…},"histograms":{…}}`, keys sorted.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Serializes into an existing buffer (see [`MetricsRegistry::to_json`]).
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"counters\":{");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            escape(k, out);
+            let _ = write!(out, "\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        first = true;
+        for (k, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            escape(k, out);
+            out.push_str("\":");
+            out.push_str(&fmt_f64(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            escape(k, out);
+            out.push_str("\":");
+            h.write_json(out);
+        }
+        out.push_str("}}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64)> = h.occupied_buckets().collect();
+        // 0 → [0]; 1 → [1,2); 2,3 → [2,4); 4,7 → [4,8); 8 → [8,16); 1024 → [1024,2048)
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (4, 2), (8, 1), (1024, 1)]);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1024));
+        assert_eq!(h.sum(), 1049);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), u64::MAX); // saturating
+        let buckets: Vec<(u64, u64)> = h.occupied_buckets().collect();
+        assert_eq!(buckets, vec![(1u64 << 63, 2)]);
+    }
+
+    #[test]
+    fn registry_json_is_deterministic_and_sorted() {
+        let mut a = MetricsRegistry::new();
+        a.count("zebra", 1);
+        a.count("alpha", 2);
+        a.set_gauge("mips", 12.5);
+        a.record("len", 3);
+        let mut b = MetricsRegistry::new();
+        b.record("len", 3);
+        b.set_gauge("mips", 12.5);
+        b.count("alpha", 2);
+        b.count("zebra", 1);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.to_json().find("alpha").unwrap() < a.to_json().find("zebra").unwrap());
+        crate::json_lint::validate(&a.to_json()).expect("valid JSON");
+    }
+
+    #[test]
+    fn gauges_sanitize_non_finite() {
+        let mut r = MetricsRegistry::new();
+        r.set_gauge("a", f64::NAN);
+        r.set_gauge("b", f64::INFINITY);
+        assert_eq!(r.gauge("a"), Some(0.0));
+        assert_eq!(r.gauge("b"), Some(0.0));
+        assert!(!r.to_json().contains("NaN"));
+        assert!(!r.to_json().contains("inf"));
+        crate::json_lint::validate(&r.to_json()).expect("valid JSON");
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = MetricsRegistry::new();
+        a.count("c", 1);
+        a.record("h", 2);
+        let mut b = MetricsRegistry::new();
+        b.count("c", 3);
+        b.record("h", 4);
+        b.record("only_b", 5);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 4);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.histogram("only_b").unwrap().count(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Chrome trace-event / Perfetto JSON export.
+//!
+//! Serializes a captured [`SimEvent`] timeline into the JSON object format
+//! understood by `chrome://tracing` and [ui.perfetto.dev]: a
+//! `{"traceEvents":[…]}` document with
+//!
+//! * one *functional-instruction* track (`tid 0`) holding a complete-event
+//!   per retired instruction plus instant markers for ISA switches and
+//!   `simop` libc calls, and
+//! * one track per DOE issue slot (`tid 1 + slot`) holding a
+//!   complete-event per issued operation, spanning issue → completion, with
+//!   its dependency stall in the event arguments.
+//!
+//! Timestamps are cycle-model cycles when a model was attached (every
+//! `Instr` event then carries a non-zero cycle), otherwise the functional
+//! retire sequence; the unit is declared via `displayTimeUnit: "ns"` so
+//! one cycle renders as one nanosecond.
+//!
+//! [ui.perfetto.dev]: https://ui.perfetto.dev
+
+use std::collections::BTreeSet;
+
+use kahrisma_core::observe::SimEvent;
+
+/// Serializes `events` into a Perfetto-loadable JSON string.
+#[must_use]
+pub fn trace_json(events: &[SimEvent]) -> String {
+    // With a cycle model attached the Instr events carry model time; use
+    // it for the functional track so both track families share one clock.
+    let has_cycles =
+        events.iter().any(|e| matches!(e, SimEvent::Instr { cycle, .. } if *cycle > 0));
+    let mut slots: BTreeSet<u8> = BTreeSet::new();
+    for e in events {
+        if let SimEvent::OpIssue { slot, .. } = e {
+            slots.insert(*slot);
+        }
+    }
+
+    let mut out = String::with_capacity(events.len() * 96 + 512);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |out: &mut String, ev: &str| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(ev);
+    };
+
+    emit(
+        &mut out,
+        "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"kahrisma-sim\"}}",
+    );
+    emit(
+        &mut out,
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\",\
+         \"args\":{\"name\":\"functional instructions\"}}",
+    );
+    for &slot in &slots {
+        emit(
+            &mut out,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"issue slot {slot}\"}}}}",
+                u32::from(slot) + 1,
+            ),
+        );
+    }
+
+    for e in events {
+        match e {
+            SimEvent::Instr { seq, addr, isa, width, ops, cycle } => {
+                let ts = if has_cycles { *cycle } else { *seq };
+                emit(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":{ts},\"dur\":1,\
+                         \"name\":\"{addr:#x}\",\"args\":{{\"seq\":{seq},\"isa\":{isa},\
+                         \"width\":{width},\"ops\":{ops}}}}}"
+                    ),
+                );
+            }
+            SimEvent::OpIssue { addr, slot, name, issue, completion, stall } => {
+                let dur = completion.saturating_sub(*issue).max(1);
+                let tid = u32::from(*slot) + 1;
+                emit(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{issue},\
+                         \"dur\":{dur},\"name\":\"{name}\",\
+                         \"args\":{{\"addr\":\"{addr:#x}\",\"stall\":{stall}}}}}"
+                    ),
+                );
+            }
+            SimEvent::IsaSwitch { addr, from, to } => {
+                emit(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":0,\"s\":\"p\",\
+                         \"name\":\"switchtarget {from}->{to}\",\
+                         \"args\":{{\"addr\":\"{addr:#x}\"}}}}"
+                    ),
+                );
+            }
+            SimEvent::SimOp { addr, code } => {
+                emit(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":0,\"s\":\"p\",\
+                         \"name\":\"simop {code}\",\"args\":{{\"addr\":\"{addr:#x}\"}}}}"
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_tracks_and_valid_json() {
+        let events = [
+            SimEvent::Instr { seq: 0, addr: 0x1000, isa: 0, width: 4, ops: 2, cycle: 3 },
+            SimEvent::OpIssue {
+                addr: 0x1000,
+                slot: 0,
+                name: "add",
+                issue: 0,
+                completion: 1,
+                stall: 0,
+            },
+            SimEvent::OpIssue {
+                addr: 0x1004,
+                slot: 2,
+                name: "mul",
+                issue: 1,
+                completion: 4,
+                stall: 1,
+            },
+            SimEvent::IsaSwitch { addr: 0x1008, from: 0, to: 2 },
+            SimEvent::SimOp { addr: 0x100C, code: 7 },
+        ];
+        let json = trace_json(&events);
+        crate::json_lint::validate(&json).expect("valid JSON");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("functional instructions"));
+        assert!(json.contains("issue slot 0"));
+        assert!(json.contains("issue slot 2"));
+        assert!(!json.contains("issue slot 1"), "unused slot must have no track");
+        assert!(json.contains("\"name\":\"mul\""));
+        assert!(json.contains("\"stall\":1"));
+        // Cycle timestamps are used because Instr carried a cycle.
+        assert!(json.contains("\"ts\":3"));
+    }
+
+    #[test]
+    fn falls_back_to_sequence_time_without_model() {
+        let events = [
+            SimEvent::Instr { seq: 5, addr: 0x10, isa: 0, width: 1, ops: 1, cycle: 0 },
+            SimEvent::Instr { seq: 6, addr: 0x14, isa: 0, width: 1, ops: 1, cycle: 0 },
+        ];
+        let json = trace_json(&events);
+        crate::json_lint::validate(&json).expect("valid JSON");
+        assert!(json.contains("\"ts\":5"));
+        assert!(json.contains("\"ts\":6"));
+    }
+
+    #[test]
+    fn empty_input_is_still_a_valid_document() {
+        let json = trace_json(&[]);
+        crate::json_lint::validate(&json).expect("valid JSON");
+        assert!(json.contains("traceEvents"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Bounded event ring buffer.
+
+use std::collections::VecDeque;
+
+use kahrisma_core::observe::{Observer, SimEvent};
+
+/// A bounded ring buffer of [`SimEvent`]s.
+///
+/// Keeps the most recent `capacity` events; older events are dropped and
+/// counted. Steady-state operation performs no allocation (the backing
+/// storage is reserved up front), which keeps always-on observation cheap
+/// even on long runs.
+#[derive(Debug)]
+pub struct EventRing {
+    buf: VecDeque<SimEvent>,
+    capacity: usize,
+    total: u64,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventRing { buf: VecDeque::with_capacity(capacity), capacity, total: 0, dropped: 0 }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &SimEvent> {
+        self.buf.iter()
+    }
+
+    /// The retained events as a contiguous vector, oldest first.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<SimEvent> {
+        self.buf.iter().copied().collect()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when no event has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever pushed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Maximum number of retained events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Observer for EventRing {
+    fn event(&mut self, event: SimEvent) {
+        self.total += 1;
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_newest_and_counts_drops() {
+        let mut r = EventRing::new(3);
+        for addr in 0..5u32 {
+            r.event(SimEvent::CacheHit { addr });
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.dropped(), 2);
+        let addrs: Vec<u32> = r
+            .events()
+            .map(|e| match e {
+                SimEvent::CacheHit { addr } => *addr,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(addrs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = EventRing::new(0);
+        r.event(SimEvent::CacheMiss { addr: 8 });
+        r.event(SimEvent::CacheMiss { addr: 12 });
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+}
