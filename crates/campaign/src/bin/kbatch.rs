@@ -28,6 +28,8 @@ CAMPAIGNS:
 
 OPTIONS:
     --workers N       worker threads (default: available parallelism)
+    --daemon ADDR     dispatch cells to a running ksimd at ADDR instead of
+                      simulating in-process (ISS cells only)
     --manifest PATH   persist progress; resume from PATH when it exists
     --fresh           ignore an existing manifest and start over
     --max-cells N     execute at most N cells, then stop (resume later)
@@ -43,14 +45,16 @@ EXIT STATUS:
     1  simulation/manifest error  2  usage error
 ";
 
+#[derive(Debug)]
 struct Args {
     campaign: String,
     options: RunOptions,
+    daemon: Option<String>,
     out: Option<PathBuf>,
     list: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         campaign: "smoke".into(),
         options: RunOptions {
@@ -58,11 +62,12 @@ fn parse_args() -> Result<Args, String> {
             progress: true,
             ..RunOptions::default()
         },
+        daemon: None,
         out: None,
         list: false,
     };
     let mut positional = Vec::new();
-    let mut iter = std::env::args().skip(1);
+    let mut iter = argv;
     while let Some(arg) = iter.next() {
         let mut value = |name: &str| {
             iter.next().ok_or_else(|| format!("{name} requires a value"))
@@ -76,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--workers must be at least 1".into());
                 }
             }
+            "--daemon" => args.daemon = Some(value("--daemon")?),
             "--manifest" => args.options.manifest = Some(PathBuf::from(value("--manifest")?)),
             "--fresh" => args.options.fresh = true,
             "--max-cells" => {
@@ -127,7 +133,7 @@ fn list_campaigns() {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let args = match parse_args(std::env::args().skip(1)) {
         Ok(args) => args,
         Err(e) => {
             eprintln!("kbatch: {e}");
@@ -148,13 +154,23 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    eprintln!(
-        "kbatch: campaign {:?}, {} cells, {} workers",
-        spec.name,
-        spec.cells.len(),
-        args.options.workers.clamp(1, spec.cells.len().max(1)),
-    );
-    let summary = match runner::run(&spec, &args.options) {
+    let outcome = if let Some(addr) = &args.daemon {
+        eprintln!(
+            "kbatch: campaign {:?}, {} cells, dispatched to ksimd at {addr}",
+            spec.name,
+            spec.cells.len(),
+        );
+        kahrisma_campaign::daemon::run(&spec, addr, args.options.progress)
+    } else {
+        eprintln!(
+            "kbatch: campaign {:?}, {} cells, {} workers",
+            spec.name,
+            spec.cells.len(),
+            args.options.workers.clamp(1, spec.cells.len().max(1)),
+        );
+        runner::run(&spec, &args.options)
+    };
+    let summary = match outcome {
         Ok(summary) => summary,
         Err(e) => {
             eprintln!("kbatch: {e}");
@@ -212,5 +228,35 @@ fn print_table(report: &kahrisma_campaign::Report) {
             cell.mips,
             miss
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> std::vec::IntoIter<String> {
+        s.iter().map(ToString::to_string).collect::<Vec<_>>().into_iter()
+    }
+
+    #[test]
+    fn rejects_zero_workers_with_a_clear_error() {
+        let err = parse_args(argv(&["--workers", "0"])).unwrap_err();
+        assert_eq!(err, "--workers must be at least 1");
+        let err = parse_args(argv(&["--workers", "-3"])).unwrap_err();
+        assert!(err.contains("positive integer"));
+    }
+
+    #[test]
+    fn parses_workers_campaign_and_daemon() {
+        let args = parse_args(argv(&[
+            "--workers", "3", "--daemon", "127.0.0.1:9191", "table1",
+        ]))
+        .unwrap();
+        assert_eq!(args.options.workers, 3);
+        assert_eq!(args.daemon.as_deref(), Some("127.0.0.1:9191"));
+        assert_eq!(args.campaign, "table1");
+        assert!(parse_args(argv(&["a", "b"])).is_err());
+        assert!(parse_args(argv(&["--daemon"])).is_err());
     }
 }

@@ -151,7 +151,11 @@ impl CycleStats {
 /// The simulator calls [`CycleModel::instruction`] once per executed
 /// instruction, in program order (the paper's models are all driven by the
 /// behavioral instruction stream, §VI-D).
-pub trait CycleModel {
+///
+/// Models are `Send` so a [`crate::Simulator`] — sessions in a serving
+/// daemon, cells in a campaign pool — can migrate between worker threads
+/// between runs. Models are plain timing state, so this costs nothing.
+pub trait CycleModel: Send {
     /// Accounts one executed instruction.
     fn instruction(&mut self, event: &InstrEvent<'_>);
 

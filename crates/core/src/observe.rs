@@ -78,6 +78,14 @@ pub enum SimEvent {
         /// Instructions executed at the restored point.
         instructions: u64,
     },
+    /// [`crate::Simulator::reset`] re-initialized the simulator to its
+    /// load-time state (warm decode cache retained). Event `seq` numbering
+    /// restarts at 0 after this marker; no `Instr`/`OpIssue` record from
+    /// before the reset is ever delivered after it.
+    Reset {
+        /// Instructions executed before the reset discarded them.
+        instructions: u64,
+    },
     /// One instruction (bundle) retired — the functional-instruction track.
     Instr {
         /// Functional sequence number (retire order, 0-based).
@@ -134,7 +142,12 @@ pub struct OpIssue {
 /// should be cheap — they run inside the simulation loop (though never on
 /// the allocation-free fast path, which is bypassed while an observer is
 /// attached).
-pub trait Observer {
+///
+/// Observers are `Send` so an observed [`crate::Simulator`] can migrate
+/// between worker threads between runs (serving sessions, campaign cells).
+/// Observers needing shared interior state should use a thread-safe handle
+/// such as `kahrisma-observe`'s `Shared`.
+pub trait Observer: Send {
     /// Consumes one event.
     fn event(&mut self, event: SimEvent);
 }

@@ -318,7 +318,18 @@ impl Simulator {
     /// The cycle model is rebuilt from [`SimConfig::cycle_model`]; a model
     /// attached via [`Simulator::set_cycle_model`] is dropped. Stdin
     /// provided after construction is also discarded.
+    ///
+    /// An attached [`Observer`] stays attached across the reset and sees a
+    /// single [`SimEvent::Reset`] marker (carrying the discarded
+    /// instruction count), then a cleanly restarted stream: the next
+    /// [`SimEvent::Instr`] has `seq == 0`, and no `Instr`/`OpIssue` record
+    /// produced before the reset is delivered after it — the pending
+    /// per-instruction scratch buffers are flushed along with the
+    /// architectural state.
     pub fn reset(&mut self) {
+        if let Some(o) = &mut self.observer {
+            o.event(SimEvent::Reset { instructions: self.stats.instructions });
+        }
         self.state = (*self.initial_state).clone();
         self.stats = SimStats::new();
         self.model = self.config.cycle_model.map(|kind| kind.build(self.config.memory.clone()));
@@ -378,6 +389,18 @@ impl Simulator {
     #[must_use]
     pub fn state(&self) -> &CpuState {
         &self.state
+    }
+
+    /// `true` once the program executed `halt`/`exit`.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.state.halted
+    }
+
+    /// The configuration the simulator was built with.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
     }
 
     /// Mutable architectural state (e.g. to provide stdin).
@@ -1110,16 +1133,16 @@ mod tests {
         let _ = sink;
         // Use a concrete sink instead for assertions:
         let mut sim = Simulator::new(&exe, SimConfig::default()).unwrap();
-        let records = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
-        struct Shared(std::rc::Rc<std::cell::RefCell<Vec<crate::trace::TraceRecord>>>);
+        let records = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        struct Shared(std::sync::Arc<std::sync::Mutex<Vec<crate::trace::TraceRecord>>>);
         impl TraceSink for Shared {
             fn record(&mut self, r: crate::trace::TraceRecord) {
-                self.0.borrow_mut().push(r);
+                self.0.lock().unwrap().push(r);
             }
         }
         sim.set_trace_sink(Box::new(Shared(records.clone())));
         sim.run(1000).unwrap();
-        let recs = records.borrow();
+        let recs = records.lock().unwrap();
         assert!(!recs.is_empty());
         assert!(recs.iter().any(|r| r.opcode == "addi"));
         assert!(recs.iter().any(|r| !r.outputs.is_empty()));
@@ -1596,18 +1619,18 @@ mod tests {
     fn observer_stream_matches_stats() {
         use crate::observe::{Observer, SimEvent};
         let exe = build(&[("m.s", MIXED_LOOP)]).unwrap();
-        let events = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
-        struct Shared(std::rc::Rc<std::cell::RefCell<Vec<SimEvent>>>);
+        let events = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        struct Shared(std::sync::Arc<std::sync::Mutex<Vec<SimEvent>>>);
         impl Observer for Shared {
             fn event(&mut self, e: SimEvent) {
-                self.0.borrow_mut().push(e);
+                self.0.lock().unwrap().push(e);
             }
         }
         let mut sim = Simulator::new(&exe, SimConfig::with_model(CycleModelKind::Doe)).unwrap();
         sim.set_observer(Box::new(Shared(events.clone())));
         let outcome = sim.run(1_000_000).unwrap();
         assert!(matches!(outcome, RunOutcome::Halted { .. }));
-        let evs = events.borrow();
+        let evs = events.lock().unwrap();
 
         // One Instr event per executed instruction, densely sequenced.
         let mut want_seq = 0u64;
@@ -1641,11 +1664,11 @@ mod tests {
     fn observer_sees_snapshot_and_restore() {
         use crate::observe::{Observer, SimEvent};
         let exe = build(&[("m.s", MIXED_LOOP)]).unwrap();
-        let events = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
-        struct Shared(std::rc::Rc<std::cell::RefCell<Vec<SimEvent>>>);
+        let events = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        struct Shared(std::sync::Arc<std::sync::Mutex<Vec<SimEvent>>>);
         impl Observer for Shared {
             fn event(&mut self, e: SimEvent) {
-                self.0.borrow_mut().push(e);
+                self.0.lock().unwrap().push(e);
             }
         }
         let mut sim = Simulator::new(&exe, SimConfig::default()).unwrap();
@@ -1654,9 +1677,80 @@ mod tests {
         let snap = sim.snapshot().unwrap();
         sim.run_for(5).unwrap();
         sim.restore(&snap).unwrap();
-        let evs = events.borrow();
+        let evs = events.lock().unwrap();
         assert!(evs.contains(&SimEvent::SnapshotTaken { instructions: 10 }));
         assert!(evs.contains(&SimEvent::Restored { instructions: 10 }));
+    }
+
+    #[test]
+    fn simulator_and_snapshot_are_send() {
+        // The serving daemon migrates sessions (and their snapshots)
+        // between connection-handler threads; this must stay compile-true.
+        fn check<T: Send>() {}
+        check::<Simulator>();
+        check::<Snapshot>();
+    }
+
+    #[test]
+    fn reset_restarts_the_observer_stream_cleanly() {
+        use crate::observe::{Observer, SimEvent};
+        let exe = build(&[("m.s", MIXED_LOOP)]).unwrap();
+        let events = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        struct Shared(std::sync::Arc<std::sync::Mutex<Vec<SimEvent>>>);
+        impl Observer for Shared {
+            fn event(&mut self, e: SimEvent) {
+                self.0.lock().unwrap().push(e);
+            }
+        }
+        let mut sim = Simulator::new(&exe, SimConfig::with_model(CycleModelKind::Doe)).unwrap();
+        sim.set_observer(Box::new(Shared(events.clone())));
+        sim.run(1_000_000).unwrap();
+        let first_instrs = sim.stats().instructions;
+        let decodes_before = sim.stats().detect_decodes;
+        sim.reset();
+        sim.run(1_000_000).unwrap();
+        // The decode cache stayed warm across the reset.
+        assert_eq!(sim.stats().detect_decodes, 0);
+        assert!(decodes_before > 0);
+
+        let evs = events.lock().unwrap();
+        let reset_at = evs
+            .iter()
+            .position(|e| matches!(e, SimEvent::Reset { .. }))
+            .expect("reset marker emitted");
+        assert_eq!(
+            evs[reset_at],
+            SimEvent::Reset { instructions: first_instrs },
+            "marker carries the discarded instruction count"
+        );
+        // Before the marker: seq runs 0..first_instrs. After: it restarts
+        // at 0 — no stale Instr record crosses the reset.
+        let seqs = |evs: &[SimEvent]| -> Vec<u64> {
+            evs.iter()
+                .filter_map(|e| match e {
+                    SimEvent::Instr { seq, .. } => Some(*seq),
+                    _ => None,
+                })
+                .collect()
+        };
+        let before = seqs(&evs[..reset_at]);
+        let after = seqs(&evs[reset_at..]);
+        assert_eq!(before.len() as u64, first_instrs);
+        assert_eq!(before.last(), Some(&(first_instrs - 1)));
+        assert_eq!(after.first(), Some(&0));
+        assert_eq!(after, before, "identical re-run, identical stream");
+        // Both halves pair OpIssue records with their own run only: the
+        // DOE model restarts at cycle 0, so no post-reset issue may carry
+        // a pre-reset (monotonically larger) issue cycle at stream start.
+        let first_issue_after = evs[reset_at..].iter().find_map(|e| match e {
+            SimEvent::OpIssue { issue, .. } => Some(*issue),
+            _ => None,
+        });
+        let first_issue_before = evs[..reset_at].iter().find_map(|e| match e {
+            SimEvent::OpIssue { issue, .. } => Some(*issue),
+            _ => None,
+        });
+        assert_eq!(first_issue_after, first_issue_before);
     }
 
     #[test]

@@ -54,7 +54,9 @@ impl TraceRecord {
 /// Destination for trace records.
 ///
 /// The simulator calls [`TraceSink::record`] once per executed operation.
-pub trait TraceSink {
+/// Sinks are `Send` so a tracing [`crate::Simulator`] can migrate between
+/// worker threads between runs (serving sessions, campaign cells).
+pub trait TraceSink: Send {
     /// Consumes one record.
     fn record(&mut self, record: TraceRecord);
 }
@@ -100,7 +102,37 @@ impl<W: Write> WriteTraceSink<W> {
     }
 }
 
-impl<W: Write> TraceSink for WriteTraceSink<W> {
+impl WriteTraceSink<std::io::BufWriter<std::fs::File>> {
+    /// Creates a buffered file sink at `path`, creating missing parent
+    /// directories first (a trace path like `out/run1/trace.txt` should
+    /// not require a manual `mkdir`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error that names the offending path — either the parent
+    /// directory that could not be created (e.g. a path component that
+    /// exists as a regular file) or the trace file itself.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                std::io::Error::new(
+                    e.kind(),
+                    format!("cannot create trace directory {}: {e}", parent.display()),
+                )
+            })?;
+        }
+        let file = std::fs::File::create(path).map_err(|e| {
+            std::io::Error::new(
+                e.kind(),
+                format!("cannot create trace file {}: {e}", path.display()),
+            )
+        })?;
+        Ok(WriteTraceSink::new(std::io::BufWriter::new(file)))
+    }
+}
+
+impl<W: Write + Send> TraceSink for WriteTraceSink<W> {
     fn record(&mut self, record: TraceRecord) {
         // Trace emission is best-effort; an I/O error must not abort the
         // simulation (matching the paper's fire-and-forget trace file).
@@ -140,6 +172,39 @@ mod tests {
         sink.record(sample());
         sink.record(sample());
         assert_eq!(sink.records.len(), 2);
+    }
+
+    #[test]
+    fn create_makes_missing_parent_directories() {
+        let dir = std::env::temp_dir()
+            .join(format!("kahrisma-trace-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("nested/deeper/trace.txt");
+        let mut sink = WriteTraceSink::create(&path).expect("parents created");
+        sink.record(sample());
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("add"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_reports_the_offending_path() {
+        let dir = std::env::temp_dir()
+            .join(format!("kahrisma-trace-err-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // A path component that exists as a regular file cannot become a
+        // directory; the error must name it rather than surface a bare
+        // io::Error with no context.
+        let blocker = dir.join("file");
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let err = WriteTraceSink::create(blocker.join("trace.txt")).unwrap_err();
+        assert!(
+            err.to_string().contains(&blocker.display().to_string()),
+            "error must name the path: {err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

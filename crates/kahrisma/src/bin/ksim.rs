@@ -215,10 +215,12 @@ fn main() -> ExitCode {
         }
     };
     if let Some(path) = &options.trace_out {
-        match std::fs::File::create(path) {
-            Ok(f) => sim.set_trace_sink(Box::new(WriteTraceSink::new(std::io::BufWriter::new(f)))),
+        // Creates missing parent directories; errors already name the
+        // offending path.
+        match WriteTraceSink::create(path) {
+            Ok(sink) => sim.set_trace_sink(Box::new(sink)),
             Err(e) => {
-                eprintln!("ksim: cannot create trace file {path}: {e}");
+                eprintln!("ksim: {e}");
                 return ExitCode::from(2);
             }
         }
@@ -311,7 +313,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(shared) = &collector {
-        let c = shared.borrow();
+        let c = shared.lock();
         if let Some(path) = &options.observe {
             if c.ring.dropped() > 0 {
                 eprintln!(

@@ -1,8 +1,7 @@
 //! Observers that fold the event stream into metrics, and the shared
 //! handle that keeps collectors accessible after boxing.
 
-use std::cell::{Ref, RefCell, RefMut};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use kahrisma_core::observe::{Observer, SimEvent};
@@ -83,6 +82,7 @@ impl Observer for MetricsCollector {
             SimEvent::SimOp { .. } => r.count("libc.simops", 1),
             SimEvent::SnapshotTaken { .. } => r.count("snapshot.taken", 1),
             SimEvent::Restored { .. } => r.count("snapshot.restored", 1),
+            SimEvent::Reset { .. } => r.count("sim.resets", 1),
             SimEvent::Instr { width, ops, .. } => {
                 r.count("instr.retired", 1);
                 r.record("instr.width", u64::from(width));
@@ -143,38 +143,34 @@ impl Observer for Collector {
 /// [`kahrisma_core::Simulator::set_observer`] takes a `Box<dyn Observer>`,
 /// which cannot be downcast back to its concrete type. Wrapping the
 /// collector in `Shared` lets the caller box one handle into the simulator
-/// and keep another to read results out afterwards.
+/// and keep another to read results out afterwards. The handle is
+/// `Arc<Mutex<_>>`-backed so it satisfies the `Observer: Send` bound and
+/// works across threads (the serving daemon reads a session's collector
+/// from whichever connection thread holds the session).
 #[derive(Debug, Default)]
-pub struct Shared<T>(Rc<RefCell<T>>);
+pub struct Shared<T>(Arc<Mutex<T>>);
 
 impl<T> Shared<T> {
     /// Wraps `inner` in a shared handle.
     #[must_use]
     pub fn new(inner: T) -> Self {
-        Shared(Rc::new(RefCell::new(inner)))
+        Shared(Arc::new(Mutex::new(inner)))
     }
 
     /// Another handle to the same inner value.
     #[must_use]
     pub fn handle(&self) -> Self {
-        Shared(Rc::clone(&self.0))
+        Shared(Arc::clone(&self.0))
     }
 
-    /// Immutable access to the inner value.
+    /// Locks the inner value for access.
     ///
     /// # Panics
     ///
-    /// Panics if the value is currently mutably borrowed (i.e. from within
-    /// an [`Observer::event`] delivery).
-    #[must_use]
-    pub fn borrow(&self) -> Ref<'_, T> {
-        self.0.borrow()
-    }
-
-    /// Mutable access to the inner value (see [`Shared::borrow`]).
-    #[must_use]
-    pub fn borrow_mut(&self) -> RefMut<'_, T> {
-        self.0.borrow_mut()
+    /// Panics if a previous holder panicked while holding the lock
+    /// (poisoning); event delivery never panics in normal operation.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -186,7 +182,7 @@ impl<T> Clone for Shared<T> {
 
 impl<T: Observer> Observer for Shared<T> {
     fn event(&mut self, event: SimEvent) {
-        self.0.borrow_mut().event(event);
+        self.lock().event(event);
     }
 }
 
@@ -231,7 +227,7 @@ mod tests {
         let mut boxed: Box<dyn Observer> = Box::new(shared.handle());
         boxed.event(SimEvent::CacheHit { addr: 4 });
         boxed.event(SimEvent::Instr { seq: 0, addr: 4, isa: 0, width: 1, ops: 1, cycle: 0 });
-        let c = shared.borrow();
+        let c = shared.lock();
         assert_eq!(c.ring.len(), 2);
         assert_eq!(c.metrics.registry().counter("instr.retired"), 1);
     }

@@ -1,0 +1,146 @@
+//! Event → wire-frame serialization: one [`SimEvent`] as one line of JSON.
+//!
+//! This is the streaming format the `kahrisma-serve` daemon writes on a
+//! `stream` subscription: every frame is a single-line JSON object with an
+//! `event` tag and the variant's fields, terminated by `\n`, so clients can
+//! parse frames with any line reader and any JSON parser. Field order is
+//! fixed (tag first), making the output deterministic and diff-friendly.
+
+use std::fmt::Write as _;
+
+use kahrisma_core::observe::SimEvent;
+
+/// Serializes one event as a single-line JSON object (no trailing newline).
+///
+/// Unknown future variants (the enum is `#[non_exhaustive]`) serialize as
+/// `{"event":"unknown"}` rather than panicking, so a newer core streaming
+/// through an older observe crate degrades instead of killing the
+/// connection.
+#[must_use]
+pub fn to_json_line(event: &SimEvent) -> String {
+    let mut s = String::with_capacity(96);
+    match *event {
+        SimEvent::CacheHit { addr } => {
+            let _ = write!(s, r#"{{"event":"cache_hit","addr":{addr}}}"#);
+        }
+        SimEvent::CacheMiss { addr } => {
+            let _ = write!(s, r#"{{"event":"cache_miss","addr":{addr}}}"#);
+        }
+        SimEvent::PredictionHit { addr } => {
+            let _ = write!(s, r#"{{"event":"prediction_hit","addr":{addr}}}"#);
+        }
+        SimEvent::SuperblockBuild { head, len } => {
+            let _ = write!(s, r#"{{"event":"superblock_build","head":{head},"len":{len}}}"#);
+        }
+        SimEvent::SuperblockBatch { head, len } => {
+            let _ = write!(s, r#"{{"event":"superblock_batch","head":{head},"len":{len}}}"#);
+        }
+        SimEvent::IsaSwitch { addr, from, to } => {
+            let _ = write!(s, r#"{{"event":"isa_switch","addr":{addr},"from":{from},"to":{to}}}"#);
+        }
+        SimEvent::SimOp { addr, code } => {
+            let _ = write!(s, r#"{{"event":"simop","addr":{addr},"code":{code}}}"#);
+        }
+        SimEvent::SnapshotTaken { instructions } => {
+            let _ = write!(s, r#"{{"event":"snapshot","instructions":{instructions}}}"#);
+        }
+        SimEvent::Restored { instructions } => {
+            let _ = write!(s, r#"{{"event":"restored","instructions":{instructions}}}"#);
+        }
+        SimEvent::Reset { instructions } => {
+            let _ = write!(s, r#"{{"event":"reset","instructions":{instructions}}}"#);
+        }
+        SimEvent::Instr { seq, addr, isa, width, ops, cycle } => {
+            let _ = write!(
+                s,
+                r#"{{"event":"instr","seq":{seq},"addr":{addr},"isa":{isa},"width":{width},"ops":{ops},"cycle":{cycle}}}"#
+            );
+        }
+        SimEvent::OpIssue { addr, slot, name, issue, completion, stall } => {
+            // Mnemonics are static identifiers ([a-z0-9._]), but escape
+            // defensively: a frame must never emit invalid JSON.
+            let _ = write!(
+                s,
+                r#"{{"event":"op_issue","addr":{addr},"slot":{slot},"name":"{}","issue":{issue},"completion":{completion},"stall":{stall}}}"#,
+                escape(name)
+            );
+        }
+        _ => s.push_str(r#"{"event":"unknown"}"#),
+    }
+    s
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_serializes_to_valid_one_line_json() {
+        let events = [
+            SimEvent::CacheHit { addr: 4 },
+            SimEvent::CacheMiss { addr: 8 },
+            SimEvent::PredictionHit { addr: 12 },
+            SimEvent::SuperblockBuild { head: 0, len: 7 },
+            SimEvent::SuperblockBatch { head: 0, len: 7 },
+            SimEvent::IsaSwitch { addr: 16, from: 0, to: 2 },
+            SimEvent::SimOp { addr: 20, code: 3 },
+            SimEvent::SnapshotTaken { instructions: 10 },
+            SimEvent::Restored { instructions: 10 },
+            SimEvent::Reset { instructions: 42 },
+            SimEvent::Instr { seq: 0, addr: 0, isa: 1, width: 4, ops: 2, cycle: 9 },
+            SimEvent::OpIssue {
+                addr: 4,
+                slot: 1,
+                name: "add",
+                issue: 3,
+                completion: 7,
+                stall: 2,
+            },
+        ];
+        for e in events {
+            let line = to_json_line(&e);
+            assert!(!line.contains('\n'), "{line}");
+            crate::json_lint::validate(&line).unwrap_or_else(|err| panic!("{line}: {err}"));
+        }
+    }
+
+    #[test]
+    fn frames_carry_the_variant_fields() {
+        let line = to_json_line(&SimEvent::Instr {
+            seq: 5,
+            addr: 0x100,
+            isa: 2,
+            width: 4,
+            ops: 3,
+            cycle: 77,
+        });
+        assert_eq!(
+            line,
+            r#"{"event":"instr","seq":5,"addr":256,"isa":2,"width":4,"ops":3,"cycle":77}"#
+        );
+        let line = to_json_line(&SimEvent::Reset { instructions: u64::MAX });
+        assert_eq!(line, format!(r#"{{"event":"reset","instructions":{}}}"#, u64::MAX));
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
+}

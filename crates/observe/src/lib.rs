@@ -13,8 +13,11 @@
 //!   into a registry (superblock lengths, operation delays and stalls,
 //!   decode-probe distances, windowed MIPS),
 //! * [`Collector`] — ring + metrics behind one observer,
-//! * [`Shared`] — a clonable `Rc<RefCell<_>>` observer handle, so the
-//!   caller keeps access to a collector after boxing it into the simulator,
+//! * [`Shared`] — a clonable, thread-safe (`Arc<Mutex<_>>`) observer
+//!   handle, so the caller keeps access to a collector after boxing it
+//!   into the simulator — including from another thread,
+//! * [`frame`] — one-line JSON frame serialization of [`SimEvent`]s, the
+//!   `kahrisma-serve` streaming wire format,
 //! * [`perfetto`] — Chrome trace-event / Perfetto JSON export with one
 //!   track per DOE issue slot plus a functional-instruction track,
 //! * [`flame`] — flamegraph-ready collapsed-stack dumps from the function
@@ -26,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod flame;
+pub mod frame;
 pub mod json_lint;
 pub mod perfetto;
 

@@ -103,6 +103,49 @@ mod tests {
     }
 
     #[test]
+    fn exact_capacity_fill_drops_nothing() {
+        // The wraparound boundary: exactly `capacity` pushes must retain
+        // every event in order with a zero drop count.
+        let mut r = EventRing::new(4);
+        for addr in 0..4u32 {
+            r.event(SimEvent::CacheHit { addr });
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total(), 4);
+        assert_eq!(r.dropped(), 0);
+        let addrs: Vec<u32> = r
+            .events()
+            .map(|e| match e {
+                SimEvent::CacheHit { addr } => *addr,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(addrs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn one_past_capacity_evicts_exactly_the_oldest() {
+        // capacity + 1 pushes: one drop, the oldest event gone, the rest
+        // intact and in order.
+        let mut r = EventRing::new(4);
+        for addr in 0..5u32 {
+            r.event(SimEvent::CacheHit { addr });
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.dropped(), 1);
+        let addrs: Vec<u32> = r
+            .events()
+            .map(|e| match e {
+                SimEvent::CacheHit { addr } => *addr,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(addrs, vec![1, 2, 3, 4]);
+        assert_eq!(r.to_vec().len(), r.len());
+    }
+
+    #[test]
     fn zero_capacity_clamps_to_one() {
         let mut r = EventRing::new(0);
         r.event(SimEvent::CacheMiss { addr: 8 });

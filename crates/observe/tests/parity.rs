@@ -1,8 +1,7 @@
 //! Parity between the line-oriented trace (paper §V) and the structured
 //! event stream: both views of one run must describe the same execution.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use kahrisma_asm::build;
 use kahrisma_core::observe::{Observer, SimEvent};
@@ -47,17 +46,17 @@ const WORKLOAD: &str = "
     .endfunc
 ";
 
-struct SharedTrace(Rc<RefCell<Vec<TraceRecord>>>);
+struct SharedTrace(Arc<Mutex<Vec<TraceRecord>>>);
 impl TraceSink for SharedTrace {
     fn record(&mut self, r: TraceRecord) {
-        self.0.borrow_mut().push(r);
+        self.0.lock().unwrap().push(r);
     }
 }
 
-struct SharedEvents(Rc<RefCell<Vec<SimEvent>>>);
+struct SharedEvents(Arc<Mutex<Vec<SimEvent>>>);
 impl Observer for SharedEvents {
     fn event(&mut self, e: SimEvent) {
-        self.0.borrow_mut().push(e);
+        self.0.lock().unwrap().push(e);
     }
 }
 
@@ -65,14 +64,14 @@ impl Observer for SharedEvents {
 fn run_both(config: SimConfig) -> (Simulator, Vec<TraceRecord>, Vec<SimEvent>) {
     let exe = build(&[("w.s", WORKLOAD)]).expect("assemble");
     let mut sim = Simulator::new(&exe, config).expect("load");
-    let trace = Rc::new(RefCell::new(Vec::new()));
-    let events = Rc::new(RefCell::new(Vec::new()));
+    let trace = Arc::new(Mutex::new(Vec::new()));
+    let events = Arc::new(Mutex::new(Vec::new()));
     sim.set_trace_sink(Box::new(SharedTrace(trace.clone())));
     sim.set_observer(Box::new(SharedEvents(events.clone())));
     let outcome = sim.run(1_000_000).expect("run");
     assert!(matches!(outcome, RunOutcome::Halted { .. }));
-    let trace = trace.borrow().clone();
-    let events = events.borrow().clone();
+    let trace = trace.lock().unwrap().clone();
+    let events = events.lock().unwrap().clone();
     (sim, trace, events)
 }
 

@@ -1,0 +1,347 @@
+//! `kctl bench`: the serving-side benchmark.
+//!
+//! N concurrent clients each own a warm session and issue M `run` requests
+//! of a fixed instruction budget (`loop` mode, so a halting workload is
+//! reset-and-rerun against the warm decode cache until the budget is
+//! consumed). The report gives per-request latency percentiles and the
+//! per-request *simulated* throughput — instructions served per wall
+//! second — next to a direct in-process baseline running the identical
+//! reset/run loop, which quantifies the protocol + scheduling overhead of
+//! serving.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use kahrisma_core::{RunOutcome, Simulator};
+use kahrisma_isa::IsaKind;
+use kahrisma_workloads::Workload;
+
+use crate::client::{Client, ClientError};
+use crate::json::Value;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Daemon address.
+    pub addr: String,
+    /// Workload name.
+    pub workload: String,
+    /// ISA name.
+    pub isa: String,
+    /// Concurrent client connections (each with its own session).
+    pub clients: usize,
+    /// Timed requests per client (after one warmup request).
+    pub iterations: usize,
+    /// Instruction budget per request.
+    pub budget: u64,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            addr: "127.0.0.1:9191".to_string(),
+            workload: "dct".to_string(),
+            isa: "risc".to_string(),
+            clients: 4,
+            iterations: 20,
+            budget: 2_000_000,
+        }
+    }
+}
+
+/// Latency percentiles, in milliseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Percentiles {
+    /// Minimum (the best request — the noise-free serving cost).
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile (= max below 100 samples).
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+fn percentiles(sorted_ms: &[f64]) -> Percentiles {
+    let at = |q: f64| {
+        if sorted_ms.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted_ms.len() as f64 - 1.0) * q).round() as usize;
+        sorted_ms[idx.min(sorted_ms.len() - 1)]
+    };
+    Percentiles {
+        min: sorted_ms.first().copied().unwrap_or(0.0),
+        p50: at(0.50),
+        p90: at(0.90),
+        p99: at(0.99),
+        max: sorted_ms.last().copied().unwrap_or(0.0),
+    }
+}
+
+/// The benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// The options the run used.
+    pub options: BenchOptions,
+    /// Total timed requests (clients × iterations).
+    pub requests: usize,
+    /// Requests rejected with `overloaded` (retried until accepted).
+    pub overloaded_retries: u64,
+    /// Per-request latency percentiles (ms).
+    pub latency: Percentiles,
+    /// Mean served simulated throughput per request, MIPS.
+    pub served_mips: f64,
+    /// Best-request served throughput, MIPS (pairs with the best-of
+    /// `direct_mips`: both filter host scheduling noise the same way).
+    pub served_mips_best: f64,
+    /// Aggregate throughput: total instructions / total wall time, MIPS.
+    pub aggregate_mips: f64,
+    /// Direct in-process baseline running the same reset/run loop, MIPS
+    /// (best of the same number of iterations).
+    pub direct_mips: f64,
+    /// served_mips_best / direct_mips — the serving overhead proper.
+    pub efficiency: f64,
+}
+
+impl BenchReport {
+    /// Renders the checked-in `BENCH_serve.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let o = &self.options;
+        let mut s = String::with_capacity(512);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"workload\": \"{}\",", o.workload);
+        let _ = writeln!(s, "  \"isa\": \"{}\",", o.isa);
+        let _ = writeln!(s, "  \"clients\": {},", o.clients);
+        let _ = writeln!(s, "  \"iterations_per_client\": {},", o.iterations);
+        let _ = writeln!(s, "  \"budget_per_request\": {},", o.budget);
+        let _ = writeln!(s, "  \"requests\": {},", self.requests);
+        let _ = writeln!(s, "  \"overloaded_retries\": {},", self.overloaded_retries);
+        let _ = writeln!(
+            s,
+            "  \"latency_ms\": {{\"min\": {:.3}, \"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},",
+            self.latency.min, self.latency.p50, self.latency.p90, self.latency.p99, self.latency.max
+        );
+        let _ = writeln!(s, "  \"served_mips_per_request\": {:.4},", self.served_mips);
+        let _ = writeln!(s, "  \"served_mips_best\": {:.4},", self.served_mips_best);
+        let _ = writeln!(s, "  \"aggregate_mips\": {:.4},", self.aggregate_mips);
+        let _ = writeln!(s, "  \"direct_mips\": {:.4},", self.direct_mips);
+        let _ = writeln!(s, "  \"serve_efficiency\": {:.4}", self.efficiency);
+        s.push_str("}\n");
+        s
+    }
+}
+
+struct ClientResult {
+    latencies_ms: Vec<f64>,
+    instructions: u64,
+    overloaded_retries: u64,
+}
+
+/// Runs the benchmark against a live daemon.
+///
+/// # Errors
+///
+/// Returns a description of the first client/protocol failure.
+pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
+    let workload = Workload::ALL
+        .into_iter()
+        .find(|w| w.name() == options.workload)
+        .ok_or_else(|| format!("unknown workload `{}`", options.workload))?;
+    let isa = IsaKind::ALL
+        .into_iter()
+        .find(|k| k.name() == options.isa)
+        .ok_or_else(|| format!("unknown isa `{}`", options.isa))?;
+
+    let started = Instant::now();
+    let results: Vec<Result<ClientResult, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..options.clients.max(1))
+            .map(|i| scope.spawn(move || bench_client(options, i)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("client thread panicked".to_string())))
+            .collect()
+    });
+    let total_wall = started.elapsed().as_secs_f64();
+
+    let mut latencies = Vec::new();
+    let mut instructions = 0u64;
+    let mut overloaded_retries = 0u64;
+    for r in results {
+        let r = r?;
+        latencies.extend(r.latencies_ms);
+        instructions += r.instructions;
+        overloaded_retries += r.overloaded_retries;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let requests = latencies.len();
+    let served_mips = if latencies.is_empty() {
+        0.0
+    } else {
+        // Mean of per-request throughput: budget instructions over the
+        // request's wall time.
+        latencies
+            .iter()
+            .map(|ms| options.budget as f64 / (ms / 1e3) / 1e6)
+            .sum::<f64>()
+            / requests as f64
+    };
+    let aggregate_mips = if total_wall > 0.0 {
+        instructions as f64 / total_wall / 1e6
+    } else {
+        0.0
+    };
+    let latency = percentiles(&latencies);
+    let served_mips_best = if latency.min > 0.0 {
+        options.budget as f64 / (latency.min / 1e3) / 1e6
+    } else {
+        0.0
+    };
+    let direct_mips = direct_baseline(workload, isa, options.budget, options.iterations)?;
+    Ok(BenchReport {
+        options: options.clone(),
+        requests,
+        overloaded_retries,
+        latency,
+        served_mips,
+        served_mips_best,
+        aggregate_mips,
+        direct_mips,
+        efficiency: if direct_mips > 0.0 { served_mips_best / direct_mips } else { 0.0 },
+    })
+}
+
+fn bench_client(options: &BenchOptions, index: usize) -> Result<ClientResult, String> {
+    let mut client =
+        Client::connect(&options.addr).map_err(|e| format!("connect: {e}"))?;
+    let session = format!("bench-{index}");
+    client
+        .create(&session, &options.workload, &options.isa, Vec::new())
+        .map_err(|e| format!("create {session}: {e}"))?;
+    let mut overloaded_retries = 0u64;
+    // Warmup: populate the decode cache so timed requests measure the
+    // steady serving state (the whole point of session reuse).
+    run_with_backoff(&mut client, &session, options.budget, &mut overloaded_retries)?;
+
+    let mut latencies_ms = Vec::with_capacity(options.iterations);
+    let mut instructions = 0u64;
+    for _ in 0..options.iterations {
+        let started = Instant::now();
+        let resp =
+            run_with_backoff(&mut client, &session, options.budget, &mut overloaded_retries)?;
+        latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        instructions += resp
+            .get("instructions")
+            .and_then(Value::as_u64)
+            .unwrap_or(options.budget);
+    }
+    let _ = client.session_verb("delete", &session);
+    Ok(ClientResult { latencies_ms, instructions, overloaded_retries })
+}
+
+fn run_with_backoff(
+    client: &mut Client,
+    session: &str,
+    budget: u64,
+    overloaded_retries: &mut u64,
+) -> Result<Value, String> {
+    loop {
+        match client.run(session, Some(budget), false, true) {
+            Ok(resp) => return Ok(resp),
+            Err(ClientError::Server { code, retry_after_ms, .. }) if code == "overloaded" => {
+                *overloaded_retries += 1;
+                std::thread::sleep(std::time::Duration::from_millis(
+                    retry_after_ms.unwrap_or(100),
+                ));
+            }
+            Err(e) => return Err(format!("run {session}: {e}")),
+        }
+    }
+}
+
+/// The identical reset/run loop executed in-process: what a long-lived
+/// local `ksim` would deliver per `budget` instructions on a warm cache.
+fn direct_baseline(
+    workload: Workload,
+    isa: IsaKind,
+    budget: u64,
+    iterations: usize,
+) -> Result<f64, String> {
+    let exe = workload.build(isa).map_err(|e| format!("build workload: {e}"))?;
+    let mut sim = Simulator::new(&exe, kahrisma_core::SimConfig::default())
+        .map_err(|e| format!("load workload: {e}"))?;
+    let consume = |sim: &mut Simulator| -> Result<(), String> {
+        let mut executed = 0u64;
+        while executed < budget {
+            let before = sim.stats().instructions;
+            let outcome = sim
+                .run_for(budget - executed)
+                .map_err(|e| format!("baseline run: {e}"))?;
+            executed += sim.stats().instructions - before;
+            if matches!(outcome, RunOutcome::Halted { .. }) && executed < budget {
+                sim.reset();
+            }
+        }
+        Ok(())
+    };
+    consume(&mut sim)?; // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..iterations.clamp(1, 20) {
+        sim.reset();
+        let started = Instant::now();
+        consume(&mut sim)?;
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    if best <= 0.0 || !best.is_finite() {
+        return Ok(0.0);
+    }
+    Ok(budget as f64 / best / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let mut ms: Vec<f64> = (1..=100).map(f64::from).collect();
+        ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p = percentiles(&ms);
+        // Nearest-rank on (n-1)*q: (99*0.5).round() = 50 → the 51st sample.
+        assert_eq!(p.min, 1.0);
+        assert_eq!(p.p50, 51.0);
+        assert_eq!(p.p90, 90.0);
+        assert_eq!(p.p99, 99.0);
+        assert_eq!(p.max, 100.0);
+        let single = percentiles(&[7.0]);
+        assert_eq!(single.min, 7.0);
+        assert_eq!(single.p50, 7.0);
+        assert_eq!(single.p99, 7.0);
+    }
+
+    #[test]
+    fn report_serializes_to_valid_json() {
+        let report = BenchReport {
+            options: BenchOptions::default(),
+            requests: 80,
+            overloaded_retries: 2,
+            latency: Percentiles { min: 0.8, p50: 1.0, p90: 2.0, p99: 3.0, max: 4.0 },
+            served_mips: 50.0,
+            served_mips_best: 53.0,
+            aggregate_mips: 180.0,
+            direct_mips: 55.0,
+            efficiency: 0.963,
+        };
+        kahrisma_observe::json_lint::validate(&report.to_json()).expect("valid JSON");
+    }
+
+    #[test]
+    fn direct_baseline_reports_throughput() {
+        let mips = direct_baseline(Workload::Dct, IsaKind::Risc, 100_000, 2).unwrap();
+        assert!(mips > 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! `kctl` — client for the `ksimd` simulation daemon.
+//!
+//! ```text
+//! kctl [--addr HOST:PORT] <command> [args]
+//!   ping
+//!   create NAME --workload W --isa I [--model ilp|aie|doe]
+//!          [--no-cache] [--no-prediction] [--baseline-cache] [--ideal-memory]
+//!   run NAME [--budget N] [--reset] [--loop]
+//!   stream NAME [--budget N] [--limit N]
+//!   snapshot NAME | restore NAME | reset NAME | delete NAME
+//!   stats NAME | metrics NAME
+//!   list
+//!   shutdown
+//!   bench [--workload W] [--isa I] [--clients N] [--iterations N]
+//!         [--budget N] [--out FILE]
+//! ```
+//!
+//! All results print as JSON on stdout. Exit code 0 on success, 1 on a
+//! server-reported error, 2 on usage errors.
+
+use std::process::ExitCode;
+
+use kahrisma_serve::bench::{run_bench, BenchOptions};
+use kahrisma_serve::json::Value;
+use kahrisma_serve::Client;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kctl [--addr HOST:PORT] <command> [args]\n\
+         commands: ping | create NAME --workload W --isa I [--model M] [toggles]\n\
+         \x20         | run NAME [--budget N] [--reset] [--loop]\n\
+         \x20         | stream NAME [--budget N] [--limit N]\n\
+         \x20         | snapshot NAME | restore NAME | reset NAME | delete NAME\n\
+         \x20         | stats NAME | metrics NAME | list | shutdown\n\
+         \x20         | bench [--workload W] [--isa I] [--clients N] [--iterations N]\n\
+         \x20                 [--budget N] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    items: Vec<String>,
+    pos: usize,
+}
+
+impl Args {
+    fn next(&mut self) -> Option<String> {
+        let item = self.items.get(self.pos).cloned();
+        if item.is_some() {
+            self.pos += 1;
+        }
+        item
+    }
+
+    fn value(&mut self, flag: &str) -> String {
+        self.next().unwrap_or_else(|| {
+            eprintln!("kctl: {flag} expects a value");
+            usage()
+        })
+    }
+}
+
+fn connect(addr: &str) -> Client {
+    match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("kctl: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn report(result: Result<Value, kahrisma_serve::ClientError>) -> ExitCode {
+    match result {
+        Ok(v) => {
+            println!("{}", v.to_json());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("kctl: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = Args { items: std::env::args().skip(1).collect(), pos: 0 };
+    let mut addr = "127.0.0.1:9191".to_string();
+    let command = loop {
+        match args.next() {
+            Some(flag) if flag == "--addr" => addr = args.value("--addr"),
+            Some(flag) if flag == "--help" || flag == "-h" => usage(),
+            Some(cmd) => break cmd,
+            None => usage(),
+        }
+    };
+    match command.as_str() {
+        "ping" => report(connect(&addr).request(vec![("cmd".to_string(), "ping".into())])),
+        "create" => {
+            let name = args.value("NAME");
+            let mut workload = String::new();
+            let mut isa = String::new();
+            let mut extra: Vec<(String, Value)> = Vec::new();
+            while let Some(flag) = args.next() {
+                match flag.as_str() {
+                    "--workload" => workload = args.value("--workload"),
+                    "--isa" => isa = args.value("--isa"),
+                    "--model" => {
+                        extra.push(("model".to_string(), args.value("--model").into()));
+                    }
+                    "--no-cache" => extra.push(("decode_cache".to_string(), false.into())),
+                    "--no-prediction" => {
+                        extra.push(("prediction".to_string(), false.into()));
+                    }
+                    "--baseline-cache" => {
+                        extra.push(("superblocks".to_string(), false.into()));
+                    }
+                    "--ideal-memory" => {
+                        extra.push(("ideal_memory".to_string(), true.into()));
+                    }
+                    _ => usage(),
+                }
+            }
+            if workload.is_empty() || isa.is_empty() {
+                eprintln!("kctl: create needs --workload and --isa");
+                return ExitCode::from(2);
+            }
+            report(connect(&addr).create(&name, &workload, &isa, extra))
+        }
+        "run" => {
+            let name = args.value("NAME");
+            let mut budget = None;
+            let mut reset = false;
+            let mut looped = false;
+            while let Some(flag) = args.next() {
+                match flag.as_str() {
+                    "--budget" => {
+                        budget = Some(args.value("--budget").parse().unwrap_or_else(|_| {
+                            eprintln!("kctl: bad --budget");
+                            std::process::exit(2);
+                        }));
+                    }
+                    "--reset" => reset = true,
+                    "--loop" => looped = true,
+                    _ => usage(),
+                }
+            }
+            report(connect(&addr).run(&name, budget, reset, looped))
+        }
+        "stream" => {
+            let name = args.value("NAME");
+            let mut budget = None;
+            let mut limit = None;
+            while let Some(flag) = args.next() {
+                match flag.as_str() {
+                    "--budget" => budget = args.value("--budget").parse().ok(),
+                    "--limit" => limit = args.value("--limit").parse().ok(),
+                    _ => usage(),
+                }
+            }
+            report(connect(&addr).stream(&name, budget, limit, |frame| {
+                println!("{}", frame.to_json());
+            }))
+        }
+        verb @ ("snapshot" | "restore" | "reset" | "delete" | "stats" | "metrics") => {
+            let name = args.value("NAME");
+            report(connect(&addr).session_verb(verb, &name))
+        }
+        "list" => report(connect(&addr).list()),
+        "shutdown" => {
+            let mut client = connect(&addr);
+            match client.shutdown() {
+                Ok(()) => {
+                    println!("{{\"ok\":true,\"draining\":true}}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("kctl: {e}");
+                    ExitCode::from(1)
+                }
+            }
+        }
+        "bench" => {
+            let mut options = BenchOptions { addr: addr.clone(), ..BenchOptions::default() };
+            let mut out = None;
+            while let Some(flag) = args.next() {
+                match flag.as_str() {
+                    "--workload" => options.workload = args.value("--workload"),
+                    "--isa" => options.isa = args.value("--isa"),
+                    "--clients" => {
+                        options.clients =
+                            args.value("--clients").parse().unwrap_or_else(|_| usage());
+                    }
+                    "--iterations" => {
+                        options.iterations =
+                            args.value("--iterations").parse().unwrap_or_else(|_| usage());
+                    }
+                    "--budget" => {
+                        options.budget =
+                            args.value("--budget").parse().unwrap_or_else(|_| usage());
+                    }
+                    "--out" => out = Some(args.value("--out")),
+                    _ => usage(),
+                }
+            }
+            match run_bench(&options) {
+                Ok(report) => {
+                    let json = report.to_json();
+                    print!("{json}");
+                    if let Some(path) = out {
+                        if let Err(e) = std::fs::write(&path, &json) {
+                            eprintln!("kctl: cannot write {path}: {e}");
+                            return ExitCode::from(1);
+                        }
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("kctl: bench failed: {e}");
+                    ExitCode::from(1)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

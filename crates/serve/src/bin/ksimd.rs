@@ -1,0 +1,147 @@
+//! `ksimd` — the KAHRISMA simulation daemon.
+//!
+//! ```text
+//! ksimd [options]
+//!   --addr HOST:PORT        listen address (default 127.0.0.1:9191; port 0 = ephemeral)
+//!   --max-sessions N        session-table capacity (default 32)
+//!   --max-running N         concurrent running sessions (default 4)
+//!   --idle-timeout-ms N     idle-session eviction (default 300000)
+//!   --request-timeout-ms N  per-request run deadline (default 30000)
+//!   --slice N               instructions per run_for slice (default 4000000)
+//! ```
+//!
+//! Prints `ksimd listening on ADDR` to stdout once bound (scripts parse
+//! this to learn an ephemeral port). Stop it with `kctl shutdown`: the
+//! daemon drains — running requests finish, new work is refused — and the
+//! process exits. (std has no signal handling, so SIGTERM is an abrupt
+//! stop; use the `shutdown` verb for graceful drain.)
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use kahrisma_serve::{Daemon, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ksimd [--addr HOST:PORT] [--max-sessions N] [--max-running N]\n\
+         \x20            [--idle-timeout-ms N] [--request-timeout-ms N] [--slice N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_config(args: impl Iterator<Item = String>) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:9191".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut value = || -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{arg} expects a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value()?,
+            "--max-sessions" => {
+                config.max_sessions =
+                    value()?.parse().map_err(|_| "bad --max-sessions".to_string())?;
+            }
+            "--max-running" => {
+                config.max_running =
+                    value()?.parse().map_err(|_| "bad --max-running".to_string())?;
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout = Duration::from_millis(
+                    value()?.parse().map_err(|_| "bad --idle-timeout-ms".to_string())?,
+                );
+            }
+            "--request-timeout-ms" => {
+                config.request_timeout = Duration::from_millis(
+                    value()?.parse().map_err(|_| "bad --request-timeout-ms".to_string())?,
+                );
+            }
+            "--slice" => {
+                config.slice = value()?.parse().map_err(|_| "bad --slice".to_string())?;
+            }
+            "--help" | "-h" => usage(),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if config.max_sessions == 0 {
+        return Err("--max-sessions must be at least 1".to_string());
+    }
+    if config.max_running == 0 {
+        return Err("--max-running must be at least 1".to_string());
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_config(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ksimd: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let daemon = match Daemon::bind(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ksimd: cannot bind: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    match daemon.local_addr() {
+        Ok(addr) => {
+            // Scripts parse this line to find an ephemeral port.
+            println!("ksimd listening on {addr}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("ksimd: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    match daemon.run() {
+        Ok(()) => {
+            eprintln!("ksimd: drained, exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ksimd: accept loop failed: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> std::vec::IntoIter<String> {
+        s.iter().map(ToString::to_string).collect::<Vec<_>>().into_iter()
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let c = parse_config(args(&[
+            "--addr", "127.0.0.1:0", "--max-sessions", "8", "--max-running", "2",
+            "--idle-timeout-ms", "1000", "--request-timeout-ms", "500", "--slice", "1000",
+        ]))
+        .unwrap();
+        assert_eq!(c.addr, "127.0.0.1:0");
+        assert_eq!(c.max_sessions, 8);
+        assert_eq!(c.max_running, 2);
+        assert_eq!(c.idle_timeout, Duration::from_secs(1));
+        assert_eq!(c.request_timeout, Duration::from_millis(500));
+        assert_eq!(c.slice, 1000);
+    }
+
+    #[test]
+    fn rejects_zero_limits_and_unknown_flags() {
+        assert!(parse_config(args(&["--max-sessions", "0"])).is_err());
+        assert!(parse_config(args(&["--max-running", "0"])).is_err());
+        assert!(parse_config(args(&["--bogus"])).is_err());
+        assert!(parse_config(args(&["--addr"])).is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! The `kctl` client library: a typed wrapper over one daemon connection.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::json::{self, Value};
+use crate::proto;
+
+/// A failed request, as the client sees it.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket or framing failure.
+    Io(std::io::Error),
+    /// The server replied with `ok:false`.
+    Server {
+        /// The machine-readable `code` tag.
+        code: String,
+        /// The human-readable message.
+        message: String,
+        /// Back-off hint on `overloaded` responses.
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Server { code, message, .. } => write!(f, "{code}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a `ksimd` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to the daemon at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer, next_id: 1 })
+    }
+
+    /// Sets a read timeout for responses (None = block forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one request object (the `id` field is assigned here) and
+    /// returns the matching response, routing any interleaved stream
+    /// frames to `on_frame`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on socket failure, [`ClientError::Server`] when
+    /// the daemon answers `ok:false`.
+    pub fn request_with_frames(
+        &mut self,
+        mut fields: Vec<(String, Value)>,
+        mut on_frame: impl FnMut(&Value),
+    ) -> Result<Value, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        fields.insert(0, ("id".to_string(), Value::Num(id as f64)));
+        let line = Value::Obj(fields).to_json();
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            if self.reader.read_line(&mut buf)? == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            let text = buf.trim();
+            if text.is_empty() {
+                continue;
+            }
+            let frame = json::parse(text).map_err(|e| {
+                ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad frame from server: {e}"),
+                ))
+            })?;
+            if proto::is_stream_frame(&frame) {
+                on_frame(&frame);
+                continue;
+            }
+            // Responses to our single-in-flight request: match on id (the
+            // server may answer bad frames with id:null; surface those too).
+            if frame.get("ok").and_then(Value::as_bool) == Some(true) {
+                return Ok(frame);
+            }
+            let code = frame
+                .get("code")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+                .to_string();
+            let message = frame
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unspecified error")
+                .to_string();
+            let retry_after_ms = frame.get("retry_after_ms").and_then(Value::as_u64);
+            return Err(ClientError::Server { code, message, retry_after_ms });
+        }
+    }
+
+    /// [`Client::request_with_frames`] with stream frames ignored.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_with_frames`].
+    pub fn request(
+        &mut self,
+        fields: Vec<(String, Value)>,
+    ) -> Result<Value, ClientError> {
+        self.request_with_frames(fields, |_| {})
+    }
+
+    /// `ping` round trip.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_with_frames`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request(vec![cmd("ping")]).map(|_| ())
+    }
+
+    /// Creates a session; extra spec fields (model, toggles) ride in
+    /// `extra`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_with_frames`].
+    pub fn create(
+        &mut self,
+        name: &str,
+        workload: &str,
+        isa: &str,
+        extra: Vec<(String, Value)>,
+    ) -> Result<Value, ClientError> {
+        let mut fields = vec![
+            cmd("create"),
+            ("name".to_string(), name.into()),
+            ("workload".to_string(), workload.into()),
+            ("isa".to_string(), isa.into()),
+        ];
+        fields.extend(extra);
+        self.request(fields)
+    }
+
+    /// Runs a session for up to `budget` instructions.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_with_frames`].
+    pub fn run(
+        &mut self,
+        name: &str,
+        budget: Option<u64>,
+        reset: bool,
+        looped: bool,
+    ) -> Result<Value, ClientError> {
+        let mut fields = vec![cmd("run"), ("name".to_string(), name.into())];
+        if let Some(b) = budget {
+            fields.push(("budget".to_string(), b.into()));
+        }
+        if reset {
+            fields.push(("reset".to_string(), true.into()));
+        }
+        if looped {
+            fields.push(("loop".to_string(), true.into()));
+        }
+        self.request(fields)
+    }
+
+    /// One-argument verbs: `stats`, `metrics`, `snapshot`, `restore`,
+    /// `reset`, `delete`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_with_frames`].
+    pub fn session_verb(&mut self, verb: &str, name: &str) -> Result<Value, ClientError> {
+        self.request(vec![cmd(verb), ("name".to_string(), name.into())])
+    }
+
+    /// `list` — every resident session.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_with_frames`].
+    pub fn list(&mut self) -> Result<Value, ClientError> {
+        self.request(vec![cmd("list")])
+    }
+
+    /// `stream` — run with live event frames delivered to `on_frame`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_with_frames`].
+    pub fn stream(
+        &mut self,
+        name: &str,
+        budget: Option<u64>,
+        limit: Option<u64>,
+        on_frame: impl FnMut(&Value),
+    ) -> Result<Value, ClientError> {
+        let mut fields = vec![cmd("stream"), ("name".to_string(), name.into())];
+        if let Some(b) = budget {
+            fields.push(("budget".to_string(), b.into()));
+        }
+        if let Some(l) = limit {
+            fields.push(("limit".to_string(), l.into()));
+        }
+        self.request_with_frames(fields, on_frame)
+    }
+
+    /// `shutdown` — asks the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_with_frames`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(vec![cmd("shutdown")]).map(|_| ())
+    }
+}
+
+fn cmd(verb: &str) -> (String, Value) {
+    ("cmd".to_string(), verb.into())
+}

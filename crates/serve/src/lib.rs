@@ -1,0 +1,36 @@
+//! Serving the KAHRISMA simulator: a multi-session daemon and its client.
+//!
+//! Every existing entry point (`ksim`, `kbatch`) is a cold-start batch
+//! process: each invocation pays ELF load plus decode-cache warmup before
+//! the first useful instruction. The paper's simulator design — an
+//! interpretation-based core with an address-keyed decode cache (§V-A) —
+//! rewards exactly the opposite shape: a long-lived resident simulator
+//! whose cache stays warm across requests. This crate provides it:
+//!
+//! * [`server`] — the `ksimd` daemon: a bounded table of named sessions
+//!   (each a [`kahrisma_core::Simulator`]), budget-sliced request
+//!   execution, LRU + idle-timeout eviction, admission control with
+//!   `retry_after_ms` back-pressure, and graceful drain,
+//! * [`proto`] — the newline-delimited-JSON wire protocol,
+//! * [`json`] — the dependency-free nested JSON parser/serializer behind
+//!   it,
+//! * [`session`] — sessions and the concurrency-safe session table,
+//! * [`client`] — the typed client used by `kctl` and `kbatch --daemon`,
+//! * [`bench`] — the `kctl bench` serving benchmark (latency percentiles,
+//!   served vs. direct throughput).
+//!
+//! Everything is std-only: TCP + threads, no external dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use client::{Client, ClientError};
+pub use server::{Daemon, DaemonHandle, ServerConfig};
+pub use session::{Session, SessionSpec, SessionTable};

@@ -1,0 +1,147 @@
+//! The `ksimd` wire protocol: newline-delimited JSON frames.
+//!
+//! Every request is one single-line JSON object terminated by `\n`:
+//!
+//! ```text
+//! {"id":1,"cmd":"create","name":"a","workload":"dct","isa":"risc"}
+//! {"id":2,"cmd":"run","name":"a","budget":4000000}
+//! ```
+//!
+//! Every response echoes the request `id` and carries `ok`:
+//!
+//! ```text
+//! {"id":2,"ok":true,"outcome":"halted","instructions":123456,...}
+//! {"id":2,"ok":false,"code":"overloaded","error":"...","retry_after_ms":250}
+//! ```
+//!
+//! A `stream` request additionally interleaves event frames (no `id`,
+//! tagged `"stream"`) before its final response. Malformed lines produce a
+//! `bad_frame` error response with `id:null` and do **not** close the
+//! connection — like the campaign manifest reader, the server recovers at
+//! the next newline.
+
+use crate::json::{obj, Value};
+
+/// Upper bound on one request line, in bytes (DoS guard).
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// Machine-readable error category carried in `code`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not valid single-line JSON (or was oversized).
+    BadFrame,
+    /// The frame was valid JSON but not a valid request.
+    BadRequest,
+    /// The named session does not exist (possibly evicted).
+    NotFound,
+    /// The named session is currently executing another request.
+    Busy,
+    /// Admission control rejected the request; retry after
+    /// `retry_after_ms`.
+    Overloaded,
+    /// The server is draining and accepts no new work.
+    Draining,
+    /// The simulation itself failed (fault in the simulated program).
+    SimFault,
+    /// The request was valid but could not be honored (e.g. snapshot of an
+    /// unsupported model).
+    Unsupported,
+}
+
+impl ErrorCode {
+    /// The wire tag.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadFrame => "bad_frame",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Draining => "draining",
+            ErrorCode::SimFault => "sim_fault",
+            ErrorCode::Unsupported => "unsupported",
+        }
+    }
+}
+
+/// Builds a success response carrying the request id and extra fields.
+#[must_use]
+pub fn ok_response(id: Value, fields: Vec<(String, Value)>) -> Value {
+    let mut all = vec![("id".to_string(), id), ("ok".to_string(), Value::Bool(true))];
+    all.extend(fields);
+    Value::Obj(all)
+}
+
+/// Builds an error response; `retry_after_ms` is attached for
+/// [`ErrorCode::Overloaded`] so clients can back off.
+#[must_use]
+pub fn error_response(
+    id: Value,
+    code: ErrorCode,
+    message: &str,
+    retry_after_ms: Option<u64>,
+) -> Value {
+    let mut fields = vec![
+        ("id".to_string(), id),
+        ("ok".to_string(), Value::Bool(false)),
+        ("code".to_string(), Value::Str(code.as_str().to_string())),
+        ("error".to_string(), Value::Str(message.to_string())),
+    ];
+    if let Some(ms) = retry_after_ms {
+        fields.push(("retry_after_ms".to_string(), Value::Num(ms as f64)));
+    }
+    Value::Obj(fields)
+}
+
+/// Wraps an event-frame JSON line (from `kahrisma_observe::frame`) in a
+/// stream frame for `session`.
+#[must_use]
+pub fn stream_frame(session: &str, event_json: &str) -> String {
+    let mut line = String::with_capacity(event_json.len() + session.len() + 16);
+    line.push_str("{\"stream\":");
+    line.push_str(&Value::Str(session.to_string()).to_json());
+    line.push_str(",\"event\":");
+    line.push_str(event_json);
+    line.push('}');
+    line
+}
+
+/// `true` when a received frame is a stream event rather than a response.
+#[must_use]
+pub fn is_stream_frame(frame: &Value) -> bool {
+    frame.get("stream").is_some()
+}
+
+/// Shorthand: a minimal `{id, ok:true}` response.
+#[must_use]
+pub fn ack(id: Value) -> Value {
+    obj([("id", id), ("ok", Value::Bool(true))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn responses_echo_id_and_carry_code() {
+        let r = error_response(Value::Num(9.0), ErrorCode::Overloaded, "full", Some(250));
+        let text = r.to_json();
+        let v = parse(&text).unwrap();
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(9));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("code").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(v.get("retry_after_ms").unwrap().as_u64(), Some(250));
+    }
+
+    #[test]
+    fn stream_frames_parse_and_are_distinguishable() {
+        let line = stream_frame("sess-1", r#"{"event":"cache_hit","addr":4}"#);
+        let v = parse(&line).unwrap();
+        assert!(is_stream_frame(&v));
+        assert_eq!(v.get("stream").unwrap().as_str(), Some("sess-1"));
+        assert_eq!(v.get("event").unwrap().get("addr").unwrap().as_u64(), Some(4));
+        assert!(!is_stream_frame(&ack(Value::Num(1.0))));
+    }
+}

@@ -1,0 +1,890 @@
+//! The `ksimd` daemon: TCP accept loop, per-connection handler threads,
+//! request dispatch, admission control, and graceful drain.
+
+use std::io::{BufRead as _, BufReader, BufWriter, Read, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kahrisma_core::{CycleModelKind, Observer, RunOutcome, SimEvent, SimStats, Simulator};
+use kahrisma_isa::IsaKind;
+use kahrisma_observe::{frame, MetricsRegistry};
+use kahrisma_workloads::Workload;
+
+use crate::json::{self, obj, Value};
+use crate::proto::{self, ErrorCode, MAX_FRAME_BYTES};
+use crate::session::{Session, SessionSpec, SessionTable, TableError};
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 binds an ephemeral port.
+    pub addr: String,
+    /// Session-table capacity (LRU-evicts idle sessions beyond it).
+    pub max_sessions: usize,
+    /// Maximum concurrently *running* sessions; excess `run`/`stream`
+    /// requests get `overloaded` with a retry hint.
+    pub max_running: usize,
+    /// Idle sessions older than this are evicted at the next request.
+    pub idle_timeout: Duration,
+    /// Per-request execution deadline; longer runs return partial progress
+    /// (`outcome:"deadline"`) and can be continued with another `run`.
+    pub request_timeout: Duration,
+    /// Instructions per `run_for` slice between deadline/drain checks.
+    pub slice: u64,
+    /// Back-off hint attached to `overloaded` responses.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_sessions: 32,
+            max_running: 4,
+            idle_timeout: Duration::from_secs(300),
+            request_timeout: Duration::from_secs(30),
+            slice: 4_000_000,
+            retry_after_ms: 250,
+        }
+    }
+}
+
+/// State shared by every connection thread.
+struct Shared {
+    config: ServerConfig,
+    table: SessionTable,
+    running: AtomicUsize,
+    draining: AtomicBool,
+    /// The bound listen address (for the drain wake-up self-connection).
+    bound: std::net::SocketAddr,
+}
+
+/// A handle for stopping a daemon from another thread (tests, signal
+/// plumbing). Cloned freely.
+#[derive(Clone)]
+pub struct DaemonHandle {
+    shared: Arc<Shared>,
+    addr: std::net::SocketAddr,
+}
+
+impl DaemonHandle {
+    /// The daemon's bound address.
+    #[must_use]
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful drain: stop accepting connections, let running
+    /// requests finish. The accept loop is woken with a self-connection
+    /// (std has no way to interrupt a blocking `accept`).
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Wake the acceptor; errors are fine (it may already be gone).
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// The simulation daemon.
+pub struct Daemon {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Daemon {
+    /// Binds the listen socket (without accepting yet).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Daemon> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let bound = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            table: SessionTable::new(config.max_sessions, config.idle_timeout),
+            running: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            bound,
+            config,
+        });
+        Ok(Daemon { listener, shared })
+    }
+
+    /// The bound address (read this after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A stop handle usable from other threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn handle(&self) -> std::io::Result<DaemonHandle> {
+        Ok(DaemonHandle { shared: Arc::clone(&self.shared), addr: self.local_addr()? })
+    }
+
+    /// Runs the accept loop until a `shutdown` request (or
+    /// [`DaemonHandle::shutdown`]) drains the daemon. Each connection is
+    /// served by its own thread; the loop exits only after every running
+    /// request has completed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop socket failures (per-connection I/O errors
+    /// only terminate that connection).
+    pub fn run(self) -> std::io::Result<()> {
+        let mut workers = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.shared.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            // A short read timeout lets idle connection threads notice the
+            // drain flag; without it, joining workers below would block on
+            // clients that keep their connection open. Nagle off: responses
+            // are single small writes on a request/response stream.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+            let _ = stream.set_nodelay(true);
+            let shared = Arc::clone(&self.shared);
+            workers.push(std::thread::spawn(move || handle_connection(&shared, stream)));
+            workers.retain(|w| !w.is_finished());
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection: read a line, dispatch, write the response.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut writer = BufWriter::new(write_half);
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Bounded read: a frame longer than MAX_FRAME_BYTES is consumed to
+        // its newline and rejected, keeping the connection usable. Reads
+        // time out periodically (see `Daemon::run`) so an idle connection
+        // notices a drain; a timeout mid-frame keeps the partial line and
+        // resumes reading.
+        loop {
+            let budget = (MAX_FRAME_BYTES.saturating_sub(line.len()).max(1)) as u64;
+            match (&mut reader).take(budget).read_line(&mut line) {
+                Ok(0) => return, // EOF (a partial trailing line is dropped)
+                Ok(_) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shared.draining.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        if line.len() >= MAX_FRAME_BYTES && !line.ends_with('\n') {
+            // Oversized frame: drain the rest of the line, then reject.
+            let mut rest = Vec::new();
+            let _ = reader.read_until(b'\n', &mut rest);
+            let resp = proto::error_response(
+                Value::Null,
+                ErrorCode::BadFrame,
+                "frame exceeds 64 KiB",
+                None,
+            );
+            if write_line(&mut writer, &resp.to_json()).is_err() {
+                return;
+            }
+            continue;
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            continue; // blank keep-alive lines are legal
+        }
+        let request = match json::parse(text) {
+            Ok(v @ Value::Obj(_)) => v,
+            Ok(_) => {
+                let resp = proto::error_response(
+                    Value::Null,
+                    ErrorCode::BadFrame,
+                    "frame must be a JSON object",
+                    None,
+                );
+                if write_line(&mut writer, &resp.to_json()).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Err(e) => {
+                // Malformed frame: report and recover at the next newline,
+                // mirroring the campaign manifest reader.
+                let resp = proto::error_response(
+                    Value::Null,
+                    ErrorCode::BadFrame,
+                    &format!("malformed frame: {e}"),
+                    None,
+                );
+                if write_line(&mut writer, &resp.to_json()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let id = request.get("id").cloned().unwrap_or(Value::Null);
+        let shutdown_after = matches!(
+            request.get("cmd").and_then(Value::as_str),
+            Some("shutdown")
+        );
+        let response = dispatch(shared, &id, &request, &mut writer);
+        if write_line(&mut writer, &response.to_json()).is_err() {
+            return;
+        }
+        if shutdown_after {
+            // The drain flag is already set; wake the acceptor and close.
+            let _ = TcpStream::connect(shared.bound);
+            return;
+        }
+    }
+}
+
+fn write_line<W: std::io::Write>(writer: &mut W, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Routes one request to its verb handler.
+fn dispatch(
+    shared: &Shared,
+    id: &Value,
+    request: &Value,
+    writer: &mut BufWriter<TcpStream>,
+) -> Value {
+    // Lazy idle eviction: every request sweeps first.
+    shared.table.sweep();
+
+    let Some(cmd) = request.get("cmd").and_then(Value::as_str) else {
+        return proto::error_response(id.clone(), ErrorCode::BadRequest, "missing `cmd`", None);
+    };
+    if shared.draining.load(Ordering::SeqCst) && cmd != "ping" && cmd != "list" {
+        return proto::error_response(id.clone(), ErrorCode::Draining, "server is draining", None);
+    }
+    match cmd {
+        "ping" => proto::ok_response(
+            id.clone(),
+            vec![("pong".to_string(), Value::Bool(true))],
+        ),
+        "create" => handle_create(shared, id, request),
+        "run" => handle_run(shared, id, request, None),
+        "stream" => handle_stream(shared, id, request, writer),
+        "reset" => with_session(shared, id, request, |session| {
+            session.sim.reset();
+            session.exit_code = None;
+            Ok(Vec::new())
+        }),
+        "snapshot" => with_session(shared, id, request, |session| {
+            match session.sim.snapshot() {
+                Ok(snap) => {
+                    let instructions = snap.instructions();
+                    session.snapshot = Some(snap);
+                    Ok(vec![("instructions".to_string(), instructions.into())])
+                }
+                Err(e) => Err((ErrorCode::Unsupported, format!("snapshot failed: {e}"))),
+            }
+        }),
+        "restore" => with_session(shared, id, request, |session| {
+            let Some(snap) = session.snapshot.take() else {
+                return Err((ErrorCode::BadRequest, "no snapshot to restore".to_string()));
+            };
+            let result = session.sim.restore(&snap);
+            let instructions = snap.instructions();
+            session.snapshot = Some(snap);
+            match result {
+                Ok(()) => {
+                    session.exit_code = None;
+                    Ok(vec![("instructions".to_string(), instructions.into())])
+                }
+                Err(e) => Err((ErrorCode::Unsupported, format!("restore failed: {e}"))),
+            }
+        }),
+        "stats" => with_session(shared, id, request, |session| {
+            let mut fields = stats_fields(session.sim.stats());
+            if let Some(cycles) = session.sim.cycle_stats() {
+                fields.push(("cycles".to_string(), cycles.cycles.into()));
+                fields.push(("ops_per_cycle".to_string(), cycles.ops_per_cycle().into()));
+                // The model's operation count (what campaign reports use
+                // when a model ran) and the L1 miss ratio, if any level of
+                // the modelled hierarchy has a cache.
+                fields.push(("model_operations".to_string(), cycles.operations.into()));
+                if let Some(ratio) =
+                    cycles.memory.iter().find_map(|l| l.cache).map(|c| c.miss_ratio())
+                {
+                    fields.push(("l1_miss_ratio".to_string(), ratio.into()));
+                }
+            }
+            if let Some(code) = session.exit_code {
+                fields.push(("exit_code".to_string(), code.into()));
+            }
+            fields.push(("halted".to_string(), session.sim.halted().into()));
+            fields.push(("runs_completed".to_string(), session.runs_completed.into()));
+            Ok(fields)
+        }),
+        "metrics" => with_session(shared, id, request, |session| {
+            let registry = registry_from_stats(session);
+            Ok(vec![(
+                "metrics".to_string(),
+                json::parse(&registry.to_json())
+                    .unwrap_or_else(|_| Value::Obj(Vec::new())),
+            )])
+        }),
+        "list" => {
+            let rows: Vec<Value> = shared
+                .table
+                .list()
+                .into_iter()
+                .map(|info| {
+                    obj([
+                        ("name", info.name.into()),
+                        ("state", info.state.into()),
+                        ("workload", info.workload.into()),
+                        ("isa", info.isa.into()),
+                        ("instructions", info.instructions.into()),
+                        ("idle_secs", info.idle_secs.into()),
+                        ("running_secs", info.running_secs.into()),
+                    ])
+                })
+                .collect();
+            proto::ok_response(id.clone(), vec![("sessions".to_string(), Value::Arr(rows))])
+        }
+        "delete" => {
+            let Some(name) = request.get("name").and_then(Value::as_str) else {
+                return proto::error_response(
+                    id.clone(),
+                    ErrorCode::BadRequest,
+                    "missing `name`",
+                    None,
+                );
+            };
+            match shared.table.remove(name) {
+                Ok(()) => proto::ack(id.clone()),
+                Err(e) => table_error(id, name, &e),
+            }
+        }
+        "shutdown" => {
+            shared.draining.store(true, Ordering::SeqCst);
+            proto::ok_response(
+                id.clone(),
+                vec![("draining".to_string(), Value::Bool(true))],
+            )
+        }
+        other => proto::error_response(
+            id.clone(),
+            ErrorCode::BadRequest,
+            &format!("unknown cmd `{other}`"),
+            None,
+        ),
+    }
+}
+
+fn table_error(id: &Value, name: &str, e: &TableError) -> Value {
+    let (code, msg) = match e {
+        TableError::NotFound => (ErrorCode::NotFound, format!("no session `{name}`")),
+        TableError::Busy => (ErrorCode::Busy, format!("session `{name}` is running")),
+        TableError::Full => (
+            ErrorCode::Overloaded,
+            "session table is full of running sessions".to_string(),
+        ),
+        TableError::Exists => {
+            (ErrorCode::BadRequest, format!("session `{name}` already exists"))
+        }
+    };
+    proto::error_response(id.clone(), code, &msg, None)
+}
+
+/// Checkout/checkin wrapper for verbs that need exclusive session access.
+fn with_session(
+    shared: &Shared,
+    id: &Value,
+    request: &Value,
+    f: impl FnOnce(&mut Session) -> Result<Vec<(String, Value)>, (ErrorCode, String)>,
+) -> Value {
+    let Some(name) = request.get("name").and_then(Value::as_str) else {
+        return proto::error_response(id.clone(), ErrorCode::BadRequest, "missing `name`", None);
+    };
+    let mut session = match shared.table.checkout(name) {
+        Ok(s) => s,
+        Err(e) => return table_error(id, name, &e),
+    };
+    let result = f(&mut session);
+    shared.table.checkin(session);
+    match result {
+        Ok(fields) => proto::ok_response(id.clone(), fields),
+        Err((code, msg)) => proto::error_response(id.clone(), code, &msg, None),
+    }
+}
+
+fn handle_create(shared: &Shared, id: &Value, request: &Value) -> Value {
+    let bad = |msg: &str| {
+        proto::error_response(id.clone(), ErrorCode::BadRequest, msg, None)
+    };
+    let Some(name) = request.get("name").and_then(Value::as_str) else {
+        return bad("missing `name`");
+    };
+    if name.is_empty() || name.len() > 64 {
+        return bad("`name` must be 1..=64 characters");
+    }
+    let Some(workload_name) = request.get("workload").and_then(Value::as_str) else {
+        return bad("missing `workload`");
+    };
+    let Some(workload) = Workload::ALL.into_iter().find(|w| w.name() == workload_name) else {
+        return bad(&format!("unknown workload `{workload_name}`"));
+    };
+    let Some(isa_name) = request.get("isa").and_then(Value::as_str) else {
+        return bad("missing `isa`");
+    };
+    let Some(isa) = IsaKind::ALL.into_iter().find(|k| k.name() == isa_name) else {
+        return bad(&format!("unknown isa `{isa_name}`"));
+    };
+    let mut spec = SessionSpec::new(workload, isa);
+    match request.get("model").and_then(Value::as_str) {
+        None => {}
+        Some("ilp") => spec.model = Some(CycleModelKind::Ilp),
+        Some("aie") => spec.model = Some(CycleModelKind::Aie),
+        Some("doe") => spec.model = Some(CycleModelKind::Doe),
+        Some(other) => return bad(&format!("unknown model `{other}`")),
+    }
+    let flag = |key: &str, default: bool| {
+        request.get(key).and_then(Value::as_bool).unwrap_or(default)
+    };
+    spec.decode_cache = flag("decode_cache", true);
+    spec.prediction = flag("prediction", true);
+    spec.superblocks = flag("superblocks", true);
+    spec.ideal_memory = flag("ideal_memory", false);
+
+    let started = Instant::now();
+    let session = match Session::create(name, spec) {
+        Ok(s) => s,
+        Err(e) => return bad(&e),
+    };
+    match shared.table.insert(session) {
+        Ok(()) => proto::ok_response(
+            id.clone(),
+            vec![
+                ("name".to_string(), name.into()),
+                ("build_ms".to_string(), (started.elapsed().as_millis() as u64).into()),
+            ],
+        ),
+        Err(TableError::Full) => proto::error_response(
+            id.clone(),
+            ErrorCode::Overloaded,
+            "session table is full of running sessions",
+            Some(shared.config.retry_after_ms),
+        ),
+        Err(e) => table_error(id, name, &e),
+    }
+}
+
+/// Executes `run`: budget-sliced `run_for` with deadline and drain checks
+/// between slices. With `loop:true`, a halted program is reset (decode
+/// cache stays warm) and re-run until the instruction budget is consumed —
+/// the sustained-throughput mode `kctl bench` uses.
+///
+/// When `observer` is set (the `stream` verb), the simulator routes events
+/// through it for the duration of the request.
+fn handle_run(
+    shared: &Shared,
+    id: &Value,
+    request: &Value,
+    observer: Option<Box<dyn Observer>>,
+) -> Value {
+    let Some(name) = request.get("name").and_then(Value::as_str) else {
+        return proto::error_response(id.clone(), ErrorCode::BadRequest, "missing `name`", None);
+    };
+    let budget = request
+        .get("budget")
+        .and_then(Value::as_u64)
+        .unwrap_or(1_000_000_000);
+    let looped = request.get("loop").and_then(Value::as_bool).unwrap_or(false);
+    let reset_first = request.get("reset").and_then(Value::as_bool).unwrap_or(false);
+
+    // Admission control: bounded concurrent running sessions.
+    let admitted = shared
+        .running
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < shared.config.max_running).then_some(n + 1)
+        })
+        .is_ok();
+    if !admitted {
+        return proto::error_response(
+            id.clone(),
+            ErrorCode::Overloaded,
+            &format!("{} sessions already running", shared.config.max_running),
+            Some(shared.config.retry_after_ms),
+        );
+    }
+    let response = (|| {
+        let mut session = match shared.table.checkout(name) {
+            Ok(s) => s,
+            Err(e) => return table_error(id, name, &e),
+        };
+        if reset_first {
+            session.sim.reset();
+            session.exit_code = None;
+        }
+        let had_observer = observer.is_some();
+        if let Some(o) = observer {
+            session.sim.set_observer(o);
+        }
+        let started = Instant::now();
+        let deadline = started + shared.config.request_timeout;
+        let result = run_sliced(
+            &mut session.sim,
+            budget,
+            shared.config.slice,
+            looped,
+            deadline,
+            &shared.draining,
+        );
+        let wall = started.elapsed();
+        session.busy += wall;
+        if had_observer {
+            let _ = session.sim.take_observer();
+        }
+        match result {
+            Err(e) => {
+                // A faulted simulator is not safely resumable; drop the
+                // session rather than serving poisoned state.
+                let msg = format!("simulation fault: {e}");
+                shared.table.discard(name);
+                proto::error_response(id.clone(), ErrorCode::SimFault, &msg, None)
+            }
+            Ok(run) => {
+                session.runs_completed += run.halts;
+                if let Some(code) = run.exit_code {
+                    session.exit_code = Some(code);
+                }
+                let mut fields = vec![
+                    ("outcome".to_string(), run.outcome.into()),
+                    ("instructions".to_string(), run.instructions.into()),
+                    (
+                        "total_instructions".to_string(),
+                        session.sim.stats().instructions.into(),
+                    ),
+                    ("runs".to_string(), run.halts.into()),
+                    ("wall_ms".to_string(), (wall.as_secs_f64() * 1e3).into()),
+                ];
+                if let Some(code) = run.exit_code {
+                    fields.push(("exit_code".to_string(), code.into()));
+                }
+                if let Some(cycles) = session.sim.cycle_stats() {
+                    fields.push(("cycles".to_string(), cycles.cycles.into()));
+                }
+                shared.table.checkin(session);
+                proto::ok_response(id.clone(), fields)
+            }
+        }
+    })();
+    shared.running.fetch_sub(1, Ordering::SeqCst);
+    response
+}
+
+struct SlicedRun {
+    outcome: &'static str,
+    instructions: u64,
+    halts: u64,
+    exit_code: Option<u32>,
+}
+
+fn run_sliced(
+    sim: &mut Simulator,
+    budget: u64,
+    slice: u64,
+    looped: bool,
+    deadline: Instant,
+    draining: &AtomicBool,
+) -> Result<SlicedRun, kahrisma_core::SimError> {
+    let mut executed = 0u64;
+    let mut halts = 0u64;
+    let mut exit_code = None;
+    let slice = slice.max(1);
+    loop {
+        let remaining = budget.saturating_sub(executed);
+        if remaining == 0 {
+            return Ok(SlicedRun { outcome: "budget", instructions: executed, halts, exit_code });
+        }
+        // Per-iteration delta accounting: `loop` mode resets the simulator
+        // (zeroing its instruction counter), so the request-level total
+        // must accumulate across resets.
+        let before = sim.stats().instructions;
+        let outcome = sim.run_for(remaining.min(slice))?;
+        executed += sim.stats().instructions - before;
+        match outcome {
+            RunOutcome::Halted { exit_code: code } => {
+                halts += 1;
+                exit_code = Some(code);
+                if !looped {
+                    return Ok(SlicedRun {
+                        outcome: "halted",
+                        instructions: executed,
+                        halts,
+                        exit_code,
+                    });
+                }
+                if executed >= budget {
+                    return Ok(SlicedRun {
+                        outcome: "budget",
+                        instructions: executed,
+                        halts,
+                        exit_code,
+                    });
+                }
+                sim.reset();
+            }
+            RunOutcome::BudgetExhausted => {}
+        }
+        if draining.load(Ordering::SeqCst) {
+            return Ok(SlicedRun { outcome: "draining", instructions: executed, halts, exit_code });
+        }
+        if Instant::now() >= deadline {
+            return Ok(SlicedRun { outcome: "deadline", instructions: executed, halts, exit_code });
+        }
+    }
+}
+
+/// An observer that writes capped event frames straight into the
+/// connection, counting overflow drops. The tallies live in the shared
+/// sink because the observer box itself is consumed by the simulator.
+struct StreamObserver {
+    sink: Arc<std::sync::Mutex<StreamSink>>,
+    session: String,
+    limit: u64,
+}
+
+struct StreamSink {
+    writer: BufWriter<TcpStream>,
+    failed: bool,
+    emitted: u64,
+    dropped: u64,
+}
+
+impl Observer for StreamObserver {
+    fn event(&mut self, event: SimEvent) {
+        let mut sink = self.sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if sink.emitted >= self.limit {
+            sink.dropped += 1;
+            return;
+        }
+        sink.emitted += 1;
+        if sink.failed {
+            return;
+        }
+        let line = proto::stream_frame(&self.session, &frame::to_json_line(&event));
+        // Stream emission is best-effort: a dead client must not abort the
+        // simulation mid-run (the session survives; the final response
+        // write will fail and close the connection).
+        if sink.writer.write_all(line.as_bytes()).is_err()
+            || sink.writer.write_all(b"\n").is_err()
+        {
+            sink.failed = true;
+        }
+    }
+}
+
+/// `stream` is `run` with an attached frame-writing observer. The final
+/// response reports how many frames were emitted/dropped.
+fn handle_stream(
+    shared: &Shared,
+    id: &Value,
+    request: &Value,
+    writer: &mut BufWriter<TcpStream>,
+) -> Value {
+    let Some(name) = request.get("name").and_then(Value::as_str) else {
+        return proto::error_response(id.clone(), ErrorCode::BadRequest, "missing `name`", None);
+    };
+    let limit = request.get("limit").and_then(Value::as_u64).unwrap_or(65_536);
+    let Ok(stream_clone) = writer.get_ref().try_clone() else {
+        return proto::error_response(
+            id.clone(),
+            ErrorCode::BadRequest,
+            "cannot clone connection for streaming",
+            None,
+        );
+    };
+    // Flush buffered responses before the observer starts interleaving.
+    let _ = writer.flush();
+    let sink = Arc::new(std::sync::Mutex::new(StreamSink {
+        writer: BufWriter::new(stream_clone),
+        failed: false,
+        emitted: 0,
+        dropped: 0,
+    }));
+    let observer = Box::new(StreamObserver {
+        sink: Arc::clone(&sink),
+        session: name.to_string(),
+        limit,
+    });
+    let mut response = handle_run(shared, id, request, Some(observer));
+    let (emitted, dropped) = {
+        let mut sink = sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = sink.writer.flush();
+        (sink.emitted, sink.dropped)
+    };
+    if let Value::Obj(fields) = &mut response {
+        fields.push(("frames".to_string(), emitted.into()));
+        fields.push(("frames_dropped".to_string(), dropped.into()));
+    }
+    response
+}
+
+/// SimStats as response fields, in declaration order (deterministic).
+fn stats_fields(stats: &SimStats) -> Vec<(String, Value)> {
+    vec![
+        ("instructions".to_string(), stats.instructions.into()),
+        ("operations".to_string(), stats.operations.into()),
+        ("nops".to_string(), stats.nops.into()),
+        ("detect_decodes".to_string(), stats.detect_decodes.into()),
+        ("cache_lookups".to_string(), stats.cache_lookups.into()),
+        ("cache_hits".to_string(), stats.cache_hits.into()),
+        ("prediction_hits".to_string(), stats.prediction_hits.into()),
+        ("superblocks_built".to_string(), stats.superblocks_built.into()),
+        ("superblock_batches".to_string(), stats.superblock_batches.into()),
+        ("mem_reads".to_string(), stats.mem_reads.into()),
+        ("mem_writes".to_string(), stats.mem_writes.into()),
+        ("isa_switches".to_string(), stats.isa_switches.into()),
+        ("simops".to_string(), stats.simops.into()),
+        ("taken_branches".to_string(), stats.taken_branches.into()),
+    ]
+}
+
+/// Folds a session's [`SimStats`] into a deterministic [`MetricsRegistry`].
+///
+/// Deliberately *not* implemented by attaching a `MetricsCollector`
+/// observer: an attached observer bypasses the superblock fast path, which
+/// would tax every served run. Folding from the counters the fast path
+/// already maintains is free and exactly as deterministic.
+fn registry_from_stats(session: &Session) -> MetricsRegistry {
+    let stats = session.sim.stats();
+    let mut r = MetricsRegistry::new();
+    r.set_counter("sim.instructions", stats.instructions);
+    r.set_counter("sim.operations", stats.operations);
+    r.set_counter("sim.nops", stats.nops);
+    r.set_counter("decode.detect_decodes", stats.detect_decodes);
+    r.set_counter("decode.cache_lookups", stats.cache_lookups);
+    r.set_counter("decode.cache_hits", stats.cache_hits);
+    r.set_counter("decode.prediction_hits", stats.prediction_hits);
+    r.set_counter("superblock.built", stats.superblocks_built);
+    r.set_counter("superblock.batches", stats.superblock_batches);
+    r.set_counter("mem.reads", stats.mem_reads);
+    r.set_counter("mem.writes", stats.mem_writes);
+    r.set_counter("isa.switches", stats.isa_switches);
+    r.set_counter("libc.simops", stats.simops);
+    r.set_counter("branch.taken", stats.taken_branches);
+    r.set_counter("session.runs_completed", session.runs_completed);
+    r.set_gauge("decode.avoided_ratio", stats.decode_avoided_ratio());
+    r.set_gauge("decode.cache_hit_ratio", stats.cache_hit_ratio());
+    r.set_gauge("session.busy_secs", session.busy.as_secs_f64());
+    if let Some(cycles) = session.sim.cycle_stats() {
+        r.set_counter("cycles.total", cycles.cycles);
+        r.set_gauge("cycles.ops_per_cycle", cycles.ops_per_cycle());
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ServerConfig::default();
+        assert!(c.max_sessions >= 1);
+        assert!(c.max_running >= 1);
+        assert!(c.slice >= 1);
+    }
+
+    #[test]
+    fn sliced_run_reports_budget_and_halt() {
+        let exe = Workload::Dct.build(IsaKind::Risc).unwrap();
+        let mut sim =
+            Simulator::new(&exe, kahrisma_core::SimConfig::default()).unwrap();
+        let draining = AtomicBool::new(false);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        // A tiny budget with a smaller slice: several slices, no halt.
+        let run = run_sliced(&mut sim, 1000, 100, false, deadline, &draining).unwrap();
+        assert_eq!(run.outcome, "budget");
+        assert_eq!(run.instructions, 1000);
+        assert_eq!(run.halts, 0);
+        // Run to completion.
+        let run =
+            run_sliced(&mut sim, u64::MAX, 4_000_000, false, deadline, &draining).unwrap();
+        assert_eq!(run.outcome, "halted");
+        assert_eq!(run.exit_code, Some(Workload::Dct.expected_exit()));
+        assert_eq!(run.halts, 1);
+    }
+
+    #[test]
+    fn sliced_run_loops_with_warm_cache() {
+        let exe = Workload::Dct.build(IsaKind::Risc).unwrap();
+        let mut sim =
+            Simulator::new(&exe, kahrisma_core::SimConfig::default()).unwrap();
+        let draining = AtomicBool::new(false);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let once =
+            run_sliced(&mut sim, u64::MAX, 4_000_000, false, deadline, &draining).unwrap();
+        let per_run = once.instructions;
+        sim.reset();
+        let looped = run_sliced(
+            &mut sim,
+            per_run * 3,
+            4_000_000,
+            true,
+            deadline,
+            &draining,
+        )
+        .unwrap();
+        assert_eq!(looped.outcome, "budget");
+        assert_eq!(looped.halts, 3);
+        assert_eq!(looped.exit_code, Some(Workload::Dct.expected_exit()));
+        // The warm decode cache means the looped runs decode nothing new.
+        assert_eq!(sim.stats().detect_decodes, 0);
+    }
+
+    #[test]
+    fn draining_interrupts_a_sliced_run() {
+        let exe = Workload::Dct.build(IsaKind::Risc).unwrap();
+        let mut sim =
+            Simulator::new(&exe, kahrisma_core::SimConfig::default()).unwrap();
+        let draining = AtomicBool::new(true);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let run = run_sliced(&mut sim, u64::MAX, 100, false, deadline, &draining).unwrap();
+        assert_eq!(run.outcome, "draining");
+        assert_eq!(run.instructions, 100); // exactly one slice ran
+    }
+
+    #[test]
+    fn registry_fold_is_deterministic() {
+        let session = Session::create(
+            "t",
+            SessionSpec::new(Workload::Dct, IsaKind::Risc),
+        )
+        .unwrap();
+        let a = registry_from_stats(&session).to_json();
+        let b = registry_from_stats(&session).to_json();
+        assert_eq!(a, b);
+        kahrisma_observe::json_lint::validate(&a).expect("valid JSON");
+    }
+}

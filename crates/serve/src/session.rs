@@ -1,0 +1,427 @@
+//! Named simulation sessions and the bounded session table.
+//!
+//! A session owns a [`Simulator`] with a warm decode cache — the whole
+//! point of the daemon: repeated requests against the same session skip
+//! ELF load and decode-cache warmup, which is what makes served throughput
+//! competitive with a long-lived local `ksim` process.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use kahrisma_core::{
+    CycleModelKind, MemoryHierarchy, SimConfig, Simulator, Snapshot,
+};
+use kahrisma_isa::IsaKind;
+use kahrisma_workloads::Workload;
+
+/// What a `create` request specifies (workload × ISA × cycle model plus
+/// the decode-cache ladder toggles).
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// The workload to build and simulate.
+    pub workload: Workload,
+    /// The ISA it is compiled for.
+    pub isa: IsaKind,
+    /// Optional cycle-approximation model.
+    pub model: Option<CycleModelKind>,
+    /// Decode-cache toggle (default on).
+    pub decode_cache: bool,
+    /// Instruction-prediction toggle (default on).
+    pub prediction: bool,
+    /// Superblock-batching toggle (default on).
+    pub superblocks: bool,
+    /// Replace the paper memory hierarchy with ideal memory.
+    pub ideal_memory: bool,
+}
+
+impl SessionSpec {
+    /// The default spec for a workload/ISA pair: full decode-cache ladder,
+    /// no cycle model, paper memory.
+    #[must_use]
+    pub fn new(workload: Workload, isa: IsaKind) -> Self {
+        SessionSpec {
+            workload,
+            isa,
+            model: None,
+            decode_cache: true,
+            prediction: true,
+            superblocks: true,
+            ideal_memory: false,
+        }
+    }
+
+    /// The simulator configuration the spec prescribes.
+    #[must_use]
+    pub fn sim_config(&self) -> SimConfig {
+        let mut config = SimConfig {
+            cycle_model: self.model,
+            decode_cache: self.decode_cache,
+            prediction: self.prediction && self.decode_cache,
+            superblocks: self.superblocks && self.decode_cache,
+            ..SimConfig::default()
+        };
+        if self.ideal_memory {
+            config.memory = MemoryHierarchy::new().with_memory(0);
+        }
+        config
+    }
+}
+
+/// One live session: a named simulator plus bookkeeping.
+pub struct Session {
+    /// The session name (table key).
+    pub name: String,
+    /// The spec it was created from.
+    pub spec: SessionSpec,
+    /// The resident simulator (warm decode cache).
+    pub sim: Simulator,
+    /// The most recent snapshot, if any (`snapshot` verb).
+    pub snapshot: Option<Snapshot>,
+    /// Exit code of the last halted run, if the program has halted.
+    pub exit_code: Option<u32>,
+    /// Completed (halted) runs, counting `loop` restarts.
+    pub runs_completed: u64,
+    /// Total wall time spent executing requests.
+    pub busy: Duration,
+    /// Creation time.
+    pub created: Instant,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("name", &self.name)
+            .field("workload", &self.spec.workload.name())
+            .field("isa", &self.spec.isa.name())
+            .field("instructions", &self.sim.stats().instructions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Builds the workload and loads a fresh simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the compile/link/load failure.
+    pub fn create(name: &str, spec: SessionSpec) -> Result<Box<Session>, String> {
+        let exe = spec
+            .workload
+            .build(spec.isa)
+            .map_err(|e| format!("cannot build workload {}: {e}", spec.workload.name()))?;
+        let sim = Simulator::new(&exe, spec.sim_config())
+            .map_err(|e| format!("cannot load workload {}: {e}", spec.workload.name()))?;
+        Ok(Box::new(Session {
+            name: name.to_string(),
+            spec,
+            sim,
+            snapshot: None,
+            exit_code: None,
+            runs_completed: 0,
+            busy: Duration::ZERO,
+            created: Instant::now(),
+        }))
+    }
+}
+
+/// Why a table operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// No session with that name (never existed, deleted, or evicted).
+    NotFound,
+    /// The session exists but is executing another request right now.
+    Busy,
+    /// The table is full and every resident session is running (nothing
+    /// idle to evict).
+    Full,
+    /// A session with that name already exists.
+    Exists,
+}
+
+enum Slot {
+    /// Parked in the table, available for checkout.
+    Idle {
+        session: Box<Session>,
+        last_used: Instant,
+    },
+    /// Checked out by a request handler.
+    Running { since: Instant },
+}
+
+/// A summary row for the `list` verb.
+#[derive(Debug, Clone)]
+pub struct SessionInfo {
+    /// Session name.
+    pub name: String,
+    /// `"idle"` or `"running"`.
+    pub state: &'static str,
+    /// Workload name (empty while running — the spec travels with the
+    /// checked-out session).
+    pub workload: String,
+    /// ISA name (empty while running).
+    pub isa: String,
+    /// Instructions executed so far (0 while running).
+    pub instructions: u64,
+    /// Idle seconds (0 while running).
+    pub idle_secs: f64,
+    /// Seconds the current request has been executing (0 while idle).
+    pub running_secs: f64,
+}
+
+/// The bounded, LRU-evicting session table.
+///
+/// Capacity pressure only ever evicts **idle** sessions (oldest
+/// `last_used` first); running sessions are pinned by their request. The
+/// idle timeout is applied lazily: [`SessionTable::sweep`] runs at every
+/// request, so an unused session disappears the first time anyone talks to
+/// the server after the timeout elapses.
+pub struct SessionTable {
+    slots: Mutex<HashMap<String, Slot>>,
+    max_sessions: usize,
+    idle_timeout: Duration,
+}
+
+impl SessionTable {
+    /// Creates a table holding at most `max_sessions` (minimum 1) sessions,
+    /// evicting sessions idle longer than `idle_timeout`.
+    #[must_use]
+    pub fn new(max_sessions: usize, idle_timeout: Duration) -> Self {
+        SessionTable {
+            slots: Mutex::new(HashMap::new()),
+            max_sessions: max_sessions.max(1),
+            idle_timeout,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Slot>> {
+        self.slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Evicts sessions idle past the timeout; returns how many.
+    pub fn sweep(&self) -> usize {
+        let now = Instant::now();
+        let mut slots = self.lock();
+        let before = slots.len();
+        slots.retain(|_, slot| match slot {
+            Slot::Idle { last_used, .. } => now.duration_since(*last_used) < self.idle_timeout,
+            Slot::Running { .. } => true,
+        });
+        before - slots.len()
+    }
+
+    /// Inserts a new idle session, evicting the least-recently-used idle
+    /// session if the table is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::Exists`] if the name is taken, [`TableError::Full`] if
+    /// the table is at capacity with nothing idle to evict.
+    pub fn insert(&self, session: Box<Session>) -> Result<(), TableError> {
+        let mut slots = self.lock();
+        if slots.contains_key(&session.name) {
+            return Err(TableError::Exists);
+        }
+        if slots.len() >= self.max_sessions {
+            let victim = slots
+                .iter()
+                .filter_map(|(name, slot)| match slot {
+                    Slot::Idle { last_used, .. } => Some((name.clone(), *last_used)),
+                    Slot::Running { .. } => None,
+                })
+                .min_by_key(|(_, t)| *t)
+                .map(|(name, _)| name);
+            match victim {
+                Some(name) => {
+                    slots.remove(&name);
+                }
+                None => return Err(TableError::Full),
+            }
+        }
+        slots.insert(
+            session.name.clone(),
+            Slot::Idle { session, last_used: Instant::now() },
+        );
+        Ok(())
+    }
+
+    /// Takes the named session out of the table for exclusive use, leaving
+    /// a `Running` marker. Pair with [`SessionTable::checkin`] (or
+    /// [`SessionTable::discard`] if the session died).
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::NotFound`] / [`TableError::Busy`].
+    pub fn checkout(&self, name: &str) -> Result<Box<Session>, TableError> {
+        let mut slots = self.lock();
+        match slots.get_mut(name) {
+            None => Err(TableError::NotFound),
+            Some(Slot::Running { .. }) => Err(TableError::Busy),
+            Some(slot @ Slot::Idle { .. }) => {
+                let taken = std::mem::replace(slot, Slot::Running { since: Instant::now() });
+                match taken {
+                    Slot::Idle { session, .. } => Ok(session),
+                    Slot::Running { .. } => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Returns a checked-out session to the table, marking it idle.
+    pub fn checkin(&self, session: Box<Session>) {
+        let mut slots = self.lock();
+        slots.insert(
+            session.name.clone(),
+            Slot::Idle { session, last_used: Instant::now() },
+        );
+    }
+
+    /// Drops the `Running` marker for a session that will not be returned
+    /// (run failed, session deleted mid-flight).
+    pub fn discard(&self, name: &str) {
+        let mut slots = self.lock();
+        if matches!(slots.get(name), Some(Slot::Running { .. })) {
+            slots.remove(name);
+        }
+    }
+
+    /// Removes the named idle session.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::NotFound`] / [`TableError::Busy`].
+    pub fn remove(&self, name: &str) -> Result<(), TableError> {
+        let mut slots = self.lock();
+        match slots.get(name) {
+            None => Err(TableError::NotFound),
+            Some(Slot::Running { .. }) => Err(TableError::Busy),
+            Some(Slot::Idle { .. }) => {
+                slots.remove(name);
+                Ok(())
+            }
+        }
+    }
+
+    /// Summary of every resident session, sorted by name.
+    #[must_use]
+    pub fn list(&self) -> Vec<SessionInfo> {
+        let now = Instant::now();
+        let slots = self.lock();
+        let mut rows: Vec<SessionInfo> = slots
+            .iter()
+            .map(|(name, slot)| match slot {
+                Slot::Idle { session, last_used } => SessionInfo {
+                    name: name.clone(),
+                    state: "idle",
+                    workload: session.spec.workload.name().to_string(),
+                    isa: session.spec.isa.name().to_string(),
+                    instructions: session.sim.stats().instructions,
+                    idle_secs: now.duration_since(*last_used).as_secs_f64(),
+                    running_secs: 0.0,
+                },
+                Slot::Running { since } => SessionInfo {
+                    name: name.clone(),
+                    state: "running",
+                    workload: String::new(),
+                    isa: String::new(),
+                    instructions: 0,
+                    idle_secs: 0.0,
+                    running_secs: now.duration_since(*since).as_secs_f64(),
+                },
+            })
+            .collect();
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        rows
+    }
+
+    /// Number of resident sessions (idle + running).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when no session is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// `true` while any session is checked out.
+    #[must_use]
+    pub fn any_running(&self) -> bool {
+        self.lock().values().any(|s| matches!(s, Slot::Running { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(name: &str) -> Box<Session> {
+        Session::create(name, SessionSpec::new(Workload::Dct, IsaKind::Risc)).unwrap()
+    }
+
+    #[test]
+    fn checkout_checkin_cycle() {
+        let table = SessionTable::new(4, Duration::from_secs(60));
+        table.insert(session("a")).unwrap();
+        assert_eq!(table.checkout("missing").unwrap_err(), TableError::NotFound);
+        let s = table.checkout("a").unwrap();
+        assert_eq!(table.checkout("a").unwrap_err(), TableError::Busy);
+        assert!(table.any_running());
+        table.checkin(s);
+        assert!(!table.any_running());
+        assert!(table.checkout("a").is_ok());
+    }
+
+    #[test]
+    fn insert_rejects_duplicates_and_evicts_lru() {
+        let table = SessionTable::new(2, Duration::from_secs(60));
+        table.insert(session("a")).unwrap();
+        assert_eq!(table.insert(session("a")).unwrap_err(), TableError::Exists);
+        std::thread::sleep(Duration::from_millis(5));
+        table.insert(session("b")).unwrap();
+        // Full: inserting "c" evicts the LRU idle session, "a".
+        table.insert(session("c")).unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.checkout("a").unwrap_err(), TableError::NotFound);
+        assert!(table.checkout("b").is_ok());
+    }
+
+    #[test]
+    fn full_table_of_running_sessions_rejects_inserts() {
+        let table = SessionTable::new(1, Duration::from_secs(60));
+        table.insert(session("a")).unwrap();
+        let held = table.checkout("a").unwrap();
+        assert_eq!(table.insert(session("b")).unwrap_err(), TableError::Full);
+        table.checkin(held);
+        table.insert(session("b")).unwrap();
+    }
+
+    #[test]
+    fn sweep_evicts_only_idle_past_timeout() {
+        let table = SessionTable::new(4, Duration::from_millis(20));
+        table.insert(session("a")).unwrap();
+        table.insert(session("b")).unwrap();
+        let held = table.checkout("b").unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(table.sweep(), 1); // "a" evicted; "b" pinned by checkout
+        assert_eq!(table.checkout("a").unwrap_err(), TableError::NotFound);
+        table.checkin(held);
+        assert_eq!(table.sweep(), 0); // fresh checkin resets idleness
+    }
+
+    #[test]
+    fn list_reports_states_sorted() {
+        let table = SessionTable::new(4, Duration::from_secs(60));
+        table.insert(session("b")).unwrap();
+        table.insert(session("a")).unwrap();
+        let held = table.checkout("b").unwrap();
+        let rows = table.list();
+        assert_eq!(rows.len(), 2);
+        assert_eq!((rows[0].name.as_str(), rows[0].state), ("a", "idle"));
+        assert_eq!((rows[1].name.as_str(), rows[1].state), ("b", "running"));
+        assert_eq!(rows[0].workload, "dct");
+        table.checkin(held);
+    }
+}

@@ -1,0 +1,406 @@
+//! Wire-protocol integration tests: an in-process daemon on an ephemeral
+//! port, driven by real TCP clients.
+//!
+//! Coverage required by the serving subsystem: malformed frames (with
+//! recovery), budget-sliced runs, concurrent sessions, idle-timeout
+//! eviction, overload responses with `retry_after_ms`, streaming, and a
+//! snapshot→restore round trip whose deterministic results are
+//! bit-identical to an uninterrupted local run.
+
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use kahrisma_core::{RunOutcome, SimConfig, Simulator};
+use kahrisma_isa::IsaKind;
+use kahrisma_serve::client::ClientError;
+use kahrisma_serve::json::{parse, Value};
+use kahrisma_serve::{Client, Daemon, DaemonHandle, ServerConfig};
+use kahrisma_workloads::Workload;
+
+/// Starts a daemon on an ephemeral port; returns its address, a stop
+/// handle, and the accept-loop thread (joined by `stop`).
+fn start_daemon(config: ServerConfig) -> (String, DaemonHandle, std::thread::JoinHandle<()>) {
+    let daemon = Daemon::bind(ServerConfig { addr: "127.0.0.1:0".to_string(), ..config })
+        .expect("bind ephemeral port");
+    let addr = daemon.local_addr().expect("local addr").to_string();
+    let handle = daemon.handle().expect("handle");
+    let thread = std::thread::spawn(move || daemon.run().expect("accept loop"));
+    (addr, handle, thread)
+}
+
+fn stop(handle: DaemonHandle, thread: std::thread::JoinHandle<()>) {
+    handle.shutdown();
+    thread.join().expect("daemon thread");
+}
+
+#[test]
+fn ping_create_run_stats_round_trip() {
+    let (addr, handle, thread) = start_daemon(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+    client.ping().unwrap();
+
+    client.create("s1", "dct", "risc", Vec::new()).unwrap();
+    let run = client.run("s1", None, false, false).unwrap();
+    assert_eq!(run.get("outcome").unwrap().as_str(), Some("halted"));
+    assert_eq!(
+        run.get("exit_code").unwrap().as_u64(),
+        Some(u64::from(Workload::Dct.expected_exit()))
+    );
+
+    // Stats match a direct local run of the same cell bit-for-bit.
+    let stats = client.session_verb("stats", "s1").unwrap();
+    let exe = Workload::Dct.build(IsaKind::Risc).unwrap();
+    let mut sim = Simulator::new(&exe, SimConfig::default()).unwrap();
+    sim.run(u64::MAX).unwrap();
+    let local = sim.stats();
+    for (key, want) in [
+        ("instructions", local.instructions),
+        ("operations", local.operations),
+        ("mem_reads", local.mem_reads),
+        ("mem_writes", local.mem_writes),
+        ("taken_branches", local.taken_branches),
+    ] {
+        assert_eq!(stats.get(key).unwrap().as_u64(), Some(want), "{key}");
+    }
+    assert_eq!(stats.get("halted").unwrap().as_bool(), Some(true));
+
+    // Metrics verb returns a valid deterministic registry document.
+    let m1 = client.session_verb("metrics", "s1").unwrap();
+    let m2 = client.session_verb("metrics", "s1").unwrap();
+    assert_eq!(
+        m1.get("metrics").unwrap().to_json(),
+        m2.get("metrics").unwrap().to_json()
+    );
+    assert_eq!(
+        m1.get("metrics").unwrap().get("counters").and_then(|c| {
+            c.get("sim.instructions").and_then(Value::as_u64)
+        }),
+        Some(local.instructions)
+    );
+    stop(handle, thread);
+}
+
+#[test]
+fn malformed_frames_get_bad_frame_and_the_connection_recovers() {
+    let (addr, handle, thread) = start_daemon(ServerConfig::default());
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    for bad in ["{not json", "[1,2,3]", "\"a string\"", "{\"cmd\":}"] {
+        writer.write_all(bad.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let v = parse(line.trim()).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false), "{bad}: {line}");
+        assert_eq!(v.get("code").unwrap().as_str(), Some("bad_frame"), "{bad}");
+        assert_eq!(v.get("id"), Some(&Value::Null));
+    }
+
+    // The same connection still serves valid requests afterwards.
+    writer.write_all(b"{\"id\":9,\"cmd\":\"ping\"}\n").unwrap();
+    writer.flush().unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let v = parse(line.trim()).unwrap();
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(v.get("id").unwrap().as_u64(), Some(9));
+
+    // Unknown verbs and missing names are bad_request, not bad_frame.
+    writer.write_all(b"{\"id\":10,\"cmd\":\"frobnicate\"}\n").unwrap();
+    writer.flush().unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let v = parse(line.trim()).unwrap();
+    assert_eq!(v.get("code").unwrap().as_str(), Some("bad_request"));
+    stop(handle, thread);
+}
+
+#[test]
+fn budget_sliced_runs_resume_and_finish() {
+    // A slice far smaller than the workload forces many run_for slices per
+    // request, and a small budget forces multiple requests to finish.
+    let config = ServerConfig { slice: 1000, ..ServerConfig::default() };
+    let (addr, handle, thread) = start_daemon(config);
+    let mut client = Client::connect(&addr).unwrap();
+    client.create("s", "dct", "risc", Vec::new()).unwrap();
+
+    let first = client.run("s", Some(5000), false, false).unwrap();
+    assert_eq!(first.get("outcome").unwrap().as_str(), Some("budget"));
+    assert_eq!(first.get("instructions").unwrap().as_u64(), Some(5000));
+    assert_eq!(first.get("total_instructions").unwrap().as_u64(), Some(5000));
+
+    // Resume until halted; the instruction total must match a direct run.
+    let mut total = 5000u64;
+    let mut halted = false;
+    for _ in 0..10_000 {
+        let resp = client.run("s", Some(50_000), false, false).unwrap();
+        total += resp.get("instructions").unwrap().as_u64().unwrap();
+        if resp.get("outcome").unwrap().as_str() == Some("halted") {
+            halted = true;
+            assert_eq!(resp.get("total_instructions").unwrap().as_u64(), Some(total));
+            break;
+        }
+    }
+    assert!(halted, "workload must halt");
+    let exe = Workload::Dct.build(IsaKind::Risc).unwrap();
+    let mut sim = Simulator::new(&exe, SimConfig::default()).unwrap();
+    sim.run(u64::MAX).unwrap();
+    assert_eq!(total, sim.stats().instructions);
+    stop(handle, thread);
+}
+
+#[test]
+fn concurrent_sessions_serve_in_parallel() {
+    let (addr, handle, thread) = start_daemon(ServerConfig::default());
+    let mut workers = Vec::new();
+    for (i, (workload, isa)) in [
+        ("dct", "risc"),
+        ("fft", "vliw4"),
+        ("quicksort", "risc"),
+        ("dct", "vliw2"),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let addr = addr.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap();
+            let name = format!("c{i}");
+            client.create(&name, workload, isa, Vec::new()).unwrap();
+            let run = client.run(&name, None, false, false).unwrap();
+            assert_eq!(run.get("outcome").unwrap().as_str(), Some("halted"));
+            let w = Workload::ALL.into_iter().find(|w| w.name() == workload).unwrap();
+            assert_eq!(
+                run.get("exit_code").unwrap().as_u64(),
+                Some(u64::from(w.expected_exit())),
+                "{name}"
+            );
+        }));
+    }
+    for w in workers {
+        w.join().expect("worker");
+    }
+    // All four sessions remain resident and idle.
+    let mut client = Client::connect(&addr).unwrap();
+    let list = client.list().unwrap();
+    let sessions = list.get("sessions").unwrap().as_arr().unwrap();
+    assert_eq!(sessions.len(), 4);
+    assert!(sessions.iter().all(|s| s.get("state").unwrap().as_str() == Some("idle")));
+    stop(handle, thread);
+}
+
+#[test]
+fn idle_sessions_are_evicted_after_the_timeout() {
+    let config = ServerConfig {
+        idle_timeout: Duration::from_millis(60),
+        ..ServerConfig::default()
+    };
+    let (addr, handle, thread) = start_daemon(config);
+    let mut client = Client::connect(&addr).unwrap();
+    client.create("ephemeral", "dct", "risc", Vec::new()).unwrap();
+    client.session_verb("stats", "ephemeral").unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    // Any request sweeps; the stale session is gone.
+    let err = client.session_verb("stats", "ephemeral").unwrap_err();
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, "not_found"),
+        other => panic!("expected not_found, got {other}"),
+    }
+    stop(handle, thread);
+}
+
+#[test]
+fn overloaded_runs_carry_retry_after_ms() {
+    // max_running = 1: occupy the only run slot with a long looped run,
+    // then a second session's run must be rejected as overloaded.
+    let config = ServerConfig {
+        max_running: 1,
+        retry_after_ms: 123,
+        request_timeout: Duration::from_secs(120),
+        ..ServerConfig::default()
+    };
+    let (addr, handle, thread) = start_daemon(config);
+    let mut setup = Client::connect(&addr).unwrap();
+    setup.create("big", "dct", "risc", Vec::new()).unwrap();
+    setup.create("small", "dct", "risc", Vec::new()).unwrap();
+
+    let addr2 = addr.clone();
+    let runner = std::thread::spawn(move || {
+        let mut client = Client::connect(&addr2).unwrap();
+        // A large looped budget: holds the run slot for seconds in a
+        // debug build.
+        client.run("big", Some(60_000_000), false, true).unwrap()
+    });
+    // Wait until the long run actually occupies the slot.
+    let mut saw_running = false;
+    for _ in 0..400 {
+        let list = setup.list().unwrap();
+        let sessions = list.get("sessions").unwrap().as_arr().unwrap();
+        if sessions
+            .iter()
+            .any(|s| s.get("state").unwrap().as_str() == Some("running"))
+        {
+            saw_running = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(saw_running, "long run never showed up as running");
+
+    let err = setup.run("small", Some(1000), false, false).unwrap_err();
+    match err {
+        ClientError::Server { code, retry_after_ms, .. } => {
+            assert_eq!(code, "overloaded");
+            assert_eq!(retry_after_ms, Some(123));
+        }
+        other => panic!("expected overloaded, got {other}"),
+    }
+    let resp = runner.join().expect("runner");
+    assert_eq!(resp.get("outcome").unwrap().as_str(), Some("budget"));
+    stop(handle, thread);
+}
+
+#[test]
+fn snapshot_restore_over_the_wire_matches_uninterrupted_run() {
+    let (addr, handle, thread) = start_daemon(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .create("w", "fft", "risc", vec![("model".to_string(), "doe".into())])
+        .unwrap();
+
+    // Run partway, snapshot, run to completion, then restore and rerun the
+    // tail. Deterministic results must be bit-identical both times and
+    // equal to an uninterrupted local run.
+    client.run("w", Some(20_000), false, false).unwrap();
+    let snap = client.session_verb("snapshot", "w").unwrap();
+    assert_eq!(snap.get("instructions").unwrap().as_u64(), Some(20_000));
+
+    let first = client.run("w", None, false, false).unwrap();
+    assert_eq!(first.get("outcome").unwrap().as_str(), Some("halted"));
+    let stats_first = client.session_verb("stats", "w").unwrap();
+
+    let restored = client.session_verb("restore", "w").unwrap();
+    assert_eq!(restored.get("instructions").unwrap().as_u64(), Some(20_000));
+    let second = client.run("w", None, false, false).unwrap();
+    assert_eq!(second.get("outcome").unwrap().as_str(), Some("halted"));
+    let stats_second = client.session_verb("stats", "w").unwrap();
+
+    // Uninterrupted local reference.
+    let exe = Workload::Fft.build(IsaKind::Risc).unwrap();
+    let mut sim = Simulator::new(
+        &exe,
+        SimConfig::with_model(kahrisma_core::CycleModelKind::Doe),
+    )
+    .unwrap();
+    let RunOutcome::Halted { exit_code } = sim.run(u64::MAX).unwrap() else {
+        panic!("local run must halt");
+    };
+    let local = sim.stats();
+    let local_cycles = sim.cycle_stats().unwrap().cycles;
+
+    // Deterministic result fields: identical across the interrupted serve
+    // runs and the uninterrupted local run. (Decode-cache probe counters
+    // legitimately differ: restore clears the prediction anchor.)
+    for stats in [&stats_first, &stats_second] {
+        assert_eq!(
+            stats.get("instructions").unwrap().as_u64(),
+            Some(local.instructions)
+        );
+        assert_eq!(stats.get("operations").unwrap().as_u64(), Some(local.operations));
+        assert_eq!(stats.get("mem_reads").unwrap().as_u64(), Some(local.mem_reads));
+        assert_eq!(stats.get("mem_writes").unwrap().as_u64(), Some(local.mem_writes));
+        assert_eq!(stats.get("cycles").unwrap().as_u64(), Some(local_cycles));
+        assert_eq!(stats.get("exit_code").unwrap().as_u64(), Some(u64::from(exit_code)));
+    }
+    assert_eq!(
+        first.get("exit_code").unwrap().as_u64(),
+        second.get("exit_code").unwrap().as_u64()
+    );
+    stop(handle, thread);
+}
+
+#[test]
+fn stream_delivers_event_frames_before_the_response() {
+    let (addr, handle, thread) = start_daemon(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+    client.create("s", "dct", "risc", Vec::new()).unwrap();
+    let mut frames = Vec::new();
+    let resp = client
+        .stream("s", Some(2000), Some(10_000), |frame| frames.push(frame.clone()))
+        .unwrap();
+    assert_eq!(resp.get("outcome").unwrap().as_str(), Some("budget"));
+    let emitted = resp.get("frames").unwrap().as_u64().unwrap();
+    assert_eq!(emitted as usize, frames.len());
+    assert!(!frames.is_empty());
+    // Every frame names the session and carries a tagged event; the instr
+    // track is present and sequenced.
+    assert!(frames
+        .iter()
+        .all(|f| f.get("stream").unwrap().as_str() == Some("s")));
+    let seqs: Vec<u64> = frames
+        .iter()
+        .filter_map(|f| {
+            let e = f.get("event")?;
+            (e.get("event")?.as_str()? == "instr").then(|| e.get("seq")?.as_u64())?
+        })
+        .collect();
+    assert!(!seqs.is_empty());
+    assert_eq!(seqs[0], 0);
+    assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+    stop(handle, thread);
+}
+
+#[test]
+fn session_table_capacity_evicts_lru_idle() {
+    let config = ServerConfig { max_sessions: 2, ..ServerConfig::default() };
+    let (addr, handle, thread) = start_daemon(config);
+    let mut client = Client::connect(&addr).unwrap();
+    client.create("a", "dct", "risc", Vec::new()).unwrap();
+    std::thread::sleep(Duration::from_millis(10));
+    client.create("b", "dct", "risc", Vec::new()).unwrap();
+    client.create("c", "dct", "risc", Vec::new()).unwrap();
+    let list = client.list().unwrap();
+    let names: Vec<&str> = list
+        .get("sessions")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|s| s.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(names, ["b", "c"], "LRU session `a` must be evicted");
+    // Duplicate names are rejected.
+    let err = client.create("b", "dct", "risc", Vec::new()).unwrap_err();
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, "bad_request"),
+        other => panic!("expected bad_request, got {other}"),
+    }
+    stop(handle, thread);
+}
+
+#[test]
+fn shutdown_drains_and_stops_the_daemon() {
+    let (addr, handle, thread) = start_daemon(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+    client.create("s", "dct", "risc", Vec::new()).unwrap();
+    client.shutdown().unwrap();
+    thread.join().expect("daemon drained");
+    // New connections are refused (or reset) after drain.
+    let gone = TcpStream::connect(&addr)
+        .and_then(|s| {
+            let mut s = s;
+            s.write_all(b"{\"id\":1,\"cmd\":\"ping\"}\n")?;
+            let mut line = String::new();
+            BufReader::new(s).read_line(&mut line)?;
+            Ok(line)
+        })
+        .map(|line| line.is_empty())
+        .unwrap_or(true);
+    assert!(gone, "daemon must not serve after drain");
+    drop(handle);
+}

@@ -9,15 +9,14 @@
 
 use kahrisma::core::{TraceRecord, TraceSink};
 use kahrisma::prelude::*;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A sink that shares its records with the example after the run.
-struct SharedSink(Rc<RefCell<Vec<TraceRecord>>>);
+struct SharedSink(Arc<Mutex<Vec<TraceRecord>>>);
 
 impl TraceSink for SharedSink {
     fn record(&mut self, record: TraceRecord) {
-        self.0.borrow_mut().push(record);
+        self.0.lock().unwrap().push(record);
     }
 }
 
@@ -43,17 +42,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Record a full trace ("for each executed operation the cycle number,
     // opcode, input/output register numbers and values, and immediate
     // values", §V).
-    let records = Rc::new(RefCell::new(Vec::new()));
+    let records = Arc::new(Mutex::new(Vec::new()));
     let mut sim = Simulator::new(&exe, SimConfig::default())?;
     sim.set_trace_sink(Box::new(SharedSink(records.clone())));
     let outcome = sim.run(10_000)?;
     assert_eq!(outcome, RunOutcome::Halted { exit_code: 120 }); // 5!
 
     println!("--- first 12 trace lines ---");
-    for r in records.borrow().iter().take(12) {
+    for r in records.lock().unwrap().iter().take(12) {
         println!("{}", r.to_line());
     }
-    println!("({} operations traced in total)", records.borrow().len());
+    println!("({} operations traced in total)", records.lock().unwrap().len());
 
     // Address → source mapping, as the paper's simulator offers for error
     // detection: assembly file, line number, and containing function.

@@ -3,17 +3,16 @@
 //! hardware implementation". These tests replay a recorded trace against an
 //! independent architectural interpretation and cross-check it.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use kahrisma::core::{TraceRecord, TraceSink};
 use kahrisma::prelude::*;
 
-struct SharedSink(Rc<RefCell<Vec<TraceRecord>>>);
+struct SharedSink(Arc<Mutex<Vec<TraceRecord>>>);
 
 impl TraceSink for SharedSink {
     fn record(&mut self, record: TraceRecord) {
-        self.0.borrow_mut().push(record);
+        self.0.lock().unwrap().push(record);
     }
 }
 
@@ -21,12 +20,12 @@ fn trace_of(src: &str, isa: IsaKind) -> (Vec<TraceRecord>, u32) {
     let exe = kahrisma::kcc::compile_to_executable(src, &CompileOptions::for_isa(isa))
         .expect("compile");
     let mut sim = Simulator::new(&exe, SimConfig::default()).expect("load");
-    let records = Rc::new(RefCell::new(Vec::new()));
+    let records = Arc::new(Mutex::new(Vec::new()));
     sim.set_trace_sink(Box::new(SharedSink(records.clone())));
     let RunOutcome::Halted { exit_code } = sim.run(10_000_000).expect("run") else {
         panic!("budget exhausted");
     };
-    let r = records.borrow().clone();
+    let r = records.lock().unwrap().clone();
     (r, exit_code)
 }
 
@@ -82,14 +81,14 @@ fn trace_covers_every_executed_operation() {
         &CompileOptions::for_isa(IsaKind::Vliw2),
     )
     .expect("compile");
-    let records = Rc::new(RefCell::new(Vec::new()));
+    let records = Arc::new(Mutex::new(Vec::new()));
     let mut sim = Simulator::new(&exe, SimConfig::default()).expect("load");
     sim.set_trace_sink(Box::new(SharedSink(records.clone())));
     sim.run(10_000_000).expect("run");
     let stats = sim.stats();
     // One record per slot operation, including `nop` fillers.
     assert_eq!(
-        records.borrow().len() as u64,
+        records.lock().unwrap().len() as u64,
         stats.operations + stats.nops,
         "trace must cover every slot operation"
     );
