@@ -1,0 +1,150 @@
+//! Fabric scaling curve: aggregate throughput of N identical cores sharing
+//! one memory window, for N = 1, 2, 4, 8.
+//!
+//! Two throughput numbers are reported per point:
+//!
+//! * `aggregate_mips` — instructions divided by the **parallel critical
+//!   path** (per quantum, the slowest core slice's host time, summed over
+//!   quanta). This is the fabric's wall throughput on a host with at least
+//!   as many idle CPUs as cores, and is measured with `host_threads = 1`
+//!   so per-slice timings are not distorted by host oversubscription.
+//! * `wall_mips` — instructions divided by the measured wall time of this
+//!   (possibly single-CPU) host. On a 1-CPU runner this stays flat with N
+//!   by construction; the scaling claim is about `aggregate_mips`.
+//!
+//! Run with `cargo run --release -p kahrisma-bench --bin fabric_scaling`.
+//! With `--json`, additionally writes the curve to `BENCH_fabric.json`.
+
+use std::io::Write as _;
+
+use kahrisma_core::STATS_SCHEMA_VERSION;
+use kahrisma_fabric::{CoreSpec, Fabric, FabricConfig, FabricStats};
+
+const CORE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const BUDGET_PER_CORE: u64 = 2_000_000;
+const REPEATS: u32 = 3;
+const SPEC: &str = "dct:risc";
+
+struct Point {
+    cores: usize,
+    instructions: u64,
+    quanta: u64,
+    critical_path_s: f64,
+    wall_s: f64,
+}
+
+impl Point {
+    fn aggregate_mips(&self) -> f64 {
+        self.instructions as f64 / self.critical_path_s / 1e6
+    }
+
+    fn wall_mips(&self) -> f64 {
+        self.instructions as f64 / self.wall_s / 1e6
+    }
+}
+
+/// Best-of-`REPEATS` (by critical path) sustained run of `cores` identical
+/// cores. `restart_halted` keeps every core busy for the whole per-core
+/// budget, so the measurement is steady-state throughput, not makespan of
+/// one short program.
+fn measure(cores: usize) -> Point {
+    let specs: Vec<CoreSpec> = (0..cores)
+        .map(|_| CoreSpec::parse(SPEC).expect("core spec"))
+        .collect();
+    let config = FabricConfig { restart_halted: true, ..FabricConfig::default() };
+    let mut fabric = Fabric::new(specs, config).expect("build fabric");
+    let mut best: Option<FabricStats> = None;
+    for repeat in 0..REPEATS.max(1) {
+        if repeat > 0 {
+            fabric.reset();
+        }
+        fabric.run_for(BUDGET_PER_CORE).expect("fabric run");
+        let stats = fabric.stats();
+        if best
+            .as_ref()
+            .is_none_or(|b| stats.critical_path < b.critical_path)
+        {
+            best = Some(stats);
+        }
+    }
+    let best = best.expect("at least one repeat");
+    Point {
+        cores,
+        instructions: best.aggregate.instructions,
+        quanta: best.quanta,
+        critical_path_s: best.critical_path.as_secs_f64(),
+        wall_s: best.wall.as_secs_f64(),
+    }
+}
+
+fn emit_json(points: &[Point]) -> std::io::Result<()> {
+    let base = points[0].aggregate_mips();
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"cores\": {}, \"instructions\": {}, \"quanta\": {}, \
+                 \"critical_path_seconds\": {:.6}, \"wall_seconds\": {:.6}, \
+                 \"aggregate_mips\": {:.4}, \"wall_mips\": {:.4}, \
+                 \"speedup_vs_1core\": {:.4}}}",
+                p.cores,
+                p.instructions,
+                p.quanta,
+                p.critical_path_s,
+                p.wall_s,
+                p.aggregate_mips(),
+                p.wall_mips(),
+                p.aggregate_mips() / base,
+            )
+        })
+        .collect();
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let json = format!(
+        "{{\n  \"schema_version\": {STATS_SCHEMA_VERSION},\n  \"workload\": \"dct\",\n  \
+         \"isa\": \"risc\",\n  \"quantum\": {},\n  \"budget_per_core\": {BUDGET_PER_CORE},\n  \
+         \"repeats\": {REPEATS},\n  \"host_cpus\": {host_cpus},\n  \
+         \"note\": \"aggregate_mips divides instructions by the parallel critical path \
+         (per quantum, the slowest core slice's host time) measured at host_threads=1 — \
+         the fabric's wall throughput on a host with >= cores idle CPUs. wall_mips is \
+         the wall throughput actually observed on this {host_cpus}-CPU host.\",\n  \
+         \"series\": [\n{}\n  ]\n}}\n",
+        kahrisma_fabric::DEFAULT_QUANTUM,
+        rows.join(",\n"),
+    );
+    let mut f = std::fs::File::create("BENCH_fabric.json")?;
+    f.write_all(json.as_bytes())?;
+    println!("  wrote BENCH_fabric.json");
+    Ok(())
+}
+
+fn main() {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
+    println!(
+        "fabric scaling ({SPEC} x N, {BUDGET_PER_CORE} instructions/core, best of {REPEATS})"
+    );
+    let mut points = Vec::new();
+    for cores in CORE_COUNTS {
+        let p = measure(cores);
+        println!(
+            "  {:>2} cores: {:>9.3} aggregate MIPS ({:>7.3} wall MIPS, {} quanta)",
+            p.cores,
+            p.aggregate_mips(),
+            p.wall_mips(),
+            p.quanta,
+        );
+        points.push(p);
+    }
+    let speedup4 = points
+        .iter()
+        .find(|p| p.cores == 4)
+        .map(|p| p.aggregate_mips() / points[0].aggregate_mips());
+    if let Some(s) = speedup4 {
+        println!("  4-core aggregate speedup vs 1 core: {s:.2}x");
+    }
+    if json {
+        if let Err(e) = emit_json(&points) {
+            eprintln!("fabric_scaling: cannot write BENCH_fabric.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -55,8 +55,10 @@ fn emit_json(repeats: u32) -> std::io::Result<()> {
         ));
     }
     let json = format!(
-        "{{\n  \"workload\": \"dct\",\n  \"isa\": \"risc\",\n  \"repeats\": {repeats},\n  \
-         \"unit\": \"MIPS (best of {repeats})\",\n  \"configs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema_version\": {},\n  \"workload\": \"dct\",\n  \"isa\": \"risc\",\n  \
+         \"repeats\": {repeats},\n  \"unit\": \"MIPS (best of {repeats})\",\n  \
+         \"configs\": [\n{}\n  ]\n}}\n",
+        kahrisma_core::STATS_SCHEMA_VERSION,
         rows.join(",\n")
     );
     let mut f = std::fs::File::create("BENCH_hotloop.json")?;

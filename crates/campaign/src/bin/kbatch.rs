@@ -13,6 +13,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use kahrisma_campaign::{runner, CampaignError, CampaignSpec, RunOptions};
+use kahrisma_core::args::ArgList;
 
 const USAGE: &str = "\
 kbatch — parallel, resumable KAHRISMA simulation campaigns
@@ -54,7 +55,7 @@ struct Args {
     list: bool,
 }
 
-fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+fn parse_args(mut argv: ArgList) -> Result<Args, String> {
     let mut args = Args {
         campaign: "smoke".into(),
         options: RunOptions {
@@ -67,36 +68,24 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         list: false,
     };
     let mut positional = Vec::new();
-    let mut iter = argv;
-    while let Some(arg) = iter.next() {
-        let mut value = |name: &str| {
-            iter.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+    while let Some(arg) = argv.next_arg() {
         match arg.as_str() {
             "--workers" => {
-                args.options.workers = value("--workers")?
-                    .parse()
-                    .map_err(|_| "--workers expects a positive integer".to_string())?;
+                args.options.workers = argv.parse_value("--workers")?;
                 if args.options.workers == 0 {
                     return Err("--workers must be at least 1".into());
                 }
             }
-            "--daemon" => args.daemon = Some(value("--daemon")?),
-            "--manifest" => args.options.manifest = Some(PathBuf::from(value("--manifest")?)),
+            "--daemon" => args.daemon = Some(argv.value("--daemon")?),
+            "--manifest" => {
+                args.options.manifest = Some(PathBuf::from(argv.value("--manifest")?));
+            }
             "--fresh" => args.options.fresh = true,
             "--max-cells" => {
-                args.options.stop_after = Some(
-                    value("--max-cells")?
-                        .parse()
-                        .map_err(|_| "--max-cells expects an integer".to_string())?,
-                );
+                args.options.stop_after = Some(argv.parse_value("--max-cells")?);
             }
-            "--slice" => {
-                args.options.slice = value("--slice")?
-                    .parse()
-                    .map_err(|_| "--slice expects a positive integer".to_string())?;
-            }
-            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--slice" => args.options.slice = argv.parse_value("--slice")?,
+            "--out" => args.out = Some(PathBuf::from(argv.value("--out")?)),
             "--progress" => args.options.progress = true,
             "--quiet" => args.options.progress = false,
             "--list" => args.list = true,
@@ -104,10 +93,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 print!("{USAGE}");
                 std::process::exit(0);
             }
-            other if other.starts_with('-') => {
-                return Err(format!("unknown option {other:?}"));
-            }
-            other => positional.push(other.to_string()),
+            other => positional.push(argv.positional(other)?),
         }
     }
     match positional.len() {
@@ -133,7 +119,7 @@ fn list_campaigns() {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args(std::env::args().skip(1)) {
+    let args = match parse_args(ArgList::from_env()) {
         Ok(args) => args,
         Err(e) => {
             eprintln!("kbatch: {e}");
@@ -235,8 +221,8 @@ fn print_table(report: &kahrisma_campaign::Report) {
 mod tests {
     use super::*;
 
-    fn argv(s: &[&str]) -> std::vec::IntoIter<String> {
-        s.iter().map(ToString::to_string).collect::<Vec<_>>().into_iter()
+    fn argv(s: &[&str]) -> ArgList {
+        ArgList::new(s.iter().map(ToString::to_string).collect())
     }
 
     #[test]
@@ -244,7 +230,7 @@ mod tests {
         let err = parse_args(argv(&["--workers", "0"])).unwrap_err();
         assert_eq!(err, "--workers must be at least 1");
         let err = parse_args(argv(&["--workers", "-3"])).unwrap_err();
-        assert!(err.contains("positive integer"));
+        assert!(err.starts_with("invalid value for --workers: -3"), "{err}");
     }
 
     #[test]
@@ -258,5 +244,13 @@ mod tests {
         assert_eq!(args.campaign, "table1");
         assert!(parse_args(argv(&["a", "b"])).is_err());
         assert!(parse_args(argv(&["--daemon"])).is_err());
+    }
+
+    #[test]
+    fn flag_errors_use_the_shared_arglist_wording() {
+        let err = parse_args(argv(&["--manifest"])).unwrap_err();
+        assert_eq!(err, "--manifest expects a value");
+        let err = parse_args(argv(&["--frob"])).unwrap_err();
+        assert_eq!(err, "unknown flag: --frob");
     }
 }

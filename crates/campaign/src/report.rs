@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use kahrisma_core::{StatsReport, STATS_SCHEMA_VERSION};
 use kahrisma_observe::MetricsRegistry;
 
 use crate::json::{self, Json};
@@ -59,44 +60,36 @@ impl CellResult {
         }
     }
 
-    /// Serializes the result as one flat JSON object (one manifest line).
+    /// Serializes the result as one flat JSON object (one manifest line)
+    /// through the workspace-wide [`StatsReport`] serializer, so manifest
+    /// lines carry the same `schema_version`-first shape as every other
+    /// JSON artifact. Optional quantities are omitted rather than `null`;
+    /// floats print as their shortest exact round-trip, so the
+    /// deterministic comparison survives a manifest write/read cycle.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(192);
-        let _ = write!(
-            s,
-            "{{\"key\": \"{}\", \"exit_code\": {}, \"instructions\": {}, \
-             \"operations\": {}, \"cycles\": ",
-            json::escape(&self.key),
-            self.exit_code,
-            self.instructions,
-            self.operations,
-        );
-        match self.cycles {
-            Some(c) => {
-                let _ = write!(s, "{c}");
-            }
-            None => s.push_str("null"),
+        let mut report = StatsReport::new();
+        report.push_str("key", &self.key);
+        report.push_u64("exit_code", u64::from(self.exit_code));
+        report.push_u64("instructions", self.instructions);
+        report.push_u64("operations", self.operations);
+        if let Some(c) = self.cycles {
+            report.push_u64("cycles", c);
         }
-        s.push_str(", \"l1_miss_ratio\": ");
-        match self.l1_miss_ratio {
-            // `{}` prints the shortest representation that round-trips the
-            // exact f64, so the deterministic comparison survives a
-            // manifest write/read cycle.
-            Some(r) => {
-                let _ = write!(s, "{r}");
-            }
-            None => s.push_str("null"),
+        if let Some(r) = self.l1_miss_ratio {
+            report.push_f64("l1_miss_ratio", r);
         }
-        let _ = write!(
-            s,
-            ", \"wall_seconds\": {}, \"mips\": {}, \"ns_per_instruction\": {}}}",
-            self.wall_seconds, self.mips, self.ns_per_instruction,
-        );
-        s
+        report.push_f64("wall_seconds", self.wall_seconds);
+        report.push_f64("mips", self.mips);
+        report.push_f64("ns_per_instruction", self.ns_per_instruction);
+        report.to_json()
     }
 
     /// Parses a result from a flat JSON object line.
+    ///
+    /// Tolerant by design: unknown fields (including `schema_version`) are
+    /// ignored and optional fields may be absent or `null`, so manifests
+    /// written before the unified schema still resume cleanly.
     ///
     /// # Errors
     ///
@@ -202,7 +195,8 @@ impl Report {
         let mut s = String::with_capacity(256 + 192 * self.cells.len());
         let _ = write!(
             s,
-            "{{\n  \"campaign\": \"{}\",\n  \"fingerprint\": \"{}\",\n  \"cells\": [\n",
+            "{{\n  \"schema_version\": {STATS_SCHEMA_VERSION},\n  \"campaign\": \"{}\",\n  \
+             \"fingerprint\": \"{}\",\n  \"cells\": [\n",
             json::escape(&self.campaign),
             json::escape(&self.fingerprint),
         );
@@ -257,6 +251,21 @@ mod tests {
     }
 
     #[test]
+    fn manifest_lines_are_versioned_and_legacy_lines_still_parse() {
+        let c = sample("dct/risc/doe/superblock");
+        let json = c.to_json();
+        assert!(json.starts_with("{\"schema_version\":1,"), "{json}");
+        // A pre-versioning manifest line: explicit nulls, no version field.
+        let legacy = "{\"key\": \"k\", \"exit_code\": 1, \"instructions\": 5, \
+                      \"operations\": 4, \"cycles\": null, \"l1_miss_ratio\": null, \
+                      \"wall_seconds\": 0.5, \"mips\": 1.0, \"ns_per_instruction\": 2.0}";
+        let parsed = CellResult::from_json(legacy).unwrap();
+        assert_eq!(parsed.instructions, 5);
+        assert_eq!(parsed.cycles, None);
+        assert_eq!(parsed.l1_miss_ratio, None);
+    }
+
+    #[test]
     fn null_optionals_round_trip() {
         let mut c = sample("dct/risc/func/superblock");
         c.cycles = None;
@@ -290,7 +299,9 @@ mod tests {
         assert_eq!(m.histogram("cell.cycles").unwrap().count(), 1);
         assert!(m.gauge("wall_seconds").is_none());
         let json = r.to_json();
-        assert!(json.contains("\"metrics\": {\"counters\":"));
+        assert!(json.starts_with("{\n  \"schema_version\": 1,"), "{json}");
+        assert!(json.contains("\"metrics\": {\"schema_version\":"), "{json}");
+        assert!(json.contains("\"counters\":"), "{json}");
         kahrisma_observe::json_lint::validate(&json).expect("report JSON parses");
     }
 

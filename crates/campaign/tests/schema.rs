@@ -1,0 +1,117 @@
+//! Cross-binary schema-shape test: every JSON artifact the workspace emits
+//! — `ksim --json` stats, `ksimd` stats responses, fabric stats, metrics
+//! registries, campaign manifest lines and reports, and bench documents —
+//! must carry the same unified `schema_version` (and, for standalone
+//! documents, carry it as the *first* field).
+
+use kahrisma_campaign::{CellResult, Report};
+use kahrisma_core::{SimConfig, Simulator, StatsReport, STATS_SCHEMA_VERSION};
+use kahrisma_fabric::{CoreSpec, Fabric, FabricConfig};
+use kahrisma_isa::IsaKind;
+use kahrisma_observe::{json_lint, MetricsRegistry};
+use kahrisma_serve::bench::{BenchOptions, BenchReport, Percentiles};
+use kahrisma_serve::json::Value;
+use kahrisma_serve::{Client, Daemon, ServerConfig};
+use kahrisma_workloads::Workload;
+
+/// A standalone JSON document: must parse, and its first field must be
+/// `schema_version` with the workspace-wide value.
+fn assert_versioned(doc: &str, what: &str) {
+    json_lint::validate(doc).unwrap_or_else(|e| panic!("{what}: invalid JSON: {e}"));
+    let head: String = doc.chars().filter(|c| !c.is_whitespace()).take(20).collect();
+    let want = format!("{{\"schema_version\":{STATS_SCHEMA_VERSION}");
+    assert!(head.starts_with(&want), "{what}: document must lead with {want}, got {head}");
+}
+
+#[test]
+fn every_json_artifact_shares_the_versioned_schema() {
+    // ksim --json: a StatsReport over a finished single-core run.
+    let exe = Workload::Dct.build(IsaKind::Risc).unwrap();
+    let mut sim = Simulator::new(&exe, SimConfig::default()).unwrap();
+    sim.run(u64::MAX).unwrap();
+    let report = StatsReport::for_stats(sim.stats());
+    assert_versioned(&report.to_json(), "ksim stats report");
+
+    // kfab / ksim --cores: a fabric stats report.
+    let specs = vec![
+        CoreSpec::parse("dct:risc").unwrap(),
+        CoreSpec::parse("dct:vliw4").unwrap(),
+    ];
+    let mut fabric = Fabric::new(specs, FabricConfig::default()).unwrap();
+    fabric.run_for(u64::MAX).unwrap();
+    let mut fab_report = StatsReport::new();
+    fabric.stats().report_into(&mut fab_report);
+    assert_versioned(&fab_report.to_json(), "fabric stats report");
+
+    // Metrics registries (ksim --metrics, ksimd metrics verb, kbatch).
+    assert_versioned(&fabric.metrics().to_json(), "fabric metrics registry");
+    let mut registry = MetricsRegistry::new();
+    registry.count("cells", 1);
+    assert_versioned(&registry.to_json(), "metrics registry");
+
+    // kbatch: manifest lines and the aggregate report document.
+    let cell = CellResult {
+        key: "dct/risc/func/superblock".into(),
+        exit_code: 42,
+        instructions: 1000,
+        operations: 900,
+        cycles: Some(1234),
+        l1_miss_ratio: None,
+        wall_seconds: 0.25,
+        mips: 0.004,
+        ns_per_instruction: 250.0,
+    };
+    assert_versioned(&cell.to_json(), "kbatch manifest line");
+    let batch = Report::new("smoke", "fp", vec![cell]);
+    assert_versioned(&batch.to_json(), "kbatch report");
+
+    // kctl bench: the checked-in BENCH_serve.json document.
+    let bench = BenchReport {
+        options: BenchOptions::default(),
+        requests: 1,
+        overloaded_retries: 0,
+        latency: Percentiles { min: 0.1, p50: 0.1, p90: 0.2, p99: 0.2, max: 0.2 },
+        served_mips: 1.0,
+        served_mips_best: 1.0,
+        aggregate_mips: 1.0,
+        direct_mips: 1.0,
+        efficiency: 1.0,
+    };
+    assert_versioned(&bench.to_json(), "bench report");
+}
+
+#[test]
+fn daemon_stats_responses_carry_the_schema_version() {
+    // Over the wire the stats fields are flattened into the response
+    // envelope (`id`/`ok` first), so the contract is presence, not
+    // first-field position.
+    let daemon = Daemon::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = daemon.local_addr().expect("addr").to_string();
+    let handle = daemon.handle().expect("handle");
+    let thread = std::thread::spawn(move || daemon.run().expect("accept loop"));
+
+    let mut client = Client::connect(&addr).unwrap();
+    client.handshake().unwrap();
+    client.create("s", "dct", "risc", Vec::new()).unwrap();
+    client.run("s", Some(1000), false, false).unwrap();
+    let stats = client.session_verb("stats", "s").unwrap();
+    assert_eq!(
+        stats.get("schema_version").and_then(Value::as_u64),
+        Some(STATS_SCHEMA_VERSION)
+    );
+
+    client.create_fabric("f", "dct:risc,dct:vliw2", Some(5000), None).unwrap();
+    client.run("f", Some(1000), false, false).unwrap();
+    let fab_stats = client.session_verb("stats", "f").unwrap();
+    assert_eq!(
+        fab_stats.get("schema_version").and_then(Value::as_u64),
+        Some(STATS_SCHEMA_VERSION)
+    );
+
+    handle.shutdown();
+    thread.join().expect("daemon thread");
+}

@@ -1,0 +1,157 @@
+//! Minimal shared command-line parsing for the workspace binaries.
+//!
+//! `ksim`, `kbatch`, `kctl`, and `kfab` all parse hand-rolled flag lists
+//! (the workspace is std-only by design, so there is no clap). This module
+//! is the one copy of the mechanics: a cursor over the argument vector with
+//! uniform `--flag VALUE` handling and uniform error strings, so each
+//! binary's `parse_args` reduces to a testable `match` over flag names that
+//! returns `Result<Options, String>` instead of exiting mid-parse.
+//!
+//! # Example
+//!
+//! ```
+//! use kahrisma_core::args::ArgList;
+//!
+//! let mut args = ArgList::new(["--budget", "500", "prog.elf"].map(String::from).to_vec());
+//! let mut budget: u64 = 0;
+//! let mut input = None;
+//! while let Some(arg) = args.next_arg() {
+//!     match arg.as_str() {
+//!         "--budget" => budget = args.parse_value("--budget")?,
+//!         _ => input = Some(args.positional(&arg)?),
+//!     }
+//! }
+//! assert_eq!(budget, 500);
+//! assert_eq!(input.as_deref(), Some("prog.elf"));
+//! # Ok::<(), String>(())
+//! ```
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// A cursor over a binary's argument vector.
+#[derive(Debug, Clone)]
+pub struct ArgList {
+    items: Vec<String>,
+    pos: usize,
+}
+
+impl ArgList {
+    /// Wraps an argument vector (without the program name).
+    #[must_use]
+    pub fn new(items: Vec<String>) -> ArgList {
+        ArgList { items, pos: 0 }
+    }
+
+    /// Collects the process arguments, skipping `argv[0]`.
+    #[must_use]
+    pub fn from_env() -> ArgList {
+        ArgList::new(std::env::args().skip(1).collect())
+    }
+
+    /// Advances and returns the next argument, or `None` when exhausted.
+    pub fn next_arg(&mut self) -> Option<String> {
+        let item = self.items.get(self.pos).cloned();
+        if item.is_some() {
+            self.pos += 1;
+        }
+        item
+    }
+
+    /// The next argument without advancing.
+    #[must_use]
+    pub fn peek(&self) -> Option<&str> {
+        self.items.get(self.pos).map(String::as_str)
+    }
+
+    /// `true` when every argument has been consumed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.pos >= self.items.len()
+    }
+
+    /// Consumes the value of `flag` (the argument after it).
+    ///
+    /// # Errors
+    ///
+    /// `"{flag} expects a value"` when the vector is exhausted.
+    pub fn value(&mut self, flag: &str) -> Result<String, String> {
+        self.next_arg().ok_or_else(|| format!("{flag} expects a value"))
+    }
+
+    /// Consumes and parses the value of `flag` with [`FromStr`].
+    ///
+    /// # Errors
+    ///
+    /// `"{flag} expects a value"` when exhausted, or
+    /// `"invalid value for {flag}: {value} ({error})"` when the parse fails.
+    pub fn parse_value<T>(&mut self, flag: &str) -> Result<T, String>
+    where
+        T: FromStr,
+        T::Err: Display,
+    {
+        let raw = self.value(flag)?;
+        raw.parse().map_err(|e| format!("invalid value for {flag}: {raw} ({e})"))
+    }
+
+    /// Validates a positional argument: rejects anything that still looks
+    /// like a flag, so typos surface as errors instead of being mistaken
+    /// for file names.
+    ///
+    /// # Errors
+    ///
+    /// `"unknown flag: {arg}"` when `arg` starts with `-` (except the
+    /// conventional bare `-` for stdio).
+    pub fn positional(&self, arg: &str) -> Result<String, String> {
+        if arg.starts_with('-') && arg != "-" {
+            return Err(format!("unknown flag: {arg}"));
+        }
+        Ok(arg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(items: &[&str]) -> ArgList {
+        ArgList::new(items.iter().map(|s| (*s).to_string()).collect())
+    }
+
+    #[test]
+    fn cursor_walks_in_order() {
+        let mut args = list(&["a", "b"]);
+        assert_eq!(args.peek(), Some("a"));
+        assert!(!args.is_done());
+        assert_eq!(args.next_arg().as_deref(), Some("a"));
+        assert_eq!(args.next_arg().as_deref(), Some("b"));
+        assert_eq!(args.next_arg(), None);
+        assert!(args.is_done());
+    }
+
+    #[test]
+    fn value_errors_use_uniform_message() {
+        let mut args = list(&[]);
+        assert_eq!(args.value("--out"), Err("--out expects a value".to_string()));
+        let mut args = list(&["--budget"]);
+        args.next_arg();
+        assert_eq!(args.parse_value::<u64>("--budget"), Err("--budget expects a value".to_string()));
+    }
+
+    #[test]
+    fn parse_value_reports_the_bad_token() {
+        let mut args = list(&["abc"]);
+        let err = args.parse_value::<u64>("--budget").unwrap_err();
+        assert!(err.starts_with("invalid value for --budget: abc"), "{err}");
+        let mut args = list(&["250"]);
+        assert_eq!(args.parse_value::<u64>("--budget"), Ok(250));
+    }
+
+    #[test]
+    fn positional_rejects_flag_like_tokens() {
+        let args = list(&[]);
+        assert_eq!(args.positional("prog.elf"), Ok("prog.elf".to_string()));
+        assert_eq!(args.positional("-"), Ok("-".to_string()));
+        assert_eq!(args.positional("--oops"), Err("unknown flag: --oops".to_string()));
+    }
+}

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod cycles;
 pub mod observe;
 
@@ -51,6 +52,7 @@ mod exec;
 mod libc_emu;
 mod mem;
 mod profile;
+mod shared;
 mod sim;
 mod state;
 mod stats;
@@ -61,9 +63,10 @@ pub use error::SimError;
 pub use mem::Memory;
 pub use observe::{Observer, OpIssue, SimEvent, VecObserver};
 pub use profile::{FunctionProfile, Profiler};
+pub use shared::{DEFAULT_SHARED_BASE, DEFAULT_SHARED_LEN, SharedMem, SharedPort};
 pub use sim::{RunOutcome, SimConfig, Simulator, Snapshot};
 pub use state::CpuState;
-pub use stats::{SimStats, Throughput};
+pub use stats::{STATS_SCHEMA_VERSION, SimStats, StatValue, StatsReport, Throughput};
 pub use trace::{TraceRecord, TraceSink, VecTraceSink, WriteTraceSink};
 
 pub use cycles::{

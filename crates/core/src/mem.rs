@@ -7,6 +7,8 @@
 
 use std::collections::HashMap;
 
+use crate::shared::SharedPort;
+
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
 const OFFSET_MASK: u32 = (PAGE_SIZE as u32) - 1;
@@ -29,6 +31,9 @@ const OFFSET_MASK: u32 = (PAGE_SIZE as u32) - 1;
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
     pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    /// When attached (fabric cores only), accesses inside the shared window
+    /// are routed to the port instead of the private pages.
+    shared: Option<Box<SharedPort>>,
 }
 
 impl Memory {
@@ -36,6 +41,29 @@ impl Memory {
     #[must_use]
     pub fn new() -> Self {
         Memory::default()
+    }
+
+    /// Attaches a fabric shared-memory port; accesses inside its window are
+    /// routed through the port from now on.
+    pub fn attach_shared(&mut self, port: SharedPort) {
+        self.shared = Some(Box::new(port));
+    }
+
+    /// Detaches and returns the shared-memory port, if any.
+    pub fn detach_shared(&mut self) -> Option<SharedPort> {
+        self.shared.take().map(|p| *p)
+    }
+
+    /// The attached shared-memory port, if any.
+    #[must_use]
+    pub fn shared_port(&self) -> Option<&SharedPort> {
+        self.shared.as_deref()
+    }
+
+    /// Mutable access to the attached shared-memory port, if any (the
+    /// fabric uses this to commit and republish at barriers).
+    pub fn shared_port_mut(&mut self) -> Option<&mut SharedPort> {
+        self.shared.as_deref_mut()
     }
 
     fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
@@ -49,11 +77,22 @@ impl Memory {
     /// Reads one byte.
     #[must_use]
     pub fn read_byte(&self, addr: u32) -> u8 {
+        if let Some(port) = &self.shared {
+            if port.contains(addr) {
+                return port.read_byte(addr);
+            }
+        }
         self.page(addr).map_or(0, |p| p[(addr & OFFSET_MASK) as usize])
     }
 
     /// Writes one byte.
     pub fn write_byte(&mut self, addr: u32, value: u8) {
+        if let Some(port) = &mut self.shared {
+            if port.contains(addr) {
+                port.write_byte(addr, value);
+                return;
+            }
+        }
         self.page_mut(addr)[(addr & OFFSET_MASK) as usize] = value;
     }
 
@@ -72,6 +111,14 @@ impl Memory {
     /// Reads a little-endian 32-bit value (no alignment requirement).
     #[must_use]
     pub fn read_word(&self, addr: u32) -> u32 {
+        if let Some(port) = &self.shared {
+            if port.overlaps(addr, 4) {
+                // Byte path: read_half funnels through read_byte, which
+                // routes each byte to the window or the private pages.
+                return u32::from(self.read_half(addr))
+                    | (u32::from(self.read_half(addr.wrapping_add(2))) << 16);
+            }
+        }
         // Fast path: the whole word lies within one page.
         let off = (addr & OFFSET_MASK) as usize;
         if off + 4 <= PAGE_SIZE {
@@ -85,6 +132,13 @@ impl Memory {
 
     /// Writes a little-endian 32-bit value.
     pub fn write_word(&mut self, addr: u32, value: u32) {
+        if let Some(port) = &self.shared {
+            if port.overlaps(addr, 4) {
+                self.write_half(addr, value as u16);
+                self.write_half(addr.wrapping_add(2), (value >> 16) as u16);
+                return;
+            }
+        }
         let off = (addr & OFFSET_MASK) as usize;
         if off + 4 <= PAGE_SIZE {
             self.page_mut(addr)[off..off + 4].copy_from_slice(&value.to_le_bytes());
@@ -177,5 +231,27 @@ mod tests {
         m.write_word(0xFFFF_FFFE, 0x1234_5678);
         assert_eq!(m.read_half(0xFFFF_FFFE), 0x5678);
         assert_eq!(m.read_half(0x0000_0000), 0x1234);
+    }
+
+    #[test]
+    fn shared_window_routes_and_private_pages_survive() {
+        use crate::shared::SharedMem;
+        let shared = SharedMem::new(0x8000, 0x100);
+        let mut m = Memory::new();
+        m.write_word(0x8004, 0x1111_1111); // private, before attach
+        m.attach_shared(shared.port());
+        m.write_word(0x8004, 0xAABB_CCDD); // now routed to the window
+        assert_eq!(m.read_word(0x8004), 0xAABB_CCDD);
+        assert_eq!(m.shared_port().map(SharedPort::pending_writes), Some(4));
+        m.write_word(0x4000, 7); // outside the window: private as before
+        assert_eq!(m.read_word(0x4000), 7);
+        // A word straddling the window edge splits byte-by-byte.
+        m.write_word(0x7FFE, 0x4433_2211);
+        assert_eq!(m.read_word(0x7FFE), 0x4433_2211);
+        assert_eq!(m.read_byte(0x7FFF), 0x22); // private side
+        assert_eq!(m.shared_port().map_or(0, |p| p.read_byte(0x8000)), 0x33);
+        let port = m.detach_shared().expect("attached");
+        assert!(port.pending_writes() > 0);
+        assert_eq!(m.read_word(0x8004), 0x1111_1111, "private bytes unmasked");
     }
 }

@@ -1,0 +1,262 @@
+//! The fabric-shared memory window with barrier-commit semantics.
+//!
+//! KAHRISMA is an array of EDPEs; a multi-core fabric needs a memory
+//! region the cores can communicate through without giving up the
+//! determinism the rest of the simulator guarantees. The design mirrors
+//! the snapshot/fork discipline of the cycle models:
+//!
+//! * [`SharedMem`] owns the *committed image* of a fixed address window
+//!   (base + length, defaults at `0xE000_0000`).
+//! * Each core holds a [`SharedPort`]: an immutable [`Arc`] snapshot of the
+//!   image as of the last barrier, plus a private write overlay. During a
+//!   scheduling quantum a core sees its **own** writes immediately (program
+//!   order) and every other core's state **as of the quantum start** — so
+//!   the cores can execute in parallel on host threads without any
+//!   cross-core data race.
+//! * At each barrier the fabric commits every port's ordered write log into
+//!   the image **in core-index order** (later cores win conflicting bytes)
+//!   and republishes the image to all ports. Results are therefore
+//!   bit-identical regardless of how many host threads executed the
+//!   quantum.
+//!
+//! Ordinary single-core simulation never attaches a port and pays only a
+//! discriminant check per memory access.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default base address of the shared window: high above text, data, heap
+/// and below the stack region, so workload images never overlap it.
+pub const DEFAULT_SHARED_BASE: u32 = 0xE000_0000;
+
+/// Default length of the shared window in bytes (64 KiB).
+pub const DEFAULT_SHARED_LEN: u32 = 64 * 1024;
+
+/// The committed image of the shared window, owned by the fabric.
+#[derive(Debug, Clone)]
+pub struct SharedMem {
+    base: u32,
+    len: u32,
+    committed: Arc<Vec<u8>>,
+}
+
+impl SharedMem {
+    /// Creates a zeroed shared window of `len` bytes at `base`.
+    #[must_use]
+    pub fn new(base: u32, len: u32) -> SharedMem {
+        SharedMem { base, len, committed: Arc::new(vec![0; len as usize]) }
+    }
+
+    /// The window's base address.
+    #[must_use]
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// The window's length in bytes.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// `true` when the window has zero length (a degenerate fabric with no
+    /// shared communication).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A fresh port over the current committed image, for one core.
+    #[must_use]
+    pub fn port(&self) -> SharedPort {
+        SharedPort {
+            base: self.base,
+            len: self.len,
+            image: Arc::clone(&self.committed),
+            overlay: HashMap::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Applies one port's ordered write log to the committed image and
+    /// clears the log. Call once per core **in core-index order** at each
+    /// barrier; the ordering is what makes conflicting writes resolve
+    /// deterministically (the highest core index wins a byte).
+    pub fn commit(&mut self, port: &mut SharedPort) {
+        if port.log.is_empty() {
+            return;
+        }
+        let image = Arc::make_mut(&mut self.committed);
+        for (offset, byte) in port.log.drain(..) {
+            image[offset as usize] = byte;
+        }
+    }
+
+    /// Hands the freshly committed image back to a port and clears its
+    /// overlay. Call for every core after all [`SharedMem::commit`] calls
+    /// of the barrier.
+    pub fn publish(&self, port: &mut SharedPort) {
+        port.image = Arc::clone(&self.committed);
+        port.overlay.clear();
+        port.log.clear();
+    }
+
+    /// Reads one byte of the committed image (tests, final-state dumps).
+    #[must_use]
+    pub fn read_committed(&self, addr: u32) -> u8 {
+        let offset = addr.wrapping_sub(self.base);
+        if offset < self.len {
+            self.committed[offset as usize]
+        } else {
+            0
+        }
+    }
+
+    /// Reads a little-endian 32-bit value of the committed image.
+    #[must_use]
+    pub fn read_committed_word(&self, addr: u32) -> u32 {
+        u32::from(self.read_committed(addr))
+            | (u32::from(self.read_committed(addr.wrapping_add(1))) << 8)
+            | (u32::from(self.read_committed(addr.wrapping_add(2))) << 16)
+            | (u32::from(self.read_committed(addr.wrapping_add(3))) << 24)
+    }
+
+    /// The committed image as a byte slice.
+    #[must_use]
+    pub fn committed(&self) -> &[u8] {
+        &self.committed
+    }
+}
+
+/// One core's view of the shared window: the last published image plus a
+/// private write overlay.
+#[derive(Debug, Clone)]
+pub struct SharedPort {
+    base: u32,
+    len: u32,
+    image: Arc<Vec<u8>>,
+    /// This core's writes since the last barrier, by window offset; reads
+    /// consult the overlay before the image so a core observes its own
+    /// stores in program order.
+    overlay: HashMap<u32, u8>,
+    /// The same writes in program order, for the deterministic commit.
+    log: Vec<(u32, u8)>,
+}
+
+impl SharedPort {
+    /// `true` when `addr` falls inside the window.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, addr: u32) -> bool {
+        addr.wrapping_sub(self.base) < self.len
+    }
+
+    /// `true` when any byte of `[addr, addr + n)` falls inside the window
+    /// (correct even for windows narrower than the access).
+    #[inline]
+    #[must_use]
+    pub fn overlaps(&self, addr: u32, n: u32) -> bool {
+        addr.wrapping_sub(self.base) < self.len || self.base.wrapping_sub(addr) < n
+    }
+
+    /// Reads one byte: the core's own overlay first, then the image.
+    #[must_use]
+    pub fn read_byte(&self, addr: u32) -> u8 {
+        let offset = addr.wrapping_sub(self.base);
+        if offset >= self.len {
+            return 0;
+        }
+        match self.overlay.get(&offset) {
+            Some(&b) => b,
+            None => self.image[offset as usize],
+        }
+    }
+
+    /// Writes one byte into the overlay and the ordered commit log.
+    pub fn write_byte(&mut self, addr: u32, value: u8) {
+        let offset = addr.wrapping_sub(self.base);
+        if offset >= self.len {
+            return;
+        }
+        self.overlay.insert(offset, value);
+        self.log.push((offset, value));
+    }
+
+    /// Number of logged (uncommitted) writes.
+    #[must_use]
+    pub fn pending_writes(&self) -> usize {
+        self.log.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn own_writes_visible_others_deferred_to_barrier() {
+        let mut shared = SharedMem::new(0x1000, 0x100);
+        let mut a = shared.port();
+        let mut b = shared.port();
+        a.write_byte(0x1010, 7);
+        assert_eq!(a.read_byte(0x1010), 7, "own write visible immediately");
+        assert_eq!(b.read_byte(0x1010), 0, "peer write invisible before barrier");
+        shared.commit(&mut a);
+        shared.commit(&mut b);
+        shared.publish(&mut a);
+        shared.publish(&mut b);
+        assert_eq!(b.read_byte(0x1010), 7, "visible after barrier");
+        assert_eq!(a.pending_writes(), 0);
+    }
+
+    #[test]
+    fn commit_order_resolves_conflicts_deterministically() {
+        let mut shared = SharedMem::new(0, 16);
+        let mut a = shared.port();
+        let mut b = shared.port();
+        a.write_byte(4, 0xAA);
+        b.write_byte(4, 0xBB);
+        shared.commit(&mut a);
+        shared.commit(&mut b); // core-index order: the later core wins
+        assert_eq!(shared.read_committed(4), 0xBB);
+    }
+
+    #[test]
+    fn out_of_window_accesses_are_inert() {
+        let shared = SharedMem::new(0x1000, 0x10);
+        let mut p = shared.port();
+        p.write_byte(0x0FFF, 1);
+        p.write_byte(0x1010, 2);
+        assert_eq!(p.pending_writes(), 0);
+        assert_eq!(p.read_byte(0x2000), 0);
+        assert_eq!(shared.read_committed(0x2000), 0);
+    }
+
+    #[test]
+    fn overlaps_handles_narrow_windows_and_edges() {
+        let shared = SharedMem::new(0x1002, 2);
+        let p = shared.port();
+        assert!(p.overlaps(0x1000, 4), "window strictly inside the access");
+        assert!(p.overlaps(0x1003, 4));
+        assert!(!p.overlaps(0x0FFC, 4));
+        assert!(!p.overlaps(0x1004, 4));
+        let wide = SharedMem::new(0x1000, 0x100).port();
+        assert!(wide.overlaps(0x0FFD, 4), "tail byte lands in window");
+        assert!(!wide.overlaps(0x0FFC, 4));
+        assert!(wide.overlaps(0x10FF, 4));
+    }
+
+    #[test]
+    fn publish_resets_overlay_to_committed_image() {
+        let mut shared = SharedMem::new(0, 8);
+        let mut a = shared.port();
+        a.write_byte(0, 9);
+        // A barrier that commits *other* cores only must still clear this
+        // port's overlay when publishing (the fabric always commits every
+        // port first, so nothing is lost in practice).
+        shared.commit(&mut a);
+        shared.publish(&mut a);
+        assert_eq!(a.read_byte(0), 9);
+        assert_eq!(shared.read_committed_word(0), 9);
+    }
+}

@@ -15,6 +15,7 @@ use crate::error::SimError;
 use crate::exec::{Pending, execute_instr, execute_instr_fast};
 use crate::observe::{Observer, OpIssue, SimEvent};
 use crate::profile::{FunctionProfile, Profiler};
+use crate::shared::SharedPort;
 use crate::state::CpuState;
 use crate::stats::SimStats;
 use crate::trace::TraceSink;
@@ -344,6 +345,29 @@ impl Simulator {
         self.pending = Pending::default();
         self.scratch.clear();
         self.issue_scratch.clear();
+    }
+
+    /// Attaches a fabric shared-memory port (see [`crate::SharedMem`]):
+    /// loads and stores inside the port's window are routed through it
+    /// instead of the core-private memory. The attachment survives
+    /// [`Simulator::reset`] (the load-time state is patched as well, with an
+    /// empty write overlay), so the fabric can restart a halted core without
+    /// losing its window.
+    pub fn attach_shared_port(&mut self, port: SharedPort) {
+        self.initial_state.mem.attach_shared(port.clone());
+        self.state.mem.attach_shared(port);
+    }
+
+    /// The attached shared-memory port, if any.
+    #[must_use]
+    pub fn shared_port(&self) -> Option<&SharedPort> {
+        self.state.mem.shared_port()
+    }
+
+    /// Mutable access to the attached shared-memory port (the fabric
+    /// commits and republishes through this at quantum barriers).
+    pub fn shared_port_mut(&mut self) -> Option<&mut SharedPort> {
+        self.state.mem.shared_port_mut()
     }
 
     /// Attaches a trace sink; every subsequently executed operation is

@@ -1,4 +1,17 @@
-//! Simulation statistics.
+//! Simulation statistics and the unified stats JSON document.
+//!
+//! Every machine-readable stats surface of the toolchain — `ksim --json`,
+//! the `ksimd` `stats` verb, `kbatch` report cells, and the checked-in
+//! `BENCH_*.json` artifacts — serializes through [`StatsReport`], so they
+//! all share one flat, versioned schema: a single JSON object whose first
+//! field is always `schema_version` ([`STATS_SCHEMA_VERSION`]), followed by
+//! the counter and ratio fields in declaration order. Optional quantities
+//! (cycle-model results, throughput, exit codes) are *omitted* rather than
+//! emitted as `null`.
+
+use std::fmt::Write as _;
+
+use crate::cycles::CycleStats;
 
 /// Counters collected during functional simulation.
 ///
@@ -99,6 +112,26 @@ impl SimStats {
     pub fn throughput(&self, wall_seconds: f64) -> Throughput {
         Throughput::new(self.instructions, wall_seconds)
     }
+
+    /// Adds another set of counters field-wise — how a multi-core fabric
+    /// folds its per-core statistics into one aggregate, and how a core
+    /// that was reset mid-campaign carries its earlier runs forward.
+    pub fn accumulate(&mut self, other: &SimStats) {
+        self.instructions += other.instructions;
+        self.operations += other.operations;
+        self.nops += other.nops;
+        self.detect_decodes += other.detect_decodes;
+        self.cache_lookups += other.cache_lookups;
+        self.cache_hits += other.cache_hits;
+        self.prediction_hits += other.prediction_hits;
+        self.superblocks_built += other.superblocks_built;
+        self.superblock_batches += other.superblock_batches;
+        self.mem_reads += other.mem_reads;
+        self.mem_writes += other.mem_writes;
+        self.isa_switches += other.isa_switches;
+        self.simops += other.simops;
+        self.taken_branches += other.taken_branches;
+    }
 }
 
 /// Wall-clock throughput of a simulation run.
@@ -130,6 +163,209 @@ impl Throughput {
             ns_per_instruction: wall_seconds * 1e9 / instructions as f64,
         }
     }
+}
+
+/// Version of the unified stats JSON schema.
+///
+/// Every stats document the toolchain emits starts with a
+/// `"schema_version"` field carrying this value. The version is bumped
+/// only when an existing field is renamed, retyped, or removed; adding new
+/// optional fields is backward compatible and does not bump it.
+pub const STATS_SCHEMA_VERSION: u64 = 1;
+
+/// One typed field value of a [`StatsReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatValue {
+    /// An unsigned integer (exact in JSON; all counters fit below 2^53).
+    U64(u64),
+    /// A float, serialized with the shortest round-tripping representation;
+    /// non-finite values are sanitized to `0` (JSON has no NaN/Inf).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string (escaped on serialization).
+    Str(String),
+}
+
+/// Builder for the unified, versioned stats JSON document.
+///
+/// The document is one flat JSON object; fields serialize in insertion
+/// order, and the constructor inserts `schema_version` first, so the
+/// serialization is deterministic. Consumers that carry extra context
+/// (a campaign cell key, a daemon session's `runs_completed`) append their
+/// fields through the typed `push_*` methods and still share the canonical
+/// counter and ratio names.
+///
+/// # Example
+///
+/// ```
+/// use kahrisma_core::{SimStats, StatsReport};
+/// let stats = SimStats { instructions: 10, ..SimStats::default() };
+/// let json = StatsReport::for_stats(&stats).to_json();
+/// assert!(json.starts_with("{\"schema_version\":1,"));
+/// assert!(json.contains("\"instructions\":10"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    fields: Vec<(String, StatValue)>,
+}
+
+impl Default for StatsReport {
+    fn default() -> Self {
+        StatsReport::new()
+    }
+}
+
+impl StatsReport {
+    /// Creates a report holding only the leading `schema_version` field.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut report = StatsReport { fields: Vec::with_capacity(24) };
+        report.push_u64("schema_version", STATS_SCHEMA_VERSION);
+        report
+    }
+
+    /// The standard document for one simulator: `schema_version` plus
+    /// every [`SimStats`] counter and derived ratio.
+    #[must_use]
+    pub fn for_stats(stats: &SimStats) -> Self {
+        let mut report = StatsReport::new();
+        report.counters(stats);
+        report.ratios(stats);
+        report
+    }
+
+    /// Appends an integer field.
+    pub fn push_u64(&mut self, name: &str, value: u64) {
+        self.fields.push((name.to_string(), StatValue::U64(value)));
+    }
+
+    /// Appends a float field.
+    pub fn push_f64(&mut self, name: &str, value: f64) {
+        self.fields.push((name.to_string(), StatValue::F64(value)));
+    }
+
+    /// Appends a boolean field.
+    pub fn push_bool(&mut self, name: &str, value: bool) {
+        self.fields.push((name.to_string(), StatValue::Bool(value)));
+    }
+
+    /// Appends a string field.
+    pub fn push_str(&mut self, name: &str, value: &str) {
+        self.fields.push((name.to_string(), StatValue::Str(value.to_string())));
+    }
+
+    /// Appends every [`SimStats`] counter under its canonical name, in
+    /// declaration order.
+    pub fn counters(&mut self, stats: &SimStats) {
+        self.push_u64("instructions", stats.instructions);
+        self.push_u64("operations", stats.operations);
+        self.push_u64("nops", stats.nops);
+        self.push_u64("detect_decodes", stats.detect_decodes);
+        self.push_u64("cache_lookups", stats.cache_lookups);
+        self.push_u64("cache_hits", stats.cache_hits);
+        self.push_u64("prediction_hits", stats.prediction_hits);
+        self.push_u64("superblocks_built", stats.superblocks_built);
+        self.push_u64("superblock_batches", stats.superblock_batches);
+        self.push_u64("mem_reads", stats.mem_reads);
+        self.push_u64("mem_writes", stats.mem_writes);
+        self.push_u64("isa_switches", stats.isa_switches);
+        self.push_u64("simops", stats.simops);
+        self.push_u64("taken_branches", stats.taken_branches);
+    }
+
+    /// Appends the derived decode/memory ratios.
+    pub fn ratios(&mut self, stats: &SimStats) {
+        self.push_f64("decode_avoided_ratio", stats.decode_avoided_ratio());
+        self.push_f64("lookup_avoided_ratio", stats.lookup_avoided_ratio());
+        self.push_f64("cache_hit_ratio", stats.cache_hit_ratio());
+        self.push_f64("mem_ratio", stats.mem_ratio());
+    }
+
+    /// Appends cycle-model results: `cycles`, `ops_per_cycle`,
+    /// `model_operations`, and `l1_miss_ratio` when any level of the
+    /// modelled hierarchy has a cache.
+    pub fn cycles(&mut self, cycles: &CycleStats) {
+        self.push_u64("cycles", cycles.cycles);
+        self.push_f64("ops_per_cycle", cycles.ops_per_cycle());
+        self.push_u64("model_operations", cycles.operations);
+        if let Some(ratio) = cycles.memory.iter().find_map(|l| l.cache).map(|c| c.miss_ratio()) {
+            self.push_f64("l1_miss_ratio", ratio);
+        }
+    }
+
+    /// Appends wall-clock throughput: `wall_seconds`, `mips`,
+    /// `ns_per_instruction`.
+    pub fn throughput(&mut self, t: &Throughput) {
+        self.push_f64("wall_seconds", t.wall_seconds);
+        self.push_f64("mips", t.mips);
+        self.push_f64("ns_per_instruction", t.ns_per_instruction);
+    }
+
+    /// The fields in serialization order (for consumers that embed the
+    /// document into a larger response, like the `ksimd` wire protocol).
+    #[must_use]
+    pub fn fields(&self) -> &[(String, StatValue)] {
+        &self.fields
+    }
+
+    /// The field names in serialization order (schema-shape tests).
+    #[must_use]
+    pub fn field_names(&self) -> Vec<&str> {
+        self.fields.iter().map(|(name, _)| name.as_str()).collect()
+    }
+
+    /// Serializes the document as one compact JSON object line.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(32 * self.fields.len().max(1));
+        out.push('{');
+        for (i, (name, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(name, &mut out);
+            out.push(':');
+            match value {
+                StatValue::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                StatValue::F64(v) => out.push_str(&fmt_json_f64(*v)),
+                StatValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                StatValue::Str(v) => write_json_str(v, &mut out),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Formats a float as a JSON number: the shortest representation that
+/// round-trips the exact value; non-finite inputs sanitize to `0`.
+fn fmt_json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn write_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 #[cfg(test)]
@@ -213,5 +449,86 @@ mod tests {
         assert_eq!(Throughput::new(0, 1.0).mips, 0.0);
         assert_eq!(Throughput::new(100, 0.0).ns_per_instruction, 0.0);
         assert_eq!(Throughput::new(100, -1.0).mips, 0.0);
+    }
+
+    #[test]
+    fn accumulate_sums_every_counter() {
+        let mut a = SimStats {
+            instructions: 1,
+            operations: 2,
+            nops: 3,
+            detect_decodes: 4,
+            cache_lookups: 5,
+            cache_hits: 6,
+            prediction_hits: 7,
+            superblocks_built: 8,
+            superblock_batches: 9,
+            mem_reads: 10,
+            mem_writes: 11,
+            isa_switches: 12,
+            simops: 13,
+            taken_branches: 14,
+        };
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.instructions, 2);
+        assert_eq!(a.taken_branches, 28);
+        // Field-wise doubling: no counter was skipped.
+        let mut doubled = b;
+        doubled.accumulate(&b);
+        assert_eq!(a, doubled);
+    }
+
+    #[test]
+    fn stats_report_leads_with_schema_version() {
+        let json = StatsReport::new().to_json();
+        assert_eq!(json, format!("{{\"schema_version\":{STATS_SCHEMA_VERSION}}}"));
+    }
+
+    #[test]
+    fn stats_report_serializes_counters_ratios_in_order() {
+        let stats = SimStats {
+            instructions: 1000,
+            operations: 900,
+            detect_decodes: 10,
+            cache_lookups: 50,
+            cache_hits: 40,
+            prediction_hits: 950,
+            ..SimStats::default()
+        };
+        let report = StatsReport::for_stats(&stats);
+        let names = report.field_names();
+        assert_eq!(names[0], "schema_version");
+        assert_eq!(names[1], "instructions");
+        assert_eq!(*names.last().unwrap(), "mem_ratio");
+        let json = report.to_json();
+        assert!(json.starts_with("{\"schema_version\":1,\"instructions\":1000,"));
+        assert!(json.contains("\"prediction_hits\":950"));
+        assert!(json.contains("\"decode_avoided_ratio\":0.99"));
+        // Serialization is deterministic.
+        assert_eq!(json, StatsReport::for_stats(&stats).to_json());
+    }
+
+    #[test]
+    fn stats_report_extra_fields_and_escaping() {
+        let mut report = StatsReport::new();
+        report.push_str("key", "a\"b\\c");
+        report.push_bool("halted", true);
+        report.push_f64("bad", f64::NAN);
+        report.push_f64("whole", 2.0);
+        let json = report.to_json();
+        assert!(json.contains("\"key\":\"a\\\"b\\\\c\""));
+        assert!(json.contains("\"halted\":true"));
+        assert!(json.contains("\"bad\":0"), "NaN must sanitize: {json}");
+        assert!(json.contains("\"whole\":2"));
+    }
+
+    #[test]
+    fn stats_report_throughput_fields() {
+        let mut report = StatsReport::new();
+        report.throughput(&Throughput::new(2_000_000, 0.5));
+        let json = report.to_json();
+        assert!(json.contains("\"wall_seconds\":0.5"));
+        assert!(json.contains("\"mips\":4"));
     }
 }

@@ -1,0 +1,335 @@
+//! `kfab` — multi-core KAHRISMA fabric runs from the command line.
+//!
+//! ```text
+//! kfab [options]
+//!   --core W:ISA[:MODEL]   add one core (repeatable), e.g. --core dct:risc
+//!   --cores N              replicate the single --core spec to N cores
+//!   --quantum N            instructions per core between barriers (default 50000)
+//!   --host-threads N       worker threads executing core slices (default 1)
+//!   --max-instr N          per-core instruction budget (default 1e9)
+//!   --restart              restart halted cores (throughput mode)
+//!   --shared-len N         shared-window length in bytes (default 65536)
+//!   --json FILE|-          unified stats JSON ("-" = stdout)
+//!   --metrics FILE|-       fabric metrics registry JSON ("-" = stderr)
+//!   --observe FILE         per-core Perfetto trace JSON
+//!   --observe-capacity N   per-core event ring capacity (default 200000)
+//!   --stats                per-core summary table on stderr
+//! ```
+//!
+//! Results are bit-identical for any `--host-threads` value: the scheduling
+//! quantum defines the interleaving, the host threads only execute it.
+//!
+//! Exit codes: 0 all cores halted, 124 budget exhausted, 2 usage error,
+//! 3 simulation fault.
+
+use std::process::ExitCode;
+
+use kahrisma_core::args::ArgList;
+use kahrisma_core::{STATS_SCHEMA_VERSION, StatsReport};
+use kahrisma_fabric::{CoreSpec, Fabric, FabricConfig, FabricOutcome};
+use kahrisma_observe::{Collector, Shared, perfetto};
+
+struct Options {
+    specs: Vec<String>,
+    cores: Option<usize>,
+    quantum: u64,
+    host_threads: usize,
+    max_instr: u64,
+    restart: bool,
+    shared_len: u32,
+    json: Option<String>,
+    metrics: Option<String>,
+    observe: Option<String>,
+    observe_capacity: usize,
+    stats: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            specs: Vec::new(),
+            cores: None,
+            quantum: kahrisma_fabric::DEFAULT_QUANTUM,
+            host_threads: 1,
+            max_instr: 1_000_000_000,
+            restart: false,
+            shared_len: kahrisma_core::DEFAULT_SHARED_LEN,
+            json: None,
+            metrics: None,
+            observe: None,
+            observe_capacity: 200_000,
+            stats: false,
+        }
+    }
+}
+
+fn parse_args(mut args: ArgList) -> Result<Options, String> {
+    let mut options = Options::default();
+    while let Some(arg) = args.next_arg() {
+        match arg.as_str() {
+            "--core" => options.specs.push(args.value("--core")?),
+            "--cores" => options.cores = Some(args.parse_value("--cores")?),
+            "--quantum" => options.quantum = args.parse_value("--quantum")?,
+            "--host-threads" => options.host_threads = args.parse_value("--host-threads")?,
+            "--max-instr" => options.max_instr = args.parse_value("--max-instr")?,
+            "--restart" => options.restart = true,
+            "--shared-len" => options.shared_len = args.parse_value("--shared-len")?,
+            "--json" => options.json = Some(args.value("--json")?),
+            "--metrics" => options.metrics = Some(args.value("--metrics")?),
+            "--observe" => options.observe = Some(args.value("--observe")?),
+            "--observe-capacity" => {
+                options.observe_capacity = args.parse_value("--observe-capacity")?;
+            }
+            "--stats" => options.stats = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if options.specs.is_empty() {
+        return Err("at least one --core W:ISA[:MODEL] is required".to_string());
+    }
+    if let Some(n) = options.cores {
+        if options.specs.len() != 1 {
+            return Err("--cores replicates a single --core spec; give exactly one".to_string());
+        }
+        if n == 0 {
+            return Err("--cores must be at least 1".to_string());
+        }
+    }
+    if options.quantum == 0 {
+        return Err("--quantum must be at least 1".to_string());
+    }
+    if options.host_threads == 0 {
+        return Err("--host-threads must be at least 1".to_string());
+    }
+    Ok(options)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: kfab --core W:ISA[:MODEL] [--core ...] [--cores N] [--quantum N]\n\
+         \x20           [--host-threads N] [--max-instr N] [--restart] [--shared-len N]\n\
+         \x20           [--json FILE|-] [--metrics FILE|-] [--observe FILE]\n\
+         \x20           [--observe-capacity N] [--stats]"
+    );
+    ExitCode::from(2)
+}
+
+fn write_output(what: &str, path: &str, json: &str) -> Result<(), String> {
+    match path {
+        "-" if what == "json" => {
+            println!("{json}");
+            Ok(())
+        }
+        "-" => {
+            eprintln!("{json}");
+            Ok(())
+        }
+        _ => std::fs::write(path, json).map_err(|e| format!("cannot write {what} file {path}: {e}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args(ArgList::from_env()) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("kfab: {msg}");
+            }
+            return usage();
+        }
+    };
+
+    let mut specs = Vec::new();
+    for spec in &options.specs {
+        match CoreSpec::parse(spec) {
+            Ok(s) => specs.push(s),
+            Err(e) => {
+                eprintln!("kfab: {e}");
+                return usage();
+            }
+        }
+    }
+    if let Some(n) = options.cores {
+        let template = specs.remove(0);
+        specs = (0..n).map(|_| template.clone()).collect();
+    }
+
+    let config = FabricConfig {
+        quantum: options.quantum,
+        host_threads: options.host_threads,
+        shared_len: options.shared_len,
+        restart_halted: options.restart,
+        ..FabricConfig::default()
+    };
+    let mut fabric = match Fabric::new(specs, config) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("kfab: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let collectors: Vec<Shared<Collector>> = if options.observe.is_some() {
+        (0..fabric.core_count())
+            .map(|i| {
+                let shared = Shared::new(Collector::new(options.observe_capacity));
+                fabric.simulator_mut(i).set_observer(Box::new(shared.handle()));
+                shared
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let outcome = match fabric.run_for(options.max_instr) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("kfab: simulation error: {e}");
+            return ExitCode::from(3);
+        }
+    };
+
+    let stats = fabric.stats();
+    if options.stats {
+        eprintln!(
+            "{:<4}{:<24}{:>14}{:>12}{:>10}{:>9}{:>7}",
+            "core", "spec", "instructions", "operations", "restarts", "exit", "halted"
+        );
+        for (index, core) in stats.cores.iter().enumerate() {
+            eprintln!(
+                "{:<4}{:<24}{:>14}{:>12}{:>10}{:>9}{:>7}",
+                index,
+                core.name,
+                core.stats.instructions,
+                core.stats.operations,
+                core.restarts,
+                core.exit_code.map_or_else(|| "-".to_string(), |c| c.to_string()),
+                if core.halted { "yes" } else { "no" },
+            );
+        }
+        eprintln!(
+            "fabric: {} cores, {} quanta, {} instructions total, critical path {:.3}s, wall {:.3}s",
+            stats.cores.len(),
+            stats.quanta,
+            stats.aggregate.instructions,
+            stats.critical_path.as_secs_f64(),
+            stats.wall.as_secs_f64(),
+        );
+        if let Some(makespan) = stats.makespan_cycles {
+            eprintln!("fabric: makespan {makespan} model cycles");
+        }
+    }
+
+    if let Some(path) = &options.json {
+        let mut report = StatsReport::new();
+        debug_assert_eq!(report.fields()[0].0, "schema_version");
+        let _ = STATS_SCHEMA_VERSION;
+        stats.report_into(&mut report);
+        report.push_f64("critical_path_seconds", stats.critical_path.as_secs_f64());
+        report.push_f64("wall_seconds", stats.wall.as_secs_f64());
+        report.push_str(
+            "outcome",
+            match outcome {
+                FabricOutcome::AllHalted => "halted",
+                FabricOutcome::BudgetExhausted => "budget",
+            },
+        );
+        if let Err(e) = write_output("json", path, &report.to_json()) {
+            eprintln!("kfab: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(path) = &options.metrics {
+        if let Err(e) = write_output("metrics", path, &fabric.metrics().to_json()) {
+            eprintln!("kfab: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(path) = &options.observe {
+        let snapshots: Vec<(String, Vec<kahrisma_observe::SimEvent>)> = collectors
+            .iter()
+            .enumerate()
+            .map(|(i, shared)| {
+                let c = shared.lock();
+                if c.ring.dropped() > 0 {
+                    eprintln!(
+                        "kfab: core {i} event ring dropped {} of {} events; raise \
+                         --observe-capacity for a complete timeline",
+                        c.ring.dropped(),
+                        c.ring.total(),
+                    );
+                }
+                (fabric.core_name(i).to_string(), c.ring.to_vec())
+            })
+            .collect();
+        let borrowed: Vec<(&str, &[kahrisma_observe::SimEvent])> =
+            snapshots.iter().map(|(n, e)| (n.as_str(), e.as_slice())).collect();
+        let json = perfetto::fabric_trace_json(&borrowed);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("kfab: cannot write observe file {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    match outcome {
+        FabricOutcome::AllHalted => ExitCode::SUCCESS,
+        FabricOutcome::BudgetExhausted => {
+            if !options.restart {
+                eprintln!("kfab: instruction budget exhausted");
+            }
+            ExitCode::from(124)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(items: &[&str]) -> Result<Options, String> {
+        parse_args(ArgList::new(items.iter().map(|s| (*s).to_string()).collect()))
+    }
+
+    #[test]
+    fn parses_a_full_flag_set() {
+        let options = parse(&[
+            "--core", "dct:risc", "--core", "aes:vliw4:doe", "--quantum", "1000",
+            "--host-threads", "4", "--max-instr", "500000", "--restart",
+            "--shared-len", "4096", "--json", "-", "--metrics", "m.json",
+            "--observe", "t.json", "--observe-capacity", "5000", "--stats",
+        ])
+        .expect("parse");
+        assert_eq!(options.specs, vec!["dct:risc", "aes:vliw4:doe"]);
+        assert_eq!(options.quantum, 1000);
+        assert_eq!(options.host_threads, 4);
+        assert_eq!(options.max_instr, 500_000);
+        assert!(options.restart);
+        assert_eq!(options.shared_len, 4096);
+        assert_eq!(options.json.as_deref(), Some("-"));
+        assert_eq!(options.metrics.as_deref(), Some("m.json"));
+        assert_eq!(options.observe.as_deref(), Some("t.json"));
+        assert_eq!(options.observe_capacity, 5000);
+        assert!(options.stats);
+    }
+
+    #[test]
+    fn requires_a_core_and_rejects_bad_combinations() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--core", "dct:risc", "--cores", "0"]).is_err());
+        assert!(parse(&["--core", "a", "--core", "b", "--cores", "4"]).is_err());
+        assert!(parse(&["--core", "dct:risc", "--quantum", "0"]).is_err());
+        assert!(parse(&["--core", "dct:risc", "--host-threads", "0"]).is_err());
+        assert!(parse(&["--core", "dct:risc", "--oops"]).is_err());
+        assert!(parse(&["--core", "dct:risc", "--quantum", "abc"]).is_err());
+    }
+
+    #[test]
+    fn cores_replication_accepts_one_spec() {
+        let options = parse(&["--core", "dct:risc", "--cores", "4"]).expect("parse");
+        assert_eq!(options.cores, Some(4));
+        assert_eq!(options.specs.len(), 1);
+    }
+}

@@ -1,0 +1,672 @@
+//! Multi-core KAHRISMA fabric simulation.
+//!
+//! KAHRISMA is a hypermorphic *array* of encapsulated datapath elements;
+//! the paper's simulator models one instruction stream. This crate scales
+//! that model out, MGSim-style: a [`Fabric`] instantiates N independent
+//! [`Simulator`] cores — each with its own ISA configuration, decode cache,
+//! and private memory — over one barrier-synchronized
+//! [`SharedMem`] window.
+//!
+//! # Execution model
+//!
+//! Time advances in fixed *quanta* of instructions. Within a quantum every
+//! live core executes `run_for(quantum)` independently — optionally in
+//! parallel on host threads — seeing the shared window **as of the quantum
+//! start** plus its own writes. At the quantum barrier all write logs are
+//! committed to the window in core-index order and the new image is
+//! republished. Because nothing a core computes during a quantum depends on
+//! *when* another core's slice physically ran, aggregate results are
+//! **bit-identical for any `host_threads` value** — the scheduling quantum,
+//! not the host, defines the interleaving.
+//!
+//! # Quick start
+//!
+//! ```
+//! use kahrisma_fabric::{CoreSpec, Fabric, FabricConfig, FabricOutcome};
+//!
+//! let cores = vec![CoreSpec::parse("dct:risc")?, CoreSpec::parse("dct:vliw4")?];
+//! let mut fabric = Fabric::new(cores, FabricConfig::default())?;
+//! let outcome = fabric.run_for(10_000_000)?;
+//! assert_eq!(outcome, FabricOutcome::AllHalted);
+//! let stats = fabric.stats();
+//! assert_eq!(stats.cores.len(), 2);
+//! assert!(stats.aggregate.instructions > 0);
+//! # Ok::<(), Box<dyn std::error::Error + Send + Sync>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use kahrisma_core::{
+    CycleModelKind, CycleStats, RunOutcome, SharedMem, SimConfig, SimError, SimStats, Simulator,
+    StatsReport,
+};
+use kahrisma_elf::Executable;
+use kahrisma_isa::IsaKind;
+use kahrisma_observe::MetricsRegistry;
+use kahrisma_workloads::Workload;
+
+/// Default scheduling quantum: instructions per core per barrier interval.
+pub const DEFAULT_QUANTUM: u64 = 50_000;
+
+/// One core of the fabric: a program plus its simulator configuration.
+#[derive(Debug, Clone)]
+pub struct CoreSpec {
+    /// Label used in reports, traces, and metrics (need not be unique; the
+    /// core index disambiguates).
+    pub name: String,
+    /// The program this core executes.
+    pub exe: Executable,
+    /// Per-core simulator configuration (ISA family, decode cache, cycle
+    /// model, …).
+    pub config: SimConfig,
+}
+
+impl CoreSpec {
+    /// Wraps a prebuilt executable.
+    #[must_use]
+    pub fn new(name: impl Into<String>, exe: Executable, config: SimConfig) -> CoreSpec {
+        CoreSpec { name: name.into(), exe, config }
+    }
+
+    /// Builds a core from a `workload:isa[:model]` spec string, e.g.
+    /// `dct:risc`, `aes:vliw4:doe`. The workload is compiled for the given
+    /// ISA; the optional third field attaches a cycle model
+    /// (`ilp`/`aie`/`doe`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown workloads, ISAs, or
+    /// models, and propagates workload compilation failures.
+    pub fn parse(spec: &str) -> Result<CoreSpec, String> {
+        let mut parts = spec.split(':');
+        let workload_name = parts.next().unwrap_or_default();
+        let workload = Workload::ALL
+            .into_iter()
+            .find(|w| w.name() == workload_name)
+            .ok_or_else(|| format!("unknown workload `{workload_name}` in core spec `{spec}`"))?;
+        let isa_name = parts.next().ok_or_else(|| {
+            format!("core spec `{spec}` must be workload:isa[:model], e.g. dct:risc")
+        })?;
+        let isa = IsaKind::ALL
+            .into_iter()
+            .find(|k| k.name() == isa_name)
+            .ok_or_else(|| format!("unknown isa `{isa_name}` in core spec `{spec}`"))?;
+        let model = match parts.next() {
+            None => None,
+            Some("ilp") => Some(CycleModelKind::Ilp),
+            Some("aie") => Some(CycleModelKind::Aie),
+            Some("doe") => Some(CycleModelKind::Doe),
+            Some(other) => return Err(format!("unknown model `{other}` in core spec `{spec}`")),
+        };
+        if let Some(extra) = parts.next() {
+            return Err(format!("trailing `{extra}` in core spec `{spec}`"));
+        }
+        let exe = workload
+            .build(isa)
+            .map_err(|e| format!("cannot build workload {}: {e}", workload.name()))?;
+        let config = SimConfig { cycle_model: model, ..SimConfig::default() };
+        Ok(CoreSpec { name: spec.to_string(), exe, config })
+    }
+}
+
+/// Fabric-wide configuration.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Instructions each core executes between barriers. Changing the
+    /// quantum changes the communication interleaving (and therefore,
+    /// legitimately, results of communicating programs); changing
+    /// `host_threads` never does.
+    pub quantum: u64,
+    /// Host worker threads executing core slices; purely a performance
+    /// knob.
+    pub host_threads: usize,
+    /// Base address of the shared window every core sees.
+    pub shared_base: u32,
+    /// Length of the shared window in bytes.
+    pub shared_len: u32,
+    /// Restart a core from its load-time state when it halts (throughput
+    /// benchmarking); off, a halted core simply leaves the schedule.
+    pub restart_halted: bool,
+}
+
+impl Default for FabricConfig {
+    fn default() -> FabricConfig {
+        FabricConfig {
+            quantum: DEFAULT_QUANTUM,
+            host_threads: 1,
+            shared_base: kahrisma_core::DEFAULT_SHARED_BASE,
+            shared_len: kahrisma_core::DEFAULT_SHARED_LEN,
+            restart_halted: false,
+        }
+    }
+}
+
+/// Why [`Fabric::run_for`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricOutcome {
+    /// Every core halted (impossible under `restart_halted`).
+    AllHalted,
+    /// At least one core still had work when the per-core budget ran out.
+    BudgetExhausted,
+}
+
+/// A simulation fault, attributed to the core that raised it.
+#[derive(Debug)]
+pub struct FabricError {
+    /// Index of the faulting core.
+    pub core: usize,
+    /// Label of the faulting core.
+    pub name: String,
+    /// The underlying simulator error.
+    pub error: SimError,
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core {} ({}): {}", self.core, self.name, self.error)
+    }
+}
+
+impl std::error::Error for FabricError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Final state and statistics of one core, as reported by
+/// [`Fabric::stats`]. Counters cover **all** runs of the core, including
+/// completed runs folded in by `restart_halted`.
+#[derive(Debug, Clone)]
+pub struct CoreReport {
+    /// The core's label from its [`CoreSpec`].
+    pub name: String,
+    /// Accumulated functional counters (current run plus completed runs).
+    pub stats: SimStats,
+    /// `true` when the core is currently halted.
+    pub halted: bool,
+    /// Exit code of the most recent completed run, if any.
+    pub exit_code: Option<u32>,
+    /// Completed runs this core was restarted after.
+    pub restarts: u64,
+    /// Cycle-model results of the current run, when a model is attached.
+    pub cycles: Option<CycleStats>,
+    /// Model cycles accumulated across all runs (current plus completed).
+    pub total_cycles: Option<u64>,
+}
+
+/// Aggregate statistics of a fabric run.
+#[derive(Debug, Clone)]
+pub struct FabricStats {
+    /// Functional counters summed over all cores.
+    pub aggregate: SimStats,
+    /// Per-core breakdown, in core-index order.
+    pub cores: Vec<CoreReport>,
+    /// Barrier intervals executed so far.
+    pub quanta: u64,
+    /// Fabric makespan in model cycles — the slowest core's accumulated
+    /// cycle count — when every core has a cycle model attached.
+    pub makespan_cycles: Option<u64>,
+    /// Parallel critical path: per quantum, the slowest core slice's
+    /// measured host time, summed over quanta. This is the fabric's wall
+    /// time on a host with at least as many idle CPUs as cores; measure
+    /// with `host_threads = 1` for accurate per-slice timing.
+    pub critical_path: Duration,
+    /// Actual host wall time spent inside [`Fabric::run_for`].
+    pub wall: Duration,
+}
+
+impl FabricStats {
+    /// Fills a [`StatsReport`] with the fabric-level summary fields
+    /// (`cores`, `quanta`, aggregate counters, makespan).
+    pub fn report_into(&self, report: &mut StatsReport) {
+        report.push_str("kind", "fabric");
+        report.push_u64("cores", self.cores.len() as u64);
+        report.push_u64("quanta", self.quanta);
+        report.counters(&self.aggregate);
+        report.ratios(&self.aggregate);
+        if let Some(makespan) = self.makespan_cycles {
+            report.push_u64("makespan_cycles", makespan);
+        }
+        let restarts: u64 = self.cores.iter().map(|c| c.restarts).sum();
+        if restarts > 0 {
+            report.push_u64("restarts", restarts);
+        }
+    }
+}
+
+struct Core {
+    name: String,
+    sim: Simulator,
+    /// Counters of completed (restarted-past) runs.
+    completed: SimStats,
+    completed_cycles: u64,
+    restarts: u64,
+    exit_code: Option<u32>,
+}
+
+impl Core {
+    fn total_instructions(&self) -> u64 {
+        self.completed.instructions + self.sim.stats().instructions
+    }
+
+    fn report(&self) -> CoreReport {
+        let mut stats = self.completed;
+        stats.accumulate(self.sim.stats());
+        let cycles = self.sim.cycle_stats();
+        let total_cycles = cycles.as_ref().map(|c| self.completed_cycles + c.cycles);
+        CoreReport {
+            name: self.name.clone(),
+            stats,
+            halted: self.sim.halted(),
+            exit_code: self.exit_code,
+            restarts: self.restarts,
+            cycles,
+            total_cycles,
+        }
+    }
+}
+
+/// An N-core fabric: independent simulators over one shared window,
+/// advanced in deterministic quanta.
+pub struct Fabric {
+    cores: Vec<Core>,
+    shared: SharedMem,
+    config: FabricConfig,
+    quanta: u64,
+    critical_path: Duration,
+    wall: Duration,
+}
+
+impl Fabric {
+    /// Builds the fabric: loads one simulator per spec and attaches each to
+    /// a fresh port of the shared window.
+    ///
+    /// # Errors
+    ///
+    /// `"fabric needs at least one core"` for an empty spec list;
+    /// otherwise propagates simulator load errors, attributed to the core.
+    pub fn new(specs: Vec<CoreSpec>, config: FabricConfig) -> Result<Fabric, String> {
+        if specs.is_empty() {
+            return Err("fabric needs at least one core".to_string());
+        }
+        let shared = SharedMem::new(config.shared_base, config.shared_len);
+        let mut cores = Vec::with_capacity(specs.len());
+        for (index, spec) in specs.into_iter().enumerate() {
+            let mut sim = Simulator::new(&spec.exe, spec.config)
+                .map_err(|e| format!("core {index} ({}): {e}", spec.name))?;
+            sim.attach_shared_port(shared.port());
+            cores.push(Core {
+                name: spec.name,
+                sim,
+                completed: SimStats::new(),
+                completed_cycles: 0,
+                restarts: 0,
+                exit_code: None,
+            });
+        }
+        Ok(Fabric { cores, shared, config, quanta: 0, critical_path: Duration::ZERO, wall: Duration::ZERO })
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The configuration the fabric was built with.
+    #[must_use]
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// A core's label.
+    #[must_use]
+    pub fn core_name(&self, index: usize) -> &str {
+        &self.cores[index].name
+    }
+
+    /// A core's simulator (stats, cycle model, architectural state).
+    #[must_use]
+    pub fn simulator(&self, index: usize) -> &Simulator {
+        &self.cores[index].sim
+    }
+
+    /// Mutable access to a core's simulator — attach observers or trace
+    /// sinks here **before** running.
+    pub fn simulator_mut(&mut self, index: usize) -> &mut Simulator {
+        &mut self.cores[index].sim
+    }
+
+    /// The shared window (committed image).
+    #[must_use]
+    pub fn shared(&self) -> &SharedMem {
+        &self.shared
+    }
+
+    /// Returns every core to its load-time state and clears the shared
+    /// window, the scheduling bookkeeping, and the accumulated timings.
+    /// Decode caches stay warm ([`Simulator::reset`] semantics), so a reset
+    /// fabric re-runs at steady-state speed.
+    pub fn reset(&mut self) {
+        self.shared = SharedMem::new(self.config.shared_base, self.config.shared_len);
+        for core in &mut self.cores {
+            core.sim.reset();
+            if let Some(port) = core.sim.shared_port_mut() {
+                self.shared.publish(port);
+            }
+            core.completed = SimStats::new();
+            core.completed_cycles = 0;
+            core.restarts = 0;
+            core.exit_code = None;
+        }
+        self.quanta = 0;
+        self.critical_path = Duration::ZERO;
+        self.wall = Duration::ZERO;
+    }
+
+    /// Runs every core for up to `budget` further instructions (per core),
+    /// in quantum steps with barrier synchronization.
+    ///
+    /// Callable repeatedly; each call extends the schedule. Results are
+    /// independent of [`FabricConfig::host_threads`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault of the lowest-indexed faulting core. The fabric
+    /// must not be run further after an error.
+    pub fn run_for(&mut self, budget: u64) -> Result<FabricOutcome, FabricError> {
+        let start = Instant::now();
+        let baselines: Vec<u64> = self.cores.iter().map(Core::total_instructions).collect();
+        loop {
+            // Deterministic bookkeeping between quanta: restart halted
+            // cores (throughput mode) with a freshly published window.
+            if self.config.restart_halted {
+                for core in &mut self.cores {
+                    if core.sim.halted() {
+                        core.exit_code = Some(core.sim.state().exit_code);
+                        core.completed.accumulate(core.sim.stats());
+                        core.completed_cycles +=
+                            core.sim.cycle_stats().map_or(0, |c| c.cycles);
+                        core.sim.reset();
+                        if let Some(port) = core.sim.shared_port_mut() {
+                            self.shared.publish(port);
+                        }
+                        core.restarts += 1;
+                    }
+                }
+            }
+
+            // Plan the quantum: how many instructions each core may run.
+            let slices: Vec<u64> = self
+                .cores
+                .iter()
+                .zip(&baselines)
+                .map(|(core, &base)| {
+                    if core.sim.halted() {
+                        return 0;
+                    }
+                    let done = core.total_instructions().saturating_sub(base);
+                    budget.saturating_sub(done).min(self.config.quantum)
+                })
+                .collect();
+            if slices.iter().all(|&s| s == 0) {
+                break;
+            }
+
+            self.execute_quantum(&slices)?;
+            self.quanta += 1;
+
+            // Barrier: commit write logs in core-index order, republish.
+            for core in &mut self.cores {
+                if let Some(port) = core.sim.shared_port_mut() {
+                    self.shared.commit(port);
+                }
+            }
+            for core in &mut self.cores {
+                if let Some(port) = core.sim.shared_port_mut() {
+                    self.shared.publish(port);
+                }
+            }
+            for core in &mut self.cores {
+                if core.sim.halted() && core.exit_code.is_none() {
+                    core.exit_code = Some(core.sim.state().exit_code);
+                }
+            }
+        }
+        self.wall += start.elapsed();
+        if self.cores.iter().all(|c| c.sim.halted()) {
+            Ok(FabricOutcome::AllHalted)
+        } else {
+            Ok(FabricOutcome::BudgetExhausted)
+        }
+    }
+
+    /// Executes one quantum's slices, possibly on several host threads, and
+    /// accrues the critical path (the slowest slice's host time).
+    fn execute_quantum(&mut self, slices: &[u64]) -> Result<(), FabricError> {
+        let threads = self.config.host_threads.clamp(1, self.cores.len());
+        let mut results: Vec<Option<(Result<RunOutcome, SimError>, Duration)>> = Vec::new();
+        if threads == 1 {
+            for (core, &slice) in self.cores.iter_mut().zip(slices) {
+                results.push((slice > 0).then(|| {
+                    let t0 = Instant::now();
+                    (core.sim.run_for(slice), t0.elapsed())
+                }));
+            }
+        } else {
+            let chunk = self.cores.len().div_ceil(threads);
+            let core_chunks = self.cores.chunks_mut(chunk);
+            let slice_chunks = slices.chunks(chunk);
+            let chunk_results = std::thread::scope(|scope| {
+                let handles: Vec<_> = core_chunks
+                    .zip(slice_chunks)
+                    .map(|(cores, slices)| {
+                        scope.spawn(move || {
+                            cores
+                                .iter_mut()
+                                .zip(slices)
+                                .map(|(core, &slice)| {
+                                    (slice > 0).then(|| {
+                                        let t0 = Instant::now();
+                                        (core.sim.run_for(slice), t0.elapsed())
+                                    })
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fabric worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            results = chunk_results.into_iter().flatten().collect();
+        }
+
+        let mut slowest = Duration::ZERO;
+        for (index, result) in results.into_iter().enumerate() {
+            let Some((outcome, elapsed)) = result else { continue };
+            slowest = slowest.max(elapsed);
+            if let Err(error) = outcome {
+                return Err(FabricError {
+                    core: index,
+                    name: self.cores[index].name.clone(),
+                    error,
+                });
+            }
+        }
+        self.critical_path += slowest;
+        Ok(())
+    }
+
+    /// Aggregate and per-core statistics at this point of the run.
+    #[must_use]
+    pub fn stats(&self) -> FabricStats {
+        let cores: Vec<CoreReport> = self.cores.iter().map(Core::report).collect();
+        let mut aggregate = SimStats::new();
+        for core in &cores {
+            aggregate.accumulate(&core.stats);
+        }
+        let makespan_cycles = cores
+            .iter()
+            .map(|c| c.total_cycles)
+            .collect::<Option<Vec<u64>>>()
+            .and_then(|v| v.into_iter().max());
+        FabricStats {
+            aggregate,
+            cores,
+            quanta: self.quanta,
+            makespan_cycles,
+            critical_path: self.critical_path,
+            wall: self.wall,
+        }
+    }
+
+    /// Folds the run into a fabric-level metrics registry: aggregate and
+    /// per-core instruction/operation/cycle counters plus scheduling
+    /// gauges, deterministically named `core<i>.<metric>`.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsRegistry {
+        let stats = self.stats();
+        let mut registry = MetricsRegistry::new();
+        registry.set_counter("fabric.cores", stats.cores.len() as u64);
+        registry.set_counter("fabric.quanta", stats.quanta);
+        registry.set_counter("fabric.instructions", stats.aggregate.instructions);
+        registry.set_counter("fabric.operations", stats.aggregate.operations);
+        registry.set_counter(
+            "fabric.restarts",
+            stats.cores.iter().map(|c| c.restarts).sum::<u64>(),
+        );
+        if let Some(makespan) = stats.makespan_cycles {
+            registry.set_counter("fabric.makespan_cycles", makespan);
+        }
+        for (index, core) in stats.cores.iter().enumerate() {
+            registry.set_counter(&format!("core{index}.instructions"), core.stats.instructions);
+            registry.set_counter(&format!("core{index}.operations"), core.stats.operations);
+            registry.set_counter(&format!("core{index}.mem_reads"), core.stats.mem_reads);
+            registry.set_counter(&format!("core{index}.mem_writes"), core.stats.mem_writes);
+            registry.set_counter(&format!("core{index}.restarts"), core.restarts);
+            if let Some(total) = core.total_cycles {
+                registry.set_counter(&format!("core{index}.cycles"), total);
+            }
+            registry.set_gauge(
+                &format!("core{index}.halted"),
+                if core.halted { 1.0 } else { 0.0 },
+            );
+        }
+        registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_core_fabric(threads: usize) -> Fabric {
+        let cores = vec![
+            CoreSpec::parse("dct:risc").expect("dct"),
+            CoreSpec::parse("dct:vliw4").expect("dct vliw"),
+        ];
+        let config = FabricConfig { host_threads: threads, quantum: 5_000, ..FabricConfig::default() };
+        Fabric::new(cores, config).expect("fabric")
+    }
+
+    #[test]
+    fn all_cores_halt_with_expected_exit_codes() {
+        let mut fabric = two_core_fabric(1);
+        let outcome = fabric.run_for(50_000_000).expect("run");
+        assert_eq!(outcome, FabricOutcome::AllHalted);
+        let stats = fabric.stats();
+        let expect = kahrisma_workloads::Workload::Dct.expected_exit();
+        for core in &stats.cores {
+            assert!(core.halted);
+            assert_eq!(core.exit_code, Some(expect), "core {}", core.name);
+        }
+        assert_eq!(
+            stats.aggregate.instructions,
+            stats.cores.iter().map(|c| c.stats.instructions).sum::<u64>()
+        );
+        assert!(stats.quanta > 1, "expected several barrier intervals");
+    }
+
+    #[test]
+    fn empty_fabric_is_rejected() {
+        assert!(Fabric::new(vec![], FabricConfig::default()).is_err());
+    }
+
+    #[test]
+    fn spec_parser_accepts_models_and_rejects_junk() {
+        assert!(CoreSpec::parse("dct:risc").is_ok());
+        let with_model = CoreSpec::parse("fft:vliw2:doe").expect("model spec");
+        assert_eq!(with_model.config.cycle_model, Some(CycleModelKind::Doe));
+        assert!(CoreSpec::parse("dct").is_err(), "missing isa");
+        assert!(CoreSpec::parse("nope:risc").is_err());
+        assert!(CoreSpec::parse("dct:nope").is_err());
+        assert!(CoreSpec::parse("dct:risc:warp").is_err());
+        assert!(CoreSpec::parse("dct:risc:doe:x").is_err());
+    }
+
+    #[test]
+    fn budget_exhaustion_pauses_and_resumes() {
+        let mut fabric = two_core_fabric(1);
+        let outcome = fabric.run_for(10_000).expect("first leg");
+        assert_eq!(outcome, FabricOutcome::BudgetExhausted);
+        let mid = fabric.stats();
+        assert_eq!(mid.cores[0].stats.instructions, 10_000);
+        let outcome = fabric.run_for(u64::MAX).expect("second leg");
+        assert_eq!(outcome, FabricOutcome::AllHalted);
+    }
+
+    #[test]
+    fn reset_reruns_bit_identically_with_a_warm_cache() {
+        let mut fabric = two_core_fabric(1);
+        fabric.run_for(u64::MAX).expect("first run");
+        let first = fabric.stats();
+        fabric.reset();
+        let cleared = fabric.stats();
+        assert_eq!(cleared.aggregate.instructions, 0);
+        assert_eq!(cleared.quanta, 0);
+        assert!(!cleared.cores[0].halted);
+        fabric.run_for(u64::MAX).expect("second run");
+        let second = fabric.stats();
+        assert_eq!(first.aggregate.instructions, second.aggregate.instructions);
+        assert_eq!(first.quanta, second.quanta);
+        for (a, b) in first.cores.iter().zip(&second.cores) {
+            assert_eq!(a.exit_code, b.exit_code);
+            assert_eq!(a.stats.instructions, b.stats.instructions);
+        }
+        // The decode cache survived the reset: nothing was re-decoded.
+        assert_eq!(second.aggregate.detect_decodes, 0);
+    }
+
+    #[test]
+    fn restart_halted_keeps_cores_busy_and_counts_runs() {
+        let cores = vec![CoreSpec::parse("dct:risc").expect("dct")];
+        let config = FabricConfig { restart_halted: true, ..FabricConfig::default() };
+        let mut fabric = Fabric::new(cores, config).expect("fabric");
+        let single_run = {
+            let mut probe = Fabric::new(
+                vec![CoreSpec::parse("dct:risc").expect("dct")],
+                FabricConfig::default(),
+            )
+            .expect("probe");
+            probe.run_for(u64::MAX).expect("probe run");
+            probe.stats().aggregate.instructions
+        };
+        let outcome = fabric.run_for(single_run * 3).expect("run");
+        assert_eq!(outcome, FabricOutcome::BudgetExhausted);
+        let stats = fabric.stats();
+        assert!(stats.cores[0].restarts >= 2, "restarts: {}", stats.cores[0].restarts);
+        assert_eq!(
+            stats.cores[0].exit_code,
+            Some(kahrisma_workloads::Workload::Dct.expected_exit())
+        );
+        let metrics = fabric.metrics();
+        assert!(metrics.counter("fabric.restarts") >= 2);
+        assert_eq!(metrics.counter("fabric.instructions"), stats.aggregate.instructions);
+    }
+}

@@ -1,0 +1,151 @@
+//! The fabric's central contract: results are bit-identical regardless of
+//! host thread count, and cores really communicate through the shared
+//! window at quantum barriers.
+
+use kahrisma_asm::build;
+use kahrisma_core::{SimConfig, SimStats};
+use kahrisma_fabric::{CoreSpec, Fabric, FabricConfig, FabricOutcome, FabricStats};
+
+fn mixed_fabric(host_threads: usize) -> Fabric {
+    // Two workloads across RISC and VLIW ISAs, one core with a cycle model,
+    // so the determinism check covers the full counter surface.
+    let cores = vec![
+        CoreSpec::parse("dct:risc").expect("dct:risc"),
+        CoreSpec::parse("fft:vliw4").expect("fft:vliw4"),
+        CoreSpec::parse("dct:vliw2:aie").expect("dct:vliw2:aie"),
+        CoreSpec::parse("fft:risc").expect("fft:risc"),
+    ];
+    let config = FabricConfig { host_threads, quantum: 7_500, ..FabricConfig::default() };
+    Fabric::new(cores, config).expect("fabric")
+}
+
+type CorePrint = (String, SimStats, bool, Option<u32>, Option<u64>);
+
+fn fingerprint(stats: &FabricStats) -> (SimStats, Vec<CorePrint>, u64, Option<u64>) {
+    (
+        stats.aggregate,
+        stats
+            .cores
+            .iter()
+            .map(|c| (c.name.clone(), c.stats, c.halted, c.exit_code, c.total_cycles))
+            .collect(),
+        stats.quanta,
+        stats.makespan_cycles,
+    )
+}
+
+#[test]
+fn host_thread_count_never_changes_results() {
+    let budget = 2_000_000;
+    let mut outcomes = Vec::new();
+    let mut prints = Vec::new();
+    for threads in [1, 4] {
+        let mut fabric = mixed_fabric(threads);
+        let outcome = fabric.run_for(budget).expect("run");
+        outcomes.push(outcome);
+        prints.push(fingerprint(&fabric.stats()));
+    }
+    assert_eq!(outcomes[0], outcomes[1], "outcome differs by host thread count");
+    assert_eq!(prints[0], prints[1], "stats differ by host thread count");
+    // Sanity: the run did real mixed-ISA work.
+    let (aggregate, cores, quanta, _) = &prints[0];
+    assert!(aggregate.instructions > 100_000, "{}", aggregate.instructions);
+    assert!(*quanta > 1);
+    assert!(cores.iter().any(|(name, ..)| name.contains("vliw")));
+    assert!(cores[2].4.is_some(), "aie core must report cycles");
+}
+
+#[test]
+fn resumed_runs_stay_deterministic_across_thread_counts() {
+    // Split one budget into two run_for calls on a 4-thread fabric; the
+    // result must match a single-shot single-threaded run.
+    let mut split = mixed_fabric(4);
+    split.run_for(300_000).expect("leg 1");
+    split.run_for(300_000).expect("leg 2");
+    let mut single = mixed_fabric(1);
+    single.run_for(600_000).expect("single shot");
+    assert_eq!(fingerprint(&split.stats()), fingerprint(&single.stats()));
+}
+
+// The shared window lives at an address expressible as one `li`:
+// 0xE000_0000 as a signed 32-bit immediate.
+const SHARED_BASE: &str = "-536870912";
+
+fn producer_src() -> String {
+    format!(
+        "
+    .isa risc
+    .text
+    .global main
+    .func main
+    main:
+        li t0, {SHARED_BASE}
+        li t1, 1234
+        sw t1, 0(t0)
+    wait:
+        lw t2, 4(t0)
+        beq t2, zero, wait
+        mv rv, t2
+        jr ra
+    .endfunc
+"
+    )
+}
+
+fn consumer_src() -> String {
+    format!(
+        "
+    .isa risc
+    .text
+    .global main
+    .func main
+    main:
+        li t0, {SHARED_BASE}
+    poll:
+        lw t1, 0(t0)
+        beq t1, zero, poll
+        li t2, 777
+        sw t2, 4(t0)
+        mv rv, t1
+        jr ra
+    .endfunc
+"
+    )
+}
+
+fn comm_fabric(host_threads: usize) -> Fabric {
+    let producer = build(&[("producer.s", &producer_src())]).expect("assemble producer");
+    let consumer = build(&[("consumer.s", &consumer_src())]).expect("assemble consumer");
+    let cores = vec![
+        CoreSpec::new("producer", producer, SimConfig::default()),
+        CoreSpec::new("consumer", consumer, SimConfig::default()),
+    ];
+    let config = FabricConfig { host_threads, quantum: 1_000, ..FabricConfig::default() };
+    Fabric::new(cores, config).expect("fabric")
+}
+
+#[test]
+fn cores_communicate_through_the_shared_window() {
+    for threads in [1, 2] {
+        let mut fabric = comm_fabric(threads);
+        let outcome = fabric.run_for(1_000_000).expect("run");
+        assert_eq!(outcome, FabricOutcome::AllHalted, "handshake deadlocked");
+        let stats = fabric.stats();
+        assert_eq!(stats.cores[0].exit_code, Some(777), "producer saw the ack");
+        assert_eq!(stats.cores[1].exit_code, Some(1234), "consumer saw the value");
+        let base = fabric.config().shared_base;
+        assert_eq!(fabric.shared().read_committed_word(base), 1234);
+        assert_eq!(fabric.shared().read_committed_word(base + 4), 777);
+        // The handshake needs at least two barrier crossings.
+        assert!(stats.quanta >= 3, "quanta: {}", stats.quanta);
+    }
+}
+
+#[test]
+fn communication_schedule_is_thread_count_independent() {
+    let mut one = comm_fabric(1);
+    one.run_for(1_000_000).expect("run");
+    let mut two = comm_fabric(2);
+    two.run_for(1_000_000).expect("run");
+    assert_eq!(fingerprint(&one.stats()), fingerprint(&two.stats()));
+}

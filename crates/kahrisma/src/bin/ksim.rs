@@ -15,6 +15,7 @@
 //!   --observe <file>                       write a Perfetto/Chrome trace JSON
 //!   --observe-capacity <n>                 event ring capacity (default 1000000)
 //!   --metrics <file>                       write the metrics registry JSON ("-" = stderr)
+//!   --json <file>                          write the unified stats JSON ("-" = stdout)
 //!   --flame <file>                         write collapsed stacks (needs --profile)
 //!   --rtl                                  run the cycle-accurate reference
 //!   --max-instr <n>                        instruction budget (default 1e9)
@@ -22,17 +23,28 @@
 //!   --baseline-cache                       per-entry cache path (no superblocks)
 //!   --profile                              per-function attribution (§V goal 2)
 //!   --stats                                print detailed statistics
+//!   --cores <n>                            fabric mode: replicate the program
+//!                                          onto N cores (see kfab for
+//!                                          heterogeneous fabrics)
+//!   --host-threads <n>                     fabric worker threads (default 1)
+//!   --quantum <n>                          fabric barrier interval (default 50000)
 //! ```
 //!
 //! Traces never go to stdout: simulated-program output owns stdout, so
 //! `--trace` interleaves nothing (stderr) and `--trace-out` writes a file.
+//!
+//! With `--cores N` (N ≥ 2) the executable is replicated onto an N-core
+//! fabric with a shared memory window; results are bit-identical for any
+//! `--host-threads` value. Exit code 0 then means all cores halted.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
+use kahrisma::core::args::ArgList;
 use kahrisma::core::{PredictorKind, WriteTraceSink};
 use kahrisma::prelude::*;
 
+#[derive(Debug)]
 struct Options {
     exe_path: String,
     initial_isa: Option<IsaKind>,
@@ -43,6 +55,7 @@ struct Options {
     observe: Option<String>,
     observe_capacity: usize,
     metrics: Option<String>,
+    json: Option<String>,
     flame: Option<String>,
     rtl: bool,
     max_instr: u64,
@@ -51,120 +64,234 @@ struct Options {
     superblocks: bool,
     stats: bool,
     profile: bool,
+    cores: usize,
+    host_threads: usize,
+    quantum: u64,
 }
 
-fn usage() -> ! {
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            exe_path: String::new(),
+            initial_isa: None,
+            model: None,
+            predictor: kahrisma::core::BranchPredictorConfig::perfect(),
+            trace_stderr: false,
+            trace_out: None,
+            observe: None,
+            observe_capacity: 1_000_000,
+            metrics: None,
+            json: None,
+            flame: None,
+            rtl: false,
+            max_instr: 1_000_000_000,
+            decode_cache: true,
+            prediction: true,
+            superblocks: true,
+            stats: false,
+            profile: false,
+            cores: 1,
+            host_threads: 1,
+            quantum: kahrisma::fabric::DEFAULT_QUANTUM,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
     eprintln!(
         "usage: ksim [--isa NAME] [--model ilp|aie|doe] [--predictor perfect|static|bimodal]\n\
          \x20           [--trace] [--trace-out FILE] [--observe FILE] [--observe-capacity N]\n\
-         \x20           [--metrics FILE|-] [--flame FILE] [--rtl] [--max-instr N] [--no-cache]\n\
-         \x20           [--no-prediction] [--baseline-cache] [--profile] [--stats]\n\
+         \x20           [--metrics FILE|-] [--json FILE|-] [--flame FILE] [--rtl] [--max-instr N]\n\
+         \x20           [--no-cache] [--no-prediction] [--baseline-cache] [--profile] [--stats]\n\
+         \x20           [--cores N] [--host-threads N] [--quantum N]\n\
          \x20           <executable.elf>"
     );
-    std::process::exit(2);
+    ExitCode::from(2)
 }
 
-fn parse_isa(name: &str) -> IsaKind {
+fn parse_isa(name: &str) -> Result<IsaKind, String> {
     IsaKind::ALL
         .into_iter()
         .find(|k| k.name() == name)
-        .unwrap_or_else(|| {
-            eprintln!("ksim: unknown ISA `{name}`");
-            usage()
-        })
+        .ok_or_else(|| format!("unknown ISA `{name}`"))
 }
 
-fn parse_args() -> Options {
-    let mut options = Options {
-        exe_path: String::new(),
-        initial_isa: None,
-        model: None,
-        predictor: kahrisma::core::BranchPredictorConfig::perfect(),
-        trace_stderr: false,
-        trace_out: None,
-        observe: None,
-        observe_capacity: 1_000_000,
-        metrics: None,
-        flame: None,
-        rtl: false,
-        max_instr: 1_000_000_000,
-        decode_cache: true,
-        prediction: true,
-        superblocks: true,
-        stats: false,
-        profile: false,
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut value = |what: &str| -> String {
-            args.next().unwrap_or_else(|| {
-                eprintln!("ksim: {what} expects a value");
-                usage()
-            })
-        };
+fn parse_args(mut args: ArgList) -> Result<Options, String> {
+    let mut options = Options::default();
+    while let Some(arg) = args.next_arg() {
         match arg.as_str() {
-            "--isa" => options.initial_isa = Some(parse_isa(&value("--isa"))),
+            "--isa" => options.initial_isa = Some(parse_isa(&args.value("--isa")?)?),
             "--model" => {
-                options.model = Some(match value("--model").as_str() {
+                options.model = Some(match args.value("--model")?.as_str() {
                     "ilp" => CycleModelKind::Ilp,
                     "aie" => CycleModelKind::Aie,
                     "doe" => CycleModelKind::Doe,
-                    other => {
-                        eprintln!("ksim: unknown model `{other}`");
-                        usage()
-                    }
+                    other => return Err(format!("unknown model `{other}`")),
                 });
             }
             "--predictor" => {
-                options.predictor = match value("--predictor").as_str() {
+                options.predictor = match args.value("--predictor")?.as_str() {
                     "perfect" => kahrisma::core::BranchPredictorConfig::perfect(),
                     "bimodal" => kahrisma::core::BranchPredictorConfig::bimodal(),
                     "static" => kahrisma::core::BranchPredictorConfig {
                         kind: PredictorKind::StaticBackwardTaken,
                         penalty: 3,
                     },
-                    other => {
-                        eprintln!("ksim: unknown predictor `{other}`");
-                        usage()
-                    }
+                    other => return Err(format!("unknown predictor `{other}`")),
                 };
             }
             "--trace" => options.trace_stderr = true,
-            "--trace-out" => options.trace_out = Some(value("--trace-out")),
-            "--observe" => options.observe = Some(value("--observe")),
+            "--trace-out" => options.trace_out = Some(args.value("--trace-out")?),
+            "--observe" => options.observe = Some(args.value("--observe")?),
             "--observe-capacity" => {
-                options.observe_capacity =
-                    value("--observe-capacity").parse().unwrap_or_else(|_| usage());
+                options.observe_capacity = args.parse_value("--observe-capacity")?;
             }
-            "--metrics" => options.metrics = Some(value("--metrics")),
-            "--flame" => options.flame = Some(value("--flame")),
+            "--metrics" => options.metrics = Some(args.value("--metrics")?),
+            "--json" => options.json = Some(args.value("--json")?),
+            "--flame" => options.flame = Some(args.value("--flame")?),
             "--rtl" => options.rtl = true,
-            "--max-instr" => {
-                options.max_instr = value("--max-instr").parse().unwrap_or_else(|_| usage());
-            }
+            "--max-instr" => options.max_instr = args.parse_value("--max-instr")?,
             "--no-cache" => options.decode_cache = false,
             "--baseline-cache" => options.superblocks = false,
             "--no-prediction" => options.prediction = false,
             "--stats" => options.stats = true,
             "--profile" => options.profile = true,
-            "--help" | "-h" => usage(),
+            "--cores" => options.cores = args.parse_value("--cores")?,
+            "--host-threads" => options.host_threads = args.parse_value("--host-threads")?,
+            "--quantum" => options.quantum = args.parse_value("--quantum")?,
+            "--help" | "-h" => return Err(String::new()),
             path if !path.starts_with('-') && options.exe_path.is_empty() => {
                 options.exe_path = path.to_string();
             }
-            other => {
-                eprintln!("ksim: unexpected argument `{other}`");
-                usage();
-            }
+            other => return Err(format!("unexpected argument `{other}`")),
         }
     }
     if options.exe_path.is_empty() {
-        usage();
+        return Err("an <executable.elf> argument is required".to_string());
     }
-    options
+    if options.cores == 0 || options.host_threads == 0 || options.quantum == 0 {
+        return Err("--cores, --host-threads, and --quantum must be at least 1".to_string());
+    }
+    if options.cores > 1 {
+        let single_core_only: [(&str, bool); 6] = [
+            ("--trace", options.trace_stderr),
+            ("--trace-out", options.trace_out.is_some()),
+            ("--observe", options.observe.is_some()),
+            ("--flame", options.flame.is_some()),
+            ("--profile", options.profile),
+            ("--rtl", options.rtl),
+        ];
+        if let Some((flag, _)) = single_core_only.iter().find(|(_, set)| *set) {
+            return Err(format!(
+                "{flag} is single-core only; use kfab for fabric observability"
+            ));
+        }
+    }
+    Ok(options)
+}
+
+fn write_json(what: &str, path: &str, json: &str) -> Result<(), String> {
+    match path {
+        "-" if what == "json" => {
+            println!("{json}");
+            Ok(())
+        }
+        "-" => {
+            eprintln!("{json}");
+            Ok(())
+        }
+        _ => std::fs::write(path, json).map_err(|e| format!("cannot write {what} file {path}: {e}")),
+    }
+}
+
+/// `--cores N`: replicate the program onto an N-core fabric.
+fn run_fabric(options: &Options, exe: Executable, config: SimConfig) -> ExitCode {
+    let label = options
+        .exe_path
+        .rsplit('/')
+        .next()
+        .unwrap_or(options.exe_path.as_str())
+        .to_string();
+    let specs = (0..options.cores)
+        .map(|_| CoreSpec::new(label.clone(), exe.clone(), config.clone()))
+        .collect();
+    let fabric_config = FabricConfig {
+        quantum: options.quantum,
+        host_threads: options.host_threads,
+        ..FabricConfig::default()
+    };
+    let mut fabric = match Fabric::new(specs, fabric_config) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ksim: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match fabric.run_for(options.max_instr) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("ksim: simulation error: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let stats = fabric.stats();
+    if options.stats {
+        for (index, core) in stats.cores.iter().enumerate() {
+            eprintln!(
+                "core{index}: {} instructions, {} operations, exit {}",
+                core.stats.instructions,
+                core.stats.operations,
+                core.exit_code.map_or_else(|| "-".to_string(), |c| c.to_string()),
+            );
+        }
+        eprintln!(
+            "fabric: {} cores, {} quanta, {} instructions aggregate",
+            stats.cores.len(),
+            stats.quanta,
+            stats.aggregate.instructions
+        );
+    }
+    if let Some(path) = &options.json {
+        let mut report = StatsReport::new();
+        stats.report_into(&mut report);
+        report.push_f64("wall_seconds", stats.wall.as_secs_f64());
+        report.push_str(
+            "outcome",
+            match outcome {
+                FabricOutcome::AllHalted => "halted",
+                FabricOutcome::BudgetExhausted => "budget",
+            },
+        );
+        if let Err(e) = write_json("json", path, &report.to_json()) {
+            eprintln!("ksim: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &options.metrics {
+        if let Err(e) = write_json("metrics", path, &fabric.metrics().to_json()) {
+            eprintln!("ksim: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    match outcome {
+        FabricOutcome::AllHalted => ExitCode::SUCCESS,
+        FabricOutcome::BudgetExhausted => {
+            eprintln!("ksim: instruction budget exhausted");
+            ExitCode::from(124)
+        }
+    }
 }
 
 fn main() -> ExitCode {
-    let options = parse_args();
+    let options = match parse_args(ArgList::from_env()) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("ksim: {msg}");
+            }
+            return usage();
+        }
+    };
     let bytes = match std::fs::read(&options.exe_path) {
         Ok(b) => b,
         Err(e) => {
@@ -206,6 +333,10 @@ fn main() -> ExitCode {
         profile: options.profile,
         ..SimConfig::default()
     };
+
+    if options.cores > 1 {
+        return run_fabric(&options, exe, config);
+    }
 
     let mut sim = match Simulator::new(&exe, config) {
         Ok(s) => s,
@@ -288,6 +419,24 @@ fn main() -> ExitCode {
             eprintln!("branch predictor: {misses}/{preds} mispredicted");
         }
     }
+    if let Some(path) = &options.json {
+        let mut report = StatsReport::for_stats(stats);
+        if let Some(cycles) = sim.cycle_stats() {
+            report.cycles(&cycles);
+        }
+        report.throughput(&stats.throughput(elapsed));
+        match outcome {
+            RunOutcome::Halted { exit_code } => {
+                report.push_str("outcome", "halted");
+                report.push_u64("exit_code", u64::from(exit_code));
+            }
+            RunOutcome::BudgetExhausted => report.push_str("outcome", "budget"),
+        }
+        if let Err(e) = write_json("json", path, &report.to_json()) {
+            eprintln!("ksim: {e}");
+            return ExitCode::from(2);
+        }
+    }
     if let Some(profile) = sim.function_profile() {
         eprintln!("{:<20}{:>12}{:>12}{:>12}", "function", "instrs", "ops", "cycles");
         for f in profile.iter().take(20) {
@@ -332,10 +481,8 @@ fn main() -> ExitCode {
         }
         if let Some(path) = &options.metrics {
             let json = c.metrics.registry().to_json();
-            if path == "-" {
-                eprintln!("{json}");
-            } else if let Err(e) = std::fs::write(path, json) {
-                eprintln!("ksim: cannot write metrics file {path}: {e}");
+            if let Err(e) = write_json("metrics", path, &json) {
+                eprintln!("ksim: {e}");
                 return ExitCode::from(2);
             }
         }
@@ -347,5 +494,69 @@ fn main() -> ExitCode {
             eprintln!("ksim: instruction budget exhausted");
             ExitCode::from(124)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(items: &[&str]) -> Result<Options, String> {
+        parse_args(ArgList::new(items.iter().map(|s| (*s).to_string()).collect()))
+    }
+
+    #[test]
+    fn parses_the_classic_single_core_flag_set() {
+        let options = parse(&[
+            "--isa", "vliw4", "--model", "doe", "--predictor", "bimodal", "--trace-out",
+            "t.txt", "--metrics", "-", "--json", "stats.json", "--max-instr", "123456",
+            "--no-cache", "--stats", "--profile", "prog.elf",
+        ])
+        .expect("parse");
+        assert_eq!(options.initial_isa, Some(IsaKind::Vliw4));
+        assert_eq!(options.model, Some(CycleModelKind::Doe));
+        assert_eq!(options.trace_out.as_deref(), Some("t.txt"));
+        assert_eq!(options.metrics.as_deref(), Some("-"));
+        assert_eq!(options.json.as_deref(), Some("stats.json"));
+        assert_eq!(options.max_instr, 123_456);
+        assert!(!options.decode_cache);
+        assert!(options.stats && options.profile);
+        assert_eq!(options.exe_path, "prog.elf");
+        assert_eq!(options.cores, 1);
+    }
+
+    #[test]
+    fn parses_fabric_mode_flags() {
+        let options = parse(&[
+            "--cores", "4", "--host-threads", "2", "--quantum", "1000", "--json", "-",
+            "prog.elf",
+        ])
+        .expect("parse");
+        assert_eq!(options.cores, 4);
+        assert_eq!(options.host_threads, 2);
+        assert_eq!(options.quantum, 1000);
+    }
+
+    #[test]
+    fn rejects_missing_input_bad_values_and_unknown_flags() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--max-instr", "abc", "prog.elf"]).is_err());
+        assert!(parse(&["--isa", "mips", "prog.elf"]).is_err());
+        assert!(parse(&["--model", "warp", "prog.elf"]).is_err());
+        assert!(parse(&["--wat", "prog.elf"]).is_err());
+        assert!(parse(&["--cores", "0", "prog.elf"]).is_err());
+    }
+
+    #[test]
+    fn fabric_mode_rejects_single_core_only_flags() {
+        let err = parse(&["--cores", "2", "--trace", "prog.elf"]).unwrap_err();
+        assert!(err.contains("--trace"), "{err}");
+        assert!(parse(&["--cores", "2", "--profile", "prog.elf"]).is_err());
+        assert!(parse(&["--cores", "2", "--observe", "t.json", "prog.elf"]).is_err());
+        // But stats/json/metrics/model all work on a fabric.
+        assert!(
+            parse(&["--cores", "2", "--model", "aie", "--stats", "--metrics", "-", "prog.elf"])
+                .is_ok()
+        );
     }
 }

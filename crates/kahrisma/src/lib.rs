@@ -14,7 +14,16 @@
 //! * [`rtl`] — the cycle-accurate DOE reference pipeline,
 //! * [`kcc`] — the retargetable KC compiler with VLIW list scheduling,
 //! * [`workloads`] — the paper's evaluation applications,
-//! * [`observe`] — structured event timelines, metrics, Perfetto export.
+//! * [`observe`] — structured event timelines, metrics, Perfetto export,
+//! * [`fabric`] — N-core fabric simulation over a barrier-synchronized
+//!   shared memory window.
+//!
+//! # Supported API surface
+//!
+//! The [`prelude`] is the *supported* public API: everything it re-exports
+//! carries compatibility expectations (see the README's "Public API &
+//! compatibility" section). The full module re-exports above remain
+//! available for advanced use but may change more freely between versions.
 //!
 //! # Quick start
 //!
@@ -37,21 +46,85 @@ pub use kahrisma_adl as adl;
 pub use kahrisma_asm as asm;
 pub use kahrisma_core as core;
 pub use kahrisma_elf as elf;
+pub use kahrisma_fabric as fabric;
 pub use kahrisma_isa as isa;
 pub use kahrisma_kcc as kcc;
 pub use kahrisma_observe as observe;
 pub use kahrisma_rtl as rtl;
 pub use kahrisma_workloads as workloads;
 
-/// The most commonly used types, for glob import.
+/// The supported public API surface, for glob import.
+///
+/// Everything here is documented, stable in shape, and covered by the
+/// compatibility policy in the README: simulation
+/// ([`Simulator`](prelude::Simulator)/[`SimConfig`](prelude::SimConfig)/
+/// [`RunOutcome`](prelude::RunOutcome)), checkpointing
+/// ([`Snapshot`](prelude::Snapshot)), statistics
+/// ([`SimStats`](prelude::SimStats), [`StatsReport`](prelude::StatsReport),
+/// [`STATS_SCHEMA_VERSION`](prelude::STATS_SCHEMA_VERSION)), cycle models
+/// ([`CycleModelKind`](prelude::CycleModelKind),
+/// [`MemoryHierarchy`](prelude::MemoryHierarchy)), observation
+/// ([`Observer`](prelude::Observer), [`SimEvent`](prelude::SimEvent)),
+/// multi-core fabrics ([`Fabric`](prelude::Fabric),
+/// [`CoreSpec`](prelude::CoreSpec), [`FabricConfig`](prelude::FabricConfig)),
+/// and the toolchain entry points
+/// ([`CompileOptions`](prelude::CompileOptions),
+/// [`Workload`](prelude::Workload), [`Executable`](prelude::Executable)).
 pub mod prelude {
-    pub use kahrisma_core::{
-        CycleModelKind, MemoryHierarchy, RunOutcome, SimConfig, SimStats, Simulator,
-    };
+    /// Cycle-approximation model selector (§VI): `Ilp`, `Aie`, or `Doe`.
+    pub use kahrisma_core::CycleModelKind;
+    /// Per-level memory delay model consumed by the AIE/DOE cycle models
+    /// (§VI-D); `MemoryHierarchy::default()` is the paper's three-level
+    /// configuration.
+    pub use kahrisma_core::MemoryHierarchy;
+    /// Why a run returned: `Halted { exit_code }` or `BudgetExhausted`.
+    pub use kahrisma_core::RunOutcome;
+    /// Simulator feature toggles: decode cache, prediction, superblocks,
+    /// cycle model, initial ISA, branch prediction, profiling.
+    pub use kahrisma_core::SimConfig;
+    /// Functional counters of a run (instructions, operations, decode and
+    /// memory activity); summable across cores via `SimStats::accumulate`.
+    pub use kahrisma_core::SimStats;
+    /// The interpreter itself: `new`, `run`, `run_for`, `snapshot`,
+    /// `restore`, `reset`, observers, trace sinks.
+    pub use kahrisma_core::Simulator;
+    /// A resumable checkpoint taken by `Simulator::snapshot` and reapplied
+    /// by `Simulator::restore`.
+    pub use kahrisma_core::Snapshot;
+    /// Structured-event observer trait; attach with
+    /// `Simulator::set_observer`.
+    pub use kahrisma_core::Observer;
+    /// One structured simulator event (instruction retired, op issued, ISA
+    /// switch, snapshot/restore markers, …).
+    pub use kahrisma_core::SimEvent;
+    /// The unified stats JSON document builder: `schema_version` first,
+    /// then insertion-ordered fields; shared by `ksim --json`, `kfab`,
+    /// ksimd, and kbatch reports.
+    pub use kahrisma_core::StatsReport;
+    /// Version of the unified stats JSON shape emitted by [`StatsReport`].
+    pub use kahrisma_core::STATS_SCHEMA_VERSION;
+    /// ELF32 executable image; `Executable::from_bytes` loads one.
     pub use kahrisma_elf::Executable;
-    pub use kahrisma_isa::{IsaKind, isa_id};
+    /// One core of a fabric: a program plus its simulator configuration;
+    /// `CoreSpec::parse("dct:risc")` builds one from a workload spec.
+    pub use kahrisma_fabric::CoreSpec;
+    /// The N-core fabric simulator: quantum-scheduled cores over a
+    /// barrier-synchronized shared window.
+    pub use kahrisma_fabric::Fabric;
+    /// Fabric-wide knobs: quantum, host threads, shared window, restarts.
+    pub use kahrisma_fabric::FabricConfig;
+    /// Why `Fabric::run_for` returned: `AllHalted` or `BudgetExhausted`.
+    pub use kahrisma_fabric::FabricOutcome;
+    /// The concrete KAHRISMA ISA family: RISC plus VLIW 2/4/6/8.
+    pub use kahrisma_isa::IsaKind;
+    /// Numeric ISA identifiers used in `.isa` directives and trace records.
+    pub use kahrisma_isa::isa_id;
+    /// KC compiler options; `CompileOptions::for_isa` targets one ISA.
     pub use kahrisma_kcc::CompileOptions;
+    /// Configuration of the cycle-accurate DOE reference pipeline.
     pub use kahrisma_rtl::RtlConfig;
+    /// The paper's evaluation applications (DCT, AES, FFT, quicksort,
+    /// cjpeg, djpeg), each self-checking.
     pub use kahrisma_workloads::Workload;
 }
 

@@ -16,7 +16,7 @@ const WINDOW_INSTRUCTIONS: u64 = 100_000;
 /// decode-cache counters and probe distances, superblock build/batch
 /// length histograms, operation delay/stall histograms, ISA-switch and
 /// `simop` counters, and a windowed-MIPS histogram (wall-clock per
-/// [`WINDOW_INSTRUCTIONS`] retired instructions).
+/// 100 000 retired instructions).
 #[derive(Debug, Clone)]
 pub struct MetricsCollector {
     registry: MetricsRegistry,

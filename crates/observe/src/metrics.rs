@@ -239,7 +239,9 @@ impl MetricsRegistry {
     }
 
     /// Serializes the registry as a compact JSON object with the fixed
-    /// shape `{"counters":{…},"gauges":{…},"histograms":{…}}`, keys sorted.
+    /// shape `{"schema_version":N,"counters":{…},"gauges":{…},"histograms":{…}}`,
+    /// keys sorted. The version is [`kahrisma_core::STATS_SCHEMA_VERSION`],
+    /// shared with every other JSON artifact the workspace emits.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256);
@@ -249,7 +251,12 @@ impl MetricsRegistry {
 
     /// Serializes into an existing buffer (see [`MetricsRegistry::to_json`]).
     pub fn write_json(&self, out: &mut String) {
-        out.push_str("{\"counters\":{");
+        let _ = write!(
+            out,
+            "{{\"schema_version\":{},",
+            kahrisma_core::STATS_SCHEMA_VERSION
+        );
+        out.push_str("\"counters\":{");
         let mut first = true;
         for (k, v) in &self.counters {
             if !first {

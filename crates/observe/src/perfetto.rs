@@ -11,6 +11,11 @@
 //!   complete-event per issued operation, spanning issue → completion, with
 //!   its dependency stall in the event arguments.
 //!
+//! Single-core exports ([`trace_json`]) place everything under one process
+//! (`pid 1`); fabric exports ([`fabric_trace_json`]) give every core its
+//! own process (`pid 1 + core index`, named after the core), so an N-core
+//! run renders as N side-by-side track groups.
+//!
 //! Timestamps are cycle-model cycles when a model was attached (every
 //! `Instr` event then carries a non-zero cycle), otherwise the functional
 //! retire sequence; the unit is declared via `displayTimeUnit: "ns"` so
@@ -25,6 +30,34 @@ use kahrisma_core::observe::SimEvent;
 /// Serializes `events` into a Perfetto-loadable JSON string.
 #[must_use]
 pub fn trace_json(events: &[SimEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 512);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    write_process(&mut out, &mut first, 1, "kahrisma-sim", events);
+    out.push_str("]}");
+    out
+}
+
+/// Serializes one timeline per fabric core — `(core label, events)` pairs
+/// in core-index order — into a single Perfetto document with one process
+/// (`pid 1 + index`) per core.
+#[must_use]
+pub fn fabric_trace_json(cores: &[(&str, &[SimEvent])]) -> String {
+    let total: usize = cores.iter().map(|(_, e)| e.len()).sum();
+    let mut out = String::with_capacity(total * 96 + 512 * cores.len().max(1));
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    for (index, (name, events)) in cores.iter().enumerate() {
+        let pid = index as u32 + 1;
+        write_process(&mut out, &mut first, pid, &format!("core{index}: {name}"), events);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Emits one process's worth of metadata and events (the shared body of
+/// [`trace_json`] and [`fabric_trace_json`]).
+fn write_process(out: &mut String, first: &mut bool, pid: u32, process_name: &str, events: &[SimEvent]) {
     // With a cycle model attached the Instr events carry model time; use
     // it for the functional track so both track families share one clock.
     let has_cycles =
@@ -36,32 +69,33 @@ pub fn trace_json(events: &[SimEvent]) -> String {
         }
     }
 
-    let mut out = String::with_capacity(events.len() * 96 + 512);
-    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
-    let mut first = true;
     let mut emit = |out: &mut String, ev: &str| {
-        if !first {
+        if !*first {
             out.push(',');
         }
-        first = false;
+        *first = false;
         out.push_str(ev);
     };
 
     emit(
-        &mut out,
-        "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\
-         \"args\":{\"name\":\"kahrisma-sim\"}}",
+        out,
+        &format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"{process_name}\"}}}}"
+        ),
     );
     emit(
-        &mut out,
-        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\",\
-         \"args\":{\"name\":\"functional instructions\"}}",
+        out,
+        &format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"functional instructions\"}}}}"
+        ),
     );
     for &slot in &slots {
         emit(
-            &mut out,
+            out,
             &format!(
-                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\"name\":\"thread_name\",\
                  \"args\":{{\"name\":\"issue slot {slot}\"}}}}",
                 u32::from(slot) + 1,
             ),
@@ -73,9 +107,9 @@ pub fn trace_json(events: &[SimEvent]) -> String {
             SimEvent::Instr { seq, addr, isa, width, ops, cycle } => {
                 let ts = if has_cycles { *cycle } else { *seq };
                 emit(
-                    &mut out,
+                    out,
                     &format!(
-                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":{ts},\"dur\":1,\
+                        "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":0,\"ts\":{ts},\"dur\":1,\
                          \"name\":\"{addr:#x}\",\"args\":{{\"seq\":{seq},\"isa\":{isa},\
                          \"width\":{width},\"ops\":{ops}}}}}"
                     ),
@@ -85,9 +119,9 @@ pub fn trace_json(events: &[SimEvent]) -> String {
                 let dur = completion.saturating_sub(*issue).max(1);
                 let tid = u32::from(*slot) + 1;
                 emit(
-                    &mut out,
+                    out,
                     &format!(
-                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{issue},\
+                        "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{issue},\
                          \"dur\":{dur},\"name\":\"{name}\",\
                          \"args\":{{\"addr\":\"{addr:#x}\",\"stall\":{stall}}}}}"
                     ),
@@ -95,9 +129,9 @@ pub fn trace_json(events: &[SimEvent]) -> String {
             }
             SimEvent::IsaSwitch { addr, from, to } => {
                 emit(
-                    &mut out,
+                    out,
                     &format!(
-                        "{{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":0,\"s\":\"p\",\
+                        "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":0,\"ts\":0,\"s\":\"p\",\
                          \"name\":\"switchtarget {from}->{to}\",\
                          \"args\":{{\"addr\":\"{addr:#x}\"}}}}"
                     ),
@@ -105,9 +139,9 @@ pub fn trace_json(events: &[SimEvent]) -> String {
             }
             SimEvent::SimOp { addr, code } => {
                 emit(
-                    &mut out,
+                    out,
                     &format!(
-                        "{{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":0,\"s\":\"p\",\
+                        "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":0,\"ts\":0,\"s\":\"p\",\
                          \"name\":\"simop {code}\",\"args\":{{\"addr\":\"{addr:#x}\"}}}}"
                     ),
                 );
@@ -115,8 +149,6 @@ pub fn trace_json(events: &[SimEvent]) -> String {
             _ => {}
         }
     }
-    out.push_str("]}");
-    out
 }
 
 #[cfg(test)]
@@ -176,5 +208,29 @@ mod tests {
         let json = trace_json(&[]);
         crate::json_lint::validate(&json).expect("valid JSON");
         assert!(json.contains("traceEvents"));
+    }
+
+    #[test]
+    fn fabric_export_gives_each_core_its_own_process() {
+        let a = [SimEvent::Instr { seq: 0, addr: 0x10, isa: 0, width: 1, ops: 1, cycle: 0 }];
+        let b = [
+            SimEvent::Instr { seq: 0, addr: 0x20, isa: 2, width: 4, ops: 3, cycle: 0 },
+            SimEvent::OpIssue {
+                addr: 0x20,
+                slot: 1,
+                name: "sub",
+                issue: 0,
+                completion: 2,
+                stall: 0,
+            },
+        ];
+        let json = fabric_trace_json(&[("dct:risc", &a), ("aes:vliw4", &b)]);
+        crate::json_lint::validate(&json).expect("valid JSON");
+        assert!(json.contains("\"name\":\"core0: dct:risc\""));
+        assert!(json.contains("\"name\":\"core1: aes:vliw4\""));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"pid\":2"));
+        // The issue-slot track belongs to core 1's process only.
+        assert!(json.contains("{\"ph\":\"M\",\"pid\":2,\"tid\":2,\"name\":\"thread_name\",\"args\":{\"name\":\"issue slot 1\"}}"));
     }
 }

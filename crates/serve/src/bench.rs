@@ -113,6 +113,11 @@ impl BenchReport {
         let o = &self.options;
         let mut s = String::with_capacity(512);
         s.push_str("{\n");
+        let _ = writeln!(
+            s,
+            "  \"schema_version\": {},",
+            kahrisma_core::STATS_SCHEMA_VERSION
+        );
         let _ = writeln!(s, "  \"workload\": \"{}\",", o.workload);
         let _ = writeln!(s, "  \"isa\": \"{}\",", o.isa);
         let _ = writeln!(s, "  \"clients\": {},", o.clients);

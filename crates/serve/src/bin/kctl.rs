@@ -5,6 +5,7 @@
 //!   ping
 //!   create NAME --workload W --isa I [--model ilp|aie|doe]
 //!          [--no-cache] [--no-prediction] [--baseline-cache] [--ideal-memory]
+//!   create NAME --cores SPEC[,SPEC...] [--quantum N] [--host-threads N]
 //!   run NAME [--budget N] [--reset] [--loop]
 //!   stream NAME [--budget N] [--limit N]
 //!   snapshot NAME | restore NAME | reset NAME | delete NAME
@@ -15,59 +16,231 @@
 //!         [--budget N] [--out FILE]
 //! ```
 //!
+//! A fabric core SPEC is `workload:isa[:model]`, e.g.
+//! `create grid --cores dct:risc,fft:vliw4:aie`.
+//!
+//! Every daemon command starts with a protocol handshake: if the daemon
+//! advertises a different `proto_version` than this client speaks, `kctl`
+//! refuses to proceed and explains the mismatch instead of sending requests
+//! the server may misread.
+//!
 //! All results print as JSON on stdout. Exit code 0 on success, 1 on a
 //! server-reported error, 2 on usage errors.
 
 use std::process::ExitCode;
 
+use kahrisma_core::args::ArgList;
 use kahrisma_serve::bench::{run_bench, BenchOptions};
 use kahrisma_serve::json::Value;
 use kahrisma_serve::Client;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: kctl [--addr HOST:PORT] <command> [args]\n\
-         commands: ping | create NAME --workload W --isa I [--model M] [toggles]\n\
-         \x20         | run NAME [--budget N] [--reset] [--loop]\n\
-         \x20         | stream NAME [--budget N] [--limit N]\n\
-         \x20         | snapshot NAME | restore NAME | reset NAME | delete NAME\n\
-         \x20         | stats NAME | metrics NAME | list | shutdown\n\
-         \x20         | bench [--workload W] [--isa I] [--clients N] [--iterations N]\n\
-         \x20                 [--budget N] [--out FILE]"
-    );
-    std::process::exit(2);
+const USAGE: &str = "usage: kctl [--addr HOST:PORT] <command> [args]\n\
+     commands: ping | create NAME --workload W --isa I [--model M] [toggles]\n\
+     \x20         | create NAME --cores SPEC[,SPEC] [--quantum N] [--host-threads N]\n\
+     \x20         | run NAME [--budget N] [--reset] [--loop]\n\
+     \x20         | stream NAME [--budget N] [--limit N]\n\
+     \x20         | snapshot NAME | restore NAME | reset NAME | delete NAME\n\
+     \x20         | stats NAME | metrics NAME | list | shutdown\n\
+     \x20         | bench [--workload W] [--isa I] [--clients N] [--iterations N]\n\
+     \x20                 [--budget N] [--out FILE]";
+
+/// A fully parsed invocation: daemon address plus one command.
+#[derive(Debug)]
+struct Invocation {
+    addr: String,
+    command: Command,
 }
 
-struct Args {
-    items: Vec<String>,
-    pos: usize,
+#[derive(Debug)]
+enum Command {
+    Help,
+    Ping,
+    Create(CreateArgs),
+    Run { name: String, budget: Option<u64>, reset: bool, looped: bool },
+    Stream { name: String, budget: Option<u64>, limit: Option<u64> },
+    Verb { verb: String, name: String },
+    List,
+    Shutdown,
+    Bench { options: BenchOptions, out: Option<String> },
 }
 
-impl Args {
-    fn next(&mut self) -> Option<String> {
-        let item = self.items.get(self.pos).cloned();
-        if item.is_some() {
-            self.pos += 1;
+/// `create` arguments; `cores: Some(..)` selects a fabric session and is
+/// mutually exclusive with the single-session spec fields.
+#[derive(Debug)]
+struct CreateArgs {
+    name: String,
+    workload: String,
+    isa: String,
+    cores: Option<String>,
+    quantum: Option<u64>,
+    host_threads: Option<u64>,
+    extra: Vec<(String, Value)>,
+}
+
+fn parse(mut args: ArgList) -> Result<Invocation, String> {
+    let mut addr = "127.0.0.1:9191".to_string();
+    let verb = loop {
+        match args.next_arg() {
+            Some(flag) if flag == "--addr" => addr = args.value("--addr")?,
+            Some(flag) if flag == "--help" || flag == "-h" => break "help".to_string(),
+            Some(cmd) => break cmd,
+            None => return Err("missing command".to_string()),
         }
-        item
-    }
+    };
+    let command = match verb.as_str() {
+        "help" => Command::Help,
+        "ping" => {
+            finish(&mut args)?;
+            Command::Ping
+        }
+        "create" => Command::Create(parse_create(&mut args)?),
+        "run" => {
+            let name = args.value("NAME")?;
+            let mut budget = None;
+            let mut reset = false;
+            let mut looped = false;
+            while let Some(flag) = args.next_arg() {
+                match flag.as_str() {
+                    "--budget" => budget = Some(args.parse_value("--budget")?),
+                    "--reset" => reset = true,
+                    "--loop" => looped = true,
+                    other => return Err(format!("unknown flag: {other}")),
+                }
+            }
+            Command::Run { name, budget, reset, looped }
+        }
+        "stream" => {
+            let name = args.value("NAME")?;
+            let mut budget = None;
+            let mut limit = None;
+            while let Some(flag) = args.next_arg() {
+                match flag.as_str() {
+                    "--budget" => budget = Some(args.parse_value("--budget")?),
+                    "--limit" => limit = Some(args.parse_value("--limit")?),
+                    other => return Err(format!("unknown flag: {other}")),
+                }
+            }
+            Command::Stream { name, budget, limit }
+        }
+        verb @ ("snapshot" | "restore" | "reset" | "delete" | "stats" | "metrics") => {
+            let name = args.value("NAME")?;
+            finish(&mut args)?;
+            Command::Verb { verb: verb.to_string(), name }
+        }
+        "list" => {
+            finish(&mut args)?;
+            Command::List
+        }
+        "shutdown" => {
+            finish(&mut args)?;
+            Command::Shutdown
+        }
+        "bench" => {
+            let mut options = BenchOptions::default();
+            let mut out = None;
+            while let Some(flag) = args.next_arg() {
+                match flag.as_str() {
+                    "--workload" => options.workload = args.value("--workload")?,
+                    "--isa" => options.isa = args.value("--isa")?,
+                    "--clients" => options.clients = args.parse_value("--clients")?,
+                    "--iterations" => {
+                        options.iterations = args.parse_value("--iterations")?;
+                    }
+                    "--budget" => options.budget = args.parse_value("--budget")?,
+                    "--out" => out = Some(args.value("--out")?),
+                    other => return Err(format!("unknown flag: {other}")),
+                }
+            }
+            Command::Bench { options, out }
+        }
+        other => return Err(format!("unknown command: {other}")),
+    };
+    Ok(Invocation { addr, command })
+}
 
-    fn value(&mut self, flag: &str) -> String {
-        self.next().unwrap_or_else(|| {
-            eprintln!("kctl: {flag} expects a value");
-            usage()
-        })
+fn parse_create(args: &mut ArgList) -> Result<CreateArgs, String> {
+    let name = args.value("NAME")?;
+    let mut create = CreateArgs {
+        name,
+        workload: String::new(),
+        isa: String::new(),
+        cores: None,
+        quantum: None,
+        host_threads: None,
+        extra: Vec::new(),
+    };
+    while let Some(flag) = args.next_arg() {
+        match flag.as_str() {
+            "--workload" => create.workload = args.value("--workload")?,
+            "--isa" => create.isa = args.value("--isa")?,
+            "--cores" => create.cores = Some(args.value("--cores")?),
+            "--quantum" => create.quantum = Some(args.parse_value("--quantum")?),
+            "--host-threads" => {
+                create.host_threads = Some(args.parse_value("--host-threads")?);
+            }
+            "--model" => {
+                create.extra.push(("model".to_string(), args.value("--model")?.into()));
+            }
+            "--no-cache" => create.extra.push(("decode_cache".to_string(), false.into())),
+            "--no-prediction" => {
+                create.extra.push(("prediction".to_string(), false.into()));
+            }
+            "--baseline-cache" => {
+                create.extra.push(("superblocks".to_string(), false.into()));
+            }
+            "--ideal-memory" => {
+                create.extra.push(("ideal_memory".to_string(), true.into()));
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if create.cores.is_some() {
+        if !create.workload.is_empty() || !create.isa.is_empty() || !create.extra.is_empty()
+        {
+            return Err(
+                "create --cores (fabric) cannot be combined with --workload/--isa/--model/toggles"
+                    .to_string(),
+            );
+        }
+    } else {
+        if create.workload.is_empty() || create.isa.is_empty() {
+            return Err(
+                "create needs --workload and --isa (or --cores for a fabric session)"
+                    .to_string(),
+            );
+        }
+        if create.quantum.is_some() || create.host_threads.is_some() {
+            return Err(
+                "--quantum/--host-threads only apply to --cores (fabric) sessions"
+                    .to_string(),
+            );
+        }
+    }
+    Ok(create)
+}
+
+fn finish(args: &mut ArgList) -> Result<(), String> {
+    match args.next_arg() {
+        Some(extra) => Err(format!("unexpected argument: {extra}")),
+        None => Ok(()),
     }
 }
 
+/// Connects and performs the protocol handshake; any failure (including a
+/// `proto_version` mismatch) is fatal with a clear message.
 fn connect(addr: &str) -> Client {
-    match Client::connect(addr) {
+    let mut client = match Client::connect(addr) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("kctl: cannot connect to {addr}: {e}");
             std::process::exit(1);
         }
+    };
+    if let Err(e) = client.handshake() {
+        eprintln!("kctl: {e}");
+        std::process::exit(1);
     }
+    client
 }
 
 fn report(result: Result<Value, kahrisma_serve::ClientError>) -> ExitCode {
@@ -83,126 +256,56 @@ fn report(result: Result<Value, kahrisma_serve::ClientError>) -> ExitCode {
     }
 }
 
-fn main() -> ExitCode {
-    let mut args = Args { items: std::env::args().skip(1).collect(), pos: 0 };
-    let mut addr = "127.0.0.1:9191".to_string();
-    let command = loop {
-        match args.next() {
-            Some(flag) if flag == "--addr" => addr = args.value("--addr"),
-            Some(flag) if flag == "--help" || flag == "-h" => usage(),
-            Some(cmd) => break cmd,
-            None => usage(),
+fn run(invocation: Invocation) -> ExitCode {
+    let addr = invocation.addr;
+    match invocation.command {
+        Command::Help => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
         }
-    };
-    match command.as_str() {
-        "ping" => report(connect(&addr).request(vec![("cmd".to_string(), "ping".into())])),
-        "create" => {
-            let name = args.value("NAME");
-            let mut workload = String::new();
-            let mut isa = String::new();
-            let mut extra: Vec<(String, Value)> = Vec::new();
-            while let Some(flag) = args.next() {
-                match flag.as_str() {
-                    "--workload" => workload = args.value("--workload"),
-                    "--isa" => isa = args.value("--isa"),
-                    "--model" => {
-                        extra.push(("model".to_string(), args.value("--model").into()));
-                    }
-                    "--no-cache" => extra.push(("decode_cache".to_string(), false.into())),
-                    "--no-prediction" => {
-                        extra.push(("prediction".to_string(), false.into()));
-                    }
-                    "--baseline-cache" => {
-                        extra.push(("superblocks".to_string(), false.into()));
-                    }
-                    "--ideal-memory" => {
-                        extra.push(("ideal_memory".to_string(), true.into()));
-                    }
-                    _ => usage(),
-                }
-            }
-            if workload.is_empty() || isa.is_empty() {
-                eprintln!("kctl: create needs --workload and --isa");
-                return ExitCode::from(2);
-            }
-            report(connect(&addr).create(&name, &workload, &isa, extra))
+        Command::Ping => {
+            report(connect(&addr).request(vec![("cmd".to_string(), "ping".into())]))
         }
-        "run" => {
-            let name = args.value("NAME");
-            let mut budget = None;
-            let mut reset = false;
-            let mut looped = false;
-            while let Some(flag) = args.next() {
-                match flag.as_str() {
-                    "--budget" => {
-                        budget = Some(args.value("--budget").parse().unwrap_or_else(|_| {
-                            eprintln!("kctl: bad --budget");
-                            std::process::exit(2);
-                        }));
-                    }
-                    "--reset" => reset = true,
-                    "--loop" => looped = true,
-                    _ => usage(),
-                }
-            }
+        Command::Create(create) => {
+            let mut client = connect(&addr);
+            let result = match &create.cores {
+                Some(cores) => client.create_fabric(
+                    &create.name,
+                    cores,
+                    create.quantum,
+                    create.host_threads,
+                ),
+                None => client.create(
+                    &create.name,
+                    &create.workload,
+                    &create.isa,
+                    create.extra,
+                ),
+            };
+            report(result)
+        }
+        Command::Run { name, budget, reset, looped } => {
             report(connect(&addr).run(&name, budget, reset, looped))
         }
-        "stream" => {
-            let name = args.value("NAME");
-            let mut budget = None;
-            let mut limit = None;
-            while let Some(flag) = args.next() {
-                match flag.as_str() {
-                    "--budget" => budget = args.value("--budget").parse().ok(),
-                    "--limit" => limit = args.value("--limit").parse().ok(),
-                    _ => usage(),
-                }
-            }
+        Command::Stream { name, budget, limit } => {
             report(connect(&addr).stream(&name, budget, limit, |frame| {
                 println!("{}", frame.to_json());
             }))
         }
-        verb @ ("snapshot" | "restore" | "reset" | "delete" | "stats" | "metrics") => {
-            let name = args.value("NAME");
-            report(connect(&addr).session_verb(verb, &name))
-        }
-        "list" => report(connect(&addr).list()),
-        "shutdown" => {
-            let mut client = connect(&addr);
-            match client.shutdown() {
-                Ok(()) => {
-                    println!("{{\"ok\":true,\"draining\":true}}");
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("kctl: {e}");
-                    ExitCode::from(1)
-                }
+        Command::Verb { verb, name } => report(connect(&addr).session_verb(&verb, &name)),
+        Command::List => report(connect(&addr).list()),
+        Command::Shutdown => match connect(&addr).shutdown() {
+            Ok(()) => {
+                println!("{{\"ok\":true,\"draining\":true}}");
+                ExitCode::SUCCESS
             }
-        }
-        "bench" => {
-            let mut options = BenchOptions { addr: addr.clone(), ..BenchOptions::default() };
-            let mut out = None;
-            while let Some(flag) = args.next() {
-                match flag.as_str() {
-                    "--workload" => options.workload = args.value("--workload"),
-                    "--isa" => options.isa = args.value("--isa"),
-                    "--clients" => {
-                        options.clients =
-                            args.value("--clients").parse().unwrap_or_else(|_| usage());
-                    }
-                    "--iterations" => {
-                        options.iterations =
-                            args.value("--iterations").parse().unwrap_or_else(|_| usage());
-                    }
-                    "--budget" => {
-                        options.budget =
-                            args.value("--budget").parse().unwrap_or_else(|_| usage());
-                    }
-                    "--out" => out = Some(args.value("--out")),
-                    _ => usage(),
-                }
+            Err(e) => {
+                eprintln!("kctl: {e}");
+                ExitCode::from(1)
             }
+        },
+        Command::Bench { mut options, out } => {
+            options.addr = addr;
             match run_bench(&options) {
                 Ok(report) => {
                     let json = report.to_json();
@@ -221,6 +324,116 @@ fn main() -> ExitCode {
                 }
             }
         }
-        _ => usage(),
+    }
+}
+
+fn main() -> ExitCode {
+    match parse(ArgList::from_env()) {
+        Ok(invocation) => run(invocation),
+        Err(message) => {
+            eprintln!("kctl: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(items: &[&str]) -> Result<Invocation, String> {
+        parse(ArgList::new(items.iter().map(|s| (*s).to_string()).collect()))
+    }
+
+    #[test]
+    fn addr_defaults_and_overrides() {
+        let inv = parsed(&["ping"]).unwrap();
+        assert_eq!(inv.addr, "127.0.0.1:9191");
+        assert!(matches!(inv.command, Command::Ping));
+        let inv = parsed(&["--addr", "10.0.0.1:7", "list"]).unwrap();
+        assert_eq!(inv.addr, "10.0.0.1:7");
+        assert!(matches!(inv.command, Command::List));
+    }
+
+    #[test]
+    fn create_single_collects_spec_and_toggles() {
+        let inv = parsed(&[
+            "create", "s1", "--workload", "dct", "--isa", "risc", "--model", "doe",
+            "--no-cache",
+        ])
+        .unwrap();
+        let Command::Create(create) = inv.command else { panic!("expected create") };
+        assert_eq!(create.name, "s1");
+        assert_eq!(create.workload, "dct");
+        assert_eq!(create.isa, "risc");
+        assert!(create.cores.is_none());
+        assert_eq!(create.extra.len(), 2);
+        assert_eq!(create.extra[0].0, "model");
+        assert_eq!(create.extra[1].0, "decode_cache");
+    }
+
+    #[test]
+    fn create_fabric_takes_cores_quantum_and_threads() {
+        let inv = parsed(&[
+            "create", "grid", "--cores", "dct:risc,fft:vliw4:aie", "--quantum", "25000",
+            "--host-threads", "4",
+        ])
+        .unwrap();
+        let Command::Create(create) = inv.command else { panic!("expected create") };
+        assert_eq!(create.name, "grid");
+        assert_eq!(create.cores.as_deref(), Some("dct:risc,fft:vliw4:aie"));
+        assert_eq!(create.quantum, Some(25_000));
+        assert_eq!(create.host_threads, Some(4));
+    }
+
+    #[test]
+    fn create_rejects_mixed_and_incomplete_specs() {
+        let err = parsed(&["create", "x", "--cores", "dct:risc", "--isa", "risc"])
+            .unwrap_err();
+        assert!(err.contains("cannot be combined"), "{err}");
+        let err = parsed(&["create", "x", "--workload", "dct"]).unwrap_err();
+        assert!(err.contains("--workload and --isa"), "{err}");
+        let err = parsed(&["create", "x", "--workload", "dct", "--isa", "risc",
+            "--quantum", "5"])
+        .unwrap_err();
+        assert!(err.contains("only apply to --cores"), "{err}");
+    }
+
+    #[test]
+    fn run_parses_budget_and_toggles() {
+        let inv = parsed(&["run", "s", "--budget", "5000", "--reset", "--loop"]).unwrap();
+        let Command::Run { name, budget, reset, looped } = inv.command else {
+            panic!("expected run")
+        };
+        assert_eq!(name, "s");
+        assert_eq!(budget, Some(5000));
+        assert!(reset && looped);
+        let err = parsed(&["run", "s", "--budget", "lots"]).unwrap_err();
+        assert!(err.starts_with("invalid value for --budget"), "{err}");
+    }
+
+    #[test]
+    fn bad_input_is_a_parse_error_not_a_panic() {
+        assert!(parsed(&[]).unwrap_err().contains("missing command"));
+        assert!(parsed(&["frobnicate"]).unwrap_err().contains("unknown command"));
+        assert!(parsed(&["ping", "extra"]).unwrap_err().contains("unexpected argument"));
+        assert!(parsed(&["run", "s", "--frob"]).unwrap_err().contains("unknown flag"));
+        assert!(parsed(&["--addr"]).unwrap_err().contains("expects a value"));
+    }
+
+    #[test]
+    fn bench_fills_options_and_output_path() {
+        let inv = parsed(&[
+            "bench", "--workload", "fft", "--clients", "3", "--iterations", "7",
+            "--budget", "9000", "--out", "b.json",
+        ])
+        .unwrap();
+        let Command::Bench { options, out } = inv.command else { panic!("expected bench") };
+        assert_eq!(options.workload, "fft");
+        assert_eq!(options.clients, 3);
+        assert_eq!(options.iterations, 7);
+        assert_eq!(options.budget, 9000);
+        assert_eq!(out.as_deref(), Some("b.json"));
     }
 }

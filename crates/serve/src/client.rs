@@ -21,6 +21,15 @@ pub enum ClientError {
         /// Back-off hint on `overloaded` responses.
         retry_after_ms: Option<u64>,
     },
+    /// The daemon speaks an incompatible wire-protocol version (see
+    /// [`Client::handshake`]).
+    VersionMismatch {
+        /// What the server advertised (`None`: a pre-versioning daemon
+        /// that sent no `proto_version` at all).
+        server: Option<u64>,
+        /// The version this client speaks ([`proto::PROTO_VERSION`]).
+        client: u64,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -28,6 +37,20 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::Server { code, message, .. } => write!(f, "{code}: {message}"),
+            ClientError::VersionMismatch { server, client } => {
+                match server {
+                    Some(v) => write!(f, "protocol version mismatch: server speaks v{v}, ")?,
+                    None => write!(
+                        f,
+                        "protocol version mismatch: server predates versioning, "
+                    )?,
+                }
+                write!(
+                    f,
+                    "this client speaks v{client}; upgrade the older side (kctl and ksimd \
+                     must come from the same release)"
+                )
+            }
         }
     }
 }
@@ -153,6 +176,23 @@ impl Client {
         self.request(vec![cmd("ping")]).map(|_| ())
     }
 
+    /// Pings the daemon and verifies it advertises exactly this client's
+    /// [`proto::PROTO_VERSION`]. Call once after connecting; `kctl` does.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::VersionMismatch`] when the versions differ (or the
+    /// server sent none); otherwise see [`Client::request_with_frames`].
+    pub fn handshake(&mut self) -> Result<(), ClientError> {
+        let response = self.request(vec![cmd("ping")])?;
+        let server = response.get("proto_version").and_then(Value::as_u64);
+        if server == Some(proto::PROTO_VERSION) {
+            Ok(())
+        } else {
+            Err(ClientError::VersionMismatch { server, client: proto::PROTO_VERSION })
+        }
+    }
+
     /// Creates a session; extra spec fields (model, toggles) ride in
     /// `extra`.
     ///
@@ -173,6 +213,35 @@ impl Client {
             ("isa".to_string(), isa.into()),
         ];
         fields.extend(extra);
+        self.request(fields)
+    }
+
+    /// Creates a fabric session from a comma-separated core-spec list
+    /// (`"dct:risc,fft:vliw4:aie"`), optionally overriding the scheduling
+    /// quantum and host thread count.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_with_frames`].
+    pub fn create_fabric(
+        &mut self,
+        name: &str,
+        cores: &str,
+        quantum: Option<u64>,
+        host_threads: Option<u64>,
+    ) -> Result<Value, ClientError> {
+        let mut fields = vec![
+            cmd("create"),
+            ("name".to_string(), name.into()),
+            ("kind".to_string(), "fabric".into()),
+            ("cores".to_string(), cores.into()),
+        ];
+        if let Some(q) = quantum {
+            fields.push(("quantum".to_string(), q.into()));
+        }
+        if let Some(t) = host_threads {
+            fields.push(("host_threads".to_string(), t.into()));
+        }
         self.request(fields)
     }
 

@@ -16,7 +16,7 @@
 //!   it,
 //! * [`session`] — sessions and the concurrency-safe session table,
 //! * [`client`] — the typed client used by `kctl` and `kbatch --daemon`,
-//! * [`bench`] — the `kctl bench` serving benchmark (latency percentiles,
+//! * [`mod@bench`] — the `kctl bench` serving benchmark (latency percentiles,
 //!   served vs. direct throughput).
 //!
 //! Everything is std-only: TCP + threads, no external dependencies.

@@ -25,6 +25,12 @@ use crate::json::{obj, Value};
 /// Upper bound on one request line, in bytes (DoS guard).
 pub const MAX_FRAME_BYTES: usize = 64 * 1024;
 
+/// Version of this wire protocol. Advertised in every `ping` and `create`
+/// response as `proto_version`; clients refuse to proceed on a mismatch
+/// (see `Client::handshake`). Bump on any incompatible change to request
+/// or response shapes.
+pub const PROTO_VERSION: u64 = 1;
+
 /// Machine-readable error category carried in `code`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
@@ -49,6 +55,18 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
+    /// Every code, in wire-tag order (for exhaustive client handling).
+    pub const ALL: [ErrorCode; 8] = [
+        ErrorCode::BadFrame,
+        ErrorCode::BadRequest,
+        ErrorCode::NotFound,
+        ErrorCode::Busy,
+        ErrorCode::Overloaded,
+        ErrorCode::Draining,
+        ErrorCode::SimFault,
+        ErrorCode::Unsupported,
+    ];
+
     /// The wire tag.
     #[must_use]
     pub fn as_str(self) -> &'static str {
@@ -62,6 +80,12 @@ impl ErrorCode {
             ErrorCode::SimFault => "sim_fault",
             ErrorCode::Unsupported => "unsupported",
         }
+    }
+
+    /// Parses a wire tag back into a code (client side).
+    #[must_use]
+    pub fn parse(tag: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.as_str() == tag)
     }
 }
 
@@ -133,6 +157,14 @@ mod tests {
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
         assert_eq!(v.get("code").unwrap().as_str(), Some("overloaded"));
         assert_eq!(v.get("retry_after_ms").unwrap().as_u64(), Some(250));
+    }
+
+    #[test]
+    fn error_codes_round_trip_through_wire_tags() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("no_such_code"), None);
     }
 
     #[test]

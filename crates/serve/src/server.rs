@@ -7,14 +7,17 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use kahrisma_core::{CycleModelKind, Observer, RunOutcome, SimEvent, SimStats, Simulator};
+use kahrisma_core::{
+    CycleModelKind, Observer, RunOutcome, SimEvent, Simulator, StatValue, StatsReport,
+};
+use kahrisma_fabric::{Fabric, FabricOutcome};
 use kahrisma_isa::IsaKind;
 use kahrisma_observe::{frame, MetricsRegistry};
 use kahrisma_workloads::Workload;
 
 use crate::json::{self, obj, Value};
-use crate::proto::{self, ErrorCode, MAX_FRAME_BYTES};
-use crate::session::{Session, SessionSpec, SessionTable, TableError};
+use crate::proto::{self, ErrorCode, MAX_FRAME_BYTES, PROTO_VERSION};
+use crate::session::{Engine, FabricSpec, Session, SessionSpec, SessionTable, TableError};
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -286,18 +289,30 @@ fn dispatch(
     match cmd {
         "ping" => proto::ok_response(
             id.clone(),
-            vec![("pong".to_string(), Value::Bool(true))],
+            vec![
+                ("pong".to_string(), Value::Bool(true)),
+                ("proto_version".to_string(), PROTO_VERSION.into()),
+            ],
         ),
         "create" => handle_create(shared, id, request),
         "run" => handle_run(shared, id, request, None),
         "stream" => handle_stream(shared, id, request, writer),
         "reset" => with_session(shared, id, request, |session| {
-            session.sim.reset();
+            match &mut session.engine {
+                Engine::Single { sim, .. } => sim.reset(),
+                Engine::Fabric { fabric, .. } => fabric.reset(),
+            }
             session.exit_code = None;
             Ok(Vec::new())
         }),
         "snapshot" => with_session(shared, id, request, |session| {
-            match session.sim.snapshot() {
+            let Some(sim) = session.single_mut() else {
+                return Err((
+                    ErrorCode::Unsupported,
+                    "fabric sessions do not support snapshot".to_string(),
+                ));
+            };
+            match sim.snapshot() {
                 Ok(snap) => {
                     let instructions = snap.instructions();
                     session.snapshot = Some(snap);
@@ -310,7 +325,13 @@ fn dispatch(
             let Some(snap) = session.snapshot.take() else {
                 return Err((ErrorCode::BadRequest, "no snapshot to restore".to_string()));
             };
-            let result = session.sim.restore(&snap);
+            let Some(sim) = session.single_mut() else {
+                return Err((
+                    ErrorCode::Unsupported,
+                    "fabric sessions do not support restore".to_string(),
+                ));
+            };
+            let result = sim.restore(&snap);
             let instructions = snap.instructions();
             session.snapshot = Some(snap);
             match result {
@@ -321,30 +342,12 @@ fn dispatch(
                 Err(e) => Err((ErrorCode::Unsupported, format!("restore failed: {e}"))),
             }
         }),
-        "stats" => with_session(shared, id, request, |session| {
-            let mut fields = stats_fields(session.sim.stats());
-            if let Some(cycles) = session.sim.cycle_stats() {
-                fields.push(("cycles".to_string(), cycles.cycles.into()));
-                fields.push(("ops_per_cycle".to_string(), cycles.ops_per_cycle().into()));
-                // The model's operation count (what campaign reports use
-                // when a model ran) and the L1 miss ratio, if any level of
-                // the modelled hierarchy has a cache.
-                fields.push(("model_operations".to_string(), cycles.operations.into()));
-                if let Some(ratio) =
-                    cycles.memory.iter().find_map(|l| l.cache).map(|c| c.miss_ratio())
-                {
-                    fields.push(("l1_miss_ratio".to_string(), ratio.into()));
-                }
-            }
-            if let Some(code) = session.exit_code {
-                fields.push(("exit_code".to_string(), code.into()));
-            }
-            fields.push(("halted".to_string(), session.sim.halted().into()));
-            fields.push(("runs_completed".to_string(), session.runs_completed.into()));
-            Ok(fields)
-        }),
+        "stats" => with_session(shared, id, request, |session| Ok(stats_response(session))),
         "metrics" => with_session(shared, id, request, |session| {
-            let registry = registry_from_stats(session);
+            let registry = match &session.engine {
+                Engine::Single { .. } => registry_from_stats(session),
+                Engine::Fabric { fabric, .. } => fabric.metrics(),
+            };
             Ok(vec![(
                 "metrics".to_string(),
                 json::parse(&registry.to_json())
@@ -360,6 +363,7 @@ fn dispatch(
                     obj([
                         ("name", info.name.into()),
                         ("state", info.state.into()),
+                        ("kind", info.kind.into()),
                         ("workload", info.workload.into()),
                         ("isa", info.isa.into()),
                         ("instructions", info.instructions.into()),
@@ -447,36 +451,21 @@ fn handle_create(shared: &Shared, id: &Value, request: &Value) -> Value {
     if name.is_empty() || name.len() > 64 {
         return bad("`name` must be 1..=64 characters");
     }
-    let Some(workload_name) = request.get("workload").and_then(Value::as_str) else {
-        return bad("missing `workload`");
+    let kind = request.get("kind").and_then(Value::as_str).unwrap_or("single");
+    let session = match kind {
+        "single" => match create_single(request) {
+            Ok(spec) => spec,
+            Err(msg) => return bad(&msg),
+        },
+        "fabric" => match create_fabric(request) {
+            Ok(spec) => spec,
+            Err(msg) => return bad(&msg),
+        },
+        other => return bad(&format!("unknown session kind `{other}`")),
     };
-    let Some(workload) = Workload::ALL.into_iter().find(|w| w.name() == workload_name) else {
-        return bad(&format!("unknown workload `{workload_name}`"));
-    };
-    let Some(isa_name) = request.get("isa").and_then(Value::as_str) else {
-        return bad("missing `isa`");
-    };
-    let Some(isa) = IsaKind::ALL.into_iter().find(|k| k.name() == isa_name) else {
-        return bad(&format!("unknown isa `{isa_name}`"));
-    };
-    let mut spec = SessionSpec::new(workload, isa);
-    match request.get("model").and_then(Value::as_str) {
-        None => {}
-        Some("ilp") => spec.model = Some(CycleModelKind::Ilp),
-        Some("aie") => spec.model = Some(CycleModelKind::Aie),
-        Some("doe") => spec.model = Some(CycleModelKind::Doe),
-        Some(other) => return bad(&format!("unknown model `{other}`")),
-    }
-    let flag = |key: &str, default: bool| {
-        request.get(key).and_then(Value::as_bool).unwrap_or(default)
-    };
-    spec.decode_cache = flag("decode_cache", true);
-    spec.prediction = flag("prediction", true);
-    spec.superblocks = flag("superblocks", true);
-    spec.ideal_memory = flag("ideal_memory", false);
 
     let started = Instant::now();
-    let session = match Session::create(name, spec) {
+    let session = match session.build(name) {
         Ok(s) => s,
         Err(e) => return bad(&e),
     };
@@ -485,6 +474,8 @@ fn handle_create(shared: &Shared, id: &Value, request: &Value) -> Value {
             id.clone(),
             vec![
                 ("name".to_string(), name.into()),
+                ("kind".to_string(), kind.into()),
+                ("proto_version".to_string(), PROTO_VERSION.into()),
                 ("build_ms".to_string(), (started.elapsed().as_millis() as u64).into()),
             ],
         ),
@@ -496,6 +487,75 @@ fn handle_create(shared: &Shared, id: &Value, request: &Value) -> Value {
         ),
         Err(e) => table_error(id, name, &e),
     }
+}
+
+/// A parsed, not-yet-built `create` request.
+enum PendingSession {
+    Single(SessionSpec),
+    Fabric(FabricSpec),
+}
+
+impl PendingSession {
+    fn build(self, name: &str) -> Result<Box<Session>, String> {
+        match self {
+            PendingSession::Single(spec) => Session::create(name, spec),
+            PendingSession::Fabric(spec) => Session::create_fabric(name, spec),
+        }
+    }
+}
+
+fn create_single(request: &Value) -> Result<PendingSession, String> {
+    let Some(workload_name) = request.get("workload").and_then(Value::as_str) else {
+        return Err("missing `workload`".to_string());
+    };
+    let Some(workload) = Workload::ALL.into_iter().find(|w| w.name() == workload_name) else {
+        return Err(format!("unknown workload `{workload_name}`"));
+    };
+    let Some(isa_name) = request.get("isa").and_then(Value::as_str) else {
+        return Err("missing `isa`".to_string());
+    };
+    let Some(isa) = IsaKind::ALL.into_iter().find(|k| k.name() == isa_name) else {
+        return Err(format!("unknown isa `{isa_name}`"));
+    };
+    let mut spec = SessionSpec::new(workload, isa);
+    match request.get("model").and_then(Value::as_str) {
+        None => {}
+        Some("ilp") => spec.model = Some(CycleModelKind::Ilp),
+        Some("aie") => spec.model = Some(CycleModelKind::Aie),
+        Some("doe") => spec.model = Some(CycleModelKind::Doe),
+        Some(other) => return Err(format!("unknown model `{other}`")),
+    }
+    let flag = |key: &str, default: bool| {
+        request.get(key).and_then(Value::as_bool).unwrap_or(default)
+    };
+    spec.decode_cache = flag("decode_cache", true);
+    spec.prediction = flag("prediction", true);
+    spec.superblocks = flag("superblocks", true);
+    spec.ideal_memory = flag("ideal_memory", false);
+    Ok(PendingSession::Single(spec))
+}
+
+fn create_fabric(request: &Value) -> Result<PendingSession, String> {
+    let Some(cores) = request.get("cores").and_then(Value::as_str) else {
+        return Err("fabric create needs `cores` (comma-separated workload:isa[:model])"
+            .to_string());
+    };
+    let quantum = request
+        .get("quantum")
+        .and_then(Value::as_u64)
+        .unwrap_or(kahrisma_fabric::DEFAULT_QUANTUM);
+    if quantum == 0 {
+        return Err("`quantum` must be at least 1".to_string());
+    }
+    let host_threads = request.get("host_threads").and_then(Value::as_u64).unwrap_or(1);
+    if host_threads == 0 {
+        return Err("`host_threads` must be at least 1".to_string());
+    }
+    Ok(PendingSession::Fabric(FabricSpec {
+        cores: cores.to_string(),
+        quantum,
+        host_threads: host_threads as usize,
+    }))
 }
 
 /// Executes `run`: budget-sliced `run_for` with deadline and drain checks
@@ -541,34 +601,64 @@ fn handle_run(
             Ok(s) => s,
             Err(e) => return table_error(id, name, &e),
         };
+        // Single-core-only request shapes fail cleanly before running.
+        if matches!(session.engine, Engine::Fabric { .. }) {
+            let unsupported = if observer.is_some() {
+                Some("fabric sessions do not support stream")
+            } else if looped {
+                Some("fabric sessions do not support loop")
+            } else {
+                None
+            };
+            if let Some(msg) = unsupported {
+                shared.table.checkin(session);
+                return proto::error_response(id.clone(), ErrorCode::Unsupported, msg, None);
+            }
+        }
         if reset_first {
-            session.sim.reset();
+            match &mut session.engine {
+                Engine::Single { sim, .. } => sim.reset(),
+                Engine::Fabric { fabric, .. } => fabric.reset(),
+            }
             session.exit_code = None;
         }
         let had_observer = observer.is_some();
         if let Some(o) = observer {
-            session.sim.set_observer(o);
+            if let Some(sim) = session.single_mut() {
+                sim.set_observer(o);
+            }
         }
         let started = Instant::now();
         let deadline = started + shared.config.request_timeout;
-        let result = run_sliced(
-            &mut session.sim,
-            budget,
-            shared.config.slice,
-            looped,
-            deadline,
-            &shared.draining,
-        );
+        let result = match &mut session.engine {
+            Engine::Single { sim, .. } => run_sliced(
+                sim,
+                budget,
+                shared.config.slice,
+                looped,
+                deadline,
+                &shared.draining,
+            )
+            .map_err(|e| format!("simulation fault: {e}")),
+            Engine::Fabric { fabric, .. } => run_fabric_sliced(
+                fabric,
+                budget,
+                shared.config.slice,
+                deadline,
+                &shared.draining,
+            ),
+        };
         let wall = started.elapsed();
         session.busy += wall;
         if had_observer {
-            let _ = session.sim.take_observer();
+            if let Some(sim) = session.single_mut() {
+                let _ = sim.take_observer();
+            }
         }
         match result {
-            Err(e) => {
-                // A faulted simulator is not safely resumable; drop the
+            Err(msg) => {
+                // A faulted engine is not safely resumable; drop the
                 // session rather than serving poisoned state.
-                let msg = format!("simulation fault: {e}");
                 shared.table.discard(name);
                 proto::error_response(id.clone(), ErrorCode::SimFault, &msg, None)
             }
@@ -580,18 +670,24 @@ fn handle_run(
                 let mut fields = vec![
                     ("outcome".to_string(), run.outcome.into()),
                     ("instructions".to_string(), run.instructions.into()),
-                    (
-                        "total_instructions".to_string(),
-                        session.sim.stats().instructions.into(),
-                    ),
+                    ("total_instructions".to_string(), session.instructions().into()),
                     ("runs".to_string(), run.halts.into()),
                     ("wall_ms".to_string(), (wall.as_secs_f64() * 1e3).into()),
                 ];
                 if let Some(code) = run.exit_code {
                     fields.push(("exit_code".to_string(), code.into()));
                 }
-                if let Some(cycles) = session.sim.cycle_stats() {
-                    fields.push(("cycles".to_string(), cycles.cycles.into()));
+                match &session.engine {
+                    Engine::Single { sim, .. } => {
+                        if let Some(cycles) = sim.cycle_stats() {
+                            fields.push(("cycles".to_string(), cycles.cycles.into()));
+                        }
+                    }
+                    Engine::Fabric { fabric, .. } => {
+                        let stats = fabric.stats();
+                        fields.push(("cores".to_string(), (stats.cores.len() as u64).into()));
+                        fields.push(("quanta".to_string(), stats.quanta.into()));
+                    }
                 }
                 shared.table.checkin(session);
                 proto::ok_response(id.clone(), fields)
@@ -663,6 +759,50 @@ fn run_sliced(
             return Ok(SlicedRun { outcome: "deadline", instructions: executed, halts, exit_code });
         }
     }
+}
+
+/// The fabric counterpart of [`run_sliced`]: advances the whole fabric in
+/// `slice`-instruction legs (per core) with deadline and drain checks at
+/// each leg boundary. As in [`Fabric::run_for`], the request `budget`
+/// bounds each *core's* instructions, not the aggregate.
+fn run_fabric_sliced(
+    fabric: &mut Fabric,
+    budget: u64,
+    slice: u64,
+    deadline: Instant,
+    draining: &AtomicBool,
+) -> Result<SlicedRun, String> {
+    let before = fabric.stats().aggregate.instructions;
+    let slice = slice.max(1);
+    let mut granted = 0u64;
+    let mut halted = false;
+    let outcome = loop {
+        let remaining = budget.saturating_sub(granted);
+        if remaining == 0 {
+            break "budget";
+        }
+        let step = remaining.min(slice);
+        match fabric.run_for(step).map_err(|e| format!("simulation fault: {e}"))? {
+            FabricOutcome::AllHalted => {
+                halted = true;
+                break "halted";
+            }
+            FabricOutcome::BudgetExhausted => {}
+        }
+        granted += step;
+        if draining.load(Ordering::SeqCst) {
+            break "draining";
+        }
+        if Instant::now() >= deadline {
+            break "deadline";
+        }
+    };
+    Ok(SlicedRun {
+        outcome,
+        instructions: fabric.stats().aggregate.instructions - before,
+        halts: u64::from(halted),
+        exit_code: None,
+    })
 }
 
 /// An observer that writes capped event frames straight into the
@@ -750,34 +890,88 @@ fn handle_stream(
     response
 }
 
-/// SimStats as response fields, in declaration order (deterministic).
-fn stats_fields(stats: &SimStats) -> Vec<(String, Value)> {
-    vec![
-        ("instructions".to_string(), stats.instructions.into()),
-        ("operations".to_string(), stats.operations.into()),
-        ("nops".to_string(), stats.nops.into()),
-        ("detect_decodes".to_string(), stats.detect_decodes.into()),
-        ("cache_lookups".to_string(), stats.cache_lookups.into()),
-        ("cache_hits".to_string(), stats.cache_hits.into()),
-        ("prediction_hits".to_string(), stats.prediction_hits.into()),
-        ("superblocks_built".to_string(), stats.superblocks_built.into()),
-        ("superblock_batches".to_string(), stats.superblock_batches.into()),
-        ("mem_reads".to_string(), stats.mem_reads.into()),
-        ("mem_writes".to_string(), stats.mem_writes.into()),
-        ("isa_switches".to_string(), stats.isa_switches.into()),
-        ("simops".to_string(), stats.simops.into()),
-        ("taken_branches".to_string(), stats.taken_branches.into()),
-    ]
+/// Builds the `stats` response: the unified [`StatsReport`] document
+/// (`schema_version` first, canonical counters and ratios in declaration
+/// order) flattened into top-level response fields, plus session
+/// bookkeeping and, for a fabric, a per-core breakdown.
+fn stats_response(session: &Session) -> Vec<(String, Value)> {
+    let mut report = StatsReport::new();
+    let mut extra: Vec<(String, Value)> = Vec::new();
+    match &session.engine {
+        Engine::Single { sim, .. } => {
+            report.push_str("kind", "single");
+            report.counters(sim.stats());
+            report.ratios(sim.stats());
+            if let Some(cycles) = sim.cycle_stats() {
+                report.cycles(&cycles);
+            }
+        }
+        Engine::Fabric { fabric, .. } => {
+            let stats = fabric.stats();
+            stats.report_into(&mut report);
+            let rows: Vec<Value> = stats
+                .cores
+                .iter()
+                .map(|core| {
+                    let mut fields = vec![
+                        ("name".to_string(), core.name.as_str().into()),
+                        ("instructions".to_string(), core.stats.instructions.into()),
+                        ("operations".to_string(), core.stats.operations.into()),
+                        ("halted".to_string(), core.halted.into()),
+                        ("restarts".to_string(), core.restarts.into()),
+                    ];
+                    if let Some(code) = core.exit_code {
+                        fields.push(("exit_code".to_string(), code.into()));
+                    }
+                    if let Some(cycles) = core.total_cycles {
+                        fields.push(("cycles".to_string(), cycles.into()));
+                    }
+                    Value::Obj(fields)
+                })
+                .collect();
+            extra.push(("core_stats".to_string(), Value::Arr(rows)));
+        }
+    }
+    if let Some(code) = session.exit_code {
+        report.push_u64("exit_code", u64::from(code));
+    }
+    report.push_bool("halted", session.halted());
+    report.push_u64("runs_completed", session.runs_completed);
+    let mut fields = report_fields(&report);
+    fields.extend(extra);
+    fields
 }
 
-/// Folds a session's [`SimStats`] into a deterministic [`MetricsRegistry`].
+/// Flattens a [`StatsReport`] into wire response fields — the daemon's
+/// side of the one-serializer contract for stats documents.
+fn report_fields(report: &StatsReport) -> Vec<(String, Value)> {
+    report
+        .fields()
+        .iter()
+        .map(|(name, value)| {
+            let v = match value {
+                StatValue::U64(v) => Value::Num(*v as f64),
+                StatValue::F64(v) => Value::Num(if v.is_finite() { *v } else { 0.0 }),
+                StatValue::Bool(v) => Value::Bool(*v),
+                StatValue::Str(v) => Value::Str(v.clone()),
+            };
+            (name.clone(), v)
+        })
+        .collect()
+}
+
+/// Folds a single-core session's stats into a deterministic
+/// [`MetricsRegistry`] (fabric sessions use [`Fabric::metrics`] instead).
 ///
 /// Deliberately *not* implemented by attaching a `MetricsCollector`
 /// observer: an attached observer bypasses the superblock fast path, which
 /// would tax every served run. Folding from the counters the fast path
 /// already maintains is free and exactly as deterministic.
 fn registry_from_stats(session: &Session) -> MetricsRegistry {
-    let stats = session.sim.stats();
+    let Engine::Single { sim, .. } = &session.engine else {
+        return MetricsRegistry::new();
+    };
+    let stats = sim.stats();
     let mut r = MetricsRegistry::new();
     r.set_counter("sim.instructions", stats.instructions);
     r.set_counter("sim.operations", stats.operations);
@@ -797,7 +991,7 @@ fn registry_from_stats(session: &Session) -> MetricsRegistry {
     r.set_gauge("decode.avoided_ratio", stats.decode_avoided_ratio());
     r.set_gauge("decode.cache_hit_ratio", stats.cache_hit_ratio());
     r.set_gauge("session.busy_secs", session.busy.as_secs_f64());
-    if let Some(cycles) = session.sim.cycle_stats() {
+    if let Some(cycles) = sim.cycle_stats() {
         r.set_counter("cycles.total", cycles.cycles);
         r.set_gauge("cycles.ops_per_cycle", cycles.ops_per_cycle());
     }

@@ -1,9 +1,10 @@
 //! Named simulation sessions and the bounded session table.
 //!
-//! A session owns a [`Simulator`] with a warm decode cache — the whole
-//! point of the daemon: repeated requests against the same session skip
-//! ELF load and decode-cache warmup, which is what makes served throughput
-//! competitive with a long-lived local `ksim` process.
+//! A session owns an [`Engine`] — one [`Simulator`] with a warm decode
+//! cache, or an N-core [`Fabric`] — the whole point of the daemon:
+//! repeated requests against the same session skip ELF load and
+//! decode-cache warmup, which is what makes served throughput competitive
+//! with a long-lived local `ksim` process.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -12,11 +13,12 @@ use std::time::{Duration, Instant};
 use kahrisma_core::{
     CycleModelKind, MemoryHierarchy, SimConfig, Simulator, Snapshot,
 };
+use kahrisma_fabric::{CoreSpec, Fabric, FabricConfig};
 use kahrisma_isa::IsaKind;
 use kahrisma_workloads::Workload;
 
-/// What a `create` request specifies (workload × ISA × cycle model plus
-/// the decode-cache ladder toggles).
+/// What a single-core `create` request specifies (workload × ISA × cycle
+/// model plus the decode-cache ladder toggles).
 #[derive(Debug, Clone)]
 pub struct SessionSpec {
     /// The workload to build and simulate.
@@ -68,15 +70,45 @@ impl SessionSpec {
     }
 }
 
-/// One live session: a named simulator plus bookkeeping.
+/// What a fabric `create` request specifies: the core list and scheduling
+/// knobs.
+#[derive(Debug, Clone)]
+pub struct FabricSpec {
+    /// Comma-separated `workload:isa[:model]` core specs, as received.
+    pub cores: String,
+    /// Scheduling quantum: instructions per core per barrier interval.
+    pub quantum: u64,
+    /// Host worker threads (a performance knob; never affects results).
+    pub host_threads: usize,
+}
+
+/// The execution engine behind a session.
+pub enum Engine {
+    /// One simulator core (the classic session kind).
+    Single {
+        /// The spec the session was created from.
+        spec: SessionSpec,
+        /// The resident simulator (warm decode cache). Boxed so the enum
+        /// stays small regardless of the simulator's inline footprint.
+        sim: Box<Simulator>,
+    },
+    /// An N-core fabric advanced at deterministic quantum barriers.
+    Fabric {
+        /// The spec the session was created from.
+        spec: FabricSpec,
+        /// The resident fabric (each core a warm simulator).
+        fabric: Box<Fabric>,
+    },
+}
+
+/// One live session: a named engine plus bookkeeping.
 pub struct Session {
     /// The session name (table key).
     pub name: String,
-    /// The spec it was created from.
-    pub spec: SessionSpec,
-    /// The resident simulator (warm decode cache).
-    pub sim: Simulator,
-    /// The most recent snapshot, if any (`snapshot` verb).
+    /// The execution engine (single simulator or multi-core fabric).
+    pub engine: Engine,
+    /// The most recent snapshot, if any (`snapshot` verb; single-core
+    /// sessions only).
     pub snapshot: Option<Snapshot>,
     /// Exit code of the last halted run, if the program has halted.
     pub exit_code: Option<u32>,
@@ -92,15 +124,16 @@ impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
             .field("name", &self.name)
-            .field("workload", &self.spec.workload.name())
-            .field("isa", &self.spec.isa.name())
-            .field("instructions", &self.sim.stats().instructions)
+            .field("kind", &self.kind())
+            .field("workload", &self.workload_desc())
+            .field("isa", &self.isa_desc())
+            .field("instructions", &self.instructions())
             .finish_non_exhaustive()
     }
 }
 
 impl Session {
-    /// Builds the workload and loads a fresh simulator.
+    /// Builds the workload and loads a fresh single-core session.
     ///
     /// # Errors
     ///
@@ -111,17 +144,97 @@ impl Session {
             .build(spec.isa)
             .map_err(|e| format!("cannot build workload {}: {e}", spec.workload.name()))?;
         let sim = Simulator::new(&exe, spec.sim_config())
+            .map(Box::new)
             .map_err(|e| format!("cannot load workload {}: {e}", spec.workload.name()))?;
-        Ok(Box::new(Session {
+        Ok(Self::with_engine(name, Engine::Single { spec, sim }))
+    }
+
+    /// Builds every core of `spec.cores` and loads a fresh fabric session.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first core's spec/compile/load failure.
+    pub fn create_fabric(name: &str, spec: FabricSpec) -> Result<Box<Session>, String> {
+        let cores = spec
+            .cores
+            .split(',')
+            .map(|s| CoreSpec::parse(s.trim()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let config = FabricConfig {
+            quantum: spec.quantum,
+            host_threads: spec.host_threads,
+            ..FabricConfig::default()
+        };
+        let fabric = Box::new(Fabric::new(cores, config)?);
+        Ok(Self::with_engine(name, Engine::Fabric { spec, fabric }))
+    }
+
+    fn with_engine(name: &str, engine: Engine) -> Box<Session> {
+        Box::new(Session {
             name: name.to_string(),
-            spec,
-            sim,
+            engine,
             snapshot: None,
             exit_code: None,
             runs_completed: 0,
             busy: Duration::ZERO,
             created: Instant::now(),
-        }))
+        })
+    }
+
+    /// `"single"` or `"fabric"` — the wire tag for the session kind.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self.engine {
+            Engine::Single { .. } => "single",
+            Engine::Fabric { .. } => "fabric",
+        }
+    }
+
+    /// What the session runs: the workload name, or the fabric's core list.
+    #[must_use]
+    pub fn workload_desc(&self) -> String {
+        match &self.engine {
+            Engine::Single { spec, .. } => spec.workload.name().to_string(),
+            Engine::Fabric { spec, .. } => spec.cores.clone(),
+        }
+    }
+
+    /// The ISA name, or `"mixed"` for a fabric (each core carries its own).
+    #[must_use]
+    pub fn isa_desc(&self) -> String {
+        match &self.engine {
+            Engine::Single { spec, .. } => spec.isa.name().to_string(),
+            Engine::Fabric { .. } => "mixed".to_string(),
+        }
+    }
+
+    /// Instructions executed so far (aggregate over cores for a fabric).
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        match &self.engine {
+            Engine::Single { sim, .. } => sim.stats().instructions,
+            Engine::Fabric { fabric, .. } => fabric.stats().aggregate.instructions,
+        }
+    }
+
+    /// `true` when the program (every core, for a fabric) has halted.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        match &self.engine {
+            Engine::Single { sim, .. } => sim.halted(),
+            Engine::Fabric { fabric, .. } => {
+                fabric.stats().cores.iter().all(|c| c.halted)
+            }
+        }
+    }
+
+    /// The single-core simulator, for verbs that only make sense there
+    /// (snapshot, restore, stream).
+    pub fn single_mut(&mut self) -> Option<&mut Simulator> {
+        match &mut self.engine {
+            Engine::Single { sim, .. } => Some(sim.as_mut()),
+            Engine::Fabric { .. } => None,
+        }
     }
 }
 
@@ -156,10 +269,12 @@ pub struct SessionInfo {
     pub name: String,
     /// `"idle"` or `"running"`.
     pub state: &'static str,
-    /// Workload name (empty while running — the spec travels with the
-    /// checked-out session).
+    /// `"single"` or `"fabric"` (empty while running).
+    pub kind: String,
+    /// Workload name, or the fabric core list (empty while running — the
+    /// spec travels with the checked-out session).
     pub workload: String,
-    /// ISA name (empty while running).
+    /// ISA name, or `"mixed"` for a fabric (empty while running).
     pub isa: String,
     /// Instructions executed so far (0 while running).
     pub instructions: u64,
@@ -313,15 +428,17 @@ impl SessionTable {
                 Slot::Idle { session, last_used } => SessionInfo {
                     name: name.clone(),
                     state: "idle",
-                    workload: session.spec.workload.name().to_string(),
-                    isa: session.spec.isa.name().to_string(),
-                    instructions: session.sim.stats().instructions,
+                    kind: session.kind().to_string(),
+                    workload: session.workload_desc(),
+                    isa: session.isa_desc(),
+                    instructions: session.instructions(),
                     idle_secs: now.duration_since(*last_used).as_secs_f64(),
                     running_secs: 0.0,
                 },
                 Slot::Running { since } => SessionInfo {
                     name: name.clone(),
                     state: "running",
+                    kind: String::new(),
                     workload: String::new(),
                     isa: String::new(),
                     instructions: 0,
@@ -422,6 +539,28 @@ mod tests {
         assert_eq!((rows[0].name.as_str(), rows[0].state), ("a", "idle"));
         assert_eq!((rows[1].name.as_str(), rows[1].state), ("b", "running"));
         assert_eq!(rows[0].workload, "dct");
+        assert_eq!(rows[0].kind, "single");
         table.checkin(held);
+    }
+
+    #[test]
+    fn fabric_sessions_create_and_describe_themselves() {
+        let spec = FabricSpec {
+            cores: "dct:risc, dct:vliw4".to_string(),
+            quantum: 10_000,
+            host_threads: 2,
+        };
+        let session = Session::create_fabric("fab", spec).unwrap();
+        assert_eq!(session.kind(), "fabric");
+        assert_eq!(session.isa_desc(), "mixed");
+        assert!(session.workload_desc().contains("dct:vliw4"));
+        assert_eq!(session.instructions(), 0);
+        assert!(!session.halted());
+
+        let bad = Session::create_fabric(
+            "bad",
+            FabricSpec { cores: "dct:nope".to_string(), quantum: 1, host_threads: 1 },
+        );
+        assert!(bad.is_err());
     }
 }

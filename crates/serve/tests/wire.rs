@@ -384,6 +384,118 @@ fn session_table_capacity_evicts_lru_idle() {
 }
 
 #[test]
+fn fabric_sessions_round_trip_over_the_wire() {
+    let (addr, handle, thread) = start_daemon(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+    client.handshake().unwrap();
+
+    let created = client
+        .create_fabric("fab", "dct:risc, dct:vliw4", Some(10_000), None)
+        .unwrap();
+    assert_eq!(created.get("kind").unwrap().as_str(), Some("fabric"));
+    assert_eq!(
+        created.get("proto_version").unwrap().as_u64(),
+        Some(kahrisma_serve::proto::PROTO_VERSION)
+    );
+
+    let run = client.run("fab", None, false, false).unwrap();
+    assert_eq!(run.get("outcome").unwrap().as_str(), Some("halted"));
+    assert_eq!(run.get("cores").unwrap().as_u64(), Some(2));
+
+    // Stats carry the unified schema shape plus a per-core breakdown.
+    let stats = client.session_verb("stats", "fab").unwrap();
+    assert_eq!(stats.get("schema_version").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("kind").unwrap().as_str(), Some("fabric"));
+    assert_eq!(stats.get("cores").unwrap().as_u64(), Some(2));
+    assert_eq!(stats.get("halted").unwrap().as_bool(), Some(true));
+    let per_core = stats.get("core_stats").unwrap().as_arr().unwrap();
+    assert_eq!(per_core.len(), 2);
+    let want_exit = u64::from(Workload::Dct.expected_exit());
+    for core in per_core {
+        assert_eq!(core.get("halted").unwrap().as_bool(), Some(true), "{core:?}");
+        assert_eq!(core.get("exit_code").unwrap().as_u64(), Some(want_exit));
+        assert!(core.get("instructions").unwrap().as_u64().unwrap() > 0);
+    }
+    let sum: u64 = per_core
+        .iter()
+        .map(|c| c.get("instructions").unwrap().as_u64().unwrap())
+        .sum();
+    assert_eq!(stats.get("instructions").unwrap().as_u64(), Some(sum));
+
+    // The metrics verb serves the fabric registry.
+    let metrics = client.session_verb("metrics", "fab").unwrap();
+    assert!(metrics.get("metrics").unwrap().get("counters").is_some());
+
+    // Snapshot is a single-core-only verb.
+    match client.session_verb("snapshot", "fab").unwrap_err() {
+        ClientError::Server { code, .. } => assert_eq!(code, "unsupported"),
+        other => panic!("expected unsupported, got {other}"),
+    }
+
+    // Reset clears progress; a rerun over the warm caches is bit-identical.
+    client.session_verb("reset", "fab").unwrap();
+    let cleared = client.session_verb("stats", "fab").unwrap();
+    assert_eq!(cleared.get("instructions").unwrap().as_u64(), Some(0));
+    let rerun = client.run("fab", None, false, false).unwrap();
+    assert_eq!(rerun.get("outcome").unwrap().as_str(), Some("halted"));
+    let stats2 = client.session_verb("stats", "fab").unwrap();
+    assert_eq!(
+        stats2.get("instructions").unwrap().as_u64(),
+        stats.get("instructions").unwrap().as_u64()
+    );
+    client.session_verb("delete", "fab").unwrap();
+    stop(handle, thread);
+}
+
+#[test]
+fn ping_advertises_the_protocol_version() {
+    let (addr, handle, thread) = start_daemon(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+    let pong = client
+        .request(vec![("cmd".to_string(), "ping".into())])
+        .unwrap();
+    assert_eq!(
+        pong.get("proto_version").unwrap().as_u64(),
+        Some(kahrisma_serve::proto::PROTO_VERSION)
+    );
+    client.handshake().unwrap();
+    stop(handle, thread);
+}
+
+#[test]
+fn handshake_refuses_a_version_mismatched_server() {
+    // A mock daemon that speaks a future protocol version: one accept, one
+    // ping reply, done.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let mock = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let id = parse(line.trim()).unwrap().get("id").unwrap().as_u64().unwrap();
+        let reply =
+            format!("{{\"id\":{id},\"ok\":true,\"pong\":true,\"proto_version\":999}}\n");
+        writer.write_all(reply.as_bytes()).unwrap();
+        writer.flush().unwrap();
+    });
+    let mut client = Client::connect(&addr).unwrap();
+    let err = client.handshake().unwrap_err();
+    let message = err.to_string();
+    assert!(message.contains("protocol version mismatch"), "{message}");
+    assert!(message.contains("v999"), "{message}");
+    match err {
+        ClientError::VersionMismatch { server, client } => {
+            assert_eq!(server, Some(999));
+            assert_eq!(client, kahrisma_serve::proto::PROTO_VERSION);
+        }
+        other => panic!("expected version mismatch, got {other}"),
+    }
+    mock.join().expect("mock server");
+}
+
+#[test]
 fn shutdown_drains_and_stops_the_daemon() {
     let (addr, handle, thread) = start_daemon(ServerConfig::default());
     let mut client = Client::connect(&addr).unwrap();

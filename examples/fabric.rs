@@ -1,0 +1,38 @@
+//! Multi-core fabric quickstart: run two different workloads on two
+//! differently configured cores, synchronized at deterministic quantum
+//! barriers, and print the aggregate result.
+//!
+//! ```text
+//! cargo run --release --example fabric
+//! ```
+
+use kahrisma::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    // A heterogeneous fabric: a RISC core running the DCT next to a VLIW-4
+    // core running the FFT, the latter with the AIE cycle model attached.
+    let cores = vec![CoreSpec::parse("dct:risc")?, CoreSpec::parse("fft:vliw4:aie")?];
+    let config = FabricConfig { quantum: 10_000, host_threads: 2, ..FabricConfig::default() };
+    let mut fabric = Fabric::new(cores, config)?;
+
+    let outcome = fabric.run_for(500_000_000)?;
+    assert_eq!(outcome, FabricOutcome::AllHalted);
+
+    let stats = fabric.stats();
+    for (index, core) in stats.cores.iter().enumerate() {
+        println!(
+            "core{index} {:<14} {:>9} instructions, exit {:?}",
+            core.name, core.stats.instructions, core.exit_code
+        );
+    }
+    println!(
+        "fabric: {} quanta, {} instructions aggregate",
+        stats.quanta, stats.aggregate.instructions
+    );
+
+    // The same run expressed as the unified stats document.
+    let mut report = StatsReport::new();
+    stats.report_into(&mut report);
+    println!("{}", report.to_json());
+    Ok(())
+}

@@ -7,8 +7,8 @@
 //!   unported DOE approximation,
 //! * cycle counts are deterministic.
 
+use kahrisma::core::{CacheConfig, CycleStats};
 use kahrisma::prelude::*;
-use kahrisma_core::{CacheConfig, CycleStats};
 
 fn cycles(w: Workload, isa: IsaKind, kind: CycleModelKind) -> CycleStats {
     let exe = w.build(isa).expect("build");

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use kahrisma::adl::{AluOp, Field, FieldKind};
-use kahrisma::core::{AccessKind, CacheConfig, Memory, MemoryHierarchy};
+use kahrisma::core::{AccessKind, CacheConfig, Memory};
 use kahrisma::elf::{Object, SectionId, SymKind, Symbol};
 use kahrisma::prelude::*;
 
