@@ -12,54 +12,119 @@
 //! Flags:
 //!
 //! * `--json` — additionally measure the Dct/RISC hot-loop ablation
-//!   (no-cache, cache, cache + prediction, arena + superblocks) and write it
-//!   to `BENCH_hotloop.json`.
+//!   (no-cache, cache, cache + prediction, arena + superblocks, IR tier) and
+//!   the per-workload interp-vs-IR tier comparison, writing both to
+//!   `BENCH_hotloop.json`.
 //! * `--baseline-cache` — use the per-entry decode-cache path (no superblock
 //!   batching) for the headline rows, i.e. the paper's original design.
 
 use std::io::Write as _;
 
 use kahrisma_bench::{Workload, build, measure_best_of};
-use kahrisma_core::{CycleModelKind, SimConfig};
+use kahrisma_core::{CycleModelKind, SimConfig, TierMode};
 use kahrisma_isa::IsaKind;
 
 /// The hot-loop ablation ladder: each rung enables one more §V-A / tentpole
-/// mechanism. `superblocks` is only honoured when the cache is on.
-fn ladder() -> [(&'static str, SimConfig); 4] {
-    let base = SimConfig { superblocks: false, ..SimConfig::default() };
+/// mechanism. `superblocks` is only honoured when the cache is on; the
+/// interpreter rungs pin `TierMode::Interp` so each rung isolates exactly
+/// one mechanism, and the final rung is the full default (IR tier).
+fn ladder() -> [(&'static str, SimConfig); 5] {
+    let base =
+        SimConfig { superblocks: false, tier: TierMode::Interp, ..SimConfig::default() };
     [
         (
             "no-cache",
             SimConfig { decode_cache: false, prediction: false, ..base.clone() },
         ),
         ("cache", SimConfig { prediction: false, ..base.clone() }),
-        ("cache+prediction", base),
-        ("arena+superblock", SimConfig::default()),
+        ("cache+prediction", base.clone()),
+        ("arena+superblock", SimConfig { superblocks: true, ..base }),
+        ("ir-tier", SimConfig::default()),
     ]
+}
+
+/// The per-workload ISA assignment used across the bench suite (matches
+/// `tests/hotloop.rs`).
+fn workload_isa(workload: Workload) -> IsaKind {
+    match workload {
+        Workload::Dct | Workload::Quicksort => IsaKind::Risc,
+        Workload::Fft => IsaKind::Vliw2,
+        Workload::Aes => IsaKind::Vliw4,
+        Workload::Djpeg => IsaKind::Vliw6,
+        Workload::Cjpeg => IsaKind::Vliw8,
+        // `Workload` is `#[non_exhaustive]`; future additions default to
+        // the paper's baseline ISA.
+        _ => IsaKind::Risc,
+    }
 }
 
 fn emit_json(repeats: u32) -> std::io::Result<()> {
     let exe = build(Workload::Dct, IsaKind::Risc);
     let mut rows = Vec::new();
+    // The dct run is sub-millisecond; best-of needs extra repeats for a
+    // stable ladder.
+    let ladder_reps = repeats.max(9);
     for (name, config) in ladder() {
-        let m = measure_best_of(&exe, &config, repeats);
+        let m = measure_best_of(&exe, &config, ladder_reps);
         assert_eq!(m.exit_code, Workload::Dct.expected_exit(), "self-check failed");
         println!("  [json] {name:<18} {:>9.3} MIPS", m.mips());
         rows.push(format!(
             "    {{\"config\": \"{name}\", \"mips\": {:.4}, \"ns_per_instruction\": {:.2}, \
-             \"instructions\": {}, \"cache_hit_ratio\": {:.6}}}",
+             \"instructions\": {}, \"cache_hit_ratio\": {:.6}, \"ir_ratio\": {:.6}}}",
             m.mips(),
             m.ns_per_instruction(),
             m.stats.instructions,
             m.stats.cache_hit_ratio(),
+            m.stats.ir_ratio(),
+        ));
+    }
+    // Interp-vs-IR across every workload/ISA pair: the tier must never
+    // change results, only wall-clock.
+    let interp = SimConfig { tier: TierMode::Interp, ..SimConfig::default() };
+    let mut tier_rows = Vec::new();
+    for workload in Workload::ALL {
+        let isa = workload_isa(workload);
+        let exe = build(workload, isa);
+        // Short workloads (sub-millisecond runs) need more repeats to get
+        // a stable best-of; the long ones are stable at the default.
+        let reps = match workload {
+            Workload::Cjpeg | Workload::Djpeg | Workload::Aes => repeats,
+            _ => repeats.max(9),
+        };
+        let mi = measure_best_of(&exe, &interp, reps);
+        let mr = measure_best_of(&exe, &SimConfig::default(), reps);
+        assert_eq!(mi.exit_code, workload.expected_exit(), "self-check failed");
+        assert_eq!(mr.exit_code, mi.exit_code, "tier changed the result");
+        assert_eq!(mr.stats.instructions, mi.stats.instructions, "tier changed the result");
+        let speedup = mr.mips() / mi.mips().max(f64::MIN_POSITIVE);
+        println!(
+            "  [json] {:<10} {:<6} interp {:>9.3} MIPS  ir {:>9.3} MIPS  ({speedup:.2}x, \
+             {:.1}% via IR)",
+            workload.name(),
+            isa.name(),
+            mi.mips(),
+            mr.mips(),
+            mr.stats.ir_ratio() * 100.0,
+        );
+        tier_rows.push(format!(
+            "    {{\"workload\": \"{}\", \"isa\": \"{}\", \"interp_mips\": {:.4}, \
+             \"ir_mips\": {:.4}, \"speedup\": {speedup:.4}, \"ir_ratio\": {:.6}, \
+             \"ir_instructions\": {}}}",
+            workload.name(),
+            isa.name(),
+            mi.mips(),
+            mr.mips(),
+            mr.stats.ir_ratio(),
+            mr.stats.ir_instructions,
         ));
     }
     let json = format!(
         "{{\n  \"schema_version\": {},\n  \"workload\": \"dct\",\n  \"isa\": \"risc\",\n  \
          \"repeats\": {repeats},\n  \"unit\": \"MIPS (best of {repeats})\",\n  \
-         \"configs\": [\n{}\n  ]\n}}\n",
+         \"configs\": [\n{}\n  ],\n  \"tiers\": [\n{}\n  ]\n}}\n",
         kahrisma_core::STATS_SCHEMA_VERSION,
-        rows.join(",\n")
+        rows.join(",\n"),
+        tier_rows.join(",\n")
     );
     let mut f = std::fs::File::create("BENCH_hotloop.json")?;
     f.write_all(json.as_bytes())?;
@@ -78,13 +143,17 @@ fn main() {
     // for the first three rows so the numbers are comparable to §VII-A; the
     // final row is this implementation's batched hot loop (skipped under
     // `--baseline-cache`).
-    let per_entry = SimConfig { superblocks: false, ..SimConfig::default() };
+    let per_entry =
+        SimConfig { superblocks: false, tier: TierMode::Interp, ..SimConfig::default() };
     let no_cache =
         SimConfig { decode_cache: false, prediction: false, ..per_entry.clone() };
     let cache_only = SimConfig { prediction: false, ..per_entry.clone() };
     let pred = per_entry.clone();
-    let full =
-        if baseline_cache { per_entry.clone() } else { SimConfig::default() };
+    let full = if baseline_cache {
+        per_entry.clone()
+    } else {
+        SimConfig { tier: TierMode::Interp, ..SimConfig::default() }
+    };
 
     println!("simulator performance (cjpeg on RISC, best of {repeats})");
     let m0 = measure_best_of(&exe, &no_cache, repeats);
@@ -108,6 +177,13 @@ fn main() {
             m3.mips(),
             m3.stats.superblocks_built,
             m3.stats.instructions as f64 / m3.stats.superblock_batches.max(1) as f64
+        );
+        let m4 = measure_best_of(&exe, &SimConfig::default(), repeats);
+        println!(
+            "  with IR-compiled tier:       {:>8.3} MIPS   ({} promotions, {:.1}% via IR)",
+            m4.mips(),
+            m4.stats.tier_promotions,
+            m4.stats.ir_ratio() * 100.0
         );
     }
     println!(

@@ -4,9 +4,34 @@
 //! to the per-entry baseline (exit codes, instruction counts, cycle-model
 //! statistics) across every shipped workload.
 
-use kahrisma_bench::{Workload, build, measure};
-use kahrisma_core::{CycleModelKind, SimConfig};
+use kahrisma_bench::{BUDGET, Workload, build, measure};
+use kahrisma_core::{CycleModelKind, RunOutcome, SimConfig, Simulator, TierMode};
 use kahrisma_isa::IsaKind;
+use kahrisma_rtl::{RtlConfig, RtlPipeline};
+
+/// The per-workload ISA assignment used across this suite: each workload on
+/// a different ISA keeps runtime tractable while covering RISC and several
+/// VLIW widths.
+fn isa_for(workload: Workload) -> IsaKind {
+    match workload {
+        Workload::Dct | Workload::Quicksort => IsaKind::Risc,
+        Workload::Aes => IsaKind::Vliw4,
+        Workload::Fft => IsaKind::Vliw2,
+        Workload::Cjpeg => IsaKind::Vliw8,
+        Workload::Djpeg => IsaKind::Vliw6,
+        _ => IsaKind::Risc,
+    }
+}
+
+/// The per-workload cycle-model assignment used across this suite.
+fn model_for(workload: Workload) -> Option<CycleModelKind> {
+    match workload {
+        Workload::Dct => Some(CycleModelKind::Doe),
+        Workload::Aes => Some(CycleModelKind::Aie),
+        Workload::Fft => Some(CycleModelKind::Ilp),
+        _ => None,
+    }
+}
 
 /// §VII-A reports 99.991 % of detect & decode operations avoided and a
 /// nearly-100 % cache hit rate on real workloads; the Dct workload must
@@ -53,24 +78,8 @@ fn dct_decode_cache_hit_rate_is_nearly_100_percent() {
 #[test]
 fn workloads_agree_between_superblock_and_baseline_paths() {
     for workload in Workload::ALL {
-        // Each workload on a different ISA keeps runtime tractable while
-        // covering RISC and several VLIW widths.
-        let isa = match workload {
-            Workload::Dct => IsaKind::Risc,
-            Workload::Aes => IsaKind::Vliw4,
-            Workload::Fft => IsaKind::Vliw2,
-            Workload::Quicksort => IsaKind::Risc,
-            Workload::Cjpeg => IsaKind::Vliw8,
-            Workload::Djpeg => IsaKind::Vliw6,
-            _ => IsaKind::Risc,
-        };
-        let exe = build(workload, isa);
-        let model = match workload {
-            Workload::Dct => Some(CycleModelKind::Doe),
-            Workload::Aes => Some(CycleModelKind::Aie),
-            Workload::Fft => Some(CycleModelKind::Ilp),
-            _ => None,
-        };
+        let exe = build(workload, isa_for(workload));
+        let model = model_for(workload);
         let config = |superblocks: bool| SimConfig {
             superblocks,
             cycle_model: model,
@@ -91,4 +100,81 @@ fn workloads_agree_between_superblock_and_baseline_paths() {
         assert_eq!(new.stats.simops, base.stats.simops, "{name}");
         assert_eq!(new.cycles, base.cycles, "{name} cycle stats diverge");
     }
+}
+
+/// The IR-compiled tier must be observationally identical to the
+/// interpreter across every workload/ISA pair — exit codes, every
+/// functional counter, and cycle-model statistics. Where a cycle model is
+/// attached (ILP/AIE/DOE) the tier disables itself (the compiled body
+/// skips the per-instruction hooks the models need), so parity is exact by
+/// construction; where no model is attached the tier must actually engage
+/// and still change nothing but wall-clock.
+#[test]
+fn workloads_agree_between_interp_and_ir_tiers() {
+    for workload in Workload::ALL {
+        let exe = build(workload, isa_for(workload));
+        let model = model_for(workload);
+        // A low threshold so even short workloads promote early and spend
+        // most of their run on the compiled tier.
+        let config = |tier: TierMode| SimConfig {
+            tier,
+            tier_threshold: 4,
+            cycle_model: model,
+            ..SimConfig::default()
+        };
+        let ir = measure(&exe, config(TierMode::Ir));
+        let interp = measure(&exe, config(TierMode::Interp));
+        let name = workload.name();
+        assert_eq!(ir.exit_code, workload.expected_exit(), "{name}");
+        assert_eq!(ir.exit_code, interp.exit_code, "{name}");
+        assert_eq!(ir.stats.instructions, interp.stats.instructions, "{name}");
+        assert_eq!(ir.stats.operations, interp.stats.operations, "{name}");
+        assert_eq!(ir.stats.nops, interp.stats.nops, "{name}");
+        assert_eq!(ir.stats.mem_reads, interp.stats.mem_reads, "{name}");
+        assert_eq!(ir.stats.mem_writes, interp.stats.mem_writes, "{name}");
+        assert_eq!(ir.stats.taken_branches, interp.stats.taken_branches, "{name}");
+        assert_eq!(ir.stats.isa_switches, interp.stats.isa_switches, "{name}");
+        assert_eq!(ir.stats.simops, interp.stats.simops, "{name}");
+        assert_eq!(ir.cycles, interp.cycles, "{name} cycle stats diverge");
+        // The interpreter tier never promotes or runs IR.
+        assert_eq!(interp.stats.tier_promotions, 0, "{name}");
+        assert_eq!(interp.stats.ir_instructions, 0, "{name}");
+        if model.is_some() {
+            // An attached model bars the compiled tier outright.
+            assert_eq!(ir.stats.ir_instructions, 0, "{name}: tier ran under a model");
+        } else {
+            assert!(ir.stats.tier_promotions > 0, "{name}: tier never engaged");
+            assert!(ir.stats.ir_instructions > 0, "{name}: tier never executed");
+            let ratio = ir.stats.ir_ratio();
+            assert!(ratio > 0.0 && ratio <= 1.0, "{name}: ir_ratio {ratio}");
+        }
+    }
+}
+
+/// The cycle-accurate RTL reference pipeline drives per-instruction hooks,
+/// so the compiled tier must disable itself under it: both tier modes
+/// produce identical architectural results and identical cycle counts.
+#[test]
+fn rtl_pipeline_agrees_between_tiers() {
+    let exe = build(Workload::Dct, IsaKind::Risc);
+    let run = |tier: TierMode| {
+        let config = SimConfig { tier, tier_threshold: 4, ..SimConfig::default() };
+        let mut sim = Simulator::new(&exe, config).expect("load executable");
+        sim.set_cycle_model(Box::new(RtlPipeline::new(RtlConfig::default())));
+        let outcome = sim.run(BUDGET).expect("simulation error");
+        let RunOutcome::Halted { exit_code } = outcome else {
+            panic!("instruction budget exhausted");
+        };
+        (exit_code, *sim.stats(), sim.cycle_stats().expect("pipeline attached"))
+    };
+    let (ir_exit, ir_stats, ir_cycles) = run(TierMode::Ir);
+    let (interp_exit, interp_stats, interp_cycles) = run(TierMode::Interp);
+    assert_eq!(ir_exit, Workload::Dct.expected_exit());
+    assert_eq!(ir_exit, interp_exit);
+    assert_eq!(ir_stats.instructions, interp_stats.instructions);
+    assert_eq!(ir_stats.operations, interp_stats.operations);
+    assert_eq!(ir_cycles, interp_cycles, "RTL cycle counts diverge across tiers");
+    // The RTL pipeline bars the compiled tier just like the approximate
+    // models do.
+    assert_eq!(ir_stats.ir_instructions, 0);
 }

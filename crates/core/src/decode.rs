@@ -36,10 +36,15 @@ use kahrisma_isa::adl::{AluOp, Behavior, CondOp, FuClass, IsaId, MemWidth, Table
 
 use crate::cycles::OpEvent;
 use crate::error::SimError;
+use crate::ir::IrBlock;
 use crate::mem::Memory;
 
 /// No-prediction / no-index sentinel.
 pub(crate) const NO_IDX: u32 = u32::MAX;
+
+/// Tier state: the superblock was considered for the compiled tier and
+/// permanently rejected (hazardous bundle or unsupported body slot).
+pub(crate) const IR_BARRED: u32 = u32::MAX - 1;
 
 /// Upper bound on superblock length (straight-line runs longer than this
 /// are split; keeps run construction and budget accounting bounded).
@@ -369,6 +374,21 @@ pub struct DecodeCache {
     runs: Vec<(u32, u32)>,
     /// Instruction indices of all superblocks, flattened.
     run_members: Vec<u32>,
+    /// Per-superblock dispatch count since the last tier invalidation
+    /// (parallel to `runs`); drives promotion to the compiled tier.
+    run_heat: Vec<u32>,
+    /// Per-superblock tier state (parallel to `runs`): `NO_IDX` for the
+    /// interpreter tier, [`IR_BARRED`] for permanently rejected blocks,
+    /// otherwise an index into `ir_blocks`.
+    run_ir: Vec<u32>,
+    /// Compiled blocks; invalidation tombstones entries to `None`.
+    ir_blocks: Vec<Option<IrBlock>>,
+    /// Text ranges `(lo, hi, sb)` of the live compiled blocks, for store
+    /// and re-decode invalidation.
+    ir_index: Vec<(u32, u32, u32)>,
+    /// Head addresses of blocks invalidated since the simulator last
+    /// collected them (for statistics and tier events).
+    pending_inval: Vec<u32>,
 }
 
 impl DecodeCache {
@@ -423,8 +443,16 @@ impl DecodeCache {
     ) -> Result<u32, SimError> {
         let instr = detect_and_decode_into(tables, mem, addr, isa, &mut self.slots)?;
         let idx = self.instrs.len() as u32;
+        let span = u32::from(instr.width) * 4;
         self.map.insert((addr, isa.value()), idx);
         self.instrs.push(instr);
+        // A re-decode of an address already covered by a compiled block
+        // (mixed-ISA re-execution of shared text) conservatively demotes
+        // the overlapping blocks to the interpreter tier; they re-promote
+        // from the unchanged decode structures once hot again.
+        if !self.ir_index.is_empty() {
+            self.invalidate_ir_overlapping(addr, addr.wrapping_add(span));
+        }
         Ok(idx)
     }
 
@@ -483,6 +511,8 @@ impl DecodeCache {
         let start = self.run_members.len() as u32;
         self.run_members.extend_from_slice(members);
         self.runs.push((start, members.len() as u32));
+        self.run_heat.push(0);
+        self.run_ir.push(NO_IDX);
         self.instrs[head as usize].sb = sb;
         sb
     }
@@ -492,6 +522,95 @@ impl DecodeCache {
     pub(crate) fn run_members(&self, sb: u32) -> &[u32] {
         let (start, len) = self.runs[sb as usize];
         &self.run_members[start as usize..(start + len) as usize]
+    }
+
+    /// Bumps and returns superblock `sb`'s dispatch heat.
+    pub(crate) fn heat_bump(&mut self, sb: u32) -> u32 {
+        let h = &mut self.run_heat[sb as usize];
+        *h = h.saturating_add(1);
+        *h
+    }
+
+    /// Tier state of superblock `sb`: `NO_IDX` (interpreter), [`IR_BARRED`]
+    /// (rejected), or a compiled-block id.
+    #[must_use]
+    pub(crate) fn ir_state(&self, sb: u32) -> u32 {
+        self.run_ir[sb as usize]
+    }
+
+    /// The live compiled block of superblock `sb`, if any.
+    #[must_use]
+    pub(crate) fn ir_block(&self, sb: u32) -> Option<&IrBlock> {
+        let id = self.run_ir[sb as usize];
+        if id < IR_BARRED { self.ir_blocks[id as usize].as_ref() } else { None }
+    }
+
+    /// Installs `block` as superblock `sb`'s compiled tier.
+    pub(crate) fn install_ir(&mut self, sb: u32, block: IrBlock) {
+        debug_assert_eq!(self.run_ir[sb as usize], NO_IDX);
+        let id = self.ir_blocks.len() as u32;
+        self.ir_index.push((block.lo, block.hi, sb));
+        self.ir_blocks.push(Some(block));
+        self.run_ir[sb as usize] = id;
+    }
+
+    /// Permanently bars superblock `sb` from the compiled tier.
+    pub(crate) fn bar_ir(&mut self, sb: u32) {
+        self.run_ir[sb as usize] = IR_BARRED;
+    }
+
+    /// Number of live compiled blocks.
+    #[must_use]
+    pub fn ir_block_count(&self) -> usize {
+        self.ir_index.len()
+    }
+
+    /// The merged text range `[lo, hi)` covered by live compiled blocks,
+    /// or `None` when the tier is empty (the simulator derives the store
+    /// watch window from this).
+    #[must_use]
+    pub(crate) fn ir_bounds(&self) -> Option<(u32, u32)> {
+        self.ir_index
+            .iter()
+            .fold(None, |acc, &(lo, hi, _)| match acc {
+                None => Some((lo, hi)),
+                Some((alo, ahi)) => Some((alo.min(lo), ahi.max(hi))),
+            })
+    }
+
+    /// Demotes every compiled block intersecting `[lo, hi)` back to the
+    /// interpreter tier, resetting its heat so it must re-earn promotion.
+    /// Invalidated head addresses are queued for
+    /// [`DecodeCache::take_ir_invalidations`].
+    pub(crate) fn invalidate_ir_overlapping(&mut self, lo: u32, hi: u32) {
+        let mut i = 0;
+        while i < self.ir_index.len() {
+            let (blo, bhi, sb) = self.ir_index[i];
+            if lo < bhi && blo < hi {
+                let id = self.run_ir[sb as usize];
+                debug_assert!(id < IR_BARRED);
+                self.ir_blocks[id as usize] = None;
+                self.run_ir[sb as usize] = NO_IDX;
+                self.run_heat[sb as usize] = 0;
+                let head = self.run_members(sb)[0];
+                let head_addr = self.instrs[head as usize].addr;
+                self.pending_inval.push(head_addr);
+                self.ir_index.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Whether invalidations await collection.
+    #[must_use]
+    pub(crate) fn has_pending_ir_invalidations(&self) -> bool {
+        !self.pending_inval.is_empty()
+    }
+
+    /// Takes the head addresses of blocks invalidated since the last call.
+    pub(crate) fn take_ir_invalidations(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.pending_inval)
     }
 }
 

@@ -292,6 +292,7 @@ fn commit(state: &mut CpuState, pending: &mut Pending, next_seq_ip: u32) -> Resu
         state.write_reg(r, v);
     }
     for (addr, value, width) in pending.stores.drain(..) {
+        state.note_code_write(addr);
         match width {
             MemWidth::Byte => state.mem.write_byte(addr, value as u8),
             MemWidth::Half => state.mem.write_half(addr, value as u16),
@@ -364,18 +365,21 @@ pub(crate) fn execute_instr_fast(
         }
         ExecKind::StoreByte => {
             let addr = state.reg(slot.rs1).wrapping_add(slot.imm);
+            state.note_code_write(addr);
             state.mem.write_byte(addr, state.reg(slot.rs2) as u8);
             stats.operations += 1;
             stats.mem_writes += 1;
         }
         ExecKind::StoreHalf => {
             let addr = state.reg(slot.rs1).wrapping_add(slot.imm);
+            state.note_code_write(addr);
             state.mem.write_half(addr, state.reg(slot.rs2) as u16);
             stats.operations += 1;
             stats.mem_writes += 1;
         }
         ExecKind::StoreWord => {
             let addr = state.reg(slot.rs1).wrapping_add(slot.imm);
+            state.note_code_write(addr);
             state.mem.write_word(addr, state.reg(slot.rs2));
             stats.operations += 1;
             stats.mem_writes += 1;

@@ -1,0 +1,366 @@
+//! The IR-threaded compiled execution tier.
+//!
+//! When a superblock turns hot (see `sim.rs` tier management), its decoded
+//! body is lowered into a flat vector of fixed-size [`MicroOp`]s — register
+//! indices, immediates, and a pre-bound monomorphic handler resolved once
+//! at promotion time — executed by a tight threaded-dispatch loop
+//! ([`IrBlock::run_body`]). Compared to the superblock interpreter this
+//! skips the per-instruction decode-structure fetch, `ExecKind` match,
+//! per-member IP bookkeeping, and per-member statistics updates (the
+//! block's statistic deltas are precomputed at lowering time and applied
+//! once per execution).
+//!
+//! Only the *body* of a run — every member except the last — is lowered.
+//! Body members are straight-line by construction (`ends_run` instructions
+//! can only terminate a run), so the lowered vocabulary is exactly ALU,
+//! load, store, and `lui` operations, all of which execute infallibly.
+//! The tail member (branch, jump, `switchtarget`, `simop`, `halt`, or the
+//! plain fall-through at `MAX_RUN_LEN`) keeps executing through the
+//! generic paths in `exec.rs`, so control transfer, ISA switches, and
+//! error semantics stay bit-exact with the interpreter tier.
+//!
+//! Lowering is conservative: blocks whose VLIW bundles have intra-bundle
+//! read-after-write or store-then-load hazards are barred from the tier
+//! (the flattened sequential execution would diverge from the paper's
+//! §V-B parallel read-before-write semantics), as is anything outside the
+//! specialized vocabulary.
+
+use crate::decode::{DecodeCache, DecodedSlot, ExecKind};
+use crate::state::CpuState;
+
+/// One lowered micro-operation: a pre-bound handler plus its pre-resolved
+/// operands. `fun` carries the decode-time ALU specialization for the
+/// arithmetic handlers and is unused by the memory handlers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MicroOp {
+    run: fn(&mut CpuState, &MicroOp),
+    fun: fn(u32, u32) -> u32,
+    imm: u32,
+    rd: u8,
+    rs1: u8,
+    rs2: u8,
+}
+
+fn mo_alu(state: &mut CpuState, mo: &MicroOp) {
+    let v = (mo.fun)(state.reg(mo.rs1), state.reg(mo.rs2));
+    state.write_reg(mo.rd, v);
+}
+
+fn mo_alu_imm(state: &mut CpuState, mo: &MicroOp) {
+    let v = (mo.fun)(state.reg(mo.rs1), mo.imm);
+    state.write_reg(mo.rd, v);
+}
+
+fn mo_lui(state: &mut CpuState, mo: &MicroOp) {
+    state.write_reg(mo.rd, mo.imm << 13);
+}
+
+fn mo_load_byte_signed(state: &mut CpuState, mo: &MicroOp) {
+    let addr = state.reg(mo.rs1).wrapping_add(mo.imm);
+    let v = state.mem.read_byte(addr) as i8 as i32 as u32;
+    state.write_reg(mo.rd, v);
+}
+
+fn mo_load_byte_unsigned(state: &mut CpuState, mo: &MicroOp) {
+    let addr = state.reg(mo.rs1).wrapping_add(mo.imm);
+    let v = u32::from(state.mem.read_byte(addr));
+    state.write_reg(mo.rd, v);
+}
+
+fn mo_load_half_signed(state: &mut CpuState, mo: &MicroOp) {
+    let addr = state.reg(mo.rs1).wrapping_add(mo.imm);
+    let v = state.mem.read_half(addr) as i16 as i32 as u32;
+    state.write_reg(mo.rd, v);
+}
+
+fn mo_load_half_unsigned(state: &mut CpuState, mo: &MicroOp) {
+    let addr = state.reg(mo.rs1).wrapping_add(mo.imm);
+    let v = u32::from(state.mem.read_half(addr));
+    state.write_reg(mo.rd, v);
+}
+
+fn mo_load_word(state: &mut CpuState, mo: &MicroOp) {
+    let addr = state.reg(mo.rs1).wrapping_add(mo.imm);
+    let v = state.mem.read_word(addr);
+    state.write_reg(mo.rd, v);
+}
+
+fn mo_store_byte(state: &mut CpuState, mo: &MicroOp) {
+    let addr = state.reg(mo.rs1).wrapping_add(mo.imm);
+    state.note_code_write(addr);
+    state.mem.write_byte(addr, state.reg(mo.rs2) as u8);
+}
+
+fn mo_store_half(state: &mut CpuState, mo: &MicroOp) {
+    let addr = state.reg(mo.rs1).wrapping_add(mo.imm);
+    state.note_code_write(addr);
+    state.mem.write_half(addr, state.reg(mo.rs2) as u16);
+}
+
+fn mo_store_word(state: &mut CpuState, mo: &MicroOp) {
+    let addr = state.reg(mo.rs1).wrapping_add(mo.imm);
+    state.note_code_write(addr);
+    state.mem.write_word(addr, state.reg(mo.rs2));
+}
+
+/// A compiled superblock body plus the precomputed bookkeeping the
+/// simulator applies around one execution of it.
+#[derive(Debug)]
+pub(crate) struct IrBlock {
+    /// The lowered body, in execution order (`nop` slots elided).
+    ops: Vec<MicroOp>,
+    /// Addresses of every run member (body and tail) for the IP history.
+    pub(crate) addrs: Vec<u32>,
+    /// Decode-cache index of the tail member, executed generically.
+    pub(crate) tail: u32,
+    /// Number of body instructions (run length minus the tail).
+    pub(crate) body_instrs: u64,
+    /// Statistic deltas of one body execution (the body is branch-free and
+    /// infallible, so these are static).
+    pub(crate) d_ops: u64,
+    /// Elided `nop` slots per body execution.
+    pub(crate) d_nops: u64,
+    /// Memory reads per body execution.
+    pub(crate) d_reads: u64,
+    /// Memory writes per body execution.
+    pub(crate) d_writes: u64,
+    /// Text range `[lo, hi)` covered by the run, for store invalidation.
+    pub(crate) lo: u32,
+    pub(crate) hi: u32,
+}
+
+impl IrBlock {
+    /// Executes the body with threaded dispatch. Infallible by
+    /// construction; the caller applies the stat deltas and then executes
+    /// the tail through the generic paths.
+    #[inline]
+    pub(crate) fn run_body(&self, state: &mut CpuState) {
+        for op in &self.ops {
+            (op.run)(state, op);
+        }
+    }
+
+    /// Number of lowered micro-ops.
+    pub(crate) fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+/// Whether the slot reads from memory.
+fn is_load(kind: ExecKind) -> bool {
+    matches!(
+        kind,
+        ExecKind::LoadByteSigned
+            | ExecKind::LoadByteUnsigned
+            | ExecKind::LoadHalfSigned
+            | ExecKind::LoadHalfUnsigned
+            | ExecKind::LoadWord
+    )
+}
+
+/// Whether the slot writes to memory.
+fn is_store(kind: ExecKind) -> bool {
+    matches!(kind, ExecKind::StoreByte | ExecKind::StoreHalf | ExecKind::StoreWord)
+}
+
+/// Whether flattening this bundle to sequential micro-ops would violate
+/// the parallel read-before-write semantics: an earlier slot's register
+/// write feeding a later slot's read, or an earlier store potentially
+/// observed by a later load (addresses are unknown at lowering time, so
+/// any store-then-load pair is conservatively hazardous). Write-after-
+/// write and write-after-read stay order-preserving under flattening.
+fn bundle_has_hazard(slots: &[DecodedSlot]) -> bool {
+    for i in 0..slots.len() {
+        let a = &slots[i];
+        for b in &slots[i + 1..] {
+            if a.dst != 255 && a.dst != 0 && b.srcs[..usize::from(b.nsrcs)].contains(&a.dst) {
+                return true;
+            }
+            if is_store(a.exec) && is_load(b.exec) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Lowers one slot to a micro-op, or `None` if the slot is outside the
+/// compiled tier's vocabulary.
+fn lower_slot(slot: &DecodedSlot) -> Option<MicroOp> {
+    let run = match slot.exec {
+        ExecKind::Alu => mo_alu,
+        ExecKind::AluImm => mo_alu_imm,
+        ExecKind::Lui => mo_lui,
+        ExecKind::LoadByteSigned => mo_load_byte_signed,
+        ExecKind::LoadByteUnsigned => mo_load_byte_unsigned,
+        ExecKind::LoadHalfSigned => mo_load_half_signed,
+        ExecKind::LoadHalfUnsigned => mo_load_half_unsigned,
+        ExecKind::LoadWord => mo_load_word,
+        ExecKind::StoreByte => mo_store_byte,
+        ExecKind::StoreHalf => mo_store_half,
+        ExecKind::StoreWord => mo_store_word,
+        _ => return None,
+    };
+    Some(MicroOp {
+        run,
+        fun: slot.fun,
+        imm: slot.imm,
+        rd: slot.rd,
+        rs1: slot.rs1,
+        rs2: slot.rs2,
+    })
+}
+
+/// Lowers superblock `sb` into an [`IrBlock`], or `None` when the block
+/// must stay on the interpreter tier: bodies shorter than one instruction
+/// (nothing to compile), a body slot outside the specialized vocabulary,
+/// or a VLIW bundle with an intra-bundle hazard.
+pub(crate) fn lower(cache: &DecodeCache, sb: u32) -> Option<IrBlock> {
+    let members = cache.run_members(sb);
+    if members.len() < 2 {
+        return None;
+    }
+    let mut ops = Vec::new();
+    let mut addrs = Vec::with_capacity(members.len());
+    let (mut d_ops, mut d_nops, mut d_reads, mut d_writes) = (0u64, 0u64, 0u64, 0u64);
+    let mut lo = u32::MAX;
+    let mut hi = 0u32;
+    for (pos, &idx) in members.iter().enumerate() {
+        let (instr, slots) = cache.instr_and_slots(idx);
+        addrs.push(instr.addr);
+        lo = lo.min(instr.addr);
+        hi = hi.max(instr.addr.wrapping_add(instr.size()));
+        if pos + 1 == members.len() {
+            break; // the tail executes through the generic paths
+        }
+        if instr.width > 1 && bundle_has_hazard(slots) {
+            return None;
+        }
+        for slot in slots {
+            if slot.is_nop {
+                d_nops += 1;
+                continue;
+            }
+            ops.push(lower_slot(slot)?);
+            d_ops += 1;
+            if is_load(slot.exec) {
+                d_reads += 1;
+            } else if is_store(slot.exec) {
+                d_writes += 1;
+            }
+        }
+    }
+    Some(IrBlock {
+        ops,
+        addrs,
+        tail: *members.last().expect("non-empty run"),
+        body_instrs: (members.len() - 1) as u64,
+        d_ops,
+        d_nops,
+        d_reads,
+        d_writes,
+        lo,
+        hi,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::Memory;
+    use kahrisma_isa::adl::IsaId;
+    use kahrisma_isa::{isa_id, tables};
+
+    #[test]
+    fn micro_op_stays_compact() {
+        // Two code pointers + operands; the threaded loop streams these.
+        assert!(std::mem::size_of::<MicroOp>() <= 24, "{}", std::mem::size_of::<MicroOp>());
+    }
+
+    fn encode(isa: IsaId, name: &str, rd: u8, rs1: u8, rs2: u8, imm: u32) -> u32 {
+        let t = tables();
+        t.table(isa).unwrap().op_by_name(name).unwrap().1.encode(rd, rs1, rs2, imm)
+    }
+
+    fn cache_with_run(words: &[(u32, u32)], isa: IsaId, addrs: &[u32]) -> (DecodeCache, u32) {
+        let t = tables();
+        let mut mem = Memory::new();
+        for &(a, w) in words {
+            mem.write_word(a, w);
+        }
+        let mut cache = DecodeCache::new();
+        let members: Vec<u32> =
+            addrs.iter().map(|&a| cache.decode_insert(&t, &mem, a, isa).unwrap()).collect();
+        let sb = cache.install_run(members[0], &members);
+        (cache, sb)
+    }
+
+    #[test]
+    fn lowers_straight_line_risc_body_and_elides_nothing_it_must_keep() {
+        let words = [
+            (0x100, encode(isa_id::RISC, "addi", 3, 0, 0, 7)),
+            (0x104, encode(isa_id::RISC, "addi", 4, 3, 0, 1)),
+            (0x108, encode(isa_id::RISC, "jr", 0, 31, 0, 0)),
+        ];
+        let (cache, sb) = cache_with_run(&words, isa_id::RISC, &[0x100, 0x104, 0x108]);
+        let block = lower(&cache, sb).expect("lowered");
+        assert_eq!(block.body_instrs, 2);
+        assert_eq!(block.op_count(), 2);
+        assert_eq!(block.addrs, vec![0x100, 0x104, 0x108]);
+        assert_eq!(block.d_ops, 2);
+        assert_eq!((block.lo, block.hi), (0x100, 0x10C));
+        // Executing the body produces the architectural effect directly.
+        let mut state = CpuState::new(0x100, isa_id::RISC, 0x9000);
+        block.run_body(&mut state);
+        assert_eq!(state.reg(3), 7);
+        assert_eq!(state.reg(4), 8);
+    }
+
+    #[test]
+    fn elides_nop_slots_but_counts_them() {
+        let words = [
+            (0x200, encode(isa_id::VLIW2, "addi", 3, 0, 0, 5)),
+            (0x204, 0), // nop
+            (0x208, encode(isa_id::VLIW2, "jr", 0, 31, 0, 0)),
+            (0x20C, 0),
+        ];
+        let (cache, sb) = cache_with_run(&words, isa_id::VLIW2, &[0x200, 0x208]);
+        let block = lower(&cache, sb).expect("lowered");
+        assert_eq!(block.op_count(), 1, "nop slot must be elided");
+        assert_eq!(block.d_nops, 1);
+        assert_eq!(block.d_ops, 1);
+    }
+
+    #[test]
+    fn bars_intra_bundle_raw_hazard() {
+        // Slot 0 writes r3, slot 1 reads r3: under §V-B parallel semantics
+        // slot 1 sees the pre-bundle value, so flattening would diverge.
+        let words = [
+            (0x300, encode(isa_id::VLIW2, "addi", 3, 0, 0, 9)),
+            (0x304, encode(isa_id::VLIW2, "add", 4, 3, 0, 0)),
+            (0x308, encode(isa_id::VLIW2, "jr", 0, 31, 0, 0)),
+            (0x30C, 0),
+        ];
+        let (cache, sb) = cache_with_run(&words, isa_id::VLIW2, &[0x300, 0x308]);
+        assert!(lower(&cache, sb).is_none(), "RAW-hazard bundle must stay interpreted");
+    }
+
+    #[test]
+    fn bars_intra_bundle_store_then_load() {
+        let words = [
+            (0x400, encode(isa_id::VLIW2, "sw", 0, 29, 3, 0)),
+            (0x404, encode(isa_id::VLIW2, "lw", 4, 29, 0, 0)),
+            (0x408, encode(isa_id::VLIW2, "jr", 0, 31, 0, 0)),
+            (0x40C, 0),
+        ];
+        let (cache, sb) = cache_with_run(&words, isa_id::VLIW2, &[0x400, 0x408]);
+        assert!(lower(&cache, sb).is_none(), "store-then-load bundle must stay interpreted");
+    }
+
+    #[test]
+    fn bars_single_member_runs() {
+        let words = [(0x500, encode(isa_id::RISC, "jr", 0, 31, 0, 0))];
+        let (cache, sb) = cache_with_run(&words, isa_id::RISC, &[0x500]);
+        assert!(lower(&cache, sb).is_none(), "nothing to compile");
+    }
+}

@@ -49,6 +49,7 @@ pub mod observe;
 mod decode;
 mod error;
 mod exec;
+mod ir;
 mod libc_emu;
 mod mem;
 mod profile;
@@ -64,7 +65,7 @@ pub use mem::Memory;
 pub use observe::{Observer, OpIssue, SimEvent, VecObserver};
 pub use profile::{FunctionProfile, Profiler};
 pub use shared::{DEFAULT_SHARED_BASE, DEFAULT_SHARED_LEN, SharedMem, SharedPort};
-pub use sim::{RunOutcome, SimConfig, Simulator, Snapshot};
+pub use sim::{RunOutcome, SimConfig, Simulator, Snapshot, TierMode};
 pub use state::CpuState;
 pub use stats::{STATS_SCHEMA_VERSION, SimStats, StatValue, StatsReport, Throughput};
 pub use trace::{TraceRecord, TraceSink, VecTraceSink, WriteTraceSink};

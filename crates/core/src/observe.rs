@@ -101,6 +101,22 @@ pub enum SimEvent {
         /// Cycle-model time after the instruction (0 without a model).
         cycle: u64,
     },
+    /// A hot superblock was promoted to the IR-threaded compiled tier.
+    TierPromote {
+        /// Address of the run's head instruction.
+        head: u32,
+        /// Number of member instructions (body plus tail).
+        len: u32,
+        /// Number of lowered micro-ops in the compiled body.
+        ops: u32,
+    },
+    /// A compiled block was demoted back to the interpreter tier
+    /// (overlapping store or same-address re-decode); its heat resets, so
+    /// it must re-earn promotion.
+    TierInvalidate {
+        /// Address of the run's head instruction.
+        head: u32,
+    },
     /// One non-`nop` operation was issued by the cycle model — the per-slot
     /// DOE issue/stall timeline.
     OpIssue {

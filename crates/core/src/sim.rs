@@ -59,6 +59,18 @@ pub struct SimConfig {
     /// Attribute instructions/operations/cycles to functions (paper §V,
     /// goal 2: profiling for function-granularity ISA selection).
     pub profile: bool,
+    /// Execution tier for hot superblocks (default [`TierMode::Ir`]): with
+    /// the IR tier enabled, superblocks dispatched at least
+    /// [`SimConfig::tier_threshold`] times are lowered to a compiled
+    /// micro-op body executed by a threaded-dispatch loop. Results are
+    /// bit-identical across tiers; the tier engages only on the fast path
+    /// (no cycle model, trace sink, profiler, branch-predictor model, or
+    /// observer).
+    pub tier: TierMode,
+    /// Superblock dispatch count that triggers promotion to the compiled
+    /// tier. Low by default: lowering is cheap (no codegen), so early
+    /// promotion maximizes compiled coverage.
+    pub tier_threshold: u32,
 }
 
 impl Default for SimConfig {
@@ -73,8 +85,20 @@ impl Default for SimConfig {
             initial_isa: None,
             branch_prediction: BranchPredictorConfig::perfect(),
             profile: false,
+            tier: TierMode::Ir,
+            tier_threshold: 16,
         }
     }
+}
+
+/// Which execution tier hot superblocks may reach (see [`SimConfig::tier`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TierMode {
+    /// Superblocks are always interpreted (the pre-tier hot loop).
+    Interp,
+    /// Hot superblocks are promoted to the IR-threaded compiled tier.
+    #[default]
+    Ir,
 }
 
 impl SimConfig {
@@ -303,6 +327,14 @@ impl Simulator {
         self.prev_idx = NO_IDX;
         self.events.clear();
         self.pending = Pending::default();
+        // The snapshot's state carries the *capturing* simulator's store
+        // watch; re-point it at this simulator's compiled blocks. The
+        // dirty range is cleared rather than flushed: compiled blocks
+        // lower from decode-cache entries, which (by the cache's existing
+        // contract) never observe stores to text.
+        self.state.code_write_lo = u32::MAX;
+        self.state.code_write_hi = 0;
+        self.sync_code_watch();
         if let Some(o) = &mut self.observer {
             o.event(SimEvent::Restored { instructions: self.stats.instructions });
         }
@@ -345,6 +377,9 @@ impl Simulator {
         self.pending = Pending::default();
         self.scratch.clear();
         self.issue_scratch.clear();
+        // Compiled blocks survive the reset alongside the decode cache;
+        // re-arm the store watch on the fresh architectural state.
+        self.sync_code_watch();
     }
 
     /// Attaches a fabric shared-memory port (see [`crate::SharedMem`]):
@@ -510,6 +545,11 @@ impl Simulator {
 
         if self.config.decode_cache {
             let idx = self.resolve(ip, isa)?;
+            // A re-decode may have demoted compiled blocks left over from
+            // earlier superblock execution; account it even on this path.
+            if self.cache.has_pending_ir_invalidations() {
+                self.note_ir_invalidations();
+            }
             let before_isa = self.state.active_isa;
             self.exec_cached(idx)?;
             // A switchtarget invalidates the prediction anchor: the next
@@ -774,9 +814,14 @@ impl Simulator {
 
     /// Executes one superblock: resolves the head through the cache (with
     /// prediction), then runs the whole straight-line batch back-to-back
-    /// without re-entering lookup or prediction per instruction. Stops at
-    /// the budget `limit`, on halt, and propagates errors.
+    /// without re-entering lookup or prediction per instruction — on the
+    /// compiled tier when the block is hot and fully fits the budget,
+    /// otherwise through the interpreter. Stops at the budget `limit`, on
+    /// halt, and propagates errors.
     fn step_superblock(&mut self, limit: u64) -> Result<(), SimError> {
+        if self.state.code_write_pending() {
+            self.flush_code_writes();
+        }
         let ip = self.state.ip;
         let isa = self.state.active_isa;
         let head = self.resolve(ip, isa)?;
@@ -784,12 +829,47 @@ impl Simulator {
         if sb == NO_IDX {
             sb = self.build_run(head);
         }
+        // resolve/build_run may have re-decoded an address covered by a
+        // compiled block (mixed-ISA re-execution); account the demotions.
+        if self.cache.has_pending_ir_invalidations() {
+            self.note_ir_invalidations();
+        }
         self.stats.superblock_batches += 1;
         if let Some(o) = &mut self.observer {
             o.event(SimEvent::SuperblockBatch {
                 head: ip,
                 len: self.cache.run_members(sb).len() as u32,
             });
+        }
+        // Tier management runs whenever the tier could ever execute (an
+        // attached model/trace/profiler/predictor needs per-instruction
+        // hooks the compiled body skips, so those disable the tier
+        // outright); heat, promotion, and tier events stay active with an
+        // observer attached even though execution then takes the
+        // interpreter so the observer's instruction stream stays complete.
+        let tier_eligible = self.config.tier == TierMode::Ir
+            && self.model.is_none()
+            && self.trace.is_none()
+            && self.profiler.is_none()
+            && self.predictor.is_none();
+        if tier_eligible {
+            if self.cache.ir_state(sb) == NO_IDX
+                && self.cache.heat_bump(sb) >= self.config.tier_threshold
+            {
+                self.promote_run(sb);
+            }
+            if self.observer.is_none() {
+                if let Some(block) = self.cache.ir_block(sb) {
+                    // The compiled loop runs the whole block; partial
+                    // (budget-sliced) executions stay on the interpreter
+                    // so pause points land between instructions exactly
+                    // as before.
+                    let total = block.body_instrs + 1;
+                    if self.stats.instructions.saturating_add(total) <= limit {
+                        return self.execute_ir(sb, limit);
+                    }
+                }
+            }
         }
         // The allocation-free direct path is valid only when nothing
         // observes intermediate execution.
@@ -836,6 +916,157 @@ impl Simulator {
         // prediction anchor, exactly as on the per-entry path (§V-D).
         self.prev_idx = if self.state.active_isa != isa { NO_IDX } else { last };
         Ok(())
+    }
+
+    /// Executes superblock `sb` on the compiled tier: one threaded-dispatch
+    /// pass over the lowered body, the precomputed statistic deltas, then
+    /// the tail member through the generic execution paths (bit-exact
+    /// control-transfer, ISA-switch, `simop`, and error semantics).
+    ///
+    /// When the tail lands on another fully-compiled superblock that fits
+    /// the remaining budget, execution *chains* straight into it without
+    /// returning to the outer dispatch loop — hot loops whose blocks are
+    /// all compiled cycle entirely inside this method.
+    fn execute_ir(&mut self, mut sb: u32, limit: u64) -> Result<(), SimError> {
+        loop {
+            let entry_isa = self.state.active_isa;
+            let block = self.cache.ir_block(sb).expect("dispatched block is live");
+            // The interpreter pushes one IP-history entry per member; a
+            // compiled block commits atomically, so the same net history
+            // is applied in bulk: append all member addresses, then trim
+            // the front down to the configured depth in one drain.
+            if self.config.ip_history > 0 {
+                let hist = &mut self.ip_history;
+                if block.addrs.len() >= self.config.ip_history {
+                    hist.clear();
+                    let skip = block.addrs.len() - self.config.ip_history;
+                    hist.extend(block.addrs[skip..].iter().copied());
+                } else {
+                    hist.extend(block.addrs.iter().copied());
+                    let overflow = hist.len().saturating_sub(self.config.ip_history);
+                    if overflow > 0 {
+                        hist.drain(..overflow);
+                    }
+                }
+            }
+            block.run_body(&mut self.state);
+            self.stats.operations += block.d_ops;
+            self.stats.nops += block.d_nops;
+            self.stats.mem_reads += block.d_reads;
+            self.stats.mem_writes += block.d_writes;
+            self.stats.instructions += block.body_instrs;
+            self.stats.ir_instructions += block.body_instrs;
+            self.state.retired_instructions += block.body_instrs;
+            let tail = block.tail;
+            let (instr, slots) = self.cache.instr_and_slots(tail);
+            if instr.width == 1 {
+                execute_instr_fast(&mut self.state, instr, slots, &mut self.stats)?;
+            } else {
+                execute_instr(
+                    &mut self.state,
+                    instr,
+                    slots,
+                    &mut self.events,
+                    &mut self.pending,
+                    &mut self.predictor,
+                    &mut self.trace,
+                    &mut self.stats,
+                )?;
+            }
+            self.stats.ir_instructions += 1;
+            self.prev_idx = if self.state.active_isa != entry_isa { NO_IDX } else { tail };
+            // Anything the outer loop must see — halt, an ISA switch, a
+            // store into watched text — ends the chain.
+            if self.state.halted
+                || self.state.active_isa != entry_isa
+                || self.state.code_write_pending()
+            {
+                return Ok(());
+            }
+            // Resolve the next head with the same decode-statistics
+            // accounting as the interpreter dispatch path.
+            let head = self.resolve(self.state.ip, entry_isa)?;
+            let next = self.cache.run_of(head);
+            if next == NO_IDX {
+                return Ok(());
+            }
+            match self.cache.ir_block(next) {
+                Some(b)
+                    if self.stats.instructions.saturating_add(b.body_instrs + 1) <= limit =>
+                {
+                    self.stats.superblock_batches += 1;
+                    sb = next;
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Lowers superblock `sb` into the compiled tier, or bars it when its
+    /// body cannot be lowered faithfully (see `ir.rs`).
+    fn promote_run(&mut self, sb: u32) {
+        match crate::ir::lower(&self.cache, sb) {
+            Some(block) => {
+                let head = block.addrs[0];
+                let len = block.addrs.len() as u32;
+                let ops = block.op_count() as u32;
+                self.cache.install_ir(sb, block);
+                self.stats.tier_promotions += 1;
+                self.sync_code_watch();
+                if let Some(o) = &mut self.observer {
+                    o.event(SimEvent::TierPromote { head, len, ops });
+                }
+            }
+            None => self.cache.bar_ir(sb),
+        }
+    }
+
+    /// Demotes every compiled block overlapping the dirty store range back
+    /// to the interpreter tier (self-modifying stores). Demoted blocks
+    /// re-earn promotion through heat — and re-lower from the decode
+    /// cache's entries, which (like the interpreter's own decode cache,
+    /// whose entries are never replaced) do not observe data stores to
+    /// text.
+    fn flush_code_writes(&mut self) {
+        let (lo, hi) = self.state.take_code_writes();
+        // `hi` is the highest store *address*; the widest store covers
+        // three bytes beyond it.
+        self.cache.invalidate_ir_overlapping(lo, hi.saturating_add(4));
+        self.note_ir_invalidations();
+        self.sync_code_watch();
+    }
+
+    /// Accounts demotions queued by the decode cache: statistics, tier
+    /// events, and the refreshed store watch window.
+    fn note_ir_invalidations(&mut self) {
+        if !self.cache.has_pending_ir_invalidations() {
+            return;
+        }
+        let heads = self.cache.take_ir_invalidations();
+        self.stats.tier_invalidations += heads.len() as u64;
+        if let Some(o) = &mut self.observer {
+            for head in heads {
+                o.event(SimEvent::TierInvalidate { head });
+            }
+        }
+        self.sync_code_watch();
+    }
+
+    /// Points the store watch window at the merged text range of the live
+    /// compiled blocks (padded low by 3 bytes so a word store just below a
+    /// block still hits the watch), or disables it when the tier is empty.
+    fn sync_code_watch(&mut self) {
+        match self.cache.ir_bounds() {
+            Some((lo, hi)) => {
+                let wlo = lo.saturating_sub(3);
+                self.state.code_watch_lo = wlo;
+                self.state.code_watch_span = hi - wlo;
+            }
+            None => {
+                self.state.code_watch_lo = 0;
+                self.state.code_watch_span = 0;
+            }
+        }
     }
 
     /// Runs until the program halts or `max_instructions` have executed.
@@ -1785,5 +2016,288 @@ mod tests {
         let desc = sim.describe_addr(main.start);
         assert!(desc.contains("main"), "{desc}");
         assert!(desc.contains("test.s") || desc.contains("t.s"), "{desc}");
+    }
+
+    /// An IR-tier config with an aggressive promotion threshold so short
+    /// test programs actually exercise the compiled tier.
+    fn hot_ir(threshold: u32) -> SimConfig {
+        SimConfig { tier: TierMode::Ir, tier_threshold: threshold, ..SimConfig::default() }
+    }
+
+    fn interp_only() -> SimConfig {
+        SimConfig { tier: TierMode::Interp, ..SimConfig::default() }
+    }
+
+    #[test]
+    fn ir_tier_matches_interpreter_bit_for_bit() {
+        let exe = build(&[("m.s", MIXED_LOOP)]).unwrap();
+        let mut interp = Simulator::new(&exe, interp_only()).unwrap();
+        let a = interp.run(1_000_000).unwrap();
+        let mut tiered = Simulator::new(&exe, hot_ir(2)).unwrap();
+        let b = tiered.run(1_000_000).unwrap();
+        assert_eq!(a, b);
+        let (si, st) = (interp.stats(), tiered.stats());
+        assert_eq!(si.instructions, st.instructions);
+        assert_eq!(si.operations, st.operations);
+        assert_eq!(si.nops, st.nops);
+        assert_eq!(si.mem_reads, st.mem_reads);
+        assert_eq!(si.mem_writes, st.mem_writes);
+        assert_eq!(si.taken_branches, st.taken_branches);
+        assert_eq!(si.isa_switches, st.isa_switches);
+        assert_eq!(si.simops, st.simops);
+        assert_eq!(interp.state().ip, tiered.state().ip);
+        // The interpreter run never tiered; the IR run really did.
+        assert_eq!(si.tier_promotions, 0);
+        assert_eq!(si.ir_instructions, 0);
+        assert!(st.tier_promotions > 0);
+        assert!(st.ir_instructions > 0, "compiled tier must retire instructions");
+        assert!(st.ir_ratio() > 0.0 && st.ir_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn hot_loop_promotes_and_counts_ir_instructions() {
+        let src = "
+            .isa risc
+            .text
+            .global main
+            .func main
+            main:
+                li t1, 500
+            loop:
+                addi t2, t2, 3
+                addi t3, t3, 5
+                addi t1, t1, -1
+                bne t1, zero, loop
+                li rv, 0
+                jr ra
+            .endfunc
+        ";
+        let (sim, outcome) = run_with(src, SimConfig::default());
+        assert_eq!(outcome, RunOutcome::Halted { exit_code: 0 });
+        let s = sim.stats();
+        assert!(s.tier_promotions >= 1, "promotions: {}", s.tier_promotions);
+        assert_eq!(s.tier_invalidations, 0);
+        // 500 iterations, default threshold 16: the bulk of the loop body
+        // retires through the compiled tier.
+        assert!(s.ir_instructions > 1_000, "ir instructions: {}", s.ir_instructions);
+        assert!(s.ir_instructions < s.instructions);
+        assert!(sim.decode_cache().ir_block_count() >= 1);
+        // The interpreter tier never promotes and retires nothing via IR.
+        let (plain, _) = run_with(src, interp_only());
+        assert_eq!(plain.stats().tier_promotions, 0);
+        assert_eq!(plain.stats().ir_instructions, 0);
+        assert_eq!(plain.stats().instructions, s.instructions);
+        assert_eq!(plain.stats().operations, s.operations);
+    }
+
+    #[test]
+    fn stores_into_compiled_text_invalidate_and_retier() {
+        // Hand-assembled so the addresses are exact: an inner hot loop at
+        // 0x2000 gets promoted, then the outer loop stores the loop's own
+        // body word back to 0x2004 (a self-modifying touch that rewrites
+        // identical bytes), which must demote the compiled block; the
+        // re-heated loop then re-earns promotion.
+        use kahrisma_elf::Segment;
+        use kahrisma_isa::{abi, tables};
+        let enc = |name: &str, rd: u8, rs1: u8, rs2: u8, imm: u32| -> u32 {
+            tables()
+                .table(isa_id::RISC)
+                .unwrap()
+                .op_by_name(name)
+                .unwrap()
+                .1
+                .encode(rd, rs1, rs2, imm)
+        };
+        let (t0, t1, t2, t3, t4, t5, t6) = (
+            abi::T0,
+            abi::T0 + 1,
+            abi::T0 + 2,
+            abi::T0 + 3,
+            abi::T0 + 4,
+            abi::T0 + 5,
+            abi::T0 + 6,
+        );
+        let z = abi::ZERO;
+        let inner = [
+            enc("addi", t1, z, 0, 0),    // 0x2000: reset trip counter
+            enc("addi", t2, t2, 0, 1),   // 0x2004: hot body (the watched word)
+            enc("addi", t1, t1, 0, 1),   // 0x2008
+            enc("beq", 0, t1, t4, 2),    // 0x200C: done after t4 trips
+            enc("j", 0, 0, 0, 0x2004 / 4), // 0x2010: back edge
+            enc("jr", 0, abi::RA, 0, 0), // 0x2014
+        ];
+        let outer = [
+            enc("lui", t5, 0, 0, 1),       // 0x1000: t5 = 0x2000
+            enc("addi", t4, z, 0, 64),     // 0x1004: inner trip count
+            enc("addi", t6, z, 0, 3),      // 0x1008: outer trip count
+            enc("addi", t0, z, 0, 0),      // 0x100C
+            enc("jal", 0, 0, 0, 0x2000 / 4), // 0x1010: run the hot loop
+            enc("lw", t3, t5, 0, 4),       // 0x1014: read the hot body word
+            enc("sw", 0, t5, t3, 4),       // 0x1018: write it back verbatim
+            enc("addi", t0, t0, 0, 1),     // 0x101C
+            enc("beq", 0, t0, t6, 2),      // 0x1020: exit after 3 rounds
+            enc("j", 0, 0, 0, 0x1010 / 4), // 0x1024
+            enc("addi", abi::RV, t2, 0, 0), // 0x1028
+            enc("halt", 0, 0, 0, 0),       // 0x102C
+        ];
+        let to_bytes =
+            |words: &[u32]| words.iter().flat_map(|w| w.to_le_bytes()).collect::<Vec<u8>>();
+        let exe = kahrisma_elf::Executable {
+            entry: 0x1000,
+            entry_isa: isa_id::RISC.value(),
+            segments: vec![
+                Segment::new(0x1000, to_bytes(&outer), true),
+                Segment::new(0x2000, to_bytes(&inner), true),
+            ],
+            debug: kahrisma_elf::DebugInfo::new(),
+        };
+        let mut sim = Simulator::new(&exe, SimConfig::default()).unwrap();
+        let outcome = sim.run(100_000).unwrap();
+        assert_eq!(outcome, RunOutcome::Halted { exit_code: 192 }); // 3 * 64
+        let s = sim.stats();
+        // Each of the three rounds promotes the inner loop; each store
+        // lands inside the compiled block's watch window and demotes it.
+        assert!(s.tier_promotions >= 2, "promotions: {}", s.tier_promotions);
+        assert!(s.tier_invalidations >= 2, "invalidations: {}", s.tier_invalidations);
+        assert!(s.ir_instructions > 0);
+        // Bit-exact against the pure interpreter despite the churn.
+        let mut plain = Simulator::new(&exe, interp_only()).unwrap();
+        assert_eq!(plain.run(100_000).unwrap(), outcome);
+        assert_eq!(plain.stats().instructions, s.instructions);
+        assert_eq!(plain.stats().operations, s.operations);
+        assert_eq!(plain.stats().mem_reads, s.mem_reads);
+        assert_eq!(plain.stats().mem_writes, s.mem_writes);
+    }
+
+    #[test]
+    fn mixed_isa_same_address_redecode_invalidates_compiled_block() {
+        // The `switchtarget` re-decode scenario, tiered: the shared words
+        // at 0x2000 execute hot enough under RISC to compile, then the
+        // VLIW2 re-decode of the same address must invalidate the RISC
+        // block (conservatively — the cache keeps both decodes).
+        use crate::observe::{Observer, SimEvent};
+        use kahrisma_elf::Segment;
+        use kahrisma_isa::{abi, tables};
+        let enc = |name: &str, rd: u8, rs1: u8, rs2: u8, imm: u32| -> u32 {
+            tables()
+                .table(isa_id::RISC)
+                .unwrap()
+                .op_by_name(name)
+                .unwrap()
+                .1
+                .encode(rd, rs1, rs2, imm)
+        };
+        let shared = 0x2000u32;
+        let shared_words = [enc("addi", abi::RV, abi::RV, 0, 1), enc("jr", 0, abi::RA, 0, 0)];
+        let text = [
+            enc("jal", 0, 0, 0, shared / 4),
+            enc("switchtarget", 0, 0, 0, u32::from(isa_id::VLIW2.value())),
+            enc("jal", 0, 0, 0, shared / 4),
+            0,
+            enc("halt", 0, 0, 0, 0),
+            0,
+        ];
+        let to_bytes =
+            |words: &[u32]| words.iter().flat_map(|w| w.to_le_bytes()).collect::<Vec<u8>>();
+        let exe = kahrisma_elf::Executable {
+            entry: 0x1000,
+            entry_isa: isa_id::RISC.value(),
+            segments: vec![
+                Segment::new(0x1000, to_bytes(&text), true),
+                Segment::new(shared, to_bytes(&shared_words), true),
+            ],
+            debug: kahrisma_elf::DebugInfo::new(),
+        };
+        let events = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        struct Shared(std::sync::Arc<std::sync::Mutex<Vec<SimEvent>>>);
+        impl Observer for Shared {
+            fn event(&mut self, e: SimEvent) {
+                self.0.lock().unwrap().push(e);
+            }
+        }
+        let mut sim = Simulator::new(&exe, hot_ir(1)).unwrap();
+        sim.set_observer(Box::new(Shared(events.clone())));
+        let outcome = sim.run(10_000).unwrap();
+        assert_eq!(outcome, RunOutcome::Halted { exit_code: 2 });
+        assert_eq!(sim.stats().isa_switches, 1);
+        assert!(sim.stats().tier_promotions >= 1);
+        assert!(sim.stats().tier_invalidations >= 1, "re-decode must demote");
+        // Both decodes still coexist, keyed by ISA.
+        let cache = sim.decode_cache();
+        assert!(cache.lookup(shared, isa_id::RISC).is_some());
+        assert!(cache.lookup(shared, isa_id::VLIW2).is_some());
+        // The tier transitions surface as structured events.
+        let evs = events.lock().unwrap();
+        assert!(
+            evs.iter().any(|e| matches!(e, SimEvent::TierPromote { head, .. } if *head == shared))
+        );
+        assert!(
+            evs.iter()
+                .any(|e| matches!(e, SimEvent::TierInvalidate { head } if *head == shared))
+        );
+    }
+
+    #[test]
+    fn snapshot_mid_run_restores_into_fresh_ir_simulator() {
+        let exe = build(&[("m.s", MIXED_LOOP)]).unwrap();
+        let mut sim = Simulator::new(&exe, hot_ir(2)).unwrap();
+        // Drive to an arbitrary pause point (7 divides no block length, so
+        // pauses land mid-superblock), well past the first promotion.
+        for _ in 0..12 {
+            sim.run_for(7).unwrap();
+        }
+        assert!(sim.stats().tier_promotions >= 1);
+        let snap = sim.snapshot().unwrap();
+        let a = sim.run(1_000_000).unwrap();
+        let a_instrs = sim.stats().instructions;
+        let a_ops = sim.stats().operations;
+        // Restore into a *fresh* simulator: cold decode cache, cold tier.
+        let mut fresh = Simulator::new(&exe, hot_ir(2)).unwrap();
+        fresh.restore(&snap).unwrap();
+        let b = fresh.run(1_000_000).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(fresh.stats().instructions, a_instrs);
+        assert_eq!(fresh.stats().operations, a_ops);
+        assert_eq!(fresh.state().ip, sim.state().ip);
+    }
+
+    #[test]
+    fn observer_disables_ir_execution_but_not_tier_management() {
+        use crate::observe::{Observer, SimEvent};
+        let exe = build(&[("m.s", MIXED_LOOP)]).unwrap();
+        let events = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        struct Shared(std::sync::Arc<std::sync::Mutex<Vec<SimEvent>>>);
+        impl Observer for Shared {
+            fn event(&mut self, e: SimEvent) {
+                self.0.lock().unwrap().push(e);
+            }
+        }
+        let mut sim = Simulator::new(&exe, hot_ir(2)).unwrap();
+        sim.set_observer(Box::new(Shared(events.clone())));
+        let outcome = sim.run(1_000_000).unwrap();
+        // Promotion (and its event) happen under observation, but the
+        // per-instruction stream stays authoritative: nothing retires
+        // through the compiled loop while an observer is attached.
+        assert!(sim.stats().tier_promotions >= 1);
+        assert_eq!(sim.stats().ir_instructions, 0);
+        let evs = events.lock().unwrap();
+        let promotes =
+            evs.iter().filter(|e| matches!(e, SimEvent::TierPromote { .. })).count() as u64;
+        assert_eq!(promotes, sim.stats().tier_promotions);
+        let mut want_seq = 0u64;
+        for e in evs.iter() {
+            if let SimEvent::Instr { seq, .. } = e {
+                assert_eq!(*seq, want_seq);
+                want_seq += 1;
+            }
+        }
+        assert_eq!(want_seq, sim.stats().instructions, "Instr stream stays dense");
+        drop(evs);
+        // Observation must not perturb results vs the unobserved IR run.
+        let mut plain = Simulator::new(&exe, hot_ir(2)).unwrap();
+        assert_eq!(plain.run(1_000_000).unwrap(), outcome);
+        assert_eq!(plain.stats().instructions, sim.stats().instructions);
+        assert_eq!(plain.stats().operations, sim.stats().operations);
+        assert!(plain.stats().ir_instructions > 0);
     }
 }

@@ -36,6 +36,17 @@ pub struct CpuState {
     pub stdin_pos: usize,
     /// Executed-instruction counter, exposed to programs via `clock()`.
     pub retired_instructions: u64,
+    /// Low bound of the code range watched for self-modifying stores.
+    /// Maintained by the simulator to cover every compiled-tier block.
+    pub(crate) code_watch_lo: u32,
+    /// Length of the watched range; `0` disables the watch entirely, so
+    /// stores outside any compiled region cost a single compare.
+    pub(crate) code_watch_span: u32,
+    /// Lowest watched address written since the last flush
+    /// (`u32::MAX` = clean).
+    pub(crate) code_write_lo: u32,
+    /// Highest watched address written since the last flush (inclusive).
+    pub(crate) code_write_hi: u32,
 }
 
 impl CpuState {
@@ -56,6 +67,10 @@ impl CpuState {
             stdin: Vec::new(),
             stdin_pos: 0,
             retired_instructions: 0,
+            code_watch_lo: 0,
+            code_watch_span: 0,
+            code_write_lo: u32::MAX,
+            code_write_hi: 0,
         };
         s.write_reg(abi::SP, abi::STACK_TOP);
         s
@@ -86,6 +101,31 @@ impl CpuState {
     pub fn set_stdin(&mut self, bytes: impl Into<Vec<u8>>) {
         self.stdin = bytes.into();
         self.stdin_pos = 0;
+    }
+
+    /// Records a store that may overlap compiled-tier code. One compare
+    /// when no compiled blocks exist (`code_watch_span == 0`).
+    #[inline]
+    pub(crate) fn note_code_write(&mut self, addr: u32) {
+        if addr.wrapping_sub(self.code_watch_lo) < self.code_watch_span {
+            self.code_write_lo = self.code_write_lo.min(addr);
+            self.code_write_hi = self.code_write_hi.max(addr);
+        }
+    }
+
+    /// Whether any watched address was written since the last flush.
+    #[inline]
+    #[must_use]
+    pub(crate) fn code_write_pending(&self) -> bool {
+        self.code_write_lo != u32::MAX
+    }
+
+    /// Takes the dirty range (inclusive bounds) and resets the watch.
+    pub(crate) fn take_code_writes(&mut self) -> (u32, u32) {
+        let range = (self.code_write_lo, self.code_write_hi);
+        self.code_write_lo = u32::MAX;
+        self.code_write_hi = 0;
+        range
     }
 
     /// Advances the deterministic PRNG (xorshift64*) and returns a 31-bit

@@ -49,6 +49,14 @@ pub struct SimStats {
     pub simops: u64,
     /// Taken control transfers.
     pub taken_branches: u64,
+    /// Superblocks promoted to the IR-threaded compiled tier.
+    pub tier_promotions: u64,
+    /// Compiled blocks demoted back to the interpreter tier (overlapping
+    /// store or same-address re-decode).
+    pub tier_invalidations: u64,
+    /// Instructions executed on the compiled tier (subset of
+    /// [`SimStats::instructions`]).
+    pub ir_instructions: u64,
 }
 
 impl SimStats {
@@ -105,6 +113,21 @@ impl SimStats {
         (self.mem_reads + self.mem_writes) as f64 / self.operations as f64
     }
 
+    /// Fraction of executed instructions that ran on the IR-threaded
+    /// compiled tier.
+    ///
+    /// Clamped to `[0, 1]` (the counters always satisfy
+    /// `ir_instructions <= instructions`, but the clamp keeps externally
+    /// constructed statistics NaN- and overflow-free like the other
+    /// ratios).
+    #[must_use]
+    pub fn ir_ratio(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        (self.ir_instructions as f64 / self.instructions as f64).min(1.0)
+    }
+
     /// Wall-clock throughput of a run that executed these statistics'
     /// instructions in `wall_seconds` — the quantity every harness reports
     /// (§VII-A's MIPS and Table I's ns/instruction).
@@ -131,6 +154,9 @@ impl SimStats {
         self.isa_switches += other.isa_switches;
         self.simops += other.simops;
         self.taken_branches += other.taken_branches;
+        self.tier_promotions += other.tier_promotions;
+        self.tier_invalidations += other.tier_invalidations;
+        self.ir_instructions += other.ir_instructions;
     }
 }
 
@@ -272,6 +298,9 @@ impl StatsReport {
         self.push_u64("isa_switches", stats.isa_switches);
         self.push_u64("simops", stats.simops);
         self.push_u64("taken_branches", stats.taken_branches);
+        self.push_u64("tier_promotions", stats.tier_promotions);
+        self.push_u64("tier_invalidations", stats.tier_invalidations);
+        self.push_u64("ir_instructions", stats.ir_instructions);
     }
 
     /// Appends the derived decode/memory ratios.
@@ -280,6 +309,7 @@ impl StatsReport {
         self.push_f64("lookup_avoided_ratio", stats.lookup_avoided_ratio());
         self.push_f64("cache_hit_ratio", stats.cache_hit_ratio());
         self.push_f64("mem_ratio", stats.mem_ratio());
+        self.push_f64("ir_ratio", stats.ir_ratio());
     }
 
     /// Appends cycle-model results: `cycles`, `ops_per_cycle`,
@@ -414,12 +444,17 @@ mod tests {
             ..SimStats::default()
         };
         assert_eq!(lookahead.decode_avoided_ratio(), 0.0);
-        for s in [SimStats::new(), lookahead] {
+        // Externally constructed stats may claim more IR instructions than
+        // total instructions; the ratio clamps instead of exceeding 1.
+        let overcount = SimStats { instructions: 2, ir_instructions: 5, ..SimStats::default() };
+        assert_eq!(overcount.ir_ratio(), 1.0);
+        for s in [SimStats::new(), lookahead, overcount] {
             for r in [
                 s.decode_avoided_ratio(),
                 s.lookup_avoided_ratio(),
                 s.cache_hit_ratio(),
                 s.mem_ratio(),
+                s.ir_ratio(),
             ] {
                 assert!(r.is_finite() && (0.0..=1.0).contains(&r), "{r}");
             }
@@ -468,6 +503,9 @@ mod tests {
             isa_switches: 12,
             simops: 13,
             taken_branches: 14,
+            tier_promotions: 15,
+            tier_invalidations: 16,
+            ir_instructions: 17,
         };
         let b = a;
         a.accumulate(&b);
@@ -500,7 +538,7 @@ mod tests {
         let names = report.field_names();
         assert_eq!(names[0], "schema_version");
         assert_eq!(names[1], "instructions");
-        assert_eq!(*names.last().unwrap(), "mem_ratio");
+        assert_eq!(*names.last().unwrap(), "ir_ratio");
         let json = report.to_json();
         assert!(json.starts_with("{\"schema_version\":1,\"instructions\":1000,"));
         assert!(json.contains("\"prediction_hits\":950"));

@@ -7,6 +7,8 @@
 //!   --quantum N            instructions per core between barriers (default 50000)
 //!   --host-threads N       worker threads executing core slices (default 1)
 //!   --max-instr N          per-core instruction budget (default 1e9)
+//!   --tier interp|ir       per-core execution tier (default ir)
+//!   --tier-threshold N     dispatches before a superblock compiles (default 16)
 //!   --restart              restart halted cores (throughput mode)
 //!   --shared-len N         shared-window length in bytes (default 65536)
 //!   --json FILE|-          unified stats JSON ("-" = stdout)
@@ -25,7 +27,7 @@
 use std::process::ExitCode;
 
 use kahrisma_core::args::ArgList;
-use kahrisma_core::{STATS_SCHEMA_VERSION, StatsReport};
+use kahrisma_core::{STATS_SCHEMA_VERSION, SimConfig, StatsReport, TierMode};
 use kahrisma_fabric::{CoreSpec, Fabric, FabricConfig, FabricOutcome};
 use kahrisma_observe::{Collector, Shared, perfetto};
 
@@ -35,6 +37,8 @@ struct Options {
     quantum: u64,
     host_threads: usize,
     max_instr: u64,
+    tier: TierMode,
+    tier_threshold: u32,
     restart: bool,
     shared_len: u32,
     json: Option<String>,
@@ -52,6 +56,8 @@ impl Default for Options {
             quantum: kahrisma_fabric::DEFAULT_QUANTUM,
             host_threads: 1,
             max_instr: 1_000_000_000,
+            tier: TierMode::Ir,
+            tier_threshold: SimConfig::default().tier_threshold,
             restart: false,
             shared_len: kahrisma_core::DEFAULT_SHARED_LEN,
             json: None,
@@ -72,6 +78,14 @@ fn parse_args(mut args: ArgList) -> Result<Options, String> {
             "--quantum" => options.quantum = args.parse_value("--quantum")?,
             "--host-threads" => options.host_threads = args.parse_value("--host-threads")?,
             "--max-instr" => options.max_instr = args.parse_value("--max-instr")?,
+            "--tier" => {
+                options.tier = match args.value("--tier")?.as_str() {
+                    "interp" => TierMode::Interp,
+                    "ir" => TierMode::Ir,
+                    other => return Err(format!("unknown tier `{other}`")),
+                };
+            }
+            "--tier-threshold" => options.tier_threshold = args.parse_value("--tier-threshold")?,
             "--restart" => options.restart = true,
             "--shared-len" => options.shared_len = args.parse_value("--shared-len")?,
             "--json" => options.json = Some(args.value("--json")?),
@@ -102,13 +116,17 @@ fn parse_args(mut args: ArgList) -> Result<Options, String> {
     if options.host_threads == 0 {
         return Err("--host-threads must be at least 1".to_string());
     }
+    if options.tier_threshold == 0 {
+        return Err("--tier-threshold must be at least 1".to_string());
+    }
     Ok(options)
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: kfab --core W:ISA[:MODEL] [--core ...] [--cores N] [--quantum N]\n\
-         \x20           [--host-threads N] [--max-instr N] [--restart] [--shared-len N]\n\
+         \x20           [--host-threads N] [--max-instr N] [--tier interp|ir]\n\
+         \x20           [--tier-threshold N] [--restart] [--shared-len N]\n\
          \x20           [--json FILE|-] [--metrics FILE|-] [--observe FILE]\n\
          \x20           [--observe-capacity N] [--stats]"
     );
@@ -143,7 +161,12 @@ fn main() -> ExitCode {
     let mut specs = Vec::new();
     for spec in &options.specs {
         match CoreSpec::parse(spec) {
-            Ok(s) => specs.push(s),
+            Ok(mut s) => {
+                // Tier selection applies fabric-wide, to every core.
+                s.config.tier = options.tier;
+                s.config.tier_threshold = options.tier_threshold;
+                specs.push(s);
+            }
             Err(e) => {
                 eprintln!("kfab: {e}");
                 return usage();
@@ -331,5 +354,19 @@ mod tests {
         let options = parse(&["--core", "dct:risc", "--cores", "4"]).expect("parse");
         assert_eq!(options.cores, Some(4));
         assert_eq!(options.specs.len(), 1);
+    }
+
+    #[test]
+    fn parses_tier_flags_and_rejects_bad_values() {
+        let options = parse(&["--core", "dct:risc"]).expect("parse");
+        assert_eq!(options.tier, TierMode::Ir, "the compiled tier is the default");
+        assert_eq!(options.tier_threshold, SimConfig::default().tier_threshold);
+        let options =
+            parse(&["--core", "dct:risc", "--tier", "interp", "--tier-threshold", "4"])
+                .expect("parse");
+        assert_eq!(options.tier, TierMode::Interp);
+        assert_eq!(options.tier_threshold, 4);
+        assert!(parse(&["--core", "dct:risc", "--tier", "jit"]).is_err());
+        assert!(parse(&["--core", "dct:risc", "--tier-threshold", "0"]).is_err());
     }
 }

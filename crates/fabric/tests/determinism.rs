@@ -3,7 +3,7 @@
 //! window at quantum barriers.
 
 use kahrisma_asm::build;
-use kahrisma_core::{SimConfig, SimStats};
+use kahrisma_core::{SimConfig, SimStats, TierMode};
 use kahrisma_fabric::{CoreSpec, Fabric, FabricConfig, FabricOutcome, FabricStats};
 
 fn mixed_fabric(host_threads: usize) -> Fabric {
@@ -65,6 +65,71 @@ fn resumed_runs_stay_deterministic_across_thread_counts() {
     let mut single = mixed_fabric(1);
     single.run_for(600_000).expect("single shot");
     assert_eq!(fingerprint(&split.stats()), fingerprint(&single.stats()));
+}
+
+/// A mixed fabric with every core pinned to one execution tier and a low
+/// promotion threshold, so the compiled tier engages well inside the test
+/// budget.
+fn tiered_fabric(host_threads: usize, tier: TierMode) -> Fabric {
+    let mut cores = vec![
+        CoreSpec::parse("dct:risc").expect("dct:risc"),
+        CoreSpec::parse("fft:vliw4").expect("fft:vliw4"),
+        CoreSpec::parse("quicksort:risc").expect("quicksort:risc"),
+    ];
+    for core in &mut cores {
+        core.config.tier = tier;
+        core.config.tier_threshold = 4;
+    }
+    let config = FabricConfig { host_threads, quantum: 7_500, ..FabricConfig::default() };
+    Fabric::new(cores, config).expect("fabric")
+}
+
+#[test]
+fn ir_tier_fabric_is_deterministic_across_thread_counts() {
+    let budget = 2_000_000;
+    let mut prints = Vec::new();
+    for threads in [1, 4] {
+        let mut fabric = tiered_fabric(threads, TierMode::Ir);
+        fabric.run_for(budget).expect("run");
+        prints.push(fingerprint(&fabric.stats()));
+    }
+    assert_eq!(prints[0], prints[1], "IR-tier stats differ by host thread count");
+    // The compiled tier really engaged inside the fabric.
+    let (aggregate, ..) = &prints[0];
+    assert!(aggregate.tier_promotions > 0, "tier never promoted");
+    assert!(aggregate.ir_instructions > 0, "tier never executed");
+}
+
+#[test]
+fn ir_tier_fabric_matches_interp_architecturally() {
+    // Tier counters (promotions, IR instructions) differ across tiers by
+    // design, so this compares the architectural surface per core rather
+    // than the full fingerprint.
+    let budget = 2_000_000;
+    let mut ir = tiered_fabric(2, TierMode::Ir);
+    let ir_outcome = ir.run_for(budget).expect("run ir");
+    let mut interp = tiered_fabric(2, TierMode::Interp);
+    let interp_outcome = interp.run_for(budget).expect("run interp");
+    assert_eq!(ir_outcome, interp_outcome, "outcome differs by tier");
+    let a = ir.stats();
+    let b = interp.stats();
+    assert_eq!(a.quanta, b.quanta, "quantum schedule differs by tier");
+    assert_eq!(a.cores.len(), b.cores.len());
+    for (ca, cb) in a.cores.iter().zip(&b.cores) {
+        let name = &ca.name;
+        assert_eq!(*name, cb.name);
+        assert_eq!(ca.halted, cb.halted, "{name}");
+        assert_eq!(ca.exit_code, cb.exit_code, "{name}");
+        assert_eq!(ca.stats.instructions, cb.stats.instructions, "{name}");
+        assert_eq!(ca.stats.operations, cb.stats.operations, "{name}");
+        assert_eq!(ca.stats.nops, cb.stats.nops, "{name}");
+        assert_eq!(ca.stats.mem_reads, cb.stats.mem_reads, "{name}");
+        assert_eq!(ca.stats.mem_writes, cb.stats.mem_writes, "{name}");
+        assert_eq!(ca.stats.taken_branches, cb.stats.taken_branches, "{name}");
+        assert_eq!(ca.stats.isa_switches, cb.stats.isa_switches, "{name}");
+    }
+    assert!(a.aggregate.ir_instructions > 0, "IR fabric never used the tier");
+    assert_eq!(b.aggregate.ir_instructions, 0, "interp fabric used the tier");
 }
 
 // The shared window lives at an address expressible as one `li`:

@@ -21,6 +21,9 @@
 //!   --max-instr <n>                        instruction budget (default 1e9)
 //!   --no-cache | --no-prediction           disable §V-A mechanisms
 //!   --baseline-cache                       per-entry cache path (no superblocks)
+//!   --tier <interp|ir>                     execution tier (default ir: compile
+//!                                          hot superblocks to threaded IR)
+//!   --tier-threshold <n>                   dispatches before promotion (default 16)
 //!   --profile                              per-function attribution (§V goal 2)
 //!   --stats                                print detailed statistics
 //!   --cores <n>                            fabric mode: replicate the program
@@ -62,6 +65,8 @@ struct Options {
     decode_cache: bool,
     prediction: bool,
     superblocks: bool,
+    tier: TierMode,
+    tier_threshold: u32,
     stats: bool,
     profile: bool,
     cores: usize,
@@ -88,6 +93,8 @@ impl Default for Options {
             decode_cache: true,
             prediction: true,
             superblocks: true,
+            tier: TierMode::Ir,
+            tier_threshold: SimConfig::default().tier_threshold,
             stats: false,
             profile: false,
             cores: 1,
@@ -102,7 +109,8 @@ fn usage() -> ExitCode {
         "usage: ksim [--isa NAME] [--model ilp|aie|doe] [--predictor perfect|static|bimodal]\n\
          \x20           [--trace] [--trace-out FILE] [--observe FILE] [--observe-capacity N]\n\
          \x20           [--metrics FILE|-] [--json FILE|-] [--flame FILE] [--rtl] [--max-instr N]\n\
-         \x20           [--no-cache] [--no-prediction] [--baseline-cache] [--profile] [--stats]\n\
+         \x20           [--no-cache] [--no-prediction] [--baseline-cache] [--tier interp|ir]\n\
+         \x20           [--tier-threshold N] [--profile] [--stats]\n\
          \x20           [--cores N] [--host-threads N] [--quantum N]\n\
          \x20           <executable.elf>"
     );
@@ -154,6 +162,14 @@ fn parse_args(mut args: ArgList) -> Result<Options, String> {
             "--no-cache" => options.decode_cache = false,
             "--baseline-cache" => options.superblocks = false,
             "--no-prediction" => options.prediction = false,
+            "--tier" => {
+                options.tier = match args.value("--tier")?.as_str() {
+                    "interp" => TierMode::Interp,
+                    "ir" => TierMode::Ir,
+                    other => return Err(format!("unknown tier `{other}`")),
+                };
+            }
+            "--tier-threshold" => options.tier_threshold = args.parse_value("--tier-threshold")?,
             "--stats" => options.stats = true,
             "--profile" => options.profile = true,
             "--cores" => options.cores = args.parse_value("--cores")?,
@@ -171,6 +187,9 @@ fn parse_args(mut args: ArgList) -> Result<Options, String> {
     }
     if options.cores == 0 || options.host_threads == 0 || options.quantum == 0 {
         return Err("--cores, --host-threads, and --quantum must be at least 1".to_string());
+    }
+    if options.tier_threshold == 0 {
+        return Err("--tier-threshold must be at least 1".to_string());
     }
     if options.cores > 1 {
         let single_core_only: [(&str, bool); 6] = [
@@ -331,6 +350,8 @@ fn main() -> ExitCode {
         superblocks: options.superblocks,
         branch_prediction: options.predictor,
         profile: options.profile,
+        tier: options.tier,
+        tier_threshold: options.tier_threshold,
         ..SimConfig::default()
     };
 
@@ -545,6 +566,21 @@ mod tests {
         assert!(parse(&["--model", "warp", "prog.elf"]).is_err());
         assert!(parse(&["--wat", "prog.elf"]).is_err());
         assert!(parse(&["--cores", "0", "prog.elf"]).is_err());
+    }
+
+    #[test]
+    fn parses_tier_flags_and_rejects_bad_values() {
+        let options = parse(&["prog.elf"]).expect("parse");
+        assert_eq!(options.tier, TierMode::Ir, "the compiled tier is the default");
+        assert_eq!(options.tier_threshold, SimConfig::default().tier_threshold);
+        let options =
+            parse(&["--tier", "interp", "--tier-threshold", "4", "prog.elf"]).expect("parse");
+        assert_eq!(options.tier, TierMode::Interp);
+        assert_eq!(options.tier_threshold, 4);
+        assert!(parse(&["--tier", "jit", "prog.elf"]).is_err());
+        assert!(parse(&["--tier-threshold", "0", "prog.elf"]).is_err());
+        // Tier flags flow through to fabric mode (per-core SimConfig).
+        assert!(parse(&["--cores", "2", "--tier", "ir", "prog.elf"]).is_ok());
     }
 
     #[test]

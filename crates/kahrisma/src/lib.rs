@@ -85,6 +85,9 @@ pub mod prelude {
     /// Functional counters of a run (instructions, operations, decode and
     /// memory activity); summable across cores via `SimStats::accumulate`.
     pub use kahrisma_core::SimStats;
+    /// Execution-tier selector: `Interp` (decode-cache interpreter only)
+    /// or `Ir` (promote hot superblocks to the IR-threaded compiled tier).
+    pub use kahrisma_core::TierMode;
     /// The interpreter itself: `new`, `run`, `run_for`, `snapshot`,
     /// `restore`, `reset`, observers, trace sinks.
     pub use kahrisma_core::Simulator;

@@ -78,6 +78,11 @@ impl Observer for MetricsCollector {
                 r.count("superblock.batches", 1);
                 r.record("superblock.batch_len", u64::from(len));
             }
+            SimEvent::TierPromote { ops, .. } => {
+                r.count("tier.promotions", 1);
+                r.record("tier.block_ops", u64::from(ops));
+            }
+            SimEvent::TierInvalidate { .. } => r.count("tier.invalidations", 1),
             SimEvent::IsaSwitch { .. } => r.count("isa.switches", 1),
             SimEvent::SimOp { .. } => r.count("libc.simops", 1),
             SimEvent::SnapshotTaken { .. } => r.count("snapshot.taken", 1),
@@ -198,6 +203,8 @@ mod tests {
         c.event(SimEvent::CacheMiss { addr: 8 });
         c.event(SimEvent::SuperblockBuild { head: 0, len: 5 });
         c.event(SimEvent::SuperblockBatch { head: 0, len: 5 });
+        c.event(SimEvent::TierPromote { head: 0, len: 5, ops: 4 });
+        c.event(SimEvent::TierInvalidate { head: 0 });
         c.event(SimEvent::Instr { seq: 0, addr: 0, isa: 0, width: 4, ops: 2, cycle: 1 });
         c.event(SimEvent::OpIssue {
             addr: 0,
@@ -212,6 +219,9 @@ mod tests {
         assert_eq!(r.counter("decode.cache_hits"), 1);
         assert_eq!(r.counter("decode.cache_misses"), 1);
         assert_eq!(r.counter("superblock.built"), 1);
+        assert_eq!(r.counter("tier.promotions"), 1);
+        assert_eq!(r.counter("tier.invalidations"), 1);
+        assert_eq!(r.histogram("tier.block_ops").unwrap().sum(), 4);
         assert_eq!(r.counter("instr.retired"), 1);
         assert_eq!(r.counter("op.issued"), 1);
         assert_eq!(r.histogram("op.delay").unwrap().max(), Some(4));

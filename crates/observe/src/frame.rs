@@ -35,6 +35,12 @@ pub fn to_json_line(event: &SimEvent) -> String {
         SimEvent::SuperblockBatch { head, len } => {
             let _ = write!(s, r#"{{"event":"superblock_batch","head":{head},"len":{len}}}"#);
         }
+        SimEvent::TierPromote { head, len, ops } => {
+            let _ = write!(s, r#"{{"event":"tier_promote","head":{head},"len":{len},"ops":{ops}}}"#);
+        }
+        SimEvent::TierInvalidate { head } => {
+            let _ = write!(s, r#"{{"event":"tier_invalidate","head":{head}}}"#);
+        }
         SimEvent::IsaSwitch { addr, from, to } => {
             let _ = write!(s, r#"{{"event":"isa_switch","addr":{addr},"from":{from},"to":{to}}}"#);
         }
@@ -98,6 +104,8 @@ mod tests {
             SimEvent::PredictionHit { addr: 12 },
             SimEvent::SuperblockBuild { head: 0, len: 7 },
             SimEvent::SuperblockBatch { head: 0, len: 7 },
+            SimEvent::TierPromote { head: 0, len: 7, ops: 11 },
+            SimEvent::TierInvalidate { head: 0 },
             SimEvent::IsaSwitch { addr: 16, from: 0, to: 2 },
             SimEvent::SimOp { addr: 20, code: 3 },
             SimEvent::SnapshotTaken { instructions: 10 },
