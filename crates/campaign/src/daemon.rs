@@ -295,4 +295,50 @@ mod tests {
         handle.shutdown();
         thread.join().expect("daemon thread");
     }
+
+    /// `kbatch --daemon` pointed at a `kgate` fleet instead of a lone
+    /// daemon: the gateway is wire-transparent, so the dispatched campaign
+    /// still matches the local runner bit for bit.
+    #[test]
+    fn daemon_dispatch_through_a_gate_matches_the_local_runner() {
+        use kahrisma_gate::{Fleet, Gate, GateConfig};
+
+        let mut workers = Vec::new();
+        for _ in 0..2 {
+            let daemon = Daemon::bind(ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                ..ServerConfig::default()
+            })
+            .expect("bind worker");
+            let addr = daemon.local_addr().expect("addr").to_string();
+            let handle = daemon.handle().expect("handle");
+            let thread = std::thread::spawn(move || daemon.run().expect("worker loop"));
+            workers.push((addr, handle, thread));
+        }
+        let gate = Gate::bind(
+            GateConfig { addr: "127.0.0.1:0".to_string(), ..GateConfig::default() },
+            Fleet::new(workers.iter().map(|(a, _, _)| (a.clone(), None)).collect()),
+        )
+        .expect("bind gate");
+        let gate_addr = gate.local_addr().expect("gate addr").to_string();
+        let gate_handle = gate.handle().expect("gate handle");
+        let gate_thread = std::thread::spawn(move || gate.run().expect("gate loop"));
+
+        let mut spec = CampaignSpec::smoke();
+        spec.cells.truncate(2);
+        let gated = run(&spec, &gate_addr, false).expect("gated dispatch");
+        let local = crate::runner::run(
+            &spec,
+            &crate::RunOptions { workers: 2, ..crate::RunOptions::default() },
+        )
+        .expect("local run");
+        assert!(gated.report.deterministic_eq(&local.report));
+
+        gate_handle.shutdown();
+        gate_thread.join().expect("gate thread");
+        for (_, handle, thread) in workers {
+            handle.shutdown();
+            thread.join().expect("worker thread");
+        }
+    }
 }

@@ -70,7 +70,7 @@ fn every_json_artifact_shares_the_versioned_schema() {
         options: BenchOptions::default(),
         requests: 1,
         overloaded_retries: 0,
-        latency: Percentiles { min: 0.1, p50: 0.1, p90: 0.2, p99: 0.2, max: 0.2 },
+        latency: Percentiles { min: 0.1, p50: 0.1, p90: 0.2, p95: 0.2, p99: 0.2, max: 0.2 },
         served_mips: 1.0,
         served_mips_best: 1.0,
         aggregate_mips: 1.0,

@@ -55,6 +55,7 @@ mod mem;
 mod profile;
 mod shared;
 mod sim;
+mod snapwire;
 mod state;
 mod stats;
 mod trace;
@@ -66,6 +67,7 @@ pub use observe::{Observer, OpIssue, SimEvent, VecObserver};
 pub use profile::{FunctionProfile, Profiler};
 pub use shared::{DEFAULT_SHARED_BASE, DEFAULT_SHARED_LEN, SharedMem, SharedPort};
 pub use sim::{RunOutcome, SimConfig, Simulator, Snapshot, TierMode};
+pub use snapwire::{SNAPWIRE_VERSION, SnapWireError};
 pub use state::CpuState;
 pub use stats::{STATS_SCHEMA_VERSION, SimStats, StatValue, StatsReport, Throughput};
 pub use trace::{TraceRecord, TraceSink, VecTraceSink, WriteTraceSink};

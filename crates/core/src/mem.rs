@@ -180,6 +180,39 @@ impl Memory {
     pub fn page_count(&self) -> usize {
         self.pages.len()
     }
+
+    /// Size in bytes of one sparse page (the granularity of
+    /// [`Memory::pages_sorted`] and [`Memory::install_page`]).
+    pub const PAGE_SIZE: usize = PAGE_SIZE;
+
+    /// Allocated pages as `(page_index, contents)` pairs, sorted by index.
+    ///
+    /// All-zero pages are skipped: through the read API a zeroed page is
+    /// indistinguishable from an unallocated one, so serializing it would
+    /// cost space without changing observable behavior. Used by the
+    /// snapshot wire codec ([`crate::Snapshot::to_portable_bytes`]).
+    #[must_use]
+    pub fn pages_sorted(&self) -> Vec<(u32, &[u8])> {
+        let mut out: Vec<(u32, &[u8])> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.iter().any(|&b| b != 0))
+            .map(|(&index, p)| (index, &p[..]))
+            .collect();
+        out.sort_unstable_by_key(|&(index, _)| index);
+        out
+    }
+
+    /// Installs one full page at `index`, replacing any current contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not exactly [`Memory::PAGE_SIZE`] long.
+    pub fn install_page(&mut self, index: u32, bytes: &[u8]) {
+        assert_eq!(bytes.len(), PAGE_SIZE, "a page is exactly {PAGE_SIZE} bytes");
+        let page = self.pages.entry(index).or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page.copy_from_slice(bytes);
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +256,23 @@ mod tests {
         assert_eq!(m.read_cstr(0x100, 64), b"hello");
         assert_eq!(m.read_bytes(0x106, 5), b"world");
         assert_eq!(m.read_cstr(0x106, 3), b"wor"); // capped
+    }
+
+    #[test]
+    fn pages_roundtrip_through_the_page_api() {
+        let mut m = Memory::new();
+        m.write_word(0x5000, 0xAABB_CCDD);
+        m.write_byte(0x1_2345, 7);
+        m.write_word(0x9000, 0); // allocated but all-zero: not serialized
+        let pages = m.pages_sorted();
+        assert_eq!(pages.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![0x5, 0x12]);
+        let mut copy = Memory::new();
+        for (index, bytes) in pages {
+            copy.install_page(index, bytes);
+        }
+        assert_eq!(copy.read_word(0x5000), 0xAABB_CCDD);
+        assert_eq!(copy.read_byte(0x1_2345), 7);
+        assert_eq!(copy.read_word(0x9000), 0);
     }
 
     #[test]

@@ -167,12 +167,12 @@ pub struct Simulator {
 /// captured: it is a pure function of (immutable) program text and rebuilds
 /// on demand, so restores stay cheap and snapshots stay compact.
 pub struct Snapshot {
-    state: CpuState,
-    stats: SimStats,
-    model: Option<Box<dyn CycleModel>>,
-    predictor: Option<BranchPredictor>,
-    profiler: Option<Profiler>,
-    ip_history: VecDeque<u32>,
+    pub(crate) state: CpuState,
+    pub(crate) stats: SimStats,
+    pub(crate) model: Option<Box<dyn CycleModel>>,
+    pub(crate) predictor: Option<BranchPredictor>,
+    pub(crate) profiler: Option<Profiler>,
+    pub(crate) ip_history: VecDeque<u32>,
 }
 
 impl Snapshot {

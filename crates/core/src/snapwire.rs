@@ -1,0 +1,429 @@
+//! Portable byte serialization of functional [`Snapshot`]s.
+//!
+//! A snapshot of a *functional* simulation — no cycle model, no branch
+//! predictor state, no profiler — is pure data: the register file, the
+//! active ISA, the sparse memory image, the statistics counters, and the
+//! recent-IP ring. This module encodes exactly that into a versioned,
+//! self-describing byte format so a session can be moved between `ksimd`
+//! processes over the wire (the `export`/`import` verbs) and restored
+//! bit-exactly on the other side.
+//!
+//! Snapshots that carry a cycle model (or predictor/profiler state) are
+//! *not* portable — their state lives behind trait objects whose layout is
+//! model-specific. Those sessions migrate by deterministic replay instead:
+//! the destination rebuilds the simulator from the session spec and
+//! re-executes the same instruction count, which reproduces the exact state
+//! because the simulator is deterministic from load.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic   b"KSNW"              4 bytes
+//! version u32 (= 1)
+//! regs    32 × u32             architectural register file
+//! ip      u32
+//! isa     u8                   active ISA identifier
+//! halted  u8                   0 or 1
+//! exit_code u32
+//! heap_ptr  u32
+//! rng_state u64
+//! retired   u64                retired_instructions
+//! stdout    u32 len + bytes
+//! stdin     u32 len + bytes
+//! stdin_pos u64
+//! stats     u32 count (= 17) + count × u64, field declaration order
+//! ip_hist   u32 count + count × u32, oldest first
+//! pages     u32 count + count × (u32 page_index + 4096-byte contents)
+//! ```
+
+use std::collections::VecDeque;
+
+use kahrisma_isa::adl::IsaId;
+
+use crate::mem::Memory;
+use crate::sim::Snapshot;
+use crate::state::CpuState;
+use crate::stats::SimStats;
+
+/// Version number written into every encoded snapshot.
+pub const SNAPWIRE_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 4] = b"KSNW";
+const STATS_FIELDS: u32 = 17;
+
+/// Error from encoding or decoding a portable snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapWireError {
+    /// The snapshot carries state that has no portable representation
+    /// (cycle model, branch predictor, profiler, or a shared-memory port).
+    /// The payload names the offending component.
+    NotPortable(&'static str),
+    /// The byte stream is not a valid encoded snapshot.
+    Malformed(String),
+}
+
+impl std::fmt::Display for SnapWireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapWireError::NotPortable(what) => {
+                write!(f, "snapshot is not portable: {what} state cannot be serialized")
+            }
+            SnapWireError::Malformed(why) => write!(f, "malformed snapshot bytes: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapWireError {}
+
+fn stats_fields(s: &SimStats) -> [u64; STATS_FIELDS as usize] {
+    [
+        s.instructions,
+        s.operations,
+        s.nops,
+        s.detect_decodes,
+        s.cache_lookups,
+        s.cache_hits,
+        s.prediction_hits,
+        s.superblocks_built,
+        s.superblock_batches,
+        s.mem_reads,
+        s.mem_writes,
+        s.isa_switches,
+        s.simops,
+        s.taken_branches,
+        s.tier_promotions,
+        s.tier_invalidations,
+        s.ir_instructions,
+    ]
+}
+
+fn stats_from_fields(f: &[u64; STATS_FIELDS as usize]) -> SimStats {
+    SimStats {
+        instructions: f[0],
+        operations: f[1],
+        nops: f[2],
+        detect_decodes: f[3],
+        cache_lookups: f[4],
+        cache_hits: f[5],
+        prediction_hits: f[6],
+        superblocks_built: f[7],
+        superblock_batches: f[8],
+        mem_reads: f[9],
+        mem_writes: f[10],
+        isa_switches: f[11],
+        simops: f[12],
+        taken_branches: f[13],
+        tier_promotions: f[14],
+        tier_invalidations: f[15],
+        ir_instructions: f[16],
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapWireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| SnapWireError::Malformed(format!("truncated at offset {}", self.pos)))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapWireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapWireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapWireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn vec(&mut self, cap: usize, what: &str) -> Result<Vec<u8>, SnapWireError> {
+        let len = self.u32()? as usize;
+        if len > cap {
+            return Err(SnapWireError::Malformed(format!("{what} length {len} exceeds cap {cap}")));
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+impl Snapshot {
+    /// Whether this snapshot can be serialized with
+    /// [`Snapshot::to_portable_bytes`].
+    ///
+    /// True exactly when the capture carries no cycle model, branch
+    /// predictor, profiler, or fabric shared-memory port — the default
+    /// configuration of a functional serving session.
+    #[must_use]
+    pub fn is_portable(&self) -> bool {
+        self.model.is_none()
+            && self.predictor.is_none()
+            && self.profiler.is_none()
+            && self.state.mem.shared_port().is_none()
+    }
+
+    /// Encodes the snapshot into the versioned portable byte format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapWireError::NotPortable`] when the snapshot carries a
+    /// cycle model, branch predictor, profiler, or shared-memory port (see
+    /// [`Snapshot::is_portable`]).
+    pub fn to_portable_bytes(&self) -> Result<Vec<u8>, SnapWireError> {
+        if self.model.is_some() {
+            return Err(SnapWireError::NotPortable("cycle model"));
+        }
+        if self.predictor.is_some() {
+            return Err(SnapWireError::NotPortable("branch predictor"));
+        }
+        if self.profiler.is_some() {
+            return Err(SnapWireError::NotPortable("profiler"));
+        }
+        if self.state.mem.shared_port().is_some() {
+            return Err(SnapWireError::NotPortable("shared memory port"));
+        }
+
+        let s = &self.state;
+        let pages = s.mem.pages_sorted();
+        let mut out = Vec::with_capacity(512 + pages.len() * (4 + Memory::PAGE_SIZE));
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, SNAPWIRE_VERSION);
+        for r in 0..32 {
+            put_u32(&mut out, s.reg(r));
+        }
+        put_u32(&mut out, s.ip);
+        out.push(s.active_isa.value());
+        out.push(u8::from(s.halted));
+        put_u32(&mut out, s.exit_code);
+        put_u32(&mut out, s.heap_ptr);
+        put_u64(&mut out, s.rng_state);
+        put_u64(&mut out, s.retired_instructions);
+        put_u32(&mut out, u32::try_from(s.stdout.len()).unwrap_or(u32::MAX));
+        out.extend_from_slice(&s.stdout);
+        put_u32(&mut out, u32::try_from(s.stdin.len()).unwrap_or(u32::MAX));
+        out.extend_from_slice(&s.stdin);
+        put_u64(&mut out, s.stdin_pos as u64);
+        put_u32(&mut out, STATS_FIELDS);
+        for v in stats_fields(&self.stats) {
+            put_u64(&mut out, v);
+        }
+        put_u32(&mut out, u32::try_from(self.ip_history.len()).unwrap_or(u32::MAX));
+        for &ip in &self.ip_history {
+            put_u32(&mut out, ip);
+        }
+        put_u32(&mut out, u32::try_from(pages.len()).unwrap_or(u32::MAX));
+        for (index, bytes) in pages {
+            put_u32(&mut out, index);
+            out.extend_from_slice(bytes);
+        }
+        Ok(out)
+    }
+
+    /// Decodes a snapshot previously produced by
+    /// [`Snapshot::to_portable_bytes`].
+    ///
+    /// The result restores into any simulator built from the same
+    /// executable and a model-less configuration via
+    /// [`crate::Simulator::restore`], continuing bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapWireError::Malformed`] when the bytes are not a valid
+    /// version-1 encoding.
+    pub fn from_portable_bytes(bytes: &[u8]) -> Result<Snapshot, SnapWireError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(SnapWireError::Malformed("bad magic".into()));
+        }
+        let version = r.u32()?;
+        if version != SNAPWIRE_VERSION {
+            return Err(SnapWireError::Malformed(format!(
+                "unsupported snapshot version {version} (expected {SNAPWIRE_VERSION})"
+            )));
+        }
+        let mut regs = [0u32; 32];
+        for reg in &mut regs {
+            *reg = r.u32()?;
+        }
+        let ip = r.u32()?;
+        let isa = IsaId::new(r.u8()?);
+        let halted = r.u8()? != 0;
+        let exit_code = r.u32()?;
+        let heap_ptr = r.u32()?;
+        let rng_state = r.u64()?;
+        let retired = r.u64()?;
+        let stdout = r.vec(1 << 30, "stdout")?;
+        let stdin = r.vec(1 << 30, "stdin")?;
+        let stdin_pos = usize::try_from(r.u64()?)
+            .map_err(|_| SnapWireError::Malformed("stdin_pos overflow".into()))?;
+        let nstats = r.u32()?;
+        if nstats != STATS_FIELDS {
+            return Err(SnapWireError::Malformed(format!(
+                "stats field count {nstats} (expected {STATS_FIELDS})"
+            )));
+        }
+        let mut fields = [0u64; STATS_FIELDS as usize];
+        for field in &mut fields {
+            *field = r.u64()?;
+        }
+        let stats = stats_from_fields(&fields);
+        let nhist = r.u32()? as usize;
+        if nhist > 1 << 20 {
+            return Err(SnapWireError::Malformed(format!("ip history length {nhist}")));
+        }
+        let mut ip_history = VecDeque::with_capacity(nhist);
+        for _ in 0..nhist {
+            ip_history.push_back(r.u32()?);
+        }
+
+        let mut state = CpuState::new(ip, isa, heap_ptr);
+        for (i, &v) in regs.iter().enumerate() {
+            state.write_reg(i as u8, v);
+        }
+        state.halted = halted;
+        state.exit_code = exit_code;
+        state.rng_state = rng_state;
+        state.retired_instructions = retired;
+        state.stdout = stdout;
+        state.stdin = stdin;
+        state.stdin_pos = stdin_pos;
+        let npages = r.u32()? as usize;
+        for _ in 0..npages {
+            let index = r.u32()?;
+            let contents = r.take(Memory::PAGE_SIZE)?;
+            state.mem.install_page(index, contents);
+        }
+        if r.pos != bytes.len() {
+            return Err(SnapWireError::Malformed(format!(
+                "{} trailing bytes after snapshot",
+                bytes.len() - r.pos
+            )));
+        }
+        Ok(Snapshot {
+            state,
+            stats,
+            model: None,
+            predictor: None,
+            profiler: None,
+            ip_history,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycles::CycleModelKind;
+    use crate::sim::{RunOutcome, SimConfig, Simulator};
+    use kahrisma_asm::build;
+
+    const LOOP: &str = "
+.isa risc
+.text
+.global main
+.func main
+main:
+    li t0, 0
+    li t1, 200
+    li t2, 0x6000
+    sw t1, 0(t2)
+loop:
+    addi t0, t0, 3
+    addi t1, t1, -1
+    bne t1, zero, loop
+    sw t0, 4(t2)
+    add rv, t0, zero
+    jr ra
+.endfunc
+";
+
+    #[test]
+    fn roundtrip_restores_bit_exactly_into_a_fresh_simulator() {
+        let exe = build(&[("l.s", LOOP)]).unwrap();
+        let mut reference = Simulator::new(&exe, SimConfig::default()).unwrap();
+        let expected = reference.run(1_000_000).unwrap();
+        let total = reference.stats().instructions;
+
+        let mut paused = Simulator::new(&exe, SimConfig::default()).unwrap();
+        assert_eq!(paused.run_for(57).unwrap(), RunOutcome::BudgetExhausted);
+        let snap = paused.snapshot().unwrap();
+        assert!(snap.is_portable());
+
+        let bytes = snap.to_portable_bytes().unwrap();
+        let decoded = Snapshot::from_portable_bytes(&bytes).unwrap();
+        assert_eq!(decoded.instructions(), 57);
+        assert_eq!(decoded.ip(), snap.ip());
+
+        let mut resumed = Simulator::new(&exe, SimConfig::default()).unwrap();
+        resumed.restore(&decoded).unwrap();
+        assert_eq!(resumed.run(1_000_000).unwrap(), expected);
+        assert_eq!(resumed.stats().instructions, total);
+        assert_eq!(resumed.stats().operations, reference.stats().operations);
+        assert_eq!(resumed.stats().mem_reads, reference.stats().mem_reads);
+        assert_eq!(resumed.stats().mem_writes, reference.stats().mem_writes);
+        assert_eq!(resumed.state().reg(2), reference.state().reg(2));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let exe = build(&[("l.s", LOOP)]).unwrap();
+        let mut sim = Simulator::new(&exe, SimConfig::default()).unwrap();
+        sim.run_for(31).unwrap();
+        let a = sim.snapshot().unwrap().to_portable_bytes().unwrap();
+        let b = sim.snapshot().unwrap().to_portable_bytes().unwrap();
+        assert_eq!(a, b);
+        // Re-encoding a decoded snapshot is also byte-identical.
+        let c = Snapshot::from_portable_bytes(&a).unwrap().to_portable_bytes().unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn model_snapshots_are_rejected_as_not_portable() {
+        let exe = build(&[("l.s", LOOP)]).unwrap();
+        let mut sim = Simulator::new(&exe, SimConfig::with_model(CycleModelKind::Doe)).unwrap();
+        sim.run_for(10).unwrap();
+        let snap = sim.snapshot().unwrap();
+        assert!(!snap.is_portable());
+        assert_eq!(
+            snap.to_portable_bytes().unwrap_err(),
+            SnapWireError::NotPortable("cycle model")
+        );
+    }
+
+    #[test]
+    fn malformed_bytes_are_rejected() {
+        assert!(matches!(
+            Snapshot::from_portable_bytes(b"nope"),
+            Err(SnapWireError::Malformed(_))
+        ));
+        let exe = build(&[("l.s", LOOP)]).unwrap();
+        let mut sim = Simulator::new(&exe, SimConfig::default()).unwrap();
+        sim.run_for(5).unwrap();
+        let mut bytes = sim.snapshot().unwrap().to_portable_bytes().unwrap();
+        bytes.truncate(bytes.len() - 3);
+        assert!(matches!(Snapshot::from_portable_bytes(&bytes), Err(SnapWireError::Malformed(_))));
+        let mut wrong_version = sim.snapshot().unwrap().to_portable_bytes().unwrap();
+        wrong_version[4] = 9;
+        let err = Snapshot::from_portable_bytes(&wrong_version).unwrap_err();
+        assert!(err.to_string().contains("version 9"), "{err}");
+    }
+}

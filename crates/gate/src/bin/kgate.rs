@@ -1,0 +1,239 @@
+//! `kgate` — the KAHRISMA serving gateway.
+//!
+//! ```text
+//! kgate [options]
+//!   --addr HOST:PORT       listen address (default 127.0.0.1:9190; port 0 = ephemeral)
+//!   --spawn N              spawn N local ksimd workers on ephemeral ports
+//!   --worker HOST:PORT     attach an already-running worker (repeatable)
+//!   --ksimd PATH           ksimd binary for --spawn (default: next to kgate)
+//!   --ksimd-arg ARG        extra argument passed to every spawned ksimd (repeatable)
+//!   --max-frame BYTES      client-side frame cap (default 8388608)
+//!   --io-workers N         blocking relay threads (default 8)
+//!   --upstream-timeout-ms N  per-request relay deadline (default 90000)
+//! ```
+//!
+//! Prints `kgate listening on ADDR` to stdout once bound. Clients speak the
+//! plain `ksimd` wire protocol to the gate; sessions are sharded across the
+//! fleet, and `kctl gate-drain` evacuates a worker with zero session loss.
+//! `kctl shutdown` drains the gate and shuts down every worker it spawned.
+
+use std::io::BufRead as _;
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::Duration;
+
+use kahrisma_core::args::ArgList;
+use kahrisma_gate::{Fleet, Gate, GateConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kgate [--addr HOST:PORT] [--spawn N] [--worker HOST:PORT]...\n\
+         \x20            [--ksimd PATH] [--ksimd-arg ARG]... [--max-frame BYTES]\n\
+         \x20            [--io-workers N] [--upstream-timeout-ms N]"
+    );
+    std::process::exit(2);
+}
+
+struct GateArgs {
+    config: GateConfig,
+    spawn: usize,
+    attach: Vec<String>,
+    ksimd: Option<String>,
+    ksimd_args: Vec<String>,
+}
+
+fn parse_args(mut args: ArgList) -> Result<GateArgs, String> {
+    let mut parsed = GateArgs {
+        config: GateConfig {
+            addr: "127.0.0.1:9190".to_string(),
+            ..GateConfig::default()
+        },
+        spawn: 0,
+        attach: Vec::new(),
+        ksimd: None,
+        ksimd_args: Vec::new(),
+    };
+    while let Some(arg) = args.next_arg() {
+        match arg.as_str() {
+            "--addr" => parsed.config.addr = args.value("--addr")?,
+            "--spawn" => parsed.spawn = args.parse_value("--spawn")?,
+            "--worker" => parsed.attach.push(args.value("--worker")?),
+            "--ksimd" => parsed.ksimd = Some(args.value("--ksimd")?),
+            "--ksimd-arg" => parsed.ksimd_args.push(args.value("--ksimd-arg")?),
+            "--max-frame" => parsed.config.max_frame = args.parse_value("--max-frame")?,
+            "--io-workers" => parsed.config.io_workers = args.parse_value("--io-workers")?,
+            "--upstream-timeout-ms" => {
+                parsed.config.upstream_timeout =
+                    Duration::from_millis(args.parse_value("--upstream-timeout-ms")?);
+            }
+            "--help" | "-h" => usage(),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if parsed.spawn == 0 && parsed.attach.is_empty() {
+        return Err("need at least one worker: --spawn N or --worker HOST:PORT".to_string());
+    }
+    if parsed.config.max_frame < 1024 {
+        return Err("--max-frame must be at least 1024 bytes".to_string());
+    }
+    if parsed.config.io_workers == 0 {
+        return Err("--io-workers must be at least 1".to_string());
+    }
+    Ok(parsed)
+}
+
+/// Resolves the ksimd binary for `--spawn`: an explicit `--ksimd PATH`, or
+/// the sibling of the running kgate executable.
+fn ksimd_binary(explicit: Option<String>) -> Result<String, String> {
+    if let Some(path) = explicit {
+        return Ok(path);
+    }
+    let me = std::env::current_exe().map_err(|e| format!("cannot locate kgate binary: {e}"))?;
+    let sibling = me.with_file_name("ksimd");
+    if sibling.exists() {
+        return Ok(sibling.to_string_lossy().into_owned());
+    }
+    Err(format!(
+        "no ksimd next to kgate ({}); pass --ksimd PATH",
+        sibling.display()
+    ))
+}
+
+/// Spawns one ksimd on an ephemeral port and parses the bound address from
+/// its `ksimd listening on ADDR` banner.
+fn spawn_ksimd(binary: &str, extra_args: &[String]) -> Result<(String, Child), String> {
+    let mut child = Command::new(binary)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .args(extra_args)
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {binary}: {e}"))?;
+    let stdout = child.stdout.take().ok_or("no stdout from spawned ksimd")?;
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut banner = String::new();
+    reader
+        .read_line(&mut banner)
+        .map_err(|e| format!("cannot read ksimd banner: {e}"))?;
+    let addr = banner
+        .trim()
+        .strip_prefix("ksimd listening on ")
+        .ok_or_else(|| format!("unexpected ksimd banner: {banner:?}"))?
+        .to_string();
+    // Keep draining the worker's stdout so it never blocks on a full pipe.
+    std::thread::spawn(move || {
+        for _ in reader.lines() {}
+    });
+    Ok((addr, child))
+}
+
+fn main() -> ExitCode {
+    let parsed = match parse_args(ArgList::from_env()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("kgate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut workers: Vec<(String, Option<Child>)> =
+        parsed.attach.iter().map(|a| (a.clone(), None)).collect();
+    if parsed.spawn > 0 {
+        let binary = match ksimd_binary(parsed.ksimd) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("kgate: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for i in 0..parsed.spawn {
+            match spawn_ksimd(&binary, &parsed.ksimd_args) {
+                Ok((addr, child)) => {
+                    eprintln!("kgate: spawned worker {i} at {addr}");
+                    workers.push((addr, Some(child)));
+                }
+                Err(e) => {
+                    eprintln!("kgate: {e}");
+                    // Reap anything already spawned before giving up.
+                    for (_, child) in &mut workers {
+                        if let Some(child) = child {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                        }
+                    }
+                    return ExitCode::from(1);
+                }
+            }
+        }
+    }
+    let gate = match Gate::bind(parsed.config, Fleet::new(workers)) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("kgate: cannot bind: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    match gate.local_addr() {
+        Ok(addr) => {
+            // Scripts parse this line to find an ephemeral port.
+            println!("kgate listening on {addr}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("kgate: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    match gate.run() {
+        Ok(()) => {
+            eprintln!("kgate: drained, exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("kgate: event loop failed: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> ArgList {
+        ArgList::new(s.iter().map(ToString::to_string).collect())
+    }
+
+    #[test]
+    fn parses_spawn_and_attach_flags() {
+        let p = parse_args(args(&[
+            "--addr", "127.0.0.1:0", "--spawn", "2", "--worker", "127.0.0.1:9191",
+            "--worker", "127.0.0.1:9192", "--ksimd", "/bin/ksimd", "--ksimd-arg",
+            "--max-running", "--ksimd-arg", "8", "--max-frame", "65536",
+            "--io-workers", "4", "--upstream-timeout-ms", "5000",
+        ]))
+        .unwrap();
+        assert_eq!(p.config.addr, "127.0.0.1:0");
+        assert_eq!(p.spawn, 2);
+        assert_eq!(p.attach, vec!["127.0.0.1:9191", "127.0.0.1:9192"]);
+        assert_eq!(p.ksimd.as_deref(), Some("/bin/ksimd"));
+        assert_eq!(p.ksimd_args, vec!["--max-running", "8"]);
+        assert_eq!(p.config.max_frame, 65536);
+        assert_eq!(p.config.io_workers, 4);
+        assert_eq!(p.config.upstream_timeout, Duration::from_secs(5));
+    }
+
+    #[test]
+    fn requires_at_least_one_worker() {
+        assert!(parse_args(args(&[])).is_err());
+        assert!(parse_args(args(&["--spawn", "0"])).is_err());
+        assert!(parse_args(args(&["--worker", "127.0.0.1:9191"])).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse_args(args(&["--spawn", "1", "--max-frame", "16"])).is_err());
+        assert!(parse_args(args(&["--spawn", "1", "--io-workers", "0"])).is_err());
+        assert!(parse_args(args(&["--spawn", "x"])).is_err());
+        assert!(parse_args(args(&["--bogus"])).is_err());
+    }
+}

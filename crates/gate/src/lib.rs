@@ -1,0 +1,1015 @@
+//! `kgate`: a session-sharding gateway in front of a `ksimd` worker fleet.
+//!
+//! One simulation daemon is bounded by its admission limit (`max_running`
+//! CPU-bound run slots). `kgate` scales the serving plane horizontally
+//! while keeping the wire protocol unchanged: clients speak plain `ksimd`
+//! JSONL to the gate, and the gate
+//!
+//! * **shards** sessions across N workers by session-key hash (an
+//!   authoritative name→worker registry tracks the actual placement, which
+//!   rebalancing may move away from the hash),
+//! * **proxies** every protocol verb transparently — on the shared
+//!   [`kahrisma_serve::eventloop`] the relay is a loop-level state machine
+//!   that forwards frames verbatim (stream frames included) without tying
+//!   up a thread,
+//! * **health-checks** workers with the extended `ping` (load, drain
+//!   state), routing around unhealthy ones, and
+//! * **evacuates** workers: `gate_drain` migrates every session off a
+//!   worker through the wire `export`/`import` snapshot codec with zero
+//!   session loss, so a worker can be taken down under live load.
+//!
+//! The gate answers `ping`, `gate_status`, and `gate_drain` itself;
+//! everything else reaches a worker. Like the rest of the workspace, this
+//! is std-only: TCP + threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs as _};
+use std::process::Child;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use kahrisma_observe::MetricsRegistry;
+use kahrisma_serve::eventloop::{
+    ConnOut, Dispatch, EventLoop, LoopConfig, ProxyOutcome, ProxyTicket, Service,
+};
+use kahrisma_serve::json::{self, Value};
+use kahrisma_serve::proto::{self, ErrorCode, PROTO_VERSION};
+use kahrisma_serve::{Client, ClientError, ServerLoad};
+
+/// Gateway tuning knobs.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Listen address; port 0 binds an ephemeral port.
+    pub addr: String,
+    /// Abandon a relayed request after this long without a final response
+    /// (must exceed the workers' `request_timeout`, which bounds each run).
+    pub upstream_timeout: Duration,
+    /// Back-off hint attached to gate-synthesized `overloaded` responses.
+    pub retry_after_ms: u64,
+    /// Frame cap for client connections (workers advertise their own).
+    pub max_frame: usize,
+    /// Interval between worker health probes.
+    pub health_interval: Duration,
+    /// Worker threads for blocking gate work (slow-path relays, drains).
+    pub io_workers: usize,
+    /// Idle upstream connections pooled per worker.
+    pub pool_per_worker: usize,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            addr: "127.0.0.1:0".to_string(),
+            upstream_timeout: Duration::from_secs(90),
+            retry_after_ms: 250,
+            max_frame: proto::DEFAULT_MAX_FRAME_BYTES,
+            health_interval: Duration::from_millis(500),
+            io_workers: 8,
+            pool_per_worker: 8,
+        }
+    }
+}
+
+/// One `ksimd` worker as the gate sees it.
+pub struct WorkerHandle {
+    /// The worker's listen address.
+    pub addr: String,
+    /// Idle pooled connections to this worker.
+    pool: Mutex<Vec<TcpStream>>,
+    healthy: AtomicBool,
+    /// Excluded from new-session placement (set by `gate_drain`).
+    draining: AtomicBool,
+    /// Last load report from the health prober.
+    load: Mutex<ServerLoad>,
+    /// The child process, when this gate spawned the worker.
+    child: Mutex<Option<Child>>,
+}
+
+impl WorkerHandle {
+    fn new(addr: String, child: Option<Child>) -> WorkerHandle {
+        WorkerHandle {
+            addr,
+            pool: Mutex::new(Vec::new()),
+            healthy: AtomicBool::new(true),
+            draining: AtomicBool::new(false),
+            load: Mutex::new(ServerLoad::default()),
+            child: Mutex::new(child),
+        }
+    }
+
+    /// Whether the last health probe succeeded.
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::SeqCst)
+    }
+
+    /// Whether the worker is excluded from new-session placement.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn checkout_conn(&self) -> Option<TcpStream> {
+        lock(&self.pool).pop()
+    }
+
+    fn checkin_conn(&self, stream: TcpStream, cap: usize) {
+        let mut pool = lock(&self.pool);
+        if pool.len() < cap {
+            pool.push(stream);
+        }
+    }
+
+    fn connect(&self) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(stream)
+    }
+
+    fn snapshot_load(&self) -> ServerLoad {
+        lock(&self.load).clone()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The worker fleet plus the authoritative session→worker registry.
+pub struct Fleet {
+    workers: Vec<Arc<WorkerHandle>>,
+    registry: Mutex<HashMap<String, usize>>,
+}
+
+impl Fleet {
+    /// Builds a fleet from attached worker addresses and/or spawned
+    /// children (pass the `Child` for workers this gate owns; they are
+    /// shut down when the gate drains).
+    #[must_use]
+    pub fn new(workers: Vec<(String, Option<Child>)>) -> Fleet {
+        Fleet {
+            workers: workers
+                .into_iter()
+                .map(|(addr, child)| Arc::new(WorkerHandle::new(addr, child)))
+                .collect(),
+            registry: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The workers, in fleet order.
+    #[must_use]
+    pub fn workers(&self) -> &[Arc<WorkerHandle>] {
+        &self.workers
+    }
+
+    /// The registry's owner for `name`, if tracked.
+    fn owner(&self, name: &str) -> Option<usize> {
+        lock(&self.registry).get(name).copied()
+    }
+
+    fn register(&self, name: &str, worker: usize) {
+        lock(&self.registry).insert(name.to_string(), worker);
+    }
+
+    fn unregister(&self, name: &str) {
+        lock(&self.registry).remove(name);
+    }
+
+    fn resident_count(&self, worker: usize) -> usize {
+        lock(&self.registry).values().filter(|&&w| w == worker).count()
+    }
+
+    /// Placement for a new session: the FNV-1a hash of its name over the
+    /// eligible (healthy, non-draining) workers; falls back to the
+    /// least-registered eligible worker when the hashed slot is ineligible.
+    fn place(&self, name: &str) -> Option<usize> {
+        let eligible: Vec<usize> = (0..self.workers.len())
+            .filter(|&i| self.workers[i].is_healthy() && !self.workers[i].is_draining())
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let slot = (fnv1a(name.as_bytes()) % self.workers.len() as u64) as usize;
+        if eligible.contains(&slot) {
+            return Some(slot);
+        }
+        eligible
+            .into_iter()
+            .min_by_key(|&i| self.resident_count(i))
+    }
+
+    /// Placement excluding one worker (migration destinations).
+    fn place_excluding(&self, excluded: usize) -> Option<usize> {
+        (0..self.workers.len())
+            .filter(|&i| {
+                i != excluded && self.workers[i].is_healthy() && !self.workers[i].is_draining()
+            })
+            .min_by_key(|&i| self.resident_count(i))
+    }
+}
+
+/// 64-bit FNV-1a: deterministic, dependency-free session-key hashing.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The gateway service: routing, proxying, and fleet administration over
+/// the shared event loop.
+pub struct GateService {
+    fleet: Arc<Fleet>,
+    config: GateConfig,
+    draining: Arc<AtomicBool>,
+    started: Instant,
+}
+
+/// Verbs the gate answers itself (everything else goes to a worker).
+const LOCAL_VERBS: [&str; 4] = ["ping", "gate_status", "gate_drain", "shutdown"];
+
+impl Service for GateService {
+    fn route(&self, request: &Value, raw: &str) -> Dispatch {
+        let id = request.get("id").cloned().unwrap_or(Value::Null);
+        let Some(cmd) = request.get("cmd").and_then(Value::as_str) else {
+            return Dispatch::Reply(proto::error_response(
+                id,
+                ErrorCode::BadRequest,
+                "missing `cmd`",
+                None,
+            ));
+        };
+        if self.draining.load(Ordering::SeqCst) && cmd != "ping" && cmd != "list" {
+            return Dispatch::Reply(proto::error_response(
+                id,
+                ErrorCode::Draining,
+                "gate is draining",
+                None,
+            ));
+        }
+        match cmd {
+            "ping" => Dispatch::Reply(self.ping_response(id)),
+            "gate_status" => Dispatch::Reply(self.status_response(&id)),
+            "gate_drain" => Dispatch::Pool,
+            "shutdown" => {
+                self.draining.store(true, Ordering::SeqCst);
+                Dispatch::Reply(proto::ok_response(
+                    id,
+                    vec![("draining".to_string(), Value::Bool(true))],
+                ))
+            }
+            "list" => Dispatch::Pool,
+            "create" | "import" => {
+                let Some(name) = request.get("name").and_then(Value::as_str) else {
+                    return Dispatch::Reply(proto::error_response(
+                        id,
+                        ErrorCode::BadRequest,
+                        "missing `name`",
+                        None,
+                    ));
+                };
+                if self.fleet.owner(name).is_some() {
+                    return Dispatch::Reply(proto::error_response(
+                        id,
+                        ErrorCode::BadRequest,
+                        &format!("session `{name}` already exists"),
+                        None,
+                    ));
+                }
+                let Some(worker) = self.fleet.place(name) else {
+                    return Dispatch::Reply(self.no_workers(&id));
+                };
+                self.forward(worker, request, raw, id)
+            }
+            _ => {
+                // Session verbs: route to the registered owner. A registry
+                // miss goes to the slow path, which searches the fleet.
+                let Some(name) = request.get("name").and_then(Value::as_str) else {
+                    return Dispatch::Reply(proto::error_response(
+                        id,
+                        ErrorCode::BadRequest,
+                        "missing `name`",
+                        None,
+                    ));
+                };
+                match self.fleet.owner(name) {
+                    Some(worker) => self.forward(worker, request, raw, id),
+                    None => Dispatch::Pool,
+                }
+            }
+        }
+    }
+
+    fn perform(&self, request: &Value, out: &Arc<ConnOut>) -> Value {
+        let id = request.get("id").cloned().unwrap_or(Value::Null);
+        match request.get("cmd").and_then(Value::as_str) {
+            Some("gate_drain") => self.handle_drain(&id, request),
+            Some("list") => self.handle_list(&id),
+            Some(cmd) if !LOCAL_VERBS.contains(&cmd) => {
+                // Slow path: resolve the owner (searching the fleet on a
+                // registry miss), connect if the pool was empty, and relay
+                // on this worker thread.
+                let name = request.get("name").and_then(Value::as_str).unwrap_or("");
+                let worker = match self.resolve_owner(cmd, name) {
+                    Ok(w) => w,
+                    Err(response) => return respond(&id, response),
+                };
+                let raw = request.to_json();
+                self.relay_blocking(worker, cmd, name, &raw, &id, out)
+            }
+            _ => proto::error_response(id, ErrorCode::BadRequest, "unroutable request", None),
+        }
+    }
+}
+
+/// `Ok(worker)` or `Err(error fields)` — the latter is turned into a
+/// response carrying the request id by [`respond`].
+type Routed = Result<usize, Value>;
+
+/// Stamps the request id onto an error built before the id was in scope.
+fn respond(id: &Value, error: Value) -> Value {
+    match error {
+        Value::Obj(mut fields) => {
+            for (key, value) in &mut fields {
+                if key == "id" {
+                    *value = id.clone();
+                }
+            }
+            Value::Obj(fields)
+        }
+        other => other,
+    }
+}
+
+impl GateService {
+    fn ping_response(&self, id: Value) -> Value {
+        let healthy =
+            self.fleet.workers().iter().filter(|w| w.is_healthy()).count();
+        proto::ok_response(
+            id,
+            vec![
+                ("pong".to_string(), Value::Bool(true)),
+                ("proto_version".to_string(), PROTO_VERSION.into()),
+                ("gate".to_string(), Value::Bool(true)),
+                ("workers".to_string(), (self.fleet.workers().len() as u64).into()),
+                ("healthy_workers".to_string(), (healthy as u64).into()),
+                (
+                    "sessions".to_string(),
+                    (lock(&self.fleet.registry).len() as u64).into(),
+                ),
+                (
+                    "uptime_ms".to_string(),
+                    (self.started.elapsed().as_millis() as u64).into(),
+                ),
+                ("max_frame".to_string(), (self.config.max_frame as u64).into()),
+                (
+                    "draining".to_string(),
+                    Value::Bool(self.draining.load(Ordering::SeqCst)),
+                ),
+            ],
+        )
+    }
+
+    /// `gate_status`: per-worker health, load, and placement, plus the
+    /// same data as a [`MetricsRegistry`] gauge document (the observe
+    /// crate's uniform metrics shape).
+    fn status_response(&self, id: &Value) -> Value {
+        let mut rows = Vec::new();
+        let mut registry = MetricsRegistry::new();
+        for (i, worker) in self.fleet.workers().iter().enumerate() {
+            let load = worker.snapshot_load();
+            let resident = self.fleet.resident_count(i) as u64;
+            rows.push(Value::Obj(vec![
+                ("index".to_string(), (i as u64).into()),
+                ("addr".to_string(), worker.addr.as_str().into()),
+                ("healthy".to_string(), Value::Bool(worker.is_healthy())),
+                ("draining".to_string(), Value::Bool(worker.is_draining())),
+                (
+                    "spawned".to_string(),
+                    Value::Bool(lock(&worker.child).is_some()),
+                ),
+                ("resident_sessions".to_string(), resident.into()),
+                ("reported_sessions".to_string(), load.sessions.into()),
+                ("running".to_string(), load.running.into()),
+                ("uptime_ms".to_string(), load.uptime_ms.into()),
+            ]));
+            let prefix = format!("kgate.worker{i}");
+            registry.set_gauge(&format!("{prefix}.healthy"), f64::from(worker.is_healthy()));
+            registry.set_gauge(&format!("{prefix}.resident_sessions"), resident as f64);
+            registry.set_gauge(&format!("{prefix}.running"), load.running as f64);
+        }
+        proto::ok_response(
+            id.clone(),
+            vec![
+                ("workers".to_string(), Value::Arr(rows)),
+                (
+                    "sessions".to_string(),
+                    (lock(&self.fleet.registry).len() as u64).into(),
+                ),
+                (
+                    "metrics".to_string(),
+                    json::parse(&registry.to_json()).unwrap_or_else(|_| Value::Obj(Vec::new())),
+                ),
+            ],
+        )
+    }
+
+    fn no_workers(&self, id: &Value) -> Value {
+        proto::error_response(
+            id.clone(),
+            ErrorCode::Unavailable,
+            "no healthy workers available",
+            Some(self.config.retry_after_ms),
+        )
+    }
+
+    /// Fast path: relay through the event loop using a pooled upstream
+    /// connection; falls back to the pool (blocking connect) when none is
+    /// idle.
+    fn forward(&self, worker: usize, request: &Value, raw: &str, id: Value) -> Dispatch {
+        let handle = &self.fleet.workers()[worker];
+        if !handle.is_healthy() {
+            return Dispatch::Reply(proto::error_response(
+                id,
+                ErrorCode::Unavailable,
+                &format!("worker {} is unhealthy", handle.addr),
+                Some(self.config.retry_after_ms),
+            ));
+        }
+        let Some(upstream) = handle.checkout_conn() else {
+            return Dispatch::Pool;
+        };
+        let fleet = Arc::clone(&self.fleet);
+        let cmd = request.get("cmd").and_then(Value::as_str).unwrap_or("").to_string();
+        let name = request.get("name").and_then(Value::as_str).unwrap_or("").to_string();
+        let pool_cap = self.config.pool_per_worker;
+        Dispatch::Proxy(ProxyTicket {
+            upstream,
+            request_line: raw.to_string(),
+            client_id: id,
+            deadline: Some(Instant::now() + self.config.upstream_timeout),
+            on_done: Box::new(move |outcome: ProxyOutcome| {
+                apply_outcome(&fleet, worker, &cmd, &name, outcome.response.as_ref());
+                if let Some(upstream) = outcome.upstream {
+                    fleet.workers()[worker].checkin_conn(upstream, pool_cap);
+                } else {
+                    // The relay lost the connection: let the prober decide
+                    // whether the worker itself is gone.
+                    fleet.workers()[worker].healthy.store(false, Ordering::SeqCst);
+                }
+            }),
+        })
+    }
+
+    /// Resolves which worker owns `name`, searching every healthy worker's
+    /// `list` on a registry miss (sessions created before the gate, or
+    /// moved behind its back).
+    fn resolve_owner(&self, cmd: &str, name: &str) -> Routed {
+        if name.is_empty() {
+            return Err(proto::error_response(
+                Value::Null,
+                ErrorCode::BadRequest,
+                "missing `name`",
+                None,
+            ));
+        }
+        if let Some(worker) = self.fleet.owner(name) {
+            return Ok(worker);
+        }
+        if cmd == "create" || cmd == "import" {
+            return self.fleet.place(name).ok_or_else(|| self.no_workers(&Value::Null));
+        }
+        for (i, worker) in self.fleet.workers().iter().enumerate() {
+            if !worker.is_healthy() {
+                continue;
+            }
+            let Ok(mut client) = Client::connect(&worker.addr) else { continue };
+            let Ok(listing) = client.list() else { continue };
+            let found = listing
+                .get("sessions")
+                .and_then(Value::as_arr)
+                .is_some_and(|rows| {
+                    rows.iter().any(|row| {
+                        row.get("name").and_then(Value::as_str) == Some(name)
+                    })
+                });
+            if found {
+                self.fleet.register(name, i);
+                return Ok(i);
+            }
+        }
+        Err(proto::error_response(
+            Value::Null,
+            ErrorCode::NotFound,
+            &format!("no session `{name}`"),
+            None,
+        ))
+    }
+
+    /// Pool-thread relay: connect (or reuse), forward, stream frames back,
+    /// return the final response.
+    fn relay_blocking(
+        &self,
+        worker: usize,
+        cmd: &str,
+        name: &str,
+        raw: &str,
+        id: &Value,
+        out: &Arc<ConnOut>,
+    ) -> Value {
+        let handle = &self.fleet.workers()[worker];
+        let upstream = match handle.checkout_conn().map(Ok).unwrap_or_else(|| handle.connect()) {
+            Ok(s) => s,
+            Err(e) => {
+                handle.healthy.store(false, Ordering::SeqCst);
+                return proto::error_response(
+                    id.clone(),
+                    ErrorCode::Unavailable,
+                    &format!("cannot reach worker {}: {e}", handle.addr),
+                    Some(self.config.retry_after_ms),
+                );
+            }
+        };
+        let deadline = Instant::now() + self.config.upstream_timeout;
+        match relay_once(upstream, raw, out, deadline) {
+            Ok((response, upstream)) => {
+                apply_outcome(&self.fleet, worker, cmd, name, Some(&response));
+                handle.checkin_conn(upstream, self.config.pool_per_worker);
+                // Relay the exact response (the worker's own id echo).
+                response
+            }
+            Err(e) => {
+                handle.healthy.store(false, Ordering::SeqCst);
+                proto::error_response(
+                    id.clone(),
+                    ErrorCode::Unavailable,
+                    &format!("worker {} failed mid-request: {e}", handle.addr),
+                    Some(self.config.retry_after_ms),
+                )
+            }
+        }
+    }
+
+    /// `list` fans out to every healthy worker and merges, tagging each
+    /// row with the worker that owns it.
+    fn handle_list(&self, id: &Value) -> Value {
+        let mut rows: Vec<Value> = Vec::new();
+        for worker in self.fleet.workers() {
+            if !worker.is_healthy() {
+                continue;
+            }
+            let Ok(mut client) = Client::connect(&worker.addr) else { continue };
+            let Ok(listing) = client.list() else { continue };
+            if let Some(sessions) = listing.get("sessions").and_then(Value::as_arr) {
+                for row in sessions {
+                    if let Value::Obj(fields) = row {
+                        let mut fields = fields.clone();
+                        fields.push(("worker".to_string(), worker.addr.as_str().into()));
+                        rows.push(Value::Obj(fields));
+                    }
+                }
+            }
+        }
+        rows.sort_by(|a, b| {
+            let name = |v: &Value| {
+                v.get("name").and_then(Value::as_str).unwrap_or("").to_string()
+            };
+            name(a).cmp(&name(b))
+        });
+        proto::ok_response(id.clone(), vec![("sessions".to_string(), Value::Arr(rows))])
+    }
+
+    /// `gate_drain`: evacuate every session from one worker via wire
+    /// `export`/`import`, with zero session loss — a session that cannot
+    /// move (fabric engines have no portable form; migration races) stays
+    /// on the source worker and is reported in `failed`.
+    fn handle_drain(&self, id: &Value, request: &Value) -> Value {
+        let Some(worker) = self.worker_from_request(request) else {
+            return proto::error_response(
+                id.clone(),
+                ErrorCode::BadRequest,
+                "gate_drain needs `worker` (an index or address in the fleet)",
+                None,
+            );
+        };
+        if self.fleet.place_excluding(worker).is_none() {
+            return proto::error_response(
+                id.clone(),
+                ErrorCode::Unavailable,
+                "no healthy destination workers to evacuate to",
+                Some(self.config.retry_after_ms),
+            );
+        }
+        let source = &self.fleet.workers()[worker];
+        source.draining.store(true, Ordering::SeqCst);
+        let mut source_client = match Client::connect(&source.addr) {
+            Ok(c) => c,
+            Err(e) => {
+                return proto::error_response(
+                    id.clone(),
+                    ErrorCode::Unavailable,
+                    &format!("cannot reach worker {}: {e}", source.addr),
+                    Some(self.config.retry_after_ms),
+                )
+            }
+        };
+        let names: Vec<String> = match source_client.list() {
+            Ok(listing) => listing
+                .get("sessions")
+                .and_then(Value::as_arr)
+                .map(|rows| {
+                    rows.iter()
+                        .filter_map(|r| r.get("name").and_then(Value::as_str))
+                        .map(ToString::to_string)
+                        .collect()
+                })
+                .unwrap_or_default(),
+            Err(e) => {
+                return proto::error_response(
+                    id.clone(),
+                    ErrorCode::Unavailable,
+                    &format!("cannot list worker {}: {e}", source.addr),
+                    Some(self.config.retry_after_ms),
+                )
+            }
+        };
+        let mut moved = Vec::new();
+        let mut failed = Vec::new();
+        for name in names {
+            match self.migrate(&mut source_client, worker, &name) {
+                Ok(dest) => moved.push(Value::Obj(vec![
+                    ("name".to_string(), name.as_str().into()),
+                    ("to".to_string(), self.fleet.workers()[dest].addr.as_str().into()),
+                ])),
+                Err(why) => failed.push(Value::Obj(vec![
+                    ("name".to_string(), name.as_str().into()),
+                    ("error".to_string(), why.into()),
+                ])),
+            }
+        }
+        proto::ok_response(
+            id.clone(),
+            vec![
+                ("worker".to_string(), source.addr.as_str().into()),
+                ("moved".to_string(), Value::Arr(moved)),
+                ("failed".to_string(), Value::Arr(failed)),
+            ],
+        )
+    }
+
+    /// Moves one session: export (retrying while busy), import on the
+    /// least-loaded destination (retrying while overloaded), then delete
+    /// the source copy. The source copy is only deleted after the import
+    /// acknowledges, so a failure at any step loses nothing.
+    fn migrate(
+        &self,
+        source: &mut Client,
+        source_idx: usize,
+        name: &str,
+    ) -> Result<usize, String> {
+        let exported = retry_busy(|| source.export(name))
+            .map_err(|e| format!("export failed: {e}"))?;
+        let dest_idx = self
+            .fleet
+            .place_excluding(source_idx)
+            .ok_or_else(|| "no destination worker".to_string())?;
+        let dest = &self.fleet.workers()[dest_idx];
+        let mut dest_client =
+            Client::connect(&dest.addr).map_err(|e| format!("connect {}: {e}", dest.addr))?;
+        retry_overloaded(|| dest_client.import(name, &exported))
+            .map_err(|e| format!("import failed: {e}"))?;
+        // The destination owns the session now; the source copy is
+        // redundant (best-effort delete — a leak there is harmless).
+        self.fleet.register(name, dest_idx);
+        let _ = retry_busy(|| source.session_verb("delete", name));
+        Ok(dest_idx)
+    }
+
+    fn worker_from_request(&self, request: &Value) -> Option<usize> {
+        let selector = request.get("worker")?;
+        if let Some(i) = selector.as_u64() {
+            let i = i as usize;
+            return (i < self.fleet.workers().len()).then_some(i);
+        }
+        let addr = selector.as_str()?;
+        self.fleet.workers().iter().position(|w| w.addr == addr)
+    }
+}
+
+fn apply_outcome(fleet: &Fleet, worker: usize, cmd: &str, name: &str, response: Option<&Value>) {
+    let Some(response) = response else { return };
+    let ok = response.get("ok").and_then(Value::as_bool) == Some(true);
+    let code = response.get("code").and_then(Value::as_str);
+    if name.is_empty() {
+        return;
+    }
+    match (cmd, ok) {
+        ("create" | "import", true) => fleet.register(name, worker),
+        ("delete", true) => fleet.unregister(name),
+        // The worker no longer has the session (evicted or deleted behind
+        // the gate's back): drop the stale registry entry.
+        (_, false) if code == Some("not_found") => fleet.unregister(name),
+        _ => {}
+    }
+}
+
+/// Sends one raw frame to a worker and pumps lines back: stream frames go
+/// to `out` verbatim, the first id-bearing line is the final response.
+/// Returns the response and the still-healthy connection.
+fn relay_once(
+    upstream: TcpStream,
+    raw: &str,
+    out: &Arc<ConnOut>,
+    deadline: Instant,
+) -> std::io::Result<(Value, TcpStream)> {
+    let timeout_err =
+        || std::io::Error::new(std::io::ErrorKind::TimedOut, "upstream worker timed out");
+    upstream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut writer = upstream.try_clone()?;
+    writer.write_all(raw.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut reader = BufReader::new(upstream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "worker closed the connection",
+                ))
+            }
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(timeout_err());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let Ok(parsed) = json::parse(text) else {
+            continue;
+        };
+        if parsed.get("id").is_some() {
+            let stream = reader.into_inner();
+            stream.set_read_timeout(None)?;
+            return Ok((parsed, stream));
+        }
+        out.push_line(text);
+    }
+}
+
+fn retry_busy(mut f: impl FnMut() -> Result<Value, ClientError>) -> Result<Value, ClientError> {
+    let mut attempts = 0;
+    loop {
+        match f() {
+            Err(ClientError::Server { ref code, .. }) if code == "busy" && attempts < 40 => {
+                attempts += 1;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            other => return other,
+        }
+    }
+}
+
+fn retry_overloaded(
+    mut f: impl FnMut() -> Result<Value, ClientError>,
+) -> Result<Value, ClientError> {
+    let mut attempts = 0;
+    loop {
+        match f() {
+            Err(ClientError::Server { ref code, retry_after_ms, .. })
+                if code == "overloaded" && attempts < 20 =>
+            {
+                attempts += 1;
+                std::thread::sleep(Duration::from_millis(retry_after_ms.unwrap_or(100).min(1000)));
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Probes one worker with the extended `ping`; `None` marks it unhealthy.
+fn probe(addr: &str, timeout: Duration) -> Option<ServerLoad> {
+    let sock = addr.to_socket_addrs().ok()?.next()?;
+    let stream = TcpStream::connect_timeout(&sock, timeout).ok()?;
+    stream.set_read_timeout(Some(timeout)).ok()?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().ok()?;
+    writer.write_all(b"{\"id\":0,\"cmd\":\"ping\"}\n").ok()?;
+    writer.flush().ok()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let v = json::parse(line.trim()).ok()?;
+    if v.get("ok").and_then(Value::as_bool) != Some(true) {
+        return None;
+    }
+    Some(ServerLoad {
+        proto_version: v.get("proto_version").and_then(Value::as_u64),
+        sessions: v.get("sessions").and_then(Value::as_u64).unwrap_or(0),
+        running: v.get("running").and_then(Value::as_u64).unwrap_or(0),
+        uptime_ms: v.get("uptime_ms").and_then(Value::as_u64).unwrap_or(0),
+        max_frame: v.get("max_frame").and_then(Value::as_u64),
+        draining: v.get("draining").and_then(Value::as_bool).unwrap_or(false),
+    })
+}
+
+/// A stop handle for a running gate.
+#[derive(Clone)]
+pub struct GateHandle {
+    draining: Arc<AtomicBool>,
+    addr: std::net::SocketAddr,
+}
+
+impl GateHandle {
+    /// The gate's bound address.
+    #[must_use]
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful drain (in-flight relays finish, then the loop
+    /// exits and spawned workers are shut down).
+    pub fn shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+}
+
+/// The gateway daemon.
+pub struct Gate {
+    listener: TcpListener,
+    service: Arc<GateService>,
+}
+
+impl Gate {
+    /// Binds the listen socket over an existing fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: GateConfig, fleet: Fleet) -> std::io::Result<Gate> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let service = Arc::new(GateService {
+            fleet: Arc::new(fleet),
+            draining: Arc::new(AtomicBool::new(false)),
+            started: Instant::now(),
+            config,
+        });
+        Ok(Gate { listener, service })
+    }
+
+    /// The bound address (read this after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A stop handle usable from other threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn handle(&self) -> std::io::Result<GateHandle> {
+        Ok(GateHandle {
+            draining: Arc::clone(&self.service.draining),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Runs the gate until drained: starts the health prober, drives the
+    /// event loop, then shuts down any workers this gate spawned (graceful
+    /// `shutdown` verb first, then reaping the child).
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener setup failures.
+    pub fn run(self) -> std::io::Result<()> {
+        let service = Arc::clone(&self.service);
+        let prober = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let probe_timeout = Duration::from_millis(500);
+                while !service.draining.load(Ordering::SeqCst) {
+                    for worker in service.fleet.workers() {
+                        match probe(&worker.addr, probe_timeout) {
+                            Some(load) => {
+                                worker.healthy.store(!load.draining, Ordering::SeqCst);
+                                *lock(&worker.load) = load;
+                            }
+                            None => worker.healthy.store(false, Ordering::SeqCst),
+                        }
+                    }
+                    std::thread::sleep(service.config.health_interval);
+                }
+            })
+        };
+        let loop_config = LoopConfig {
+            workers: self.service.config.io_workers.max(1),
+            max_frame: self.service.config.max_frame,
+            ..LoopConfig::default()
+        };
+        let draining = Arc::clone(&self.service.draining);
+        let result = EventLoop::new(self.listener, Arc::clone(&self.service), draining, loop_config)
+            .run();
+        let _ = prober.join();
+        // Shut down spawned workers: graceful drain via the wire, then reap.
+        for worker in service.fleet.workers() {
+            let child = lock(&worker.child).take();
+            if let Some(mut child) = child {
+                if let Ok(mut client) = Client::connect(&worker.addr) {
+                    let _ = client.shutdown();
+                }
+                let _ = child.wait();
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_skips_ineligible_workers() {
+        let fleet = Fleet::new(vec![
+            ("127.0.0.1:1".to_string(), None),
+            ("127.0.0.1:2".to_string(), None),
+            ("127.0.0.1:3".to_string(), None),
+        ]);
+        let a = fleet.place("session-a").unwrap();
+        assert_eq!(fleet.place("session-a").unwrap(), a, "same key, same slot");
+        // Draining the hashed slot reroutes deterministically to another.
+        fleet.workers()[a].draining.store(true, Ordering::SeqCst);
+        let b = fleet.place("session-a").unwrap();
+        assert_ne!(a, b);
+        // No eligible workers: no placement.
+        for w in fleet.workers() {
+            w.healthy.store(false, Ordering::SeqCst);
+        }
+        assert!(fleet.place("session-a").is_none());
+    }
+
+    #[test]
+    fn registry_tracks_ownership_and_migration() {
+        let fleet = Fleet::new(vec![
+            ("127.0.0.1:1".to_string(), None),
+            ("127.0.0.1:2".to_string(), None),
+        ]);
+        fleet.register("s1", 0);
+        fleet.register("s2", 0);
+        assert_eq!(fleet.owner("s1"), Some(0));
+        assert_eq!(fleet.resident_count(0), 2);
+        assert_eq!(fleet.place_excluding(0), Some(1));
+        fleet.register("s1", 1); // migrated
+        assert_eq!(fleet.owner("s1"), Some(1));
+        assert_eq!(fleet.resident_count(0), 1);
+        fleet.unregister("s2");
+        assert_eq!(fleet.owner("s2"), None);
+    }
+
+    #[test]
+    fn outcome_application_updates_the_registry() {
+        let fleet = Fleet::new(vec![("127.0.0.1:1".to_string(), None)]);
+        let ok = json::parse(r#"{"id":1,"ok":true}"#).unwrap();
+        apply_outcome(&fleet, 0, "create", "s", Some(&ok));
+        assert_eq!(fleet.owner("s"), Some(0));
+        let not_found =
+            json::parse(r#"{"id":2,"ok":false,"code":"not_found","error":"x"}"#).unwrap();
+        apply_outcome(&fleet, 0, "stats", "s", Some(&not_found));
+        assert_eq!(fleet.owner("s"), None, "stale entries drop on not_found");
+        apply_outcome(&fleet, 0, "delete", "gone", Some(&ok));
+        assert_eq!(fleet.owner("gone"), None);
+    }
+}

@@ -1,0 +1,400 @@
+//! Gateway integration tests: in-process `ksimd` workers on ephemeral
+//! ports, an in-process gate sharding across them, driven by real TCP
+//! clients speaking the plain wire protocol.
+//!
+//! The anchor test proves zero-loss migration: a session created through
+//! the gate, partially run, evacuated to another worker by `gate_drain`,
+//! and run to completion produces a stats document bit-identical to the
+//! same run sequence on a single uninterrupted daemon.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use kahrisma_gate::{Fleet, Gate, GateConfig, GateHandle};
+use kahrisma_serve::json::Value;
+use kahrisma_serve::{Client, ClientError, Daemon, DaemonHandle, ServerConfig};
+
+struct Worker {
+    addr: String,
+    handle: DaemonHandle,
+    thread: JoinHandle<()>,
+}
+
+fn start_worker(config: ServerConfig) -> Worker {
+    let daemon = Daemon::bind(ServerConfig { addr: "127.0.0.1:0".to_string(), ..config })
+        .expect("bind worker");
+    let addr = daemon.local_addr().expect("worker addr").to_string();
+    let handle = daemon.handle().expect("worker handle");
+    let thread = std::thread::spawn(move || daemon.run().expect("worker loop"));
+    Worker { addr, handle, thread }
+}
+
+struct GateUnderTest {
+    addr: String,
+    handle: GateHandle,
+    thread: JoinHandle<()>,
+    workers: Vec<Worker>,
+}
+
+impl GateUnderTest {
+    fn stop(self) {
+        self.handle.shutdown();
+        self.thread.join().expect("gate thread");
+        for worker in self.workers {
+            worker.handle.shutdown();
+            worker.thread.join().expect("worker thread");
+        }
+    }
+}
+
+fn start_gate(worker_count: usize, worker_config: ServerConfig) -> GateUnderTest {
+    let workers: Vec<Worker> =
+        (0..worker_count).map(|_| start_worker(worker_config.clone())).collect();
+    let fleet = Fleet::new(workers.iter().map(|w| (w.addr.clone(), None)).collect());
+    let gate = Gate::bind(
+        GateConfig {
+            addr: "127.0.0.1:0".to_string(),
+            health_interval: std::time::Duration::from_millis(100),
+            ..GateConfig::default()
+        },
+        fleet,
+    )
+    .expect("bind gate");
+    let addr = gate.local_addr().expect("gate addr").to_string();
+    let handle = gate.handle().expect("gate handle");
+    let thread = std::thread::spawn(move || gate.run().expect("gate loop"));
+    GateUnderTest { addr, handle, thread, workers }
+}
+
+fn field(fields: Vec<(&str, Value)>) -> Vec<(String, Value)> {
+    fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+}
+
+/// A response object with its `id` field dropped, for comparing documents
+/// produced by different client connections.
+fn without_id(v: &Value) -> Value {
+    match v {
+        Value::Obj(fields) => Value::Obj(
+            fields.iter().filter(|(k, _)| k != "id").cloned().collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+#[test]
+fn gate_ping_identifies_itself_and_counts_workers() {
+    let gate = start_gate(2, ServerConfig::default());
+    let mut client = Client::connect(&gate.addr).unwrap();
+    let pong = client.request(field(vec![("cmd", "ping".into())])).unwrap();
+    assert_eq!(pong.get("gate").and_then(Value::as_bool), Some(true));
+    assert_eq!(pong.get("workers").and_then(Value::as_u64), Some(2));
+    assert_eq!(pong.get("healthy_workers").and_then(Value::as_u64), Some(2));
+    assert_eq!(pong.get("sessions").and_then(Value::as_u64), Some(0));
+    assert!(pong.get("proto_version").and_then(Value::as_u64).is_some());
+    assert_eq!(pong.get("draining").and_then(Value::as_bool), Some(false));
+
+    // The typed client's tolerant load parser works against a gate too.
+    let load = client.ping_load().unwrap();
+    assert!(!load.draining);
+    gate.stop();
+}
+
+#[test]
+fn gate_proxies_create_run_stats_transparently() {
+    let gate = start_gate(2, ServerConfig::default());
+    let mut via_gate = Client::connect(&gate.addr).unwrap();
+    via_gate.create("g1", "dct", "risc", Vec::new()).unwrap();
+    let run = via_gate.run("g1", None, false, false).unwrap();
+    assert_eq!(run.get("outcome").and_then(Value::as_str), Some("halted"));
+    let gated_stats = via_gate.session_verb("stats", "g1").unwrap();
+
+    // The same session driven directly on a lone worker gives the same
+    // stats document: the gate added no observable behavior.
+    let direct_worker = start_worker(ServerConfig::default());
+    let mut direct = Client::connect(&direct_worker.addr).unwrap();
+    direct.create("g1", "dct", "risc", Vec::new()).unwrap();
+    direct.run("g1", None, false, false).unwrap();
+    let direct_stats = direct.session_verb("stats", "g1").unwrap();
+    assert_eq!(without_id(&gated_stats), without_id(&direct_stats));
+
+    // Unknown sessions still produce the daemon's own error shape.
+    let miss = via_gate.session_verb("stats", "nope");
+    assert!(matches!(miss, Err(ClientError::Server { ref code, .. }) if code == "not_found"));
+
+    direct_worker.handle.shutdown();
+    direct_worker.thread.join().unwrap();
+    gate.stop();
+}
+
+#[test]
+fn gate_shards_sessions_and_list_merges_the_fleet() {
+    let gate = start_gate(2, ServerConfig::default());
+    let mut client = Client::connect(&gate.addr).unwrap();
+    // Enough sessions that FNV-1a placement uses both workers.
+    let names: Vec<String> = (0..8).map(|i| format!("shard-{i}")).collect();
+    for name in &names {
+        client.create(name, "dct", "risc", Vec::new()).unwrap();
+    }
+    let listing = client.list().unwrap();
+    let rows = listing.get("sessions").and_then(Value::as_arr).unwrap();
+    assert_eq!(rows.len(), names.len());
+    let mut owners = std::collections::BTreeSet::new();
+    for row in rows {
+        let name = row.get("name").and_then(Value::as_str).unwrap();
+        assert!(names.iter().any(|n| n == name));
+        owners.insert(row.get("worker").and_then(Value::as_str).unwrap().to_string());
+    }
+    assert_eq!(owners.len(), 2, "8 hashed sessions should land on both workers");
+
+    // Duplicate names are refused at the gate before touching a worker.
+    let dup = client.create("shard-0", "dct", "risc", Vec::new());
+    assert!(matches!(dup, Err(ClientError::Server { ref code, .. }) if code == "bad_request"));
+    gate.stop();
+}
+
+#[test]
+fn gate_status_reports_fleet_health_and_metrics() {
+    let gate = start_gate(2, ServerConfig::default());
+    let mut client = Client::connect(&gate.addr).unwrap();
+    client.create("status-probe", "dct", "risc", Vec::new()).unwrap();
+    let status = client.request(field(vec![("cmd", "gate_status".into())])).unwrap();
+    let workers = status.get("workers").and_then(Value::as_arr).unwrap();
+    assert_eq!(workers.len(), 2);
+    let resident: u64 = workers
+        .iter()
+        .map(|w| {
+            assert_eq!(w.get("healthy").and_then(Value::as_bool), Some(true));
+            assert!(w.get("addr").and_then(Value::as_str).is_some());
+            w.get("resident_sessions").and_then(Value::as_u64).unwrap()
+        })
+        .sum();
+    assert_eq!(resident, 1);
+    assert!(
+        status.get("metrics").and_then(|m| m.get("gauges")).is_some(),
+        "gate_status carries a metrics-registry document"
+    );
+    gate.stop();
+}
+
+#[test]
+fn gate_resolves_sessions_created_behind_its_back() {
+    let gate = start_gate(2, ServerConfig::default());
+    // Create directly on a worker, bypassing the gate's registry.
+    let mut direct = Client::connect(&gate.workers[1].addr).unwrap();
+    direct.create("stowaway", "dct", "risc", Vec::new()).unwrap();
+    // The gate's first touch misses its registry, searches the fleet, and
+    // serves the request anyway.
+    let mut via_gate = Client::connect(&gate.addr).unwrap();
+    let run = via_gate.run("stowaway", None, false, false).unwrap();
+    assert_eq!(run.get("outcome").and_then(Value::as_str), Some("halted"));
+    gate.stop();
+}
+
+/// The migration acceptance test: create through the gate, run partially,
+/// evacuate the owning worker with `gate_drain`, finish the run on the new
+/// worker — and the final stats document is bit-identical to the same
+/// two-step run on one uninterrupted daemon.
+///
+/// The session disables the warm-path caches (decode cache, prediction,
+/// superblocks): a portable snapshot carries architectural state and
+/// counters exactly, but caches re-warm on the destination, so cache-hit
+/// counters are only migration-invariant when the caches are off. The
+/// companion test below pins down what migration preserves for a
+/// default-config session.
+#[test]
+fn drained_sessions_migrate_with_bit_identical_stats() {
+    const PARTIAL: u64 = 20_000;
+    let flags = || {
+        field(vec![
+            ("decode_cache", false.into()),
+            ("prediction", false.into()),
+            ("superblocks", false.into()),
+        ])
+    };
+    let gate = start_gate(2, ServerConfig::default());
+    let mut client = Client::connect(&gate.addr).unwrap();
+    client.create("mig", "dct", "risc", flags()).unwrap();
+    let first = client.run("mig", Some(PARTIAL), false, false).unwrap();
+    assert_eq!(first.get("outcome").and_then(Value::as_str), Some("budget"));
+
+    // Find the owner and drain it through the gate.
+    let listing = client.list().unwrap();
+    let owner_addr = listing
+        .get("sessions")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .find(|row| row.get("name").and_then(Value::as_str) == Some("mig"))
+        .and_then(|row| row.get("worker").and_then(Value::as_str))
+        .unwrap()
+        .to_string();
+    let drain = client
+        .request(field(vec![
+            ("cmd", "gate_drain".into()),
+            ("worker", owner_addr.as_str().into()),
+        ]))
+        .unwrap();
+    let moved = drain.get("moved").and_then(Value::as_arr).unwrap();
+    assert_eq!(moved.len(), 1, "exactly the one resident session moves");
+    assert_eq!(moved[0].get("name").and_then(Value::as_str), Some("mig"));
+    let new_home = moved[0].get("to").and_then(Value::as_str).unwrap();
+    assert_ne!(new_home, owner_addr, "session moved off the drained worker");
+    assert_eq!(drain.get("failed").and_then(Value::as_arr).unwrap().len(), 0);
+
+    // The source worker no longer holds it; the destination does.
+    let mut source = Client::connect(&owner_addr).unwrap();
+    let gone = source.session_verb("stats", "mig");
+    assert!(matches!(gone, Err(ClientError::Server { ref code, .. }) if code == "not_found"));
+    let mut dest = Client::connect(new_home).unwrap();
+    dest.session_verb("stats", "mig").unwrap();
+
+    // Finish the run through the gate (its registry followed the move).
+    let second = client.run("mig", None, false, false).unwrap();
+    assert_eq!(second.get("outcome").and_then(Value::as_str), Some("halted"));
+    let migrated_stats = client.session_verb("stats", "mig").unwrap();
+
+    // Reference: identical two-step run on one uninterrupted daemon.
+    let reference = start_worker(ServerConfig::default());
+    let mut direct = Client::connect(&reference.addr).unwrap();
+    direct.create("mig", "dct", "risc", flags()).unwrap();
+    direct.run("mig", Some(PARTIAL), false, false).unwrap();
+    direct.run("mig", None, false, false).unwrap();
+    let reference_stats = direct.session_verb("stats", "mig").unwrap();
+
+    assert_eq!(
+        without_id(&migrated_stats).to_json(),
+        without_id(&reference_stats).to_json(),
+        "migrated session stats must be bit-identical to an uninterrupted run"
+    );
+
+    reference.handle.shutdown();
+    reference.thread.join().unwrap();
+    gate.stop();
+}
+
+/// A default-config session (all caches on) keeps every architectural
+/// counter exact across migration; only cache-warmth counters re-accrue on
+/// the destination as its caches warm from cold.
+#[test]
+fn default_sessions_keep_architectural_counters_across_migration() {
+    const PARTIAL: u64 = 20_000;
+    let gate = start_gate(2, ServerConfig::default());
+    let mut client = Client::connect(&gate.addr).unwrap();
+    client.create("warm", "dct", "risc", Vec::new()).unwrap();
+    client.run("warm", Some(PARTIAL), false, false).unwrap();
+    let listing = client.list().unwrap();
+    let owner_addr = listing
+        .get("sessions")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .find(|row| row.get("name").and_then(Value::as_str) == Some("warm"))
+        .and_then(|row| row.get("worker").and_then(Value::as_str))
+        .unwrap()
+        .to_string();
+    let drain = client
+        .request(field(vec![
+            ("cmd", "gate_drain".into()),
+            ("worker", owner_addr.as_str().into()),
+        ]))
+        .unwrap();
+    assert_eq!(drain.get("moved").and_then(Value::as_arr).unwrap().len(), 1);
+    client.run("warm", None, false, false).unwrap();
+    let migrated = client.session_verb("stats", "warm").unwrap();
+
+    let reference = start_worker(ServerConfig::default());
+    let mut direct = Client::connect(&reference.addr).unwrap();
+    direct.create("warm", "dct", "risc", Vec::new()).unwrap();
+    direct.run("warm", Some(PARTIAL), false, false).unwrap();
+    direct.run("warm", None, false, false).unwrap();
+    let ref_stats = direct.session_verb("stats", "warm").unwrap();
+
+    for key in [
+        "instructions", "operations", "nops", "mem_reads", "mem_writes",
+        "taken_branches", "isa_switches", "exit_code",
+    ] {
+        assert_eq!(
+            migrated.get(key).and_then(Value::as_u64),
+            ref_stats.get(key).and_then(Value::as_u64),
+            "{key} must survive migration exactly"
+        );
+    }
+    assert_eq!(migrated.get("halted").and_then(Value::as_bool), Some(true));
+
+    reference.handle.shutdown();
+    reference.thread.join().unwrap();
+    gate.stop();
+}
+
+#[test]
+fn drain_refuses_when_no_destination_exists() {
+    let gate = start_gate(1, ServerConfig::default());
+    let mut client = Client::connect(&gate.addr).unwrap();
+    client.create("stuck", "dct", "risc", Vec::new()).unwrap();
+    let refused = client.request(field(vec![
+        ("cmd", "gate_drain".into()),
+        ("worker", 0u64.into()),
+    ]));
+    assert!(
+        matches!(refused, Err(ClientError::Server { ref code, .. }) if code == "unavailable"),
+        "single-worker fleet has nowhere to evacuate to"
+    );
+    // The refusal left the worker serving: the session still answers.
+    client.session_verb("stats", "stuck").unwrap();
+    gate.stop();
+}
+
+#[test]
+fn fabric_sessions_survive_a_drain_in_place() {
+    let gate = start_gate(2, ServerConfig::default());
+    let mut client = Client::connect(&gate.addr).unwrap();
+    client.create_fabric("mesh", "dct:risc,quicksort:risc", None, None).unwrap();
+    let listing = client.list().unwrap();
+    let owner_addr = listing
+        .get("sessions")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .find(|row| row.get("name").and_then(Value::as_str) == Some("mesh"))
+        .and_then(|row| row.get("worker").and_then(Value::as_str))
+        .unwrap()
+        .to_string();
+    let drain = client
+        .request(field(vec![
+            ("cmd", "gate_drain".into()),
+            ("worker", owner_addr.as_str().into()),
+        ]))
+        .unwrap();
+    // Fabric engines have no portable form: the session cannot move, but
+    // it is not lost — it stays resident and keeps serving.
+    let failed = drain.get("failed").and_then(Value::as_arr).unwrap();
+    assert_eq!(failed.len(), 1);
+    assert_eq!(failed[0].get("name").and_then(Value::as_str), Some("mesh"));
+    let run = client.run("mesh", None, false, false).unwrap();
+    assert_eq!(run.get("outcome").and_then(Value::as_str), Some("halted"));
+    gate.stop();
+}
+
+#[test]
+fn gate_shutdown_drains_cleanly_under_open_connections() {
+    let gate = start_gate(2, ServerConfig::default());
+    let mut client = Client::connect(&gate.addr).unwrap();
+    client.create("last", "dct", "risc", Vec::new()).unwrap();
+    let bye = client.request(field(vec![("cmd", "shutdown".into())])).unwrap();
+    assert_eq!(bye.get("draining").and_then(Value::as_bool), Some(true));
+    drop(client);
+    gate.thread.join().expect("gate thread drains");
+    for worker in gate.workers {
+        worker.handle.shutdown();
+        worker.thread.join().unwrap();
+    }
+}
+
+// Re-exercise the handle-based stop path used by every other test so a
+// hung drain fails fast here rather than as a suite timeout.
+#[test]
+fn idle_gate_stops_via_handle() {
+    let gate = start_gate(1, ServerConfig::default());
+    let _ = Arc::new(());
+    gate.stop();
+}

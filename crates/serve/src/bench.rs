@@ -58,6 +58,8 @@ pub struct Percentiles {
     pub p50: f64,
     /// 90th percentile.
     pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
     /// 99th percentile (= max below 100 samples).
     pub p99: f64,
     /// Maximum.
@@ -76,6 +78,7 @@ fn percentiles(sorted_ms: &[f64]) -> Percentiles {
         min: sorted_ms.first().copied().unwrap_or(0.0),
         p50: at(0.50),
         p90: at(0.90),
+        p95: at(0.95),
         p99: at(0.99),
         max: sorted_ms.last().copied().unwrap_or(0.0),
     }
@@ -125,11 +128,7 @@ impl BenchReport {
         let _ = writeln!(s, "  \"budget_per_request\": {},", o.budget);
         let _ = writeln!(s, "  \"requests\": {},", self.requests);
         let _ = writeln!(s, "  \"overloaded_retries\": {},", self.overloaded_retries);
-        let _ = writeln!(
-            s,
-            "  \"latency_ms\": {{\"min\": {:.3}, \"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},",
-            self.latency.min, self.latency.p50, self.latency.p90, self.latency.p99, self.latency.max
-        );
+        let _ = writeln!(s, "  \"latency_ms\": {},", latency_json(&self.latency));
         let _ = writeln!(s, "  \"served_mips_per_request\": {:.4},", self.served_mips);
         let _ = writeln!(s, "  \"served_mips_best\": {:.4},", self.served_mips_best);
         let _ = writeln!(s, "  \"aggregate_mips\": {:.4},", self.aggregate_mips);
@@ -138,6 +137,13 @@ impl BenchReport {
         s.push_str("}\n");
         s
     }
+}
+
+fn latency_json(p: &Percentiles) -> String {
+    format!(
+        "{{\"min\": {:.3}, \"p50\": {:.3}, \"p90\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}",
+        p.min, p.p50, p.p90, p.p95, p.p99, p.max
+    )
 }
 
 struct ClientResult {
@@ -307,6 +313,323 @@ fn direct_baseline(
     Ok(budget as f64 / best / 1e6)
 }
 
+// ---------------------------------------------------------------------------
+// Saturation sweep: direct ksimd vs kgate fleets under a rising client count.
+// ---------------------------------------------------------------------------
+
+/// Saturation-sweep parameters (`kctl bench --sweep`).
+///
+/// The sweep owns its server processes: for each topology (a lone `ksimd`,
+/// then `kgate` fronting each fleet size) it spawns the daemons on
+/// ephemeral ports, walks the client ladder, and drains them — so one
+/// command produces the whole direct-vs-gated saturation comparison.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Workload name.
+    pub workload: String,
+    /// ISA name.
+    pub isa: String,
+    /// Instruction budget per request (smaller than the classic bench:
+    /// saturation stresses the serving plane, not the simulator).
+    pub budget: u64,
+    /// The client-count ladder.
+    pub clients: Vec<usize>,
+    /// `kgate` fleet sizes to sweep (workers per gate).
+    pub fleets: Vec<usize>,
+    /// Path to the `ksimd` binary.
+    pub ksimd: String,
+    /// Path to the `kgate` binary.
+    pub kgate: String,
+    /// Target total requests per ladder point (split across clients).
+    pub requests_target: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            workload: "dct".to_string(),
+            isa: "risc".to_string(),
+            budget: 100_000,
+            clients: vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1000],
+            fleets: vec![1, 2, 4],
+            ksimd: "ksimd".to_string(),
+            kgate: "kgate".to_string(),
+            requests_target: 240,
+        }
+    }
+}
+
+/// One ladder point: a topology under a fixed client count.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// `"direct"` (clients → ksimd) or `"kgate"` (clients → gate → fleet).
+    pub topology: String,
+    /// Workers behind the gate (1 for direct).
+    pub workers: usize,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Timed requests completed.
+    pub requests: usize,
+    /// `overloaded` rejections absorbed by client backoff.
+    pub overloaded_retries: u64,
+    /// Client-perceived per-request latency (backoff included).
+    pub latency: Percentiles,
+    /// Completed requests per wall second.
+    pub rps: f64,
+    /// Aggregate simulated throughput, MIPS.
+    pub aggregate_mips: f64,
+}
+
+/// The full sweep artifact: the classic single-point bench plus the
+/// saturation ladder for every topology.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The classic warm-session bench against a direct daemon.
+    pub base: BenchReport,
+    /// Sweep parameters.
+    pub options: SweepOptions,
+    /// All ladder points, in run order.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepReport {
+    /// Renders the checked-in `BENCH_serve.json` document: the classic
+    /// bench fields (unchanged shape, `schema_version` leading) plus the
+    /// `sweep` array.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = self.base.to_json();
+        // Splice the sweep in before the closing brace.
+        let end = s.rfind('}').unwrap_or(s.len());
+        s.truncate(end);
+        while s.ends_with(char::is_whitespace) {
+            s.pop();
+        }
+        let _ = writeln!(s, ",\n  \"sweep_budget_per_request\": {},", self.options.budget);
+        let _ = writeln!(s, "  \"sweep\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"topology\": \"{}\", \"workers\": {}, \"clients\": {}, \
+                 \"requests\": {}, \"overloaded_retries\": {}, \"latency_ms\": {}, \
+                 \"rps\": {:.2}, \"aggregate_mips\": {:.4}}}{comma}",
+                row.topology,
+                row.workers,
+                row.clients,
+                row.requests,
+                row.overloaded_retries,
+                latency_json(&row.latency),
+                row.rps,
+                row.aggregate_mips,
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// A spawned daemon (ksimd or kgate) on an ephemeral port.
+struct SpawnedServer {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl SpawnedServer {
+    /// Spawns `binary args...`, parsing the bound address from the
+    /// `... listening on ADDR` banner every daemon in this workspace
+    /// prints.
+    fn spawn(binary: &str, args: &[String]) -> Result<SpawnedServer, String> {
+        use std::io::BufRead as _;
+        let mut child = std::process::Command::new(binary)
+            .args(args)
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .map_err(|e| format!("cannot spawn {binary}: {e}"))?;
+        let stdout = child.stdout.take().ok_or("no stdout from spawned server")?;
+        let mut reader = std::io::BufReader::new(stdout);
+        let mut banner = String::new();
+        reader
+            .read_line(&mut banner)
+            .map_err(|e| format!("cannot read {binary} banner: {e}"))?;
+        let Some(pos) = banner.find("listening on ") else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(format!("unexpected banner from {binary}: {banner:?}"));
+        };
+        let addr = banner[pos + "listening on ".len()..].trim().to_string();
+        std::thread::spawn(move || {
+            for _ in reader.lines() {}
+        });
+        Ok(SpawnedServer { child, addr })
+    }
+
+    /// Graceful drain via the wire, then reap.
+    fn stop(mut self) {
+        if let Ok(mut client) = Client::connect(&self.addr) {
+            let _ = client.shutdown();
+        }
+        let _ = self.child.wait();
+    }
+}
+
+/// Runs the full saturation sweep, spawning every topology's daemons.
+///
+/// # Errors
+///
+/// Returns the first spawn/protocol failure.
+pub fn run_sweep(base: &BenchOptions, sweep: &SweepOptions) -> Result<SweepReport, String> {
+    let max_clients = sweep.clients.iter().copied().max().unwrap_or(1);
+    let sessions_arg = (max_clients + 32).to_string();
+
+    // The classic bench runs against its own direct daemon so the whole
+    // artifact regenerates from one command.
+    let base_server = SpawnedServer::spawn(
+        &sweep.ksimd,
+        &["--addr".into(), "127.0.0.1:0".into(), "--max-sessions".into(), sessions_arg.clone()],
+    )?;
+    let base_report = run_bench(&BenchOptions {
+        addr: base_server.addr.clone(),
+        workload: sweep.workload.clone(),
+        isa: sweep.isa.clone(),
+        ..base.clone()
+    });
+    base_server.stop();
+    let base_report = base_report?;
+
+    let mut rows = Vec::new();
+
+    // Topology 1: clients straight at one ksimd.
+    let direct = SpawnedServer::spawn(
+        &sweep.ksimd,
+        &["--addr".into(), "127.0.0.1:0".into(), "--max-sessions".into(), sessions_arg.clone()],
+    )?;
+    let result = sweep_ladder(sweep, &direct.addr, "direct", 1, &mut rows);
+    direct.stop();
+    result?;
+
+    // Topology 2..: kgate fronting 1/2/4-worker fleets.
+    for &fleet in &sweep.fleets {
+        let gate = SpawnedServer::spawn(
+            &sweep.kgate,
+            &[
+                "--addr".into(), "127.0.0.1:0".into(),
+                "--spawn".into(), fleet.to_string(),
+                "--ksimd".into(), sweep.ksimd.clone(),
+                "--io-workers".into(), "32".into(),
+                "--ksimd-arg".into(), "--max-sessions".into(),
+                "--ksimd-arg".into(), sessions_arg.clone(),
+            ],
+        )?;
+        let result = sweep_ladder(sweep, &gate.addr, "kgate", fleet, &mut rows);
+        gate.stop();
+        result?;
+    }
+
+    Ok(SweepReport { base: base_report, options: sweep.clone(), rows })
+}
+
+/// Walks the client ladder against one live serving endpoint.
+fn sweep_ladder(
+    sweep: &SweepOptions,
+    addr: &str,
+    topology: &str,
+    workers: usize,
+    rows: &mut Vec<SweepRow>,
+) -> Result<(), String> {
+    for &clients in &sweep.clients {
+        // Hold total work roughly constant across the ladder so the
+        // x-axis varies concurrency, not workload volume.
+        let iterations = (sweep.requests_target / clients).clamp(1, 50);
+        let started = Instant::now();
+        let results: Vec<Result<ClientResult, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|i| scope.spawn(move || sweep_client(addr, sweep, i, iterations)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| Err("client thread panicked".to_string())))
+                .collect()
+        });
+        let wall = started.elapsed().as_secs_f64();
+        let mut latencies = Vec::new();
+        let mut instructions = 0u64;
+        let mut overloaded_retries = 0u64;
+        for r in results {
+            let r = r?;
+            latencies.extend(r.latencies_ms);
+            instructions += r.instructions;
+            overloaded_retries += r.overloaded_retries;
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        rows.push(SweepRow {
+            topology: topology.to_string(),
+            workers,
+            clients,
+            requests: latencies.len(),
+            overloaded_retries,
+            latency: percentiles(&latencies),
+            rps: if wall > 0.0 { latencies.len() as f64 / wall } else { 0.0 },
+            aggregate_mips: if wall > 0.0 { instructions as f64 / wall / 1e6 } else { 0.0 },
+        });
+    }
+    Ok(())
+}
+
+/// One sweep client: connect (with retry under accept pressure), create a
+/// session, issue the timed requests, clean up.
+fn sweep_client(
+    addr: &str,
+    sweep: &SweepOptions,
+    index: usize,
+    iterations: usize,
+) -> Result<ClientResult, String> {
+    let mut client = connect_with_retry(addr)?;
+    let session = format!("sweep-{index}");
+    let mut overloaded_retries = 0u64;
+    // Session-table pressure answers `overloaded` too: back off and retry.
+    loop {
+        match client.create(&session, &sweep.workload, &sweep.isa, Vec::new()) {
+            Ok(_) => break,
+            Err(ClientError::Server { code, retry_after_ms, .. }) if code == "overloaded" => {
+                overloaded_retries += 1;
+                std::thread::sleep(std::time::Duration::from_millis(
+                    retry_after_ms.unwrap_or(100),
+                ));
+            }
+            Err(e) => return Err(format!("create {session}: {e}")),
+        }
+    }
+    let mut latencies_ms = Vec::with_capacity(iterations);
+    let mut instructions = 0u64;
+    for _ in 0..iterations {
+        let started = Instant::now();
+        let resp = run_with_backoff(&mut client, &session, sweep.budget, &mut overloaded_retries)?;
+        latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        instructions +=
+            resp.get("instructions").and_then(Value::as_u64).unwrap_or(sweep.budget);
+    }
+    let _ = client.session_verb("delete", &session);
+    Ok(ClientResult { latencies_ms, instructions, overloaded_retries })
+}
+
+/// Hundreds of clients connecting at once can outrun the accept loop;
+/// retry refused connections briefly instead of failing the ladder point.
+fn connect_with_retry(addr: &str) -> Result<Client, String> {
+    let mut last = None;
+    for _ in 0..100 {
+        match Client::connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+    }
+    Err(format!("connect {addr}: {}", last.map_or_else(String::new, |e| e.to_string())))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,28 +643,78 @@ mod tests {
         assert_eq!(p.min, 1.0);
         assert_eq!(p.p50, 51.0);
         assert_eq!(p.p90, 90.0);
+        assert_eq!(p.p95, 95.0);
         assert_eq!(p.p99, 99.0);
         assert_eq!(p.max, 100.0);
         let single = percentiles(&[7.0]);
         assert_eq!(single.min, 7.0);
         assert_eq!(single.p50, 7.0);
+        assert_eq!(single.p95, 7.0);
         assert_eq!(single.p99, 7.0);
     }
 
-    #[test]
-    fn report_serializes_to_valid_json() {
-        let report = BenchReport {
+    fn sample_report() -> BenchReport {
+        BenchReport {
             options: BenchOptions::default(),
             requests: 80,
             overloaded_retries: 2,
-            latency: Percentiles { min: 0.8, p50: 1.0, p90: 2.0, p99: 3.0, max: 4.0 },
+            latency: Percentiles { min: 0.8, p50: 1.0, p90: 2.0, p95: 2.5, p99: 3.0, max: 4.0 },
             served_mips: 50.0,
             served_mips_best: 53.0,
             aggregate_mips: 180.0,
             direct_mips: 55.0,
             efficiency: 0.963,
+        }
+    }
+
+    #[test]
+    fn report_serializes_to_valid_json() {
+        let json = sample_report().to_json();
+        kahrisma_observe::json_lint::validate(&json).expect("valid JSON");
+        assert!(json.contains("\"p95\": 2.500"), "{json}");
+    }
+
+    #[test]
+    fn sweep_report_keeps_the_schema_and_adds_the_ladder() {
+        let report = SweepReport {
+            base: sample_report(),
+            options: SweepOptions::default(),
+            rows: vec![
+                SweepRow {
+                    topology: "direct".to_string(),
+                    workers: 1,
+                    clients: 1,
+                    requests: 240,
+                    overloaded_retries: 0,
+                    latency: Percentiles {
+                        min: 0.5, p50: 0.7, p90: 0.9, p95: 1.0, p99: 1.2, max: 1.5,
+                    },
+                    rps: 1200.0,
+                    aggregate_mips: 120.0,
+                },
+                SweepRow {
+                    topology: "kgate".to_string(),
+                    workers: 4,
+                    clients: 1000,
+                    requests: 1000,
+                    overloaded_retries: 37,
+                    latency: Percentiles {
+                        min: 0.9, p50: 5.0, p90: 20.0, p95: 31.0, p99: 55.0, max: 80.0,
+                    },
+                    rps: 3000.0,
+                    aggregate_mips: 300.0,
+                },
+            ],
         };
-        kahrisma_observe::json_lint::validate(&report.to_json()).expect("valid JSON");
+        let json = report.to_json();
+        kahrisma_observe::json_lint::validate(&json).expect("valid JSON");
+        assert!(
+            json.trim_start().starts_with("{\n  \"schema_version\": 1,"),
+            "schema_version must stay the leading field: {json}"
+        );
+        assert!(json.contains("\"sweep\": ["), "{json}");
+        assert!(json.contains("\"topology\": \"kgate\""), "{json}");
+        assert!(json.contains("\"workers\": 4"), "{json}");
     }
 
     #[test]

@@ -30,7 +30,7 @@
 use std::process::ExitCode;
 
 use kahrisma_core::args::ArgList;
-use kahrisma_serve::bench::{run_bench, BenchOptions};
+use kahrisma_serve::bench::{run_bench, run_sweep, BenchOptions, SweepOptions};
 use kahrisma_serve::json::Value;
 use kahrisma_serve::Client;
 
@@ -40,9 +40,13 @@ const USAGE: &str = "usage: kctl [--addr HOST:PORT] <command> [args]\n\
      \x20         | run NAME [--budget N] [--reset] [--loop]\n\
      \x20         | stream NAME [--budget N] [--limit N]\n\
      \x20         | snapshot NAME | restore NAME | reset NAME | delete NAME\n\
-     \x20         | stats NAME | metrics NAME | list | shutdown\n\
+     \x20         | export NAME | stats NAME | metrics NAME | list | shutdown\n\
+     \x20         | gate-status | gate-drain WORKER\n\
      \x20         | bench [--workload W] [--isa I] [--clients N] [--iterations N]\n\
-     \x20                 [--budget N] [--out FILE]";
+     \x20                 [--budget N] [--out FILE]\n\
+     \x20         | bench --sweep --ksimd PATH --kgate PATH [--out FILE]\n\
+     \x20                 [--sweep-clients N,N,..] [--fleets N,N,..]\n\
+     \x20                 [--sweep-budget N] [--requests N]";
 
 /// A fully parsed invocation: daemon address plus one command.
 #[derive(Debug)]
@@ -61,7 +65,10 @@ enum Command {
     Verb { verb: String, name: String },
     List,
     Shutdown,
+    GateStatus,
+    GateDrain { worker: String },
     Bench { options: BenchOptions, out: Option<String> },
+    Sweep { base: BenchOptions, sweep: SweepOptions, out: Option<String> },
 }
 
 /// `create` arguments; `cores: Some(..)` selects a fabric session and is
@@ -122,10 +129,20 @@ fn parse(mut args: ArgList) -> Result<Invocation, String> {
             }
             Command::Stream { name, budget, limit }
         }
-        verb @ ("snapshot" | "restore" | "reset" | "delete" | "stats" | "metrics") => {
+        verb @ ("snapshot" | "restore" | "reset" | "delete" | "stats" | "metrics"
+        | "export") => {
             let name = args.value("NAME")?;
             finish(&mut args)?;
             Command::Verb { verb: verb.to_string(), name }
+        }
+        "gate-status" => {
+            finish(&mut args)?;
+            Command::GateStatus
+        }
+        "gate-drain" => {
+            let worker = args.value("WORKER")?;
+            finish(&mut args)?;
+            Command::GateDrain { worker }
         }
         "list" => {
             finish(&mut args)?;
@@ -137,21 +154,44 @@ fn parse(mut args: ArgList) -> Result<Invocation, String> {
         }
         "bench" => {
             let mut options = BenchOptions::default();
+            let mut sweep = SweepOptions::default();
+            let mut is_sweep = false;
             let mut out = None;
             while let Some(flag) = args.next_arg() {
                 match flag.as_str() {
-                    "--workload" => options.workload = args.value("--workload")?,
-                    "--isa" => options.isa = args.value("--isa")?,
+                    "--workload" => {
+                        options.workload = args.value("--workload")?;
+                        sweep.workload = options.workload.clone();
+                    }
+                    "--isa" => {
+                        options.isa = args.value("--isa")?;
+                        sweep.isa = options.isa.clone();
+                    }
                     "--clients" => options.clients = args.parse_value("--clients")?,
                     "--iterations" => {
                         options.iterations = args.parse_value("--iterations")?;
                     }
                     "--budget" => options.budget = args.parse_value("--budget")?,
                     "--out" => out = Some(args.value("--out")?),
+                    "--sweep" => is_sweep = true,
+                    "--ksimd" => sweep.ksimd = args.value("--ksimd")?,
+                    "--kgate" => sweep.kgate = args.value("--kgate")?,
+                    "--sweep-budget" => sweep.budget = args.parse_value("--sweep-budget")?,
+                    "--requests" => {
+                        sweep.requests_target = args.parse_value("--requests")?;
+                    }
+                    "--sweep-clients" => {
+                        sweep.clients = parse_list(&args.value("--sweep-clients")?)?;
+                    }
+                    "--fleets" => sweep.fleets = parse_list(&args.value("--fleets")?)?,
                     other => return Err(format!("unknown flag: {other}")),
                 }
             }
-            Command::Bench { options, out }
+            if is_sweep {
+                Command::Sweep { base: options, sweep, out }
+            } else {
+                Command::Bench { options, out }
+            }
         }
         other => return Err(format!("unknown command: {other}")),
     };
@@ -217,6 +257,18 @@ fn parse_create(args: &mut ArgList) -> Result<CreateArgs, String> {
         }
     }
     Ok(create)
+}
+
+/// Parses a comma-separated count list (`"1,2,4"`), rejecting zeros.
+fn parse_list(text: &str) -> Result<Vec<usize>, String> {
+    let counts: Vec<usize> = text
+        .split(',')
+        .map(|part| part.trim().parse::<usize>().map_err(|_| format!("bad count `{part}`")))
+        .collect::<Result<_, _>>()?;
+    if counts.is_empty() || counts.contains(&0) {
+        return Err(format!("counts must be positive: `{text}`"));
+    }
+    Ok(counts)
 }
 
 fn finish(args: &mut ArgList) -> Result<(), String> {
@@ -294,6 +346,21 @@ fn run(invocation: Invocation) -> ExitCode {
         }
         Command::Verb { verb, name } => report(connect(&addr).session_verb(&verb, &name)),
         Command::List => report(connect(&addr).list()),
+        Command::GateStatus => {
+            report(connect(&addr).request(vec![("cmd".to_string(), "gate_status".into())]))
+        }
+        Command::GateDrain { worker } => {
+            // A numeric selector is a fleet index; anything else is an
+            // address.
+            let selector: Value = match worker.parse::<u64>() {
+                Ok(index) => index.into(),
+                Err(_) => worker.as_str().into(),
+            };
+            report(connect(&addr).request(vec![
+                ("cmd".to_string(), "gate_drain".into()),
+                ("worker".to_string(), selector),
+            ]))
+        }
         Command::Shutdown => match connect(&addr).shutdown() {
             Ok(()) => {
                 println!("{{\"ok\":true,\"draining\":true}}");
@@ -306,23 +373,29 @@ fn run(invocation: Invocation) -> ExitCode {
         },
         Command::Bench { mut options, out } => {
             options.addr = addr;
-            match run_bench(&options) {
-                Ok(report) => {
-                    let json = report.to_json();
-                    print!("{json}");
-                    if let Some(path) = out {
-                        if let Err(e) = std::fs::write(&path, &json) {
-                            eprintln!("kctl: cannot write {path}: {e}");
-                            return ExitCode::from(1);
-                        }
-                    }
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("kctl: bench failed: {e}");
-                    ExitCode::from(1)
+            emit_bench(run_bench(&options).map(|r| r.to_json()), out)
+        }
+        Command::Sweep { base, sweep, out } => {
+            emit_bench(run_sweep(&base, &sweep).map(|r| r.to_json()), out)
+        }
+    }
+}
+
+fn emit_bench(result: Result<String, String>, out: Option<String>) -> ExitCode {
+    match result {
+        Ok(json) => {
+            print!("{json}");
+            if let Some(path) = out {
+                if let Err(e) = std::fs::write(&path, &json) {
+                    eprintln!("kctl: cannot write {path}: {e}");
+                    return ExitCode::from(1);
                 }
             }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("kctl: bench failed: {e}");
+            ExitCode::from(1)
         }
     }
 }
@@ -420,6 +493,40 @@ mod tests {
         assert!(parsed(&["ping", "extra"]).unwrap_err().contains("unexpected argument"));
         assert!(parsed(&["run", "s", "--frob"]).unwrap_err().contains("unknown flag"));
         assert!(parsed(&["--addr"]).unwrap_err().contains("expects a value"));
+    }
+
+    #[test]
+    fn gate_commands_parse() {
+        let inv = parsed(&["gate-status"]).unwrap();
+        assert!(matches!(inv.command, Command::GateStatus));
+        let inv = parsed(&["gate-drain", "0"]).unwrap();
+        let Command::GateDrain { worker } = inv.command else { panic!("expected drain") };
+        assert_eq!(worker, "0");
+        let inv = parsed(&["export", "s1"]).unwrap();
+        let Command::Verb { verb, name } = inv.command else { panic!("expected verb") };
+        assert_eq!((verb.as_str(), name.as_str()), ("export", "s1"));
+        assert!(parsed(&["gate-drain"]).is_err());
+    }
+
+    #[test]
+    fn bench_sweep_parses_ladder_and_fleet_lists() {
+        let inv = parsed(&[
+            "bench", "--sweep", "--ksimd", "/bin/ksimd", "--kgate", "/bin/kgate",
+            "--sweep-clients", "1,10,100", "--fleets", "2,4", "--sweep-budget", "50000",
+            "--requests", "64", "--workload", "fft", "--out", "s.json",
+        ])
+        .unwrap();
+        let Command::Sweep { sweep, out, .. } = inv.command else { panic!("expected sweep") };
+        assert_eq!(sweep.ksimd, "/bin/ksimd");
+        assert_eq!(sweep.kgate, "/bin/kgate");
+        assert_eq!(sweep.clients, vec![1, 10, 100]);
+        assert_eq!(sweep.fleets, vec![2, 4]);
+        assert_eq!(sweep.budget, 50_000);
+        assert_eq!(sweep.requests_target, 64);
+        assert_eq!(sweep.workload, "fft");
+        assert_eq!(out.as_deref(), Some("s.json"));
+        assert!(parsed(&["bench", "--sweep-clients", "1,0"]).is_err());
+        assert!(parsed(&["bench", "--fleets", "two"]).is_err());
     }
 
     #[test]

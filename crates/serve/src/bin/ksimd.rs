@@ -8,6 +8,8 @@
 //!   --idle-timeout-ms N     idle-session eviction (default 300000)
 //!   --request-timeout-ms N  per-request run deadline (default 30000)
 //!   --slice N               instructions per run_for slice (default 4000000)
+//!   --max-frame BYTES       request-frame cap, advertised in ping (default 8388608)
+//!   --io-workers N          blocking worker threads (default 0 = auto)
 //! ```
 //!
 //! Prints `ksimd listening on ADDR` to stdout once bound (scripts parse
@@ -19,49 +21,39 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
+use kahrisma_core::args::ArgList;
 use kahrisma_serve::{Daemon, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: ksimd [--addr HOST:PORT] [--max-sessions N] [--max-running N]\n\
-         \x20            [--idle-timeout-ms N] [--request-timeout-ms N] [--slice N]"
+         \x20            [--idle-timeout-ms N] [--request-timeout-ms N] [--slice N]\n\
+         \x20            [--max-frame BYTES] [--io-workers N]"
     );
     std::process::exit(2);
 }
 
-fn parse_config(args: impl Iterator<Item = String>) -> Result<ServerConfig, String> {
+fn parse_config(mut args: ArgList) -> Result<ServerConfig, String> {
     let mut config = ServerConfig {
         addr: "127.0.0.1:9191".to_string(),
         ..ServerConfig::default()
     };
-    let mut args = args.peekable();
-    while let Some(arg) = args.next() {
-        let mut value = || -> Result<String, String> {
-            args.next().ok_or_else(|| format!("{arg} expects a value"))
-        };
+    while let Some(arg) = args.next_arg() {
         match arg.as_str() {
-            "--addr" => config.addr = value()?,
-            "--max-sessions" => {
-                config.max_sessions =
-                    value()?.parse().map_err(|_| "bad --max-sessions".to_string())?;
-            }
-            "--max-running" => {
-                config.max_running =
-                    value()?.parse().map_err(|_| "bad --max-running".to_string())?;
-            }
+            "--addr" => config.addr = args.value("--addr")?,
+            "--max-sessions" => config.max_sessions = args.parse_value("--max-sessions")?,
+            "--max-running" => config.max_running = args.parse_value("--max-running")?,
             "--idle-timeout-ms" => {
-                config.idle_timeout = Duration::from_millis(
-                    value()?.parse().map_err(|_| "bad --idle-timeout-ms".to_string())?,
-                );
+                config.idle_timeout =
+                    Duration::from_millis(args.parse_value("--idle-timeout-ms")?);
             }
             "--request-timeout-ms" => {
-                config.request_timeout = Duration::from_millis(
-                    value()?.parse().map_err(|_| "bad --request-timeout-ms".to_string())?,
-                );
+                config.request_timeout =
+                    Duration::from_millis(args.parse_value("--request-timeout-ms")?);
             }
-            "--slice" => {
-                config.slice = value()?.parse().map_err(|_| "bad --slice".to_string())?;
-            }
+            "--slice" => config.slice = args.parse_value("--slice")?,
+            "--max-frame" => config.max_frame = args.parse_value("--max-frame")?,
+            "--io-workers" => config.io_workers = args.parse_value("--io-workers")?,
             "--help" | "-h" => usage(),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -72,11 +64,14 @@ fn parse_config(args: impl Iterator<Item = String>) -> Result<ServerConfig, Stri
     if config.max_running == 0 {
         return Err("--max-running must be at least 1".to_string());
     }
+    if config.max_frame < 1024 {
+        return Err("--max-frame must be at least 1024 bytes".to_string());
+    }
     Ok(config)
 }
 
 fn main() -> ExitCode {
-    let config = match parse_config(std::env::args().skip(1)) {
+    let config = match parse_config(ArgList::from_env()) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("ksimd: {e}");
@@ -108,7 +103,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("ksimd: accept loop failed: {e}");
+            eprintln!("ksimd: event loop failed: {e}");
             ExitCode::from(1)
         }
     }
@@ -118,8 +113,8 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    fn args(s: &[&str]) -> std::vec::IntoIter<String> {
-        s.iter().map(ToString::to_string).collect::<Vec<_>>().into_iter()
+    fn args(s: &[&str]) -> ArgList {
+        ArgList::new(s.iter().map(ToString::to_string).collect())
     }
 
     #[test]
@@ -127,6 +122,7 @@ mod tests {
         let c = parse_config(args(&[
             "--addr", "127.0.0.1:0", "--max-sessions", "8", "--max-running", "2",
             "--idle-timeout-ms", "1000", "--request-timeout-ms", "500", "--slice", "1000",
+            "--max-frame", "65536", "--io-workers", "7",
         ]))
         .unwrap();
         assert_eq!(c.addr, "127.0.0.1:0");
@@ -135,13 +131,27 @@ mod tests {
         assert_eq!(c.idle_timeout, Duration::from_secs(1));
         assert_eq!(c.request_timeout, Duration::from_millis(500));
         assert_eq!(c.slice, 1000);
+        assert_eq!(c.max_frame, 65536);
+        assert_eq!(c.io_workers, 7);
+    }
+
+    #[test]
+    fn defaults_match_server_config() {
+        let c = parse_config(args(&[])).unwrap();
+        let d = ServerConfig::default();
+        assert_eq!(c.addr, "127.0.0.1:9191");
+        assert_eq!(c.max_frame, d.max_frame);
+        assert_eq!(c.io_workers, d.io_workers);
+        assert_eq!(c.max_sessions, d.max_sessions);
     }
 
     #[test]
     fn rejects_zero_limits_and_unknown_flags() {
         assert!(parse_config(args(&["--max-sessions", "0"])).is_err());
         assert!(parse_config(args(&["--max-running", "0"])).is_err());
+        assert!(parse_config(args(&["--max-frame", "16"])).is_err());
         assert!(parse_config(args(&["--bogus"])).is_err());
         assert!(parse_config(args(&["--addr"])).is_err());
+        assert!(parse_config(args(&["--io-workers", "many"])).is_err());
     }
 }

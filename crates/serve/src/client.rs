@@ -311,6 +311,55 @@ impl Client {
         self.request_with_frames(fields, on_frame)
     }
 
+    /// `ping` parsed into a load report. Tolerant of older daemons that
+    /// answer only `pong`/`proto_version`: missing load fields read as
+    /// zero/absent rather than failing.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_with_frames`].
+    pub fn ping_load(&mut self) -> Result<ServerLoad, ClientError> {
+        let response = self.request(vec![cmd("ping")])?;
+        Ok(ServerLoad {
+            proto_version: response.get("proto_version").and_then(Value::as_u64),
+            sessions: response.get("sessions").and_then(Value::as_u64).unwrap_or(0),
+            running: response.get("running").and_then(Value::as_u64).unwrap_or(0),
+            uptime_ms: response.get("uptime_ms").and_then(Value::as_u64).unwrap_or(0),
+            max_frame: response.get("max_frame").and_then(Value::as_u64),
+            draining: response.get("draining").and_then(Value::as_bool).unwrap_or(false),
+        })
+    }
+
+    /// `export` — serializes a session into a migratable document (see the
+    /// server's export modes).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_with_frames`].
+    pub fn export(&mut self, name: &str) -> Result<Value, ClientError> {
+        self.session_verb("export", name)
+    }
+
+    /// `import` — rebuilds a session from an `export` document, optionally
+    /// under a different name. The migration-relevant fields (`mode`,
+    /// `spec`, `snapwire`/`instructions`, `saved`, bookkeeping) are copied
+    /// from `exported`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_with_frames`].
+    pub fn import(&mut self, name: &str, exported: &Value) -> Result<Value, ClientError> {
+        let mut fields = vec![cmd("import"), ("name".to_string(), name.into())];
+        for key in ["mode", "spec", "snapwire", "saved", "instructions", "exit_code",
+                    "runs_completed"]
+        {
+            if let Some(v) = exported.get(key) {
+                fields.push((key.to_string(), v.clone()));
+            }
+        }
+        self.request(fields)
+    }
+
     /// `shutdown` — asks the daemon to drain and exit.
     ///
     /// # Errors
@@ -319,6 +368,24 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.request(vec![cmd("shutdown")]).map(|_| ())
     }
+}
+
+/// The load/health fields of an extended `ping` response (see
+/// [`Client::ping_load`]).
+#[derive(Debug, Clone, Default)]
+pub struct ServerLoad {
+    /// The advertised wire-protocol version, when sent.
+    pub proto_version: Option<u64>,
+    /// Resident sessions.
+    pub sessions: u64,
+    /// Requests currently executing in run slots.
+    pub running: u64,
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// The daemon's frame cap, when advertised.
+    pub max_frame: Option<u64>,
+    /// Whether the daemon is draining.
+    pub draining: bool,
 }
 
 fn cmd(verb: &str) -> (String, Value) {

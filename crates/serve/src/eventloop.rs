@@ -1,0 +1,727 @@
+//! A nonblocking readiness loop serving newline-delimited JSON framing.
+//!
+//! The loop owns every socket: one acceptor plus N connection state
+//! machines (read-accumulate → parse frame → dispatch → write-drain), all
+//! driven by a single thread over std nonblocking `TcpListener`/`TcpStream`
+//! (poll-style, no external event APIs). Connections are decoupled from
+//! request execution: light verbs are answered inline on the loop thread,
+//! heavy verbs run on a small blocking worker pool, and (for `kgate`)
+//! whole requests can be relayed to an upstream connection without ever
+//! tying up a thread. One thread therefore multiplexes 1000+ concurrent
+//! clients while the pool bounds actual CPU concurrency.
+//!
+//! Per-connection invariant: **one request in flight at a time**. The loop
+//! stops extracting frames from a connection while its current request
+//! executes, which preserves response ordering, applies natural
+//! backpressure to pipelining clients, and lets a streaming request
+//! interleave event frames without interception.
+//!
+//! The loop is generic over a [`Service`], so `ksimd` (simulation verbs)
+//! and `kgate` (routing/proxying verbs) share every byte of socket
+//! machinery.
+
+use std::collections::VecDeque;
+use std::io::{Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::json::{self, Value};
+use crate::proto::{self, ErrorCode};
+
+/// Sleep floor between ticks when nothing progressed.
+const MIN_SLEEP: Duration = Duration::from_micros(200);
+/// Sleep ceiling: bounds added latency for a quiet server.
+const MAX_SLEEP: Duration = Duration::from_millis(1);
+/// Per-tick read chunk size.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Event-loop tuning knobs.
+#[derive(Debug, Clone)]
+pub struct LoopConfig {
+    /// Blocking worker threads executing [`Service::perform`] jobs.
+    pub workers: usize,
+    /// Upper bound on one request frame, in bytes.
+    pub max_frame: usize,
+    /// Upper bound on concurrent connections; excess accepts are dropped.
+    pub max_conns: usize,
+}
+
+impl Default for LoopConfig {
+    fn default() -> Self {
+        LoopConfig { workers: 4, max_frame: proto::DEFAULT_MAX_FRAME_BYTES, max_conns: 4096 }
+    }
+}
+
+/// How the loop should execute one parsed request.
+pub enum Dispatch {
+    /// The response is ready; the loop writes it out directly.
+    Reply(Value),
+    /// Run [`Service::perform`] on the worker pool (blocking verbs).
+    Pool,
+    /// Relay the request to an upstream connection, forwarding frames
+    /// until the final (id-bearing) response arrives (`kgate` fast path).
+    Proxy(ProxyTicket),
+}
+
+/// What a [`Dispatch::Proxy`] needs: an established upstream connection
+/// and the frame to forward verbatim.
+pub struct ProxyTicket {
+    /// The upstream socket (blocking; the loop flips it to nonblocking).
+    pub upstream: TcpStream,
+    /// The request line to forward, without the trailing newline.
+    pub request_line: String,
+    /// The client request id, for synthesizing an error response when the
+    /// upstream dies mid-request.
+    pub client_id: Value,
+    /// Abandon the relay and fail the request after this instant.
+    pub deadline: Option<Instant>,
+    /// Called exactly once when the relay finishes (or fails).
+    pub on_done: Box<dyn FnOnce(ProxyOutcome) + Send>,
+}
+
+/// Delivered to [`ProxyTicket::on_done`] when the relay completes.
+pub struct ProxyOutcome {
+    /// The parsed final response, when one arrived.
+    pub response: Option<Value>,
+    /// The upstream socket, healthy, synchronized, and back in blocking
+    /// mode — suitable for connection pooling. `None` when the upstream
+    /// failed or timed out.
+    pub upstream: Option<TcpStream>,
+}
+
+/// Request interpreter plugged into the loop.
+pub trait Service: Send + Sync + 'static {
+    /// Classifies (and possibly answers) one request. Called on the loop
+    /// thread — must not block. `raw` is the exact frame text, for
+    /// services that forward requests verbatim.
+    fn route(&self, request: &Value, raw: &str) -> Dispatch;
+
+    /// Executes a [`Dispatch::Pool`] request on a worker thread. May block
+    /// and may push interleaved frames into `out` before returning the
+    /// final response.
+    fn perform(&self, request: &Value, out: &Arc<ConnOut>) -> Value;
+
+    /// Whether the connection should close after `cmd`'s response flushes.
+    fn closes_connection(&self, cmd: &str) -> bool {
+        cmd == "shutdown"
+    }
+}
+
+/// Outbound frame buffer shared between the loop (which drains it to the
+/// socket) and frame producers (the loop itself, pool workers, streaming
+/// observers).
+pub struct ConnOut {
+    bytes: Mutex<Vec<u8>>,
+}
+
+impl ConnOut {
+    fn new() -> Arc<ConnOut> {
+        Arc::new(ConnOut { bytes: Mutex::new(Vec::new()) })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<u8>> {
+        self.bytes.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Appends one frame (a newline is added).
+    pub fn push_line(&self, line: &str) {
+        let mut bytes = self.lock();
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+    }
+
+    /// Appends one response object as a frame.
+    pub fn push_response(&self, response: &Value) {
+        self.push_line(&response.to_json());
+    }
+
+    fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Takes up to `max` buffered bytes for writing.
+    fn take_chunk(&self, max: usize) -> Vec<u8> {
+        let mut bytes = self.lock();
+        let n = bytes.len().min(max);
+        bytes.drain(..n).collect()
+    }
+
+    /// Returns unwritten bytes to the front after a short write.
+    fn unshift(&self, rest: &[u8]) {
+        let mut bytes = self.lock();
+        bytes.splice(..0, rest.iter().copied());
+    }
+}
+
+struct Job {
+    request: Value,
+    out: Arc<ConnOut>,
+    busy: Arc<AtomicBool>,
+}
+
+struct PoolInner {
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    live: AtomicBool,
+    /// Jobs queued or executing (the drain-exit barrier).
+    active: AtomicUsize,
+}
+
+/// The blocking worker pool behind [`Dispatch::Pool`].
+struct Pool {
+    inner: Arc<PoolInner>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    fn start<S: Service>(workers: usize, service: &Arc<S>) -> Pool {
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            live: AtomicBool::new(true),
+            active: AtomicUsize::new(0),
+        });
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                let service = Arc::clone(service);
+                std::thread::spawn(move || worker_loop(&inner, &*service))
+            })
+            .collect();
+        Pool { inner, handles }
+    }
+
+    fn submit(&self, job: Job) {
+        self.inner.active.fetch_add(1, Ordering::SeqCst);
+        let mut queue = self.inner.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        queue.push_back(job);
+        drop(queue);
+        self.inner.cv.notify_one();
+    }
+
+    fn idle(&self) -> bool {
+        self.inner.active.load(Ordering::SeqCst) == 0
+    }
+
+    fn stop(self) {
+        self.inner.live.store(false, Ordering::SeqCst);
+        self.inner.cv.notify_all();
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop<S: Service>(inner: &PoolInner, service: &S) {
+    loop {
+        let job = {
+            let mut queue =
+                inner.queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if !inner.live.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = inner
+                    .cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .0;
+            }
+        };
+        let response = service.perform(&job.request, &job.out);
+        job.out.push_response(&response);
+        job.busy.store(false, Ordering::SeqCst);
+        inner.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// An in-flight upstream relay (see [`Dispatch::Proxy`]).
+struct ProxyState {
+    upstream: TcpStream,
+    to_upstream: Vec<u8>,
+    from_upstream: Vec<u8>,
+    scanned: usize,
+    client_id: Value,
+    deadline: Option<Instant>,
+    on_done: Option<Box<dyn FnOnce(ProxyOutcome) + Send>>,
+}
+
+impl ProxyState {
+    fn finish(&mut self, response: Option<Value>, healthy: bool) {
+        if let Some(done) = self.on_done.take() {
+            let upstream = if healthy && self.from_upstream.is_empty() {
+                let _ = self.upstream.set_nonblocking(false);
+                self.upstream.try_clone().ok()
+            } else {
+                None
+            };
+            done(ProxyOutcome { response, upstream });
+        }
+    }
+}
+
+/// One connection state machine.
+struct Conn {
+    stream: TcpStream,
+    out: Arc<ConnOut>,
+    busy: Arc<AtomicBool>,
+    inbound: Vec<u8>,
+    /// How far `inbound` has been scanned for a newline (avoids O(n²)
+    /// rescans while a large or slow frame accumulates).
+    scanned: usize,
+    /// Discarding an oversized frame until its newline (already rejected).
+    skipping: bool,
+    eof: bool,
+    dead: bool,
+    close_after_flush: bool,
+    proxy: Option<ProxyState>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            out: ConnOut::new(),
+            busy: Arc::new(AtomicBool::new(false)),
+            inbound: Vec::new(),
+            scanned: 0,
+            skipping: false,
+            eof: false,
+            dead: false,
+            close_after_flush: false,
+            proxy: None,
+        }
+    }
+
+    fn is_busy(&self) -> bool {
+        self.busy.load(Ordering::SeqCst)
+    }
+
+    /// Drives the state machine one step. Returns `(keep, progress)`.
+    fn tick<S: Service>(
+        &mut self,
+        service: &S,
+        pool: &Pool,
+        config: &LoopConfig,
+        draining: bool,
+        scratch: &mut [u8],
+    ) -> (bool, bool) {
+        let mut progress = false;
+        if self.proxy.is_some() {
+            progress |= self.pump_proxy(config, scratch);
+        }
+        progress |= self.flush();
+        if self.dead {
+            self.abort_proxy();
+            return (false, true);
+        }
+        // Read only while no request is in flight: single-request
+        // discipline doubles as backpressure.
+        if !self.is_busy() && !self.eof && !draining {
+            progress |= self.fill_inbound(scratch);
+        }
+        while !self.is_busy() && !self.dead {
+            if !self.step_frames(service, pool, config) {
+                break;
+            }
+            progress = true;
+        }
+        progress |= self.flush();
+        let quiesced = !self.is_busy() && self.out.is_empty() && self.proxy.is_none();
+        if self.dead
+            || (quiesced
+                && (self.close_after_flush
+                    || draining
+                    || (self.eof && !self.has_complete_frame())))
+        {
+            self.abort_proxy();
+            return (false, true);
+        }
+        (true, progress)
+    }
+
+    fn abort_proxy(&mut self) {
+        if let Some(mut proxy) = self.proxy.take() {
+            proxy.finish(None, false);
+            self.busy.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// Drains buffered output to the socket; returns whether bytes moved.
+    fn flush(&mut self) -> bool {
+        let mut progress = false;
+        loop {
+            let chunk = self.out.take_chunk(READ_CHUNK);
+            if chunk.is_empty() {
+                return progress;
+            }
+            match self.stream.write(&chunk) {
+                Ok(0) => {
+                    self.dead = true;
+                    return true;
+                }
+                Ok(n) => {
+                    progress = true;
+                    if n < chunk.len() {
+                        self.out.unshift(&chunk[n..]);
+                        return progress;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.out.unshift(&chunk);
+                    return progress;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                    self.out.unshift(&chunk);
+                }
+                Err(_) => {
+                    self.dead = true;
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Reads available bytes into the inbound buffer (up to one chunk per
+    /// tick, so one firehose client cannot starve the loop).
+    fn fill_inbound(&mut self, scratch: &mut [u8]) -> bool {
+        match self.stream.read(scratch) {
+            Ok(0) => {
+                self.eof = true;
+                true
+            }
+            Ok(n) => {
+                self.inbound.extend_from_slice(&scratch[..n]);
+                true
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                false
+            }
+            Err(_) => {
+                self.dead = true;
+                true
+            }
+        }
+    }
+
+    fn has_complete_frame(&self) -> bool {
+        self.inbound.contains(&b'\n')
+    }
+
+    /// Extracts and dispatches at most one frame; returns whether one was
+    /// consumed (call again) or the buffer has no complete frame yet.
+    fn step_frames<S: Service>(
+        &mut self,
+        service: &S,
+        pool: &Pool,
+        config: &LoopConfig,
+    ) -> bool {
+        if self.skipping {
+            // Discard the remainder of an already-rejected oversized frame.
+            match self.inbound.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    self.inbound.drain(..=i);
+                    self.scanned = 0;
+                    self.skipping = false;
+                    return true;
+                }
+                None => {
+                    self.inbound.clear();
+                    self.scanned = 0;
+                    return false;
+                }
+            }
+        }
+        let newline = self.inbound[self.scanned..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|i| self.scanned + i);
+        let Some(end) = newline else {
+            self.scanned = self.inbound.len();
+            if self.inbound.len() >= config.max_frame {
+                // Oversized frame: reject once now, discard to its newline.
+                self.out.push_response(&oversized(config.max_frame));
+                self.inbound.clear();
+                self.scanned = 0;
+                self.skipping = true;
+            }
+            return false;
+        };
+        let frame: Vec<u8> = self.inbound.drain(..=end).collect();
+        self.scanned = 0;
+        let frame = &frame[..frame.len() - 1];
+        if frame.len() >= config.max_frame {
+            self.out.push_response(&oversized(config.max_frame));
+            return true;
+        }
+        let Ok(text) = std::str::from_utf8(frame) else {
+            self.out.push_response(&proto::error_response(
+                Value::Null,
+                ErrorCode::BadFrame,
+                "frame is not UTF-8",
+                None,
+            ));
+            return true;
+        };
+        let text = text.trim();
+        if text.is_empty() {
+            return true; // blank keep-alive lines are legal
+        }
+        let request = match json::parse(text) {
+            Ok(v @ Value::Obj(_)) => v,
+            Ok(_) => {
+                self.out.push_response(&proto::error_response(
+                    Value::Null,
+                    ErrorCode::BadFrame,
+                    "frame must be a JSON object",
+                    None,
+                ));
+                return true;
+            }
+            Err(e) => {
+                // Malformed frame: report and recover at the next newline.
+                self.out.push_response(&proto::error_response(
+                    Value::Null,
+                    ErrorCode::BadFrame,
+                    &format!("malformed frame: {e}"),
+                    None,
+                ));
+                return true;
+            }
+        };
+        let cmd = request.get("cmd").and_then(Value::as_str).unwrap_or("").to_string();
+        match service.route(&request, text) {
+            Dispatch::Reply(response) => {
+                self.out.push_response(&response);
+                if service.closes_connection(&cmd) {
+                    self.close_after_flush = true;
+                }
+            }
+            Dispatch::Pool => {
+                self.busy.store(true, Ordering::SeqCst);
+                pool.submit(Job {
+                    request,
+                    out: Arc::clone(&self.out),
+                    busy: Arc::clone(&self.busy),
+                });
+            }
+            Dispatch::Proxy(ticket) => {
+                self.busy.store(true, Ordering::SeqCst);
+                self.start_proxy(ticket);
+            }
+        }
+        true
+    }
+
+    fn start_proxy(&mut self, ticket: ProxyTicket) {
+        if ticket.upstream.set_nonblocking(true).is_err() {
+            self.out.push_response(&proto::error_response(
+                ticket.client_id.clone(),
+                ErrorCode::Unavailable,
+                "cannot prepare upstream connection",
+                None,
+            ));
+            (ticket.on_done)(ProxyOutcome { response: None, upstream: None });
+            self.busy.store(false, Ordering::SeqCst);
+            return;
+        }
+        let mut to_upstream = ticket.request_line.into_bytes();
+        to_upstream.push(b'\n');
+        self.proxy = Some(ProxyState {
+            upstream: ticket.upstream,
+            to_upstream,
+            from_upstream: Vec::new(),
+            scanned: 0,
+            client_id: ticket.client_id,
+            deadline: ticket.deadline,
+            on_done: Some(ticket.on_done),
+        });
+    }
+
+    fn proxy_failed(&mut self, why: &str) -> bool {
+        let Some(mut proxy) = self.proxy.take() else { return false };
+        self.out.push_response(&proto::error_response(
+            proxy.client_id.clone(),
+            ErrorCode::Unavailable,
+            why,
+            None,
+        ));
+        proxy.finish(None, false);
+        self.busy.store(false, Ordering::SeqCst);
+        true
+    }
+
+    /// Advances an upstream relay; returns whether bytes moved.
+    fn pump_proxy(&mut self, config: &LoopConfig, scratch: &mut [u8]) -> bool {
+        let mut progress = false;
+        if let Some(deadline) = self.proxy.as_ref().and_then(|p| p.deadline) {
+            if Instant::now() >= deadline {
+                return self.proxy_failed("upstream worker timed out");
+            }
+        }
+        // Forward the request.
+        loop {
+            let Some(proxy) = self.proxy.as_mut() else { return progress };
+            if proxy.to_upstream.is_empty() {
+                break;
+            }
+            match proxy.upstream.write(&proxy.to_upstream) {
+                Ok(0) => return self.proxy_failed("upstream connection lost"),
+                Ok(n) => {
+                    proxy.to_upstream.drain(..n);
+                    progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return self.proxy_failed("upstream connection lost"),
+            }
+        }
+        // Relay response frames until the final (id-bearing) one.
+        loop {
+            let Some(proxy) = self.proxy.as_mut() else { return progress };
+            // Drain complete lines already buffered.
+            while let Some(end) = proxy.from_upstream[proxy.scanned..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|i| proxy.scanned + i)
+            {
+                let line: Vec<u8> = proxy.from_upstream.drain(..=end).collect();
+                proxy.scanned = 0;
+                let Ok(text) = std::str::from_utf8(&line[..line.len() - 1]) else {
+                    continue;
+                };
+                let text = text.trim();
+                if text.is_empty() {
+                    continue;
+                }
+                // Forward verbatim; a frame carrying `id` is the final
+                // response (stream frames have none).
+                self.out.push_line(text);
+                progress = true;
+                let parsed = json::parse(text).ok();
+                let is_final = parsed.as_ref().is_some_and(|v| v.get("id").is_some());
+                if is_final {
+                    let Some(mut proxy) = self.proxy.take() else { return progress };
+                    proxy.finish(parsed, true);
+                    self.busy.store(false, Ordering::SeqCst);
+                    return true;
+                }
+            }
+            proxy.scanned = proxy.from_upstream.len();
+            if proxy.from_upstream.len() > config.max_frame.saturating_mul(2) {
+                return self.proxy_failed("upstream frame exceeds the relay cap");
+            }
+            match proxy.upstream.read(scratch) {
+                Ok(0) => return self.proxy_failed("upstream connection lost"),
+                Ok(n) => {
+                    proxy.from_upstream.extend_from_slice(&scratch[..n]);
+                    progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return progress,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return self.proxy_failed("upstream connection lost"),
+            }
+        }
+    }
+}
+
+fn oversized(max_frame: usize) -> Value {
+    proto::error_response(
+        Value::Null,
+        ErrorCode::BadFrame,
+        &format!("frame exceeds {max_frame} bytes"),
+        None,
+    )
+}
+
+/// The readiness loop: an acceptor plus connection state machines plus the
+/// worker pool, driven from [`EventLoop::run`]'s calling thread.
+pub struct EventLoop<S: Service> {
+    listener: TcpListener,
+    service: Arc<S>,
+    draining: Arc<AtomicBool>,
+    config: LoopConfig,
+}
+
+impl<S: Service> EventLoop<S> {
+    /// Wraps a bound listener. `draining` is the shared drain flag: once
+    /// set (by the service or an external handle), the loop stops
+    /// accepting, finishes in-flight requests, flushes, and returns.
+    pub fn new(
+        listener: TcpListener,
+        service: Arc<S>,
+        draining: Arc<AtomicBool>,
+        config: LoopConfig,
+    ) -> EventLoop<S> {
+        EventLoop { listener, service, draining, config }
+    }
+
+    /// Runs until drained. See the module docs for the tick structure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener setup failures (per-connection I/O errors only
+    /// terminate that connection).
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let pool = Pool::start(self.config.workers, &self.service);
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut scratch = vec![0u8; READ_CHUNK];
+        let mut sleep = MIN_SLEEP;
+        loop {
+            let draining = self.draining.load(Ordering::SeqCst);
+            let mut progress = false;
+            if !draining {
+                loop {
+                    match self.listener.accept() {
+                        Ok((stream, _)) => {
+                            progress = true;
+                            if conns.len() >= self.config.max_conns {
+                                drop(stream); // over the guard: refuse
+                                continue;
+                            }
+                            let _ = stream.set_nonblocking(true);
+                            let _ = stream.set_nodelay(true);
+                            conns.push(Conn::new(stream));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => break,
+                    }
+                }
+            }
+            let mut i = 0;
+            while i < conns.len() {
+                let (keep, p) =
+                    conns[i].tick(&*self.service, &pool, &self.config, draining, &mut scratch);
+                progress |= p;
+                if keep {
+                    i += 1;
+                } else {
+                    conns.swap_remove(i);
+                    progress = true;
+                }
+            }
+            if draining && conns.is_empty() && pool.idle() {
+                pool.stop();
+                return Ok(());
+            }
+            if progress {
+                sleep = MIN_SLEEP;
+            } else {
+                std::thread::sleep(sleep);
+                sleep = (sleep * 2).min(MAX_SLEEP);
+            }
+        }
+    }
+}

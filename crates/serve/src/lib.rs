@@ -7,10 +7,15 @@
 //! rewards exactly the opposite shape: a long-lived resident simulator
 //! whose cache stays warm across requests. This crate provides it:
 //!
+//! * [`eventloop`] — the nonblocking readiness loop every daemon runs on:
+//!   one thread multiplexing thousands of connection state machines over a
+//!   small blocking worker pool (and, for gateways, zero-thread request
+//!   relaying to upstream daemons),
 //! * [`server`] — the `ksimd` daemon: a bounded table of named sessions
 //!   (each a [`kahrisma_core::Simulator`]), budget-sliced request
 //!   execution, LRU + idle-timeout eviction, admission control with
-//!   `retry_after_ms` back-pressure, and graceful drain,
+//!   `retry_after_ms` back-pressure, session `export`/`import` migration,
+//!   and graceful drain,
 //! * [`proto`] — the newline-delimited-JSON wire protocol,
 //! * [`json`] — the dependency-free nested JSON parser/serializer behind
 //!   it,
@@ -26,11 +31,12 @@
 
 pub mod bench;
 pub mod client;
+pub mod eventloop;
 pub mod json;
 pub mod proto;
 pub mod server;
 pub mod session;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, ServerLoad};
 pub use server::{Daemon, DaemonHandle, ServerConfig};
 pub use session::{Session, SessionSpec, SessionTable};

@@ -22,8 +22,15 @@
 
 use crate::json::{obj, Value};
 
-/// Upper bound on one request line, in bytes (DoS guard).
+/// The historical frame cap from protocol v1's first daemon. Kept for
+/// clients that want a conservative bound; the daemon's actual cap is
+/// configurable (`ksimd --max-frame`) and advertised in `ping`.
 pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// Default upper bound on one request line, in bytes (DoS guard). Sized so
+/// an `export`ed snapshot of a typical session (registers + touched pages,
+/// hex-encoded) fits in one frame.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
 
 /// Version of this wire protocol. Advertised in every `ping` and `create`
 /// response as `proto_version`; clients refuse to proceed on a mismatch
@@ -52,11 +59,14 @@ pub enum ErrorCode {
     /// The request was valid but could not be honored (e.g. snapshot of an
     /// unsupported model).
     Unsupported,
+    /// A gateway could not reach (or lost) the upstream worker owning the
+    /// session; the request may be retried.
+    Unavailable,
 }
 
 impl ErrorCode {
     /// Every code, in wire-tag order (for exhaustive client handling).
-    pub const ALL: [ErrorCode; 8] = [
+    pub const ALL: [ErrorCode; 9] = [
         ErrorCode::BadFrame,
         ErrorCode::BadRequest,
         ErrorCode::NotFound,
@@ -65,6 +75,7 @@ impl ErrorCode {
         ErrorCode::Draining,
         ErrorCode::SimFault,
         ErrorCode::Unsupported,
+        ErrorCode::Unavailable,
     ];
 
     /// The wire tag.
@@ -79,6 +90,7 @@ impl ErrorCode {
             ErrorCode::Draining => "draining",
             ErrorCode::SimFault => "sim_fault",
             ErrorCode::Unsupported => "unsupported",
+            ErrorCode::Unavailable => "unavailable",
         }
     }
 
@@ -143,6 +155,35 @@ pub fn ack(id: Value) -> Value {
     obj([("id", id), ("ok", Value::Bool(true))])
 }
 
+/// Lowercase hex encoding for binary payloads carried inside JSON string
+/// fields (`export`/`import` snapshot bytes).
+#[must_use]
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
+        out.push(char::from_digit(u32::from(b & 0xF), 16).expect("nibble"));
+    }
+    out
+}
+
+/// Decodes [`to_hex`] output (case-insensitive). `None` on odd length or a
+/// non-hex digit.
+#[must_use]
+pub fn from_hex(text: &str) -> Option<Vec<u8>> {
+    if !text.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits = text.as_bytes();
+    let mut out = Vec::with_capacity(digits.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +206,17 @@ mod tests {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
         }
         assert_eq!(ErrorCode::parse("no_such_code"), None);
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_junk() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let hex = to_hex(&bytes);
+        assert_eq!(from_hex(&hex).as_deref(), Some(&bytes[..]));
+        assert_eq!(from_hex(&hex.to_uppercase()).as_deref(), Some(&bytes[..]));
+        assert_eq!(from_hex("abc"), None, "odd length");
+        assert_eq!(from_hex("zz"), None, "non-hex digit");
+        assert_eq!(from_hex("").as_deref(), Some(&[][..]));
     }
 
     #[test]

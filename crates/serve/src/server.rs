@@ -1,22 +1,29 @@
-//! The `ksimd` daemon: TCP accept loop, per-connection handler threads,
-//! request dispatch, admission control, and graceful drain.
+//! The `ksimd` daemon: a nonblocking event-loop serving plane (see
+//! [`crate::eventloop`]) over a bounded session table, with request
+//! dispatch, admission control, session export/import, and graceful drain.
+//!
+//! One loop thread multiplexes every connection; light verbs (`ping`,
+//! `list`, `stats`, …) are answered inline on the loop thread, heavy verbs
+//! (`run`, `create`, `import`, …) execute on a small worker pool sized to
+//! the admission limit. Connections are state machines decoupled from
+//! sessions, so thousands of idle clients cost no threads.
 
-use std::io::{BufRead as _, BufReader, BufWriter, Read, Write as _};
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use kahrisma_core::{
-    CycleModelKind, Observer, RunOutcome, SimEvent, Simulator, StatValue, StatsReport,
+    CycleModelKind, Observer, RunOutcome, SimEvent, Simulator, Snapshot, StatValue, StatsReport,
 };
 use kahrisma_fabric::{Fabric, FabricOutcome};
 use kahrisma_isa::IsaKind;
 use kahrisma_observe::{frame, MetricsRegistry};
 use kahrisma_workloads::Workload;
 
+use crate::eventloop::{ConnOut, Dispatch, EventLoop, LoopConfig, Service};
 use crate::json::{self, obj, Value};
-use crate::proto::{self, ErrorCode, MAX_FRAME_BYTES, PROTO_VERSION};
+use crate::proto::{self, ErrorCode, PROTO_VERSION};
 use crate::session::{Engine, FabricSpec, Session, SessionSpec, SessionTable, TableError};
 
 /// Daemon tuning knobs.
@@ -38,6 +45,12 @@ pub struct ServerConfig {
     pub slice: u64,
     /// Back-off hint attached to `overloaded` responses.
     pub retry_after_ms: u64,
+    /// Upper bound on one request frame, in bytes. Advertised in `ping`;
+    /// sized so an `export`ed session state fits in one frame.
+    pub max_frame: usize,
+    /// Worker threads executing blocking verbs; `0` sizes the pool
+    /// automatically from `max_running`.
+    pub io_workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -50,25 +63,41 @@ impl Default for ServerConfig {
             request_timeout: Duration::from_secs(30),
             slice: 4_000_000,
             retry_after_ms: 250,
+            max_frame: proto::DEFAULT_MAX_FRAME_BYTES,
+            io_workers: 0,
         }
     }
 }
 
-/// State shared by every connection thread.
-struct Shared {
+impl ServerConfig {
+    /// The worker-pool size this config resolves to: `run`/`stream`
+    /// concurrency plus slack for non-run verbs.
+    #[must_use]
+    pub fn resolved_io_workers(&self) -> usize {
+        if self.io_workers == 0 {
+            self.max_running.saturating_add(2).max(4)
+        } else {
+            self.io_workers
+        }
+    }
+}
+
+/// The simulation service: every protocol verb over the session table.
+/// Plugged into the shared [`EventLoop`]; `kgate` plugs in its own
+/// [`Service`] over the identical loop.
+struct SimService {
     config: ServerConfig,
     table: SessionTable,
     running: AtomicUsize,
-    draining: AtomicBool,
-    /// The bound listen address (for the drain wake-up self-connection).
-    bound: std::net::SocketAddr,
+    draining: Arc<AtomicBool>,
+    started: Instant,
 }
 
 /// A handle for stopping a daemon from another thread (tests, signal
 /// plumbing). Cloned freely.
 #[derive(Clone)]
 pub struct DaemonHandle {
-    shared: Arc<Shared>,
+    draining: Arc<AtomicBool>,
     addr: std::net::SocketAddr,
 }
 
@@ -80,19 +109,17 @@ impl DaemonHandle {
     }
 
     /// Requests a graceful drain: stop accepting connections, let running
-    /// requests finish. The accept loop is woken with a self-connection
-    /// (std has no way to interrupt a blocking `accept`).
+    /// requests finish, flush, exit. The event loop polls the flag, so no
+    /// wake-up connection is needed.
     pub fn shutdown(&self) {
-        self.shared.draining.store(true, Ordering::SeqCst);
-        // Wake the acceptor; errors are fine (it may already be gone).
-        let _ = TcpStream::connect(self.addr);
+        self.draining.store(true, Ordering::SeqCst);
     }
 }
 
 /// The simulation daemon.
 pub struct Daemon {
     listener: TcpListener,
-    shared: Arc<Shared>,
+    service: Arc<SimService>,
 }
 
 impl Daemon {
@@ -103,15 +130,14 @@ impl Daemon {
     /// Propagates the bind failure.
     pub fn bind(config: ServerConfig) -> std::io::Result<Daemon> {
         let listener = TcpListener::bind(&config.addr)?;
-        let bound = listener.local_addr()?;
-        let shared = Arc::new(Shared {
+        let service = Arc::new(SimService {
             table: SessionTable::new(config.max_sessions, config.idle_timeout),
             running: AtomicUsize::new(0),
-            draining: AtomicBool::new(false),
-            bound,
+            draining: Arc::new(AtomicBool::new(false)),
+            started: Instant::now(),
             config,
         });
-        Ok(Daemon { listener, shared })
+        Ok(Daemon { listener, service })
     }
 
     /// The bound address (read this after binding port 0).
@@ -129,279 +155,674 @@ impl Daemon {
     ///
     /// Propagates the socket error.
     pub fn handle(&self) -> std::io::Result<DaemonHandle> {
-        Ok(DaemonHandle { shared: Arc::clone(&self.shared), addr: self.local_addr()? })
+        Ok(DaemonHandle {
+            draining: Arc::clone(&self.service.draining),
+            addr: self.local_addr()?,
+        })
     }
 
-    /// Runs the accept loop until a `shutdown` request (or
-    /// [`DaemonHandle::shutdown`]) drains the daemon. Each connection is
-    /// served by its own thread; the loop exits only after every running
-    /// request has completed.
+    /// Runs the event loop until a `shutdown` request (or
+    /// [`DaemonHandle::shutdown`]) drains the daemon. The loop exits only
+    /// after every in-flight request has completed and flushed.
     ///
     /// # Errors
     ///
-    /// Propagates accept-loop socket failures (per-connection I/O errors
-    /// only terminate that connection).
+    /// Propagates listener setup failures (per-connection I/O errors only
+    /// terminate that connection).
     pub fn run(self) -> std::io::Result<()> {
-        let mut workers = Vec::new();
-        for conn in self.listener.incoming() {
-            if self.shared.draining.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match conn {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            // A short read timeout lets idle connection threads notice the
-            // drain flag; without it, joining workers below would block on
-            // clients that keep their connection open. Nagle off: responses
-            // are single small writes on a request/response stream.
-            let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-            let _ = stream.set_nodelay(true);
-            let shared = Arc::clone(&self.shared);
-            workers.push(std::thread::spawn(move || handle_connection(&shared, stream)));
-            workers.retain(|w| !w.is_finished());
-        }
-        for w in workers {
-            let _ = w.join();
-        }
-        Ok(())
-    }
-}
-
-/// Serves one connection: read a line, dispatch, write the response.
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    let Ok(write_half) = stream.try_clone() else { return };
-    let mut writer = BufWriter::new(write_half);
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        // Bounded read: a frame longer than MAX_FRAME_BYTES is consumed to
-        // its newline and rejected, keeping the connection usable. Reads
-        // time out periodically (see `Daemon::run`) so an idle connection
-        // notices a drain; a timeout mid-frame keeps the partial line and
-        // resumes reading.
-        loop {
-            let budget = (MAX_FRAME_BYTES.saturating_sub(line.len()).max(1)) as u64;
-            match (&mut reader).take(budget).read_line(&mut line) {
-                Ok(0) => return, // EOF (a partial trailing line is dropped)
-                Ok(_) => break,
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if shared.draining.load(Ordering::SeqCst) {
-                        return;
-                    }
-                }
-                Err(_) => return,
-            }
-        }
-        if line.len() >= MAX_FRAME_BYTES && !line.ends_with('\n') {
-            // Oversized frame: drain the rest of the line, then reject.
-            let mut rest = Vec::new();
-            let _ = reader.read_until(b'\n', &mut rest);
-            let resp = proto::error_response(
-                Value::Null,
-                ErrorCode::BadFrame,
-                "frame exceeds 64 KiB",
-                None,
-            );
-            if write_line(&mut writer, &resp.to_json()).is_err() {
-                return;
-            }
-            continue;
-        }
-        let text = line.trim();
-        if text.is_empty() {
-            continue; // blank keep-alive lines are legal
-        }
-        let request = match json::parse(text) {
-            Ok(v @ Value::Obj(_)) => v,
-            Ok(_) => {
-                let resp = proto::error_response(
-                    Value::Null,
-                    ErrorCode::BadFrame,
-                    "frame must be a JSON object",
-                    None,
-                );
-                if write_line(&mut writer, &resp.to_json()).is_err() {
-                    return;
-                }
-                continue;
-            }
-            Err(e) => {
-                // Malformed frame: report and recover at the next newline,
-                // mirroring the campaign manifest reader.
-                let resp = proto::error_response(
-                    Value::Null,
-                    ErrorCode::BadFrame,
-                    &format!("malformed frame: {e}"),
-                    None,
-                );
-                if write_line(&mut writer, &resp.to_json()).is_err() {
-                    return;
-                }
-                continue;
-            }
+        let loop_config = LoopConfig {
+            workers: self.service.config.resolved_io_workers(),
+            max_frame: self.service.config.max_frame,
+            ..LoopConfig::default()
         };
+        let draining = Arc::clone(&self.service.draining);
+        EventLoop::new(self.listener, self.service, draining, loop_config).run()
+    }
+}
+
+impl Service for SimService {
+    /// Classifies one request on the loop thread. Light verbs are answered
+    /// inline; `run`/`stream` get a fast-path admission check here so an
+    /// overloaded server rejects without waiting for a pool slot.
+    fn route(&self, request: &Value, _raw: &str) -> Dispatch {
+        // Lazy idle eviction: every request sweeps first.
+        self.table.sweep();
         let id = request.get("id").cloned().unwrap_or(Value::Null);
-        let shutdown_after = matches!(
-            request.get("cmd").and_then(Value::as_str),
-            Some("shutdown")
-        );
-        let response = dispatch(shared, &id, &request, &mut writer);
-        if write_line(&mut writer, &response.to_json()).is_err() {
-            return;
+        let Some(cmd) = request.get("cmd").and_then(Value::as_str) else {
+            return Dispatch::Reply(proto::error_response(
+                id,
+                ErrorCode::BadRequest,
+                "missing `cmd`",
+                None,
+            ));
+        };
+        if self.draining.load(Ordering::SeqCst) && cmd != "ping" && cmd != "list" {
+            return Dispatch::Reply(proto::error_response(
+                id,
+                ErrorCode::Draining,
+                "server is draining",
+                None,
+            ));
         }
-        if shutdown_after {
-            // The drain flag is already set; wake the acceptor and close.
-            let _ = TcpStream::connect(shared.bound);
-            return;
+        match cmd {
+            "ping" => Dispatch::Reply(self.ping_response(id)),
+            "list" => Dispatch::Reply(self.list_response(&id)),
+            "stats" => Dispatch::Reply(with_session(self, &id, request, |session| {
+                Ok(stats_response(session))
+            })),
+            "metrics" => Dispatch::Reply(with_session(self, &id, request, |session| {
+                let registry = match &session.engine {
+                    Engine::Single { .. } => registry_from_stats(session),
+                    Engine::Fabric { fabric, .. } => fabric.metrics(),
+                };
+                Ok(vec![(
+                    "metrics".to_string(),
+                    json::parse(&registry.to_json()).unwrap_or_else(|_| Value::Obj(Vec::new())),
+                )])
+            })),
+            "delete" => Dispatch::Reply(self.delete_response(&id, request)),
+            "shutdown" => {
+                self.draining.store(true, Ordering::SeqCst);
+                Dispatch::Reply(proto::ok_response(
+                    id,
+                    vec![("draining".to_string(), Value::Bool(true))],
+                ))
+            }
+            "run" | "stream" => {
+                // Fast-path rejection: while all run slots are held, reject
+                // here on the loop thread (the authoritative check happens
+                // again at execution). Without this, a saturated pool would
+                // delay the `overloaded` response instead of sending it.
+                if self.running.load(Ordering::SeqCst) >= self.config.max_running {
+                    return Dispatch::Reply(proto::error_response(
+                        id,
+                        ErrorCode::Overloaded,
+                        &format!("{} sessions already running", self.config.max_running),
+                        Some(self.config.retry_after_ms),
+                    ));
+                }
+                Dispatch::Pool
+            }
+            "create" | "reset" | "snapshot" | "restore" | "export" | "import" => Dispatch::Pool,
+            other => Dispatch::Reply(proto::error_response(
+                id,
+                ErrorCode::BadRequest,
+                &format!("unknown cmd `{other}`"),
+                None,
+            )),
+        }
+    }
+
+    /// Executes one heavy verb on a pool worker.
+    fn perform(&self, request: &Value, out: &Arc<ConnOut>) -> Value {
+        let id = request.get("id").cloned().unwrap_or(Value::Null);
+        match request.get("cmd").and_then(Value::as_str) {
+            Some("create") => self.handle_create(&id, request),
+            Some("run") => self.handle_run(&id, request, None),
+            Some("stream") => self.handle_stream(&id, request, out),
+            Some("reset") => with_session(self, &id, request, |session| {
+                match &mut session.engine {
+                    Engine::Single { sim, .. } => sim.reset(),
+                    Engine::Fabric { fabric, .. } => fabric.reset(),
+                }
+                session.exit_code = None;
+                Ok(Vec::new())
+            }),
+            Some("snapshot") => with_session(self, &id, request, |session| {
+                let Some(sim) = session.single_mut() else {
+                    return Err((
+                        ErrorCode::Unsupported,
+                        "fabric sessions do not support snapshot".to_string(),
+                    ));
+                };
+                match sim.snapshot() {
+                    Ok(snap) => {
+                        let instructions = snap.instructions();
+                        session.snapshot = Some(snap);
+                        Ok(vec![("instructions".to_string(), instructions.into())])
+                    }
+                    Err(e) => Err((ErrorCode::Unsupported, format!("snapshot failed: {e}"))),
+                }
+            }),
+            Some("restore") => with_session(self, &id, request, |session| {
+                let Some(snap) = session.snapshot.take() else {
+                    return Err((ErrorCode::BadRequest, "no snapshot to restore".to_string()));
+                };
+                let Some(sim) = session.single_mut() else {
+                    return Err((
+                        ErrorCode::Unsupported,
+                        "fabric sessions do not support restore".to_string(),
+                    ));
+                };
+                let result = sim.restore(&snap);
+                let instructions = snap.instructions();
+                session.snapshot = Some(snap);
+                match result {
+                    Ok(()) => {
+                        session.exit_code = None;
+                        Ok(vec![("instructions".to_string(), instructions.into())])
+                    }
+                    Err(e) => Err((ErrorCode::Unsupported, format!("restore failed: {e}"))),
+                }
+            }),
+            Some("export") => self.handle_export(&id, request),
+            Some("import") => self.handle_import(&id, request),
+            // route() only pools the verbs above.
+            _ => proto::error_response(id, ErrorCode::BadRequest, "unroutable request", None),
         }
     }
 }
 
-fn write_line<W: std::io::Write>(writer: &mut W, line: &str) -> std::io::Result<()> {
-    writer.write_all(line.as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()
-}
-
-/// Routes one request to its verb handler.
-fn dispatch(
-    shared: &Shared,
-    id: &Value,
-    request: &Value,
-    writer: &mut BufWriter<TcpStream>,
-) -> Value {
-    // Lazy idle eviction: every request sweeps first.
-    shared.table.sweep();
-
-    let Some(cmd) = request.get("cmd").and_then(Value::as_str) else {
-        return proto::error_response(id.clone(), ErrorCode::BadRequest, "missing `cmd`", None);
-    };
-    if shared.draining.load(Ordering::SeqCst) && cmd != "ping" && cmd != "list" {
-        return proto::error_response(id.clone(), ErrorCode::Draining, "server is draining", None);
-    }
-    match cmd {
-        "ping" => proto::ok_response(
-            id.clone(),
+impl SimService {
+    /// `ping` doubles as the load/health report: protocol version, resident
+    /// and running session counts, uptime, the advertised frame cap, and
+    /// the drain flag. Older clients read `pong`/`proto_version` and ignore
+    /// the rest.
+    fn ping_response(&self, id: Value) -> Value {
+        proto::ok_response(
+            id,
             vec![
                 ("pong".to_string(), Value::Bool(true)),
                 ("proto_version".to_string(), PROTO_VERSION.into()),
+                ("sessions".to_string(), (self.table.len() as u64).into()),
+                (
+                    "running".to_string(),
+                    (self.running.load(Ordering::SeqCst) as u64).into(),
+                ),
+                (
+                    "uptime_ms".to_string(),
+                    (self.started.elapsed().as_millis() as u64).into(),
+                ),
+                ("max_frame".to_string(), (self.config.max_frame as u64).into()),
+                (
+                    "draining".to_string(),
+                    Value::Bool(self.draining.load(Ordering::SeqCst)),
+                ),
             ],
-        ),
-        "create" => handle_create(shared, id, request),
-        "run" => handle_run(shared, id, request, None),
-        "stream" => handle_stream(shared, id, request, writer),
-        "reset" => with_session(shared, id, request, |session| {
-            match &mut session.engine {
-                Engine::Single { sim, .. } => sim.reset(),
-                Engine::Fabric { fabric, .. } => fabric.reset(),
-            }
-            session.exit_code = None;
-            Ok(Vec::new())
-        }),
-        "snapshot" => with_session(shared, id, request, |session| {
-            let Some(sim) = session.single_mut() else {
-                return Err((
-                    ErrorCode::Unsupported,
-                    "fabric sessions do not support snapshot".to_string(),
-                ));
-            };
-            match sim.snapshot() {
-                Ok(snap) => {
-                    let instructions = snap.instructions();
-                    session.snapshot = Some(snap);
-                    Ok(vec![("instructions".to_string(), instructions.into())])
-                }
-                Err(e) => Err((ErrorCode::Unsupported, format!("snapshot failed: {e}"))),
-            }
-        }),
-        "restore" => with_session(shared, id, request, |session| {
-            let Some(snap) = session.snapshot.take() else {
-                return Err((ErrorCode::BadRequest, "no snapshot to restore".to_string()));
-            };
-            let Some(sim) = session.single_mut() else {
-                return Err((
-                    ErrorCode::Unsupported,
-                    "fabric sessions do not support restore".to_string(),
-                ));
-            };
-            let result = sim.restore(&snap);
-            let instructions = snap.instructions();
-            session.snapshot = Some(snap);
-            match result {
-                Ok(()) => {
-                    session.exit_code = None;
-                    Ok(vec![("instructions".to_string(), instructions.into())])
-                }
-                Err(e) => Err((ErrorCode::Unsupported, format!("restore failed: {e}"))),
-            }
-        }),
-        "stats" => with_session(shared, id, request, |session| Ok(stats_response(session))),
-        "metrics" => with_session(shared, id, request, |session| {
-            let registry = match &session.engine {
-                Engine::Single { .. } => registry_from_stats(session),
-                Engine::Fabric { fabric, .. } => fabric.metrics(),
-            };
-            Ok(vec![(
-                "metrics".to_string(),
-                json::parse(&registry.to_json())
-                    .unwrap_or_else(|_| Value::Obj(Vec::new())),
-            )])
-        }),
-        "list" => {
-            let rows: Vec<Value> = shared
-                .table
-                .list()
-                .into_iter()
-                .map(|info| {
-                    obj([
-                        ("name", info.name.into()),
-                        ("state", info.state.into()),
-                        ("kind", info.kind.into()),
-                        ("workload", info.workload.into()),
-                        ("isa", info.isa.into()),
-                        ("instructions", info.instructions.into()),
-                        ("idle_secs", info.idle_secs.into()),
-                        ("running_secs", info.running_secs.into()),
-                    ])
-                })
-                .collect();
-            proto::ok_response(id.clone(), vec![("sessions".to_string(), Value::Arr(rows))])
-        }
-        "delete" => {
-            let Some(name) = request.get("name").and_then(Value::as_str) else {
-                return proto::error_response(
-                    id.clone(),
-                    ErrorCode::BadRequest,
-                    "missing `name`",
-                    None,
-                );
-            };
-            match shared.table.remove(name) {
-                Ok(()) => proto::ack(id.clone()),
-                Err(e) => table_error(id, name, &e),
-            }
-        }
-        "shutdown" => {
-            shared.draining.store(true, Ordering::SeqCst);
-            proto::ok_response(
-                id.clone(),
-                vec![("draining".to_string(), Value::Bool(true))],
-            )
-        }
-        other => proto::error_response(
-            id.clone(),
-            ErrorCode::BadRequest,
-            &format!("unknown cmd `{other}`"),
-            None,
-        ),
+        )
     }
+
+    fn list_response(&self, id: &Value) -> Value {
+        let rows: Vec<Value> = self
+            .table
+            .list()
+            .into_iter()
+            .map(|info| {
+                obj([
+                    ("name", info.name.into()),
+                    ("state", info.state.into()),
+                    ("kind", info.kind.into()),
+                    ("workload", info.workload.into()),
+                    ("isa", info.isa.into()),
+                    ("instructions", info.instructions.into()),
+                    ("idle_secs", info.idle_secs.into()),
+                    ("running_secs", info.running_secs.into()),
+                ])
+            })
+            .collect();
+        proto::ok_response(id.clone(), vec![("sessions".to_string(), Value::Arr(rows))])
+    }
+
+    fn delete_response(&self, id: &Value, request: &Value) -> Value {
+        let Some(name) = request.get("name").and_then(Value::as_str) else {
+            return proto::error_response(id.clone(), ErrorCode::BadRequest, "missing `name`", None);
+        };
+        match self.table.remove(name) {
+            Ok(()) => proto::ack(id.clone()),
+            Err(e) => table_error(id, name, &e),
+        }
+    }
+
+    fn handle_create(&self, id: &Value, request: &Value) -> Value {
+        let bad = |msg: &str| proto::error_response(id.clone(), ErrorCode::BadRequest, msg, None);
+        let Some(name) = request.get("name").and_then(Value::as_str) else {
+            return bad("missing `name`");
+        };
+        if name.is_empty() || name.len() > 64 {
+            return bad("`name` must be 1..=64 characters");
+        }
+        let kind = request.get("kind").and_then(Value::as_str).unwrap_or("single");
+        let session = match kind {
+            "single" => match create_single(request) {
+                Ok(spec) => spec,
+                Err(msg) => return bad(&msg),
+            },
+            "fabric" => match create_fabric(request) {
+                Ok(spec) => spec,
+                Err(msg) => return bad(&msg),
+            },
+            other => return bad(&format!("unknown session kind `{other}`")),
+        };
+
+        let started = Instant::now();
+        let session = match session.build(name) {
+            Ok(s) => s,
+            Err(e) => return bad(&e),
+        };
+        match self.table.insert(session) {
+            Ok(()) => proto::ok_response(
+                id.clone(),
+                vec![
+                    ("name".to_string(), name.into()),
+                    ("kind".to_string(), kind.into()),
+                    ("proto_version".to_string(), PROTO_VERSION.into()),
+                    ("build_ms".to_string(), (started.elapsed().as_millis() as u64).into()),
+                ],
+            ),
+            Err(TableError::Full) => proto::error_response(
+                id.clone(),
+                ErrorCode::Overloaded,
+                "session table is full of running sessions",
+                Some(self.config.retry_after_ms),
+            ),
+            Err(e) => table_error(id, name, &e),
+        }
+    }
+
+    /// Executes `run`: budget-sliced `run_for` with deadline and drain
+    /// checks between slices. With `loop:true`, a halted program is reset
+    /// (decode cache stays warm) and re-run until the instruction budget is
+    /// consumed — the sustained-throughput mode `kctl bench` uses.
+    ///
+    /// When `observer` is set (the `stream` verb), the simulator routes
+    /// events through it for the duration of the request.
+    fn handle_run(&self, id: &Value, request: &Value, observer: Option<Box<dyn Observer>>) -> Value {
+        let Some(name) = request.get("name").and_then(Value::as_str) else {
+            return proto::error_response(id.clone(), ErrorCode::BadRequest, "missing `name`", None);
+        };
+        let budget = request.get("budget").and_then(Value::as_u64).unwrap_or(1_000_000_000);
+        let looped = request.get("loop").and_then(Value::as_bool).unwrap_or(false);
+        let reset_first = request.get("reset").and_then(Value::as_bool).unwrap_or(false);
+
+        // Admission control: bounded concurrent running sessions.
+        let admitted = self
+            .running
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.config.max_running).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            return proto::error_response(
+                id.clone(),
+                ErrorCode::Overloaded,
+                &format!("{} sessions already running", self.config.max_running),
+                Some(self.config.retry_after_ms),
+            );
+        }
+        let response = (|| {
+            let mut session = match self.table.checkout(name) {
+                Ok(s) => s,
+                Err(e) => return table_error(id, name, &e),
+            };
+            // Single-core-only request shapes fail cleanly before running.
+            if matches!(session.engine, Engine::Fabric { .. }) {
+                let unsupported = if observer.is_some() {
+                    Some("fabric sessions do not support stream")
+                } else if looped {
+                    Some("fabric sessions do not support loop")
+                } else {
+                    None
+                };
+                if let Some(msg) = unsupported {
+                    self.table.checkin(session);
+                    return proto::error_response(id.clone(), ErrorCode::Unsupported, msg, None);
+                }
+            }
+            if reset_first {
+                match &mut session.engine {
+                    Engine::Single { sim, .. } => sim.reset(),
+                    Engine::Fabric { fabric, .. } => fabric.reset(),
+                }
+                session.exit_code = None;
+            }
+            let had_observer = observer.is_some();
+            if let Some(o) = observer {
+                if let Some(sim) = session.single_mut() {
+                    sim.set_observer(o);
+                }
+            }
+            let started = Instant::now();
+            let deadline = started + self.config.request_timeout;
+            let result = match &mut session.engine {
+                Engine::Single { sim, .. } => run_sliced(
+                    sim,
+                    budget,
+                    self.config.slice,
+                    looped,
+                    deadline,
+                    &self.draining,
+                )
+                .map_err(|e| format!("simulation fault: {e}")),
+                Engine::Fabric { fabric, .. } => {
+                    run_fabric_sliced(fabric, budget, self.config.slice, deadline, &self.draining)
+                }
+            };
+            let wall = started.elapsed();
+            session.busy += wall;
+            if had_observer {
+                if let Some(sim) = session.single_mut() {
+                    let _ = sim.take_observer();
+                }
+            }
+            match result {
+                Err(msg) => {
+                    // A faulted engine is not safely resumable; drop the
+                    // session rather than serving poisoned state.
+                    self.table.discard(name);
+                    proto::error_response(id.clone(), ErrorCode::SimFault, &msg, None)
+                }
+                Ok(run) => {
+                    session.runs_completed += run.halts;
+                    if let Some(code) = run.exit_code {
+                        session.exit_code = Some(code);
+                    }
+                    let mut fields = vec![
+                        ("outcome".to_string(), run.outcome.into()),
+                        ("instructions".to_string(), run.instructions.into()),
+                        ("total_instructions".to_string(), session.instructions().into()),
+                        ("runs".to_string(), run.halts.into()),
+                        ("wall_ms".to_string(), (wall.as_secs_f64() * 1e3).into()),
+                    ];
+                    if let Some(code) = run.exit_code {
+                        fields.push(("exit_code".to_string(), code.into()));
+                    }
+                    match &session.engine {
+                        Engine::Single { sim, .. } => {
+                            if let Some(cycles) = sim.cycle_stats() {
+                                fields.push(("cycles".to_string(), cycles.cycles.into()));
+                            }
+                        }
+                        Engine::Fabric { fabric, .. } => {
+                            let stats = fabric.stats();
+                            fields.push(("cores".to_string(), (stats.cores.len() as u64).into()));
+                            fields.push(("quanta".to_string(), stats.quanta.into()));
+                        }
+                    }
+                    self.table.checkin(session);
+                    proto::ok_response(id.clone(), fields)
+                }
+            }
+        })();
+        self.running.fetch_sub(1, Ordering::SeqCst);
+        response
+    }
+
+    /// `stream` is `run` with an attached frame-writing observer. The final
+    /// response reports how many frames were emitted/dropped.
+    fn handle_stream(&self, id: &Value, request: &Value, out: &Arc<ConnOut>) -> Value {
+        let Some(name) = request.get("name").and_then(Value::as_str) else {
+            return proto::error_response(id.clone(), ErrorCode::BadRequest, "missing `name`", None);
+        };
+        let limit = request.get("limit").and_then(Value::as_u64).unwrap_or(65_536);
+        let counts = Arc::new(Mutex::new(StreamCounts { emitted: 0, dropped: 0 }));
+        let observer = Box::new(StreamObserver {
+            out: Arc::clone(out),
+            counts: Arc::clone(&counts),
+            session: name.to_string(),
+            limit,
+        });
+        let mut response = self.handle_run(id, request, Some(observer));
+        let (emitted, dropped) = {
+            let counts = counts.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            (counts.emitted, counts.dropped)
+        };
+        if let Value::Obj(fields) = &mut response {
+            fields.push(("frames".to_string(), emitted.into()));
+            fields.push(("frames_dropped".to_string(), dropped.into()));
+        }
+        response
+    }
+
+    /// `export` serializes a session for migration to another daemon:
+    /// either its full portable state (`mode:"state"`, the snapshot wire
+    /// codec hex-encoded) or, for cycle-model sessions whose model state
+    /// has no portable form, a deterministic replay recipe
+    /// (`mode:"replay"`: the spec plus the instruction count to re-execute
+    /// on the destination).
+    fn handle_export(&self, id: &Value, request: &Value) -> Value {
+        with_session(self, id, request, |session| {
+            let Engine::Single { spec, sim } = &mut session.engine else {
+                return Err((
+                    ErrorCode::Unsupported,
+                    "fabric sessions do not support export".to_string(),
+                ));
+            };
+            let snap = sim
+                .snapshot()
+                .map_err(|e| (ErrorCode::Unsupported, format!("export failed: {e}")))?;
+            let mut fields = vec![
+                ("name".to_string(), session.name.as_str().into()),
+                ("spec".to_string(), spec_to_value(spec)),
+                ("instructions".to_string(), snap.instructions().into()),
+                ("runs_completed".to_string(), session.runs_completed.into()),
+            ];
+            if let Some(code) = session.exit_code {
+                fields.push(("exit_code".to_string(), code.into()));
+            }
+            if snap.is_portable() {
+                let bytes = snap
+                    .to_portable_bytes()
+                    .map_err(|e| (ErrorCode::Unsupported, format!("export failed: {e}")))?;
+                let hex = proto::to_hex(&bytes);
+                let saved = session
+                    .snapshot
+                    .as_ref()
+                    .and_then(|s| s.to_portable_bytes().ok())
+                    .map(|b| proto::to_hex(&b));
+                let payload = hex.len() + saved.as_ref().map_or(0, String::len);
+                if payload + 1024 >= self.config.max_frame {
+                    return Err((
+                        ErrorCode::Unsupported,
+                        format!(
+                            "exported state ({payload} bytes) exceeds the {}-byte frame cap; \
+                             raise --max-frame on both daemons",
+                            self.config.max_frame
+                        ),
+                    ));
+                }
+                fields.push(("mode".to_string(), "state".into()));
+                fields.push(("snapwire".to_string(), Value::Str(hex)));
+                if let Some(saved) = saved {
+                    fields.push(("saved".to_string(), Value::Str(saved)));
+                }
+            } else {
+                // Cycle-model internals are not portable; the destination
+                // recreates the session and replays the same instruction
+                // count (the simulator is deterministic, so the replayed
+                // state matches the source exactly).
+                fields.push(("mode".to_string(), "replay".into()));
+            }
+            Ok(fields)
+        })
+    }
+
+    /// `import` is the receiving half of migration: rebuilds the session
+    /// from an `export` document and inserts it into the table.
+    fn handle_import(&self, id: &Value, request: &Value) -> Value {
+        let bad = |msg: &str| proto::error_response(id.clone(), ErrorCode::BadRequest, msg, None);
+        let Some(name) = request.get("name").and_then(Value::as_str) else {
+            return bad("missing `name`");
+        };
+        if name.is_empty() || name.len() > 64 {
+            return bad("`name` must be 1..=64 characters");
+        }
+        let Some(spec_value) = request.get("spec") else {
+            return bad("missing `spec`");
+        };
+        let spec = match spec_from_value(spec_value) {
+            Ok(spec) => spec,
+            Err(msg) => return bad(&msg),
+        };
+        let mode = request.get("mode").and_then(Value::as_str).unwrap_or("state");
+        let mut session = match Session::create(name, spec) {
+            Ok(s) => s,
+            Err(e) => return bad(&e),
+        };
+        match mode {
+            "state" => {
+                let Some(hex) = request.get("snapwire").and_then(Value::as_str) else {
+                    return bad("state import needs `snapwire`");
+                };
+                let Some(bytes) = proto::from_hex(hex) else {
+                    return bad("`snapwire` is not valid hex");
+                };
+                let snap = match Snapshot::from_portable_bytes(&bytes) {
+                    Ok(snap) => snap,
+                    Err(e) => return bad(&format!("bad `snapwire` payload: {e}")),
+                };
+                let sim = session.single_mut().expect("imported spec is single-core");
+                if let Err(e) = sim.restore(&snap) {
+                    return proto::error_response(
+                        id.clone(),
+                        ErrorCode::Unsupported,
+                        &format!("import restore failed: {e}"),
+                        None,
+                    );
+                }
+                if let Some(saved_hex) = request.get("saved").and_then(Value::as_str) {
+                    let Some(saved_bytes) = proto::from_hex(saved_hex) else {
+                        return bad("`saved` is not valid hex");
+                    };
+                    match Snapshot::from_portable_bytes(&saved_bytes) {
+                        Ok(saved) => session.snapshot = Some(saved),
+                        Err(e) => return bad(&format!("bad `saved` payload: {e}")),
+                    }
+                }
+            }
+            "replay" => {
+                let Some(n) = request.get("instructions").and_then(Value::as_u64) else {
+                    return bad("replay import needs `instructions`");
+                };
+                // A replay occupies a run slot like any other execution.
+                let admitted = self
+                    .running
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |c| {
+                        (c < self.config.max_running).then_some(c + 1)
+                    })
+                    .is_ok();
+                if !admitted {
+                    return proto::error_response(
+                        id.clone(),
+                        ErrorCode::Overloaded,
+                        &format!("{} sessions already running", self.config.max_running),
+                        Some(self.config.retry_after_ms),
+                    );
+                }
+                let result = {
+                    let sim = session.single_mut().expect("imported spec is single-core");
+                    replay_to(sim, n, self.config.slice)
+                };
+                self.running.fetch_sub(1, Ordering::SeqCst);
+                if let Err((code, msg)) = result {
+                    return proto::error_response(id.clone(), code, &msg, None);
+                }
+            }
+            other => return bad(&format!("unknown import mode `{other}`")),
+        }
+        session.exit_code = request.get("exit_code").and_then(Value::as_u64).map(|c| c as u32);
+        session.runs_completed =
+            request.get("runs_completed").and_then(Value::as_u64).unwrap_or(0);
+        let instructions = session.instructions();
+        match self.table.insert(session) {
+            Ok(()) => proto::ok_response(
+                id.clone(),
+                vec![
+                    ("name".to_string(), name.into()),
+                    ("mode".to_string(), mode.into()),
+                    ("instructions".to_string(), instructions.into()),
+                ],
+            ),
+            Err(TableError::Full) => proto::error_response(
+                id.clone(),
+                ErrorCode::Overloaded,
+                "session table is full of running sessions",
+                Some(self.config.retry_after_ms),
+            ),
+            Err(e) => table_error(id, name, &e),
+        }
+    }
+}
+
+/// Re-executes exactly `n` instructions on a fresh simulator (the replay
+/// half of `import`).
+fn replay_to(sim: &mut Simulator, n: u64, slice: u64) -> Result<(), (ErrorCode, String)> {
+    let slice = slice.max(1);
+    let mut executed = 0u64;
+    while executed < n {
+        let before = sim.stats().instructions;
+        let outcome = sim
+            .run_for((n - executed).min(slice))
+            .map_err(|e| (ErrorCode::SimFault, format!("replay fault: {e}")))?;
+        let delta = sim.stats().instructions - before;
+        executed += delta;
+        if matches!(outcome, RunOutcome::Halted { .. }) && executed < n {
+            return Err((
+                ErrorCode::SimFault,
+                format!("replay halted after {executed} of {n} instructions"),
+            ));
+        }
+        if delta == 0 && executed < n {
+            return Err((ErrorCode::SimFault, "replay made no progress".to_string()));
+        }
+    }
+    Ok(())
+}
+
+fn model_name(model: CycleModelKind) -> &'static str {
+    match model {
+        CycleModelKind::Ilp => "ilp",
+        CycleModelKind::Aie => "aie",
+        CycleModelKind::Doe => "doe",
+        _ => "unknown",
+    }
+}
+
+/// Serializes a [`SessionSpec`] into the `spec` object of an `export`
+/// document (the same keys `create` accepts).
+fn spec_to_value(spec: &SessionSpec) -> Value {
+    let mut fields = vec![
+        ("workload".to_string(), spec.workload.name().into()),
+        ("isa".to_string(), spec.isa.name().into()),
+        ("decode_cache".to_string(), Value::Bool(spec.decode_cache)),
+        ("prediction".to_string(), Value::Bool(spec.prediction)),
+        ("superblocks".to_string(), Value::Bool(spec.superblocks)),
+        ("ideal_memory".to_string(), Value::Bool(spec.ideal_memory)),
+    ];
+    if let Some(model) = spec.model {
+        fields.push(("model".to_string(), model_name(model).into()));
+    }
+    Value::Obj(fields)
+}
+
+/// Parses the `spec` object of an `import` request (missing flags take the
+/// `create` defaults, so older exports stay importable).
+fn spec_from_value(value: &Value) -> Result<SessionSpec, String> {
+    let Some(workload_name) = value.get("workload").and_then(Value::as_str) else {
+        return Err("spec is missing `workload`".to_string());
+    };
+    let Some(workload) = Workload::ALL.into_iter().find(|w| w.name() == workload_name) else {
+        return Err(format!("unknown workload `{workload_name}`"));
+    };
+    let Some(isa_name) = value.get("isa").and_then(Value::as_str) else {
+        return Err("spec is missing `isa`".to_string());
+    };
+    let Some(isa) = IsaKind::ALL.into_iter().find(|k| k.name() == isa_name) else {
+        return Err(format!("unknown isa `{isa_name}`"));
+    };
+    let mut spec = SessionSpec::new(workload, isa);
+    match value.get("model").and_then(Value::as_str) {
+        None => {}
+        Some("ilp") => spec.model = Some(CycleModelKind::Ilp),
+        Some("aie") => spec.model = Some(CycleModelKind::Aie),
+        Some("doe") => spec.model = Some(CycleModelKind::Doe),
+        Some(other) => return Err(format!("unknown model `{other}`")),
+    }
+    let flag = |key: &str, default: bool| value.get(key).and_then(Value::as_bool).unwrap_or(default);
+    spec.decode_cache = flag("decode_cache", true);
+    spec.prediction = flag("prediction", true);
+    spec.superblocks = flag("superblocks", true);
+    spec.ideal_memory = flag("ideal_memory", false);
+    Ok(spec)
 }
 
 fn table_error(id: &Value, name: &str, e: &TableError) -> Value {
@@ -412,16 +833,14 @@ fn table_error(id: &Value, name: &str, e: &TableError) -> Value {
             ErrorCode::Overloaded,
             "session table is full of running sessions".to_string(),
         ),
-        TableError::Exists => {
-            (ErrorCode::BadRequest, format!("session `{name}` already exists"))
-        }
+        TableError::Exists => (ErrorCode::BadRequest, format!("session `{name}` already exists")),
     };
     proto::error_response(id.clone(), code, &msg, None)
 }
 
 /// Checkout/checkin wrapper for verbs that need exclusive session access.
 fn with_session(
-    shared: &Shared,
+    service: &SimService,
     id: &Value,
     request: &Value,
     f: impl FnOnce(&mut Session) -> Result<Vec<(String, Value)>, (ErrorCode, String)>,
@@ -429,63 +848,15 @@ fn with_session(
     let Some(name) = request.get("name").and_then(Value::as_str) else {
         return proto::error_response(id.clone(), ErrorCode::BadRequest, "missing `name`", None);
     };
-    let mut session = match shared.table.checkout(name) {
+    let mut session = match service.table.checkout(name) {
         Ok(s) => s,
         Err(e) => return table_error(id, name, &e),
     };
     let result = f(&mut session);
-    shared.table.checkin(session);
+    service.table.checkin(session);
     match result {
         Ok(fields) => proto::ok_response(id.clone(), fields),
         Err((code, msg)) => proto::error_response(id.clone(), code, &msg, None),
-    }
-}
-
-fn handle_create(shared: &Shared, id: &Value, request: &Value) -> Value {
-    let bad = |msg: &str| {
-        proto::error_response(id.clone(), ErrorCode::BadRequest, msg, None)
-    };
-    let Some(name) = request.get("name").and_then(Value::as_str) else {
-        return bad("missing `name`");
-    };
-    if name.is_empty() || name.len() > 64 {
-        return bad("`name` must be 1..=64 characters");
-    }
-    let kind = request.get("kind").and_then(Value::as_str).unwrap_or("single");
-    let session = match kind {
-        "single" => match create_single(request) {
-            Ok(spec) => spec,
-            Err(msg) => return bad(&msg),
-        },
-        "fabric" => match create_fabric(request) {
-            Ok(spec) => spec,
-            Err(msg) => return bad(&msg),
-        },
-        other => return bad(&format!("unknown session kind `{other}`")),
-    };
-
-    let started = Instant::now();
-    let session = match session.build(name) {
-        Ok(s) => s,
-        Err(e) => return bad(&e),
-    };
-    match shared.table.insert(session) {
-        Ok(()) => proto::ok_response(
-            id.clone(),
-            vec![
-                ("name".to_string(), name.into()),
-                ("kind".to_string(), kind.into()),
-                ("proto_version".to_string(), PROTO_VERSION.into()),
-                ("build_ms".to_string(), (started.elapsed().as_millis() as u64).into()),
-            ],
-        ),
-        Err(TableError::Full) => proto::error_response(
-            id.clone(),
-            ErrorCode::Overloaded,
-            "session table is full of running sessions",
-            Some(shared.config.retry_after_ms),
-        ),
-        Err(e) => table_error(id, name, &e),
     }
 }
 
@@ -505,40 +876,17 @@ impl PendingSession {
 }
 
 fn create_single(request: &Value) -> Result<PendingSession, String> {
-    let Some(workload_name) = request.get("workload").and_then(Value::as_str) else {
-        return Err("missing `workload`".to_string());
-    };
-    let Some(workload) = Workload::ALL.into_iter().find(|w| w.name() == workload_name) else {
-        return Err(format!("unknown workload `{workload_name}`"));
-    };
-    let Some(isa_name) = request.get("isa").and_then(Value::as_str) else {
-        return Err("missing `isa`".to_string());
-    };
-    let Some(isa) = IsaKind::ALL.into_iter().find(|k| k.name() == isa_name) else {
-        return Err(format!("unknown isa `{isa_name}`"));
-    };
-    let mut spec = SessionSpec::new(workload, isa);
-    match request.get("model").and_then(Value::as_str) {
-        None => {}
-        Some("ilp") => spec.model = Some(CycleModelKind::Ilp),
-        Some("aie") => spec.model = Some(CycleModelKind::Aie),
-        Some("doe") => spec.model = Some(CycleModelKind::Doe),
-        Some(other) => return Err(format!("unknown model `{other}`")),
-    }
-    let flag = |key: &str, default: bool| {
-        request.get(key).and_then(Value::as_bool).unwrap_or(default)
-    };
-    spec.decode_cache = flag("decode_cache", true);
-    spec.prediction = flag("prediction", true);
-    spec.superblocks = flag("superblocks", true);
-    spec.ideal_memory = flag("ideal_memory", false);
+    let spec = spec_from_value(request).map_err(|e| {
+        // `create` carries the spec keys at the top level; reuse the spec
+        // parser but keep the historical message shapes.
+        e.replace("spec is missing", "missing")
+    })?;
     Ok(PendingSession::Single(spec))
 }
 
 fn create_fabric(request: &Value) -> Result<PendingSession, String> {
     let Some(cores) = request.get("cores").and_then(Value::as_str) else {
-        return Err("fabric create needs `cores` (comma-separated workload:isa[:model])"
-            .to_string());
+        return Err("fabric create needs `cores` (comma-separated workload:isa[:model])".to_string());
     };
     let quantum = request
         .get("quantum")
@@ -556,146 +904,6 @@ fn create_fabric(request: &Value) -> Result<PendingSession, String> {
         quantum,
         host_threads: host_threads as usize,
     }))
-}
-
-/// Executes `run`: budget-sliced `run_for` with deadline and drain checks
-/// between slices. With `loop:true`, a halted program is reset (decode
-/// cache stays warm) and re-run until the instruction budget is consumed —
-/// the sustained-throughput mode `kctl bench` uses.
-///
-/// When `observer` is set (the `stream` verb), the simulator routes events
-/// through it for the duration of the request.
-fn handle_run(
-    shared: &Shared,
-    id: &Value,
-    request: &Value,
-    observer: Option<Box<dyn Observer>>,
-) -> Value {
-    let Some(name) = request.get("name").and_then(Value::as_str) else {
-        return proto::error_response(id.clone(), ErrorCode::BadRequest, "missing `name`", None);
-    };
-    let budget = request
-        .get("budget")
-        .and_then(Value::as_u64)
-        .unwrap_or(1_000_000_000);
-    let looped = request.get("loop").and_then(Value::as_bool).unwrap_or(false);
-    let reset_first = request.get("reset").and_then(Value::as_bool).unwrap_or(false);
-
-    // Admission control: bounded concurrent running sessions.
-    let admitted = shared
-        .running
-        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
-            (n < shared.config.max_running).then_some(n + 1)
-        })
-        .is_ok();
-    if !admitted {
-        return proto::error_response(
-            id.clone(),
-            ErrorCode::Overloaded,
-            &format!("{} sessions already running", shared.config.max_running),
-            Some(shared.config.retry_after_ms),
-        );
-    }
-    let response = (|| {
-        let mut session = match shared.table.checkout(name) {
-            Ok(s) => s,
-            Err(e) => return table_error(id, name, &e),
-        };
-        // Single-core-only request shapes fail cleanly before running.
-        if matches!(session.engine, Engine::Fabric { .. }) {
-            let unsupported = if observer.is_some() {
-                Some("fabric sessions do not support stream")
-            } else if looped {
-                Some("fabric sessions do not support loop")
-            } else {
-                None
-            };
-            if let Some(msg) = unsupported {
-                shared.table.checkin(session);
-                return proto::error_response(id.clone(), ErrorCode::Unsupported, msg, None);
-            }
-        }
-        if reset_first {
-            match &mut session.engine {
-                Engine::Single { sim, .. } => sim.reset(),
-                Engine::Fabric { fabric, .. } => fabric.reset(),
-            }
-            session.exit_code = None;
-        }
-        let had_observer = observer.is_some();
-        if let Some(o) = observer {
-            if let Some(sim) = session.single_mut() {
-                sim.set_observer(o);
-            }
-        }
-        let started = Instant::now();
-        let deadline = started + shared.config.request_timeout;
-        let result = match &mut session.engine {
-            Engine::Single { sim, .. } => run_sliced(
-                sim,
-                budget,
-                shared.config.slice,
-                looped,
-                deadline,
-                &shared.draining,
-            )
-            .map_err(|e| format!("simulation fault: {e}")),
-            Engine::Fabric { fabric, .. } => run_fabric_sliced(
-                fabric,
-                budget,
-                shared.config.slice,
-                deadline,
-                &shared.draining,
-            ),
-        };
-        let wall = started.elapsed();
-        session.busy += wall;
-        if had_observer {
-            if let Some(sim) = session.single_mut() {
-                let _ = sim.take_observer();
-            }
-        }
-        match result {
-            Err(msg) => {
-                // A faulted engine is not safely resumable; drop the
-                // session rather than serving poisoned state.
-                shared.table.discard(name);
-                proto::error_response(id.clone(), ErrorCode::SimFault, &msg, None)
-            }
-            Ok(run) => {
-                session.runs_completed += run.halts;
-                if let Some(code) = run.exit_code {
-                    session.exit_code = Some(code);
-                }
-                let mut fields = vec![
-                    ("outcome".to_string(), run.outcome.into()),
-                    ("instructions".to_string(), run.instructions.into()),
-                    ("total_instructions".to_string(), session.instructions().into()),
-                    ("runs".to_string(), run.halts.into()),
-                    ("wall_ms".to_string(), (wall.as_secs_f64() * 1e3).into()),
-                ];
-                if let Some(code) = run.exit_code {
-                    fields.push(("exit_code".to_string(), code.into()));
-                }
-                match &session.engine {
-                    Engine::Single { sim, .. } => {
-                        if let Some(cycles) = sim.cycle_stats() {
-                            fields.push(("cycles".to_string(), cycles.cycles.into()));
-                        }
-                    }
-                    Engine::Fabric { fabric, .. } => {
-                        let stats = fabric.stats();
-                        fields.push(("cores".to_string(), (stats.cores.len() as u64).into()));
-                        fields.push(("quanta".to_string(), stats.quanta.into()));
-                    }
-                }
-                shared.table.checkin(session);
-                proto::ok_response(id.clone(), fields)
-            }
-        }
-    })();
-    shared.running.fetch_sub(1, Ordering::SeqCst);
-    response
 }
 
 struct SlicedRun {
@@ -805,89 +1013,37 @@ fn run_fabric_sliced(
     })
 }
 
-/// An observer that writes capped event frames straight into the
-/// connection, counting overflow drops. The tallies live in the shared
-/// sink because the observer box itself is consumed by the simulator.
-struct StreamObserver {
-    sink: Arc<std::sync::Mutex<StreamSink>>,
-    session: String,
-    limit: u64,
-}
-
-struct StreamSink {
-    writer: BufWriter<TcpStream>,
-    failed: bool,
+struct StreamCounts {
     emitted: u64,
     dropped: u64,
 }
 
-impl Observer for StreamObserver {
-    fn event(&mut self, event: SimEvent) {
-        let mut sink = self.sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        if sink.emitted >= self.limit {
-            sink.dropped += 1;
-            return;
-        }
-        sink.emitted += 1;
-        if sink.failed {
-            return;
-        }
-        let line = proto::stream_frame(&self.session, &frame::to_json_line(&event));
-        // Stream emission is best-effort: a dead client must not abort the
-        // simulation mid-run (the session survives; the final response
-        // write will fail and close the connection).
-        if sink.writer.write_all(line.as_bytes()).is_err()
-            || sink.writer.write_all(b"\n").is_err()
-        {
-            sink.failed = true;
-        }
-    }
+/// An observer that writes capped event frames straight into the
+/// connection's outbound buffer (the event loop drains it concurrently),
+/// counting overflow drops. The tallies live behind an `Arc` because the
+/// observer box itself is consumed by the simulator.
+struct StreamObserver {
+    out: Arc<ConnOut>,
+    counts: Arc<Mutex<StreamCounts>>,
+    session: String,
+    limit: u64,
 }
 
-/// `stream` is `run` with an attached frame-writing observer. The final
-/// response reports how many frames were emitted/dropped.
-fn handle_stream(
-    shared: &Shared,
-    id: &Value,
-    request: &Value,
-    writer: &mut BufWriter<TcpStream>,
-) -> Value {
-    let Some(name) = request.get("name").and_then(Value::as_str) else {
-        return proto::error_response(id.clone(), ErrorCode::BadRequest, "missing `name`", None);
-    };
-    let limit = request.get("limit").and_then(Value::as_u64).unwrap_or(65_536);
-    let Ok(stream_clone) = writer.get_ref().try_clone() else {
-        return proto::error_response(
-            id.clone(),
-            ErrorCode::BadRequest,
-            "cannot clone connection for streaming",
-            None,
-        );
-    };
-    // Flush buffered responses before the observer starts interleaving.
-    let _ = writer.flush();
-    let sink = Arc::new(std::sync::Mutex::new(StreamSink {
-        writer: BufWriter::new(stream_clone),
-        failed: false,
-        emitted: 0,
-        dropped: 0,
-    }));
-    let observer = Box::new(StreamObserver {
-        sink: Arc::clone(&sink),
-        session: name.to_string(),
-        limit,
-    });
-    let mut response = handle_run(shared, id, request, Some(observer));
-    let (emitted, dropped) = {
-        let mut sink = sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        let _ = sink.writer.flush();
-        (sink.emitted, sink.dropped)
-    };
-    if let Value::Obj(fields) = &mut response {
-        fields.push(("frames".to_string(), emitted.into()));
-        fields.push(("frames_dropped".to_string(), dropped.into()));
+impl Observer for StreamObserver {
+    fn event(&mut self, event: SimEvent) {
+        let mut counts = self.counts.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if counts.emitted >= self.limit {
+            counts.dropped += 1;
+            return;
+        }
+        counts.emitted += 1;
+        // Frame emission cannot fail here: the buffer is in-memory and the
+        // loop flushes it best-effort. A dead client never aborts the
+        // simulation mid-run (the session survives; the connection closes
+        // when its flush fails).
+        self.out
+            .push_line(&proto::stream_frame(&self.session, &frame::to_json_line(&event)));
     }
-    response
 }
 
 /// Builds the `stats` response: the unified [`StatsReport`] document
@@ -1008,13 +1164,14 @@ mod tests {
         assert!(c.max_sessions >= 1);
         assert!(c.max_running >= 1);
         assert!(c.slice >= 1);
+        assert!(c.max_frame >= proto::MAX_FRAME_BYTES, "cap raised beyond the legacy 64 KiB");
+        assert!(c.resolved_io_workers() > c.max_running, "slack for non-run verbs");
     }
 
     #[test]
     fn sliced_run_reports_budget_and_halt() {
         let exe = Workload::Dct.build(IsaKind::Risc).unwrap();
-        let mut sim =
-            Simulator::new(&exe, kahrisma_core::SimConfig::default()).unwrap();
+        let mut sim = Simulator::new(&exe, kahrisma_core::SimConfig::default()).unwrap();
         let draining = AtomicBool::new(false);
         let deadline = Instant::now() + Duration::from_secs(60);
         // A tiny budget with a smaller slice: several slices, no halt.
@@ -1023,8 +1180,7 @@ mod tests {
         assert_eq!(run.instructions, 1000);
         assert_eq!(run.halts, 0);
         // Run to completion.
-        let run =
-            run_sliced(&mut sim, u64::MAX, 4_000_000, false, deadline, &draining).unwrap();
+        let run = run_sliced(&mut sim, u64::MAX, 4_000_000, false, deadline, &draining).unwrap();
         assert_eq!(run.outcome, "halted");
         assert_eq!(run.exit_code, Some(Workload::Dct.expected_exit()));
         assert_eq!(run.halts, 1);
@@ -1033,23 +1189,14 @@ mod tests {
     #[test]
     fn sliced_run_loops_with_warm_cache() {
         let exe = Workload::Dct.build(IsaKind::Risc).unwrap();
-        let mut sim =
-            Simulator::new(&exe, kahrisma_core::SimConfig::default()).unwrap();
+        let mut sim = Simulator::new(&exe, kahrisma_core::SimConfig::default()).unwrap();
         let draining = AtomicBool::new(false);
         let deadline = Instant::now() + Duration::from_secs(60);
-        let once =
-            run_sliced(&mut sim, u64::MAX, 4_000_000, false, deadline, &draining).unwrap();
+        let once = run_sliced(&mut sim, u64::MAX, 4_000_000, false, deadline, &draining).unwrap();
         let per_run = once.instructions;
         sim.reset();
-        let looped = run_sliced(
-            &mut sim,
-            per_run * 3,
-            4_000_000,
-            true,
-            deadline,
-            &draining,
-        )
-        .unwrap();
+        let looped =
+            run_sliced(&mut sim, per_run * 3, 4_000_000, true, deadline, &draining).unwrap();
         assert_eq!(looped.outcome, "budget");
         assert_eq!(looped.halts, 3);
         assert_eq!(looped.exit_code, Some(Workload::Dct.expected_exit()));
@@ -1060,8 +1207,7 @@ mod tests {
     #[test]
     fn draining_interrupts_a_sliced_run() {
         let exe = Workload::Dct.build(IsaKind::Risc).unwrap();
-        let mut sim =
-            Simulator::new(&exe, kahrisma_core::SimConfig::default()).unwrap();
+        let mut sim = Simulator::new(&exe, kahrisma_core::SimConfig::default()).unwrap();
         let draining = AtomicBool::new(true);
         let deadline = Instant::now() + Duration::from_secs(60);
         let run = run_sliced(&mut sim, u64::MAX, 100, false, deadline, &draining).unwrap();
@@ -1071,14 +1217,62 @@ mod tests {
 
     #[test]
     fn registry_fold_is_deterministic() {
-        let session = Session::create(
-            "t",
-            SessionSpec::new(Workload::Dct, IsaKind::Risc),
-        )
-        .unwrap();
+        let session = Session::create("t", SessionSpec::new(Workload::Dct, IsaKind::Risc)).unwrap();
         let a = registry_from_stats(&session).to_json();
         let b = registry_from_stats(&session).to_json();
         assert_eq!(a, b);
         kahrisma_observe::json_lint::validate(&a).expect("valid JSON");
+    }
+
+    #[test]
+    fn spec_round_trips_through_its_wire_form() {
+        let mut spec = SessionSpec::new(Workload::Fft, IsaKind::Vliw4);
+        spec.model = Some(CycleModelKind::Doe);
+        spec.prediction = false;
+        spec.ideal_memory = true;
+        let parsed = spec_from_value(&spec_to_value(&spec)).unwrap();
+        assert_eq!(parsed.workload, spec.workload);
+        assert_eq!(parsed.isa, spec.isa);
+        assert_eq!(parsed.model, spec.model);
+        assert!(!parsed.prediction);
+        assert!(parsed.superblocks);
+        assert!(parsed.ideal_memory);
+        assert!(spec_from_value(&Value::Obj(Vec::new())).is_err(), "workload required");
+    }
+
+    #[test]
+    fn replay_reaches_the_exact_instruction_count() {
+        let exe = Workload::Dct.build(IsaKind::Risc).unwrap();
+        let mut source = Simulator::new(&exe, kahrisma_core::SimConfig::default()).unwrap();
+        let _ = source.run_for(5_000).unwrap();
+        let n = source.stats().instructions;
+        // Same slicing as the source: bit-exact portable state.
+        let mut dest = Simulator::new(&exe, kahrisma_core::SimConfig::default()).unwrap();
+        replay_to(&mut dest, n, n).unwrap();
+        assert_eq!(
+            dest.snapshot().unwrap().to_portable_bytes().unwrap(),
+            source.snapshot().unwrap().to_portable_bytes().unwrap(),
+            "replay reproduces the exact portable state"
+        );
+        // Misaligned slicing still reaches the exact instruction count
+        // (batching counters may differ; architectural progress may not).
+        let mut sliced = Simulator::new(&exe, kahrisma_core::SimConfig::default()).unwrap();
+        replay_to(&mut sliced, n, 1_000).unwrap();
+        assert_eq!(sliced.stats().instructions, n);
+        assert_eq!(sliced.stats().mem_writes, source.stats().mem_writes);
+        // Replaying past a halt is a divergence, not a silent truncation.
+        let run = run_sliced(
+            &mut source,
+            u64::MAX,
+            4_000_000,
+            false,
+            Instant::now() + Duration::from_secs(60),
+            &AtomicBool::new(false),
+        )
+        .unwrap();
+        assert_eq!(run.outcome, "halted");
+        let total = source.stats().instructions;
+        let mut fresh = Simulator::new(&exe, kahrisma_core::SimConfig::default()).unwrap();
+        assert!(replay_to(&mut fresh, total + 1, 4_000_000).is_err());
     }
 }

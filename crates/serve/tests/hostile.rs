@@ -1,0 +1,216 @@
+//! Hostile- and slow-client tests: the event loop must keep serving
+//! well-behaved clients while others dribble partial frames, sit half-open,
+//! or vanish mid-run — and the raised frame cap must admit oversized
+//! snapshot frames while a lowered one rejects them with clean recovery.
+
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use kahrisma_serve::client::ClientError;
+use kahrisma_serve::json::{parse, Value};
+use kahrisma_serve::proto::MAX_FRAME_BYTES;
+use kahrisma_serve::{Client, Daemon, DaemonHandle, ServerConfig};
+
+fn start_daemon(config: ServerConfig) -> (String, DaemonHandle, std::thread::JoinHandle<()>) {
+    let daemon = Daemon::bind(ServerConfig { addr: "127.0.0.1:0".to_string(), ..config })
+        .expect("bind ephemeral port");
+    let addr = daemon.local_addr().expect("local addr").to_string();
+    let handle = daemon.handle().expect("handle");
+    let thread = std::thread::spawn(move || daemon.run().expect("accept loop"));
+    (addr, handle, thread)
+}
+
+fn stop(handle: DaemonHandle, thread: std::thread::JoinHandle<()>) {
+    handle.shutdown();
+    thread.join().expect("daemon thread");
+}
+
+/// Reads one newline-terminated frame from a raw socket.
+fn read_frame(stream: &mut TcpStream) -> Value {
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read frame");
+    parse(line.trim()).expect("parse frame")
+}
+
+#[test]
+fn slow_loris_partial_frames_do_not_block_other_clients() {
+    let (addr, handle, thread) = start_daemon(ServerConfig::default());
+
+    // Three slow-loris connections, each holding an incomplete frame open.
+    let mut loris: Vec<TcpStream> = (0..3)
+        .map(|_| {
+            let mut s = TcpStream::connect(&addr).expect("connect");
+            s.write_all(b"{\"id\":1,\"cmd\":\"pi").expect("partial write");
+            s.flush().unwrap();
+            s
+        })
+        .collect();
+
+    // A well-behaved client gets full service while the loris conns stall.
+    let mut client = Client::connect(&addr).unwrap();
+    client.create("victim", "dct", "risc", Vec::new()).unwrap();
+    let run = client.run("victim", None, false, false).unwrap();
+    assert_eq!(run.get("outcome").and_then(Value::as_str), Some("halted"));
+
+    // The stalled frames complete byte by byte and still get answers: a
+    // partial frame is pending state, not an error.
+    for stream in &mut loris {
+        for byte in b"ng\"}".iter() {
+            stream.write_all(&[*byte]).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        let pong = read_frame(stream);
+        assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(pong.get("pong").and_then(Value::as_bool), Some(true));
+    }
+    stop(handle, thread);
+}
+
+#[test]
+fn half_open_connections_do_not_starve_the_accept_loop() {
+    let (addr, handle, thread) = start_daemon(ServerConfig::default());
+    // A pile of connections that never send a byte.
+    let silent: Vec<TcpStream> =
+        (0..32).map(|_| TcpStream::connect(&addr).expect("connect")).collect();
+    // Service continues: connect, ping, full session round trip.
+    let mut client = Client::connect(&addr).unwrap();
+    let load = client.ping_load().unwrap();
+    assert!(load.max_frame.is_some(), "extended ping advertises the frame cap");
+    client.create("alive", "dct", "risc", Vec::new()).unwrap();
+    client.run("alive", None, false, false).unwrap();
+    // Dropping the silent connections must not disturb anyone either.
+    drop(silent);
+    client.session_verb("stats", "alive").unwrap();
+    stop(handle, thread);
+}
+
+#[test]
+fn disconnect_mid_run_leaves_the_session_resumable() {
+    let (addr, handle, thread) = start_daemon(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+    client.create("orphan", "dct", "risc", Vec::new()).unwrap();
+
+    // Start a long run over a raw socket and vanish mid-request.
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    raw.write_all(
+        b"{\"id\":9,\"cmd\":\"run\",\"name\":\"orphan\",\"budget\":30000000,\"loop\":true}\n",
+    )
+    .unwrap();
+    raw.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    drop(raw);
+
+    // The session finishes (or is reaped back to idle) server-side and
+    // stays usable: poll stats until the run slot frees.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match client.session_verb("stats", "orphan") {
+            Ok(stats) => {
+                assert!(
+                    stats.get("instructions").and_then(Value::as_u64).unwrap_or(0) > 0,
+                    "the interrupted run still made progress"
+                );
+                break;
+            }
+            Err(ClientError::Server { ref code, .. }) if code == "busy" => {
+                assert!(Instant::now() < deadline, "session never came back");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    // And it still runs to completion for its next owner.
+    let run = client.run("orphan", None, false, false).unwrap();
+    assert_eq!(run.get("outcome").and_then(Value::as_str), Some("halted"));
+    stop(handle, thread);
+}
+
+/// The regression the raised default exists for: a snapshot-bearing export
+/// frame larger than the historical 64 KiB cap round-trips through
+/// `import` under the 8 MiB default.
+#[test]
+fn oversized_snapshot_frames_round_trip_under_the_raised_cap() {
+    let (addr, handle, thread) = start_daemon(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+    // djpeg touches the most memory of the bundled workloads; with a saved
+    // snapshot slot on top, its export exceeds the old frame cap.
+    client.create("jumbo", "djpeg", "risc", Vec::new()).unwrap();
+    client.run("jumbo", None, false, false).unwrap();
+    client.session_verb("snapshot", "jumbo").unwrap();
+    let exported = client.export("jumbo").unwrap();
+    assert_eq!(exported.get("mode").and_then(Value::as_str), Some("state"));
+    assert!(
+        exported.to_json().len() > MAX_FRAME_BYTES,
+        "need an export bigger than the legacy {MAX_FRAME_BYTES}-byte cap, got {}",
+        exported.to_json().len()
+    );
+    // The import request carries the same oversized payload back in.
+    client.import("jumbo-copy", &exported).unwrap();
+    let original = client.session_verb("stats", "jumbo").unwrap();
+    let copy = client.session_verb("stats", "jumbo-copy").unwrap();
+    let strip_id = |v: &Value| match v {
+        Value::Obj(fields) => {
+            Value::Obj(fields.iter().filter(|(k, _)| k != "id").cloned().collect())
+        }
+        other => other.clone(),
+    };
+    assert_eq!(strip_id(&copy), strip_id(&original), "imported state is bit-identical");
+    stop(handle, thread);
+}
+
+#[test]
+fn lowered_frame_cap_rejects_oversized_frames_and_recovers() {
+    let (addr, handle, thread) =
+        start_daemon(ServerConfig { max_frame: 2048, ..ServerConfig::default() });
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    // A 4 KiB frame against a 2 KiB cap: rejected as bad_frame (id null,
+    // since the frame is discarded unparsed)...
+    let oversized = format!("{{\"id\":3,\"cmd\":\"ping\",\"pad\":\"{}\"}}\n", "x".repeat(4096));
+    stream.write_all(oversized.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let rejection = read_frame(&mut stream);
+    assert_eq!(rejection.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(rejection.get("code").and_then(Value::as_str), Some("bad_frame"));
+    assert!(matches!(rejection.get("id"), Some(Value::Null)));
+    // ...and the connection recovers: the next frame is served normally.
+    stream.write_all(b"{\"id\":4,\"cmd\":\"ping\"}\n").unwrap();
+    stream.flush().unwrap();
+    let pong = read_frame(&mut stream);
+    assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(pong.get("id").and_then(Value::as_u64), Some(4));
+    // The advertised cap follows the configuration.
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.ping_load().unwrap().max_frame, Some(2048));
+    stop(handle, thread);
+}
+
+/// `ping_load` against a daemon that predates the extended ping: the
+/// missing load fields parse as zero/absent instead of failing.
+#[test]
+fn ping_load_tolerates_minimal_older_daemons() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let fake = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        // Consume the request, then answer the pre-extension pong shape.
+        let mut buf = [0u8; 1024];
+        let _ = stream.read(&mut buf);
+        stream
+            .write_all(b"{\"id\":1,\"ok\":true,\"pong\":true,\"proto_version\":1}\n")
+            .unwrap();
+    });
+    let mut client = Client::connect(&addr).unwrap();
+    let load = client.ping_load().expect("tolerant parse");
+    assert_eq!(load.proto_version, Some(1));
+    assert_eq!(load.sessions, 0);
+    assert_eq!(load.running, 0);
+    assert_eq!(load.uptime_ms, 0);
+    assert_eq!(load.max_frame, None);
+    assert!(!load.draining);
+    fake.join().unwrap();
+}
