@@ -13,6 +13,34 @@
 //! loop still takes its allocation-free direct path, so observation never
 //! taxes unobserved runs.
 
+/// Allocates a process-unique request trace id.
+///
+/// Trace context for the serving plane: `kctl` and `kgate` stamp every
+/// wire request with one of these at its entry point, and every span the
+/// request produces (gate hop, worker execution) carries it, so one
+/// request can be followed across processes. Ids combine a per-process
+/// random-ish tag (from the first call's clock) with a monotonic counter,
+/// and are kept under 2^48 so they survive a round trip through JSON
+/// `f64` numbers exactly.
+#[must_use]
+pub fn next_trace_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    if n == 0 {
+        // Seed the high bits once from the wall clock (sub-second part) so
+        // ids from different processes rarely collide; retries keep the
+        // counter monotonic either way.
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(1, |d| d.subsec_nanos() as u64 | 1);
+        let tag = (nanos & 0xFFFF) << 32;
+        let _ = NEXT.compare_exchange(1, tag | 1, Ordering::Relaxed, Ordering::Relaxed);
+        return next_trace_id();
+    }
+    n & 0xFFFF_FFFF_FFFF
+}
+
 /// One structured simulator event.
 ///
 /// Events are small `Copy` values so collectors can ring-buffer them
@@ -201,6 +229,17 @@ mod tests {
         let e = SimEvent::CacheHit { addr: 4 };
         let f = e; // Copy
         assert_eq!(e, f);
+    }
+
+    #[test]
+    fn trace_ids_are_unique_monotonic_and_json_safe() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, 0);
+        assert!(b > a, "{a} then {b}");
+        // Must survive a JSON f64 round trip exactly.
+        assert!(a < 1u64 << 48);
+        assert_eq!(a as f64 as u64, a);
     }
 
     #[test]

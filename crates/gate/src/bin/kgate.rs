@@ -10,6 +10,7 @@
 //!   --max-frame BYTES      client-side frame cap (default 8388608)
 //!   --io-workers N         blocking relay threads (default 8)
 //!   --upstream-timeout-ms N  per-request relay deadline (default 90000)
+//!   --no-telemetry         disable gate spans + serve-plane metrics (ablation runs)
 //! ```
 //!
 //! Prints `kgate listening on ADDR` to stdout once bound. Clients speak the
@@ -28,7 +29,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: kgate [--addr HOST:PORT] [--spawn N] [--worker HOST:PORT]...\n\
          \x20            [--ksimd PATH] [--ksimd-arg ARG]... [--max-frame BYTES]\n\
-         \x20            [--io-workers N] [--upstream-timeout-ms N]"
+         \x20            [--io-workers N] [--upstream-timeout-ms N] [--no-telemetry]"
     );
     std::process::exit(2);
 }
@@ -65,6 +66,7 @@ fn parse_args(mut args: ArgList) -> Result<GateArgs, String> {
                 parsed.config.upstream_timeout =
                     Duration::from_millis(args.parse_value("--upstream-timeout-ms")?);
             }
+            "--no-telemetry" => parsed.config.telemetry = false,
             "--help" | "-h" => usage(),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -209,7 +211,7 @@ mod tests {
             "--addr", "127.0.0.1:0", "--spawn", "2", "--worker", "127.0.0.1:9191",
             "--worker", "127.0.0.1:9192", "--ksimd", "/bin/ksimd", "--ksimd-arg",
             "--max-running", "--ksimd-arg", "8", "--max-frame", "65536",
-            "--io-workers", "4", "--upstream-timeout-ms", "5000",
+            "--io-workers", "4", "--upstream-timeout-ms", "5000", "--no-telemetry",
         ]))
         .unwrap();
         assert_eq!(p.config.addr, "127.0.0.1:0");
@@ -220,6 +222,13 @@ mod tests {
         assert_eq!(p.config.max_frame, 65536);
         assert_eq!(p.config.io_workers, 4);
         assert_eq!(p.config.upstream_timeout, Duration::from_secs(5));
+        assert!(!p.config.telemetry);
+    }
+
+    #[test]
+    fn telemetry_is_on_by_default() {
+        let p = parse_args(args(&["--worker", "127.0.0.1:9191"])).unwrap();
+        assert!(p.config.telemetry);
     }
 
     #[test]

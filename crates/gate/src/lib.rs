@@ -18,9 +18,14 @@
 //!   worker through the wire `export`/`import` snapshot codec with zero
 //!   session loss, so a worker can be taken down under live load.
 //!
-//! The gate answers `ping`, `gate_status`, and `gate_drain` itself;
-//! everything else reaches a worker. Like the rest of the workspace, this
-//! is std-only: TCP + threads.
+//! The gate answers `ping`, `gate_status`, and `gate_drain` itself, and
+//! aggregates `server_metrics` / `trace` across the fleet (its own
+//! serve-plane registry merged with every worker's, plus per-worker
+//! sub-reports); everything else reaches a worker. Requests passing
+//! through carry a trace id — the client's own when present, a freshly
+//! minted one otherwise — so a gate span (proxy round-trip) and the
+//! worker span (queue wait + execution) of the same request correlate.
+//! Like the rest of the workspace, this is std-only: TCP + threads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,13 +38,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use kahrisma_observe::MetricsRegistry;
+use kahrisma_observe::{MetricsRegistry, Span, SpanKind, SpanRing};
 use kahrisma_serve::eventloop::{
-    ConnOut, Dispatch, EventLoop, LoopConfig, ProxyOutcome, ProxyTicket, Service,
+    ConnOut, Dispatch, EventLoop, LoopConfig, LoopStats, ProxyOutcome, ProxyTicket, Service,
 };
 use kahrisma_serve::json::{self, Value};
 use kahrisma_serve::proto::{self, ErrorCode, PROTO_VERSION};
-use kahrisma_serve::{Client, ClientError, ServerLoad};
+use kahrisma_serve::{telemetry, Client, ClientError, ServerLoad};
+
+/// Gate spans retained for `trace` (oldest evicted first).
+const SPAN_RING_CAPACITY: usize = 4096;
 
 /// Gateway tuning knobs.
 #[derive(Debug, Clone)]
@@ -59,6 +67,8 @@ pub struct GateConfig {
     pub io_workers: usize,
     /// Idle upstream connections pooled per worker.
     pub pool_per_worker: usize,
+    /// Record gate spans and serve-plane metrics (off for ablation runs).
+    pub telemetry: bool,
 }
 
 impl Default for GateConfig {
@@ -71,6 +81,7 @@ impl Default for GateConfig {
             health_interval: Duration::from_millis(500),
             io_workers: 8,
             pool_per_worker: 8,
+            telemetry: true,
         }
     }
 }
@@ -231,10 +242,18 @@ pub struct GateService {
     config: GateConfig,
     draining: Arc<AtomicBool>,
     started: Instant,
+    loop_stats: Arc<LoopStats>,
+    /// Gate spans (proxy round-trips), shared with fast-path completion
+    /// callbacks that outlive the dispatching call.
+    spans: Arc<Mutex<SpanRing>>,
+    /// Gate-side serve-plane metrics, merged with worker registries by
+    /// `server_metrics`.
+    metrics: Arc<Mutex<MetricsRegistry>>,
 }
 
 /// Verbs the gate answers itself (everything else goes to a worker).
-const LOCAL_VERBS: [&str; 4] = ["ping", "gate_status", "gate_drain", "shutdown"];
+const LOCAL_VERBS: [&str; 6] =
+    ["ping", "gate_status", "gate_drain", "shutdown", "server_metrics", "trace"];
 
 impl Service for GateService {
     fn route(&self, request: &Value, raw: &str) -> Dispatch {
@@ -247,7 +266,9 @@ impl Service for GateService {
                 None,
             ));
         };
-        if self.draining.load(Ordering::SeqCst) && cmd != "ping" && cmd != "list" {
+        if self.draining.load(Ordering::SeqCst)
+            && !matches!(cmd, "ping" | "list" | "server_metrics" | "trace")
+        {
             return Dispatch::Reply(proto::error_response(
                 id,
                 ErrorCode::Draining,
@@ -266,7 +287,8 @@ impl Service for GateService {
                     vec![("draining".to_string(), Value::Bool(true))],
                 ))
             }
-            "list" => Dispatch::Pool,
+            // Fleet fan-outs (blocking worker round-trips) run on the pool.
+            "list" | "server_metrics" | "trace" => Dispatch::Pool,
             "create" | "import" => {
                 let Some(name) = request.get("name").and_then(Value::as_str) else {
                     return Dispatch::Reply(proto::error_response(
@@ -308,11 +330,13 @@ impl Service for GateService {
         }
     }
 
-    fn perform(&self, request: &Value, out: &Arc<ConnOut>) -> Value {
+    fn perform(&self, request: &Value, out: &Arc<ConnOut>, wait_us: u64) -> Value {
         let id = request.get("id").cloned().unwrap_or(Value::Null);
         match request.get("cmd").and_then(Value::as_str) {
             Some("gate_drain") => self.handle_drain(&id, request),
             Some("list") => self.handle_list(&id),
+            Some("server_metrics") => self.handle_server_metrics(&id),
+            Some("trace") => self.handle_trace(&id, request),
             Some(cmd) if !LOCAL_VERBS.contains(&cmd) => {
                 // Slow path: resolve the owner (searching the fleet on a
                 // registry miss), connect if the pool was empty, and relay
@@ -322,12 +346,46 @@ impl Service for GateService {
                     Ok(w) => w,
                     Err(response) => return respond(&id, response),
                 };
-                let raw = request.to_json();
-                self.relay_blocking(worker, cmd, name, &raw, &id, out)
+                let (trace, raw) = with_trace(request);
+                let start_us =
+                    u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                let begun = Instant::now();
+                let response = self.relay_blocking(worker, cmd, name, &raw, &id, out);
+                self.record_gate_span(
+                    trace,
+                    cmd,
+                    name,
+                    start_us,
+                    wait_us,
+                    u64::try_from(begun.elapsed().as_micros()).unwrap_or(u64::MAX),
+                    response.get("ok").and_then(Value::as_bool) == Some(true),
+                    "gate.requests.relayed",
+                );
+                response
             }
             _ => proto::error_response(id, ErrorCode::BadRequest, "unroutable request", None),
         }
     }
+}
+
+/// Ensures an outbound request line carries a trace id: the client's own
+/// when one is present (the gate propagates, never rewrites), a freshly
+/// minted one appended to the frame otherwise. Returns the id and the line
+/// to send upstream.
+fn with_trace(request: &Value) -> (u64, String) {
+    if let Some(trace) = request.get("trace").and_then(Value::as_u64) {
+        return (trace, request.to_json());
+    }
+    let trace = kahrisma_core::observe::next_trace_id();
+    let line = match request {
+        Value::Obj(fields) => {
+            let mut fields = fields.clone();
+            fields.push(("trace".to_string(), Value::Num(trace as f64)));
+            Value::Obj(fields).to_json()
+        }
+        other => other.to_json(),
+    };
+    (trace, line)
 }
 
 /// `Ok(worker)` or `Err(error fields)` — the latter is turned into a
@@ -451,13 +509,54 @@ impl GateService {
         let cmd = request.get("cmd").and_then(Value::as_str).unwrap_or("").to_string();
         let name = request.get("name").and_then(Value::as_str).unwrap_or("").to_string();
         let pool_cap = self.config.pool_per_worker;
+        // Forward the client's exact frame when it already carries a trace
+        // id; mint one only when tracing is on and the frame has none.
+        let (trace, request_line) = match request.get("trace").and_then(Value::as_u64) {
+            Some(t) => (t, raw.to_string()),
+            None if self.config.telemetry => with_trace(request),
+            None => (0, raw.to_string()),
+        };
+        let telemetry = self.config.telemetry;
+        let spans = Arc::clone(&self.spans);
+        let metrics = Arc::clone(&self.metrics);
+        let start_us = u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let begun = Instant::now();
         Dispatch::Proxy(ProxyTicket {
             upstream,
-            request_line: raw.to_string(),
+            request_line,
             client_id: id,
             deadline: Some(Instant::now() + self.config.upstream_timeout),
             on_done: Box::new(move |outcome: ProxyOutcome| {
                 apply_outcome(&fleet, worker, &cmd, &name, outcome.response.as_ref());
+                if telemetry {
+                    // The proxy relay never parked on the pool queue, so the
+                    // whole gate-side cost is the upstream round-trip.
+                    let rtt_us =
+                        u64::try_from(begun.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    let ok = outcome
+                        .response
+                        .as_ref()
+                        .and_then(|r| r.get("ok"))
+                        .and_then(Value::as_bool)
+                        == Some(true);
+                    let mut reg = lock(&metrics);
+                    reg.count("gate.requests.forwarded", 1);
+                    if !ok {
+                        reg.count("gate.requests.failed", 1);
+                    }
+                    reg.record("gate.proxy.rtt_us", rtt_us);
+                    drop(reg);
+                    lock(&spans).push(Span {
+                        trace,
+                        kind: SpanKind::Gate,
+                        verb: cmd.clone(),
+                        session: name.clone(),
+                        start_us,
+                        queue_us: 0,
+                        exec_us: rtt_us,
+                        ok,
+                    });
+                }
                 if let Some(upstream) = outcome.upstream {
                     fleet.workers()[worker].checkin_conn(upstream, pool_cap);
                 } else {
@@ -467,6 +566,42 @@ impl GateService {
                 }
             }),
         })
+    }
+
+    /// Records one gate span plus its request counters and the proxy
+    /// round-trip histogram (no-op with telemetry disabled).
+    #[allow(clippy::too_many_arguments)]
+    fn record_gate_span(
+        &self,
+        trace: u64,
+        verb: &str,
+        session: &str,
+        start_us: u64,
+        queue_us: u64,
+        exec_us: u64,
+        ok: bool,
+        counter: &str,
+    ) {
+        if !self.config.telemetry {
+            return;
+        }
+        let mut reg = lock(&self.metrics);
+        reg.count(counter, 1);
+        if !ok {
+            reg.count("gate.requests.failed", 1);
+        }
+        reg.record("gate.proxy.rtt_us", exec_us);
+        drop(reg);
+        lock(&self.spans).push(Span {
+            trace,
+            kind: SpanKind::Gate,
+            verb: verb.to_string(),
+            session: session.to_string(),
+            start_us,
+            queue_us,
+            exec_us,
+            ok,
+        });
     }
 
     /// Resolves which worker owns `name`, searching every healthy worker's
@@ -585,6 +720,113 @@ impl GateService {
             name(a).cmp(&name(b))
         });
         proto::ok_response(id.clone(), vec![("sessions".to_string(), Value::Arr(rows))])
+    }
+
+    /// The gate's own serve-plane registry: proxy counters and the RTT
+    /// histogram (when telemetry is on) plus event-loop health, fleet
+    /// shape, and span-ring occupancy — all `gate.`-prefixed so merging
+    /// with worker registries never collides with their `loop.*` /
+    /// `sessions.*` names.
+    fn own_registry(&self) -> MetricsRegistry {
+        let mut reg = if self.config.telemetry {
+            lock(&self.metrics).clone()
+        } else {
+            MetricsRegistry::new()
+        };
+        let ls = &self.loop_stats;
+        reg.set_counter("gate.loop.poll_iterations", ls.poll_iterations.load(Ordering::Relaxed));
+        reg.set_counter("gate.loop.accepted", ls.accepted.load(Ordering::Relaxed));
+        reg.set_counter("gate.loop.refused", ls.refused.load(Ordering::Relaxed));
+        reg.set_counter("gate.loop.frames", ls.frames.load(Ordering::Relaxed));
+        reg.set_counter("gate.loop.frame_errors", ls.frame_errors.load(Ordering::Relaxed));
+        reg.set_gauge("gate.loop.open_conns", ls.open_conns.load(Ordering::Relaxed) as f64);
+        reg.set_gauge("gate.loop.queue_depth", ls.queue_depth.load(Ordering::Relaxed) as f64);
+        let healthy = self.fleet.workers().iter().filter(|w| w.is_healthy()).count();
+        reg.set_gauge("gate.workers", self.fleet.workers().len() as f64);
+        reg.set_gauge("gate.workers.healthy", healthy as f64);
+        reg.set_gauge("gate.sessions.registered", lock(&self.fleet.registry).len() as f64);
+        reg.set_gauge("gate.uptime_ms", self.started.elapsed().as_millis() as f64);
+        {
+            let spans = lock(&self.spans);
+            reg.set_counter("gate.spans.recorded", spans.total());
+            reg.set_counter("gate.spans.dropped", spans.dropped());
+        }
+        reg
+    }
+
+    /// `server_metrics`: one fleet-wide report. The top level is the gate's
+    /// registry merged with every healthy worker's (counters sum, gauges
+    /// max, histogram buckets add — so fleet-wide quantiles stay honest);
+    /// `workers` carries each worker's unmerged sub-report for per-worker
+    /// views like `kctl top`. A worker that cannot be reached is simply
+    /// absent from the report, never an error.
+    fn handle_server_metrics(&self, id: &Value) -> Value {
+        let mut merged = self.own_registry();
+        let mut reports = Vec::new();
+        for (i, worker) in self.fleet.workers().iter().enumerate() {
+            if !worker.is_healthy() {
+                continue;
+            }
+            let Ok(mut client) = Client::connect(&worker.addr) else { continue };
+            let Ok(report) = client.server_metrics() else { continue };
+            merged.merge(&telemetry::registry_from_value(&report));
+            let mut fields = vec![
+                ("index".to_string(), (i as u64).into()),
+                ("addr".to_string(), worker.addr.as_str().into()),
+            ];
+            if let Value::Obj(report_fields) = &report {
+                for (key, value) in report_fields {
+                    if matches!(key.as_str(), "counters" | "gauges" | "histograms") {
+                        fields.push((key.clone(), value.clone()));
+                    }
+                }
+            }
+            reports.push(Value::Obj(fields));
+        }
+        let mut fields = vec![(
+            "schema_version".to_string(),
+            kahrisma_core::STATS_SCHEMA_VERSION.into(),
+        )];
+        fields.extend(telemetry::registry_to_fields(&merged));
+        fields.push(("workers".to_string(), Value::Arr(reports)));
+        proto::ok_response(id.clone(), fields)
+    }
+
+    /// `trace`: the gate's own spans plus each healthy worker's, optionally
+    /// filtered to one trace id (`filter`) — one request's gate span and
+    /// worker span line up by their shared trace id.
+    fn handle_trace(&self, id: &Value, request: &Value) -> Value {
+        let filter = request.get("filter").and_then(Value::as_u64).filter(|&t| t != 0);
+        let (rows, total, dropped) = {
+            let spans = lock(&self.spans);
+            let rows: Vec<Value> =
+                spans.select(filter).iter().map(telemetry::span_to_value).collect();
+            (rows, spans.total(), spans.dropped())
+        };
+        let mut reports = Vec::new();
+        for worker in self.fleet.workers() {
+            if !worker.is_healthy() {
+                continue;
+            }
+            let Ok(mut client) = Client::connect(&worker.addr) else { continue };
+            let Ok(report) = client.trace_spans(filter) else { continue };
+            reports.push(Value::Obj(vec![
+                ("addr".to_string(), worker.addr.as_str().into()),
+                (
+                    "spans".to_string(),
+                    report.get("spans").cloned().unwrap_or(Value::Arr(Vec::new())),
+                ),
+            ]));
+        }
+        proto::ok_response(
+            id.clone(),
+            vec![
+                ("spans".to_string(), Value::Arr(rows)),
+                ("spans_total".to_string(), total.into()),
+                ("spans_dropped".to_string(), dropped.into()),
+                ("workers".to_string(), Value::Arr(reports)),
+            ],
+        )
     }
 
     /// `gate_drain`: evacuate every session from one worker via wire
@@ -873,6 +1115,9 @@ impl Gate {
             fleet: Arc::new(fleet),
             draining: Arc::new(AtomicBool::new(false)),
             started: Instant::now(),
+            loop_stats: Arc::new(LoopStats::default()),
+            spans: Arc::new(Mutex::new(SpanRing::new(SPAN_RING_CAPACITY))),
+            metrics: Arc::new(Mutex::new(MetricsRegistry::new())),
             config,
         });
         Ok(Gate { listener, service })
@@ -929,6 +1174,7 @@ impl Gate {
         let loop_config = LoopConfig {
             workers: self.service.config.io_workers.max(1),
             max_frame: self.service.config.max_frame,
+            stats: Arc::clone(&self.service.loop_stats),
             ..LoopConfig::default()
         };
         let draining = Arc::clone(&self.service.draining);

@@ -398,3 +398,129 @@ fn idle_gate_stops_via_handle() {
     let _ = Arc::new(());
     gate.stop();
 }
+
+#[test]
+fn one_request_through_the_gate_yields_gate_and_worker_spans() {
+    let gate = start_gate(2, ServerConfig::default());
+    let mut client = Client::connect(&gate.addr).unwrap();
+    client
+        .request(field(vec![
+            ("cmd", "create".into()),
+            ("name", "traced".into()),
+            ("workload", "dct".into()),
+            ("isa", "risc".into()),
+        ]))
+        .unwrap();
+    // A request with a known trace id: the gate must propagate (not
+    // rewrite) it, so the gate-side and worker-side spans correlate.
+    let trace_id = 424_242u64;
+    let ran = client
+        .request(field(vec![
+            ("cmd", "run".into()),
+            ("name", "traced".into()),
+            ("trace", Value::Num(trace_id as f64)),
+        ]))
+        .unwrap();
+    assert_eq!(ran.get("outcome").and_then(Value::as_str), Some("halted"));
+    // The fast-path span is recorded by the proxy completion callback;
+    // give the event loop a beat to run it.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    let dump = client.trace_spans(Some(trace_id)).unwrap();
+    let gate_spans = dump.get("spans").and_then(Value::as_arr).expect("gate spans");
+    let run_gate_span = gate_spans
+        .iter()
+        .find(|s| s.get("verb").and_then(Value::as_str) == Some("run"))
+        .expect("gate recorded a span for the traced run");
+    assert_eq!(run_gate_span.get("kind").and_then(Value::as_str), Some("gate"));
+    assert_eq!(run_gate_span.get("trace").and_then(Value::as_u64), Some(trace_id));
+    assert!(
+        run_gate_span.get("exec_us").and_then(Value::as_u64).unwrap_or(0) > 0,
+        "gate span carries the proxy round-trip: {}",
+        run_gate_span.to_json()
+    );
+    let worker_reports = dump.get("workers").and_then(Value::as_arr).expect("worker reports");
+    let worker_spans: Vec<&Value> = worker_reports
+        .iter()
+        .filter_map(|w| w.get("spans").and_then(Value::as_arr))
+        .flatten()
+        .collect();
+    let run_worker_span = worker_spans
+        .iter()
+        .find(|s| s.get("verb").and_then(Value::as_str) == Some("run"))
+        .expect("exactly one worker executed the traced run");
+    assert_eq!(run_worker_span.get("kind").and_then(Value::as_str), Some("worker"));
+    assert_eq!(run_worker_span.get("trace").and_then(Value::as_u64), Some(trace_id));
+    assert!(
+        run_worker_span.get("exec_us").and_then(Value::as_u64).unwrap_or(0) > 0,
+        "worker span times the verb execution: {}",
+        run_worker_span.to_json()
+    );
+    assert!(
+        run_worker_span.get("queue_us").is_some(),
+        "worker span reports its pool queue wait"
+    );
+
+    // The same dump renders as a Perfetto fleet timeline — one track for
+    // the gate, one per worker — and the export is valid JSON.
+    let parse_rows = |v: Option<&Value>| -> Vec<kahrisma_observe::Span> {
+        v.and_then(Value::as_arr)
+            .map(|rows| {
+                rows.iter().filter_map(kahrisma_serve::telemetry::span_from_value).collect()
+            })
+            .unwrap_or_default()
+    };
+    let mut tracks: Vec<(String, Vec<kahrisma_observe::Span>)> =
+        vec![("gate".to_string(), parse_rows(dump.get("spans")))];
+    for report in worker_reports {
+        let label = report.get("addr").and_then(Value::as_str).unwrap_or("worker");
+        tracks.push((format!("worker {label}"), parse_rows(report.get("spans"))));
+    }
+    let refs: Vec<(&str, &[kahrisma_observe::Span])> =
+        tracks.iter().map(|(l, s)| (l.as_str(), s.as_slice())).collect();
+    let perfetto = kahrisma_observe::perfetto::fleet_trace_json(&refs);
+    kahrisma_observe::json_lint::validate(&perfetto).expect("Perfetto export is valid JSON");
+    assert!(perfetto.contains("run traced"), "the traced run appears in the timeline");
+    gate.stop();
+}
+
+#[test]
+fn gate_server_metrics_merges_the_fleet_with_per_worker_reports() {
+    let gate = start_gate(2, ServerConfig::default());
+    let mut client = Client::connect(&gate.addr).unwrap();
+    client
+        .request(field(vec![
+            ("cmd", "create".into()),
+            ("name", "m1".into()),
+            ("workload", "dct".into()),
+            ("isa", "risc".into()),
+        ]))
+        .unwrap();
+    client
+        .request(field(vec![("cmd", "run".into()), ("name", "m1".into())]))
+        .unwrap();
+    let report = client.server_metrics().unwrap();
+    assert_eq!(report.get("schema_version").and_then(Value::as_u64), Some(1));
+    let counter = |name: &str| {
+        report
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    // Fleet-merged counters: the worker that served the session counted
+    // its pool requests, and the gate counted the relays it performed.
+    assert!(counter("requests.pool") >= 2, "{}", report.to_json());
+    assert!(
+        counter("gate.requests.forwarded") + counter("gate.requests.relayed") >= 2,
+        "{}",
+        report.to_json()
+    );
+    let workers = report.get("workers").and_then(Value::as_arr).expect("sub-reports");
+    assert_eq!(workers.len(), 2);
+    for sub in workers {
+        assert!(sub.get("addr").and_then(Value::as_str).is_some());
+        assert!(sub.get("counters").is_some(), "per-worker registry: {}", sub.to_json());
+    }
+    gate.stop();
+}

@@ -1,0 +1,51 @@
+//! `kjson_lint` — offline JSON validity checker.
+//!
+//! ```text
+//! kjson_lint FILE [FILE...]    validate each file
+//! kjson_lint -                 validate stdin
+//! ```
+//!
+//! Runs the same dependency-free validator the exporter tests use
+//! (`kahrisma_observe::json_lint`) against emitted artifacts — metrics
+//! reports, Perfetto traces — so CI can assert well-formedness without a
+//! Python or jq dependency. Exit code 0 when every input is valid JSON,
+//! 1 on the first failure (reported as `file:line:col`), 2 on usage or
+//! I/O errors.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use kahrisma_observe::json_lint;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: kjson_lint FILE [FILE...]   (use `-` for stdin)");
+        return ExitCode::from(2);
+    }
+    for path in &args {
+        let text = if path == "-" {
+            let mut buf = String::new();
+            match std::io::stdin().read_to_string(&mut buf) {
+                Ok(_) => buf,
+                Err(e) => {
+                    eprintln!("kjson_lint: cannot read stdin: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("kjson_lint: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        };
+        if let Err(e) = json_lint::validate(&text) {
+            eprintln!("kjson_lint: {path}: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -19,11 +19,15 @@
 //! * [`frame`] — one-line JSON frame serialization of [`SimEvent`]s, the
 //!   `kahrisma-serve` streaming wire format,
 //! * [`perfetto`] — Chrome trace-event / Perfetto JSON export with one
-//!   track per DOE issue slot plus a functional-instruction track,
+//!   track per DOE issue slot plus a functional-instruction track, and a
+//!   fleet-timeline export for serving-plane [`Span`]s,
+//! * [`Span`] / [`SpanRing`] — per-request trace records for the serving
+//!   plane (gate hop + worker execution timings keyed by trace id),
 //! * [`flame`] — flamegraph-ready collapsed-stack dumps from the function
 //!   profiler,
 //! * [`json_lint`] — a dependency-free JSON validity checker used by the
-//!   exporter tests and CI smoke checks.
+//!   exporter tests and CI smoke checks (also available offline as the
+//!   `kjson_lint` binary).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +36,7 @@ pub mod flame;
 pub mod frame;
 pub mod json_lint;
 pub mod perfetto;
+pub mod span;
 
 mod collector;
 mod metrics;
@@ -40,5 +45,6 @@ mod ring;
 pub use collector::{Collector, MetricsCollector, Shared};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use ring::EventRing;
+pub use span::{Span, SpanKind, SpanRing};
 
 pub use kahrisma_core::observe::{Observer, SimEvent};

@@ -82,6 +82,57 @@ impl Histogram {
         })
     }
 
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the log2 buckets: the
+    /// lower bound of the bucket holding the `ceil(q·count)`-th sample,
+    /// clamped into the recorded `[min, max]` range. `None` when empty.
+    ///
+    /// The estimate is conservative (a bucket lower bound), which is the
+    /// right bias for latency reporting: p99 never reads *higher* than the
+    /// data supports.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * count), at least 1 so q=0 reads the min bucket.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                return Some(lo.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Reconstructs a histogram from its serialized summary — the
+    /// `(count, sum, min, max)` header plus occupied `(lower_bound, count)`
+    /// bucket pairs, exactly the shape a serialized registry carries. The
+    /// receiving half of a wire metrics report (`kgate` rebuilding worker
+    /// histograms before a fleet merge).
+    #[must_use]
+    pub fn from_parts(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        buckets: &[(u64, u64)],
+    ) -> Histogram {
+        let mut h = Histogram::new();
+        for &(lo, c) in buckets {
+            let bucket = if lo == 0 { 0 } else { 64 - lo.leading_zeros() as usize };
+            h.buckets[bucket] += c;
+        }
+        h.count = count;
+        h.sum = sum;
+        h.min = if count == 0 { u64::MAX } else { min };
+        h.max = max;
+        h
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -178,6 +229,14 @@ impl MetricsRegistry {
         }
     }
 
+    /// Installs `histogram` under `name`, replacing any existing one. The
+    /// receiving half of a wire report: an aggregator reconstructs each
+    /// histogram with [`Histogram::from_parts`] and installs it here
+    /// before merging fleet-wide.
+    pub fn set_histogram(&mut self, name: &str, histogram: Histogram) {
+        self.histograms.insert(name.to_owned(), histogram);
+    }
+
     /// Records `value` into histogram `name` (creating it empty).
     pub fn record(&mut self, name: &str, value: u64) {
         if let Some(h) = self.histograms.get_mut(name) {
@@ -220,14 +279,20 @@ impl MetricsRegistry {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
-    /// Merges another registry: counters add, gauges take the other's
-    /// value, histograms merge bucket-wise.
+    /// Merges another registry: counters add, gauges take the maximum,
+    /// histograms merge bucket-wise.
+    ///
+    /// These semantics make `merge` commutative and associative with the
+    /// empty registry as identity (see the workspace property tests), so a
+    /// fleet aggregator (`kgate`) can fold worker reports in any order and
+    /// always emit the same document.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (k, v) in &other.counters {
             self.count(k, *v);
         }
         for (k, v) in &other.gauges {
-            self.set_gauge(k, *v);
+            let merged = self.gauge(k).map_or(*v, |mine| mine.max(*v));
+            self.set_gauge(k, merged);
         }
         for (k, h) in &other.histograms {
             if let Some(mine) = self.histograms.get_mut(k) {
@@ -359,13 +424,61 @@ mod tests {
         let mut a = MetricsRegistry::new();
         a.count("c", 1);
         a.record("h", 2);
+        a.set_gauge("g", 3.0);
         let mut b = MetricsRegistry::new();
         b.count("c", 3);
         b.record("h", 4);
         b.record("only_b", 5);
+        b.set_gauge("g", 1.5);
         a.merge(&b);
         assert_eq!(a.counter("c"), 4);
         assert_eq!(a.histogram("h").unwrap().count(), 2);
         assert_eq!(a.histogram("only_b").unwrap().count(), 1);
+        assert_eq!(a.gauge("g"), Some(3.0), "gauges take the max");
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = MetricsRegistry::new();
+        a.count("c", 7);
+        a.set_gauge("g", 2.0);
+        a.record("h", 100);
+        let mut b = MetricsRegistry::new();
+        b.count("c", 5);
+        b.set_gauge("g", 9.0);
+        b.record("h", 3);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.to_json(), ba.to_json());
+    }
+
+    #[test]
+    fn quantiles_read_bucket_lower_bounds() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(4), "3rd of 5 samples sits in [4,8)");
+        assert_eq!(h.quantile(0.99), Some(512), "p99 bucket floor, clamped by max later");
+        assert_eq!(h.quantile(1.0), Some(512));
+        assert_eq!(Histogram::new().quantile(0.5), None);
+        let mut one = Histogram::new();
+        one.record(42);
+        assert_eq!(one.quantile(0.5), Some(42), "clamped into [min,max]");
+    }
+
+    #[test]
+    fn histogram_round_trips_through_its_wire_parts() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 7, 4096] {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64)> = h.occupied_buckets().collect();
+        let back = Histogram::from_parts(h.count(), h.sum(), h.min().unwrap(), h.max().unwrap(), &buckets);
+        assert_eq!(back, h);
+        assert_eq!(Histogram::from_parts(0, 0, 0, 0, &[]), Histogram::new());
     }
 }

@@ -27,6 +27,8 @@ use std::collections::BTreeSet;
 
 use kahrisma_core::observe::SimEvent;
 
+use crate::span::Span;
+
 /// Serializes `events` into a Perfetto-loadable JSON string.
 #[must_use]
 pub fn trace_json(events: &[SimEvent]) -> String {
@@ -50,6 +52,70 @@ pub fn fabric_trace_json(cores: &[(&str, &[SimEvent])]) -> String {
     for (index, (name, events)) in cores.iter().enumerate() {
         let pid = index as u32 + 1;
         write_process(&mut out, &mut first, pid, &format!("core{index}: {name}"), events);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serializes serving-plane [`Span`]s into a single Perfetto document:
+/// one process (`pid 1`, "kahrisma fleet") with one named track per
+/// `(label, spans)` pair — by convention the gate track first, then one
+/// track per worker — so a saturation sweep through `kgate` renders as a
+/// readable fleet timeline.
+///
+/// Span timestamps are microseconds since each recording *process*
+/// started, so tracks from different processes share a unit but not an
+/// epoch; within a track, relative spacing and span widths are exact.
+/// Each complete event carries the trace id, queue wait, and execution
+/// time in its arguments.
+#[must_use]
+pub fn fleet_trace_json(tracks: &[(&str, &[Span])]) -> String {
+    let total: usize = tracks.iter().map(|(_, s)| s.len()).sum();
+    let mut out = String::with_capacity(total * 128 + 512);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |out: &mut String, ev: &str| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(ev);
+    };
+    emit(
+        &mut out,
+        "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"kahrisma fleet\"}}",
+    );
+    for (tid, (label, _)) in tracks.iter().enumerate() {
+        emit(
+            &mut out,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                crate::span::escape(label),
+            ),
+        );
+    }
+    for (tid, (_, spans)) in tracks.iter().enumerate() {
+        for span in *spans {
+            let dur = span.queue_us.saturating_add(span.exec_us).max(1);
+            emit(
+                &mut out,
+                &format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{dur},\
+                     \"name\":\"{} {}\",\"args\":{{\"trace\":{},\"kind\":\"{}\",\
+                     \"queue_us\":{},\"exec_us\":{},\"ok\":{}}}}}",
+                    span.start_us,
+                    crate::span::escape(&span.verb),
+                    crate::span::escape(&span.session),
+                    span.trace,
+                    span.kind.as_str(),
+                    span.queue_us,
+                    span.exec_us,
+                    span.ok,
+                ),
+            );
+        }
     }
     out.push_str("]}");
     out
@@ -208,6 +274,41 @@ mod tests {
         let json = trace_json(&[]);
         crate::json_lint::validate(&json).expect("valid JSON");
         assert!(json.contains("traceEvents"));
+    }
+
+    #[test]
+    fn fleet_export_gives_each_worker_a_track() {
+        use crate::span::{Span, SpanKind};
+        let gate = [Span {
+            trace: 11,
+            kind: SpanKind::Gate,
+            verb: "run".to_string(),
+            session: "gw".to_string(),
+            start_us: 5,
+            queue_us: 0,
+            exec_us: 900,
+            ok: true,
+        }];
+        let worker = [Span {
+            trace: 11,
+            kind: SpanKind::Worker,
+            verb: "run".to_string(),
+            session: "gw".to_string(),
+            start_us: 40,
+            queue_us: 12,
+            exec_us: 850,
+            ok: true,
+        }];
+        let json = fleet_trace_json(&[("gate", &gate), ("worker0 127.0.0.1:9", &worker)]);
+        crate::json_lint::validate(&json).expect("valid JSON");
+        assert!(json.contains("\"name\":\"kahrisma fleet\""));
+        assert!(json.contains("\"name\":\"gate\""));
+        assert!(json.contains("\"name\":\"worker0 127.0.0.1:9\""));
+        assert!(json.contains("\"trace\":11"));
+        assert!(json.contains("\"queue_us\":12"));
+        assert!(json.contains("\"tid\":1"));
+        // Empty input still renders a loadable document.
+        crate::json_lint::validate(&fleet_trace_json(&[])).expect("valid JSON");
     }
 
     #[test]

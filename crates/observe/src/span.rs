@@ -1,0 +1,229 @@
+//! Request spans: the serving plane's trace records.
+//!
+//! Where [`crate::EventRing`] captures what a *simulator* did, a [`Span`]
+//! captures what one *wire request* cost: where it entered (gate or
+//! worker), how long it waited for a pool slot, and how long the verb ran.
+//! Every process on a request's path (the `kgate` front door and the
+//! `ksimd` worker it lands on) records one span into a bounded
+//! [`SpanRing`], keyed by the request's trace id, so `kctl trace` can
+//! stitch the hop timings back together and the Perfetto exporter
+//! ([`crate::perfetto::fleet_trace_json`]) can render a fleet timeline.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Which process recorded a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A `kgate` hop: `exec_us` is the upstream round-trip time.
+    Gate,
+    /// A `ksimd` worker execution: `queue_us` is pool-queue wait,
+    /// `exec_us` is verb execution.
+    Worker,
+}
+
+impl SpanKind {
+    /// The wire tag (`"gate"` / `"worker"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Gate => "gate",
+            SpanKind::Worker => "worker",
+        }
+    }
+
+    /// Parses a wire tag back into a kind.
+    #[must_use]
+    pub fn parse(tag: &str) -> Option<SpanKind> {
+        match tag {
+            "gate" => Some(SpanKind::Gate),
+            "worker" => Some(SpanKind::Worker),
+            _ => None,
+        }
+    }
+}
+
+/// One request's timing record in one process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// The request's trace id (0 when the peer sent none).
+    pub trace: u64,
+    /// Who recorded the span.
+    pub kind: SpanKind,
+    /// The protocol verb (`run`, `create`, …).
+    pub verb: String,
+    /// The session the verb addressed (empty for sessionless verbs).
+    pub session: String,
+    /// Microseconds since the recording process started, at request
+    /// dispatch.
+    pub start_us: u64,
+    /// Microseconds spent waiting in the worker-pool queue before
+    /// execution (0 for gate fast-path relays, which never queue).
+    pub queue_us: u64,
+    /// Microseconds spent executing the verb (worker) or waiting on the
+    /// upstream round trip (gate).
+    pub exec_us: u64,
+    /// Whether the response carried `ok:true`.
+    pub ok: bool,
+}
+
+impl Span {
+    /// Serializes the span as one compact JSON object — the `trace` verb's
+    /// wire row shape.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"trace\":{},\"kind\":\"{}\",\"verb\":\"{}\",\"session\":\"{}\",\
+             \"start_us\":{},\"queue_us\":{},\"exec_us\":{},\"ok\":{}}}",
+            self.trace,
+            self.kind.as_str(),
+            escape(&self.verb),
+            escape(&self.session),
+            self.start_us,
+            self.queue_us,
+            self.exec_us,
+            self.ok,
+        );
+        out
+    }
+}
+
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A bounded ring of [`Span`]s: the newest `capacity` request records,
+/// with a drop counter — the per-process trace store behind the `trace`
+/// verb. Same retention discipline as [`crate::EventRing`].
+#[derive(Debug)]
+pub struct SpanRing {
+    buf: VecDeque<Span>,
+    capacity: usize,
+    total: u64,
+    dropped: u64,
+}
+
+impl SpanRing {
+    /// Creates a ring holding at most `capacity` spans (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> SpanRing {
+        let capacity = capacity.max(1);
+        SpanRing { buf: VecDeque::with_capacity(capacity), capacity, total: 0, dropped: 0 }
+    }
+
+    /// Records one span, evicting the oldest when full.
+    pub fn push(&mut self, span: Span) {
+        self.total += 1;
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(span);
+    }
+
+    /// The retained spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.buf.iter()
+    }
+
+    /// Retained spans matching `trace` (or all when `trace` is `None`),
+    /// oldest first.
+    #[must_use]
+    pub fn select(&self, trace: Option<u64>) -> Vec<Span> {
+        self.buf
+            .iter()
+            .filter(|s| trace.is_none_or(|t| s.trace == t))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained spans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total spans ever pushed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Spans evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, verb: &str) -> Span {
+        Span {
+            trace,
+            kind: SpanKind::Worker,
+            verb: verb.to_string(),
+            session: "s".to_string(),
+            start_us: 10,
+            queue_us: 2,
+            exec_us: 30,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_filters_by_trace() {
+        let mut r = SpanRing::new(3);
+        for i in 0..5u64 {
+            r.push(span(i % 2, "run"));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.select(None).len(), 3);
+        // Retained traces are 0, 1, 0 (pushes 2..5 of the alternation).
+        assert_eq!(r.select(Some(0)).len(), 2);
+        assert_eq!(r.select(Some(1)).len(), 1);
+        assert_eq!(r.select(Some(9)).len(), 0);
+    }
+
+    #[test]
+    fn span_json_is_valid_and_escaped() {
+        let mut s = span(7, "run");
+        s.session = "a\"b".to_string();
+        let json = s.to_json();
+        crate::json_lint::validate(&json).expect("valid JSON");
+        assert!(json.contains("\"trace\":7"));
+        assert!(json.contains("\"kind\":\"worker\""));
+        assert!(json.contains("a\\\"b"));
+    }
+
+    #[test]
+    fn kind_tags_round_trip() {
+        for kind in [SpanKind::Gate, SpanKind::Worker] {
+            assert_eq!(SpanKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(SpanKind::parse("proxy"), None);
+    }
+}

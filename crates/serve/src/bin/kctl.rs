@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! kctl [--addr HOST:PORT] <command> [args]
-//!   ping
+//!   ping [--json]
 //!   create NAME --workload W --isa I [--model ilp|aie|doe]
 //!          [--no-cache] [--no-prediction] [--baseline-cache] [--ideal-memory]
 //!   create NAME --cores SPEC[,SPEC...] [--quantum N] [--host-threads N]
@@ -12,6 +12,9 @@
 //!   stats NAME | metrics NAME
 //!   list
 //!   shutdown
+//!   server-metrics
+//!   trace ID|all [--perfetto FILE]
+//!   top [--interval-ms N] [--iterations N] [--json]
 //!   bench [--workload W] [--isa I] [--clients N] [--iterations N]
 //!         [--budget N] [--out FILE]
 //! ```
@@ -27,21 +30,27 @@
 //! All results print as JSON on stdout. Exit code 0 on success, 1 on a
 //! server-reported error, 2 on usage errors.
 
+use std::collections::HashMap;
+use std::io::IsTerminal as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use kahrisma_core::args::ArgList;
+use kahrisma_observe::{perfetto, Span};
 use kahrisma_serve::bench::{run_bench, run_sweep, BenchOptions, SweepOptions};
 use kahrisma_serve::json::Value;
-use kahrisma_serve::Client;
+use kahrisma_serve::{telemetry, Client};
 
 const USAGE: &str = "usage: kctl [--addr HOST:PORT] <command> [args]\n\
-     commands: ping | create NAME --workload W --isa I [--model M] [toggles]\n\
+     commands: ping [--json] | create NAME --workload W --isa I [--model M] [toggles]\n\
      \x20         | create NAME --cores SPEC[,SPEC] [--quantum N] [--host-threads N]\n\
      \x20         | run NAME [--budget N] [--reset] [--loop]\n\
      \x20         | stream NAME [--budget N] [--limit N]\n\
      \x20         | snapshot NAME | restore NAME | reset NAME | delete NAME\n\
      \x20         | export NAME | stats NAME | metrics NAME | list | shutdown\n\
-     \x20         | gate-status | gate-drain WORKER\n\
+     \x20         | gate-status | gate-drain WORKER | server-metrics\n\
+     \x20         | trace ID|all [--perfetto FILE]\n\
+     \x20         | top [--interval-ms N] [--iterations N] [--json]\n\
      \x20         | bench [--workload W] [--isa I] [--clients N] [--iterations N]\n\
      \x20                 [--budget N] [--out FILE]\n\
      \x20         | bench --sweep --ksimd PATH --kgate PATH [--out FILE]\n\
@@ -58,7 +67,7 @@ struct Invocation {
 #[derive(Debug)]
 enum Command {
     Help,
-    Ping,
+    Ping { json: bool },
     Create(CreateArgs),
     Run { name: String, budget: Option<u64>, reset: bool, looped: bool },
     Stream { name: String, budget: Option<u64>, limit: Option<u64> },
@@ -67,6 +76,9 @@ enum Command {
     Shutdown,
     GateStatus,
     GateDrain { worker: String },
+    ServerMetrics,
+    Trace { filter: Option<u64>, perfetto: Option<String> },
+    Top { interval_ms: u64, iterations: Option<u64>, json: bool },
     Bench { options: BenchOptions, out: Option<String> },
     Sweep { base: BenchOptions, sweep: SweepOptions, out: Option<String> },
 }
@@ -97,8 +109,14 @@ fn parse(mut args: ArgList) -> Result<Invocation, String> {
     let command = match verb.as_str() {
         "help" => Command::Help,
         "ping" => {
-            finish(&mut args)?;
-            Command::Ping
+            let mut json = false;
+            while let Some(flag) = args.next_arg() {
+                match flag.as_str() {
+                    "--json" => json = true,
+                    other => return Err(format!("unknown flag: {other}")),
+                }
+            }
+            Command::Ping { json }
         }
         "create" => Command::Create(parse_create(&mut args)?),
         "run" => {
@@ -143,6 +161,44 @@ fn parse(mut args: ArgList) -> Result<Invocation, String> {
             let worker = args.value("WORKER")?;
             finish(&mut args)?;
             Command::GateDrain { worker }
+        }
+        "server-metrics" => {
+            finish(&mut args)?;
+            Command::ServerMetrics
+        }
+        "trace" => {
+            let selector = args.value("ID|all")?;
+            let filter = match selector.as_str() {
+                "all" => None,
+                id => Some(id.parse::<u64>().map_err(|_| {
+                    format!("trace expects a numeric id or `all`, got `{id}`")
+                })?),
+            };
+            let mut perfetto = None;
+            while let Some(flag) = args.next_arg() {
+                match flag.as_str() {
+                    "--perfetto" => perfetto = Some(args.value("--perfetto")?),
+                    other => return Err(format!("unknown flag: {other}")),
+                }
+            }
+            Command::Trace { filter, perfetto }
+        }
+        "top" => {
+            let mut interval_ms = 1000;
+            let mut iterations = None;
+            let mut json = false;
+            while let Some(flag) = args.next_arg() {
+                match flag.as_str() {
+                    "--interval-ms" => interval_ms = args.parse_value("--interval-ms")?,
+                    "--iterations" => iterations = Some(args.parse_value("--iterations")?),
+                    "--json" => json = true,
+                    other => return Err(format!("unknown flag: {other}")),
+                }
+            }
+            if interval_ms == 0 {
+                return Err("--interval-ms must be at least 1".to_string());
+            }
+            Command::Top { interval_ms, iterations, json }
         }
         "list" => {
             finish(&mut args)?;
@@ -315,8 +371,21 @@ fn run(invocation: Invocation) -> ExitCode {
             eprintln!("{USAGE}");
             ExitCode::from(2)
         }
-        Command::Ping => {
-            report(connect(&addr).request(vec![("cmd".to_string(), "ping".into())]))
+        Command::Ping { json } => {
+            let result = connect(&addr).request(vec![("cmd".to_string(), "ping".into())]);
+            if json {
+                return report(result);
+            }
+            match result {
+                Ok(v) => {
+                    print_ping_table(&addr, &v);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("kctl: {e}");
+                    ExitCode::from(1)
+                }
+            }
         }
         Command::Create(create) => {
             let mut client = connect(&addr);
@@ -361,6 +430,11 @@ fn run(invocation: Invocation) -> ExitCode {
                 ("worker".to_string(), selector),
             ]))
         }
+        Command::ServerMetrics => report(connect(&addr).server_metrics()),
+        Command::Trace { filter, perfetto } => run_trace(&addr, filter, perfetto.as_deref()),
+        Command::Top { interval_ms, iterations, json } => {
+            run_top(&addr, interval_ms, iterations, json)
+        }
         Command::Shutdown => match connect(&addr).shutdown() {
             Ok(()) => {
                 println!("{{\"ok\":true,\"draining\":true}}");
@@ -378,6 +452,157 @@ fn run(invocation: Invocation) -> ExitCode {
         Command::Sweep { base, sweep, out } => {
             emit_bench(run_sweep(&base, &sweep).map(|r| r.to_json()), out)
         }
+    }
+}
+
+/// Renders the extended `ping` load report as an aligned two-column table.
+fn print_ping_table(addr: &str, response: &Value) {
+    let field = |key: &str| {
+        response.get(key).map_or_else(|| "-".to_string(), |v| match v {
+            Value::Str(s) => s.clone(),
+            other => other.to_json(),
+        })
+    };
+    let uptime_ms = response.get("uptime_ms").and_then(Value::as_u64).unwrap_or(0);
+    let rows = [
+        ("addr", addr.to_string()),
+        ("proto_version", field("proto_version")),
+        ("sessions", field("sessions")),
+        ("running", field("running")),
+        ("uptime", format!("{:.1}s", uptime_ms as f64 / 1e3)),
+        ("max_frame", field("max_frame")),
+        ("draining", field("draining")),
+    ];
+    for (k, v) in rows {
+        println!("{k:<14} {v}");
+    }
+}
+
+/// `kctl trace` — prints the span dump and optionally renders it as a
+/// Perfetto fleet timeline.
+fn run_trace(addr: &str, filter: Option<u64>, perfetto_out: Option<&str>) -> ExitCode {
+    let response = match connect(addr).trace_spans(filter) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("kctl: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("{}", response.to_json());
+    let Some(path) = perfetto_out else { return ExitCode::SUCCESS };
+    let parse_rows = |v: Option<&Value>| -> Vec<Span> {
+        v.and_then(Value::as_arr)
+            .map(|rows| rows.iter().filter_map(telemetry::span_from_value).collect())
+            .unwrap_or_default()
+    };
+    // One track for the answering process, one per worker sub-report (a
+    // gateway's trace response fans out to its fleet).
+    let workers = response.get("workers").and_then(Value::as_arr);
+    let own_label = if workers.is_some() { "gate".to_string() } else { addr.to_string() };
+    let mut tracks: Vec<(String, Vec<Span>)> =
+        vec![(own_label, parse_rows(response.get("spans")))];
+    for worker in workers.unwrap_or_default() {
+        let label = worker.get("addr").and_then(Value::as_str).unwrap_or("worker");
+        tracks.push((format!("worker {label}"), parse_rows(worker.get("spans"))));
+    }
+    let refs: Vec<(&str, &[Span])> =
+        tracks.iter().map(|(l, s)| (l.as_str(), s.as_slice())).collect();
+    match std::fs::write(path, perfetto::fleet_trace_json(&refs)) {
+        Ok(()) => {
+            eprintln!("kctl: wrote Perfetto trace to {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("kctl: cannot write {path}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// One rendered `top` row, extracted from a metrics report.
+struct TopRow {
+    label: String,
+    sessions: u64,
+    running: u64,
+    queue: u64,
+    requests: u64,
+    p50_us: Option<u64>,
+    p99_us: Option<u64>,
+}
+
+fn top_row(label: &str, report: &Value) -> TopRow {
+    let reg = telemetry::registry_from_value(report);
+    let gauge = |k: &str| reg.gauge(k).unwrap_or(0.0).max(0.0) as u64;
+    let run_latency = reg.histogram("verb.run.latency_us");
+    TopRow {
+        label: label.to_string(),
+        sessions: gauge("sessions.resident"),
+        running: gauge("sessions.running"),
+        queue: gauge("loop.queue_depth"),
+        requests: reg.counter("requests.pool"),
+        p50_us: run_latency.and_then(|h| h.quantile(0.5)),
+        p99_us: run_latency.and_then(|h| h.quantile(0.99)),
+    }
+}
+
+/// `kctl top` — polls `server_metrics` and renders a refreshing per-worker
+/// load table (requests/s from counter deltas, latency quantiles from the
+/// log2 histograms).
+fn run_top(addr: &str, interval_ms: u64, iterations: Option<u64>, json: bool) -> ExitCode {
+    let mut client = connect(addr);
+    let mut prev_requests: HashMap<String, u64> = HashMap::new();
+    let clear = !json && std::io::stdout().is_terminal();
+    let mut iteration = 0u64;
+    loop {
+        let response = match client.server_metrics() {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("kctl: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        if json {
+            println!("{}", response.to_json());
+        } else {
+            let mut rows = Vec::new();
+            let workers = response.get("workers").and_then(Value::as_arr);
+            let own_label = if workers.is_some() { "fleet" } else { addr };
+            rows.push(top_row(own_label, &response));
+            for worker in workers.unwrap_or_default() {
+                let label = worker.get("addr").and_then(Value::as_str).unwrap_or("worker");
+                rows.push(top_row(label, worker));
+            }
+            if clear {
+                print!("\x1b[2J\x1b[H");
+            }
+            println!(
+                "{:<24} {:>5} {:>4} {:>6} {:>8} {:>10} {:>10}",
+                "WORKER", "SESS", "RUN", "QUEUE", "REQ/S", "p50(run)us", "p99(run)us"
+            );
+            for row in rows {
+                let rate = prev_requests.get(&row.label).map(|&prev| {
+                    row.requests.saturating_sub(prev) as f64 * 1e3 / interval_ms as f64
+                });
+                let fmt_opt =
+                    |v: Option<u64>| v.map_or_else(|| "-".to_string(), |n| n.to_string());
+                println!(
+                    "{:<24} {:>5} {:>4} {:>6} {:>8} {:>10} {:>10}",
+                    row.label,
+                    row.sessions,
+                    row.running,
+                    row.queue,
+                    rate.map_or_else(|| "-".to_string(), |r| format!("{r:.1}")),
+                    fmt_opt(row.p50_us),
+                    fmt_opt(row.p99_us),
+                );
+                prev_requests.insert(row.label, row.requests);
+            }
+        }
+        iteration += 1;
+        if iterations.is_some_and(|n| iteration >= n) {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
     }
 }
 
@@ -423,7 +648,9 @@ mod tests {
     fn addr_defaults_and_overrides() {
         let inv = parsed(&["ping"]).unwrap();
         assert_eq!(inv.addr, "127.0.0.1:9191");
-        assert!(matches!(inv.command, Command::Ping));
+        assert!(matches!(inv.command, Command::Ping { json: false }));
+        let inv = parsed(&["ping", "--json"]).unwrap();
+        assert!(matches!(inv.command, Command::Ping { json: true }));
         let inv = parsed(&["--addr", "10.0.0.1:7", "list"]).unwrap();
         assert_eq!(inv.addr, "10.0.0.1:7");
         assert!(matches!(inv.command, Command::List));
@@ -490,7 +717,8 @@ mod tests {
     fn bad_input_is_a_parse_error_not_a_panic() {
         assert!(parsed(&[]).unwrap_err().contains("missing command"));
         assert!(parsed(&["frobnicate"]).unwrap_err().contains("unknown command"));
-        assert!(parsed(&["ping", "extra"]).unwrap_err().contains("unexpected argument"));
+        assert!(parsed(&["ping", "extra"]).unwrap_err().contains("unknown flag"));
+        assert!(parsed(&["list", "extra"]).unwrap_err().contains("unexpected argument"));
         assert!(parsed(&["run", "s", "--frob"]).unwrap_err().contains("unknown flag"));
         assert!(parsed(&["--addr"]).unwrap_err().contains("expects a value"));
     }
@@ -506,6 +734,40 @@ mod tests {
         let Command::Verb { verb, name } = inv.command else { panic!("expected verb") };
         assert_eq!((verb.as_str(), name.as_str()), ("export", "s1"));
         assert!(parsed(&["gate-drain"]).is_err());
+    }
+
+    #[test]
+    fn observability_commands_parse() {
+        let inv = parsed(&["server-metrics"]).unwrap();
+        assert!(matches!(inv.command, Command::ServerMetrics));
+
+        let inv = parsed(&["trace", "all"]).unwrap();
+        let Command::Trace { filter, perfetto } = inv.command else { panic!("expected trace") };
+        assert_eq!(filter, None);
+        assert_eq!(perfetto, None);
+        let inv = parsed(&["trace", "42", "--perfetto", "t.json"]).unwrap();
+        let Command::Trace { filter, perfetto } = inv.command else { panic!("expected trace") };
+        assert_eq!(filter, Some(42));
+        assert_eq!(perfetto.as_deref(), Some("t.json"));
+        assert!(parsed(&["trace", "nope"]).is_err());
+        assert!(parsed(&["trace"]).is_err());
+
+        let inv = parsed(&["top"]).unwrap();
+        let Command::Top { interval_ms, iterations, json } = inv.command else {
+            panic!("expected top")
+        };
+        assert_eq!(interval_ms, 1000);
+        assert_eq!(iterations, None);
+        assert!(!json);
+        let inv = parsed(&["top", "--interval-ms", "250", "--iterations", "3", "--json"])
+            .unwrap();
+        let Command::Top { interval_ms, iterations, json } = inv.command else {
+            panic!("expected top")
+        };
+        assert_eq!(interval_ms, 250);
+        assert_eq!(iterations, Some(3));
+        assert!(json);
+        assert!(parsed(&["top", "--interval-ms", "0"]).is_err());
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   --slice N               instructions per run_for slice (default 4000000)
 //!   --max-frame BYTES       request-frame cap, advertised in ping (default 8388608)
 //!   --io-workers N          blocking worker threads (default 0 = auto)
+//!   --slow-ms N             log a JSON line to stderr for verbs slower than N ms
+//!   --no-telemetry          disable spans + serve-plane metrics (ablation runs)
 //! ```
 //!
 //! Prints `ksimd listening on ADDR` to stdout once bound (scripts parse
@@ -28,7 +30,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: ksimd [--addr HOST:PORT] [--max-sessions N] [--max-running N]\n\
          \x20            [--idle-timeout-ms N] [--request-timeout-ms N] [--slice N]\n\
-         \x20            [--max-frame BYTES] [--io-workers N]"
+         \x20            [--max-frame BYTES] [--io-workers N] [--slow-ms N] [--no-telemetry]"
     );
     std::process::exit(2);
 }
@@ -54,6 +56,8 @@ fn parse_config(mut args: ArgList) -> Result<ServerConfig, String> {
             "--slice" => config.slice = args.parse_value("--slice")?,
             "--max-frame" => config.max_frame = args.parse_value("--max-frame")?,
             "--io-workers" => config.io_workers = args.parse_value("--io-workers")?,
+            "--slow-ms" => config.slow_ms = Some(args.parse_value("--slow-ms")?),
+            "--no-telemetry" => config.telemetry = false,
             "--help" | "-h" => usage(),
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -122,7 +126,7 @@ mod tests {
         let c = parse_config(args(&[
             "--addr", "127.0.0.1:0", "--max-sessions", "8", "--max-running", "2",
             "--idle-timeout-ms", "1000", "--request-timeout-ms", "500", "--slice", "1000",
-            "--max-frame", "65536", "--io-workers", "7",
+            "--max-frame", "65536", "--io-workers", "7", "--slow-ms", "250", "--no-telemetry",
         ]))
         .unwrap();
         assert_eq!(c.addr, "127.0.0.1:0");
@@ -133,6 +137,8 @@ mod tests {
         assert_eq!(c.slice, 1000);
         assert_eq!(c.max_frame, 65536);
         assert_eq!(c.io_workers, 7);
+        assert_eq!(c.slow_ms, Some(250));
+        assert!(!c.telemetry);
     }
 
     #[test]
@@ -143,6 +149,8 @@ mod tests {
         assert_eq!(c.max_frame, d.max_frame);
         assert_eq!(c.io_workers, d.io_workers);
         assert_eq!(c.max_sessions, d.max_sessions);
+        assert!(c.telemetry, "telemetry is on by default");
+        assert_eq!(c.slow_ms, None, "slow logging is opt-in");
     }
 
     #[test]

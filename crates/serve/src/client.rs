@@ -68,6 +68,7 @@ pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    attach_trace: bool,
 }
 
 impl Client {
@@ -80,7 +81,7 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let writer = stream.try_clone()?;
-        Ok(Client { reader: BufReader::new(stream), writer, next_id: 1 })
+        Ok(Client { reader: BufReader::new(stream), writer, next_id: 1, attach_trace: false })
     }
 
     /// Sets a read timeout for responses (None = block forever).
@@ -108,6 +109,13 @@ impl Client {
         let id = self.next_id;
         self.next_id += 1;
         fields.insert(0, ("id".to_string(), Value::Num(id as f64)));
+        // After a successful handshake the peer is known to speak our
+        // protocol version, so requests carry a trace id for fleet-wide
+        // request tracing. Older peers never see the field.
+        if self.attach_trace && !fields.iter().any(|(k, _)| k == "trace") {
+            let trace = kahrisma_core::observe::next_trace_id();
+            fields.push(("trace".to_string(), Value::Num(trace as f64)));
+        }
         let line = Value::Obj(fields).to_json();
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
@@ -187,6 +195,7 @@ impl Client {
         let response = self.request(vec![cmd("ping")])?;
         let server = response.get("proto_version").and_then(Value::as_u64);
         if server == Some(proto::PROTO_VERSION) {
+            self.attach_trace = true;
             Ok(())
         } else {
             Err(ClientError::VersionMismatch { server, client: proto::PROTO_VERSION })
@@ -356,6 +365,32 @@ impl Client {
             if let Some(v) = exported.get(key) {
                 fields.push((key.to_string(), v.clone()));
             }
+        }
+        self.request(fields)
+    }
+
+    /// `server_metrics` — the daemon's serve-plane metrics document
+    /// (counters, gauges, per-verb latency histograms under
+    /// `schema_version: 1`). Against a gateway this returns the
+    /// fleet-merged report plus per-worker sub-reports.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_with_frames`].
+    pub fn server_metrics(&mut self) -> Result<Value, ClientError> {
+        self.request(vec![cmd("server_metrics")])
+    }
+
+    /// `trace` — retained request spans, optionally filtered to one trace
+    /// id. Against a gateway this fans out to every healthy worker.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request_with_frames`].
+    pub fn trace_spans(&mut self, filter: Option<u64>) -> Result<Value, ClientError> {
+        let mut fields = vec![cmd("trace")];
+        if let Some(t) = filter {
+            fields.push(("filter".to_string(), t.into()));
         }
         self.request(fields)
     }

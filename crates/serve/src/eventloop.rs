@@ -23,7 +23,7 @@
 use std::collections::VecDeque;
 use std::io::{Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -46,12 +46,44 @@ pub struct LoopConfig {
     pub max_frame: usize,
     /// Upper bound on concurrent connections; excess accepts are dropped.
     pub max_conns: usize,
+    /// Shared serve-plane counters, updated by the loop as it runs. The
+    /// service keeps a clone of this `Arc` so `server_metrics` can report
+    /// loop health without a channel back into the loop thread.
+    pub stats: Arc<LoopStats>,
 }
 
 impl Default for LoopConfig {
     fn default() -> Self {
-        LoopConfig { workers: 4, max_frame: proto::DEFAULT_MAX_FRAME_BYTES, max_conns: 4096 }
+        LoopConfig {
+            workers: 4,
+            max_frame: proto::DEFAULT_MAX_FRAME_BYTES,
+            max_conns: 4096,
+            stats: Arc::new(LoopStats::default()),
+        }
     }
+}
+
+/// Serve-plane health counters maintained by the event loop.
+///
+/// All fields are monotonic counters except the gauges noted. Relaxed
+/// ordering everywhere: these are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct LoopStats {
+    /// Loop iterations (poll ticks) since start.
+    pub poll_iterations: AtomicU64,
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Connections refused because `max_conns` was reached.
+    pub refused: AtomicU64,
+    /// Gauge: currently open connections.
+    pub open_conns: AtomicU64,
+    /// Request frames parsed and dispatched.
+    pub frames: AtomicU64,
+    /// Frames rejected before dispatch (oversized, non-UTF-8, malformed,
+    /// or not a JSON object).
+    pub frame_errors: AtomicU64,
+    /// Gauge: jobs queued or executing on the worker pool.
+    pub queue_depth: AtomicU64,
 }
 
 /// How the loop should execute one parsed request.
@@ -100,8 +132,9 @@ pub trait Service: Send + Sync + 'static {
 
     /// Executes a [`Dispatch::Pool`] request on a worker thread. May block
     /// and may push interleaved frames into `out` before returning the
-    /// final response.
-    fn perform(&self, request: &Value, out: &Arc<ConnOut>) -> Value;
+    /// final response. `wait_us` is how long the job sat in the pool queue
+    /// before a worker picked it up, for the service's telemetry.
+    fn perform(&self, request: &Value, out: &Arc<ConnOut>, wait_us: u64) -> Value;
 
     /// Whether the connection should close after `cmd`'s response flushes.
     fn closes_connection(&self, cmd: &str) -> bool {
@@ -159,6 +192,7 @@ struct Job {
     request: Value,
     out: Arc<ConnOut>,
     busy: Arc<AtomicBool>,
+    enqueued: Instant,
 }
 
 struct PoolInner {
@@ -233,7 +267,8 @@ fn worker_loop<S: Service>(inner: &PoolInner, service: &S) {
                     .0;
             }
         };
-        let response = service.perform(&job.request, &job.out);
+        let wait_us = u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let response = service.perform(&job.request, &job.out, wait_us);
         job.out.push_response(&response);
         job.busy.store(false, Ordering::SeqCst);
         inner.active.fetch_sub(1, Ordering::SeqCst);
@@ -450,6 +485,7 @@ impl Conn {
             self.scanned = self.inbound.len();
             if self.inbound.len() >= config.max_frame {
                 // Oversized frame: reject once now, discard to its newline.
+                config.stats.frame_errors.fetch_add(1, Ordering::Relaxed);
                 self.out.push_response(&oversized(config.max_frame));
                 self.inbound.clear();
                 self.scanned = 0;
@@ -461,10 +497,12 @@ impl Conn {
         self.scanned = 0;
         let frame = &frame[..frame.len() - 1];
         if frame.len() >= config.max_frame {
+            config.stats.frame_errors.fetch_add(1, Ordering::Relaxed);
             self.out.push_response(&oversized(config.max_frame));
             return true;
         }
         let Ok(text) = std::str::from_utf8(frame) else {
+            config.stats.frame_errors.fetch_add(1, Ordering::Relaxed);
             self.out.push_response(&proto::error_response(
                 Value::Null,
                 ErrorCode::BadFrame,
@@ -480,6 +518,7 @@ impl Conn {
         let request = match json::parse(text) {
             Ok(v @ Value::Obj(_)) => v,
             Ok(_) => {
+                config.stats.frame_errors.fetch_add(1, Ordering::Relaxed);
                 self.out.push_response(&proto::error_response(
                     Value::Null,
                     ErrorCode::BadFrame,
@@ -490,6 +529,7 @@ impl Conn {
             }
             Err(e) => {
                 // Malformed frame: report and recover at the next newline.
+                config.stats.frame_errors.fetch_add(1, Ordering::Relaxed);
                 self.out.push_response(&proto::error_response(
                     Value::Null,
                     ErrorCode::BadFrame,
@@ -499,6 +539,7 @@ impl Conn {
                 return true;
             }
         };
+        config.stats.frames.fetch_add(1, Ordering::Relaxed);
         let cmd = request.get("cmd").and_then(Value::as_str).unwrap_or("").to_string();
         match service.route(&request, text) {
             Dispatch::Reply(response) => {
@@ -513,6 +554,7 @@ impl Conn {
                     request,
                     out: Arc::clone(&self.out),
                     busy: Arc::clone(&self.busy),
+                    enqueued: Instant::now(),
                 });
             }
             Dispatch::Proxy(ticket) => {
@@ -678,8 +720,10 @@ impl<S: Service> EventLoop<S> {
         let mut conns: Vec<Conn> = Vec::new();
         let mut scratch = vec![0u8; READ_CHUNK];
         let mut sleep = MIN_SLEEP;
+        let stats = Arc::clone(&self.config.stats);
         loop {
             let draining = self.draining.load(Ordering::SeqCst);
+            stats.poll_iterations.fetch_add(1, Ordering::Relaxed);
             let mut progress = false;
             if !draining {
                 loop {
@@ -687,11 +731,13 @@ impl<S: Service> EventLoop<S> {
                         Ok((stream, _)) => {
                             progress = true;
                             if conns.len() >= self.config.max_conns {
+                                stats.refused.fetch_add(1, Ordering::Relaxed);
                                 drop(stream); // over the guard: refuse
                                 continue;
                             }
                             let _ = stream.set_nonblocking(true);
                             let _ = stream.set_nodelay(true);
+                            stats.accepted.fetch_add(1, Ordering::Relaxed);
                             conns.push(Conn::new(stream));
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -712,6 +758,10 @@ impl<S: Service> EventLoop<S> {
                     progress = true;
                 }
             }
+            stats.open_conns.store(conns.len() as u64, Ordering::Relaxed);
+            stats
+                .queue_depth
+                .store(pool.inner.active.load(Ordering::SeqCst) as u64, Ordering::Relaxed);
             if draining && conns.is_empty() && pool.idle() {
                 pool.stop();
                 return Ok(());

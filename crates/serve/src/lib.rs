@@ -20,6 +20,8 @@
 //! * [`json`] — the dependency-free nested JSON parser/serializer behind
 //!   it,
 //! * [`session`] — sessions and the concurrency-safe session table,
+//! * [`telemetry`] — wire conversions for request spans and metrics
+//!   reports (the `trace` / `server_metrics` verbs and their aggregation),
 //! * [`client`] — the typed client used by `kctl` and `kbatch --daemon`,
 //! * [`mod@bench`] — the `kctl bench` serving benchmark (latency percentiles,
 //!   served vs. direct throughput).
@@ -36,6 +38,7 @@ pub mod json;
 pub mod proto;
 pub mod server;
 pub mod session;
+pub mod telemetry;
 
 pub use client::{Client, ClientError, ServerLoad};
 pub use server::{Daemon, DaemonHandle, ServerConfig};

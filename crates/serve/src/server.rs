@@ -18,10 +18,10 @@ use kahrisma_core::{
 };
 use kahrisma_fabric::{Fabric, FabricOutcome};
 use kahrisma_isa::IsaKind;
-use kahrisma_observe::{frame, MetricsRegistry};
+use kahrisma_observe::{frame, MetricsRegistry, Span, SpanKind, SpanRing};
 use kahrisma_workloads::Workload;
 
-use crate::eventloop::{ConnOut, Dispatch, EventLoop, LoopConfig, Service};
+use crate::eventloop::{ConnOut, Dispatch, EventLoop, LoopConfig, LoopStats, Service};
 use crate::json::{self, obj, Value};
 use crate::proto::{self, ErrorCode, PROTO_VERSION};
 use crate::session::{Engine, FabricSpec, Session, SessionSpec, SessionTable, TableError};
@@ -51,6 +51,15 @@ pub struct ServerConfig {
     /// Worker threads executing blocking verbs; `0` sizes the pool
     /// automatically from `max_running`.
     pub io_workers: usize,
+    /// Serve-plane telemetry (request spans, per-verb latency histograms,
+    /// the `server_metrics` / `trace` verbs' data). Disable to measure the
+    /// instrumentation's own cost (`ksimd --no-telemetry`).
+    pub telemetry: bool,
+    /// When set, any pool verb whose *execution* exceeds this many
+    /// milliseconds logs one structured JSON line to stderr. Measured from
+    /// dispatch, after the frame fully arrived — a slow client trickling
+    /// bytes (slow loris) never trips it.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +74,8 @@ impl Default for ServerConfig {
             retry_after_ms: 250,
             max_frame: proto::DEFAULT_MAX_FRAME_BYTES,
             io_workers: 0,
+            telemetry: true,
+            slow_ms: None,
         }
     }
 }
@@ -91,7 +102,16 @@ struct SimService {
     running: AtomicUsize,
     draining: Arc<AtomicBool>,
     started: Instant,
+    /// Event-loop counters, shared with the loop via [`LoopConfig::stats`].
+    loop_stats: Arc<LoopStats>,
+    /// Request spans for the `trace` verb (empty when telemetry is off).
+    spans: Mutex<SpanRing>,
+    /// Serve-plane counters/histograms for the `server_metrics` verb.
+    metrics: Mutex<MetricsRegistry>,
 }
+
+/// Spans retained per process for `kctl trace`.
+const SPAN_RING_CAPACITY: usize = 4096;
 
 /// A handle for stopping a daemon from another thread (tests, signal
 /// plumbing). Cloned freely.
@@ -135,6 +155,9 @@ impl Daemon {
             running: AtomicUsize::new(0),
             draining: Arc::new(AtomicBool::new(false)),
             started: Instant::now(),
+            loop_stats: Arc::new(LoopStats::default()),
+            spans: Mutex::new(SpanRing::new(SPAN_RING_CAPACITY)),
+            metrics: Mutex::new(MetricsRegistry::new()),
             config,
         });
         Ok(Daemon { listener, service })
@@ -173,6 +196,7 @@ impl Daemon {
         let loop_config = LoopConfig {
             workers: self.service.config.resolved_io_workers(),
             max_frame: self.service.config.max_frame,
+            stats: Arc::clone(&self.service.loop_stats),
             ..LoopConfig::default()
         };
         let draining = Arc::clone(&self.service.draining);
@@ -186,7 +210,10 @@ impl Service for SimService {
     /// overloaded server rejects without waiting for a pool slot.
     fn route(&self, request: &Value, _raw: &str) -> Dispatch {
         // Lazy idle eviction: every request sweeps first.
-        self.table.sweep();
+        let evicted = self.table.sweep();
+        if evicted > 0 && self.config.telemetry {
+            self.lock_metrics().count("session.evictions", evicted as u64);
+        }
         let id = request.get("id").cloned().unwrap_or(Value::Null);
         let Some(cmd) = request.get("cmd").and_then(Value::as_str) else {
             return Dispatch::Reply(proto::error_response(
@@ -196,7 +223,12 @@ impl Service for SimService {
                 None,
             ));
         };
-        if self.draining.load(Ordering::SeqCst) && cmd != "ping" && cmd != "list" {
+        // Observability verbs stay answerable during drain: an operator
+        // watching `kctl top` must not go blind exactly when the fleet is
+        // doing something interesting.
+        if self.draining.load(Ordering::SeqCst)
+            && !matches!(cmd, "ping" | "list" | "server_metrics" | "trace")
+        {
             return Dispatch::Reply(proto::error_response(
                 id,
                 ErrorCode::Draining,
@@ -207,6 +239,8 @@ impl Service for SimService {
         match cmd {
             "ping" => Dispatch::Reply(self.ping_response(id)),
             "list" => Dispatch::Reply(self.list_response(&id)),
+            "server_metrics" => Dispatch::Reply(self.server_metrics_response(&id)),
+            "trace" => Dispatch::Reply(self.trace_response(&id, request)),
             "stats" => Dispatch::Reply(with_session(self, &id, request, |session| {
                 Ok(stats_response(session))
             })),
@@ -234,6 +268,9 @@ impl Service for SimService {
                 // again at execution). Without this, a saturated pool would
                 // delay the `overloaded` response instead of sending it.
                 if self.running.load(Ordering::SeqCst) >= self.config.max_running {
+                    if self.config.telemetry {
+                        self.lock_metrics().count("admission.rejected", 1);
+                    }
                     return Dispatch::Reply(proto::error_response(
                         id,
                         ErrorCode::Overloaded,
@@ -253,8 +290,20 @@ impl Service for SimService {
         }
     }
 
-    /// Executes one heavy verb on a pool worker.
-    fn perform(&self, request: &Value, out: &Arc<ConnOut>) -> Value {
+    /// Executes one heavy verb on a pool worker, recording its span
+    /// (queue wait + execution time) and per-verb latency histogram.
+    fn perform(&self, request: &Value, out: &Arc<ConnOut>, wait_us: u64) -> Value {
+        let start_us = u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let begun = Instant::now();
+        let response = self.perform_inner(request, out);
+        self.record_request(request, start_us, wait_us, begun.elapsed(), &response);
+        response
+    }
+}
+
+impl SimService {
+    /// The un-instrumented verb dispatch behind [`Service::perform`].
+    fn perform_inner(&self, request: &Value, out: &Arc<ConnOut>) -> Value {
         let id = request.get("id").cloned().unwrap_or(Value::Null);
         match request.get("cmd").and_then(Value::as_str) {
             Some("create") => self.handle_create(&id, request),
@@ -314,6 +363,124 @@ impl Service for SimService {
 }
 
 impl SimService {
+    fn lock_metrics(&self) -> std::sync::MutexGuard<'_, MetricsRegistry> {
+        self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock_spans(&self) -> std::sync::MutexGuard<'_, SpanRing> {
+        self.spans.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Records one pool request's span and metrics after it executed.
+    ///
+    /// The `trace` field is read tolerantly: absent or mistyped (an older
+    /// peer, a foreign client) means trace id 0, never an error. All the
+    /// work here happens *after* the verb ran, so instrumentation adds
+    /// nothing to the request's observable latency beyond two mutex grabs.
+    fn record_request(
+        &self,
+        request: &Value,
+        start_us: u64,
+        wait_us: u64,
+        exec: Duration,
+        response: &Value,
+    ) {
+        let cmd = request.get("cmd").and_then(Value::as_str).unwrap_or("?");
+        let exec_us = u64::try_from(exec.as_micros()).unwrap_or(u64::MAX);
+        let trace = request.get("trace").and_then(Value::as_u64).unwrap_or(0);
+        let session = request.get("name").and_then(Value::as_str).unwrap_or("");
+        let ok = response.get("ok").and_then(Value::as_bool).unwrap_or(false);
+        let slow = self.config.slow_ms.is_some_and(|t| exec.as_millis() as u64 >= t);
+        if slow {
+            // One line, one write: structured enough to grep, small enough
+            // to never need rotation logic.
+            eprintln!(
+                "{{\"slow\":true,\"trace\":{trace},\"verb\":\"{}\",\"session\":\"{}\",\
+                 \"elapsed_ms\":{},\"queue_us\":{wait_us},\"ok\":{ok}}}",
+                crate::telemetry::json_escape(cmd),
+                crate::telemetry::json_escape(session),
+                exec.as_millis() as u64,
+            );
+        }
+        if !self.config.telemetry {
+            return;
+        }
+        let mut metrics = self.lock_metrics();
+        metrics.count("requests.pool", 1);
+        if !ok {
+            metrics.count("requests.failed", 1);
+        }
+        if slow {
+            metrics.count("slow.logged", 1);
+        }
+        metrics.record(&format!("verb.{cmd}.latency_us"), exec_us);
+        metrics.record("queue.wait_us", wait_us);
+        drop(metrics);
+        self.lock_spans().push(Span {
+            trace,
+            kind: SpanKind::Worker,
+            verb: cmd.to_string(),
+            session: session.to_string(),
+            start_us,
+            queue_us: wait_us,
+            exec_us,
+            ok,
+        });
+    }
+
+    /// `server_metrics`: the full serve-plane registry — verb latencies
+    /// and request counters accumulated on the pool, loop health sampled
+    /// from [`LoopStats`], and session-table occupancy — as one
+    /// deterministic document (`schema_version` first).
+    fn server_metrics_response(&self, id: &Value) -> Value {
+        let mut reg = if self.config.telemetry {
+            self.lock_metrics().clone()
+        } else {
+            MetricsRegistry::new()
+        };
+        let ls = &self.loop_stats;
+        reg.set_counter("loop.poll_iterations", ls.poll_iterations.load(Ordering::Relaxed));
+        reg.set_counter("loop.accepted", ls.accepted.load(Ordering::Relaxed));
+        reg.set_counter("loop.refused", ls.refused.load(Ordering::Relaxed));
+        reg.set_counter("loop.frames", ls.frames.load(Ordering::Relaxed));
+        reg.set_counter("loop.frame_errors", ls.frame_errors.load(Ordering::Relaxed));
+        reg.set_gauge("loop.open_conns", ls.open_conns.load(Ordering::Relaxed) as f64);
+        reg.set_gauge("loop.queue_depth", ls.queue_depth.load(Ordering::Relaxed) as f64);
+        reg.set_gauge("sessions.resident", self.table.len() as f64);
+        reg.set_gauge("sessions.capacity", self.config.max_sessions as f64);
+        reg.set_gauge("sessions.running", self.running.load(Ordering::SeqCst) as f64);
+        reg.set_gauge("uptime_ms", self.started.elapsed().as_millis() as f64);
+        {
+            let spans = self.lock_spans();
+            reg.set_counter("spans.recorded", spans.total());
+            reg.set_counter("spans.dropped", spans.dropped());
+        }
+        let mut fields = vec![(
+            "schema_version".to_string(),
+            kahrisma_core::STATS_SCHEMA_VERSION.into(),
+        )];
+        fields.extend(crate::telemetry::registry_to_fields(&reg));
+        proto::ok_response(id.clone(), fields)
+    }
+
+    /// `trace`: dumps retained spans, optionally filtered to one trace id
+    /// (the `filter` field — distinct from `trace`, which on every request
+    /// is the *requester's own* propagated trace id).
+    fn trace_response(&self, id: &Value, request: &Value) -> Value {
+        let filter = request.get("filter").and_then(Value::as_u64).filter(|&t| t != 0);
+        let spans = self.lock_spans();
+        let rows: Vec<Value> =
+            spans.select(filter).iter().map(crate::telemetry::span_to_value).collect();
+        proto::ok_response(
+            id.clone(),
+            vec![
+                ("spans".to_string(), Value::Arr(rows)),
+                ("spans_total".to_string(), spans.total().into()),
+                ("spans_dropped".to_string(), spans.dropped().into()),
+            ],
+        )
+    }
+
     /// `ping` doubles as the load/health report: protocol version, resident
     /// and running session counts, uptime, the advertised frame cap, and
     /// the drain flag. Older clients read `pong`/`proto_version` and ignore
@@ -442,6 +609,9 @@ impl SimService {
             })
             .is_ok();
         if !admitted {
+            if self.config.telemetry {
+                self.lock_metrics().count("admission.rejected", 1);
+            }
             return proto::error_response(
                 id.clone(),
                 ErrorCode::Overloaded,

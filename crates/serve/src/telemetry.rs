@@ -1,0 +1,128 @@
+//! Wire conversions for serve-plane telemetry.
+//!
+//! [`Span`]s and [`MetricsRegistry`] reports cross the fleet as JSON — a
+//! worker answers `trace` / `server_metrics`, the gate re-parses those
+//! responses to merge them, and `kctl` parses the merged report to render
+//! `top`. This module holds both directions of that conversion so the
+//! three processes agree on the shape: spans as flat objects, registries
+//! as the `{"schema_version":N,"counters":…,"gauges":…,"histograms":…}`
+//! document [`MetricsRegistry::write_json`] emits.
+
+use kahrisma_observe::{Histogram, MetricsRegistry, Span, SpanKind};
+
+use crate::json::{self, Value};
+
+/// Escapes a string for interpolation into a hand-built JSON document
+/// (the daemon's structured slow-request log line).
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds the wire object for one span — the row shape the `trace` verb
+/// returns (see [`Span::to_json`] for the field list).
+#[must_use]
+pub fn span_to_value(span: &Span) -> Value {
+    json::obj([
+        ("trace", Value::Num(span.trace as f64)),
+        ("kind", Value::Str(span.kind.as_str().to_string())),
+        ("verb", Value::Str(span.verb.clone())),
+        ("session", Value::Str(span.session.clone())),
+        ("start_us", Value::Num(span.start_us as f64)),
+        ("queue_us", Value::Num(span.queue_us as f64)),
+        ("exec_us", Value::Num(span.exec_us as f64)),
+        ("ok", Value::Bool(span.ok)),
+    ])
+}
+
+/// Parses one span row back from the wire. Returns `None` when a required
+/// field is missing or mistyped (a malformed or foreign row is skipped,
+/// not an error — trace data is best-effort).
+#[must_use]
+pub fn span_from_value(v: &Value) -> Option<Span> {
+    Some(Span {
+        trace: v.get("trace").and_then(Value::as_u64)?,
+        kind: SpanKind::parse(v.get("kind").and_then(Value::as_str)?)?,
+        verb: v.get("verb").and_then(Value::as_str)?.to_string(),
+        session: v.get("session").and_then(Value::as_str).unwrap_or("").to_string(),
+        start_us: v.get("start_us").and_then(Value::as_u64)?,
+        queue_us: v.get("queue_us").and_then(Value::as_u64).unwrap_or(0),
+        exec_us: v.get("exec_us").and_then(Value::as_u64).unwrap_or(0),
+        ok: v.get("ok").and_then(Value::as_bool).unwrap_or(true),
+    })
+}
+
+/// The `counters` / `gauges` / `histograms` fields of a serialized
+/// registry, as wire values ready to splice into a response object.
+/// Parsing our own serializer's output cannot fail, so this returns the
+/// three fields directly.
+#[must_use]
+pub fn registry_to_fields(registry: &MetricsRegistry) -> Vec<(String, Value)> {
+    let parsed = json::parse(&registry.to_json()).expect("registry JSON is valid");
+    let Value::Obj(fields) = parsed else { unreachable!("registry serializes an object") };
+    fields.into_iter().filter(|(k, _)| k != "schema_version").collect()
+}
+
+/// Rebuilds a [`MetricsRegistry`] from a wire report carrying `counters`,
+/// `gauges`, and `histograms` fields (a worker's `server_metrics`
+/// response). Unknown or mistyped entries are skipped: a newer worker
+/// must not break an older aggregator.
+#[must_use]
+pub fn registry_from_value(v: &Value) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    if let Some(Value::Obj(counters)) = v.get("counters") {
+        for (k, c) in counters {
+            if let Some(n) = c.as_u64() {
+                reg.count(k, n);
+            }
+        }
+    }
+    if let Some(Value::Obj(gauges)) = v.get("gauges") {
+        for (k, g) in gauges {
+            if let Some(n) = g.as_f64() {
+                reg.set_gauge(k, n);
+            }
+        }
+    }
+    if let Some(Value::Obj(histograms)) = v.get("histograms") {
+        for (k, h) in histograms {
+            if let Some(parsed) = histogram_from_value(h) {
+                reg.set_histogram(k, parsed);
+            }
+        }
+    }
+    reg
+}
+
+/// Parses one serialized histogram (`{"count":…,"sum":…,"min":…,"max":…,
+/// "buckets":[[lo,c],…]}`) back into a [`Histogram`].
+#[must_use]
+pub fn histogram_from_value(v: &Value) -> Option<Histogram> {
+    let count = v.get("count").and_then(Value::as_u64)?;
+    let sum = v.get("sum").and_then(Value::as_u64).unwrap_or(0);
+    let min = v.get("min").and_then(Value::as_u64).unwrap_or(0);
+    let max = v.get("max").and_then(Value::as_u64).unwrap_or(0);
+    let mut buckets = Vec::new();
+    if let Some(rows) = v.get("buckets").and_then(Value::as_arr) {
+        for row in rows {
+            let pair = row.as_arr()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            buckets.push((pair[0].as_u64()?, pair[1].as_u64()?));
+        }
+    }
+    Some(Histogram::from_parts(count, sum, min, max, &buckets))
+}

@@ -214,3 +214,39 @@ fn ping_load_tolerates_minimal_older_daemons() {
     assert!(!load.draining);
     fake.join().unwrap();
 }
+
+#[test]
+fn slow_loris_frames_never_trip_the_slow_verb_log() {
+    // --slow-ms measures verb *execution*, which starts only after a frame
+    // has fully arrived — a client dribbling its frame for longer than the
+    // threshold must not be logged (or counted) as a slow verb.
+    let (addr, handle, thread) = start_daemon(ServerConfig {
+        slow_ms: Some(200),
+        ..ServerConfig::default()
+    });
+    let mut loris = TcpStream::connect(&addr).expect("connect");
+    // The frame takes ~330 ms to arrive — well past the 200 ms threshold.
+    let frame = b"{\"id\":7,\"cmd\":\"ping\"}\n";
+    for chunk in frame.chunks(4) {
+        loris.write_all(chunk).expect("dribble");
+        loris.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(55));
+    }
+    let pong = read_frame(&mut loris);
+    assert_eq!(pong.get("ok").and_then(Value::as_bool), Some(true));
+    // A pool verb that arrives slowly but executes fast is also not slow.
+    let mut client = Client::connect(&addr).unwrap();
+    client.create("s", "dct", "risc", Vec::new()).unwrap();
+    let metrics = client.server_metrics().unwrap();
+    assert_eq!(
+        metrics
+            .get("counters")
+            .and_then(|c| c.get("slow.logged"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0),
+        0,
+        "no verb exceeded the execution threshold: {}",
+        metrics.to_json()
+    );
+    stop(handle, thread);
+}

@@ -516,3 +516,82 @@ fn shutdown_drains_and_stops_the_daemon() {
     assert!(gone, "daemon must not serve after drain");
     drop(handle);
 }
+
+#[test]
+fn server_metrics_and_trace_stay_answerable_during_drain() {
+    let (addr, _handle, thread) = start_daemon(ServerConfig::default());
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    // Pipeline all four frames before the drain flag stops reads: once
+    // `shutdown` is processed, the observability verbs must still answer
+    // (an operator watching `kctl top` through a drain), while session
+    // verbs are refused.
+    writer
+        .write_all(
+            b"{\"id\":1,\"cmd\":\"shutdown\"}\n\
+              {\"id\":2,\"cmd\":\"server_metrics\"}\n\
+              {\"id\":3,\"cmd\":\"trace\"}\n\
+              {\"id\":4,\"cmd\":\"run\",\"name\":\"nope\"}\n",
+        )
+        .unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    let mut read_response = || {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        parse(line.trim()).unwrap()
+    };
+    let shutdown = read_response();
+    assert_eq!(shutdown.get("ok").unwrap().as_bool(), Some(true));
+    let metrics = read_response();
+    assert_eq!(metrics.get("ok").unwrap().as_bool(), Some(true), "{line}");
+    assert_eq!(metrics.get("schema_version").unwrap().as_u64(), Some(1));
+    assert!(metrics.get("counters").is_some(), "registry document: {line}");
+    let trace = read_response();
+    assert_eq!(trace.get("ok").unwrap().as_bool(), Some(true), "{line}");
+    assert!(trace.get("spans").is_some());
+    let refused = read_response();
+    assert_eq!(refused.get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(refused.get("code").unwrap().as_str(), Some("draining"));
+    thread.join().expect("daemon drained");
+}
+
+#[test]
+fn peers_without_a_trace_field_are_served_not_errored() {
+    let (addr, handle, thread) = start_daemon(ServerConfig::default());
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut roundtrip = |frame: &str| {
+        writer.write_all(frame.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        parse(line.trim()).unwrap()
+    };
+    // An older-protocol peer that has never heard of tracing: no `trace`
+    // field at all, and then one with a mistyped (string) value. Both must
+    // be served normally; the span just records trace id 0.
+    let created =
+        roundtrip(r#"{"id":1,"cmd":"create","name":"t1","workload":"dct","isa":"risc"}"#);
+    assert_eq!(created.get("ok").unwrap().as_bool(), Some(true), "{line}");
+    let ran = roundtrip(r#"{"id":2,"cmd":"run","name":"t1"}"#);
+    assert_eq!(ran.get("ok").unwrap().as_bool(), Some(true), "{line}");
+    let ran_odd = roundtrip(r#"{"id":3,"cmd":"run","name":"t1","trace":"zebra-7","reset":true}"#);
+    assert_eq!(ran_odd.get("ok").unwrap().as_bool(), Some(true), "mistyped trace: {line}");
+    let spans = roundtrip(r#"{"id":4,"cmd":"trace"}"#);
+    let rows = spans.get("spans").unwrap().as_arr().unwrap();
+    let runs: Vec<_> = rows
+        .iter()
+        .filter(|s| s.get("verb").and_then(Value::as_str) == Some("run"))
+        .collect();
+    assert_eq!(runs.len(), 2, "both runs recorded spans: {line}");
+    for span in runs {
+        assert_eq!(span.get("trace").unwrap().as_u64(), Some(0), "traceless peer → id 0");
+        assert_eq!(span.get("ok").unwrap().as_bool(), Some(true));
+    }
+    stop(handle, thread);
+}

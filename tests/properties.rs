@@ -272,3 +272,73 @@ proptest! {
         }
     }
 }
+
+// --------------------------------------------------------- metrics merge --
+//
+// `MetricsRegistry::merge` is the fleet aggregation primitive: the gate
+// folds every worker's report into one. The fold is only well-defined if
+// merge is a commutative monoid — workers answer in arbitrary order, and
+// sub-fleets must aggregate the same as a flat fleet.
+
+use kahrisma::observe::MetricsRegistry;
+
+const METRIC_NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+fn arb_registry() -> impl Strategy<Value = MetricsRegistry> {
+    (
+        prop::collection::vec((0usize..4, 0u64..1000), 0..6),
+        prop::collection::vec((0usize..4, -1000i32..1000), 0..6),
+        prop::collection::vec(
+            (0usize..4, prop::collection::vec(0u64..1_000_000, 1..10)),
+            0..4,
+        ),
+    )
+        .prop_map(|(counters, gauges, histograms)| {
+            let mut reg = MetricsRegistry::new();
+            for (name, delta) in counters {
+                reg.count(METRIC_NAMES[name], delta);
+            }
+            for (name, value) in gauges {
+                reg.set_gauge(METRIC_NAMES[name], f64::from(value));
+            }
+            for (name, samples) in histograms {
+                for sample in samples {
+                    reg.record(METRIC_NAMES[name], sample);
+                }
+            }
+            reg
+        })
+}
+
+fn merged(a: &MetricsRegistry, b: &MetricsRegistry) -> MetricsRegistry {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn metrics_merge_is_commutative(a in arb_registry(), b in arb_registry()) {
+        prop_assert_eq!(merged(&a, &b).to_json(), merged(&b, &a).to_json());
+    }
+
+    #[test]
+    fn metrics_merge_is_associative(
+        a in arb_registry(),
+        b in arb_registry(),
+        c in arb_registry(),
+    ) {
+        prop_assert_eq!(
+            merged(&merged(&a, &b), &c).to_json(),
+            merged(&a, &merged(&b, &c)).to_json()
+        );
+    }
+
+    #[test]
+    fn empty_registry_is_the_merge_identity(a in arb_registry()) {
+        let empty = MetricsRegistry::new();
+        prop_assert_eq!(merged(&a, &empty).to_json(), a.to_json());
+        prop_assert_eq!(merged(&empty, &a).to_json(), a.to_json());
+    }
+}
