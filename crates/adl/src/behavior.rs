@@ -223,6 +223,41 @@ impl MemWidth {
     }
 }
 
+/// Read-modify-write operations performed atomically on a memory word.
+///
+/// The fabric resolves atomics to the shared window at quantum barriers in
+/// core-index order, which is what makes lock acquisition deterministic at
+/// any host-thread count (see `kahrisma-fabric`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum AtomicOp {
+    /// `rd = mem[rs1]; mem[rs1] = rs2` — atomic exchange.
+    Swap,
+    /// `rd = mem[rs1]; mem[rs1] = rd + rs2` — atomic fetch-and-add.
+    Add,
+}
+
+impl AtomicOp {
+    /// The value stored back given the old memory word and the operand.
+    #[must_use]
+    pub fn apply(self, old: u32, operand: u32) -> u32 {
+        match self {
+            AtomicOp::Swap => operand,
+            AtomicOp::Add => old.wrapping_add(operand),
+        }
+    }
+}
+
+impl fmt::Display for AtomicOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AtomicOp::Swap => "swap",
+            AtomicOp::Add => "add",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Functional-unit class used for microarchitectural resource modelling.
 ///
 /// The cycle-approximate DOE model deliberately ignores these constraints
@@ -297,6 +332,11 @@ pub enum Behavior {
     Halt,
     /// No operation (also the VLIW slot filler).
     Nop,
+    /// `rd = mem[rs1]; mem[rs1] = op(mem[rs1], rs2)` — word-sized atomic
+    /// read-modify-write. On a fabric core an atomic addressing the shared
+    /// window is resolved at the next quantum barrier against the committed
+    /// image (in core-index order); elsewhere it executes immediately.
+    Atomic(AtomicOp),
 }
 
 impl Behavior {
@@ -315,7 +355,7 @@ impl Behavior {
     /// Whether the operation accesses data memory at all.
     #[must_use]
     pub fn is_mem(self) -> bool {
-        self.is_load() || self.is_store()
+        self.is_load() || self.is_store() || matches!(self, Behavior::Atomic(_))
     }
 
     /// Whether the operation may redirect control flow.
@@ -331,10 +371,11 @@ impl Behavior {
         )
     }
 
-    /// Whether the operation serializes the pipeline (ISA switch, halt).
+    /// Whether the operation serializes the pipeline (ISA switch, halt,
+    /// atomic read-modify-write).
     #[must_use]
     pub fn is_serializing(self) -> bool {
-        matches!(self, Behavior::SwitchTarget | Behavior::Halt)
+        matches!(self, Behavior::SwitchTarget | Behavior::Halt | Behavior::Atomic(_))
     }
 
     /// Functional-unit class occupied by the operation.
@@ -350,6 +391,7 @@ impl Behavior {
             | Behavior::JumpReg
             | Behavior::JumpAndLinkReg => FuClass::Branch,
             Behavior::SwitchTarget | Behavior::SimOp | Behavior::Halt => FuClass::System,
+            Behavior::Atomic(_) => FuClass::Mem,
         }
     }
 }
@@ -416,6 +458,17 @@ mod tests {
         assert_eq!(Behavior::IntAlu(AluOp::Mul).fu_class(), FuClass::MulDiv);
         assert_eq!(Behavior::Branch(CondOp::Eq).fu_class(), FuClass::Branch);
         assert_eq!(Behavior::Load { width: MemWidth::Word, signed: true }.fu_class(), FuClass::Mem);
+    }
+
+    #[test]
+    fn atomic_classification_and_semantics() {
+        let swap = Behavior::Atomic(AtomicOp::Swap);
+        assert!(swap.is_mem() && !swap.is_load() && !swap.is_store());
+        assert!(swap.is_serializing() && !swap.is_control());
+        assert_eq!(swap.fu_class(), FuClass::Mem);
+        assert_eq!(AtomicOp::Swap.apply(5, 9), 9);
+        assert_eq!(AtomicOp::Add.apply(u32::MAX, 2), 1);
+        assert_eq!(AtomicOp::Swap.to_string(), "swap");
     }
 
     #[test]

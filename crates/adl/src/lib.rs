@@ -49,7 +49,7 @@ mod field;
 mod reg;
 mod table;
 
-pub use behavior::{AluOp, Behavior, CondOp, FuClass, MemWidth};
+pub use behavior::{AluOp, AtomicOp, Behavior, CondOp, FuClass, MemWidth};
 pub use desc::{ArchDesc, Encoding, IsaDesc, IsaId, OperationDesc};
 pub use error::AdlError;
 pub use field::{Field, FieldKind, FieldValues};

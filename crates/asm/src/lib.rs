@@ -58,7 +58,7 @@ mod parse;
 
 pub use assembler::assemble;
 pub use error::AsmError;
-pub use libc::libc_stubs_asm;
+pub use libc::{ATOMIC_STUBS, libc_stubs_asm};
 pub use linker::{LinkOptions, link};
 
 use kahrisma_elf::Executable;

@@ -35,8 +35,21 @@ pub fn libc_stubs_asm() -> String {
         writeln!(s, "    jr ra").expect("write to string");
         writeln!(s, ".endfunc").expect("write to string");
     }
+    // ISA-level atomics, exposed with the same stub discipline so compiled
+    // code can call them like any library function (two words each, appended
+    // after the simop stubs — the stub tests rely on that layout).
+    for (sym, mnemonic) in [("atomic_swap", "amoswap"), ("atomic_add", "amoadd")] {
+        writeln!(s, ".global {sym}").expect("write to string");
+        writeln!(s, ".func {sym}").expect("write to string");
+        writeln!(s, "{sym}: {mnemonic} rv, a0, a1").expect("write to string");
+        writeln!(s, "    jr ra").expect("write to string");
+        writeln!(s, ".endfunc").expect("write to string");
+    }
     s
 }
+
+/// Symbols of the hand-written atomic stubs appended by [`libc_stubs_asm`].
+pub const ATOMIC_STUBS: [&str; 2] = ["atomic_swap", "atomic_add"];
 
 #[cfg(test)]
 mod tests {
@@ -55,9 +68,18 @@ mod tests {
                 .unwrap_or_else(|| panic!("missing {}", code.symbol()));
             assert!(sym.global);
         }
-        // Each stub is two RISC words.
-        assert_eq!(obj.text.len(), SimOpCode::ALL.len() * 8);
-        assert_eq!(obj.debug.funcs.len(), SimOpCode::ALL.len());
+        for sym in ATOMIC_STUBS {
+            let s = obj
+                .symbols
+                .iter()
+                .find(|s| s.name == sym)
+                .unwrap_or_else(|| panic!("missing {sym}"));
+            assert!(s.global);
+        }
+        // Each stub is two RISC words (simop stubs plus the atomic stubs).
+        let stubs = SimOpCode::ALL.len() + ATOMIC_STUBS.len();
+        assert_eq!(obj.text.len(), stubs * 8);
+        assert_eq!(obj.debug.funcs.len(), stubs);
     }
 
     #[test]
@@ -72,6 +94,13 @@ mod tests {
             let d = risc.decode(w).unwrap();
             assert_eq!(risc.op(d.op_index).name(), "simop");
             assert_eq!(d.fields.imm, code.code());
+        }
+        // The atomic stubs follow, each starting with its amo* operation.
+        for (i, mnemonic) in ["amoswap", "amoadd"].iter().enumerate() {
+            let off = (SimOpCode::ALL.len() + i) * 8;
+            let w = u32::from_le_bytes(obj.text[off..off + 4].try_into().unwrap());
+            let d = risc.decode(w).unwrap();
+            assert_eq!(risc.op(d.op_index).name(), *mnemonic);
         }
     }
 }

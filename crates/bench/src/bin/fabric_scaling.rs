@@ -12,18 +12,27 @@
 //!   (possibly single-CPU) host. On a 1-CPU runner this stays flat with N
 //!   by construction; the scaling claim is about `aggregate_mips`.
 //!
+//! A second, deterministic curve runs the `parallel_dct` workload under
+//! the modeled coherent memory system (`MemModel::Coherent`): the speedup
+//! is `makespan(1 core) / makespan(N cores)` in **modeled cycles**, and
+//! each point carries the coherence traffic (misses, invalidations,
+//! writebacks, contention stalls) that limited it.
+//!
 //! Run with `cargo run --release -p kahrisma-bench --bin fabric_scaling`.
-//! With `--json`, additionally writes the curve to `BENCH_fabric.json`.
+//! With `--json`, additionally writes the curves to `BENCH_fabric.json`.
 
 use std::io::Write as _;
 
 use kahrisma_core::STATS_SCHEMA_VERSION;
-use kahrisma_fabric::{CoreSpec, Fabric, FabricConfig, FabricStats};
+use kahrisma_fabric::{
+    CoherentConfig, CoreSpec, Fabric, FabricConfig, FabricOutcome, FabricStats, MemModel,
+};
 
 const CORE_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const BUDGET_PER_CORE: u64 = 2_000_000;
 const REPEATS: u32 = 3;
 const SPEC: &str = "dct:risc";
+const COHERENT_SPEC: &str = "parallel_dct:risc";
 
 struct Point {
     cores: usize,
@@ -77,7 +86,52 @@ fn measure(cores: usize) -> Point {
     }
 }
 
-fn emit_json(points: &[Point]) -> std::io::Result<()> {
+struct CoherentPoint {
+    cores: usize,
+    makespan: u64,
+    instructions: u64,
+    accesses: u64,
+    misses: u64,
+    invalidations: u64,
+    upgrades: u64,
+    writebacks: u64,
+    contention_stalls: u64,
+    mem_cycles: u64,
+}
+
+/// One deterministic run of `parallel_dct` on `cores` cores under the
+/// coherent memory model. No repeats: modeled cycles do not depend on the
+/// host.
+fn measure_coherent(cores: usize) -> CoherentPoint {
+    let specs: Vec<CoreSpec> = (0..cores)
+        .map(|_| CoreSpec::parse(COHERENT_SPEC).expect("core spec"))
+        .collect();
+    let config = FabricConfig {
+        mem_model: MemModel::Coherent(CoherentConfig::default()),
+        ..FabricConfig::default()
+    };
+    let mut fabric = Fabric::new(specs, config).expect("build fabric");
+    let outcome = fabric.run_for(u64::MAX).expect("fabric run");
+    assert_eq!(outcome, FabricOutcome::AllHalted, "workload must finish");
+    let stats = fabric.stats();
+    assert_eq!(stats.cores[0].exit_code, Some(42), "self-check failed");
+    let report = stats.coherence.expect("coherent mode reports");
+    let t = &report.total;
+    CoherentPoint {
+        cores,
+        makespan: report.makespan,
+        instructions: stats.aggregate.instructions,
+        accesses: t.accesses,
+        misses: t.misses,
+        invalidations: t.invalidations_sent,
+        upgrades: t.upgrades,
+        writebacks: t.writebacks,
+        contention_stalls: t.contention_stalls,
+        mem_cycles: t.mem_cycles,
+    }
+}
+
+fn emit_json(points: &[Point], coherent: &[CoherentPoint]) -> std::io::Result<()> {
     let base = points[0].aggregate_mips();
     let rows: Vec<String> = points
         .iter()
@@ -98,6 +152,29 @@ fn emit_json(points: &[Point]) -> std::io::Result<()> {
             )
         })
         .collect();
+    let base_makespan = coherent[0].makespan;
+    let coherent_rows: Vec<String> = coherent
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"cores\": {}, \"makespan_cycles\": {}, \"speedup_vs_1core\": {:.4}, \
+                 \"instructions\": {}, \"accesses\": {}, \"misses\": {}, \
+                 \"invalidations\": {}, \"upgrades\": {}, \"writebacks\": {}, \
+                 \"contention_stalls\": {}, \"mem_cycles\": {}}}",
+                p.cores,
+                p.makespan,
+                base_makespan as f64 / p.makespan as f64,
+                p.instructions,
+                p.accesses,
+                p.misses,
+                p.invalidations,
+                p.upgrades,
+                p.writebacks,
+                p.contention_stalls,
+                p.mem_cycles,
+            )
+        })
+        .collect();
     let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
     let json = format!(
         "{{\n  \"schema_version\": {STATS_SCHEMA_VERSION},\n  \"workload\": \"dct\",\n  \
@@ -107,9 +184,16 @@ fn emit_json(points: &[Point]) -> std::io::Result<()> {
          (per quantum, the slowest core slice's host time) measured at host_threads=1 — \
          the fabric's wall throughput on a host with >= cores idle CPUs. wall_mips is \
          the wall throughput actually observed on this {host_cpus}-CPU host.\",\n  \
-         \"series\": [\n{}\n  ]\n}}\n",
+         \"series\": [\n{}\n  ],\n  \
+         \"coherent_workload\": \"parallel_dct\",\n  \
+         \"coherent_note\": \"deterministic modeled-cycle curve: parallel_dct on N cores \
+         under the MESI-approximate coherent memory model (default geometry); speedup is \
+         makespan(1 core) / makespan(N cores), and the traffic counters show what limited \
+         it.\",\n  \
+         \"coherent_series\": [\n{}\n  ]\n}}\n",
         kahrisma_fabric::DEFAULT_QUANTUM,
         rows.join(",\n"),
+        coherent_rows.join(",\n"),
     );
     let mut f = std::fs::File::create("BENCH_fabric.json")?;
     f.write_all(json.as_bytes())?;
@@ -141,8 +225,26 @@ fn main() {
     if let Some(s) = speedup4 {
         println!("  4-core aggregate speedup vs 1 core: {s:.2}x");
     }
+    println!(
+        "coherent scaling ({COHERENT_SPEC} x N, modeled cycles, default geometry)"
+    );
+    let mut coherent = Vec::new();
+    for cores in CORE_COUNTS {
+        let p = measure_coherent(cores);
+        println!(
+            "  {:>2} cores: makespan {:>9} cycles ({:>5.2}x), {:>6} misses, \
+             {:>6} invalidations, {:>8} stall cycles",
+            p.cores,
+            p.makespan,
+            coherent.first().map_or(1.0, |b: &CoherentPoint| b.makespan as f64 / p.makespan as f64),
+            p.misses,
+            p.invalidations,
+            p.contention_stalls,
+        );
+        coherent.push(p);
+    }
     if json {
-        if let Err(e) = emit_json(&points) {
+        if let Err(e) = emit_json(&points, &coherent) {
             eprintln!("fabric_scaling: cannot write BENCH_fabric.json: {e}");
             std::process::exit(1);
         }

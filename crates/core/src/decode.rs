@@ -32,7 +32,7 @@
 
 use std::collections::HashMap;
 
-use kahrisma_isa::adl::{AluOp, Behavior, CondOp, FuClass, IsaId, MemWidth, TableSet};
+use kahrisma_isa::adl::{AluOp, AtomicOp, Behavior, CondOp, FuClass, IsaId, MemWidth, TableSet};
 
 use crate::cycles::OpEvent;
 use crate::error::SimError;
@@ -95,6 +95,10 @@ pub(crate) enum ExecKind {
     SimOp,
     /// Stop simulation.
     Halt,
+    /// Word atomic read-modify-write (serializing); `fun` applies the
+    /// update to `(old_word, rs2)`, the [`Behavior::Atomic`] payload names
+    /// the operation for barrier-deferred resolution.
+    Atomic,
     /// Declarative behavior with no specialized implementation; raises
     /// [`SimError::IllegalInstruction`] if ever executed.
     Unsupported,
@@ -242,7 +246,18 @@ fn specialize(behavior: Behavior, imm: u32, op_addr: u32) -> (ExecKind, fn(u32, 
         B::SwitchTarget => (ExecKind::SwitchTarget, zero_fn, 0),
         B::SimOp => (ExecKind::SimOp, zero_fn, 0),
         B::Halt => (ExecKind::Halt, zero_fn, 0),
+        B::Atomic(op) => (ExecKind::Atomic, atomic_fn(op), 0),
         _ => (ExecKind::Unsupported, zero_fn, 0),
+    }
+}
+
+/// Resolves an atomic update to a monomorphic `(old, operand) -> new`
+/// function pointer, mirroring [`alu_fn`].
+fn atomic_fn(op: AtomicOp) -> fn(u32, u32) -> u32 {
+    match op {
+        AtomicOp::Swap => |old, operand| AtomicOp::Swap.apply(old, operand),
+        AtomicOp::Add => |old, operand| AtomicOp::Add.apply(old, operand),
+        _ => |old, _| old,
     }
 }
 
@@ -290,7 +305,10 @@ pub(crate) fn detect_and_decode_into(
         let is_nop = matches!(behavior, Behavior::Nop);
         let (exec, fun, target) = specialize(behavior, f.imm, word_addr);
         ends_run |= behavior.is_control()
-            || matches!(behavior, Behavior::SwitchTarget | Behavior::SimOp | Behavior::Halt);
+            || matches!(
+                behavior,
+                Behavior::SwitchTarget | Behavior::SimOp | Behavior::Halt | Behavior::Atomic(_)
+            );
         let delay = op.delay();
         arena.push(DecodedSlot {
             op_index: d.op_index,
@@ -318,7 +336,10 @@ pub(crate) fn detect_and_decode_into(
                 is_branch: behavior.is_control(),
                 serialize: matches!(
                     behavior,
-                    Behavior::SwitchTarget | Behavior::SimOp | Behavior::Halt
+                    Behavior::SwitchTarget
+                        | Behavior::SimOp
+                        | Behavior::Halt
+                        | Behavior::Atomic(_)
                 ),
                 is_nop,
                 is_muldiv: matches!(behavior.fu_class(), FuClass::MulDiv),
@@ -356,6 +377,7 @@ fn reg_deps(behavior: Behavior, rd: u8, rs1: u8, rs2: u8) -> ([u8; 2], u8, u8) {
         B::JumpAndLinkReg => ([rs1, 0], 1, rd),
         // simop/switchtarget/halt serialize in the cycle models; nop is free.
         B::SwitchTarget | B::SimOp | B::Halt | B::Nop => ([0, 0], 0, NONE),
+        B::Atomic(_) => ([rs1, rs2], 2, rd),
         _ => ([0, 0], 0, NONE),
     }
 }

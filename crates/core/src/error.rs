@@ -49,6 +49,14 @@ pub enum SimError {
     /// simulator cannot be snapshot ([`crate::CycleModel::fork`] returned
     /// `None`).
     SnapshotUnsupported,
+    /// Every live core of a fabric is stalled on a synchronization
+    /// operation that can never resolve (e.g. all cores wait at a barrier
+    /// that a halted core will never reach, or a `join` targets a core that
+    /// never halts or parks).
+    FabricDeadlock {
+        /// Human-readable description of the stuck cores.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -72,6 +80,9 @@ impl fmt::Display for SimError {
             SimError::Aborted => write!(f, "program aborted"),
             SimError::SnapshotUnsupported => {
                 write!(f, "the attached cycle model does not support snapshots")
+            }
+            SimError::FabricDeadlock { detail } => {
+                write!(f, "fabric deadlock: {detail}")
             }
         }
     }

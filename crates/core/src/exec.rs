@@ -17,13 +17,13 @@
 //! the superblock loop when no observer is attached.
 
 use kahrisma_isa::abi;
-use kahrisma_isa::adl::{IsaId, MemWidth};
+use kahrisma_isa::adl::{AtomicOp, Behavior, IsaId, MemWidth};
 
 use crate::cycles::{AccessKind, BranchPredictor, OpEvent};
 use crate::decode::{DecodedInstr, DecodedSlot, ExecKind};
 use crate::error::SimError;
 use crate::libc_emu::do_simop;
-use crate::state::CpuState;
+use crate::state::{CpuState, FabricOp};
 use crate::stats::SimStats;
 use crate::trace::{TraceRecord, TraceSink};
 
@@ -42,6 +42,7 @@ pub(crate) struct Pending {
     new_ip: Option<u32>,
     isa_switch: Option<u8>,
     simop: Option<(u32, u32)>, // (code, op address)
+    atomic: Option<(u8, AtomicOp, u32, u32)>, // (rd, op, addr, operand)
     halt: bool,
 }
 
@@ -52,7 +53,29 @@ impl Pending {
         self.new_ip = None;
         self.isa_switch = None;
         self.simop = None;
+        self.atomic = None;
         self.halt = false;
+    }
+}
+
+/// Resolves a word atomic. On a single-core simulator (or for addresses
+/// outside the shared window) this is an immediate read-modify-write; on a
+/// multi-core fabric an atomic whose word lies entirely inside the shared
+/// window must be globally ordered, so it is parked in
+/// [`CpuState::pending_fabric`] and the core stalls until the quantum
+/// barrier resolves it. Atomics that merely straddle the shared-window edge
+/// degrade to a local (non-globally-ordered) read-modify-write, which is
+/// still deterministic because the straddled bytes commit through the
+/// ordinary write log.
+#[inline]
+fn do_atomic(state: &mut CpuState, rd: u8, op: AtomicOp, addr: u32, operand: u32) {
+    if state.core_count > 1 && state.mem.shared_covers_word(addr) {
+        state.pending_fabric = Some(FabricOp::Atomic { rd, op, addr, operand });
+    } else {
+        let old = state.mem.read_word(addr);
+        state.note_code_write(addr);
+        state.mem.write_word(addr, op.apply(old, operand));
+        state.write_reg(rd, old);
     }
 }
 
@@ -255,6 +278,18 @@ pub(crate) fn execute_instr(
                 stats.operations += 1;
                 stats.simops += 1;
             }
+            ExecKind::Atomic => {
+                let Behavior::Atomic(op) = slot.behavior else {
+                    return Err(unsupported(instr, op_addr));
+                };
+                let addr = input!(slot.rs1);
+                let operand = input!(slot.rs2);
+                pending.atomic = Some((slot.rd, op, addr, operand));
+                event.mem = Some((addr, AccessKind::Write));
+                stats.operations += 1;
+                stats.mem_reads += 1;
+                stats.mem_writes += 1;
+            }
             ExecKind::Halt => {
                 pending.halt = true;
                 stats.operations += 1;
@@ -303,6 +338,9 @@ fn commit(state: &mut CpuState, pending: &mut Pending, next_seq_ip: u32) -> Resu
     if let Some(isa) = pending.isa_switch {
         state.active_isa = IsaId::new(isa);
     }
+    if let Some((rd, op, addr, operand)) = pending.atomic.take() {
+        do_atomic(state, rd, op, addr, operand);
+    }
     if let Some((code, addr)) = pending.simop {
         do_simop(state, code, addr)?;
     }
@@ -332,6 +370,7 @@ pub(crate) fn execute_instr_fast(
     let next_seq_ip = instr.addr.wrapping_add(4);
     let mut new_ip = next_seq_ip;
     let mut simop = false;
+    let mut atomic: Option<(u8, AtomicOp, u32, u32)> = None;
     let mut halt = false;
 
     match slot.exec {
@@ -430,6 +469,15 @@ pub(crate) fn execute_instr_fast(
             stats.simops += 1;
             simop = true;
         }
+        ExecKind::Atomic => {
+            let Behavior::Atomic(op) = slot.behavior else {
+                return Err(unsupported(instr, instr.addr));
+            };
+            atomic = Some((slot.rd, op, state.reg(slot.rs1), state.reg(slot.rs2)));
+            stats.operations += 1;
+            stats.mem_reads += 1;
+            stats.mem_writes += 1;
+        }
         ExecKind::Halt => {
             stats.operations += 1;
             halt = true;
@@ -440,6 +488,9 @@ pub(crate) fn execute_instr_fast(
     }
 
     state.ip = new_ip;
+    if let Some((rd, op, addr, operand)) = atomic {
+        do_atomic(state, rd, op, addr, operand);
+    }
     if simop {
         do_simop(state, slot.imm, instr.addr)?;
     }

@@ -68,12 +68,13 @@ pub use profile::{FunctionProfile, Profiler};
 pub use shared::{DEFAULT_SHARED_BASE, DEFAULT_SHARED_LEN, SharedMem, SharedPort};
 pub use sim::{RunOutcome, SimConfig, Simulator, Snapshot, TierMode};
 pub use snapwire::{SNAPWIRE_VERSION, SnapWireError};
-pub use state::CpuState;
+pub use state::{CpuState, FabricOp};
 pub use stats::{STATS_SCHEMA_VERSION, SimStats, StatValue, StatsReport, Throughput};
 pub use trace::{TraceRecord, TraceSink, VecTraceSink, WriteTraceSink};
 
 pub use cycles::{
     AccessKind, AieModel, BranchPredictor, BranchPredictorConfig, CacheConfig, CacheModule,
-    ConnectionLimit, CycleModel, CycleModelKind, CycleStats, DoeModel, IlpModel, InstrEvent,
-    MainMemory, MemoryHierarchy, MemoryModule, OpEvent, PredictorKind,
+    CacheStats, ConnectionLimit, CycleModel, CycleModelKind, CycleStats, DoeModel, IlpModel,
+    InstrEvent, MainMemory, MemoryHierarchy, MemoryLevelStats, MemoryModule, OpEvent,
+    PredictorKind,
 };

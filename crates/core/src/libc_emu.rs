@@ -10,7 +10,7 @@ use kahrisma_isa::abi;
 use kahrisma_isa::simop::SimOpCode;
 
 use crate::error::SimError;
-use crate::state::CpuState;
+use crate::state::{CpuState, FabricOp};
 
 /// Executes the emulated library function `code` against `state`.
 ///
@@ -95,6 +95,51 @@ pub(crate) fn do_simop(state: &mut CpuState, code: u32, addr: u32) -> Result<(),
             state.write_reg(abi::RV, v);
         }
         SimOpCode::Abort => return Err(SimError::Aborted),
+        SimOpCode::CoreId => {
+            state.write_reg(abi::RV, state.core_id);
+        }
+        SimOpCode::CoreCount => {
+            state.write_reg(abi::RV, state.core_count);
+        }
+        SimOpCode::SpawnArg => {
+            state.write_reg(abi::RV, state.spawn_arg);
+        }
+        // The synchronization simops only have a well-defined global order
+        // at fabric quantum barriers; on a multi-core fabric they stall the
+        // core with a pending operation. Standalone (core_count == 1) they
+        // degrade to no-ops so single-threaded fallback paths in workloads
+        // run unchanged.
+        SimOpCode::Spawn => {
+            if state.core_count > 1 {
+                state.pending_fabric = Some(FabricOp::Spawn { core: a0, entry: a1, arg: a2 });
+            }
+            state.write_reg(abi::RV, 0);
+        }
+        SimOpCode::Park => {
+            if state.core_count > 1 {
+                state.pending_fabric = Some(FabricOp::Park);
+            }
+            state.write_reg(abi::RV, 0);
+        }
+        SimOpCode::Join => {
+            if state.core_count > 1 {
+                state.pending_fabric = Some(FabricOp::Join { core: a0 });
+            }
+            state.write_reg(abi::RV, 0);
+        }
+        SimOpCode::Barrier => {
+            if state.core_count > 1 {
+                state.pending_fabric = Some(FabricOp::Barrier);
+            }
+            state.write_reg(abi::RV, 0);
+        }
+        SimOpCode::SharedBase => {
+            let base = state
+                .mem
+                .shared_port()
+                .map_or(crate::shared::DEFAULT_SHARED_BASE, crate::shared::SharedPort::base);
+            state.write_reg(abi::RV, base);
+        }
     }
     Ok(())
 }
@@ -205,6 +250,43 @@ mod tests {
         s.retired_instructions = 99;
         call(&mut s, SimOpCode::Clock, &[]).unwrap();
         assert_eq!(s.reg(abi::RV), 99);
+    }
+
+    #[test]
+    fn fabric_identity_simops_read_state() {
+        let mut s = state();
+        s.core_id = 3;
+        s.core_count = 4;
+        s.spawn_arg = 0xBEEF;
+        call(&mut s, SimOpCode::CoreId, &[]).unwrap();
+        assert_eq!(s.reg(abi::RV), 3);
+        call(&mut s, SimOpCode::CoreCount, &[]).unwrap();
+        assert_eq!(s.reg(abi::RV), 4);
+        call(&mut s, SimOpCode::SpawnArg, &[]).unwrap();
+        assert_eq!(s.reg(abi::RV), 0xBEEF);
+    }
+
+    #[test]
+    fn sync_simops_are_noops_standalone() {
+        let mut s = state();
+        for op in [SimOpCode::Spawn, SimOpCode::Park, SimOpCode::Join, SimOpCode::Barrier] {
+            call(&mut s, op, &[1, 2, 3]).unwrap();
+            assert!(!s.fabric_stalled(), "{op:?} must not stall a standalone core");
+        }
+    }
+
+    #[test]
+    fn sync_simops_stall_on_a_fabric() {
+        let mut s = state();
+        s.core_count = 2;
+        call(&mut s, SimOpCode::Spawn, &[1, 0x4000, 9]).unwrap();
+        assert_eq!(
+            s.pending_fabric,
+            Some(FabricOp::Spawn { core: 1, entry: 0x4000, arg: 9 })
+        );
+        s.pending_fabric = None;
+        call(&mut s, SimOpCode::Barrier, &[]).unwrap();
+        assert_eq!(s.pending_fabric, Some(FabricOp::Barrier));
     }
 
     #[test]

@@ -66,6 +66,18 @@ impl Memory {
         self.shared.as_deref_mut()
     }
 
+    /// Whether the full word at `addr` lies inside the attached shared
+    /// window. Atomics use this to decide between immediate execution and
+    /// barrier-deferred resolution: only fully-contained words have a
+    /// fabric-wide atomicity guarantee (a straddling word splits byte-wise
+    /// like any other access and is atomic only against this core).
+    #[must_use]
+    pub fn shared_covers_word(&self, addr: u32) -> bool {
+        self.shared
+            .as_deref()
+            .is_some_and(|p| p.contains(addr) && p.contains(addr.wrapping_add(3)))
+    }
+
     fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
         self.pages.get(&(addr >> PAGE_BITS)).map(|p| &**p)
     }

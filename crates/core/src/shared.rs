@@ -22,6 +22,7 @@
 //! Ordinary single-core simulation never attaches a port and pays only a
 //! discriminant check per memory access.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -75,6 +76,8 @@ impl SharedMem {
             image: Arc::clone(&self.committed),
             overlay: HashMap::new(),
             log: Vec::new(),
+            trace: false,
+            accesses: RefCell::new(Vec::new()),
         }
     }
 
@@ -121,6 +124,22 @@ impl SharedMem {
             | (u32::from(self.read_committed(addr.wrapping_add(3))) << 24)
     }
 
+    /// Writes a little-endian 32-bit value directly into the committed
+    /// image. This is the fabric's barrier-time primitive for resolving
+    /// atomic read-modify-writes: in-window bytes are updated, out-of-window
+    /// bytes of a straddling word are dropped (the caller handles them).
+    /// Must only be called between [`SharedMem::commit`] and
+    /// [`SharedMem::publish`], so every port observes the result.
+    pub fn write_committed_word(&mut self, addr: u32, value: u32) {
+        let image = Arc::make_mut(&mut self.committed);
+        for (i, byte) in value.to_le_bytes().into_iter().enumerate() {
+            let offset = addr.wrapping_add(i as u32).wrapping_sub(self.base);
+            if offset < self.len {
+                image[offset as usize] = byte;
+            }
+        }
+    }
+
     /// The committed image as a byte slice.
     #[must_use]
     pub fn committed(&self) -> &[u8] {
@@ -141,9 +160,24 @@ pub struct SharedPort {
     overlay: HashMap<u32, u8>,
     /// The same writes in program order, for the deterministic commit.
     log: Vec<(u32, u8)>,
+    /// When set, every in-window access appends to [`SharedPort::accesses`]
+    /// (the coherence model's per-quantum feed). Off by default: ideal-mode
+    /// fabrics and standalone cores pay one branch per byte.
+    trace: bool,
+    /// Word-granular access log: `(word_offset << 1) | is_write`, in
+    /// program order, with consecutive duplicates coalesced (a word store
+    /// appears once, not four times). Interior-mutable because reads go
+    /// through `&self`; the port is owned by exactly one core.
+    accesses: RefCell<Vec<u32>>,
 }
 
 impl SharedPort {
+    /// The window's base address.
+    #[must_use]
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
     /// `true` when `addr` falls inside the window.
     #[inline]
     #[must_use]
@@ -166,6 +200,9 @@ impl SharedPort {
         if offset >= self.len {
             return 0;
         }
+        if self.trace {
+            self.note_access(offset, false);
+        }
         match self.overlay.get(&offset) {
             Some(&b) => b,
             None => self.image[offset as usize],
@@ -178,6 +215,9 @@ impl SharedPort {
         if offset >= self.len {
             return;
         }
+        if self.trace {
+            self.note_access(offset, true);
+        }
         self.overlay.insert(offset, value);
         self.log.push((offset, value));
     }
@@ -186,6 +226,32 @@ impl SharedPort {
     #[must_use]
     pub fn pending_writes(&self) -> usize {
         self.log.len()
+    }
+
+    /// Enables or disables word-granular access tracing (see
+    /// [`SharedPort::take_accesses`]). The fabric turns this on when a
+    /// modeled (coherent) memory system is configured.
+    pub fn set_trace(&mut self, on: bool) {
+        self.trace = on;
+        if !on {
+            self.accesses.get_mut().clear();
+        }
+    }
+
+    /// Drains the access log gathered since the previous drain: one entry
+    /// per coalesced word access, `(word_offset << 1) | is_write`, in
+    /// program order. Empty unless tracing is enabled.
+    pub fn take_accesses(&mut self) -> Vec<u32> {
+        std::mem::take(self.accesses.get_mut())
+    }
+
+    #[inline]
+    fn note_access(&self, offset: u32, is_write: bool) {
+        let entry = ((offset >> 2) << 1) | u32::from(is_write);
+        let mut log = self.accesses.borrow_mut();
+        if log.last() != Some(&entry) {
+            log.push(entry);
+        }
     }
 }
 
@@ -244,6 +310,33 @@ mod tests {
         assert!(wide.overlaps(0x0FFD, 4), "tail byte lands in window");
         assert!(!wide.overlaps(0x0FFC, 4));
         assert!(wide.overlaps(0x10FF, 4));
+    }
+
+    #[test]
+    fn access_trace_coalesces_word_entries() {
+        let shared = SharedMem::new(0x1000, 0x100);
+        let mut p = shared.port();
+        p.write_byte(0x1010, 1); // untraced: tracing still off
+        p.set_trace(true);
+        // A word store = four byte writes to the same word → one entry.
+        for i in 0..4 {
+            p.write_byte(0x1020 + i, 0xAB);
+        }
+        // A word load of the same word → one read entry (write ≠ read).
+        for i in 0..4 {
+            let _ = p.read_byte(0x1020 + i);
+        }
+        let _ = p.read_byte(0x1040); // different word
+        let _ = p.read_byte(0x2000); // out of window: untraced
+        let word = (0x1020u32 - 0x1000) >> 2;
+        assert_eq!(
+            p.take_accesses(),
+            vec![(word << 1) | 1, word << 1, ((0x1040u32 - 0x1000) >> 2) << 1]
+        );
+        assert!(p.take_accesses().is_empty(), "drain clears the log");
+        p.set_trace(false);
+        let _ = p.read_byte(0x1020);
+        assert!(p.take_accesses().is_empty(), "disabled tracing records nothing");
     }
 
     #[test]

@@ -393,6 +393,18 @@ impl Simulator {
         self.state.mem.attach_shared(port);
     }
 
+    /// Declares this core's position on a multi-core fabric. With
+    /// `core_count > 1`, shared-window atomics and the synchronization
+    /// `simop`s (`spawn`/`park`/`join`/`barrier`) stall the core with a
+    /// [`crate::FabricOp`] instead of resolving locally; the fabric resolves
+    /// them at quantum barriers. Survives [`Simulator::reset`].
+    pub fn set_fabric_identity(&mut self, core_id: u32, core_count: u32) {
+        self.initial_state.core_id = core_id;
+        self.initial_state.core_count = core_count;
+        self.state.core_id = core_id;
+        self.state.core_count = core_count;
+    }
+
     /// The attached shared-memory port, if any.
     #[must_use]
     pub fn shared_port(&self) -> Option<&SharedPort> {
@@ -908,7 +920,7 @@ impl Simulator {
                 self.feed_observers(addr, instr_isa, ops_before, cycles_before, idx);
             }
             last = idx;
-            if self.state.halted {
+            if self.state.halted || self.state.fabric_stalled() {
                 break;
             }
         }
@@ -975,9 +987,10 @@ impl Simulator {
             }
             self.stats.ir_instructions += 1;
             self.prev_idx = if self.state.active_isa != entry_isa { NO_IDX } else { tail };
-            // Anything the outer loop must see — halt, an ISA switch, a
-            // store into watched text — ends the chain.
+            // Anything the outer loop must see — halt, a fabric stall, an
+            // ISA switch, a store into watched text — ends the chain.
             if self.state.halted
+                || self.state.fabric_stalled()
                 || self.state.active_isa != entry_isa
                 || self.state.code_write_pending()
             {
@@ -1082,7 +1095,11 @@ impl Simulator {
         let limit = self.stats.instructions.saturating_add(max_instructions);
         let superblocks = self.config.decode_cache && self.config.superblocks;
         while !self.state.halted {
-            if self.stats.instructions >= limit {
+            // A pending fabric operation (shared atomic or synchronization
+            // simop on a multi-core fabric) stalls the core until the fabric
+            // resolves it at the next quantum barrier; report the slice as
+            // exhausted so the fabric scheduler regains control.
+            if self.state.fabric_stalled() || self.stats.instructions >= limit {
                 if let Some(m) = &mut self.model {
                     m.finish();
                 }

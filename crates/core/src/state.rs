@@ -1,9 +1,53 @@
 //! Architectural processor state.
 
 use kahrisma_isa::abi;
-use kahrisma_isa::adl::IsaId;
+use kahrisma_isa::adl::{AtomicOp, IsaId};
 
 use crate::mem::Memory;
+
+/// A fabric operation that cannot resolve inside a scheduling quantum.
+///
+/// On a multi-core fabric, atomics to the shared window and the
+/// synchronization `simop`s (`spawn`/`park`/`join`/`barrier`) only have a
+/// well-defined global order at quantum barriers. Executing one records it
+/// here and stalls the core; `kahrisma-fabric` resolves pending operations
+/// at the next barrier in core-index order, which keeps results
+/// bit-identical at any host-thread count. Standalone simulators
+/// (`core_count == 1`) never populate this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricOp {
+    /// A word atomic addressing the shared window: resolve against the
+    /// committed image, write the old value to `rd`.
+    Atomic {
+        /// Destination register receiving the pre-update memory word.
+        rd: u8,
+        /// The read-modify-write operation.
+        op: AtomicOp,
+        /// Word address inside the shared window.
+        addr: u32,
+        /// Second operand (the stored value for swap, the addend for add).
+        operand: u32,
+    },
+    /// Start parked core `core` at address `entry` with argument `arg`;
+    /// stalls the spawning core until the target is parked.
+    Spawn {
+        /// Target core index.
+        core: u32,
+        /// Entry address the target resumes at.
+        entry: u32,
+        /// Argument delivered to the target (`spawn_arg()` / `a0`).
+        arg: u32,
+    },
+    /// Idle until a `spawn` targets this core.
+    Park,
+    /// Wait until core `core` halts or parks.
+    Join {
+        /// Core index waited on.
+        core: u32,
+    },
+    /// Wait until every running core reaches a barrier.
+    Barrier,
+}
 
 /// The architectural state of a simulated KAHRISMA hardware thread.
 ///
@@ -36,6 +80,17 @@ pub struct CpuState {
     pub stdin_pos: usize,
     /// Executed-instruction counter, exposed to programs via `clock()`.
     pub retired_instructions: u64,
+    /// This core's index in a fabric (`0` standalone).
+    pub core_id: u32,
+    /// Number of fabric cores (`1` standalone). Values above 1 make shared
+    /// atomics and synchronization `simop`s defer to the quantum barrier.
+    pub core_count: u32,
+    /// Argument word delivered by the most recent `spawn` targeting this
+    /// core, read by programs via `spawn_arg()`.
+    pub spawn_arg: u32,
+    /// A fabric operation waiting for the next quantum barrier; while set,
+    /// the simulation loop refuses to execute further instructions.
+    pub pending_fabric: Option<FabricOp>,
     /// Low bound of the code range watched for self-modifying stores.
     /// Maintained by the simulator to cover every compiled-tier block.
     pub(crate) code_watch_lo: u32,
@@ -67,6 +122,10 @@ impl CpuState {
             stdin: Vec::new(),
             stdin_pos: 0,
             retired_instructions: 0,
+            core_id: 0,
+            core_count: 1,
+            spawn_arg: 0,
+            pending_fabric: None,
             code_watch_lo: 0,
             code_watch_span: 0,
             code_write_lo: u32::MAX,
@@ -126,6 +185,15 @@ impl CpuState {
         self.code_write_lo = u32::MAX;
         self.code_write_hi = 0;
         range
+    }
+
+    /// Whether a fabric operation is waiting for the next quantum barrier
+    /// (the core must not execute further instructions until the fabric
+    /// resolves it).
+    #[inline]
+    #[must_use]
+    pub fn fabric_stalled(&self) -> bool {
+        self.pending_fabric.is_some()
     }
 
     /// Advances the deterministic PRNG (xorshift64*) and returns a 31-bit

@@ -314,12 +314,21 @@ impl StatsReport {
 
     /// Appends cycle-model results: `cycles`, `ops_per_cycle`,
     /// `model_operations`, and `l1_miss_ratio` when any level of the
-    /// modelled hierarchy has a cache.
+    /// modelled hierarchy has a cache that saw at least one access. A cache
+    /// with zero accesses (e.g. a zero-instruction run, or a hierarchy whose
+    /// first cache level never received traffic) is skipped rather than
+    /// reported as a fictitious perfect ratio.
     pub fn cycles(&mut self, cycles: &CycleStats) {
         self.push_u64("cycles", cycles.cycles);
         self.push_f64("ops_per_cycle", cycles.ops_per_cycle());
         self.push_u64("model_operations", cycles.operations);
-        if let Some(ratio) = cycles.memory.iter().find_map(|l| l.cache).map(|c| c.miss_ratio()) {
+        let l1 = cycles
+            .memory
+            .iter()
+            .find_map(|l| l.cache)
+            .filter(|c| c.hits + c.misses > 0)
+            .map(|c| c.miss_ratio());
+        if let Some(ratio) = l1 {
             self.push_f64("l1_miss_ratio", ratio);
         }
     }
@@ -459,6 +468,47 @@ mod tests {
                 assert!(r.is_finite() && (0.0..=1.0).contains(&r), "{r}");
             }
         }
+    }
+
+    #[test]
+    fn l1_miss_ratio_skipped_for_zero_access_cache() {
+        use crate::cycles::{CacheStats, CycleStats, MemoryLevelStats};
+        // A zero-instruction run: the hierarchy has a cache, but it never
+        // saw an access. The report must omit l1_miss_ratio entirely
+        // rather than claim a (meaningless) perfect ratio.
+        let idle = CycleStats {
+            cycles: 0,
+            operations: 0,
+            memory: vec![MemoryLevelStats {
+                name: "cache(2KiB,4way)".into(),
+                cache: Some(CacheStats::default()),
+                stalls: None,
+                accesses: None,
+            }],
+        };
+        let mut report = StatsReport::new();
+        report.cycles(&idle);
+        assert!(report.fields().iter().all(|(n, _)| n != "l1_miss_ratio"));
+        for (_, v) in report.fields() {
+            if let StatValue::F64(f) = v {
+                assert!(f.is_finite());
+            }
+        }
+        // With traffic the ratio appears as before.
+        let busy = CycleStats {
+            cycles: 10,
+            operations: 10,
+            memory: vec![MemoryLevelStats {
+                name: "cache(2KiB,4way)".into(),
+                cache: Some(CacheStats { hits: 3, misses: 1, writebacks: 0 }),
+                stalls: None,
+                accesses: None,
+            }],
+        };
+        let mut report = StatsReport::new();
+        report.cycles(&busy);
+        let ratio = report.fields().iter().find(|(n, _)| n == "l1_miss_ratio");
+        assert!(matches!(ratio, Some((_, StatValue::F64(f))) if (f - 0.25).abs() < 1e-12));
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Boundary behavior of the fabric-shared memory window: unaligned and
+//! window-straddling accesses at the shared-region edges must split
+//! byte-exactly between the port and private memory, identically on the
+//! interpreter and the compiled (IR) tier.
+
+use kahrisma_asm::build;
+use kahrisma_core::{RunOutcome, SharedMem, SimConfig, Simulator, TierMode};
+
+const BASE: u32 = 0xE000_0000;
+const LEN: u32 = 0x100;
+
+#[test]
+fn straddling_and_unaligned_accesses_split_byte_exactly() {
+    let shared = SharedMem::new(BASE, LEN);
+    let exe = build(&[(
+        "noop.s",
+        ".isa risc\n.text\n.global main\n.func main\nmain: li rv, 0\n jr ra\n.endfunc\n",
+    )])
+    .expect("assemble");
+    let mut sim = Simulator::new(&exe, SimConfig::default()).expect("sim");
+    sim.attach_shared_port(shared.port());
+    let mem = &mut sim.state_mut().mem;
+
+    // A word write straddling the low edge: two bytes land in private
+    // memory, two in the port. The read-back reassembles both halves.
+    mem.write_word(BASE.wrapping_sub(2), 0xAABB_CCDD);
+    assert_eq!(mem.read_word(BASE.wrapping_sub(2)), 0xAABB_CCDD);
+    assert_eq!(mem.read_byte(BASE.wrapping_sub(1)), 0xCC, "private side");
+    assert_eq!(mem.read_byte(BASE), 0xBB, "window side");
+
+    // A word write straddling the high edge: the two bytes beyond the
+    // window land in private memory at base + LEN.
+    mem.write_word(BASE + LEN - 2, 0x1122_3344);
+    assert_eq!(mem.read_word(BASE + LEN - 2), 0x1122_3344);
+    assert_eq!(mem.read_byte(BASE + LEN - 1), 0x33, "window side");
+    assert_eq!(mem.read_byte(BASE + LEN), 0x22, "private side");
+
+    // An unaligned word fully inside the window.
+    mem.write_word(BASE + 1, 0x5566_7788);
+    assert_eq!(mem.read_word(BASE + 1), 0x5566_7788);
+
+    // A half straddling the high edge.
+    mem.write_half(BASE + LEN - 1, 0x9A9B);
+    assert_eq!(mem.read_half(BASE + LEN - 1), 0x9A9B);
+
+    // Every in-window byte above went through the port's write log;
+    // committing publishes exactly those bytes to the shared image.
+    let mut shared = shared;
+    let port = sim.state_mut().mem.shared_port_mut().expect("port");
+    // 2 (low straddle) + 2 (high straddle) + 4 (unaligned) + 1 (half) bytes.
+    assert_eq!(port.pending_writes(), 9);
+    shared.commit(port);
+    assert_eq!(shared.read_committed(BASE), 0xBB);
+    assert_eq!(shared.read_committed_word(BASE + 1), 0x5566_7788);
+    assert_eq!(shared.read_committed(BASE + LEN - 2), 0x44);
+    assert_eq!(shared.read_committed(BASE + LEN - 1), 0x9B, "half's low byte in window");
+    assert_eq!(sim.state().mem.read_byte(BASE + LEN), 0x9A, "half's high byte private");
+
+    // Private straddle bytes never reached the committed image, and
+    // out-of-window reads on the image stay inert.
+    assert_eq!(shared.read_committed(BASE + LEN), 0);
+}
+
+/// The boundary-exercising program: a hot loop whose body performs a
+/// low-edge straddling store/load pair, a high-edge straddling store/load
+/// pair, and an unaligned in-window store/load, accumulating everything it
+/// reads back. The loop is hot enough for the compiled tier to promote it.
+fn boundary_src() -> String {
+    // BASE as a signed immediate for one li; the loop runs 64 times.
+    let base = BASE as i32;
+    let hi = (LEN - 2) as i32;
+    format!(
+        "
+    .isa risc
+    .text
+    .global main
+    .func main
+    main:
+        li t0, {base}
+        li s0, 0
+        li s1, 64
+    loop:
+        # low-edge straddle: 2 bytes private, 2 bytes window
+        sw s1, -2(t0)
+        lw t1, -2(t0)
+        add s0, s0, t1
+        # high-edge straddle: 2 bytes window, 2 bytes private
+        sw t1, {hi}(t0)
+        lw t2, {hi}(t0)
+        add s0, s0, t2
+        # unaligned fully inside the window
+        sw s0, 1(t0)
+        lw t3, 1(t0)
+        add s0, s0, t3
+        # unaligned half at the very last window byte
+        sh s0, {last}(t0)
+        lhu t4, {last}(t0)
+        add s0, s0, t4
+        addi s1, s1, -1
+        bne s1, zero, loop
+        mv rv, s0
+        jr ra
+    .endfunc
+",
+        last = (LEN - 1) as i32,
+    )
+}
+
+fn run_boundary(tier: TierMode) -> (u32, u64, u64, u64, usize, Vec<u8>) {
+    let exe = build(&[("boundary.s", &boundary_src())]).expect("assemble");
+    let config = SimConfig { tier, tier_threshold: 4, ..SimConfig::default() };
+    let mut sim = Simulator::new(&exe, config).expect("sim");
+    let mut shared = SharedMem::new(BASE, LEN);
+    sim.attach_shared_port(shared.port());
+    let outcome = sim.run(10_000_000).expect("run");
+    let RunOutcome::Halted { exit_code } = outcome else {
+        panic!("did not halt: {outcome:?}");
+    };
+    let stats = *sim.stats();
+    let port = sim.state_mut().mem.shared_port_mut().expect("port");
+    let pending = port.pending_writes();
+    shared.commit(port);
+    (exit_code, stats.instructions, stats.mem_reads, stats.mem_writes, pending, {
+        shared.committed().to_vec()
+    })
+}
+
+#[test]
+fn interpreter_and_ir_tier_agree_on_boundary_accesses() {
+    let exe = build(&[("boundary.s", &boundary_src())]).expect("assemble");
+    let config = SimConfig { tier: TierMode::Ir, tier_threshold: 4, ..SimConfig::default() };
+    let mut probe = Simulator::new(&exe, config).expect("sim");
+    probe.attach_shared_port(SharedMem::new(BASE, LEN).port());
+    probe.run(10_000_000).expect("run");
+    assert!(probe.stats().tier_promotions > 0, "loop never promoted to the IR tier");
+    assert!(probe.stats().ir_instructions > 0, "IR tier never executed");
+
+    let interp = run_boundary(TierMode::Interp);
+    let ir = run_boundary(TierMode::Ir);
+    assert_eq!(interp.0, ir.0, "exit code differs by tier");
+    assert_eq!(interp.1, ir.1, "instruction count differs by tier");
+    assert_eq!(interp.2, ir.2, "mem_reads differ by tier");
+    assert_eq!(interp.3, ir.3, "mem_writes differ by tier");
+    assert_eq!(interp.4, ir.4, "pending shared writes differ by tier");
+    assert_eq!(interp.5, ir.5, "committed shared image differs by tier");
+}

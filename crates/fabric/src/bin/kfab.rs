@@ -11,6 +11,11 @@
 //!   --tier-threshold N     dispatches before a superblock compiles (default 16)
 //!   --restart              restart halted cores (throughput mode)
 //!   --shared-len N         shared-window length in bytes (default 65536)
+//!   --mem ideal|coherent   shared-memory timing model (default ideal)
+//!   --l2-ports N           coherent: interconnect ports into the L2 (default 1)
+//!   --line-bytes N         coherent: coherence line size, power of two (default 32)
+//!   --l1-lines N           coherent: lines per private L1 (default 64)
+//!   --mem-delay N          coherent: main-memory delay in cycles (default 18)
 //!   --json FILE|-          unified stats JSON ("-" = stdout)
 //!   --metrics FILE|-       fabric metrics registry JSON ("-" = stderr)
 //!   --observe FILE         per-core Perfetto trace JSON
@@ -19,7 +24,9 @@
 //! ```
 //!
 //! Results are bit-identical for any `--host-threads` value: the scheduling
-//! quantum defines the interleaving, the host threads only execute it.
+//! quantum defines the interleaving, the host threads only execute it. The
+//! memory model is timing-only — `--mem coherent` adds MESI-approximate
+//! coherence accounting without changing functional results.
 //!
 //! Exit codes: 0 all cores halted, 124 budget exhausted, 2 usage error,
 //! 3 simulation fault.
@@ -28,9 +35,10 @@ use std::process::ExitCode;
 
 use kahrisma_core::args::ArgList;
 use kahrisma_core::{STATS_SCHEMA_VERSION, SimConfig, StatsReport, TierMode};
-use kahrisma_fabric::{CoreSpec, Fabric, FabricConfig, FabricOutcome};
+use kahrisma_fabric::{CoherentConfig, CoreSpec, Fabric, FabricConfig, FabricOutcome, MemModel};
 use kahrisma_observe::{Collector, Shared, perfetto};
 
+#[derive(Debug)]
 struct Options {
     specs: Vec<String>,
     cores: Option<usize>,
@@ -41,6 +49,7 @@ struct Options {
     tier_threshold: u32,
     restart: bool,
     shared_len: u32,
+    mem_model: MemModel,
     json: Option<String>,
     metrics: Option<String>,
     observe: Option<String>,
@@ -60,6 +69,7 @@ impl Default for Options {
             tier_threshold: SimConfig::default().tier_threshold,
             restart: false,
             shared_len: kahrisma_core::DEFAULT_SHARED_LEN,
+            mem_model: MemModel::Ideal,
             json: None,
             metrics: None,
             observe: None,
@@ -71,9 +81,20 @@ impl Default for Options {
 
 fn parse_args(mut args: ArgList) -> Result<Options, String> {
     let mut options = Options::default();
+    let mut mem_coherent = false;
+    let mut l2_ports: Option<u32> = None;
+    let mut line_bytes: Option<u32> = None;
+    let mut l1_lines: Option<u32> = None;
+    let mut mem_delay: Option<u64> = None;
     while let Some(arg) = args.next_arg() {
         match arg.as_str() {
-            "--core" => options.specs.push(args.value("--core")?),
+            "--core" => {
+                // Malformed specs are rejected here, before any workload
+                // compiles, so the error names the offending spec directly.
+                let spec = args.value("--core")?;
+                CoreSpec::validate(&spec)?;
+                options.specs.push(spec);
+            }
             "--cores" => options.cores = Some(args.parse_value("--cores")?),
             "--quantum" => options.quantum = args.parse_value("--quantum")?,
             "--host-threads" => options.host_threads = args.parse_value("--host-threads")?,
@@ -88,6 +109,19 @@ fn parse_args(mut args: ArgList) -> Result<Options, String> {
             "--tier-threshold" => options.tier_threshold = args.parse_value("--tier-threshold")?,
             "--restart" => options.restart = true,
             "--shared-len" => options.shared_len = args.parse_value("--shared-len")?,
+            "--mem" => {
+                mem_coherent = match args.value("--mem")?.as_str() {
+                    "ideal" => false,
+                    "coherent" => true,
+                    other => {
+                        return Err(format!("unknown memory model `{other}` (ideal or coherent)"));
+                    }
+                };
+            }
+            "--l2-ports" => l2_ports = Some(args.parse_value("--l2-ports")?),
+            "--line-bytes" => line_bytes = Some(args.parse_value("--line-bytes")?),
+            "--l1-lines" => l1_lines = Some(args.parse_value("--l1-lines")?),
+            "--mem-delay" => mem_delay = Some(args.parse_value("--mem-delay")?),
             "--json" => options.json = Some(args.value("--json")?),
             "--metrics" => options.metrics = Some(args.value("--metrics")?),
             "--observe" => options.observe = Some(args.value("--observe")?),
@@ -119,6 +153,36 @@ fn parse_args(mut args: ArgList) -> Result<Options, String> {
     if options.tier_threshold == 0 {
         return Err("--tier-threshold must be at least 1".to_string());
     }
+    if mem_coherent {
+        let mut cfg = CoherentConfig::default();
+        if let Some(ports) = l2_ports {
+            if ports == 0 {
+                return Err("--l2-ports must be at least 1".to_string());
+            }
+            cfg.l2_ports = ports;
+        }
+        if let Some(bytes) = line_bytes {
+            if !bytes.is_power_of_two() {
+                return Err("--line-bytes must be a power of two".to_string());
+            }
+            cfg.line_bytes = bytes;
+        }
+        if let Some(lines) = l1_lines {
+            if lines == 0 {
+                return Err("--l1-lines must be at least 1".to_string());
+            }
+            cfg.l1_lines = lines;
+        }
+        if let Some(delay) = mem_delay {
+            cfg.mem_delay = delay;
+        }
+        options.mem_model = MemModel::Coherent(cfg);
+    } else if l2_ports.is_some() || line_bytes.is_some() || l1_lines.is_some() || mem_delay.is_some()
+    {
+        return Err(
+            "--l2-ports/--line-bytes/--l1-lines/--mem-delay require --mem coherent".to_string()
+        );
+    }
     Ok(options)
 }
 
@@ -127,6 +191,8 @@ fn usage() -> ExitCode {
         "usage: kfab --core W:ISA[:MODEL] [--core ...] [--cores N] [--quantum N]\n\
          \x20           [--host-threads N] [--max-instr N] [--tier interp|ir]\n\
          \x20           [--tier-threshold N] [--restart] [--shared-len N]\n\
+         \x20           [--mem ideal|coherent] [--l2-ports N] [--line-bytes N]\n\
+         \x20           [--l1-lines N] [--mem-delay N]\n\
          \x20           [--json FILE|-] [--metrics FILE|-] [--observe FILE]\n\
          \x20           [--observe-capacity N] [--stats]"
     );
@@ -183,6 +249,7 @@ fn main() -> ExitCode {
         host_threads: options.host_threads,
         shared_len: options.shared_len,
         restart_halted: options.restart,
+        mem_model: options.mem_model,
         ..FabricConfig::default()
     };
     let mut fabric = match Fabric::new(specs, config) {
@@ -242,6 +309,21 @@ fn main() -> ExitCode {
         if let Some(makespan) = stats.makespan_cycles {
             eprintln!("fabric: makespan {makespan} model cycles");
         }
+        if let Some(coherence) = &stats.coherence {
+            let t = &coherence.total;
+            eprintln!(
+                "coherent: makespan {} cycles, {} accesses ({} misses), \
+                 {} invalidations, {} upgrades, {} writebacks, \
+                 {} contention stall cycles",
+                coherence.makespan,
+                t.accesses,
+                t.misses,
+                t.invalidations_sent,
+                t.upgrades,
+                t.writebacks,
+                t.contention_stalls,
+            );
+        }
     }
 
     if let Some(path) = &options.json {
@@ -290,7 +372,33 @@ fn main() -> ExitCode {
             .collect();
         let borrowed: Vec<(&str, &[kahrisma_observe::SimEvent])> =
             snapshots.iter().map(|(n, e)| (n.as_str(), e.as_slice())).collect();
-        let json = perfetto::fabric_trace_json(&borrowed);
+        // Under --mem coherent each core also gets a cumulative counter
+        // track, rendered by Perfetto below its instruction tracks.
+        let counters: Vec<Vec<perfetto::CounterTrack>> = (0..fabric.core_count())
+            .map(|i| {
+                let samples: Vec<(u64, Vec<(&str, u64)>)> = fabric
+                    .coherence_timeline(i)
+                    .iter()
+                    .map(|s| {
+                        (s.cycle, vec![
+                            ("accesses", s.counters.accesses),
+                            ("misses", s.counters.misses),
+                            ("invalidations", s.counters.invalidations_received),
+                            ("upgrades", s.counters.upgrades),
+                            ("writebacks", s.counters.writebacks),
+                            ("contention_stalls", s.counters.contention_stalls),
+                            ("mem_cycles", s.counters.mem_cycles),
+                        ])
+                    })
+                    .collect();
+                if samples.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![perfetto::CounterTrack { name: "coherence", samples }]
+                }
+            })
+            .collect();
+        let json = perfetto::fabric_trace_json_with_counters(&borrowed, &counters);
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("kfab: cannot write observe file {path}: {e}");
             return ExitCode::from(2);
@@ -342,7 +450,7 @@ mod tests {
     fn requires_a_core_and_rejects_bad_combinations() {
         assert!(parse(&[]).is_err());
         assert!(parse(&["--core", "dct:risc", "--cores", "0"]).is_err());
-        assert!(parse(&["--core", "a", "--core", "b", "--cores", "4"]).is_err());
+        assert!(parse(&["--core", "dct:risc", "--core", "aes:risc", "--cores", "4"]).is_err());
         assert!(parse(&["--core", "dct:risc", "--quantum", "0"]).is_err());
         assert!(parse(&["--core", "dct:risc", "--host-threads", "0"]).is_err());
         assert!(parse(&["--core", "dct:risc", "--oops"]).is_err());
@@ -368,5 +476,58 @@ mod tests {
         assert_eq!(options.tier_threshold, 4);
         assert!(parse(&["--core", "dct:risc", "--tier", "jit"]).is_err());
         assert!(parse(&["--core", "dct:risc", "--tier-threshold", "0"]).is_err());
+    }
+
+    #[test]
+    fn parses_memory_model_flags() {
+        let options = parse(&["--core", "dct:risc"]).expect("parse");
+        assert_eq!(options.mem_model, MemModel::Ideal, "ideal timing is the default");
+
+        let options = parse(&["--core", "dct:risc", "--mem", "coherent"]).expect("parse");
+        assert_eq!(options.mem_model, MemModel::Coherent(CoherentConfig::default()));
+
+        let options = parse(&[
+            "--core", "dct:risc", "--mem", "coherent", "--l2-ports", "2",
+            "--line-bytes", "16", "--l1-lines", "8", "--mem-delay", "40",
+        ])
+        .expect("parse");
+        let MemModel::Coherent(cfg) = options.mem_model else {
+            panic!("geometry flags imply the coherent model")
+        };
+        assert_eq!(cfg.l2_ports, 2);
+        assert_eq!(cfg.line_bytes, 16);
+        assert_eq!(cfg.l1_lines, 8);
+        assert_eq!(cfg.mem_delay, 40);
+    }
+
+    #[test]
+    fn rejects_bad_memory_model_flags() {
+        let err = parse(&["--core", "dct:risc", "--mem", "warp"]).unwrap_err();
+        assert!(err.contains("unknown memory model `warp`"), "{err}");
+        let err = parse(&["--core", "dct:risc", "--l2-ports", "4"]).unwrap_err();
+        assert!(err.contains("require --mem coherent"), "{err}");
+        let err =
+            parse(&["--core", "dct:risc", "--mem", "coherent", "--line-bytes", "48"]).unwrap_err();
+        assert!(err.contains("power of two"), "{err}");
+        assert!(parse(&["--core", "dct:risc", "--mem", "coherent", "--l2-ports", "0"]).is_err());
+        assert!(parse(&["--core", "dct:risc", "--mem", "coherent", "--l1-lines", "0"]).is_err());
+    }
+
+    #[test]
+    fn malformed_core_specs_fail_at_parse_with_clear_wording() {
+        let err = parse(&["--core", "warp9:risc"]).unwrap_err();
+        assert!(err.contains("unknown workload `warp9`"), "{err}");
+        let err = parse(&["--core", "dct"]).unwrap_err();
+        assert!(err.contains("must be workload:isa[:model]"), "{err}");
+        let err = parse(&["--core", "dct:arm"]).unwrap_err();
+        assert!(err.contains("unknown isa `arm`"), "{err}");
+        let err = parse(&["--core", "dct:risc:turbo"]).unwrap_err();
+        assert!(err.contains("unknown model `turbo`"), "{err}");
+        let err = parse(&["--core", "dct:risc:ilp:extra"]).unwrap_err();
+        assert!(err.contains("trailing `extra`"), "{err}");
+        // Every message names the offending spec so a long command line
+        // still points at the right --core.
+        let err = parse(&["--core", "dct:risc", "--core", "fft:nope"]).unwrap_err();
+        assert!(err.contains("`fft:nope`"), "{err}");
     }
 }

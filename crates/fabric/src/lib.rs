@@ -40,14 +40,32 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use kahrisma_coherent::{CoherenceReport, CoherentModel};
 use kahrisma_core::{
-    CycleModelKind, CycleStats, RunOutcome, SharedMem, SimConfig, SimError, SimStats, Simulator,
-    StatsReport,
+    CycleModelKind, CycleStats, FabricOp, RunOutcome, SharedMem, SharedPort, SimConfig, SimError,
+    SimStats, Simulator, StatsReport,
 };
-use kahrisma_elf::Executable;
-use kahrisma_isa::IsaKind;
+use kahrisma_elf::{DebugInfo, Executable};
+use kahrisma_isa::adl::IsaId;
+use kahrisma_isa::{IsaKind, abi};
 use kahrisma_observe::MetricsRegistry;
 use kahrisma_workloads::Workload;
+
+pub use kahrisma_coherent::{CoherentConfig, CoreCoherence};
+
+/// One cumulative coherence counter sample, captured at a quantum barrier.
+///
+/// The fabric records a per-core timeline of these under
+/// [`MemModel::Coherent`] (deduplicated: a quantum without shared traffic
+/// adds no sample), so observers can render counter tracks without
+/// re-running the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoherenceSample {
+    /// The core's modeled cycle count when the sample was taken.
+    pub cycle: u64,
+    /// Cumulative counters up to the sample.
+    pub counters: CoreCoherence,
+}
 
 /// Default scheduling quantum: instructions per core per barrier interval.
 pub const DEFAULT_QUANTUM: u64 = 50_000;
@@ -82,11 +100,31 @@ impl CoreSpec {
     /// Returns a human-readable message for unknown workloads, ISAs, or
     /// models, and propagates workload compilation failures.
     pub fn parse(spec: &str) -> Result<CoreSpec, String> {
+        let (workload, isa, model) = Self::parse_fields(spec)?;
+        let exe = workload
+            .build(isa)
+            .map_err(|e| format!("cannot build workload {}: {e}", workload.name()))?;
+        let config = SimConfig { cycle_model: model, ..SimConfig::default() };
+        Ok(CoreSpec { name: spec.to_string(), exe, config })
+    }
+
+    /// Checks a spec string for well-formedness without compiling the
+    /// workload — cheap enough for argument parsing, so malformed specs are
+    /// rejected with a clear message before any build work starts.
+    ///
+    /// # Errors
+    ///
+    /// The same messages as [`CoreSpec::parse`] for unknown workloads,
+    /// ISAs, models, and malformed shapes.
+    pub fn validate(spec: &str) -> Result<(), String> {
+        Self::parse_fields(spec).map(|_| ())
+    }
+
+    /// Splits `workload:isa[:model]` into its validated fields.
+    fn parse_fields(spec: &str) -> Result<(Workload, IsaKind, Option<CycleModelKind>), String> {
         let mut parts = spec.split(':');
         let workload_name = parts.next().unwrap_or_default();
-        let workload = Workload::ALL
-            .into_iter()
-            .find(|w| w.name() == workload_name)
+        let workload = Workload::from_name(workload_name)
             .ok_or_else(|| format!("unknown workload `{workload_name}` in core spec `{spec}`"))?;
         let isa_name = parts.next().ok_or_else(|| {
             format!("core spec `{spec}` must be workload:isa[:model], e.g. dct:risc")
@@ -105,12 +143,24 @@ impl CoreSpec {
         if let Some(extra) = parts.next() {
             return Err(format!("trailing `{extra}` in core spec `{spec}`"));
         }
-        let exe = workload
-            .build(isa)
-            .map_err(|e| format!("cannot build workload {}: {e}", workload.name()))?;
-        let config = SimConfig { cycle_model: model, ..SimConfig::default() };
-        Ok(CoreSpec { name: spec.to_string(), exe, config })
+        Ok((workload, isa, model))
     }
+}
+
+/// Which memory system the fabric models.
+///
+/// The *functional* path is identical in both modes: values always flow
+/// through the barrier-committed [`SharedMem`] window, so switching the
+/// model never changes program results — only the timing figures and
+/// coherence counters the fabric reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemModel {
+    /// No modeled interconnect: shared accesses are free.
+    #[default]
+    Ideal,
+    /// Per-core MESI-approximate L1s over a port-arbitrated shared L2
+    /// (see [`kahrisma_coherent`]).
+    Coherent(CoherentConfig),
 }
 
 /// Fabric-wide configuration.
@@ -131,6 +181,8 @@ pub struct FabricConfig {
     /// Restart a core from its load-time state when it halts (throughput
     /// benchmarking); off, a halted core simply leaves the schedule.
     pub restart_halted: bool,
+    /// The memory system modeled for shared-window traffic.
+    pub mem_model: MemModel,
 }
 
 impl Default for FabricConfig {
@@ -141,6 +193,7 @@ impl Default for FabricConfig {
             shared_base: kahrisma_core::DEFAULT_SHARED_BASE,
             shared_len: kahrisma_core::DEFAULT_SHARED_LEN,
             restart_halted: false,
+            mem_model: MemModel::Ideal,
         }
     }
 }
@@ -217,6 +270,9 @@ pub struct FabricStats {
     pub critical_path: Duration,
     /// Actual host wall time spent inside [`Fabric::run_for`].
     pub wall: Duration,
+    /// Coherence counters and modeled cycles, when the fabric runs with
+    /// [`MemModel::Coherent`].
+    pub coherence: Option<CoherenceReport>,
 }
 
 impl FabricStats {
@@ -235,6 +291,16 @@ impl FabricStats {
         if restarts > 0 {
             report.push_u64("restarts", restarts);
         }
+        if let Some(coherence) = &self.coherence {
+            report.push_u64("coherent_makespan_cycles", coherence.makespan);
+            report.push_u64("coherent_accesses", coherence.total.accesses);
+            report.push_u64("coherent_misses", coherence.total.misses);
+            report.push_u64("coherent_invalidations", coherence.total.invalidations_sent);
+            report.push_u64("coherent_upgrades", coherence.total.upgrades);
+            report.push_u64("coherent_writebacks", coherence.total.writebacks);
+            report.push_u64("coherent_contention_stalls", coherence.total.contention_stalls);
+            report.push_u64("coherent_mem_cycles", coherence.total.mem_cycles);
+        }
     }
 }
 
@@ -246,6 +312,12 @@ struct Core {
     completed_cycles: u64,
     restarts: u64,
     exit_code: Option<u32>,
+    /// The program's debug info, kept for `spawn` resolution: the entry
+    /// address decides the ISA the target core resumes in.
+    debug: DebugInfo,
+    /// Address of the linked `park` stub, if present; a spawned core gets
+    /// it as return address so returning from the entry function re-parks.
+    park_addr: Option<u32>,
 }
 
 impl Core {
@@ -276,6 +348,12 @@ pub struct Fabric {
     cores: Vec<Core>,
     shared: SharedMem,
     config: FabricConfig,
+    /// The coherence model, when [`FabricConfig::mem_model`] asks for one;
+    /// fed each core's access log at barriers, in core-index order.
+    model: Option<CoherentModel>,
+    /// Per-core cumulative counter samples, one per traffic-bearing
+    /// quantum; stays empty under [`MemModel::Ideal`].
+    coh_timeline: Vec<Vec<CoherenceSample>>,
     quanta: u64,
     critical_path: Duration,
     wall: Duration,
@@ -294,11 +372,20 @@ impl Fabric {
             return Err("fabric needs at least one core".to_string());
         }
         let shared = SharedMem::new(config.shared_base, config.shared_len);
-        let mut cores = Vec::with_capacity(specs.len());
+        let n = specs.len();
+        let coherent = matches!(config.mem_model, MemModel::Coherent(_));
+        let mut cores = Vec::with_capacity(n);
         for (index, spec) in specs.into_iter().enumerate() {
             let mut sim = Simulator::new(&spec.exe, spec.config)
                 .map_err(|e| format!("core {index} ({}): {e}", spec.name))?;
-            sim.attach_shared_port(shared.port());
+            if n > 1 {
+                sim.set_fabric_identity(index as u32, n as u32);
+            }
+            let mut port = shared.port();
+            port.set_trace(coherent);
+            sim.attach_shared_port(port);
+            let park_addr =
+                spec.exe.debug.funcs.iter().find(|f| f.name == "park").map(|f| f.start);
             cores.push(Core {
                 name: spec.name,
                 sim,
@@ -306,9 +393,24 @@ impl Fabric {
                 completed_cycles: 0,
                 restarts: 0,
                 exit_code: None,
+                debug: spec.exe.debug,
+                park_addr,
             });
         }
-        Ok(Fabric { cores, shared, config, quanta: 0, critical_path: Duration::ZERO, wall: Duration::ZERO })
+        let model = match config.mem_model {
+            MemModel::Coherent(cfg) => Some(CoherentModel::new(n, cfg)),
+            MemModel::Ideal => None,
+        };
+        Ok(Fabric {
+            cores,
+            shared,
+            config,
+            model,
+            coh_timeline: vec![Vec::new(); n],
+            quanta: 0,
+            critical_path: Duration::ZERO,
+            wall: Duration::ZERO,
+        })
     }
 
     /// Number of cores.
@@ -347,6 +449,18 @@ impl Fabric {
         &self.shared
     }
 
+    /// This core's coherence counter timeline: one cumulative sample per
+    /// quantum in which the model observed shared traffic. Empty under
+    /// [`MemModel::Ideal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `core` is out of range.
+    #[must_use]
+    pub fn coherence_timeline(&self, core: usize) -> &[CoherenceSample] {
+        &self.coh_timeline[core]
+    }
+
     /// Returns every core to its load-time state and clears the shared
     /// window, the scheduling bookkeeping, and the accumulated timings.
     /// Decode caches stay warm ([`Simulator::reset`] semantics), so a reset
@@ -357,11 +471,16 @@ impl Fabric {
             core.sim.reset();
             if let Some(port) = core.sim.shared_port_mut() {
                 self.shared.publish(port);
+                let _ = port.take_accesses();
             }
             core.completed = SimStats::new();
             core.completed_cycles = 0;
             core.restarts = 0;
             core.exit_code = None;
+        }
+        self.model = self.model.as_ref().map(|m| CoherentModel::new(self.cores.len(), *m.config()));
+        for samples in &mut self.coh_timeline {
+            samples.clear();
         }
         self.quanta = 0;
         self.critical_path = Duration::ZERO;
@@ -401,12 +520,14 @@ impl Fabric {
             }
 
             // Plan the quantum: how many instructions each core may run.
+            // Fabric-stalled cores cannot execute until the barrier resolves
+            // their pending operation, so they get an empty slice.
             let slices: Vec<u64> = self
                 .cores
                 .iter()
                 .zip(&baselines)
                 .map(|(core, &base)| {
-                    if core.sim.halted() {
+                    if core.sim.halted() || core.sim.state().fabric_stalled() {
                         return 0;
                     }
                     let done = core.total_instructions().saturating_sub(base);
@@ -414,16 +535,47 @@ impl Fabric {
                 })
                 .collect();
             if slices.iter().all(|&s| s == 0) {
+                if self.handle_quiescence()? {
+                    continue;
+                }
                 break;
             }
 
+            let before: Vec<u64> = self.cores.iter().map(Core::total_instructions).collect();
             self.execute_quantum(&slices)?;
             self.quanta += 1;
 
-            // Barrier: commit write logs in core-index order, republish.
+            // Barrier: commit write logs in core-index order, feed the
+            // coherence model, resolve pending fabric operations against the
+            // committed image, then republish.
             for core in &mut self.cores {
                 if let Some(port) = core.sim.shared_port_mut() {
                     self.shared.commit(port);
+                }
+            }
+            if let Some(model) = &mut self.model {
+                for (index, core) in self.cores.iter_mut().enumerate() {
+                    let executed = core.total_instructions().saturating_sub(before[index]);
+                    let accesses = core
+                        .sim
+                        .shared_port_mut()
+                        .map(SharedPort::take_accesses)
+                        .unwrap_or_default();
+                    model.core_quantum(index, executed, &accesses);
+                }
+            }
+            self.resolve_fabric_ops();
+            if let Some(model) = &self.model {
+                // Sampled after FabricOp resolution so barrier-resolved
+                // atomics land in the same quantum's sample.
+                for (index, samples) in self.coh_timeline.iter_mut().enumerate() {
+                    let counters = model.counters()[index];
+                    if samples.last().is_none_or(|s| s.counters != counters) {
+                        samples.push(CoherenceSample {
+                            cycle: model.core_cycles(index),
+                            counters,
+                        });
+                    }
                 }
             }
             for core in &mut self.cores {
@@ -442,6 +594,140 @@ impl Fabric {
             Ok(FabricOutcome::AllHalted)
         } else {
             Ok(FabricOutcome::BudgetExhausted)
+        }
+    }
+
+    /// Called when no core has a runnable slice. Distinguishes the three
+    /// possible reasons: everyone halted / out of budget (return
+    /// `Ok(false)`, ending the scheduling loop), every live core parked
+    /// (auto-halt them with exit code 0 and return `Ok(true)` to continue),
+    /// or every live core stalled on an unresolvable operation (a genuine
+    /// deadlock, reported as an error on the lowest stalled core).
+    fn handle_quiescence(&mut self) -> Result<bool, FabricError> {
+        let stalled: Vec<usize> = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.sim.halted() && c.sim.state().fabric_stalled())
+            .map(|(i, _)| i)
+            .collect();
+        let live = self.cores.iter().filter(|c| !c.sim.halted()).count();
+        if stalled.is_empty() || stalled.len() != live {
+            // All halted, or a live core merely ran out of budget.
+            return Ok(false);
+        }
+        if stalled
+            .iter()
+            .all(|&i| self.cores[i].sim.state().pending_fabric == Some(FabricOp::Park))
+        {
+            // Only parked cores remain and nobody is left to spawn them:
+            // the fabric's work is done, shut them down cleanly.
+            for &i in &stalled {
+                let state = self.cores[i].sim.state_mut();
+                state.pending_fabric = None;
+                state.halted = true;
+                state.exit_code = 0;
+                self.cores[i].exit_code = Some(0);
+            }
+            return Ok(true);
+        }
+        let detail = stalled
+            .iter()
+            .map(|&i| {
+                let op = self.cores[i].sim.state().pending_fabric.expect("stalled core pends");
+                format!("core {i} waits on {op:?}")
+            })
+            .collect::<Vec<_>>()
+            .join("; ");
+        let core = stalled[0];
+        Err(FabricError {
+            core,
+            name: self.cores[core].name.clone(),
+            error: SimError::FabricDeadlock { detail },
+        })
+    }
+
+    /// Resolves pending fabric operations at a quantum barrier, in
+    /// core-index order, against the freshly committed shared image. Runs
+    /// between [`SharedMem::commit`] and [`SharedMem::publish`] so atomic
+    /// results are visible to every core in the next quantum.
+    fn resolve_fabric_ops(&mut self) {
+        let n = self.cores.len();
+        for index in 0..n {
+            let Some(pending) = self.cores[index].sim.state().pending_fabric else {
+                continue;
+            };
+            match pending {
+                FabricOp::Atomic { rd, op, addr, operand } => {
+                    let old = self.shared.read_committed_word(addr);
+                    self.shared.write_committed_word(addr, op.apply(old, operand));
+                    if let Some(model) = &mut self.model {
+                        // The atomic's read-modify-write bypasses the port;
+                        // account it as one write access by this core.
+                        let word = addr.wrapping_sub(self.shared.base()) >> 2;
+                        model.core_quantum(index, 0, &[(word << 1) | 1]);
+                    }
+                    let state = self.cores[index].sim.state_mut();
+                    state.write_reg(rd, old);
+                    state.pending_fabric = None;
+                }
+                FabricOp::Spawn { core, entry, arg } => {
+                    let target = core as usize;
+                    let parked = target < n
+                        && !self.cores[target].sim.halted()
+                        && self.cores[target].sim.state().pending_fabric == Some(FabricOp::Park);
+                    if parked {
+                        let park_addr = self.cores[target].park_addr;
+                        let isa = self.cores[target].debug.isa_for_addr(entry);
+                        let state = self.cores[target].sim.state_mut();
+                        state.pending_fabric = None;
+                        state.ip = entry;
+                        if let Some(id) = isa {
+                            state.active_isa = IsaId::new(id);
+                        }
+                        state.spawn_arg = arg;
+                        state.write_reg(abi::A0, arg);
+                        if let Some(ra) = park_addr {
+                            state.write_reg(abi::RA, ra);
+                        }
+                        self.cores[index].sim.state_mut().pending_fabric = None;
+                    }
+                    // Not parked (running, halted, or out of range): the
+                    // spawner stays stalled until the target parks; a fully
+                    // stalled fabric is reported as a deadlock.
+                }
+                FabricOp::Park => {} // resolved by a spawn or fabric shutdown
+                FabricOp::Join { core } => {
+                    let target = core as usize;
+                    let finished = target >= n
+                        || self.cores[target].sim.halted()
+                        || self.cores[target].sim.state().pending_fabric == Some(FabricOp::Park);
+                    if finished {
+                        self.cores[index].sim.state_mut().pending_fabric = None;
+                    }
+                }
+                FabricOp::Barrier => {} // group resolution below
+            }
+        }
+        // Barrier releases when every live, non-parked core waits on it.
+        let mut any_barrier = false;
+        let mut all_at_barrier = true;
+        for core in &self.cores {
+            if core.sim.halted() {
+                continue;
+            }
+            match core.sim.state().pending_fabric {
+                Some(FabricOp::Barrier) => any_barrier = true,
+                Some(FabricOp::Park) => {}
+                _ => all_at_barrier = false,
+            }
+        }
+        if any_barrier && all_at_barrier {
+            for core in &mut self.cores {
+                if core.sim.state().pending_fabric == Some(FabricOp::Barrier) {
+                    core.sim.state_mut().pending_fabric = None;
+                }
+            }
         }
     }
 
@@ -523,6 +809,7 @@ impl Fabric {
             makespan_cycles,
             critical_path: self.critical_path,
             wall: self.wall,
+            coherence: self.model.as_ref().map(CoherentModel::report),
         }
     }
 
@@ -543,6 +830,24 @@ impl Fabric {
         );
         if let Some(makespan) = stats.makespan_cycles {
             registry.set_counter("fabric.makespan_cycles", makespan);
+        }
+        if let Some(coherence) = &stats.coherence {
+            registry.set_counter("fabric.coherent_makespan_cycles", coherence.makespan);
+            registry.set_counter("fabric.coherent_invalidations", coherence.total.invalidations_sent);
+            registry.set_counter("fabric.coherent_writebacks", coherence.total.writebacks);
+            registry
+                .set_counter("fabric.coherent_contention_stalls", coherence.total.contention_stalls);
+            for (index, c) in coherence.cores.iter().enumerate() {
+                registry.set_counter(&format!("core{index}.coherent_accesses"), c.accesses);
+                registry.set_counter(&format!("core{index}.coherent_misses"), c.misses);
+                registry.set_counter(
+                    &format!("core{index}.coherent_invalidations"),
+                    c.invalidations_sent,
+                );
+                registry.set_counter(&format!("core{index}.coherent_mem_cycles"), c.mem_cycles);
+                registry
+                    .set_counter(&format!("core{index}.coherent_cycles"), coherence.cycles[index]);
+            }
         }
         for (index, core) in stats.cores.iter().enumerate() {
             registry.set_counter(&format!("core{index}.instructions"), core.stats.instructions);

@@ -1,0 +1,254 @@
+//! Fabric tests for the modeled coherent memory system and the real
+//! multi-threaded workloads: results must stay bit-identical at any host
+//! thread count, the MESI-approximate model must attribute real traffic,
+//! and the spawn/park/join/barrier simops must synchronize cores.
+
+use kahrisma_asm::build;
+use kahrisma_core::{SimConfig, SimError, SimStats};
+use kahrisma_fabric::{
+    CoherenceSample, CoherentConfig, CoreSpec, Fabric, FabricConfig, FabricOutcome, FabricStats,
+    MemModel,
+};
+
+/// An SPMD fabric: `cores` copies of one `workload:isa` spec.
+fn spmd(spec: &str, cores: usize, host_threads: usize, mem_model: MemModel) -> Fabric {
+    let specs: Vec<CoreSpec> =
+        (0..cores).map(|_| CoreSpec::parse(spec).expect("core spec")).collect();
+    let config = FabricConfig { host_threads, quantum: 2_000, mem_model, ..FabricConfig::default() };
+    Fabric::new(specs, config).expect("fabric")
+}
+
+type CorePrint = (String, SimStats, bool, Option<u32>);
+
+fn fingerprint(stats: &FabricStats) -> (SimStats, Vec<CorePrint>, u64) {
+    (
+        stats.aggregate,
+        stats
+            .cores
+            .iter()
+            .map(|c| (c.name.clone(), c.stats, c.halted, c.exit_code))
+            .collect(),
+        stats.quanta,
+    )
+}
+
+#[test]
+fn producer_consumer_verifies_on_four_cores() {
+    let mut fabric = spmd("producer_consumer:risc", 4, 1, MemModel::Ideal);
+    let outcome = fabric.run_for(50_000_000).expect("run");
+    assert_eq!(outcome, FabricOutcome::AllHalted);
+    let stats = fabric.stats();
+    assert_eq!(stats.cores[0].exit_code, Some(42), "core 0 self-check failed");
+    for core in &stats.cores[1..] {
+        assert_eq!(core.exit_code, Some(0), "consumer {} failed", core.name);
+    }
+    assert!(stats.coherence.is_none(), "ideal mode must not report coherence");
+}
+
+#[test]
+fn parallel_dct_verifies_and_is_thread_count_independent() {
+    let mut prints = Vec::new();
+    let mut reports = Vec::new();
+    for threads in [1, 3] {
+        let mut fabric =
+            spmd("parallel_dct:risc", 3, threads, MemModel::Coherent(CoherentConfig::default()));
+        let outcome = fabric.run_for(50_000_000).expect("run");
+        assert_eq!(outcome, FabricOutcome::AllHalted);
+        let stats = fabric.stats();
+        assert_eq!(stats.cores[0].exit_code, Some(42), "parallel result != sequential");
+        prints.push(fingerprint(&stats));
+        reports.push(stats.coherence.expect("coherent mode reports"));
+    }
+    assert_eq!(prints[0], prints[1], "functional results differ by host threads");
+    assert_eq!(reports[0], reports[1], "coherence model differs by host threads");
+    let total = &reports[0].total;
+    assert!(total.accesses > 500, "shared traffic reached the model: {total:?}");
+    assert!(total.misses > 0);
+    assert!(reports[0].makespan > 0);
+}
+
+#[test]
+fn contended_queue_generates_coherence_traffic_identically_across_threads() {
+    let mut reports = Vec::new();
+    let mut prints = Vec::new();
+    let mut timelines = Vec::new();
+    for threads in [1, 4] {
+        let mut fabric = spmd(
+            "producer_consumer:risc",
+            4,
+            threads,
+            MemModel::Coherent(CoherentConfig::default()),
+        );
+        let outcome = fabric.run_for(50_000_000).expect("run");
+        assert_eq!(outcome, FabricOutcome::AllHalted);
+        let stats = fabric.stats();
+        assert_eq!(stats.cores[0].exit_code, Some(42));
+        prints.push(fingerprint(&stats));
+        reports.push(stats.coherence.expect("coherent mode reports"));
+        let timeline: Vec<Vec<CoherenceSample>> =
+            (0..4).map(|i| fabric.coherence_timeline(i).to_vec()).collect();
+        assert!(timeline.iter().all(|t| !t.is_empty()), "every core saw traffic");
+        timelines.push(timeline);
+    }
+    assert_eq!(prints[0], prints[1], "functional results differ by host threads");
+    assert_eq!(reports[0], reports[1], "coherence model differs by host threads");
+    assert_eq!(timelines[0], timelines[1], "counter timelines differ by host threads");
+    let total = &reports[0].total;
+    // The head/tail/sum words ping-pong between all four cores.
+    assert!(total.invalidations_sent > 0, "contention produced no invalidations: {total:?}");
+    assert_eq!(total.invalidations_sent, total.invalidations_received);
+    assert!(total.mem_cycles > 0);
+    // The modeled makespan exceeds the pure instruction count of the
+    // slowest core: memory stalls are really accounted.
+    let slowest = reports[0]
+        .cycles
+        .iter()
+        .copied()
+        .max()
+        .expect("cores");
+    assert_eq!(reports[0].makespan, slowest);
+}
+
+#[test]
+fn narrower_interconnect_stalls_more() {
+    let run = |ports: u32| {
+        let cfg = CoherentConfig { l2_ports: ports, ..CoherentConfig::default() };
+        let mut fabric = spmd("producer_consumer:risc", 4, 1, MemModel::Coherent(cfg));
+        fabric.run_for(50_000_000).expect("run");
+        fabric.stats().coherence.expect("report")
+    };
+    let narrow = run(1);
+    let wide = run(4);
+    assert!(
+        narrow.total.contention_stalls >= wide.total.contention_stalls,
+        "narrow {} < wide {}",
+        narrow.total.contention_stalls,
+        wide.total.contention_stalls
+    );
+    assert_eq!(
+        narrow.total.accesses, wide.total.accesses,
+        "port count must not change the functional access stream"
+    );
+}
+
+// The shared window base as a signed `li` immediate (0xE000_0000).
+const SHARED_BASE: &str = "-536870912";
+
+/// One SPMD program: core 0 spawns `worker` on core 1 with argument 21,
+/// joins it, and returns the doubled value the worker stored in shared
+/// memory; every other core parks (and halts cleanly at fabric shutdown).
+fn spawn_join_src() -> String {
+    format!(
+        "
+    .isa risc
+    .text
+    .global main
+    .func main
+    main:
+        addi sp, sp, -8
+        sw ra, 0(sp)
+        jal core_id
+        bne rv, zero, follower
+        li a0, 1
+        la a1, worker
+        li a2, 21
+        jal spawn
+        li a0, 1
+        jal join
+        li t0, {SHARED_BASE}
+        lw rv, 0(t0)
+        beq zero, zero, done
+    follower:
+        jal park
+        li rv, 0
+    done:
+        lw ra, 0(sp)
+        addi sp, sp, 8
+        jr ra
+    .endfunc
+    .global worker
+    .func worker
+    worker:
+        li t0, {SHARED_BASE}
+        add t1, a0, a0
+        sw t1, 0(t0)
+        jr ra
+    .endfunc
+"
+    )
+}
+
+fn spawn_fabric(cores: usize, host_threads: usize) -> Fabric {
+    let exe = build(&[("spmd.s", &spawn_join_src())]).expect("assemble");
+    let specs: Vec<CoreSpec> = (0..cores)
+        .map(|i| CoreSpec::new(format!("core{i}"), exe.clone(), SimConfig::default()))
+        .collect();
+    let config =
+        FabricConfig { host_threads, quantum: 1_000, ..FabricConfig::default() };
+    Fabric::new(specs, config).expect("fabric")
+}
+
+#[test]
+fn spawn_park_join_roundtrip() {
+    for threads in [1, 2] {
+        let mut fabric = spawn_fabric(3, threads);
+        let outcome = fabric.run_for(1_000_000).expect("run");
+        assert_eq!(outcome, FabricOutcome::AllHalted, "fabric never quiesced");
+        let stats = fabric.stats();
+        assert_eq!(stats.cores[0].exit_code, Some(42), "join returned before the worker ran");
+        // The spawned core and the never-spawned core both shut down
+        // cleanly when only parked cores remained.
+        assert_eq!(stats.cores[1].exit_code, Some(0));
+        assert_eq!(stats.cores[2].exit_code, Some(0));
+        let base = fabric.config().shared_base;
+        assert_eq!(fabric.shared().read_committed_word(base), 42);
+    }
+}
+
+/// Two cores joining each other can never resolve: the fabric must report
+/// a deadlock instead of spinning forever.
+fn mutual_join_src() -> String {
+    "
+    .isa risc
+    .text
+    .global main
+    .func main
+    main:
+        addi sp, sp, -8
+        sw ra, 0(sp)
+        jal core_id
+        li a0, 1
+        sub a0, a0, rv
+        jal join
+        li rv, 0
+        lw ra, 0(sp)
+        addi sp, sp, 8
+        jr ra
+    .endfunc
+"
+    .to_string()
+}
+
+#[test]
+fn mutual_join_is_reported_as_deadlock() {
+    let exe = build(&[("deadlock.s", &mutual_join_src())]).expect("assemble");
+    let specs: Vec<CoreSpec> = (0..2)
+        .map(|i| CoreSpec::new(format!("core{i}"), exe.clone(), SimConfig::default()))
+        .collect();
+    let config = FabricConfig { quantum: 1_000, ..FabricConfig::default() };
+    let mut fabric = Fabric::new(specs, config).expect("fabric");
+    let err = fabric.run_for(1_000_000).expect_err("mutual join must deadlock");
+    assert!(
+        matches!(err.error, SimError::FabricDeadlock { .. }),
+        "unexpected error: {err}"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("deadlock"), "{msg}");
+    assert!(msg.contains("Join"), "detail names the blocking op: {msg}");
+}
+
+#[test]
+fn fabric_workloads_parse_via_core_specs() {
+    assert!(CoreSpec::parse("producer_consumer:risc").is_ok());
+    assert!(CoreSpec::parse("parallel_dct:vliw2").is_ok());
+}

@@ -4,7 +4,7 @@
 //! instruction *formats* differ — the number of operation words per
 //! instruction). Opcodes occupy bits `[31:24]` of every operation word.
 
-use kahrisma_adl::{AluOp, Behavior, CondOp, Encoding, MemWidth, OperationDesc, Reg};
+use kahrisma_adl::{AluOp, AtomicOp, Behavior, CondOp, Encoding, MemWidth, OperationDesc, Reg};
 
 use crate::abi;
 
@@ -108,6 +108,10 @@ pub const SWITCHTARGET: u8 = 0x40;
 pub const SIMOP: u8 = 0x41;
 /// `halt` — stop simulation; exit code in the return-value register.
 pub const HALT: u8 = 0x42;
+/// `amoswap rd, rs1, rs2` — atomic `rd = mem[rs1]; mem[rs1] = rs2`.
+pub const AMOSWAP: u8 = 0x43;
+/// `amoadd rd, rs1, rs2` — atomic `rd = mem[rs1]; mem[rs1] = rd + rs2`.
+pub const AMOADD: u8 = 0x44;
 
 /// The encoded `nop` operation word.
 pub const NOP_WORD: u32 = 0;
@@ -201,6 +205,16 @@ pub fn operation_set() -> Vec<OperationDesc> {
     ));
     ops.push(OperationDesc::new("simop", SIMOP, Encoding::J, B::SimOp, ALU_DELAY));
     ops.push(OperationDesc::new("halt", HALT, Encoding::None, B::Halt, ALU_DELAY));
+    // Atomics carry the multiply delay: a locked read-modify-write round
+    // trip, not a single-cycle ALU op.
+    ops.push(OperationDesc::new(
+        "amoswap",
+        AMOSWAP,
+        Encoding::R,
+        B::Atomic(AtomicOp::Swap),
+        MUL_DELAY,
+    ));
+    ops.push(OperationDesc::new("amoadd", AMOADD, Encoding::R, B::Atomic(AtomicOp::Add), MUL_DELAY));
     ops
 }
 
@@ -256,6 +270,7 @@ mod tests {
         for name in [
             "nop", "add", "sub", "mul", "div", "addi", "andi", "slli", "lui", "lw", "lbu", "sw",
             "sb", "beq", "bgeu", "j", "jal", "jr", "jalr", "switchtarget", "simop", "halt",
+            "amoswap", "amoadd",
         ] {
             assert!(ops.iter().any(|o| o.name() == name), "missing {name}");
         }

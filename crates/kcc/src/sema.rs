@@ -28,6 +28,19 @@ pub(crate) const BUILTINS: &[(&str, usize, bool)] = &[
     ("clock", 0, false),
     ("getchar", 0, false),
     ("abort", 0, false),
+    // Fabric builtins: core identity, synchronization, and word atomics
+    // (resolved at quantum barriers on a multi-core fabric, local
+    // no-ops / immediate read-modify-writes standalone).
+    ("core_id", 0, false),
+    ("core_count", 0, false),
+    ("spawn", 3, false),
+    ("park", 0, false),
+    ("spawn_arg", 0, false),
+    ("join", 1, false),
+    ("barrier", 0, false),
+    ("atomic_swap", 2, false),
+    ("atomic_add", 2, false),
+    ("shared_base", 0, true),
 ];
 
 /// A typed expression.

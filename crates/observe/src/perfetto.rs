@@ -45,6 +45,31 @@ pub fn trace_json(events: &[SimEvent]) -> String {
 /// (`pid 1 + index`) per core.
 #[must_use]
 pub fn fabric_trace_json(cores: &[(&str, &[SimEvent])]) -> String {
+    fabric_trace_json_with_counters(cores, &[])
+}
+
+/// A named counter track attached to one core's process: a timeline of
+/// `(timestamp, values)` samples, where each sample carries one value per
+/// named series. Perfetto renders every series of a `ph:"C"` event as a
+/// stacked area chart under the process, so cumulative coherence counters
+/// (misses, invalidations, stall cycles, …) appear right below the core's
+/// instruction track.
+#[derive(Debug, Clone)]
+pub struct CounterTrack<'a> {
+    /// Track name, e.g. `"coherence"`.
+    pub name: &'a str,
+    /// `(timestamp, (series label, value) pairs)` in ascending time order.
+    pub samples: Vec<(u64, Vec<(&'a str, u64)>)>,
+}
+
+/// Like [`fabric_trace_json`], with per-core counter tracks appended:
+/// `counters[i]` holds core `i`'s tracks (shorter slices leave the
+/// remaining cores without counters).
+#[must_use]
+pub fn fabric_trace_json_with_counters(
+    cores: &[(&str, &[SimEvent])],
+    counters: &[Vec<CounterTrack<'_>>],
+) -> String {
     let total: usize = cores.iter().map(|(_, e)| e.len()).sum();
     let mut out = String::with_capacity(total * 96 + 512 * cores.len().max(1));
     out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
@@ -52,9 +77,33 @@ pub fn fabric_trace_json(cores: &[(&str, &[SimEvent])]) -> String {
     for (index, (name, events)) in cores.iter().enumerate() {
         let pid = index as u32 + 1;
         write_process(&mut out, &mut first, pid, &format!("core{index}: {name}"), events);
+        for track in counters.get(index).map_or(&[][..], Vec::as_slice) {
+            write_counter_track(&mut out, &mut first, pid, track);
+        }
     }
     out.push_str("]}");
     out
+}
+
+/// Emits one `ph:"C"` event per sample of a counter track.
+fn write_counter_track(out: &mut String, first: &mut bool, pid: u32, track: &CounterTrack<'_>) {
+    for (ts, values) in &track.samples {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&format!(
+            "{{\"ph\":\"C\",\"pid\":{pid},\"ts\":{ts},\"name\":\"{}\",\"args\":{{",
+            crate::span::escape(track.name),
+        ));
+        for (i, (label, value)) in values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{value}", crate::span::escape(label)));
+        }
+        out.push_str("}}");
+    }
 }
 
 /// Serializes serving-plane [`Span`]s into a single Perfetto document:
@@ -309,6 +358,30 @@ mod tests {
         assert!(json.contains("\"tid\":1"));
         // Empty input still renders a loadable document.
         crate::json_lint::validate(&fleet_trace_json(&[])).expect("valid JSON");
+    }
+
+    #[test]
+    fn counter_tracks_attach_to_the_right_core_process() {
+        let a = [SimEvent::Instr { seq: 0, addr: 0x10, isa: 0, width: 1, ops: 1, cycle: 0 }];
+        let b = [SimEvent::Instr { seq: 0, addr: 0x20, isa: 0, width: 1, ops: 1, cycle: 0 }];
+        let tracks = vec![
+            Vec::new(), // core 0: no counters
+            vec![CounterTrack {
+                name: "coherence",
+                samples: vec![
+                    (10, vec![("misses", 2), ("mem_cycles", 40)]),
+                    (25, vec![("misses", 5), ("mem_cycles", 90)]),
+                ],
+            }],
+        ];
+        let json =
+            fabric_trace_json_with_counters(&[("dct:risc", &a), ("dct:risc", &b)], &tracks);
+        crate::json_lint::validate(&json).expect("valid JSON");
+        assert!(json.contains("{\"ph\":\"C\",\"pid\":2,\"ts\":10,\"name\":\"coherence\",\"args\":{\"misses\":2,\"mem_cycles\":40}}"));
+        assert!(json.contains("\"ts\":25"));
+        assert!(!json.contains("{\"ph\":\"C\",\"pid\":1"), "core 0 has no counter track");
+        // The plain fabric export stays counter-free.
+        assert!(!fabric_trace_json(&[("dct:risc", &a)]).contains("\"ph\":\"C\""));
     }
 
     #[test]
