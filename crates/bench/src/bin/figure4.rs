@@ -21,7 +21,7 @@ use kahrisma_campaign::CampaignSpec;
 use kahrisma_isa::IsaKind;
 
 fn main() {
-    let spec = CampaignSpec::figure4();
+    let spec: CampaignSpec = kahrisma_plan::grids::figure4().into();
     let options = campaign_options("figure4");
     let report = run_campaign("figure4", &spec, &options);
 

@@ -23,7 +23,7 @@ use kahrisma_bench::{campaign_options, run_campaign};
 use kahrisma_campaign::CampaignSpec;
 
 fn main() {
-    let spec = CampaignSpec::table1();
+    let spec: CampaignSpec = kahrisma_plan::grids::table1().into();
     let options = campaign_options("table1");
     println!(
         "measuring (cjpeg on RISC, best of 3 runs per configuration, campaign engine)..."

@@ -15,7 +15,7 @@ use kahrisma_bench::{campaign_options, run_campaign};
 use kahrisma_campaign::CampaignSpec;
 
 fn main() {
-    let spec = CampaignSpec::table2();
+    let spec: CampaignSpec = kahrisma_plan::grids::table2().into();
     let options = campaign_options("table2");
     let report = run_campaign("table2", &spec, &options);
 

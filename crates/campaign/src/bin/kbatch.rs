@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! kbatch [OPTIONS] [CAMPAIGN]
+//! kbatch dse [OPTIONS]
 //! ```
 //!
 //! The predefined campaigns regenerate the paper's evaluation artifacts
 //! (`table1`, `table2`, `figure4`) or a quick CI grid (`smoke`). With
 //! `--manifest`, progress persists across invocations: an interrupted or
 //! killed campaign resumes where it left off, skipping completed cells.
+//!
+//! `kbatch dse` sweeps a design-space grid — cache geometry × ISA × cycle
+//! model × execution tier — on any planner backend (local pool, `ksimd`
+//! daemon, simulated fabric) and writes a Pareto-front report.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,6 +25,7 @@ kbatch — parallel, resumable KAHRISMA simulation campaigns
 
 USAGE:
     kbatch [OPTIONS] [CAMPAIGN]
+    kbatch dse [OPTIONS]          (design-space sweep; `kbatch dse --help`)
 
 CAMPAIGNS:
     table1     component costs on cjpeg/RISC (paper Table I ladder)
@@ -119,7 +125,12 @@ fn list_campaigns() {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args(ArgList::from_env()) {
+    let mut argv = ArgList::from_env();
+    if argv.peek() == Some("dse") {
+        argv.next_arg();
+        return dse::main(argv);
+    }
+    let args = match parse_args(argv) {
         Ok(args) => args,
         Err(e) => {
             eprintln!("kbatch: {e}");
@@ -214,6 +225,351 @@ fn print_table(report: &kahrisma_campaign::Report) {
             cell.mips,
             miss
         );
+    }
+}
+
+/// `kbatch dse` — design-space sweeps over cache geometry × ISA × cycle
+/// model × execution tier, dispatched on any planner backend, reported as
+/// a Pareto front (throughput vs CPI vs L1 miss ratio).
+mod dse {
+    use std::path::PathBuf;
+    use std::process::ExitCode;
+
+    use kahrisma_core::args::{ArgList, GeometryArgs};
+    use kahrisma_core::{CycleModelKind, TierMode};
+    use kahrisma_isa::IsaKind;
+    use kahrisma_plan::{
+        grids, DaemonPlanner, DseReport, Engine, ExecPlan, FabricPlanner, LocalPlanner,
+        PlanSession, Planner, DEFAULT_BUDGET, DEFAULT_SLICE,
+    };
+    use kahrisma_workloads::Workload;
+
+    const USAGE: &str = "\
+kbatch dse — design-space exploration with a Pareto-front report
+
+USAGE:
+    kbatch dse [OPTIONS]
+
+Sweeps the cross product of the listed axes (workload x ISA x model x tier
+x cache geometry), runs every cell on the chosen backend, and writes a
+report marking the Pareto front over throughput (MIPS), cycles per
+instruction, and L1 miss ratio. Unlisted axes use the paper defaults; the
+default sweep is 16 cache geometries of dct/risc/doe.
+
+AXES (comma-separated lists):
+    --workload W,...  workloads (default: dct)
+    --isa I,...       ISAs: risc, vliw2, vliw4, vliw6, vliw8 (default: risc)
+    --model M,...     cycle models: func, ilp, aie, doe (default: doe)
+    --tier T,...      execution tiers: interp, ir (default: ir)
+    --l1-lines N,...  L1 lines per way (default sweep: 16,32,64,128)
+    --line-bytes N,.. cache line bytes (default sweep: 16,32)
+    --l2-ports N,...  L2 ports (default sweep: 1,2)
+    --mem-delay N,... main-memory delay in cycles (default: 18)
+
+OPTIONS:
+    --backend B       local | daemon | fabric (default: local)
+    --daemon ADDR     ksimd/kgate address (required with --backend daemon)
+    --workers N       local worker / fabric host threads (default: parallelism)
+    --budget N        instruction budget per cell
+    --repeats N       measured repeats per cell (default: 1)
+    --max-cells N     execute at most N cells, then stop
+    --out PATH        report path (default: BENCH_dse.json)
+    --quiet           no per-cell progress lines
+    --help            this text
+
+EXIT STATUS:
+    0 sweep complete   3 stopped by --max-cells   1 error   2 usage error
+";
+
+    #[derive(Debug)]
+    enum Backend {
+        Local,
+        Daemon,
+        Fabric,
+    }
+
+    #[derive(Debug)]
+    struct Args {
+        workloads: Vec<Workload>,
+        isas: Vec<IsaKind>,
+        engines: Vec<Engine>,
+        tiers: Vec<TierMode>,
+        geometry: GeometryArgs,
+        backend: Backend,
+        daemon: Option<String>,
+        workers: usize,
+        budget: u64,
+        repeats: u32,
+        max_cells: Option<usize>,
+        out: PathBuf,
+        progress: bool,
+    }
+
+    fn parse_list<T>(flag: &str, argv: &mut ArgList, one: impl Fn(&str) -> Option<T>) -> Result<Vec<T>, String> {
+        let raw = argv.value(flag)?;
+        raw.split(',')
+            .map(|tok| {
+                let tok = tok.trim();
+                one(tok).ok_or_else(|| format!("invalid value for {flag}: {tok}"))
+            })
+            .collect()
+    }
+
+    fn parse_args(mut argv: ArgList) -> Result<Args, String> {
+        let mut args = Args {
+            workloads: vec![Workload::Dct],
+            isas: vec![IsaKind::Risc],
+            engines: vec![Engine::Iss(Some(CycleModelKind::Doe))],
+            tiers: vec![TierMode::Ir],
+            geometry: GeometryArgs::default(),
+            backend: Backend::Local,
+            daemon: None,
+            workers: std::thread::available_parallelism().map_or(1, usize::from),
+            budget: DEFAULT_BUDGET,
+            repeats: 1,
+            max_cells: None,
+            out: PathBuf::from("BENCH_dse.json"),
+            progress: true,
+        };
+        while let Some(arg) = argv.next_arg() {
+            if args.geometry.accept(&arg, &mut argv)? {
+                continue;
+            }
+            match arg.as_str() {
+                "--workload" => {
+                    args.workloads = parse_list("--workload", &mut argv, Workload::from_name)?;
+                }
+                "--isa" => {
+                    args.isas = parse_list("--isa", &mut argv, |tok| {
+                        IsaKind::ALL.into_iter().find(|i| i.name() == tok)
+                    })?;
+                }
+                "--model" => {
+                    args.engines = parse_list("--model", &mut argv, |tok| match tok {
+                        "func" => Some(Engine::Iss(None)),
+                        "ilp" => Some(Engine::Iss(Some(CycleModelKind::Ilp))),
+                        "aie" => Some(Engine::Iss(Some(CycleModelKind::Aie))),
+                        "doe" => Some(Engine::Iss(Some(CycleModelKind::Doe))),
+                        _ => None,
+                    })?;
+                }
+                "--tier" => {
+                    args.tiers = parse_list("--tier", &mut argv, |tok| match tok {
+                        "interp" => Some(TierMode::Interp),
+                        "ir" => Some(TierMode::Ir),
+                        _ => None,
+                    })?;
+                }
+                "--backend" => {
+                    args.backend = match argv.value("--backend")?.as_str() {
+                        "local" => Backend::Local,
+                        "daemon" => Backend::Daemon,
+                        "fabric" => Backend::Fabric,
+                        other => {
+                            return Err(format!(
+                                "unknown backend {other:?} (one of: local, daemon, fabric)"
+                            ))
+                        }
+                    };
+                }
+                "--daemon" => args.daemon = Some(argv.value("--daemon")?),
+                "--workers" => {
+                    args.workers = argv.parse_value("--workers")?;
+                    if args.workers == 0 {
+                        return Err("--workers must be at least 1".into());
+                    }
+                }
+                "--budget" => args.budget = argv.parse_value("--budget")?,
+                "--repeats" => args.repeats = argv.parse_value("--repeats")?,
+                "--max-cells" => args.max_cells = Some(argv.parse_value("--max-cells")?),
+                "--out" => args.out = PathBuf::from(argv.value("--out")?),
+                "--progress" => args.progress = true,
+                "--quiet" => args.progress = false,
+                "--help" | "-h" => {
+                    print!("{USAGE}");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag: {other}")),
+            }
+        }
+        if matches!(args.backend, Backend::Daemon) && args.daemon.is_none() {
+            return Err("--backend daemon requires --daemon ADDR".into());
+        }
+        // The flagship sweep: 16 cache geometries, the paper's default
+        // machine in the middle of the grid.
+        if !args.geometry.any() {
+            args.geometry.l1_lines = Some(vec![16, 32, 64, 128]);
+            args.geometry.line_bytes = Some(vec![16, 32]);
+            args.geometry.l2_ports = Some(vec![1, 2]);
+        }
+        Ok(args)
+    }
+
+    fn plan_of(args: &Args) -> ExecPlan {
+        grids::dse(
+            "dse",
+            &args.workloads,
+            &args.isas,
+            &args.engines,
+            &args.tiers,
+            &args.geometry.grid(),
+            args.budget,
+            args.repeats,
+        )
+    }
+
+    pub(super) fn main(argv: ArgList) -> ExitCode {
+        let args = match parse_args(argv) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("kbatch dse: {e}");
+                eprintln!("run `kbatch dse --help` for usage");
+                return ExitCode::from(2);
+            }
+        };
+        let plan = plan_of(&args);
+        let backend_name = match args.backend {
+            Backend::Local => "local pool",
+            Backend::Daemon => "daemon",
+            Backend::Fabric => "fabric",
+        };
+        eprintln!(
+            "kbatch dse: {} cells ({} workloads x {} ISAs x {} models x {} tiers x {} geometries), {backend_name}",
+            plan.cells.len(),
+            args.workloads.len(),
+            args.isas.len(),
+            args.engines.len(),
+            args.tiers.len(),
+            args.geometry.grid().len(),
+        );
+
+        let mut session = PlanSession {
+            stop_after: args.max_cells,
+            progress: args.progress,
+            ..PlanSession::default()
+        };
+        let run = match args.backend {
+            Backend::Local => LocalPlanner { workers: args.workers, slice: DEFAULT_SLICE }
+                .run_plan(&plan, &mut session),
+            Backend::Daemon => DaemonPlanner::new(args.daemon.as_deref().unwrap_or_default())
+                .run_plan(&plan, &mut session),
+            Backend::Fabric => FabricPlanner { host_threads: args.workers, ..FabricPlanner::default() }
+                .run_plan(&plan, &mut session),
+        };
+        let run = match run {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("kbatch dse: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let interrupted = run.interrupted;
+        let executed = run.executed;
+        let report = DseReport::new(&plan.name, &plan.fingerprint(), run.results);
+
+        print_table(&report);
+        if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+            eprintln!("kbatch dse: {}: {e}", args.out.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("kbatch dse: wrote {}", args.out.display());
+        if interrupted {
+            eprintln!(
+                "kbatch dse: stopped by --max-cells after {executed} of {} cells",
+                plan.cells.len(),
+            );
+            return ExitCode::from(3);
+        }
+        eprintln!(
+            "kbatch dse: complete — {executed} executed, {} on the Pareto front",
+            report.frontier_keys().len(),
+        );
+        ExitCode::SUCCESS
+    }
+
+    fn print_table(report: &DseReport) {
+        println!(
+            "{:<56} {:>14} {:>8} {:>9} {:>9} {:>8}",
+            "cell", "instructions", "CPI", "MIPS", "L1 miss", "front"
+        );
+        for cell in &report.cells {
+            let r = &cell.result;
+            let cpi = kahrisma_plan::pareto::cpi(r)
+                .map_or_else(|| "-".into(), |c| format!("{c:.3}"));
+            let miss = r
+                .l1_miss_ratio
+                .map_or_else(|| "-".into(), |m| format!("{:.2}%", m * 100.0));
+            println!(
+                "{:<56} {:>14} {:>8} {:>9.3} {:>9} {:>8}",
+                r.key,
+                r.instructions,
+                cpi,
+                r.mips,
+                miss,
+                if cell.frontier { "*" } else { "" },
+            );
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn argv(s: &[&str]) -> ArgList {
+            ArgList::new(s.iter().map(ToString::to_string).collect())
+        }
+
+        #[test]
+        fn default_sweep_is_sixteen_geometries_of_dct_risc_doe() {
+            let args = parse_args(argv(&[])).unwrap();
+            let plan = plan_of(&args);
+            assert_eq!(plan.cells.len(), 16);
+            assert!(plan.cells.iter().all(|c| c.workload == Workload::Dct
+                && c.isa == IsaKind::Risc
+                && c.engine == Engine::Iss(Some(CycleModelKind::Doe))
+                && c.tier == TierMode::Ir
+                && c.geometry.is_some()));
+            assert_eq!(plan.cells[0].key(), "dct/risc/doe/superblock+g16x16p1d18");
+        }
+
+        #[test]
+        fn axes_multiply_and_geometry_flags_replace_the_default_sweep() {
+            let args = parse_args(argv(&[
+                "--workload", "dct,fft", "--isa", "risc,vliw4", "--model", "doe,aie",
+                "--tier", "ir,interp", "--l1-lines", "32", "--mem-delay", "18,40",
+            ]))
+            .unwrap();
+            let plan = plan_of(&args);
+            assert_eq!(plan.cells.len(), 2 * 2 * 2 * 2 * 2);
+            let keys: Vec<String> = plan.cells.iter().map(|c| c.key()).collect();
+            assert!(keys.contains(&"fft/vliw4/aie/superblock+g32x32p1d40+interp".to_string()));
+        }
+
+        #[test]
+        fn rejects_bad_axis_values_and_backends() {
+            let err = parse_args(argv(&["--isa", "risc,armv8"])).unwrap_err();
+            assert_eq!(err, "invalid value for --isa: armv8");
+            let err = parse_args(argv(&["--model", "rtl"])).unwrap_err();
+            assert_eq!(err, "invalid value for --model: rtl");
+            let err = parse_args(argv(&["--backend", "cloud"])).unwrap_err();
+            assert!(err.contains("unknown backend"), "{err}");
+            let err = parse_args(argv(&["--backend", "daemon"])).unwrap_err();
+            assert_eq!(err, "--backend daemon requires --daemon ADDR");
+            let err = parse_args(argv(&["--line-bytes", "24"])).unwrap_err();
+            assert_eq!(err, "--line-bytes must be a power of two");
+        }
+
+        #[test]
+        fn budget_repeats_and_out_reach_the_plan() {
+            let args = parse_args(argv(&[
+                "--budget", "1000", "--repeats", "2", "--out", "x.json", "--quiet",
+            ]))
+            .unwrap();
+            assert_eq!(args.out, PathBuf::from("x.json"));
+            assert!(!args.progress);
+            let plan = plan_of(&args);
+            assert!(plan.cells.iter().all(|c| c.budget == 1000 && c.repeats == 2));
+        }
     }
 }
 

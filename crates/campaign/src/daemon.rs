@@ -1,28 +1,21 @@
-//! Campaign dispatch to a running `ksimd` daemon.
+//! Campaign dispatch to a running `ksimd` daemon — the planner's
+//! [`DaemonPlanner`] behind the campaign's [`RunSummary`] surface.
 //!
 //! `kbatch --daemon ADDR` sends each cell of a campaign to a simulation
-//! server instead of simulating in-process: one session per cell, a
-//! budget-bounded `run` loop (resuming across per-request deadlines), and
-//! a `stats` read folded into the same [`CellResult`] the local runner
-//! produces. Counter fields are bit-identical to a local run of the same
-//! campaign; timing fields additionally include protocol and scheduling
-//! overhead, which is precisely what serving measurements are for.
+//! server instead of simulating in-process. Counter fields are
+//! bit-identical to a local run of the same campaign; timing fields
+//! additionally include protocol and scheduling overhead, which is
+//! precisely what serving measurements are for.
 //!
 //! The RTL reference engine is not servable (the daemon hosts ISS
 //! sessions only), so campaigns with `Engine::Rtl` cells are rejected up
 //! front — run those locally.
 
-use std::time::{Duration, Instant};
+use kahrisma_plan::{DaemonPlanner, PlanSession, Planner};
 
-use kahrisma_serve::json::Value;
-use kahrisma_serve::{Client, ClientError};
-
-use crate::report::{CellResult, Report};
-use crate::spec::{CacheVariant, CampaignSpec, CellSpec, Engine};
+use crate::report::Report;
+use crate::spec::CampaignSpec;
 use crate::{CampaignError, RunSummary};
-
-/// Retry ceiling for `overloaded` rejections per request.
-const MAX_OVERLOAD_RETRIES: u32 = 1000;
 
 /// Runs every cell of `spec` on the daemon at `addr`, sequentially (the
 /// daemon owns admission control and may be shared with other clients).
@@ -33,235 +26,32 @@ const MAX_OVERLOAD_RETRIES: u32 = 1000;
 /// unreachable, and when any cell fails to build, simulate, or pass its
 /// workload self-check — same contract as [`crate::runner::run`].
 pub fn run(spec: &CampaignSpec, addr: &str, progress: bool) -> Result<RunSummary, CampaignError> {
-    if let Some(cell) = spec.cells.iter().find(|c| c.engine == Engine::Rtl) {
-        return Err(CampaignError::Cell {
-            key: cell.key(),
-            reason: "the RTL reference engine cannot run on a daemon; \
-                     run this campaign locally"
-                .into(),
-        });
-    }
-    let mut client = Client::connect(addr).map_err(|e| CampaignError::Io {
-        path: addr.to_string(),
-        reason: format!("cannot connect to daemon: {e}"),
-    })?;
-    let mut results = Vec::with_capacity(spec.cells.len());
-    for cell in &spec.cells {
-        let started = Instant::now();
-        let result = run_cell(&mut client, cell)?;
-        if progress {
-            eprintln!(
-                "kbatch: [daemon] {:<42} {:>8.2}s {:>9.3} MIPS",
-                result.key,
-                started.elapsed().as_secs_f64(),
-                result.mips,
-            );
-        }
-        results.push(result);
-    }
+    let plan = spec.to_plan();
+    let mut session = PlanSession { progress, ..PlanSession::default() };
+    let run = DaemonPlanner::new(addr).run_plan(&plan, &mut session)?;
     Ok(RunSummary {
-        report: Report::new(&spec.name, &spec.fingerprint(), results),
-        executed: spec.cells.len(),
-        skipped: 0,
-        interrupted: false,
+        report: Report::new(&spec.name, &plan.fingerprint(), run.results),
+        executed: run.executed,
+        skipped: run.skipped,
+        interrupted: run.interrupted,
     })
-}
-
-/// The `create` parameters a cell maps to (mirrors
-/// [`CellSpec::sim_config`] field for field).
-fn create_fields(cell: &CellSpec) -> Result<Vec<(String, Value)>, String> {
-    let mut fields = Vec::new();
-    match cell.engine {
-        Engine::Rtl => return Err("RTL cells are not servable".into()),
-        Engine::Iss(None) => {}
-        Engine::Iss(Some(model)) => {
-            fields.push(("model".to_string(), Engine::Iss(Some(model)).tag().into()));
-        }
-    }
-    let (cache, prediction, superblocks) = match cell.variant {
-        CacheVariant::NoCache => (false, false, false),
-        CacheVariant::CacheOnly => (true, false, false),
-        CacheVariant::Prediction => (true, true, false),
-        CacheVariant::Superblocks => (true, true, true),
-    };
-    fields.push(("decode_cache".to_string(), cache.into()));
-    fields.push(("prediction".to_string(), prediction.into()));
-    fields.push(("superblocks".to_string(), superblocks.into()));
-    fields.push(("ideal_memory".to_string(), cell.ideal_memory.into()));
-    Ok(fields)
-}
-
-/// A stable, collision-free session name for a cell (cell keys contain
-/// `/` and can exceed the 64-byte name limit, so hash instead).
-fn session_name(cell: &CellSpec) -> String {
-    let key = cell.key();
-    let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
-    for b in key.bytes() {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    format!("kbatch-{hash:016x}")
-}
-
-fn run_cell(client: &mut Client, cell: &CellSpec) -> Result<CellResult, CampaignError> {
-    let cell_err = |reason: String| CampaignError::Cell { key: cell.key(), reason };
-    let fields = create_fields(cell).map_err(&cell_err)?;
-    let name = session_name(cell);
-    // A stale session from an interrupted dispatch must not leak its
-    // state into this cell; recreate from scratch.
-    let _ = client.session_verb("delete", &name);
-    retry_overloaded(|| {
-        client.create(&name, cell.workload.name(), cell.isa.name(), fields.clone())
-    })
-    .map_err(|e| cell_err(format!("create: {e}")))?;
-
-    let mut best_wall = f64::INFINITY;
-    let mut exit_code = None;
-    for repeat in 0..cell.repeats.max(1) {
-        let started = Instant::now();
-        exit_code = Some(run_to_halt(client, &name, cell, repeat > 0).map_err(&cell_err)?);
-        best_wall = best_wall.min(started.elapsed().as_secs_f64());
-    }
-    let exit_code = exit_code.unwrap_or_default();
-    let expected = cell.workload.expected_exit();
-    if exit_code != expected {
-        let _ = client.session_verb("delete", &name);
-        return Err(cell_err(format!(
-            "self-check failed: exit {exit_code}, expected {expected}"
-        )));
-    }
-
-    let stats = client
-        .session_verb("stats", &name)
-        .map_err(|e| cell_err(format!("stats: {e}")))?;
-    let _ = client.session_verb("delete", &name);
-    let counter = |key: &str| stats.get(key).and_then(Value::as_u64).unwrap_or(0);
-    let instructions = counter("instructions");
-    let operations = stats
-        .get("model_operations")
-        .and_then(Value::as_u64)
-        .unwrap_or_else(|| counter("operations"));
-    let wall_seconds = if best_wall.is_finite() { best_wall } else { 0.0 };
-    let (mips, ns_per_instruction) = if wall_seconds > 0.0 && instructions > 0 {
-        (
-            instructions as f64 / wall_seconds / 1e6,
-            wall_seconds * 1e9 / instructions as f64,
-        )
-    } else {
-        (0.0, 0.0)
-    };
-    Ok(CellResult {
-        key: cell.key(),
-        exit_code,
-        instructions,
-        operations,
-        cycles: stats.get("cycles").and_then(Value::as_u64),
-        l1_miss_ratio: stats.get("l1_miss_ratio").and_then(Value::as_f64),
-        wall_seconds,
-        mips,
-        ns_per_instruction,
-    })
-}
-
-/// Drives one session to halt within the cell's instruction budget,
-/// resuming across per-request deadlines (`deadline` outcomes) until the
-/// daemon reports `halted`. Returns the exit code.
-fn run_to_halt(
-    client: &mut Client,
-    name: &str,
-    cell: &CellSpec,
-    reset_first: bool,
-) -> Result<u32, String> {
-    let mut reset = reset_first;
-    let mut total = 0u64;
-    loop {
-        let remaining = cell.budget.saturating_sub(total);
-        if remaining == 0 {
-            return Err("instruction budget exhausted".into());
-        }
-        let resp = retry_overloaded(|| client.run(name, Some(remaining), reset, false))
-            .map_err(|e| format!("run: {e}"))?;
-        reset = false;
-        total += resp.get("instructions").and_then(Value::as_u64).unwrap_or(0);
-        match resp.get("outcome").and_then(Value::as_str) {
-            Some("halted") => {
-                return resp
-                    .get("exit_code")
-                    .and_then(Value::as_u64)
-                    .map(|c| c as u32)
-                    .ok_or_else(|| "halted without an exit code".into());
-            }
-            // A per-request deadline is not a cell failure: resume.
-            Some("deadline") => {}
-            Some("budget") => return Err("instruction budget exhausted".into()),
-            Some(other) => return Err(format!("run ended with outcome `{other}`")),
-            None => return Err("run response missing `outcome`".into()),
-        }
-    }
-}
-
-/// Retries `overloaded` rejections with the server-suggested backoff.
-fn retry_overloaded(
-    mut request: impl FnMut() -> Result<Value, ClientError>,
-) -> Result<Value, ClientError> {
-    let mut attempts = 0u32;
-    loop {
-        match request() {
-            Err(ClientError::Server { ref code, retry_after_ms, .. })
-                if code == "overloaded" && attempts < MAX_OVERLOAD_RETRIES =>
-            {
-                attempts += 1;
-                std::thread::sleep(Duration::from_millis(retry_after_ms.unwrap_or(100)));
-            }
-            other => return other,
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kahrisma_core::CycleModelKind;
+    use crate::spec::{CellSpec, Engine};
     use kahrisma_isa::IsaKind;
     use kahrisma_serve::{Daemon, ServerConfig};
     use kahrisma_workloads::Workload;
 
-    #[test]
-    fn create_fields_mirror_sim_config() {
-        let mut cell = CellSpec::new(
-            Workload::Dct,
-            IsaKind::Risc,
-            Engine::Iss(Some(CycleModelKind::Doe)),
-        );
-        cell.variant = CacheVariant::CacheOnly;
-        cell.ideal_memory = true;
-        let fields = create_fields(&cell).unwrap();
-        let get = |k: &str| fields.iter().find(|(f, _)| f == k).map(|(_, v)| v.clone());
-        assert_eq!(get("model"), Some(Value::from("doe")));
-        assert_eq!(get("decode_cache"), Some(Value::from(true)));
-        assert_eq!(get("prediction"), Some(Value::from(false)));
-        assert_eq!(get("superblocks"), Some(Value::from(false)));
-        assert_eq!(get("ideal_memory"), Some(Value::from(true)));
-        assert!(create_fields(&CellSpec::new(
-            Workload::Dct,
-            IsaKind::Risc,
-            Engine::Rtl
-        ))
-        .is_err());
-    }
-
-    #[test]
-    fn session_names_are_short_and_distinct() {
-        let a = CellSpec::new(Workload::Dct, IsaKind::Risc, Engine::Iss(None));
-        let b = CellSpec::new(Workload::Fft, IsaKind::Risc, Engine::Iss(None));
-        assert_ne!(session_name(&a), session_name(&b));
-        assert_eq!(session_name(&a), session_name(&a));
-        assert!(session_name(&a).len() <= 64);
+    fn smoke() -> CampaignSpec {
+        CampaignSpec::by_name("smoke").unwrap()
     }
 
     #[test]
     fn rtl_campaigns_are_rejected_up_front() {
-        let mut spec = CampaignSpec::smoke();
+        let mut spec = smoke();
         spec.cells
             .push(CellSpec::new(Workload::Dct, IsaKind::Risc, Engine::Rtl));
         let err = run(&spec, "127.0.0.1:1", false).unwrap_err();
@@ -282,7 +72,7 @@ mod tests {
         let handle = daemon.handle().expect("handle");
         let thread = std::thread::spawn(move || daemon.run().expect("accept loop"));
 
-        let mut spec = CampaignSpec::smoke();
+        let mut spec = smoke();
         spec.cells.truncate(2);
         let served = run(&spec, &addr, false).expect("daemon dispatch");
         let local = crate::runner::run(
@@ -324,7 +114,7 @@ mod tests {
         let gate_handle = gate.handle().expect("gate handle");
         let gate_thread = std::thread::spawn(move || gate.run().expect("gate loop"));
 
-        let mut spec = CampaignSpec::smoke();
+        let mut spec = smoke();
         spec.cells.truncate(2);
         let gated = run(&spec, &gate_addr, false).expect("gated dispatch");
         let local = crate::runner::run(

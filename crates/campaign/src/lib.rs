@@ -3,12 +3,13 @@
 //! The paper's evaluation (§VII) is a grid of simulations: workloads ×
 //! ISAs × cycle models × simulator configurations. This crate turns that
 //! grid into a first-class object — a [`CampaignSpec`] of [`CellSpec`]s —
-//! and executes it with a work-stealing worker pool, crash-safe progress
-//! persistence and deterministic aggregation:
+//! and executes it on the unified execution-planner API
+//! ([`kahrisma_plan`]) with crash-safe progress persistence:
 //!
-//! * **Parallel** — `N` worker threads claim cells from a shared queue;
-//!   each cell's simulation stays single-threaded, so per-cell counters
-//!   are bit-identical regardless of worker count ([`runner::run`]).
+//! * **Parallel** — the planner's work-stealing pool claims cells from a
+//!   shared queue; each cell's simulation stays single-threaded, so
+//!   per-cell counters are bit-identical regardless of worker count
+//!   ([`runner::run`]).
 //! * **Resumable** — completed cells are appended to a JSON-lines
 //!   [`manifest::Manifest`] the moment they finish; an interrupted
 //!   campaign resumes from the manifest, skipping recorded cells, and a
@@ -21,15 +22,16 @@
 //!
 //! The predefined campaigns regenerate the paper's artifacts: `table1`
 //! (component costs), `table2` (DOE vs RTL accuracy), `figure4` (ILP vs
-//! achieved operations/cycle), plus a `smoke` grid for CI. The `kbatch`
-//! binary is the command-line front end.
+//! achieved operations/cycle), plus a `smoke` grid for CI — all expanded
+//! by [`kahrisma_plan::grids`]. The `kbatch` binary is the command-line
+//! front end (including `kbatch dse` design-space sweeps).
 //!
 //! # Example
 //!
 //! ```no_run
 //! use kahrisma_campaign::{runner, CampaignSpec, RunOptions};
 //!
-//! let spec = CampaignSpec::smoke();
+//! let spec = CampaignSpec::by_name("smoke").expect("predefined");
 //! let options = RunOptions { workers: 2, ..RunOptions::default() };
 //! let summary = runner::run(&spec, &options)?;
 //! println!("{}", summary.report.to_json());
@@ -40,17 +42,19 @@
 #![warn(missing_docs)]
 
 pub mod daemon;
-pub mod json;
 pub mod manifest;
-pub mod report;
 pub mod runner;
 pub mod spec;
 
-pub use report::{CellResult, Report};
+pub use kahrisma_plan::{json, report};
+
+pub use kahrisma_plan::{CellResult, Report};
 pub use runner::{RunOptions, RunSummary, DEFAULT_SLICE};
 pub use spec::{CacheVariant, CampaignSpec, CellSpec, Engine, DEFAULT_BUDGET};
 
 use std::fmt;
+
+use kahrisma_plan::PlanError;
 
 /// An error raised while running a campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,6 +81,15 @@ pub enum CampaignError {
         /// What went wrong.
         reason: String,
     },
+}
+
+impl From<PlanError> for CampaignError {
+    fn from(e: PlanError) -> CampaignError {
+        match e {
+            PlanError::Io { path, reason } => CampaignError::Io { path, reason },
+            PlanError::Cell { key, reason } => CampaignError::Cell { key, reason },
+        }
+    }
 }
 
 impl fmt::Display for CampaignError {
@@ -107,5 +120,15 @@ mod tests {
     fn error_is_send_sync() {
         fn check<T: Send + Sync>() {}
         check::<CampaignError>();
+    }
+
+    #[test]
+    fn plan_errors_convert_losslessly() {
+        let e: CampaignError =
+            PlanError::Cell { key: "k".into(), reason: "r".into() }.into();
+        assert_eq!(e, CampaignError::Cell { key: "k".into(), reason: "r".into() });
+        let e: CampaignError =
+            PlanError::Io { path: "p".into(), reason: "r".into() }.into();
+        assert_eq!(e, CampaignError::Io { path: "p".into(), reason: "r".into() });
     }
 }

@@ -166,7 +166,7 @@ mod tests {
     #[test]
     fn create_record_resume_round_trip() {
         let path = tmp("roundtrip.jsonl");
-        let spec = CampaignSpec::smoke();
+        let spec = CampaignSpec::by_name("smoke").unwrap();
         let key = spec.cells[0].key();
         {
             let mut m = Manifest::create(&path, &spec).unwrap();
@@ -181,9 +181,9 @@ mod tests {
     #[test]
     fn resume_rejects_foreign_fingerprint() {
         let path = tmp("foreign.jsonl");
-        let smoke = CampaignSpec::smoke();
+        let smoke = CampaignSpec::by_name("smoke").unwrap();
         Manifest::create(&path, &smoke).unwrap();
-        let err = Manifest::resume(&path, &CampaignSpec::table1()).unwrap_err();
+        let err = Manifest::resume(&path, &CampaignSpec::by_name("table1").unwrap()).unwrap_err();
         assert!(err.to_string().contains("fingerprint"), "{err}");
         std::fs::remove_file(&path).ok();
     }
@@ -191,7 +191,7 @@ mod tests {
     #[test]
     fn resume_survives_truncated_trailing_line() {
         let path = tmp("truncated.jsonl");
-        let spec = CampaignSpec::smoke();
+        let spec = CampaignSpec::by_name("smoke").unwrap();
         let key = spec.cells[0].key();
         {
             let mut m = Manifest::create(&path, &spec).unwrap();
@@ -211,7 +211,7 @@ mod tests {
     #[test]
     fn resume_ignores_keys_outside_the_campaign() {
         let path = tmp("foreignkeys.jsonl");
-        let spec = CampaignSpec::smoke();
+        let spec = CampaignSpec::by_name("smoke").unwrap();
         {
             let mut m = Manifest::create(&path, &spec).unwrap();
             m.record(&sample("not/a/real/cell")).unwrap();

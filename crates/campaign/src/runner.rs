@@ -1,34 +1,25 @@
-//! The campaign execution engine: a work-stealing worker pool over the
-//! cells of a [`CampaignSpec`].
+//! The campaign execution front end: manifest-backed resumable runs on
+//! the planner's in-process worker pool.
 //!
-//! Each worker repeatedly claims the next unclaimed cell from a shared
-//! queue, builds (or fetches from a shared cache) the workload executable,
-//! runs the cell's simulation single-threadedly, and appends the result to
-//! the manifest the moment it completes. Per-cell results are therefore
-//! bit-identical regardless of worker count or scheduling order, and the
-//! final report — sorted by cell key — is deterministic up to its
-//! wall-clock timing fields.
+//! The actual scheduling engine is [`kahrisma_plan::LocalPlanner`]; this
+//! module owns what is campaign-specific — manifest resume/creation and
+//! the [`RunOptions`]/[`RunSummary`] surface `kbatch` exposes. Completed
+//! cells are appended to the manifest from the planner's result hook the
+//! moment they finish, exactly as the pre-planner runner did, so per-cell
+//! results stay bit-identical regardless of worker count or scheduling
+//! order.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::BTreeSet;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
-use kahrisma_core::{RunOutcome, Simulator, Throughput};
-use kahrisma_elf::Executable;
-use kahrisma_isa::IsaKind;
-use kahrisma_rtl::RtlConfig;
-use kahrisma_workloads::Workload;
+use kahrisma_plan::{LocalPlanner, PlanError, PlanSession, Planner};
 
 use crate::manifest::Manifest;
 use crate::report::{CellResult, Report};
-use crate::spec::{CampaignSpec, CellSpec, Engine};
+use crate::spec::CampaignSpec;
 use crate::CampaignError;
 
-/// Instructions per [`Simulator::run_for`] slice. Between slices a worker
-/// is at a checkpointable boundary; the value trades checkpoint granularity
-/// against per-slice overhead.
-pub const DEFAULT_SLICE: u64 = 4_000_000;
+pub use kahrisma_plan::DEFAULT_SLICE;
 
 /// How a campaign run should execute.
 #[derive(Debug, Clone)]
@@ -75,21 +66,6 @@ pub struct RunSummary {
     pub interrupted: bool,
 }
 
-/// State shared between workers, guarded by one mutex: the claim queue,
-/// the execution permits, the result sink and the manifest appender.
-struct Shared {
-    queue: VecDeque<CellSpec>,
-    permits: Option<usize>,
-    interrupted: bool,
-    results: Vec<CellResult>,
-    manifest: Option<Manifest>,
-    error: Option<CampaignError>,
-    done: usize,
-    total: usize,
-}
-
-type BuildCache = Mutex<HashMap<(Workload, IsaKind), Arc<Executable>>>;
-
 /// Runs a campaign and aggregates its report.
 ///
 /// # Errors
@@ -103,7 +79,8 @@ type BuildCache = Mutex<HashMap<(Workload, IsaKind), Arc<Executable>>>;
 /// Panics only if a worker thread itself panics (a bug, not a measurement
 /// condition).
 pub fn run(spec: &CampaignSpec, options: &RunOptions) -> Result<RunSummary, CampaignError> {
-    let fingerprint = spec.fingerprint();
+    let plan = spec.to_plan();
+    let fingerprint = plan.fingerprint();
     let mut completed: Vec<CellResult> = Vec::new();
     let mut manifest = None;
     if let Some(path) = &options.manifest {
@@ -116,232 +93,43 @@ pub fn run(spec: &CampaignSpec, options: &RunOptions) -> Result<RunSummary, Camp
         }
     }
 
-    let done_keys: BTreeSet<&str> =
-        completed.iter().map(|c| c.key.as_str()).collect();
-    let queue: VecDeque<CellSpec> = spec
-        .cells
-        .iter()
-        .filter(|c| !done_keys.contains(c.key().as_str()))
-        .cloned()
-        .collect();
-    let skipped = spec.cells.len() - queue.len();
-    let pending = queue.len();
-
-    let shared = Mutex::new(Shared {
-        queue,
-        permits: options.stop_after,
-        interrupted: false,
-        results: Vec::new(),
-        manifest,
-        error: None,
-        done: skipped,
-        total: spec.cells.len(),
-    });
-    let builds: BuildCache = Mutex::new(HashMap::new());
-
-    let workers = options.workers.clamp(1, pending.max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| worker(&shared, &builds, options));
+    let skip: BTreeSet<String> = completed.iter().map(|c| c.key.clone()).collect();
+    let mut record = |result: &CellResult| -> Result<(), PlanError> {
+        match &mut manifest {
+            Some(m) => m.record(result).map_err(|e| match e {
+                CampaignError::Io { path, reason } => PlanError::Io { path, reason },
+                other => PlanError::Io { path: "manifest".into(), reason: other.to_string() },
+            }),
+            None => Ok(()),
         }
-    });
+    };
+    let mut session = PlanSession {
+        skip,
+        stop_after: options.stop_after,
+        progress: options.progress,
+        on_result: Some(&mut record),
+    };
+    let mut planner = LocalPlanner { workers: options.workers, slice: options.slice };
+    let run = planner.run_plan(&plan, &mut session)?;
+    drop(session);
 
-    let mut shared = shared.into_inner().expect("no worker panicked");
-    if let Some(error) = shared.error {
-        return Err(error);
-    }
-    let executed = shared.results.len();
-    completed.append(&mut shared.results);
+    let executed = run.executed;
+    completed.extend(run.results);
     Ok(RunSummary {
         report: Report::new(&spec.name, &fingerprint, completed),
         executed,
-        skipped,
-        interrupted: shared.interrupted,
+        skipped: run.skipped,
+        interrupted: run.interrupted,
     })
-}
-
-/// One worker: claim, build, simulate, record — until the queue drains,
-/// the permits run out, or another worker hit an error.
-fn worker(shared: &Mutex<Shared>, builds: &BuildCache, options: &RunOptions) {
-    loop {
-        let cell = {
-            let mut s = shared.lock().expect("no worker panicked");
-            if s.error.is_some() {
-                return;
-            }
-            if s.queue.is_empty() {
-                return;
-            }
-            if s.permits == Some(0) {
-                s.interrupted = true;
-                return;
-            }
-            if let Some(p) = &mut s.permits {
-                *p -= 1;
-            }
-            s.queue.pop_front().expect("checked non-empty")
-        };
-
-        let started = Instant::now();
-        let outcome = build_cached(builds, &cell)
-            .and_then(|exe| run_cell(&cell, &exe, options.slice));
-        let mut s = shared.lock().expect("no worker panicked");
-        match outcome {
-            Ok(result) => {
-                if let Some(m) = &mut s.manifest {
-                    if let Err(e) = m.record(&result) {
-                        s.error.get_or_insert(e);
-                        return;
-                    }
-                }
-                s.done += 1;
-                if options.progress {
-                    eprintln!(
-                        "[{}/{}] {:<40} {:>7.2}s {:>9.3} MIPS",
-                        s.done,
-                        s.total,
-                        result.key,
-                        started.elapsed().as_secs_f64(),
-                        result.mips,
-                    );
-                }
-                s.results.push(result);
-            }
-            Err(e) => {
-                s.error.get_or_insert(e);
-                return;
-            }
-        }
-    }
-}
-
-/// Builds (or fetches) the executable for a cell's workload × ISA. Two
-/// workers racing on the same pair may both compile; the first insert wins
-/// and compilation is deterministic, so the race is only wasted work.
-fn build_cached(
-    builds: &BuildCache,
-    cell: &CellSpec,
-) -> Result<Arc<Executable>, CampaignError> {
-    let pair = (cell.workload, cell.isa);
-    if let Some(exe) = builds.lock().expect("no worker panicked").get(&pair) {
-        return Ok(Arc::clone(exe));
-    }
-    let exe = cell.workload.build(cell.isa).map_err(|e| CampaignError::Cell {
-        key: cell.key(),
-        reason: format!("toolchain error: {e}"),
-    })?;
-    let exe = Arc::new(exe);
-    Ok(Arc::clone(
-        builds
-            .lock()
-            .expect("no worker panicked")
-            .entry(pair)
-            .or_insert(exe),
-    ))
-}
-
-/// Runs one cell to completion and validates the workload's self-check.
-fn run_cell(
-    cell: &CellSpec,
-    exe: &Executable,
-    slice: u64,
-) -> Result<CellResult, CampaignError> {
-    let cell_err = |reason: String| CampaignError::Cell { key: cell.key(), reason };
-    let expected = cell.workload.expected_exit();
-    match cell.engine {
-        Engine::Rtl => {
-            let start = Instant::now();
-            let rtl = kahrisma_rtl::simulate(exe, &RtlConfig::default(), cell.budget)
-                .map_err(|e| cell_err(format!("rtl simulation error: {e}")))?;
-            let wall = start.elapsed().as_secs_f64();
-            let exit_code = rtl
-                .exit_code
-                .ok_or_else(|| cell_err("instruction budget exhausted".into()))?;
-            if exit_code != expected {
-                return Err(cell_err(format!(
-                    "self-check failed: exit {exit_code}, expected {expected}"
-                )));
-            }
-            let t = Throughput::new(rtl.instructions, wall);
-            Ok(CellResult {
-                key: cell.key(),
-                exit_code,
-                instructions: rtl.instructions,
-                operations: rtl.operations,
-                cycles: Some(rtl.cycles),
-                l1_miss_ratio: None,
-                wall_seconds: t.wall_seconds,
-                mips: t.mips,
-                ns_per_instruction: t.ns_per_instruction,
-            })
-        }
-        Engine::Iss(_) => {
-            let config = cell.sim_config();
-            let mut sim = Simulator::new(exe, config)
-                .map_err(|e| cell_err(format!("load error: {e}")))?;
-            let mut best_wall = f64::INFINITY;
-            for repeat in 0..cell.repeats.max(1) {
-                if repeat > 0 {
-                    sim.reset();
-                }
-                let wall = run_sliced(&mut sim, cell, slice).map_err(&cell_err)?;
-                best_wall = best_wall.min(wall);
-            }
-            if !sim.state().halted {
-                return Err(cell_err("program did not halt".into()));
-            }
-            let exit = sim.state().exit_code;
-            if exit != expected {
-                return Err(cell_err(format!(
-                    "self-check failed: exit {exit}, expected {expected}"
-                )));
-            }
-            let stats = *sim.stats();
-            let cycles = sim.cycle_stats();
-            let operations = cycles
-                .as_ref()
-                .map_or(stats.operations, |c| c.operations);
-            let l1_miss_ratio = cycles.as_ref().and_then(|c| {
-                c.memory.iter().find_map(|l| l.cache).map(|c| c.miss_ratio())
-            });
-            let t = stats.throughput(best_wall);
-            Ok(CellResult {
-                key: cell.key(),
-                exit_code: exit,
-                instructions: stats.instructions,
-                operations,
-                cycles: cycles.map(|c| c.cycles),
-                l1_miss_ratio,
-                wall_seconds: t.wall_seconds,
-                mips: t.mips,
-                ns_per_instruction: t.ns_per_instruction,
-            })
-        }
-    }
-}
-
-/// Drives a simulator to halt in `run_for` slices, enforcing the cell's
-/// instruction budget. Returns the wall-clock seconds of the run.
-fn run_sliced(sim: &mut Simulator, cell: &CellSpec, slice: u64) -> Result<f64, String> {
-    let slice = slice.max(1);
-    let start = Instant::now();
-    loop {
-        let executed = sim.stats().instructions;
-        if executed >= cell.budget {
-            return Err(format!("instruction budget exhausted ({executed})"));
-        }
-        let step = slice.min(cell.budget - executed);
-        match sim.run_for(step).map_err(|e| format!("simulation error: {e}"))? {
-            RunOutcome::Halted { .. } => return Ok(start.elapsed().as_secs_f64()),
-            RunOutcome::BudgetExhausted => {}
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::{CellSpec, Engine};
     use kahrisma_core::CycleModelKind;
+    use kahrisma_isa::IsaKind;
+    use kahrisma_workloads::Workload;
 
     fn tiny_spec() -> CampaignSpec {
         let mut spec = CampaignSpec {

@@ -1,156 +1,21 @@
 //! Campaign specifications: the grid of simulation cells to run.
 //!
-//! A *campaign* is a named list of *cells*; each cell pins down one
-//! simulation completely — workload, ISA, engine (functional/cycle-model
-//! simulator or the cycle-accurate RTL reference), decode-cache variant,
-//! memory hierarchy, instruction budget and repeat count. The paper's
-//! evaluation artifacts (Table I, Table II, Figure 4, §VII) are shipped as
-//! predefined campaigns so a single `kbatch` invocation regenerates them.
+//! Since the execution-planner extraction, a campaign is a thin façade
+//! over [`kahrisma_plan`]: [`CellSpec`] *is* the planner's
+//! [`CellRun`](kahrisma_plan::CellRun), and the predefined grids live in
+//! [`kahrisma_plan::grids`] — the single grid expander shared with the
+//! bench harnesses and `kbatch dse`. Cell keys, orderings and fingerprints
+//! are unchanged, so manifests written before the extraction still resume.
 
-use kahrisma_core::{CycleModelKind, MemoryHierarchy, SimConfig};
+use kahrisma_plan::{grids, ExecPlan};
+
+pub use kahrisma_plan::{CacheVariant, Engine, DEFAULT_BUDGET};
+
+/// One fully-specified simulation (the planner's cell type).
+pub type CellSpec = kahrisma_plan::CellRun;
+
 use kahrisma_isa::IsaKind;
 use kahrisma_workloads::Workload;
-
-/// Default instruction budget for campaign cells (matches the bench
-/// harnesses' `BUDGET`).
-pub const DEFAULT_BUDGET: u64 = 500_000_000;
-
-/// Which simulation engine a cell runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Engine {
-    /// The interpretation-based instruction-set simulator, optionally with
-    /// a cycle-approximation model attached (§V/§VI).
-    Iss(Option<CycleModelKind>),
-    /// The cycle-accurate RTL reference pipeline (Table II's "Hardware").
-    Rtl,
-}
-
-impl Engine {
-    /// Short engine/model tag used in cell keys.
-    #[must_use]
-    pub fn tag(self) -> &'static str {
-        match self {
-            Engine::Iss(None) => "func",
-            Engine::Iss(Some(CycleModelKind::Ilp)) => "ilp",
-            Engine::Iss(Some(CycleModelKind::Aie)) => "aie",
-            Engine::Iss(Some(CycleModelKind::Doe)) => "doe",
-            Engine::Iss(Some(_)) => "model",
-            Engine::Rtl => "rtl",
-        }
-    }
-}
-
-/// The decode-cache configuration ladder of Table I (§V-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum CacheVariant {
-    /// Detect & decode every instruction (the paper's 0.177 MIPS row).
-    NoCache,
-    /// Decode cache without instruction prediction.
-    CacheOnly,
-    /// Decode cache + prediction, per-entry hot loop (the paper baseline).
-    Prediction,
-    /// Full arena + superblock-batched hot loop (this repo's default).
-    Superblocks,
-}
-
-impl CacheVariant {
-    /// Short variant tag used in cell keys.
-    #[must_use]
-    pub fn tag(self) -> &'static str {
-        match self {
-            CacheVariant::NoCache => "nocache",
-            CacheVariant::CacheOnly => "cache",
-            CacheVariant::Prediction => "pred",
-            CacheVariant::Superblocks => "superblock",
-        }
-    }
-}
-
-/// One fully-specified simulation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct CellSpec {
-    /// The application to simulate.
-    pub workload: Workload,
-    /// The ISA the workload is compiled for.
-    pub isa: IsaKind,
-    /// Simulation engine (ISS + optional cycle model, or RTL reference).
-    pub engine: Engine,
-    /// Decode-cache configuration (ignored by the RTL engine, which drives
-    /// the default simulator).
-    pub variant: CacheVariant,
-    /// Replace the paper's memory hierarchy with ideal (zero-latency)
-    /// memory — Table I's `aie/ideal` row.
-    pub ideal_memory: bool,
-    /// Instruction budget; exceeding it fails the cell.
-    pub budget: u64,
-    /// Wall-clock repeats; the fastest run is reported (timing fields
-    /// only — counters are identical across repeats by construction).
-    pub repeats: u32,
-}
-
-impl CellSpec {
-    /// A cell with the default budget, one repeat, the superblock hot loop
-    /// and the paper memory hierarchy.
-    #[must_use]
-    pub fn new(workload: Workload, isa: IsaKind, engine: Engine) -> Self {
-        CellSpec {
-            workload,
-            isa,
-            engine,
-            variant: CacheVariant::Superblocks,
-            ideal_memory: false,
-            budget: DEFAULT_BUDGET,
-            repeats: 1,
-        }
-    }
-
-    /// The cell's unique, stable, sortable key:
-    /// `workload/isa/engine/variant[+idealmem]`.
-    #[must_use]
-    pub fn key(&self) -> String {
-        let mut key = format!(
-            "{}/{}/{}/{}",
-            self.workload.name(),
-            self.isa.name(),
-            self.engine.tag(),
-            self.variant.tag()
-        );
-        if self.ideal_memory {
-            key.push_str("+idealmem");
-        }
-        key
-    }
-
-    /// The simulator configuration this cell prescribes (ISS engine only).
-    #[must_use]
-    pub fn sim_config(&self) -> SimConfig {
-        let model = match self.engine {
-            Engine::Iss(model) => model,
-            Engine::Rtl => None,
-        };
-        let mut config = SimConfig {
-            cycle_model: model,
-            ..SimConfig::default()
-        };
-        match self.variant {
-            CacheVariant::NoCache => {
-                config.decode_cache = false;
-                config.prediction = false;
-                config.superblocks = false;
-            }
-            CacheVariant::CacheOnly => {
-                config.prediction = false;
-                config.superblocks = false;
-            }
-            CacheVariant::Prediction => config.superblocks = false,
-            CacheVariant::Superblocks => {}
-        }
-        if self.ideal_memory {
-            config.memory = MemoryHierarchy::new().with_memory(0);
-        }
-        config
-    }
-}
 
 /// A named list of cells.
 #[derive(Debug, Clone)]
@@ -164,18 +29,12 @@ pub struct CampaignSpec {
 
 impl CampaignSpec {
     /// Names of the predefined campaigns, for `kbatch --list`.
-    pub const PREDEFINED: [&'static str; 4] = ["table1", "table2", "figure4", "smoke"];
+    pub const PREDEFINED: [&'static str; 4] = grids::PREDEFINED;
 
     /// Looks up a predefined campaign by name.
     #[must_use]
     pub fn by_name(name: &str) -> Option<CampaignSpec> {
-        match name {
-            "table1" => Some(CampaignSpec::table1()),
-            "table2" => Some(CampaignSpec::table2()),
-            "figure4" => Some(CampaignSpec::figure4()),
-            "smoke" => Some(CampaignSpec::smoke()),
-            _ => None,
-        }
+        grids::by_name(name).map(CampaignSpec::from)
     }
 
     /// A generic grid: the cross product of workloads × ISAs × engines.
@@ -186,113 +45,63 @@ impl CampaignSpec {
         isas: &[IsaKind],
         engines: &[Engine],
     ) -> CampaignSpec {
-        let mut cells = Vec::new();
-        for &w in workloads {
-            for &isa in isas {
-                for &engine in engines {
-                    cells.push(CellSpec::new(w, isa, engine));
-                }
-            }
-        }
-        CampaignSpec { name: name.to_string(), cells }
+        grids::grid(name, workloads, isas, engines).into()
     }
 
-    /// Table I (§VII-A): the component-cost ladder on cjpeg/RISC — no
-    /// cache, cache only, prediction, each cycle model, AIE with ideal
-    /// memory, and the superblock hot loop.
+    /// Table I (§VII-A): the component-cost ladder on cjpeg/RISC.
     #[must_use]
+    #[deprecated(note = "use kahrisma_plan::grids::table1()")]
     pub fn table1() -> CampaignSpec {
-        let cell = |variant, engine, ideal_memory| CellSpec {
-            variant,
-            ideal_memory,
-            repeats: 3,
-            ..CellSpec::new(Workload::Cjpeg, IsaKind::Risc, engine)
-        };
-        CampaignSpec {
-            name: "table1".into(),
-            cells: vec![
-                cell(CacheVariant::NoCache, Engine::Iss(None), false),
-                cell(CacheVariant::CacheOnly, Engine::Iss(None), false),
-                cell(CacheVariant::Prediction, Engine::Iss(None), false),
-                cell(CacheVariant::Prediction, Engine::Iss(Some(CycleModelKind::Ilp)), false),
-                cell(CacheVariant::Prediction, Engine::Iss(Some(CycleModelKind::Aie)), false),
-                cell(CacheVariant::Prediction, Engine::Iss(Some(CycleModelKind::Doe)), false),
-                cell(CacheVariant::Prediction, Engine::Iss(Some(CycleModelKind::Aie)), true),
-                cell(CacheVariant::Superblocks, Engine::Iss(None), false),
-            ],
-        }
+        grids::table1().into()
     }
 
-    /// Table II (§VII-C): DCT on RISC/VLIW2/VLIW4/VLIW8, RTL reference vs
-    /// DOE approximation.
+    /// Table II (§VII-C): DOE vs the RTL reference on DCT.
     #[must_use]
+    #[deprecated(note = "use kahrisma_plan::grids::table2()")]
     pub fn table2() -> CampaignSpec {
-        let isas = [IsaKind::Risc, IsaKind::Vliw2, IsaKind::Vliw4, IsaKind::Vliw8];
-        let mut cells = Vec::new();
-        for isa in isas {
-            cells.push(CellSpec::new(Workload::Dct, isa, Engine::Rtl));
-            cells.push(CellSpec::new(
-                Workload::Dct,
-                isa,
-                Engine::Iss(Some(CycleModelKind::Doe)),
-            ));
-        }
-        CampaignSpec { name: "table2".into(), cells }
+        grids::table2().into()
     }
 
-    /// Figure 4 (§VII-B): per workload, the ILP bound on the RISC binary
-    /// plus the DOE model on all five processor instances.
+    /// Figure 4 (§VII-B): ILP bound plus DOE on all processor instances.
     #[must_use]
+    #[deprecated(note = "use kahrisma_plan::grids::figure4()")]
     pub fn figure4() -> CampaignSpec {
-        let mut cells = Vec::new();
-        for w in Workload::ALL {
-            cells.push(CellSpec::new(w, IsaKind::Risc, Engine::Iss(Some(CycleModelKind::Ilp))));
-            for isa in IsaKind::ALL {
-                cells.push(CellSpec::new(w, isa, Engine::Iss(Some(CycleModelKind::Doe))));
-            }
-        }
-        CampaignSpec { name: "figure4".into(), cells }
+        grids::figure4().into()
     }
 
-    /// A small CI campaign: one workload × two ISAs × three cycle models.
+    /// A small CI campaign.
     #[must_use]
+    #[deprecated(note = "use kahrisma_plan::grids::smoke()")]
     pub fn smoke() -> CampaignSpec {
-        let models = [CycleModelKind::Ilp, CycleModelKind::Aie, CycleModelKind::Doe];
-        let mut cells = Vec::new();
-        for isa in [IsaKind::Risc, IsaKind::Vliw4] {
-            for model in models {
-                cells.push(CellSpec::new(Workload::Dct, isa, Engine::Iss(Some(model))));
-            }
-        }
-        CampaignSpec { name: "smoke".into(), cells }
+        grids::smoke().into()
+    }
+
+    /// The campaign as an execution plan (the planner-native form).
+    #[must_use]
+    pub fn to_plan(&self) -> ExecPlan {
+        ExecPlan { name: self.name.clone(), cells: self.cells.clone() }
     }
 
     /// A stable fingerprint over the campaign's name and cell parameters,
-    /// used to reject resuming a manifest written for a different campaign.
+    /// used to reject resuming a manifest written for a different campaign
+    /// ([`ExecPlan::fingerprint`] — unchanged from the pre-planner
+    /// implementation).
     #[must_use]
     pub fn fingerprint(&self) -> String {
-        // FNV-1a, 64 bit — stable across platforms and runs, unlike the
-        // std hasher, whose seeds are randomized.
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                hash ^= u64::from(b);
-                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        };
-        eat(self.name.as_bytes());
-        for cell in &self.cells {
-            eat(cell.key().as_bytes());
-            eat(&cell.budget.to_le_bytes());
-            eat(&cell.repeats.to_le_bytes());
-        }
-        format!("{hash:016x}")
+        self.to_plan().fingerprint()
+    }
+}
+
+impl From<ExecPlan> for CampaignSpec {
+    fn from(plan: ExecPlan) -> CampaignSpec {
+        CampaignSpec { name: plan.name, cells: plan.cells }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kahrisma_core::CycleModelKind;
 
     #[test]
     fn keys_are_unique_within_predefined_campaigns() {
@@ -307,11 +116,21 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_delegate_to_the_planner_grids() {
+        assert_eq!(CampaignSpec::table1().fingerprint(), grids::table1().fingerprint());
+        assert_eq!(CampaignSpec::table2().fingerprint(), grids::table2().fingerprint());
+        assert_eq!(CampaignSpec::figure4().fingerprint(), grids::figure4().fingerprint());
+        assert_eq!(CampaignSpec::smoke().fingerprint(), grids::smoke().fingerprint());
+    }
+
+    #[test]
     fn predefined_sizes_match_paper_artifacts() {
-        assert_eq!(CampaignSpec::table1().cells.len(), 8);
-        assert_eq!(CampaignSpec::table2().cells.len(), 8);
-        assert_eq!(CampaignSpec::figure4().cells.len(), 36);
-        assert_eq!(CampaignSpec::smoke().cells.len(), 6);
+        let size = |n: &str| CampaignSpec::by_name(n).unwrap().cells.len();
+        assert_eq!(size("table1"), 8);
+        assert_eq!(size("table2"), 8);
+        assert_eq!(size("figure4"), 36);
+        assert_eq!(size("smoke"), 6);
     }
 
     #[test]
@@ -339,14 +158,25 @@ mod tests {
 
     #[test]
     fn fingerprint_is_stable_and_parameter_sensitive() {
-        let a = CampaignSpec::smoke();
-        let b = CampaignSpec::smoke();
+        let a = CampaignSpec::by_name("smoke").unwrap();
+        let b = CampaignSpec::by_name("smoke").unwrap();
         assert_eq!(a.fingerprint(), b.fingerprint());
-        let mut c = CampaignSpec::smoke();
+        let mut c = CampaignSpec::by_name("smoke").unwrap();
         c.cells[0].budget += 1;
         assert_ne!(a.fingerprint(), c.fingerprint());
-        let mut d = CampaignSpec::smoke();
+        let mut d = CampaignSpec::by_name("smoke").unwrap();
         d.name = "smoke2".into();
         assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn predefined_fingerprints_are_frozen() {
+        // Captured before the planner extraction; a change here would
+        // orphan every existing manifest.
+        let fp = |n: &str| CampaignSpec::by_name(n).unwrap().fingerprint();
+        assert_eq!(fp("table1"), "5d4c1f658946a520");
+        assert_eq!(fp("table2"), "f175e0aa44b51159");
+        assert_eq!(fp("figure4"), "3ac17e746512cba7");
+        assert_eq!(fp("smoke"), "21a05339803ae455");
     }
 }

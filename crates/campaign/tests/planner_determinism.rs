@@ -1,0 +1,116 @@
+//! Cross-backend planner determinism: one [`ExecPlan`] must produce
+//! bit-identical deterministic counters on every planner backend — the
+//! in-process work-stealing pool (any worker count), a `ksimd` daemon,
+//! a `kgate` fleet of daemons, and the simulated fabric. This is the
+//! contract that makes `kbatch dse` results backend-independent.
+
+use kahrisma_campaign::Report;
+use kahrisma_core::{CycleModelKind, MemGeometry, TierMode};
+use kahrisma_isa::IsaKind;
+use kahrisma_plan::{
+    grids, DaemonPlanner, DseReport, Engine, ExecPlan, FabricPlanner, LocalPlanner, PlanSession,
+    Planner,
+};
+use kahrisma_serve::{Daemon, ServerConfig};
+use kahrisma_workloads::Workload;
+
+/// A small DSE plan spanning both execution tiers and a 2×2 geometry
+/// grid: 8 cells of dct/risc/doe, all servable and fabric-schedulable.
+fn dse_plan() -> ExecPlan {
+    let d = MemGeometry::default();
+    grids::dse(
+        "determinism",
+        &[Workload::Dct],
+        &[IsaKind::Risc],
+        &[Engine::Iss(Some(CycleModelKind::Doe))],
+        &[TierMode::Ir, TierMode::Interp],
+        &[
+            MemGeometry { l1_lines: 16, line_bytes: 16, ..d },
+            MemGeometry { l1_lines: 16, line_bytes: 32, ..d },
+            MemGeometry { l1_lines: 32, line_bytes: 16, ..d },
+            MemGeometry { l1_lines: 32, line_bytes: 32, ..d },
+        ],
+        50_000_000,
+        1,
+    )
+}
+
+fn run_on(planner: &mut dyn Planner, plan: &ExecPlan) -> Report {
+    let mut session = PlanSession::default();
+    let run = planner.run_plan(plan, &mut session).expect("plan run");
+    assert_eq!(run.executed, plan.cells.len());
+    assert!(!run.interrupted);
+    Report::new(&plan.name, &plan.fingerprint(), run.results)
+}
+
+fn spawn_daemon() -> (String, kahrisma_serve::DaemonHandle, std::thread::JoinHandle<()>) {
+    let daemon = Daemon::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = daemon.local_addr().expect("addr").to_string();
+    let handle = daemon.handle().expect("handle");
+    let thread = std::thread::spawn(move || daemon.run().expect("daemon loop"));
+    (addr, handle, thread)
+}
+
+#[test]
+fn local_pool_counters_are_worker_count_invariant() {
+    let plan = dse_plan();
+    let one = run_on(&mut LocalPlanner { workers: 1, ..LocalPlanner::default() }, &plan);
+    let four = run_on(&mut LocalPlanner { workers: 4, ..LocalPlanner::default() }, &plan);
+    assert!(one.deterministic_eq(&four));
+    // The derived Pareto report is equally invariant.
+    let a = DseReport::new(&plan.name, &plan.fingerprint(), one.cells.clone());
+    let b = DseReport::new(&plan.name, &plan.fingerprint(), four.cells.clone());
+    assert!(a.deterministic_eq(&b));
+}
+
+#[test]
+fn daemon_backend_matches_the_local_pool() {
+    let plan = dse_plan();
+    let local = run_on(&mut LocalPlanner::default(), &plan);
+    let (addr, handle, thread) = spawn_daemon();
+    let served = run_on(&mut DaemonPlanner::new(&addr), &plan);
+    assert!(served.deterministic_eq(&local));
+    handle.shutdown();
+    thread.join().expect("daemon thread");
+}
+
+#[test]
+fn gate_fleet_backend_matches_the_local_pool() {
+    use kahrisma_gate::{Fleet, Gate, GateConfig};
+
+    let plan = dse_plan();
+    let local = run_on(&mut LocalPlanner::default(), &plan);
+
+    let workers = [spawn_daemon(), spawn_daemon()];
+    let gate = Gate::bind(
+        GateConfig { addr: "127.0.0.1:0".to_string(), ..GateConfig::default() },
+        Fleet::new(workers.iter().map(|(a, _, _)| (a.clone(), None)).collect()),
+    )
+    .expect("bind gate");
+    let gate_addr = gate.local_addr().expect("gate addr").to_string();
+    let gate_handle = gate.handle().expect("gate handle");
+    let gate_thread = std::thread::spawn(move || gate.run().expect("gate loop"));
+
+    let gated = run_on(&mut DaemonPlanner::new(&gate_addr), &plan);
+    assert!(gated.deterministic_eq(&local));
+
+    gate_handle.shutdown();
+    gate_thread.join().expect("gate thread");
+    for (_, handle, thread) in workers {
+        handle.shutdown();
+        thread.join().expect("worker thread");
+    }
+}
+
+#[test]
+fn fabric_backend_matches_the_local_pool() {
+    let plan = dse_plan();
+    let local = run_on(&mut LocalPlanner::default(), &plan);
+    let fabric =
+        run_on(&mut FabricPlanner { host_threads: 2, ..FabricPlanner::default() }, &plan);
+    assert!(fabric.deterministic_eq(&local));
+}

@@ -12,7 +12,7 @@ use kahrisma_workloads::Workload;
 
 /// A 6-cell grid that is fast but covers two ISAs and all three models.
 fn grid() -> CampaignSpec {
-    let mut spec = CampaignSpec::smoke();
+    let mut spec = CampaignSpec::by_name("smoke").unwrap();
     spec.name = "resume-test".into();
     for cell in &mut spec.cells {
         cell.budget = 50_000_000;
@@ -161,6 +161,41 @@ fn completed_manifest_resumes_to_a_noop() {
     // Even the timing fields round-trip: nothing re-ran, so the report is
     // exactly what the manifest recorded.
     assert_eq!(second.report.cells, first.report.cells);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Manifests written before the execution-planner extraction must still
+/// resume: the frozen fingerprint, the pre-planner cell-line shape
+/// (explicit `null`s for absent optionals), and the tolerance for a
+/// truncated trailing line (a crash mid-append) are all part of the
+/// compatibility contract.
+#[test]
+fn pre_planner_manifest_still_resumes() {
+    let spec = CampaignSpec::by_name("smoke").unwrap();
+    let path = tmp("legacy");
+    let recorded_key = "dct/risc/ilp/superblock";
+    // Verbatim pre-extraction manifest content: header with the frozen
+    // fingerprint, one completed cell, one partial line from a crash.
+    let legacy = "\
+{\"campaign\": \"smoke\", \"fingerprint\": \"21a05339803ae455\", \"cells\": 6}\n\
+{\"key\": \"dct/risc/ilp/superblock\", \"exit_code\": 60, \"instructions\": 12345, \
+\"operations\": 23456, \"cycles\": 34567, \"l1_miss_ratio\": null, \
+\"wall_seconds\": 0.5, \"mips\": 0.02, \"ns_per_instruction\": 40000.0}\n\
+{\"key\": \"dct/risc/aes\n";
+    std::fs::write(&path, legacy).unwrap();
+
+    let resumed = runner::run(
+        &spec,
+        &RunOptions { manifest: Some(path.clone()), ..RunOptions::default() },
+    )
+    .expect("legacy resume");
+    assert_eq!(resumed.skipped, 1, "the recorded cell must be skipped");
+    assert_eq!(resumed.executed, spec.cells.len() - 1);
+    let recorded = resumed.report.get(recorded_key).expect("recorded cell kept");
+    // The manifest's values are trusted verbatim, not re-simulated.
+    assert_eq!(recorded.instructions, 12345);
+    assert_eq!(recorded.cycles, Some(34567));
+    assert_eq!(recorded.l1_miss_ratio, None);
     std::fs::remove_file(&path).ok();
 }
 

@@ -23,7 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use kahrisma_core::{AccessKind, CacheConfig, CacheStats, MemoryHierarchy};
+use kahrisma_core::{AccessKind, CacheConfig, CacheStats, MemGeometry, MemoryHierarchy};
 
 /// Geometry and latency configuration of the coherent memory system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +54,24 @@ impl Default for CoherentConfig {
             l2_ports: 1,
             mem_delay: 18,
             upgrade_delay: 3,
+        }
+    }
+}
+
+impl From<MemGeometry> for CoherentConfig {
+    /// Maps the shared geometry knobs onto the coherent memory system; the
+    /// coherence-specific latencies (`l1_delay`, `upgrade_delay`) and the
+    /// L2 capacity keep their defaults. The L2 line size follows the
+    /// coherence line size so both levels stay line-compatible.
+    fn from(g: MemGeometry) -> Self {
+        let d = CoherentConfig::default();
+        CoherentConfig {
+            line_bytes: g.line_bytes,
+            l1_lines: g.l1_lines,
+            l2: CacheConfig { line_size: g.line_bytes, ..d.l2 },
+            l2_ports: g.l2_ports,
+            mem_delay: g.mem_delay,
+            ..d
         }
     }
 }
@@ -392,6 +410,21 @@ mod tests {
 
     const R: u32 = 0; // read of word 0
     const W: u32 = 1; // write of word 0
+
+    #[test]
+    fn geometry_maps_onto_coherent_config() {
+        assert_eq!(CoherentConfig::from(MemGeometry::default()), CoherentConfig::default());
+        let g = MemGeometry { l1_lines: 8, line_bytes: 16, l2_ports: 2, mem_delay: 40 };
+        let cfg = CoherentConfig::from(g);
+        assert_eq!(cfg.l1_lines, 8);
+        assert_eq!(cfg.line_bytes, 16);
+        assert_eq!(cfg.l2.line_size, 16);
+        assert_eq!(cfg.l2_ports, 2);
+        assert_eq!(cfg.mem_delay, 40);
+        assert_eq!(cfg.l1_delay, CoherentConfig::default().l1_delay);
+        assert_eq!(cfg.upgrade_delay, CoherentConfig::default().upgrade_delay);
+        assert_eq!(cfg.l2.size, CoherentConfig::default().l2.size);
+    }
 
     #[test]
     fn private_reads_hit_after_cold_miss() {

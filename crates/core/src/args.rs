@@ -29,6 +29,8 @@
 use std::fmt::Display;
 use std::str::FromStr;
 
+use crate::cycles::MemGeometry;
+
 /// A cursor over a binary's argument vector.
 #[derive(Debug, Clone)]
 pub struct ArgList {
@@ -110,6 +112,147 @@ impl ArgList {
     }
 }
 
+/// The shared parser for the four memory-geometry flags
+/// (`--l1-lines`, `--line-bytes`, `--l2-ports`, `--mem-delay`).
+///
+/// `kfab --mem coherent` and `kbatch dse` both expose the same knobs; this
+/// is the one copy of their parsing and validation. Each flag accepts a
+/// comma-separated list of values so `kbatch dse` can sweep a grid
+/// ([`GeometryArgs::grid`]); binaries that want exactly one geometry
+/// ([`GeometryArgs::single`]) reject multi-valued flags with a uniform
+/// error.
+#[derive(Debug, Clone, Default)]
+pub struct GeometryArgs {
+    /// Values given to `--l1-lines`, in order.
+    pub l1_lines: Option<Vec<u32>>,
+    /// Values given to `--line-bytes`, in order.
+    pub line_bytes: Option<Vec<u32>>,
+    /// Values given to `--l2-ports`, in order.
+    pub l2_ports: Option<Vec<u32>>,
+    /// Values given to `--mem-delay`, in order.
+    pub mem_delay: Option<Vec<u64>>,
+}
+
+impl GeometryArgs {
+    /// Consumes `flag`'s value when it is one of the four geometry flags.
+    /// Returns `Ok(false)` (without consuming anything) for other flags so
+    /// callers can fall through to their own `match` arms.
+    ///
+    /// # Errors
+    ///
+    /// The uniform [`ArgList`] wordings for missing or unparseable values,
+    /// plus per-flag validation: `"--l1-lines must be at least 1"`,
+    /// `"--line-bytes must be a power of two"`, and
+    /// `"--l2-ports must be at least 1"`.
+    pub fn accept(&mut self, flag: &str, args: &mut ArgList) -> Result<bool, String> {
+        match flag {
+            "--l1-lines" => {
+                let vals = parse_list::<u32>(flag, args)?;
+                if vals.contains(&0) {
+                    return Err("--l1-lines must be at least 1".to_string());
+                }
+                self.l1_lines = Some(vals);
+            }
+            "--line-bytes" => {
+                let vals = parse_list::<u32>(flag, args)?;
+                if vals.iter().any(|&v| v == 0 || !v.is_power_of_two()) {
+                    return Err("--line-bytes must be a power of two".to_string());
+                }
+                self.line_bytes = Some(vals);
+            }
+            "--l2-ports" => {
+                let vals = parse_list::<u32>(flag, args)?;
+                if vals.contains(&0) {
+                    return Err("--l2-ports must be at least 1".to_string());
+                }
+                self.l2_ports = Some(vals);
+            }
+            "--mem-delay" => {
+                self.mem_delay = Some(parse_list::<u64>(flag, args)?);
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// `true` when any geometry flag was given.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.l1_lines.is_some()
+            || self.line_bytes.is_some()
+            || self.l2_ports.is_some()
+            || self.mem_delay.is_some()
+    }
+
+    /// Resolves the flags to at most one [`MemGeometry`], for binaries that
+    /// configure a single machine (`kfab`). `None` when no geometry flag
+    /// was given; defaults fill the unspecified fields otherwise.
+    ///
+    /// # Errors
+    ///
+    /// `"{flag} accepts a single value here, got a list"` when any flag was
+    /// given more than one value.
+    pub fn single(&self) -> Result<Option<MemGeometry>, String> {
+        if !self.any() {
+            return Ok(None);
+        }
+        fn one<T: Copy>(flag: &str, vals: &Option<Vec<T>>, default: T) -> Result<T, String> {
+            match vals {
+                None => Ok(default),
+                Some(v) if v.len() == 1 => Ok(v[0]),
+                Some(_) => Err(format!("{flag} accepts a single value here, got a list")),
+            }
+        }
+        let d = MemGeometry::default();
+        Ok(Some(MemGeometry {
+            l1_lines: one("--l1-lines", &self.l1_lines, d.l1_lines)?,
+            line_bytes: one("--line-bytes", &self.line_bytes, d.line_bytes)?,
+            l2_ports: one("--l2-ports", &self.l2_ports, d.l2_ports)?,
+            mem_delay: one("--mem-delay", &self.mem_delay, d.mem_delay)?,
+        }))
+    }
+
+    /// Expands the flags into the full cross product of geometries, filling
+    /// unspecified axes with the paper default. The order is deterministic:
+    /// `l1_lines` outermost, then `line_bytes`, `l2_ports`, `mem_delay`,
+    /// each axis in the order its values were given.
+    #[must_use]
+    pub fn grid(&self) -> Vec<MemGeometry> {
+        let d = MemGeometry::default();
+        let l1 = self.l1_lines.clone().unwrap_or_else(|| vec![d.l1_lines]);
+        let lb = self.line_bytes.clone().unwrap_or_else(|| vec![d.line_bytes]);
+        let lp = self.l2_ports.clone().unwrap_or_else(|| vec![d.l2_ports]);
+        let md = self.mem_delay.clone().unwrap_or_else(|| vec![d.mem_delay]);
+        let mut out = Vec::with_capacity(l1.len() * lb.len() * lp.len() * md.len());
+        for &l1_lines in &l1 {
+            for &line_bytes in &lb {
+                for &l2_ports in &lp {
+                    for &mem_delay in &md {
+                        out.push(MemGeometry { l1_lines, line_bytes, l2_ports, mem_delay });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parses a comma-separated value list for `flag`.
+fn parse_list<T>(flag: &str, args: &mut ArgList) -> Result<Vec<T>, String>
+where
+    T: FromStr,
+    T::Err: Display,
+{
+    let raw = args.value(flag)?;
+    raw.split(',')
+        .map(|tok| {
+            let tok = tok.trim();
+            tok.parse()
+                .map_err(|e| format!("invalid value for {flag}: {tok} ({e})"))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +296,74 @@ mod tests {
         assert_eq!(args.positional("prog.elf"), Ok("prog.elf".to_string()));
         assert_eq!(args.positional("-"), Ok("-".to_string()));
         assert_eq!(args.positional("--oops"), Err("unknown flag: --oops".to_string()));
+    }
+
+    fn geo_from(items: &[&str]) -> Result<GeometryArgs, String> {
+        let mut args = list(items);
+        let mut geo = GeometryArgs::default();
+        while let Some(arg) = args.next_arg() {
+            if !geo.accept(&arg, &mut args)? {
+                return Err(format!("unknown flag: {arg}"));
+            }
+        }
+        Ok(geo)
+    }
+
+    #[test]
+    fn geometry_single_fills_defaults() {
+        let geo = geo_from(&["--l1-lines", "8", "--mem-delay", "40"]).unwrap();
+        assert!(geo.any());
+        let g = geo.single().unwrap().unwrap();
+        assert_eq!(g.l1_lines, 8);
+        assert_eq!(g.line_bytes, 32);
+        assert_eq!(g.l2_ports, 1);
+        assert_eq!(g.mem_delay, 40);
+        assert_eq!(GeometryArgs::default().single(), Ok(None));
+    }
+
+    #[test]
+    fn geometry_single_rejects_lists() {
+        let geo = geo_from(&["--l2-ports", "1,2"]).unwrap();
+        let err = geo.single().unwrap_err();
+        assert!(err.contains("single value"), "{err}");
+    }
+
+    #[test]
+    fn geometry_validation_matches_kfab_wordings() {
+        assert_eq!(
+            geo_from(&["--l2-ports", "0"]).unwrap_err(),
+            "--l2-ports must be at least 1"
+        );
+        assert_eq!(
+            geo_from(&["--l1-lines", "0"]).unwrap_err(),
+            "--l1-lines must be at least 1"
+        );
+        assert_eq!(
+            geo_from(&["--line-bytes", "24"]).unwrap_err(),
+            "--line-bytes must be a power of two"
+        );
+        let err = geo_from(&["--mem-delay", "abc"]).unwrap_err();
+        assert!(err.starts_with("invalid value for --mem-delay: abc"), "{err}");
+        assert_eq!(
+            geo_from(&["--line-bytes"]).unwrap_err(),
+            "--line-bytes expects a value"
+        );
+    }
+
+    #[test]
+    fn geometry_grid_is_the_ordered_cross_product() {
+        let geo = geo_from(&["--l1-lines", "16,32", "--line-bytes", "16,32"]).unwrap();
+        let grid = geo.grid();
+        assert_eq!(grid.len(), 4);
+        assert_eq!((grid[0].l1_lines, grid[0].line_bytes), (16, 16));
+        assert_eq!((grid[1].l1_lines, grid[1].line_bytes), (16, 32));
+        assert_eq!((grid[2].l1_lines, grid[2].line_bytes), (32, 16));
+        assert_eq!((grid[3].l1_lines, grid[3].line_bytes), (32, 32));
+        for g in &grid {
+            assert_eq!(g.l2_ports, 1);
+            assert_eq!(g.mem_delay, 18);
+        }
+        assert_eq!(GeometryArgs::default().grid().len(), 1);
+        assert_eq!(GeometryArgs::default().grid()[0], MemGeometry::default());
     }
 }

@@ -339,6 +339,99 @@ fn chain_access(
     }
 }
 
+/// The four shared memory-geometry knobs swept by design-space exploration
+/// and exposed as CLI flags (`--l1-lines/--line-bytes/--l2-ports/--mem-delay`)
+/// by both `kfab --mem coherent` and `kbatch dse`.
+///
+/// One struct, two consumers: [`MemGeometry::hierarchy`] builds a
+/// single-core [`MemoryHierarchy`] for the AIE/DOE cycle models, and
+/// `kahrisma-coherent` maps the same fields onto its per-core MESI
+/// configuration (`CoherentConfig: From<MemGeometry>`). The defaults
+/// reproduce the paper's L1 capacity (64 × 32 B = 2 KiB), a single L2
+/// port, and the paper's 18-cycle main memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemGeometry {
+    /// Lines in the (4-way, or fully-associative when smaller) L1.
+    pub l1_lines: u32,
+    /// Line size in bytes, power of two; also the L2 line size.
+    pub line_bytes: u32,
+    /// Arbitrated ports into the shared L2 (a ConnLimit module).
+    pub l2_ports: u32,
+    /// Main-memory delay behind the L2, in cycles.
+    pub mem_delay: u64,
+}
+
+impl Default for MemGeometry {
+    fn default() -> Self {
+        MemGeometry { l1_lines: 64, line_bytes: 32, l2_ports: 1, mem_delay: 18 }
+    }
+}
+
+impl MemGeometry {
+    /// Validates the geometry for hierarchy construction.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first inconsistent field (`l1_lines`/`line_bytes`
+    /// must be powers of two, `l2_ports` at least 1).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.l1_lines == 0 || !self.l1_lines.is_power_of_two() {
+            return Err(format!("l1_lines must be a power of two, got {}", self.l1_lines));
+        }
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(format!("line_bytes must be a power of two, got {}", self.line_bytes));
+        }
+        if self.l2_ports == 0 {
+            return Err("l2_ports must be at least 1".to_string());
+        }
+        Ok(())
+    }
+
+    /// The L1 configuration this geometry prescribes: `l1_lines` lines of
+    /// `line_bytes` each, 4-way (or fully associative when fewer than four
+    /// lines exist), with the paper's 3-cycle delay.
+    #[must_use]
+    pub fn l1(&self) -> CacheConfig {
+        CacheConfig {
+            size: self.l1_lines * self.line_bytes,
+            line_size: self.line_bytes,
+            assoc: self.l1_lines.min(4),
+            delay: 3,
+        }
+    }
+
+    /// The single-core memory hierarchy this geometry prescribes:
+    /// a 1-port connection limit, the [`MemGeometry::l1`] cache, an
+    /// `l2_ports`-wide connection limit into the paper's 256 KiB L2
+    /// (re-lined to `line_bytes`), and `mem_delay`-cycle main memory.
+    ///
+    /// Unlike [`MemoryHierarchy::paper_default`], the L2 here is always
+    /// explicitly port-arbitrated — that is the knob the sweep turns — so
+    /// even the default geometry is a distinct configuration from the
+    /// paper hierarchy and cells carry it in their key.
+    ///
+    /// # Panics
+    ///
+    /// Panics on geometry the cache model rejects; call
+    /// [`MemGeometry::validate`] first on untrusted input.
+    #[must_use]
+    pub fn hierarchy(&self) -> MemoryHierarchy {
+        let l2 = CacheConfig { line_size: self.line_bytes, ..CacheConfig::paper_l2() };
+        MemoryHierarchy::new()
+            .with_conn_limit(1)
+            .with_cache(self.l1())
+            .with_conn_limit(self.l2_ports)
+            .with_cache(l2)
+            .with_memory(self.mem_delay)
+    }
+
+    /// Compact tag for cell keys and file names: `g{l1_lines}x{line_bytes}p{l2_ports}d{mem_delay}`.
+    #[must_use]
+    pub fn tag(&self) -> String {
+        format!("g{}x{}p{}d{}", self.l1_lines, self.line_bytes, self.l2_ports, self.mem_delay)
+    }
+}
+
 /// Statistics of one hierarchy level, for reporting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MemoryLevelStats {
@@ -573,6 +666,36 @@ mod tests {
         let c2 = h.access(0x8_0000, AccessKind::Read, 0, 100);
         assert_eq!(c2, 103);
         assert_eq!(h.stats().len(), 4);
+    }
+
+    #[test]
+    fn mem_geometry_defaults_and_validation() {
+        let g = MemGeometry::default();
+        assert_eq!((g.l1_lines, g.line_bytes, g.l2_ports, g.mem_delay), (64, 32, 1, 18));
+        assert_eq!(g.l1(), CacheConfig::paper_l1());
+        assert_eq!(g.tag(), "g64x32p1d18");
+        assert!(g.validate().is_ok());
+        assert!(MemGeometry { l1_lines: 48, ..g }.validate().is_err());
+        assert!(MemGeometry { line_bytes: 24, ..g }.validate().is_err());
+        assert!(MemGeometry { l2_ports: 0, ..g }.validate().is_err());
+        // Tiny L1s fall back to full associativity.
+        assert_eq!(MemGeometry { l1_lines: 2, ..g }.l1().assoc, 2);
+    }
+
+    #[test]
+    fn mem_geometry_hierarchy_shape() {
+        let mut h = MemGeometry::default().hierarchy();
+        assert_eq!(h.stats().len(), 5);
+        // Cold read: conn pass-through, L1 miss (3), conn, L2 miss (6),
+        // memory (18), L2 fill (6), L1 fill (3) = 36.
+        let c = h.access(0x8_0000, AccessKind::Read, 0, 0);
+        assert_eq!(c, 36);
+        assert_eq!(h.l1_stats().unwrap().misses, 1);
+        // A smaller line size fetches more lines for the same span.
+        let mut narrow = MemGeometry { line_bytes: 16, ..MemGeometry::default() }.hierarchy();
+        narrow.access(0x100, AccessKind::Read, 0, 0);
+        narrow.access(0x110, AccessKind::Read, 0, 100);
+        assert_eq!(narrow.l1_stats().unwrap().misses, 2);
     }
 
     #[test]

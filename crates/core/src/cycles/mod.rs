@@ -29,7 +29,7 @@ pub use branch::{BranchPredictor, BranchPredictorConfig, PredictorKind};
 pub use doe::DoeModel;
 pub use ilp::IlpModel;
 pub use memory::{
-    AccessKind, CacheConfig, CacheModule, CacheStats, ConnectionLimit, MainMemory,
+    AccessKind, CacheConfig, CacheModule, CacheStats, ConnectionLimit, MainMemory, MemGeometry,
     MemoryHierarchy, MemoryLevelStats, MemoryModule,
 };
 

@@ -75,6 +75,6 @@ pub use trace::{TraceRecord, TraceSink, VecTraceSink, WriteTraceSink};
 pub use cycles::{
     AccessKind, AieModel, BranchPredictor, BranchPredictorConfig, CacheConfig, CacheModule,
     CacheStats, ConnectionLimit, CycleModel, CycleModelKind, CycleStats, DoeModel, IlpModel,
-    InstrEvent, MainMemory, MemoryHierarchy, MemoryLevelStats, MemoryModule, OpEvent,
+    InstrEvent, MainMemory, MemGeometry, MemoryHierarchy, MemoryLevelStats, MemoryModule, OpEvent,
     PredictorKind,
 };

@@ -92,7 +92,7 @@ impl Default for SimConfig {
 }
 
 /// Which execution tier hot superblocks may reach (see [`SimConfig::tier`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TierMode {
     /// Superblocks are always interpreted (the pre-tier hot loop).
     Interp,

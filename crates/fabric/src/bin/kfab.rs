@@ -33,7 +33,7 @@
 
 use std::process::ExitCode;
 
-use kahrisma_core::args::ArgList;
+use kahrisma_core::args::{ArgList, GeometryArgs};
 use kahrisma_core::{STATS_SCHEMA_VERSION, SimConfig, StatsReport, TierMode};
 use kahrisma_fabric::{CoherentConfig, CoreSpec, Fabric, FabricConfig, FabricOutcome, MemModel};
 use kahrisma_observe::{Collector, Shared, perfetto};
@@ -82,11 +82,11 @@ impl Default for Options {
 fn parse_args(mut args: ArgList) -> Result<Options, String> {
     let mut options = Options::default();
     let mut mem_coherent = false;
-    let mut l2_ports: Option<u32> = None;
-    let mut line_bytes: Option<u32> = None;
-    let mut l1_lines: Option<u32> = None;
-    let mut mem_delay: Option<u64> = None;
+    let mut geometry = GeometryArgs::default();
     while let Some(arg) = args.next_arg() {
+        if geometry.accept(&arg, &mut args)? {
+            continue;
+        }
         match arg.as_str() {
             "--core" => {
                 // Malformed specs are rejected here, before any workload
@@ -118,10 +118,6 @@ fn parse_args(mut args: ArgList) -> Result<Options, String> {
                     }
                 };
             }
-            "--l2-ports" => l2_ports = Some(args.parse_value("--l2-ports")?),
-            "--line-bytes" => line_bytes = Some(args.parse_value("--line-bytes")?),
-            "--l1-lines" => l1_lines = Some(args.parse_value("--l1-lines")?),
-            "--mem-delay" => mem_delay = Some(args.parse_value("--mem-delay")?),
             "--json" => options.json = Some(args.value("--json")?),
             "--metrics" => options.metrics = Some(args.value("--metrics")?),
             "--observe" => options.observe = Some(args.value("--observe")?),
@@ -154,31 +150,9 @@ fn parse_args(mut args: ArgList) -> Result<Options, String> {
         return Err("--tier-threshold must be at least 1".to_string());
     }
     if mem_coherent {
-        let mut cfg = CoherentConfig::default();
-        if let Some(ports) = l2_ports {
-            if ports == 0 {
-                return Err("--l2-ports must be at least 1".to_string());
-            }
-            cfg.l2_ports = ports;
-        }
-        if let Some(bytes) = line_bytes {
-            if !bytes.is_power_of_two() {
-                return Err("--line-bytes must be a power of two".to_string());
-            }
-            cfg.line_bytes = bytes;
-        }
-        if let Some(lines) = l1_lines {
-            if lines == 0 {
-                return Err("--l1-lines must be at least 1".to_string());
-            }
-            cfg.l1_lines = lines;
-        }
-        if let Some(delay) = mem_delay {
-            cfg.mem_delay = delay;
-        }
+        let cfg = geometry.single()?.map_or_else(CoherentConfig::default, CoherentConfig::from);
         options.mem_model = MemModel::Coherent(cfg);
-    } else if l2_ports.is_some() || line_bytes.is_some() || l1_lines.is_some() || mem_delay.is_some()
-    {
+    } else if geometry.any() {
         return Err(
             "--l2-ports/--line-bytes/--l1-lines/--mem-delay require --mem coherent".to_string()
         );

@@ -16,7 +16,11 @@
 //! * [`workloads`] — the paper's evaluation applications,
 //! * [`observe`] — structured event timelines, metrics, Perfetto export,
 //! * [`fabric`] — N-core fabric simulation over a barrier-synchronized
-//!   shared memory window.
+//!   shared memory window,
+//! * [`plan`] — the unified execution-planner API: one [`plan::ExecPlan`]
+//!   of [`plan::CellRun`]s scheduled by interchangeable backends (local
+//!   worker pool, `ksimd` daemon, simulated fabric) plus design-space
+//!   grids and Pareto-front reports.
 //!
 //! # Supported API surface
 //!
@@ -50,6 +54,7 @@ pub use kahrisma_fabric as fabric;
 pub use kahrisma_isa as isa;
 pub use kahrisma_kcc as kcc;
 pub use kahrisma_observe as observe;
+pub use kahrisma_plan as plan;
 pub use kahrisma_rtl as rtl;
 pub use kahrisma_workloads as workloads;
 
@@ -67,6 +72,10 @@ pub use kahrisma_workloads as workloads;
 /// ([`Observer`](prelude::Observer), [`SimEvent`](prelude::SimEvent)),
 /// multi-core fabrics ([`Fabric`](prelude::Fabric),
 /// [`CoreSpec`](prelude::CoreSpec), [`FabricConfig`](prelude::FabricConfig)),
+/// execution planning ([`ExecPlan`](prelude::ExecPlan),
+/// [`CellRun`](prelude::CellRun), [`Planner`](prelude::Planner) and its
+/// backends, [`MemGeometry`](prelude::MemGeometry),
+/// [`DseReport`](prelude::DseReport)),
 /// and the toolchain entry points
 /// ([`CompileOptions`](prelude::CompileOptions),
 /// [`Workload`](prelude::Workload), [`Executable`](prelude::Executable)).
@@ -124,6 +133,30 @@ pub mod prelude {
     pub use kahrisma_isa::isa_id;
     /// KC compiler options; `CompileOptions::for_isa` targets one ISA.
     pub use kahrisma_kcc::CompileOptions;
+    /// Cache/memory geometry knobs (L1 lines, line bytes, L2 ports, main
+    /// memory delay) — the swept axes of `kbatch dse`; `Default` is the
+    /// paper's machine.
+    pub use kahrisma_core::MemGeometry;
+    /// A named set of simulation cells to execute under a budget — the
+    /// planner's unit of work, accepted by every backend.
+    pub use kahrisma_plan::ExecPlan;
+    /// One fully-specified simulation cell: workload, ISA, engine, cache
+    /// variant, memory geometry, execution tier, budget, repeats.
+    pub use kahrisma_plan::CellRun;
+    /// The scheduling abstraction: a backend that executes an `ExecPlan`.
+    pub use kahrisma_plan::Planner;
+    /// Per-run planner parameters: skip set, stop-after, progress, and the
+    /// result hook (manifest persistence).
+    pub use kahrisma_plan::PlanSession;
+    /// The in-process work-stealing worker pool (`kbatch`'s default).
+    pub use kahrisma_plan::LocalPlanner;
+    /// Wire dispatch to a `ksimd` daemon or `kgate` fleet.
+    pub use kahrisma_plan::DaemonPlanner;
+    /// Co-scheduled execution on the simulated multi-core fabric.
+    pub use kahrisma_plan::FabricPlanner;
+    /// A design-space-exploration report with its Pareto front marked
+    /// (throughput vs CPI vs L1 miss ratio).
+    pub use kahrisma_plan::DseReport;
     /// Configuration of the cycle-accurate DOE reference pipeline.
     pub use kahrisma_rtl::RtlConfig;
     /// The paper's evaluation applications (DCT, AES, FFT, quicksort,
@@ -139,5 +172,22 @@ mod tests {
         assert_eq!(arch.isas().len(), 5);
         let _ = crate::core::SimConfig::default();
         let _ = crate::rtl::RtlConfig::default();
+    }
+
+    #[test]
+    fn prelude_covers_the_planner_surface() {
+        use crate::prelude::*;
+        let plan = crate::plan::grids::smoke();
+        assert_eq!(plan.cells.len(), 6);
+        let _: &CellRun = &plan.cells[0];
+        let _: ExecPlan = plan.clone();
+        assert_eq!(MemGeometry::default().tag(), "g64x32p1d18");
+        fn is_planner<P: Planner>() {}
+        is_planner::<LocalPlanner>();
+        is_planner::<DaemonPlanner>();
+        is_planner::<FabricPlanner>();
+        let report = DseReport::new(&plan.name, &plan.fingerprint(), Vec::new());
+        assert!(report.frontier_keys().is_empty());
+        let _ = PlanSession::default();
     }
 }

@@ -1,0 +1,224 @@
+//! The unit of planning: one fully-specified simulation cell.
+
+use kahrisma_core::{CycleModelKind, MemGeometry, MemoryHierarchy, SimConfig, TierMode};
+use kahrisma_isa::IsaKind;
+use kahrisma_workloads::Workload;
+
+/// Default instruction budget for plan cells (matches the bench
+/// harnesses' `BUDGET`).
+pub const DEFAULT_BUDGET: u64 = 500_000_000;
+
+/// Which simulation engine a cell runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// The interpretation-based instruction-set simulator, optionally with
+    /// a cycle-approximation model attached (§V/§VI).
+    Iss(Option<CycleModelKind>),
+    /// The cycle-accurate RTL reference pipeline (Table II's "Hardware").
+    Rtl,
+}
+
+impl Engine {
+    /// Short engine/model tag used in cell keys.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Engine::Iss(None) => "func",
+            Engine::Iss(Some(CycleModelKind::Ilp)) => "ilp",
+            Engine::Iss(Some(CycleModelKind::Aie)) => "aie",
+            Engine::Iss(Some(CycleModelKind::Doe)) => "doe",
+            Engine::Iss(Some(_)) => "model",
+            Engine::Rtl => "rtl",
+        }
+    }
+}
+
+/// The decode-cache configuration ladder of Table I (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheVariant {
+    /// Detect & decode every instruction (the paper's 0.177 MIPS row).
+    NoCache,
+    /// Decode cache without instruction prediction.
+    CacheOnly,
+    /// Decode cache + prediction, per-entry hot loop (the paper baseline).
+    Prediction,
+    /// Full arena + superblock-batched hot loop (this repo's default).
+    Superblocks,
+}
+
+impl CacheVariant {
+    /// Short variant tag used in cell keys.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            CacheVariant::NoCache => "nocache",
+            CacheVariant::CacheOnly => "cache",
+            CacheVariant::Prediction => "pred",
+            CacheVariant::Superblocks => "superblock",
+        }
+    }
+}
+
+/// One fully-specified simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CellRun {
+    /// The application to simulate.
+    pub workload: Workload,
+    /// The ISA the workload is compiled for.
+    pub isa: IsaKind,
+    /// Simulation engine (ISS + optional cycle model, or RTL reference).
+    pub engine: Engine,
+    /// Decode-cache configuration (ignored by the RTL engine, which drives
+    /// the default simulator).
+    pub variant: CacheVariant,
+    /// Replace the paper's memory hierarchy with ideal (zero-latency)
+    /// memory — Table I's `aie/ideal` row.
+    pub ideal_memory: bool,
+    /// Explicit cache geometry for the cycle-model memory hierarchy
+    /// (design-space-exploration cells); `None` keeps the paper default.
+    /// Takes precedence over `ideal_memory` when both are set.
+    pub geometry: Option<MemGeometry>,
+    /// Execution tier for hot superblocks (the compiled IR tier by
+    /// default; `Interp` pins the interpreter for speed comparisons).
+    pub tier: TierMode,
+    /// Instruction budget; exceeding it fails the cell.
+    pub budget: u64,
+    /// Wall-clock repeats; the fastest run is reported (timing fields
+    /// only — counters are identical across repeats by construction).
+    pub repeats: u32,
+}
+
+impl CellRun {
+    /// A cell with the default budget, one repeat, the superblock hot loop
+    /// and the paper memory hierarchy.
+    #[must_use]
+    pub fn new(workload: Workload, isa: IsaKind, engine: Engine) -> Self {
+        CellRun {
+            workload,
+            isa,
+            engine,
+            variant: CacheVariant::Superblocks,
+            ideal_memory: false,
+            geometry: None,
+            tier: TierMode::Ir,
+            budget: DEFAULT_BUDGET,
+            repeats: 1,
+        }
+    }
+
+    /// The cell's unique, stable, sortable key:
+    /// `workload/isa/engine/variant[+idealmem][+gLxBpPdD][+interp]`.
+    ///
+    /// Default tier and default geometry add no suffix, so keys of
+    /// pre-planner campaign cells are unchanged — fingerprints and
+    /// manifests written before this API keep resuming cleanly.
+    #[must_use]
+    pub fn key(&self) -> String {
+        let mut key = format!(
+            "{}/{}/{}/{}",
+            self.workload.name(),
+            self.isa.name(),
+            self.engine.tag(),
+            self.variant.tag()
+        );
+        if self.ideal_memory {
+            key.push_str("+idealmem");
+        }
+        if let Some(g) = self.geometry {
+            key.push('+');
+            key.push_str(&g.tag());
+        }
+        if self.tier == TierMode::Interp {
+            key.push_str("+interp");
+        }
+        key
+    }
+
+    /// The simulator configuration this cell prescribes (ISS engine only).
+    #[must_use]
+    pub fn sim_config(&self) -> SimConfig {
+        let model = match self.engine {
+            Engine::Iss(model) => model,
+            Engine::Rtl => None,
+        };
+        let mut config = SimConfig {
+            cycle_model: model,
+            tier: self.tier,
+            ..SimConfig::default()
+        };
+        match self.variant {
+            CacheVariant::NoCache => {
+                config.decode_cache = false;
+                config.prediction = false;
+                config.superblocks = false;
+            }
+            CacheVariant::CacheOnly => {
+                config.prediction = false;
+                config.superblocks = false;
+            }
+            CacheVariant::Prediction => config.superblocks = false,
+            CacheVariant::Superblocks => {}
+        }
+        if let Some(geometry) = self.geometry {
+            config.memory = geometry.hierarchy();
+        } else if self.ideal_memory {
+            config.memory = MemoryHierarchy::new().with_memory(0);
+        }
+        config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kahrisma_core::CycleModelKind;
+
+    #[test]
+    fn key_encodes_every_dimension() {
+        let mut cell = CellRun::new(
+            Workload::Cjpeg,
+            IsaKind::Risc,
+            Engine::Iss(Some(CycleModelKind::Aie)),
+        );
+        cell.variant = CacheVariant::Prediction;
+        cell.ideal_memory = true;
+        assert_eq!(cell.key(), "cjpeg/risc/aie/pred+idealmem");
+        cell.ideal_memory = false;
+        cell.tier = TierMode::Interp;
+        cell.geometry = Some(MemGeometry { l1_lines: 16, line_bytes: 32, l2_ports: 2, mem_delay: 18 });
+        assert_eq!(cell.key(), "cjpeg/risc/aie/pred+g16x32p2d18+interp");
+    }
+
+    #[test]
+    fn default_tier_and_geometry_leave_legacy_keys_unchanged() {
+        let cell = CellRun::new(Workload::Dct, IsaKind::Vliw4, Engine::Iss(Some(CycleModelKind::Doe)));
+        assert_eq!(cell.key(), "dct/vliw4/doe/superblock");
+    }
+
+    #[test]
+    fn sim_config_follows_variant() {
+        let mut cell = CellRun::new(Workload::Dct, IsaKind::Risc, Engine::Iss(None));
+        cell.variant = CacheVariant::NoCache;
+        let c = cell.sim_config();
+        assert!(!c.decode_cache && !c.prediction && !c.superblocks);
+        cell.variant = CacheVariant::Superblocks;
+        let c = cell.sim_config();
+        assert!(c.decode_cache && c.prediction && c.superblocks);
+        assert_eq!(c.tier, TierMode::Ir);
+    }
+
+    #[test]
+    fn sim_config_applies_tier_and_geometry() {
+        let mut cell = CellRun::new(Workload::Dct, IsaKind::Risc, Engine::Iss(Some(CycleModelKind::Doe)));
+        cell.tier = TierMode::Interp;
+        let g = MemGeometry { l1_lines: 16, line_bytes: 16, l2_ports: 2, mem_delay: 30 };
+        cell.geometry = Some(g);
+        cell.ideal_memory = true; // geometry wins
+        let c = cell.sim_config();
+        assert_eq!(c.tier, TierMode::Interp);
+        let names = |m: &kahrisma_core::MemoryHierarchy| {
+            m.stats().iter().map(|l| l.name.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(names(&c.memory), names(&g.hierarchy()));
+    }
+}

@@ -1,0 +1,231 @@
+//! The co-scheduled backend: a plan's cells as cores of one
+//! `kahrisma-fabric`, advanced at deterministic quantum barriers.
+//!
+//! Every pending cell becomes one fabric core named by its cell key; the
+//! whole fabric is then driven until every core halts. Cells don't share
+//! memory traffic (the shipped workloads ignore the shared window unless
+//! built for it), so functional and cycle-model counters are bit-identical
+//! to the local pool's — which the planner determinism suite asserts.
+//!
+//! Timing caveat: the cores are co-scheduled, so `wall_seconds` is the
+//! *fabric's* wall time, identical for every cell of the run — use the
+//! local or daemon backend when per-cell timing matters. `repeats` is
+//! likewise a timing-only knob and is ignored here.
+
+use std::collections::HashMap;
+
+use kahrisma_elf::Executable;
+use kahrisma_fabric::{CoreReport, CoreSpec, Fabric, FabricConfig, DEFAULT_QUANTUM};
+use kahrisma_isa::IsaKind;
+use kahrisma_workloads::Workload;
+
+use crate::cell::{CellRun, Engine};
+use crate::plan::ExecPlan;
+use crate::report::CellResult;
+use crate::{PlanError, PlanRun, PlanSession, Planner};
+
+/// The fabric backend: cells co-scheduled as cores of one fabric.
+#[derive(Debug, Clone)]
+pub struct FabricPlanner {
+    /// Instructions each core executes between barriers.
+    pub quantum: u64,
+    /// Host worker threads executing core slices (a performance knob;
+    /// never changes results).
+    pub host_threads: usize,
+}
+
+impl Default for FabricPlanner {
+    fn default() -> Self {
+        FabricPlanner { quantum: DEFAULT_QUANTUM, host_threads: 1 }
+    }
+}
+
+impl Planner for FabricPlanner {
+    fn name(&self) -> &'static str {
+        "fabric"
+    }
+
+    fn run_plan(
+        &mut self,
+        plan: &ExecPlan,
+        session: &mut PlanSession<'_>,
+    ) -> Result<PlanRun, PlanError> {
+        let mut pending: Vec<&CellRun> = plan
+            .cells
+            .iter()
+            .filter(|c| !session.skip.contains(c.key().as_str()))
+            .collect();
+        let skipped = plan.cells.len() - pending.len();
+        let mut interrupted = false;
+        if let Some(limit) = session.stop_after {
+            if pending.len() > limit {
+                pending.truncate(limit);
+                interrupted = true;
+            }
+        }
+        if let Some(cell) = pending.iter().find(|c| c.engine == Engine::Rtl) {
+            return Err(PlanError::Cell {
+                key: cell.key(),
+                reason: "the RTL reference engine cannot run on a fabric; \
+                         run this campaign locally"
+                    .into(),
+            });
+        }
+        if pending.is_empty() {
+            return Ok(PlanRun { results: Vec::new(), executed: 0, skipped, interrupted });
+        }
+
+        let mut builds: HashMap<(Workload, IsaKind), Executable> = HashMap::new();
+        let mut specs = Vec::with_capacity(pending.len());
+        for cell in &pending {
+            let pair = (cell.workload, cell.isa);
+            if let std::collections::hash_map::Entry::Vacant(slot) = builds.entry(pair) {
+                let exe = cell.workload.build(cell.isa).map_err(|e| PlanError::Cell {
+                    key: cell.key(),
+                    reason: format!("toolchain error: {e}"),
+                })?;
+                slot.insert(exe);
+            }
+            let exe = builds[&pair].clone();
+            specs.push(CoreSpec::new(cell.key(), exe, cell.sim_config()));
+        }
+
+        let config = FabricConfig {
+            quantum: self.quantum.max(1),
+            host_threads: self.host_threads.max(1),
+            ..FabricConfig::default()
+        };
+        let mut fabric = Fabric::new(specs, config)
+            .map_err(|e| PlanError::Io { path: "fabric".into(), reason: e })?;
+        let budget = pending.iter().map(|c| c.budget).max().unwrap_or(0);
+        fabric.run_for(budget).map_err(|e| PlanError::Cell {
+            key: e.name.clone(),
+            reason: format!("simulation error: {}", e.error),
+        })?;
+
+        let stats = fabric.stats();
+        let wall = stats.wall.as_secs_f64();
+        let mut results = Vec::with_capacity(pending.len());
+        for (cell, core) in pending.iter().zip(&stats.cores) {
+            let result = core_result(cell, core, wall)?;
+            if session.progress {
+                eprintln!(
+                    "kbatch: [fabric] {:<42} {:>8.2}s {:>9.3} MIPS",
+                    result.key, wall, result.mips,
+                );
+            }
+            session.deliver(&result)?;
+            results.push(result);
+        }
+        Ok(PlanRun { executed: results.len(), results, skipped, interrupted })
+    }
+}
+
+/// Folds one core's report into the cell's result, enforcing the cell's
+/// own budget and self-check.
+fn core_result(cell: &CellRun, core: &CoreReport, wall: f64) -> Result<CellResult, PlanError> {
+    let cell_err = |reason: String| PlanError::Cell { key: cell.key(), reason };
+    if !core.halted {
+        return Err(cell_err("instruction budget exhausted".into()));
+    }
+    let instructions = core.stats.instructions;
+    if instructions > cell.budget {
+        return Err(cell_err(format!("instruction budget exhausted ({instructions})")));
+    }
+    let exit_code = core
+        .exit_code
+        .ok_or_else(|| cell_err("halted without an exit code".into()))?;
+    let expected = cell.workload.expected_exit();
+    if exit_code != expected {
+        return Err(cell_err(format!(
+            "self-check failed: exit {exit_code}, expected {expected}"
+        )));
+    }
+    let operations = core.cycles.as_ref().map_or(core.stats.operations, |c| c.operations);
+    let l1_miss_ratio = core
+        .cycles
+        .as_ref()
+        .and_then(|c| c.memory.iter().find_map(|l| l.cache).map(|c| c.miss_ratio()));
+    let t = core.stats.throughput(wall);
+    Ok(CellResult {
+        key: cell.key(),
+        exit_code,
+        instructions,
+        operations,
+        cycles: core.cycles.as_ref().map(|c| c.cycles),
+        l1_miss_ratio,
+        wall_seconds: t.wall_seconds,
+        mips: t.mips,
+        ns_per_instruction: t.ns_per_instruction,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::LocalPlanner;
+    use crate::report::Report;
+    use kahrisma_core::CycleModelKind;
+
+    fn tiny_plan() -> ExecPlan {
+        let mut plan = ExecPlan::new(
+            "tiny",
+            vec![
+                CellRun::new(Workload::Dct, IsaKind::Risc, Engine::Iss(None)),
+                CellRun::new(
+                    Workload::Dct,
+                    IsaKind::Risc,
+                    Engine::Iss(Some(CycleModelKind::Doe)),
+                ),
+            ],
+        );
+        for c in &mut plan.cells {
+            c.budget = 50_000_000;
+        }
+        plan
+    }
+
+    fn report_of(plan: &ExecPlan, run: PlanRun) -> Report {
+        Report::new(&plan.name, &plan.fingerprint(), run.results)
+    }
+
+    #[test]
+    fn fabric_counters_match_the_local_pool() {
+        let plan = tiny_plan();
+        let fabric = FabricPlanner::default()
+            .run_plan(&plan, &mut PlanSession::default())
+            .unwrap();
+        let local = LocalPlanner::default()
+            .run_plan(&plan, &mut PlanSession::default())
+            .unwrap();
+        assert!(report_of(&plan, fabric).deterministic_eq(&report_of(&plan, local)));
+    }
+
+    #[test]
+    fn quantum_never_changes_counters() {
+        let plan = tiny_plan();
+        let coarse = FabricPlanner::default()
+            .run_plan(&plan, &mut PlanSession::default())
+            .unwrap();
+        let fine = FabricPlanner { quantum: 10_000, host_threads: 2 }
+            .run_plan(&plan, &mut PlanSession::default())
+            .unwrap();
+        assert!(report_of(&plan, coarse).deterministic_eq(&report_of(&plan, fine)));
+    }
+
+    #[test]
+    fn rtl_and_stop_after_are_handled() {
+        let mut plan = tiny_plan();
+        plan.cells.push(CellRun::new(Workload::Dct, IsaKind::Risc, Engine::Rtl));
+        let err = FabricPlanner::default()
+            .run_plan(&plan, &mut PlanSession::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("RTL"));
+
+        // stop_after truncates before the RTL cell is reached.
+        let mut session = PlanSession { stop_after: Some(1), ..PlanSession::default() };
+        let run = FabricPlanner::default().run_plan(&plan, &mut session).unwrap();
+        assert_eq!(run.executed, 1);
+        assert!(run.interrupted);
+    }
+}

@@ -1,0 +1,222 @@
+//! Grid expanders: predefined paper-artifact plans and DSE grids.
+//!
+//! This module is the single grid expander of the workspace — the campaign
+//! subsystem's predefined tables, the `figure4` bench harness and `kbatch
+//! dse` all build their cell lists here, so cell ordering (and therefore
+//! plan fingerprints and manifest compatibility) has exactly one source of
+//! truth.
+
+use kahrisma_core::{CycleModelKind, MemGeometry, TierMode};
+use kahrisma_isa::IsaKind;
+use kahrisma_workloads::Workload;
+
+use crate::cell::{CacheVariant, CellRun, Engine};
+use crate::plan::ExecPlan;
+
+/// Names of the predefined plans, for `kbatch --list`.
+pub const PREDEFINED: [&str; 4] = ["table1", "table2", "figure4", "smoke"];
+
+/// Looks up a predefined plan by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<ExecPlan> {
+    match name {
+        "table1" => Some(table1()),
+        "table2" => Some(table2()),
+        "figure4" => Some(figure4()),
+        "smoke" => Some(smoke()),
+        _ => None,
+    }
+}
+
+/// The ordered cross product of workloads × ISAs × engines, as bare cells
+/// (default variant, budget, tier and memory).
+#[must_use]
+pub fn cross(workloads: &[Workload], isas: &[IsaKind], engines: &[Engine]) -> Vec<CellRun> {
+    let mut cells = Vec::with_capacity(workloads.len() * isas.len() * engines.len());
+    for &w in workloads {
+        for &isa in isas {
+            for &engine in engines {
+                cells.push(CellRun::new(w, isa, engine));
+            }
+        }
+    }
+    cells
+}
+
+/// A generic grid plan: the cross product of workloads × ISAs × engines.
+#[must_use]
+pub fn grid(name: &str, workloads: &[Workload], isas: &[IsaKind], engines: &[Engine]) -> ExecPlan {
+    ExecPlan::new(name, cross(workloads, isas, engines))
+}
+
+/// Table I (§VII-A): the component-cost ladder on cjpeg/RISC — no cache,
+/// cache only, prediction, each cycle model, AIE with ideal memory, and
+/// the superblock hot loop.
+#[must_use]
+pub fn table1() -> ExecPlan {
+    let cell = |variant, engine, ideal_memory| CellRun {
+        variant,
+        ideal_memory,
+        repeats: 3,
+        ..CellRun::new(Workload::Cjpeg, IsaKind::Risc, engine)
+    };
+    ExecPlan::new(
+        "table1",
+        vec![
+            cell(CacheVariant::NoCache, Engine::Iss(None), false),
+            cell(CacheVariant::CacheOnly, Engine::Iss(None), false),
+            cell(CacheVariant::Prediction, Engine::Iss(None), false),
+            cell(CacheVariant::Prediction, Engine::Iss(Some(CycleModelKind::Ilp)), false),
+            cell(CacheVariant::Prediction, Engine::Iss(Some(CycleModelKind::Aie)), false),
+            cell(CacheVariant::Prediction, Engine::Iss(Some(CycleModelKind::Doe)), false),
+            cell(CacheVariant::Prediction, Engine::Iss(Some(CycleModelKind::Aie)), true),
+            cell(CacheVariant::Superblocks, Engine::Iss(None), false),
+        ],
+    )
+}
+
+/// Table II (§VII-C): DCT on RISC/VLIW2/VLIW4/VLIW8, RTL reference vs DOE
+/// approximation, interleaved RTL-first per ISA.
+#[must_use]
+pub fn table2() -> ExecPlan {
+    let isas = [IsaKind::Risc, IsaKind::Vliw2, IsaKind::Vliw4, IsaKind::Vliw8];
+    let mut cells = Vec::new();
+    for isa in isas {
+        cells.extend(cross(
+            &[Workload::Dct],
+            &[isa],
+            &[Engine::Rtl, Engine::Iss(Some(CycleModelKind::Doe))],
+        ));
+    }
+    ExecPlan::new("table2", cells)
+}
+
+/// Figure 4 (§VII-B): per workload, the ILP bound on the RISC binary plus
+/// the DOE model on all five processor instances (interleaved per
+/// workload — the order the paper's figure reads in).
+#[must_use]
+pub fn figure4() -> ExecPlan {
+    let mut cells = Vec::new();
+    for w in Workload::ALL {
+        cells.extend(cross(&[w], &[IsaKind::Risc], &[Engine::Iss(Some(CycleModelKind::Ilp))]));
+        cells.extend(cross(&[w], &IsaKind::ALL, &[Engine::Iss(Some(CycleModelKind::Doe))]));
+    }
+    ExecPlan::new("figure4", cells)
+}
+
+/// A small CI plan: one workload × two ISAs × three cycle models.
+#[must_use]
+pub fn smoke() -> ExecPlan {
+    grid(
+        "smoke",
+        &[Workload::Dct],
+        &[IsaKind::Risc, IsaKind::Vliw4],
+        &[
+            Engine::Iss(Some(CycleModelKind::Ilp)),
+            Engine::Iss(Some(CycleModelKind::Aie)),
+            Engine::Iss(Some(CycleModelKind::Doe)),
+        ],
+    )
+}
+
+/// A design-space-exploration grid: the ordered cross product of
+/// workloads × ISAs × engines × tiers × memory geometries, every cell on
+/// the superblock hot loop with an explicit geometry.
+///
+/// Order (outermost to innermost): workload, ISA, engine, tier, geometry —
+/// so sweeping geometry varies fastest and cells of one configuration stay
+/// adjacent in progress output.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn dse(
+    name: &str,
+    workloads: &[Workload],
+    isas: &[IsaKind],
+    engines: &[Engine],
+    tiers: &[TierMode],
+    geometries: &[MemGeometry],
+    budget: u64,
+    repeats: u32,
+) -> ExecPlan {
+    let mut cells = Vec::with_capacity(
+        workloads.len() * isas.len() * engines.len() * tiers.len() * geometries.len(),
+    );
+    for &w in workloads {
+        for &isa in isas {
+            for &engine in engines {
+                for &tier in tiers {
+                    for &geometry in geometries {
+                        let mut cell = CellRun::new(w, isa, engine);
+                        cell.tier = tier;
+                        cell.geometry = Some(geometry);
+                        cell.budget = budget;
+                        cell.repeats = repeats;
+                        cells.push(cell);
+                    }
+                }
+            }
+        }
+    }
+    ExecPlan::new(name, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_unique_within_predefined_plans() {
+        for name in PREDEFINED {
+            let plan = by_name(name).unwrap();
+            let mut keys: Vec<String> = plan.cells.iter().map(CellRun::key).collect();
+            let len = keys.len();
+            keys.sort();
+            keys.dedup();
+            assert_eq!(keys.len(), len, "duplicate keys in {name}");
+        }
+    }
+
+    #[test]
+    fn predefined_sizes_match_paper_artifacts() {
+        assert_eq!(table1().cells.len(), 8);
+        assert_eq!(table2().cells.len(), 8);
+        assert_eq!(figure4().cells.len(), 36);
+        assert_eq!(smoke().cells.len(), 6);
+    }
+
+    #[test]
+    fn predefined_fingerprints_match_the_campaign_era() {
+        // Captured from the pre-planner kahrisma-campaign implementation.
+        // Changing any of these breaks resume of existing manifests — the
+        // planner extraction must be invisible to persisted state.
+        assert_eq!(table1().fingerprint(), "5d4c1f658946a520");
+        assert_eq!(table2().fingerprint(), "f175e0aa44b51159");
+        assert_eq!(figure4().fingerprint(), "3ac17e746512cba7");
+        assert_eq!(smoke().fingerprint(), "21a05339803ae455");
+    }
+
+    #[test]
+    fn dse_grid_is_the_ordered_cross_product() {
+        let geometries = [
+            MemGeometry { l1_lines: 16, ..MemGeometry::default() },
+            MemGeometry { l1_lines: 32, ..MemGeometry::default() },
+        ];
+        let plan = dse(
+            "dse",
+            &[Workload::Dct],
+            &[IsaKind::Risc, IsaKind::Vliw4],
+            &[Engine::Iss(Some(CycleModelKind::Doe))],
+            &[TierMode::Ir, TierMode::Interp],
+            &geometries,
+            50_000_000,
+            1,
+        );
+        assert_eq!(plan.cells.len(), 8);
+        let keys: Vec<String> = plan.cells.iter().map(CellRun::key).collect();
+        assert_eq!(keys[0], "dct/risc/doe/superblock+g16x32p1d18");
+        assert_eq!(keys[1], "dct/risc/doe/superblock+g32x32p1d18");
+        assert_eq!(keys[2], "dct/risc/doe/superblock+g16x32p1d18+interp");
+        assert_eq!(keys[4], "dct/vliw4/doe/superblock+g16x32p1d18");
+        assert!(plan.cells.iter().all(|c| c.budget == 50_000_000));
+    }
+}

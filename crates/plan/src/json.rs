@@ -1,6 +1,6 @@
-//! Minimal hand-rolled JSON support for campaign reports and manifests.
+//! Minimal hand-rolled JSON support for plan reports and manifests.
 //!
-//! The build container has no registry access, so the campaign subsystem
+//! The build container has no registry access, so the planner subsystem
 //! serializes its own flat records instead of pulling in serde. Only the
 //! subset the manifest format needs is implemented: one-level objects whose
 //! values are strings, numbers, booleans or `null`. Numbers keep their raw

@@ -1,0 +1,201 @@
+//! The unified execution-planner API for the KAHRISMA simulator.
+//!
+//! The paper's evaluation (§VII) and the ROADMAP's design-space
+//! exploration are the same problem: *a set of fully-specified simulation
+//! cells to execute under a budget*. This crate is the one abstraction for
+//! that problem:
+//!
+//! * a [`CellRun`] pins down one simulation completely — workload, ISA,
+//!   engine, decode-cache variant, memory geometry, execution tier,
+//!   instruction budget, repeat count;
+//! * an [`ExecPlan`] is a named, fingerprinted list of cells, built by
+//!   hand or by the grid expanders in [`grids`];
+//! * a [`Planner`] executes a plan and returns per-cell [`CellResult`]s.
+//!
+//! Three planner backends ship with the workspace, all producing
+//! bit-identical deterministic counters for the same plan:
+//!
+//! * [`LocalPlanner`] — the work-stealing in-process worker pool (the
+//!   engine behind `kbatch` and `kahrisma-campaign`);
+//! * [`DaemonPlanner`] — over-the-wire dispatch to a running `ksimd`
+//!   daemon or a `kgate` fleet (`kbatch --daemon`);
+//! * [`FabricPlanner`] — the cells co-scheduled as cores of one
+//!   `kahrisma-fabric`, advanced at deterministic quantum barriers.
+//!
+//! On top of the planner, [`pareto`] turns a plan's results into a
+//! design-space-exploration report: the Pareto front of simulation speed
+//! (MIPS) against modeled fidelity (CPI, L1 miss ratio), with dominated
+//! cells marked (`kbatch dse`).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use kahrisma_plan::{grids, LocalPlanner, Planner, PlanSession};
+//!
+//! let plan = grids::smoke();
+//! let mut planner = LocalPlanner::default();
+//! let run = planner.run_plan(&plan, &mut PlanSession::default())?;
+//! assert_eq!(run.results.len(), plan.cells.len());
+//! # Ok::<(), kahrisma_plan::PlanError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod fabric;
+pub mod grids;
+pub mod json;
+pub mod pareto;
+pub mod plan;
+pub mod pool;
+pub mod remote;
+pub mod report;
+
+pub use cell::{CacheVariant, CellRun, Engine, DEFAULT_BUDGET};
+pub use fabric::FabricPlanner;
+pub use pareto::{DseCell, DseReport};
+pub use plan::ExecPlan;
+pub use pool::{LocalPlanner, DEFAULT_SLICE};
+pub use remote::DaemonPlanner;
+pub use report::{CellResult, Report};
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An error raised while executing a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A filesystem or network operation failed.
+    Io {
+        /// The file or address involved.
+        path: String,
+        /// The underlying error.
+        reason: String,
+    },
+    /// A cell failed to build, simulate, or pass its workload self-check.
+    Cell {
+        /// The cell's key.
+        key: String,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Io { path, reason } => write!(f, "{path}: {reason}"),
+            PlanError::Cell { key, reason } => write!(f, "cell {key}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Per-invocation execution state threaded through a [`Planner`]: what to
+/// skip (resume), when to stop, and where to deliver results the moment
+/// they complete (crash-safe persistence hooks).
+///
+/// The session borrows its result sink so callers — e.g. a campaign
+/// manifest appender — keep ownership across planner invocations.
+#[derive(Default)]
+pub struct PlanSession<'a> {
+    /// Cell keys to skip (already completed in a previous invocation).
+    pub skip: BTreeSet<String>,
+    /// Execute at most this many cells, then stop with
+    /// [`PlanRun::interrupted`] set; `None` runs the whole plan.
+    pub stop_after: Option<usize>,
+    /// Print one progress line per completed cell to stderr.
+    pub progress: bool,
+    /// Called with each completed cell the moment it finishes (under the
+    /// planner's result lock, so invocations never interleave). An error
+    /// aborts the run.
+    pub on_result: Option<ResultSink<'a>>,
+}
+
+/// The borrowed per-result delivery hook of a [`PlanSession`].
+pub type ResultSink<'a> =
+    &'a mut (dyn FnMut(&CellResult) -> Result<(), PlanError> + Send);
+
+impl fmt::Debug for PlanSession<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanSession")
+            .field("skip", &self.skip.len())
+            .field("stop_after", &self.stop_after)
+            .field("progress", &self.progress)
+            .field("on_result", &self.on_result.is_some())
+            .finish()
+    }
+}
+
+impl PlanSession<'_> {
+    /// Delivers one result to the session's sink, if any.
+    pub(crate) fn deliver(&mut self, result: &CellResult) -> Result<(), PlanError> {
+        match &mut self.on_result {
+            Some(sink) => sink(result),
+            None => Ok(()),
+        }
+    }
+}
+
+/// What one planner invocation did.
+#[derive(Debug)]
+pub struct PlanRun {
+    /// Results of the newly executed cells, in completion order (callers
+    /// sort by key when building a [`Report`]).
+    pub results: Vec<CellResult>,
+    /// Cells executed by this invocation.
+    pub executed: usize,
+    /// Cells skipped because the session already recorded them.
+    pub skipped: usize,
+    /// `true` when [`PlanSession::stop_after`] stopped the run before
+    /// every pending cell finished.
+    pub interrupted: bool,
+}
+
+/// A scheduling backend: executes every non-skipped cell of an
+/// [`ExecPlan`].
+///
+/// Implementations must be *deterministic in counters*: the
+/// [`CellResult`] counter fields a backend produces for a cell depend only
+/// on the cell, never on scheduling (worker count, quantum interleaving,
+/// wire protocol round-trips). The planner determinism suite in
+/// `kahrisma-campaign` holds all three shipped backends to this contract.
+pub trait Planner {
+    /// A short stable backend tag (`"local"`, `"daemon"`, `"fabric"`).
+    fn name(&self) -> &'static str;
+
+    /// Executes `plan` under `session`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any cell fails to build, simulate, or pass its workload
+    /// self-check, and on I/O errors from the session's result sink — a
+    /// plan of broken runs must not produce a report.
+    fn run_plan(
+        &mut self,
+        plan: &ExecPlan,
+        session: &mut PlanSession<'_>,
+    ) -> Result<PlanRun, PlanError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = PlanError::Cell { key: "dct/risc/doe/superblock".into(), reason: "x".into() };
+        assert!(e.to_string().contains("dct/risc/doe/superblock"));
+        let e = PlanError::Io { path: "out.json".into(), reason: "denied".into() };
+        assert_eq!(e.to_string(), "out.json: denied");
+    }
+
+    #[test]
+    fn error_and_session_are_send() {
+        fn check<T: Send>() {}
+        check::<PlanError>();
+        check::<PlanSession<'static>>();
+    }
+}

@@ -1,0 +1,228 @@
+//! Pareto-front design-space-exploration reports (`kbatch dse`).
+//!
+//! A DSE sweep trades *simulation speed* against *modeled fidelity*: the
+//! interesting cells are those where no other cell is simultaneously
+//! faster to simulate (MIPS ↑), closer to the hardware (modeled CPI ↓) and
+//! gentler on the modeled L1 (miss ratio ↓). This module marks that
+//! Pareto front over a plan's results.
+
+use std::fmt::Write as _;
+
+use kahrisma_core::STATS_SCHEMA_VERSION;
+
+use crate::json;
+use crate::report::CellResult;
+
+/// Modeled cycles per instruction, when the cell ran a cycle model.
+#[must_use]
+pub fn cpi(result: &CellResult) -> Option<f64> {
+    match result.cycles {
+        Some(c) if result.instructions > 0 => Some(c as f64 / result.instructions as f64),
+        _ => None,
+    }
+}
+
+/// Whether a cell participates in dominance comparisons: it needs all
+/// three objectives (MIPS is always measured; CPI and L1 miss ratio need
+/// a cycle model with a cached hierarchy).
+#[must_use]
+pub fn comparable(result: &CellResult) -> bool {
+    cpi(result).is_some() && result.l1_miss_ratio.is_some()
+}
+
+/// `true` when `a` dominates `b`: at least as good on every objective
+/// (maximize MIPS, minimize CPI, minimize L1 miss ratio) and strictly
+/// better on at least one. Only defined over [`comparable`] cells.
+#[must_use]
+pub fn dominates(a: &CellResult, b: &CellResult) -> bool {
+    let (Some(cpi_a), Some(cpi_b)) = (cpi(a), cpi(b)) else {
+        return false;
+    };
+    let (Some(miss_a), Some(miss_b)) = (a.l1_miss_ratio, b.l1_miss_ratio) else {
+        return false;
+    };
+    let geq = a.mips >= b.mips && cpi_a <= cpi_b && miss_a <= miss_b;
+    let strict = a.mips > b.mips || cpi_a < cpi_b || miss_a < miss_b;
+    geq && strict
+}
+
+/// One cell of a DSE report: the result plus its frontier mark.
+#[derive(Debug, Clone)]
+pub struct DseCell {
+    /// The cell's result.
+    pub result: CellResult,
+    /// `true` when no other comparable cell dominates this one.
+    /// Non-[`comparable`] cells are never on the frontier.
+    pub frontier: bool,
+}
+
+/// A design-space-exploration report: all cells sorted by key, the Pareto
+/// front marked.
+///
+/// The frontier marks depend on the MIPS objective — a host timing — so
+/// they may differ between machines; [`DseReport::deterministic_eq`]
+/// therefore compares counters only, like the plain [`Report`].
+///
+/// [`Report`]: crate::report::Report
+#[derive(Debug, Clone)]
+pub struct DseReport {
+    /// Plan name.
+    pub plan: String,
+    /// Plan fingerprint ([`crate::ExecPlan::fingerprint`]).
+    pub fingerprint: String,
+    /// Cell results with frontier marks, sorted by key.
+    pub cells: Vec<DseCell>,
+}
+
+impl DseReport {
+    /// Builds a report from unordered results, marking the Pareto front.
+    #[must_use]
+    pub fn new(plan: &str, fingerprint: &str, mut results: Vec<CellResult>) -> DseReport {
+        results.sort_by(|a, b| a.key.cmp(&b.key));
+        let cells = results
+            .iter()
+            .map(|r| DseCell {
+                frontier: comparable(r)
+                    && !results.iter().any(|other| dominates(other, r)),
+                result: r.clone(),
+            })
+            .collect();
+        DseReport {
+            plan: plan.to_string(),
+            fingerprint: fingerprint.to_string(),
+            cells,
+        }
+    }
+
+    /// Keys of the frontier cells, in key order.
+    #[must_use]
+    pub fn frontier_keys(&self) -> Vec<&str> {
+        self.cells
+            .iter()
+            .filter(|c| c.frontier)
+            .map(|c| c.result.key.as_str())
+            .collect()
+    }
+
+    /// Renders the report as a JSON document: `schema_version` first, the
+    /// cells (each with its `frontier` mark), and the frontier key list.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + 224 * self.cells.len());
+        let _ = write!(
+            s,
+            "{{\n  \"schema_version\": {STATS_SCHEMA_VERSION},\n  \"plan\": \"{}\",\n  \
+             \"fingerprint\": \"{}\",\n  \"cells\": [\n",
+            json::escape(&self.plan),
+            json::escape(&self.fingerprint),
+        );
+        for (i, cell) in self.cells.iter().enumerate() {
+            let mut report = cell.result.report();
+            report.push_bool("frontier", cell.frontier);
+            s.push_str("    ");
+            s.push_str(&report.to_json());
+            s.push_str(if i + 1 < self.cells.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n  \"frontier\": [");
+        for (i, key) in self.frontier_keys().iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{}\"", json::escape(key));
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Compares two reports on deterministic counters only. Frontier
+    /// marks are excluded: the MIPS objective is a host timing, so the
+    /// front itself legitimately varies between machines and backends.
+    #[must_use]
+    pub fn deterministic_eq(&self, other: &DseReport) -> bool {
+        self.plan == other.plan
+            && self.cells.len() == other.cells.len()
+            && self
+                .cells
+                .iter()
+                .zip(&other.cells)
+                .all(|(a, b)| a.result.deterministic_eq(&b.result))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(key: &str, mips: f64, cycles: u64, miss: f64) -> CellResult {
+        CellResult {
+            key: key.into(),
+            exit_code: 55,
+            instructions: 1_000,
+            operations: 900,
+            cycles: Some(cycles),
+            l1_miss_ratio: Some(miss),
+            wall_seconds: 0.5,
+            mips,
+            ns_per_instruction: 100.0,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_all_objectives() {
+        let fast = cell("a", 10.0, 2_000, 0.01);
+        let slow = cell("b", 5.0, 3_000, 0.02);
+        assert!(dominates(&fast, &slow));
+        assert!(!dominates(&slow, &fast));
+        // Better MIPS but worse CPI: neither dominates.
+        let tradeoff = cell("c", 20.0, 4_000, 0.02);
+        assert!(!dominates(&fast, &tradeoff));
+        assert!(!dominates(&tradeoff, &fast));
+        // Identical objectives: no strict edge, no dominance.
+        assert!(!dominates(&fast, &fast));
+        // Cells without a cycle model never dominate or get dominated.
+        let mut func = cell("d", 100.0, 1, 0.0);
+        func.cycles = None;
+        assert!(!dominates(&func, &slow));
+        assert!(!dominates(&slow, &func));
+        assert!(!comparable(&func));
+    }
+
+    #[test]
+    fn frontier_marks_non_dominated_cells_only() {
+        let report = DseReport::new(
+            "dse",
+            "f",
+            vec![
+                cell("tradeoff", 20.0, 4_000, 0.02),
+                cell("best", 10.0, 2_000, 0.01),
+                cell("dominated", 5.0, 3_000, 0.02),
+            ],
+        );
+        assert_eq!(report.frontier_keys(), ["best", "tradeoff"]);
+        let dominated = report.cells.iter().find(|c| c.result.key == "dominated").unwrap();
+        assert!(!dominated.frontier);
+    }
+
+    #[test]
+    fn json_is_schema_versioned_and_lints() {
+        let report = DseReport::new(
+            "dse",
+            "f",
+            vec![cell("a", 10.0, 2_000, 0.01), cell("b", 5.0, 3_000, 0.02)],
+        );
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"schema_version\": 1,"), "{json}");
+        assert!(json.contains("\"frontier\":true"), "{json}");
+        assert!(json.contains("\"frontier\": [\"a\"]"), "{json}");
+        kahrisma_observe::json_lint::validate(&json).expect("DSE JSON parses");
+    }
+
+    #[test]
+    fn deterministic_eq_ignores_frontier_and_timing() {
+        let a = DseReport::new("dse", "f", vec![cell("a", 10.0, 2_000, 0.01)]);
+        let b = DseReport::new("dse", "f", vec![cell("a", 99.0, 2_000, 0.01)]);
+        assert!(a.deterministic_eq(&b));
+        let c = DseReport::new("dse", "f", vec![cell("a", 10.0, 2_001, 0.01)]);
+        assert!(!a.deterministic_eq(&c));
+    }
+}

@@ -1,0 +1,81 @@
+//! A named, fingerprinted list of cells to execute.
+
+use crate::cell::CellRun;
+
+/// A named set of [`CellRun`]s to execute — the unit every [`Planner`]
+/// backend schedules.
+///
+/// [`Planner`]: crate::Planner
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecPlan {
+    /// Plan name (used in reports and manifest headers).
+    pub name: String,
+    /// The cells, in definition order. Planner backends may execute them
+    /// in any order; reports sort by key.
+    pub cells: Vec<CellRun>,
+}
+
+impl ExecPlan {
+    /// A plan over an explicit cell list.
+    #[must_use]
+    pub fn new(name: &str, cells: Vec<CellRun>) -> ExecPlan {
+        ExecPlan { name: name.to_string(), cells }
+    }
+
+    /// A stable fingerprint over the plan's name and every cell parameter,
+    /// used to detect manifest/plan mismatches when resuming.
+    ///
+    /// FNV-1a over the key string plus the numeric budget and repeat
+    /// fields. Since [`CellRun::key`] adds suffixes only for non-default
+    /// tier and geometry, plans identical to their pre-planner campaign
+    /// counterparts keep their historical fingerprints.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = BASIS;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.name.as_bytes());
+        for cell in &self.cells {
+            eat(cell.key().as_bytes());
+            eat(&cell.budget.to_le_bytes());
+            eat(&cell.repeats.to_le_bytes());
+        }
+        format!("{hash:016x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Engine;
+    use kahrisma_core::CycleModelKind;
+    use kahrisma_isa::IsaKind;
+    use kahrisma_workloads::Workload;
+
+    #[test]
+    fn fingerprint_is_stable_and_parameter_sensitive() {
+        let cell =
+            CellRun::new(Workload::Dct, IsaKind::Risc, Engine::Iss(Some(CycleModelKind::Doe)));
+        let plan = ExecPlan::new("p", vec![cell.clone()]);
+        let base = plan.fingerprint();
+        assert_eq!(base, plan.fingerprint());
+
+        let mut tweaked = plan.clone();
+        tweaked.cells[0].budget += 1;
+        assert_ne!(base, tweaked.fingerprint());
+
+        let mut renamed = plan.clone();
+        renamed.name = "q".into();
+        assert_ne!(base, renamed.fingerprint());
+
+        let mut repeated = plan;
+        repeated.cells[0].repeats = 2;
+        assert_ne!(base, repeated.fingerprint());
+    }
+}

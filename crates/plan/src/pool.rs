@@ -1,0 +1,423 @@
+//! The in-process backend: a work-stealing worker pool over a plan's
+//! cells.
+//!
+//! Each worker repeatedly claims the next unclaimed cell from a shared
+//! queue, builds (or fetches from a shared cache) the workload executable,
+//! runs the cell's simulation single-threadedly, and delivers the result
+//! to the session sink the moment it completes. Per-cell results are
+//! therefore bit-identical regardless of worker count or scheduling order,
+//! and the final report — sorted by cell key — is deterministic up to its
+//! wall-clock timing fields.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use kahrisma_core::{RunOutcome, Simulator, Throughput};
+use kahrisma_elf::Executable;
+use kahrisma_isa::IsaKind;
+use kahrisma_rtl::RtlConfig;
+use kahrisma_workloads::Workload;
+
+use crate::cell::{CellRun, Engine};
+use crate::plan::ExecPlan;
+use crate::report::CellResult;
+use crate::{PlanError, PlanRun, PlanSession, Planner};
+
+/// Instructions per [`Simulator::run_for`] slice. Between slices a worker
+/// is at a checkpointable boundary; the value trades checkpoint granularity
+/// against per-slice overhead.
+pub const DEFAULT_SLICE: u64 = 4_000_000;
+
+/// The work-stealing in-process worker pool (the engine behind `kbatch`
+/// and the campaign runner).
+#[derive(Debug, Clone)]
+pub struct LocalPlanner {
+    /// Worker threads (cells in flight at once). Clamped to ≥ 1.
+    pub workers: usize,
+    /// Instructions per incremental `run_for` slice.
+    pub slice: u64,
+}
+
+impl Default for LocalPlanner {
+    fn default() -> Self {
+        LocalPlanner { workers: 1, slice: DEFAULT_SLICE }
+    }
+}
+
+type Sink<'a> = &'a mut (dyn FnMut(&CellResult) -> Result<(), PlanError> + Send);
+
+/// State shared between workers, guarded by one mutex: the claim queue,
+/// the execution permits, the result buffer and the session sink.
+struct Shared<'a> {
+    queue: VecDeque<CellRun>,
+    permits: Option<usize>,
+    interrupted: bool,
+    results: Vec<CellResult>,
+    sink: Option<Sink<'a>>,
+    error: Option<PlanError>,
+    done: usize,
+    total: usize,
+}
+
+type BuildCache = Mutex<HashMap<(Workload, IsaKind), Arc<Executable>>>;
+
+impl Planner for LocalPlanner {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn run_plan(
+        &mut self,
+        plan: &ExecPlan,
+        session: &mut PlanSession<'_>,
+    ) -> Result<PlanRun, PlanError> {
+        let skip: BTreeSet<&str> = session.skip.iter().map(String::as_str).collect();
+        let queue: VecDeque<CellRun> = plan
+            .cells
+            .iter()
+            .filter(|c| !skip.contains(c.key().as_str()))
+            .cloned()
+            .collect();
+        let skipped = plan.cells.len() - queue.len();
+        let pending = queue.len();
+
+        let shared = Mutex::new(Shared {
+            queue,
+            permits: session.stop_after,
+            interrupted: false,
+            results: Vec::new(),
+            sink: session.on_result.take(),
+            error: None,
+            done: skipped,
+            total: plan.cells.len(),
+        });
+        let builds: BuildCache = Mutex::new(HashMap::new());
+
+        let workers = self.workers.clamp(1, pending.max(1));
+        let progress = session.progress;
+        let slice = self.slice;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| worker(&shared, &builds, slice, progress));
+            }
+        });
+
+        let mut shared = shared.into_inner().expect("no worker panicked");
+        session.on_result = shared.sink.take();
+        if let Some(error) = shared.error {
+            return Err(error);
+        }
+        Ok(PlanRun {
+            executed: shared.results.len(),
+            results: shared.results,
+            skipped,
+            interrupted: shared.interrupted,
+        })
+    }
+}
+
+/// One worker: claim, build, simulate, deliver — until the queue drains,
+/// the permits run out, or another worker hit an error.
+fn worker(shared: &Mutex<Shared<'_>>, builds: &BuildCache, slice: u64, progress: bool) {
+    loop {
+        let cell = {
+            let mut s = shared.lock().expect("no worker panicked");
+            if s.error.is_some() {
+                return;
+            }
+            if s.queue.is_empty() {
+                return;
+            }
+            if s.permits == Some(0) {
+                s.interrupted = true;
+                return;
+            }
+            if let Some(p) = &mut s.permits {
+                *p -= 1;
+            }
+            s.queue.pop_front().expect("checked non-empty")
+        };
+
+        let started = Instant::now();
+        let outcome =
+            build_cached(builds, &cell).and_then(|exe| run_cell(&cell, &exe, slice));
+        let mut s = shared.lock().expect("no worker panicked");
+        match outcome {
+            Ok(result) => {
+                if let Some(sink) = &mut s.sink {
+                    if let Err(e) = sink(&result) {
+                        s.error.get_or_insert(e);
+                        return;
+                    }
+                }
+                s.done += 1;
+                if progress {
+                    eprintln!(
+                        "[{}/{}] {:<40} {:>7.2}s {:>9.3} MIPS",
+                        s.done,
+                        s.total,
+                        result.key,
+                        started.elapsed().as_secs_f64(),
+                        result.mips,
+                    );
+                }
+                s.results.push(result);
+            }
+            Err(e) => {
+                s.error.get_or_insert(e);
+                return;
+            }
+        }
+    }
+}
+
+/// Builds (or fetches) the executable for a cell's workload × ISA. Two
+/// workers racing on the same pair may both compile; the first insert wins
+/// and compilation is deterministic, so the race is only wasted work.
+fn build_cached(builds: &BuildCache, cell: &CellRun) -> Result<Arc<Executable>, PlanError> {
+    let pair = (cell.workload, cell.isa);
+    if let Some(exe) = builds.lock().expect("no worker panicked").get(&pair) {
+        return Ok(Arc::clone(exe));
+    }
+    let exe = cell.workload.build(cell.isa).map_err(|e| PlanError::Cell {
+        key: cell.key(),
+        reason: format!("toolchain error: {e}"),
+    })?;
+    let exe = Arc::new(exe);
+    Ok(Arc::clone(
+        builds
+            .lock()
+            .expect("no worker panicked")
+            .entry(pair)
+            .or_insert(exe),
+    ))
+}
+
+/// Runs one cell to completion and validates the workload's self-check.
+pub(crate) fn run_cell(
+    cell: &CellRun,
+    exe: &Executable,
+    slice: u64,
+) -> Result<CellResult, PlanError> {
+    let cell_err = |reason: String| PlanError::Cell { key: cell.key(), reason };
+    let expected = cell.workload.expected_exit();
+    match cell.engine {
+        Engine::Rtl => {
+            let start = Instant::now();
+            let rtl = kahrisma_rtl::simulate(exe, &RtlConfig::default(), cell.budget)
+                .map_err(|e| cell_err(format!("rtl simulation error: {e}")))?;
+            let wall = start.elapsed().as_secs_f64();
+            let exit_code = rtl
+                .exit_code
+                .ok_or_else(|| cell_err("instruction budget exhausted".into()))?;
+            if exit_code != expected {
+                return Err(cell_err(format!(
+                    "self-check failed: exit {exit_code}, expected {expected}"
+                )));
+            }
+            let t = Throughput::new(rtl.instructions, wall);
+            Ok(CellResult {
+                key: cell.key(),
+                exit_code,
+                instructions: rtl.instructions,
+                operations: rtl.operations,
+                cycles: Some(rtl.cycles),
+                l1_miss_ratio: None,
+                wall_seconds: t.wall_seconds,
+                mips: t.mips,
+                ns_per_instruction: t.ns_per_instruction,
+            })
+        }
+        Engine::Iss(_) => {
+            let config = cell.sim_config();
+            let mut sim = Simulator::new(exe, config)
+                .map_err(|e| cell_err(format!("load error: {e}")))?;
+            let mut best_wall = f64::INFINITY;
+            for repeat in 0..cell.repeats.max(1) {
+                if repeat > 0 {
+                    sim.reset();
+                }
+                let wall = run_sliced(&mut sim, cell, slice).map_err(&cell_err)?;
+                best_wall = best_wall.min(wall);
+            }
+            if !sim.state().halted {
+                return Err(cell_err("program did not halt".into()));
+            }
+            let exit = sim.state().exit_code;
+            if exit != expected {
+                return Err(cell_err(format!(
+                    "self-check failed: exit {exit}, expected {expected}"
+                )));
+            }
+            let stats = *sim.stats();
+            let cycles = sim.cycle_stats();
+            let operations = cycles
+                .as_ref()
+                .map_or(stats.operations, |c| c.operations);
+            let l1_miss_ratio = cycles.as_ref().and_then(|c| {
+                c.memory.iter().find_map(|l| l.cache).map(|c| c.miss_ratio())
+            });
+            let t = stats.throughput(best_wall);
+            Ok(CellResult {
+                key: cell.key(),
+                exit_code: exit,
+                instructions: stats.instructions,
+                operations,
+                cycles: cycles.map(|c| c.cycles),
+                l1_miss_ratio,
+                wall_seconds: t.wall_seconds,
+                mips: t.mips,
+                ns_per_instruction: t.ns_per_instruction,
+            })
+        }
+    }
+}
+
+/// Drives a simulator to halt in `run_for` slices, enforcing the cell's
+/// instruction budget. Returns the wall-clock seconds of the run.
+fn run_sliced(sim: &mut Simulator, cell: &CellRun, slice: u64) -> Result<f64, String> {
+    let slice = slice.max(1);
+    let start = Instant::now();
+    loop {
+        let executed = sim.stats().instructions;
+        if executed >= cell.budget {
+            return Err(format!("instruction budget exhausted ({executed})"));
+        }
+        let step = slice.min(cell.budget - executed);
+        match sim.run_for(step).map_err(|e| format!("simulation error: {e}"))? {
+            RunOutcome::Halted { .. } => return Ok(start.elapsed().as_secs_f64()),
+            RunOutcome::BudgetExhausted => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Report;
+    use kahrisma_core::CycleModelKind;
+
+    fn tiny_plan() -> ExecPlan {
+        let mut plan = ExecPlan::new(
+            "tiny",
+            vec![
+                CellRun::new(Workload::Dct, IsaKind::Risc, Engine::Iss(None)),
+                CellRun::new(
+                    Workload::Dct,
+                    IsaKind::Risc,
+                    Engine::Iss(Some(CycleModelKind::Ilp)),
+                ),
+            ],
+        );
+        for c in &mut plan.cells {
+            c.budget = 50_000_000;
+        }
+        plan
+    }
+
+    fn report_of(plan: &ExecPlan, run: PlanRun) -> Report {
+        Report::new(&plan.name, &plan.fingerprint(), run.results)
+    }
+
+    #[test]
+    fn runs_a_tiny_plan() {
+        let plan = tiny_plan();
+        let run = LocalPlanner::default()
+            .run_plan(&plan, &mut PlanSession::default())
+            .unwrap();
+        assert_eq!(run.executed, 2);
+        assert_eq!(run.skipped, 0);
+        assert!(!run.interrupted);
+        let report = report_of(&plan, run);
+        let func = report.get("dct/risc/func/superblock").unwrap();
+        assert_eq!(func.exit_code, Workload::Dct.expected_exit());
+        assert!(func.cycles.is_none());
+        let ilp = report.get("dct/risc/ilp/superblock").unwrap();
+        assert!(ilp.cycles.unwrap() > 0);
+        assert_eq!(ilp.instructions, func.instructions);
+    }
+
+    #[test]
+    fn stop_after_interrupts_and_skip_resumes() {
+        let plan = tiny_plan();
+        let mut session = PlanSession { stop_after: Some(1), ..PlanSession::default() };
+        let run = LocalPlanner::default().run_plan(&plan, &mut session).unwrap();
+        assert_eq!(run.executed, 1);
+        assert!(run.interrupted);
+
+        let mut session = PlanSession::default();
+        session.skip.insert(run.results[0].key.clone());
+        let rest = LocalPlanner::default().run_plan(&plan, &mut session).unwrap();
+        assert_eq!(rest.executed, 1);
+        assert_eq!(rest.skipped, 1);
+        assert!(!rest.interrupted);
+        assert_ne!(rest.results[0].key, run.results[0].key);
+    }
+
+    #[test]
+    fn repeats_reuse_one_simulator() {
+        let mut plan = tiny_plan();
+        plan.cells.truncate(1);
+        plan.cells[0].repeats = 3;
+        let run = LocalPlanner::default()
+            .run_plan(&plan, &mut PlanSession::default())
+            .unwrap();
+        let cell = &run.results[0];
+        assert_eq!(cell.exit_code, Workload::Dct.expected_exit());
+        assert!(cell.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn counters_are_bit_identical_across_worker_counts() {
+        let plan = tiny_plan();
+        let one = LocalPlanner::default()
+            .run_plan(&plan, &mut PlanSession::default())
+            .unwrap();
+        let four = LocalPlanner { workers: 4, ..LocalPlanner::default() }
+            .run_plan(&plan, &mut PlanSession::default())
+            .unwrap();
+        let one = report_of(&plan, one);
+        let four = report_of(&plan, four);
+        assert!(one.deterministic_eq(&four));
+        assert_eq!(one.metrics().to_json(), four.metrics().to_json());
+    }
+
+    #[test]
+    fn tiny_slices_produce_identical_counters() {
+        let plan = tiny_plan();
+        let coarse = LocalPlanner::default()
+            .run_plan(&plan, &mut PlanSession::default())
+            .unwrap();
+        let fine = LocalPlanner { slice: 1_000, ..LocalPlanner::default() }
+            .run_plan(&plan, &mut PlanSession::default())
+            .unwrap();
+        assert!(report_of(&plan, coarse).deterministic_eq(&report_of(&plan, fine)));
+    }
+
+    #[test]
+    fn session_sink_sees_every_result_and_survives_the_run() {
+        let plan = tiny_plan();
+        let mut seen: Vec<String> = Vec::new();
+        let mut sink = |r: &CellResult| {
+            seen.push(r.key.clone());
+            Ok(())
+        };
+        let mut session = PlanSession { on_result: Some(&mut sink), ..PlanSession::default() };
+        let run = LocalPlanner::default().run_plan(&plan, &mut session).unwrap();
+        assert!(session.on_result.is_some(), "sink restored after the run");
+        drop(session);
+        assert_eq!(seen.len(), run.executed);
+    }
+
+    #[test]
+    fn sink_errors_abort_the_run() {
+        let plan = tiny_plan();
+        let mut sink = |r: &CellResult| {
+            Err(PlanError::Io { path: "manifest".into(), reason: format!("refused {}", r.key) })
+        };
+        let mut session = PlanSession { on_result: Some(&mut sink), ..PlanSession::default() };
+        let err = LocalPlanner::default().run_plan(&plan, &mut session).unwrap_err();
+        assert!(matches!(err, PlanError::Io { .. }), "{err}");
+    }
+}

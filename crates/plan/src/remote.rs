@@ -1,0 +1,335 @@
+//! The wire backend: plan dispatch to a running `ksimd` daemon (or a
+//! `kgate` fleet — the gateway is wire-transparent).
+//!
+//! `kbatch --daemon ADDR` sends each cell of a plan to a simulation server
+//! instead of simulating in-process: one session per cell, a
+//! budget-bounded `run` loop (resuming across per-request deadlines), and
+//! a `stats` read folded into the same [`CellResult`] the local pool
+//! produces. Counter fields are bit-identical to a local run of the same
+//! plan; timing fields additionally include protocol and scheduling
+//! overhead, which is precisely what serving measurements are for.
+//!
+//! The RTL reference engine is not servable (the daemon hosts ISS
+//! sessions only), so plans with `Engine::Rtl` cells are rejected up
+//! front — run those locally.
+
+use std::time::{Duration, Instant};
+
+use kahrisma_core::TierMode;
+use kahrisma_serve::json::Value;
+use kahrisma_serve::{Client, ClientError};
+
+use crate::cell::{CacheVariant, CellRun, Engine};
+use crate::plan::ExecPlan;
+use crate::report::CellResult;
+use crate::{PlanError, PlanRun, PlanSession, Planner};
+
+/// Retry ceiling for `overloaded` rejections per request.
+const MAX_OVERLOAD_RETRIES: u32 = 1000;
+
+/// The over-the-wire backend: every cell dispatched to the daemon at
+/// `addr`, sequentially (the daemon owns admission control and may be
+/// shared with other clients).
+#[derive(Debug, Clone)]
+pub struct DaemonPlanner {
+    /// The daemon (or gateway) address, `host:port`.
+    pub addr: String,
+}
+
+impl DaemonPlanner {
+    /// A planner dispatching to `addr`.
+    #[must_use]
+    pub fn new(addr: &str) -> DaemonPlanner {
+        DaemonPlanner { addr: addr.to_string() }
+    }
+}
+
+impl Planner for DaemonPlanner {
+    fn name(&self) -> &'static str {
+        "daemon"
+    }
+
+    fn run_plan(
+        &mut self,
+        plan: &ExecPlan,
+        session: &mut PlanSession<'_>,
+    ) -> Result<PlanRun, PlanError> {
+        if let Some(cell) = plan.cells.iter().find(|c| c.engine == Engine::Rtl) {
+            return Err(PlanError::Cell {
+                key: cell.key(),
+                reason: "the RTL reference engine cannot run on a daemon; \
+                         run this campaign locally"
+                    .into(),
+            });
+        }
+        let mut client = Client::connect(&self.addr).map_err(|e| PlanError::Io {
+            path: self.addr.clone(),
+            reason: format!("cannot connect to daemon: {e}"),
+        })?;
+        let pending: Vec<&CellRun> = plan
+            .cells
+            .iter()
+            .filter(|c| !session.skip.contains(c.key().as_str()))
+            .collect();
+        let skipped = plan.cells.len() - pending.len();
+        let mut results = Vec::with_capacity(pending.len());
+        let mut interrupted = false;
+        for cell in pending {
+            if session.stop_after.is_some_and(|n| results.len() >= n) {
+                interrupted = true;
+                break;
+            }
+            let started = Instant::now();
+            let result = run_cell(&mut client, cell)?;
+            if session.progress {
+                eprintln!(
+                    "kbatch: [daemon] {:<42} {:>8.2}s {:>9.3} MIPS",
+                    result.key,
+                    started.elapsed().as_secs_f64(),
+                    result.mips,
+                );
+            }
+            session.deliver(&result)?;
+            results.push(result);
+        }
+        Ok(PlanRun { executed: results.len(), results, skipped, interrupted })
+    }
+}
+
+/// The `create` parameters a cell maps to (mirrors
+/// [`CellRun::sim_config`] field for field).
+///
+/// Default tier and geometry emit no fields, so the wire form a
+/// pre-planner `kbatch` sent — and an older daemon accepts — is unchanged
+/// for pre-planner campaigns.
+fn create_fields(cell: &CellRun) -> Result<Vec<(String, Value)>, String> {
+    let mut fields = Vec::new();
+    match cell.engine {
+        Engine::Rtl => return Err("RTL cells are not servable".into()),
+        Engine::Iss(None) => {}
+        Engine::Iss(Some(model)) => {
+            fields.push(("model".to_string(), Engine::Iss(Some(model)).tag().into()));
+        }
+    }
+    let (cache, prediction, superblocks) = match cell.variant {
+        CacheVariant::NoCache => (false, false, false),
+        CacheVariant::CacheOnly => (true, false, false),
+        CacheVariant::Prediction => (true, true, false),
+        CacheVariant::Superblocks => (true, true, true),
+    };
+    fields.push(("decode_cache".to_string(), cache.into()));
+    fields.push(("prediction".to_string(), prediction.into()));
+    fields.push(("superblocks".to_string(), superblocks.into()));
+    fields.push(("ideal_memory".to_string(), cell.ideal_memory.into()));
+    if cell.tier == TierMode::Interp {
+        fields.push(("tier".to_string(), "interp".into()));
+    }
+    if let Some(g) = cell.geometry {
+        fields.push(("l1_lines".to_string(), g.l1_lines.into()));
+        fields.push(("line_bytes".to_string(), g.line_bytes.into()));
+        fields.push(("l2_ports".to_string(), g.l2_ports.into()));
+        fields.push(("mem_delay".to_string(), g.mem_delay.into()));
+    }
+    Ok(fields)
+}
+
+/// A stable, collision-free session name for a cell (cell keys contain
+/// `/` and can exceed the 64-byte name limit, so hash instead).
+fn session_name(cell: &CellRun) -> String {
+    let key = cell.key();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+    for b in key.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("kbatch-{hash:016x}")
+}
+
+fn run_cell(client: &mut Client, cell: &CellRun) -> Result<CellResult, PlanError> {
+    let cell_err = |reason: String| PlanError::Cell { key: cell.key(), reason };
+    let fields = create_fields(cell).map_err(&cell_err)?;
+    let name = session_name(cell);
+    // A stale session from an interrupted dispatch must not leak its
+    // state into this cell; recreate from scratch.
+    let _ = client.session_verb("delete", &name);
+    retry_overloaded(|| {
+        client.create(&name, cell.workload.name(), cell.isa.name(), fields.clone())
+    })
+    .map_err(|e| cell_err(format!("create: {e}")))?;
+
+    let mut best_wall = f64::INFINITY;
+    let mut exit_code = None;
+    for repeat in 0..cell.repeats.max(1) {
+        let started = Instant::now();
+        exit_code = Some(run_to_halt(client, &name, cell, repeat > 0).map_err(&cell_err)?);
+        best_wall = best_wall.min(started.elapsed().as_secs_f64());
+    }
+    let exit_code = exit_code.unwrap_or_default();
+    let expected = cell.workload.expected_exit();
+    if exit_code != expected {
+        let _ = client.session_verb("delete", &name);
+        return Err(cell_err(format!(
+            "self-check failed: exit {exit_code}, expected {expected}"
+        )));
+    }
+
+    let stats = client
+        .session_verb("stats", &name)
+        .map_err(|e| cell_err(format!("stats: {e}")))?;
+    let _ = client.session_verb("delete", &name);
+    let counter = |key: &str| stats.get(key).and_then(Value::as_u64).unwrap_or(0);
+    let instructions = counter("instructions");
+    let operations = stats
+        .get("model_operations")
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| counter("operations"));
+    let wall_seconds = if best_wall.is_finite() { best_wall } else { 0.0 };
+    let (mips, ns_per_instruction) = if wall_seconds > 0.0 && instructions > 0 {
+        (
+            instructions as f64 / wall_seconds / 1e6,
+            wall_seconds * 1e9 / instructions as f64,
+        )
+    } else {
+        (0.0, 0.0)
+    };
+    Ok(CellResult {
+        key: cell.key(),
+        exit_code,
+        instructions,
+        operations,
+        cycles: stats.get("cycles").and_then(Value::as_u64),
+        l1_miss_ratio: stats.get("l1_miss_ratio").and_then(Value::as_f64),
+        wall_seconds,
+        mips,
+        ns_per_instruction,
+    })
+}
+
+/// Drives one session to halt within the cell's instruction budget,
+/// resuming across per-request deadlines (`deadline` outcomes) until the
+/// daemon reports `halted`. Returns the exit code.
+fn run_to_halt(
+    client: &mut Client,
+    name: &str,
+    cell: &CellRun,
+    reset_first: bool,
+) -> Result<u32, String> {
+    let mut reset = reset_first;
+    let mut total = 0u64;
+    loop {
+        let remaining = cell.budget.saturating_sub(total);
+        if remaining == 0 {
+            return Err("instruction budget exhausted".into());
+        }
+        let resp = retry_overloaded(|| client.run(name, Some(remaining), reset, false))
+            .map_err(|e| format!("run: {e}"))?;
+        reset = false;
+        total += resp.get("instructions").and_then(Value::as_u64).unwrap_or(0);
+        match resp.get("outcome").and_then(Value::as_str) {
+            Some("halted") => {
+                return resp
+                    .get("exit_code")
+                    .and_then(Value::as_u64)
+                    .map(|c| c as u32)
+                    .ok_or_else(|| "halted without an exit code".into());
+            }
+            // A per-request deadline is not a cell failure: resume.
+            Some("deadline") => {}
+            Some("budget") => return Err("instruction budget exhausted".into()),
+            Some(other) => return Err(format!("run ended with outcome `{other}`")),
+            None => return Err("run response missing `outcome`".into()),
+        }
+    }
+}
+
+/// Retries `overloaded` rejections with the server-suggested backoff.
+fn retry_overloaded(
+    mut request: impl FnMut() -> Result<Value, ClientError>,
+) -> Result<Value, ClientError> {
+    let mut attempts = 0u32;
+    loop {
+        match request() {
+            Err(ClientError::Server { ref code, retry_after_ms, .. })
+                if code == "overloaded" && attempts < MAX_OVERLOAD_RETRIES =>
+            {
+                attempts += 1;
+                std::thread::sleep(Duration::from_millis(retry_after_ms.unwrap_or(100)));
+            }
+            other => return other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grids;
+    use kahrisma_core::{CycleModelKind, MemGeometry};
+    use kahrisma_isa::IsaKind;
+    use kahrisma_workloads::Workload;
+
+    #[test]
+    fn create_fields_mirror_sim_config() {
+        let mut cell = CellRun::new(
+            Workload::Dct,
+            IsaKind::Risc,
+            Engine::Iss(Some(CycleModelKind::Doe)),
+        );
+        cell.variant = CacheVariant::CacheOnly;
+        cell.ideal_memory = true;
+        let fields = create_fields(&cell).unwrap();
+        let get = |k: &str| fields.iter().find(|(f, _)| f == k).map(|(_, v)| v.clone());
+        assert_eq!(get("model"), Some(Value::from("doe")));
+        assert_eq!(get("decode_cache"), Some(Value::from(true)));
+        assert_eq!(get("prediction"), Some(Value::from(false)));
+        assert_eq!(get("superblocks"), Some(Value::from(false)));
+        assert_eq!(get("ideal_memory"), Some(Value::from(true)));
+        assert_eq!(get("tier"), None, "default tier stays off the wire");
+        assert_eq!(get("l1_lines"), None, "default geometry stays off the wire");
+        assert!(create_fields(&CellRun::new(
+            Workload::Dct,
+            IsaKind::Risc,
+            Engine::Rtl
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn create_fields_carry_tier_and_geometry() {
+        let mut cell = CellRun::new(
+            Workload::Dct,
+            IsaKind::Risc,
+            Engine::Iss(Some(CycleModelKind::Doe)),
+        );
+        cell.tier = TierMode::Interp;
+        cell.geometry =
+            Some(MemGeometry { l1_lines: 16, line_bytes: 64, l2_ports: 2, mem_delay: 30 });
+        let fields = create_fields(&cell).unwrap();
+        let get = |k: &str| fields.iter().find(|(f, _)| f == k).map(|(_, v)| v.clone());
+        assert_eq!(get("tier"), Some(Value::from("interp")));
+        assert_eq!(get("l1_lines"), Some(Value::from(16u32)));
+        assert_eq!(get("line_bytes"), Some(Value::from(64u32)));
+        assert_eq!(get("l2_ports"), Some(Value::from(2u32)));
+        assert_eq!(get("mem_delay"), Some(Value::from(30u64)));
+    }
+
+    #[test]
+    fn session_names_are_short_and_distinct() {
+        let a = CellRun::new(Workload::Dct, IsaKind::Risc, Engine::Iss(None));
+        let b = CellRun::new(Workload::Fft, IsaKind::Risc, Engine::Iss(None));
+        assert_ne!(session_name(&a), session_name(&b));
+        assert_eq!(session_name(&a), session_name(&a));
+        assert!(session_name(&a).len() <= 64);
+    }
+
+    #[test]
+    fn rtl_plans_are_rejected_up_front() {
+        let mut plan = grids::smoke();
+        plan.cells.push(CellRun::new(Workload::Dct, IsaKind::Risc, Engine::Rtl));
+        let err = DaemonPlanner::new("127.0.0.1:1")
+            .run_plan(&plan, &mut PlanSession::default())
+            .unwrap_err();
+        assert!(matches!(err, PlanError::Cell { .. }));
+        assert!(err.to_string().contains("RTL"));
+    }
+}

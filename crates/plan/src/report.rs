@@ -1,4 +1,4 @@
-//! Campaign results and their deterministic aggregation.
+//! Plan results and their deterministic aggregation.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -8,16 +8,16 @@ use kahrisma_observe::MetricsRegistry;
 
 use crate::json::{self, Json};
 
-/// The result of one campaign cell.
+/// The result of one plan cell.
 ///
 /// Counter fields (`exit_code`, `instructions`, `operations`, `cycles`,
-/// `l1_miss_ratio`) are deterministic — identical across runs, worker
-/// counts and resume boundaries. Timing fields (`wall_seconds`, `mips`,
-/// `ns_per_instruction`) are host measurements and excluded from
+/// `l1_miss_ratio`) are deterministic — identical across runs, backends,
+/// worker counts and resume boundaries. Timing fields (`wall_seconds`,
+/// `mips`, `ns_per_instruction`) are host measurements and excluded from
 /// [`CellResult::deterministic_eq`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellResult {
-    /// The cell's key ([`crate::CellSpec::key`]).
+    /// The cell's key ([`crate::CellRun::key`]).
     pub key: String,
     /// Program exit code (every workload is self-checking).
     pub exit_code: u32,
@@ -60,14 +60,11 @@ impl CellResult {
         }
     }
 
-    /// Serializes the result as one flat JSON object (one manifest line)
-    /// through the workspace-wide [`StatsReport`] serializer, so manifest
-    /// lines carry the same `schema_version`-first shape as every other
-    /// JSON artifact. Optional quantities are omitted rather than `null`;
-    /// floats print as their shortest exact round-trip, so the
-    /// deterministic comparison survives a manifest write/read cycle.
+    /// The result as a [`StatsReport`] (the workspace-wide
+    /// `schema_version`-first serializer), for callers that append fields
+    /// of their own — e.g. the Pareto frontier mark — before rendering.
     #[must_use]
-    pub fn to_json(&self) -> String {
+    pub fn report(&self) -> StatsReport {
         let mut report = StatsReport::new();
         report.push_str("key", &self.key);
         report.push_u64("exit_code", u64::from(self.exit_code));
@@ -82,7 +79,18 @@ impl CellResult {
         report.push_f64("wall_seconds", self.wall_seconds);
         report.push_f64("mips", self.mips);
         report.push_f64("ns_per_instruction", self.ns_per_instruction);
-        report.to_json()
+        report
+    }
+
+    /// Serializes the result as one flat JSON object (one manifest line)
+    /// through [`CellResult::report`], so manifest lines carry the same
+    /// `schema_version`-first shape as every other JSON artifact. Optional
+    /// quantities are omitted rather than `null`; floats print as their
+    /// shortest exact round-trip, so the deterministic comparison survives
+    /// a manifest write/read cycle.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.report().to_json()
     }
 
     /// Parses a result from a flat JSON object line.
@@ -134,12 +142,16 @@ impl CellResult {
     }
 }
 
-/// The aggregated, deterministically-ordered results of a campaign.
+/// The aggregated, deterministically-ordered results of a plan.
+///
+/// The JSON field is named `campaign` for continuity with the report files
+/// the campaign subsystem wrote before the planner API existed — existing
+/// snapshot consumers keep parsing.
 #[derive(Debug, Clone)]
 pub struct Report {
-    /// Campaign name.
+    /// Plan (campaign) name.
     pub campaign: String,
-    /// Campaign fingerprint ([`crate::CampaignSpec::fingerprint`]).
+    /// Plan fingerprint ([`crate::ExecPlan::fingerprint`]).
     pub fingerprint: String,
     /// Cell results, sorted by key.
     pub cells: Vec<CellResult>,
@@ -147,7 +159,7 @@ pub struct Report {
 
 impl Report {
     /// Builds a report from unordered results; cells are sorted by key so
-    /// the report is independent of worker scheduling.
+    /// the report is independent of backend scheduling.
     #[must_use]
     pub fn new(campaign: &str, fingerprint: &str, mut cells: Vec<CellResult>) -> Report {
         cells.sort_by(|a, b| a.key.cmp(&b.key));
@@ -166,11 +178,11 @@ impl Report {
         self.cells.iter().map(|c| (c.key.as_str(), c)).collect()
     }
 
-    /// Campaign-level metrics, folded purely from the sorted deterministic
+    /// Plan-level metrics, folded purely from the sorted deterministic
     /// cell counters: totals as counters plus log2-bucketed histograms of
     /// the per-cell sizes. Timing fields are host measurements and are
     /// deliberately excluded, so the registry — and its JSON rendering —
-    /// is bit-identical across worker counts and resume boundaries.
+    /// is bit-identical across backends and resume boundaries.
     #[must_use]
     pub fn metrics(&self) -> MetricsRegistry {
         let mut r = MetricsRegistry::new();

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 
 use kahrisma_core::{
     CycleModelKind, Observer, RunOutcome, SimEvent, Simulator, Snapshot, StatValue, StatsReport,
+    TierMode,
 };
 use kahrisma_fabric::{Fabric, FabricOutcome};
 use kahrisma_isa::IsaKind;
@@ -957,9 +958,23 @@ fn spec_to_value(spec: &SessionSpec) -> Value {
         ("prediction".to_string(), Value::Bool(spec.prediction)),
         ("superblocks".to_string(), Value::Bool(spec.superblocks)),
         ("ideal_memory".to_string(), Value::Bool(spec.ideal_memory)),
+        (
+            "tier".to_string(),
+            match spec.tier {
+                TierMode::Interp => "interp",
+                _ => "ir",
+            }
+            .into(),
+        ),
     ];
     if let Some(model) = spec.model {
         fields.push(("model".to_string(), model_name(model).into()));
+    }
+    if let Some(g) = spec.geometry {
+        fields.push(("l1_lines".to_string(), g.l1_lines.into()));
+        fields.push(("line_bytes".to_string(), g.line_bytes.into()));
+        fields.push(("l2_ports".to_string(), g.l2_ports.into()));
+        fields.push(("mem_delay".to_string(), g.mem_delay.into()));
     }
     Value::Obj(fields)
 }
@@ -992,6 +1007,23 @@ fn spec_from_value(value: &Value) -> Result<SessionSpec, String> {
     spec.prediction = flag("prediction", true);
     spec.superblocks = flag("superblocks", true);
     spec.ideal_memory = flag("ideal_memory", false);
+    match value.get("tier").and_then(Value::as_str) {
+        None | Some("ir") => spec.tier = TierMode::Ir,
+        Some("interp") => spec.tier = TierMode::Interp,
+        Some(other) => return Err(format!("unknown tier `{other}`")),
+    }
+    let geom = |key: &str| value.get(key).and_then(Value::as_u64);
+    if ["l1_lines", "line_bytes", "l2_ports", "mem_delay"].iter().any(|k| value.get(k).is_some()) {
+        let d = kahrisma_core::MemGeometry::default();
+        let g = kahrisma_core::MemGeometry {
+            l1_lines: geom("l1_lines").map_or(d.l1_lines, |v| v as u32),
+            line_bytes: geom("line_bytes").map_or(d.line_bytes, |v| v as u32),
+            l2_ports: geom("l2_ports").map_or(d.l2_ports, |v| v as u32),
+            mem_delay: geom("mem_delay").unwrap_or(d.mem_delay),
+        };
+        g.validate()?;
+        spec.geometry = Some(g);
+    }
     Ok(spec)
 }
 
@@ -1407,7 +1439,46 @@ mod tests {
         assert!(!parsed.prediction);
         assert!(parsed.superblocks);
         assert!(parsed.ideal_memory);
+        assert_eq!(parsed.tier, TierMode::Ir);
+        assert_eq!(parsed.geometry, None);
         assert!(spec_from_value(&Value::Obj(Vec::new())).is_err(), "workload required");
+    }
+
+    #[test]
+    fn spec_wire_form_carries_tier_and_geometry() {
+        let mut spec = SessionSpec::new(Workload::Dct, IsaKind::Risc);
+        spec.tier = TierMode::Interp;
+        spec.geometry = Some(kahrisma_core::MemGeometry {
+            l1_lines: 16,
+            line_bytes: 16,
+            l2_ports: 2,
+            mem_delay: 30,
+        });
+        let parsed = spec_from_value(&spec_to_value(&spec)).unwrap();
+        assert_eq!(parsed.tier, TierMode::Interp);
+        assert_eq!(parsed.geometry, spec.geometry);
+
+        // Partial geometry keys fill from the defaults; bad ones error.
+        let v = Value::Obj(vec![
+            ("workload".to_string(), "dct".into()),
+            ("isa".to_string(), "risc".into()),
+            ("l1_lines".to_string(), 16u32.into()),
+        ]);
+        let parsed = spec_from_value(&v).unwrap();
+        let g = parsed.geometry.unwrap();
+        assert_eq!((g.l1_lines, g.line_bytes, g.l2_ports, g.mem_delay), (16, 32, 1, 18));
+        let v = Value::Obj(vec![
+            ("workload".to_string(), "dct".into()),
+            ("isa".to_string(), "risc".into()),
+            ("l1_lines".to_string(), 48u32.into()),
+        ]);
+        assert!(spec_from_value(&v).unwrap_err().contains("power of two"));
+        let v = Value::Obj(vec![
+            ("workload".to_string(), "dct".into()),
+            ("isa".to_string(), "risc".into()),
+            ("tier".to_string(), "jit".into()),
+        ]);
+        assert_eq!(spec_from_value(&v).unwrap_err(), "unknown tier `jit`");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use kahrisma_core::{
-    CycleModelKind, MemoryHierarchy, SimConfig, Simulator, Snapshot,
+    CycleModelKind, MemGeometry, MemoryHierarchy, SimConfig, Simulator, Snapshot, TierMode,
 };
 use kahrisma_fabric::{CoreSpec, Fabric, FabricConfig};
 use kahrisma_isa::IsaKind;
@@ -35,6 +35,12 @@ pub struct SessionSpec {
     pub superblocks: bool,
     /// Replace the paper memory hierarchy with ideal memory.
     pub ideal_memory: bool,
+    /// Execution tier (default: the compiled IR tier).
+    pub tier: TierMode,
+    /// Explicit cache geometry for the cycle-model memory hierarchy;
+    /// `None` keeps the paper default. Takes precedence over
+    /// `ideal_memory` when both are given.
+    pub geometry: Option<MemGeometry>,
 }
 
 impl SessionSpec {
@@ -50,6 +56,8 @@ impl SessionSpec {
             prediction: true,
             superblocks: true,
             ideal_memory: false,
+            tier: TierMode::Ir,
+            geometry: None,
         }
     }
 
@@ -61,9 +69,12 @@ impl SessionSpec {
             decode_cache: self.decode_cache,
             prediction: self.prediction && self.decode_cache,
             superblocks: self.superblocks && self.decode_cache,
+            tier: self.tier,
             ..SimConfig::default()
         };
-        if self.ideal_memory {
+        if let Some(geometry) = self.geometry {
+            config.memory = geometry.hierarchy();
+        } else if self.ideal_memory {
             config.memory = MemoryHierarchy::new().with_memory(0);
         }
         config
